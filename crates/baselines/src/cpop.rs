@@ -1,0 +1,135 @@
+//! Critical-Path-on-Processor (Topcuoglu et al. \[8\]).
+
+use crate::ranks::{downward_rank, min_eft_placement, upward_rank};
+use hdlts_core::{est, CoreError, Problem, Schedule, Scheduler};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+
+/// CPOP: task priority is `rank_u + rank_d` (mean costs). The tasks whose
+/// priority equals the entry's — the mean-cost critical path — are all
+/// pinned to the single processor that minimizes the path's total execution
+/// time; every other task goes to its minimum-EFT processor
+/// (insertion-based). Ready tasks are dispatched highest-priority-first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cpop;
+
+const EPS: f64 = 1e-9;
+
+impl Scheduler for Cpop {
+    fn name(&self) -> &'static str {
+        "CPOP"
+    }
+
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        let (entry, _exit) = problem.entry_exit()?;
+        let dag = problem.dag();
+        let mean = |t: TaskId| problem.costs().mean_cost(t);
+        let ru = upward_rank(problem, mean);
+        let rd = downward_rank(problem, mean);
+        let priority: Vec<f64> = dag
+            .tasks()
+            .map(|t| ru[t.index()] + rd[t.index()])
+            .collect();
+
+        // Walk the critical path from the entry, always stepping to the
+        // successor with the critical priority (ties: lowest id).
+        let cp_priority = priority[entry.index()];
+        let tol = EPS * cp_priority.abs().max(1.0);
+        let mut on_cp = vec![false; dag.num_tasks()];
+        let mut cur = entry;
+        on_cp[cur.index()] = true;
+        loop {
+            let next = dag
+                .succs(cur)
+                .iter()
+                .map(|&(s, _)| s)
+                .filter(|s| (priority[s.index()] - cp_priority).abs() <= tol)
+                .min();
+            match next {
+                Some(s) => {
+                    on_cp[s.index()] = true;
+                    cur = s;
+                }
+                None => break,
+            }
+        }
+
+        // The CP processor minimizes the summed execution time of CP tasks.
+        let cp_proc = problem
+            .platform()
+            .procs()
+            .min_by(|&a, &b| {
+                let cost = |p: ProcId| {
+                    dag.tasks()
+                        .filter(|t| on_cp[t.index()])
+                        .map(|t| problem.w(t, p))
+                        .sum::<f64>()
+                };
+                cost(a).total_cmp(&cost(b))
+            })
+            .expect("platform has processors");
+
+        // Priority-queue dispatch over ready tasks.
+        let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
+        let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
+        let mut ready = vec![entry];
+        while let Some(pos) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                priority[a.index()]
+                    .total_cmp(&priority[b.index()])
+                    .then(b.index().cmp(&a.index()))
+            })
+            .map(|(i, _)| i)
+        {
+            let t = ready.swap_remove(pos);
+            if on_cp[t.index()] {
+                let start = est(problem, &schedule, t, cp_proc, true)?;
+                schedule.place(t, cp_proc, start, start + problem.w(t, cp_proc))?;
+            } else {
+                let (p, start, finish) = min_eft_placement(problem, &schedule, t, true)?;
+                schedule.place(t, p, start, finish)?;
+            }
+            for &(child, _) in dag.succs(t) {
+                pending[child.index()] -= 1;
+                if pending[child.index()] == 0 {
+                    ready.push(child);
+                }
+            }
+        }
+        Ok(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_platform::Platform;
+    use hdlts_workloads::fixtures::fig1;
+
+    #[test]
+    fn fig1_critical_path_tasks_share_a_processor() {
+        let inst = fig1();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let s = Cpop.schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        // Mean-cost CP of Fig. 1 is t1 -> t2 -> t9 -> t10 (1-based; see the
+        // HEFT paper): all four land on one processor.
+        let p0 = s.proc_of(TaskId(0)).unwrap();
+        for t in [1u32, 8, 9] {
+            assert_eq!(s.proc_of(TaskId(t)).unwrap(), p0, "t{}", t + 1);
+        }
+    }
+
+    #[test]
+    fn fig1_makespan_is_the_published_86() {
+        // CPOP's published schedule length on the Fig. 1 graph.
+        let inst = fig1();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let s = Cpop.schedule(&problem).unwrap();
+        assert_eq!(s.makespan(), 86.0);
+    }
+}

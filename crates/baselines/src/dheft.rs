@@ -1,0 +1,80 @@
+//! Duplication-based HEFT (Section II-B, Zhang et al. \[23\]) — extension.
+
+use crate::ranks::{min_eft_placement, order_by_descending, upward_rank};
+use hdlts_core::{CoreError, DuplicationPolicy, Problem, Schedule, Scheduler};
+
+/// DHEFT-style scheduler: HEFT's mean-cost upward rank and insertion-based
+/// minimum-EFT assignment, plus HDLTS's *conditional* entry-task
+/// duplication (Algorithm 1) instead of SDBATS's unconditional one.
+///
+/// Included to separate the two ingredients of HDLTS in the ablation
+/// benches: dynamic PV prioritization vs. entry duplication.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DHeft {
+    /// Which duplication condition to apply (default: any-child).
+    pub policy: DuplicationPolicy,
+}
+
+impl Scheduler for DHeft {
+    fn name(&self) -> &'static str {
+        "DHEFT"
+    }
+
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        let (entry, _exit) = problem.entry_exit()?;
+        let ranks = upward_rank(problem, |t| problem.costs().mean_cost(t));
+        let order = order_by_descending(&ranks, problem.dag());
+
+        let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
+        let (entry_proc, start, finish) = min_eft_placement(problem, &schedule, entry, true)?;
+        schedule.place(entry, entry_proc, start, finish)?;
+
+        if self.policy != DuplicationPolicy::Off {
+            let children = problem.dag().succs(entry);
+            for k in problem.platform().procs() {
+                if k == entry_proc {
+                    continue;
+                }
+                let replica_finish = problem.w(entry, k);
+                let beats = |&(_, cost): &(hdlts_dag::TaskId, f64)| {
+                    replica_finish
+                        < finish + problem.platform().comm_time(entry_proc, k, cost)
+                };
+                let beneficial = match self.policy {
+                    DuplicationPolicy::AnyChild => children.iter().any(beats),
+                    DuplicationPolicy::AllChildren => children.iter().all(beats),
+                    DuplicationPolicy::Off => false,
+                };
+                if beneficial && !children.is_empty() {
+                    schedule.place_duplicate(entry, k, 0.0, replica_finish)?;
+                }
+            }
+        }
+
+        for &t in order.iter().filter(|&&t| t != entry) {
+            let (p, s, f) = min_eft_placement(problem, &schedule, t, true)?;
+            schedule.place(t, p, s, f)?;
+        }
+        Ok(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Heft;
+    use hdlts_platform::Platform;
+    use hdlts_workloads::fixtures::fig1;
+
+    #[test]
+    fn duplication_never_hurts_fig1() {
+        let inst = fig1();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let dheft = DHeft::default().schedule(&problem).unwrap();
+        dheft.validate(&problem).unwrap();
+        let heft = Heft.schedule(&problem).unwrap();
+        assert!(dheft.makespan() <= heft.makespan());
+        assert!(!dheft.duplicates().is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! HDLTS-D: HDLTS with *critical-parent* duplication (extension).
+//!
+//! Algorithm 1 only ever replicates the entry task. The related-work
+//! section (II-B) discusses full duplication-based schedulers, which
+//! replicate any parent whose message is the bottleneck; this module
+//! implements the classic restricted form of that idea on top of the HDLTS
+//! loop: when mapping a task `t` to a candidate processor `p`, if `t`'s
+//! *critical parent* (the one whose data arrives last at `p`) sits on
+//! another processor, try to squeeze a copy of it into an idle gap of `p`
+//! before `t`; keep the copy only if it strictly lowers `t`'s EFT there.
+//! The check iterates (the next-critical parent may become the bottleneck)
+//! up to the task's in-degree.
+//!
+//! Unlike entry replication, a general replica has parents of its own; its
+//! start honours their arrivals at `p`, and the engine's validator checks
+//! precedence for *every* copy, so the schedules remain independently
+//! verified.
+
+use hdlts_core::{data_ready_time, penalty_value, CoreError, PenaltyKind, Problem, Schedule,
+    Scheduler};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+
+/// HDLTS with critical-parent duplication at mapping time (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HdltsCpd;
+
+/// One tentative parent replica: `(parent, start, finish)` on the candidate
+/// processor.
+type PlannedCopy = (TaskId, f64, f64);
+
+impl HdltsCpd {
+    /// Evaluates task `t` on processor `p`: returns the achievable
+    /// `(EFT, replicas to commit)` where replicas are critical parents whose
+    /// local copies strictly improve the EFT.
+    fn eft_with_duplication(
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        t: TaskId,
+        p: ProcId,
+    ) -> Result<(f64, Vec<PlannedCopy>), CoreError> {
+        let dag = problem.dag();
+        let platform = problem.platform();
+
+        // Arrival of `parent`'s data at `p`, given committed copies plus any
+        // planned replicas (which live on `p`, so no transfer).
+        let arrival = |planned: &[PlannedCopy], parent: TaskId, cost: f64| -> f64 {
+            let committed = schedule
+                .copies(parent)
+                .map(|c| c.finish + platform.comm_time(c.proc, p, cost))
+                .fold(f64::INFINITY, f64::min);
+            let local = planned
+                .iter()
+                .filter(|&&(task, _, _)| task == parent)
+                .map(|&(_, _, finish)| finish)
+                .fold(f64::INFINITY, f64::min);
+            committed.min(local)
+        };
+
+        let mut planned: Vec<PlannedCopy> = Vec::new();
+        // Planned replicas occupy the head of p's idle time; track a cursor
+        // so successive replicas don't collide (they are committed with
+        // insertion afterwards, but planning keeps them sequential).
+        for _round in 0..dag.in_degree(t) {
+            // Current ready time and critical parent.
+            let mut ready = 0.0f64;
+            let mut critical: Option<(TaskId, f64)> = None;
+            for &(q, cost) in dag.preds(t) {
+                let a = arrival(&planned, q, cost);
+                if a > ready {
+                    ready = a;
+                    critical = Some((q, cost));
+                }
+            }
+            let Some((cp, cp_cost)) = critical else { break };
+            let msg_arrival = arrival(&planned, cp, cp_cost);
+            if schedule.copies(cp).any(|c| c.proc == p)
+                || planned.iter().any(|&(task, _, _)| task == cp)
+            {
+                break; // already local; the bottleneck is irreducible here
+            }
+            // The replica's own inputs must reach `p`.
+            let cp_ready = dag
+                .preds(cp)
+                .iter()
+                .map(|&(g, gcost)| arrival(&planned, g, gcost))
+                .fold(0.0f64, f64::max);
+            // Find a gap for the replica among committed slots; planned
+            // replicas are placed one after another, so start after the
+            // latest planned finish too.
+            let planned_tail = planned.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
+            let dur = problem.w(cp, p);
+            let start = schedule
+                .timeline(p)
+                .earliest_start(cp_ready.max(planned_tail), dur, true);
+            let finish = start + dur;
+            if finish >= msg_arrival {
+                break; // replica would not beat the message
+            }
+            planned.push((cp, start, finish));
+        }
+
+        // Final EST/EFT with the planned replicas in place.
+        let ready = dag
+            .preds(t)
+            .iter()
+            .map(|&(q, cost)| arrival(&planned, q, cost))
+            .fold(0.0f64, f64::max);
+        let planned_tail = planned.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
+        let start = schedule
+            .timeline(p)
+            .earliest_start(ready, problem.w(t, p), false)
+            .max(planned_tail);
+        Ok((start + problem.w(t, p), planned))
+    }
+}
+
+impl Scheduler for HdltsCpd {
+    fn name(&self) -> &'static str {
+        "HDLTS-D"
+    }
+
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        let (entry, _exit) = problem.entry_exit()?;
+        let dag = problem.dag();
+        let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
+        let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
+        let mut itq: Vec<TaskId> = vec![entry];
+
+        while !itq.is_empty() {
+            // HDLTS selection over duplication-aware EFT rows.
+            let mut best_idx = 0usize;
+            let mut best_pv = f64::NEG_INFINITY;
+            let mut evaluated: Vec<Vec<(f64, Vec<PlannedCopy>)>> = Vec::with_capacity(itq.len());
+            for (i, &t) in itq.iter().enumerate() {
+                let row: Vec<(f64, Vec<PlannedCopy>)> = problem
+                    .platform()
+                    .procs()
+                    .map(|p| Self::eft_with_duplication(problem, &schedule, t, p))
+                    .collect::<Result<_, _>>()?;
+                let efts: Vec<f64> = row.iter().map(|&(e, _)| e).collect();
+                let pv =
+                    penalty_value(PenaltyKind::EftSampleStdDev, &efts, problem.costs().row(t));
+                if pv > best_pv || (pv == best_pv && itq[i] < itq[best_idx]) {
+                    best_pv = pv;
+                    best_idx = i;
+                }
+                evaluated.push(row);
+            }
+            let task = itq.swap_remove(best_idx);
+            let row = evaluated.swap_remove(best_idx);
+
+            // Minimum duplication-aware EFT.
+            let (proc_idx, (_, replicas)) = row
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0))
+                .map(|(i, r)| (i, r.clone()))
+                .expect("platform has processors");
+            let proc = ProcId::from_index(proc_idx);
+
+            // Commit the replicas, then the task itself.
+            for &(cp, start, finish) in &replicas {
+                schedule.place_duplicate(cp, proc, start, finish)?;
+            }
+            let ready = data_ready_time(problem, &schedule, task, proc)?;
+            let start = schedule
+                .timeline(proc)
+                .earliest_start(ready, problem.w(task, proc), false);
+            schedule.place(task, proc, start, start + problem.w(task, proc))?;
+
+            for &(child, _) in dag.succs(task) {
+                pending[child.index()] -= 1;
+                if pending[child.index()] == 0 {
+                    itq.push(child);
+                }
+            }
+        }
+        Ok(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_core::Hdlts;
+    use hdlts_platform::Platform;
+    use hdlts_workloads::{fixtures::fig1, random_dag, RandomDagParams};
+
+    #[test]
+    fn feasible_on_fig1_and_not_worse_than_plain_hdlts() {
+        let inst = fig1();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let s = HdltsCpd.schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        assert!(s.makespan() >= 41.0, "CP lower bound");
+        // On the paper's own example duplication should help or tie.
+        let plain = Hdlts::paper_exact().schedule(&problem).unwrap().makespan();
+        assert!(s.makespan() <= plain * 1.1, "{} vs {plain}", s.makespan());
+    }
+
+    #[test]
+    fn duplicates_critical_parent_when_comm_dominates() {
+        use hdlts_dag::dag_from_edges;
+        use hdlts_platform::CostMatrix;
+        // chain 0 -> 1 -> 2 with a huge 1->2 edge; task 1 cheap everywhere;
+        // forcing 2 elsewhere shows the replica. Build: 0 on P1, 1 on P1,
+        // then 2 prefers P2 only if 1 is replicated... Construct: t2 much
+        // faster on P2; without duplication it must wait for the transfer.
+        let dag = dag_from_edges(3, &[(0, 1, 1.0), (1, 2, 100.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![1.0, 50.0],
+            vec![2.0, 2.0],
+            vec![50.0, 3.0],
+        ])
+        .unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let problem = hdlts_core::Problem::new(&dag, &costs, &platform).unwrap();
+        let plain = Hdlts::paper_exact().schedule(&problem).unwrap();
+        let dup = HdltsCpd.schedule(&problem).unwrap();
+        dup.validate(&problem).unwrap();
+        // plain: t2 runs on P1 (50) after t1 (3) -> 53, or on P2 at
+        // 3 + 100 + 3 = 106 -> chooses 53. With duplication t1 copies to P2
+        // (needs t0's data: 1 + 1 = 2; runs 2..4), t2 at 4..7 => 7.
+        assert!(dup.makespan() < plain.makespan());
+        assert!(!dup.duplicates().is_empty());
+    }
+
+    #[test]
+    fn random_graphs_stay_feasible_and_competitive() {
+        let mut plain_total = 0.0;
+        let mut dup_total = 0.0;
+        for seed in 0..20 {
+            let inst = random_dag::generate(
+                &RandomDagParams { ccr: 4.0, ..RandomDagParams::default() },
+                seed,
+            );
+            let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+            let problem = inst.problem(&platform).unwrap();
+            let plain = Hdlts::paper_exact().schedule(&problem).unwrap();
+            let dup = HdltsCpd.schedule(&problem).unwrap();
+            dup.validate(&problem)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            plain_total += plain.makespan();
+            dup_total += dup.makespan();
+        }
+        // Duplication must pay off on communication-heavy graphs overall.
+        assert!(
+            dup_total < plain_total,
+            "duplication total {dup_total} vs plain {plain_total}"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! HDLTS-L: HDLTS selection with PEFT-style lookahead mapping (extension).
+//!
+//! The paper's own Fig. 4 discussion concedes that HDLTS degrades with many
+//! processors because it "does not take a look at the overall structure of
+//! the application and the impact of a CPU assignment for a task to its
+//! child tasks". This extension keeps HDLTS's dynamic ITQ and penalty-value
+//! *selection* untouched but replaces the *mapping* rule: instead of the
+//! plain minimum EFT, the task goes to the processor minimizing the
+//! optimistic EFT `EFT(t, p) + OCT(t, p)` — PEFT's downstream-cost
+//! lookahead \[10\] — which is exactly the missing structural signal.
+//!
+//! Measured effect (see EXPERIMENTS.md, `ext-lookahead`): essentially
+//! *none* — HDLTS-L tracks vanilla HDLTS within noise on random workflows.
+//! A genuinely informative negative result: the gap to HEFT is caused by
+//! the myopic max-σ *selection* rule, not by the mapping; fixing it
+//! requires structural information at selection time (which is what
+//! HEFT's upward rank provides).
+
+use crate::Peft;
+use hdlts_core::{est, penalty_value, CoreError, PenaltyKind, Problem, Schedule, Scheduler};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+
+/// HDLTS with OCT-lookahead processor selection (see module docs).
+///
+/// Entry-task duplication (Algorithm 1, any-child condition) is kept, as in
+/// the paper-exact HDLTS.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HdltsLookahead;
+
+impl Scheduler for HdltsLookahead {
+    fn name(&self) -> &'static str {
+        "HDLTS-L"
+    }
+
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        let (entry, _exit) = problem.entry_exit()?;
+        let dag = problem.dag();
+        let oct = Peft::oct(problem);
+        let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
+        let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
+        let mut itq: Vec<TaskId> = vec![entry];
+
+        while !itq.is_empty() {
+            // HDLTS selection: EFT rows + penalty values on the live state.
+            let mut best_task = 0usize;
+            let mut best_pv = f64::NEG_INFINITY;
+            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(itq.len());
+            for (i, &t) in itq.iter().enumerate() {
+                let row: Vec<f64> = problem
+                    .platform()
+                    .procs()
+                    .map(|p| {
+                        est(problem, &schedule, t, p, false).map(|s| s + problem.w(t, p))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let pv =
+                    penalty_value(PenaltyKind::EftSampleStdDev, &row, problem.costs().row(t));
+                if pv > best_pv || (pv == best_pv && itq[i] < itq[best_task]) {
+                    best_pv = pv;
+                    best_task = i;
+                }
+                rows.push(row);
+            }
+            let task = itq.swap_remove(best_task);
+            let row = rows.swap_remove(best_task);
+
+            // Lookahead mapping: minimize EFT + OCT.
+            let mut proc = ProcId(0);
+            let mut best_score = f64::INFINITY;
+            for (p, &eft) in row.iter().enumerate() {
+                let score = eft + oct[task.index()][p];
+                if score < best_score {
+                    best_score = score;
+                    proc = ProcId::from_index(p);
+                }
+            }
+            let start = est(problem, &schedule, task, proc, false)?;
+            let finish = start + problem.w(task, proc);
+            schedule.place(task, proc, start, finish)?;
+
+            // Entry duplication as in the paper-exact HDLTS (any child).
+            if task == entry {
+                let children = dag.succs(entry);
+                for k in problem.platform().procs() {
+                    if k == proc || children.is_empty() {
+                        continue;
+                    }
+                    let replica_finish = problem.w(entry, k);
+                    let beats = children.iter().any(|&(_, cost)| {
+                        replica_finish < finish + problem.platform().comm_time(proc, k, cost)
+                    });
+                    if beats {
+                        schedule.place_duplicate(entry, k, 0.0, replica_finish)?;
+                    }
+                }
+            }
+
+            for &(child, _) in dag.succs(task) {
+                pending[child.index()] -= 1;
+                if pending[child.index()] == 0 {
+                    itq.push(child);
+                }
+            }
+        }
+        Ok(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_core::Hdlts;
+    use hdlts_platform::Platform;
+    use hdlts_workloads::{fixtures::fig1, random_dag, RandomDagParams};
+
+    #[test]
+    fn feasible_on_fig1() {
+        let inst = fig1();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let s = HdltsLookahead.schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        assert!(s.makespan() >= 41.0); // CP lower bound
+    }
+
+    #[test]
+    fn tracks_vanilla_hdlts_within_noise_on_random_graphs() {
+        // The measured (negative) result this module documents: mapping
+        // lookahead alone neither fixes nor breaks HDLTS — totals stay
+        // within a few percent of vanilla while every schedule stays valid.
+        let mut vanilla_total = 0.0;
+        let mut lookahead_total = 0.0;
+        for seed in 0..30 {
+            let inst = random_dag::generate(
+                &RandomDagParams { ccr: 3.0, ..RandomDagParams::default() },
+                seed,
+            );
+            let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+            let problem = inst.problem(&platform).unwrap();
+            vanilla_total += Hdlts::paper_exact().schedule(&problem).unwrap().makespan();
+            let s = HdltsLookahead.schedule(&problem).unwrap();
+            s.validate(&problem).unwrap();
+            lookahead_total += s.makespan();
+        }
+        let ratio = lookahead_total / vanilla_total;
+        assert!(
+            (0.92..=1.08).contains(&ratio),
+            "lookahead/vanilla ratio {ratio} left the noise band"
+        );
+    }
+}

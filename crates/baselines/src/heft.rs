@@ -1,0 +1,65 @@
+//! Heterogeneous Earliest Finish Time (Topcuoglu et al. \[8\]).
+
+use crate::ranks::{assign_in_order, order_by_descending, upward_rank};
+use hdlts_core::{CoreError, Problem, Schedule, Scheduler};
+
+/// HEFT: tasks are prioritized by upward rank computed from *mean*
+/// computation and communication costs, then assigned in rank order to the
+/// processor giving the earliest finish time, with insertion-based slot
+/// filling. Complexity `O(V^2 * P)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heft;
+
+impl Scheduler for Heft {
+    fn name(&self) -> &'static str {
+        "HEFT"
+    }
+
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        problem.entry_exit()?;
+        let ranks = upward_rank(problem, |t| problem.costs().mean_cost(t));
+        let order = order_by_descending(&ranks, problem.dag());
+        assign_in_order(problem, &order, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_core::Scheduler;
+    use hdlts_workloads::fixtures::fig1;
+    use hdlts_platform::Platform;
+
+    #[test]
+    fn fig1_makespan_is_the_published_80() {
+        // The canonical HEFT result on the Fig. 1 graph (HEFT paper Fig. 3,
+        // quoted as 80 in this paper's Section IV walkthrough).
+        let inst = fig1();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let s = Heft.schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        assert_eq!(s.makespan(), 80.0);
+    }
+
+    #[test]
+    fn rank_order_on_fig1_matches_published_priorities() {
+        // HEFT paper: rank_u order on this graph is
+        // t1, t3, t4, t2, t5, t6, t9, t7, t8, t10 (1-based). t3 and t4 are
+        // *exactly* tied at 80, so only their pair order is left open
+        // (floating-point summation order decides it).
+        use crate::ranks::{order_by_descending, upward_rank};
+        let inst = fig1();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let ranks = upward_rank(&problem, |t| problem.costs().mean_cost(t));
+        assert!((ranks[0] - 108.0).abs() < 0.5, "rank_u(t1) ~ 108");
+        assert!((ranks[2] - 80.0).abs() < 1e-6 && (ranks[3] - 80.0).abs() < 1e-6);
+        let order: Vec<u32> = order_by_descending(&ranks, &inst.dag).iter().map(|t| t.0 + 1).collect();
+        assert_eq!(order[0], 1);
+        let mut pair = vec![order[1], order[2]];
+        pair.sort_unstable();
+        assert_eq!(pair, vec![3, 4]);
+        assert_eq!(&order[3..], &[2, 5, 6, 9, 7, 8, 10]);
+    }
+}

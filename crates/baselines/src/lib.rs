@@ -1,0 +1,55 @@
+//! Baseline list schedulers the paper compares HDLTS against (Section II-D),
+//! plus a few extra reference points.
+//!
+//! All baselines implement [`hdlts_core::Scheduler`] against the same
+//! engine as HDLTS itself, so comparisons share EST/EFT semantics,
+//! validation, and metrics:
+//!
+//! * [`Heft`] — Heterogeneous Earliest Finish Time \[8\]: mean-cost upward
+//!   rank, insertion-based minimum-EFT assignment.
+//! * [`Cpop`] — Critical-Path-on-Processor \[8\]: upward+downward rank,
+//!   critical-path tasks pinned to the single processor minimizing the
+//!   path's total execution.
+//! * [`Pets`] — Performance-Effective Task Scheduling \[9\]: level-by-level
+//!   ranking from average computation + data transfer/receive costs.
+//! * [`Peft`] — Predict Earliest Finish Time \[10\]: Optimistic Cost Table
+//!   lookahead for both priority and processor choice.
+//! * [`Sdbats`] — Standard-Deviation-Based Task Scheduling \[11\]:
+//!   σ-weighted upward rank with unconditional entry-task duplication.
+//! * Extras: [`MinMin`] (classic dynamic min-min), [`RandomScheduler`]
+//!   (seeded random feasible schedules — a sanity floor),
+//!   [`DHeft`] (HEFT + conditional entry duplication, Section II-B \[23\]),
+//!   [`HdltsLookahead`] (HDLTS selection + PEFT's OCT lookahead
+//!   mapping — an extension addressing the paper's Fig. 4 weakness), and
+//!   [`HdltsCpd`] (HDLTS + critical-parent duplication, generalizing
+//!   Algorithm 1 beyond the entry task).
+//!
+//! [`AlgorithmKind`] is the registry the experiment harness iterates over.
+
+#![warn(missing_docs)]
+
+mod cpop;
+mod dheft;
+mod hdlts_cpd;
+mod hdlts_lookahead;
+mod heft;
+mod minmin;
+mod pets;
+mod peft;
+mod random_assign;
+mod ranks;
+mod registry;
+mod sdbats;
+
+pub use cpop::Cpop;
+pub use dheft::DHeft;
+pub use hdlts_cpd::HdltsCpd;
+pub use hdlts_lookahead::HdltsLookahead;
+pub use heft::Heft;
+pub use minmin::MinMin;
+pub use peft::Peft;
+pub use pets::Pets;
+pub use random_assign::RandomScheduler;
+pub use ranks::{downward_rank, mean_comm_time, min_eft_placement, upward_rank};
+pub use registry::AlgorithmKind;
+pub use sdbats::Sdbats;

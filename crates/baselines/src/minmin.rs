@@ -1,0 +1,66 @@
+//! Classic min-min dynamic scheduler (extra reference baseline).
+
+use crate::ranks::min_eft_placement;
+use hdlts_core::{CoreError, Problem, Schedule, Scheduler};
+use hdlts_dag::TaskId;
+
+/// Min-min: among all currently ready tasks, repeatedly pick the task whose
+/// *minimum* EFT over processors is smallest and assign it there.
+///
+/// The mirror image of HDLTS's max-heterogeneity rule — a useful extra
+/// baseline for the ablation experiments (it favours short tasks and tends
+/// to starve the critical path on heterogeneous platforms).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinMin;
+
+impl Scheduler for MinMin {
+    fn name(&self) -> &'static str {
+        "MinMin"
+    }
+
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        let (entry, _exit) = problem.entry_exit()?;
+        let dag = problem.dag();
+        let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
+        let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
+        let mut ready: Vec<TaskId> = vec![entry];
+        while !ready.is_empty() {
+            // Evaluate every ready task's best placement; take the global min.
+            let mut best: Option<(usize, hdlts_platform::ProcId, f64, f64)> = None;
+            for (i, &t) in ready.iter().enumerate() {
+                let (p, start, finish) = min_eft_placement(problem, &schedule, t, true)?;
+                match best {
+                    Some((_, _, _, bf)) if bf <= finish => {}
+                    _ => best = Some((i, p, start, finish)),
+                }
+            }
+            let (i, p, start, finish) = best.expect("ready is non-empty");
+            let t = ready.swap_remove(i);
+            schedule.place(t, p, start, finish)?;
+            for &(child, _) in dag.succs(t) {
+                pending[child.index()] -= 1;
+                if pending[child.index()] == 0 {
+                    ready.push(child);
+                }
+            }
+        }
+        Ok(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_platform::Platform;
+    use hdlts_workloads::fixtures::fig1;
+
+    #[test]
+    fn fig1_schedule_is_feasible() {
+        let inst = fig1();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let s = MinMin.schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        assert!(s.is_complete());
+    }
+}

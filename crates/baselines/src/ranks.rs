@@ -1,0 +1,250 @@
+//! Shared rank computations and assignment helpers for list schedulers.
+
+use hdlts_core::{est, CoreError, Problem, Schedule};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+
+/// Mean communication time of an edge with stored cost `cost`, averaged
+/// over all ordered distinct processor pairs.
+///
+/// For the paper's unit-bandwidth fully connected platform this is simply
+/// the stored cost; heterogeneous link models average `cost / B(i, j)`.
+/// Single-processor platforms communicate for free.
+pub fn mean_comm_time(problem: &Problem<'_>, cost: f64) -> f64 {
+    let platform = problem.platform();
+    let p = platform.num_procs();
+    if p < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in platform.procs() {
+        for j in platform.procs() {
+            if i != j {
+                total += platform.comm_time(i, j, cost);
+            }
+        }
+    }
+    total / (p * (p - 1)) as f64
+}
+
+/// Upward rank of every task (HEFT Eq.):
+/// `rank_u(t) = node_w(t) + max_{s in succ(t)} (mean_comm(t,s) + rank_u(s))`.
+///
+/// `node_w` is the per-task weight — mean computation cost for HEFT/CPOP,
+/// sample standard deviation for SDBATS.
+pub fn upward_rank(problem: &Problem<'_>, mut node_w: impl FnMut(TaskId) -> f64) -> Vec<f64> {
+    let dag = problem.dag();
+    let mut rank = vec![0.0f64; dag.num_tasks()];
+    for &t in dag.topological_order().iter().rev() {
+        let tail = dag
+            .succs(t)
+            .iter()
+            .map(|&(s, c)| mean_comm_time(problem, c) + rank[s.index()])
+            .fold(0.0f64, f64::max);
+        rank[t.index()] = node_w(t) + tail;
+    }
+    rank
+}
+
+/// Downward rank of every task (CPOP):
+/// `rank_d(t) = max_{q in pred(t)} (rank_d(q) + node_w(q) + mean_comm(q,t))`,
+/// zero for the entry task.
+pub fn downward_rank(problem: &Problem<'_>, mut node_w: impl FnMut(TaskId) -> f64) -> Vec<f64> {
+    let dag = problem.dag();
+    let mut rank = vec![0.0f64; dag.num_tasks()];
+    for &t in dag.topological_order() {
+        rank[t.index()] = dag
+            .preds(t)
+            .iter()
+            .map(|&(q, c)| rank[q.index()] + node_w(q) + mean_comm_time(problem, c))
+            .fold(0.0f64, f64::max);
+    }
+    rank
+}
+
+/// Finds the processor minimizing `EFT(t, ·)` (ties: lowest id) and returns
+/// `(proc, start, finish)` without mutating the schedule.
+///
+/// All of `t`'s parents must already be placed.
+pub fn min_eft_placement(
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    t: TaskId,
+    insertion: bool,
+) -> Result<(ProcId, f64, f64), CoreError> {
+    let mut best: Option<(ProcId, f64, f64)> = None;
+    for p in problem.platform().procs() {
+        let start = est(problem, schedule, t, p, insertion)?;
+        let finish = start + problem.w(t, p);
+        match best {
+            Some((_, _, bf)) if bf <= finish => {}
+            _ => best = Some((p, start, finish)),
+        }
+    }
+    best.ok_or(CoreError::ProcCountMismatch { platform: 0, costs: 0 })
+}
+
+/// Places tasks one by one in the given priority `order` (which must be a
+/// topological order), each on its minimum-EFT processor.
+pub fn assign_in_order(
+    problem: &Problem<'_>,
+    order: &[TaskId],
+    insertion: bool,
+) -> Result<Schedule, CoreError> {
+    let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
+    for &t in order {
+        let (p, start, finish) = min_eft_placement(problem, &schedule, t, insertion)?;
+        schedule.place(t, p, start, finish)?;
+    }
+    Ok(schedule)
+}
+
+/// Sorts task ids by descending key, breaking ties by topological position
+/// (then id) — the deterministic priority order used by every static-list
+/// baseline.
+///
+/// The topological tie-break matters: `rank_u(parent) >= rank_u(child)`
+/// holds with *equality* when a zero-cost pseudo task feeds a child over a
+/// zero-cost edge, and scheduling the child first would deadlock the
+/// assignment. Since upward ranks never increase along an edge, descending
+/// rank with topological ties is itself a valid topological order.
+pub(crate) fn order_by_descending(keys: &[f64], dag: &hdlts_dag::Dag) -> Vec<TaskId> {
+    let mut topo_pos = vec![0usize; keys.len()];
+    for (i, &t) in dag.topological_order().iter().enumerate() {
+        topo_pos[t.index()] = i;
+    }
+    let mut order: Vec<TaskId> = (0..keys.len()).map(TaskId::from_index).collect();
+    order.sort_by(|a, b| {
+        keys[b.index()]
+            .total_cmp(&keys[a.index()])
+            .then(topo_pos[a.index()].cmp(&topo_pos[b.index()]))
+            .then(a.index().cmp(&b.index()))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::dag_from_edges;
+    use hdlts_platform::{CostMatrix, LinkModel, Platform};
+
+    fn fig1_like() -> (hdlts_dag::Dag, CostMatrix, Platform) {
+        // Small diamond with distinct costs.
+        let dag = dag_from_edges(4, &[(0, 1, 6.0), (0, 2, 4.0), (1, 3, 2.0), (2, 3, 8.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![2.0, 4.0],
+            vec![3.0, 1.0],
+            vec![5.0, 5.0],
+            vec![2.0, 2.0],
+        ])
+        .unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        (dag, costs, platform)
+    }
+
+    #[test]
+    fn mean_comm_is_cost_at_unit_bandwidth() {
+        let (dag, costs, platform) = fig1_like();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        assert_eq!(mean_comm_time(&problem, 6.0), 6.0);
+    }
+
+    #[test]
+    fn mean_comm_scales_with_bandwidth() {
+        let dag = dag_from_edges(2, &[(0, 1, 6.0)]).unwrap();
+        let costs = CostMatrix::uniform(2, 2, 1.0).unwrap();
+        let platform = Platform::new(
+            vec!["a".into(), "b".into()],
+            LinkModel::Uniform { bandwidth: 3.0 },
+        )
+        .unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        assert_eq!(mean_comm_time(&problem, 6.0), 2.0);
+    }
+
+    #[test]
+    fn mean_comm_zero_on_uniprocessor() {
+        let dag = dag_from_edges(2, &[(0, 1, 6.0)]).unwrap();
+        let costs = CostMatrix::uniform(2, 1, 1.0).unwrap();
+        let platform = Platform::fully_connected(1).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        assert_eq!(mean_comm_time(&problem, 6.0), 0.0);
+    }
+
+    #[test]
+    fn upward_rank_hand_checked() {
+        let (dag, costs, platform) = fig1_like();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mean = |t: TaskId| problem.costs().mean_cost(t);
+        let r = upward_rank(&problem, mean);
+        // rank(3) = 2; rank(1) = 2 + 2 + 2 = 6; rank(2) = 5 + 8 + 2 = 15;
+        // rank(0) = 3 + max(6+6, 4+15) = 22.
+        assert_eq!(r[3], 2.0);
+        assert_eq!(r[1], 6.0);
+        assert_eq!(r[2], 15.0);
+        assert_eq!(r[0], 22.0);
+    }
+
+    #[test]
+    fn downward_rank_hand_checked() {
+        let (dag, costs, platform) = fig1_like();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mean = |t: TaskId| problem.costs().mean_cost(t);
+        let r = downward_rank(&problem, mean);
+        // rank_d(0) = 0; rank_d(1) = 0 + 3 + 6 = 9; rank_d(2) = 0 + 3 + 4 = 7;
+        // rank_d(3) = max(9 + 2 + 2, 7 + 5 + 8) = 20.
+        assert_eq!(r[0], 0.0);
+        assert_eq!(r[1], 9.0);
+        assert_eq!(r[2], 7.0);
+        assert_eq!(r[3], 20.0);
+    }
+
+    #[test]
+    fn upward_plus_downward_is_constant_on_critical_path() {
+        let (dag, costs, platform) = fig1_like();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mean = |t: TaskId| problem.costs().mean_cost(t);
+        let ru = upward_rank(&problem, mean);
+        let rd = downward_rank(&problem, mean);
+        let cp_len = ru[0]; // entry's upward rank is the mean-cost CP length
+        // Tasks on the CP satisfy ru + rd == cp_len; others are below.
+        for t in dag.tasks() {
+            assert!(ru[t.index()] + rd[t.index()] <= cp_len + 1e-9);
+        }
+        assert_eq!(ru[0] + rd[0], cp_len);
+        assert_eq!(ru[2] + rd[2], cp_len); // 15 + 7 = 22: task 2 is on the CP
+        assert_eq!(ru[3] + rd[3], cp_len);
+    }
+
+    #[test]
+    fn min_eft_placement_picks_cheapest() {
+        let (dag, costs, platform) = fig1_like();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let schedule = Schedule::new(4, 2);
+        let (p, start, finish) = min_eft_placement(&problem, &schedule, TaskId(0), true).unwrap();
+        assert_eq!(p, ProcId(0));
+        assert_eq!((start, finish), (0.0, 2.0));
+    }
+
+    #[test]
+    fn assign_in_order_respects_topology() {
+        let (dag, costs, platform) = fig1_like();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let order: Vec<TaskId> = dag.topological_order().to_vec();
+        let s = assign_in_order(&problem, &order, true).unwrap();
+        assert!(s.is_complete());
+        s.validate(&problem).unwrap();
+    }
+
+    #[test]
+    fn order_by_descending_breaks_ties_topologically() {
+        // chain 0 -> 1 -> 2 -> 3; keys tie 1 and 2 — the parent must win.
+        let dag = dag_from_edges(4, &[(0, 1, 0.0), (1, 2, 0.0), (2, 3, 0.0)]).unwrap();
+        let order = order_by_descending(&[3.0, 5.0, 5.0, 1.0], &dag);
+        assert_eq!(order, vec![TaskId(1), TaskId(2), TaskId(0), TaskId(3)]);
+        // keys equal everywhere -> pure topological order
+        let order = order_by_descending(&[1.0; 4], &dag);
+        assert_eq!(order, vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Registry of every scheduler in the workspace.
+
+use crate::{Cpop, DHeft, HdltsCpd, HdltsLookahead, Heft, MinMin, Peft, Pets, RandomScheduler,
+    Sdbats};
+use hdlts_core::{Hdlts, Scheduler};
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of one scheduling algorithm, for experiment configuration and
+/// output columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AlgorithmKind {
+    /// The paper's contribution (paper-exact configuration).
+    Hdlts,
+    /// Heterogeneous Earliest Finish Time.
+    Heft,
+    /// Critical-Path-on-Processor.
+    Cpop,
+    /// Performance-Effective Task Scheduling.
+    Pets,
+    /// Predict Earliest Finish Time.
+    Peft,
+    /// Standard-Deviation-Based Task Scheduling.
+    Sdbats,
+    /// Classic min-min (extra baseline).
+    MinMin,
+    /// HEFT with conditional entry duplication (extra baseline).
+    DHeft,
+    /// HDLTS selection with PEFT OCT-lookahead mapping (extension).
+    HdltsL,
+    /// HDLTS with critical-parent duplication (extension).
+    HdltsD,
+    /// Seeded random feasible scheduler (sanity floor).
+    Random,
+}
+
+impl AlgorithmKind {
+    /// The six algorithms evaluated in the paper, in its column order.
+    pub const PAPER_SET: &'static [AlgorithmKind] = &[
+        AlgorithmKind::Hdlts,
+        AlgorithmKind::Heft,
+        AlgorithmKind::Pets,
+        AlgorithmKind::Cpop,
+        AlgorithmKind::Peft,
+        AlgorithmKind::Sdbats,
+    ];
+
+    /// Every registered algorithm.
+    pub const ALL: &'static [AlgorithmKind] = &[
+        AlgorithmKind::Hdlts,
+        AlgorithmKind::Heft,
+        AlgorithmKind::Cpop,
+        AlgorithmKind::Pets,
+        AlgorithmKind::Peft,
+        AlgorithmKind::Sdbats,
+        AlgorithmKind::MinMin,
+        AlgorithmKind::DHeft,
+        AlgorithmKind::HdltsL,
+        AlgorithmKind::HdltsD,
+        AlgorithmKind::Random,
+    ];
+
+    /// Instantiates the scheduler.
+    pub fn build(self) -> Box<dyn Scheduler + Send + Sync> {
+        match self {
+            AlgorithmKind::Hdlts => Box::new(Hdlts::paper_exact()),
+            AlgorithmKind::Heft => Box::new(Heft),
+            AlgorithmKind::Cpop => Box::new(Cpop),
+            AlgorithmKind::Pets => Box::new(Pets),
+            AlgorithmKind::Peft => Box::new(Peft),
+            AlgorithmKind::Sdbats => Box::new(Sdbats),
+            AlgorithmKind::MinMin => Box::new(MinMin),
+            AlgorithmKind::DHeft => Box::new(DHeft::default()),
+            AlgorithmKind::HdltsL => Box::new(HdltsLookahead),
+            AlgorithmKind::HdltsD => Box::new(HdltsCpd),
+            AlgorithmKind::Random => Box::new(RandomScheduler::default()),
+        }
+    }
+
+    /// The display/column name (matches `Scheduler::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Hdlts => "HDLTS",
+            AlgorithmKind::Heft => "HEFT",
+            AlgorithmKind::Cpop => "CPOP",
+            AlgorithmKind::Pets => "PETS",
+            AlgorithmKind::Peft => "PEFT",
+            AlgorithmKind::Sdbats => "SDBATS",
+            AlgorithmKind::MinMin => "MinMin",
+            AlgorithmKind::DHeft => "DHEFT",
+            AlgorithmKind::HdltsL => "HDLTS-L",
+            AlgorithmKind::HdltsD => "HDLTS-D",
+            AlgorithmKind::Random => "Random",
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AlgorithmKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AlgorithmKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown algorithm '{s}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_platform::Platform;
+    use hdlts_workloads::fixtures::fig1;
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for &k in AlgorithmKind::ALL {
+            assert_eq!(k.name().parse::<AlgorithmKind>().unwrap(), k);
+            assert_eq!(k.name().to_lowercase().parse::<AlgorithmKind>().unwrap(), k);
+        }
+        assert!("nope".parse::<AlgorithmKind>().is_err());
+    }
+
+    #[test]
+    fn built_scheduler_name_matches_kind() {
+        for &k in AlgorithmKind::ALL {
+            assert_eq!(k.build().name(), k.name());
+        }
+    }
+
+    #[test]
+    fn every_algorithm_schedules_fig1_feasibly() {
+        let inst = fig1();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        for &k in AlgorithmKind::ALL {
+            let s = k.build().schedule(&problem).unwrap();
+            s.validate(&problem)
+                .unwrap_or_else(|e| panic!("{k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn paper_set_order_and_membership() {
+        assert_eq!(AlgorithmKind::PAPER_SET.len(), 6);
+        assert_eq!(AlgorithmKind::PAPER_SET[0], AlgorithmKind::Hdlts);
+        for k in AlgorithmKind::PAPER_SET {
+            assert!(AlgorithmKind::ALL.contains(k));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Cost and benefit of Algorithm 1's entry-task duplication.
+//!
+//! DESIGN.md calls the duplication condition out as the least-specified
+//! design choice; this bench times HDLTS with the condition on and off
+//! (scheduling cost), and the quality side lives in
+//! `experiments ablation-dup` (makespan effect).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdlts_bench::{bench_instance, bench_platform};
+use hdlts_core::{DuplicationPolicy, Hdlts, HdltsConfig, Scheduler};
+use std::hint::black_box;
+
+fn duplication_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/duplication");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &v in &[100usize, 1000] {
+        let inst = bench_instance(v, 4);
+        let platform = bench_platform(4);
+        let problem = inst.problem(&platform).expect("consistent");
+        for (label, policy) in [
+            ("any_child", DuplicationPolicy::AnyChild),
+            ("all_children", DuplicationPolicy::AllChildren),
+            ("off", DuplicationPolicy::Off),
+        ] {
+            let scheduler =
+                Hdlts::new(HdltsConfig { duplication: policy, ..HdltsConfig::default() });
+            group.bench_with_input(
+                BenchmarkId::new(label, v),
+                &problem,
+                |b, problem| {
+                    b.iter(|| {
+                        black_box(scheduler.schedule(black_box(problem)).expect("schedules"))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn insertion_discipline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/insertion");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let inst = bench_instance(1000, 4);
+    let platform = bench_platform(4);
+    let problem = inst.problem(&platform).expect("consistent");
+    for (label, cfg) in [
+        ("no_insertion", HdltsConfig::paper_exact()),
+        ("insertion", HdltsConfig::with_insertion()),
+    ] {
+        let scheduler = Hdlts::new(cfg);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(scheduler.schedule(black_box(&problem)).expect("schedules")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, duplication_policies, insertion_discipline);
+criterion_main!(benches);

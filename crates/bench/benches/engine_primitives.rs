@@ -1,0 +1,108 @@
+//! Microbenchmarks of the engine primitives every scheduler is built on:
+//! EST/EFT queries, ready-time computation, timeline insertion, and the
+//! penalty-value kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdlts_bench::{bench_instance, bench_platform};
+use hdlts_core::{data_ready_time, eft, penalty_value, Hdlts, PenaltyKind, Scheduler, Schedule,
+    Slot, Timeline};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+use std::hint::black_box;
+
+fn est_eft_queries(c: &mut Criterion) {
+    let inst = bench_instance(500, 4);
+    let platform = bench_platform(4);
+    let problem = inst.problem(&platform).expect("consistent");
+    // Half-filled schedule: place the first half of the topological order.
+    let schedule = Hdlts::paper_exact().schedule(&problem).expect("schedules");
+    // Query EFTs of every task against the complete schedule (worst-case
+    // copies lookups).
+    let tasks: Vec<TaskId> = inst.dag.topological_order().to_vec();
+    c.bench_function("primitives/eft_full_graph", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &tasks {
+                for p in platform.procs() {
+                    acc += eft(&problem, &schedule, t, p, false).expect("parents placed");
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("primitives/data_ready_time", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &tasks {
+                acc += data_ready_time(&problem, &schedule, t, ProcId(0)).expect("placed");
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn timeline_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/timeline");
+    for &n in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("insert_ordered", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut tl = Timeline::new();
+                for i in 0..n {
+                    let s = i as f64 * 2.0;
+                    tl.insert(
+                        ProcId(0),
+                        Slot { task: TaskId(i as u32), start: s, end: s + 1.5 },
+                    )
+                    .expect("disjoint");
+                }
+                black_box(tl.avail())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gap_search", n), &n, |b, &n| {
+            let mut tl = Timeline::new();
+            for i in 0..n {
+                let s = i as f64 * 2.0;
+                tl.insert(ProcId(0), Slot { task: TaskId(i as u32), start: s, end: s + 1.5 })
+                    .expect("disjoint");
+            }
+            b.iter(|| black_box(tl.earliest_start(black_box(0.25), 0.4, true)))
+        });
+    }
+    group.finish();
+}
+
+fn penalty_kernel(c: &mut Criterion) {
+    let efts: Vec<f64> = (0..10).map(|i| 100.0 + (i as f64 * 7.3) % 40.0).collect();
+    let costs: Vec<f64> = (0..10).map(|i| 50.0 + (i as f64 * 3.1) % 20.0).collect();
+    let mut group = c.benchmark_group("primitives/penalty");
+    for kind in [
+        PenaltyKind::EftSampleStdDev,
+        PenaltyKind::EftPopulationStdDev,
+        PenaltyKind::EftRange,
+        PenaltyKind::ExecStdDev,
+    ] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| black_box(penalty_value(kind, black_box(&efts), black_box(&costs))))
+        });
+    }
+    group.finish();
+}
+
+fn schedule_validation(c: &mut Criterion) {
+    let inst = bench_instance(1000, 4);
+    let platform = bench_platform(4);
+    let problem = inst.problem(&platform).expect("consistent");
+    let schedule: Schedule = Hdlts::paper_exact().schedule(&problem).expect("schedules");
+    c.bench_function("primitives/validate_1000_tasks", |b| {
+        b.iter(|| black_box(schedule.validation_report(black_box(&problem)).is_valid()))
+    });
+}
+
+criterion_group!(
+    benches,
+    est_eft_queries,
+    timeline_insertion,
+    penalty_kernel,
+    schedule_validation
+);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! One benchmark group per table/figure of the paper.
+//!
+//! Each group measures the *cell kernel* of the corresponding experiment —
+//! generate the workload of that figure and schedule it with all six paper
+//! algorithms — which is exactly what `experiments <fig>` repeats over its
+//! parameter sweep. Together with `cargo run -p hdlts-experiments`, this
+//! covers every artifact end to end: the harness regenerates the data, the
+//! benches time its kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdlts_baselines::AlgorithmKind;
+use hdlts_core::{Hdlts, Scheduler};
+use hdlts_platform::Platform;
+use hdlts_workloads::{fft, fixtures, moldyn, montage, random_dag, CostParams, Instance,
+    RandomDagParams};
+use std::hint::black_box;
+
+fn schedule_all(problem: &hdlts_core::Problem<'_>) -> f64 {
+    AlgorithmKind::PAPER_SET
+        .iter()
+        .map(|&k| k.build().schedule(problem).expect("schedules").makespan())
+        .sum()
+}
+
+fn bench_cell(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+              label: &str, inst: &Instance) {
+    let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
+    let problem = inst.problem(&platform).expect("consistent");
+    group.bench_with_input(BenchmarkId::from_parameter(label), &problem, |b, problem| {
+        b.iter(|| black_box(schedule_all(black_box(problem))))
+    });
+}
+
+/// Table I: the Fig. 1 ten-task trace run.
+fn table1(c: &mut Criterion) {
+    let inst = fixtures::fig1();
+    let platform = Platform::fully_connected(3).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    let mut group = c.benchmark_group("table1");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("fig1_trace", |b| {
+        b.iter(|| {
+            black_box(
+                Hdlts::paper_exact()
+                    .schedule_with_trace(black_box(&problem))
+                    .expect("schedules"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Figs. 2–4: random-workflow cells at the sweep's parameter midpoints.
+fn random_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_fig3_fig4/random_cell");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // fig2 midpoint: v=100, ccr sweep midpoint 3
+    bench_cell(
+        &mut group,
+        "fig2_ccr3",
+        &random_dag::generate(
+            &RandomDagParams { ccr: 3.0, ..RandomDagParams::default() },
+            1,
+        ),
+    );
+    // fig3 size points
+    for &v in &[100usize, 1000, 5000] {
+        bench_cell(
+            &mut group,
+            &format!("fig3_v{v}"),
+            &random_dag::generate(&RandomDagParams { v, ..RandomDagParams::default() }, 1),
+        );
+    }
+    // fig4 processor-count endpoints
+    for &p in &[2usize, 10] {
+        bench_cell(
+            &mut group,
+            &format!("fig4_p{p}"),
+            &random_dag::generate(
+                &RandomDagParams { num_procs: p, ..RandomDagParams::default() },
+                1,
+            ),
+        );
+    }
+    group.finish();
+}
+
+/// Figs. 6–8: FFT cells.
+fn fft_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_fig7_fig8/fft_cell");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &m in &[4usize, 16, 32] {
+        bench_cell(
+            &mut group,
+            &format!("fig6_m{m}"),
+            &fft::generate(m, &CostParams::default(), 1),
+        );
+    }
+    bench_cell(
+        &mut group,
+        "fig7_ccr5",
+        &fft::generate(16, &CostParams { ccr: 5.0, ..CostParams::default() }, 1),
+    );
+    bench_cell(
+        &mut group,
+        "fig8_p10",
+        &fft::generate(16, &CostParams { num_procs: 10, ccr: 3.0, ..CostParams::default() }, 1),
+    );
+    group.finish();
+}
+
+/// Figs. 10–11: Montage cells.
+fn montage_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_fig11/montage_cell");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &nodes in &[50usize, 100] {
+        bench_cell(
+            &mut group,
+            &format!("fig10_{nodes}nodes"),
+            &montage::generate_approx(
+                nodes,
+                &CostParams { num_procs: 5, ccr: 3.0, ..CostParams::default() },
+                1,
+            ),
+        );
+    }
+    bench_cell(
+        &mut group,
+        "fig11_p10",
+        &montage::generate_approx(
+            50,
+            &CostParams { num_procs: 10, ccr: 3.0, ..CostParams::default() },
+            1,
+        ),
+    );
+    group.finish();
+}
+
+/// Figs. 13–14: Molecular Dynamics cells.
+fn moldyn_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_fig14/moldyn_cell");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    bench_cell(
+        &mut group,
+        "fig13_ccr3",
+        &moldyn::generate(&CostParams { num_procs: 5, ccr: 3.0, ..CostParams::default() }, 1),
+    );
+    bench_cell(
+        &mut group,
+        "fig14_p10",
+        &moldyn::generate(&CostParams { num_procs: 10, ccr: 3.0, ..CostParams::default() }, 1),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    table1,
+    random_figures,
+    fft_figures,
+    montage_figures,
+    moldyn_figures
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Scheduler runtime vs. task count and processor count.
+//!
+//! Backs the complexity claims of the paper: HEFT/PEFT/SDBATS are
+//! `O(V^2 P)`, PETS `O((V+E)(P + log V))`, and HDLTS
+//! `O(V^2 * (V/k) * P)` (Section IV) — the curves here make the asymptotic
+//! differences visible and keep them from regressing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdlts_baselines::AlgorithmKind;
+use hdlts_bench::{bench_instance, bench_platform};
+use std::hint::black_box;
+
+fn scaling_with_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tasks");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &v in &[100usize, 500, 1000, 5000] {
+        let inst = bench_instance(v, 4);
+        let platform = bench_platform(4);
+        let problem = inst.problem(&platform).expect("consistent");
+        group.throughput(Throughput::Elements(v as u64));
+        for &kind in AlgorithmKind::PAPER_SET {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), v),
+                &problem,
+                |b, problem| {
+                    let scheduler = kind.build();
+                    b.iter(|| {
+                        black_box(scheduler.schedule(black_box(problem)).expect("schedules"))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn scaling_with_processors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("processors");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &p in &[2usize, 4, 8, 16] {
+        let inst = bench_instance(500, p);
+        let platform = bench_platform(p);
+        let problem = inst.problem(&platform).expect("consistent");
+        group.throughput(Throughput::Elements(p as u64));
+        for &kind in AlgorithmKind::PAPER_SET {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), p),
+                &problem,
+                |b, problem| {
+                    let scheduler = kind.build();
+                    b.iter(|| {
+                        black_box(scheduler.schedule(black_box(problem)).expect("schedules"))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling_with_tasks, scaling_with_processors);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `scheduler_scaling` — runtime of every scheduler vs. task count and
+//!   processor count (the complexity claims of Sections II-D and IV);
+//! * `figure_kernels` — the per-cell evaluation kernel of every figure of
+//!   the paper (one benchmark group per figure);
+//! * `ablation_duplication` — cost of Algorithm 1's duplication check;
+//! * `engine_primitives` — the EST/EFT and ready-time primitives the
+//!   schedulers are built from.
+
+#![warn(missing_docs)]
+
+use hdlts_platform::Platform;
+use hdlts_workloads::{random_dag, Instance, RandomDagParams};
+
+/// A random single-source instance of `v` tasks on `procs` processors with
+/// a fixed benchmark seed.
+pub fn bench_instance(v: usize, procs: usize) -> Instance {
+    random_dag::generate(
+        &RandomDagParams {
+            v,
+            num_procs: procs,
+            single_source: true,
+            ..RandomDagParams::default()
+        },
+        0xBE7C,
+    )
+}
+
+/// The platform matching [`bench_instance`].
+pub fn bench_platform(procs: usize) -> Platform {
+    Platform::fully_connected(procs).expect("positive processor count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_agree_on_dimensions() {
+        let inst = bench_instance(50, 4);
+        let platform = bench_platform(4);
+        assert!(inst.problem(&platform).is_ok());
+    }
+}

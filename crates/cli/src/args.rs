@@ -1,0 +1,124 @@
+//! Minimal flag parsing for the `hdlts` binary (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand path plus `--flag value` /
+/// `--switch` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    switches: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Args {
+    /// Parses `argv[1..]`. A token starting with `--` either consumes the
+    /// next token as its value or, when followed by another flag / nothing,
+    /// is recorded as a boolean switch.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Args {
+        let tokens: Vec<String> = argv.collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(name) = tok.strip_prefix("--") {
+                let has_value = tokens
+                    .get(i + 1)
+                    .is_some_and(|next| !next.starts_with("--"));
+                if has_value {
+                    args.options.insert(name.to_owned(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.switches.push(name.to_owned());
+                    i += 1;
+                }
+            } else {
+                args.positional.push(tok.clone());
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// The `n`-th positional argument (subcommand words).
+    pub fn positional(&self, n: usize) -> Option<&str> {
+        self.positional.get(n).map(String::as_str)
+    }
+
+    /// A string option.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(name.to_owned());
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A parsed option with default.
+    pub fn opt_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} got '{v}', expected a {}", std::any::type_name::<T>())),
+        }
+    }
+
+    /// A boolean switch.
+    pub fn switch(&self, name: &str) -> bool {
+        self.consumed.borrow_mut().push(name.to_owned());
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Errors on any option/switch the command never queried — catches
+    /// typos like `--proc` for `--procs`.
+    pub fn reject_unknown(&self) -> Result<(), String> {
+        let seen = self.consumed.borrow();
+        for name in self.options.keys().chain(self.switches.iter()) {
+            if !seen.iter().any(|s| s == name) {
+                return Err(format!("unknown option --{name}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = parse("generate fft --m 16 --seed 7 --single-source");
+        assert_eq!(a.positional(0), Some("generate"));
+        assert_eq!(a.positional(1), Some("fft"));
+        assert_eq!(a.opt("m"), Some("16"));
+        assert_eq!(a.opt_parse::<u64>("seed", 0).unwrap(), 7);
+        assert!(a.switch("single-source"));
+        assert!(!a.switch("gantt"));
+        assert!(a.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn defaults_and_parse_errors() {
+        let a = parse("x --v abc");
+        assert_eq!(a.opt_parse::<usize>("missing", 42).unwrap(), 42);
+        assert!(a.opt_parse::<usize>("v", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_options_rejected() {
+        let a = parse("x --typo 3");
+        assert!(a.reject_unknown().is_err());
+        let _ = a.opt("typo");
+        assert!(a.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = parse("schedule --gantt");
+        assert!(a.switch("gantt"));
+    }
+}

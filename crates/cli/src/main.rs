@@ -1,0 +1,439 @@
+//! `hdlts` — command-line workflow scheduling with HDLTS and baselines.
+//!
+//! ```text
+//! hdlts generate <random|fft|montage|moldyn|gauss> [params] --out inst.json
+//! hdlts import   --in workflow.dot [--procs N] --out inst.json
+//! hdlts info     --in inst.json
+//! hdlts schedule --in inst.json [--algo HDLTS] [--out sched.json]
+//!                [--gantt] [--svg out.svg] [--trace]
+//! hdlts compare  --in inst.json
+//! hdlts validate --in inst.json --schedule sched.json
+//! hdlts simulate --in inst.json [--jitter 0.2] [--fail P@T]
+//! hdlts stream   --jobs a.json@0,b.json@50 [--procs N] [--fifo]
+//! hdlts dot      --in inst.json [--out out.dot]
+//! ```
+
+mod args;
+
+use args::Args;
+use hdlts_baselines::AlgorithmKind;
+use hdlts_core::{Hdlts, Schedule, Scheduler};
+use hdlts_metrics::MetricSet;
+use hdlts_platform::Platform;
+use hdlts_workloads::{fft, gauss, moldyn, montage, random_dag, CostParams, Instance,
+    RandomDagParams};
+use std::fs;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: hdlts <command> [options]
+
+commands:
+  generate <random|fft|montage|moldyn|gauss>   create a workflow instance
+      common: --procs N --ccr X --wdag X --beta X --seed N [--consistent] --out FILE
+      random: --v N --alpha X --density N --single-source
+      fft: --m N (power of two)    montage: --nodes N    gauss: --m N
+  import    --in FILE.dot [--procs N --wdag X --beta X --seed N] [--out FILE]
+            convert a Graphviz DOT workflow (edge labels = comm costs)
+  info      --in FILE                          describe an instance
+  schedule  --in FILE [--algo NAME] [--out FILE] [--gantt] [--svg FILE] [--trace]
+  compare   --in FILE                          run every algorithm
+  validate  --in FILE --schedule FILE          check a schedule's feasibility
+  simulate  --in FILE [--algo NAME] [--jitter 0.2] [--runs 20]
+            [--fail P@T ...]                   execute under uncertainty:
+            static replay vs online HDLTS, optional fail-stop failures
+  stream    --jobs F1@T1,F2@T2,... [--procs N] [--jitter X] [--fifo]
+            dispatch a stream of instance files arriving at given times
+  dot       --in FILE [--out FILE]             Graphviz export
+
+algorithms: HDLTS HEFT CPOP PETS PEFT SDBATS MinMin DHEFT HDLTS-L HDLTS-D Random";
+
+fn main() -> ExitCode {
+    reset_sigpipe();
+    let args = Args::parse(std::env::args().skip(1));
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Restore default SIGPIPE behaviour so `hdlts ... | head` terminates
+/// quietly instead of panicking on a closed pipe (Rust ignores SIGPIPE by
+/// default).
+#[cfg(unix)]
+fn reset_sigpipe() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
+fn run(args: &Args) -> Result<(), String> {
+    match args.positional(0) {
+        Some("generate") => generate(args),
+        Some("import") => import_dot(args),
+        Some("info") => info(args),
+        Some("schedule") => schedule(args),
+        Some("compare") => compare(args),
+        Some("validate") => validate(args),
+        Some("simulate") => simulate(args),
+        Some("stream") => stream(args),
+        Some("dot") => dot(args),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn cost_params(args: &Args) -> Result<CostParams, String> {
+    Ok(CostParams {
+        w_dag: args.opt_parse("wdag", 80.0)?,
+        ccr: args.opt_parse("ccr", 1.0)?,
+        beta: args.opt_parse("beta", 1.2)?,
+        num_procs: args.opt_parse("procs", 4usize)?,
+        consistency: if args.switch("consistent") {
+            hdlts_workloads::Consistency::Consistent
+        } else {
+            hdlts_workloads::Consistency::Inconsistent
+        },
+    })
+}
+
+fn load_instance(args: &Args) -> Result<Instance, String> {
+    let path = args.opt("in").ok_or("--in FILE is required")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let family = args.positional(1).ok_or("generate needs a workload family")?;
+    let seed: u64 = args.opt_parse("seed", 0u64)?;
+    let cp = cost_params(args)?;
+    let inst = match family {
+        "random" => {
+            let params = RandomDagParams {
+                v: args.opt_parse("v", 100usize)?,
+                alpha: args.opt_parse("alpha", 1.0)?,
+                density: args.opt_parse("density", 3usize)?,
+                ccr: cp.ccr,
+                w_dag: cp.w_dag,
+                beta: cp.beta,
+                num_procs: cp.num_procs,
+                single_source: args.switch("single-source"),
+            };
+            random_dag::generate(&params, seed)
+        }
+        "fft" => {
+            let m: usize = args.opt_parse("m", 16usize)?;
+            fft::generate(m, &cp, seed)
+        }
+        "montage" => {
+            let nodes: usize = args.opt_parse("nodes", 50usize)?;
+            montage::generate_approx(nodes, &cp, seed)
+        }
+        "moldyn" => moldyn::generate(&cp, seed),
+        "gauss" => {
+            let m: usize = args.opt_parse("m", 8usize)?;
+            gauss::generate(m, &cp, seed)
+        }
+        other => return Err(format!("unknown workload family '{other}'")),
+    };
+    let json = serde_json::to_string_pretty(&inst).map_err(|e| e.to_string())?;
+    let out = args.opt("out");
+    args.reject_unknown()?;
+    match out {
+        Some(path) => {
+            fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} ({} tasks, {} edges, {} processors)",
+                path,
+                inst.num_tasks(),
+                inst.dag.num_edges(),
+                inst.num_procs()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn import_dot(args: &Args) -> Result<(), String> {
+    let path = args.opt("in").ok_or("--in FILE.dot is required")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (name, dag) = hdlts_dag::parse_dot(&text).map_err(|e| e.to_string())?;
+    let cp = cost_params(args)?;
+    let seed: u64 = args.opt_parse("seed", 0u64)?;
+    let out = args.opt("out").map(str::to_owned);
+    args.reject_unknown()?;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let label = if name.is_empty() { "imported".to_owned() } else { name };
+    let inst = cp.realize_keep_comm(label, &dag, &mut rng);
+    let json = serde_json::to_string_pretty(&inst).map_err(|e| e.to_string())?;
+    match out {
+        Some(path) => {
+            fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "imported {} tasks / {} edges -> {path}",
+                inst.num_tasks(),
+                inst.dag.num_edges()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    args.reject_unknown()?;
+    let levels = hdlts_dag::LevelDecomposition::compute(&inst.dag);
+    println!("name:        {}", inst.name);
+    println!("tasks:       {}", inst.num_tasks());
+    println!("edges:       {}", inst.dag.num_edges());
+    println!("processors:  {}", inst.num_procs());
+    println!("levels:      {} (width {})", levels.height(), levels.width());
+    println!("entry/exit:  {} / {}",
+        inst.dag.single_entry().map(|t| t.to_string()).unwrap_or("multiple".into()),
+        inst.dag.single_exit().map(|t| t.to_string()).unwrap_or("multiple".into()));
+    println!("realized CCR {:.3}", inst.realized_ccr());
+    Ok(())
+}
+
+fn schedule(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let algo: AlgorithmKind = args.opt("algo").unwrap_or("HDLTS").parse()?;
+    let platform = Platform::fully_connected(inst.num_procs()).map_err(|e| e.to_string())?;
+    let problem = inst.problem(&platform).map_err(|e| e.to_string())?;
+
+    let (schedule, trace) = if args.switch("trace") && algo == AlgorithmKind::Hdlts {
+        let (s, t) = Hdlts::paper_exact()
+            .schedule_with_trace(&problem)
+            .map_err(|e| e.to_string())?;
+        (s, Some(t))
+    } else {
+        (algo.build().schedule(&problem).map_err(|e| e.to_string())?, None)
+    };
+    schedule.validate(&problem).map_err(|e| e.to_string())?;
+
+    if let Some(t) = trace {
+        println!("{}", t.to_markdown());
+    }
+    if args.switch("gantt") {
+        print!("{}", schedule.to_gantt(&platform, 80));
+    }
+    if let Some(path) = args.opt("svg") {
+        fs::write(path, schedule.to_svg(&platform, 900))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    let m = MetricSet::compute(&problem, &schedule);
+    eprintln!(
+        "{algo}: makespan {:.2}, SLR {:.3}, speedup {:.3}, efficiency {:.3}",
+        m.makespan, m.slr, m.speedup, m.efficiency
+    );
+    let out = args.opt("out");
+    args.reject_unknown()?;
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&schedule).map_err(|e| e.to_string())?;
+        fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn compare(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    args.reject_unknown()?;
+    let platform = Platform::fully_connected(inst.num_procs()).map_err(|e| e.to_string())?;
+    let problem = inst.problem(&platform).map_err(|e| e.to_string())?;
+    println!(
+        "{:<8} {:>12} {:>8} {:>9} {:>11}",
+        "algo", "makespan", "SLR", "speedup", "efficiency"
+    );
+    let mut rows: Vec<(AlgorithmKind, MetricSet)> = AlgorithmKind::ALL
+        .iter()
+        .map(|&k| {
+            let s = k.build().schedule(&problem).map_err(|e| e.to_string())?;
+            Ok((k, MetricSet::compute(&problem, &s)))
+        })
+        .collect::<Result<_, String>>()?;
+    rows.sort_by(|a, b| a.1.makespan.total_cmp(&b.1.makespan));
+    for (k, m) in rows {
+        println!(
+            "{:<8} {:>12.2} {:>8.3} {:>9.3} {:>11.3}",
+            k.name(),
+            m.makespan,
+            m.slr,
+            m.speedup,
+            m.efficiency
+        );
+    }
+    Ok(())
+}
+
+fn validate(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let spath = args.opt("schedule").ok_or("--schedule FILE is required")?;
+    let text = fs::read_to_string(spath).map_err(|e| format!("reading {spath}: {e}"))?;
+    let schedule: Schedule = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    args.reject_unknown()?;
+    let platform = Platform::fully_connected(inst.num_procs()).map_err(|e| e.to_string())?;
+    let problem = inst.problem(&platform).map_err(|e| e.to_string())?;
+    let report = schedule.validation_report(&problem);
+    if report.is_valid() {
+        println!("OK: schedule is feasible, makespan {:.2}", schedule.makespan());
+        Ok(())
+    } else {
+        for v in &report.violations {
+            eprintln!("violation: {v}");
+        }
+        Err(format!("{} violation(s)", report.violations.len()))
+    }
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    use hdlts_sim::{replay, FailureSpec, OnlineHdlts, PerturbModel};
+    let inst = load_instance(args)?;
+    let algo: AlgorithmKind = args.opt("algo").unwrap_or("HDLTS").parse()?;
+    let jitter: f64 = args.opt_parse("jitter", 0.2)?;
+    let runs: u64 = args.opt_parse("runs", 20u64)?;
+    if !(0.0..1.0).contains(&jitter) {
+        return Err("--jitter must lie in [0, 1)".into());
+    }
+    // --fail P@T, e.g. --fail 2@100 (1-based processor, failure time)
+    let mut failures = FailureSpec::none();
+    if let Some(spec) = args.opt("fail") {
+        for part in spec.split(',') {
+            let (p, t) = part
+                .split_once('@')
+                .ok_or_else(|| format!("--fail expects P@T, got '{part}'"))?;
+            let p: u32 = p.parse().map_err(|_| format!("bad processor '{p}'"))?;
+            if p == 0 || p as usize > inst.num_procs() {
+                return Err(format!("processor P{p} out of range"));
+            }
+            let t: f64 = t.parse().map_err(|_| format!("bad time '{t}'"))?;
+            failures = failures.with_failure(hdlts_platform::ProcId(p - 1), t);
+        }
+    }
+    args.reject_unknown()?;
+
+    let platform = Platform::fully_connected(inst.num_procs()).map_err(|e| e.to_string())?;
+    let problem = inst.problem(&platform).map_err(|e| e.to_string())?;
+    let plan = algo.build().schedule(&problem).map_err(|e| e.to_string())?;
+    println!(
+        "{algo} static plan: makespan {:.2} ({} tasks, {} CPUs)",
+        plan.makespan(),
+        inst.num_tasks(),
+        inst.num_procs()
+    );
+
+    let mut replay_sum = 0.0;
+    let mut replay_worst: f64 = 0.0;
+    let mut online_sum = 0.0;
+    let mut online_worst: f64 = 0.0;
+    let mut aborted = 0usize;
+    for seed in 0..runs {
+        let model = PerturbModel::uniform(jitter, seed);
+        if failures.events().is_empty() {
+            let r = replay(&problem, &plan, &model).map_err(|e| e.to_string())?;
+            replay_sum += r.makespan;
+            replay_worst = replay_worst.max(r.makespan);
+        }
+        let o = OnlineHdlts::default()
+            .execute(&problem, &model, &failures)
+            .map_err(|e| e.to_string())?;
+        online_sum += o.makespan;
+        online_worst = online_worst.max(o.makespan);
+        aborted += o.aborted_attempts;
+    }
+    let runs_f = runs as f64;
+    if failures.events().is_empty() {
+        println!(
+            "static replay under +/-{:.0}% jitter: mean {:.2}, worst {:.2} ({runs} runs)",
+            jitter * 100.0,
+            replay_sum / runs_f,
+            replay_worst
+        );
+    } else {
+        println!("(static replay skipped: a frozen plan cannot survive failures)");
+        for &(p, t) in failures.events() {
+            println!("  injected failure: {p} at t={t}");
+        }
+    }
+    println!(
+        "online HDLTS under +/-{:.0}% jitter: mean {:.2}, worst {:.2}, {} aborted attempt(s)",
+        jitter * 100.0,
+        online_sum / runs_f,
+        online_worst,
+        aborted
+    );
+    Ok(())
+}
+
+fn stream(args: &Args) -> Result<(), String> {
+    use hdlts_sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel};
+    let spec = args.opt("jobs").ok_or("--jobs F1@T1,F2@T2,... is required")?.to_owned();
+    let procs: usize = args.opt_parse("procs", 4usize)?;
+    let jitter: f64 = args.opt_parse("jitter", 0.0)?;
+    let policy = if args.switch("fifo") { DispatchPolicy::Fifo } else { DispatchPolicy::PenaltyValue };
+    args.reject_unknown()?;
+
+    let mut jobs = Vec::new();
+    for part in spec.split(',') {
+        let (path, at) = part
+            .split_once('@')
+            .ok_or_else(|| format!("--jobs expects FILE@TIME, got '{part}'"))?;
+        let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let instance: Instance =
+            serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        if instance.num_procs() != procs {
+            return Err(format!(
+                "{path} targets {} processors but --procs is {procs}",
+                instance.num_procs()
+            ));
+        }
+        let arrival: f64 = at.parse().map_err(|_| format!("bad arrival time '{at}'"))?;
+        jobs.push(JobArrival { instance, arrival });
+    }
+    let platform = Platform::fully_connected(procs).map_err(|e| e.to_string())?;
+    let out = JobStreamScheduler { policy, ..Default::default() }
+        .execute(&platform, &jobs, &PerturbModel::uniform(jitter, 0), &FailureSpec::none())
+        .map_err(|e| e.to_string())?;
+    println!("{policy:?} dispatch of {} job(s) on {procs} CPUs:", jobs.len());
+    for (j, (job, resp)) in jobs.iter().zip(&out.response_times).enumerate() {
+        println!(
+            "  job {j} ({}): arrived {:.1}, finished {:.1}, response {:.1}",
+            job.instance.name, job.arrival, out.jobs[j].makespan, resp
+        );
+    }
+    println!(
+        "mean response {:.1}, stream finished at {:.1}",
+        out.mean_response(),
+        out.overall_finish
+    );
+    Ok(())
+}
+
+fn dot(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let out = args.opt("out");
+    args.reject_unknown()?;
+    let dot = inst.dag.to_dot(&inst.name);
+    match out {
+        Some(path) => {
+            fs::write(path, dot).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{dot}"),
+    }
+    Ok(())
+}

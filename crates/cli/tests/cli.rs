@@ -1,0 +1,168 @@
+//! End-to-end tests of the `hdlts` binary (via `CARGO_BIN_EXE_hdlts`).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn hdlts(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hdlts"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hdlts-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn generate_schedule_validate_round_trip() {
+    let inst = tmp("inst.json");
+    let sched = tmp("sched.json");
+    let svg = tmp("gantt.svg");
+    let inst_s = inst.to_str().unwrap();
+    let sched_s = sched.to_str().unwrap();
+
+    let out = hdlts(&[
+        "generate", "fft", "--m", "8", "--ccr", "2", "--procs", "3", "--seed", "5", "--out",
+        inst_s,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = hdlts(&[
+        "schedule", "--in", inst_s, "--algo", "HDLTS", "--out", sched_s, "--svg",
+        svg.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("makespan"), "{stderr}");
+    assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+
+    let out = hdlts(&["validate", "--in", inst_s, "--schedule", sched_s]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    for p in [inst, sched, svg] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn info_and_compare_read_generated_instance() {
+    let inst = tmp("inst2.json");
+    let inst_s = inst.to_str().unwrap();
+    assert!(hdlts(&["generate", "moldyn", "--procs", "4", "--out", inst_s]).status.success());
+
+    let out = hdlts(&["info", "--in", inst_s]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tasks:       41"), "{stdout}");
+
+    let out = hdlts(&["compare", "--in", inst_s]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["HDLTS", "HEFT", "SDBATS", "Random"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+    let _ = std::fs::remove_file(inst);
+}
+
+#[test]
+fn trace_prints_table_shape() {
+    let inst = tmp("inst3.json");
+    let inst_s = inst.to_str().unwrap();
+    assert!(hdlts(&["generate", "gauss", "--m", "5", "--out", inst_s]).status.success());
+    let out = hdlts(&["schedule", "--in", inst_s, "--trace", "--gantt"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("| Step |"), "{stdout}");
+    assert!(stdout.contains("P1 |"), "{stdout}");
+    let _ = std::fs::remove_file(inst);
+}
+
+#[test]
+fn dot_export_is_graphviz() {
+    let inst = tmp("inst4.json");
+    let inst_s = inst.to_str().unwrap();
+    assert!(hdlts(&["generate", "montage", "--nodes", "20", "--out", inst_s]).status.success());
+    let out = hdlts(&["dot", "--in", inst_s]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+    let _ = std::fs::remove_file(inst);
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // unknown command
+    let out = hdlts(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    // unknown algorithm
+    let inst = tmp("inst5.json");
+    let inst_s = inst.to_str().unwrap();
+    assert!(hdlts(&["generate", "fft", "--m", "4", "--out", inst_s]).status.success());
+    let out = hdlts(&["schedule", "--in", inst_s, "--algo", "NOPE"]);
+    assert!(!out.status.success());
+    // typo'd flag
+    let out = hdlts(&["info", "--in", inst_s, "--bogus", "1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+    // missing file
+    let out = hdlts(&["info", "--in", "/nonexistent/x.json"]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(inst);
+}
+
+#[test]
+fn simulate_reports_uncertainty_and_failure() {
+    let inst = tmp("sim.json");
+    let inst_s = inst.to_str().unwrap();
+    assert!(hdlts(&["generate", "fft", "--m", "4", "--procs", "3", "--out", inst_s])
+        .status
+        .success());
+    let out = hdlts(&["simulate", "--in", inst_s, "--jitter", "0.2", "--runs", "4"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("static replay"), "{stdout}");
+    assert!(stdout.contains("online HDLTS"), "{stdout}");
+
+    let out = hdlts(&["simulate", "--in", inst_s, "--fail", "1@10", "--runs", "2"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("injected failure: P1"), "{stdout}");
+    // invalid failure spec fails cleanly
+    assert!(!hdlts(&["simulate", "--in", inst_s, "--fail", "9@10"]).status.success());
+    let _ = std::fs::remove_file(inst);
+}
+
+#[test]
+fn stream_dispatches_multiple_jobs() {
+    let a = tmp("sa.json");
+    let b = tmp("sb.json");
+    let (a_s, b_s) = (a.to_str().unwrap(), b.to_str().unwrap());
+    assert!(hdlts(&["generate", "fft", "--m", "4", "--procs", "3", "--out", a_s])
+        .status
+        .success());
+    assert!(hdlts(&["generate", "gauss", "--m", "4", "--procs", "3", "--out", b_s])
+        .status
+        .success());
+    let jobs = format!("{a_s}@0,{b_s}@100");
+    let out = hdlts(&["stream", "--jobs", &jobs, "--procs", "3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("job 0") && stdout.contains("job 1"), "{stdout}");
+    assert!(stdout.contains("mean response"));
+    // processor-count mismatch is caught
+    let out = hdlts(&["stream", "--jobs", &jobs, "--procs", "5"]);
+    assert!(!out.status.success());
+    for p in [a, b] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn generate_to_stdout_is_valid_json() {
+    let out = hdlts(&["generate", "random", "--v", "30", "--single-source"]);
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(v.get("dag").is_some() && v.get("costs").is_some());
+}

@@ -1,0 +1,113 @@
+//! Configuration of the HDLTS heuristic and its ablation variants.
+
+use serde::{Deserialize, Serialize};
+
+/// When Algorithm 1 duplicates the entry task onto an additional processor.
+///
+/// Algorithm 1 compares `EST(entry, k)` — which, on an otherwise-empty
+/// processor `k`, is the replica's finish time `W(entry, k)` — against
+/// `AFT(entry) + Comm_Cost(entry -> child)`. The paper's prose quantifies
+/// over "all of its child tasks" ambiguously; the Table I trace is
+/// compatible with either reading on its graph, so both are provided and
+/// compared in the ablation benches (DESIGN.md §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DuplicationPolicy {
+    /// Duplicate on `k` if the replica would beat the message for *at least
+    /// one* child (`W(entry,k) < AFT + max_child comm`). The default.
+    #[default]
+    AnyChild,
+    /// Duplicate on `k` only if the replica beats the message for *every*
+    /// child (`W(entry,k) < AFT + min_child comm`).
+    AllChildren,
+    /// Never duplicate (ablation baseline).
+    Off,
+}
+
+/// How the penalty value (Definition 8) is computed from a ready task's
+/// per-processor EFT vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PenaltyKind {
+    /// Sample standard deviation (n−1) of the EFT vector — the form that
+    /// reproduces Table I exactly. The default.
+    #[default]
+    EftSampleStdDev,
+    /// Population standard deviation (n) of the EFT vector (ablation).
+    EftPopulationStdDev,
+    /// Range `max − min` of the EFT vector (ablation).
+    EftRange,
+    /// Sample standard deviation of the raw execution-cost row, ignoring the
+    /// current resource state (ablation; SDBATS-style weight).
+    ExecStdDev,
+}
+
+/// Full configuration of the HDLTS heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HdltsConfig {
+    /// Entry-task duplication policy (Algorithm 1).
+    pub duplication: DuplicationPolicy,
+    /// Penalty-value definition (Eq. 8).
+    pub penalty: PenaltyKind,
+    /// Whether EST uses insertion-based gap search. The paper's Eq. 6 and
+    /// the Table I trace use plain availability (`false`).
+    pub insertion: bool,
+}
+
+impl Default for HdltsConfig {
+    /// The configuration that reproduces the paper (Table I) exactly.
+    fn default() -> Self {
+        HdltsConfig {
+            duplication: DuplicationPolicy::AnyChild,
+            penalty: PenaltyKind::EftSampleStdDev,
+            insertion: false,
+        }
+    }
+}
+
+impl HdltsConfig {
+    /// Alias for [`Default::default`]: the paper-faithful configuration.
+    pub fn paper_exact() -> Self {
+        Self::default()
+    }
+
+    /// HDLTS with insertion-based assignment (ablation variant).
+    pub fn with_insertion() -> Self {
+        HdltsConfig { insertion: true, ..Self::default() }
+    }
+
+    /// HDLTS without entry-task duplication (ablation variant).
+    pub fn without_duplication() -> Self {
+        HdltsConfig { duplication: DuplicationPolicy::Off, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = HdltsConfig::default();
+        assert_eq!(c.duplication, DuplicationPolicy::AnyChild);
+        assert_eq!(c.penalty, PenaltyKind::EftSampleStdDev);
+        assert!(!c.insertion);
+        assert_eq!(c, HdltsConfig::paper_exact());
+    }
+
+    #[test]
+    fn variants_differ_only_where_stated() {
+        let i = HdltsConfig::with_insertion();
+        assert!(i.insertion);
+        assert_eq!(i.penalty, PenaltyKind::EftSampleStdDev);
+        let d = HdltsConfig::without_duplication();
+        assert_eq!(d.duplication, DuplicationPolicy::Off);
+        assert!(!d.insertion);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = HdltsConfig::with_insertion();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: HdltsConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

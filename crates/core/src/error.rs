@@ -1,0 +1,106 @@
+//! Error type for the scheduling engine.
+
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+use std::fmt;
+
+/// Errors produced by problem construction and schedule manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The cost matrix's task count differs from the DAG's.
+    TaskCountMismatch {
+        /// Tasks in the DAG.
+        dag: usize,
+        /// Task rows in the cost matrix.
+        costs: usize,
+    },
+    /// The cost matrix's processor count differs from the platform's.
+    ProcCountMismatch {
+        /// Processors in the platform.
+        platform: usize,
+        /// Processor columns in the cost matrix.
+        costs: usize,
+    },
+    /// Schedulers require a single-entry/single-exit graph
+    /// (see [`hdlts_dag::normalize`]).
+    NotSingleEntryExit {
+        /// Entry-task count found.
+        entries: usize,
+        /// Exit-task count found.
+        exits: usize,
+    },
+    /// A task was placed twice.
+    AlreadyPlaced(TaskId),
+    /// A placement would overlap an existing slot on the processor.
+    Overlap {
+        /// Target processor.
+        proc: ProcId,
+        /// Task being placed.
+        task: TaskId,
+        /// Requested start time.
+        start: f64,
+        /// Requested finish time.
+        finish: f64,
+    },
+    /// A placement had `finish < start` or non-finite endpoints.
+    InvalidInterval {
+        /// Task being placed.
+        task: TaskId,
+        /// Requested start time.
+        start: f64,
+        /// Requested finish time.
+        finish: f64,
+    },
+    /// An operation needed a placement for a task that has none yet.
+    NotPlaced(TaskId),
+    /// The produced schedule failed validation; the payload describes the
+    /// first violation.
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::TaskCountMismatch { dag, costs } => {
+                write!(f, "cost matrix has {costs} task rows but the DAG has {dag} tasks")
+            }
+            CoreError::ProcCountMismatch { platform, costs } => write!(
+                f,
+                "cost matrix has {costs} processor columns but the platform has {platform}"
+            ),
+            CoreError::NotSingleEntryExit { entries, exits } => write!(
+                f,
+                "scheduler requires a single entry and exit task (found {entries} entries, {exits} exits); normalize the DAG first"
+            ),
+            CoreError::AlreadyPlaced(t) => write!(f, "task {t} is already placed"),
+            CoreError::Overlap { proc, task, start, finish } => write!(
+                f,
+                "placing {task} on {proc} over [{start}, {finish}] overlaps an existing slot"
+            ),
+            CoreError::InvalidInterval { task, start, finish } => {
+                write!(f, "invalid interval [{start}, {finish}] for task {task}")
+            }
+            CoreError::NotPlaced(t) => write!(f, "task {t} has not been placed"),
+            CoreError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let e = CoreError::Overlap {
+            proc: ProcId(1),
+            task: TaskId(4),
+            start: 1.0,
+            finish: 2.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("t4") && msg.contains("P2"));
+    }
+}

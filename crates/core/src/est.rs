@@ -1,0 +1,201 @@
+//! EST / EFT / penalty-value computation (Definitions 5–8).
+
+use crate::{CoreError, PenaltyKind, Problem, Schedule};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+
+/// `Ready(t, p)` (Definition 5): the time the last input of `t` arrives at
+/// processor `p`, given the parents already placed in `schedule`.
+///
+/// With entry-task duplication a parent may have several copies; the data
+/// arrives from the copy that delivers it earliest (`min` over copies of
+/// `AFT(copy) + comm_time(copy.proc -> p)`), which is exactly why a local
+/// replica helps.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NotPlaced`] if some parent of `t` has no placement
+/// yet — callers must only query *ready* tasks (all parents finished), the
+/// invariant the ITQ maintains.
+pub fn data_ready_time(
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    t: TaskId,
+    p: ProcId,
+) -> Result<f64, CoreError> {
+    let mut ready = 0.0f64;
+    for &(parent, cost) in problem.dag().preds(t) {
+        let mut arrival = f64::INFINITY;
+        let mut any = false;
+        for copy in schedule.copies(parent) {
+            any = true;
+            let a = copy.finish + problem.platform().comm_time(copy.proc, p, cost);
+            arrival = arrival.min(a);
+        }
+        if !any {
+            return Err(CoreError::NotPlaced(parent));
+        }
+        ready = ready.max(arrival);
+    }
+    Ok(ready)
+}
+
+/// `EST(t, p)` (Definition 6), honouring the insertion discipline:
+/// `insertion == false` gives the paper's `max(Ready, Avail)`;
+/// `insertion == true` scans for the earliest sufficient idle gap
+/// (HEFT-style).
+pub fn est(
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    t: TaskId,
+    p: ProcId,
+    insertion: bool,
+) -> Result<f64, CoreError> {
+    let ready = data_ready_time(problem, schedule, t, p)?;
+    Ok(schedule
+        .timeline(p)
+        .earliest_start(ready, problem.w(t, p), insertion))
+}
+
+/// `EFT(t, p)` (Definition 7): `EST(t, p) + W(t, p)`.
+pub fn eft(
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    t: TaskId,
+    p: ProcId,
+    insertion: bool,
+) -> Result<f64, CoreError> {
+    Ok(est(problem, schedule, t, p, insertion)? + problem.w(t, p))
+}
+
+/// The EFT of `t` on every processor, in processor order.
+pub fn eft_row(
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    t: TaskId,
+    insertion: bool,
+) -> Result<Vec<f64>, CoreError> {
+    problem
+        .platform()
+        .procs()
+        .map(|p| eft(problem, schedule, t, p, insertion))
+        .collect()
+}
+
+/// The penalty value `PV` of a task (Definition 8) from its EFT row (and,
+/// for the [`PenaltyKind::ExecStdDev`] ablation, its raw cost row).
+pub fn penalty_value(kind: PenaltyKind, eft_row: &[f64], cost_row: &[f64]) -> f64 {
+    match kind {
+        PenaltyKind::EftSampleStdDev => hdlts_platform::sample_stddev(eft_row),
+        PenaltyKind::EftPopulationStdDev => hdlts_platform::population_stddev(eft_row),
+        PenaltyKind::EftRange => {
+            let min = eft_row.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = eft_row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if eft_row.is_empty() {
+                0.0
+            } else {
+                max - min
+            }
+        }
+        PenaltyKind::ExecStdDev => hdlts_platform::sample_stddev(cost_row),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::dag_from_edges;
+    use hdlts_platform::{CostMatrix, Platform};
+
+    /// chain 0 -> 1 with comm 10; W = [[4, 8], [6, 3]].
+    fn fixture() -> (hdlts_dag::Dag, CostMatrix, Platform) {
+        let dag = dag_from_edges(2, &[(0, 1, 10.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![vec![4.0, 8.0], vec![6.0, 3.0]]).unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        (dag, costs, platform)
+    }
+
+    #[test]
+    fn ready_of_entry_is_zero() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let s = Schedule::new(2, 2);
+        assert_eq!(data_ready_time(&problem, &s, TaskId(0), ProcId(0)).unwrap(), 0.0);
+        assert_eq!(data_ready_time(&problem, &s, TaskId(0), ProcId(1)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ready_requires_placed_parents() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let s = Schedule::new(2, 2);
+        assert_eq!(
+            data_ready_time(&problem, &s, TaskId(1), ProcId(0)).unwrap_err(),
+            CoreError::NotPlaced(TaskId(0))
+        );
+    }
+
+    #[test]
+    fn ready_uses_comm_only_across_procs() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        assert_eq!(data_ready_time(&problem, &s, TaskId(1), ProcId(0)).unwrap(), 4.0);
+        assert_eq!(data_ready_time(&problem, &s, TaskId(1), ProcId(1)).unwrap(), 14.0);
+    }
+
+    #[test]
+    fn ready_takes_best_copy() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        s.place_duplicate(TaskId(0), ProcId(1), 0.0, 8.0).unwrap();
+        // On P2 the local replica (finish 8) beats the remote copy (4 + 10).
+        assert_eq!(data_ready_time(&problem, &s, TaskId(1), ProcId(1)).unwrap(), 8.0);
+        // On P1 the local primary still wins.
+        assert_eq!(data_ready_time(&problem, &s, TaskId(1), ProcId(0)).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn est_respects_availability_without_insertion() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        // Block P1 until t=20 with an unrelated interval via a duplicate slot.
+        s.place_duplicate(TaskId(0), ProcId(0), 10.0, 20.0).unwrap();
+        let est0 = est(&problem, &s, TaskId(1), ProcId(0), false).unwrap();
+        assert_eq!(est0, 20.0);
+        // With insertion the gap [4, 10) fits the 6-unit task exactly.
+        let est_ins = est(&problem, &s, TaskId(1), ProcId(0), true).unwrap();
+        assert_eq!(est_ins, 4.0);
+    }
+
+    #[test]
+    fn eft_adds_cost() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        assert_eq!(eft(&problem, &s, TaskId(1), ProcId(0), false).unwrap(), 10.0);
+        assert_eq!(eft(&problem, &s, TaskId(1), ProcId(1), false).unwrap(), 17.0);
+        assert_eq!(
+            eft_row(&problem, &s, TaskId(1), false).unwrap(),
+            vec![10.0, 17.0]
+        );
+    }
+
+    #[test]
+    fn penalty_kinds() {
+        let efts = [27.0, 35.0, 27.0];
+        let costs = [13.0, 19.0, 18.0];
+        assert!((penalty_value(PenaltyKind::EftSampleStdDev, &efts, &costs) - 4.6188).abs() < 1e-3);
+        assert!(
+            (penalty_value(PenaltyKind::EftPopulationStdDev, &efts, &costs) - 3.7712).abs() < 1e-3
+        );
+        assert_eq!(penalty_value(PenaltyKind::EftRange, &efts, &costs), 8.0);
+        assert!((penalty_value(PenaltyKind::ExecStdDev, &efts, &costs) - 3.2146).abs() < 1e-3);
+    }
+}

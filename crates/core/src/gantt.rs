@@ -1,0 +1,103 @@
+//! ASCII Gantt-chart rendering of schedules, for examples and debugging.
+
+use crate::Schedule;
+use hdlts_platform::Platform;
+use std::fmt::Write as _;
+
+impl Schedule {
+    /// Renders the schedule as a fixed-width ASCII Gantt chart, one row per
+    /// processor, `width` character cells across the makespan.
+    ///
+    /// Each busy slot is drawn as `[tN...]` (clipped to its cell span);
+    /// replicas appear like any other slot since they occupy real processor
+    /// time. Returns an empty chart note for empty schedules.
+    pub fn to_gantt(&self, platform: &Platform, width: usize) -> String {
+        let span = self.makespan().max(
+            self.duplicates()
+                .iter()
+                .map(|(_, p)| p.finish)
+                .fold(0.0, f64::max),
+        );
+        let mut out = String::new();
+        if span <= 0.0 {
+            out.push_str("(empty schedule)\n");
+            return out;
+        }
+        let width = width.max(20);
+        let scale = width as f64 / span;
+        let name_w = platform
+            .procs()
+            .map(|p| platform.name(p).len())
+            .max()
+            .unwrap_or(2);
+
+        for p in platform.procs() {
+            let mut row = vec![b'.'; width];
+            for slot in self.timeline(p).slots() {
+                let a = ((slot.start * scale) as usize).min(width - 1);
+                let b = ((slot.end * scale).ceil() as usize).clamp(a + 1, width);
+                let label = format!("{}", slot.task);
+                let cell = &mut row[a..b];
+                cell.fill(b'#');
+                if cell.len() >= label.len() + 2 {
+                    cell[0] = b'[';
+                    cell[cell.len() - 1] = b']';
+                    cell[1..1 + label.len()].copy_from_slice(label.as_bytes());
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{:>name_w$} |{}|",
+                platform.name(p),
+                String::from_utf8(row).expect("ascii row"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>name_w$}  0{:>pad$}",
+            "",
+            format!("{span:.1}"),
+            pad = width - 1,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Schedule;
+    use hdlts_dag::TaskId;
+    use hdlts_platform::{Platform, ProcId};
+
+    #[test]
+    fn gantt_shows_slots_per_processor() {
+        let platform = Platform::fully_connected(2).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 5.0).unwrap();
+        s.place(TaskId(1), ProcId(1), 5.0, 10.0).unwrap();
+        let g = s.to_gantt(&platform, 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("P1"));
+        assert!(lines[0].contains("[t0"));
+        assert!(lines[1].contains("[t1"));
+        // P1's second half is idle.
+        assert!(lines[0].contains('.'));
+    }
+
+    #[test]
+    fn empty_schedule_notes_itself() {
+        let platform = Platform::fully_connected(1).unwrap();
+        let s = Schedule::new(1, 1);
+        assert!(s.to_gantt(&platform, 40).contains("empty schedule"));
+    }
+
+    #[test]
+    fn narrow_width_is_clamped() {
+        let platform = Platform::fully_connected(1).unwrap();
+        let mut s = Schedule::new(1, 1);
+        s.place(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        let g = s.to_gantt(&platform, 1);
+        assert!(g.contains('#') || g.contains('['));
+    }
+}

@@ -1,0 +1,386 @@
+//! The Heterogeneous Dynamic List Task Scheduling heuristic (Section IV).
+
+use crate::est::eft_row;
+use crate::{
+    CoreError, DuplicationPolicy, HdltsConfig, Problem, Schedule, ScheduleTrace, Scheduler,
+    TraceStep,
+};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+
+/// The paper's contribution: a dynamic list scheduler that
+///
+/// 1. keeps an *Independent Task Queue* (ITQ) of exactly the tasks whose
+///    parents have all finished (the dynamic ready list),
+/// 2. each step recomputes every ready task's EFT on every processor against
+///    the *current* partial schedule, prioritizes by penalty value — the
+///    heterogeneity (standard deviation) of that EFT vector (Eq. 8) — and
+/// 3. maps the highest-PV task to its minimum-EFT processor (Algorithm 2),
+///    duplicating the entry task onto additional processors when a local
+///    replica would feed some child earlier than the message from the
+///    primary copy (Algorithm 1).
+///
+/// With [`HdltsConfig::paper_exact`] this reproduces the paper's Table I
+/// trace on the Fig. 1 graph step for step (see `tests/table1_trace.rs` at
+/// the workspace root).
+#[derive(Debug, Clone, Default)]
+pub struct Hdlts {
+    config: HdltsConfig,
+}
+
+impl Hdlts {
+    /// HDLTS with an explicit configuration.
+    pub fn new(config: HdltsConfig) -> Self {
+        Hdlts { config }
+    }
+
+    /// HDLTS exactly as evaluated in the paper.
+    pub fn paper_exact() -> Self {
+        Hdlts::new(HdltsConfig::paper_exact())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HdltsConfig {
+        &self.config
+    }
+
+    /// Runs the heuristic and returns the schedule together with the
+    /// step-by-step trace (Table I shape).
+    ///
+    /// ```
+    /// use hdlts_core::{Hdlts, Problem};
+    /// use hdlts_dag::dag_from_edges;
+    /// use hdlts_platform::{CostMatrix, Platform};
+    ///
+    /// let dag = dag_from_edges(2, &[(0, 1, 5.0)]).unwrap();
+    /// let costs = CostMatrix::from_rows(vec![vec![4.0, 8.0], vec![6.0, 3.0]]).unwrap();
+    /// let platform = Platform::fully_connected(2).unwrap();
+    /// let problem = Problem::new(&dag, &costs, &platform).unwrap();
+    ///
+    /// let (schedule, trace) = Hdlts::paper_exact().schedule_with_trace(&problem).unwrap();
+    /// assert_eq!(trace.len(), 2); // one step per task
+    /// assert_eq!(trace.selection_order().len(), 2);
+    /// println!("{}", trace.to_markdown());
+    /// # assert!(schedule.makespan() > 0.0);
+    /// ```
+    pub fn schedule_with_trace(
+        &self,
+        problem: &Problem<'_>,
+    ) -> Result<(Schedule, ScheduleTrace), CoreError> {
+        let mut trace = ScheduleTrace::default();
+        let schedule = self.run(problem, Some(&mut trace))?;
+        Ok((schedule, trace))
+    }
+
+    fn run(
+        &self,
+        problem: &Problem<'_>,
+        mut trace: Option<&mut ScheduleTrace>,
+    ) -> Result<Schedule, CoreError> {
+        let (entry, _exit) = problem.entry_exit()?;
+        let dag = problem.dag();
+        let n = problem.num_tasks();
+        let mut schedule = Schedule::new(n, problem.num_procs());
+
+        // Residual unfinished-parent counts; a task joins the ITQ when its
+        // count reaches zero (Definition 5's "input conditions have met").
+        let mut pending_preds: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
+        let mut itq: Vec<TaskId> = vec![entry];
+        let mut step = 0usize;
+
+        while !itq.is_empty() {
+            step += 1;
+
+            // Compute each ready task's EFT row against the current partial
+            // schedule and derive its penalty value (Eq. 6–8).
+            let mut scored: Vec<(TaskId, Vec<f64>, f64)> = Vec::with_capacity(itq.len());
+            for &t in &itq {
+                let row = eft_row(problem, &schedule, t, self.config.insertion)?;
+                let pv =
+                    crate::penalty_value(self.config.penalty, &row, problem.costs().row(t));
+                scored.push((t, row, pv));
+            }
+
+            // Select the highest-PV task (ties: lowest id, deterministic).
+            let best_idx = scored
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.2.total_cmp(&b.2).then(b.0.cmp(&a.0)))
+                .map(|(i, _)| i)
+                .expect("ITQ is non-empty");
+            let (task, row, _pv) = scored.swap_remove(best_idx);
+
+            // Minimum-EFT processor (ties: lowest id).
+            let mut proc = ProcId(0);
+            for (p, &e) in row.iter().enumerate() {
+                if e < row[proc.index()] {
+                    proc = ProcId::from_index(p);
+                }
+            }
+            // Recompute the start from EST rather than `EFT - W`: the
+            // latter can land a few ulps below the processor's
+            // availability and spuriously overlap the previous slot.
+            let start = crate::est(problem, &schedule, task, proc, self.config.insertion)?;
+            let finish = start + problem.w(task, proc);
+            debug_assert!((finish - row[proc.index()]).abs() <= 1e-9 * finish.abs().max(1.0));
+            schedule.place(task, proc, start, finish)?;
+
+            // Algorithm 1: entry-task duplication. The entry is necessarily
+            // the first task scheduled, so every other processor is idle
+            // from time zero and a replica occupies [0, W(entry, k)].
+            let mut duplicated_on = Vec::new();
+            if task == entry && self.config.duplication != DuplicationPolicy::Off {
+                duplicated_on = self.duplicate_entry(problem, &mut schedule, entry, proc, finish)?;
+            }
+
+            if let Some(tr) = trace.as_deref_mut() {
+                // `scored` no longer contains the selected task; re-add it
+                // with its PV so the record shows the full prioritized ITQ.
+                let sel_pv =
+                    crate::penalty_value(self.config.penalty, &row, problem.costs().row(task));
+                let mut ready: Vec<(TaskId, f64)> =
+                    scored.iter().map(|&(t, _, pv)| (t, pv)).collect();
+                ready.push((task, sel_pv));
+                ready.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                tr.steps.push(TraceStep {
+                    step,
+                    ready,
+                    selected: task,
+                    eft_row: row.clone(),
+                    chosen_proc: proc,
+                    duplicated_on: duplicated_on.clone(),
+                });
+            }
+
+            // Update the ITQ: drop the mapped task, admit newly independent
+            // children, and loop (priorities are recomputed next iteration).
+            itq.retain(|&t| t != task);
+            for &(child, _) in dag.succs(task) {
+                pending_preds[child.index()] -= 1;
+                if pending_preds[child.index()] == 0 {
+                    itq.push(child);
+                }
+            }
+        }
+
+        if !schedule.is_complete() {
+            return Err(CoreError::InvalidSchedule(format!(
+                "only {} of {} tasks were reachable from the entry",
+                schedule.placed_count(),
+                n
+            )));
+        }
+        Ok(schedule)
+    }
+
+    /// Duplicates the entry task onto every processor where a local replica
+    /// would deliver the entry's output to some (or, under
+    /// [`DuplicationPolicy::AllChildren`], every) child earlier than the
+    /// message from the primary copy would arrive.
+    fn duplicate_entry(
+        &self,
+        problem: &Problem<'_>,
+        schedule: &mut Schedule,
+        entry: TaskId,
+        entry_proc: ProcId,
+        entry_aft: f64,
+    ) -> Result<Vec<ProcId>, CoreError> {
+        let children = problem.dag().succs(entry);
+        if children.is_empty() {
+            return Ok(Vec::new());
+        }
+        let platform = problem.platform();
+        let mut placed = Vec::new();
+        for k in platform.procs() {
+            if k == entry_proc {
+                continue;
+            }
+            let replica_finish = problem.w(entry, k);
+            let beats = |&(_, cost): &(TaskId, f64)| {
+                replica_finish < entry_aft + platform.comm_time(entry_proc, k, cost)
+            };
+            let beneficial = match self.config.duplication {
+                DuplicationPolicy::AnyChild => children.iter().any(beats),
+                DuplicationPolicy::AllChildren => children.iter().all(beats),
+                DuplicationPolicy::Off => false,
+            };
+            if beneficial {
+                schedule.place_duplicate(entry, k, 0.0, replica_finish)?;
+                placed.push(k);
+            }
+        }
+        Ok(placed)
+    }
+}
+
+impl Scheduler for Hdlts {
+    fn name(&self) -> &'static str {
+        "HDLTS"
+    }
+
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        self.run(problem, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::dag_from_edges;
+    use hdlts_platform::{CostMatrix, Platform};
+
+    fn single_task() -> (hdlts_dag::Dag, CostMatrix, Platform) {
+        (
+            dag_from_edges(1, &[]).unwrap(),
+            CostMatrix::from_rows(vec![vec![5.0, 3.0]]).unwrap(),
+            Platform::fully_connected(2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn single_task_goes_to_fastest_proc() {
+        let (dag, costs, platform) = single_task();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let s = Hdlts::paper_exact().schedule(&problem).unwrap();
+        assert_eq!(s.proc_of(TaskId(0)).unwrap(), ProcId(1));
+        assert_eq!(s.makespan(), 3.0);
+        // No children, so no duplication despite the heterogeneity.
+        assert!(s.duplicates().is_empty());
+    }
+
+    #[test]
+    fn chain_prefers_colocation_when_comm_dominates() {
+        // 0 -> 1 with huge comm; both tasks cheapest on different procs, but
+        // colocating avoids the transfer.
+        let dag = dag_from_edges(2, &[(0, 1, 100.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![vec![4.0, 5.0], vec![6.0, 5.0]]).unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let s = Hdlts::new(HdltsConfig::without_duplication())
+            .schedule(&problem)
+            .unwrap();
+        assert_eq!(s.proc_of(TaskId(0)).unwrap(), s.proc_of(TaskId(1)).unwrap());
+        assert_eq!(s.makespan(), 10.0);
+    }
+
+    #[test]
+    fn duplication_beats_communication() {
+        // Entry cheap everywhere; a child on the other processor would wait
+        // for a slow message unless the entry is replicated. Task 3 is a
+        // zero-cost sink keeping the graph single-exit.
+        let dag =
+            dag_from_edges(4, &[(0, 1, 50.0), (0, 2, 50.0), (1, 3, 0.0), (2, 3, 0.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![2.0, 2.0],
+            vec![10.0, 10.0],
+            vec![10.0, 10.0],
+            vec![0.0, 0.0],
+        ])
+        .unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+
+        let with_dup = Hdlts::paper_exact().schedule(&problem).unwrap();
+        assert_eq!(with_dup.duplicates().len(), 1);
+        let without = Hdlts::new(HdltsConfig::without_duplication())
+            .schedule(&problem)
+            .unwrap();
+        assert!(with_dup.makespan() < without.makespan());
+        // Replica lets the children run concurrently, one per processor.
+        assert_eq!(with_dup.makespan(), 12.0);
+        // Without it, one child queues behind the other: 2 + 10 + 10 = 22.
+        assert_eq!(without.makespan(), 22.0);
+    }
+
+    #[test]
+    fn rejects_multi_entry_graphs() {
+        let dag = dag_from_edges(3, &[(0, 2, 1.0), (1, 2, 1.0)]).unwrap();
+        let costs = CostMatrix::uniform(3, 2, 1.0).unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        assert!(matches!(
+            Hdlts::paper_exact().schedule(&problem).unwrap_err(),
+            CoreError::NotSingleEntryExit { .. }
+        ));
+    }
+
+    #[test]
+    fn trace_covers_every_task_once() {
+        let dag = dag_from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![3.0, 4.0],
+            vec![5.0, 2.0],
+            vec![4.0, 4.0],
+            vec![2.0, 6.0],
+        ])
+        .unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let (s, trace) = Hdlts::paper_exact().schedule_with_trace(&problem).unwrap();
+        assert!(s.is_complete());
+        assert_eq!(trace.len(), 4);
+        let mut order = trace.selection_order();
+        order.sort();
+        assert_eq!(order, vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]);
+        // The first step schedules the entry; ready list there is just t0.
+        assert_eq!(trace.steps[0].ready.len(), 1);
+        // Steps record the prioritized ITQ in descending PV order.
+        for st in &trace.steps {
+            for w in st.ready.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+            assert_eq!(st.ready[0].0, st.selected);
+        }
+    }
+
+    #[test]
+    fn all_duplication_policies_produce_valid_schedules() {
+        let dag =
+            dag_from_edges(4, &[(0, 1, 9.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![2.0, 8.0],
+            vec![4.0, 4.0],
+            vec![4.0, 4.0],
+            vec![1.0, 3.0],
+        ])
+        .unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        for policy in [
+            DuplicationPolicy::AnyChild,
+            DuplicationPolicy::AllChildren,
+            DuplicationPolicy::Off,
+        ] {
+            let cfg = HdltsConfig { duplication: policy, ..HdltsConfig::default() };
+            let s = Hdlts::new(cfg).schedule(&problem).unwrap();
+            assert!(s.is_complete(), "{policy:?}");
+            s.validate(&problem).unwrap();
+        }
+    }
+
+    #[test]
+    fn any_child_duplicates_more_eagerly_than_all_children() {
+        // Two children: one heavy edge (replica pays off), one zero edge
+        // (replica useless). AnyChild duplicates, AllChildren does not.
+        let dag =
+            dag_from_edges(4, &[(0, 1, 100.0), (0, 2, 0.0), (1, 3, 0.0), (2, 3, 0.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![2.0, 2.0],
+            vec![5.0, 5.0],
+            vec![5.0, 5.0],
+            vec![0.0, 0.0],
+        ])
+        .unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let any = Hdlts::paper_exact().schedule(&problem).unwrap();
+        assert_eq!(any.duplicates().len(), 1);
+        let all = Hdlts::new(HdltsConfig {
+            duplication: DuplicationPolicy::AllChildren,
+            ..HdltsConfig::default()
+        })
+        .schedule(&problem)
+        .unwrap();
+        assert!(all.duplicates().is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Scheduling engine and the HDLTS algorithm.
+//!
+//! This crate implements Definitions 3–9 of the paper (processor
+//! availability, actual finish time, ready time, EST, EFT, penalty value,
+//! makespan) as a reusable engine — [`Problem`], [`Schedule`],
+//! [`Timeline`], and the [`est`]/[`eft`] helpers — and, on top of it, the
+//! paper's contribution: the **Heterogeneous Dynamic List Task Scheduling**
+//! heuristic ([`Hdlts`], Section IV, Algorithms 1 and 2).
+//!
+//! Baseline list schedulers (HEFT, CPOP, PETS, PEFT, SDBATS) live in
+//! `hdlts-baselines` and implement the same [`Scheduler`] trait against the
+//! same engine, which keeps comparisons apples-to-apples.
+//!
+//! # Example: scheduling the paper's Fig. 1 workflow
+//!
+//! ```
+//! use hdlts_core::{Hdlts, Problem, Scheduler};
+//! use hdlts_dag::dag_from_edges;
+//! use hdlts_platform::{CostMatrix, Platform};
+//!
+//! // A two-task chain on two processors.
+//! let dag = dag_from_edges(2, &[(0, 1, 5.0)]).unwrap();
+//! let costs = CostMatrix::from_rows(vec![vec![4.0, 8.0], vec![6.0, 3.0]]).unwrap();
+//! let platform = Platform::fully_connected(2).unwrap();
+//! let problem = Problem::new(&dag, &costs, &platform).unwrap();
+//!
+//! let schedule = Hdlts::paper_exact().schedule(&problem).unwrap();
+//! assert!(schedule.validate(&problem).is_ok());
+//! assert!(schedule.makespan() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod est;
+mod gantt;
+mod hdlts;
+mod problem;
+mod schedule;
+mod scheduler;
+mod svg;
+mod timeline;
+mod trace;
+mod validate;
+
+pub use config::{DuplicationPolicy, HdltsConfig, PenaltyKind};
+pub use error::CoreError;
+pub use est::{data_ready_time, eft, est, penalty_value};
+pub use hdlts::Hdlts;
+pub use problem::Problem;
+pub use schedule::{Placement, Schedule};
+pub use scheduler::Scheduler;
+pub use timeline::{Slot, Timeline};
+pub use trace::{ScheduleTrace, TraceStep};
+pub use validate::{ValidationReport, Violation};

@@ -1,0 +1,157 @@
+//! A scheduling problem instance: workflow + costs + platform.
+
+use crate::CoreError;
+use hdlts_dag::{Dag, TaskId};
+use hdlts_platform::{CostMatrix, Platform, ProcId};
+
+/// A validated scheduling problem: the tuple `G = (V, E, W, C)` of Section IV
+/// plus the platform `M`.
+///
+/// Construction checks that the three components agree on task and processor
+/// counts, so schedulers can index freely without re-validating.
+#[derive(Debug, Clone, Copy)]
+pub struct Problem<'a> {
+    dag: &'a Dag,
+    costs: &'a CostMatrix,
+    platform: &'a Platform,
+}
+
+impl<'a> Problem<'a> {
+    /// Binds a workflow, its cost matrix, and a platform together.
+    pub fn new(
+        dag: &'a Dag,
+        costs: &'a CostMatrix,
+        platform: &'a Platform,
+    ) -> Result<Self, CoreError> {
+        if costs.num_tasks() != dag.num_tasks() {
+            return Err(CoreError::TaskCountMismatch {
+                dag: dag.num_tasks(),
+                costs: costs.num_tasks(),
+            });
+        }
+        if costs.num_procs() != platform.num_procs() {
+            return Err(CoreError::ProcCountMismatch {
+                platform: platform.num_procs(),
+                costs: costs.num_procs(),
+            });
+        }
+        Ok(Problem { dag, costs, platform })
+    }
+
+    /// The workflow DAG.
+    #[inline]
+    pub fn dag(&self) -> &'a Dag {
+        self.dag
+    }
+
+    /// The computation-cost matrix `W`.
+    #[inline]
+    pub fn costs(&self) -> &'a CostMatrix {
+        self.costs
+    }
+
+    /// The platform `M`.
+    #[inline]
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// Number of tasks `n`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.dag.num_tasks()
+    }
+
+    /// Number of processors `p`.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.platform.num_procs()
+    }
+
+    /// `W(t, p)` — execution time of `t` on `p`.
+    #[inline]
+    pub fn w(&self, t: TaskId, p: ProcId) -> f64 {
+        self.costs.cost(t, p)
+    }
+
+    /// Communication time of edge `src -> dst` when the endpoint tasks run
+    /// on `from` and `to` respectively (Definition 2; zero if co-located).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge does not exist; schedulers only query real edges.
+    #[inline]
+    pub fn comm_time(&self, src: TaskId, dst: TaskId, from: ProcId, to: ProcId) -> f64 {
+        let cost = self
+            .dag
+            .comm(src, dst)
+            .unwrap_or_else(|| panic!("no edge {src} -> {dst}"));
+        self.platform.comm_time(from, to, cost)
+    }
+
+    /// Ensures the DAG has the single-entry/single-exit shape and returns
+    /// the pair.
+    pub fn entry_exit(&self) -> Result<(TaskId, TaskId), CoreError> {
+        match (self.dag.single_entry(), self.dag.single_exit()) {
+            (Some(en), Some(ex)) => Ok((en, ex)),
+            _ => Err(CoreError::NotSingleEntryExit {
+                entries: self.dag.entries().len(),
+                exits: self.dag.exits().len(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::dag_from_edges;
+
+    #[test]
+    fn dimension_checks() {
+        let dag = dag_from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let bad_tasks = CostMatrix::uniform(3, 2, 1.0).unwrap();
+        assert!(matches!(
+            Problem::new(&dag, &bad_tasks, &platform).unwrap_err(),
+            CoreError::TaskCountMismatch { dag: 2, costs: 3 }
+        ));
+        let bad_procs = CostMatrix::uniform(2, 3, 1.0).unwrap();
+        assert!(matches!(
+            Problem::new(&dag, &bad_procs, &platform).unwrap_err(),
+            CoreError::ProcCountMismatch { platform: 2, costs: 3 }
+        ));
+    }
+
+    #[test]
+    fn comm_time_respects_colocation() {
+        let dag = dag_from_edges(2, &[(0, 1, 8.0)]).unwrap();
+        let costs = CostMatrix::uniform(2, 2, 1.0).unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let p = Problem::new(&dag, &costs, &platform).unwrap();
+        assert_eq!(p.comm_time(TaskId(0), TaskId(1), ProcId(0), ProcId(0)), 0.0);
+        assert_eq!(p.comm_time(TaskId(0), TaskId(1), ProcId(0), ProcId(1)), 8.0);
+    }
+
+    #[test]
+    fn entry_exit_requires_normal_shape() {
+        let dag = dag_from_edges(3, &[(0, 2, 1.0), (1, 2, 1.0)]).unwrap();
+        let costs = CostMatrix::uniform(3, 2, 1.0).unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let p = Problem::new(&dag, &costs, &platform).unwrap();
+        assert!(matches!(
+            p.entry_exit().unwrap_err(),
+            CoreError::NotSingleEntryExit { entries: 2, exits: 1 }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge")]
+    fn comm_time_panics_on_missing_edge() {
+        let dag = dag_from_edges(2, &[(0, 1, 8.0)]).unwrap();
+        let costs = CostMatrix::uniform(2, 2, 1.0).unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let p = Problem::new(&dag, &costs, &platform).unwrap();
+        let _ = p.comm_time(TaskId(1), TaskId(0), ProcId(0), ProcId(1));
+    }
+}

@@ -1,0 +1,245 @@
+//! The schedule produced by a scheduler.
+
+use crate::{CoreError, Slot, Timeline};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// Where and when one copy of a task executes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Executing processor.
+    pub proc: ProcId,
+    /// Start time.
+    pub start: f64,
+    /// Finish time (the task's AFT, Definition 4).
+    pub finish: f64,
+}
+
+/// A (possibly partial) schedule: one primary placement per task, optional
+/// duplicate copies (entry-task duplication, Algorithm 1), and the per-
+/// processor busy timelines.
+///
+/// The structure is the single source of truth during scheduling: EST/EFT
+/// queries ([`crate::est`], [`crate::eft`]) read processor availability and
+/// parent finish times straight from it, which is what makes HDLTS's
+/// "consider the resource status at assignment time" policy work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    placements: Vec<Option<Placement>>,
+    duplicates: Vec<(TaskId, Placement)>,
+    timelines: Vec<Timeline>,
+}
+
+impl Schedule {
+    /// An empty schedule for `num_tasks` tasks over `num_procs` processors.
+    pub fn new(num_tasks: usize, num_procs: usize) -> Self {
+        Schedule {
+            placements: vec![None; num_tasks],
+            duplicates: Vec::new(),
+            timelines: vec![Timeline::new(); num_procs],
+        }
+    }
+
+    /// Number of tasks the schedule covers.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.timelines.len()
+    }
+
+    /// Places the primary copy of `t`.
+    pub fn place(
+        &mut self,
+        t: TaskId,
+        proc: ProcId,
+        start: f64,
+        finish: f64,
+    ) -> Result<(), CoreError> {
+        if self.placements[t.index()].is_some() {
+            return Err(CoreError::AlreadyPlaced(t));
+        }
+        self.timelines[proc.index()].insert(proc, Slot { task: t, start, end: finish })?;
+        self.placements[t.index()] = Some(Placement { proc, start, finish });
+        Ok(())
+    }
+
+    /// Places a duplicate copy of `t` (the task must keep its primary copy
+    /// elsewhere; used for entry-task duplication).
+    pub fn place_duplicate(
+        &mut self,
+        t: TaskId,
+        proc: ProcId,
+        start: f64,
+        finish: f64,
+    ) -> Result<(), CoreError> {
+        self.timelines[proc.index()].insert(proc, Slot { task: t, start, end: finish })?;
+        self.duplicates.push((t, Placement { proc, start, finish }));
+        Ok(())
+    }
+
+    /// The primary placement of `t`, if placed.
+    #[inline]
+    pub fn placement(&self, t: TaskId) -> Option<&Placement> {
+        self.placements[t.index()].as_ref()
+    }
+
+    /// Whether `t` has a primary placement.
+    #[inline]
+    pub fn is_placed(&self, t: TaskId) -> bool {
+        self.placements[t.index()].is_some()
+    }
+
+    /// `AFT(t)` (Definition 4) of the primary copy.
+    pub fn aft(&self, t: TaskId) -> Result<f64, CoreError> {
+        self.placement(t).map(|p| p.finish).ok_or(CoreError::NotPlaced(t))
+    }
+
+    /// The processor executing the primary copy of `t`.
+    pub fn proc_of(&self, t: TaskId) -> Result<ProcId, CoreError> {
+        self.placement(t).map(|p| p.proc).ok_or(CoreError::NotPlaced(t))
+    }
+
+    /// All copies of `t`: the primary placement first, then duplicates.
+    pub fn copies(&self, t: TaskId) -> impl Iterator<Item = &Placement> + '_ {
+        self.placements[t.index()]
+            .iter()
+            .chain(self.duplicates.iter().filter_map(move |(d, p)| (*d == t).then_some(p)))
+    }
+
+    /// All duplicate copies recorded so far.
+    #[inline]
+    pub fn duplicates(&self) -> &[(TaskId, Placement)] {
+        &self.duplicates
+    }
+
+    /// The busy timeline of processor `p`.
+    #[inline]
+    pub fn timeline(&self, p: ProcId) -> &Timeline {
+        &self.timelines[p.index()]
+    }
+
+    /// `Avail(m_p)` (Definition 3).
+    #[inline]
+    pub fn avail(&self, p: ProcId) -> f64 {
+        self.timelines[p.index()].avail()
+    }
+
+    /// The makespan (Definition 9): the latest finish over all primary
+    /// placements, which equals `AFT(v_exit)` for a single-exit workflow.
+    /// Zero for an empty schedule.
+    pub fn makespan(&self) -> f64 {
+        self.placements
+            .iter()
+            .flatten()
+            .map(|p| p.finish)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every task has a primary placement.
+    pub fn is_complete(&self) -> bool {
+        self.placements.iter().all(Option::is_some)
+    }
+
+    /// Number of tasks placed so far.
+    pub fn placed_count(&self) -> usize {
+        self.placements.iter().flatten().count()
+    }
+
+    /// Fraction of the makespan each processor spends busy; index `i` is
+    /// processor `i`. Used by the load-balancing analyses.
+    pub fn utilization(&self) -> Vec<f64> {
+        let span = self.makespan();
+        if span <= 0.0 {
+            return vec![0.0; self.timelines.len()];
+        }
+        self.timelines.iter().map(|tl| tl.busy_time() / span).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_and_query() {
+        let mut s = Schedule::new(3, 2);
+        s.place(TaskId(0), ProcId(1), 0.0, 4.0).unwrap();
+        assert_eq!(s.aft(TaskId(0)).unwrap(), 4.0);
+        assert_eq!(s.proc_of(TaskId(0)).unwrap(), ProcId(1));
+        assert!(s.is_placed(TaskId(0)));
+        assert!(!s.is_placed(TaskId(1)));
+        assert_eq!(s.placed_count(), 1);
+        assert!(!s.is_complete());
+        assert_eq!(s.avail(ProcId(1)), 4.0);
+        assert_eq!(s.avail(ProcId(0)), 0.0);
+    }
+
+    #[test]
+    fn double_place_rejected() {
+        let mut s = Schedule::new(1, 1);
+        s.place(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        assert_eq!(
+            s.place(TaskId(0), ProcId(0), 2.0, 3.0).unwrap_err(),
+            CoreError::AlreadyPlaced(TaskId(0))
+        );
+    }
+
+    #[test]
+    fn overlap_propagates_from_timeline() {
+        let mut s = Schedule::new(2, 1);
+        s.place(TaskId(0), ProcId(0), 0.0, 5.0).unwrap();
+        assert!(matches!(
+            s.place(TaskId(1), ProcId(0), 4.0, 6.0).unwrap_err(),
+            CoreError::Overlap { .. }
+        ));
+        // failed placement must not leave the task marked placed
+        assert!(!s.is_placed(TaskId(1)));
+    }
+
+    #[test]
+    fn duplicates_listed_with_primary_first() {
+        let mut s = Schedule::new(2, 3);
+        s.place(TaskId(0), ProcId(2), 0.0, 9.0).unwrap();
+        s.place_duplicate(TaskId(0), ProcId(0), 0.0, 14.0).unwrap();
+        s.place_duplicate(TaskId(0), ProcId(1), 0.0, 16.0).unwrap();
+        let copies: Vec<_> = s.copies(TaskId(0)).collect();
+        assert_eq!(copies.len(), 3);
+        assert_eq!(copies[0].proc, ProcId(2));
+        assert_eq!(s.duplicates().len(), 2);
+        // duplicates occupy their processors
+        assert_eq!(s.avail(ProcId(0)), 14.0);
+    }
+
+    #[test]
+    fn makespan_ignores_duplicates() {
+        // A replica that finishes after every primary copy must not stretch
+        // the makespan: it does no useful terminal work.
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 3.0).unwrap();
+        s.place(TaskId(1), ProcId(0), 3.0, 5.0).unwrap();
+        s.place_duplicate(TaskId(0), ProcId(1), 0.0, 9.0).unwrap();
+        assert_eq!(s.makespan(), 5.0);
+    }
+
+    #[test]
+    fn utilization_sums_busy_fractions() {
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        s.place(TaskId(1), ProcId(1), 0.0, 8.0).unwrap();
+        let u = s.utilization();
+        assert_eq!(u, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn empty_schedule_makespan_zero() {
+        let s = Schedule::new(2, 2);
+        assert_eq!(s.makespan(), 0.0);
+        assert_eq!(s.utilization(), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! The common scheduler interface.
+
+use crate::{CoreError, Problem, Schedule};
+
+/// A static workflow scheduler: maps every task of a problem to a processor
+/// and a time interval.
+///
+/// Implementations must produce schedules that pass
+/// [`Schedule::validate`](crate::Schedule::validate) for every valid
+/// single-entry/single-exit problem; the integration suite enforces this for
+/// every scheduler × workload combination.
+pub trait Scheduler {
+    /// Short machine-friendly name (`"HDLTS"`, `"HEFT"`, ...), used for
+    /// experiment output columns.
+    fn name(&self) -> &'static str;
+
+    /// Computes a complete schedule for `problem`.
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError>;
+
+    /// Convenience: schedule and return only the makespan.
+    fn makespan(&self, problem: &Problem<'_>) -> Result<f64, CoreError> {
+        Ok(self.schedule(problem)?.makespan())
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        (**self).schedule(problem)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        (**self).schedule(problem)
+    }
+}

@@ -1,0 +1,129 @@
+//! SVG Gantt-chart rendering, for reports and the CLI.
+
+use crate::Schedule;
+use hdlts_platform::Platform;
+use std::fmt::Write as _;
+
+/// A small qualitative palette; task colors cycle through it by id.
+const PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+];
+
+impl Schedule {
+    /// Renders the schedule as a standalone SVG Gantt chart (`width` pixels
+    /// across the makespan, one 28-px row per processor).
+    ///
+    /// Primary copies are solid; entry replicas are drawn hatched-light
+    /// (same hue, reduced opacity). Returns a complete `<svg>` document.
+    pub fn to_svg(&self, platform: &Platform, width: u32) -> String {
+        let span = self
+            .timelineys_max_finish()
+            .max(self.makespan())
+            .max(1e-12);
+        let width = width.max(200) as f64;
+        let row_h = 28.0;
+        let label_w = 60.0;
+        let top = 24.0;
+        let height = top + row_h * platform.num_procs() as f64 + 32.0;
+        let scale = (width - label_w - 10.0) / span;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" font-family="sans-serif" font-size="11">"#,
+            width, height
+        );
+        let _ = writeln!(
+            out,
+            r#"<rect width="100%" height="100%" fill="white"/>"#
+        );
+        for (i, p) in platform.procs().enumerate() {
+            let y = top + i as f64 * row_h;
+            let _ = writeln!(
+                out,
+                r#"<text x="4" y="{:.1}" dominant-baseline="middle">{}</text>"#,
+                y + row_h / 2.0,
+                platform.name(p)
+            );
+            let _ = writeln!(
+                out,
+                r##"<line x1="{label_w}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                y + row_h,
+                width - 5.0,
+                y + row_h
+            );
+            for slot in self.timeline(p).slots() {
+                let x = label_w + slot.start * scale;
+                let w = ((slot.end - slot.start) * scale).max(1.0);
+                let color = PALETTE[slot.task.index() % PALETTE.len()];
+                let is_primary = self
+                    .placement(slot.task)
+                    .is_some_and(|pl| pl.proc == p && pl.start == slot.start);
+                let opacity = if is_primary { 0.9 } else { 0.45 };
+                let _ = writeln!(
+                    out,
+                    r##"<rect x="{x:.1}" y="{:.1}" width="{w:.1}" height="{:.1}" fill="{color}" fill-opacity="{opacity}" stroke="#333" stroke-width="0.5"/>"##,
+                    y + 4.0,
+                    row_h - 8.0
+                );
+                if w > 24.0 {
+                    let _ = writeln!(
+                        out,
+                        r#"<text x="{:.1}" y="{:.1}" dominant-baseline="middle" text-anchor="middle" fill="white">{}</text>"#,
+                        x + w / 2.0,
+                        y + row_h / 2.0,
+                        slot.task
+                    );
+                }
+            }
+        }
+        // time axis
+        let axis_y = top + row_h * platform.num_procs() as f64 + 14.0;
+        let _ = writeln!(
+            out,
+            r#"<text x="{label_w}" y="{axis_y:.1}">0</text><text x="{:.1}" y="{axis_y:.1}" text-anchor="end">{span:.1}</text>"#,
+            width - 5.0
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+
+    fn timelineys_max_finish(&self) -> f64 {
+        self.duplicates()
+            .iter()
+            .map(|(_, p)| p.finish)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Schedule;
+    use hdlts_dag::TaskId;
+    use hdlts_platform::{Platform, ProcId};
+
+    #[test]
+    fn svg_structure() {
+        let platform = Platform::fully_connected(2).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 5.0).unwrap();
+        s.place(TaskId(1), ProcId(1), 5.0, 10.0).unwrap();
+        let svg = s.to_svg(&platform, 640);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.matches("<rect").count() >= 3); // background + 2 slots
+        assert!(svg.contains(">P1</text>"));
+        assert!(svg.contains(">t0</text>"));
+    }
+
+    #[test]
+    fn replicas_render_translucent() {
+        let platform = Platform::fully_connected(2).unwrap();
+        let mut s = Schedule::new(1, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 5.0).unwrap();
+        s.place_duplicate(TaskId(0), ProcId(1), 0.0, 6.0).unwrap();
+        let svg = s.to_svg(&platform, 640);
+        assert!(svg.contains("fill-opacity=\"0.9\""));
+        assert!(svg.contains("fill-opacity=\"0.45\""));
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-processor busy timelines.
+
+use crate::CoreError;
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// One busy interval on a processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Task occupying the interval (a primary copy or an entry replica).
+    pub task: TaskId,
+    /// Inclusive start time.
+    pub start: f64,
+    /// Exclusive end time (`start + W(task, proc)`).
+    pub end: f64,
+}
+
+/// The ordered busy intervals of one processor.
+///
+/// Supports both assignment disciplines used in the literature:
+/// *non-insertion* (Definition 3/6 of the paper — a task can only start once
+/// the processor finished everything assigned so far) and *insertion-based*
+/// (HEFT-style scan for the earliest idle gap large enough for the task).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    slots: Vec<Slot>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The busy slots in ascending start order.
+    #[inline]
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// `Avail(m_p)` (Definition 3): the end of the last busy slot, or 0.
+    #[inline]
+    pub fn avail(&self) -> f64 {
+        self.slots.last().map_or(0.0, |s| s.end)
+    }
+
+    /// Total busy time on this processor.
+    pub fn busy_time(&self) -> f64 {
+        self.slots.iter().map(|s| s.end - s.start).sum()
+    }
+
+    /// Earliest start for a task that becomes ready at `ready` and runs for
+    /// `duration`, honouring the chosen discipline.
+    ///
+    /// With `insertion` the earliest sufficiently large idle gap at or after
+    /// `ready` is used (including the gap before the first slot); otherwise
+    /// the task queues behind everything already assigned (Eq. 6).
+    pub fn earliest_start(&self, ready: f64, duration: f64, insertion: bool) -> f64 {
+        if !insertion {
+            return ready.max(self.avail());
+        }
+        let mut cursor = ready;
+        for s in &self.slots {
+            if cursor + duration <= s.start {
+                return cursor;
+            }
+            cursor = cursor.max(s.end);
+        }
+        cursor
+    }
+
+    /// Inserts a busy slot, keeping the vector ordered and overlap-free.
+    pub fn insert(&mut self, proc: ProcId, slot: Slot) -> Result<(), CoreError> {
+        if !slot.start.is_finite() || !slot.end.is_finite() || slot.end < slot.start {
+            return Err(CoreError::InvalidInterval {
+                task: slot.task,
+                start: slot.start,
+                finish: slot.end,
+            });
+        }
+        let idx = self
+            .slots
+            .partition_point(|s| (s.start, s.end) < (slot.start, slot.end));
+        let fits_before = idx == 0 || self.slots[idx - 1].end <= slot.start;
+        let fits_after = idx == self.slots.len() || slot.end <= self.slots[idx].start;
+        if !fits_before || !fits_after {
+            return Err(CoreError::Overlap {
+                proc,
+                task: slot.task,
+                start: slot.start,
+                finish: slot.end,
+            });
+        }
+        self.slots.insert(idx, slot);
+        Ok(())
+    }
+
+    /// Removes the slot occupied by `task`, if any, returning it.
+    pub fn remove_task(&mut self, task: TaskId) -> Option<Slot> {
+        let idx = self.slots.iter().position(|s| s.task == task)?;
+        Some(self.slots.remove(idx))
+    }
+
+    /// Whether any slot overlaps `[start, end)`.
+    pub fn overlaps(&self, start: f64, end: f64) -> bool {
+        self.slots.iter().any(|s| s.start < end && start < s.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(task: u32, start: f64, end: f64) -> Slot {
+        Slot { task: TaskId(task), start, end }
+    }
+
+    #[test]
+    fn avail_tracks_last_end() {
+        let mut tl = Timeline::new();
+        assert_eq!(tl.avail(), 0.0);
+        tl.insert(ProcId(0), slot(0, 0.0, 5.0)).unwrap();
+        tl.insert(ProcId(0), slot(1, 7.0, 9.0)).unwrap();
+        assert_eq!(tl.avail(), 9.0);
+        assert_eq!(tl.busy_time(), 7.0);
+    }
+
+    #[test]
+    fn insert_keeps_order_regardless_of_call_order() {
+        let mut tl = Timeline::new();
+        tl.insert(ProcId(0), slot(1, 7.0, 9.0)).unwrap();
+        tl.insert(ProcId(0), slot(0, 0.0, 5.0)).unwrap();
+        tl.insert(ProcId(0), slot(2, 5.0, 7.0)).unwrap();
+        let starts: Vec<f64> = tl.slots().iter().map(|s| s.start).collect();
+        assert_eq!(starts, vec![0.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut tl = Timeline::new();
+        tl.insert(ProcId(0), slot(0, 2.0, 6.0)).unwrap();
+        assert!(matches!(
+            tl.insert(ProcId(0), slot(1, 5.0, 7.0)),
+            Err(CoreError::Overlap { .. })
+        ));
+        assert!(matches!(
+            tl.insert(ProcId(0), slot(1, 0.0, 3.0)),
+            Err(CoreError::Overlap { .. })
+        ));
+        assert!(matches!(
+            tl.insert(ProcId(0), slot(1, 3.0, 4.0)),
+            Err(CoreError::Overlap { .. })
+        ));
+        // touching slots are fine
+        tl.insert(ProcId(0), slot(2, 6.0, 8.0)).unwrap();
+        tl.insert(ProcId(0), slot(3, 0.0, 2.0)).unwrap();
+    }
+
+    #[test]
+    fn invalid_interval_rejected() {
+        let mut tl = Timeline::new();
+        assert!(matches!(
+            tl.insert(ProcId(0), slot(0, 5.0, 3.0)),
+            Err(CoreError::InvalidInterval { .. })
+        ));
+        assert!(matches!(
+            tl.insert(ProcId(0), slot(0, f64::NAN, 3.0)),
+            Err(CoreError::InvalidInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_slot_is_legal() {
+        // pseudo tasks have zero computation cost everywhere
+        let mut tl = Timeline::new();
+        tl.insert(ProcId(0), slot(0, 3.0, 3.0)).unwrap();
+        tl.insert(ProcId(0), slot(1, 3.0, 5.0)).unwrap();
+    }
+
+    #[test]
+    fn earliest_start_no_insertion_queues_behind() {
+        let mut tl = Timeline::new();
+        tl.insert(ProcId(0), slot(0, 0.0, 10.0)).unwrap();
+        assert_eq!(tl.earliest_start(2.0, 3.0, false), 10.0);
+        assert_eq!(tl.earliest_start(12.0, 3.0, false), 12.0);
+    }
+
+    #[test]
+    fn earliest_start_insertion_finds_gap() {
+        let mut tl = Timeline::new();
+        tl.insert(ProcId(0), slot(0, 0.0, 4.0)).unwrap();
+        tl.insert(ProcId(0), slot(1, 10.0, 12.0)).unwrap();
+        // gap [4, 10): a 3-unit task ready at 2 starts at 4
+        assert_eq!(tl.earliest_start(2.0, 3.0, true), 4.0);
+        // a 7-unit task cannot fit the gap; it queues at the end
+        assert_eq!(tl.earliest_start(2.0, 7.0, true), 12.0);
+        // ready inside the gap
+        assert_eq!(tl.earliest_start(5.0, 3.0, true), 5.0);
+        // gap before the first slot: impossible here (slot starts at 0)
+        let mut tl2 = Timeline::new();
+        tl2.insert(ProcId(0), slot(0, 5.0, 9.0)).unwrap();
+        assert_eq!(tl2.earliest_start(0.0, 5.0, true), 0.0);
+        assert_eq!(tl2.earliest_start(0.0, 6.0, true), 9.0);
+    }
+
+    #[test]
+    fn remove_task_frees_slot() {
+        let mut tl = Timeline::new();
+        tl.insert(ProcId(0), slot(0, 0.0, 4.0)).unwrap();
+        let removed = tl.remove_task(TaskId(0)).unwrap();
+        assert_eq!(removed.end, 4.0);
+        assert!(tl.slots().is_empty());
+        assert!(tl.remove_task(TaskId(0)).is_none());
+    }
+
+    #[test]
+    fn overlaps_query() {
+        let mut tl = Timeline::new();
+        tl.insert(ProcId(0), slot(0, 2.0, 6.0)).unwrap();
+        assert!(tl.overlaps(5.0, 7.0));
+        assert!(!tl.overlaps(6.0, 7.0));
+        assert!(!tl.overlaps(0.0, 2.0));
+    }
+}

@@ -1,0 +1,119 @@
+//! Step-by-step trace of an HDLTS run, mirroring Table I of the paper.
+
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One scheduling step: the ITQ contents with penalty values, the selected
+/// task, its EFT row, and the chosen processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// 1-based step number (Table I's "Step" column).
+    pub step: usize,
+    /// Ready tasks and their penalty values, sorted by descending PV
+    /// (ties: ascending id) — the prioritized ITQ.
+    pub ready: Vec<(TaskId, f64)>,
+    /// The task removed from the ITQ this step (highest PV).
+    pub selected: TaskId,
+    /// The selected task's EFT on every processor, in processor order.
+    pub eft_row: Vec<f64>,
+    /// The processor chosen (minimum EFT, lowest id on ties).
+    pub chosen_proc: ProcId,
+    /// Processors that received an entry-task replica during this step
+    /// (only ever non-empty on the step that schedules the entry task).
+    pub duplicated_on: Vec<ProcId>,
+}
+
+/// The full trace of a scheduling run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleTrace {
+    /// Steps in execution order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl ScheduleTrace {
+    /// Number of steps (equals the task count for a complete run).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The order tasks were selected in.
+    pub fn selection_order(&self) -> Vec<TaskId> {
+        self.steps.iter().map(|s| s.selected).collect()
+    }
+
+    /// Renders the trace as a Markdown table shaped like the paper's
+    /// Table I ("HDLTS schedule produced at each step").
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "| Step | Ready tasks (PV) | Selected | EFT per processor |");
+        let _ = writeln!(out, "|------|------------------|----------|-------------------|");
+        for s in &self.steps {
+            let ready = s
+                .ready
+                .iter()
+                .map(|(t, pv)| format!("{t}({pv:.1})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let efts = s
+                .eft_row
+                .iter()
+                .enumerate()
+                .map(|(p, e)| {
+                    if ProcId::from_index(p) == s.chosen_proc {
+                        format!("**{e:.0}**")
+                    } else {
+                        format!("{e:.0}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(out, "| {} | {} | {} | {} |", s.step, ready, s.selected, efts);
+        }
+        out
+    }
+}
+
+impl fmt::Display for ScheduleTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScheduleTrace {
+        ScheduleTrace {
+            steps: vec![TraceStep {
+                step: 1,
+                ready: vec![(TaskId(0), 7.0)],
+                selected: TaskId(0),
+                eft_row: vec![14.0, 16.0, 9.0],
+                chosen_proc: ProcId(2),
+                duplicated_on: vec![ProcId(0), ProcId(1)],
+            }],
+        }
+    }
+
+    #[test]
+    fn markdown_contains_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| 1 | t0(7.0) | t0 | 14 16 **9** |"));
+    }
+
+    #[test]
+    fn selection_order() {
+        assert_eq!(sample().selection_order(), vec![TaskId(0)]);
+        assert_eq!(sample().len(), 1);
+        assert!(!sample().is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Independent schedule validation.
+//!
+//! Every scheduler in the workspace is checked against this validator in the
+//! integration suite: it re-derives feasibility from first principles
+//! (precedence + communication + processor exclusivity) without trusting any
+//! of the engine's incremental bookkeeping.
+
+use crate::{CoreError, Problem, Schedule};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+use std::fmt;
+
+/// Numerical slack for floating-point comparisons.
+const EPS: f64 = 1e-7;
+
+/// A single feasibility violation found in a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A task has no placement.
+    Unplaced(TaskId),
+    /// A placement's duration differs from `W(task, proc)`.
+    WrongDuration {
+        /// The offending task.
+        task: TaskId,
+        /// Its processor.
+        proc: ProcId,
+        /// `finish - start` found.
+        found: f64,
+        /// `W(task, proc)` expected.
+        expected: f64,
+    },
+    /// Two slots overlap on one processor.
+    Overlap {
+        /// The processor.
+        proc: ProcId,
+        /// First task.
+        a: TaskId,
+        /// Second task.
+        b: TaskId,
+    },
+    /// A task starts before its input from some parent can arrive.
+    PrecedenceViolated {
+        /// The parent task.
+        parent: TaskId,
+        /// The child task.
+        child: TaskId,
+        /// The child's start time.
+        start: f64,
+        /// Earliest arrival of the parent's data at the child's processor.
+        arrival: f64,
+    },
+    /// A placement has a negative start time.
+    NegativeStart(TaskId),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Unplaced(t) => write!(f, "task {t} is unplaced"),
+            Violation::WrongDuration { task, proc, found, expected } => write!(
+                f,
+                "task {task} on {proc} runs for {found} but W says {expected}"
+            ),
+            Violation::Overlap { proc, a, b } => {
+                write!(f, "tasks {a} and {b} overlap on {proc}")
+            }
+            Violation::PrecedenceViolated { parent, child, start, arrival } => write!(
+                f,
+                "task {child} starts at {start} but data from {parent} arrives at {arrival}"
+            ),
+            Violation::NegativeStart(t) => write!(f, "task {t} starts before time zero"),
+        }
+    }
+}
+
+/// The outcome of validating a schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationReport {
+    /// All violations found (empty for a feasible schedule).
+    pub violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// Whether the schedule is feasible.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl Schedule {
+    /// Checks this schedule for feasibility against `problem`:
+    ///
+    /// * every task has a primary placement with a non-negative start,
+    /// * every copy (primary or duplicate) runs for exactly `W(task, proc)`,
+    /// * no two slots overlap on any processor,
+    /// * every task starts no earlier than the arrival of each parent's
+    ///   output — from the *best* copy of that parent (duplication-aware).
+    ///
+    /// Returns the first violation as an error; use
+    /// [`validation_report`](Schedule::validation_report) to collect all.
+    pub fn validate(&self, problem: &Problem<'_>) -> Result<(), CoreError> {
+        let report = self.validation_report(problem);
+        match report.violations.first() {
+            None => Ok(()),
+            Some(v) => Err(CoreError::InvalidSchedule(v.to_string())),
+        }
+    }
+
+    /// Collects every feasibility violation (see [`validate`](Schedule::validate)).
+    pub fn validation_report(&self, problem: &Problem<'_>) -> ValidationReport {
+        let mut violations = Vec::new();
+        let dag = problem.dag();
+
+        // Placement coverage and duration checks (all copies).
+        for t in dag.tasks() {
+            match self.placement(t) {
+                None => violations.push(Violation::Unplaced(t)),
+                Some(_) => {
+                    for copy in self.copies(t) {
+                        if copy.start < -EPS {
+                            violations.push(Violation::NegativeStart(t));
+                        }
+                        let expected = problem.w(t, copy.proc);
+                        let found = copy.finish - copy.start;
+                        if (found - expected).abs() > EPS {
+                            violations.push(Violation::WrongDuration {
+                                task: t,
+                                proc: copy.proc,
+                                found,
+                                expected,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Processor exclusivity, independent of Timeline's own checks.
+        for p in problem.platform().procs() {
+            let slots = self.timeline(p).slots();
+            for w in slots.windows(2) {
+                if w[0].end > w[1].start + EPS {
+                    violations.push(Violation::Overlap { proc: p, a: w[0].task, b: w[1].task });
+                }
+            }
+        }
+
+        // Precedence with communication, duplication-aware: every copy of a
+        // task (primary or replica) must receive each parent's output from
+        // *some* copy of that parent before it starts.
+        for t in dag.tasks() {
+            if self.placement(t).is_none() {
+                continue; // already reported above
+            }
+            for copy in self.copies(t) {
+                for &(parent, cost) in dag.preds(t) {
+                    let arrival = self
+                        .copies(parent)
+                        .map(|c| c.finish + problem.platform().comm_time(c.proc, copy.proc, cost))
+                        .fold(f64::INFINITY, f64::min);
+                    if !arrival.is_finite() {
+                        continue; // parent unplaced; already reported above
+                    }
+                    if copy.start + EPS < arrival {
+                        violations.push(Violation::PrecedenceViolated {
+                            parent,
+                            child: t,
+                            start: copy.start,
+                            arrival,
+                        });
+                    }
+                }
+            }
+        }
+
+        ValidationReport { violations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::dag_from_edges;
+    use hdlts_platform::{CostMatrix, Platform};
+
+    fn fixture() -> (hdlts_dag::Dag, CostMatrix, Platform) {
+        let dag = dag_from_edges(2, &[(0, 1, 10.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![vec![4.0, 8.0], vec![6.0, 3.0]]).unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        (dag, costs, platform)
+    }
+
+    #[test]
+    fn valid_colocated_schedule_passes() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        s.place(TaskId(1), ProcId(0), 4.0, 10.0).unwrap();
+        assert!(s.validate(&problem).is_ok());
+        assert!(s.validation_report(&problem).is_valid());
+    }
+
+    #[test]
+    fn unplaced_task_reported() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        let r = s.validation_report(&problem);
+        assert_eq!(r.violations, vec![Violation::Unplaced(TaskId(1))]);
+    }
+
+    #[test]
+    fn missing_comm_delay_reported() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        // Child on the other processor at t=4 ignores the 10-unit transfer.
+        s.place(TaskId(1), ProcId(1), 4.0, 7.0).unwrap();
+        let r = s.validation_report(&problem);
+        assert!(matches!(
+            r.violations.as_slice(),
+            [Violation::PrecedenceViolated { parent: TaskId(0), child: TaskId(1), .. }]
+        ));
+    }
+
+    #[test]
+    fn duplicate_copy_satisfies_precedence() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        s.place_duplicate(TaskId(0), ProcId(1), 0.0, 8.0).unwrap();
+        // Child starts at 8 on P2: fed by the local replica, not the
+        // primary + message (which would require t >= 14).
+        s.place(TaskId(1), ProcId(1), 8.0, 11.0).unwrap();
+        assert!(s.validate(&problem).is_ok());
+    }
+
+    #[test]
+    fn wrong_duration_reported() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 5.0).unwrap(); // W is 4
+        s.place(TaskId(1), ProcId(0), 5.0, 11.0).unwrap();
+        let r = s.validation_report(&problem);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WrongDuration { task: TaskId(0), .. })));
+    }
+
+    #[test]
+    fn negative_start_reported() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), -4.0, 0.0).unwrap();
+        s.place(TaskId(1), ProcId(0), 0.0, 6.0).unwrap();
+        let r = s.validation_report(&problem);
+        assert!(r.violations.contains(&Violation::NegativeStart(TaskId(0))));
+    }
+
+    #[test]
+    fn validate_surfaces_first_violation_as_error() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let s = Schedule::new(2, 2);
+        let err = s.validate(&problem).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSchedule(_)));
+    }
+}

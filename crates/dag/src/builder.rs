@@ -1,0 +1,251 @@
+//! Mutable builder producing validated [`Dag`]s.
+
+use crate::{Dag, DagError, TaskId};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// Incrementally builds a workflow DAG and validates it on [`build`].
+///
+/// Validation performed at build time:
+/// * at least one task exists,
+/// * every edge cost is finite and non-negative,
+/// * no self-loops or duplicate edges (rejected eagerly on `add_edge`),
+/// * the edge set is acyclic (Kahn's algorithm).
+///
+/// [`build`]: DagBuilder::build
+#[derive(Debug, Default, Clone)]
+pub struct DagBuilder {
+    names: Vec<String>,
+    edges: Vec<(TaskId, TaskId, f64)>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity hints for tasks and edges.
+    pub fn with_capacity(tasks: usize, edges: usize) -> Self {
+        DagBuilder {
+            names: Vec::with_capacity(tasks),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a task and returns its id. Ids are assigned densely in call order.
+    pub fn add_task(&mut self, name: impl Into<String>) -> TaskId {
+        let id = TaskId::from_index(self.names.len());
+        self.names.push(name.into());
+        id
+    }
+
+    /// Adds `n` tasks named `{prefix}{i}` and returns their ids.
+    pub fn add_tasks(&mut self, n: usize, prefix: &str) -> Vec<TaskId> {
+        (0..n).map(|i| self.add_task(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Adds the directed edge `src -> dst` with communication cost `cost`.
+    ///
+    /// Fails fast on unknown endpoints, self-loops, duplicate edges, and
+    /// negative or non-finite costs.
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, cost: f64) -> Result<(), DagError> {
+        if src.index() >= self.names.len() {
+            return Err(DagError::UnknownTask(src));
+        }
+        if dst.index() >= self.names.len() {
+            return Err(DagError::UnknownTask(dst));
+        }
+        if src == dst {
+            return Err(DagError::SelfLoop(src));
+        }
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(DagError::InvalidCost { src, dst, cost });
+        }
+        if self.edges.iter().any(|&(s, d, _)| s == src && d == dst) {
+            return Err(DagError::DuplicateEdge(src, dst));
+        }
+        self.edges.push((src, dst, cost));
+        Ok(())
+    }
+
+    /// Validates the accumulated tasks and edges and produces a [`Dag`].
+    pub fn build(self) -> Result<Dag, DagError> {
+        let n = self.names.len();
+        if n == 0 {
+            return Err(DagError::Empty);
+        }
+        let mut succs: Vec<Vec<(TaskId, f64)>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<(TaskId, f64)>> = vec![Vec::new(); n];
+        for &(s, d, c) in &self.edges {
+            succs[s.index()].push((d, c));
+            preds[d.index()].push((s, c));
+        }
+        for adj in succs.iter_mut().chain(preds.iter_mut()) {
+            adj.sort_unstable_by_key(|&(t, _)| t);
+        }
+
+        // Kahn's algorithm with a min-heap frontier for a deterministic
+        // lowest-id-first topological order.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut frontier: BinaryHeap<Reverse<TaskId>> = indeg
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| Reverse(TaskId::from_index(i)))
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(Reverse(t)) = frontier.pop() {
+            topo.push(t);
+            for &(s, _) in &succs[t.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    frontier.push(Reverse(s));
+                }
+            }
+        }
+        if topo.len() != n {
+            let on_cycle = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .map(TaskId::from_index)
+                .expect("cycle implies a task with residual in-degree");
+            return Err(DagError::Cycle(on_cycle));
+        }
+
+        let entries = (0..n)
+            .filter(|&i| preds[i].is_empty())
+            .map(TaskId::from_index)
+            .collect();
+        let exits = (0..n)
+            .filter(|&i| succs[i].is_empty())
+            .map(TaskId::from_index)
+            .collect();
+
+        Ok(Dag {
+            names: self.names,
+            succs,
+            preds,
+            topo,
+            entries,
+            exits,
+            num_edges: self.edges.len(),
+        })
+    }
+}
+
+/// Convenience: builds a DAG from `(src, dst, cost)` triples over `n` tasks
+/// named `t0..t{n-1}`.
+///
+/// Handy for tests and for spelling out small fixed workflows (the workload
+/// crate uses it for the paper's Fig. 1 and Fig. 12 graphs).
+pub fn dag_from_edges(n: usize, edges: &[(u32, u32, f64)]) -> Result<Dag, DagError> {
+    let mut b = DagBuilder::with_capacity(n, edges.len());
+    b.add_tasks(n, "t");
+    for &(s, d, c) in edges {
+        b.add_edge(TaskId(s), TaskId(d), c)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(DagBuilder::new().build().unwrap_err(), DagError::Empty);
+    }
+
+    #[test]
+    fn rejects_unknown_endpoints() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task("a");
+        let err = b.add_edge(a, TaskId(9), 1.0).unwrap_err();
+        assert_eq!(err, DagError::UnknownTask(TaskId(9)));
+        let err = b.add_edge(TaskId(9), a, 1.0).unwrap_err();
+        assert_eq!(err, DagError::UnknownTask(TaskId(9)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task("a");
+        assert_eq!(b.add_edge(a, a, 1.0).unwrap_err(), DagError::SelfLoop(a));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task("a");
+        let c = b.add_task("c");
+        b.add_edge(a, c, 1.0).unwrap();
+        assert_eq!(
+            b.add_edge(a, c, 2.0).unwrap_err(),
+            DagError::DuplicateEdge(a, c)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_costs() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task("a");
+        let c = b.add_task("c");
+        assert!(matches!(
+            b.add_edge(a, c, -1.0).unwrap_err(),
+            DagError::InvalidCost { .. }
+        ));
+        assert!(matches!(
+            b.add_edge(a, c, f64::NAN).unwrap_err(),
+            DagError::InvalidCost { .. }
+        ));
+        assert!(matches!(
+            b.add_edge(a, c, f64::INFINITY).unwrap_err(),
+            DagError::InvalidCost { .. }
+        ));
+        // zero is a legal cost (pseudo-task edges use it)
+        b.add_edge(a, c, 0.0).unwrap();
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let err = dag_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, DagError::Cycle(_)));
+    }
+
+    #[test]
+    fn two_node_cycle_detected() {
+        let err = dag_from_edges(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, DagError::Cycle(_)));
+    }
+
+    #[test]
+    fn topo_is_lowest_id_first_among_ready() {
+        // 0 and 1 are both sources; 0 must come first.
+        let d = dag_from_edges(3, &[(0, 2, 1.0), (1, 2, 1.0)]).unwrap();
+        assert_eq!(d.topological_order(), &[TaskId(0), TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn add_tasks_names_sequentially() {
+        let mut b = DagBuilder::new();
+        let ids = b.add_tasks(3, "n");
+        let d = b.build().unwrap();
+        assert_eq!(d.name(ids[2]), "n2");
+    }
+
+    #[test]
+    fn single_task_graph_is_valid() {
+        let mut b = DagBuilder::new();
+        b.add_task("only");
+        let d = b.build().unwrap();
+        assert_eq!(d.entries(), d.exits());
+        assert_eq!(d.num_edges(), 0);
+        assert_eq!(d.mean_comm_cost(), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Graphviz DOT export, used to reproduce the workflow illustrations
+//! (Figs. 1, 5, 9, 12 of the paper).
+
+use crate::Dag;
+use std::fmt::Write as _;
+
+impl Dag {
+    /// Renders the graph in Graphviz DOT syntax.
+    ///
+    /// Nodes are labeled with their names; edges with their communication
+    /// cost. The output is deterministic (ascending id order).
+    pub fn to_dot(&self, graph_name: &str) -> String {
+        let mut out = String::with_capacity(64 + 32 * (self.num_tasks() + self.num_edges()));
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(graph_name));
+        let _ = writeln!(out, "  rankdir=TB;");
+        for t in self.tasks() {
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}\"];",
+                t.index(),
+                escape(self.name(t))
+            );
+        }
+        for e in self.edges() {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\"];",
+                e.src.index(),
+                e.dst.index(),
+                trim_float(e.cost)
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Formats a float without a trailing `.0` when integral, matching how the
+/// paper annotates its figures.
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::dag_from_edges;
+    use crate::DagBuilder;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let d = dag_from_edges(3, &[(0, 1, 2.0), (1, 2, 3.5)]).unwrap();
+        let dot = d.to_dot("sample");
+        assert!(dot.starts_with("digraph \"sample\" {"));
+        assert!(dot.contains("0 [label=\"t0\"]"));
+        assert!(dot.contains("0 -> 1 [label=\"2\"]"));
+        assert!(dot.contains("1 -> 2 [label=\"3.50\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_in_names() {
+        let mut b = DagBuilder::new();
+        b.add_task("say \"hi\"");
+        let d = b.build().unwrap();
+        let dot = d.to_dot("q\"g");
+        assert!(dot.contains("say \\\"hi\\\""));
+        assert!(dot.contains("digraph \"q\\\"g\""));
+    }
+}

@@ -1,0 +1,293 @@
+//! Graphviz DOT import.
+//!
+//! Parses the structural subset of DOT that [`Dag::to_dot`] emits — and the
+//! common hand-written form of it — back into a validated [`Dag`]:
+//!
+//! ```text
+//! digraph "name" {
+//!   0 [label="task a"];
+//!   1 [label="task b"];
+//!   0 -> 1 [label="12.5"];
+//! }
+//! ```
+//!
+//! Node statements declare tasks (id order defines [`TaskId`]s; a `label`
+//! attribute names the task, otherwise the DOT id is used). Edge statements
+//! take their communication cost from a numeric `label` attribute
+//! (defaulting to 0). Subgraphs, ports, and multi-edges (`a -> b -> c`) are
+//! out of scope and rejected with a clear error; unknown attributes are
+//! ignored.
+
+use crate::{Dag, DagBuilder, TaskId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`parse_dot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DotParseError {
+    /// The input did not start with `digraph ... {` or did not close.
+    NotADigraph,
+    /// A statement could not be parsed; the payload is the offending line.
+    BadStatement(String),
+    /// An edge referenced an undeclared node id.
+    UnknownNode(String),
+    /// The parsed edge set was rejected by [`DagBuilder`] (cycle,
+    /// duplicate, invalid cost).
+    InvalidGraph(String),
+}
+
+impl fmt::Display for DotParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DotParseError::NotADigraph => write!(f, "input is not a digraph {{ ... }}"),
+            DotParseError::BadStatement(s) => write!(f, "cannot parse statement: {s}"),
+            DotParseError::UnknownNode(s) => write!(f, "edge references undeclared node '{s}'"),
+            DotParseError::InvalidGraph(s) => write!(f, "invalid graph: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DotParseError {}
+
+/// Parses DOT text into `(graph name, Dag)`.
+///
+/// ```
+/// let (name, dag) = hdlts_dag::parse_dot(
+///     r#"digraph wf { a [label="prep"]; b; a -> b [label="3"]; }"#,
+/// ).unwrap();
+/// assert_eq!(name, "wf");
+/// assert_eq!(dag.num_tasks(), 2);
+/// assert_eq!(dag.comm(hdlts_dag::TaskId(0), hdlts_dag::TaskId(1)), Some(3.0));
+/// ```
+pub fn parse_dot(input: &str) -> Result<(String, Dag), DotParseError> {
+    let input = strip_comments(input);
+    let open = input.find('{').ok_or(DotParseError::NotADigraph)?;
+    let close = input.rfind('}').ok_or(DotParseError::NotADigraph)?;
+    let header = input[..open].trim();
+    if !header.starts_with("digraph") {
+        return Err(DotParseError::NotADigraph);
+    }
+    let name = header["digraph".len()..].trim().trim_matches('"').to_owned();
+    let body = &input[open + 1..close];
+
+    let mut builder = DagBuilder::new();
+    let mut ids: HashMap<String, TaskId> = HashMap::new();
+    let mut edges: Vec<(String, String, f64)> = Vec::new();
+
+    for stmt in body.split(';') {
+        let stmt = stmt.trim();
+        if stmt.is_empty() || is_ignorable(stmt) {
+            continue;
+        }
+        let (head, attrs) = split_attrs(stmt)?;
+        if let Some((src, dst)) = head.split_once("->") {
+            let (src, dst) = (src.trim(), dst.trim());
+            if dst.contains("->") {
+                return Err(DotParseError::BadStatement(format!(
+                    "edge chains are not supported: {stmt}"
+                )));
+            }
+            let cost = attrs
+                .get("label")
+                .map(|l| {
+                    l.parse::<f64>()
+                        .map_err(|_| DotParseError::BadStatement(format!(
+                            "edge label '{l}' is not a number"
+                        )))
+                })
+                .transpose()?
+                .unwrap_or(0.0);
+            edges.push((unquote(src), unquote(dst), cost));
+        } else {
+            let id = unquote(head.trim());
+            if id.is_empty() || id.contains(char::is_whitespace) {
+                return Err(DotParseError::BadStatement(stmt.to_owned()));
+            }
+            let label = attrs.get("label").cloned().unwrap_or_else(|| id.clone());
+            let tid = builder.add_task(label);
+            ids.insert(id, tid);
+        }
+    }
+
+    for (src, dst, cost) in edges {
+        let s = *ids.get(&src).ok_or(DotParseError::UnknownNode(src))?;
+        let d = *ids.get(&dst).ok_or(DotParseError::UnknownNode(dst))?;
+        builder
+            .add_edge(s, d, cost)
+            .map_err(|e| DotParseError::InvalidGraph(e.to_string()))?;
+    }
+    let dag = builder
+        .build()
+        .map_err(|e| DotParseError::InvalidGraph(e.to_string()))?;
+    Ok((name, dag))
+}
+
+/// Drops `//`, `#` line comments and `/* */` block comments.
+fn strip_comments(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut rest = input;
+    while let Some(start) = rest.find("/*") {
+        out.push_str(&rest[..start]);
+        match rest[start..].find("*/") {
+            Some(end) => rest = &rest[start + end + 2..],
+            None => {
+                rest = "";
+                break;
+            }
+        }
+    }
+    out.push_str(rest);
+    out.lines()
+        .map(|l| {
+            let l = l.split("//").next().unwrap_or("");
+            l.split('#').next().unwrap_or("")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Statements that configure rendering rather than structure.
+fn is_ignorable(stmt: &str) -> bool {
+    let head = stmt.split(['=', '[']).next().unwrap_or("").trim();
+    matches!(
+        head,
+        "rankdir" | "graph" | "node" | "edge" | "label" | "fontsize" | "fontname" | "size"
+    )
+}
+
+/// Splits `head [k="v", k2=v2]` into the head and its attribute map.
+fn split_attrs(stmt: &str) -> Result<(&str, HashMap<String, String>), DotParseError> {
+    match stmt.find('[') {
+        None => Ok((stmt, HashMap::new())),
+        Some(i) => {
+            let head = &stmt[..i];
+            let attrs_src = stmt[i + 1..]
+                .strip_suffix(']')
+                .ok_or_else(|| DotParseError::BadStatement(stmt.to_owned()))?;
+            let mut attrs = HashMap::new();
+            for pair in split_top_level_commas(attrs_src) {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| DotParseError::BadStatement(stmt.to_owned()))?;
+                attrs.insert(k.trim().to_owned(), unquote(v.trim()));
+            }
+            Ok((head, attrs))
+        }
+    }
+}
+
+/// Splits on commas outside double quotes.
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_quotes && !escaped => {
+                escaped = true;
+                cur.push(c);
+            }
+            '"' if !escaped => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            ',' if !in_quotes => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => {
+                escaped = false;
+                cur.push(c);
+            }
+        }
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].replace("\\\"", "\"").replace("\\\\", "\\")
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_from_edges;
+
+    #[test]
+    fn round_trips_our_own_exports() {
+        let d = dag_from_edges(4, &[(0, 1, 1.5), (0, 2, 2.0), (1, 3, 0.0), (2, 3, 4.0)]).unwrap();
+        let dot = d.to_dot("sample graph");
+        let (name, back) = parse_dot(&dot).unwrap();
+        assert_eq!(name, "sample graph");
+        assert_eq!(back.num_tasks(), 4);
+        assert_eq!(back.num_edges(), 4);
+        for e in d.edges() {
+            assert_eq!(back.comm(e.src, e.dst), Some(e.cost));
+        }
+        assert_eq!(back.name(crate::TaskId(2)), "t2");
+    }
+
+    #[test]
+    fn parses_hand_written_dot() {
+        let src = r#"
+            // a tiny workflow
+            digraph wf {
+              rankdir=LR;
+              a [label="prepare", shape=box];
+              b [label="compute"];
+              c;
+              a -> b [label="3"];
+              b -> c;  # no cost -> 0
+            }
+        "#;
+        let (name, dag) = parse_dot(src).unwrap();
+        assert_eq!(name, "wf");
+        assert_eq!(dag.num_tasks(), 3);
+        assert_eq!(dag.name(TaskId(0)), "prepare");
+        assert_eq!(dag.name(TaskId(2)), "c");
+        assert_eq!(dag.comm(TaskId(0), TaskId(1)), Some(3.0));
+        assert_eq!(dag.comm(TaskId(1), TaskId(2)), Some(0.0));
+    }
+
+    #[test]
+    fn block_comments_and_quoted_labels() {
+        let src = r#"digraph "g" { /* header
+            spanning lines */ n0 [label="say \"hi\", ok"]; n1; n0 -> n1 [label="2.5", color=red]; }"#;
+        let (_, dag) = parse_dot(src).unwrap();
+        assert_eq!(dag.name(TaskId(0)), "say \"hi\", ok");
+        assert_eq!(dag.comm(TaskId(0), TaskId(1)), Some(2.5));
+    }
+
+    #[test]
+    fn rejects_non_digraph_and_chains() {
+        assert_eq!(parse_dot("graph g { a -- b; }").unwrap_err(), DotParseError::NotADigraph);
+        let err = parse_dot("digraph g { a; b; c; a -> b -> c; }").unwrap_err();
+        assert!(matches!(err, DotParseError::BadStatement(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_nodes_and_cycles() {
+        let err = parse_dot("digraph g { a; a -> b; }").unwrap_err();
+        assert_eq!(err, DotParseError::UnknownNode("b".into()));
+        let err = parse_dot("digraph g { a; b; a -> b; b -> a; }").unwrap_err();
+        assert!(matches!(err, DotParseError::InvalidGraph(_)));
+    }
+
+    #[test]
+    fn rejects_non_numeric_edge_labels() {
+        let err = parse_dot(r#"digraph g { a; b; a -> b [label="big"]; }"#).unwrap_err();
+        assert!(matches!(err, DotParseError::BadStatement(_)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for DAG construction and queries.
+
+use crate::TaskId;
+use std::fmt;
+
+/// Errors produced while building or manipulating a workflow DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagError {
+    /// An edge endpoint refers to a task id that was never added.
+    UnknownTask(TaskId),
+    /// The same directed edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// A self-loop `t -> t` was added.
+    SelfLoop(TaskId),
+    /// The edge set contains a directed cycle; the payload is one task on it.
+    Cycle(TaskId),
+    /// A communication cost was negative or non-finite.
+    InvalidCost {
+        /// Edge source.
+        src: TaskId,
+        /// Edge destination.
+        dst: TaskId,
+        /// The offending cost value.
+        cost: f64,
+    },
+    /// The graph has no tasks at all.
+    Empty,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            DagError::DuplicateEdge(s, d) => write!(f, "duplicate edge {s} -> {d}"),
+            DagError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            DagError::Cycle(t) => write!(f, "graph contains a cycle through {t}"),
+            DagError::InvalidCost { src, dst, cost } => {
+                write!(f, "invalid communication cost {cost} on edge {src} -> {dst}")
+            }
+            DagError::Empty => write!(f, "graph has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_tasks() {
+        let e = DagError::Cycle(TaskId(3));
+        assert!(e.to_string().contains("t3"));
+        let e = DagError::InvalidCost {
+            src: TaskId(0),
+            dst: TaskId(1),
+            cost: f64::NAN,
+        };
+        assert!(e.to_string().contains("t0"));
+    }
+}

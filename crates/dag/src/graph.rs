@@ -1,0 +1,234 @@
+//! The immutable workflow DAG.
+
+use crate::TaskId;
+
+/// A directed edge of the workflow with its communication cost.
+///
+/// Following Definition 2 of the paper, the cost is the *time* needed to move
+/// the edge's data across a unit-bandwidth link; it applies only when the two
+/// endpoint tasks run on different processors. Heterogeneous link bandwidths
+/// are modeled by `hdlts-platform`, which divides this value by the bandwidth
+/// of the processor pair involved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source (parent) task.
+    pub src: TaskId,
+    /// Destination (child) task.
+    pub dst: TaskId,
+    /// Communication cost in time units over a unit-bandwidth link.
+    pub cost: f64,
+}
+
+/// An immutable, validated workflow DAG.
+///
+/// Built through [`DagBuilder`](crate::DagBuilder), which rejects cycles,
+/// duplicate edges, self-loops, and invalid costs. The graph stores both
+/// successor and predecessor adjacency plus a topological order computed at
+/// build time, so schedulers never re-derive them.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    pub(crate) names: Vec<String>,
+    pub(crate) succs: Vec<Vec<(TaskId, f64)>>,
+    pub(crate) preds: Vec<Vec<(TaskId, f64)>>,
+    pub(crate) topo: Vec<TaskId>,
+    pub(crate) entries: Vec<TaskId>,
+    pub(crate) exits: Vec<TaskId>,
+    pub(crate) num_edges: usize,
+}
+
+impl Dag {
+    /// Number of tasks `|V|`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Iterator over all task ids in insertion order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.num_tasks() as u32).map(TaskId)
+    }
+
+    /// The human-readable name of `t`.
+    #[inline]
+    pub fn name(&self, t: TaskId) -> &str {
+        &self.names[t.index()]
+    }
+
+    /// Immediate successors of `t` with the edge communication cost.
+    #[inline]
+    pub fn succs(&self, t: TaskId) -> &[(TaskId, f64)] {
+        &self.succs[t.index()]
+    }
+
+    /// Immediate predecessors of `t` with the edge communication cost.
+    #[inline]
+    pub fn preds(&self, t: TaskId) -> &[(TaskId, f64)] {
+        &self.preds[t.index()]
+    }
+
+    /// Out-degree of `t`.
+    #[inline]
+    pub fn out_degree(&self, t: TaskId) -> usize {
+        self.succs[t.index()].len()
+    }
+
+    /// In-degree of `t`.
+    #[inline]
+    pub fn in_degree(&self, t: TaskId) -> usize {
+        self.preds[t.index()].len()
+    }
+
+    /// The communication cost of edge `src -> dst`, or `None` if absent.
+    pub fn comm(&self, src: TaskId, dst: TaskId) -> Option<f64> {
+        self.succs[src.index()]
+            .iter()
+            .find(|(d, _)| *d == dst)
+            .map(|&(_, c)| c)
+    }
+
+    /// Whether the directed edge `src -> dst` exists.
+    pub fn has_edge(&self, src: TaskId, dst: TaskId) -> bool {
+        self.comm(src, dst).is_some()
+    }
+
+    /// A topological order of the tasks (parents before children).
+    ///
+    /// The order is deterministic: among simultaneously-ready tasks, lower
+    /// ids come first (Kahn's algorithm with an ordered frontier).
+    #[inline]
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Tasks with no predecessors (the workflow entry tasks).
+    #[inline]
+    pub fn entries(&self) -> &[TaskId] {
+        &self.entries
+    }
+
+    /// Tasks with no successors (the workflow exit tasks).
+    #[inline]
+    pub fn exits(&self) -> &[TaskId] {
+        &self.exits
+    }
+
+    /// The unique entry task, if the graph has exactly one.
+    pub fn single_entry(&self) -> Option<TaskId> {
+        match self.entries.as_slice() {
+            [e] => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// The unique exit task, if the graph has exactly one.
+    pub fn single_exit(&self) -> Option<TaskId> {
+        match self.exits.as_slice() {
+            [e] => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Whether the graph has exactly one entry and one exit task, the shape
+    /// required by the schedulers (see [`normalize`](crate::normalize)).
+    pub fn is_single_entry_exit(&self) -> bool {
+        self.entries.len() == 1 && self.exits.len() == 1
+    }
+
+    /// All edges in `(src, dst)` lexicographic order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for t in self.tasks() {
+            for &(d, c) in self.succs(t) {
+                out.push(Edge { src: t, dst: d, cost: c });
+            }
+        }
+        out
+    }
+
+    /// Sum of all edge communication costs.
+    pub fn total_comm_cost(&self) -> f64 {
+        self.edges().iter().map(|e| e.cost).sum()
+    }
+
+    /// Mean communication cost over all edges (0 for edge-free graphs).
+    pub fn mean_comm_cost(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.total_comm_cost() / self.num_edges as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DagBuilder, TaskId};
+
+    fn diamond() -> crate::Dag {
+        // a -> b, a -> c, b -> d, c -> d
+        let mut b = DagBuilder::new();
+        let a = b.add_task("a");
+        let t_b = b.add_task("b");
+        let t_c = b.add_task("c");
+        let t_d = b.add_task("d");
+        b.add_edge(a, t_b, 1.0).unwrap();
+        b.add_edge(a, t_c, 2.0).unwrap();
+        b.add_edge(t_b, t_d, 3.0).unwrap();
+        b.add_edge(t_c, t_d, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let d = diamond();
+        assert_eq!(d.num_tasks(), 4);
+        assert_eq!(d.num_edges(), 4);
+        assert_eq!(d.out_degree(TaskId(0)), 2);
+        assert_eq!(d.in_degree(TaskId(3)), 2);
+        assert_eq!(d.comm(TaskId(0), TaskId(2)), Some(2.0));
+        assert_eq!(d.comm(TaskId(1), TaskId(2)), None);
+        assert!(d.has_edge(TaskId(2), TaskId(3)));
+    }
+
+    #[test]
+    fn entry_exit_detection() {
+        let d = diamond();
+        assert_eq!(d.entries(), &[TaskId(0)]);
+        assert_eq!(d.exits(), &[TaskId(3)]);
+        assert!(d.is_single_entry_exit());
+        assert_eq!(d.single_entry(), Some(TaskId(0)));
+        assert_eq!(d.single_exit(), Some(TaskId(3)));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let d = diamond();
+        let topo = d.topological_order();
+        let pos =
+            |t: TaskId| topo.iter().position(|&x| x == t).unwrap();
+        for e in d.edges() {
+            assert!(pos(e.src) < pos(e.dst), "{} before {}", e.src, e.dst);
+        }
+    }
+
+    #[test]
+    fn edge_listing_and_costs() {
+        let d = diamond();
+        assert_eq!(d.edges().len(), 4);
+        assert_eq!(d.total_comm_cost(), 10.0);
+        assert_eq!(d.mean_comm_cost(), 2.5);
+    }
+
+    #[test]
+    fn names_are_preserved() {
+        let d = diamond();
+        assert_eq!(d.name(TaskId(0)), "a");
+        assert_eq!(d.name(TaskId(3)), "d");
+    }
+}

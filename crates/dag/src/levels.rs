@@ -1,0 +1,128 @@
+//! Level (layer) decomposition of a workflow.
+//!
+//! The paper distributes the tasks of a workflow over `k` levels (Section
+//! III): tasks on the same level are mutually independent and may run in
+//! parallel. We use the standard *precedence level*: entry tasks are level 0
+//! and every other task sits one past the deepest of its parents.
+
+use crate::{Dag, TaskId};
+
+/// The level decomposition of a DAG.
+#[derive(Debug, Clone)]
+pub struct LevelDecomposition {
+    level_of: Vec<u32>,
+    levels: Vec<Vec<TaskId>>,
+}
+
+impl LevelDecomposition {
+    /// Computes the decomposition of `dag`.
+    pub fn compute(dag: &Dag) -> Self {
+        let n = dag.num_tasks();
+        let mut level_of = vec![0u32; n];
+        for &t in dag.topological_order() {
+            let lvl = dag
+                .preds(t)
+                .iter()
+                .map(|&(p, _)| level_of[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level_of[t.index()] = lvl;
+        }
+        let height = level_of.iter().copied().max().unwrap_or(0) as usize + 1;
+        let mut levels: Vec<Vec<TaskId>> = vec![Vec::new(); height];
+        for t in dag.tasks() {
+            levels[level_of[t.index()] as usize].push(t);
+        }
+        LevelDecomposition { level_of, levels }
+    }
+
+    /// The level of task `t` (entry tasks are level 0).
+    #[inline]
+    pub fn level_of(&self, t: TaskId) -> u32 {
+        self.level_of[t.index()]
+    }
+
+    /// Number of levels `k` (the paper's workflow height).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The tasks on level `l`, in ascending id order.
+    #[inline]
+    pub fn level(&self, l: usize) -> &[TaskId] {
+        &self.levels[l]
+    }
+
+    /// Iterator over the levels, shallowest first.
+    pub fn iter(&self) -> impl Iterator<Item = &[TaskId]> + '_ {
+        self.levels.iter().map(Vec::as_slice)
+    }
+
+    /// The widest level's task count (the workflow width).
+    pub fn width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean tasks per level `v / k`, used by the paper's HDLTS complexity
+    /// bound `O(v^2 * (v/k) * p)`.
+    pub fn mean_width(&self) -> f64 {
+        let total: usize = self.levels.iter().map(Vec::len).sum();
+        total as f64 / self.levels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+
+    #[test]
+    fn diamond_levels() {
+        let d = dag_from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]).unwrap();
+        let lv = LevelDecomposition::compute(&d);
+        assert_eq!(lv.height(), 3);
+        assert_eq!(lv.level_of(TaskId(0)), 0);
+        assert_eq!(lv.level_of(TaskId(1)), 1);
+        assert_eq!(lv.level_of(TaskId(2)), 1);
+        assert_eq!(lv.level_of(TaskId(3)), 2);
+        assert_eq!(lv.level(1), &[TaskId(1), TaskId(2)]);
+        assert_eq!(lv.width(), 2);
+    }
+
+    #[test]
+    fn level_is_longest_path_depth() {
+        // 0 -> 1 -> 3, 0 -> 3: task 3 must sit at level 2, not 1.
+        let d = dag_from_edges(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 3, 1.0), (0, 2, 1.0)]).unwrap();
+        let lv = LevelDecomposition::compute(&d);
+        assert_eq!(lv.level_of(TaskId(3)), 2);
+    }
+
+    #[test]
+    fn single_task_decomposition() {
+        let d = dag_from_edges(1, &[]).unwrap();
+        let lv = LevelDecomposition::compute(&d);
+        assert_eq!(lv.height(), 1);
+        assert_eq!(lv.width(), 1);
+        assert_eq!(lv.mean_width(), 1.0);
+    }
+
+    #[test]
+    fn tasks_in_a_level_are_independent() {
+        let d = dag_from_edges(
+            6,
+            &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (1, 4, 1.0), (2, 4, 1.0), (3, 5, 1.0)],
+        )
+        .unwrap();
+        let lv = LevelDecomposition::compute(&d);
+        for layer in lv.iter() {
+            for &a in layer {
+                for &b in layer {
+                    if a != b {
+                        assert!(!d.has_edge(a, b), "{a} -> {b} within a level");
+                    }
+                }
+            }
+        }
+    }
+}

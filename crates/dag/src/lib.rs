@@ -1,0 +1,48 @@
+//! Directed-acyclic workflow graph model for the HDLTS reproduction.
+//!
+//! This crate implements the application-workflow model of Section III of the
+//! paper: a DAG `G = (V, E)` whose nodes are tasks and whose edges carry the
+//! communication cost incurred when the two endpoint tasks execute on
+//! different processors (Definition 2). Computation costs (the `W` matrix)
+//! are processor-dependent and therefore live in `hdlts-platform`.
+//!
+//! The central type is [`Dag`], an immutable, validated graph built through
+//! [`DagBuilder`]. Construction checks acyclicity and computes a topological
+//! order once; all downstream algorithms (level decomposition, critical
+//! paths, schedulers) reuse that order.
+//!
+//! # Example
+//!
+//! ```
+//! use hdlts_dag::DagBuilder;
+//!
+//! let mut b = DagBuilder::new();
+//! let a = b.add_task("a");
+//! let c = b.add_task("c");
+//! b.add_edge(a, c, 4.0).unwrap();
+//! let dag = b.build().unwrap();
+//! assert_eq!(dag.num_tasks(), 2);
+//! assert_eq!(dag.comm(a, c), Some(4.0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod dot;
+mod dot_parse;
+mod error;
+mod graph;
+mod levels;
+mod normalize;
+mod paths;
+mod serde_repr;
+mod task;
+
+pub use builder::{dag_from_edges, DagBuilder};
+pub use dot_parse::{parse_dot, DotParseError};
+pub use error::DagError;
+pub use graph::{Dag, Edge};
+pub use levels::LevelDecomposition;
+pub use normalize::{normalize, NormalizeOutcome, Normalized};
+pub use paths::{critical_path, longest_path_lengths, CriticalPath};
+pub use task::TaskId;

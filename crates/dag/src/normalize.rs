@@ -1,0 +1,168 @@
+//! Pseudo-task normalization for multi-entry / multi-exit workflows.
+//!
+//! Section III of the paper: "We use a pseudo task to model the multiple
+//! entry and exit task graphs into a single entry and exit task graphs. This
+//! pseudo task has zero computation cost and is connected with its child
+//! tasks with zero communication cost." Schedulers in this workspace require
+//! the single-entry/single-exit shape; generators call [`normalize`] before
+//! handing graphs out.
+
+use crate::{Dag, DagBuilder, TaskId};
+
+/// What [`normalize`] did to the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalizeOutcome {
+    /// Id of the inserted pseudo entry, if one was needed.
+    pub pseudo_entry: Option<TaskId>,
+    /// Id of the inserted pseudo exit, if one was needed.
+    pub pseudo_exit: Option<TaskId>,
+    /// Task count of the original graph.
+    pub original_tasks: usize,
+}
+
+impl NormalizeOutcome {
+    /// Whether `t` is one of the inserted pseudo tasks.
+    pub fn is_pseudo(&self, t: TaskId) -> bool {
+        self.pseudo_entry == Some(t) || self.pseudo_exit == Some(t)
+    }
+
+    /// Whether anything was inserted at all.
+    pub fn changed(&self) -> bool {
+        self.pseudo_entry.is_some() || self.pseudo_exit.is_some()
+    }
+}
+
+/// A normalized workflow: the (possibly rebuilt) DAG plus a record of the
+/// inserted pseudo tasks.
+///
+/// Original task ids are preserved: pseudo tasks are appended *after* all
+/// original tasks, so any per-task table for the original graph indexes the
+/// normalized one unchanged for ids `< original_tasks` (pseudo tasks have
+/// zero computation cost on every processor; `hdlts-platform` extends cost
+/// matrices accordingly).
+#[derive(Debug, Clone)]
+pub struct Normalized {
+    /// The single-entry/single-exit graph.
+    pub dag: Dag,
+    /// Record of inserted tasks.
+    pub outcome: NormalizeOutcome,
+}
+
+/// Ensures `dag` has exactly one entry and one exit task, inserting
+/// zero-cost pseudo tasks as needed. Returns the graph unchanged (cloned)
+/// when already in shape.
+pub fn normalize(dag: &Dag) -> Normalized {
+    let needs_entry = dag.entries().len() > 1;
+    let needs_exit = dag.exits().len() > 1;
+    if !needs_entry && !needs_exit {
+        return Normalized {
+            dag: dag.clone(),
+            outcome: NormalizeOutcome {
+                pseudo_entry: None,
+                pseudo_exit: None,
+                original_tasks: dag.num_tasks(),
+            },
+        };
+    }
+
+    let n = dag.num_tasks();
+    let extra = usize::from(needs_entry) + usize::from(needs_exit);
+    let mut b = DagBuilder::with_capacity(n + extra, dag.num_edges() + extra * 2);
+    for t in dag.tasks() {
+        b.add_task(dag.name(t));
+    }
+    let pseudo_entry = needs_entry.then(|| b.add_task("pseudo_entry"));
+    let pseudo_exit = needs_exit.then(|| b.add_task("pseudo_exit"));
+
+    for e in dag.edges() {
+        b.add_edge(e.src, e.dst, e.cost)
+            .expect("edges of a valid DAG re-add cleanly");
+    }
+    if let Some(pe) = pseudo_entry {
+        for &t in dag.entries() {
+            b.add_edge(pe, t, 0.0).expect("fresh pseudo edge");
+        }
+    }
+    if let Some(px) = pseudo_exit {
+        for &t in dag.exits() {
+            b.add_edge(t, px, 0.0).expect("fresh pseudo edge");
+        }
+    }
+    let dag = b.build().expect("normalization preserves acyclicity");
+    Normalized {
+        dag,
+        outcome: NormalizeOutcome {
+            pseudo_entry,
+            pseudo_exit,
+            original_tasks: n,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+
+    #[test]
+    fn already_normal_graph_is_untouched() {
+        let d = dag_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let norm = normalize(&d);
+        assert!(!norm.outcome.changed());
+        assert_eq!(norm.dag.num_tasks(), 3);
+        assert_eq!(norm.dag.num_edges(), 2);
+    }
+
+    #[test]
+    fn multi_entry_gets_pseudo_entry() {
+        // 0 -> 2 <- 1 : two entries, one exit.
+        let d = dag_from_edges(3, &[(0, 2, 1.0), (1, 2, 1.0)]).unwrap();
+        let norm = normalize(&d);
+        let pe = norm.outcome.pseudo_entry.unwrap();
+        assert_eq!(norm.outcome.pseudo_exit, None);
+        assert_eq!(norm.dag.num_tasks(), 4);
+        assert!(norm.dag.is_single_entry_exit());
+        assert_eq!(norm.dag.single_entry(), Some(pe));
+        assert_eq!(norm.dag.comm(pe, TaskId(0)), Some(0.0));
+        assert_eq!(norm.dag.comm(pe, TaskId(1)), Some(0.0));
+        assert!(norm.outcome.is_pseudo(pe));
+        assert!(!norm.outcome.is_pseudo(TaskId(0)));
+    }
+
+    #[test]
+    fn multi_exit_gets_pseudo_exit() {
+        // 0 -> 1, 0 -> 2 : one entry, two exits.
+        let d = dag_from_edges(3, &[(0, 1, 1.0), (0, 2, 1.0)]).unwrap();
+        let norm = normalize(&d);
+        let px = norm.outcome.pseudo_exit.unwrap();
+        assert_eq!(norm.outcome.pseudo_entry, None);
+        assert!(norm.dag.is_single_entry_exit());
+        assert_eq!(norm.dag.single_exit(), Some(px));
+        assert_eq!(norm.dag.comm(TaskId(1), px), Some(0.0));
+    }
+
+    #[test]
+    fn both_ends_normalized_and_ids_preserved() {
+        // 0 -> 2, 1 -> 3 : two entries, two exits.
+        let d = dag_from_edges(4, &[(0, 2, 5.0), (1, 3, 6.0)]).unwrap();
+        let norm = normalize(&d);
+        assert!(norm.outcome.changed());
+        assert_eq!(norm.dag.num_tasks(), 6);
+        assert_eq!(norm.outcome.original_tasks, 4);
+        // Original edge costs survive under the same ids.
+        assert_eq!(norm.dag.comm(TaskId(0), TaskId(2)), Some(5.0));
+        assert_eq!(norm.dag.comm(TaskId(1), TaskId(3)), Some(6.0));
+        // Pseudo tasks appended after the originals.
+        assert!(norm.outcome.pseudo_entry.unwrap().index() >= 4);
+        assert!(norm.outcome.pseudo_exit.unwrap().index() >= 4);
+    }
+
+    #[test]
+    fn disconnected_components_become_connected() {
+        // Two isolated chains; normalization must connect them via pseudo ends.
+        let d = dag_from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let norm = normalize(&d);
+        assert!(norm.dag.is_single_entry_exit());
+        assert_eq!(norm.dag.num_tasks(), 6);
+    }
+}

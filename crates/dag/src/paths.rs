@@ -1,0 +1,155 @@
+//! Longest-path and critical-path computations.
+//!
+//! The denominator of the paper's SLR metric (Eq. 10) is the sum of the
+//! *minimum* execution times of the tasks on the critical path `CP_min`.
+//! Which node/edge weights define "critical" varies across the literature, so
+//! these helpers are generic over two weight closures; `hdlts-metrics`
+//! instantiates them for the paper's definition.
+
+use crate::{Dag, TaskId};
+
+/// A critical (longest) path through a DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Tasks on the path, entry side first.
+    pub tasks: Vec<TaskId>,
+    /// Total length (sum of node weights plus edge weights along the path).
+    pub length: f64,
+}
+
+/// Computes, for every task, the length of the longest path from that task to
+/// any exit, *including* the task's own node weight.
+///
+/// `node_w(t)` is the weight of task `t`; `edge_w(src, dst, comm)` maps an
+/// edge and its stored communication cost to the weight used for the path
+/// (pass `|_, _, c| c` to use communication costs as-is, or `|_, _, _| 0.0`
+/// to ignore them).
+pub fn longest_path_lengths(
+    dag: &Dag,
+    mut node_w: impl FnMut(TaskId) -> f64,
+    mut edge_w: impl FnMut(TaskId, TaskId, f64) -> f64,
+) -> Vec<f64> {
+    let n = dag.num_tasks();
+    let mut dist = vec![0.0f64; n];
+    for &t in dag.topological_order().iter().rev() {
+        let tail = dag
+            .succs(t)
+            .iter()
+            .map(|&(s, c)| edge_w(t, s, c) + dist[s.index()])
+            .fold(0.0f64, f64::max);
+        dist[t.index()] = node_w(t) + tail;
+    }
+    dist
+}
+
+/// Computes a longest path through `dag` under the given weights.
+///
+/// Ties are broken toward lower task ids, making the result deterministic.
+pub fn critical_path(
+    dag: &Dag,
+    mut node_w: impl FnMut(TaskId) -> f64,
+    mut edge_w: impl FnMut(TaskId, TaskId, f64) -> f64,
+) -> CriticalPath {
+    let dist = longest_path_lengths(dag, &mut node_w, &mut edge_w);
+    let mut cur = dag
+        .entries()
+        .iter()
+        .copied()
+        .max_by(|a, b| {
+            dist[a.index()]
+                .total_cmp(&dist[b.index()])
+                .then(b.cmp(a)) // prefer lower id on ties
+        })
+        .expect("validated DAG has at least one entry");
+    let length = dist[cur.index()];
+    let mut tasks = vec![cur];
+    loop {
+        let here = dist[cur.index()] - node_w(cur);
+        let next = dag
+            .succs(cur)
+            .iter()
+            .filter(|&&(s, c)| {
+                (edge_w(cur, s, c) + dist[s.index()] - here).abs() <= 1e-9 * here.abs().max(1.0)
+            })
+            .map(|&(s, _)| s)
+            .min();
+        match next {
+            Some(s) => {
+                tasks.push(s);
+                cur = s;
+            }
+            None => break,
+        }
+    }
+    CriticalPath { tasks, length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+
+    /// diamond: 0 -> {1,2} -> 3 with node weights 1,5,2,1 and comm costs 10 each.
+    fn diamond() -> Dag {
+        dag_from_edges(4, &[(0, 1, 10.0), (0, 2, 10.0), (1, 3, 10.0), (2, 3, 10.0)]).unwrap()
+    }
+
+    fn weights(t: TaskId) -> f64 {
+        [1.0, 5.0, 2.0, 1.0][t.index()]
+    }
+
+    #[test]
+    fn longest_path_with_comm() {
+        let d = diamond();
+        let dist = longest_path_lengths(&d, weights, |_, _, c| c);
+        // From 0: 1 + 10 + 5 + 10 + 1 = 27 through task 1.
+        assert_eq!(dist[0], 27.0);
+        assert_eq!(dist[1], 16.0);
+        assert_eq!(dist[2], 13.0);
+        assert_eq!(dist[3], 1.0);
+    }
+
+    #[test]
+    fn longest_path_compute_only_nodes() {
+        let d = diamond();
+        let dist = longest_path_lengths(&d, weights, |_, _, _| 0.0);
+        assert_eq!(dist[0], 7.0); // 1 + 5 + 1
+    }
+
+    #[test]
+    fn critical_path_follows_heavier_branch() {
+        let d = diamond();
+        let cp = critical_path(&d, weights, |_, _, c| c);
+        assert_eq!(cp.length, 27.0);
+        assert_eq!(
+            cp.tasks,
+            vec![TaskId(0), TaskId(1), TaskId(3)]
+        );
+    }
+
+    #[test]
+    fn critical_path_tie_breaks_to_lower_id() {
+        // Symmetric diamond: both branches weigh the same; path must pick task 1.
+        let d = diamond();
+        let cp = critical_path(&d, |_| 1.0, |_, _, _| 0.0);
+        assert_eq!(cp.tasks, vec![TaskId(0), TaskId(1), TaskId(3)]);
+        assert_eq!(cp.length, 3.0);
+    }
+
+    #[test]
+    fn single_node_path() {
+        let d = dag_from_edges(1, &[]).unwrap();
+        let cp = critical_path(&d, |_| 4.0, |_, _, c| c);
+        assert_eq!(cp.tasks, vec![TaskId(0)]);
+        assert_eq!(cp.length, 4.0);
+    }
+
+    #[test]
+    fn multi_entry_takes_longest_entry() {
+        // 0 -> 2, 1 -> 2; node weights 1, 9, 1.
+        let d = dag_from_edges(3, &[(0, 2, 0.0), (1, 2, 0.0)]).unwrap();
+        let cp = critical_path(&d, |t| [1.0, 9.0, 1.0][t.index()], |_, _, c| c);
+        assert_eq!(cp.tasks, vec![TaskId(1), TaskId(2)]);
+        assert_eq!(cp.length, 10.0);
+    }
+}

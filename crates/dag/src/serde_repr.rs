@@ -1,0 +1,76 @@
+//! Serde support for [`Dag`] via a portable edge-list representation.
+//!
+//! The on-disk form is `{ "tasks": [names...], "edges": [[src, dst, cost]...] }`,
+//! which deserializes through [`DagBuilder`] so every invariant (acyclicity,
+//! no duplicates, valid costs) is re-checked on load.
+
+use crate::{Dag, DagBuilder, TaskId};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+#[derive(Serialize, Deserialize)]
+struct DagRepr {
+    tasks: Vec<String>,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl Serialize for Dag {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let repr = DagRepr {
+            tasks: self.tasks().map(|t| self.name(t).to_owned()).collect(),
+            edges: self
+                .edges()
+                .into_iter()
+                .map(|e| (e.src.0, e.dst.0, e.cost))
+                .collect(),
+        };
+        repr.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Dag {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = DagRepr::deserialize(deserializer)?;
+        let mut b = DagBuilder::with_capacity(repr.tasks.len(), repr.edges.len());
+        for name in repr.tasks {
+            b.add_task(name);
+        }
+        for (s, d, c) in repr.edges {
+            b.add_edge(TaskId(s), TaskId(d), c)
+                .map_err(D::Error::custom)?;
+        }
+        b.build().map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::dag_from_edges;
+    use crate::Dag;
+
+    #[test]
+    fn json_round_trip_preserves_structure() {
+        let d = dag_from_edges(4, &[(0, 1, 1.5), (0, 2, 2.0), (1, 3, 0.0), (2, 3, 4.0)]).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_tasks(), d.num_tasks());
+        assert_eq!(back.num_edges(), d.num_edges());
+        for e in d.edges() {
+            assert_eq!(back.comm(e.src, e.dst), Some(e.cost));
+        }
+        assert_eq!(back.topological_order(), d.topological_order());
+    }
+
+    #[test]
+    fn deserialize_rejects_cyclic_input() {
+        let json = r#"{"tasks":["a","b"],"edges":[[0,1,1.0],[1,0,1.0]]}"#;
+        let err = serde_json::from_str::<Dag>(json).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn deserialize_rejects_bad_cost() {
+        let json = r#"{"tasks":["a","b"],"edges":[[0,1,-3.0]]}"#;
+        assert!(serde_json::from_str::<Dag>(json).is_err());
+    }
+}

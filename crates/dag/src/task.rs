@@ -1,0 +1,73 @@
+//! Task identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task (a node of the workflow DAG).
+///
+/// Task ids are dense indices assigned in insertion order by
+/// [`DagBuilder::add_task`](crate::DagBuilder::add_task); they index directly
+/// into the per-task vectors used throughout the workspace (cost matrices,
+/// schedules, rank tables). A `u32` is ample for the paper's largest graphs
+/// (10,000 tasks) while keeping hot per-task records small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as a `usize` index into per-task storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TaskId` from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        TaskId(u32::try_from(index).expect("task index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let t = TaskId::from_index(42);
+        assert_eq!(t.index(), 42);
+        assert_eq!(t, TaskId(42));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TaskId(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_id() {
+        assert!(TaskId(1) < TaskId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "task index exceeds u32 range")]
+    fn from_index_rejects_overflow() {
+        let _ = TaskId::from_index(u32::MAX as usize + 1);
+    }
+}

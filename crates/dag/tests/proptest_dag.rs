@@ -1,0 +1,132 @@
+//! Property tests for the DAG model.
+//!
+//! Strategy: generate random *layered* edge sets (edges only point from a
+//! lower-indexed task to a higher-indexed one), which are acyclic by
+//! construction; then check structural invariants that must hold for every
+//! valid workflow.
+
+use hdlts_dag::{critical_path, dag_from_edges, longest_path_lengths, normalize, Dag,
+    LevelDecomposition, TaskId};
+use proptest::prelude::*;
+
+/// Generates `(n, edges)` with forward-only edges (guaranteed acyclic).
+fn acyclic_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+        let max_edges = pairs.len();
+        (
+            Just(n),
+            proptest::sample::subsequence(pairs, 0..=max_edges.min(80)),
+            proptest::collection::vec(0.0f64..100.0, 0..=max_edges.min(80)),
+        )
+            .prop_map(|(n, picked, costs)| {
+                let edges = picked
+                    .into_iter()
+                    .zip(costs.into_iter().chain(std::iter::repeat(1.0)))
+                    .map(|((s, d), c)| (s, d, c))
+                    .collect();
+                (n, edges)
+            })
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> Dag {
+    dag_from_edges(n, edges).expect("forward edges are acyclic")
+}
+
+proptest! {
+    #[test]
+    fn topo_order_is_a_permutation_respecting_edges((n, edges) in acyclic_edges()) {
+        let dag = build(n, &edges);
+        let topo = dag.topological_order();
+        prop_assert_eq!(topo.len(), n);
+        let mut pos = vec![usize::MAX; n];
+        for (i, &t) in topo.iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        prop_assert!(pos.iter().all(|&p| p != usize::MAX), "permutation");
+        for e in dag.edges() {
+            prop_assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn degrees_are_consistent((n, edges) in acyclic_edges()) {
+        let dag = build(n, &edges);
+        let out_sum: usize = dag.tasks().map(|t| dag.out_degree(t)).sum();
+        let in_sum: usize = dag.tasks().map(|t| dag.in_degree(t)).sum();
+        prop_assert_eq!(out_sum, dag.num_edges());
+        prop_assert_eq!(in_sum, dag.num_edges());
+        for t in dag.tasks() {
+            for &(s, c) in dag.succs(t) {
+                // every successor edge appears as a predecessor edge
+                prop_assert!(dag.preds(s).iter().any(|&(p, pc)| p == t && pc == c));
+            }
+        }
+    }
+
+    #[test]
+    fn levels_partition_tasks_and_respect_precedence((n, edges) in acyclic_edges()) {
+        let dag = build(n, &edges);
+        let lv = LevelDecomposition::compute(&dag);
+        let total: usize = lv.iter().map(<[TaskId]>::len).sum();
+        prop_assert_eq!(total, n);
+        for e in dag.edges() {
+            prop_assert!(lv.level_of(e.src) < lv.level_of(e.dst));
+        }
+        prop_assert!(lv.width() >= 1);
+        prop_assert!(lv.height() >= 1);
+    }
+
+    #[test]
+    fn normalization_yields_single_entry_exit((n, edges) in acyclic_edges()) {
+        let dag = build(n, &edges);
+        let norm = normalize(&dag);
+        prop_assert!(norm.dag.is_single_entry_exit());
+        // Original adjacency must be preserved for original ids.
+        for e in dag.edges() {
+            prop_assert_eq!(norm.dag.comm(e.src, e.dst), Some(e.cost));
+        }
+        // Pseudo tasks connect with zero-cost edges only.
+        if let Some(pe) = norm.outcome.pseudo_entry {
+            for &(_, c) in norm.dag.succs(pe) {
+                prop_assert_eq!(c, 0.0);
+            }
+        }
+        if let Some(px) = norm.outcome.pseudo_exit {
+            for &(_, c) in norm.dag.preds(px) {
+                prop_assert_eq!(c, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn longest_path_dominates_every_task((n, edges) in acyclic_edges()) {
+        let dag = build(n, &edges);
+        let dist = longest_path_lengths(&dag, |_| 1.0, |_, _, c| c);
+        let cp = critical_path(&dag, |_| 1.0, |_, _, c| c);
+        let best = dist.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((cp.length - best).abs() < 1e-9);
+        // Path length equals the sum of its node and edge weights.
+        let mut acc = 0.0;
+        for (i, &t) in cp.tasks.iter().enumerate() {
+            acc += 1.0;
+            if let Some(&next) = cp.tasks.get(i + 1) {
+                acc += dag.comm(t, next).expect("consecutive CP tasks share an edge");
+            }
+        }
+        prop_assert!((acc - cp.length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip((n, edges) in acyclic_edges()) {
+        let dag = build(n, &edges);
+        let json = serde_json::to_string(&dag).unwrap();
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.num_tasks(), dag.num_tasks());
+        prop_assert_eq!(back.num_edges(), dag.num_edges());
+        prop_assert_eq!(back.topological_order(), dag.topological_order());
+    }
+}

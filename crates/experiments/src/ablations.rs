@@ -1,0 +1,252 @@
+//! Ablation sweeps for the HDLTS design choices called out in DESIGN.md:
+//! the Algorithm 1 duplication condition, insertion-based assignment, and
+//! the penalty-value definition.
+
+use crate::runner::RunConfig;
+use crate::sweep::derive_seed;
+use hdlts_core::{DuplicationPolicy, Hdlts, HdltsConfig, PenaltyKind, Scheduler};
+use hdlts_metrics::report::FigureData;
+use hdlts_metrics::{MetricSet, RunningStats};
+use hdlts_platform::Platform;
+use hdlts_workloads::{random_dag, RandomDagParams};
+use rayon::prelude::*;
+
+const CCRS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+
+/// Runs every `(name, config)` variant over random DAGs for each CCR tick
+/// and reports mean SLR per variant.
+fn variant_sweep(
+    cfg: &RunConfig,
+    fig_tag: u64,
+    title: &str,
+    variants: &[(&str, HdltsConfig)],
+    single_source: bool,
+) -> FigureData {
+    let ticks: Vec<String> = CCRS.iter().map(|c| format!("{c}")).collect();
+    let mut jobs = Vec::new();
+    for (x, &ccr) in CCRS.iter().enumerate() {
+        for rep in 0..cfg.reps {
+            let seed = derive_seed(cfg.base_seed, &[fig_tag, x as u64, rep as u64]);
+            jobs.push((x, ccr, seed));
+        }
+    }
+    let stats: Vec<Vec<RunningStats>> = jobs
+        .par_iter()
+        .fold(
+            || vec![vec![RunningStats::new(); CCRS.len()]; variants.len()],
+            |mut acc, &(x, ccr, seed)| {
+                let params =
+                    RandomDagParams { ccr, single_source, ..RandomDagParams::default() };
+                let inst = random_dag::generate(&params, seed);
+                let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
+                let problem = inst.problem(&platform).expect("instance is consistent");
+                for (vi, (_, config)) in variants.iter().enumerate() {
+                    let s = Hdlts::new(*config)
+                        .schedule(&problem)
+                        .expect("HDLTS variants schedule generated workloads");
+                    acc[vi][x].push(MetricSet::compute(&problem, &s).slr);
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![vec![RunningStats::new(); CCRS.len()]; variants.len()],
+            |mut a, b| {
+                for (va, vb) in a.iter_mut().zip(&b) {
+                    for (sa, sb) in va.iter_mut().zip(vb) {
+                        sa.merge(sb);
+                    }
+                }
+                a
+            },
+        );
+
+    let mut fig = FigureData::new(title, "CCR", "Average SLR", ticks);
+    for (vi, (name, _)) in variants.iter().enumerate() {
+        fig.push_series(*name, stats[vi].iter().map(RunningStats::mean).collect());
+    }
+    fig
+}
+
+/// Ablation: Algorithm 1's duplication condition (any-child vs all-children
+/// vs no duplication).
+///
+/// Uses *single-source* random graphs: the default multi-entry graphs get a
+/// zero-cost pseudo entry which Algorithm 1 never duplicates, making every
+/// policy identical (that fact itself is covered by a test below).
+pub fn ablation_duplication(cfg: &RunConfig) -> FigureData {
+    variant_sweep(
+        cfg,
+        101,
+        "ablation-dup: entry-duplication policy vs CCR (single-source graphs)",
+        &[
+            ("AnyChild (paper)", HdltsConfig::paper_exact()),
+            (
+                "AllChildren",
+                HdltsConfig { duplication: DuplicationPolicy::AllChildren, ..HdltsConfig::default() },
+            ),
+            ("Off", HdltsConfig::without_duplication()),
+        ],
+        true,
+    )
+}
+
+/// Ablation: entry structure. HDLTS's duplication advantage only exists on
+/// workflows with a *real* entry task; the paper's multi-entry random
+/// graphs neutralize it through the pseudo entry. This sweep compares
+/// HDLTS against HEFT on both graph families (see EXPERIMENTS.md for why
+/// the paper's Fig. 2 claim only reproduces on real-entry workloads).
+pub fn ablation_entry(cfg: &RunConfig) -> FigureData {
+    use hdlts_baselines::Heft;
+    let ticks: Vec<String> = CCRS.iter().map(|c| format!("{c}")).collect();
+    let mut jobs = Vec::new();
+    for (x, &ccr) in CCRS.iter().enumerate() {
+        for rep in 0..cfg.reps {
+            let seed = derive_seed(cfg.base_seed, &[104, x as u64, rep as u64]);
+            jobs.push((x, ccr, seed));
+        }
+    }
+    let labels = [
+        "HDLTS multi-entry",
+        "HEFT multi-entry",
+        "HDLTS single-entry",
+        "HEFT single-entry",
+    ];
+    let stats: Vec<Vec<RunningStats>> = jobs
+        .par_iter()
+        .fold(
+            || vec![vec![RunningStats::new(); CCRS.len()]; labels.len()],
+            |mut acc, &(x, ccr, seed)| {
+                for (offset, single_source) in [(0usize, false), (2usize, true)] {
+                    let params =
+                        RandomDagParams { ccr, single_source, ..RandomDagParams::default() };
+                    let inst = random_dag::generate(&params, seed);
+                    let platform =
+                        Platform::fully_connected(inst.num_procs()).expect("procs");
+                    let problem = inst.problem(&platform).expect("instance is consistent");
+                    let h = Hdlts::paper_exact().schedule(&problem).expect("HDLTS schedules");
+                    acc[offset][x].push(MetricSet::compute(&problem, &h).slr);
+                    let e = Heft.schedule(&problem).expect("HEFT schedules");
+                    acc[offset + 1][x].push(MetricSet::compute(&problem, &e).slr);
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![vec![RunningStats::new(); CCRS.len()]; labels.len()],
+            |mut a, b| {
+                for (va, vb) in a.iter_mut().zip(&b) {
+                    for (sa, sb) in va.iter_mut().zip(vb) {
+                        sa.merge(sb);
+                    }
+                }
+                a
+            },
+        );
+    let mut fig = FigureData::new(
+        "ablation-entry: HDLTS vs HEFT on multi- vs single-entry random graphs",
+        "CCR",
+        "Average SLR",
+        ticks,
+    );
+    for (li, label) in labels.iter().enumerate() {
+        fig.push_series(*label, stats[li].iter().map(RunningStats::mean).collect());
+    }
+    fig
+}
+
+/// Ablation: plain-availability EST (Eq. 6, the paper) vs insertion-based
+/// gap filling.
+pub fn ablation_insertion(cfg: &RunConfig) -> FigureData {
+    variant_sweep(
+        cfg,
+        102,
+        "ablation-insertion: EST discipline vs CCR",
+        &[
+            ("NoInsertion (paper)", HdltsConfig::paper_exact()),
+            ("Insertion", HdltsConfig::with_insertion()),
+        ],
+        false,
+    )
+}
+
+/// Ablation: penalty-value definition (Eq. 8's sample σ vs alternatives).
+pub fn ablation_pv(cfg: &RunConfig) -> FigureData {
+    let with_pv =
+        |penalty| HdltsConfig { penalty, ..HdltsConfig::default() };
+    variant_sweep(
+        cfg,
+        103,
+        "ablation-pv: penalty-value definition vs CCR",
+        &[
+            ("EFT sample sigma (paper)", with_pv(PenaltyKind::EftSampleStdDev)),
+            ("EFT population sigma", with_pv(PenaltyKind::EftPopulationStdDev)),
+            ("EFT range", with_pv(PenaltyKind::EftRange)),
+            ("Exec sigma (static)", with_pv(PenaltyKind::ExecStdDev)),
+        ],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunConfig {
+        RunConfig { reps: 3, base_seed: 5, validate: false }
+    }
+
+    #[test]
+    fn duplication_ablation_has_three_series() {
+        let f = ablation_duplication(&tiny());
+        assert_eq!(f.series.len(), 3);
+        for (name, ys) in &f.series {
+            assert!(ys.iter().all(|y| y.is_finite() && *y >= 1.0), "{name}");
+        }
+    }
+
+    #[test]
+    fn pseudo_entry_makes_duplication_policies_identical() {
+        // On the paper's multi-entry random graphs the pseudo entry costs
+        // zero and communicates for free, so Algorithm 1 never fires.
+        let f = variant_sweep(
+            &tiny(),
+            999,
+            "check",
+            &[
+                ("on", HdltsConfig::paper_exact()),
+                ("off", HdltsConfig::without_duplication()),
+            ],
+            false,
+        );
+        assert_eq!(f.series[0].1, f.series[1].1);
+    }
+
+    #[test]
+    fn entry_ablation_produces_four_series() {
+        let f = ablation_entry(&tiny());
+        assert_eq!(f.series.len(), 4);
+        for (name, ys) in &f.series {
+            assert!(ys.iter().all(|y| y.is_finite() && *y >= 1.0), "{name}");
+        }
+    }
+
+    #[test]
+    fn insertion_never_hurts_on_average() {
+        let f = ablation_insertion(&RunConfig { reps: 6, base_seed: 2, validate: false });
+        let no_ins = &f.series[0].1;
+        let ins = &f.series[1].1;
+        // Insertion only adds placement options; averaged over instances it
+        // must not be worse by more than noise.
+        for (a, b) in no_ins.iter().zip(ins) {
+            assert!(b - 1e-9 <= a + 0.25 * a, "insertion {b} vs none {a}");
+        }
+    }
+
+    #[test]
+    fn pv_ablation_deterministic() {
+        let a = ablation_pv(&tiny());
+        let b = ablation_pv(&tiny());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,335 @@
+//! Config-driven custom sweeps.
+//!
+//! `experiments --config sweep.json` runs user-defined sweeps without
+//! recompiling: a JSON spec names a workload family, which cost-model
+//! parameter to sweep, the metric, and the algorithms to compare.
+//!
+//! ```json
+//! {
+//!   "id": "my-sweep",
+//!   "workload": { "family": "fft", "m": 16 },
+//!   "x_param": "ccr",
+//!   "x_values": [1, 2, 3, 4, 5],
+//!   "metric": "slr",
+//!   "algorithms": ["HDLTS", "HEFT", "SDBATS"],
+//!   "reps": 100
+//! }
+//! ```
+//!
+//! A config file holds one spec or an array of them. The sweepable
+//! parameters are the cost-model knobs (`ccr`, `procs`, `beta`, `wdag`) —
+//! structural parameters belong in the workload object.
+
+use crate::runner::RunConfig;
+use crate::sweep::{derive_seed, mean_curve, parallel_stats};
+use hdlts_baselines::AlgorithmKind;
+use hdlts_metrics::report::FigureData;
+use hdlts_workloads::{fft, gauss, laplace, moldyn, montage, pegasus, random_dag, CostParams,
+    Instance, RandomDagParams};
+use serde::Deserialize;
+
+/// Which workload family a sweep generates.
+#[derive(Debug, Clone, Deserialize, PartialEq)]
+#[serde(tag = "family", rename_all = "lowercase")]
+pub enum WorkloadSpec {
+    /// The Table II random generator.
+    Random {
+        /// Task count.
+        #[serde(default = "default_v")]
+        v: usize,
+        /// Shape parameter.
+        #[serde(default = "default_alpha")]
+        alpha: f64,
+        /// Out-degree.
+        #[serde(default = "default_density")]
+        density: usize,
+        /// Force a single real entry task.
+        #[serde(default)]
+        single_source: bool,
+    },
+    /// FFT workflow; `m` input points.
+    Fft {
+        /// Input points (power of two).
+        m: usize,
+    },
+    /// Montage workflow sized to about `nodes` tasks.
+    Montage {
+        /// Approximate total task count.
+        nodes: usize,
+    },
+    /// The fixed Molecular Dynamics workflow.
+    Moldyn,
+    /// Gaussian elimination for an `m x m` matrix.
+    Gauss {
+        /// Matrix dimension.
+        m: usize,
+    },
+    /// Laplace diamond for an `m x m` grid.
+    Laplace {
+        /// Grid dimension.
+        m: usize,
+    },
+    /// CyberShake with `sites` sites.
+    Cybershake {
+        /// Parallel sites.
+        sites: usize,
+    },
+    /// Epigenomics with `lanes` lanes.
+    Epigenomics {
+        /// Parallel lanes.
+        lanes: usize,
+    },
+    /// LIGO with `width` channels.
+    Ligo {
+        /// Parallel channels.
+        width: usize,
+    },
+}
+
+fn default_v() -> usize {
+    100
+}
+fn default_alpha() -> f64 {
+    1.0
+}
+fn default_density() -> usize {
+    3
+}
+
+impl WorkloadSpec {
+    /// Generates one instance under the given cost model.
+    pub fn generate(&self, cp: &CostParams, seed: u64) -> Instance {
+        match *self {
+            WorkloadSpec::Random { v, alpha, density, single_source } => {
+                random_dag::generate(
+                    &RandomDagParams {
+                        v,
+                        alpha,
+                        density,
+                        ccr: cp.ccr,
+                        w_dag: cp.w_dag,
+                        beta: cp.beta,
+                        num_procs: cp.num_procs,
+                        single_source,
+                    },
+                    seed,
+                )
+            }
+            WorkloadSpec::Fft { m } => fft::generate(m, cp, seed),
+            WorkloadSpec::Montage { nodes } => montage::generate_approx(nodes, cp, seed),
+            WorkloadSpec::Moldyn => moldyn::generate(cp, seed),
+            WorkloadSpec::Gauss { m } => gauss::generate(m, cp, seed),
+            WorkloadSpec::Laplace { m } => laplace::generate(m, cp, seed),
+            WorkloadSpec::Cybershake { sites } => pegasus::cybershake(sites, cp, seed),
+            WorkloadSpec::Epigenomics { lanes } => pegasus::epigenomics(lanes, cp, seed),
+            WorkloadSpec::Ligo { width } => pegasus::ligo(width, cp, seed),
+        }
+    }
+}
+
+/// Which cost-model knob the x axis sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum XParam {
+    /// Communication-to-computation ratio.
+    Ccr,
+    /// Processor count (values are rounded to integers).
+    Procs,
+    /// Heterogeneity factor.
+    Beta,
+    /// Mean computation cost.
+    Wdag,
+}
+
+/// Which metric the sweep reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum MetricName {
+    /// Scheduling length ratio (Eq. 10).
+    Slr,
+    /// Speedup (Eq. 11).
+    Speedup,
+    /// Efficiency (Eq. 12).
+    Efficiency,
+    /// Raw makespan.
+    Makespan,
+}
+
+/// One user-defined sweep.
+#[derive(Debug, Clone, Deserialize)]
+pub struct SweepSpec {
+    /// Output id (`results/<id>.*`).
+    pub id: String,
+    /// Workload family and structural parameters.
+    pub workload: WorkloadSpec,
+    /// Swept cost-model parameter.
+    pub x_param: XParam,
+    /// X values, in plot order.
+    pub x_values: Vec<f64>,
+    /// Reported metric.
+    pub metric: MetricName,
+    /// Algorithm names (see `AlgorithmKind`); defaults to the paper set.
+    #[serde(default)]
+    pub algorithms: Vec<String>,
+    /// Repetitions per point (defaults to the CLI `--reps`).
+    #[serde(default)]
+    pub reps: Option<usize>,
+}
+
+impl SweepSpec {
+    /// Parses a config file: one spec or an array.
+    pub fn parse_config(text: &str) -> Result<Vec<SweepSpec>, String> {
+        if let Ok(list) = serde_json::from_str::<Vec<SweepSpec>>(text) {
+            return Ok(list);
+        }
+        serde_json::from_str::<SweepSpec>(text)
+            .map(|s| vec![s])
+            .map_err(|e| format!("invalid sweep config: {e}"))
+    }
+
+    fn resolve_algorithms(&self) -> Result<Vec<AlgorithmKind>, String> {
+        if self.algorithms.is_empty() {
+            return Ok(AlgorithmKind::PAPER_SET.to_vec());
+        }
+        self.algorithms.iter().map(|s| s.parse()).collect()
+    }
+
+    /// Runs the sweep.
+    pub fn run(&self, cfg: &RunConfig) -> Result<FigureData, String> {
+        if self.x_values.is_empty() {
+            return Err(format!("sweep '{}' has no x values", self.id));
+        }
+        let algorithms = self.resolve_algorithms()?;
+        let reps = self.reps.unwrap_or(cfg.reps);
+        let tag = self.id.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+
+        struct Job {
+            x: usize,
+            cp: CostParams,
+            seed: u64,
+        }
+        let mut jobs = Vec::new();
+        for (x, &v) in self.x_values.iter().enumerate() {
+            let mut cp = CostParams::default();
+            match self.x_param {
+                XParam::Ccr => cp.ccr = v,
+                XParam::Procs => cp.num_procs = (v.round() as usize).max(1),
+                XParam::Beta => cp.beta = v,
+                XParam::Wdag => cp.w_dag = v,
+            }
+            for rep in 0..reps {
+                let seed = derive_seed(cfg.base_seed, &[tag, x as u64, rep as u64]);
+                jobs.push(Job { x, cp, seed });
+            }
+        }
+        let metric = self.metric;
+        let workload = self.workload.clone();
+        let algos = algorithms.clone();
+        let stats = parallel_stats(&jobs, move |job| {
+            let inst = workload.generate(&job.cp, job.seed);
+            crate::runner::metrics_for(&inst, &algos, cfg.validate)
+                .into_iter()
+                .map(|(alg, m)| {
+                    let y = match metric {
+                        MetricName::Slr => m.slr,
+                        MetricName::Speedup => m.speedup,
+                        MetricName::Efficiency => m.efficiency,
+                        MetricName::Makespan => m.makespan,
+                    };
+                    (job.x, alg, y)
+                })
+                .collect()
+        });
+
+        let ticks: Vec<String> = self.x_values.iter().map(|v| format!("{v}")).collect();
+        let mut fig = FigureData::new(
+            format!("{}: custom sweep ({:?} vs {:?})", self.id, self.metric, self.x_param),
+            format!("{:?}", self.x_param),
+            format!("{:?}", self.metric),
+            ticks,
+        );
+        for alg in algorithms {
+            fig.push_series(alg.name(), mean_curve(&stats, alg, self.x_values.len()));
+        }
+        Ok(fig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "id": "demo",
+        "workload": { "family": "fft", "m": 8 },
+        "x_param": "ccr",
+        "x_values": [1, 3],
+        "metric": "slr",
+        "algorithms": ["HDLTS", "HEFT"],
+        "reps": 3
+    }"#;
+
+    #[test]
+    fn parses_single_and_array_configs() {
+        let one = SweepSpec::parse_config(SAMPLE).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].id, "demo");
+        let many = SweepSpec::parse_config(&format!("[{SAMPLE}, {SAMPLE}]")).unwrap();
+        assert_eq!(many.len(), 2);
+        assert!(SweepSpec::parse_config("{}").is_err());
+    }
+
+    #[test]
+    fn runs_and_produces_requested_series() {
+        let spec = &SweepSpec::parse_config(SAMPLE).unwrap()[0];
+        let fig = spec.run(&RunConfig { reps: 2, base_seed: 1, validate: true }).unwrap();
+        assert_eq!(fig.x_ticks, vec!["1", "3"]);
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[0].0, "HDLTS");
+        assert!(fig.series.iter().all(|(_, ys)| ys.iter().all(|y| y.is_finite())));
+    }
+
+    #[test]
+    fn default_algorithms_are_the_paper_set() {
+        let spec = SweepSpec {
+            id: "x".into(),
+            workload: WorkloadSpec::Moldyn,
+            x_param: XParam::Procs,
+            x_values: vec![2.0, 4.0],
+            metric: MetricName::Efficiency,
+            algorithms: vec![],
+            reps: Some(2),
+        };
+        let fig = spec.run(&RunConfig::default()).unwrap();
+        assert_eq!(fig.series.len(), 6);
+    }
+
+    #[test]
+    fn rejects_unknown_algorithm_and_empty_axis() {
+        let mut spec = SweepSpec::parse_config(SAMPLE).unwrap().remove(0);
+        spec.algorithms = vec!["NOPE".into()];
+        assert!(spec.run(&RunConfig::default()).is_err());
+        let mut spec = SweepSpec::parse_config(SAMPLE).unwrap().remove(0);
+        spec.x_values.clear();
+        assert!(spec.run(&RunConfig::default()).is_err());
+    }
+
+    #[test]
+    fn every_workload_family_deserializes() {
+        for src in [
+            r#"{"family":"random","v":50}"#,
+            r#"{"family":"fft","m":4}"#,
+            r#"{"family":"montage","nodes":20}"#,
+            r#"{"family":"moldyn"}"#,
+            r#"{"family":"gauss","m":4}"#,
+            r#"{"family":"laplace","m":3}"#,
+            r#"{"family":"cybershake","sites":2}"#,
+            r#"{"family":"epigenomics","lanes":2}"#,
+            r#"{"family":"ligo","width":2}"#,
+        ] {
+            let w: WorkloadSpec = serde_json::from_str(src).unwrap();
+            let inst = w.generate(&CostParams::default(), 1);
+            assert!(inst.num_tasks() >= 3, "{src}");
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Extension experiments beyond the paper's evaluation, implementing its
+//! Section VI future work: dynamic workflow streams and uncertain
+//! (heterogeneous-bandwidth) networks.
+
+use crate::runner::RunConfig;
+use crate::sweep::derive_seed;
+use hdlts_baselines::{AlgorithmKind, HdltsCpd, HdltsLookahead, Heft, Sdbats};
+use hdlts_core::{Hdlts, HdltsConfig, Scheduler};
+use hdlts_metrics::report::FigureData;
+use hdlts_metrics::{load_imbalance_cv, MetricSet, PowerModel, RunningStats};
+use hdlts_platform::{LinkModel, Platform};
+use hdlts_sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel};
+use hdlts_workloads::{fft, random_dag, Consistency, CostParams, RandomDagParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Extension: mean job response time vs. inter-arrival gap for a stream of
+/// FFT jobs, HDLTS penalty-value dispatch vs. FIFO (Section VI's "dynamic
+/// application workflow" future work).
+///
+/// The x axis is the arrival gap as a fraction of one job's solo makespan:
+/// small gaps mean heavy contention.
+pub fn ext_dynamic(cfg: &RunConfig) -> FigureData {
+    const GAPS: [f64; 5] = [0.0, 0.25, 0.5, 1.0, 2.0];
+    const JOBS: usize = 6;
+    let ticks: Vec<String> = GAPS.iter().map(|g| format!("{g}")).collect();
+    let mut jobs_list = Vec::new();
+    for (x, &gap) in GAPS.iter().enumerate() {
+        for rep in 0..cfg.reps {
+            let seed = derive_seed(cfg.base_seed, &[201, x as u64, rep as u64]);
+            jobs_list.push((x, gap, seed));
+        }
+    }
+    let labels = ["HDLTS PV dispatch", "FIFO dispatch"];
+    let stats: Vec<Vec<RunningStats>> = jobs_list
+        .par_iter()
+        .fold(
+            || vec![vec![RunningStats::new(); GAPS.len()]; labels.len()],
+            |mut acc, &(x, gap, seed)| {
+                let platform = Platform::fully_connected(4).expect("procs");
+                // Calibrate the gap against one job's solo makespan.
+                let probe = fft::generate(8, &CostParams::default(), seed);
+                let solo = {
+                    let problem = probe.problem(&platform).expect("consistent");
+                    Hdlts::paper_exact().schedule(&problem).expect("schedules").makespan()
+                };
+                let stream: Vec<JobArrival> = (0..JOBS)
+                    .map(|i| JobArrival {
+                        instance: fft::generate(
+                            8,
+                            &CostParams::default(),
+                            derive_seed(seed, &[i as u64]),
+                        ),
+                        arrival: i as f64 * gap * solo,
+                    })
+                    .collect();
+                for (li, policy) in
+                    [DispatchPolicy::PenaltyValue, DispatchPolicy::Fifo].into_iter().enumerate()
+                {
+                    let out = JobStreamScheduler { policy, ..Default::default() }
+                        .execute(&platform, &stream, &PerturbModel::exact(), &FailureSpec::none())
+                        .expect("stream completes");
+                    // Normalize by the solo makespan so reps are comparable.
+                    acc[li][x].push(out.mean_response() / solo);
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![vec![RunningStats::new(); GAPS.len()]; labels.len()],
+            merge_grid,
+        );
+    let mut fig = FigureData::new(
+        "ext-dynamic: normalized mean job response time vs arrival gap",
+        "gap (fraction of solo makespan)",
+        "mean response / solo makespan",
+        ticks,
+    );
+    for (li, label) in labels.iter().enumerate() {
+        fig.push_series(*label, stats[li].iter().map(RunningStats::mean).collect());
+    }
+    fig
+}
+
+/// Extension: SLR under heterogeneous link bandwidths (Section VI's
+/// "uncertain ... network conditions").
+///
+/// Pairwise bandwidths are drawn from `U[1/skew, 1]` — `skew = 1` is the
+/// paper's uniform network, larger values make some links much slower.
+pub fn ext_network(cfg: &RunConfig) -> FigureData {
+    const SKEWS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+    let ticks: Vec<String> = SKEWS.iter().map(|s| format!("{s}")).collect();
+    let mut jobs = Vec::new();
+    for (x, &skew) in SKEWS.iter().enumerate() {
+        for rep in 0..cfg.reps {
+            let seed = derive_seed(cfg.base_seed, &[202, x as u64, rep as u64]);
+            jobs.push((x, skew, seed));
+        }
+    }
+    let labels = ["HDLTS", "HEFT"];
+    let stats: Vec<Vec<RunningStats>> = jobs
+        .par_iter()
+        .fold(
+            || vec![vec![RunningStats::new(); SKEWS.len()]; labels.len()],
+            |mut acc, &(x, skew, seed)| {
+                let params = RandomDagParams {
+                    ccr: 3.0,
+                    single_source: true,
+                    ..RandomDagParams::default()
+                };
+                let inst = random_dag::generate(&params, seed);
+                let platform = skewed_platform(inst.num_procs(), skew, seed);
+                let problem = inst.problem(&platform).expect("consistent");
+                let h = Hdlts::paper_exact().schedule(&problem).expect("schedules");
+                acc[0][x].push(MetricSet::compute(&problem, &h).slr);
+                let e = Heft.schedule(&problem).expect("schedules");
+                acc[1][x].push(MetricSet::compute(&problem, &e).slr);
+                acc
+            },
+        )
+        .reduce(
+            || vec![vec![RunningStats::new(); SKEWS.len()]; labels.len()],
+            merge_grid,
+        );
+    let mut fig = FigureData::new(
+        "ext-network: Average SLR vs link-bandwidth skew (CCR = 3)",
+        "bandwidth skew (max/min)",
+        "Average SLR",
+        ticks,
+    );
+    for (li, label) in labels.iter().enumerate() {
+        fig.push_series(*label, stats[li].iter().map(RunningStats::mean).collect());
+    }
+    fig
+}
+
+/// Extension: HDLTS-L (lookahead mapping) vs vanilla HDLTS vs HEFT on the
+/// paper's multi-entry random graphs — how much of the Fig. 2 gap the OCT
+/// lookahead recovers (the weakness the paper concedes in its Fig. 4
+/// discussion). Measured answer: essentially none — see EXPERIMENTS.md —
+/// which localizes the weakness in the *selection* rule.
+pub fn ext_lookahead(cfg: &RunConfig) -> FigureData {
+    const CCRS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let ticks: Vec<String> = CCRS.iter().map(|c| format!("{c}")).collect();
+    let mut jobs = Vec::new();
+    for (x, &ccr) in CCRS.iter().enumerate() {
+        for rep in 0..cfg.reps {
+            let seed = derive_seed(cfg.base_seed, &[203, x as u64, rep as u64]);
+            jobs.push((x, ccr, seed));
+        }
+    }
+    let labels = ["HDLTS", "HDLTS-L", "HDLTS-D", "HEFT"];
+    let stats: Vec<Vec<RunningStats>> = jobs
+        .par_iter()
+        .fold(
+            || vec![vec![RunningStats::new(); CCRS.len()]; labels.len()],
+            |mut acc, &(x, ccr, seed)| {
+                let params = RandomDagParams { ccr, ..RandomDagParams::default() };
+                let inst = random_dag::generate(&params, seed);
+                let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
+                let problem = inst.problem(&platform).expect("instance is consistent");
+                let h = Hdlts::paper_exact().schedule(&problem).expect("schedules");
+                acc[0][x].push(MetricSet::compute(&problem, &h).slr);
+                let l = HdltsLookahead.schedule(&problem).expect("schedules");
+                acc[1][x].push(MetricSet::compute(&problem, &l).slr);
+                let d = HdltsCpd.schedule(&problem).expect("schedules");
+                acc[2][x].push(MetricSet::compute(&problem, &d).slr);
+                let e = Heft.schedule(&problem).expect("schedules");
+                acc[3][x].push(MetricSet::compute(&problem, &e).slr);
+                acc
+            },
+        )
+        .reduce(
+            || vec![vec![RunningStats::new(); CCRS.len()]; labels.len()],
+            merge_grid,
+        );
+    let mut fig = FigureData::new(
+        "ext-lookahead: lookahead mapping and critical-parent duplication vs vanilla HDLTS and HEFT",
+        "CCR",
+        "Average SLR",
+        ticks,
+    );
+    for (li, label) in labels.iter().enumerate() {
+        fig.push_series(*label, stats[li].iter().map(RunningStats::mean).collect());
+    }
+    fig
+}
+
+/// Extension: the energy price of duplication (Section II-B's claim that
+/// duplication trades energy for makespan). Single-source random graphs,
+/// CCR sweep; reports total energy (active 10 W / idle 1 W per CPU)
+/// normalized by the duplication-free HDLTS run of the same instance.
+pub fn ext_energy(cfg: &RunConfig) -> FigureData {
+    const CCRS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let ticks: Vec<String> = CCRS.iter().map(|c| format!("{c}")).collect();
+    let mut jobs = Vec::new();
+    for (x, &ccr) in CCRS.iter().enumerate() {
+        for rep in 0..cfg.reps {
+            let seed = derive_seed(cfg.base_seed, &[204, x as u64, rep as u64]);
+            jobs.push((x, ccr, seed));
+        }
+    }
+    let labels = [
+        "HDLTS no-dup (baseline)",
+        "HDLTS (entry dup)",
+        "HDLTS-D (parent dup)",
+        "SDBATS (uncond. dup)",
+    ];
+    let stats: Vec<Vec<RunningStats>> = jobs
+        .par_iter()
+        .fold(
+            || vec![vec![RunningStats::new(); CCRS.len()]; labels.len()],
+            |mut acc, &(x, ccr, seed)| {
+                let params = RandomDagParams {
+                    ccr,
+                    single_source: true,
+                    ..RandomDagParams::default()
+                };
+                let inst = random_dag::generate(&params, seed);
+                let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
+                let problem = inst.problem(&platform).expect("consistent");
+                let power = PowerModel::uniform(inst.num_procs(), 10.0, 1.0);
+                let baseline_energy = {
+                    let s = Hdlts::new(HdltsConfig::without_duplication())
+                        .schedule(&problem)
+                        .expect("schedules");
+                    acc[0][x].push(1.0);
+                    power.energy(&s)
+                };
+                let runs: [&dyn Scheduler; 3] =
+                    [&Hdlts::paper_exact(), &HdltsCpd, &Sdbats];
+                for (li, sched) in runs.into_iter().enumerate() {
+                    let s = sched.schedule(&problem).expect("schedules");
+                    acc[li + 1][x].push(power.energy(&s) / baseline_energy);
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![vec![RunningStats::new(); CCRS.len()]; labels.len()],
+            merge_grid,
+        );
+    let mut fig = FigureData::new(
+        "ext-energy: energy of duplication policies (normalized to no-dup HDLTS)",
+        "CCR",
+        "relative energy",
+        ticks,
+    );
+    for (li, label) in labels.iter().enumerate() {
+        fig.push_series(*label, stats[li].iter().map(RunningStats::mean).collect());
+    }
+    fig
+}
+
+/// Extension: consistent vs inconsistent heterogeneity. The HEFT
+/// literature distinguishes related-machines matrices (every processor
+/// ranking agrees) from the paper's fully inconsistent model; HDLTS's
+/// penalty value is built on per-task EFT *spread*, so the matrix class
+/// should matter. Fixed MD structure, CCR 3, SLR vs beta.
+pub fn ext_consistency(cfg: &RunConfig) -> FigureData {
+    const BETAS: [f64; 5] = [0.4, 0.8, 1.2, 1.6, 2.0];
+    let ticks: Vec<String> = BETAS.iter().map(|b| format!("{b}")).collect();
+    let mut jobs = Vec::new();
+    for (x, &beta) in BETAS.iter().enumerate() {
+        for rep in 0..cfg.reps {
+            let seed = derive_seed(cfg.base_seed, &[205, x as u64, rep as u64]);
+            jobs.push((x, beta, seed));
+        }
+    }
+    let labels = [
+        "HDLTS inconsistent",
+        "HEFT inconsistent",
+        "HDLTS consistent",
+        "HEFT consistent",
+    ];
+    let stats: Vec<Vec<RunningStats>> = jobs
+        .par_iter()
+        .fold(
+            || vec![vec![RunningStats::new(); BETAS.len()]; labels.len()],
+            |mut acc, &(x, beta, seed)| {
+                for (offset, consistency) in [
+                    (0usize, Consistency::Inconsistent),
+                    (2usize, Consistency::Consistent),
+                ] {
+                    let cp = CostParams {
+                        ccr: 3.0,
+                        beta,
+                        num_procs: 5,
+                        consistency,
+                        ..CostParams::default()
+                    };
+                    let inst = hdlts_workloads::moldyn::generate(&cp, seed);
+                    let platform =
+                        Platform::fully_connected(inst.num_procs()).expect("procs");
+                    let problem = inst.problem(&platform).expect("consistent");
+                    let h = Hdlts::paper_exact().schedule(&problem).expect("schedules");
+                    acc[offset][x].push(MetricSet::compute(&problem, &h).slr);
+                    let e = Heft.schedule(&problem).expect("schedules");
+                    acc[offset + 1][x].push(MetricSet::compute(&problem, &e).slr);
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![vec![RunningStats::new(); BETAS.len()]; labels.len()],
+            merge_grid,
+        );
+    let mut fig = FigureData::new(
+        "ext-consistency: SLR under consistent vs inconsistent heterogeneity (MD, CCR 3)",
+        "beta",
+        "Average SLR",
+        ticks,
+    );
+    for (li, label) in labels.iter().enumerate() {
+        fig.push_series(*label, stats[li].iter().map(RunningStats::mean).collect());
+    }
+    fig
+}
+
+/// Extension: the load-balancing claim of Section IV, as a first-class
+/// artifact. Coefficient of variation of per-processor utilization
+/// (lower = better balanced) for HDLTS vs HEFT vs SDBATS across the
+/// workload families, at CCR 3.
+pub fn ext_balance(cfg: &RunConfig) -> FigureData {
+    let families: [&str; 5] = ["random", "fft", "gauss", "montage", "moldyn"];
+    let ticks: Vec<String> = families.iter().map(|f| f.to_string()).collect();
+    let mut jobs = Vec::new();
+    for (x, _) in families.iter().enumerate() {
+        for rep in 0..cfg.reps {
+            let seed = derive_seed(cfg.base_seed, &[207, x as u64, rep as u64]);
+            jobs.push((x, seed));
+        }
+    }
+    let algos = [AlgorithmKind::Hdlts, AlgorithmKind::Heft, AlgorithmKind::Sdbats];
+    let stats: Vec<Vec<RunningStats>> = jobs
+        .par_iter()
+        .fold(
+            || vec![vec![RunningStats::new(); families.len()]; algos.len()],
+            |mut acc, &(x, seed)| {
+                let cp = CostParams { ccr: 3.0, ..CostParams::default() };
+                let cp5 = CostParams { num_procs: 5, ..cp };
+                let inst = match families[x] {
+                    "random" => random_dag::generate(
+                        &RandomDagParams { ccr: 3.0, ..RandomDagParams::default() },
+                        seed,
+                    ),
+                    "fft" => fft::generate(16, &cp, seed),
+                    "gauss" => hdlts_workloads::gauss::generate(10, &cp, seed),
+                    "montage" => hdlts_workloads::montage::generate_approx(50, &cp5, seed),
+                    _ => hdlts_workloads::moldyn::generate(&cp5, seed),
+                };
+                let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
+                let problem = inst.problem(&platform).expect("consistent");
+                for (ai, &kind) in algos.iter().enumerate() {
+                    let s = kind.build().schedule(&problem).expect("schedules");
+                    acc[ai][x].push(load_imbalance_cv(&s));
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![vec![RunningStats::new(); families.len()]; algos.len()],
+            merge_grid,
+        );
+    let mut fig = FigureData::new(
+        "ext-balance: load-imbalance CV per workload family (CCR 3)",
+        "workload",
+        "utilization CV (lower = better balanced)",
+        ticks,
+    );
+    for (ai, &kind) in algos.iter().enumerate() {
+        fig.push_series(kind.name(), stats[ai].iter().map(RunningStats::mean).collect());
+    }
+    fig
+}
+
+/// A fully connected platform whose pairwise bandwidths are drawn from
+/// `U[1/skew, 1]` (symmetric).
+pub fn skewed_platform(procs: usize, skew: f64, seed: u64) -> Platform {
+    assert!(skew >= 1.0, "skew is max/min >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bw = vec![vec![0.0f64; procs]; procs];
+    #[allow(clippy::needless_range_loop)] // symmetric assignment needs both indices
+    for i in 0..procs {
+        for j in (i + 1)..procs {
+            let b = rng.random_range((1.0 / skew)..=1.0);
+            bw[i][j] = b;
+            bw[j][i] = b;
+        }
+    }
+    Platform::new(
+        (1..=procs).map(|i| format!("P{i}")).collect(),
+        LinkModel::Pairwise { bandwidths: bw },
+    )
+    .expect("valid skewed platform")
+}
+
+fn merge_grid(mut a: Vec<Vec<RunningStats>>, b: Vec<Vec<RunningStats>>) -> Vec<Vec<RunningStats>> {
+    for (va, vb) in a.iter_mut().zip(&b) {
+        for (sa, sb) in va.iter_mut().zip(vb) {
+            sa.merge(sb);
+        }
+    }
+    a
+}
+
+/// Sanity accessor used by tests: SLR of `kind` on a fixed skewed-network
+/// problem.
+pub fn slr_on_skewed(kind: AlgorithmKind, skew: f64, seed: u64) -> f64 {
+    let params =
+        RandomDagParams { ccr: 3.0, single_source: true, ..RandomDagParams::default() };
+    let inst = random_dag::generate(&params, seed);
+    let platform = skewed_platform(inst.num_procs(), skew, seed);
+    let problem = inst.problem(&platform).expect("consistent");
+    let s = kind.build().schedule(&problem).expect("schedules");
+    s.validate(&problem).expect("feasible");
+    MetricSet::compute(&problem, &s).slr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunConfig {
+        RunConfig { reps: 2, base_seed: 9, validate: false }
+    }
+
+    #[test]
+    fn dynamic_extension_contention_shrinks_with_gap() {
+        let f = ext_dynamic(&RunConfig { reps: 3, base_seed: 4, validate: false });
+        for (name, ys) in &f.series {
+            // Fully packed arrivals must respond slower than spaced ones.
+            assert!(ys[0] > ys[4], "{name}: {ys:?}");
+            assert!(ys.iter().all(|y| y.is_finite() && *y > 0.0));
+        }
+    }
+
+    #[test]
+    fn network_extension_slr_grows_with_skew() {
+        let f = ext_network(&RunConfig { reps: 4, base_seed: 4, validate: false });
+        for (name, ys) in &f.series {
+            assert!(
+                ys[4] > ys[0],
+                "{name}: slower links must hurt ({} vs {})",
+                ys[0],
+                ys[4]
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_platform_is_valid_and_deterministic() {
+        let a = skewed_platform(5, 4.0, 7);
+        let b = skewed_platform(5, 4.0, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.num_procs(), 5);
+    }
+
+    #[test]
+    fn every_algorithm_feasible_on_skewed_network() {
+        for &kind in AlgorithmKind::ALL {
+            let slr = slr_on_skewed(kind, 8.0, 3);
+            assert!(slr >= 1.0 - 1e-9, "{kind}: {slr}");
+        }
+    }
+
+    #[test]
+    fn deterministic_extensions() {
+        assert_eq!(ext_dynamic(&tiny()), ext_dynamic(&tiny()));
+    }
+
+    #[test]
+    fn balance_extension_is_finite_and_nonnegative() {
+        let f = ext_balance(&RunConfig { reps: 3, base_seed: 4, validate: false });
+        assert_eq!(f.series.len(), 3);
+        for (name, ys) in &f.series {
+            assert!(ys.iter().all(|y| y.is_finite() && *y >= 0.0), "{name}: {ys:?}");
+        }
+    }
+
+    #[test]
+    fn consistency_extension_produces_finite_curves() {
+        let f = ext_consistency(&RunConfig { reps: 4, base_seed: 2, validate: false });
+        assert_eq!(f.series.len(), 4);
+        for (name, ys) in &f.series {
+            assert!(ys.iter().all(|y| y.is_finite() && *y >= 1.0), "{name}: {ys:?}");
+        }
+    }
+
+    #[test]
+    fn energy_extension_orders_duplication_aggressiveness() {
+        let f = ext_energy(&RunConfig { reps: 6, base_seed: 3, validate: false });
+        // More aggressive duplication must not cost *less* energy than the
+        // duplication-free baseline at high CCR on average.
+        let no_dup = &f.series[0].1;
+        let sdbats = &f.series[3].1;
+        assert!(sdbats[4] >= no_dup[4] * 0.95, "{f:?}");
+        for (_, ys) in &f.series {
+            assert!(ys.iter().all(|y| y.is_finite() && *y > 0.0));
+        }
+    }
+
+    #[test]
+    fn lookahead_stays_within_noise_of_vanilla() {
+        // The documented negative result: mapping lookahead alone does not
+        // move HDLTS's random-graph SLR outside a small band.
+        let f = ext_lookahead(&RunConfig { reps: 10, base_seed: 6, validate: false });
+        let vanilla = &f.series[0].1;
+        let lookahead = &f.series[1].1;
+        for (v, l) in vanilla.iter().zip(lookahead) {
+            assert!((l / v - 1.0).abs() < 0.08, "vanilla {v} vs lookahead {l}");
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! One function per figure of the paper's evaluation (Section V).
+//!
+//! Parameters the paper leaves unspecified (the averaging slice of Table II
+//! behind each curve) are pinned here and documented in EXPERIMENTS.md;
+//! each function's doc comment states its slice.
+
+use crate::runner::{metrics_for, RunConfig};
+use crate::sweep::{derive_seed, mean_curve, parallel_stats};
+use hdlts_baselines::AlgorithmKind;
+use hdlts_metrics::report::FigureData;
+use hdlts_workloads::{fft, moldyn, montage, random_dag, CostParams, RandomDagParams};
+
+const ALGOS: &[AlgorithmKind] = AlgorithmKind::PAPER_SET;
+
+/// Which metric a figure plots.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Metric {
+    Slr,
+    Efficiency,
+}
+
+impl Metric {
+    fn pick(self, m: &hdlts_metrics::MetricSet) -> f64 {
+        match self {
+            Metric::Slr => m.slr,
+            Metric::Efficiency => m.efficiency,
+        }
+    }
+}
+
+fn assemble(
+    mut fig: FigureData,
+    stats: &std::collections::BTreeMap<crate::sweep::StatKey, hdlts_metrics::RunningStats>,
+    x_count: usize,
+) -> FigureData {
+    for &alg in ALGOS {
+        fig.push_series(alg.name(), mean_curve(stats, alg, x_count));
+    }
+    fig
+}
+
+/// A generic random-DAG sweep: for each x tick, evaluate every combo ×
+/// repetition and average `metric` per algorithm.
+fn random_sweep(
+    cfg: &RunConfig,
+    fig_tag: u64,
+    x_ticks: &[String],
+    combos_at: impl Fn(usize) -> Vec<RandomDagParams>,
+    metric: Metric,
+) -> std::collections::BTreeMap<crate::sweep::StatKey, hdlts_metrics::RunningStats> {
+    struct Job {
+        x: usize,
+        params: RandomDagParams,
+        seed: u64,
+    }
+    let mut jobs = Vec::new();
+    for x in 0..x_ticks.len() {
+        for (ci, params) in combos_at(x).into_iter().enumerate() {
+            for rep in 0..cfg.reps_for_size(params.v) {
+                let seed =
+                    derive_seed(cfg.base_seed, &[fig_tag, x as u64, ci as u64, rep as u64]);
+                jobs.push(Job { x, params, seed });
+            }
+        }
+    }
+    parallel_stats(&jobs, |job| {
+        let inst = random_dag::generate(&job.params, job.seed);
+        metrics_for(&inst, ALGOS, cfg.validate)
+            .into_iter()
+            .map(|(alg, m)| (job.x, alg, metric.pick(&m)))
+            .collect()
+    })
+}
+
+/// Fig. 2 — Average SLR of random workflows vs CCR.
+///
+/// Slice: `V = 100`, 4 CPUs, `W_dag = 80`, averaged over
+/// `alpha ∈ {0.5, 1, 2} × density ∈ {2, 4} × beta ∈ {0.8, 1.6}`.
+pub fn fig2(cfg: &RunConfig) -> FigureData {
+    let ccrs = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let ticks: Vec<String> = ccrs.iter().map(|c| format!("{c}")).collect();
+    let stats = random_sweep(
+        cfg,
+        2,
+        &ticks,
+        |x| {
+            let mut combos = Vec::new();
+            for alpha in [0.5, 1.0, 2.0] {
+                for density in [2usize, 4] {
+                    for beta in [0.8, 1.6] {
+                        combos.push(RandomDagParams {
+                            v: 100,
+                            alpha,
+                            density,
+                            ccr: ccrs[x],
+                            w_dag: 80.0,
+                            beta,
+                            num_procs: 4,
+                            single_source: false,
+                        });
+                    }
+                }
+            }
+            combos
+        },
+        Metric::Slr,
+    );
+    assemble(
+        FigureData::new("fig2: Average SLR of random workflows vs CCR", "CCR", "Average SLR", ticks.clone()),
+        &stats,
+        ticks.len(),
+    )
+}
+
+/// Fig. 3 — Average SLR of random workflows vs task count.
+///
+/// Slice: 4 CPUs, `alpha = 1`, `density = 3`, `beta = 1.2`, `W_dag = 80`,
+/// averaged over `CCR ∈ {1, 3}`; repetitions scale down beyond 500 tasks.
+pub fn fig3(cfg: &RunConfig) -> FigureData {
+    let sizes = [100usize, 200, 300, 400, 500, 1000, 5000, 10000];
+    let ticks: Vec<String> = sizes.iter().map(|v| format!("{v}")).collect();
+    let stats = random_sweep(
+        cfg,
+        3,
+        &ticks,
+        |x| {
+            [1.0, 3.0]
+                .into_iter()
+                .map(|ccr| RandomDagParams {
+                    v: sizes[x],
+                    alpha: 1.0,
+                    density: 3,
+                    ccr,
+                    w_dag: 80.0,
+                    beta: 1.2,
+                    num_procs: 4,
+                    single_source: false,
+                })
+                .collect()
+        },
+        Metric::Slr,
+    );
+    assemble(
+        FigureData::new(
+            "fig3: Average SLR of random workflows vs task size",
+            "Tasks",
+            "Average SLR",
+            ticks.clone(),
+        ),
+        &stats,
+        ticks.len(),
+    )
+}
+
+/// Fig. 4 — Efficiency of random workflows vs number of CPUs.
+///
+/// Slice: `V = 100`, `W_dag = 80`, `density = 3`, `beta = 1.2`, averaged
+/// over `CCR ∈ {1, 3} × alpha ∈ {1, 2}`.
+pub fn fig4(cfg: &RunConfig) -> FigureData {
+    let procs = [2usize, 4, 6, 8, 10];
+    let ticks: Vec<String> = procs.iter().map(|p| format!("{p}")).collect();
+    let stats = random_sweep(
+        cfg,
+        4,
+        &ticks,
+        |x| {
+            let mut combos = Vec::new();
+            for ccr in [1.0, 3.0] {
+                for alpha in [1.0, 2.0] {
+                    combos.push(RandomDagParams {
+                        v: 100,
+                        alpha,
+                        density: 3,
+                        ccr,
+                        w_dag: 80.0,
+                        beta: 1.2,
+                        num_procs: procs[x],
+                        single_source: false,
+                    });
+                }
+            }
+            combos
+        },
+        Metric::Efficiency,
+    );
+    assemble(
+        FigureData::new(
+            "fig4: Efficiency of random workflows vs number of CPUs",
+            "CPUs",
+            "Efficiency",
+            ticks.clone(),
+        ),
+        &stats,
+        ticks.len(),
+    )
+}
+
+/// Shared sweep for the fixed-structure workloads (FFT / Montage / MD).
+fn structured_sweep<I>(
+    cfg: &RunConfig,
+    fig_tag: u64,
+    x_count: usize,
+    metric: Metric,
+    variants_at: impl Fn(usize) -> Vec<I>,
+    build: impl Fn(&I, u64) -> hdlts_workloads::Instance + Sync + Send,
+) -> std::collections::BTreeMap<crate::sweep::StatKey, hdlts_metrics::RunningStats>
+where
+    I: Sync + Send + Clone,
+{
+    struct Job<I> {
+        x: usize,
+        variant: I,
+        seed: u64,
+    }
+    let mut jobs = Vec::new();
+    for x in 0..x_count {
+        for (vi, variant) in variants_at(x).into_iter().enumerate() {
+            for rep in 0..cfg.reps {
+                let seed =
+                    derive_seed(cfg.base_seed, &[fig_tag, x as u64, vi as u64, rep as u64]);
+                jobs.push(Job { x, variant: variant.clone(), seed });
+            }
+        }
+    }
+    parallel_stats(&jobs, |job: &Job<I>| {
+        let inst = build(&job.variant, job.seed);
+        metrics_for(&inst, ALGOS, cfg.validate)
+            .into_iter()
+            .map(|(alg, m)| (job.x, alg, metric.pick(&m)))
+            .collect()
+    })
+}
+
+fn cost_params(ccr: f64, num_procs: usize) -> CostParams {
+    CostParams { w_dag: 80.0, ccr, beta: 1.2, num_procs, ..CostParams::default() }
+}
+
+/// Fig. 6 — Average SLR of FFT workflows vs input points
+/// (`m ∈ {4, 8, 16, 32}` → 15–223 tasks), averaged over `CCR ∈ {1..5}`,
+/// 4 CPUs.
+pub fn fig6(cfg: &RunConfig) -> FigureData {
+    let ms = [4usize, 8, 16, 32];
+    let ticks: Vec<String> = ms.iter().map(|m| format!("{m}")).collect();
+    let stats = structured_sweep(
+        cfg,
+        6,
+        ms.len(),
+        Metric::Slr,
+        |x| {
+            [1.0, 2.0, 3.0, 4.0, 5.0]
+                .into_iter()
+                .map(|ccr| (ms[x], ccr))
+                .collect::<Vec<_>>()
+        },
+        |&(m, ccr), seed| fft::generate(m, &cost_params(ccr, 4), seed),
+    );
+    assemble(
+        FigureData::new(
+            "fig6: Average SLR of FFT workflows vs input points",
+            "Input points (m)",
+            "Average SLR",
+            ticks.clone(),
+        ),
+        &stats,
+        ticks.len(),
+    )
+}
+
+/// Fig. 7 — Average SLR of FFT workflows vs CCR (`m = 16`, 4 CPUs).
+pub fn fig7(cfg: &RunConfig) -> FigureData {
+    let ccrs = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let ticks: Vec<String> = ccrs.iter().map(|c| format!("{c}")).collect();
+    let stats = structured_sweep(
+        cfg,
+        7,
+        ccrs.len(),
+        Metric::Slr,
+        |x| vec![ccrs[x]],
+        |&ccr, seed| fft::generate(16, &cost_params(ccr, 4), seed),
+    );
+    assemble(
+        FigureData::new(
+            "fig7: Average SLR of FFT workflows vs CCR",
+            "CCR",
+            "Average SLR",
+            ticks.clone(),
+        ),
+        &stats,
+        ticks.len(),
+    )
+}
+
+/// Fig. 8 — Efficiency of FFT workflows vs number of CPUs
+/// (`m = 16`, `CCR = 3`).
+pub fn fig8(cfg: &RunConfig) -> FigureData {
+    let procs = [2usize, 4, 6, 8, 10];
+    let ticks: Vec<String> = procs.iter().map(|p| format!("{p}")).collect();
+    let stats = structured_sweep(
+        cfg,
+        8,
+        procs.len(),
+        Metric::Efficiency,
+        |x| vec![procs[x]],
+        |&p, seed| fft::generate(16, &cost_params(3.0, p), seed),
+    );
+    assemble(
+        FigureData::new(
+            "fig8: Efficiency of FFT workflows vs number of CPUs",
+            "CPUs",
+            "Efficiency",
+            ticks.clone(),
+        ),
+        &stats,
+        ticks.len(),
+    )
+}
+
+/// Fig. 10 — Average SLR of Montage workflows vs CCR (50- and 100-node
+/// graphs averaged, 5 CPUs, as specified in Section V-C.2).
+pub fn fig10(cfg: &RunConfig) -> FigureData {
+    let ccrs = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let ticks: Vec<String> = ccrs.iter().map(|c| format!("{c}")).collect();
+    let stats = structured_sweep(
+        cfg,
+        10,
+        ccrs.len(),
+        Metric::Slr,
+        |x| vec![(50usize, ccrs[x]), (100, ccrs[x])],
+        |&(nodes, ccr), seed| montage::generate_approx(nodes, &cost_params(ccr, 5), seed),
+    );
+    assemble(
+        FigureData::new(
+            "fig10: Average SLR of Montage workflows vs CCR",
+            "CCR",
+            "Average SLR",
+            ticks.clone(),
+        ),
+        &stats,
+        ticks.len(),
+    )
+}
+
+/// Fig. 11 — Efficiency of Montage workflows vs number of CPUs
+/// (`CCR = 3`, 50- and 100-node graphs averaged, CPUs 2–10 as in
+/// Section V-C.2).
+pub fn fig11(cfg: &RunConfig) -> FigureData {
+    let procs = [2usize, 4, 6, 8, 10];
+    let ticks: Vec<String> = procs.iter().map(|p| format!("{p}")).collect();
+    let stats = structured_sweep(
+        cfg,
+        11,
+        procs.len(),
+        Metric::Efficiency,
+        |x| vec![(50usize, procs[x]), (100, procs[x])],
+        |&(nodes, p), seed| montage::generate_approx(nodes, &cost_params(3.0, p), seed),
+    );
+    assemble(
+        FigureData::new(
+            "fig11: Efficiency of Montage workflows vs number of CPUs",
+            "CPUs",
+            "Efficiency",
+            ticks.clone(),
+        ),
+        &stats,
+        ticks.len(),
+    )
+}
+
+/// Fig. 13 — Average SLR of the Molecular Dynamics workflow vs CCR
+/// (5 CPUs, averaged over `beta ∈ {0.4, 1.2, 2.0}` since Section V-C.3
+/// varies the heterogeneity factor).
+pub fn fig13(cfg: &RunConfig) -> FigureData {
+    let ccrs = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let ticks: Vec<String> = ccrs.iter().map(|c| format!("{c}")).collect();
+    let stats = structured_sweep(
+        cfg,
+        13,
+        ccrs.len(),
+        Metric::Slr,
+        |x| {
+            [0.4, 1.2, 2.0]
+                .into_iter()
+                .map(|beta| (ccrs[x], beta))
+                .collect::<Vec<_>>()
+        },
+        |&(ccr, beta), seed| {
+            moldyn::generate(
+                &CostParams { w_dag: 80.0, ccr, beta, num_procs: 5, ..CostParams::default() },
+                seed,
+            )
+        },
+    );
+    assemble(
+        FigureData::new(
+            "fig13: Average SLR of Molecular Dynamics workflow vs CCR",
+            "CCR",
+            "Average SLR",
+            ticks.clone(),
+        ),
+        &stats,
+        ticks.len(),
+    )
+}
+
+/// Fig. 14 — Efficiency of the Molecular Dynamics workflow vs number of
+/// CPUs (`CCR = 3`, CPUs 2–10 as in Section V-C.3).
+pub fn fig14(cfg: &RunConfig) -> FigureData {
+    let procs = [2usize, 4, 6, 8, 10];
+    let ticks: Vec<String> = procs.iter().map(|p| format!("{p}")).collect();
+    let stats = structured_sweep(
+        cfg,
+        14,
+        procs.len(),
+        Metric::Efficiency,
+        |x| vec![procs[x]],
+        |&p, seed| moldyn::generate(&cost_params(3.0, p), seed),
+    );
+    assemble(
+        FigureData::new(
+            "fig14: Efficiency of Molecular Dynamics workflow vs number of CPUs",
+            "CPUs",
+            "Efficiency",
+            ticks.clone(),
+        ),
+        &stats,
+        ticks.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunConfig {
+        RunConfig { reps: 2, base_seed: 7, validate: true }
+    }
+
+    #[test]
+    fn fig2_produces_full_series() {
+        let f = fig2(&tiny());
+        assert_eq!(f.x_ticks.len(), 5);
+        assert_eq!(f.series.len(), 6);
+        for (name, ys) in &f.series {
+            assert_eq!(ys.len(), 5, "{name}");
+            assert!(ys.iter().all(|y| y.is_finite() && *y >= 1.0), "{name}: {ys:?}");
+        }
+    }
+
+    #[test]
+    fn fig7_slr_grows_with_ccr() {
+        let f = fig7(&RunConfig { reps: 4, base_seed: 3, validate: false });
+        for (name, ys) in &f.series {
+            // Communication-heavier graphs are strictly harder on average.
+            assert!(
+                ys[4] > ys[0],
+                "{name}: SLR should grow from CCR=1 ({}) to CCR=5 ({})",
+                ys[0],
+                ys[4]
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_efficiency_decreases_with_cpus() {
+        let f = fig8(&RunConfig { reps: 4, base_seed: 3, validate: false });
+        for (name, ys) in &f.series {
+            assert!(
+                ys[0] > ys[4],
+                "{name}: efficiency must fall from 2 CPUs ({}) to 10 ({})",
+                ys[0],
+                ys[4]
+            );
+        }
+    }
+
+    #[test]
+    fn figures_are_deterministic() {
+        let a = fig13(&tiny());
+        let b = fig13(&tiny());
+        assert_eq!(a, b);
+    }
+}

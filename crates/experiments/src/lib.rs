@@ -1,0 +1,28 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each public `fig*`/`table*` function rebuilds one artifact of Section V
+//! as a [`hdlts_metrics::report::FigureData`] (or a string for the tables),
+//! sweeping the same parameters the paper reports and averaging repetitions
+//! with deterministic per-cell seeds. The `experiments` binary writes each
+//! result to `results/<id>.{csv,md,json}` plus an ASCII quick-look chart.
+//!
+//! Repetition counts: the paper averages 1000 runs per point. That is
+//! available via `--reps 1000`, but the default [`RunConfig`] uses a
+//! smaller count that keeps the full suite in the minutes range while
+//! leaving the *shape* of every curve intact (the curves are means of
+//! well-concentrated ratios; see EXPERIMENTS.md for measured variance).
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod custom;
+pub mod extensions;
+pub mod figures;
+pub mod output;
+pub mod runner;
+pub mod sweep;
+pub mod tables;
+pub mod winrate;
+
+pub use runner::{metrics_for, RunConfig};
+pub use sweep::derive_seed;

@@ -1,0 +1,191 @@
+//! CLI regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments <ids...|all> [--reps N] [--seed N] [--out DIR] [--validate]
+//! experiments --config sweep.json [--reps N] [--seed N] [--out DIR]
+//! ```
+//!
+//! IDs: table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig10 fig11 fig13 fig14
+//!      graphs ablation-dup ablation-insertion ablation-pv
+
+use hdlts_experiments::{ablations, extensions, figures, output, tables, RunConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const FIGURE_IDS: &[&str] = &[
+    "table1", "table2", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig10", "fig11",
+    "fig13", "fig14", "graphs", "ablation-dup", "ablation-insertion", "ablation-pv",
+    "ablation-entry", "ext-dynamic", "ext-network", "ext-lookahead", "ext-energy",
+    "ext-consistency", "ext-winrate", "ext-balance",
+    "report",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: experiments <ids...|all> [--reps N] [--seed N] [--out DIR] [--validate]\n       experiments --config sweep.json [--reps N] [--seed N] [--out DIR]\n  ids: {}",
+        FIGURE_IDS.join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut cfg = RunConfig::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut config_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.reps = v,
+                None => return fail("--reps needs a positive integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.base_seed = v,
+                None => return fail("--seed needs an integer"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => return fail("--out needs a directory"),
+            },
+            "--validate" => cfg.validate = true,
+            "--config" => match it.next() {
+                Some(v) => config_path = Some(v.clone()),
+                None => return fail("--config needs a file"),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown flag {other}"));
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if let Some(path) = config_path {
+        return run_config(&path, &cfg, &out_dir);
+    }
+    if ids.is_empty() {
+        println!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = FIGURE_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !FIGURE_IDS.contains(&id.as_str()) {
+            return fail(&format!("unknown id '{id}'\n{}", usage()));
+        }
+    }
+
+    println!(
+        "running {} artifact(s), reps={}, seed={}, out={}",
+        ids.len(),
+        cfg.reps,
+        cfg.base_seed,
+        out_dir.display()
+    );
+    for id in &ids {
+        let started = Instant::now();
+        let result = run_one(id, &cfg, &out_dir);
+        match result {
+            Ok(summary) => {
+                println!("\n=== {id} ({:.1?}) ===\n{summary}", started.elapsed());
+            }
+            Err(e) => {
+                eprintln!("{id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_one(id: &str, cfg: &RunConfig, out_dir: &Path) -> std::io::Result<String> {
+    let fig = match id {
+        "table1" => {
+            let t = tables::table1();
+            output::write_table(out_dir, id, &t)?;
+            return Ok(t);
+        }
+        "table2" => {
+            let t = tables::table2();
+            output::write_table(out_dir, id, &t)?;
+            return Ok(t);
+        }
+        "ext-winrate" => {
+            let t = hdlts_experiments::winrate::ext_winrate(cfg);
+            output::write_table(out_dir, id, &t)?;
+            return Ok(t);
+        }
+        "graphs" => {
+            let written = output::write_graphs(out_dir)?;
+            return Ok(format!("wrote {}", written.join(", ")));
+        }
+        "report" => {
+            // Everything except itself, in presentation order.
+            let ids: Vec<&str> =
+                FIGURE_IDS.iter().copied().filter(|id| *id != "report" && *id != "graphs").collect();
+            let included = output::write_report(out_dir, &ids)?;
+            return Ok(format!(
+                "report.html assembled from {} artifact(s): {}",
+                included.len(),
+                included.join(", ")
+            ));
+        }
+        "fig2" => figures::fig2(cfg),
+        "fig3" => figures::fig3(cfg),
+        "fig4" => figures::fig4(cfg),
+        "fig6" => figures::fig6(cfg),
+        "fig7" => figures::fig7(cfg),
+        "fig8" => figures::fig8(cfg),
+        "fig10" => figures::fig10(cfg),
+        "fig11" => figures::fig11(cfg),
+        "fig13" => figures::fig13(cfg),
+        "fig14" => figures::fig14(cfg),
+        "ablation-dup" => ablations::ablation_duplication(cfg),
+        "ablation-insertion" => ablations::ablation_insertion(cfg),
+        "ablation-pv" => ablations::ablation_pv(cfg),
+        "ablation-entry" => ablations::ablation_entry(cfg),
+        "ext-dynamic" => extensions::ext_dynamic(cfg),
+        "ext-network" => extensions::ext_network(cfg),
+        "ext-lookahead" => extensions::ext_lookahead(cfg),
+        "ext-energy" => extensions::ext_energy(cfg),
+        "ext-consistency" => extensions::ext_consistency(cfg),
+        "ext-balance" => extensions::ext_balance(cfg),
+        _ => unreachable!("ids validated in main"),
+    };
+    output::write_figure(out_dir, id, &fig)
+}
+
+fn run_config(path: &str, cfg: &RunConfig, out_dir: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {path}: {e}")),
+    };
+    let specs = match hdlts_experiments::custom::SweepSpec::parse_config(&text) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    for spec in &specs {
+        let started = Instant::now();
+        match spec.run(cfg) {
+            Ok(fig) => match output::write_figure(out_dir, &spec.id, &fig) {
+                Ok(ascii) => {
+                    println!("\n=== {} ({:.1?}) ===\n{ascii}", spec.id, started.elapsed())
+                }
+                Err(e) => return fail(&format!("{}: {e}", spec.id)),
+            },
+            Err(e) => return fail(&format!("{}: {e}", spec.id)),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
+}

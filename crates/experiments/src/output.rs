@@ -1,0 +1,115 @@
+//! Result-file writing for the experiments binary.
+
+use hdlts_metrics::report::FigureData;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes `fig` under `dir` as `<id>.csv`, `<id>.md`, `<id>.json`, and
+/// `<id>.svg`, creating the directory as needed, and returns the ASCII
+/// quick-look chart for stdout.
+pub fn write_figure(dir: &Path, id: &str, fig: &FigureData) -> io::Result<String> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{id}.csv")), fig.to_csv())?;
+    fs::write(dir.join(format!("{id}.md")), fig.to_markdown())?;
+    fs::write(dir.join(format!("{id}.svg")), fig.to_svg_chart(720, 380))?;
+    let json = serde_json::to_string_pretty(fig)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(dir.join(format!("{id}.json")), json)?;
+    Ok(fig.to_ascii_chart(16))
+}
+
+/// Assembles every `<id>.json` figure and `<id>.md` table already present
+/// under `dir` into a single self-contained `report.html` with inline SVG
+/// charts, in the given id order (unknown ids are skipped silently).
+/// Returns the ids included.
+pub fn write_report(dir: &Path, ids: &[&str]) -> io::Result<Vec<String>> {
+    use std::fmt::Write as _;
+    let mut body = String::new();
+    let mut included = Vec::new();
+    for id in ids {
+        let json_path = dir.join(format!("{id}.json"));
+        let md_path = dir.join(format!("{id}.md"));
+        if let Ok(text) = fs::read_to_string(&json_path) {
+            let fig: FigureData = serde_json::from_str(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let _ = writeln!(body, "<section id=\"{id}\">");
+            let _ = writeln!(body, "{}", fig.to_svg_chart(760, 400));
+            let _ = writeln!(body, "</section>");
+            included.push(id.to_string());
+        } else if let Ok(md) = fs::read_to_string(&md_path) {
+            let _ = writeln!(
+                body,
+                "<section id=\"{id}\"><pre>{}</pre></section>",
+                md.replace('&', "&amp;").replace('<', "&lt;")
+            );
+            included.push(id.to_string());
+        }
+    }
+    let html = format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>HDLTS reproduction report</title>\
+         <style>body{{font-family:sans-serif;max-width:900px;margin:2em auto}}\
+         section{{margin-bottom:2em}}pre{{background:#f6f6f6;padding:1em;overflow-x:auto}}</style>\
+         </head><body>\n<h1>HDLTS reproduction report</h1>\n\
+         <p>Regenerated tables and figures; see EXPERIMENTS.md for the\
+         paper-vs-measured discussion.</p>\n{body}</body></html>\n"
+    );
+    fs::write(dir.join("report.html"), html)?;
+    Ok(included)
+}
+
+/// Writes a Markdown table artifact (`<id>.md`).
+pub fn write_table(dir: &Path, id: &str, content: &str) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{id}.md")), content)
+}
+
+/// Writes the workload-illustration DOT files (Figs. 1, 5, 9, 12).
+pub fn write_graphs(dir: &Path) -> io::Result<Vec<String>> {
+    use hdlts_workloads::{fft, fixtures, moldyn, montage, CostParams};
+    let gdir = dir.join("graphs");
+    fs::create_dir_all(&gdir)?;
+    let params = CostParams::default();
+    let items = [
+        ("fig1_sample", fixtures::fig1()),
+        ("fig5_fft_m4", fft::generate(4, &params, 1)),
+        ("fig9_montage_20", montage::generate(5, &params, 1)),
+        ("fig12_moldyn", moldyn::generate(&params, 1)),
+    ];
+    let mut written = Vec::new();
+    for (name, inst) in items {
+        let path = gdir.join(format!("{name}.dot"));
+        fs::write(&path, inst.dag.to_dot(&inst.name))?;
+        written.push(path.display().to_string());
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_all_formats() {
+        let dir = std::env::temp_dir().join(format!("hdlts-out-{}", std::process::id()));
+        let mut fig = FigureData::new("t", "x", "y", vec!["1".into()]);
+        fig.push_series("s", vec![2.0]);
+        let ascii = write_figure(&dir, "figX", &fig).unwrap();
+        assert!(ascii.contains("t"));
+        for ext in ["csv", "md", "json"] {
+            assert!(dir.join(format!("figX.{ext}")).exists(), "{ext}");
+        }
+        write_table(&dir, "tab", "# hi").unwrap();
+        assert!(dir.join("tab.md").exists());
+        assert!(dir.join("figX.svg").exists());
+        let included = write_report(&dir, &["figX", "tab", "missing"]).unwrap();
+        assert_eq!(included, vec!["figX".to_string(), "tab".to_string()]);
+        let html = fs::read_to_string(dir.join("report.html")).unwrap();
+        assert!(html.contains("<svg"));
+        assert!(html.contains("<pre># hi"));
+        let graphs = write_graphs(&dir).unwrap();
+        assert_eq!(graphs.len(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-instance evaluation and the shared sweep configuration.
+
+use hdlts_baselines::AlgorithmKind;
+use hdlts_metrics::MetricSet;
+use hdlts_platform::Platform;
+use hdlts_workloads::Instance;
+use serde::{Deserialize, Serialize};
+
+/// Shared knobs of every experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Repetitions per parameter cell (the paper uses 1000).
+    pub reps: usize,
+    /// Base seed; every cell derives its own deterministic seed from it.
+    pub base_seed: u64,
+    /// Validate every produced schedule against the independent validator
+    /// (slower; the integration suite covers this by default).
+    pub validate: bool,
+}
+
+impl Default for RunConfig {
+    /// 20 repetitions per cell, seed 42, no inline validation — enough for
+    /// stable curve shapes in seconds; use `--reps 1000` for paper-scale
+    /// averaging.
+    fn default() -> Self {
+        RunConfig { reps: 20, base_seed: 42, validate: false }
+    }
+}
+
+impl RunConfig {
+    /// Repetitions scaled down for very large task counts so `fig3`'s
+    /// 10,000-task points don't dominate the suite: full `reps` up to 500
+    /// tasks, then inversely proportional, never below 3.
+    pub fn reps_for_size(&self, v: usize) -> usize {
+        if v <= 500 {
+            self.reps
+        } else {
+            (self.reps * 500 / v).max(3)
+        }
+    }
+}
+
+/// Schedules `inst` with every algorithm in `algos` and returns the full
+/// metric set per algorithm.
+///
+/// # Panics
+///
+/// Panics if an algorithm fails to schedule (generated workloads are always
+/// well-formed, so a failure is a bug worth crashing on) or — with
+/// `validate` — if a schedule fails feasibility validation.
+pub fn metrics_for(
+    inst: &Instance,
+    algos: &[AlgorithmKind],
+    validate: bool,
+) -> Vec<(AlgorithmKind, MetricSet)> {
+    let platform = Platform::fully_connected(inst.num_procs())
+        .expect("instances target at least one processor");
+    let problem = inst
+        .problem(&platform)
+        .expect("instance dimensions are consistent");
+    algos
+        .iter()
+        .map(|&k| {
+            let schedule = k
+                .build()
+                .schedule(&problem)
+                .unwrap_or_else(|e| panic!("{k} failed on {}: {e}", inst.name));
+            if validate {
+                schedule
+                    .validate(&problem)
+                    .unwrap_or_else(|e| panic!("{k} infeasible on {}: {e}", inst.name));
+            }
+            (k, MetricSet::compute(&problem, &schedule))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_workloads::{random_dag, RandomDagParams};
+
+    #[test]
+    fn reps_scaling() {
+        let cfg = RunConfig { reps: 20, ..RunConfig::default() };
+        assert_eq!(cfg.reps_for_size(100), 20);
+        assert_eq!(cfg.reps_for_size(500), 20);
+        assert_eq!(cfg.reps_for_size(1000), 10);
+        assert_eq!(cfg.reps_for_size(10000), 3);
+    }
+
+    #[test]
+    fn metrics_for_all_paper_algorithms() {
+        let inst = random_dag::generate(&RandomDagParams::default(), 7);
+        let out = metrics_for(&inst, AlgorithmKind::PAPER_SET, true);
+        assert_eq!(out.len(), 6);
+        for (k, m) in out {
+            assert!(m.slr >= 1.0 - 1e-9, "{k}: SLR {}", m.slr);
+            assert!(m.speedup > 0.0 && m.speedup.is_finite());
+            // Efficiency may exceed 1 on heterogeneous platforms (Eq. 11's
+            // sequential baseline is pinned to one processor while the
+            // parallel schedule picks each task's fastest).
+            assert!(m.efficiency > 0.0 && m.efficiency.is_finite(), "{k}");
+        }
+    }
+}

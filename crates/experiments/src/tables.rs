@@ -1,0 +1,86 @@
+//! Reproduction of the paper's tables.
+
+use hdlts_baselines::AlgorithmKind;
+use hdlts_core::{Hdlts, Scheduler};
+use hdlts_platform::Platform;
+use hdlts_workloads::{fixtures, TableII};
+use std::fmt::Write as _;
+
+/// Table I — the HDLTS step-by-step schedule of the Fig. 1 workflow,
+/// rendered as Markdown, followed by the makespan comparison row the paper
+/// quotes (HDLTS 73 vs HEFT 80, PETS 77, PEFT 86, SDBATS 74).
+pub fn table1() -> String {
+    let inst = fixtures::fig1();
+    let platform = Platform::fully_connected(3).expect("3 CPUs");
+    let problem = inst.problem(&platform).expect("fig1 is well-formed");
+    let (schedule, trace) = Hdlts::paper_exact()
+        .schedule_with_trace(&problem)
+        .expect("fig1 schedules");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Table I: HDLTS schedule produced at each step\n");
+    out.push_str(&trace.to_markdown());
+    let _ = writeln!(out, "\nHDLTS makespan: {}\n", schedule.makespan());
+    let _ = writeln!(out, "Makespans of every scheduler on the Fig. 1 workflow:\n");
+    let _ = writeln!(out, "| Algorithm | Makespan |");
+    let _ = writeln!(out, "|-----------|----------|");
+    for &k in AlgorithmKind::ALL {
+        let m = k
+            .build()
+            .schedule(&problem)
+            .expect("fig1 schedules under every algorithm")
+            .makespan();
+        let _ = writeln!(out, "| {k} | {m} |");
+    }
+    let _ = writeln!(out, "\nGantt chart of the HDLTS schedule:\n```");
+    out.push_str(&schedule.to_gantt(&platform, 73));
+    let _ = writeln!(out, "```");
+    out
+}
+
+/// Table II — the random-generator parameter grid and its combination
+/// count (the paper quotes "125K unique graphs"; the literal product of the
+/// printed rows is 150,000 — see EXPERIMENTS.md).
+pub fn table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Table II: parameters used to generate random task graphs\n");
+    let _ = writeln!(out, "| Parameter | Values |");
+    let _ = writeln!(out, "|-----------|--------|");
+    let fmt_f = |v: &[f64]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+    let fmt_u = |v: &[usize]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(out, "| Tasks (V) | {} |", fmt_u(TableII::TASKS));
+    let _ = writeln!(out, "| Alpha | {} |", fmt_f(TableII::ALPHAS));
+    let _ = writeln!(out, "| Density | {} |", fmt_u(TableII::DENSITIES));
+    let _ = writeln!(out, "| CCR | {} |", fmt_f(TableII::CCRS));
+    let _ = writeln!(out, "| Number of CPUs | {} |", fmt_u(TableII::CPUS));
+    let _ = writeln!(out, "| W_dag | {} |", fmt_f(TableII::W_DAGS));
+    let _ = writeln!(out, "| Beta | {} |", fmt_f(TableII::BETAS));
+    let _ = writeln!(
+        out,
+        "\nUnique parameter combinations: {} (paper quotes 125K)\n",
+        TableII::unique_graph_combinations()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_the_pinned_makespans() {
+        let t = table1();
+        assert!(t.contains("HDLTS makespan: 73"));
+        assert!(t.contains("| HEFT | 80 |"));
+        assert!(t.contains("| CPOP | 86 |"));
+        assert!(t.contains("| SDBATS | 74 |"));
+        assert!(t.contains("| Step |"));
+    }
+
+    #[test]
+    fn table2_lists_the_grid() {
+        let t = table2();
+        assert!(t.contains("100, 200, 300, 400, 500, 1000, 5000, 10000"));
+        assert!(t.contains("150000"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Pairwise win-rate analysis.
+//!
+//! Mean SLR hides per-instance structure: algorithm A can have a worse
+//! mean than B yet win on most instances (a few blowups dominate the
+//! average). This artifact reports, for each ordered pair `(A, B)`, the
+//! fraction of instances where `A`'s makespan is strictly lower than
+//! `B`'s — the statistic reviewers usually ask for when means disagree.
+
+use crate::runner::{metrics_for, RunConfig};
+use crate::sweep::derive_seed;
+use hdlts_baselines::AlgorithmKind;
+use hdlts_workloads::{random_dag, RandomDagParams};
+use rayon::prelude::*;
+use std::fmt::Write as _;
+
+/// Result of a win-rate tournament.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinMatrix {
+    /// Competing algorithms, fixing row/column order.
+    pub algorithms: Vec<AlgorithmKind>,
+    /// `wins[a][b]` = instances where `a`'s makespan < `b`'s (strictly).
+    pub wins: Vec<Vec<u32>>,
+    /// `ties[a][b]` = instances where the makespans agree to 1e-9.
+    pub ties: Vec<Vec<u32>>,
+    /// Instances evaluated.
+    pub instances: u32,
+}
+
+impl WinMatrix {
+    /// Win rate of `a` over `b` (ties excluded from the numerator).
+    pub fn rate(&self, a: usize, b: usize) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.wins[a][b] as f64 / self.instances as f64
+        }
+    }
+
+    /// Markdown rendering: rows beat columns.
+    pub fn to_markdown(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {title}\n");
+        let _ = writeln!(
+            out,
+            "Cell = fraction of instances where the *row* algorithm's makespan \
+             is strictly lower than the *column*'s ({} instances).\n",
+            self.instances
+        );
+        let _ = write!(out, "| beats → |");
+        for a in &self.algorithms {
+            let _ = write!(out, " {a} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.algorithms {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for (i, a) in self.algorithms.iter().enumerate() {
+            let _ = write!(out, "| **{a}** |");
+            for j in 0..self.algorithms.len() {
+                if i == j {
+                    let _ = write!(out, " — |");
+                } else {
+                    let _ = write!(out, " {:.2} |", self.rate(i, j));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Runs the tournament on random workflows at the given CCR.
+pub fn win_matrix(
+    cfg: &RunConfig,
+    algorithms: &[AlgorithmKind],
+    ccr: f64,
+    single_source: bool,
+) -> WinMatrix {
+    let n = algorithms.len();
+    let jobs: Vec<u64> = (0..cfg.reps as u64)
+        .map(|rep| derive_seed(cfg.base_seed, &[206, (ccr * 10.0) as u64, rep]))
+        .collect();
+    let (wins, ties) = jobs
+        .par_iter()
+        .fold(
+            || (vec![vec![0u32; n]; n], vec![vec![0u32; n]; n]),
+            |(mut wins, mut ties), &seed| {
+                let params = RandomDagParams {
+                    ccr,
+                    single_source,
+                    ..RandomDagParams::default()
+                };
+                let inst = random_dag::generate(&params, seed);
+                let spans: Vec<f64> = metrics_for(&inst, algorithms, cfg.validate)
+                    .into_iter()
+                    .map(|(_, m)| m.makespan)
+                    .collect();
+                for a in 0..n {
+                    for b in 0..n {
+                        if a == b {
+                            continue;
+                        }
+                        if spans[a] + 1e-9 < spans[b] {
+                            wins[a][b] += 1;
+                        } else if (spans[a] - spans[b]).abs() <= 1e-9 {
+                            ties[a][b] += 1;
+                        }
+                    }
+                }
+                (wins, ties)
+            },
+        )
+        .reduce(
+            || (vec![vec![0u32; n]; n], vec![vec![0u32; n]; n]),
+            |(mut wa, mut ta), (wb, tb)| {
+                for i in 0..n {
+                    for j in 0..n {
+                        wa[i][j] += wb[i][j];
+                        ta[i][j] += tb[i][j];
+                    }
+                }
+                (wa, ta)
+            },
+        );
+    WinMatrix {
+        algorithms: algorithms.to_vec(),
+        wins,
+        ties,
+        instances: cfg.reps as u32,
+    }
+}
+
+/// The `ext-winrate` artifact: tournaments at CCR 1 and 5, multi- and
+/// single-entry, rendered as one Markdown document.
+pub fn ext_winrate(cfg: &RunConfig) -> String {
+    let mut algos = AlgorithmKind::PAPER_SET.to_vec();
+    algos.push(AlgorithmKind::HdltsD);
+    let mut out = String::from("## ext-winrate: pairwise win rates on random workflows\n\n");
+    for (ccr, single_source) in [(1.0, false), (5.0, false), (5.0, true)] {
+        let m = win_matrix(cfg, &algos, ccr, single_source);
+        let title = format!(
+            "CCR = {ccr}, {} graphs",
+            if single_source { "single-entry" } else { "multi-entry" }
+        );
+        out.push_str(&m.to_markdown(&title));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_antisymmetric_with_ties() {
+        let cfg = RunConfig { reps: 8, base_seed: 3, validate: false };
+        let algos = [AlgorithmKind::Hdlts, AlgorithmKind::Heft, AlgorithmKind::Sdbats];
+        let m = win_matrix(&cfg, &algos, 3.0, false);
+        assert_eq!(m.instances, 8);
+        for a in 0..3 {
+            for b in 0..3 {
+                if a != b {
+                    assert_eq!(
+                        m.wins[a][b] + m.wins[b][a] + m.ties[a][b],
+                        m.instances,
+                        "{a} vs {b}"
+                    );
+                    assert_eq!(m.ties[a][b], m.ties[b][a]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn markdown_has_full_grid() {
+        let cfg = RunConfig { reps: 4, base_seed: 1, validate: false };
+        let algos = [AlgorithmKind::Hdlts, AlgorithmKind::Heft];
+        let md = win_matrix(&cfg, &algos, 2.0, false).to_markdown("t");
+        assert!(md.contains("| **HDLTS** |"));
+        assert!(md.contains("| **HEFT** |"));
+        assert!(md.contains("— |"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RunConfig { reps: 5, base_seed: 7, validate: false };
+        let algos = [AlgorithmKind::Hdlts, AlgorithmKind::Heft];
+        assert_eq!(
+            win_matrix(&cfg, &algos, 4.0, true),
+            win_matrix(&cfg, &algos, 4.0, true)
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Load-balance measures.
+//!
+//! Section IV claims "the HDLTS has the higher efficiency and load
+//! balancing"; these helpers quantify that claim from a schedule's
+//! per-processor utilizations so the `compare` tooling and the ablation
+//! experiments can test it.
+
+use hdlts_core::Schedule;
+
+/// Coefficient of variation of per-processor busy time (σ/µ over
+/// utilizations). 0 means perfectly even load; larger is more imbalanced.
+/// Returns 0 for an empty schedule or a single processor.
+pub fn load_imbalance_cv(schedule: &Schedule) -> f64 {
+    let utils = schedule.utilization();
+    if utils.len() < 2 {
+        return 0.0;
+    }
+    let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = utils.iter().map(|u| (u - mean) * (u - mean)).sum::<f64>() / utils.len() as f64;
+    var.sqrt() / mean
+}
+
+/// Ratio of the busiest to the least-busy processor's utilization
+/// (`inf` if some processor is completely idle while another works;
+/// 1.0 means perfectly even, or an empty schedule).
+pub fn load_imbalance_ratio(schedule: &Schedule) -> f64 {
+    let utils = schedule.utilization();
+    let max = utils.iter().copied().fold(0.0f64, f64::max);
+    let min = utils.iter().copied().fold(f64::INFINITY, f64::min);
+    if max <= 0.0 {
+        1.0
+    } else if min <= 0.0 {
+        f64::INFINITY
+    } else {
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_core::Schedule;
+    use hdlts_dag::TaskId;
+    use hdlts_platform::ProcId;
+
+    fn schedule(finishes: &[(u32, u32, f64)]) -> Schedule {
+        // (task, proc, duration) back to back per proc
+        let procs = finishes.iter().map(|&(_, p, _)| p).max().unwrap() + 1;
+        let mut s = Schedule::new(finishes.len(), procs as usize);
+        let mut avail = vec![0.0; procs as usize];
+        for &(t, p, d) in finishes {
+            let start = avail[p as usize];
+            s.place(TaskId(t), ProcId(p), start, start + d).unwrap();
+            avail[p as usize] = start + d;
+        }
+        s
+    }
+
+    #[test]
+    fn even_load_is_zero_cv_and_unit_ratio() {
+        let s = schedule(&[(0, 0, 5.0), (1, 1, 5.0)]);
+        assert_eq!(load_imbalance_cv(&s), 0.0);
+        assert_eq!(load_imbalance_ratio(&s), 1.0);
+    }
+
+    #[test]
+    fn skewed_load_measured() {
+        let s = schedule(&[(0, 0, 9.0), (1, 1, 3.0)]);
+        assert!(load_imbalance_cv(&s) > 0.4);
+        assert_eq!(load_imbalance_ratio(&s), 3.0);
+    }
+
+    #[test]
+    fn idle_processor_gives_infinite_ratio() {
+        let mut s = Schedule::new(1, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        assert_eq!(load_imbalance_ratio(&s), f64::INFINITY);
+        assert!(load_imbalance_cv(&s) > 0.0);
+    }
+
+    #[test]
+    fn empty_and_uniprocessor_degenerate_cleanly() {
+        let s = Schedule::new(1, 1);
+        assert_eq!(load_imbalance_cv(&s), 0.0);
+        assert_eq!(load_imbalance_ratio(&s), 1.0);
+    }
+}

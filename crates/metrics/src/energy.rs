@@ -1,0 +1,122 @@
+//! Simple energy accounting.
+//!
+//! Section II-B of the paper notes that "task duplication may reduce the
+//! overall makespan, but with the cost of complexity and cost of higher
+//! energy consumption". This module makes that claim measurable with the
+//! standard busy/idle power model used in the energy-aware scheduling
+//! literature the paper cites (\[19\], \[27\]): each processor draws
+//! `active` power while executing a slot (including replicas) and `idle`
+//! power otherwise, over the schedule's makespan.
+
+use hdlts_core::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Per-processor busy/idle power draw.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Active power per processor (indexed by processor id).
+    pub active: Vec<f64>,
+    /// Idle power per processor.
+    pub idle: Vec<f64>,
+}
+
+impl PowerModel {
+    /// Every processor draws the same `active`/`idle` power.
+    pub fn uniform(num_procs: usize, active: f64, idle: f64) -> Self {
+        assert!(active >= 0.0 && idle >= 0.0, "power draws must be non-negative");
+        assert!(idle <= active, "idle draw cannot exceed active draw");
+        PowerModel { active: vec![active; num_procs], idle: vec![idle; num_procs] }
+    }
+
+    /// Total energy of `schedule`: busy time at active power plus the rest
+    /// of the makespan at idle power, summed over processors. Replica slots
+    /// are busy time like any other — that is the duplication overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's processor count differs from the schedule's.
+    pub fn energy(&self, schedule: &Schedule) -> f64 {
+        assert_eq!(
+            self.active.len(),
+            schedule.num_procs(),
+            "power model and schedule disagree on processor count"
+        );
+        let horizon = schedule.makespan();
+        let mut total = 0.0;
+        for p in 0..schedule.num_procs() {
+            let busy = schedule
+                .timeline(hdlts_platform::ProcId::from_index(p))
+                .busy_time();
+            total += busy * self.active[p] + (horizon - busy).max(0.0) * self.idle[p];
+        }
+        total
+    }
+
+    /// Only the energy spent computing (no idle draw) — isolates the extra
+    /// work duplication adds independent of the makespan.
+    pub fn busy_energy(&self, schedule: &Schedule) -> f64 {
+        (0..schedule.num_procs())
+            .map(|p| {
+                schedule
+                    .timeline(hdlts_platform::ProcId::from_index(p))
+                    .busy_time()
+                    * self.active[p]
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_core::Schedule;
+    use hdlts_dag::TaskId;
+    use hdlts_platform::ProcId;
+
+    fn two_proc_schedule() -> Schedule {
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 6.0).unwrap();
+        s.place(TaskId(1), ProcId(1), 0.0, 4.0).unwrap();
+        s
+    }
+
+    #[test]
+    fn energy_accounts_busy_and_idle() {
+        let s = two_proc_schedule();
+        let pm = PowerModel::uniform(2, 10.0, 1.0);
+        // makespan 6: P1 busy 6; P2 busy 4, idle 2.
+        assert_eq!(pm.energy(&s), 6.0 * 10.0 + 4.0 * 10.0 + 2.0 * 1.0);
+        assert_eq!(pm.busy_energy(&s), 100.0);
+    }
+
+    #[test]
+    fn replicas_cost_energy() {
+        let mut with_dup = two_proc_schedule();
+        with_dup.place_duplicate(TaskId(0), ProcId(1), 4.0, 6.0).unwrap();
+        let pm = PowerModel::uniform(2, 10.0, 1.0);
+        let plain = pm.energy(&two_proc_schedule());
+        // The replica converts 2 idle units into busy units: +2*(10-1).
+        assert_eq!(pm.energy(&with_dup), plain + 2.0 * 9.0);
+    }
+
+    #[test]
+    fn zero_idle_energy_is_busy_energy() {
+        let s = two_proc_schedule();
+        let pm = PowerModel::uniform(2, 5.0, 0.0);
+        assert_eq!(pm.energy(&s), pm.busy_energy(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "processor count")]
+    fn dimension_mismatch_panics() {
+        let s = two_proc_schedule();
+        let pm = PowerModel::uniform(3, 10.0, 1.0);
+        let _ = pm.energy(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle draw")]
+    fn idle_above_active_rejected() {
+        let _ = PowerModel::uniform(2, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Scheduling metrics (Section V-A of the paper) and result statistics.
+//!
+//! * [`slr`] — the Scheduling Length Ratio (Eq. 10): makespan over the
+//!   minimum-computation critical-path lower bound;
+//! * [`speedup`] — best sequential time over makespan (Eq. 11);
+//! * [`efficiency`] — speedup per processor (Eq. 12);
+//! * [`MetricSet`] — all of the above for one schedule;
+//! * [`load_imbalance_cv`] / [`load_imbalance_ratio`] — load-balance
+//!   measures for Section IV's load-balancing claim;
+//! * [`PowerModel`] — busy/idle energy accounting for Section II-B's
+//!   duplication-costs-energy claim;
+//! * [`RunningStats`] — numerically stable streaming mean/σ/min/max for
+//!   aggregating the paper's 1000-repetition averages;
+//! * [`report`] — CSV/Markdown/ASCII-chart rendering of experiment series.
+
+#![warn(missing_docs)]
+
+mod balance;
+mod energy;
+mod measures;
+pub mod report;
+mod stats;
+mod svg_chart;
+
+pub use balance::{load_imbalance_cv, load_imbalance_ratio};
+pub use energy::PowerModel;
+pub use measures::{cp_min_bound, efficiency, slr, speedup, MetricSet};
+pub use stats::RunningStats;

@@ -1,0 +1,136 @@
+//! The paper's three comparison metrics (Eqs. 10–12).
+
+use hdlts_core::{Problem, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// The SLR denominator (Eq. 10): the length of the critical path when every
+/// task costs its *minimum* execution time and communication is free
+/// (co-locating the whole path eliminates it). This is a valid lower bound
+/// on any feasible makespan, so `SLR >= 1` always.
+pub fn cp_min_bound(problem: &Problem<'_>) -> f64 {
+    hdlts_dag::critical_path(
+        problem.dag(),
+        |t| problem.costs().min_cost(t),
+        |_, _, _| 0.0,
+    )
+    .length
+}
+
+/// Scheduling Length Ratio (Eq. 10): `makespan / cp_min_bound`. Lower is
+/// better; 1.0 means the schedule matches the critical-path lower bound.
+pub fn slr(problem: &Problem<'_>, makespan: f64) -> f64 {
+    let bound = cp_min_bound(problem);
+    assert!(
+        bound > 0.0,
+        "SLR undefined: the critical-path lower bound is zero"
+    );
+    makespan / bound
+}
+
+/// Speedup (Eq. 11): the best single-processor sequential time divided by
+/// the parallel makespan.
+pub fn speedup(problem: &Problem<'_>, makespan: f64) -> f64 {
+    assert!(makespan > 0.0, "speedup undefined for zero makespan");
+    problem.costs().best_sequential_cost() / makespan
+}
+
+/// Efficiency (Eq. 12): speedup per processor.
+pub fn efficiency(problem: &Problem<'_>, makespan: f64) -> f64 {
+    speedup(problem, makespan) / problem.num_procs() as f64
+}
+
+/// All per-schedule metrics in one record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSet {
+    /// The schedule's makespan (Eq. 9).
+    pub makespan: f64,
+    /// Scheduling length ratio (Eq. 10).
+    pub slr: f64,
+    /// Speedup over best sequential execution (Eq. 11).
+    pub speedup: f64,
+    /// Efficiency (Eq. 12).
+    pub efficiency: f64,
+}
+
+impl MetricSet {
+    /// Computes every metric for `schedule` under `problem`.
+    ///
+    /// ```
+    /// use hdlts_core::{Hdlts, Scheduler};
+    /// use hdlts_metrics::MetricSet;
+    /// use hdlts_platform::Platform;
+    /// use hdlts_workloads::fixtures::fig1;
+    ///
+    /// let inst = fig1();
+    /// let platform = Platform::fully_connected(3).unwrap();
+    /// let problem = inst.problem(&platform).unwrap();
+    /// let schedule = Hdlts::paper_exact().schedule(&problem).unwrap();
+    /// let m = MetricSet::compute(&problem, &schedule);
+    /// assert_eq!(m.makespan, 73.0); // Table I
+    /// assert!(m.slr >= 1.0);
+    /// ```
+    pub fn compute(problem: &Problem<'_>, schedule: &Schedule) -> MetricSet {
+        let makespan = schedule.makespan();
+        MetricSet {
+            makespan,
+            slr: slr(problem, makespan),
+            speedup: speedup(problem, makespan),
+            efficiency: efficiency(problem, makespan),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_core::{Hdlts, Scheduler};
+    use hdlts_platform::Platform;
+    use hdlts_workloads::fixtures::fig1;
+
+    fn fig1_problem() -> (hdlts_workloads::Instance, Platform) {
+        (fig1(), Platform::fully_connected(3).unwrap())
+    }
+
+    #[test]
+    fn cp_min_bound_of_fig1_hand_checked() {
+        // Min costs: t1=9 t2=13 t3=11 t4=8 t5=10 t6=9 t7=7 t8=5 t9=12 t10=7.
+        // Longest min-cost path: t1 t2 t9 t10 = 9+13+12+7 = 41
+        // (t1 t3 t7 t10 = 34, t1 t4 t9 t10 = 36, t1 t4 t8 t10 = 29, ...).
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        assert_eq!(cp_min_bound(&problem), 41.0);
+    }
+
+    #[test]
+    fn fig1_hdlts_slr() {
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        let s = Hdlts::paper_exact().schedule(&problem).unwrap();
+        let m = MetricSet::compute(&problem, &s);
+        assert_eq!(m.makespan, 73.0);
+        assert!((m.slr - 73.0 / 41.0).abs() < 1e-12);
+        assert!(m.slr >= 1.0);
+    }
+
+    #[test]
+    fn fig1_speedup_and_efficiency() {
+        // Sequential sums: P1 = 127, P2 = 130, P3 = 143 -> best 127.
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        assert_eq!(problem.costs().best_sequential_cost(), 127.0);
+        let s = Hdlts::paper_exact().schedule(&problem).unwrap();
+        let m = MetricSet::compute(&problem, &s);
+        assert!((m.speedup - 127.0 / 73.0).abs() < 1e-12);
+        assert!((m.efficiency - m.speedup / 3.0).abs() < 1e-12);
+        // Speedup can't exceed the processor count on a feasible schedule.
+        assert!(m.speedup <= 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup undefined")]
+    fn zero_makespan_rejected() {
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        let _ = speedup(&problem, 0.0);
+    }
+}

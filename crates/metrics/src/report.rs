@@ -1,0 +1,231 @@
+//! Experiment result rendering: CSV, Markdown, and ASCII charts.
+//!
+//! Every figure the harness regenerates is a [`FigureData`]: a set of named
+//! series sampled at shared x ticks (e.g. algorithms × CCR values). The
+//! same structure renders to `results/<id>.csv`, a Markdown table for
+//! EXPERIMENTS.md, and a quick-look ASCII chart on stdout.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One regenerated figure: named series over shared x ticks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Figure identifier and caption (e.g. `"fig2: Average SLR vs CCR"`).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Tick labels along x, in plot order.
+    pub x_ticks: Vec<String>,
+    /// `(series name, y value per tick)` — every series must have
+    /// `x_ticks.len()` values.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureData {
+    /// Creates an empty figure skeleton.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        x_ticks: Vec<String>,
+    ) -> Self {
+        FigureData {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_ticks,
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the tick count.
+    pub fn push_series(&mut self, name: impl Into<String>, ys: Vec<f64>) {
+        assert_eq!(
+            ys.len(),
+            self.x_ticks.len(),
+            "series length must match tick count"
+        );
+        self.series.push((name.into(), ys));
+    }
+
+    /// CSV with an x column followed by one column per series.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.x_label));
+        for (name, _) in &self.series {
+            let _ = write!(out, ",{}", csv_escape(name));
+        }
+        out.push('\n');
+        for (i, tick) in self.x_ticks.iter().enumerate() {
+            let _ = write!(out, "{}", csv_escape(tick));
+            for (_, ys) in &self.series {
+                let _ = write!(out, ",{:.6}", ys[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Markdown table, one row per x tick.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out);
+        let _ = write!(out, "| {} |", self.x_label);
+        for (name, _) in &self.series {
+            let _ = write!(out, " {name} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for (i, tick) in self.x_ticks.iter().enumerate() {
+            let _ = write!(out, "| {tick} |");
+            for (_, ys) in &self.series {
+                let _ = write!(out, " {:.3} |", ys[i]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Quick-look ASCII chart: one marker letter per series, y scaled to
+    /// `height` rows, ticks spread over the width.
+    pub fn to_ascii_chart(&self, height: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}  [{} vs {}]", self.title, self.y_label, self.x_label);
+        if self.series.is_empty() || self.x_ticks.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let height = height.clamp(4, 40);
+        let all: Vec<f64> = self.series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+        let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+        let col_w = 8usize;
+        let width = self.x_ticks.len() * col_w;
+        let mut grid = vec![vec![b' '; width]; height];
+        for (si, (_, ys)) in self.series.iter().enumerate() {
+            let marker = b'A' + (si as u8 % 26);
+            for (i, &y) in ys.iter().enumerate() {
+                let row = ((hi - y) / span * (height - 1) as f64).round() as usize;
+                let col = i * col_w + col_w / 2;
+                let cell = &mut grid[row.min(height - 1)][col];
+                // Overlapping points show '*'.
+                *cell = if *cell == b' ' { marker } else { b'*' };
+            }
+        }
+        let _ = writeln!(out, "{hi:>10.3} +{}", "-".repeat(width));
+        for row in &grid {
+            let _ = writeln!(out, "{:>10} |{}", "", String::from_utf8_lossy(row));
+        }
+        let _ = writeln!(out, "{lo:>10.3} +{}", "-".repeat(width));
+        // x tick labels
+        let mut ticks = String::new();
+        for t in &self.x_ticks {
+            let _ = write!(ticks, "{t:^col_w$}");
+        }
+        let _ = writeln!(out, "{:>10}  {}", "", ticks);
+        // legend
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let marker = (b'A' + (si as u8 % 26)) as char;
+            let _ = writeln!(out, "{:>12} = {}", marker, name);
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        let mut f = FigureData::new(
+            "fig2: Average SLR vs CCR",
+            "CCR",
+            "SLR",
+            vec!["1".into(), "2".into(), "3".into()],
+        );
+        f.push_series("HDLTS", vec![1.5, 1.8, 2.0]);
+        f.push_series("HEFT", vec![1.6, 2.0, 2.4]);
+        f
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "CCR,HDLTS,HEFT");
+        assert!(lines[1].starts_with("1,1.500000,1.600000"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut f = FigureData::new("t", "x,y", "y", vec!["a\"b".into()]);
+        f.push_series("s", vec![1.0]);
+        let csv = f.to_csv();
+        assert!(csv.starts_with("\"x,y\",s"));
+        assert!(csv.contains("\"a\"\"b\""));
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### fig2"));
+        assert!(md.contains("| CCR | HDLTS | HEFT |"));
+        assert!(md.contains("| 3 | 2.000 | 2.400 |"));
+    }
+
+    #[test]
+    fn ascii_chart_contains_markers_and_legend() {
+        let chart = sample().to_ascii_chart(10);
+        assert!(chart.contains("A = HDLTS"));
+        assert!(chart.contains("B = HEFT"));
+        assert!(chart.contains('A'));
+        // extremes labeled
+        assert!(chart.contains("2.400"));
+        assert!(chart.contains("1.500"));
+    }
+
+    #[test]
+    fn ascii_chart_flat_series_does_not_divide_by_zero() {
+        let mut f = FigureData::new("t", "x", "y", vec!["1".into(), "2".into()]);
+        f.push_series("s", vec![3.0, 3.0]);
+        let chart = f.to_ascii_chart(8);
+        assert!(chart.contains("3.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "series length")]
+    fn mismatched_series_rejected() {
+        let mut f = FigureData::new("t", "x", "y", vec!["1".into()]);
+        f.push_series("s", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = sample();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FigureData = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+}

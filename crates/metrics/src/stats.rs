@@ -1,0 +1,193 @@
+//! Streaming statistics for repetition averaging.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable (Welford) streaming mean / variance / extrema.
+///
+/// The paper averages every figure point over 1000 repetitions; this
+/// accumulator lets the sweep harness do that without storing samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningStats {
+    /// An empty accumulator (`min`/`max` start at the identity infinities).
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n−1); 0 with fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.sem()
+    }
+
+    /// Smallest sample (`NaN`-free inputs assumed); +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample; -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_match_reference() {
+        let mut s = RunningStats::new();
+        for x in [27.0, 35.0, 27.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 29.6667).abs() < 1e-3);
+        assert!((s.stddev() - 4.6188).abs() < 1e-3);
+        assert_eq!(s.min(), 27.0);
+        assert_eq!(s.max(), 35.0);
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        let mut s = RunningStats::new();
+        s.push(5.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..33] {
+            a.push(x);
+        }
+        for &x in &xs[33..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.stddev() - all.stddev()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        // `or_default()` call sites rely on this: a derived Default would
+        // start min/max at 0.0 and silently corrupt extrema.
+        assert_eq!(RunningStats::default(), RunningStats::new());
+        assert_eq!(RunningStats::default().min(), f64::INFINITY);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = RunningStats::new();
+        let mut big = RunningStats::new();
+        for i in 0..10 {
+            small.push(i as f64 % 3.0);
+        }
+        for i in 0..1000 {
+            big.push(i as f64 % 3.0);
+        }
+        assert!(big.ci95() < small.ci95());
+    }
+}

@@ -1,0 +1,197 @@
+//! SVG line-chart rendering of [`FigureData`], for the HTML report.
+
+use crate::report::FigureData;
+use std::fmt::Write as _;
+
+/// Qualitative series palette (shared shape with the Gantt palette).
+const PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+];
+
+impl FigureData {
+    /// Renders the figure as a standalone SVG line chart.
+    ///
+    /// X ticks are spaced evenly (the paper's figures are categorical
+    /// sweeps); the y axis is padded 5% beyond the data range and labeled at
+    /// its extremes and midpoint. Each series gets a palette color, circle
+    /// markers, and a legend entry.
+    pub fn to_svg_chart(&self, width: u32, height: u32) -> String {
+        let width = width.max(320) as f64;
+        let height = height.max(220) as f64;
+        let ml = 64.0; // margins
+        let mr = 160.0;
+        let mt = 36.0;
+        let mb = 48.0;
+        let plot_w = width - ml - mr;
+        let plot_h = height - mt - mb;
+
+        let all: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, ys)| ys.iter().copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        let (lo, hi) = match (
+            all.iter().copied().fold(f64::INFINITY, f64::min),
+            all.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        ) {
+            (lo, hi) if lo.is_finite() && hi.is_finite() => {
+                let pad = ((hi - lo).abs()).max(1e-9) * 0.05;
+                (lo - pad, hi + pad)
+            }
+            _ => (0.0, 1.0),
+        };
+        let n = self.x_ticks.len().max(1);
+        let x_of = |i: usize| {
+            if n == 1 {
+                ml + plot_w / 2.0
+            } else {
+                ml + plot_w * i as f64 / (n - 1) as f64
+            }
+        };
+        let y_of = |v: f64| mt + plot_h * (1.0 - (v - lo) / (hi - lo));
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" font-family="sans-serif" font-size="11">"#
+        );
+        let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="18" font-size="13" font-weight="bold">{}</text>"#,
+            ml,
+            xml_escape(&self.title)
+        );
+        // axes
+        let _ = writeln!(
+            out,
+            r##"<rect x="{ml:.1}" y="{mt:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#888"/>"##
+        );
+        // y labels: lo, mid, hi + gridlines
+        for frac in [0.0, 0.5, 1.0] {
+            let v = lo + (hi - lo) * frac;
+            let y = y_of(v);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{ml:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                ml + plot_w
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end" dominant-baseline="middle">{v:.2}</text>"#,
+                ml - 6.0,
+                y
+            );
+        }
+        // x ticks
+        for (i, tick) in self.x_ticks.iter().enumerate() {
+            let x = x_of(i);
+            let _ = writeln!(
+                out,
+                r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                mt + plot_h + 16.0,
+                xml_escape(tick)
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+            ml + plot_w / 2.0,
+            height - 10.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="14" y="{:.1}" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>"#,
+            mt + plot_h / 2.0,
+            mt + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // series
+        for (si, (name, ys)) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let points: Vec<String> = ys
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_finite())
+                .map(|(i, &v)| format!("{:.1},{:.1}", x_of(i), y_of(v)))
+                .collect();
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                points.join(" ")
+            );
+            for (i, &v) in ys.iter().enumerate().filter(|(_, v)| v.is_finite()) {
+                let _ = writeln!(
+                    out,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}"/>"#,
+                    x_of(i),
+                    y_of(v)
+                );
+            }
+            // legend
+            let ly = mt + 14.0 * si as f64;
+            let lx = ml + plot_w + 12.0;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="3"/>"#,
+                lx + 16.0
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" dominant-baseline="middle">{}</text>"#,
+                lx + 22.0,
+                ly,
+                xml_escape(name)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::report::FigureData;
+
+    fn sample() -> FigureData {
+        let mut f = FigureData::new("t <x>", "CCR", "SLR", vec!["1".into(), "2".into()]);
+        f.push_series("HDLTS", vec![1.5, 2.0]);
+        f.push_series("HEFT & co", vec![1.6, 2.4]);
+        f
+    }
+
+    #[test]
+    fn svg_contains_series_and_legend() {
+        let svg = sample().to_svg_chart(640, 360);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains("HEFT &amp; co"));
+        assert!(svg.contains("t &lt;x&gt;"));
+    }
+
+    #[test]
+    fn empty_figure_renders_axes_only() {
+        let f = FigureData::new("empty", "x", "y", vec![]);
+        let svg = f.to_svg_chart(640, 360);
+        assert!(svg.contains("<rect"));
+        assert!(!svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn nan_points_are_skipped_not_emitted() {
+        let mut f = FigureData::new("t", "x", "y", vec!["1".into(), "2".into(), "3".into()]);
+        f.push_series("s", vec![1.0, f64::NAN, 3.0]);
+        let svg = f.to_svg_chart(640, 360);
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,296 @@
+//! The `n x p` computation-cost matrix `W` (Definition 1).
+
+use crate::{PlatformError, ProcId};
+use hdlts_dag::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// Computation time of every task on every processor, stored row-major
+/// (task-major) in a single flat allocation.
+///
+/// `W(v_i, m_j)` is the execution time of task `v_i` on processor `m_j`
+/// (Definition 1: instruction count divided by clock frequency — the
+/// generators produce the times directly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "CostMatrixRepr", into = "CostMatrixRepr")]
+pub struct CostMatrix {
+    num_tasks: usize,
+    num_procs: usize,
+    data: Vec<f64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CostMatrixRepr {
+    rows: Vec<Vec<f64>>,
+}
+
+impl From<CostMatrix> for CostMatrixRepr {
+    fn from(m: CostMatrix) -> Self {
+        CostMatrixRepr {
+            rows: (0..m.num_tasks)
+                .map(|t| m.row(TaskId::from_index(t)).to_vec())
+                .collect(),
+        }
+    }
+}
+
+impl TryFrom<CostMatrixRepr> for CostMatrix {
+    type Error = PlatformError;
+    fn try_from(repr: CostMatrixRepr) -> Result<Self, Self::Error> {
+        CostMatrix::from_rows(repr.rows)
+    }
+}
+
+impl CostMatrix {
+    /// Builds the matrix from per-task rows (`rows[t][p]` = cost of task `t`
+    /// on processor `p`). All rows must have equal length and every cost must
+    /// be finite and non-negative (pseudo tasks have cost zero).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, PlatformError> {
+        let num_tasks = rows.len();
+        if num_tasks == 0 {
+            return Err(PlatformError::NoTasks);
+        }
+        let num_procs = rows[0].len();
+        if num_procs == 0 {
+            return Err(PlatformError::NoProcessors);
+        }
+        let mut data = Vec::with_capacity(num_tasks * num_procs);
+        for (t, row) in rows.iter().enumerate() {
+            if row.len() != num_procs {
+                return Err(PlatformError::RaggedMatrix {
+                    row: t,
+                    found: row.len(),
+                    expected: num_procs,
+                });
+            }
+            for (p, &c) in row.iter().enumerate() {
+                if !c.is_finite() || c < 0.0 {
+                    return Err(PlatformError::InvalidCost { task: t, proc: p, cost: c });
+                }
+                data.push(c);
+            }
+        }
+        Ok(CostMatrix { num_tasks, num_procs, data })
+    }
+
+    /// Builds a matrix where every task costs the same on every processor
+    /// (a homogeneous platform; useful for tests and lower-bound baselines).
+    pub fn uniform(num_tasks: usize, num_procs: usize, cost: f64) -> Result<Self, PlatformError> {
+        Self::from_rows(vec![vec![cost; num_procs]; num_tasks])
+    }
+
+    /// Number of task rows `n`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    /// Number of processor columns `p`.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// `W(t, p)`: execution time of `t` on `p`.
+    #[inline]
+    pub fn cost(&self, t: TaskId, p: ProcId) -> f64 {
+        self.data[t.index() * self.num_procs + p.index()]
+    }
+
+    /// The full row of processor costs for task `t`.
+    #[inline]
+    pub fn row(&self, t: TaskId) -> &[f64] {
+        let base = t.index() * self.num_procs;
+        &self.data[base..base + self.num_procs]
+    }
+
+    /// Mean execution time of `t` across processors (Eq. 1).
+    pub fn mean_cost(&self, t: TaskId) -> f64 {
+        let row = self.row(t);
+        row.iter().sum::<f64>() / row.len() as f64
+    }
+
+    /// Minimum execution time of `t` across processors, used by the SLR
+    /// lower bound (Eq. 10).
+    pub fn min_cost(&self, t: TaskId) -> f64 {
+        self.row(t).iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The processor achieving [`min_cost`](Self::min_cost) (lowest id wins ties).
+    pub fn fastest_proc(&self, t: TaskId) -> ProcId {
+        let row = self.row(t);
+        let mut best = 0;
+        for (p, &c) in row.iter().enumerate() {
+            if c < row[best] {
+                best = p;
+            }
+        }
+        ProcId::from_index(best)
+    }
+
+    /// *Sample* standard deviation (n−1 denominator) of the costs of `t`
+    /// across processors — the heterogeneity measure used by SDBATS ranks
+    /// and (over EFT vectors) by the HDLTS penalty value. Returns 0 for a
+    /// single processor.
+    pub fn cost_stddev(&self, t: TaskId) -> f64 {
+        sample_stddev(self.row(t))
+    }
+
+    /// Total cost of running every task on processor `p` (sequential
+    /// execution, the numerator of the paper's speedup, Eq. 11).
+    pub fn sequential_cost_on(&self, p: ProcId) -> f64 {
+        (0..self.num_tasks)
+            .map(|t| self.cost(TaskId::from_index(t), p))
+            .sum()
+    }
+
+    /// The cheapest single-processor sequential execution time
+    /// `min_{p} sum_i W(i, p)` (Eq. 11 numerator).
+    pub fn best_sequential_cost(&self) -> f64 {
+        (0..self.num_procs)
+            .map(|p| self.sequential_cost_on(ProcId::from_index(p)))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Returns a copy extended with `extra` zero-cost task rows (for the
+    /// pseudo entry/exit tasks inserted by
+    /// [`hdlts_dag::normalize`]).
+    pub fn with_pseudo_tasks(&self, extra: usize) -> CostMatrix {
+        let mut data = self.data.clone();
+        data.extend(std::iter::repeat_n(0.0, extra * self.num_procs));
+        CostMatrix {
+            num_tasks: self.num_tasks + extra,
+            num_procs: self.num_procs,
+            data,
+        }
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for fewer than two values.
+///
+/// Exposed because both the HDLTS penalty value (Eq. 8) and the SDBATS rank
+/// weight are defined through it, and reproducing Table I requires the
+/// *sample* (not population) form — see DESIGN.md §1.
+pub fn sample_stddev(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+    (ss / (n - 1) as f64).sqrt()
+}
+
+/// Population standard deviation (n denominator); the ablation alternative
+/// to [`sample_stddev`].
+pub fn population_stddev(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+    (ss / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CostMatrix {
+        // Entry row of the paper's Fig. 1 example: T1 costs 14, 16, 9.
+        CostMatrix::from_rows(vec![vec![14.0, 16.0, 9.0], vec![13.0, 19.0, 18.0]]).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = matrix();
+        assert_eq!(m.num_tasks(), 2);
+        assert_eq!(m.num_procs(), 3);
+        assert_eq!(m.cost(TaskId(0), ProcId(2)), 9.0);
+        assert_eq!(m.row(TaskId(1)), &[13.0, 19.0, 18.0]);
+    }
+
+    #[test]
+    fn mean_matches_eq1() {
+        let m = matrix();
+        assert!((m.mean_cost(TaskId(0)) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_and_fastest() {
+        let m = matrix();
+        assert_eq!(m.min_cost(TaskId(0)), 9.0);
+        assert_eq!(m.fastest_proc(TaskId(0)), ProcId(2));
+        assert_eq!(m.fastest_proc(TaskId(1)), ProcId(0));
+    }
+
+    #[test]
+    fn fastest_proc_tie_breaks_low() {
+        let m = CostMatrix::from_rows(vec![vec![5.0, 5.0]]).unwrap();
+        assert_eq!(m.fastest_proc(TaskId(0)), ProcId(0));
+    }
+
+    #[test]
+    fn stddev_is_sample_form() {
+        // Table I derivation: sample sigma of [27, 35, 27] is 4.62.
+        assert!((sample_stddev(&[27.0, 35.0, 27.0]) - 4.6188).abs() < 1e-3);
+        assert!((population_stddev(&[27.0, 35.0, 27.0]) - 3.7712).abs() < 1e-3);
+        assert_eq!(sample_stddev(&[42.0]), 0.0);
+        assert_eq!(population_stddev(&[]), 0.0);
+    }
+
+    #[test]
+    fn sequential_costs() {
+        let m = matrix();
+        assert_eq!(m.sequential_cost_on(ProcId(0)), 27.0);
+        assert_eq!(m.sequential_cost_on(ProcId(2)), 27.0);
+        assert_eq!(m.sequential_cost_on(ProcId(1)), 35.0);
+        assert_eq!(m.best_sequential_cost(), 27.0);
+    }
+
+    #[test]
+    fn pseudo_task_extension_appends_zero_rows() {
+        let m = matrix().with_pseudo_tasks(2);
+        assert_eq!(m.num_tasks(), 4);
+        assert_eq!(m.row(TaskId(3)), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.cost(TaskId(0), ProcId(0)), 14.0);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = CostMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0]]).unwrap_err();
+        assert!(matches!(err, PlatformError::RaggedMatrix { row: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_costs() {
+        let err = CostMatrix::from_rows(vec![vec![1.0, f64::NAN]]).unwrap_err();
+        assert!(matches!(err, PlatformError::InvalidCost { .. }));
+        let err = CostMatrix::from_rows(vec![vec![-1.0]]).unwrap_err();
+        assert!(matches!(err, PlatformError::InvalidCost { .. }));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(CostMatrix::from_rows(vec![]).unwrap_err(), PlatformError::NoTasks);
+        assert_eq!(
+            CostMatrix::from_rows(vec![vec![]]).unwrap_err(),
+            PlatformError::NoProcessors
+        );
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let m = CostMatrix::uniform(3, 2, 7.0).unwrap();
+        assert_eq!(m.cost(TaskId(2), ProcId(1)), 7.0);
+        assert_eq!(m.cost_stddev(TaskId(0)), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip_via_rows() {
+        let m = matrix();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CostMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

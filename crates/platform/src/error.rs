@@ -1,0 +1,73 @@
+//! Error type for platform-model construction.
+
+use std::fmt;
+
+/// Errors produced while building platform components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A cost matrix row had the wrong number of processor entries.
+    RaggedMatrix {
+        /// Index of the offending row.
+        row: usize,
+        /// Entries found in that row.
+        found: usize,
+        /// Entries expected (the processor count).
+        expected: usize,
+    },
+    /// A computation cost was negative or non-finite.
+    InvalidCost {
+        /// Task row.
+        task: usize,
+        /// Processor column.
+        proc: usize,
+        /// The offending value.
+        cost: f64,
+    },
+    /// A link bandwidth was zero, negative, or non-finite.
+    InvalidBandwidth {
+        /// Source processor index.
+        from: usize,
+        /// Destination processor index.
+        to: usize,
+        /// The offending value.
+        bandwidth: f64,
+    },
+    /// The platform has no processors.
+    NoProcessors,
+    /// The cost matrix has no task rows.
+    NoTasks,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::RaggedMatrix { row, found, expected } => write!(
+                f,
+                "cost-matrix row {row} has {found} entries, expected {expected}"
+            ),
+            PlatformError::InvalidCost { task, proc, cost } => {
+                write!(f, "invalid computation cost {cost} for task {task} on processor {proc}")
+            }
+            PlatformError::InvalidBandwidth { from, to, bandwidth } => {
+                write!(f, "invalid bandwidth {bandwidth} on link {from} -> {to}")
+            }
+            PlatformError::NoProcessors => write!(f, "platform has no processors"),
+            PlatformError::NoTasks => write!(f, "cost matrix has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PlatformError::RaggedMatrix { row: 2, found: 1, expected: 3 };
+        assert!(e.to_string().contains("row 2"));
+        let e = PlatformError::InvalidBandwidth { from: 0, to: 1, bandwidth: 0.0 };
+        assert!(e.to_string().contains("bandwidth 0"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Heterogeneous computing environment (HCE) model.
+//!
+//! Implements the machine side of Section III of the paper: a set
+//! `M = {m_1..m_p}` of fully connected heterogeneous processors
+//! ([`Platform`]), the `n x p` computation-cost matrix `W` ([`CostMatrix`],
+//! Definition 1), and the link model used to turn an edge's data volume into
+//! a communication time (Definition 2).
+//!
+//! The paper assumes full connectivity with no network contention; the
+//! default [`Platform`] uses unit bandwidth on every link, so edge costs
+//! stored in the DAG are already times. Non-uniform bandwidths are supported
+//! for the uncertain-environment extension experiments.
+
+#![warn(missing_docs)]
+
+mod cost_matrix;
+mod error;
+mod links;
+mod proc_set;
+mod processor;
+
+pub use cost_matrix::{population_stddev, sample_stddev, CostMatrix};
+pub use error::PlatformError;
+pub use links::LinkModel;
+pub use proc_set::Platform;
+pub use processor::ProcId;

@@ -1,0 +1,137 @@
+//! Interconnect model (Definition 2).
+
+use crate::{PlatformError, ProcId};
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth model for the fully connected interconnect.
+///
+/// The paper stores communication *times* directly on the DAG edges
+/// (Eq. 14 produces `Comm_Cost` in time units), which corresponds to
+/// [`LinkModel::Uniform`] with bandwidth 1. The general pairwise form keeps
+/// Definition 2's `B(m_i, m_j)` available for the heterogeneous-network
+/// extension scenarios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinkModel {
+    /// Every distinct-processor pair communicates at the same bandwidth.
+    Uniform {
+        /// Data units transferred per time unit (must be positive).
+        bandwidth: f64,
+    },
+    /// Explicit `p x p` bandwidth matrix; entry `[i][j]` is the bandwidth of
+    /// the link from processor `i` to processor `j`. The diagonal is unused
+    /// (intra-processor transfers are free).
+    Pairwise {
+        /// Row-major bandwidth matrix.
+        bandwidths: Vec<Vec<f64>>,
+    },
+}
+
+impl LinkModel {
+    /// The paper's default: unit bandwidth, edge costs are already times.
+    pub fn unit() -> Self {
+        LinkModel::Uniform { bandwidth: 1.0 }
+    }
+
+    /// Validates the model for a platform of `num_procs` processors.
+    pub fn validate(&self, num_procs: usize) -> Result<(), PlatformError> {
+        match self {
+            LinkModel::Uniform { bandwidth } => {
+                if !bandwidth.is_finite() || *bandwidth <= 0.0 {
+                    return Err(PlatformError::InvalidBandwidth {
+                        from: 0,
+                        to: 0,
+                        bandwidth: *bandwidth,
+                    });
+                }
+                Ok(())
+            }
+            LinkModel::Pairwise { bandwidths } => {
+                if bandwidths.len() != num_procs {
+                    return Err(PlatformError::RaggedMatrix {
+                        row: bandwidths.len(),
+                        found: bandwidths.len(),
+                        expected: num_procs,
+                    });
+                }
+                for (i, row) in bandwidths.iter().enumerate() {
+                    if row.len() != num_procs {
+                        return Err(PlatformError::RaggedMatrix {
+                            row: i,
+                            found: row.len(),
+                            expected: num_procs,
+                        });
+                    }
+                    for (j, &b) in row.iter().enumerate() {
+                        if i != j && (!b.is_finite() || b <= 0.0) {
+                            return Err(PlatformError::InvalidBandwidth {
+                                from: i,
+                                to: j,
+                                bandwidth: b,
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Bandwidth of the `from -> to` link (unspecified for `from == to`;
+    /// callers must short-circuit intra-processor transfers to zero time).
+    #[inline]
+    pub fn bandwidth(&self, from: ProcId, to: ProcId) -> f64 {
+        match self {
+            LinkModel::Uniform { bandwidth } => *bandwidth,
+            LinkModel::Pairwise { bandwidths } => bandwidths[from.index()][to.index()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_model_validates() {
+        assert!(LinkModel::unit().validate(4).is_ok());
+        assert_eq!(LinkModel::unit().bandwidth(ProcId(0), ProcId(3)), 1.0);
+    }
+
+    #[test]
+    fn uniform_rejects_nonpositive() {
+        assert!(LinkModel::Uniform { bandwidth: 0.0 }.validate(2).is_err());
+        assert!(LinkModel::Uniform { bandwidth: -1.0 }.validate(2).is_err());
+        assert!(LinkModel::Uniform { bandwidth: f64::NAN }.validate(2).is_err());
+    }
+
+    #[test]
+    fn pairwise_lookup() {
+        let m = LinkModel::Pairwise {
+            bandwidths: vec![vec![0.0, 2.0], vec![4.0, 0.0]],
+        };
+        assert!(m.validate(2).is_ok());
+        assert_eq!(m.bandwidth(ProcId(0), ProcId(1)), 2.0);
+        assert_eq!(m.bandwidth(ProcId(1), ProcId(0)), 4.0);
+    }
+
+    #[test]
+    fn pairwise_shape_checked() {
+        let m = LinkModel::Pairwise { bandwidths: vec![vec![0.0, 1.0]] };
+        assert!(m.validate(2).is_err());
+        let m = LinkModel::Pairwise {
+            bandwidths: vec![vec![0.0, 1.0], vec![1.0]],
+        };
+        assert!(m.validate(2).is_err());
+    }
+
+    #[test]
+    fn pairwise_off_diagonal_must_be_positive() {
+        let m = LinkModel::Pairwise {
+            bandwidths: vec![vec![0.0, 0.0], vec![1.0, 0.0]],
+        };
+        assert!(matches!(
+            m.validate(2).unwrap_err(),
+            PlatformError::InvalidBandwidth { from: 0, to: 1, .. }
+        ));
+    }
+}

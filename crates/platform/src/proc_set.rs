@@ -1,0 +1,119 @@
+//! The heterogeneous platform: processors plus interconnect.
+
+use crate::{LinkModel, PlatformError, ProcId};
+use serde::{Deserialize, Serialize};
+
+/// A heterogeneous computing environment: `p` fully connected processors and
+/// a link model.
+///
+/// Heterogeneity lives entirely in the computation-cost matrix
+/// ([`CostMatrix`](crate::CostMatrix)); the platform itself only knows how
+/// many processors exist and how fast their links are, matching the paper's
+/// model where `W` carries all per-processor variation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    names: Vec<String>,
+    links: LinkModel,
+}
+
+impl Platform {
+    /// A platform of `p` processors named `P1..Pp` with unit-bandwidth links
+    /// (the configuration used by every experiment in the paper).
+    pub fn fully_connected(p: usize) -> Result<Self, PlatformError> {
+        Self::new((1..=p).map(|i| format!("P{i}")).collect(), LinkModel::unit())
+    }
+
+    /// A platform with explicit processor names and link model.
+    pub fn new(names: Vec<String>, links: LinkModel) -> Result<Self, PlatformError> {
+        if names.is_empty() {
+            return Err(PlatformError::NoProcessors);
+        }
+        links.validate(names.len())?;
+        Ok(Platform { names, links })
+    }
+
+    /// Number of processors `p`.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Iterator over all processor ids.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.names.len() as u32).map(ProcId)
+    }
+
+    /// Name of processor `p`.
+    #[inline]
+    pub fn name(&self, p: ProcId) -> &str {
+        &self.names[p.index()]
+    }
+
+    /// The link model in use.
+    #[inline]
+    pub fn links(&self) -> &LinkModel {
+        &self.links
+    }
+
+    /// Communication time for moving an edge with stored cost `edge_cost`
+    /// from a task on `from` to a task on `to` (Definition 2).
+    ///
+    /// Zero when `from == to` — co-located tasks communicate for free.
+    #[inline]
+    pub fn comm_time(&self, from: ProcId, to: ProcId, edge_cost: f64) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            edge_cost / self.links.bandwidth(from, to)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_connected_names() {
+        let p = Platform::fully_connected(3).unwrap();
+        assert_eq!(p.num_procs(), 3);
+        assert_eq!(p.name(ProcId(0)), "P1");
+        assert_eq!(p.name(ProcId(2)), "P3");
+        assert_eq!(p.procs().count(), 3);
+    }
+
+    #[test]
+    fn zero_procs_rejected() {
+        assert_eq!(
+            Platform::fully_connected(0).unwrap_err(),
+            PlatformError::NoProcessors
+        );
+    }
+
+    #[test]
+    fn same_proc_comm_is_free() {
+        let p = Platform::fully_connected(2).unwrap();
+        assert_eq!(p.comm_time(ProcId(1), ProcId(1), 100.0), 0.0);
+        assert_eq!(p.comm_time(ProcId(0), ProcId(1), 100.0), 100.0);
+    }
+
+    #[test]
+    fn bandwidth_scales_comm_time() {
+        let p = Platform::new(
+            vec!["a".into(), "b".into()],
+            LinkModel::Uniform { bandwidth: 4.0 },
+        )
+        .unwrap();
+        assert_eq!(p.comm_time(ProcId(0), ProcId(1), 100.0), 25.0);
+    }
+
+    #[test]
+    fn invalid_links_rejected_at_construction() {
+        let err = Platform::new(
+            vec!["a".into(), "b".into()],
+            LinkModel::Pairwise { bandwidths: vec![vec![0.0, 1.0]] },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlatformError::RaggedMatrix { .. }));
+    }
+}

@@ -1,0 +1,60 @@
+//! Processor identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a processor (a computing resource `m_p` of the HCE).
+///
+/// Like [`TaskId`](hdlts_dag::TaskId), processor ids are dense indices; the
+/// paper's evaluations use at most 10 processors but the model supports any
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The id as a `usize` index into per-processor storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ProcId` from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ProcId(u32::try_from(index).expect("processor index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Papers number processors from 1 (P1, P2, ...); ids stay 0-based.
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+impl From<u32> for ProcId {
+    fn from(v: u32) -> Self {
+        ProcId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_numbering() {
+        assert_eq!(ProcId(0).to_string(), "P1");
+        assert_eq!(ProcId(2).to_string(), "P3");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(ProcId::from_index(5).index(), 5);
+    }
+}

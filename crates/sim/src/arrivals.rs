@@ -1,0 +1,455 @@
+//! Dynamic application workflows: jobs arriving over time.
+//!
+//! The paper's conclusion commits to "propose the application of the HDLTS
+//! in dynamic application workflow" as future work, and Section IV argues
+//! the ITQ design "can be applied for both types of static application
+//! workflows and dynamic application workflows". This module implements
+//! that scenario: a stream of workflow *jobs*, each a complete
+//! [`Instance`], arriving at known times on a shared platform.
+//!
+//! The dispatcher is the HDLTS rule lifted to the multi-job setting: the
+//! merged ready set contains every task (of every arrived job) whose
+//! parents finished; tasks are selected by penalty value over live EFT
+//! estimates and mapped to the minimum-EFT processor. A FIFO policy is
+//! provided as the natural baseline.
+
+use crate::{ExecutionOutcome, FailureSpec, PerturbModel};
+use hdlts_core::{penalty_value, CoreError, PenaltyKind, Problem};
+use hdlts_dag::TaskId;
+use hdlts_platform::{Platform, ProcId};
+use hdlts_workloads::Instance;
+
+/// One workflow job in the stream.
+#[derive(Debug, Clone)]
+pub struct JobArrival {
+    /// The workflow to execute.
+    pub instance: Instance,
+    /// When it becomes known to the scheduler.
+    pub arrival: f64,
+}
+
+/// How the merged ready set is prioritized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// HDLTS: highest penalty value first (Eq. 8 over live EFT estimates).
+    #[default]
+    PenaltyValue,
+    /// First-come-first-served: earliest job arrival, then task id — the
+    /// baseline a naive dynamic scheduler would use.
+    Fifo,
+}
+
+/// Result of executing a job stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// Per-job execution records.
+    pub jobs: Vec<ExecutionOutcome>,
+    /// Per-job response time (exit finish − arrival).
+    pub response_times: Vec<f64>,
+    /// Completion time of the whole stream.
+    pub overall_finish: f64,
+    /// Attempts aborted by processor failures across all jobs.
+    pub aborted_attempts: usize,
+}
+
+impl StreamOutcome {
+    /// Mean job response time.
+    pub fn mean_response(&self) -> f64 {
+        if self.response_times.is_empty() {
+            0.0
+        } else {
+            self.response_times.iter().sum::<f64>() / self.response_times.len() as f64
+        }
+    }
+}
+
+/// Online multi-workflow dispatcher (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobStreamScheduler {
+    /// Ready-set prioritization.
+    pub policy: DispatchPolicy,
+    /// Penalty definition used by [`DispatchPolicy::PenaltyValue`].
+    pub penalty: PenaltyKind,
+}
+
+/// Global task key: (job index, task).
+type Key = (usize, TaskId);
+
+/// Per-job commitment table: `(proc, start, finish)` per task once placed.
+type Commits = Vec<Option<(ProcId, f64, f64)>>;
+
+impl JobStreamScheduler {
+    /// Executes the job stream on `platform` against the reality of
+    /// `perturb` and `failures`.
+    ///
+    /// Jobs must each be single-entry/single-exit (as all generators
+    /// produce) and dimensioned for `platform`.
+    pub fn execute(
+        &self,
+        platform: &Platform,
+        jobs: &[JobArrival],
+        perturb: &PerturbModel,
+        failures: &FailureSpec,
+    ) -> Result<StreamOutcome, CoreError> {
+        let np = platform.num_procs();
+        let problems: Vec<Problem<'_>> = jobs
+            .iter()
+            .map(|j| Problem::new(&j.instance.dag, &j.instance.costs, platform))
+            .collect::<Result<_, _>>()?;
+        for p in &problems {
+            p.entry_exit()?;
+        }
+
+        let mut alive = vec![true; np];
+        let mut act_avail = vec![0.0f64; np];
+        let mut committed: Vec<Commits> =
+            problems.iter().map(|p| vec![None; p.num_tasks()]).collect();
+        let mut finished: Vec<Vec<bool>> =
+            problems.iter().map(|p| vec![false; p.num_tasks()]).collect();
+        let mut pending: Vec<Vec<usize>> = problems
+            .iter()
+            .map(|p| p.dag().tasks().map(|t| p.dag().in_degree(t)).collect())
+            .collect();
+        let total_tasks: usize = problems.iter().map(Problem::num_tasks).sum();
+        let mut done = 0usize;
+        let mut aborted = 0usize;
+        let mut clock = 0.0f64;
+        let mut failure_cursor = 0usize;
+        let mut arrived = vec![false; jobs.len()];
+        let mut ready: Vec<Key> = Vec::new();
+
+        // Arrival events sorted by time (stable in job order).
+        let mut arrival_order: Vec<usize> = (0..jobs.len()).collect();
+        arrival_order.sort_by(|&a, &b| jobs[a].arrival.total_cmp(&jobs[b].arrival));
+        let mut arrival_cursor = 0usize;
+
+        let arrival_time_of =
+            |committed: &[Commits], job: usize, parent: TaskId, cost: f64, p: ProcId| {
+                let (q, _, f) =
+                    committed[job][parent.index()].expect("ready implies parents committed");
+                if q == p {
+                    f
+                } else {
+                    f + perturb
+                        .comm_time(parent, parent, platform.comm_time(q, p, cost))
+                        .max(0.0)
+                }
+            };
+
+        loop {
+            // Admit every job that has arrived by `clock`.
+            while arrival_cursor < arrival_order.len()
+                && jobs[arrival_order[arrival_cursor]].arrival <= clock
+            {
+                let j = arrival_order[arrival_cursor];
+                arrival_cursor += 1;
+                arrived[j] = true;
+                let entry = problems[j].dag().single_entry().expect("checked above");
+                ready.push((j, entry));
+            }
+
+            // Dispatch the merged ready set.
+            while !ready.is_empty() {
+                if !alive.iter().any(|&a| a) {
+                    return Err(CoreError::InvalidSchedule(
+                        "all processors failed before the stream completed".into(),
+                    ));
+                }
+                let pick = match self.policy {
+                    DispatchPolicy::Fifo => ready
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, &(ja, ta)), (_, &(jb, tb))| {
+                            jobs[ja]
+                                .arrival
+                                .total_cmp(&jobs[jb].arrival)
+                                .then(ja.cmp(&jb))
+                                .then(ta.cmp(&tb))
+                        })
+                        .map(|(i, _)| i)
+                        .expect("ready non-empty"),
+                    DispatchPolicy::PenaltyValue => {
+                        let mut best = 0usize;
+                        let mut best_pv = f64::NEG_INFINITY;
+                        for (i, &(j, t)) in ready.iter().enumerate() {
+                            let efts: Vec<f64> = platform
+                                .procs()
+                                .filter(|p| alive[p.index()])
+                                .map(|p| {
+                                    self.est_start(
+                                        &problems, &committed, &act_avail, clock, j, t, p,
+                                        &arrival_time_of,
+                                    ) + problems[j].w(t, p)
+                                })
+                                .collect();
+                            let pv =
+                                penalty_value(self.penalty, &efts, problems[j].costs().row(t));
+                            if pv > best_pv {
+                                best_pv = pv;
+                                best = i;
+                            }
+                        }
+                        best
+                    }
+                };
+                let (j, t) = ready.swap_remove(pick);
+                // Minimum estimated EFT over live processors.
+                let proc = platform
+                    .procs()
+                    .filter(|p| alive[p.index()])
+                    .min_by(|&a, &b| {
+                        let fa = self.est_start(
+                            &problems, &committed, &act_avail, clock, j, t, a, &arrival_time_of,
+                        ) + problems[j].w(t, a);
+                        let fb = self.est_start(
+                            &problems, &committed, &act_avail, clock, j, t, b, &arrival_time_of,
+                        ) + problems[j].w(t, b);
+                        fa.total_cmp(&fb).then(a.cmp(&b))
+                    })
+                    .expect("some processor alive");
+                let start = self.est_start(
+                    &problems, &committed, &act_avail, clock, j, t, proc, &arrival_time_of,
+                );
+                let finish = start + perturb.exec_time(t, proc, problems[j].w(t, proc)).max(0.0);
+                committed[j][t.index()] = Some((proc, start, finish));
+                act_avail[proc.index()] = finish;
+            }
+
+            if done == total_tasks {
+                break;
+            }
+
+            // Next event: completion, failure, or arrival.
+            let next_completion = committed
+                .iter()
+                .enumerate()
+                .flat_map(|(j, row)| {
+                    row.iter().enumerate().filter_map(move |(i, c)| {
+                        c.map(|(_, _, f)| (f, j, TaskId::from_index(i)))
+                    })
+                })
+                .filter(|&(_, j, t)| !finished[j][t.index()])
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            let next_failure = failures.events().get(failure_cursor).copied();
+            let next_arrival = arrival_order
+                .get(arrival_cursor)
+                .map(|&j| (jobs[j].arrival, j));
+
+            // Earliest of the three event kinds wins (failures before
+            // completions at equal times; arrivals handled at loop top).
+            let completion_t = next_completion.map(|(f, _, _)| f).unwrap_or(f64::INFINITY);
+            let failure_t = next_failure.map(|(_, t)| t).unwrap_or(f64::INFINITY);
+            let arrival_t = next_arrival.map(|(t, _)| t).unwrap_or(f64::INFINITY);
+            let min_t = completion_t.min(failure_t).min(arrival_t);
+            if !min_t.is_finite() {
+                return Err(CoreError::InvalidSchedule(format!(
+                    "job stream stalled with {done}/{total_tasks} tasks finished"
+                )));
+            }
+            clock = clock.max(min_t);
+            if failure_t <= min_t {
+                let (fp, ft) = next_failure.expect("failure_t finite");
+                failure_cursor += 1;
+                if alive[fp.index()] {
+                    alive[fp.index()] = false;
+                    act_avail[fp.index()] = f64::INFINITY;
+                    for (j, row) in committed.iter_mut().enumerate() {
+                        for i in 0..row.len() {
+                            let Some((p, start, finish)) = row[i] else { continue };
+                            if p == fp && !finished[j][i] && finish > ft {
+                                if start < ft {
+                                    aborted += 1;
+                                }
+                                row[i] = None;
+                                ready.push((j, TaskId::from_index(i)));
+                            }
+                        }
+                    }
+                }
+            } else if completion_t <= arrival_t {
+                let (_, j, t) = next_completion.expect("completion_t finite");
+                finished[j][t.index()] = true;
+                done += 1;
+                for &(child, _) in problems[j].dag().succs(t) {
+                    pending[j][child.index()] -= 1;
+                    if pending[j][child.index()] == 0 {
+                        ready.push((j, child));
+                    }
+                }
+            }
+            // else: an arrival is the next event; the loop top admits it.
+        }
+
+        // Assemble per-job outcomes.
+        let mut out_jobs = Vec::with_capacity(jobs.len());
+        let mut response_times = Vec::with_capacity(jobs.len());
+        let mut overall = 0.0f64;
+        for (j, job) in jobs.iter().enumerate() {
+            let placements: Vec<(ProcId, f64, f64)> = committed[j]
+                .iter()
+                .map(|c| c.expect("stream completed"))
+                .collect();
+            let makespan = placements.iter().map(|&(_, _, f)| f).fold(0.0, f64::max);
+            overall = overall.max(makespan);
+            response_times.push(makespan - job.arrival);
+            out_jobs.push(ExecutionOutcome {
+                makespan,
+                placements,
+                aborted_attempts: 0,
+            });
+        }
+        Ok(StreamOutcome {
+            jobs: out_jobs,
+            response_times,
+            overall_finish: overall,
+            aborted_attempts: aborted,
+        })
+    }
+
+    /// Realizable start of `(j, t)` on `p`: data arrivals, processor
+    /// availability, and the current clock.
+    #[allow(clippy::too_many_arguments)]
+    fn est_start(
+        &self,
+        problems: &[Problem<'_>],
+        committed: &[Commits],
+        act_avail: &[f64],
+        clock: f64,
+        j: usize,
+        t: TaskId,
+        p: ProcId,
+        arrival_time_of: &impl Fn(&[Commits], usize, TaskId, f64, ProcId) -> f64,
+    ) -> f64 {
+        let data = problems[j]
+            .dag()
+            .preds(t)
+            .iter()
+            .map(|&(q, c)| arrival_time_of(committed, j, q, c, p))
+            .fold(0.0f64, f64::max);
+        data.max(act_avail[p.index()]).max(clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_workloads::{fft, CostParams};
+
+    fn stream(n: usize, gap: f64) -> (Platform, Vec<JobArrival>) {
+        let platform = Platform::fully_connected(4).unwrap();
+        let jobs = (0..n)
+            .map(|i| JobArrival {
+                instance: fft::generate(4, &CostParams::default(), i as u64),
+                arrival: i as f64 * gap,
+            })
+            .collect();
+        (platform, jobs)
+    }
+
+    #[test]
+    fn single_job_stream_completes() {
+        let (platform, jobs) = stream(1, 0.0);
+        let out = JobStreamScheduler::default()
+            .execute(&platform, &jobs, &PerturbModel::exact(), &FailureSpec::none())
+            .unwrap();
+        assert_eq!(out.jobs.len(), 1);
+        assert!(out.overall_finish > 0.0);
+        assert_eq!(out.response_times[0], out.jobs[0].makespan);
+    }
+
+    #[test]
+    fn no_task_starts_before_its_job_arrives() {
+        let (platform, jobs) = stream(3, 200.0);
+        let out = JobStreamScheduler::default()
+            .execute(&platform, &jobs, &PerturbModel::uniform(0.2, 3), &FailureSpec::none())
+            .unwrap();
+        for (j, job) in jobs.iter().enumerate() {
+            for &(_, start, _) in &out.jobs[j].placements {
+                assert!(start + 1e-9 >= job.arrival, "job {j} started early");
+            }
+        }
+    }
+
+    #[test]
+    fn precedence_holds_within_each_job() {
+        let (platform, jobs) = stream(3, 50.0);
+        let out = JobStreamScheduler::default()
+            .execute(&platform, &jobs, &PerturbModel::uniform(0.3, 1), &FailureSpec::none())
+            .unwrap();
+        for (j, job) in jobs.iter().enumerate() {
+            for e in job.instance.dag.edges() {
+                let pf = out.jobs[j].placements[e.src.index()].2;
+                let cs = out.jobs[j].placements[e.dst.index()].1;
+                assert!(cs + 1e-9 >= pf, "job {j}: {} -> {}", e.src, e.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn widely_spaced_jobs_behave_like_isolated_runs() {
+        let (platform, jobs) = stream(2, 1e7);
+        let out = JobStreamScheduler::default()
+            .execute(&platform, &jobs, &PerturbModel::exact(), &FailureSpec::none())
+            .unwrap();
+        // The second job's response time matches a solo run of it.
+        let solo = JobStreamScheduler::default()
+            .execute(
+                &platform,
+                &[JobArrival { instance: jobs[1].instance.clone(), arrival: 0.0 }],
+                &PerturbModel::exact(),
+                &FailureSpec::none(),
+            )
+            .unwrap();
+        assert!((out.response_times[1] - solo.response_times[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contention_raises_response_times() {
+        let (platform, spaced) = stream(4, 1e6);
+        let (_, packed) = stream(4, 0.0);
+        let sched = JobStreamScheduler::default();
+        let spaced_out = sched
+            .execute(&platform, &spaced, &PerturbModel::exact(), &FailureSpec::none())
+            .unwrap();
+        let packed_out = sched
+            .execute(&platform, &packed, &PerturbModel::exact(), &FailureSpec::none())
+            .unwrap();
+        assert!(packed_out.mean_response() > spaced_out.mean_response());
+    }
+
+    #[test]
+    fn fifo_and_pv_policies_both_complete() {
+        let (platform, jobs) = stream(3, 10.0);
+        for policy in [DispatchPolicy::PenaltyValue, DispatchPolicy::Fifo] {
+            let out = JobStreamScheduler { policy, ..Default::default() }
+                .execute(&platform, &jobs, &PerturbModel::exact(), &FailureSpec::none())
+                .unwrap();
+            assert_eq!(out.jobs.len(), 3);
+            assert!(out.response_times.iter().all(|&r| r > 0.0));
+        }
+    }
+
+    #[test]
+    fn survives_processor_failure_mid_stream() {
+        let (platform, jobs) = stream(3, 20.0);
+        let failures = FailureSpec::none().with_failure(ProcId(1), 30.0);
+        let out = JobStreamScheduler::default()
+            .execute(&platform, &jobs, &PerturbModel::exact(), &failures)
+            .unwrap();
+        for job_out in &out.jobs {
+            for &(p, start, _) in &job_out.placements {
+                assert!(!(p == ProcId(1) && start >= 30.0));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_trivially_done() {
+        let platform = Platform::fully_connected(2).unwrap();
+        let out = JobStreamScheduler::default()
+            .execute(&platform, &[], &PerturbModel::exact(), &FailureSpec::none())
+            .unwrap();
+        assert_eq!(out.overall_finish, 0.0);
+        assert_eq!(out.mean_response(), 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Fail-stop processor failures.
+
+use hdlts_platform::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// A set of fail-stop processor failures to inject into a simulated run.
+///
+/// A failed processor executes nothing from its failure time on: the task
+/// running there (if any) is aborted and must be re-executed elsewhere, and
+/// data produced by *completed* tasks on it is assumed to have been
+/// replicated and remains available (fail-stop storage survives, matching
+/// the paper's "malfunctioning CPU" load-balancing discussion).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    events: Vec<(ProcId, f64)>,
+}
+
+impl FailureSpec {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a failure of `proc` at time `at`.
+    pub fn with_failure(mut self, proc: ProcId, at: f64) -> Self {
+        assert!(at >= 0.0 && at.is_finite(), "failure time must be finite and non-negative");
+        self.events.push((proc, at));
+        self.events.sort_by(|a, b| a.1.total_cmp(&b.1));
+        self
+    }
+
+    /// The failure events in time order.
+    pub fn events(&self) -> &[(ProcId, f64)] {
+        &self.events
+    }
+
+    /// The failure time of `proc`, if it ever fails.
+    pub fn failure_time(&self, proc: ProcId) -> Option<f64> {
+        self.events.iter().find(|(p, _)| *p == proc).map(|&(_, t)| t)
+    }
+
+    /// Whether `proc` is still alive at time `t`.
+    pub fn alive_at(&self, proc: ProcId, t: f64) -> bool {
+        self.failure_time(proc).is_none_or(|ft| t < ft)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries() {
+        let f = FailureSpec::none()
+            .with_failure(ProcId(1), 50.0)
+            .with_failure(ProcId(0), 10.0);
+        assert_eq!(f.events()[0], (ProcId(0), 10.0)); // time-sorted
+        assert_eq!(f.failure_time(ProcId(1)), Some(50.0));
+        assert_eq!(f.failure_time(ProcId(2)), None);
+        assert!(f.alive_at(ProcId(1), 49.9));
+        assert!(!f.alive_at(ProcId(1), 50.0));
+        assert!(f.alive_at(ProcId(2), 1e9));
+    }
+
+    #[test]
+    #[should_panic(expected = "failure time")]
+    fn rejects_negative_time() {
+        let _ = FailureSpec::none().with_failure(ProcId(0), -1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete-event execution simulation for HDLTS schedules.
+//!
+//! The paper argues (Section IV) that HDLTS's dynamic ready list makes it
+//! robust "if any of the CPU in the underlying HCE is malfunctioning", and
+//! its future work (Section VI) targets uncertain environments. This crate
+//! provides the substrate for those scenarios:
+//!
+//! * [`PerturbModel`] — multiplicative runtime jitter on execution and
+//!   communication times (estimates vs. reality);
+//! * [`replay`] — executes a *static* schedule verbatim (assignments and
+//!   per-processor order fixed) under jitter, measuring how fragile a
+//!   plan is when the estimates are wrong;
+//! * [`OnlineHdlts`] — an event-driven dispatcher that re-runs the HDLTS
+//!   selection rule (penalty value over *live* EFT estimates) at every task
+//!   completion, tolerating fail-stop processor failures injected through
+//!   [`FailureSpec`];
+//! * [`JobStreamScheduler`] — the paper's *dynamic application workflow*
+//!   future-work scenario: a stream of workflow jobs arriving over time,
+//!   dispatched by the HDLTS rule (or FIFO as a baseline) on a shared
+//!   platform.
+
+#![warn(missing_docs)]
+
+mod arrivals;
+mod failure;
+mod online;
+mod outcome;
+mod perturb;
+mod replay;
+
+pub use arrivals::{DispatchPolicy, JobArrival, JobStreamScheduler, StreamOutcome};
+pub use failure::FailureSpec;
+pub use online::OnlineHdlts;
+pub use outcome::ExecutionOutcome;
+pub use perturb::PerturbModel;
+pub use replay::replay;

@@ -1,0 +1,344 @@
+//! Event-driven online HDLTS with fail-stop tolerance.
+
+use crate::{ExecutionOutcome, FailureSpec, PerturbModel};
+use hdlts_core::{penalty_value, CoreError, PenaltyKind, Problem};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+
+/// Online HDLTS: the paper's selection rule — highest penalty value among
+/// the *currently ready* tasks, mapped to the minimum-EFT processor — run
+/// as an event-driven dispatcher against reality instead of estimates.
+///
+/// Differences from the static scheduler:
+///
+/// * decisions use estimated costs (`W`) but **actual** processor
+///   availability and parent finish times, which are only known as the run
+///   unfolds (this is exactly the "considers the resource status" property
+///   Section IV advertises);
+/// * a fail-stop processor failure ([`FailureSpec`]) aborts whatever was
+///   running or queued there; those tasks re-enter the ready queue and are
+///   remapped to surviving processors (outputs of tasks that *completed*
+///   before the failure remain readable);
+/// * entry duplication is not used — replicating against estimates is a
+///   static-time optimization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineHdlts {
+    /// Penalty-value definition (default: the paper's sample-σ over EFTs).
+    pub penalty: PenaltyKind,
+}
+
+impl OnlineHdlts {
+    /// Executes `problem` against the reality defined by `perturb` and
+    /// `failures`.
+    ///
+    /// Fails with [`CoreError::InvalidSchedule`] if every processor dies
+    /// before the workflow completes.
+    ///
+    /// ```
+    /// use hdlts_sim::{FailureSpec, OnlineHdlts, PerturbModel};
+    /// use hdlts_platform::{Platform, ProcId};
+    /// use hdlts_workloads::{fft, CostParams};
+    ///
+    /// let inst = fft::generate(4, &CostParams::default(), 1);
+    /// let platform = Platform::fully_connected(4).unwrap();
+    /// let problem = inst.problem(&platform).unwrap();
+    ///
+    /// // 20% runtime jitter and one processor dying at t = 50.
+    /// let out = OnlineHdlts::default()
+    ///     .execute(
+    ///         &problem,
+    ///         &PerturbModel::uniform(0.2, 7),
+    ///         &FailureSpec::none().with_failure(ProcId(0), 50.0),
+    ///     )
+    ///     .unwrap();
+    /// assert!(out.makespan > 0.0);
+    /// ```
+    pub fn execute(
+        &self,
+        problem: &Problem<'_>,
+        perturb: &PerturbModel,
+        failures: &FailureSpec,
+    ) -> Result<ExecutionOutcome, CoreError> {
+        let (entry, _exit) = problem.entry_exit()?;
+        let dag = problem.dag();
+        let n = problem.num_tasks();
+        let np = problem.num_procs();
+
+        let mut alive = vec![true; np];
+        let mut act_avail = vec![0.0f64; np]; // realized busy-until
+        let mut committed: Vec<Option<(ProcId, f64, f64)>> = vec![None; n];
+        let mut finished = vec![false; n];
+        let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
+        let mut ready: Vec<TaskId> = vec![entry];
+        let mut done = 0usize;
+        let mut aborted = 0usize;
+        let mut clock = 0.0f64;
+        let mut failure_cursor = 0usize;
+
+        // Actual arrival of `parent`'s output at processor `p` (parent is
+        // finished; its completed output survives even on a dead processor).
+        let arrival = |committed: &[Option<(ProcId, f64, f64)>],
+                       parent: TaskId,
+                       cost: f64,
+                       p: ProcId| {
+            let (q, _, f) = committed[parent.index()].expect("ready implies parents committed");
+            if q == p {
+                f
+            } else {
+                f + perturb
+                    .comm_time(parent, parent, problem.platform().comm_time(q, p, cost))
+                    .max(0.0)
+            }
+        };
+
+        loop {
+            // Dispatch every ready task, highest PV first (the ITQ loop of
+            // Algorithm 2, against live state).
+            while !ready.is_empty() {
+                if !alive.iter().any(|&a| a) {
+                    return Err(CoreError::InvalidSchedule(
+                        "all processors failed before completion".into(),
+                    ));
+                }
+                // Estimated EFT rows over live processors only.
+                type Scored = (usize, Vec<(ProcId, f64)>, f64);
+                let mut scored: Vec<Scored> = Vec::new();
+                for (i, &t) in ready.iter().enumerate() {
+                    let mut row = Vec::new();
+                    for p in problem.platform().procs() {
+                        if !alive[p.index()] {
+                            continue;
+                        }
+                        let data = dag
+                            .preds(t)
+                            .iter()
+                            .map(|&(q, c)| arrival(&committed, q, c, p))
+                            .fold(0.0f64, f64::max);
+                        let start = data.max(act_avail[p.index()]).max(clock);
+                        row.push((p, start + problem.w(t, p)));
+                    }
+                    let efts: Vec<f64> = row.iter().map(|&(_, e)| e).collect();
+                    let pv = penalty_value(self.penalty, &efts, problem.costs().row(t));
+                    scored.push((i, row, pv));
+                }
+                let (idx, row, _) = scored
+                    .into_iter()
+                    .max_by(|a, b| {
+                        a.2.total_cmp(&b.2)
+                            .then_with(|| ready[b.0].cmp(&ready[a.0]))
+                    })
+                    .expect("ready is non-empty");
+                let t = ready.swap_remove(idx);
+                let &(p, _) = row
+                    .iter()
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                    .expect("some processor is alive");
+                // Realize the actual execution.
+                let data = dag
+                    .preds(t)
+                    .iter()
+                    .map(|&(q, c)| arrival(&committed, q, c, p))
+                    .fold(0.0f64, f64::max);
+                let start = data.max(act_avail[p.index()]).max(clock);
+                let finish = start + perturb.exec_time(t, p, problem.w(t, p)).max(0.0);
+                committed[t.index()] = Some((p, start, finish));
+                act_avail[p.index()] = finish;
+            }
+
+            if done == n {
+                break;
+            }
+
+            // Next event: earliest committed completion vs. next failure.
+            let next_completion = committed
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| c.is_some() && !finished[*i])
+                .map(|(i, c)| (c.unwrap().2, TaskId::from_index(i)))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let next_failure = failures.events().get(failure_cursor).copied();
+
+            match (next_completion, next_failure) {
+                (Some((cf, ct)), Some((fp, ft))) if ft < cf => {
+                    clock = ft;
+                    failure_cursor += 1;
+                    let _ = (cf, ct);
+                    self.fail_processor(
+                        fp, ft, &mut alive, &mut committed, &mut finished, &mut ready,
+                        &mut aborted, &mut act_avail,
+                    );
+                }
+                (Some((cf, ct)), _) => {
+                    clock = cf;
+                    finished[ct.index()] = true;
+                    done += 1;
+                    for &(child, _) in dag.succs(ct) {
+                        pending[child.index()] -= 1;
+                        if pending[child.index()] == 0 {
+                            ready.push(child);
+                        }
+                    }
+                }
+                (None, Some((fp, ft))) => {
+                    // Nothing committed-but-unfinished: the failure is the
+                    // only event left; process it (it may be irrelevant).
+                    clock = ft.max(clock);
+                    failure_cursor += 1;
+                    self.fail_processor(
+                        fp, ft, &mut alive, &mut committed, &mut finished, &mut ready,
+                        &mut aborted, &mut act_avail,
+                    );
+                }
+                (None, None) => {
+                    return Err(CoreError::InvalidSchedule(format!(
+                        "online run stalled with {done}/{n} tasks finished"
+                    )));
+                }
+            }
+        }
+
+        let placements: Vec<(ProcId, f64, f64)> = committed
+            .into_iter()
+            .map(|c| c.expect("all tasks committed at completion"))
+            .collect();
+        let makespan = placements.iter().map(|&(_, _, f)| f).fold(0.0, f64::max);
+        Ok(ExecutionOutcome { makespan, placements, aborted_attempts: aborted })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fail_processor(
+        &self,
+        proc: ProcId,
+        at: f64,
+        alive: &mut [bool],
+        committed: &mut [Option<(ProcId, f64, f64)>],
+        finished: &mut [bool],
+        ready: &mut Vec<TaskId>,
+        aborted: &mut usize,
+        act_avail: &mut [f64],
+    ) {
+        if !alive[proc.index()] {
+            return;
+        }
+        alive[proc.index()] = false;
+        act_avail[proc.index()] = f64::INFINITY;
+        for i in 0..committed.len() {
+            let Some((p, start, finish)) = committed[i] else { continue };
+            if p == proc && !finished[i] && finish > at {
+                // Queued or mid-run on the dead processor: revoke.
+                if start < at {
+                    *aborted += 1;
+                }
+                committed[i] = None;
+                ready.push(TaskId::from_index(i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_core::{Hdlts, Scheduler};
+    use hdlts_platform::Platform;
+    use hdlts_workloads::fixtures::fig1;
+
+    fn problem_fixture() -> (hdlts_workloads::Instance, Platform) {
+        (fig1(), Platform::fully_connected(3).unwrap())
+    }
+
+    #[test]
+    fn exact_online_run_completes_near_static_plan() {
+        let (inst, platform) = problem_fixture();
+        let problem = inst.problem(&platform).unwrap();
+        let out = OnlineHdlts::default()
+            .execute(&problem, &PerturbModel::exact(), &FailureSpec::none())
+            .unwrap();
+        assert_eq!(out.aborted_attempts, 0);
+        // No duplication online, so the plan differs slightly from the
+        // static 73; it must still be feasible and in the same ballpark.
+        let static_plan = Hdlts::paper_exact().schedule(&problem).unwrap().makespan();
+        assert!(out.makespan >= static_plan - 1e-9);
+        assert!(out.makespan <= 1.5 * static_plan, "online {}", out.makespan);
+    }
+
+    #[test]
+    fn online_precedence_holds() {
+        let (inst, platform) = problem_fixture();
+        let problem = inst.problem(&platform).unwrap();
+        let out = OnlineHdlts::default()
+            .execute(&problem, &PerturbModel::uniform(0.3, 5), &FailureSpec::none())
+            .unwrap();
+        for e in inst.dag.edges() {
+            assert!(out.placements[e.dst.index()].1 + 1e-9 >= out.placements[e.src.index()].2);
+        }
+    }
+
+    #[test]
+    fn survives_single_processor_failure() {
+        let (inst, platform) = problem_fixture();
+        let problem = inst.problem(&platform).unwrap();
+        let failures = FailureSpec::none().with_failure(ProcId(2), 10.0);
+        let out = OnlineHdlts::default()
+            .execute(&problem, &PerturbModel::exact(), &failures)
+            .unwrap();
+        // Everything after t=10 runs on P1/P2 only.
+        for (i, &(p, start, _)) in out.placements.iter().enumerate() {
+            if start >= 10.0 {
+                assert_ne!(p, ProcId(2), "task {i} on dead processor");
+            }
+        }
+        // The failure costs time relative to the undisturbed run.
+        let undisturbed = OnlineHdlts::default()
+            .execute(&problem, &PerturbModel::exact(), &FailureSpec::none())
+            .unwrap();
+        assert!(out.makespan >= undisturbed.makespan);
+    }
+
+    #[test]
+    fn aborted_attempts_counted_when_running_task_dies() {
+        let (inst, platform) = problem_fixture();
+        let problem = inst.problem(&platform).unwrap();
+        // The entry runs on P3 during [0, 9): kill P3 mid-flight.
+        let failures = FailureSpec::none().with_failure(ProcId(2), 4.0);
+        let out = OnlineHdlts::default()
+            .execute(&problem, &PerturbModel::exact(), &failures)
+            .unwrap();
+        assert!(out.aborted_attempts >= 1);
+        assert!(out.makespan > 0.0);
+        for e in inst.dag.edges() {
+            assert!(out.placements[e.dst.index()].1 + 1e-9 >= out.placements[e.src.index()].2);
+        }
+    }
+
+    #[test]
+    fn all_processors_failing_is_an_error() {
+        let (inst, platform) = problem_fixture();
+        let problem = inst.problem(&platform).unwrap();
+        let failures = FailureSpec::none()
+            .with_failure(ProcId(0), 1.0)
+            .with_failure(ProcId(1), 1.0)
+            .with_failure(ProcId(2), 1.0);
+        let err = OnlineHdlts::default()
+            .execute(&problem, &PerturbModel::exact(), &failures)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSchedule(_)));
+    }
+
+    #[test]
+    fn two_failures_still_complete_on_last_processor() {
+        let (inst, platform) = problem_fixture();
+        let problem = inst.problem(&platform).unwrap();
+        let failures = FailureSpec::none()
+            .with_failure(ProcId(2), 5.0)
+            .with_failure(ProcId(0), 20.0);
+        let out = OnlineHdlts::default()
+            .execute(&problem, &PerturbModel::exact(), &failures)
+            .unwrap();
+        for &(p, start, _) in &out.placements {
+            if start >= 20.0 {
+                assert_eq!(p, ProcId(1));
+            }
+        }
+    }
+}

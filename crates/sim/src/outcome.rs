@@ -1,0 +1,29 @@
+//! Result of a simulated execution.
+
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// What actually happened when a workflow executed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionOutcome {
+    /// Actual completion time of the workflow.
+    pub makespan: f64,
+    /// Actual `(proc, start, finish)` per task, indexed by task id.
+    pub placements: Vec<(ProcId, f64, f64)>,
+    /// Number of task attempts that were abandoned because their processor
+    /// failed (0 unless failures were injected).
+    pub aborted_attempts: usize,
+}
+
+impl ExecutionOutcome {
+    /// Actual finish time of `t`.
+    pub fn finish(&self, t: TaskId) -> f64 {
+        self.placements[t.index()].2
+    }
+
+    /// Actual processor of `t`.
+    pub fn proc_of(&self, t: TaskId) -> ProcId {
+        self.placements[t.index()].0
+    }
+}

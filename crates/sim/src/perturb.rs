@@ -1,0 +1,102 @@
+//! Runtime uncertainty model.
+
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative jitter applied to execution and communication times at
+/// simulation time.
+///
+/// A task whose estimated cost is `w` actually runs for
+/// `w * U[1 - exec_jitter, 1 + exec_jitter]`; transfers scale likewise by
+/// `comm_jitter`. Factors are deterministic functions of `(seed, task,
+/// proc)` / `(seed, src, dst)`, so a replay and an online run facing the
+/// same seed see the *same* reality — only their reactions differ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerturbModel {
+    /// Relative execution-time jitter in `[0, 1)` (0 = exact estimates).
+    pub exec_jitter: f64,
+    /// Relative communication-time jitter in `[0, 1)`.
+    pub comm_jitter: f64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl PerturbModel {
+    /// No uncertainty: actual times equal estimates.
+    pub fn exact() -> Self {
+        PerturbModel { exec_jitter: 0.0, comm_jitter: 0.0, seed: 0 }
+    }
+
+    /// Uniform jitter of the same relative magnitude on both execution and
+    /// communication.
+    pub fn uniform(jitter: f64, seed: u64) -> Self {
+        PerturbModel { exec_jitter: jitter, comm_jitter: jitter, seed }
+    }
+
+    /// The actual execution time of `t` on `p` for estimated cost `w`.
+    pub fn exec_time(&self, t: TaskId, p: ProcId, w: f64) -> f64 {
+        w * self.factor(self.exec_jitter, 0x9E37_79B9, t.0 as u64, p.0 as u64)
+    }
+
+    /// The actual transfer time for edge `src -> dst` with estimated time
+    /// `c` (already bandwidth-scaled; zero stays zero).
+    pub fn comm_time(&self, src: TaskId, dst: TaskId, c: f64) -> f64 {
+        c * self.factor(self.comm_jitter, 0xB529_7A4D, src.0 as u64, dst.0 as u64)
+    }
+
+    fn factor(&self, jitter: f64, salt: u64, a: u64, b: u64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&jitter), "jitter must lie in [0, 1)");
+        if jitter == 0.0 {
+            return 1.0;
+        }
+        // Stable per-pair stream independent of query order.
+        let key = self
+            .seed
+            .wrapping_mul(0x517C_C1B7_2722_0A95)
+            .wrapping_add(salt)
+            .wrapping_add(a.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .wrapping_add(b.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(key);
+        rng.random_range(1.0 - jitter..1.0 + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_model_is_identity() {
+        let m = PerturbModel::exact();
+        assert_eq!(m.exec_time(TaskId(3), ProcId(1), 10.0), 10.0);
+        assert_eq!(m.comm_time(TaskId(0), TaskId(1), 7.0), 7.0);
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_deterministic() {
+        let m = PerturbModel::uniform(0.25, 42);
+        let a = m.exec_time(TaskId(1), ProcId(0), 100.0);
+        assert!((75.0..125.0).contains(&a));
+        assert_eq!(a, m.exec_time(TaskId(1), ProcId(0), 100.0));
+        // different task -> (almost surely) different factor
+        let b = m.exec_time(TaskId(2), ProcId(0), 100.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_realities() {
+        let a = PerturbModel::uniform(0.2, 1).exec_time(TaskId(0), ProcId(0), 10.0);
+        let b = PerturbModel::uniform(0.2, 2).exec_time(TaskId(0), ProcId(0), 10.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_cost_stays_zero() {
+        let m = PerturbModel::uniform(0.5, 9);
+        assert_eq!(m.comm_time(TaskId(0), TaskId(1), 0.0), 0.0);
+        assert_eq!(m.exec_time(TaskId(0), ProcId(0), 0.0), 0.0);
+    }
+}

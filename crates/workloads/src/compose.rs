@@ -1,0 +1,185 @@
+//! Workflow composition operators.
+//!
+//! Multi-workflow scheduling consolidates several applications onto one
+//! platform. Two classic operators:
+//!
+//! * [`parallel`] — place workflows side by side (a shared zero-cost pseudo
+//!   entry/exit joins them): the *static batch* counterpart of the dynamic
+//!   job stream in `hdlts-sim`;
+//! * [`serial`] — chain workflows, each one's exit feeding the next one's
+//!   entry over a zero-cost edge (e.g. iterative pipelines).
+//!
+//! Both require every component to target the same processor count and
+//! preserve component task order: component `k`'s task `t` becomes global
+//! task `offset_k + t`, with offsets returned for bookkeeping.
+
+use crate::Instance;
+use hdlts_dag::{normalize, DagBuilder, TaskId};
+use hdlts_platform::CostMatrix;
+
+/// Result of a composition: the combined instance plus each component's
+/// first global task id.
+#[derive(Debug, Clone)]
+pub struct Composed {
+    /// The merged workflow.
+    pub instance: Instance,
+    /// `offsets[k]` is the global id of component `k`'s task 0.
+    pub offsets: Vec<u32>,
+}
+
+fn merge(name: &str, parts: &[Instance], chain: bool) -> Composed {
+    assert!(!parts.is_empty(), "composition needs at least one workflow");
+    let procs = parts[0].num_procs();
+    assert!(
+        parts.iter().all(|p| p.num_procs() == procs),
+        "all components must target the same processor count"
+    );
+
+    let total: usize = parts.iter().map(Instance::num_tasks).sum();
+    let mut b = DagBuilder::with_capacity(
+        total,
+        parts.iter().map(|p| p.dag.num_edges()).sum::<usize>() + parts.len(),
+    );
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(total);
+    let mut offsets = Vec::with_capacity(parts.len());
+    for (k, part) in parts.iter().enumerate() {
+        let offset = rows.len() as u32;
+        offsets.push(offset);
+        for t in part.dag.tasks() {
+            b.add_task(format!("{}#{k}:{}", part.name, part.dag.name(t)));
+            rows.push(part.costs.row(t).to_vec());
+        }
+        for e in part.dag.edges() {
+            b.add_edge(
+                TaskId(offset + e.src.0),
+                TaskId(offset + e.dst.0),
+                e.cost,
+            )
+            .expect("component edges are disjoint after offsetting");
+        }
+    }
+    if chain {
+        for k in 0..parts.len() - 1 {
+            let exit = parts[k].dag.single_exit().expect("components are normalized");
+            let entry = parts[k + 1].dag.single_entry().expect("components are normalized");
+            b.add_edge(
+                TaskId(offsets[k] + exit.0),
+                TaskId(offsets[k + 1] + entry.0),
+                0.0,
+            )
+            .expect("chain edge is fresh");
+        }
+    }
+    let merged = b.build().expect("offset union of DAGs is acyclic");
+    let norm = normalize(&merged);
+    let costs = CostMatrix::from_rows(rows)
+        .expect("component rows are valid")
+        .with_pseudo_tasks(norm.dag.num_tasks() - total);
+    Composed {
+        instance: Instance { name: name.to_owned(), dag: norm.dag, costs },
+        offsets,
+    }
+}
+
+/// Parallel (side-by-side) composition. The result has a pseudo entry and
+/// exit joining the components (unless there is a single component, which
+/// is returned as-is modulo renaming).
+pub fn parallel(name: &str, parts: &[Instance]) -> Composed {
+    merge(name, parts, false)
+}
+
+/// Serial (chained) composition: component `k`'s exit feeds component
+/// `k+1`'s entry with a zero-cost edge.
+pub fn serial(name: &str, parts: &[Instance]) -> Composed {
+    merge(name, parts, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fft, gauss, CostParams};
+    use hdlts_dag::LevelDecomposition;
+
+    fn two_parts() -> Vec<Instance> {
+        vec![
+            fft::generate(4, &CostParams::default(), 1),
+            gauss::generate(4, &CostParams::default(), 2),
+        ]
+    }
+
+    #[test]
+    fn parallel_composition_shares_pseudo_ends() {
+        let parts = two_parts();
+        let total: usize = parts.iter().map(Instance::num_tasks).sum();
+        let c = parallel("batch", &parts);
+        assert!(c.instance.dag.is_single_entry_exit());
+        // + pseudo entry and exit
+        assert_eq!(c.instance.num_tasks(), total + 2);
+        assert_eq!(c.offsets, vec![0, parts[0].num_tasks() as u32]);
+        // component costs preserved under offset
+        let off = c.offsets[1];
+        for t in parts[1].dag.tasks() {
+            assert_eq!(
+                c.instance.costs.row(TaskId(off + t.0)),
+                parts[1].costs.row(t)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_height_is_max_of_parts() {
+        let parts = two_parts();
+        let hs: Vec<usize> = parts
+            .iter()
+            .map(|p| LevelDecomposition::compute(&p.dag).height())
+            .collect();
+        let c = parallel("batch", &parts);
+        let h = LevelDecomposition::compute(&c.instance.dag).height();
+        assert_eq!(h, hs.iter().max().unwrap() + 2);
+    }
+
+    #[test]
+    fn serial_composition_chains_heights() {
+        let parts = two_parts();
+        let hs: Vec<usize> = parts
+            .iter()
+            .map(|p| LevelDecomposition::compute(&p.dag).height())
+            .collect();
+        let c = serial("chain", &parts);
+        assert!(c.instance.dag.is_single_entry_exit());
+        let h = LevelDecomposition::compute(&c.instance.dag).height();
+        assert_eq!(h, hs.iter().sum::<usize>());
+        // no pseudo tasks needed: the chain is already single entry/exit
+        let total: usize = parts.iter().map(Instance::num_tasks).sum();
+        assert_eq!(c.instance.num_tasks(), total);
+    }
+
+    #[test]
+    fn composed_instances_schedule_feasibly() {
+        use hdlts_core::{Hdlts, Scheduler};
+        use hdlts_platform::Platform;
+        let parts = two_parts();
+        for c in [parallel("p", &parts), serial("s", &parts)] {
+            let platform = Platform::fully_connected(c.instance.num_procs()).unwrap();
+            let problem = c.instance.problem(&platform).unwrap();
+            let s = Hdlts::paper_exact().schedule(&problem).unwrap();
+            s.validate(&problem).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same processor count")]
+    fn mismatched_processors_rejected() {
+        let a = fft::generate(4, &CostParams::default(), 1);
+        let b = fft::generate(4, &CostParams { num_procs: 2, ..CostParams::default() }, 1);
+        let _ = parallel("bad", &[a, b]);
+    }
+
+    #[test]
+    fn single_component_parallel_is_identity_shaped() {
+        let parts = vec![fft::generate(4, &CostParams::default(), 1)];
+        let c = parallel("solo", &parts);
+        assert_eq!(c.instance.num_tasks(), parts[0].num_tasks());
+        assert_eq!(c.instance.dag.num_edges(), parts[0].dag.num_edges());
+    }
+}

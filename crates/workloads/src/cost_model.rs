@@ -1,0 +1,316 @@
+//! The shared cost model (Eqs. 13–14 of the paper).
+//!
+//! Every workload family builds its *structure* (task count + edge list)
+//! first and then realizes costs through [`CostParams::realize`]:
+//!
+//! * each task's average computation time `w_i ~ U[0, 2*W_dag]`,
+//! * its per-processor time `w(i,j) ~ U[w_i*(1-beta/2), w_i*(1+beta/2)]`
+//!   (Eq. 13 — `beta` is the heterogeneity factor),
+//! * each edge's communication cost `Comm(i,j) = w_i * CCR` (Eq. 14, with
+//!   `i` the producing task).
+//!
+//! The structure is then normalized to single entry/exit; pseudo tasks get
+//! zero computation cost on every processor and zero-cost edges, matching
+//! Section III.
+
+use crate::Instance;
+use hdlts_dag::{normalize, DagBuilder, TaskId};
+use hdlts_platform::CostMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How per-processor execution times relate across tasks (the classic
+/// distinction of the HEFT literature \[8\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Consistency {
+    /// Each `w(i, j)` is drawn independently in the Eq. 13 band — a fast
+    /// processor for one task may be slow for another. The paper's model.
+    #[default]
+    Inconsistent,
+    /// Related-machines model: every processor has a fixed speed factor in
+    /// the `beta` band and `w(i, j) = w_i / speed_j` — processor rankings
+    /// agree for all tasks.
+    Consistent,
+}
+
+/// Parameters of the cost model (the non-structural half of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Mean computation time of the DAG (`W_dag`).
+    pub w_dag: f64,
+    /// Communication-to-computation ratio (`CCR`).
+    pub ccr: f64,
+    /// Heterogeneity factor (`beta`, in `[0, 2]`).
+    pub beta: f64,
+    /// Number of processors (columns of the produced cost matrix).
+    pub num_procs: usize,
+    /// Consistent vs inconsistent heterogeneity (default: the paper's
+    /// inconsistent model).
+    #[serde(default)]
+    pub consistency: Consistency,
+}
+
+impl Default for CostParams {
+    /// Mid-grid Table II values: `W_dag = 80`, `CCR = 1`, `beta = 1.2`,
+    /// 4 processors.
+    fn default() -> Self {
+        CostParams {
+            w_dag: 80.0,
+            ccr: 1.0,
+            beta: 1.2,
+            num_procs: 4,
+            consistency: Consistency::Inconsistent,
+        }
+    }
+}
+
+impl CostParams {
+    /// Realizes a structure (task names + `(src, dst)` edge pairs) into a
+    /// normalized [`Instance`] with sampled costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure is cyclic or has duplicate edges — workload
+    /// structures are produced by this crate and must be well-formed.
+    pub fn realize<R: Rng + ?Sized>(
+        &self,
+        name: impl Into<String>,
+        names: &[String],
+        edges: &[(u32, u32)],
+        rng: &mut R,
+    ) -> Instance {
+        let n = names.len();
+        assert!(n > 0, "structure must have tasks");
+        assert!(self.num_procs > 0, "need at least one processor");
+        assert!((0.0..=2.0).contains(&self.beta), "beta must lie in [0, 2]");
+
+        // Eq. 13 preamble: the average computation cost of each task.
+        let w_bar: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..2.0 * self.w_dag)).collect();
+
+        let mut b = DagBuilder::with_capacity(n, edges.len());
+        for name in names {
+            b.add_task(name.clone());
+        }
+        for &(s, d) in edges {
+            // Eq. 14: communication cost scales the *producer's* mean cost.
+            let comm = w_bar[s as usize] * self.ccr;
+            b.add_edge(TaskId(s), TaskId(d), comm)
+                .expect("workload structures are well-formed");
+        }
+        let structure = b.build().expect("workload structures are acyclic");
+        let norm = normalize(&structure);
+
+        // Eq. 13: per-processor execution times around each task's mean.
+        let speeds = self.sample_speeds(rng);
+        let mut rows = Vec::with_capacity(norm.dag.num_tasks());
+        for (t, &wb) in w_bar.iter().enumerate() {
+            debug_assert_eq!(t, rows.len());
+            rows.push(self.sample_row(wb, &speeds, rng));
+        }
+        let costs = CostMatrix::from_rows(rows).expect("sampled costs are valid");
+        let extra = norm.dag.num_tasks() - n;
+        let costs = costs.with_pseudo_tasks(extra);
+
+        Instance { name: name.into(), dag: norm.dag, costs }
+    }
+
+    /// Realizes an *existing* DAG that already carries its communication
+    /// costs (e.g. one imported from DOT): samples only the computation
+    /// matrix (Eq. 13, ignoring this model's `ccr`), normalizes to single
+    /// entry/exit, and keeps every stored edge cost.
+    pub fn realize_keep_comm<R: Rng + ?Sized>(
+        &self,
+        name: impl Into<String>,
+        dag: &hdlts_dag::Dag,
+        rng: &mut R,
+    ) -> Instance {
+        assert!(self.num_procs > 0, "need at least one processor");
+        assert!((0.0..=2.0).contains(&self.beta), "beta must lie in [0, 2]");
+        let n = dag.num_tasks();
+        let norm = normalize(dag);
+        let speeds = self.sample_speeds(rng);
+        let mut rows = Vec::with_capacity(norm.dag.num_tasks());
+        for _ in 0..n {
+            let wb = rng.random_range(0.0..2.0 * self.w_dag);
+            rows.push(self.sample_row(wb, &speeds, rng));
+        }
+        let costs = CostMatrix::from_rows(rows).expect("sampled costs are valid");
+        let extra = norm.dag.num_tasks() - n;
+        Instance { name: name.into(), dag: norm.dag, costs: costs.with_pseudo_tasks(extra) }
+    }
+
+    /// Per-processor speed factors for [`Consistency::Consistent`]; empty
+    /// for the inconsistent model.
+    fn sample_speeds<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        match self.consistency {
+            Consistency::Inconsistent => Vec::new(),
+            Consistency::Consistent => (0..self.num_procs)
+                .map(|_| {
+                    let lo = (1.0 - self.beta / 2.0).max(1e-3);
+                    let hi = 1.0 + self.beta / 2.0;
+                    if lo < hi { rng.random_range(lo..hi) } else { lo }
+                })
+                .collect(),
+        }
+    }
+
+    /// One task's cost row under the configured consistency model.
+    fn sample_row<R: Rng + ?Sized>(&self, wb: f64, speeds: &[f64], rng: &mut R) -> Vec<f64> {
+        match self.consistency {
+            Consistency::Inconsistent => {
+                let lo = wb * (1.0 - self.beta / 2.0);
+                let hi = wb * (1.0 + self.beta / 2.0);
+                (0..self.num_procs)
+                    .map(|_| if lo < hi { rng.random_range(lo..hi) } else { lo })
+                    .collect()
+            }
+            Consistency::Consistent => speeds.iter().map(|&s| wb / s).collect(),
+        }
+    }
+
+    /// [`realize`](Self::realize) for structures with auto-generated task
+    /// names `t0..t{n-1}`.
+    pub fn realize_unnamed<R: Rng + ?Sized>(
+        &self,
+        name: impl Into<String>,
+        n: usize,
+        edges: &[(u32, u32)],
+        rng: &mut R,
+    ) -> Instance {
+        let names: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+        self.realize(name, &names, edges, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> CostParams {
+        CostParams {
+            w_dag: 50.0,
+            ccr: 2.0,
+            beta: 1.0,
+            num_procs: 3,
+            consistency: Consistency::Inconsistent,
+        }
+    }
+
+    #[test]
+    fn realize_produces_normalized_instance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // two entries, two exits -> both pseudo ends inserted
+        let inst = params().realize_unnamed("x", 4, &[(0, 2), (1, 3)], &mut rng);
+        assert!(inst.dag.is_single_entry_exit());
+        assert_eq!(inst.num_tasks(), 6);
+        assert_eq!(inst.costs.num_tasks(), 6);
+        assert_eq!(inst.num_procs(), 3);
+        // pseudo tasks cost zero everywhere
+        for t in inst.dag.tasks().skip(4) {
+            assert_eq!(inst.costs.row(t), &[0.0, 0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn costs_respect_eq13_band() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(11);
+        let inst = p.realize_unnamed("x", 50, &[], &mut rng);
+        // With no edges all 50 originals are entries/exits; pseudo ends added.
+        for t in 0..50u32 {
+            let row = inst.costs.row(hdlts_dag::TaskId(t));
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            // beta = 1 -> hi/lo = 3 is the extreme ratio
+            assert!(max <= 2.0 * p.w_dag * 1.5);
+            assert!(min >= 0.0);
+            if min > 1e-9 {
+                assert!(max / min <= 3.0 + 1e-9, "beta band violated: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn comm_cost_is_producer_mean_times_ccr() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = p.realize_unnamed("x", 3, &[(0, 1), (0, 2), (1, 2)], &mut rng);
+        // both edges out of task 0 carry the same cost (w_bar0 * ccr)
+        let c01 = inst.dag.comm(hdlts_dag::TaskId(0), hdlts_dag::TaskId(1)).unwrap();
+        let c02 = inst.dag.comm(hdlts_dag::TaskId(0), hdlts_dag::TaskId(2)).unwrap();
+        assert_eq!(c01, c02);
+        assert!(c01 <= 2.0 * p.w_dag * p.ccr);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = params();
+        let a = p.realize_unnamed("x", 10, &[(0, 5), (1, 5), (5, 9)], &mut StdRng::seed_from_u64(42));
+        let b = p.realize_unnamed("x", 10, &[(0, 5), (1, 5), (5, 9)], &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.costs, b.costs);
+        assert_eq!(a.dag.num_edges(), b.dag.num_edges());
+    }
+
+    #[test]
+    fn beta_zero_gives_homogeneous_costs() {
+        let p = CostParams { beta: 0.0, ..params() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = p.realize_unnamed("x", 5, &[(0, 4), (1, 4), (2, 4), (3, 4)], &mut rng);
+        for t in 0..5u32 {
+            let row = inst.costs.row(hdlts_dag::TaskId(t));
+            assert!(row.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12), "{row:?}");
+        }
+    }
+
+    #[test]
+    fn consistent_model_orders_processors_identically() {
+        let p = CostParams { consistency: Consistency::Consistent, ..params() };
+        let mut rng = StdRng::seed_from_u64(8);
+        let inst = p.realize_unnamed("x", 20, &[(0, 19)], &mut rng);
+        // Find the fastest processor of task 0; it must be fastest for all.
+        let first = inst.costs.fastest_proc(hdlts_dag::TaskId(0));
+        for t in 0..20u32 {
+            let row = inst.costs.row(hdlts_dag::TaskId(t));
+            if row.iter().all(|&c| c > 0.0) {
+                assert_eq!(
+                    inst.costs.fastest_proc(hdlts_dag::TaskId(t)),
+                    first,
+                    "task {t}: {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_default_is_inconsistent() {
+        assert_eq!(CostParams::default().consistency, Consistency::Inconsistent);
+        // serde default keeps old configs valid
+        let p: CostParams =
+            serde_json::from_str(r#"{"w_dag":80.0,"ccr":1.0,"beta":1.2,"num_procs":4}"#).unwrap();
+        assert_eq!(p.consistency, Consistency::Inconsistent);
+    }
+
+    #[test]
+    fn realize_keep_comm_preserves_edge_costs() {
+        use hdlts_dag::dag_from_edges;
+        let dag = dag_from_edges(3, &[(0, 1, 7.5), (0, 2, 3.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = params().realize_keep_comm("imported", &dag, &mut rng);
+        assert!(inst.dag.is_single_entry_exit());
+        assert_eq!(inst.dag.comm(hdlts_dag::TaskId(0), hdlts_dag::TaskId(1)), Some(7.5));
+        assert_eq!(inst.num_procs(), 3);
+        // 3 originals + pseudo exit
+        assert_eq!(inst.num_tasks(), 4);
+        assert_eq!(inst.costs.row(hdlts_dag::TaskId(3)), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must lie")]
+    fn invalid_beta_panics() {
+        let p = CostParams { beta: 3.0, ..params() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = p.realize_unnamed("x", 2, &[(0, 1)], &mut rng);
+    }
+}

@@ -1,0 +1,148 @@
+//! Fast Fourier Transform workflows (Section V-C.1, Fig. 5).
+//!
+//! For `m` input points (a power of two) the workflow has two parts, as in
+//! the HEFT paper \[8\]:
+//!
+//! * a **recursive-call** binary tree of `2m − 1` tasks rooted at the entry,
+//!   fanning out to `m` leaves, and
+//! * a **butterfly** of `log2(m)` levels × `m` tasks below the leaves,
+//!   where the task at position `j` of butterfly level `l+1` reads from
+//!   positions `j` and `j ^ 2^l` of level `l` (classic DIT wiring).
+//!
+//! Total: `(2m − 1) + m·log2(m)` tasks — 15 for `m = 4`, 223 for `m = 32`,
+//! matching the task range quoted in the paper. The `m` final butterfly
+//! tasks are multiple exits; normalization appends a pseudo exit.
+
+use crate::{CostParams, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Task count of the FFT structure before pseudo-task normalization.
+pub fn task_count(m: usize) -> usize {
+    assert!(m.is_power_of_two() && m >= 2, "m must be a power of two >= 2");
+    (2 * m - 1) + m * m.ilog2() as usize
+}
+
+/// Builds the FFT structure for `m` points: `(names, edges)`.
+fn structure(m: usize) -> (Vec<String>, Vec<(u32, u32)>) {
+    assert!(m.is_power_of_two() && m >= 2, "m must be a power of two >= 2");
+    let lg = m.ilog2() as usize;
+    let mut names = Vec::with_capacity(task_count(m));
+    let mut edges = Vec::new();
+
+    // Recursive-call tree, root first, level by level: level d has 2^d
+    // nodes; node (d, i) is id (2^d - 1) + i and its children are
+    // (d+1, 2i) and (d+1, 2i + 1).
+    for d in 0..=lg {
+        for i in 0..(1usize << d) {
+            names.push(format!("rec[{d}][{i}]"));
+        }
+    }
+    let tree_id = |d: usize, i: usize| -> u32 { ((1u32 << d) - 1) + i as u32 };
+    for d in 0..lg {
+        for i in 0..(1usize << d) {
+            edges.push((tree_id(d, i), tree_id(d + 1, 2 * i)));
+            edges.push((tree_id(d, i), tree_id(d + 1, 2 * i + 1)));
+        }
+    }
+    let leaves_base = (1u32 << lg) - 1; // first leaf id; leaves are m wide
+    let tree_total = 2 * m - 1;
+
+    // Butterfly levels below the leaves.
+    let bf_id = |l: usize, j: usize| -> u32 { (tree_total + l * m + j) as u32 };
+    for l in 0..lg {
+        for j in 0..m {
+            names.push(format!("bf[{l}][{j}]"));
+        }
+    }
+    // Level 0 reads the leaves directly with the stride-1 exchange.
+    for (l, stride) in (0..lg).map(|l| (l, 1usize << l)) {
+        for j in 0..m {
+            let (a, b) = if l == 0 {
+                (leaves_base + j as u32, leaves_base + (j ^ stride) as u32)
+            } else {
+                (bf_id(l - 1, j), bf_id(l - 1, j ^ stride))
+            };
+            edges.push((a, bf_id(l, j)));
+            if b != a {
+                edges.push((b, bf_id(l, j)));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    (names, edges)
+}
+
+/// Generates an FFT workflow instance for `m` input points with costs drawn
+/// from `params` under `seed`.
+pub fn generate(m: usize, params: &CostParams, seed: u64) -> Instance {
+    let (names, edges) = structure(m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    params.realize(format!("fft(m={m})"), &names, &edges, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::LevelDecomposition;
+
+    #[test]
+    fn task_counts_match_paper_range() {
+        assert_eq!(task_count(4), 15);
+        assert_eq!(task_count(8), 39);
+        assert_eq!(task_count(16), 95);
+        assert_eq!(task_count(32), 223);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = task_count(6);
+    }
+
+    #[test]
+    fn structure_is_single_entry_after_normalization() {
+        let inst = generate(8, &CostParams::default(), 1);
+        // 39 original tasks + pseudo exit (tree root is already unique entry)
+        assert_eq!(inst.num_tasks(), 40);
+        assert!(inst.dag.is_single_entry_exit());
+    }
+
+    #[test]
+    fn height_is_tree_plus_butterfly() {
+        let m = 16usize;
+        let inst = generate(m, &CostParams::default(), 2);
+        let lv = LevelDecomposition::compute(&inst.dag);
+        // log2(m)+1 tree levels + log2(m) butterfly levels + pseudo exit
+        assert_eq!(lv.height(), (m.ilog2() as usize + 1) + m.ilog2() as usize + 1);
+    }
+
+    #[test]
+    fn butterfly_wiring_has_two_parents() {
+        let (_, edges) = structure(4);
+        // Every butterfly task (ids 7..15) has exactly two parents.
+        for bf in 7u32..15 {
+            let parents = edges.iter().filter(|&&(_, d)| d == bf).count();
+            assert_eq!(parents, 2, "bf task {bf}");
+        }
+    }
+
+    #[test]
+    fn leaves_feed_first_butterfly_level() {
+        let (_, edges) = structure(4);
+        // leaves are ids 3..=6; bf level 0 ids 7..=10: task 7 reads 3 and 4.
+        assert!(edges.contains(&(3, 7)));
+        assert!(edges.contains(&(4, 7)));
+        // bf level 1 (ids 11..=14): task 11 reads bf0 j=0 (7) and j=2 (9).
+        assert!(edges.contains(&(7, 11)));
+        assert!(edges.contains(&(9, 11)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(8, &CostParams::default(), 7);
+        let b = generate(8, &CostParams::default(), 7);
+        assert_eq!(a.costs, b.costs);
+    }
+}

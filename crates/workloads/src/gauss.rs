@@ -1,0 +1,105 @@
+//! Gaussian-elimination workflows (extension workload).
+//!
+//! The HEFT paper \[8\] that this paper's generator and FFT/MD workloads come
+//! from also evaluates on Gaussian elimination; we include it as an extra
+//! structured workload for the ablation experiments. For a matrix dimension
+//! `m` the DAG has one pivot task `T(k,k)` and `m − k` update tasks
+//! `T(k,j)` per elimination step `k = 1..m-1`:
+//!
+//! * `T(k,k) -> T(k,j)` for `j = k+1..m` (the pivot row feeds each update),
+//! * `T(k,j) -> T(k+1,j)` for `j = k+2..m` (updates carry the column down),
+//! * `T(k,k+1) -> T(k+1,k+1)` (the next pivot waits for its column).
+//!
+//! Total tasks: `(m² + m − 2) / 2`; single entry `T(1,1)`, single exit
+//! `T(m-1,m)`.
+
+use crate::{CostParams, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Task count for matrix dimension `m`.
+pub fn task_count(m: usize) -> usize {
+    assert!(m >= 2, "gaussian elimination needs m >= 2");
+    (m * m + m - 2) / 2
+}
+
+fn structure(m: usize) -> (Vec<String>, Vec<(u32, u32)>) {
+    assert!(m >= 2, "gaussian elimination needs m >= 2");
+    // id layout: step k (1-based, k = 1..m-1) occupies a block of
+    // 1 pivot + (m - k) updates.
+    let mut names = Vec::with_capacity(task_count(m));
+    let mut block_start = vec![0u32; m]; // block_start[k-1] = first id of step k
+    let mut next = 0u32;
+    for k in 1..m {
+        block_start[k - 1] = next;
+        names.push(format!("pivot[{k}]"));
+        next += 1;
+        for j in (k + 1)..=m {
+            names.push(format!("update[{k},{j}]"));
+            next += 1;
+        }
+    }
+    let pivot = |k: usize| block_start[k - 1];
+    let update = |k: usize, j: usize| block_start[k - 1] + 1 + (j - k - 1) as u32;
+
+    let mut edges = Vec::new();
+    for k in 1..m {
+        for j in (k + 1)..=m {
+            edges.push((pivot(k), update(k, j)));
+        }
+        if k + 1 < m {
+            edges.push((update(k, k + 1), pivot(k + 1)));
+            for j in (k + 2)..=m {
+                edges.push((update(k, j), update(k + 1, j)));
+            }
+        }
+    }
+    (names, edges)
+}
+
+/// Generates a Gaussian-elimination workflow for matrix dimension `m`.
+pub fn generate(m: usize, params: &CostParams, seed: u64) -> Instance {
+    let (names, edges) = structure(m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    params.realize(format!("gauss(m={m})"), &names, &edges, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::TaskId;
+
+    #[test]
+    fn task_counts() {
+        assert_eq!(task_count(2), 2);
+        assert_eq!(task_count(5), 14);
+        assert_eq!(task_count(10), 54);
+    }
+
+    #[test]
+    fn single_entry_exit_without_pseudo() {
+        let inst = generate(5, &CostParams::default(), 1);
+        assert_eq!(inst.num_tasks(), 14);
+        assert!(inst.dag.is_single_entry_exit());
+        assert_eq!(inst.dag.single_entry(), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn pivot_depends_on_previous_update() {
+        let (_names, edges) = structure(4);
+        // step 1: pivot id 0, updates (1,2)=1,(1,3)=2,(1,4)=3
+        // step 2: pivot id 4, updates (2,3)=5,(2,4)=6
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(1, 4))); // update(1,2) -> pivot(2)
+        assert!(edges.contains(&(2, 5))); // update(1,3) -> update(2,3)
+        assert!(edges.contains(&(3, 6))); // update(1,4) -> update(2,4)
+        assert!(edges.contains(&(4, 5))); // pivot(2) -> update(2,3)
+    }
+
+    #[test]
+    fn smallest_instance() {
+        let inst = generate(2, &CostParams::default(), 0);
+        assert_eq!(inst.num_tasks(), 2);
+        assert!(inst.dag.has_edge(TaskId(0), TaskId(1)));
+    }
+}

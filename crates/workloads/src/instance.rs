@@ -1,0 +1,86 @@
+//! A generated workload instance.
+
+use hdlts_core::{CoreError, Problem};
+use hdlts_dag::Dag;
+use hdlts_platform::{CostMatrix, Platform};
+use serde::{Deserialize, Serialize};
+
+/// A complete scheduling workload: a normalized single-entry/single-exit
+/// workflow plus its computation-cost matrix.
+///
+/// Bind it to a [`Platform`] with [`Instance::problem`] to schedule it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    /// Human-readable label (e.g. `"fft(m=16)"`), used in experiment output.
+    pub name: String,
+    /// The workflow graph.
+    pub dag: Dag,
+    /// The `n x p` computation-cost matrix.
+    pub costs: CostMatrix,
+}
+
+impl Instance {
+    /// Binds this instance to a platform, validating dimensions.
+    pub fn problem<'a>(&'a self, platform: &'a Platform) -> Result<Problem<'a>, CoreError> {
+        Problem::new(&self.dag, &self.costs, platform)
+    }
+
+    /// Number of tasks (including any pseudo entry/exit).
+    pub fn num_tasks(&self) -> usize {
+        self.dag.num_tasks()
+    }
+
+    /// Number of processors the cost matrix targets.
+    pub fn num_procs(&self) -> usize {
+        self.costs.num_procs()
+    }
+
+    /// Realized communication-to-computation ratio: mean edge cost over
+    /// mean task computation cost. Generators aim this at their `ccr`
+    /// parameter (pseudo tasks and their zero-cost edges drag it slightly).
+    pub fn realized_ccr(&self) -> f64 {
+        let mean_w: f64 = self
+            .dag
+            .tasks()
+            .map(|t| self.costs.mean_cost(t))
+            .sum::<f64>()
+            / self.dag.num_tasks() as f64;
+        if mean_w == 0.0 {
+            0.0
+        } else {
+            self.dag.mean_comm_cost() / mean_w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::dag_from_edges;
+
+    #[test]
+    fn problem_binding_checks_dimensions() {
+        let inst = Instance {
+            name: "x".into(),
+            dag: dag_from_edges(2, &[(0, 1, 1.0)]).unwrap(),
+            costs: CostMatrix::uniform(2, 3, 1.0).unwrap(),
+        };
+        let p3 = Platform::fully_connected(3).unwrap();
+        assert!(inst.problem(&p3).is_ok());
+        let p2 = Platform::fully_connected(2).unwrap();
+        assert!(inst.problem(&p2).is_err());
+        assert_eq!(inst.num_tasks(), 2);
+        assert_eq!(inst.num_procs(), 3);
+    }
+
+    #[test]
+    fn realized_ccr_matches_hand_computation() {
+        let inst = Instance {
+            name: "x".into(),
+            dag: dag_from_edges(2, &[(0, 1, 6.0)]).unwrap(),
+            costs: CostMatrix::uniform(2, 2, 3.0).unwrap(),
+        };
+        // mean comm 6, mean comp 3 -> ccr 2
+        assert!((inst.realized_ccr() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Laplace-equation workflows (extension workload).
+//!
+//! The SDBATS paper \[11\] — the direct ancestor of HDLTS's σ-based
+//! prioritization — evaluates on Laplace-solver DAGs alongside FFT and
+//! Gaussian elimination, so we include them for cross-checking the σ-rank
+//! family. The structure is the classic diamond lattice for an `m × m`
+//! grid: level widths grow `1, 2, …, m` then shrink `m−1, …, 1`
+//! (`m²` tasks total), and each task feeds the one or two lattice
+//! neighbours below it. Single entry and exit by construction.
+
+use crate::{CostParams, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Task count for grid dimension `m` (the diamond has `m^2` tasks).
+pub fn task_count(m: usize) -> usize {
+    assert!(m >= 2, "laplace needs m >= 2");
+    m * m
+}
+
+fn structure(m: usize) -> (Vec<String>, Vec<(u32, u32)>) {
+    assert!(m >= 2, "laplace needs m >= 2");
+    // Level l has width w(l) = l+1 for l < m, else 2m-1-l  (0-based levels,
+    // 2m-1 levels total).
+    let levels = 2 * m - 1;
+    let width = |l: usize| if l < m { l + 1 } else { 2 * m - 1 - l };
+    let mut names = Vec::with_capacity(task_count(m));
+    let mut level_start = Vec::with_capacity(levels);
+    for l in 0..levels {
+        level_start.push(names.len() as u32);
+        for i in 0..width(l) {
+            names.push(format!("lap[{l}][{i}]"));
+        }
+    }
+    let id = |l: usize, i: usize| level_start[l] + i as u32;
+
+    let mut edges = Vec::new();
+    for l in 0..levels - 1 {
+        let (w_cur, w_next) = (width(l), width(l + 1));
+        for i in 0..w_cur {
+            if w_next > w_cur {
+                // expanding half: task i feeds i and i+1
+                edges.push((id(l, i), id(l + 1, i)));
+                edges.push((id(l, i), id(l + 1, i + 1)));
+            } else {
+                // contracting half: task i feeds i-1 and i (when in range)
+                if i > 0 {
+                    edges.push((id(l, i), id(l + 1, i - 1)));
+                }
+                if i < w_next {
+                    edges.push((id(l, i), id(l + 1, i)));
+                }
+            }
+        }
+    }
+    (names, edges)
+}
+
+/// Generates a Laplace workflow for grid dimension `m`.
+pub fn generate(m: usize, params: &CostParams, seed: u64) -> Instance {
+    let (names, edges) = structure(m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    params.realize(format!("laplace(m={m})"), &names, &edges, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::{LevelDecomposition, TaskId};
+
+    #[test]
+    fn task_counts() {
+        assert_eq!(task_count(2), 4);
+        assert_eq!(task_count(4), 16);
+        assert_eq!(task_count(10), 100);
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let inst = generate(4, &CostParams::default(), 1);
+        assert_eq!(inst.num_tasks(), 16);
+        assert!(inst.dag.is_single_entry_exit());
+        let lv = LevelDecomposition::compute(&inst.dag);
+        let widths: Vec<usize> = lv.iter().map(<[TaskId]>::len).collect();
+        assert_eq!(widths, vec![1, 2, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn interior_fan_in_out() {
+        let (_, edges) = structure(3);
+        // middle of the diamond: every widest-level task has 2 parents
+        // except the rim.
+        let inst = generate(3, &CostParams::default(), 2);
+        let lv = LevelDecomposition::compute(&inst.dag);
+        let mid = lv.level(2); // width 3
+        assert_eq!(mid.len(), 3);
+        assert_eq!(inst.dag.in_degree(mid[1]), 2);
+        assert_eq!(inst.dag.in_degree(mid[0]), 1);
+        assert!(!edges.is_empty());
+    }
+
+    #[test]
+    fn smallest_grid() {
+        let inst = generate(2, &CostParams::default(), 0);
+        assert_eq!(inst.num_tasks(), 4);
+        assert!(inst.dag.is_single_entry_exit());
+    }
+}

@@ -1,0 +1,44 @@
+//! Workload generators for the HDLTS evaluation (Section V of the paper).
+//!
+//! Four families, all producing normalized single-entry/single-exit
+//! [`Instance`]s (workflow structure + computation-cost matrix):
+//!
+//! * [`random_dag`] — the synthetic task-graph generator of Section V-B,
+//!   parameterized by `V`, `alpha`, `density`, `CCR`, `W_dag` and `beta`
+//!   exactly as in Table II (Eqs. 13–14 for the costs);
+//! * [`fft`] — Fast Fourier Transform workflows (Fig. 5): a binary
+//!   recursive-call tree of `2m−1` tasks feeding `m·log2(m)` butterfly tasks;
+//! * [`montage`] — the Montage astronomy pipeline (Fig. 9), parameterized by
+//!   projection width to hit the paper's 20/50/100-node shapes;
+//! * [`moldyn`] — the fixed irregular Molecular Dynamics workflow (Fig. 12);
+//! * [`gauss`] — Gaussian-elimination workflows, the classic companion
+//!   workload of the HEFT paper (extension; see DESIGN.md);
+//! * [`laplace`] — diamond-lattice Laplace-solver workflows from the
+//!   SDBATS paper \[11\] (extension);
+//! * [`pegasus`] — the other standard Pegasus benchmark shapes
+//!   (CyberShake, Epigenomics, LIGO) alongside Montage (extension).
+//!
+//! [`fixtures`] holds the paper's Fig. 1 ten-task example with its exact
+//! cost matrix, which the Table I reproduction test depends on, and
+//! [`compose`] merges workflows for multi-application batch scheduling.
+//!
+//! All generators are deterministic functions of their explicit `u64` seed.
+
+#![warn(missing_docs)]
+
+pub mod compose;
+mod cost_model;
+pub mod fft;
+pub mod fixtures;
+pub mod gauss;
+mod instance;
+pub mod laplace;
+pub mod moldyn;
+pub mod montage;
+pub mod pegasus;
+mod params;
+pub mod random_dag;
+
+pub use cost_model::{Consistency, CostParams};
+pub use instance::Instance;
+pub use params::{RandomDagParams, TableII};

@@ -1,0 +1,97 @@
+//! The Molecular Dynamics workflow (Section V-C.3, Fig. 12).
+//!
+//! The paper reuses the fixed irregular ~41-task molecular-dynamics DAG of
+//! the HEFT paper \[8\] (originally from Kim & Browne's modified MD code).
+//! Only its image is available, so this module ships a fixed, fully
+//! documented 41-task DAG with the same published shape: single entry and
+//! exit, nine precedence levels of widths `1-7-8-8-7-5-3-1-1`, and
+//! irregular fan-in/fan-out including cross-level edges. Every MD
+//! experiment in the paper varies only `CCR`, `beta`, and the processor
+//! count while holding the structure fixed, so any fixed irregular DAG of
+//! this scale exercises the identical code paths (see DESIGN.md
+//! "Substitutions").
+
+use crate::{CostParams, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of tasks in the fixed MD structure.
+pub const TASKS: usize = 41;
+
+/// The fixed edge list. Levels: 0 | 1–7 | 8–15 | 16–23 | 24–30 | 31–35 |
+/// 36–38 | 39 | 40.
+pub const EDGES: &[(u32, u32)] = &[
+    // entry fan-out
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7),
+    // level 1 -> 2
+    (1, 8), (1, 9), (2, 9), (2, 10), (3, 10), (3, 11), (4, 12),
+    (5, 12), (5, 13), (6, 14), (7, 14), (7, 15),
+    // level 2 -> 3 (with cross fan)
+    (8, 16), (8, 17), (9, 17), (9, 18), (10, 18), (11, 18), (11, 19),
+    (12, 20), (12, 21), (13, 20), (13, 21), (14, 22), (14, 23), (15, 22), (15, 23),
+    // level 3 -> 4
+    (16, 24), (17, 24), (17, 25), (17, 26), (18, 25), (18, 26), (19, 26),
+    (20, 27), (20, 28), (20, 29), (21, 28), (22, 29), (23, 29), (23, 30),
+    // level 4 -> 5
+    (24, 31), (25, 31), (25, 32), (26, 32), (27, 33), (28, 33), (28, 34),
+    (29, 34), (29, 35), (30, 35),
+    // level 5 -> 6
+    (31, 36), (32, 36), (32, 37), (33, 37), (33, 38), (34, 38), (35, 38),
+    // convergence
+    (36, 39), (37, 39), (38, 39),
+    (39, 40),
+];
+
+/// Generates an MD workflow instance with costs drawn from `params`.
+pub fn generate(params: &CostParams, seed: u64) -> Instance {
+    let names: Vec<String> = (0..TASKS).map(|i| format!("md{i}")).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    params.realize("moldyn", &names, EDGES, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::{LevelDecomposition, TaskId};
+
+    #[test]
+    fn fixed_shape() {
+        let inst = generate(&CostParams::default(), 1);
+        // Already single entry/exit: no pseudo tasks added.
+        assert_eq!(inst.num_tasks(), 41);
+        assert!(inst.dag.is_single_entry_exit());
+        assert_eq!(inst.dag.single_entry(), Some(TaskId(0)));
+        assert_eq!(inst.dag.single_exit(), Some(TaskId(40)));
+    }
+
+    #[test]
+    fn level_widths_match_documentation() {
+        let inst = generate(&CostParams::default(), 1);
+        let lv = LevelDecomposition::compute(&inst.dag);
+        let widths: Vec<usize> = lv.iter().map(<[TaskId]>::len).collect();
+        assert_eq!(widths, vec![1, 7, 8, 8, 7, 5, 3, 1, 1]);
+    }
+
+    #[test]
+    fn every_interior_task_has_parents_and_children() {
+        let inst = generate(&CostParams::default(), 1);
+        for t in inst.dag.tasks() {
+            if t != TaskId(0) {
+                assert!(inst.dag.in_degree(t) > 0, "{t}");
+            }
+            if t != TaskId(40) {
+                assert!(inst.dag.out_degree(t) > 0, "{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn structure_is_seed_independent() {
+        let a = generate(&CostParams::default(), 1);
+        let b = generate(&CostParams::default(), 2);
+        assert_eq!(a.dag.num_edges(), b.dag.num_edges());
+        assert_eq!(a.dag.topological_order(), b.dag.topological_order());
+        // but costs differ
+        assert!(a.costs != b.costs);
+    }
+}

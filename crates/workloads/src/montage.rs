@@ -1,0 +1,165 @@
+//! Montage astronomy workflows (Section V-C.2, Fig. 9).
+//!
+//! Montage builds sky mosaics; its workflow shape is well documented by the
+//! Pegasus project \[25\]. Parameterized by the number of parallel
+//! re-projection jobs `n`, the layers are:
+//!
+//! ```text
+//! mProjectPP x n      (parallel re-projections — the fan-out)
+//! mDiffFit   x n-1    (fits overlapping projection pairs i, i+1)
+//! mConcatFit x 1
+//! mBgModel   x 1
+//! mBackground x n     (per-projection correction; reads mBgModel AND its
+//!                      own mProjectPP output)
+//! mImgtbl    x 1
+//! mAdd       x 1
+//! mShrink    x 1
+//! mJPEG      x 1
+//! ```
+//!
+//! Total `3n + 5` structural tasks plus a pseudo entry (the `n` projections
+//! are parallel sources). `width(5)` gives the paper's ~20-node graph,
+//! `width(15)` ≈ 50 nodes and `width(31)` ≈ 100 nodes.
+
+use crate::{CostParams, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Structural task count for projection width `n` (excluding pseudo tasks).
+pub fn task_count(width: usize) -> usize {
+    assert!(width >= 2, "montage needs at least two projections");
+    3 * width + 5
+}
+
+/// Picks the projection width whose structural size (plus the pseudo entry)
+/// lands closest to `total_nodes`, matching how the paper quotes "50 and
+/// 100 node" Montage workflows.
+pub fn width_for_total(total_nodes: usize) -> usize {
+    // total = 3n + 5 structural + 1 pseudo entry
+    (((total_nodes as isize - 6) as f64) / 3.0).round().max(2.0) as usize
+}
+
+fn structure(width: usize) -> (Vec<String>, Vec<(u32, u32)>) {
+    assert!(width >= 2, "montage needs at least two projections");
+    let n = width as u32;
+    let mut names = Vec::with_capacity(task_count(width));
+    let mut edges = Vec::new();
+
+    // ids: projections 0..n
+    for i in 0..n {
+        names.push(format!("mProjectPP[{i}]"));
+    }
+    // diff-fits n..2n-1 : parents projection i and i+1
+    let diff_base = n;
+    for i in 0..n - 1 {
+        names.push(format!("mDiffFit[{i}]"));
+        edges.push((i, diff_base + i));
+        edges.push((i + 1, diff_base + i));
+    }
+    // concat-fit
+    let concat = diff_base + (n - 1);
+    names.push("mConcatFit".into());
+    for i in 0..n - 1 {
+        edges.push((diff_base + i, concat));
+    }
+    // background model
+    let bgmodel = concat + 1;
+    names.push("mBgModel".into());
+    edges.push((concat, bgmodel));
+    // per-projection background correction
+    let bg_base = bgmodel + 1;
+    for i in 0..n {
+        names.push(format!("mBackground[{i}]"));
+        edges.push((bgmodel, bg_base + i));
+        edges.push((i, bg_base + i));
+    }
+    // image table, add, shrink, jpeg
+    let imgtbl = bg_base + n;
+    names.push("mImgtbl".into());
+    for i in 0..n {
+        edges.push((bg_base + i, imgtbl));
+    }
+    let madd = imgtbl + 1;
+    names.push("mAdd".into());
+    edges.push((imgtbl, madd));
+    let shrink = madd + 1;
+    names.push("mShrink".into());
+    edges.push((madd, shrink));
+    let jpeg = shrink + 1;
+    names.push("mJPEG".into());
+    edges.push((shrink, jpeg));
+
+    (names, edges)
+}
+
+/// Generates a Montage instance with `width` parallel projections.
+pub fn generate(width: usize, params: &CostParams, seed: u64) -> Instance {
+    let (names, edges) = structure(width);
+    let mut rng = StdRng::seed_from_u64(seed);
+    params.realize(format!("montage(width={width})"), &names, &edges, &mut rng)
+}
+
+/// Generates a Montage instance sized as close as possible to
+/// `total_nodes` tasks (including the pseudo entry), as the paper's 50- and
+/// 100-node graphs are specified.
+pub fn generate_approx(total_nodes: usize, params: &CostParams, seed: u64) -> Instance {
+    generate(width_for_total(total_nodes), params, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::LevelDecomposition;
+
+    #[test]
+    fn task_counts() {
+        assert_eq!(task_count(5), 20); // the paper's ~20-node sample
+        assert_eq!(width_for_total(50), 15);
+        assert_eq!(task_count(15) + 1, 51); // +1 pseudo entry
+        assert_eq!(width_for_total(100), 31);
+        assert_eq!(task_count(31) + 1, 99);
+    }
+
+    #[test]
+    fn generated_instance_is_normalized() {
+        let inst = generate(5, &CostParams::default(), 1);
+        assert!(inst.dag.is_single_entry_exit());
+        assert_eq!(inst.num_tasks(), 21); // 20 + pseudo entry
+    }
+
+    #[test]
+    fn layering_matches_pipeline_depth() {
+        let inst = generate(8, &CostParams::default(), 2);
+        let lv = LevelDecomposition::compute(&inst.dag);
+        // pseudo entry, project, diff, concat, bgmodel, background, imgtbl,
+        // add, shrink, jpeg = 10 levels
+        assert_eq!(lv.height(), 10);
+    }
+
+    #[test]
+    fn approx_sizes_land_close() {
+        for &target in &[50usize, 100] {
+            let inst = generate_approx(target, &CostParams::default(), 3);
+            let diff = inst.num_tasks() as isize - target as isize;
+            assert!(diff.abs() <= 2, "target {target} got {}", inst.num_tasks());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two projections")]
+    fn rejects_degenerate_width() {
+        let _ = task_count(1);
+    }
+
+    #[test]
+    fn backgrounds_read_both_model_and_own_projection() {
+        let (_names, edges) = structure(4);
+        let n = 4u32;
+        let bgmodel = n + (n - 1) + 1; // = 8
+        let bg_base = bgmodel + 1;
+        for i in 0..n {
+            assert!(edges.contains(&(bgmodel, bg_base + i)));
+            assert!(edges.contains(&(i, bg_base + i)));
+        }
+    }
+}

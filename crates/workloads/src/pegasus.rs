@@ -1,0 +1,214 @@
+//! Pegasus scientific-workflow shapes (extension workloads).
+//!
+//! Montage (Section V-C.2) is one of five benchmark workflows the Pegasus
+//! project \[25\] popularized for scheduler evaluation; the other common
+//! ones are implemented here with their published layer structures so the
+//! library covers the standard multi-workflow benchmark suite:
+//!
+//! * [`cybershake`] — seismic hazard: per-site extraction fans out to many
+//!   seismogram tasks, which pair into peak-ground-motion tasks and
+//!   aggregate;
+//! * [`epigenomics`] — genome sequencing: several independent lanes of a
+//!   4-stage per-chunk pipeline merging into a global index;
+//! * [`ligo`] — gravitational-wave inspiral analysis: two template-bank /
+//!   matched-filter diamonds chained through a coincidence test.
+//!
+//! All generators parameterize the fan-out width, produce normalized
+//! single-entry/single-exit instances, and draw costs from the shared
+//! [`CostParams`] model.
+
+use crate::{CostParams, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// CyberShake with `sites` parallel sites (each contributing an extraction
+/// task, `2*sites` seismogram tasks, and per-pair peak-value tasks).
+///
+/// Structure per site `i`: `ExtractSGT[i]` feeds two `SeisSynth` tasks,
+/// each feeding a `PeakVal` task; all `PeakVal`s converge on `ZipPSA`,
+/// all `SeisSynth`s additionally feed `ZipSeis`; both zips feed the final
+/// `Gather`. Task count: `5*sites + 3`.
+pub fn cybershake(sites: usize, params: &CostParams, seed: u64) -> Instance {
+    assert!(sites >= 1, "cybershake needs at least one site");
+    let mut names = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let n = sites as u32;
+    // ids: extract 0..n | seis 2 per site | peak 2 per site | zips | gather
+    for i in 0..n {
+        names.push(format!("ExtractSGT[{i}]"));
+    }
+    let seis = |i: u32, j: u32| n + 2 * i + j;
+    for i in 0..n {
+        for j in 0..2 {
+            names.push(format!("SeisSynth[{i}][{j}]"));
+            edges.push((i, seis(i, j)));
+        }
+    }
+    let peak = |i: u32, j: u32| 3 * n + 2 * i + j;
+    for i in 0..n {
+        for j in 0..2 {
+            names.push(format!("PeakVal[{i}][{j}]"));
+            edges.push((seis(i, j), peak(i, j)));
+        }
+    }
+    let zip_psa = 5 * n;
+    names.push("ZipPSA".into());
+    let zip_seis = 5 * n + 1;
+    names.push("ZipSeis".into());
+    let gather = 5 * n + 2;
+    names.push("Gather".into());
+    for i in 0..n {
+        for j in 0..2 {
+            edges.push((peak(i, j), zip_psa));
+            edges.push((seis(i, j), zip_seis));
+        }
+    }
+    edges.push((zip_psa, gather));
+    edges.push((zip_seis, gather));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    params.realize(format!("cybershake(sites={sites})"), &names, &edges, &mut rng)
+}
+
+/// Epigenomics with `lanes` parallel lanes: each lane runs the per-chunk
+/// pipeline `FastqSplit -> Filter -> Map -> MapMerge`, all lanes' merges
+/// feed `MapIndex`, which feeds `PileUp`. Task count: `4*lanes + 2`.
+pub fn epigenomics(lanes: usize, params: &CostParams, seed: u64) -> Instance {
+    assert!(lanes >= 1, "epigenomics needs at least one lane");
+    let mut names = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let stages = ["FastqSplit", "Filter", "Map", "MapMerge"];
+    let id = |lane: usize, stage: usize| (lane * stages.len() + stage) as u32;
+    for lane in 0..lanes {
+        for (s, stage) in stages.iter().enumerate() {
+            names.push(format!("{stage}[{lane}]"));
+            if s > 0 {
+                edges.push((id(lane, s - 1), id(lane, s)));
+            }
+        }
+    }
+    let map_index = (lanes * stages.len()) as u32;
+    names.push("MapIndex".into());
+    let pileup = map_index + 1;
+    names.push("PileUp".into());
+    for lane in 0..lanes {
+        edges.push((id(lane, stages.len() - 1), map_index));
+    }
+    edges.push((map_index, pileup));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    params.realize(format!("epigenomics(lanes={lanes})"), &names, &edges, &mut rng)
+}
+
+/// LIGO inspiral analysis with `width` parallel channels: two chained
+/// diamonds — `TmpltBank* -> Inspiral* -> Thinca`, then
+/// `TrigBank* -> Inspiral2* -> Thinca2`. Task count: `4*width + 2`.
+pub fn ligo(width: usize, params: &CostParams, seed: u64) -> Instance {
+    assert!(width >= 1, "ligo needs at least one channel");
+    let n = width as u32;
+    let mut names = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for i in 0..n {
+        names.push(format!("TmpltBank[{i}]"));
+    }
+    for i in 0..n {
+        names.push(format!("Inspiral[{i}]"));
+        edges.push((i, n + i));
+    }
+    let thinca1 = 2 * n;
+    names.push("Thinca".into());
+    for i in 0..n {
+        edges.push((n + i, thinca1));
+    }
+    for i in 0..n {
+        names.push(format!("TrigBank[{i}]"));
+        edges.push((thinca1, thinca1 + 1 + i));
+    }
+    for i in 0..n {
+        names.push(format!("Inspiral2[{i}]"));
+        edges.push((thinca1 + 1 + i, thinca1 + 1 + n + i));
+    }
+    let thinca2 = thinca1 + 1 + 2 * n;
+    names.push("Thinca2".into());
+    for i in 0..n {
+        edges.push((thinca1 + 1 + n + i, thinca2));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    params.realize(format!("ligo(width={width})"), &names, &edges, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_core::{Hdlts, Scheduler};
+    use hdlts_dag::{LevelDecomposition, TaskId};
+    use hdlts_platform::Platform;
+
+    #[test]
+    fn cybershake_shape() {
+        let inst = cybershake(4, &CostParams::default(), 1);
+        // 5*4 + 3 = 23 structural + pseudo entry (4 extract sources)
+        assert_eq!(inst.num_tasks(), 24);
+        assert!(inst.dag.is_single_entry_exit());
+        let lv = LevelDecomposition::compute(&inst.dag);
+        // pseudo, extract, seis, peak, zips, gather
+        assert_eq!(lv.height(), 6);
+    }
+
+    #[test]
+    fn cybershake_zipseis_reads_all_seismograms() {
+        let inst = cybershake(3, &CostParams::default(), 1);
+        let zip_seis = TaskId(5 * 3 + 1);
+        assert_eq!(inst.dag.name(zip_seis), "ZipSeis");
+        assert_eq!(inst.dag.in_degree(zip_seis), 6);
+    }
+
+    #[test]
+    fn epigenomics_shape() {
+        let inst = epigenomics(5, &CostParams::default(), 2);
+        // 4*5 + 2 = 22 structural + pseudo entry (5 lane heads)
+        assert_eq!(inst.num_tasks(), 23);
+        assert!(inst.dag.is_single_entry_exit());
+        let lv = LevelDecomposition::compute(&inst.dag);
+        // pseudo + 4 stages + index + pileup
+        assert_eq!(lv.height(), 7);
+        assert_eq!(lv.width(), 5);
+    }
+
+    #[test]
+    fn ligo_shape() {
+        let inst = ligo(4, &CostParams::default(), 3);
+        // 4*4 + 2 = 18 structural + pseudo entry
+        assert_eq!(inst.num_tasks(), 19);
+        assert!(inst.dag.is_single_entry_exit());
+        let lv = LevelDecomposition::compute(&inst.dag);
+        // pseudo, tmplt, inspiral, thinca, trig, inspiral2, thinca2
+        assert_eq!(lv.height(), 7);
+        // the two diamonds synchronize at thinca1
+        assert_eq!(inst.dag.in_degree(TaskId(8)), 4); // Thinca with width 4
+    }
+
+    #[test]
+    fn all_pegasus_workflows_schedule_feasibly() {
+        let cp = CostParams { num_procs: 5, ..CostParams::default() };
+        for inst in [
+            cybershake(6, &cp, 4),
+            epigenomics(8, &cp, 4),
+            ligo(6, &cp, 4),
+        ] {
+            let platform = Platform::fully_connected(5).unwrap();
+            let problem = inst.problem(&platform).unwrap();
+            let s = Hdlts::paper_exact().schedule(&problem).unwrap();
+            s.validate(&problem).unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+        }
+    }
+
+    #[test]
+    fn deterministic_generators() {
+        let cp = CostParams::default();
+        assert_eq!(cybershake(3, &cp, 9).costs, cybershake(3, &cp, 9).costs);
+        assert_eq!(epigenomics(3, &cp, 9).costs, epigenomics(3, &cp, 9).costs);
+        assert_eq!(ligo(3, &cp, 9).costs, ligo(3, &cp, 9).costs);
+    }
+}

@@ -1,0 +1,239 @@
+//! The synthetic random task-graph generator (Section V-B).
+//!
+//! Structure generation follows the scheme of the HEFT paper \[8\] that the
+//! paper adopts:
+//!
+//! 1. the workflow height is `sqrt(v)/alpha` (shape parameter `alpha`),
+//! 2. each level's width is sampled uniformly around `sqrt(v)*alpha` and the
+//!    level sizes are repaired to sum to exactly `v`,
+//! 3. every task draws `density` children uniformly from the deeper levels
+//!    (clamped by availability; duplicate picks collapse),
+//! 4. every non-top task is guaranteed at least one parent so the graph is
+//!    connected upward,
+//! 5. the result is normalized to a single entry and exit with zero-cost
+//!    pseudo tasks, and costs are realized per Eqs. 13–14.
+
+use crate::{Instance, RandomDagParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates one random workflow instance from `params` and `seed`.
+///
+/// Deterministic: equal inputs produce equal instances.
+///
+/// ```
+/// use hdlts_workloads::{random_dag, RandomDagParams};
+///
+/// let params = RandomDagParams { v: 50, ccr: 2.0, ..Default::default() };
+/// let inst = random_dag::generate(&params, 42);
+/// assert!(inst.num_tasks() >= 50); // plus up to two pseudo tasks
+/// assert!(inst.dag.is_single_entry_exit());
+/// assert_eq!(inst.num_procs(), 4);
+/// ```
+pub fn generate(params: &RandomDagParams, seed: u64) -> Instance {
+    assert!(params.v >= 1, "need at least one task");
+    assert!(params.alpha > 0.0, "alpha must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let levels = level_sizes(params, &mut rng);
+    // level_start[l] = id of the first task in level l
+    let mut level_start = Vec::with_capacity(levels.len() + 1);
+    let mut acc = 0u32;
+    for &w in &levels {
+        level_start.push(acc);
+        acc += w as u32;
+    }
+    level_start.push(acc);
+    debug_assert_eq!(acc as usize, params.v);
+
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(params.v * params.density);
+    let mut has_parent = vec![false; params.v];
+
+    for l in 0..levels.len().saturating_sub(1) {
+        let deeper_lo = level_start[l + 1];
+        let deeper_hi = level_start[levels.len()];
+        let deeper_count = (deeper_hi - deeper_lo) as usize;
+        for t in level_start[l]..level_start[l + 1] {
+            let degree = params.density.min(deeper_count);
+            let mut picked = Vec::with_capacity(degree);
+            for _ in 0..degree {
+                let child = deeper_lo + rng.random_range(0..deeper_count) as u32;
+                if !picked.contains(&child) {
+                    picked.push(child);
+                }
+            }
+            for child in picked {
+                edges.push((t, child));
+                has_parent[child as usize] = true;
+            }
+        }
+    }
+
+    // Connectivity repair: every task below the top level needs a parent.
+    for l in 1..levels.len() {
+        for t in level_start[l]..level_start[l + 1] {
+            if !has_parent[t as usize] {
+                let shallower = level_start[l];
+                let parent = rng.random_range(0..shallower);
+                edges.push((parent, t));
+                has_parent[t as usize] = true;
+            }
+        }
+    }
+
+    edges.sort_unstable();
+    edges.dedup();
+
+    let name = format!(
+        "random(v={},alpha={},density={},ccr={},p={})",
+        params.v, params.alpha, params.density, params.ccr, params.num_procs
+    );
+    params
+        .cost_params()
+        .realize_unnamed(name, params.v, &edges, &mut rng)
+}
+
+/// Splits `v` tasks over `~sqrt(v)/alpha` levels with widths jittered
+/// uniformly in `[0.5, 1.5)` of the mean, repaired to sum exactly to `v`.
+/// With `single_source` the first level is pinned to width 1.
+fn level_sizes(params: &RandomDagParams, rng: &mut StdRng) -> Vec<usize> {
+    let mut height = params.expected_height().min(params.v);
+    if params.single_source && params.v > 1 {
+        // A pinned width-1 top level needs at least one more level to
+        // absorb the remaining tasks.
+        height = height.max(2);
+    }
+    let mean = params.v as f64 / height as f64;
+    let mut sizes: Vec<usize> = (0..height)
+        .map(|_| ((mean * rng.random_range(0.5..1.5)).round() as usize).max(1))
+        .collect();
+    if params.single_source {
+        sizes[0] = 1;
+    }
+    // Repair to the exact total.
+    let mut total: isize = sizes.iter().sum::<usize>() as isize;
+    let target = params.v as isize;
+    let first_adjustable = usize::from(params.single_source);
+    while total > target {
+        let i = rng.random_range(first_adjustable..sizes.len());
+        if sizes[i] > 1 {
+            sizes[i] -= 1;
+            total -= 1;
+        }
+    }
+    while total < target {
+        let i = rng.random_range(first_adjustable..sizes.len());
+        sizes[i] += 1;
+        total += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_dag::LevelDecomposition;
+
+    fn params(v: usize, alpha: f64) -> RandomDagParams {
+        RandomDagParams { v, alpha, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_requested_task_count_plus_pseudo() {
+        let inst = generate(&params(100, 1.0), 1);
+        // 100 originals plus 0..=2 pseudo tasks
+        assert!(inst.num_tasks() >= 100 && inst.num_tasks() <= 102);
+        assert!(inst.dag.is_single_entry_exit());
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_seeds() {
+        let a = generate(&params(60, 1.0), 9);
+        let b = generate(&params(60, 1.0), 9);
+        assert_eq!(a.costs, b.costs);
+        assert_eq!(a.dag.num_edges(), b.dag.num_edges());
+        let c = generate(&params(60, 1.0), 10);
+        assert!(a.costs != c.costs, "different seeds must differ");
+    }
+
+    #[test]
+    fn alpha_controls_shape() {
+        let tall = generate(&params(400, 0.5), 3);
+        let flat = generate(&params(400, 2.5), 3);
+        let h_tall = LevelDecomposition::compute(&tall.dag).height();
+        let h_flat = LevelDecomposition::compute(&flat.dag).height();
+        assert!(
+            h_tall > 2 * h_flat,
+            "alpha=0.5 graph ({h_tall} levels) should dwarf alpha=2.5 ({h_flat})"
+        );
+    }
+
+    #[test]
+    fn density_scales_edge_count() {
+        let sparse = generate(
+            &RandomDagParams { density: 1, ..params(300, 1.0) },
+            4,
+        );
+        let dense = generate(
+            &RandomDagParams { density: 5, ..params(300, 1.0) },
+            4,
+        );
+        assert!(dense.dag.num_edges() > 2 * sparse.dag.num_edges());
+    }
+
+    #[test]
+    fn every_original_task_reachable_from_entry() {
+        let inst = generate(&params(150, 1.5), 5);
+        // Single entry + all non-entry tasks have parents => connected
+        // upward; spot-check via in-degrees.
+        let entry = inst.dag.single_entry().unwrap();
+        for t in inst.dag.tasks() {
+            if t != entry {
+                assert!(inst.dag.in_degree(t) > 0, "{t} has no parent");
+            }
+        }
+    }
+
+    #[test]
+    fn realized_ccr_tracks_parameter() {
+        for &ccr in &[1.0, 5.0] {
+            let inst = generate(
+                &RandomDagParams { ccr, v: 500, ..RandomDagParams::default() },
+                6,
+            );
+            let realized = inst.realized_ccr();
+            // The producer-mean form of Eq. 14 concentrates around ccr.
+            assert!(
+                (realized / ccr) > 0.5 && (realized / ccr) < 2.0,
+                "ccr={ccr} realized={realized}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_work() {
+        let inst = generate(&params(1, 1.0), 0);
+        assert_eq!(inst.num_tasks(), 1);
+        let inst = generate(&params(2, 1.0), 0);
+        assert!(inst.num_tasks() >= 2);
+    }
+
+    #[test]
+    fn single_source_pins_a_real_entry() {
+        let p = RandomDagParams { single_source: true, ..params(100, 1.0) };
+        let inst = generate(&p, 11);
+        // No pseudo entry needed: exactly 100 or 101 (pseudo exit) tasks,
+        // and the entry is an original task with real cost.
+        let entry = inst.dag.single_entry().unwrap();
+        assert!(entry.index() < 100, "entry {entry} must be an original task");
+        assert!(inst.num_tasks() <= 101);
+        assert!(inst.costs.mean_cost(entry) >= 0.0);
+    }
+
+    #[test]
+    fn ten_thousand_tasks_generate_quickly() {
+        let inst = generate(&params(10_000, 1.0), 2);
+        assert!(inst.num_tasks() >= 10_000);
+        assert!(inst.dag.is_single_entry_exit());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests over the workload generators: arbitrary structural
+//! parameters must always yield normalized, schedulable instances with the
+//! documented task counts.
+
+use hdlts_core::{Hdlts, Scheduler};
+use hdlts_platform::Platform;
+use hdlts_workloads::{compose, fft, gauss, laplace, pegasus, Consistency, CostParams, Instance};
+use proptest::prelude::*;
+
+fn arb_cost_params() -> impl Strategy<Value = CostParams> {
+    (10.0f64..150.0, 0.0f64..5.0, 0.0f64..2.0, 1usize..6, any::<bool>()).prop_map(
+        |(w_dag, ccr, beta, num_procs, consistent)| CostParams {
+            w_dag,
+            ccr,
+            beta,
+            num_procs,
+            consistency: if consistent {
+                Consistency::Consistent
+            } else {
+                Consistency::Inconsistent
+            },
+        },
+    )
+}
+
+fn check(inst: &Instance) -> Result<(), TestCaseError> {
+    prop_assert!(inst.dag.is_single_entry_exit(), "{}", inst.name);
+    prop_assert_eq!(inst.costs.num_tasks(), inst.num_tasks());
+    let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    let s = Hdlts::paper_exact().schedule(&problem).unwrap();
+    prop_assert!(
+        s.validation_report(&problem).is_valid(),
+        "{}: infeasible",
+        inst.name
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fft_any_power_of_two(exp in 1u32..6, cp in arb_cost_params(), seed in 0u64..1000) {
+        let m = 1usize << exp;
+        let inst = fft::generate(m, &cp, seed);
+        // 2m-1 recursive + m log2 m butterfly (+ pseudo exit for m >= 2)
+        let structural = (2 * m - 1) + m * m.ilog2() as usize;
+        prop_assert!(inst.num_tasks() == structural || inst.num_tasks() == structural + 1);
+        check(&inst)?;
+    }
+
+    #[test]
+    fn gauss_any_dimension(m in 2usize..12, cp in arb_cost_params(), seed in 0u64..1000) {
+        let inst = gauss::generate(m, &cp, seed);
+        prop_assert_eq!(inst.num_tasks(), (m * m + m - 2) / 2);
+        check(&inst)?;
+    }
+
+    #[test]
+    fn laplace_any_grid(m in 2usize..10, cp in arb_cost_params(), seed in 0u64..1000) {
+        let inst = laplace::generate(m, &cp, seed);
+        prop_assert_eq!(inst.num_tasks(), m * m);
+        check(&inst)?;
+    }
+
+    #[test]
+    fn pegasus_any_width(
+        w in 1usize..8,
+        kind in 0u8..3,
+        cp in arb_cost_params(),
+        seed in 0u64..1000,
+    ) {
+        let inst = match kind {
+            0 => pegasus::cybershake(w, &cp, seed),
+            1 => pegasus::epigenomics(w, &cp, seed),
+            _ => pegasus::ligo(w, &cp, seed),
+        };
+        check(&inst)?;
+    }
+
+    #[test]
+    fn compositions_preserve_feasibility(
+        widths in proptest::collection::vec(1usize..5, 1..4),
+        cp in arb_cost_params(),
+        seed in 0u64..1000,
+        chain in any::<bool>(),
+    ) {
+        let parts: Vec<Instance> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| pegasus::ligo(w, &cp, seed.wrapping_add(i as u64)))
+            .collect();
+        let total: usize = parts.iter().map(Instance::num_tasks).sum();
+        let composed = if chain {
+            compose::serial("chain", &parts)
+        } else {
+            compose::parallel("batch", &parts)
+        };
+        prop_assert!(composed.instance.num_tasks() >= total);
+        prop_assert!(composed.instance.num_tasks() <= total + 2);
+        prop_assert_eq!(composed.offsets.len(), parts.len());
+        check(&composed.instance)?;
+    }
+}

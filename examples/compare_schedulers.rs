@@ -1,0 +1,130 @@
+//! Domain scenario: a mini evaluation across every workload family.
+//!
+//! Runs all six paper algorithms (plus the extra baselines) over random,
+//! FFT, Gaussian-elimination, Montage, and Molecular-Dynamics workflows
+//! and prints a mean-SLR league table — a condensed version of the
+//! experiment harness, useful for a quick sanity read on one machine.
+//!
+//! ```text
+//! cargo run --release --example compare_schedulers [--reps 20]
+//! ```
+
+use hdlts_repro::baselines::AlgorithmKind;
+use hdlts_repro::metrics::{load_imbalance_cv, MetricSet, RunningStats};
+use hdlts_repro::platform::Platform;
+use hdlts_repro::workloads::{fft, gauss, moldyn, montage, random_dag, CostParams, Instance,
+    RandomDagParams};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reps: u64 = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+
+    let ccr = 3.0;
+    type Generator = Box<dyn Fn(u64) -> Instance>;
+    let families: Vec<(&str, Generator)> = vec![
+        (
+            "random(v=100)",
+            Box::new(move |seed| {
+                random_dag::generate(
+                    &RandomDagParams { ccr, ..RandomDagParams::default() },
+                    seed,
+                )
+            }),
+        ),
+        (
+            "fft(m=16)",
+            Box::new(move |seed| {
+                fft::generate(16, &CostParams { ccr, ..CostParams::default() }, seed)
+            }),
+        ),
+        (
+            "gauss(m=10)",
+            Box::new(move |seed| {
+                gauss::generate(10, &CostParams { ccr, ..CostParams::default() }, seed)
+            }),
+        ),
+        (
+            "montage(50)",
+            Box::new(move |seed| {
+                montage::generate_approx(
+                    50,
+                    &CostParams { ccr, num_procs: 5, ..CostParams::default() },
+                    seed,
+                )
+            }),
+        ),
+        (
+            "moldyn",
+            Box::new(move |seed| {
+                moldyn::generate(&CostParams { ccr, num_procs: 5, ..CostParams::default() }, seed)
+            }),
+        ),
+    ];
+
+    // mean SLR and load-imbalance CV per (family, algorithm)
+    let mut table: BTreeMap<(&str, AlgorithmKind), RunningStats> = BTreeMap::new();
+    let mut balance: BTreeMap<(&str, AlgorithmKind), RunningStats> = BTreeMap::new();
+    for (family, gen) in &families {
+        for seed in 0..reps {
+            let inst = gen(seed);
+            let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
+            let problem = inst.problem(&platform).expect("consistent");
+            for &kind in AlgorithmKind::ALL {
+                let s = kind.build().schedule(&problem).expect("schedules");
+                let m = MetricSet::compute(&problem, &s);
+                table.entry((family, kind)).or_default().push(m.slr);
+                balance
+                    .entry((family, kind))
+                    .or_default()
+                    .push(load_imbalance_cv(&s));
+            }
+        }
+    }
+
+    println!("mean SLR over {reps} seeds at CCR={ccr} (lower is better)\n");
+    print!("{:<10}", "algo");
+    for (family, _) in &families {
+        print!(" {family:>14}");
+    }
+    println!();
+    for &kind in AlgorithmKind::ALL {
+        print!("{:<10}", kind.name());
+        for (family, _) in &families {
+            let s = &table[&(*family, kind)];
+            print!(" {:>14.3}", s.mean());
+        }
+        println!();
+    }
+
+    println!(
+        "\nmean load-imbalance CV (sigma/mu of per-CPU utilization; lower = better balanced)\n"
+    );
+    print!("{:<10}", "algo");
+    for (family, _) in &families {
+        print!(" {family:>14}");
+    }
+    println!();
+    for &kind in AlgorithmKind::ALL {
+        print!("{:<10}", kind.name());
+        for (family, _) in &families {
+            print!(" {:>14.3}", balance[&(*family, kind)].mean());
+        }
+        println!();
+    }
+
+    println!("\nper-family winner:");
+    for (family, _) in &families {
+        let (best, stats) = AlgorithmKind::ALL
+            .iter()
+            .map(|&k| (k, &table[&(*family, k)]))
+            .min_by(|a, b| a.1.mean().total_cmp(&b.1.mean()))
+            .expect("table is populated");
+        println!("  {family:>14}: {best} ({:.3} +/- {:.3})", stats.mean(), stats.ci95());
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the HDLTS reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests can use a
+//! single dependency. Library users should depend on the individual crates.
+
+pub use hdlts_baselines as baselines;
+pub use hdlts_core as core;
+pub use hdlts_dag as dag;
+pub use hdlts_metrics as metrics;
+pub use hdlts_platform as platform;
+pub use hdlts_sim as sim;
+pub use hdlts_workloads as workloads;

@@ -1,0 +1,114 @@
+//! Cross-metric invariants that must hold for every algorithm on every
+//! workload: relations between makespan, SLR, speedup, efficiency, energy,
+//! and load balance.
+
+use hdlts_repro::baselines::AlgorithmKind;
+use hdlts_repro::metrics::{cp_min_bound, load_imbalance_cv, load_imbalance_ratio, MetricSet,
+    PowerModel};
+use hdlts_repro::platform::Platform;
+use hdlts_repro::workloads::{laplace, pegasus, random_dag, CostParams, Instance,
+    RandomDagParams};
+
+fn instances() -> Vec<Instance> {
+    vec![
+        random_dag::generate(&RandomDagParams { ccr: 2.0, ..RandomDagParams::default() }, 1),
+        laplace::generate(5, &CostParams::default(), 1),
+        pegasus::cybershake(4, &CostParams::default(), 1),
+    ]
+}
+
+#[test]
+fn metric_relations_hold_for_every_algorithm() {
+    for inst in instances() {
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let bound = cp_min_bound(&problem);
+        let best_seq = inst.costs.best_sequential_cost();
+        for &kind in AlgorithmKind::PAPER_SET {
+            let s = kind.build().schedule(&problem).unwrap();
+            let m = MetricSet::compute(&problem, &s);
+            // Definitional identities.
+            assert!((m.slr - m.makespan / bound).abs() < 1e-9, "{kind}");
+            assert!((m.speedup - best_seq / m.makespan).abs() < 1e-9, "{kind}");
+            assert!(
+                (m.efficiency - m.speedup / inst.num_procs() as f64).abs() < 1e-12,
+                "{kind}"
+            );
+            // Bounds.
+            assert!(m.slr >= 1.0 - 1e-9, "{kind}: SLR {}", m.slr);
+            assert!(m.makespan <= best_seq + 1e-6,
+                "{kind}: parallel worse than best sequential? {} vs {best_seq}", m.makespan);
+        }
+    }
+}
+
+#[test]
+fn energy_relations() {
+    for inst in instances() {
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let power = PowerModel::uniform(inst.num_procs(), 10.0, 1.0);
+        let zero_idle = PowerModel::uniform(inst.num_procs(), 10.0, 0.0);
+        for &kind in AlgorithmKind::PAPER_SET {
+            let s = kind.build().schedule(&problem).unwrap();
+            let total = power.energy(&s);
+            let busy = power.busy_energy(&s);
+            assert!(total >= busy - 1e-9, "{kind}: idle energy is non-negative");
+            assert!((zero_idle.energy(&s) - zero_idle.busy_energy(&s)).abs() < 1e-9);
+            // Busy energy is at least the cheapest possible execution of
+            // every task (its minimum cost at active power).
+            let min_work: f64 = inst
+                .dag
+                .tasks()
+                .map(|t| inst.costs.min_cost(t))
+                .sum::<f64>()
+                * 10.0;
+            assert!(busy + 1e-6 >= min_work, "{kind}: {busy} < {min_work}");
+        }
+    }
+}
+
+#[test]
+fn load_balance_measures_agree_on_extremes() {
+    for inst in instances() {
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        for &kind in AlgorithmKind::PAPER_SET {
+            let s = kind.build().schedule(&problem).unwrap();
+            let cv = load_imbalance_cv(&s);
+            let ratio = load_imbalance_ratio(&s);
+            assert!(cv >= 0.0, "{kind}");
+            assert!(ratio >= 1.0, "{kind}");
+            // Perfect balance in one measure implies it in the other.
+            if cv < 1e-12 {
+                assert!((ratio - 1.0).abs() < 1e-9, "{kind}");
+            }
+        }
+    }
+}
+
+#[test]
+fn more_processors_never_worsen_the_best_makespan() {
+    // The *best* heuristic makespan should weakly improve with more CPUs on
+    // the same workload structure (costs resampled per platform size, so we
+    // compare against a monotone envelope with generous slack).
+    let mut prev_best = f64::INFINITY;
+    for &procs in &[2usize, 4, 8] {
+        let inst = random_dag::generate(
+            &RandomDagParams { v: 80, num_procs: procs, ccr: 1.0, ..RandomDagParams::default() },
+            7,
+        );
+        let platform = Platform::fully_connected(procs).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let best = AlgorithmKind::PAPER_SET
+            .iter()
+            .map(|&k| k.build().schedule(&problem).unwrap().makespan())
+            .fold(f64::INFINITY, f64::min);
+        // Costs are resampled per size, so allow 30% slack on monotonicity.
+        assert!(
+            best <= prev_best * 1.3,
+            "{procs} CPUs: best {best} vs previous {prev_best}"
+        );
+        prev_best = prev_best.min(best);
+    }
+}

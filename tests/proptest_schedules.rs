@@ -1,0 +1,135 @@
+//! Property tests spanning the whole stack: arbitrary generator parameters
+//! must always yield feasible schedules with sane metrics, for every
+//! algorithm.
+
+use hdlts_repro::baselines::AlgorithmKind;
+use hdlts_repro::core::{DuplicationPolicy, Hdlts, HdltsConfig, PenaltyKind, Scheduler};
+use hdlts_repro::metrics::{cp_min_bound, MetricSet};
+use hdlts_repro::platform::Platform;
+use hdlts_repro::workloads::{random_dag, RandomDagParams};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = RandomDagParams> {
+    (
+        2usize..80,
+        0.4f64..2.6,
+        1usize..6,
+        0.0f64..5.0,
+        10.0f64..120.0,
+        0.0f64..2.0,
+        1usize..6,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(v, alpha, density, ccr, w_dag, beta, num_procs, single_source)| RandomDagParams {
+                v,
+                alpha,
+                density,
+                ccr,
+                w_dag,
+                beta,
+                num_procs,
+                single_source,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_algorithm_is_feasible_on_arbitrary_instances(
+        params in arb_params(),
+        seed in 0u64..1_000_000,
+    ) {
+        let inst = random_dag::generate(&params, seed);
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        for &kind in AlgorithmKind::ALL {
+            let schedule = kind.build().schedule(&problem).unwrap();
+            prop_assert!(schedule.is_complete());
+            let report = schedule.validation_report(&problem);
+            prop_assert!(
+                report.is_valid(),
+                "{kind} on {}: {:?}",
+                inst.name,
+                report.violations.first()
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_respects_lower_bound(
+        params in arb_params(),
+        seed in 0u64..1_000_000,
+    ) {
+        let inst = random_dag::generate(&params, seed);
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let bound = cp_min_bound(&problem);
+        for &kind in AlgorithmKind::PAPER_SET {
+            let makespan = kind.build().schedule(&problem).unwrap().makespan();
+            prop_assert!(
+                makespan + 1e-9 >= bound,
+                "{kind}: makespan {makespan} under CP bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn hdlts_variants_all_feasible(
+        params in arb_params(),
+        seed in 0u64..1_000_000,
+        dup_idx in 0usize..3,
+        pv_idx in 0usize..4,
+        insertion in any::<bool>(),
+    ) {
+        let dup = [
+            DuplicationPolicy::AnyChild,
+            DuplicationPolicy::AllChildren,
+            DuplicationPolicy::Off,
+        ][dup_idx];
+        let pv = [
+            PenaltyKind::EftSampleStdDev,
+            PenaltyKind::EftPopulationStdDev,
+            PenaltyKind::EftRange,
+            PenaltyKind::ExecStdDev,
+        ][pv_idx];
+        let inst = random_dag::generate(&params, seed);
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let cfg = HdltsConfig { duplication: dup, penalty: pv, insertion };
+        let s = Hdlts::new(cfg).schedule(&problem).unwrap();
+        prop_assert!(s.validation_report(&problem).is_valid());
+    }
+
+    #[test]
+    fn schedulers_are_deterministic(
+        params in arb_params(),
+        seed in 0u64..1_000_000,
+    ) {
+        let inst = random_dag::generate(&params, seed);
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        for &kind in AlgorithmKind::PAPER_SET {
+            let a = kind.build().schedule(&problem).unwrap();
+            let b = kind.build().schedule(&problem).unwrap();
+            prop_assert_eq!(a, b, "{} non-deterministic", kind);
+        }
+    }
+
+    #[test]
+    fn metrics_are_consistent(
+        params in arb_params(),
+        seed in 0u64..1_000_000,
+    ) {
+        let inst = random_dag::generate(&params, seed);
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let s = Hdlts::paper_exact().schedule(&problem).unwrap();
+        let m = MetricSet::compute(&problem, &s);
+        prop_assert!((m.efficiency - m.speedup / params.num_procs as f64).abs() < 1e-12);
+        prop_assert!(m.slr >= 1.0 - 1e-9);
+        prop_assert!(m.makespan > 0.0 || inst.dag.tasks().all(|t| inst.costs.mean_cost(t) == 0.0));
+    }
+}

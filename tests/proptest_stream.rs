@@ -1,0 +1,152 @@
+//! Property tests for the dynamic job-stream scheduler: invariants must
+//! hold for arbitrary job mixes, arrival patterns, jitter, and dispatch
+//! policies.
+
+use hdlts_repro::platform::{Platform, ProcId};
+use hdlts_repro::sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel};
+use hdlts_repro::workloads::{fft, gauss, laplace, CostParams, Instance};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct StreamCase {
+    jobs: Vec<JobArrival>,
+    procs: usize,
+    jitter: f64,
+    seed: u64,
+    policy: DispatchPolicy,
+}
+
+fn instance_for(kind: u8, procs: usize, seed: u64) -> Instance {
+    let cp = CostParams { num_procs: procs, ..CostParams::default() };
+    match kind % 3 {
+        0 => fft::generate(4, &cp, seed),
+        1 => gauss::generate(4, &cp, seed),
+        _ => laplace::generate(3, &cp, seed),
+    }
+}
+
+fn arb_case() -> impl Strategy<Value = StreamCase> {
+    (
+        proptest::collection::vec((0u8..3, 0.0f64..2000.0), 1..6),
+        2usize..5,
+        0.0f64..0.4,
+        0u64..10_000,
+        any::<bool>(),
+    )
+        .prop_map(|(specs, procs, jitter, seed, fifo)| {
+            let jobs = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(kind, arrival))| JobArrival {
+                    instance: instance_for(kind, procs, seed.wrapping_add(i as u64)),
+                    arrival,
+                })
+                .collect();
+            StreamCase {
+                jobs,
+                procs,
+                jitter,
+                seed,
+                policy: if fifo { DispatchPolicy::Fifo } else { DispatchPolicy::PenaltyValue },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn stream_execution_invariants(case in arb_case()) {
+        let platform = Platform::fully_connected(case.procs).unwrap();
+        let sched = JobStreamScheduler { policy: case.policy, ..Default::default() };
+        let perturb = PerturbModel::uniform(case.jitter, case.seed);
+        let out = sched
+            .execute(&platform, &case.jobs, &perturb, &FailureSpec::none())
+            .unwrap();
+
+        prop_assert_eq!(out.jobs.len(), case.jobs.len());
+        prop_assert_eq!(out.aborted_attempts, 0);
+
+        // (1) no task starts before its job arrives or before time zero
+        for (j, job) in case.jobs.iter().enumerate() {
+            for &(_, start, finish) in &out.jobs[j].placements {
+                prop_assert!(start + 1e-9 >= job.arrival);
+                prop_assert!(finish + 1e-9 >= start);
+            }
+        }
+        // (2) per-job precedence holds under the realized times
+        for (j, job) in case.jobs.iter().enumerate() {
+            for e in job.instance.dag.edges() {
+                let pf = out.jobs[j].placements[e.src.index()].2;
+                let cs = out.jobs[j].placements[e.dst.index()].1;
+                prop_assert!(cs + 1e-9 >= pf, "job {j}: {} -> {}", e.src, e.dst);
+            }
+        }
+        // (3) processor exclusivity across ALL jobs
+        let mut by_proc: Vec<Vec<(f64, f64)>> = vec![Vec::new(); case.procs];
+        for job_out in &out.jobs {
+            for &(p, start, finish) in &job_out.placements {
+                by_proc[p.index()].push((start, finish));
+            }
+        }
+        for slots in &mut by_proc {
+            // Strict interval overlap; zero-length pseudo-task slots may
+            // legally sit on another slot's boundary instant.
+            slots.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            for (i, a) in slots.iter().enumerate() {
+                for b in &slots[i + 1..] {
+                    prop_assert!(
+                        !(a.0 + 1e-9 < b.1 && b.0 + 1e-9 < a.1),
+                        "overlap: [{}, {}) vs [{}, {})",
+                        a.0, a.1, b.0, b.1
+                    );
+                }
+            }
+        }
+        // (4) bookkeeping consistency
+        for (j, job) in case.jobs.iter().enumerate() {
+            let max_finish = out.jobs[j]
+                .placements
+                .iter()
+                .map(|&(_, _, f)| f)
+                .fold(0.0f64, f64::max);
+            prop_assert!((out.jobs[j].makespan - max_finish).abs() < 1e-9);
+            prop_assert!(
+                (out.response_times[j] - (max_finish - job.arrival)).abs() < 1e-9
+            );
+        }
+        let overall = out.jobs.iter().map(|o| o.makespan).fold(0.0f64, f64::max);
+        prop_assert!((out.overall_finish - overall).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_with_failure_never_uses_dead_processor(case in arb_case()) {
+        prop_assume!(case.procs >= 3);
+        let platform = Platform::fully_connected(case.procs).unwrap();
+        let fail_at = 500.0;
+        let failures = FailureSpec::none().with_failure(ProcId(0), fail_at);
+        let out = JobStreamScheduler { policy: case.policy, ..Default::default() }
+            .execute(
+                &platform,
+                &case.jobs,
+                &PerturbModel::uniform(case.jitter, case.seed),
+                &failures,
+            )
+            .unwrap();
+        for job_out in &out.jobs {
+            for &(p, start, _) in &job_out.placements {
+                prop_assert!(!(p == ProcId(0) && start >= fail_at));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic(case in arb_case()) {
+        let platform = Platform::fully_connected(case.procs).unwrap();
+        let sched = JobStreamScheduler { policy: case.policy, ..Default::default() };
+        let perturb = PerturbModel::uniform(case.jitter, case.seed);
+        let a = sched.execute(&platform, &case.jobs, &perturb, &FailureSpec::none()).unwrap();
+        let b = sched.execute(&platform, &case.jobs, &perturb, &FailureSpec::none()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-crate feasibility sweep: every scheduler must produce a valid
+//! schedule on every workload family, across seeds and parameter corners.
+
+use hdlts_repro::baselines::AlgorithmKind;
+use hdlts_repro::metrics::MetricSet;
+use hdlts_repro::platform::Platform;
+use hdlts_repro::workloads::{fft, gauss, moldyn, montage, random_dag, CostParams, Instance,
+    RandomDagParams};
+
+fn check_instance(inst: &Instance, context: &str) {
+    let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    for &kind in AlgorithmKind::ALL {
+        let schedule = kind
+            .build()
+            .schedule(&problem)
+            .unwrap_or_else(|e| panic!("{kind} failed on {context}: {e}"));
+        assert!(schedule.is_complete(), "{kind} incomplete on {context}");
+        schedule
+            .validate(&problem)
+            .unwrap_or_else(|e| panic!("{kind} infeasible on {context}: {e}"));
+        let m = MetricSet::compute(&problem, &schedule);
+        assert!(m.slr >= 1.0 - 1e-9, "{kind} beat the CP bound on {context}: {}", m.slr);
+    }
+}
+
+#[test]
+fn random_graphs_all_param_corners() {
+    // Exercise the extreme corners of Table II (small but adversarial).
+    for &alpha in &[0.5, 2.5] {
+        for &density in &[1usize, 5] {
+            for &ccr in &[1.0, 5.0] {
+                for &beta in &[0.4, 2.0] {
+                    for &procs in &[2usize, 10] {
+                        for single_source in [false, true] {
+                            let p = RandomDagParams {
+                                v: 60,
+                                alpha,
+                                density,
+                                ccr,
+                                w_dag: 50.0,
+                                beta,
+                                num_procs: procs,
+                                single_source,
+                            };
+                            let inst = random_dag::generate(&p, 5);
+                            check_instance(
+                                &inst,
+                                &format!("random a={alpha} d={density} ccr={ccr} b={beta} p={procs} ss={single_source}"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fft_all_sizes() {
+    for &m in &[2usize, 4, 8, 16, 32] {
+        for seed in 0..3 {
+            let inst = fft::generate(m, &CostParams::default(), seed);
+            check_instance(&inst, &format!("fft m={m} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn montage_paper_sizes() {
+    for &total in &[20usize, 50, 100] {
+        for seed in 0..3 {
+            let inst = montage::generate_approx(
+                total,
+                &CostParams { num_procs: 5, ..CostParams::default() },
+                seed,
+            );
+            check_instance(&inst, &format!("montage {total} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn moldyn_across_ccr_and_beta() {
+    for &ccr in &[1.0, 3.0, 5.0] {
+        for &beta in &[0.4, 1.2, 2.0] {
+            let inst = moldyn::generate(
+                &CostParams { ccr, beta, num_procs: 5, w_dag: 80.0, ..CostParams::default() },
+                9,
+            );
+            check_instance(&inst, &format!("moldyn ccr={ccr} beta={beta}"));
+        }
+    }
+}
+
+#[test]
+fn gauss_sizes() {
+    for &m in &[2usize, 5, 12] {
+        let inst = gauss::generate(m, &CostParams::default(), 3);
+        check_instance(&inst, &format!("gauss m={m}"));
+    }
+}
+
+#[test]
+fn single_processor_platform_degenerates_cleanly() {
+    // With one CPU every algorithm must produce the same (sequential)
+    // makespan: the sum of all costs, with zero communication.
+    let p = RandomDagParams {
+        v: 30,
+        num_procs: 1,
+        ..RandomDagParams::default()
+    };
+    let inst = random_dag::generate(&p, 4);
+    let platform = Platform::fully_connected(1).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    let total: f64 = inst
+        .dag
+        .tasks()
+        .map(|t| inst.costs.cost(t, hdlts_repro::platform::ProcId(0)))
+        .sum();
+    for &kind in AlgorithmKind::ALL {
+        let s = kind.build().schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        assert!(
+            (s.makespan() - total).abs() < 1e-6,
+            "{kind}: {} vs sequential {total}",
+            s.makespan()
+        );
+    }
+}
+
+#[test]
+fn heuristics_beat_random_on_average() {
+    let mut random_total = 0.0;
+    let mut best_heuristic_total = 0.0;
+    for seed in 0..10 {
+        let inst = random_dag::generate(&RandomDagParams::default(), seed);
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        random_total += AlgorithmKind::Random.build().schedule(&problem).unwrap().makespan();
+        let best = AlgorithmKind::PAPER_SET
+            .iter()
+            .map(|&k| k.build().schedule(&problem).unwrap().makespan())
+            .fold(f64::INFINITY, f64::min);
+        best_heuristic_total += best;
+    }
+    assert!(
+        best_heuristic_total < 0.7 * random_total,
+        "heuristics ({best_heuristic_total}) should dominate random ({random_total})"
+    );
+}

@@ -1,0 +1,106 @@
+//! Interchange-format round trips across the whole stack: every artifact
+//! the CLI reads or writes must survive JSON serialization bit-for-bit.
+
+use hdlts_repro::baselines::AlgorithmKind;
+use hdlts_repro::core::{HdltsConfig, Schedule};
+use hdlts_repro::platform::Platform;
+use hdlts_repro::workloads::{fft, gauss, laplace, moldyn, montage, random_dag, CostParams,
+    Instance, RandomDagParams};
+
+fn round_trip_instance(inst: &Instance) {
+    let json = serde_json::to_string(inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.name, inst.name);
+    assert_eq!(back.costs, inst.costs);
+    assert_eq!(back.dag.num_tasks(), inst.dag.num_tasks());
+    assert_eq!(back.dag.num_edges(), inst.dag.num_edges());
+    for e in inst.dag.edges() {
+        assert_eq!(back.dag.comm(e.src, e.dst), Some(e.cost));
+    }
+}
+
+#[test]
+fn every_workload_family_round_trips() {
+    let cp = CostParams::default();
+    round_trip_instance(&random_dag::generate(&RandomDagParams::default(), 1));
+    round_trip_instance(&fft::generate(8, &cp, 1));
+    round_trip_instance(&montage::generate_approx(50, &cp, 1));
+    round_trip_instance(&moldyn::generate(&cp, 1));
+    round_trip_instance(&gauss::generate(6, &cp, 1));
+    round_trip_instance(&laplace::generate(5, &cp, 1));
+}
+
+#[test]
+fn schedules_of_every_algorithm_round_trip() {
+    let inst = fft::generate(8, &CostParams::default(), 2);
+    let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    for &kind in AlgorithmKind::ALL {
+        let s = kind.build().schedule(&problem).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s, "{kind}");
+        // The deserialized schedule must still validate.
+        back.validate(&problem).unwrap();
+        assert_eq!(back.makespan(), s.makespan());
+    }
+}
+
+#[test]
+fn config_round_trips() {
+    for cfg in [
+        HdltsConfig::paper_exact(),
+        HdltsConfig::with_insertion(),
+        HdltsConfig::without_duplication(),
+    ] {
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: HdltsConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}
+
+#[test]
+fn dot_exports_render_for_every_family() {
+    let cp = CostParams::default();
+    for inst in [
+        random_dag::generate(&RandomDagParams::default(), 3),
+        fft::generate(4, &cp, 3),
+        montage::generate_approx(20, &cp, 3),
+        moldyn::generate(&cp, 3),
+        gauss::generate(4, &cp, 3),
+        laplace::generate(4, &cp, 3),
+    ] {
+        let dot = inst.dag.to_dot(&inst.name);
+        assert!(dot.starts_with("digraph"), "{}", inst.name);
+        // One node line per task, one edge line per edge.
+        assert_eq!(
+            dot.matches(" -> ").count(),
+            inst.dag.num_edges(),
+            "{}",
+            inst.name
+        );
+        assert_eq!(
+            dot.matches("[label=").count(),
+            inst.dag.num_tasks() + inst.dag.num_edges(),
+            "{}",
+            inst.name
+        );
+    }
+}
+
+#[test]
+fn ten_thousand_task_stress_schedule() {
+    // One full-scale (paper-maximum) instance through the paper set.
+    let inst = random_dag::generate(
+        &RandomDagParams { v: 10_000, num_procs: 10, ..RandomDagParams::default() },
+        4,
+    );
+    let platform = Platform::fully_connected(10).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    for &kind in AlgorithmKind::PAPER_SET {
+        let s = kind.build().schedule(&problem).unwrap();
+        assert!(s.is_complete(), "{kind}");
+        // Full validation is O(V + E + copies); run it here too.
+        s.validate(&problem).unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}

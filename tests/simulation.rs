@@ -1,0 +1,112 @@
+//! Integration tests for the execution simulator against the full stack.
+
+use hdlts_repro::baselines::AlgorithmKind;
+use hdlts_repro::core::Scheduler;
+use hdlts_repro::platform::{Platform, ProcId};
+use hdlts_repro::sim::{replay, FailureSpec, OnlineHdlts, PerturbModel};
+use hdlts_repro::workloads::{fft, moldyn, random_dag, CostParams, RandomDagParams};
+
+#[test]
+fn exact_replay_matches_plan_for_every_algorithm_and_family() {
+    let instances = vec![
+        random_dag::generate(&RandomDagParams::default(), 3),
+        fft::generate(8, &CostParams::default(), 3),
+        moldyn::generate(&CostParams { num_procs: 4, ..CostParams::default() }, 3),
+    ];
+    for inst in &instances {
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        for &kind in AlgorithmKind::PAPER_SET {
+            let plan = kind.build().schedule(&problem).unwrap();
+            let out = replay(&problem, &plan, &PerturbModel::exact()).unwrap();
+            assert!(
+                (out.makespan - plan.makespan()).abs() < 1e-9,
+                "{kind} on {}: replay {} vs plan {}",
+                inst.name,
+                out.makespan,
+                plan.makespan()
+            );
+        }
+    }
+}
+
+#[test]
+fn jittered_replay_scales_with_jitter_bound() {
+    let inst = fft::generate(16, &CostParams::default(), 5);
+    let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    let plan = AlgorithmKind::Hdlts.build().schedule(&problem).unwrap();
+    for seed in 0..10 {
+        for &jitter in &[0.1, 0.3] {
+            let out = replay(&problem, &plan, &PerturbModel::uniform(jitter, seed)).unwrap();
+            // Loose but meaningful envelope: all durations scale within
+            // 1 ± jitter, and serialization can only add what jitter added.
+            assert!(out.makespan <= plan.makespan() * (1.0 + jitter) * 1.5);
+            assert!(out.makespan >= plan.makespan() * (1.0 - jitter) * 0.5);
+        }
+    }
+}
+
+#[test]
+fn online_hdlts_completes_every_family_under_stress() {
+    let instances = vec![
+        random_dag::generate(
+            &RandomDagParams { single_source: true, ..RandomDagParams::default() },
+            7,
+        ),
+        fft::generate(8, &CostParams::default(), 7),
+        moldyn::generate(&CostParams { num_procs: 4, ..CostParams::default() }, 7),
+    ];
+    for inst in &instances {
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let baseline = OnlineHdlts::default()
+            .execute(&problem, &PerturbModel::exact(), &FailureSpec::none())
+            .unwrap();
+        // Kill one processor a quarter of the way in.
+        let failures = FailureSpec::none().with_failure(ProcId(0), baseline.makespan / 4.0);
+        let out = OnlineHdlts::default()
+            .execute(&problem, &PerturbModel::uniform(0.2, 1), &failures)
+            .unwrap();
+        // Precedence must hold in the realized execution.
+        for e in inst.dag.edges() {
+            assert!(
+                out.placements[e.dst.index()].1 + 1e-9 >= out.placements[e.src.index()].2,
+                "{}: {} -> {}",
+                inst.name,
+                e.src,
+                e.dst
+            );
+        }
+        // Nothing runs on the dead processor after its failure time.
+        let ft = failures.failure_time(ProcId(0)).unwrap();
+        for (i, &(p, start, _)) in out.placements.iter().enumerate() {
+            assert!(
+                !(p == ProcId(0) && start >= ft),
+                "{}: task {i} started on the dead processor",
+                inst.name
+            );
+        }
+    }
+}
+
+#[test]
+fn online_degrades_gracefully_with_fewer_processors() {
+    // Killing processors earlier should never make the workflow finish
+    // faster under the same reality.
+    let inst = fft::generate(8, &CostParams::default(), 2);
+    let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    let reality = PerturbModel::exact();
+    let unharmed = OnlineHdlts::default()
+        .execute(&problem, &reality, &FailureSpec::none())
+        .unwrap();
+    let one_dead = OnlineHdlts::default()
+        .execute(
+            &problem,
+            &reality,
+            &FailureSpec::none().with_failure(ProcId(1), unharmed.makespan / 2.0),
+        )
+        .unwrap();
+    assert!(one_dead.makespan + 1e-9 >= unharmed.makespan);
+}

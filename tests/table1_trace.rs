@@ -1,0 +1,152 @@
+//! Exact reproduction of Table I of the paper: the HDLTS schedule of the
+//! Fig. 1 ten-task workflow, step by step.
+//!
+//! Every selected task, every EFT row, every chosen processor, and every
+//! penalty value (to one decimal, as printed in the paper) is pinned here.
+//! The paper's step-1 PV of "7.0" for the entry task is a known erratum
+//! (sample sigma of [14, 16, 9] is 3.6) and is asserted at the derived
+//! value; it cannot affect the schedule because step 1 has a single ready
+//! task. See DESIGN.md §1 and EXPERIMENTS.md.
+
+use hdlts_core::{Hdlts, Scheduler};
+use hdlts_dag::TaskId;
+use hdlts_platform::{Platform, ProcId};
+use hdlts_workloads::fixtures::fig1;
+
+/// (selected task, EFT row on P1..P3, chosen processor), per Table I.
+const EXPECTED_STEPS: &[(u32, [f64; 3], u32)] = &[
+    (0, [14.0, 16.0, 9.0], 2),  // T1  -> P3
+    (5, [27.0, 32.0, 18.0], 2), // T6  -> P3
+    (2, [25.0, 29.0, 37.0], 0), // T3  -> P1
+    (6, [32.0, 63.0, 59.0], 0), // T7  -> P1
+    (3, [45.0, 24.0, 35.0], 1), // T4  -> P2
+    (4, [44.0, 37.0, 28.0], 2), // T5  -> P3
+    (1, [45.0, 43.0, 46.0], 1), // T2  -> P2
+    (8, [77.0, 55.0, 79.0], 1), // T9  -> P2
+    (7, [67.0, 66.0, 76.0], 1), // T8  -> P2
+    (9, [98.0, 73.0, 93.0], 1), // T10 -> P2
+];
+
+/// Ready-task PVs per step (task, PV to one decimal), per Table I.
+const EXPECTED_PVS: &[&[(u32, f64)]] = &[
+    &[(0, 3.6)], // paper prints 7.0; see erratum note above
+    &[(1, 4.6), (2, 2.0), (3, 1.5), (4, 5.1), (5, 7.0)],
+    &[(1, 4.9), (2, 6.1), (3, 5.6), (4, 1.5)],
+    &[(1, 1.5), (3, 7.3), (4, 4.9), (6, 16.8)],
+    &[(1, 5.5), (3, 10.5), (4, 8.9)],
+    &[(1, 4.7), (4, 8.0)],
+    &[(1, 1.5)],
+    &[(7, 11.0), (8, 13.3)],
+    &[(7, 5.5)],
+    &[(9, 13.2)],
+];
+
+#[test]
+fn table1_schedule_reproduced_step_by_step() {
+    let inst = fig1();
+    let platform = Platform::fully_connected(3).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    let (schedule, trace) = Hdlts::paper_exact().schedule_with_trace(&problem).unwrap();
+
+    assert_eq!(trace.len(), 10, "one step per task");
+    for (i, &(task, efts, proc)) in EXPECTED_STEPS.iter().enumerate() {
+        let step = &trace.steps[i];
+        assert_eq!(step.selected, TaskId(task), "step {} selected", i + 1);
+        assert_eq!(step.chosen_proc, ProcId(proc), "step {} processor", i + 1);
+        for (p, (&got, &want)) in step.eft_row.iter().zip(efts.iter()).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-9,
+                "step {} EFT on P{}: got {got}, Table I says {want}",
+                i + 1,
+                p + 1
+            );
+        }
+    }
+
+    assert_eq!(schedule.makespan(), 73.0, "Table I makespan");
+    schedule.validate(&problem).unwrap();
+}
+
+#[test]
+fn table1_penalty_values_reproduced() {
+    let inst = fig1();
+    let platform = Platform::fully_connected(3).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    let (_, trace) = Hdlts::paper_exact().schedule_with_trace(&problem).unwrap();
+
+    for (i, expected) in EXPECTED_PVS.iter().enumerate() {
+        let step = &trace.steps[i];
+        assert_eq!(
+            step.ready.len(),
+            expected.len(),
+            "step {} ITQ size",
+            i + 1
+        );
+        for &(task, pv) in *expected {
+            let got = step
+                .ready
+                .iter()
+                .find(|(t, _)| *t == TaskId(task))
+                .unwrap_or_else(|| panic!("step {}: task t{task} not in ITQ", i + 1))
+                .1;
+            // Table I prints one decimal and occasionally truncates rather
+            // than rounds (T3's sample sigma is 2.08, printed "2.0"), so
+            // allow a one-decimal-place slack.
+            assert!(
+                (got - pv).abs() < 0.1,
+                "step {} PV of t{task}: got {got:.2}, Table I says {pv}",
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn entry_task_duplicated_on_p1_and_p2() {
+    // Table I's step-2 EFT rows ([27,35,27] for T2, etc.) require entry
+    // replicas on P1 and P2 finishing at 14 and 16 (see DESIGN.md §1).
+    let inst = fig1();
+    let platform = Platform::fully_connected(3).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    let (schedule, trace) = Hdlts::paper_exact().schedule_with_trace(&problem).unwrap();
+
+    assert_eq!(trace.steps[0].duplicated_on, vec![ProcId(0), ProcId(1)]);
+    let copies: Vec<_> = schedule.copies(TaskId(0)).collect();
+    assert_eq!(copies.len(), 3);
+    assert_eq!(copies[0].proc, ProcId(2));
+    assert_eq!(copies[0].finish, 9.0);
+    let dup_p1 = copies.iter().find(|c| c.proc == ProcId(0)).unwrap();
+    assert_eq!((dup_p1.start, dup_p1.finish), (0.0, 14.0));
+    let dup_p2 = copies.iter().find(|c| c.proc == ProcId(1)).unwrap();
+    assert_eq!((dup_p2.start, dup_p2.finish), (0.0, 16.0));
+}
+
+#[test]
+fn paper_variants_still_schedule_fig1_validly() {
+    // Every ablation configuration must stay feasible on the paper graph.
+    use hdlts_core::{DuplicationPolicy, HdltsConfig, PenaltyKind};
+    let inst = fig1();
+    let platform = Platform::fully_connected(3).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    for dup in [
+        DuplicationPolicy::AnyChild,
+        DuplicationPolicy::AllChildren,
+        DuplicationPolicy::Off,
+    ] {
+        for pv in [
+            PenaltyKind::EftSampleStdDev,
+            PenaltyKind::EftPopulationStdDev,
+            PenaltyKind::EftRange,
+            PenaltyKind::ExecStdDev,
+        ] {
+            for insertion in [false, true] {
+                let cfg = HdltsConfig { duplication: dup, penalty: pv, insertion };
+                let s = Hdlts::new(cfg).schedule(&problem).unwrap();
+                s.validate(&problem)
+                    .unwrap_or_else(|e| panic!("{dup:?}/{pv:?}/{insertion}: {e}"));
+                assert!(s.makespan() >= 73.0 - 1e-9 || insertion,
+                    "no non-insertion variant should beat the CP lower bound region unrealistically");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The HDLTS trace must be internally consistent with the schedule it
+//! accompanies — on any workload, not just the paper's example.
+
+use hdlts_repro::core::{est, Hdlts, Problem, Schedule};
+use hdlts_repro::platform::Platform;
+use hdlts_repro::workloads::{moldyn, random_dag, CostParams, RandomDagParams};
+
+fn check_trace(problem: &Problem<'_>) {
+    let (schedule, trace) = Hdlts::paper_exact().schedule_with_trace(problem).unwrap();
+    assert_eq!(trace.len(), problem.num_tasks());
+
+    // Replaying the recorded selections step by step must rebuild the same
+    // schedule: each step's chosen (task, proc) placement matches the
+    // recorded EFT and the final placement in `schedule`.
+    let mut replayed = Schedule::new(problem.num_tasks(), problem.num_procs());
+    let entry = problem.dag().single_entry().unwrap();
+    for step in &trace.steps {
+        let t = step.selected;
+        let p = step.chosen_proc;
+        // The recorded EFT row must match an independent EST query against
+        // the partial schedule at this point.
+        let start = est(problem, &replayed, t, p, false).unwrap();
+        let finish = start + problem.w(t, p);
+        assert!(
+            (finish - step.eft_row[p.index()]).abs() < 1e-6,
+            "step {}: recorded EFT {} vs recomputed {}",
+            step.step,
+            step.eft_row[p.index()],
+            finish
+        );
+        replayed.place(t, p, start, finish).unwrap();
+        if t == entry {
+            for &k in &step.duplicated_on {
+                replayed
+                    .place_duplicate(entry, k, 0.0, problem.w(entry, k))
+                    .unwrap();
+            }
+        }
+        // The chosen processor minimizes the recorded row.
+        let min = step.eft_row.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!((step.eft_row[p.index()] - min).abs() < 1e-9, "step {}", step.step);
+        // The selected task heads the recorded (sorted) ITQ.
+        assert_eq!(step.ready[0].0, t, "step {}", step.step);
+    }
+    assert_eq!(replayed, schedule, "trace replay diverged from the schedule");
+}
+
+#[test]
+fn trace_replays_on_random_graphs() {
+    for seed in 0..5 {
+        let inst = random_dag::generate(
+            &RandomDagParams { v: 60, ccr: 3.0, ..RandomDagParams::default() },
+            seed,
+        );
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        check_trace(&problem);
+    }
+}
+
+#[test]
+fn trace_replays_on_single_source_graphs_with_duplication() {
+    for seed in 0..5 {
+        let inst = random_dag::generate(
+            &RandomDagParams {
+                v: 60,
+                ccr: 4.0,
+                single_source: true,
+                ..RandomDagParams::default()
+            },
+            seed,
+        );
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        check_trace(&problem);
+    }
+}
+
+#[test]
+fn trace_replays_on_moldyn() {
+    let inst = moldyn::generate(
+        &CostParams { num_procs: 5, ccr: 2.0, ..CostParams::default() },
+        3,
+    );
+    let platform = Platform::fully_connected(5).unwrap();
+    let problem = inst.problem(&platform).unwrap();
+    check_trace(&problem);
+}
