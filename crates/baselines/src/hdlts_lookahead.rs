@@ -17,8 +17,7 @@
 //! HEFT's upward rank provides).
 
 use crate::Peft;
-use hdlts_core::{est, penalty_value, CoreError, PenaltyKind, Problem, Schedule, Scheduler};
-use hdlts_dag::TaskId;
+use hdlts_core::{est, CoreError, EftCache, PenaltyKind, Problem, Schedule, Scheduler};
 use hdlts_platform::ProcId;
 
 /// HDLTS with OCT-lookahead processor selection (see module docs).
@@ -39,31 +38,15 @@ impl Scheduler for HdltsLookahead {
         let oct = Peft::oct(problem);
         let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
         let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
-        let mut itq: Vec<TaskId> = vec![entry];
+        // HDLTS selection: ready EFT rows and penalty values live in the
+        // shared incremental cache; only the columns dirtied by each
+        // placement are re-evaluated (same rows, bit for bit, as the
+        // former per-step recompute).
+        let mut cache = EftCache::new(problem, false, PenaltyKind::EftSampleStdDev);
+        cache.admit(problem, &schedule, entry)?;
 
-        while !itq.is_empty() {
-            // HDLTS selection: EFT rows + penalty values on the live state.
-            let mut best_task = 0usize;
-            let mut best_pv = f64::NEG_INFINITY;
-            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(itq.len());
-            for (i, &t) in itq.iter().enumerate() {
-                let row: Vec<f64> = problem
-                    .platform()
-                    .procs()
-                    .map(|p| {
-                        est(problem, &schedule, t, p, false).map(|s| s + problem.w(t, p))
-                    })
-                    .collect::<Result<_, _>>()?;
-                let pv =
-                    penalty_value(PenaltyKind::EftSampleStdDev, &row, problem.costs().row(t));
-                if pv > best_pv || (pv == best_pv && itq[i] < itq[best_task]) {
-                    best_pv = pv;
-                    best_task = i;
-                }
-                rows.push(row);
-            }
-            let task = itq.swap_remove(best_task);
-            let row = rows.swap_remove(best_task);
+        while let Some(task) = cache.select() {
+            let row = cache.eft_row(task).expect("selected task has a row");
 
             // Lookahead mapping: minimize EFT + OCT.
             let mut proc = ProcId(0);
@@ -80,6 +63,7 @@ impl Scheduler for HdltsLookahead {
             schedule.place(task, proc, start, finish)?;
 
             // Entry duplication as in the paper-exact HDLTS (any child).
+            let mut touched = vec![proc];
             if task == entry {
                 let children = dag.succs(entry);
                 for k in problem.platform().procs() {
@@ -92,14 +76,16 @@ impl Scheduler for HdltsLookahead {
                     });
                     if beats {
                         schedule.place_duplicate(entry, k, 0.0, replica_finish)?;
+                        touched.push(k);
                     }
                 }
             }
+            cache.on_placed(problem, &schedule, task, &touched)?;
 
             for &(child, _) in dag.succs(task) {
                 pending[child.index()] -= 1;
                 if pending[child.index()] == 0 {
-                    itq.push(child);
+                    cache.admit(problem, &schedule, child)?;
                 }
             }
         }

@@ -1,6 +1,6 @@
 //! Predict Earliest Finish Time (Arabnejad & Barbosa \[10\]).
 
-use crate::ranks::{mean_comm_time, order_by_descending};
+use crate::ranks::order_by_descending;
 use hdlts_core::{est, CoreError, Problem, Schedule, Scheduler};
 use hdlts_dag::TaskId;
 
@@ -33,7 +33,7 @@ impl Peft {
             for proc in problem.platform().procs() {
                 let mut worst = 0.0f64;
                 for &(c, cost) in dag.succs(t) {
-                    let comm = mean_comm_time(problem, cost);
+                    let comm = problem.mean_comm_time(cost);
                     let best = problem
                         .platform()
                         .procs()

@@ -37,7 +37,7 @@ impl Scheduler for Pets {
                 let dtc: f64 = dag
                     .succs(t)
                     .iter()
-                    .map(|&(_, c)| crate::ranks::mean_comm_time(problem, c))
+                    .map(|&(_, c)| problem.mean_comm_time(c))
                     .sum();
                 let rpt = dag
                     .preds(t)

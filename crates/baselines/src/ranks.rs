@@ -1,8 +1,11 @@
 //! Shared rank computations and assignment helpers for list schedulers.
 
-use hdlts_core::{est, CoreError, Problem, Schedule};
+use hdlts_core::{CoreError, Problem, Schedule};
 use hdlts_dag::TaskId;
-use hdlts_platform::ProcId;
+
+/// Finds the processor minimizing `EFT(t, ·)` (ties: lowest id) — now the
+/// shared helper in `hdlts-core`, re-exported here for compatibility.
+pub use hdlts_core::min_eft_placement;
 
 /// Mean communication time of an edge with stored cost `cost`, averaged
 /// over all ordered distinct processor pairs.
@@ -10,21 +13,12 @@ use hdlts_platform::ProcId;
 /// For the paper's unit-bandwidth fully connected platform this is simply
 /// the stored cost; heterogeneous link models average `cost / B(i, j)`.
 /// Single-processor platforms communicate for free.
+///
+/// Delegates to [`Problem::mean_comm_time`], which applies the
+/// pair-average factor precomputed at problem construction — `O(1)` per
+/// call instead of the former `O(p^2)` pair loop.
 pub fn mean_comm_time(problem: &Problem<'_>, cost: f64) -> f64 {
-    let platform = problem.platform();
-    let p = platform.num_procs();
-    if p < 2 {
-        return 0.0;
-    }
-    let mut total = 0.0;
-    for i in platform.procs() {
-        for j in platform.procs() {
-            if i != j {
-                total += platform.comm_time(i, j, cost);
-            }
-        }
-    }
-    total / (p * (p - 1)) as f64
+    problem.mean_comm_time(cost)
 }
 
 /// Upward rank of every task (HEFT Eq.):
@@ -39,7 +33,7 @@ pub fn upward_rank(problem: &Problem<'_>, mut node_w: impl FnMut(TaskId) -> f64)
         let tail = dag
             .succs(t)
             .iter()
-            .map(|&(s, c)| mean_comm_time(problem, c) + rank[s.index()])
+            .map(|&(s, c)| problem.mean_comm_time(c) + rank[s.index()])
             .fold(0.0f64, f64::max);
         rank[t.index()] = node_w(t) + tail;
     }
@@ -56,32 +50,10 @@ pub fn downward_rank(problem: &Problem<'_>, mut node_w: impl FnMut(TaskId) -> f6
         rank[t.index()] = dag
             .preds(t)
             .iter()
-            .map(|&(q, c)| rank[q.index()] + node_w(q) + mean_comm_time(problem, c))
+            .map(|&(q, c)| rank[q.index()] + node_w(q) + problem.mean_comm_time(c))
             .fold(0.0f64, f64::max);
     }
     rank
-}
-
-/// Finds the processor minimizing `EFT(t, ·)` (ties: lowest id) and returns
-/// `(proc, start, finish)` without mutating the schedule.
-///
-/// All of `t`'s parents must already be placed.
-pub fn min_eft_placement(
-    problem: &Problem<'_>,
-    schedule: &Schedule,
-    t: TaskId,
-    insertion: bool,
-) -> Result<(ProcId, f64, f64), CoreError> {
-    let mut best: Option<(ProcId, f64, f64)> = None;
-    for p in problem.platform().procs() {
-        let start = est(problem, schedule, t, p, insertion)?;
-        let finish = start + problem.w(t, p);
-        match best {
-            Some((_, _, bf)) if bf <= finish => {}
-            _ => best = Some((p, start, finish)),
-        }
-    }
-    best.ok_or(CoreError::ProcCountMismatch { platform: 0, costs: 0 })
 }
 
 /// Places tasks one by one in the given priority `order` (which must be a
@@ -127,7 +99,26 @@ pub(crate) fn order_by_descending(keys: &[f64], dag: &hdlts_dag::Dag) -> Vec<Tas
 mod tests {
     use super::*;
     use hdlts_dag::dag_from_edges;
-    use hdlts_platform::{CostMatrix, LinkModel, Platform};
+    use hdlts_platform::{CostMatrix, LinkModel, Platform, ProcId};
+
+    /// The original `O(p^2)` pair loop, kept as the reference the cached
+    /// factor is validated against.
+    fn mean_comm_reference(problem: &Problem<'_>, cost: f64) -> f64 {
+        let platform = problem.platform();
+        let p = platform.num_procs();
+        if p < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for i in platform.procs() {
+            for j in platform.procs() {
+                if i != j {
+                    total += platform.comm_time(i, j, cost);
+                }
+            }
+        }
+        total / (p * (p - 1)) as f64
+    }
 
     fn fig1_like() -> (hdlts_dag::Dag, CostMatrix, Platform) {
         // Small diamond with distinct costs.
@@ -170,6 +161,49 @@ mod tests {
         let platform = Platform::fully_connected(1).unwrap();
         let problem = Problem::new(&dag, &costs, &platform).unwrap();
         assert_eq!(mean_comm_time(&problem, 6.0), 0.0);
+        assert_eq!(mean_comm_reference(&problem, 6.0), 0.0);
+    }
+
+    #[test]
+    fn mean_comm_factor_matches_reference_loop() {
+        let dag = dag_from_edges(2, &[(0, 1, 6.0)]).unwrap();
+
+        // Two processors, uniform bandwidth: exactly equal (the reference
+        // averages two identical terms, which cancels without rounding).
+        let two = Platform::new(
+            vec!["a".into(), "b".into()],
+            LinkModel::Uniform { bandwidth: 3.0 },
+        )
+        .unwrap();
+        let costs2 = CostMatrix::uniform(2, 2, 1.0).unwrap();
+        let problem = Problem::new(&dag, &costs2, &two).unwrap();
+        for cost in [0.0, 1.0, 6.0, 7.5, 1e12] {
+            assert_eq!(mean_comm_time(&problem, cost), mean_comm_reference(&problem, cost));
+        }
+
+        // Heterogeneous pairwise links: the factor reassociates the sum,
+        // so allow relative rounding noise but nothing more.
+        let hetero = Platform::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            LinkModel::Pairwise {
+                bandwidths: vec![
+                    vec![0.0, 2.0, 5.0],
+                    vec![4.0, 0.0, 1.0],
+                    vec![8.0, 0.5, 0.0],
+                ],
+            },
+        )
+        .unwrap();
+        let costs3 = CostMatrix::uniform(2, 3, 1.0).unwrap();
+        let problem = Problem::new(&dag, &costs3, &hetero).unwrap();
+        for cost in [0.0, 1.0, 6.0, 7.5, 1e12] {
+            let fast = mean_comm_time(&problem, cost);
+            let reference = mean_comm_reference(&problem, cost);
+            assert!(
+                (fast - reference).abs() <= 1e-12 * reference.abs().max(1.0),
+                "cost {cost}: {fast} vs {reference}"
+            );
+        }
     }
 
     #[test]

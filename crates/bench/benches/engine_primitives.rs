@@ -71,6 +71,78 @@ fn timeline_insertion(c: &mut Criterion) {
     group.finish();
 }
 
+/// The precomputed pair-average factor against the explicit `O(p^2)` pair
+/// loop it replaced in the rank functions.
+fn mean_comm(c: &mut Criterion) {
+    use hdlts_platform::{LinkModel, Platform};
+    let p = 16usize;
+    let bandwidths: Vec<Vec<f64>> = (0..p)
+        .map(|i| (0..p).map(|j| if i == j { 0.0 } else { 1.0 + ((i * p + j) % 7) as f64 }).collect())
+        .collect();
+    let platform = Platform::new(
+        (0..p).map(|i| format!("P{i}")).collect(),
+        LinkModel::Pairwise { bandwidths },
+    )
+    .expect("valid platform");
+    let inst = bench_instance(50, p);
+    let problem = inst.problem(&platform).expect("consistent");
+    let mut group = c.benchmark_group("primitives/mean_comm");
+    group.bench_function("cached_factor", |b| {
+        b.iter(|| black_box(problem.mean_comm_time(black_box(6.5))))
+    });
+    group.bench_function("pair_loop", |b| {
+        b.iter(|| {
+            let cost = black_box(6.5);
+            let mut total = 0.0;
+            for i in platform.procs() {
+                for j in platform.procs() {
+                    if i != j {
+                        total += platform.comm_time(i, j, cost);
+                    }
+                }
+            }
+            black_box(total / (p * (p - 1)) as f64)
+        })
+    });
+    group.finish();
+}
+
+/// Admission (full-row compute) and placement propagation (column
+/// re-evaluation) of the incremental EFT cache, on a half-scheduled
+/// instance — the two kernels the HDLTS inner loop is now made of.
+fn eft_cache_kernels(c: &mut Criterion) {
+    use hdlts_core::{EftCache, Problem};
+    let inst = bench_instance(500, 8);
+    let platform = bench_platform(8);
+    let problem: Problem<'_> = inst.problem(&platform).expect("consistent");
+    let schedule = Hdlts::paper_exact().schedule(&problem).expect("schedules");
+    let tasks: Vec<TaskId> = inst.dag.topological_order().to_vec();
+    let mut group = c.benchmark_group("primitives/eft_cache");
+    group.bench_function("admit_500", |b| {
+        b.iter(|| {
+            let mut cache = EftCache::new(&problem, false, PenaltyKind::EftSampleStdDev);
+            for &t in &tasks {
+                cache.admit(&problem, &schedule, t).expect("parents placed");
+            }
+            black_box(cache.select())
+        })
+    });
+    group.bench_function("column_update_500", |b| {
+        let mut cache = EftCache::new(&problem, false, PenaltyKind::EftSampleStdDev);
+        for &t in &tasks[1..] {
+            cache.admit(&problem, &schedule, t).expect("parents placed");
+        }
+        let placed = tasks[0];
+        b.iter(|| {
+            cache
+                .on_placed(&problem, &schedule, black_box(placed), &[ProcId(0)])
+                .expect("cache update");
+            black_box(cache.select())
+        })
+    });
+    group.finish();
+}
+
 fn penalty_kernel(c: &mut Criterion) {
     let efts: Vec<f64> = (0..10).map(|i| 100.0 + (i as f64 * 7.3) % 40.0).collect();
     let costs: Vec<f64> = (0..10).map(|i| 50.0 + (i as f64 * 3.1) % 20.0).collect();
@@ -102,6 +174,8 @@ criterion_group!(
     benches,
     est_eft_queries,
     timeline_insertion,
+    mean_comm,
+    eft_cache_kernels,
     penalty_kernel,
     schedule_validation
 );

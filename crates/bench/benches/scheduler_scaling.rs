@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hdlts_baselines::AlgorithmKind;
 use hdlts_bench::{bench_instance, bench_platform};
+use hdlts_core::{EngineMode, Hdlts, HdltsConfig, Scheduler};
 use std::hint::black_box;
 
 fn scaling_with_tasks(c: &mut Criterion) {
@@ -62,5 +63,33 @@ fn scaling_with_processors(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, scaling_with_tasks, scaling_with_processors);
+/// The dirty-tracked incremental EFT engine against the full-recompute
+/// oracle on identical instances — the schedules are byte-identical, so
+/// any gap here is pure engine overhead. The `bench-json` binary times the
+/// same cells (plus v = 10000) without Criterion for machine-readable CI
+/// output.
+fn engine_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &v in &[100usize, 1000] {
+        let inst = bench_instance(v, 8);
+        let platform = bench_platform(8);
+        let problem = inst.problem(&platform).expect("consistent");
+        group.throughput(Throughput::Elements(v as u64));
+        for (label, mode) in [
+            ("hdlts_incremental", EngineMode::Incremental),
+            ("hdlts_full_recompute", EngineMode::FullRecompute),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, v), &problem, |b, problem| {
+                let scheduler = Hdlts::new(HdltsConfig::paper_exact().with_engine(mode));
+                b.iter(|| black_box(scheduler.schedule(black_box(problem)).expect("schedules")))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling_with_tasks, scaling_with_processors, engine_modes);
 criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! `bench-json`: a dependency-free timing harness that emits
+//! `BENCH_engine.json` — the machine-readable engine baseline.
+//!
+//! Criterion's statistics and plots are ideal for local inspection but
+//! awkward to consume from CI; this binary times the scheduling kernels
+//! with `std::time::Instant` and writes a single JSON file with the mean
+//! ns/op of every kernel:
+//!
+//! * `hdlts/incremental` and `hdlts/full_recompute` at v = 100 / 1000 /
+//!   10000 tasks on P = 4 / 8 / 16 processors (the fig. 3 scaling grid),
+//!   plus the per-cell speedup of the incremental engine;
+//! * `mean_comm/cached_factor` vs `mean_comm/pair_loop` (the `O(1)`
+//!   pair-average factor against the `O(p^2)` loop it replaced);
+//! * `timeline/gap_search` (binary-search insertion scan, 10k slots).
+//!
+//! Both engines are also run once per small cell and their schedules
+//! compared, so the baseline doubles as a cheap differential check.
+//!
+//! Usage: `bench-json [output-path]` (default `BENCH_engine.json` in the
+//! current directory — the repo root when invoked via `just bench-json`).
+
+use hdlts_bench::{bench_instance, bench_platform};
+use hdlts_core::{EngineMode, Hdlts, HdltsConfig, Scheduler, Slot, Timeline};
+use hdlts_dag::TaskId;
+use hdlts_platform::{LinkModel, Platform, ProcId};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed kernel: mean wall-clock nanoseconds per operation.
+struct Cell {
+    name: &'static str,
+    v: usize,
+    procs: usize,
+    mean_ns_per_op: f64,
+    iters: u32,
+}
+
+/// Times `f` until `budget_ns` elapses or `max_iters` runs, whichever
+/// comes first (always at least one run), and returns the mean ns per
+/// call. `ops_per_call` spreads the mean over an inner repeat loop so
+/// sub-microsecond kernels stay measurable.
+fn time_kernel<F: FnMut()>(mut f: F, budget_ns: u128, max_iters: u32, ops_per_call: u64) -> (f64, u32) {
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        f();
+        iters += 1;
+        if iters >= max_iters || start.elapsed().as_nanos() >= budget_ns {
+            break;
+        }
+    }
+    let mean = start.elapsed().as_nanos() as f64 / iters as f64 / ops_per_call as f64;
+    (mean, iters)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut speedups: Vec<(usize, usize, f64)> = Vec::new();
+    let mut fig3_speedup_10000 = f64::NAN;
+
+    for &procs in &[4usize, 8, 16] {
+        for &v in &[100usize, 1000, 10000] {
+            let inst = bench_instance(v, procs);
+            let platform = bench_platform(procs);
+            let problem = inst.problem(&platform).expect("consistent instance");
+
+            // Differential check on the small cells: both engines must
+            // produce the identical schedule before we bother timing.
+            if v <= 1000 {
+                let fast = Hdlts::new(HdltsConfig::paper_exact())
+                    .schedule(&problem)
+                    .expect("schedules");
+                let full = Hdlts::new(
+                    HdltsConfig::paper_exact().with_engine(EngineMode::FullRecompute),
+                )
+                .schedule(&problem)
+                .expect("schedules");
+                assert_eq!(fast, full, "engines diverged at v={v}, P={procs}");
+            }
+
+            let mut pair = [f64::NAN; 2];
+            for (slot, name, mode) in [
+                (0usize, "hdlts/incremental", EngineMode::Incremental),
+                (1, "hdlts/full_recompute", EngineMode::FullRecompute),
+            ] {
+                let scheduler = Hdlts::new(HdltsConfig::paper_exact().with_engine(mode));
+                // Big naive cells take seconds per run: cap the iteration
+                // count so the grid finishes in minutes, not hours.
+                let max_iters = if v >= 10000 { 3 } else { 200 };
+                let (mean_ns, iters) = time_kernel(
+                    || {
+                        black_box(scheduler.schedule(black_box(&problem)).expect("schedules"));
+                    },
+                    400_000_000,
+                    max_iters,
+                    1,
+                );
+                pair[slot] = mean_ns;
+                cells.push(Cell { name, v, procs, mean_ns_per_op: mean_ns, iters });
+                eprintln!("{name:<22} v={v:<6} P={procs:<3} {:>12.0} ns/op ({iters} iters)", mean_ns);
+            }
+            let speedup = pair[1] / pair[0];
+            speedups.push((v, procs, speedup));
+            if v == 10000 && (fig3_speedup_10000.is_nan() || speedup < fig3_speedup_10000) {
+                // Report the *worst* 10000-task cell so the headline claim
+                // is conservative.
+                fig3_speedup_10000 = speedup;
+            }
+        }
+    }
+
+    // O(1) cached mean-comm factor vs the O(p^2) pair loop it replaced.
+    {
+        let p = 16usize;
+        let bandwidths: Vec<Vec<f64>> = (0..p)
+            .map(|i| {
+                (0..p)
+                    .map(|j| if i == j { 0.0 } else { 1.0 + ((i * p + j) % 7) as f64 })
+                    .collect()
+            })
+            .collect();
+        let platform = Platform::new(
+            (0..p).map(|i| format!("P{i}")).collect(),
+            LinkModel::Pairwise { bandwidths },
+        )
+        .expect("valid platform");
+        let inst = bench_instance(50, p);
+        let problem = inst.problem(&platform).expect("consistent instance");
+        const REPS: u64 = 10_000;
+        let (mean_ns, iters) = time_kernel(
+            || {
+                let mut acc = 0.0;
+                for i in 0..REPS {
+                    acc += problem.mean_comm_time(black_box(1.0 + i as f64));
+                }
+                black_box(acc);
+            },
+            200_000_000,
+            1000,
+            REPS,
+        );
+        cells.push(Cell { name: "mean_comm/cached_factor", v: 0, procs: p, mean_ns_per_op: mean_ns, iters });
+        let (mean_ns, iters) = time_kernel(
+            || {
+                let mut acc = 0.0;
+                for c in 0..REPS {
+                    let cost = black_box(1.0 + c as f64);
+                    let mut total = 0.0;
+                    for i in platform.procs() {
+                        for j in platform.procs() {
+                            if i != j {
+                                total += platform.comm_time(i, j, cost);
+                            }
+                        }
+                    }
+                    acc += total / (p * (p - 1)) as f64;
+                }
+                black_box(acc);
+            },
+            200_000_000,
+            1000,
+            REPS,
+        );
+        cells.push(Cell { name: "mean_comm/pair_loop", v: 0, procs: p, mean_ns_per_op: mean_ns, iters });
+    }
+
+    // Binary-search gap scan on a long timeline.
+    {
+        let n = 10_000usize;
+        let mut tl = Timeline::new();
+        for i in 0..n {
+            let s = i as f64 * 2.0;
+            tl.insert(ProcId(0), Slot { task: TaskId(i as u32), start: s, end: s + 1.5 })
+                .expect("disjoint");
+        }
+        const REPS: u64 = 10_000;
+        let (mean_ns, iters) = time_kernel(
+            || {
+                let mut acc = 0.0;
+                for i in 0..REPS {
+                    let ready = (i % n as u64) as f64 * 2.0 + 0.25;
+                    acc += tl.earliest_start(black_box(ready), 0.4, true);
+                }
+                black_box(acc);
+            },
+            200_000_000,
+            1000,
+            REPS,
+        );
+        cells.push(Cell { name: "timeline/gap_search_10000", v: n, procs: 1, mean_ns_per_op: mean_ns, iters });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"engine\",\n  \"kernels\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"v\": {}, \"procs\": {}, \"mean_ns_per_op\": {:.1}, \"iters\": {}}}{}",
+            c.name, c.v, c.procs, c.mean_ns_per_op, c.iters, sep
+        );
+    }
+    json.push_str("  ],\n  \"hdlts_incremental_speedup\": [\n");
+    for (i, &(v, procs, s)) in speedups.iter().enumerate() {
+        let sep = if i + 1 < speedups.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"v\": {v}, \"procs\": {procs}, \"full_over_incremental\": {s:.2}}}{sep}"
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"fig3_v10000_min_speedup\": {fig3_speedup_10000:.2}\n}}"
+    );
+
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    eprintln!("worst v=10000 incremental speedup: {fig3_speedup_10000:.2}x");
+    eprintln!("wrote {out_path}");
+}

@@ -1,5 +1,6 @@
 //! Configuration of the HDLTS heuristic and its ablation variants.
 
+use crate::engine::EngineMode;
 use serde::{Deserialize, Serialize};
 
 /// When Algorithm 1 duplicates the entry task onto an additional processor.
@@ -50,6 +51,11 @@ pub struct HdltsConfig {
     /// Whether EST uses insertion-based gap search. The paper's Eq. 6 and
     /// the Table I trace use plain availability (`false`).
     pub insertion: bool,
+    /// EFT evaluation strategy. [`EngineMode::Incremental`] (the default)
+    /// and [`EngineMode::FullRecompute`] produce byte-identical schedules
+    /// and traces; the latter exists as the differential-testing oracle.
+    #[serde(default)]
+    pub engine: EngineMode,
 }
 
 impl Default for HdltsConfig {
@@ -59,6 +65,7 @@ impl Default for HdltsConfig {
             duplication: DuplicationPolicy::AnyChild,
             penalty: PenaltyKind::EftSampleStdDev,
             insertion: false,
+            engine: EngineMode::Incremental,
         }
     }
 }
@@ -78,6 +85,13 @@ impl HdltsConfig {
     pub fn without_duplication() -> Self {
         HdltsConfig { duplication: DuplicationPolicy::Off, ..Self::default() }
     }
+
+    /// The same configuration with a different [`EngineMode`] — handy for
+    /// differential tests comparing the incremental engine against the
+    /// full-recompute oracle.
+    pub fn with_engine(self, engine: EngineMode) -> Self {
+        HdltsConfig { engine, ..self }
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +104,16 @@ mod tests {
         assert_eq!(c.duplication, DuplicationPolicy::AnyChild);
         assert_eq!(c.penalty, PenaltyKind::EftSampleStdDev);
         assert!(!c.insertion);
+        assert_eq!(c.engine, EngineMode::Incremental);
         assert_eq!(c, HdltsConfig::paper_exact());
+    }
+
+    #[test]
+    fn with_engine_changes_only_the_engine() {
+        let c = HdltsConfig::with_insertion().with_engine(EngineMode::FullRecompute);
+        assert_eq!(c.engine, EngineMode::FullRecompute);
+        assert!(c.insertion);
+        assert_eq!(c.duplication, DuplicationPolicy::AnyChild);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Incremental EFT engine: dirty-tracked re-evaluation of ready-task EFT
+//! rows across scheduling steps.
+//!
+//! Dynamic list schedulers (HDLTS, Section IV) re-evaluate every ready
+//! task's EFT vector against the *current* partial schedule at every step.
+//! Recomputing each row from scratch makes the inner loop
+//! `O(steps × |ITQ| × P × in-degree)` even though placing one task only
+//! changes a single processor's availability. [`EftCache`] exploits that
+//! locality:
+//!
+//! * each ready task's per-processor **data-ready times** are cached when
+//!   the task is admitted — they only depend on the placements of its
+//!   parents, all of which are final by the time the task is ready;
+//! * after a placement on processor `p`, only the `p`-column of the
+//!   surviving rows is re-evaluated (`EST = max(ready, Avail)` in
+//!   no-insertion mode is O(1); insertion mode re-runs the gap search on
+//!   the one timeline that changed);
+//! * rows of tasks whose parent set includes the just-placed task are
+//!   recomputed in full — new *copies* of a parent (entry-task
+//!   duplication, Algorithm 1) change data-ready times, so the cached
+//!   ready vector is stale for exactly those tasks;
+//! * newly-ready tasks get a freshly computed row, which by construction
+//!   sees every copy already committed.
+//!
+//! The arithmetic per cell is performed in exactly the same operation
+//! order as the full recompute ([`crate::est::eft_row`]), so cached rows
+//! are **bit-identical** to recomputed ones and the resulting schedules
+//! and traces match byte for byte. The naive path stays available behind
+//! [`EngineMode::FullRecompute`] for differential testing (see
+//! `tests/proptest_incremental.rs` at the workspace root and DESIGN.md
+//! §"Engine internals").
+
+use crate::est::{data_ready_time, penalty_value};
+use crate::{CoreError, PenaltyKind, Problem, Schedule};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+
+/// Which EFT evaluation strategy a dynamic scheduler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
+pub enum EngineMode {
+    /// Dirty-tracked incremental re-evaluation via [`EftCache`] (default).
+    /// Produces byte-identical schedules and traces to the full recompute.
+    #[default]
+    Incremental,
+    /// Recompute every ready task's full EFT row each step — the literal
+    /// reading of the paper, kept as the differential-testing oracle.
+    FullRecompute,
+}
+
+/// One cached ready-task row.
+#[derive(Debug, Clone)]
+struct CachedRow {
+    /// `Ready(t, p)` per processor — stable while the task's parents keep
+    /// the copies they had at admission time.
+    ready: Vec<f64>,
+    /// `EFT(t, p)` per processor against the current partial schedule.
+    eft: Vec<f64>,
+    /// Penalty value (Eq. 8) of `eft`; recomputed only when a column
+    /// actually changed.
+    pv: f64,
+}
+
+/// Dirty-tracked cache of the EFT rows of all currently-ready tasks.
+///
+/// The cache mirrors the scheduler's Independent Task Queue: tasks are
+/// [`admit`](EftCache::admit)ed when they become ready and retired by
+/// [`on_placed`](EftCache::on_placed) when mapped. In between, the cache
+/// keeps their EFT rows current at the cost of one column per placement
+/// instead of one full matrix per step.
+#[derive(Debug, Clone)]
+pub struct EftCache {
+    insertion: bool,
+    penalty: PenaltyKind,
+    rows: Vec<Option<CachedRow>>,
+    /// Ready tasks with live rows, in admission order.
+    active: Vec<TaskId>,
+}
+
+impl EftCache {
+    /// An empty cache for `problem`, using the given assignment discipline
+    /// and penalty definition (must match the scheduler's configuration).
+    pub fn new(problem: &Problem<'_>, insertion: bool, penalty: PenaltyKind) -> Self {
+        EftCache {
+            insertion,
+            penalty,
+            rows: (0..problem.num_tasks()).map(|_| None).collect(),
+            active: Vec::new(),
+        }
+    }
+
+    /// Number of ready tasks currently cached.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether no ready task is cached (the scheduling loop is done).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// The cached ready tasks, in admission order.
+    #[inline]
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.active
+    }
+
+    /// Admits a newly-ready task: computes and caches its full row.
+    ///
+    /// All of `t`'s parents must already be placed (the ITQ invariant);
+    /// returns [`CoreError::NotPlaced`] otherwise.
+    pub fn admit(
+        &mut self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        t: TaskId,
+    ) -> Result<(), CoreError> {
+        let row = self.compute_row(problem, schedule, t)?;
+        self.rows[t.index()] = Some(row);
+        self.active.push(t);
+        Ok(())
+    }
+
+    /// The cached EFT row of ready task `t`, in processor order.
+    #[inline]
+    pub fn eft_row(&self, t: TaskId) -> Option<&[f64]> {
+        self.rows[t.index()].as_ref().map(|r| r.eft.as_slice())
+    }
+
+    /// The cached penalty value of ready task `t`.
+    #[inline]
+    pub fn pv(&self, t: TaskId) -> Option<f64> {
+        self.rows[t.index()].as_ref().map(|r| r.pv)
+    }
+
+    /// `(task, penalty value)` of every cached ready task, in admission
+    /// order — the raw material for a Table I trace row.
+    pub fn scored(&self) -> impl Iterator<Item = (TaskId, f64)> + '_ {
+        self.active
+            .iter()
+            .map(|&t| (t, self.rows[t.index()].as_ref().expect("active row").pv))
+    }
+
+    /// The highest-PV ready task (ties: lowest id) — Algorithm 2's
+    /// selection rule. `None` when the cache is empty.
+    ///
+    /// Uses `total_cmp` so the ordering is identical to the full-recompute
+    /// path for every float value, and is independent of admission order.
+    pub fn select(&self) -> Option<TaskId> {
+        let mut best: Option<(TaskId, f64)> = None;
+        for &t in &self.active {
+            let pv = self.rows[t.index()].as_ref().expect("active row").pv;
+            best = match best {
+                Some((bt, bpv)) if pv.total_cmp(&bpv).then(bt.cmp(&t)).is_gt() => Some((t, pv)),
+                None => Some((t, pv)),
+                keep => keep,
+            };
+        }
+        best.map(|(t, _)| t)
+    }
+
+    /// Records that `placed` was mapped (plus any replica placements) and
+    /// re-validates exactly the cache state that the placement dirtied:
+    ///
+    /// * `placed`'s own row is retired;
+    /// * rows of ready tasks with `placed` among their parents are
+    ///   recomputed in full (new copies change their data-ready times);
+    /// * every other surviving row gets only its `touched`-processor
+    ///   columns re-evaluated from the cached ready times.
+    ///
+    /// `touched` must list every processor whose timeline changed this
+    /// step: the primary processor plus any processors that received a
+    /// duplicate copy.
+    pub fn on_placed(
+        &mut self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        placed: TaskId,
+        touched: &[ProcId],
+    ) -> Result<(), CoreError> {
+        self.rows[placed.index()] = None;
+        self.active.retain(|&t| t != placed);
+
+        // Ready tasks that have `placed` as a parent hold stale ready
+        // times now that `placed` (or a new copy of it) exists. With a
+        // dynamic ready list this set is empty — a child cannot be ready
+        // before its last parent is placed — but replicas of an
+        // already-placed task (duplication) do land here, and recomputing
+        // through the out-edge list keeps the cache correct for any
+        // scheduler built on it.
+        for &(child, _) in problem.dag().succs(placed) {
+            if self.rows[child.index()].is_some() {
+                let row = self.compute_row(problem, schedule, child)?;
+                self.rows[child.index()] = Some(row);
+            }
+        }
+
+        for &t in &self.active {
+            let row = self.rows[t.index()].as_mut().expect("active row");
+            let mut changed = false;
+            for &p in touched {
+                let w = problem.w(t, p);
+                let eft = schedule
+                    .timeline(p)
+                    .earliest_start(row.ready[p.index()], w, self.insertion)
+                    + w;
+                if eft.to_bits() != row.eft[p.index()].to_bits() {
+                    row.eft[p.index()] = eft;
+                    changed = true;
+                }
+            }
+            if changed {
+                row.pv = penalty_value(self.penalty, &row.eft, problem.costs().row(t));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes a full row from scratch — the same arithmetic, in the same
+    /// order, as [`crate::est::eft_row`], so results are bit-identical.
+    fn compute_row(
+        &self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        t: TaskId,
+    ) -> Result<CachedRow, CoreError> {
+        let num_procs = problem.num_procs();
+        let mut ready = Vec::with_capacity(num_procs);
+        let mut eft = Vec::with_capacity(num_procs);
+        for p in problem.platform().procs() {
+            let r = data_ready_time(problem, schedule, t, p)?;
+            let w = problem.w(t, p);
+            ready.push(r);
+            eft.push(schedule.timeline(p).earliest_start(r, w, self.insertion) + w);
+        }
+        let pv = penalty_value(self.penalty, &eft, problem.costs().row(t));
+        Ok(CachedRow { ready, eft, pv })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::est::eft_row;
+    use hdlts_dag::dag_from_edges;
+    use hdlts_platform::{CostMatrix, Platform};
+
+    /// diamond 0 -> {1, 2} -> 3 with heterogeneous costs on 2 procs.
+    fn fixture() -> (hdlts_dag::Dag, CostMatrix, Platform) {
+        let dag =
+            dag_from_edges(4, &[(0, 1, 6.0), (0, 2, 4.0), (1, 3, 2.0), (2, 3, 8.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![2.0, 4.0],
+            vec![3.0, 1.0],
+            vec![5.0, 5.0],
+            vec![2.0, 2.0],
+        ])
+        .unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        (dag, costs, platform)
+    }
+
+    #[test]
+    fn admitted_row_matches_full_recompute() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        for insertion in [false, true] {
+            let schedule = Schedule::new(4, 2);
+            let mut cache = EftCache::new(&problem, insertion, PenaltyKind::EftSampleStdDev);
+            cache.admit(&problem, &schedule, TaskId(0)).unwrap();
+            let naive = eft_row(&problem, &schedule, TaskId(0), insertion).unwrap();
+            assert_eq!(cache.eft_row(TaskId(0)).unwrap(), naive.as_slice());
+        }
+    }
+
+    #[test]
+    fn column_update_tracks_placements_bit_for_bit() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        for insertion in [false, true] {
+            let mut schedule = Schedule::new(4, 2);
+            let mut cache = EftCache::new(&problem, insertion, PenaltyKind::EftSampleStdDev);
+            // Place the entry, then admit both children.
+            schedule.place(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+            cache.admit(&problem, &schedule, TaskId(1)).unwrap();
+            cache.admit(&problem, &schedule, TaskId(2)).unwrap();
+            // Place task 1 on P1 and propagate.
+            schedule.place(TaskId(1), ProcId(0), 2.0, 5.0).unwrap();
+            cache
+                .on_placed(&problem, &schedule, TaskId(1), &[ProcId(0)])
+                .unwrap();
+            let naive = eft_row(&problem, &schedule, TaskId(2), insertion).unwrap();
+            assert_eq!(cache.eft_row(TaskId(2)).unwrap(), naive.as_slice());
+            let naive_pv = penalty_value(
+                PenaltyKind::EftSampleStdDev,
+                &naive,
+                problem.costs().row(TaskId(2)),
+            );
+            assert_eq!(cache.pv(TaskId(2)).unwrap(), naive_pv);
+        }
+    }
+
+    #[test]
+    fn duplicate_copies_refresh_dependent_rows() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut schedule = Schedule::new(4, 2);
+        let mut cache = EftCache::new(&problem, false, PenaltyKind::EftSampleStdDev);
+        schedule.place(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        cache.admit(&problem, &schedule, TaskId(1)).unwrap();
+        cache.admit(&problem, &schedule, TaskId(2)).unwrap();
+        // A late replica of the entry on P2 changes the children's ready
+        // times there; on_placed for the entry must refresh them in full.
+        schedule.place_duplicate(TaskId(0), ProcId(1), 0.0, 4.0).unwrap();
+        cache
+            .on_placed(&problem, &schedule, TaskId(0), &[ProcId(1)])
+            .unwrap();
+        for t in [TaskId(1), TaskId(2)] {
+            let naive = eft_row(&problem, &schedule, t, false).unwrap();
+            assert_eq!(cache.eft_row(t).unwrap(), naive.as_slice(), "{t}");
+        }
+    }
+
+    #[test]
+    fn select_prefers_high_pv_then_low_id() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut schedule = Schedule::new(4, 2);
+        let mut cache = EftCache::new(&problem, false, PenaltyKind::EftSampleStdDev);
+        assert!(cache.select().is_none());
+        assert!(cache.is_empty());
+        schedule.place(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        // Admission order must not matter for ties.
+        cache.admit(&problem, &schedule, TaskId(2)).unwrap();
+        cache.admit(&problem, &schedule, TaskId(1)).unwrap();
+        assert_eq!(cache.len(), 2);
+        let best = cache.select().unwrap();
+        // t1: EFT row differs strongly across procs (cost 3 vs 1 + comm);
+        // compute both PVs and check the argmax matches.
+        let pv1 = cache.pv(TaskId(1)).unwrap();
+        let pv2 = cache.pv(TaskId(2)).unwrap();
+        let expect = if pv1 > pv2 || (pv1 == pv2) { TaskId(1) } else { TaskId(2) };
+        assert_eq!(best, expect);
+    }
+
+    #[test]
+    fn on_placed_retires_the_row() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut schedule = Schedule::new(4, 2);
+        let mut cache = EftCache::new(&problem, false, PenaltyKind::EftSampleStdDev);
+        cache.admit(&problem, &schedule, TaskId(0)).unwrap();
+        schedule.place(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        cache
+            .on_placed(&problem, &schedule, TaskId(0), &[ProcId(0)])
+            .unwrap();
+        assert!(cache.eft_row(TaskId(0)).is_none());
+        assert!(cache.is_empty());
+    }
+}

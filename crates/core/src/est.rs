@@ -82,6 +82,48 @@ pub fn eft_row(
         .collect()
 }
 
+/// The index of the minimum of an EFT row, as a processor id.
+///
+/// This is *the* processor-selection rule shared by HDLTS (Algorithm 2)
+/// and every EFT-greedy baseline: the first minimum wins, so ties go to
+/// the lowest processor id. Returns `None` only for an empty row.
+pub fn argmin_eft<I>(efts: I) -> Option<ProcId>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut best: Option<(usize, f64)> = None;
+    for (i, e) in efts.into_iter().enumerate() {
+        best = match best {
+            Some((_, be)) if e < be => Some((i, e)),
+            None => Some((i, e)),
+            keep => keep,
+        };
+    }
+    best.map(|(i, _)| ProcId::from_index(i))
+}
+
+/// Finds the processor minimizing `EFT(t, ·)` via [`argmin_eft`] (ties:
+/// lowest id) and returns `(proc, start, finish)` without mutating the
+/// schedule.
+///
+/// All of `t`'s parents must already be placed.
+pub fn min_eft_placement(
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    t: TaskId,
+    insertion: bool,
+) -> Result<(ProcId, f64, f64), CoreError> {
+    let mut options = Vec::with_capacity(problem.num_procs());
+    for p in problem.platform().procs() {
+        let start = est(problem, schedule, t, p, insertion)?;
+        options.push((start, start + problem.w(t, p)));
+    }
+    let proc = argmin_eft(options.iter().map(|&(_, finish)| finish))
+        .ok_or(CoreError::ProcCountMismatch { platform: 0, costs: 0 })?;
+    let (start, finish) = options[proc.index()];
+    Ok((proc, start, finish))
+}
+
 /// The penalty value `PV` of a task (Definition 8) from its EFT row (and,
 /// for the [`PenaltyKind::ExecStdDev`] ablation, its raw cost row).
 pub fn penalty_value(kind: PenaltyKind, eft_row: &[f64], cost_row: &[f64]) -> f64 {
@@ -185,6 +227,26 @@ mod tests {
             eft_row(&problem, &s, TaskId(1), false).unwrap(),
             vec![10.0, 17.0]
         );
+    }
+
+    #[test]
+    fn argmin_takes_first_minimum() {
+        assert_eq!(argmin_eft(Vec::<f64>::new()), None);
+        assert_eq!(argmin_eft([5.0]), Some(ProcId(0)));
+        assert_eq!(argmin_eft([3.0, 1.0, 1.0, 2.0]), Some(ProcId(1)));
+        assert_eq!(argmin_eft([2.0, 2.0]), Some(ProcId(0)));
+    }
+
+    #[test]
+    fn min_eft_placement_picks_cheapest() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        // t1: EFT = (4 + 6, 14 + 3) -> P1 wins despite the higher cost.
+        let (p, start, finish) = min_eft_placement(&problem, &s, TaskId(1), false).unwrap();
+        assert_eq!(p, ProcId(0));
+        assert_eq!((start, finish), (4.0, 10.0));
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The Heterogeneous Dynamic List Task Scheduling heuristic (Section IV).
 
-use crate::est::eft_row;
+use crate::est::{argmin_eft, eft_row};
 use crate::{
-    CoreError, DuplicationPolicy, HdltsConfig, Problem, Schedule, ScheduleTrace, Scheduler,
-    TraceStep,
+    CoreError, DuplicationPolicy, EftCache, EngineMode, HdltsConfig, Problem, Schedule,
+    ScheduleTrace, Scheduler, TraceStep,
 };
 use hdlts_dag::TaskId;
 use hdlts_platform::ProcId;
@@ -75,6 +75,96 @@ impl Hdlts {
     fn run(
         &self,
         problem: &Problem<'_>,
+        trace: Option<&mut ScheduleTrace>,
+    ) -> Result<Schedule, CoreError> {
+        match self.config.engine {
+            EngineMode::Incremental => self.run_incremental(problem, trace),
+            EngineMode::FullRecompute => self.run_full_recompute(problem, trace),
+        }
+    }
+
+    /// The dirty-tracked fast path: ready rows live in an [`EftCache`] and
+    /// only the columns a placement touched are re-evaluated each step.
+    /// Produces byte-identical schedules and traces to
+    /// [`run_full_recompute`](Self::run_full_recompute).
+    fn run_incremental(
+        &self,
+        problem: &Problem<'_>,
+        mut trace: Option<&mut ScheduleTrace>,
+    ) -> Result<Schedule, CoreError> {
+        let (entry, _exit) = problem.entry_exit()?;
+        let dag = problem.dag();
+        let n = problem.num_tasks();
+        let mut schedule = Schedule::new(n, problem.num_procs());
+
+        let mut pending_preds: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
+        let mut cache = EftCache::new(problem, self.config.insertion, self.config.penalty);
+        cache.admit(problem, &schedule, entry)?;
+        let mut step = 0usize;
+
+        while let Some(task) = cache.select() {
+            step += 1;
+            let row = cache.eft_row(task).expect("selected task has a row").to_vec();
+
+            // Minimum-EFT processor (ties: lowest id).
+            let proc = argmin_eft(row.iter().copied()).expect("platform has processors");
+            // Recompute the start from EST rather than `EFT - W`: the
+            // latter can land a few ulps below the processor's
+            // availability and spuriously overlap the previous slot.
+            let start = crate::est(problem, &schedule, task, proc, self.config.insertion)?;
+            let finish = start + problem.w(task, proc);
+            debug_assert!((finish - row[proc.index()]).abs() <= 1e-9 * finish.abs().max(1.0));
+            schedule.place(task, proc, start, finish)?;
+
+            let mut duplicated_on = Vec::new();
+            if task == entry && self.config.duplication != DuplicationPolicy::Off {
+                duplicated_on = self.duplicate_entry(problem, &mut schedule, entry, proc, finish)?;
+            }
+
+            if let Some(tr) = trace.as_deref_mut() {
+                let mut ready: Vec<(TaskId, f64)> = cache.scored().collect();
+                ready.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                tr.steps.push(TraceStep {
+                    step,
+                    ready,
+                    selected: task,
+                    eft_row: row,
+                    chosen_proc: proc,
+                    duplicated_on: duplicated_on.clone(),
+                });
+            }
+
+            // Propagate the dirty state: the primary's processor plus every
+            // processor that received a replica this step.
+            let mut touched = Vec::with_capacity(1 + duplicated_on.len());
+            touched.push(proc);
+            touched.extend(duplicated_on);
+            cache.on_placed(problem, &schedule, task, &touched)?;
+
+            for &(child, _) in dag.succs(task) {
+                pending_preds[child.index()] -= 1;
+                if pending_preds[child.index()] == 0 {
+                    cache.admit(problem, &schedule, child)?;
+                }
+            }
+        }
+
+        if !schedule.is_complete() {
+            return Err(CoreError::InvalidSchedule(format!(
+                "only {} of {} tasks were reachable from the entry",
+                schedule.placed_count(),
+                n
+            )));
+        }
+        Ok(schedule)
+    }
+
+    /// The literal Algorithm 2 loop: every ready task's full EFT row is
+    /// recomputed from scratch at every step. Kept as the oracle for
+    /// differential testing ([`EngineMode::FullRecompute`]).
+    fn run_full_recompute(
+        &self,
+        problem: &Problem<'_>,
         mut trace: Option<&mut ScheduleTrace>,
     ) -> Result<Schedule, CoreError> {
         let (entry, _exit) = problem.entry_exit()?;
@@ -111,12 +201,7 @@ impl Hdlts {
             let (task, row, _pv) = scored.swap_remove(best_idx);
 
             // Minimum-EFT processor (ties: lowest id).
-            let mut proc = ProcId(0);
-            for (p, &e) in row.iter().enumerate() {
-                if e < row[proc.index()] {
-                    proc = ProcId::from_index(p);
-                }
-            }
+            let proc = argmin_eft(row.iter().copied()).expect("platform has processors");
             // Recompute the start from EST rather than `EFT - W`: the
             // latter can land a few ulps below the processor's
             // availability and spuriously overlap the previous slot.
@@ -355,6 +440,36 @@ mod tests {
             let s = Hdlts::new(cfg).schedule(&problem).unwrap();
             assert!(s.is_complete(), "{policy:?}");
             s.validate(&problem).unwrap();
+        }
+    }
+
+    #[test]
+    fn engines_agree_schedule_and_trace() {
+        use crate::EngineMode;
+        let dag =
+            dag_from_edges(4, &[(0, 1, 9.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![2.0, 8.0],
+            vec![4.0, 4.0],
+            vec![4.0, 4.0],
+            vec![1.0, 3.0],
+        ])
+        .unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        for base in [
+            HdltsConfig::paper_exact(),
+            HdltsConfig::with_insertion(),
+            HdltsConfig::without_duplication(),
+        ] {
+            let (fast_s, fast_t) = Hdlts::new(base.with_engine(EngineMode::Incremental))
+                .schedule_with_trace(&problem)
+                .unwrap();
+            let (full_s, full_t) = Hdlts::new(base.with_engine(EngineMode::FullRecompute))
+                .schedule_with_trace(&problem)
+                .unwrap();
+            assert_eq!(fast_s, full_s);
+            assert_eq!(fast_t, full_t);
         }
     }
 

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod engine;
 mod error;
 mod est;
 mod gantt;
@@ -45,8 +46,11 @@ mod trace;
 mod validate;
 
 pub use config::{DuplicationPolicy, HdltsConfig, PenaltyKind};
+pub use engine::{EftCache, EngineMode};
 pub use error::CoreError;
-pub use est::{data_ready_time, eft, est, penalty_value};
+pub use est::{
+    argmin_eft, data_ready_time, eft, eft_row, est, min_eft_placement, penalty_value,
+};
 pub use hdlts::Hdlts;
 pub use problem::Problem;
 pub use schedule::{Placement, Schedule};

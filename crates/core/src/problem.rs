@@ -2,7 +2,7 @@
 
 use crate::CoreError;
 use hdlts_dag::{Dag, TaskId};
-use hdlts_platform::{CostMatrix, Platform, ProcId};
+use hdlts_platform::{CostMatrix, MeanCommFactor, Platform, ProcId};
 
 /// A validated scheduling problem: the tuple `G = (V, E, W, C)` of Section IV
 /// plus the platform `M`.
@@ -14,6 +14,9 @@ pub struct Problem<'a> {
     dag: &'a Dag,
     costs: &'a CostMatrix,
     platform: &'a Platform,
+    /// Pair-average communication factor, precomputed so rank functions
+    /// query mean communication times in `O(1)` instead of `O(p^2)`.
+    mean_comm: MeanCommFactor,
 }
 
 impl<'a> Problem<'a> {
@@ -35,7 +38,7 @@ impl<'a> Problem<'a> {
                 costs: costs.num_procs(),
             });
         }
-        Ok(Problem { dag, costs, platform })
+        Ok(Problem { dag, costs, platform, mean_comm: platform.mean_comm_factor() })
     }
 
     /// The workflow DAG.
@@ -87,6 +90,18 @@ impl<'a> Problem<'a> {
             .comm(src, dst)
             .unwrap_or_else(|| panic!("no edge {src} -> {dst}"));
         self.platform.comm_time(from, to, cost)
+    }
+
+    /// Mean communication time of an edge with stored cost `cost`, averaged
+    /// over all ordered distinct processor pairs (zero when `p < 2`).
+    ///
+    /// `O(1)`: the pair-average factor is precomputed at construction. For
+    /// uniform links this is the exact `cost / bandwidth`; for pairwise
+    /// links it is `cost * mean(1/B)`, which agrees with the explicit
+    /// `O(p^2)` pair loop up to the usual reassociation rounding.
+    #[inline]
+    pub fn mean_comm_time(&self, cost: f64) -> f64 {
+        self.mean_comm.mean_comm_time(cost)
     }
 
     /// Ensures the DAG has the single-entry/single-exit shape and returns

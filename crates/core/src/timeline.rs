@@ -60,8 +60,14 @@ impl Timeline {
         if !insertion {
             return ready.max(self.avail());
         }
+        // Slots are sorted and non-overlapping, so end times are monotone
+        // non-decreasing: binary-search past every slot that ends at or
+        // before `ready`. None of them can move the cursor (their ends are
+        // `<= ready`), and no usable gap starts before `ready`, so the
+        // scan result is identical to walking the whole vector.
+        let first = self.slots.partition_point(|s| s.end <= ready);
         let mut cursor = ready;
-        for s in &self.slots {
+        for s in &self.slots[first..] {
             if cursor + duration <= s.start {
                 return cursor;
             }
@@ -202,6 +208,44 @@ mod tests {
         tl2.insert(ProcId(0), slot(0, 5.0, 9.0)).unwrap();
         assert_eq!(tl2.earliest_start(0.0, 5.0, true), 0.0);
         assert_eq!(tl2.earliest_start(0.0, 6.0, true), 9.0);
+    }
+
+    /// Reference linear scan the binary-search fast path must match.
+    fn earliest_start_linear(tl: &Timeline, ready: f64, duration: f64) -> f64 {
+        let mut cursor = ready;
+        for s in tl.slots() {
+            if cursor + duration <= s.start {
+                return cursor;
+            }
+            cursor = cursor.max(s.end);
+        }
+        cursor
+    }
+
+    #[test]
+    fn insertion_search_matches_linear_scan() {
+        let mut tl = Timeline::new();
+        for (t, s, e) in [
+            (0u32, 0.0, 4.0),
+            (1, 4.0, 4.0), // zero-length pseudo task flush against a slot
+            (2, 4.0, 7.0),
+            (3, 9.0, 9.0), // zero-length pseudo task inside a gap
+            (4, 12.0, 20.0),
+        ] {
+            tl.insert(ProcId(0), slot(t, s, e)).unwrap();
+        }
+        for ready in [0.0, 2.0, 4.0, 6.5, 7.0, 9.0, 11.0, 20.0, 25.0] {
+            for duration in [0.0, 1.0, 2.0, 3.0, 5.0, 100.0] {
+                assert_eq!(
+                    tl.earliest_start(ready, duration, true),
+                    earliest_start_linear(&tl, ready, duration),
+                    "ready {ready}, duration {duration}"
+                );
+            }
+        }
+        // Empty timeline degenerates to `ready` either way.
+        let empty = Timeline::new();
+        assert_eq!(empty.earliest_start(3.0, 2.0, true), 3.0);
     }
 
     #[test]

@@ -21,6 +21,6 @@ mod processor;
 
 pub use cost_matrix::{population_stddev, sample_stddev, CostMatrix};
 pub use error::PlatformError;
-pub use links::LinkModel;
+pub use links::{LinkModel, MeanCommFactor};
 pub use proc_set::Platform;
 pub use processor::ProcId;

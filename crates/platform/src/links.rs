@@ -87,6 +87,41 @@ impl LinkModel {
     }
 }
 
+/// Precomputed pair-average communication factor of a platform.
+///
+/// Rank computations (HEFT, CPOP, PETS, PEFT, SDBATS) need the *mean*
+/// communication time of an edge over all ordered distinct processor
+/// pairs. Evaluating that as a loop costs `O(p^2)` per edge visit; this
+/// summary is computed once per platform and turns each query into one
+/// multiplication or division.
+///
+/// The uniform case is kept as a division by the bandwidth rather than a
+/// multiplication by its reciprocal: `cost / b` is the exact mean (every
+/// pair contributes the identical `cost / b`), while `cost * (1.0 / b)`
+/// would round twice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeanCommFactor {
+    /// Fewer than two processors: everything is co-located, mean is zero.
+    Zero,
+    /// Uniform links: mean comm time is `cost / bandwidth`.
+    DivideBy(f64),
+    /// Pairwise links: mean comm time is `cost * mean(1 / B(i, j))` over
+    /// ordered distinct pairs.
+    MultiplyBy(f64),
+}
+
+impl MeanCommFactor {
+    /// Mean communication time of an edge with stored cost `cost`.
+    #[inline]
+    pub fn mean_comm_time(self, cost: f64) -> f64 {
+        match self {
+            MeanCommFactor::Zero => 0.0,
+            MeanCommFactor::DivideBy(bandwidth) => cost / bandwidth,
+            MeanCommFactor::MultiplyBy(factor) => cost * factor,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +157,15 @@ mod tests {
             bandwidths: vec![vec![0.0, 1.0], vec![1.0]],
         };
         assert!(m.validate(2).is_err());
+    }
+
+    #[test]
+    fn mean_comm_factor_forms() {
+        assert_eq!(MeanCommFactor::Zero.mean_comm_time(42.0), 0.0);
+        // The divide form is exact where the reciprocal-multiply would
+        // round: 6 / 3 == 2 but 6 * (1/3) != 2.
+        assert_eq!(MeanCommFactor::DivideBy(3.0).mean_comm_time(6.0), 2.0);
+        assert_eq!(MeanCommFactor::MultiplyBy(0.5).mean_comm_time(6.0), 3.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The heterogeneous platform: processors plus interconnect.
 
-use crate::{LinkModel, PlatformError, ProcId};
+use crate::{LinkModel, MeanCommFactor, PlatformError, ProcId};
 use serde::{Deserialize, Serialize};
 
 /// A heterogeneous computing environment: `p` fully connected processors and
@@ -67,6 +67,29 @@ impl Platform {
             edge_cost / self.links.bandwidth(from, to)
         }
     }
+
+    /// The pair-average communication factor of this platform, computed in
+    /// `O(p^2)` once so mean-communication queries become `O(1)`.
+    pub fn mean_comm_factor(&self) -> MeanCommFactor {
+        let p = self.num_procs();
+        if p < 2 {
+            return MeanCommFactor::Zero;
+        }
+        match &self.links {
+            LinkModel::Uniform { bandwidth } => MeanCommFactor::DivideBy(*bandwidth),
+            LinkModel::Pairwise { .. } => {
+                let mut total = 0.0;
+                for i in self.procs() {
+                    for j in self.procs() {
+                        if i != j {
+                            total += 1.0 / self.links.bandwidth(i, j);
+                        }
+                    }
+                }
+                MeanCommFactor::MultiplyBy(total / (p * (p - 1)) as f64)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +128,25 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.comm_time(ProcId(0), ProcId(1), 100.0), 25.0);
+    }
+
+    #[test]
+    fn mean_comm_factor_matches_model() {
+        assert_eq!(
+            Platform::fully_connected(1).unwrap().mean_comm_factor(),
+            MeanCommFactor::Zero
+        );
+        assert_eq!(
+            Platform::fully_connected(4).unwrap().mean_comm_factor(),
+            MeanCommFactor::DivideBy(1.0)
+        );
+        let hetero = Platform::new(
+            vec!["a".into(), "b".into()],
+            LinkModel::Pairwise { bandwidths: vec![vec![0.0, 2.0], vec![4.0, 0.0]] },
+        )
+        .unwrap();
+        // mean(1/2, 1/4) = 0.375
+        assert_eq!(hetero.mean_comm_factor(), MeanCommFactor::MultiplyBy(0.375));
     }
 
     #[test]

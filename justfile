@@ -1,0 +1,17 @@
+# Developer entry points. `just --list` shows everything.
+
+# Build, lint, and run the full test suite.
+check:
+    cargo build --release
+    cargo test -q
+
+# Criterion benches (human-readable, statistical).
+bench:
+    cargo bench -p hdlts-bench
+
+# Machine-readable engine baseline: times the scheduling kernels
+# (incremental vs full-recompute HDLTS across the fig. 3 grid, mean-comm
+# factor vs pair loop, timeline gap search) and writes BENCH_engine.json
+# at the repo root. See CONTRIBUTING.md "Performance changes".
+bench-json:
+    cargo run --release -p hdlts-bench --bin bench-json -- BENCH_engine.json

@@ -98,7 +98,7 @@ proptest! {
         let inst = random_dag::generate(&params, seed);
         let platform = Platform::fully_connected(inst.num_procs()).unwrap();
         let problem = inst.problem(&platform).unwrap();
-        let cfg = HdltsConfig { duplication: dup, penalty: pv, insertion };
+        let cfg = HdltsConfig { duplication: dup, penalty: pv, insertion, ..HdltsConfig::default() };
         let s = Hdlts::new(cfg).schedule(&problem).unwrap();
         prop_assert!(s.validation_report(&problem).is_valid());
     }

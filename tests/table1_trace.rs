@@ -140,7 +140,8 @@ fn paper_variants_still_schedule_fig1_validly() {
             PenaltyKind::ExecStdDev,
         ] {
             for insertion in [false, true] {
-                let cfg = HdltsConfig { duplication: dup, penalty: pv, insertion };
+                let cfg =
+                    HdltsConfig { duplication: dup, penalty: pv, insertion, ..HdltsConfig::default() };
                 let s = Hdlts::new(cfg).schedule(&problem).unwrap();
                 s.validate(&problem)
                     .unwrap_or_else(|e| panic!("{dup:?}/{pv:?}/{insertion}: {e}"));
