@@ -10,6 +10,7 @@
 //! hdlts validate --in inst.json --schedule sched.json
 //! hdlts simulate --in inst.json [--jitter 0.2] [--fail P@T]
 //! hdlts stream   --jobs a.json@0,b.json@50 [--procs N] [--fifo]
+//! hdlts serve    [--addr H:P] [--procs 4,8] [--workers N] [--queue-cap N]
 //! hdlts dot      --in inst.json [--out out.dot]
 //! ```
 
@@ -20,8 +21,7 @@ use hdlts_baselines::AlgorithmKind;
 use hdlts_core::{Hdlts, Schedule, Scheduler};
 use hdlts_metrics::MetricSet;
 use hdlts_platform::Platform;
-use hdlts_workloads::{fft, gauss, moldyn, montage, random_dag, CostParams, Instance,
-    RandomDagParams};
+use hdlts_workloads::{CostParams, GeneratorSpec, Instance};
 use std::fs;
 use std::process::ExitCode;
 
@@ -29,10 +29,11 @@ const USAGE: &str = "\
 usage: hdlts <command> [options]
 
 commands:
-  generate <random|fft|montage|moldyn|gauss>   create a workflow instance
+  generate <random|fft|montage|moldyn|gauss|laplace|cybershake|epigenomics|ligo>
       common: --procs N --ccr X --wdag X --beta X --seed N [--consistent] --out FILE
       random: --v N --alpha X --density N --single-source
-      fft: --m N (power of two)    montage: --nodes N    gauss: --m N
+      fft: --m N (power of two)    montage: --nodes N    gauss/laplace: --m N
+      (--size N works for every family)
   import    --in FILE.dot [--procs N --wdag X --beta X --seed N] [--out FILE]
             convert a Graphviz DOT workflow (edge labels = comm costs)
   info      --in FILE                          describe an instance
@@ -44,6 +45,10 @@ commands:
             static replay vs online HDLTS, optional fail-stop failures
   stream    --jobs F1@T1,F2@T2,... [--procs N] [--jitter X] [--fifo]
             dispatch a stream of instance files arriving at given times
+  serve     [--addr HOST:PORT] [--procs P1,P2,...] [--workers N]
+            [--queue-cap N] [--deadline-ms N] [--retain N]
+            run the scheduling daemon (newline-delimited JSON over TCP;
+            drain with Ctrl-C or {\"cmd\":\"shutdown\"})
   dot       --in FILE [--out FILE]             Graphviz export
 
 algorithms: HDLTS HEFT CPOP PETS PEFT SDBATS MinMin DHEFT HDLTS-L HDLTS-D Random";
@@ -88,6 +93,7 @@ fn run(args: &Args) -> Result<(), String> {
         Some("validate") => validate(args),
         Some("simulate") => simulate(args),
         Some("stream") => stream(args),
+        Some("serve") => serve(args),
         Some("dot") => dot(args),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
@@ -116,37 +122,34 @@ fn load_instance(args: &Args) -> Result<Instance, String> {
 
 fn generate(args: &Args) -> Result<(), String> {
     let family = args.positional(1).ok_or("generate needs a workload family")?;
-    let seed: u64 = args.opt_parse("seed", 0u64)?;
     let cp = cost_params(args)?;
-    let inst = match family {
-        "random" => {
-            let params = RandomDagParams {
-                v: args.opt_parse("v", 100usize)?,
-                alpha: args.opt_parse("alpha", 1.0)?,
-                density: args.opt_parse("density", 3usize)?,
-                ccr: cp.ccr,
-                w_dag: cp.w_dag,
-                beta: cp.beta,
-                num_procs: cp.num_procs,
-                single_source: args.switch("single-source"),
-            };
-            random_dag::generate(&params, seed)
-        }
-        "fft" => {
-            let m: usize = args.opt_parse("m", 16usize)?;
-            fft::generate(m, &cp, seed)
-        }
-        "montage" => {
-            let nodes: usize = args.opt_parse("nodes", 50usize)?;
-            montage::generate_approx(nodes, &cp, seed)
-        }
-        "moldyn" => moldyn::generate(&cp, seed),
-        "gauss" => {
-            let m: usize = args.opt_parse("m", 8usize)?;
-            gauss::generate(m, &cp, seed)
-        }
-        other => return Err(format!("unknown workload family '{other}'")),
+    // Same per-family default sizes the CLI has always had; the daemon's
+    // `submit` goes through the identical `GeneratorSpec`, so a CLI
+    // invocation and a service request with the same parameters produce
+    // the same instance.
+    let mut size: usize = match family {
+        "fft" => 16,
+        "montage" => 50,
+        "gauss" | "laplace" => 8,
+        "cybershake" | "epigenomics" | "ligo" => 16,
+        _ => 100,
     };
+    for alias in ["size", "v", "m", "nodes"] {
+        size = args.opt_parse(alias, size)?;
+    }
+    let spec = GeneratorSpec {
+        size,
+        alpha: args.opt_parse("alpha", 1.0)?,
+        density: args.opt_parse("density", 3usize)?,
+        ccr: cp.ccr,
+        w_dag: cp.w_dag,
+        beta: cp.beta,
+        num_procs: cp.num_procs,
+        consistency: cp.consistency,
+        single_source: args.switch("single-source"),
+        seed: args.opt_parse("seed", 0u64)?,
+    };
+    let inst = spec.generate(family)?;
     let json = serde_json::to_string_pretty(&inst).map_err(|e| e.to_string())?;
     let out = args.opt("out");
     args.reject_unknown()?;
@@ -422,6 +425,93 @@ fn stream(args: &Args) -> Result<(), String> {
     );
     Ok(())
 }
+
+fn serve(args: &Args) -> Result<(), String> {
+    use hdlts_service::{Daemon, ServiceConfig, ShardSpec};
+    let addr = args.opt("addr").unwrap_or("127.0.0.1:7151").to_owned();
+    let procs_list = args.opt("procs").unwrap_or("4").to_owned();
+    let workers: usize = args.opt_parse("workers", 2usize)?;
+    let queue_cap: usize = args.opt_parse("queue-cap", 256usize)?;
+    let retain: usize = args.opt_parse("retain", 4096usize)?;
+    let worker_delay_ms: u64 = args.opt_parse("worker-delay-ms", 0u64)?;
+    let default_deadline_ms = match args.opt("deadline-ms") {
+        Some(s) => {
+            Some(s.parse::<u64>().map_err(|_| format!("bad --deadline-ms '{s}'"))?)
+        }
+        None => None,
+    };
+    args.reject_unknown()?;
+    let mut shards = Vec::new();
+    for part in procs_list.split(',') {
+        let p: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("--procs expects a comma list of counts, got '{part}'"))?;
+        shards.push(ShardSpec { procs: p, threads: workers });
+    }
+    let handle = Daemon::start(ServiceConfig {
+        addr,
+        queue_capacity: queue_cap,
+        shards,
+        default_deadline_ms,
+        worker_delay_ms,
+        retain_results: retain,
+    })
+    .map_err(|e| e.to_string())?;
+    install_sigint_flag();
+    eprintln!(
+        "hdlts-service listening on {} ({} worker(s) per shard for {} CPUs; queue capacity {})",
+        handle.addr(),
+        workers,
+        procs_list,
+        queue_cap
+    );
+    eprintln!("drain with Ctrl-C or {{\"cmd\":\"shutdown\"}}");
+    while !sigint_received() && !handle.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("draining: finishing in-flight jobs, rejecting new ones...");
+    let stats = handle.wait();
+    eprintln!(
+        "drained: accepted {}, completed {}, failed {}, expired {}, rejected {} \
+         (service latency p50 {:.2} ms, p99 {:.2} ms)",
+        stats.accepted,
+        stats.completed,
+        stats.failed,
+        stats.expired,
+        stats.rejected,
+        stats.latency_p50_ms,
+        stats.latency_p99_ms
+    );
+    Ok(())
+}
+
+static SIGINT_FLAG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn sigint_received() -> bool {
+    SIGINT_FLAG.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Route SIGINT to a flag the serve loop polls, so Ctrl-C triggers the
+/// same graceful drain as a `shutdown` request instead of killing
+/// in-flight jobs.
+#[cfg(unix)]
+fn install_sigint_flag() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only async-signal-safe work here: a single atomic store.
+        SIGINT_FLAG.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_flag() {}
 
 fn dot(args: &Args) -> Result<(), String> {
     let inst = load_instance(args)?;

@@ -1,0 +1,234 @@
+//! Log-linear latency histogram for service-level percentiles.
+//!
+//! The scheduling daemon (`hdlts-service`) needs p50/p95/p99 service
+//! latency over millions of jobs without storing samples. This is the
+//! classic HDR-style layout: exact counts below [`Self::LINEAR_LIMIT`],
+//! then 64 power-of-two ranges split into [`Self::SUB_BUCKETS`] linear
+//! sub-buckets each, giving a bounded relative error of
+//! `1 / SUB_BUCKETS` (~3%) at any magnitude.
+
+/// Streaming histogram over `u64` samples (canonically nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `counts[bucket_of(v)]` = number of samples mapped to that bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Values below this are counted exactly (one bucket per value).
+    pub const LINEAR_LIMIT: u64 = 64;
+    /// Linear sub-buckets per power-of-two range above the linear zone.
+    pub const SUB_BUCKETS: usize = 32;
+    const NUM_BUCKETS: usize = Self::LINEAR_LIMIT as usize + (64 - 5) * Self::SUB_BUCKETS;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; Self::NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < Self::LINEAR_LIMIT {
+            return v as usize;
+        }
+        // v >= 64 so ilog2(v) >= 6; sub-bucket index is the next 5 bits
+        // below the leading one.
+        let e = v.ilog2() as usize;
+        let sub = ((v >> (e - 5)) & 0x1F) as usize;
+        Self::LINEAR_LIMIT as usize + (e - 6) * Self::SUB_BUCKETS + sub
+    }
+
+    /// Upper bound (inclusive) of the values mapped to `bucket`: the
+    /// reported quantile value, so quantiles never under-estimate.
+    fn bucket_high(bucket: usize) -> u64 {
+        let lin = Self::LINEAR_LIMIT as usize;
+        if bucket < lin {
+            return bucket as u64;
+        }
+        let e = (bucket - lin) / Self::SUB_BUCKETS + 6;
+        let sub = ((bucket - lin) % Self::SUB_BUCKETS) as u64;
+        let width = 1u64 << (e - 5);
+        (1u64 << e) + (sub + 1) * width - 1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another histogram (parallel / per-shard reduction).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (`u64::MAX` when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound of the bucket
+    /// holding the `ceil(q * count)`-th smallest sample, clamped to the
+    /// observed maximum. 0 when empty.
+    ///
+    /// Relative error is bounded by `1 / SUB_BUCKETS` (~3%) for values
+    /// above [`Self::LINEAR_LIMIT`]; exact below it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_high(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(p50, p95, p99)` in one call — the service-stats triple.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10);
+        assert_eq!(h.mean(), 5.5);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        // Geometric sweep over 9 decades.
+        let mut v = 1.0f64;
+        let mut exact = Vec::new();
+        while v < 1e9 {
+            let x = v as u64;
+            h.record(x);
+            exact.push(x);
+            v *= 1.07;
+        }
+        exact.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).max(1);
+            let truth = exact[rank - 1] as f64;
+            let est = h.quantile(q) as f64;
+            // Upper-bound buckets: est >= truth, within 1/SUB_BUCKETS.
+            assert!(est >= truth, "q={q}: {est} < {truth}");
+            assert!(
+                est <= truth * (1.0 + 1.0 / LatencyHistogram::SUB_BUCKETS as f64) + 1.0,
+                "q={q}: {est} too far above {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_round_trip_bounds() {
+        for v in [0u64, 1, 63, 64, 65, 1000, 4096, 1 << 20, u64::MAX / 2] {
+            let b = LatencyHistogram::bucket_of(v);
+            let high = LatencyHistogram::bucket_high(b);
+            assert!(high >= v, "bucket_high({b}) = {high} < {v}");
+            // The bound is tight to ~1/32 relative width.
+            if v >= 64 {
+                assert!(high as f64 <= v as f64 * (1.0 + 1.0 / 16.0));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = (i * 7919) % 100_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 1000);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 13);
+        }
+        let (p50, p95, p99) = h.percentiles();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.max());
+    }
+}

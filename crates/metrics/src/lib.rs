@@ -11,12 +11,15 @@
 //!   duplication-costs-energy claim;
 //! * [`RunningStats`] — numerically stable streaming mean/σ/min/max for
 //!   aggregating the paper's 1000-repetition averages;
+//! * [`LatencyHistogram`] — HDR-style log-linear histogram for the
+//!   scheduling daemon's p50/p95/p99 service-latency stats;
 //! * [`report`] — CSV/Markdown/ASCII-chart rendering of experiment series.
 
 #![warn(missing_docs)]
 
 mod balance;
 mod energy;
+mod histogram;
 mod measures;
 pub mod report;
 mod stats;
@@ -24,5 +27,6 @@ mod svg_chart;
 
 pub use balance::{load_imbalance_cv, load_imbalance_ratio};
 pub use energy::PowerModel;
+pub use histogram::LatencyHistogram;
 pub use measures::{cp_min_bound, efficiency, slr, speedup, MetricSet};
 pub use stats::RunningStats;

@@ -1,0 +1,323 @@
+//! Load generator for the HDLTS scheduling daemon.
+//!
+//! Drives a daemon at a target open-loop rate with a mixed workload
+//! (FFT, Montage, Moldyn, random DAGs), then reports throughput,
+//! acceptance, and service-latency percentiles as `BENCH_service.json`.
+//!
+//! By default it spawns an in-process daemon on an ephemeral port and
+//! drives it over real TCP; `--addr HOST:PORT` targets an already-running
+//! daemon instead (stats are then read over the wire and the daemon is
+//! left running unless `--shutdown` is passed).
+//!
+//! ```text
+//! loadgen [--rate JOBS_PER_SEC] [--duration SECS] [--clients N]
+//!         [--procs P] [--workers N] [--queue-cap N] [--seed S]
+//!         [--out FILE] [--addr HOST:PORT [--shutdown]]
+//! ```
+
+use hdlts_service::json::{obj, Value};
+use hdlts_service::{Daemon, DaemonHandle, ServiceConfig, ShardSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct Options {
+    rate: f64,
+    duration: f64,
+    clients: usize,
+    procs: usize,
+    workers: usize,
+    queue_cap: usize,
+    seed: u64,
+    out: String,
+    addr: Option<String>,
+    shutdown: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            rate: 200.0,
+            duration: 10.0,
+            clients: 4,
+            procs: 4,
+            workers: 4,
+            queue_cap: 256,
+            seed: 1,
+            out: "BENCH_service.json".into(),
+            addr: None,
+            shutdown: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--rate" => opts.rate = num(&value("--rate")?)?,
+            "--duration" => opts.duration = num(&value("--duration")?)?,
+            "--clients" => opts.clients = int(&value("--clients")?)?,
+            "--procs" => opts.procs = int(&value("--procs")?)?,
+            "--workers" => opts.workers = int(&value("--workers")?)?,
+            "--queue-cap" => opts.queue_cap = int(&value("--queue-cap")?)?,
+            "--seed" => opts.seed = int(&value("--seed")?)? as u64,
+            "--out" => opts.out = value("--out")?,
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--shutdown" => opts.shutdown = true,
+            "--help" | "-h" => {
+                println!("usage: loadgen [--rate R] [--duration S] [--clients N] [--procs P] [--workers N] [--queue-cap N] [--seed S] [--out FILE] [--addr HOST:PORT [--shutdown]]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if !(opts.rate > 0.0) || !(opts.duration > 0.0) || opts.clients == 0 {
+        return Err("rate, duration, and clients must be positive".into());
+    }
+    Ok(opts)
+}
+
+fn num(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("invalid number '{s}'"))
+}
+
+fn int(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("invalid integer '{s}'"))
+}
+
+/// The fixed job mix, cycled per submission. Sizes are small enough that
+/// the daemon is queue-bound, not generator-bound.
+fn submit_line(mix_index: u64, procs: usize, seed: u64) -> String {
+    let workload = match mix_index % 4 {
+        0 => format!(r#"{{"family":"fft","m":16,"procs":{procs},"seed":{seed}}}"#),
+        1 => format!(r#"{{"family":"montage","size":50,"procs":{procs},"seed":{seed}}}"#),
+        2 => format!(r#"{{"family":"moldyn","size":30,"procs":{procs},"seed":{seed}}}"#),
+        _ => format!(r#"{{"family":"random","size":100,"procs":{procs},"seed":{seed}}}"#),
+    };
+    format!(r#"{{"cmd":"submit","workload":{workload}}}"#)
+}
+
+#[derive(Default, Clone)]
+struct ClientTally {
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+    errors: u64,
+    retry_after_sum_ms: u64,
+    retry_after_seen: u64,
+}
+
+fn run_client(
+    addr: &str,
+    client_idx: usize,
+    per_client_rate: f64,
+    duration: f64,
+    procs: usize,
+    seed_base: u64,
+) -> std::io::Result<ClientTally> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut tally = ClientTally::default();
+    let interarrival = Duration::from_secs_f64(1.0 / per_client_rate);
+    let start = Instant::now();
+    let end = start + Duration::from_secs_f64(duration);
+    let mut next_send = start;
+    let mut line = String::new();
+    while Instant::now() < end {
+        // Open-loop pacing: each submission has a scheduled instant; we
+        // never slow the offered rate down just because the daemon pushed
+        // back — that is the point of the exercise.
+        let now = Instant::now();
+        if now < next_send {
+            std::thread::sleep(next_send - now);
+        }
+        next_send += interarrival;
+        let n = tally.submitted;
+        let req = submit_line(
+            n.wrapping_add(client_idx as u64),
+            procs,
+            seed_base + n * 1_000 + client_idx as u64,
+        );
+        writer.write_all(req.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        tally.submitted += 1;
+        match Value::parse(line.trim()) {
+            Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(true) => {
+                tally.accepted += 1;
+            }
+            Ok(v) if v.get("error").and_then(Value::as_str) == Some("queue_full") => {
+                tally.rejected += 1;
+                if let Some(ms) = v.get("retry_after_ms").and_then(Value::as_u64) {
+                    tally.retry_after_sum_ms += ms;
+                    tally.retry_after_seen += 1;
+                }
+            }
+            _ => tally.errors += 1,
+        }
+    }
+    Ok(tally)
+}
+
+fn wire_request(addr: &str, req: &str) -> std::io::Result<Value> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writer.write_all(format!("{req}\n").as_bytes())?;
+    writer.flush()?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Value::parse(line.trim()).map_err(|e| std::io::Error::other(e.0))
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Either spawn an in-process daemon or target an external one.
+    let (addr, handle): (String, Option<DaemonHandle>) = match &opts.addr {
+        Some(a) => (a.clone(), None),
+        None => {
+            let handle = Daemon::start(ServiceConfig {
+                addr: "127.0.0.1:0".into(),
+                queue_capacity: opts.queue_cap,
+                shards: vec![ShardSpec { procs: opts.procs, threads: opts.workers }],
+                ..Default::default()
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("loadgen: failed to start daemon: {e}");
+                std::process::exit(1);
+            });
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+    eprintln!(
+        "loadgen: driving {addr} at {} jobs/s for {}s over {} connection(s)",
+        opts.rate, opts.duration, opts.clients
+    );
+
+    let wall_start = Instant::now();
+    let per_client_rate = opts.rate / opts.clients as f64;
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|c| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    run_client(&addr, c, per_client_rate, opts.duration, opts.procs, opts.seed)
+                        .unwrap_or_else(|e| {
+                            eprintln!("loadgen: client {c} failed: {e}");
+                            ClientTally::default()
+                        })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+
+    let submitted: u64 = tallies.iter().map(|t| t.submitted).sum();
+    let accepted: u64 = tallies.iter().map(|t| t.accepted).sum();
+    let rejected: u64 = tallies.iter().map(|t| t.rejected).sum();
+    let errors: u64 = tallies.iter().map(|t| t.errors).sum();
+    let retry_seen: u64 = tallies.iter().map(|t| t.retry_after_seen).sum();
+    let retry_sum: u64 = tallies.iter().map(|t| t.retry_after_sum_ms).sum();
+
+    // Drain and collect final stats.
+    let stats_value = match handle {
+        Some(h) => {
+            let stats = h.wait();
+            assert_eq!(
+                stats.accepted,
+                stats.completed + stats.failed + stats.expired,
+                "graceful drain must leave no admitted job unresolved"
+            );
+            stats.to_value(true)
+        }
+        None => {
+            if opts.shutdown {
+                let _ = wire_request(&addr, r#"{"cmd":"shutdown"}"#);
+            }
+            wire_request(&addr, r#"{"cmd":"stats"}"#).unwrap_or_else(|e| {
+                eprintln!("loadgen: stats query failed: {e}");
+                obj([("ok", false.into())])
+            })
+        }
+    };
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    let completed =
+        stats_value.get("completed").and_then(Value::as_u64).unwrap_or(0);
+    let report = obj([
+        ("bench", "service".into()),
+        (
+            "config",
+            obj([
+                ("rate_target", opts.rate.into()),
+                ("duration_s", opts.duration.into()),
+                ("clients", opts.clients.into()),
+                ("procs", opts.procs.into()),
+                ("workers", opts.workers.into()),
+                ("queue_capacity", opts.queue_cap.into()),
+                ("seed", opts.seed.into()),
+                (
+                    "workload_mix",
+                    Value::Arr(
+                        ["fft(m=16)", "montage(50)", "moldyn(30)", "random(100)"]
+                            .iter()
+                            .map(|&s| s.into())
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "offered",
+            obj([
+                ("submitted", submitted.into()),
+                ("accepted", accepted.into()),
+                ("rejected", rejected.into()),
+                ("protocol_errors", errors.into()),
+                (
+                    "acceptance_ratio",
+                    (if submitted == 0 { 1.0 } else { accepted as f64 / submitted as f64 })
+                        .into(),
+                ),
+                (
+                    "mean_retry_after_ms",
+                    (if retry_seen == 0 { 0.0 } else { retry_sum as f64 / retry_seen as f64 })
+                        .into(),
+                ),
+            ]),
+        ),
+        ("throughput_jobs_per_s", (completed as f64 / wall).into()),
+        ("wall_s", wall.into()),
+        ("daemon", stats_value),
+    ]);
+
+    std::fs::write(&opts.out, format!("{report}\n")).unwrap_or_else(|e| {
+        eprintln!("loadgen: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    println!("{report}");
+    eprintln!("loadgen: wrote {}", opts.out);
+    if errors > 0 {
+        eprintln!("loadgen: {errors} protocol errors");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,719 @@
+//! The scheduling daemon: TCP accept loop, sharded worker pool, graceful
+//! drain.
+//!
+//! ```text
+//!  clients ──TCP──▶ accept loop ──▶ connection threads (parse, admit)
+//!                                         │ try_push (bounded, never blocks)
+//!                                         ▼
+//!                       per-shard Bounded<QueuedJob> queues
+//!                                         │ pop
+//!                                         ▼
+//!                       shard workers (N threads per simulated platform)
+//!                        └─ JobStreamScheduler::execute, exactly the
+//!                           offline path — results are bit-identical
+//! ```
+//!
+//! Shutdown (`{"cmd":"shutdown"}` or the CLI's SIGINT handler) flips
+//! `draining`, closes every queue, and lets workers finish whatever was
+//! admitted; nothing accepted is ever dropped. The accept loop exits once
+//! every worker has drained, and [`DaemonHandle::wait`] joins them all.
+
+use crate::jobs::{JobResult, JobState, JobTable};
+use crate::protocol::{self, parse_request, placements_value, Request, SubmitRequest};
+use crate::json::{obj, Value};
+use crate::queue::{Bounded, Pop, PushError};
+use hdlts_metrics::LatencyHistogram;
+use hdlts_platform::Platform;
+use hdlts_sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel};
+use hdlts_workloads::Instance;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One simulated platform served by the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Processor count of the shard's fully-connected platform.
+    pub procs: usize,
+    /// Scheduling threads dedicated to this shard.
+    pub threads: usize,
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Per-shard admission queue capacity (jobs beyond it are rejected
+    /// with `retry_after_ms`).
+    pub queue_capacity: usize,
+    /// The platforms to serve; a submit is routed to the shard whose
+    /// processor count matches the job.
+    pub shards: Vec<ShardSpec>,
+    /// Default per-job deadline applied when a submit has none. `None`
+    /// means jobs wait indefinitely.
+    pub default_deadline_ms: Option<u64>,
+    /// Artificial delay before each job a worker processes — a throttle
+    /// hook for backpressure tests and drain drills. 0 in production.
+    pub worker_delay_ms: u64,
+    /// Terminal job records retained for `status`/`result` queries.
+    pub retain_results: usize,
+}
+
+impl Default for ServiceConfig {
+    /// One 4-processor shard with two workers on `127.0.0.1:7151`,
+    /// 256-deep queue, 4096 retained results.
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:7151".into(),
+            queue_capacity: 256,
+            shards: vec![ShardSpec { procs: 4, threads: 2 }],
+            default_deadline_ms: None,
+            worker_delay_ms: 0,
+            retain_results: 4096,
+        }
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    instance: Instance,
+    policy: DispatchPolicy,
+    perturb: PerturbModel,
+    failures: FailureSpec,
+    deadline: Option<Instant>,
+    submitted: Instant,
+}
+
+struct Shard {
+    spec: ShardSpec,
+    platform: Platform,
+    queue: Bounded<QueuedJob>,
+    completed: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    shards: Vec<Shard>,
+    draining: AtomicBool,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    expired: AtomicU64,
+    /// Jobs admitted but not yet terminal (queued + running).
+    inflight: AtomicU64,
+    workers_alive: AtomicU64,
+    next_id: AtomicU64,
+    jobs: Mutex<JobTable>,
+    hist: Mutex<LatencyHistogram>,
+}
+
+/// A point-in-time view of the daemon's counters and latency profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs admitted to a queue.
+    pub accepted: u64,
+    /// Submits refused by admission control (`queue_full`).
+    pub rejected: u64,
+    /// Jobs scheduled to completion.
+    pub completed: u64,
+    /// Jobs whose scheduling failed.
+    pub failed: u64,
+    /// Jobs that expired in the queue past their deadline.
+    pub expired: u64,
+    /// Jobs admitted but not yet terminal.
+    pub inflight: u64,
+    /// Current total queue depth across shards.
+    pub queue_depth: usize,
+    /// `(procs, threads, completed)` per shard.
+    pub shards: Vec<(usize, usize, u64)>,
+    /// Completed-job service latency (queue wait + scheduling), ms.
+    pub latency_p50_ms: f64,
+    /// 95th percentile service latency, ms.
+    pub latency_p95_ms: f64,
+    /// 99th percentile service latency, ms.
+    pub latency_p99_ms: f64,
+    /// Mean service latency, ms.
+    pub latency_mean_ms: f64,
+}
+
+impl ServiceStats {
+    /// The `stats` response body (also what `loadgen` serializes into
+    /// `BENCH_service.json`).
+    pub fn to_value(&self, draining: bool) -> Value {
+        obj([
+            ("ok", true.into()),
+            ("draining", draining.into()),
+            ("queue_depth", self.queue_depth.into()),
+            ("accepted", self.accepted.into()),
+            ("rejected", self.rejected.into()),
+            ("completed", self.completed.into()),
+            ("failed", self.failed.into()),
+            ("expired", self.expired.into()),
+            ("inflight", self.inflight.into()),
+            (
+                "latency_ms",
+                obj([
+                    ("p50", self.latency_p50_ms.into()),
+                    ("p95", self.latency_p95_ms.into()),
+                    ("p99", self.latency_p99_ms.into()),
+                    ("mean", self.latency_mean_ms.into()),
+                    ("count", self.completed.into()),
+                ]),
+            ),
+            (
+                "shards",
+                Value::Arr(
+                    self.shards
+                        .iter()
+                        .map(|&(procs, threads, done)| {
+                            obj([
+                                ("procs", procs.into()),
+                                ("threads", threads.into()),
+                                ("completed", done.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Starts a daemon from `cfg`.
+pub struct Daemon;
+
+impl Daemon {
+    /// Binds, spawns shard workers and the accept loop, and returns a
+    /// handle. Fails fast on bad config (unknown bind address, zero
+    /// shards, a shard with zero processors).
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<DaemonHandle> {
+        use std::io::{Error, ErrorKind};
+        if cfg.shards.is_empty() {
+            return Err(Error::new(ErrorKind::InvalidInput, "at least one shard required"));
+        }
+        let mut shards = Vec::with_capacity(cfg.shards.len());
+        for s in &cfg.shards {
+            if s.threads == 0 {
+                return Err(Error::new(
+                    ErrorKind::InvalidInput,
+                    format!("shard with {} procs has zero threads", s.procs),
+                ));
+            }
+            let platform = Platform::fully_connected(s.procs)
+                .map_err(|e| Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+            shards.push(Shard {
+                spec: *s,
+                platform,
+                queue: Bounded::new(cfg.queue_capacity),
+                completed: AtomicU64::new(0),
+            });
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let total_workers: u64 = cfg.shards.iter().map(|s| s.threads as u64).sum();
+        let retain = cfg.retain_results;
+        let shared = Arc::new(Shared {
+            cfg,
+            shards,
+            draining: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            workers_alive: AtomicU64::new(total_workers),
+            next_id: AtomicU64::new(1),
+            jobs: Mutex::new(JobTable::new(retain)),
+            hist: Mutex::new(LatencyHistogram::new()),
+        });
+
+        let mut workers = Vec::new();
+        for shard_idx in 0..shared.shards.len() {
+            for worker_idx in 0..shared.shards[shard_idx].spec.threads {
+                let shared = Arc::clone(&shared);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("hdlts-worker-{shard_idx}-{worker_idx}"))
+                        .spawn(move || worker_loop(&shared, shard_idx))?,
+                );
+            }
+        }
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hdlts-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        Ok(DaemonHandle { addr, shared, accept: Some(accept), workers })
+    }
+}
+
+/// A running daemon: its address, live stats, and the join point for
+/// graceful shutdown.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts the graceful drain, exactly as a `shutdown` request would.
+    pub fn begin_drain(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// Whether the daemon is draining.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// A stats snapshot (also available over the wire via `stats`).
+    pub fn stats(&self) -> ServiceStats {
+        snapshot(&self.shared)
+    }
+
+    /// Drains (if not already draining) and joins every thread; returns
+    /// the final stats. After this returns, every admitted job is
+    /// terminal: `accepted == completed + failed + expired`.
+    pub fn wait(mut self) -> ServiceStats {
+        begin_drain(&self.shared);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        snapshot(&self.shared)
+    }
+}
+
+fn begin_drain(shared: &Shared) {
+    shared.draining.store(true, Ordering::SeqCst);
+    for s in &shared.shards {
+        s.queue.close();
+    }
+}
+
+fn snapshot(shared: &Shared) -> ServiceStats {
+    let hist = shared.hist.lock().expect("histogram poisoned");
+    let (p50, p95, p99) = hist.percentiles();
+    let to_ms = |ns: u64| ns as f64 / 1e6;
+    ServiceStats {
+        accepted: shared.accepted.load(Ordering::SeqCst),
+        rejected: shared.rejected.load(Ordering::SeqCst),
+        completed: shared.completed.load(Ordering::SeqCst),
+        failed: shared.failed.load(Ordering::SeqCst),
+        expired: shared.expired.load(Ordering::SeqCst),
+        inflight: shared.inflight.load(Ordering::SeqCst),
+        queue_depth: shared.shards.iter().map(|s| s.queue.len()).sum(),
+        shards: shared
+            .shards
+            .iter()
+            .map(|s| (s.spec.procs, s.spec.threads, s.completed.load(Ordering::SeqCst)))
+            .collect(),
+        latency_p50_ms: to_ms(p50),
+        latency_p95_ms: to_ms(p95),
+        latency_p99_ms: to_ms(p99),
+        latency_mean_ms: hist.mean() / 1e6,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared, shard_idx: usize) {
+    let shard = &shared.shards[shard_idx];
+    loop {
+        if shared.cfg.worker_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.cfg.worker_delay_ms));
+        }
+        match shard.queue.pop(Duration::from_millis(50)) {
+            Pop::Item(job) => process_job(shared, shard, job),
+            Pop::Empty => continue,
+            Pop::Closed => break,
+        }
+    }
+    shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
+    if let Some(deadline) = job.deadline {
+        if Instant::now() > deadline {
+            set_state(shared, job.id, JobState::Expired);
+            shared.expired.fetch_add(1, Ordering::SeqCst);
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+    }
+    set_state(shared, job.id, JobState::Running);
+
+    // Exactly the offline dispatch path: a single-job stream arriving at
+    // t = 0 on the shard's platform. Anything the offline
+    // `JobStreamScheduler` computes, the daemon reproduces bit-for-bit.
+    let scheduler = JobStreamScheduler { policy: job.policy, ..Default::default() };
+    let arrivals = [JobArrival { instance: job.instance, arrival: 0.0 }];
+    let outcome = scheduler.execute(&shard.platform, &arrivals, &job.perturb, &job.failures);
+    let state = match outcome {
+        Err(e) => {
+            shared.failed.fetch_add(1, Ordering::SeqCst);
+            JobState::Failed(e.to_string())
+        }
+        Ok(out) => {
+            let service_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+            let exec = &out.jobs[0];
+            let instance = &arrivals[0].instance;
+            let (slr, speedup) = match instance.problem(&shard.platform) {
+                Ok(problem) if exec.makespan > 0.0 => (
+                    hdlts_metrics::slr(&problem, exec.makespan),
+                    hdlts_metrics::speedup(&problem, exec.makespan),
+                ),
+                _ => (f64::NAN, f64::NAN),
+            };
+            let latency_ns = (service_ms * 1e6) as u64;
+            shared.hist.lock().expect("histogram poisoned").record(latency_ns);
+            shared.completed.fetch_add(1, Ordering::SeqCst);
+            shard.completed.fetch_add(1, Ordering::SeqCst);
+            JobState::Done(JobResult {
+                makespan: exec.makespan,
+                slr,
+                speedup,
+                placements: exec.placements.clone(),
+                service_ms,
+                aborted_attempts: out.aborted_attempts,
+            })
+        }
+    };
+    set_state(shared, job.id, state);
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn set_state(shared: &Shared, id: u64, state: JobState) {
+    shared.jobs.lock().expect("job table poisoned").set(id, state);
+}
+
+// ---------------------------------------------------------------------------
+// Network side
+// ---------------------------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                // Connection handlers are detached: they exit when the
+                // client hangs up, and the daemon's lifecycle is governed
+                // by the worker drain, not by open connections.
+                let _ = std::thread::Builder::new()
+                    .name("hdlts-conn".into())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.draining.load(Ordering::SeqCst)
+                    && shared.workers_alive.load(Ordering::SeqCst) == 0
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client closed
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(shared, &line);
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn handle_line(shared: &Shared, line: &str) -> Value {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return protocol::resp_error("bad_request", e.0),
+    };
+    match request {
+        Request::Ping => obj([("ok", true.into()), ("pong", true.into())]),
+        Request::Stats => {
+            snapshot(shared).to_value(shared.draining.load(Ordering::SeqCst))
+        }
+        Request::Shutdown => {
+            begin_drain(shared);
+            obj([("ok", true.into()), ("draining", true.into())])
+        }
+        Request::Status { job_id } => {
+            match shared.jobs.lock().expect("job table poisoned").get(job_id) {
+                None => protocol::resp_error("unknown_job", format!("no record of job {job_id}")),
+                Some(state) => obj([
+                    ("ok", true.into()),
+                    ("job_id", job_id.into()),
+                    ("state", state.name().into()),
+                ]),
+            }
+        }
+        Request::Result { job_id } => {
+            let jobs = shared.jobs.lock().expect("job table poisoned");
+            match jobs.get(job_id) {
+                None => protocol::resp_error("unknown_job", format!("no record of job {job_id}")),
+                Some(JobState::Failed(e)) => protocol::resp_error("job_failed", e.clone()),
+                Some(JobState::Expired) => {
+                    protocol::resp_error("expired", "deadline passed while queued")
+                }
+                Some(state @ (JobState::Queued | JobState::Running)) => obj([
+                    ("ok", false.into()),
+                    ("error", "not_ready".into()),
+                    ("state", state.name().into()),
+                ]),
+                Some(JobState::Done(r)) => obj([
+                    ("ok", true.into()),
+                    ("job_id", job_id.into()),
+                    ("state", "done".into()),
+                    ("makespan", r.makespan.into()),
+                    ("slr", r.slr.into()),
+                    ("speedup", r.speedup.into()),
+                    ("service_ms", r.service_ms.into()),
+                    ("aborted_attempts", r.aborted_attempts.into()),
+                    ("placements", placements_value(&r.placements)),
+                ]),
+            }
+        }
+        Request::Submit(submit) => handle_submit(shared, *submit),
+    }
+}
+
+fn handle_submit(shared: &Shared, submit: SubmitRequest) -> Value {
+    if shared.draining.load(Ordering::SeqCst) {
+        return protocol::resp_error("draining", "daemon is shutting down; not accepting jobs");
+    }
+    // Resolve the workload up front so bad parameters fail synchronously.
+    let instance = match submit.job.realize() {
+        Ok(i) => i,
+        Err(e) => return protocol::resp_error("bad_workload", e),
+    };
+    let procs = instance.num_procs();
+    let Some(shard) = shared.shards.iter().find(|s| s.spec.procs == procs) else {
+        let served: Vec<String> =
+            shared.shards.iter().map(|s| s.spec.procs.to_string()).collect();
+        return protocol::resp_error(
+            "no_shard",
+            format!("no shard serves {procs}-processor jobs (shards: {})", served.join(", ")),
+        );
+    };
+    let deadline_ms = submit.deadline_ms.or(shared.cfg.default_deadline_ms);
+    let now = Instant::now();
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let job = QueuedJob {
+        id,
+        instance,
+        policy: submit.policy,
+        perturb: submit.perturb,
+        failures: submit.failures,
+        deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+        submitted: now,
+    };
+    // Register before pushing so a fast worker can't observe an unknown id;
+    // roll back if admission refuses the job.
+    shared.jobs.lock().expect("job table poisoned").insert_queued(id);
+    shared.inflight.fetch_add(1, Ordering::SeqCst);
+    match shard.queue.try_push(job) {
+        Ok(()) => {
+            shared.accepted.fetch_add(1, Ordering::SeqCst);
+            protocol::resp_submitted(id, shard.queue.len())
+        }
+        Err(refused) => {
+            shared.jobs.lock().expect("job table poisoned").remove(id);
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            match refused {
+                PushError::Full(_) => {
+                    shared.rejected.fetch_add(1, Ordering::SeqCst);
+                    protocol::resp_queue_full(retry_after_ms(shared, shard))
+                }
+                PushError::Closed(_) => {
+                    protocol::resp_error("draining", "daemon is shutting down; not accepting jobs")
+                }
+            }
+        }
+    }
+}
+
+/// Retry hint for a rejected submit: the time for this shard's workers to
+/// chew through the current backlog, estimated from the observed mean
+/// service latency. Clamped to [10 ms, 10 s]; 50 ms before any job has
+/// completed.
+fn retry_after_ms(shared: &Shared, shard: &Shard) -> u64 {
+    let hist = shared.hist.lock().expect("histogram poisoned");
+    let base = if hist.count() == 0 { 50.0 } else { hist.mean() / 1e6 };
+    let backlog_rounds =
+        (shard.queue.len() as f64 / shard.spec.threads as f64).ceil().max(1.0);
+    ((base * backlog_rounds) as u64).clamp(10, 10_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn connect(handle: &DaemonHandle) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        (BufReader::new(stream.try_clone().unwrap()), stream)
+    }
+
+    fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, req: &str) -> Value {
+        writer.write_all(format!("{req}\n").as_bytes()).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        Value::parse(line.trim()).unwrap()
+    }
+
+    fn ephemeral_config() -> ServiceConfig {
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: 16,
+            shards: vec![ShardSpec { procs: 4, threads: 2 }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ping_stats_and_unknown_job() {
+        let handle = Daemon::start(ephemeral_config()).unwrap();
+        let (mut r, mut w) = connect(&handle);
+        let pong = roundtrip(&mut r, &mut w, r#"{"cmd":"ping"}"#);
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+        let stats = roundtrip(&mut r, &mut w, r#"{"cmd":"stats"}"#);
+        assert_eq!(stats.get("accepted").unwrap().as_u64(), Some(0));
+        assert_eq!(stats.get("draining").unwrap().as_bool(), Some(false));
+        let unknown = roundtrip(&mut r, &mut w, r#"{"cmd":"status","job_id":99}"#);
+        assert_eq!(unknown.get("error").unwrap().as_str(), Some("unknown_job"));
+        let bad = roundtrip(&mut r, &mut w, "garbage");
+        assert_eq!(bad.get("error").unwrap().as_str(), Some("bad_request"));
+        handle.wait();
+    }
+
+    #[test]
+    fn submit_runs_to_done_and_drains_cleanly() {
+        let handle = Daemon::start(ephemeral_config()).unwrap();
+        let (mut r, mut w) = connect(&handle);
+        let resp = roundtrip(
+            &mut r,
+            &mut w,
+            r#"{"cmd":"submit","workload":{"family":"fft","m":8,"procs":4,"seed":1}}"#,
+        );
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        let id = resp.get("job_id").unwrap().as_u64().unwrap();
+        // Poll until terminal.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let result = loop {
+            assert!(Instant::now() < deadline, "job never finished");
+            let res =
+                roundtrip(&mut r, &mut w, &format!(r#"{{"cmd":"result","job_id":{id}}}"#));
+            if res.get("ok").unwrap().as_bool() == Some(true) {
+                break res;
+            }
+            assert_eq!(res.get("error").unwrap().as_str(), Some("not_ready"), "{res}");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(result.get("makespan").unwrap().as_f64().unwrap() > 0.0);
+        assert!(result.get("slr").unwrap().as_f64().unwrap() >= 1.0);
+        let shutdown = roundtrip(&mut r, &mut w, r#"{"cmd":"shutdown"}"#);
+        assert_eq!(shutdown.get("draining").unwrap().as_bool(), Some(true));
+        let stats = handle.wait();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.inflight, 0);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn submit_to_missing_shard_is_rejected() {
+        let handle = Daemon::start(ephemeral_config()).unwrap();
+        let (mut r, mut w) = connect(&handle);
+        let resp = roundtrip(
+            &mut r,
+            &mut w,
+            r#"{"cmd":"submit","workload":{"family":"fft","m":8,"procs":6}}"#,
+        );
+        assert_eq!(resp.get("error").unwrap().as_str(), Some("no_shard"));
+        let resp = roundtrip(
+            &mut r,
+            &mut w,
+            r#"{"cmd":"submit","workload":{"family":"fft","m":7,"procs":4}}"#,
+        );
+        assert_eq!(resp.get("error").unwrap().as_str(), Some("bad_workload"));
+        let stats = handle.wait();
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.rejected, 0, "structural rejects are not queue_full");
+    }
+
+    #[test]
+    fn draining_daemon_rejects_new_submits() {
+        let handle = Daemon::start(ephemeral_config()).unwrap();
+        let (mut r, mut w) = connect(&handle);
+        roundtrip(&mut r, &mut w, r#"{"cmd":"shutdown"}"#);
+        let resp = roundtrip(
+            &mut r,
+            &mut w,
+            r#"{"cmd":"submit","workload":{"family":"moldyn","procs":4}}"#,
+        );
+        assert_eq!(resp.get("error").unwrap().as_str(), Some("draining"));
+        handle.wait();
+    }
+
+    #[test]
+    fn config_validation_fails_fast() {
+        assert!(Daemon::start(ServiceConfig {
+            shards: vec![],
+            addr: "127.0.0.1:0".into(),
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Daemon::start(ServiceConfig {
+            shards: vec![ShardSpec { procs: 4, threads: 0 }],
+            addr: "127.0.0.1:0".into(),
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Daemon::start(ServiceConfig {
+            shards: vec![ShardSpec { procs: 0, threads: 1 }],
+            addr: "127.0.0.1:0".into(),
+            ..Default::default()
+        })
+        .is_err());
+    }
+}

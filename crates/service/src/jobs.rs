@@ -1,0 +1,174 @@
+//! Job lifecycle records and the bounded result store.
+
+use hdlts_platform::ProcId;
+use std::collections::{HashMap, VecDeque};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Admitted, waiting in a shard queue.
+    Queued,
+    /// A worker is scheduling it.
+    Running,
+    /// Finished; result available.
+    Done(JobResult),
+    /// Its deadline passed while it waited in the queue; never scheduled.
+    Expired,
+    /// Scheduling failed (invalid instance, platform error, ...).
+    Failed(String),
+}
+
+impl JobState {
+    /// The wire spelling of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Expired => "expired",
+            JobState::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether the job has left the queue/worker pipeline.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Expired | JobState::Failed(_))
+    }
+}
+
+/// The completed schedule of one job, plus its service-level metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Makespan of the produced schedule (bit-identical to the offline
+    /// `JobStreamScheduler` result for the same request).
+    pub makespan: f64,
+    /// Scheduling Length Ratio of the schedule.
+    pub slr: f64,
+    /// Speedup over the best sequential execution.
+    pub speedup: f64,
+    /// `(proc, start, finish)` per task, indexed by task id.
+    pub placements: Vec<(ProcId, f64, f64)>,
+    /// Wall-clock service latency (queue wait + scheduling), milliseconds.
+    pub service_ms: f64,
+    /// Task attempts aborted by injected processor failures.
+    pub aborted_attempts: usize,
+}
+
+/// In-memory job table with FIFO eviction of terminal records.
+///
+/// Live (queued/running) jobs are never evicted — they are bounded by the
+/// admission queue, not by this table. Terminal records are kept for
+/// `retain` completed jobs so `result`/`status` queries work after the
+/// fact without unbounded growth under sustained traffic.
+#[derive(Debug)]
+pub struct JobTable {
+    states: HashMap<u64, JobState>,
+    terminal_order: VecDeque<u64>,
+    retain: usize,
+}
+
+impl JobTable {
+    /// A table retaining at most `retain` terminal records (at least 1).
+    pub fn new(retain: usize) -> Self {
+        assert!(retain >= 1, "retention must be at least 1");
+        JobTable { states: HashMap::new(), terminal_order: VecDeque::new(), retain }
+    }
+
+    /// Registers a newly admitted job.
+    pub fn insert_queued(&mut self, id: u64) {
+        self.states.insert(id, JobState::Queued);
+    }
+
+    /// Transitions a job to a new state, evicting the oldest terminal
+    /// record if the retention bound is exceeded.
+    pub fn set(&mut self, id: u64, state: JobState) {
+        let terminal = state.is_terminal();
+        self.states.insert(id, state);
+        if terminal {
+            self.terminal_order.push_back(id);
+            while self.terminal_order.len() > self.retain {
+                let evict = self.terminal_order.pop_front().expect("non-empty");
+                self.states.remove(&evict);
+            }
+        }
+    }
+
+    /// Withdraws a job record entirely — used to roll back a registration
+    /// whose admission push was refused.
+    pub fn remove(&mut self, id: u64) {
+        self.states.remove(&id);
+    }
+
+    /// The state of `id`, if known (evicted or never-admitted ids are
+    /// `None`).
+    pub fn get(&self, id: u64) -> Option<&JobState> {
+        self.states.get(&id)
+    }
+
+    /// Number of records currently held (live + retained terminal).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the table holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done() -> JobState {
+        JobState::Done(JobResult {
+            makespan: 1.0,
+            slr: 1.0,
+            speedup: 1.0,
+            placements: vec![],
+            service_ms: 0.5,
+            aborted_attempts: 0,
+        })
+    }
+
+    #[test]
+    fn lifecycle_and_lookup() {
+        let mut t = JobTable::new(10);
+        t.insert_queued(1);
+        assert_eq!(t.get(1).unwrap().name(), "queued");
+        t.set(1, JobState::Running);
+        assert_eq!(t.get(1).unwrap().name(), "running");
+        assert!(!t.get(1).unwrap().is_terminal());
+        t.set(1, done());
+        assert!(t.get(1).unwrap().is_terminal());
+        assert!(t.get(2).is_none());
+    }
+
+    #[test]
+    fn terminal_records_evict_fifo() {
+        let mut t = JobTable::new(3);
+        for id in 0..5u64 {
+            t.insert_queued(id);
+            t.set(id, done());
+        }
+        assert!(t.get(0).is_none(), "oldest should be evicted");
+        assert!(t.get(1).is_none());
+        for id in 2..5u64 {
+            assert!(t.get(id).is_some(), "job {id} should be retained");
+        }
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn live_jobs_are_never_evicted() {
+        let mut t = JobTable::new(1);
+        t.insert_queued(100); // stays live
+        for id in 0..4u64 {
+            t.insert_queued(id);
+            t.set(id, JobState::Failed("x".into()));
+        }
+        assert_eq!(t.get(100), Some(&JobState::Queued));
+        assert!(t.get(3).is_some(), "newest terminal retained");
+        assert!(t.get(0).is_none());
+    }
+}

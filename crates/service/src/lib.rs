@@ -1,0 +1,46 @@
+//! `hdlts-service` — a long-running scheduling daemon for HDLTS workflows.
+//!
+//! The crate turns the offline [`hdlts_sim::JobStreamScheduler`] into a
+//! network service: clients submit workflow jobs over a newline-delimited
+//! JSON protocol on TCP, a bounded admission queue applies backpressure
+//! (`queue_full` + `retry_after_ms`, never unbounded buffering), and a
+//! sharded worker pool — one shard per simulated platform, N threads per
+//! shard — schedules each job through exactly the offline dispatch path,
+//! so daemon results are bit-identical to `JobStreamScheduler::execute`.
+//!
+//! Built on `std::net` and `std::thread` only: no async runtime, and the
+//! wire codec ([`json`]) is self-contained so the daemon runs with zero
+//! additional dependencies.
+//!
+//! # Wire protocol
+//!
+//! One JSON object per line, one response line per request:
+//!
+//! ```text
+//! → {"cmd":"submit","workload":{"family":"fft","m":16,"procs":4,"seed":7}}
+//! ← {"ok":true,"job_id":1,"queue_depth":1}
+//! → {"cmd":"result","job_id":1}
+//! ← {"ok":true,"job_id":1,"state":"done","makespan":…,"slr":…,…}
+//! → {"cmd":"stats"}
+//! ← {"ok":true,"queue_depth":0,"accepted":1,…,"latency_ms":{…}}
+//! → {"cmd":"shutdown"}
+//! ← {"ok":true,"draining":true}
+//! ```
+//!
+//! `submit` also takes an inline DAG (`"instance":{"name":…,"dag":…,
+//! "costs":…}` in the workspace serde layout), a `policy` (`"pv"` or
+//! `"fifo"`), `jitter`/`failures` injection, and a `deadline_ms` after
+//! which a still-queued job expires. See `DESIGN.md` for the full
+//! protocol reference.
+
+pub mod daemon;
+pub mod jobs;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+
+pub use daemon::{Daemon, DaemonHandle, ServiceConfig, ServiceStats, ShardSpec};
+pub use jobs::{JobResult, JobState, JobTable};
+pub use json::{JsonError, Value};
+pub use protocol::{parse_request, JobSpec, Request, SubmitRequest};
+pub use queue::{Bounded, Pop, PushError};

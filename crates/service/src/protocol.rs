@@ -1,0 +1,464 @@
+//! Wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, over a plain TCP
+//! connection. Every response carries `"ok": true|false`; failures add
+//! `"error"` (a stable machine-readable tag) and usually a human
+//! `"detail"`. See DESIGN.md "Service architecture" for the full grammar
+//! with examples.
+//!
+//! Inline instances use exactly the serde representation the rest of the
+//! workspace writes (`hdlts generate --out job.json` output can be pasted
+//! into a `submit` verbatim): `{"name", "dag": {"tasks", "edges"},
+//! "costs": {"rows"}}`. All invariants (acyclicity, cost validity,
+//! dimensions) are re-checked on parse, matching `dag::serde_repr`.
+
+use crate::json::{obj, JsonError, Value};
+use hdlts_dag::{DagBuilder, TaskId};
+use hdlts_platform::{CostMatrix, ProcId};
+use hdlts_sim::{DispatchPolicy, FailureSpec, PerturbModel};
+use hdlts_workloads::{GeneratorSpec, Instance};
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Enqueue a job.
+    Submit(Box<SubmitRequest>),
+    /// Query a job's lifecycle state.
+    Status {
+        /// Id returned by the submit response.
+        job_id: u64,
+    },
+    /// Fetch a completed job's schedule and metrics.
+    Result {
+        /// Id returned by the submit response.
+        job_id: u64,
+    },
+    /// Daemon-wide counters and latency percentiles.
+    Stats,
+    /// Begin graceful drain: finish in-flight jobs, reject new ones.
+    Shutdown,
+    /// Liveness check.
+    Ping,
+}
+
+/// What to schedule and under which simulated reality.
+#[derive(Debug, Clone)]
+pub struct SubmitRequest {
+    /// The workflow, by name or inline.
+    pub job: JobSpec,
+    /// Ready-set prioritization for the dispatcher.
+    pub policy: DispatchPolicy,
+    /// Runtime jitter model applied during simulated execution.
+    pub perturb: PerturbModel,
+    /// Fail-stop processor failures to inject.
+    pub failures: FailureSpec,
+    /// Per-job deadline: if the job is still queued this many ms after
+    /// admission, it expires unscheduled. `None` uses the daemon default.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A workflow job: a named generator invocation or an inline instance.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// `{"workload": {"family": "fft", ...}}` — the daemon generates the
+    /// instance via [`GeneratorSpec`].
+    Named {
+        /// Family name (see [`hdlts_workloads::FAMILIES`]).
+        family: String,
+        /// Generator parameters.
+        spec: GeneratorSpec,
+    },
+    /// `{"instance": {...}}` — a complete instance shipped over the wire.
+    Inline(Box<Instance>),
+}
+
+impl JobSpec {
+    /// Resolves the spec into a concrete instance.
+    pub fn realize(&self) -> Result<Instance, String> {
+        match self {
+            JobSpec::Named { family, spec } => spec.generate(family),
+            JobSpec::Inline(inst) => Ok((**inst).clone()),
+        }
+    }
+}
+
+fn bad<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, JsonError> {
+    let v = Value::parse(line)?;
+    let cmd = v
+        .req("cmd")?
+        .as_str()
+        .ok_or(JsonError("'cmd' must be a string".into()))?;
+    match cmd {
+        "submit" => Ok(Request::Submit(Box::new(parse_submit(&v)?))),
+        "status" => Ok(Request::Status { job_id: job_id_of(&v)? }),
+        "result" => Ok(Request::Result { job_id: job_id_of(&v)? }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "ping" => Ok(Request::Ping),
+        other => bad(format!(
+            "unknown cmd '{other}' (submit|status|result|stats|shutdown|ping)"
+        )),
+    }
+}
+
+fn job_id_of(v: &Value) -> Result<u64, JsonError> {
+    v.req("job_id")?
+        .as_u64()
+        .ok_or(JsonError("'job_id' must be a non-negative integer".into()))
+}
+
+fn f64_field(v: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_f64()
+            .ok_or(JsonError(format!("'{key}' must be a number"))),
+    }
+}
+
+fn u64_field(v: &Value, key: &str, default: u64) -> Result<u64, JsonError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .ok_or(JsonError(format!("'{key}' must be a non-negative integer"))),
+    }
+}
+
+fn parse_submit(v: &Value) -> Result<SubmitRequest, JsonError> {
+    let job = match (v.get("workload"), v.get("instance")) {
+        (Some(w), None) => parse_workload(w)?,
+        (None, Some(i)) => JobSpec::Inline(Box::new(parse_instance(i)?)),
+        (Some(_), Some(_)) => {
+            return bad("submit takes 'workload' or 'instance', not both")
+        }
+        (None, None) => return bad("submit requires 'workload' or 'instance'"),
+    };
+
+    let policy = match v.get("policy") {
+        None => DispatchPolicy::default(),
+        Some(p) => p
+            .as_str()
+            .ok_or(JsonError("'policy' must be a string".into()))?
+            .parse()
+            .map_err(JsonError)?,
+    };
+
+    let jitter = f64_field(v, "jitter", 0.0)?;
+    let exec_jitter = f64_field(v, "exec_jitter", jitter)?;
+    let comm_jitter = f64_field(v, "comm_jitter", jitter)?;
+    for (name, j) in [("exec_jitter", exec_jitter), ("comm_jitter", comm_jitter)] {
+        if !(0.0..1.0).contains(&j) {
+            return bad(format!("'{name}' must lie in [0, 1), got {j}"));
+        }
+    }
+    let perturb = PerturbModel {
+        exec_jitter,
+        comm_jitter,
+        seed: u64_field(v, "jitter_seed", 0)?,
+    };
+
+    let mut failures = FailureSpec::none();
+    if let Some(list) = v.get("failures") {
+        let items = list
+            .as_arr()
+            .ok_or(JsonError("'failures' must be an array of [proc, time]".into()))?;
+        for item in items {
+            let pair = item
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or(JsonError("each failure must be [proc, time]".into()))?;
+            let p = pair[0]
+                .as_u64()
+                .ok_or(JsonError("failure proc must be a non-negative integer".into()))?;
+            let t = pair[1]
+                .as_f64()
+                .ok_or(JsonError("failure time must be a number".into()))?;
+            if !(t.is_finite() && t >= 0.0) {
+                return bad(format!("failure time must be finite and >= 0, got {t}"));
+            }
+            failures = failures.with_failure(ProcId(p as u32), t);
+        }
+    }
+
+    let deadline_ms = match v.get("deadline_ms") {
+        None => None,
+        Some(x) => Some(
+            x.as_u64()
+                .ok_or(JsonError("'deadline_ms' must be a non-negative integer".into()))?,
+        ),
+    };
+
+    Ok(SubmitRequest { job, policy, perturb, failures, deadline_ms })
+}
+
+fn parse_workload(w: &Value) -> Result<JobSpec, JsonError> {
+    let family = w
+        .req("family")?
+        .as_str()
+        .ok_or(JsonError("'family' must be a string".into()))?
+        .to_owned();
+    let d = GeneratorSpec::default();
+    // `size` is canonical; `m`, `v`, and `nodes` are accepted aliases so
+    // requests read naturally per family.
+    let mut size = d.size;
+    for key in ["size", "m", "v", "nodes"] {
+        if let Some(x) = w.get(key) {
+            size = x
+                .as_u64()
+                .ok_or(JsonError(format!("'{key}' must be a non-negative integer")))?
+                as usize;
+        }
+    }
+    let spec = GeneratorSpec {
+        size,
+        alpha: f64_field(w, "alpha", d.alpha)?,
+        density: u64_field(w, "density", d.density as u64)? as usize,
+        ccr: f64_field(w, "ccr", d.ccr)?,
+        w_dag: f64_field(w, "w_dag", d.w_dag)?,
+        beta: f64_field(w, "beta", d.beta)?,
+        num_procs: u64_field(w, "procs", d.num_procs as u64)? as usize,
+        consistency: if w.get("consistent").and_then(Value::as_bool).unwrap_or(false) {
+            hdlts_workloads::Consistency::Consistent
+        } else {
+            hdlts_workloads::Consistency::Inconsistent
+        },
+        single_source: w.get("single_source").and_then(Value::as_bool).unwrap_or(false),
+        seed: u64_field(w, "seed", 0)?,
+    };
+    Ok(JobSpec::Named { family, spec })
+}
+
+/// Parses an instance in the workspace serde layout, re-validating every
+/// structural invariant.
+pub fn parse_instance(v: &Value) -> Result<Instance, JsonError> {
+    let name = v
+        .req("name")?
+        .as_str()
+        .ok_or(JsonError("instance 'name' must be a string".into()))?
+        .to_owned();
+    let dag_v = v.req("dag")?;
+    let tasks = dag_v
+        .req("tasks")?
+        .as_arr()
+        .ok_or(JsonError("'dag.tasks' must be an array of names".into()))?;
+    let edges = dag_v
+        .req("edges")?
+        .as_arr()
+        .ok_or(JsonError("'dag.edges' must be an array of [src, dst, cost]".into()))?;
+    let mut b = DagBuilder::with_capacity(tasks.len(), edges.len());
+    for t in tasks {
+        b.add_task(
+            t.as_str()
+                .ok_or(JsonError("task names must be strings".into()))?,
+        );
+    }
+    for e in edges {
+        let triple = e
+            .as_arr()
+            .filter(|a| a.len() == 3)
+            .ok_or(JsonError("each edge must be [src, dst, cost]".into()))?;
+        let s = triple[0]
+            .as_u64()
+            .ok_or(JsonError("edge src must be a task index".into()))?;
+        let dst = triple[1]
+            .as_u64()
+            .ok_or(JsonError("edge dst must be a task index".into()))?;
+        let c = triple[2]
+            .as_f64()
+            .ok_or(JsonError("edge cost must be a number".into()))?;
+        b.add_edge(TaskId(s as u32), TaskId(dst as u32), c)
+            .map_err(|e| JsonError(e.to_string()))?;
+    }
+    let dag = b.build().map_err(|e| JsonError(e.to_string()))?;
+
+    let rows_v = v
+        .req("costs")?
+        .req("rows")?
+        .as_arr()
+        .ok_or(JsonError("'costs.rows' must be an array of arrays".into()))?;
+    let mut rows = Vec::with_capacity(rows_v.len());
+    for r in rows_v {
+        let row = r
+            .as_arr()
+            .ok_or(JsonError("each cost row must be an array".into()))?;
+        rows.push(
+            row.iter()
+                .map(|x| x.as_f64().ok_or(JsonError("costs must be numbers".into())))
+                .collect::<Result<Vec<f64>, _>>()?,
+        );
+    }
+    let costs = CostMatrix::from_rows(rows).map_err(|e| JsonError(e.to_string()))?;
+    if costs.num_tasks() != dag.num_tasks() {
+        return bad(format!(
+            "cost matrix has {} rows but the dag has {} tasks",
+            costs.num_tasks(),
+            dag.num_tasks()
+        ));
+    }
+    Ok(Instance { name, dag, costs })
+}
+
+// ---------------------------------------------------------------------------
+// Response builders
+// ---------------------------------------------------------------------------
+
+/// `submit` accepted.
+pub fn resp_submitted(job_id: u64, queue_depth: usize) -> Value {
+    obj([
+        ("ok", true.into()),
+        ("job_id", job_id.into()),
+        ("queue_depth", queue_depth.into()),
+    ])
+}
+
+/// `submit` rejected by admission control; retry after the given delay.
+pub fn resp_queue_full(retry_after_ms: u64) -> Value {
+    obj([
+        ("ok", false.into()),
+        ("error", "queue_full".into()),
+        ("retry_after_ms", retry_after_ms.into()),
+    ])
+}
+
+/// Any other failure: a stable `error` tag plus human detail.
+pub fn resp_error(tag: &str, detail: impl Into<String>) -> Value {
+    obj([
+        ("ok", false.into()),
+        ("error", tag.into()),
+        ("detail", detail.into().into()),
+    ])
+}
+
+/// A job's placements as `[[proc, start, finish], ...]`.
+pub fn placements_value(placements: &[(ProcId, f64, f64)]) -> Value {
+    Value::Arr(
+        placements
+            .iter()
+            .map(|&(p, s, f)| {
+                Value::Arr(vec![(p.0 as u64).into(), s.into(), f.into()])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert!(matches!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats));
+        assert!(matches!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown));
+        assert!(matches!(parse_request(r#"{"cmd":"ping"}"#).unwrap(), Request::Ping));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"status","job_id":7}"#).unwrap(),
+            Request::Status { job_id: 7 }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"result","job_id":0}"#).unwrap(),
+            Request::Result { job_id: 0 }
+        ));
+        assert!(parse_request(r#"{"cmd":"nope"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"status"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn submit_named_workload_with_defaults() {
+        let r = parse_request(r#"{"cmd":"submit","workload":{"family":"fft","m":8,"procs":4,"seed":3}}"#)
+            .unwrap();
+        let Request::Submit(s) = r else { panic!("not a submit") };
+        let JobSpec::Named { family, spec } = &s.job else { panic!("not named") };
+        assert_eq!(family, "fft");
+        assert_eq!(spec.size, 8);
+        assert_eq!(spec.num_procs, 4);
+        assert_eq!(spec.seed, 3);
+        assert_eq!(s.policy, DispatchPolicy::PenaltyValue);
+        assert_eq!(s.perturb, PerturbModel::exact());
+        assert!(s.failures.events().is_empty());
+        assert_eq!(s.deadline_ms, None);
+        // The named spec actually generates.
+        let inst = s.job.realize().unwrap();
+        assert_eq!(inst.num_procs(), 4);
+    }
+
+    #[test]
+    fn submit_with_scenario_options() {
+        let line = r#"{"cmd":"submit","workload":{"family":"moldyn"},"policy":"fifo",
+            "jitter":0.2,"jitter_seed":9,"failures":[[1,50.5],[0,10]],"deadline_ms":2000}"#
+            .replace('\n', " ");
+        let Request::Submit(s) = parse_request(&line).unwrap() else { panic!() };
+        assert_eq!(s.policy, DispatchPolicy::Fifo);
+        assert_eq!(s.perturb, PerturbModel::uniform(0.2, 9));
+        assert_eq!(s.failures.events(), &[(ProcId(0), 10.0), (ProcId(1), 50.5)]);
+        assert_eq!(s.deadline_ms, Some(2000));
+    }
+
+    #[test]
+    fn submit_rejects_bad_scenarios() {
+        for bad_line in [
+            r#"{"cmd":"submit"}"#,
+            r#"{"cmd":"submit","workload":{"family":"fft"},"instance":{"name":"x"}}"#,
+            r#"{"cmd":"submit","workload":{"family":"fft"},"jitter":1.5}"#,
+            r#"{"cmd":"submit","workload":{"family":"fft"},"policy":"lifo"}"#,
+            r#"{"cmd":"submit","workload":{"family":"fft"},"failures":[[0,-3]]}"#,
+            r#"{"cmd":"submit","workload":{"family":"fft"},"failures":[[0]]}"#,
+            r#"{"cmd":"submit","workload":{}}"#,
+        ] {
+            assert!(parse_request(bad_line).is_err(), "accepted: {bad_line}");
+        }
+    }
+
+    #[test]
+    fn inline_instance_round_trips_through_the_serde_layout() {
+        let line = r#"{"cmd":"submit","instance":{"name":"tiny",
+            "dag":{"tasks":["a","b","c"],"edges":[[0,1,2.5],[0,2,1.0],[1,2,0.0]]},
+            "costs":{"rows":[[1,2],[3,4],[5,6]]}}}"#
+            .replace('\n', " ");
+        let Request::Submit(s) = parse_request(&line).unwrap() else { panic!() };
+        let inst = s.job.realize().unwrap();
+        assert_eq!(inst.name, "tiny");
+        assert_eq!(inst.num_tasks(), 3);
+        assert_eq!(inst.num_procs(), 2);
+        assert_eq!(inst.dag.comm(TaskId(0), TaskId(1)), Some(2.5));
+        assert_eq!(inst.costs.row(TaskId(2)), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn inline_instance_invariants_are_rechecked() {
+        // Cycle.
+        let cyclic = r#"{"cmd":"submit","instance":{"name":"x",
+            "dag":{"tasks":["a","b"],"edges":[[0,1,1.0],[1,0,1.0]]},
+            "costs":{"rows":[[1],[1]]}}}"#
+            .replace('\n', " ");
+        assert!(parse_request(&cyclic).is_err());
+        // Dimension mismatch between dag and cost matrix.
+        let mismatched = r#"{"cmd":"submit","instance":{"name":"x",
+            "dag":{"tasks":["a","b"],"edges":[[0,1,1.0]]},
+            "costs":{"rows":[[1,1]]}}}"#
+            .replace('\n', " ");
+        assert!(parse_request(&mismatched).is_err());
+    }
+
+    #[test]
+    fn response_builders_emit_stable_json() {
+        assert_eq!(
+            resp_submitted(3, 2).to_string(),
+            r#"{"ok":true,"job_id":3,"queue_depth":2}"#
+        );
+        assert_eq!(
+            resp_queue_full(250).to_string(),
+            r#"{"ok":false,"error":"queue_full","retry_after_ms":250}"#
+        );
+        let v = resp_error("no_shard", "no shard for 3 processors");
+        assert_eq!(v.get("error").unwrap().as_str(), Some("no_shard"));
+        let p = placements_value(&[(ProcId(1), 0.0, 2.5)]);
+        assert_eq!(p.to_string(), "[[1,0,2.5]]");
+    }
+}

@@ -1,0 +1,241 @@
+//! Bounded MPMC job queue with admission control and drain semantics.
+//!
+//! The daemon's backpressure contract lives here: [`Bounded::try_push`]
+//! never blocks and never grows past capacity — a full queue is an
+//! immediate [`PushError::Full`], which the protocol layer turns into a
+//! `queue_full` + `retry_after_ms` rejection. Consumers block on
+//! [`Bounded::pop`] with a timeout. [`Bounded::close`] starts a graceful
+//! drain: new pushes are refused, but pops keep returning queued items
+//! until the queue is empty, then report [`Pop::Closed`] so workers can
+//! exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused. The rejected item is handed back so the caller
+/// can report on it without cloning.
+#[derive(Debug, PartialEq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — retry later.
+    Full(T),
+    /// The queue is draining for shutdown — do not retry.
+    Closed(T),
+}
+
+/// Result of a timed pop.
+#[derive(Debug, PartialEq)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue open but empty.
+    Empty,
+    /// The queue is closed and fully drained; the consumer should exit.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue (mutex + condvar; the
+/// daemon's throughput ceiling is the scheduling kernel, not the lock).
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        Bounded {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`Bounded::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue poisoned").closed
+    }
+
+    /// Non-blocking admission: enqueues `item` unless the queue is full or
+    /// closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking consume: waits up to `timeout` for an item. Items still
+    /// queued when the queue closes are drained before [`Pop::Closed`] is
+    /// reported — closing never drops work.
+    pub fn pop(&self, timeout: Duration) -> Pop<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            let (guard, result) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .expect("queue poisoned");
+            inner = guard;
+            if result.timed_out() {
+                return match inner.items.pop_front() {
+                    Some(item) => Pop::Item(item),
+                    None if inner.closed => Pop::Closed,
+                    None => Pop::Empty,
+                };
+            }
+        }
+    }
+
+    /// Starts the drain: refuses new pushes, wakes all waiting consumers.
+    /// Idempotent.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const TICK: Duration = Duration::from_millis(20);
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = Bounded::new(3);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(TICK), Pop::Item(1));
+        assert_eq!(q.pop(TICK), Pop::Item(2));
+        assert_eq!(q.pop(TICK), Pop::Empty);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_growing() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        // Popping one frees one slot.
+        assert_eq!(q.pop(TICK), Pop::Item(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.try_push(4), Err(PushError::Full(4)));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(TICK), Pop::Item(1));
+        assert_eq!(q.pop(TICK), Pop::Item(2));
+        assert_eq!(q.pop(TICK), Pop::Closed);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        std::thread::sleep(TICK);
+        q.close();
+        let start = Instant::now();
+        assert_eq!(handle.join().unwrap(), Pop::Closed);
+        assert!(start.elapsed() < Duration::from_secs(5), "consumer was not woken");
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        const PER_PRODUCER: usize = 500;
+        let q = Arc::new(Bounded::new(8));
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER as u64 {
+                    let mut item = p * 10_000 + i;
+                    loop {
+                        match q.try_push(item) {
+                            Ok(()) => break,
+                            Err(PushError::Full(back)) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                            Err(PushError::Closed(_)) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match q.pop(TICK) {
+                        Pop::Item(v) => got.push(v),
+                        Pop::Empty => continue,
+                        Pop::Closed => return got,
+                    }
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..PER_PRODUCER as u64).map(move |i| p * 10_000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

@@ -18,9 +18,10 @@ use hdlts_core::{penalty_value, CoreError, PenaltyKind, Problem};
 use hdlts_dag::TaskId;
 use hdlts_platform::{Platform, ProcId};
 use hdlts_workloads::Instance;
+use serde::{Deserialize, Serialize};
 
 /// One workflow job in the stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JobArrival {
     /// The workflow to execute.
     pub instance: Instance,
@@ -29,7 +30,7 @@ pub struct JobArrival {
 }
 
 /// How the merged ready set is prioritized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum DispatchPolicy {
     /// HDLTS: highest penalty value first (Eq. 8 over live EFT estimates).
     #[default]
@@ -39,8 +40,23 @@ pub enum DispatchPolicy {
     Fifo,
 }
 
+impl std::str::FromStr for DispatchPolicy {
+    type Err = String;
+
+    /// Accepts the spellings the CLI and wire protocol use: `pv` /
+    /// `penalty` for [`DispatchPolicy::PenaltyValue`], `fifo` for
+    /// [`DispatchPolicy::Fifo`] (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "pv" | "penalty" | "penalty-value" => Ok(DispatchPolicy::PenaltyValue),
+            "fifo" => Ok(DispatchPolicy::Fifo),
+            other => Err(format!("unknown dispatch policy '{other}' (pv|fifo)")),
+        }
+    }
+}
+
 /// Result of executing a job stream.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamOutcome {
     /// Per-job execution records.
     pub jobs: Vec<ExecutionOutcome>,
@@ -52,6 +68,20 @@ pub struct StreamOutcome {
     pub aborted_attempts: usize,
 }
 
+/// Compact per-job record extracted from a [`StreamOutcome`] — what a
+/// service front-end reports without shipping full placement vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobSummary {
+    /// Index of the job in the submitted stream.
+    pub job: usize,
+    /// Completion time of the job's exit task.
+    pub makespan: f64,
+    /// Response time (makespan − arrival).
+    pub response: f64,
+    /// Number of tasks in the job.
+    pub tasks: usize,
+}
+
 impl StreamOutcome {
     /// Mean job response time.
     pub fn mean_response(&self) -> f64 {
@@ -61,10 +91,25 @@ impl StreamOutcome {
             self.response_times.iter().sum::<f64>() / self.response_times.len() as f64
         }
     }
+
+    /// Per-job summary of job `j`.
+    pub fn job_summary(&self, j: usize) -> JobSummary {
+        JobSummary {
+            job: j,
+            makespan: self.jobs[j].makespan,
+            response: self.response_times[j],
+            tasks: self.jobs[j].placements.len(),
+        }
+    }
+
+    /// Summaries of every job, in submission order.
+    pub fn summaries(&self) -> Vec<JobSummary> {
+        (0..self.jobs.len()).map(|j| self.job_summary(j)).collect()
+    }
 }
 
 /// Online multi-workflow dispatcher (see module docs).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct JobStreamScheduler {
     /// Ready-set prioritization.
     pub policy: DispatchPolicy,

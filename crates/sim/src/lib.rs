@@ -28,7 +28,7 @@ mod outcome;
 mod perturb;
 mod replay;
 
-pub use arrivals::{DispatchPolicy, JobArrival, JobStreamScheduler, StreamOutcome};
+pub use arrivals::{DispatchPolicy, JobArrival, JobStreamScheduler, JobSummary, StreamOutcome};
 pub use failure::FailureSpec;
 pub use online::OnlineHdlts;
 pub use outcome::ExecutionOutcome;

@@ -21,6 +21,9 @@
 //! [`fixtures`] holds the paper's Fig. 1 ten-task example with its exact
 //! cost matrix, which the Table I reproduction test depends on, and
 //! [`compose`] merges workflows for multi-application batch scheduling.
+//! [`GeneratorSpec`] is the data-driven entry point over every family —
+//! the CLI and the scheduling daemon both resolve workload names through
+//! it.
 //!
 //! All generators are deterministic functions of their explicit `u64` seed.
 
@@ -35,10 +38,12 @@ mod instance;
 pub mod laplace;
 pub mod moldyn;
 pub mod montage;
+mod named;
 pub mod pegasus;
 mod params;
 pub mod random_dag;
 
 pub use cost_model::{Consistency, CostParams};
 pub use instance::Instance;
+pub use named::{GeneratorSpec, FAMILIES};
 pub use params::{RandomDagParams, TableII};

@@ -1,0 +1,233 @@
+//! Named-generator lookup: build any workload family from plain parameters.
+//!
+//! The CLI's `generate` command and the scheduling daemon's `submit`
+//! request both describe a workload as *data* — a family name plus sizing
+//! and cost parameters — rather than code. [`GeneratorSpec`] is that
+//! description: a single validated entry point over every generator in
+//! this crate, so the two front-ends (and any future one) cannot drift
+//! apart in how they spell workload names or defaults.
+
+use crate::{
+    fft, gauss, laplace, moldyn, montage, pegasus, random_dag, Consistency, CostParams, Instance,
+    RandomDagParams,
+};
+use serde::{Deserialize, Serialize};
+
+/// A fully-parameterized request for one generated workflow instance.
+///
+/// `size` is the family's primary size knob: `m` for `fft`/`gauss`/
+/// `laplace`, approximate node count for `montage`, `V` for `random`,
+/// sites/lanes/width for the Pegasus shapes, and ignored by `moldyn`
+/// (whose graph is fixed). `alpha`/`density`/`single_source` only affect
+/// `random`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorSpec {
+    /// Family size knob (see type docs).
+    pub size: usize,
+    /// Shape parameter `alpha` (`random` only).
+    pub alpha: f64,
+    /// Out-degree / density (`random` only).
+    pub density: usize,
+    /// Communication-to-computation ratio.
+    pub ccr: f64,
+    /// Mean computation time `W_dag`.
+    pub w_dag: f64,
+    /// Heterogeneity factor `beta`.
+    pub beta: f64,
+    /// Number of processors the cost matrix targets.
+    pub num_procs: usize,
+    /// Consistent (processor speeds totally ordered) vs inconsistent costs.
+    pub consistency: Consistency,
+    /// Force a single real entry task (`random` only).
+    pub single_source: bool,
+    /// Generator seed; every family is a deterministic function of it.
+    pub seed: u64,
+}
+
+impl Default for GeneratorSpec {
+    /// Mid-grid Table II cost defaults with a 100-task size knob.
+    fn default() -> Self {
+        let cp = CostParams::default();
+        GeneratorSpec {
+            size: 100,
+            alpha: 1.0,
+            density: 3,
+            ccr: cp.ccr,
+            w_dag: cp.w_dag,
+            beta: cp.beta,
+            num_procs: cp.num_procs,
+            consistency: cp.consistency,
+            single_source: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Every family name [`GeneratorSpec::generate`] accepts, in the spelling
+/// the CLI and the wire protocol use.
+pub const FAMILIES: &[&str] = &[
+    "random",
+    "fft",
+    "montage",
+    "moldyn",
+    "gauss",
+    "laplace",
+    "cybershake",
+    "epigenomics",
+    "ligo",
+];
+
+impl GeneratorSpec {
+    /// The cost-model half of the spec.
+    pub fn cost_params(&self) -> CostParams {
+        CostParams {
+            w_dag: self.w_dag,
+            ccr: self.ccr,
+            beta: self.beta,
+            num_procs: self.num_procs,
+            consistency: self.consistency,
+        }
+    }
+
+    /// Generates the instance for `family`, validating the parameters that
+    /// the underlying generators would otherwise `assert!` on.
+    ///
+    /// Unknown families and invalid sizes return `Err` (with the list of
+    /// known families in the message) so front-ends can surface them as
+    /// user errors instead of panics.
+    pub fn generate(&self, family: &str) -> Result<Instance, String> {
+        if self.num_procs == 0 {
+            return Err("num_procs must be at least 1".into());
+        }
+        if !self.ccr.is_finite() || self.ccr < 0.0 {
+            return Err(format!("ccr must be finite and non-negative, got {}", self.ccr));
+        }
+        if !self.w_dag.is_finite() || self.w_dag <= 0.0 {
+            return Err(format!("w_dag must be finite and positive, got {}", self.w_dag));
+        }
+        if !(0.0..=2.0).contains(&self.beta) {
+            return Err(format!("beta must lie in [0, 2], got {}", self.beta));
+        }
+        let cp = self.cost_params();
+        match family {
+            "random" => {
+                if self.size == 0 {
+                    return Err("random: v must be at least 1".into());
+                }
+                if self.density == 0 {
+                    return Err("random: density must be at least 1".into());
+                }
+                if !(self.alpha.is_finite() && self.alpha > 0.0) {
+                    return Err(format!("random: alpha must be positive, got {}", self.alpha));
+                }
+                let params = RandomDagParams {
+                    v: self.size,
+                    alpha: self.alpha,
+                    density: self.density,
+                    ccr: self.ccr,
+                    w_dag: self.w_dag,
+                    beta: self.beta,
+                    num_procs: self.num_procs,
+                    single_source: self.single_source,
+                };
+                Ok(random_dag::generate(&params, self.seed))
+            }
+            "fft" => {
+                if !self.size.is_power_of_two() || self.size < 2 {
+                    return Err(format!("fft: m must be a power of two >= 2, got {}", self.size));
+                }
+                Ok(fft::generate(self.size, &cp, self.seed))
+            }
+            "montage" => {
+                if self.size < 3 {
+                    return Err(format!("montage: nodes must be >= 3, got {}", self.size));
+                }
+                Ok(montage::generate_approx(self.size, &cp, self.seed))
+            }
+            "moldyn" => Ok(moldyn::generate(&cp, self.seed)),
+            "gauss" => {
+                if self.size < 2 {
+                    return Err(format!("gauss: m must be >= 2, got {}", self.size));
+                }
+                Ok(gauss::generate(self.size, &cp, self.seed))
+            }
+            "laplace" => {
+                if self.size < 2 {
+                    return Err(format!("laplace: m must be >= 2, got {}", self.size));
+                }
+                Ok(laplace::generate(self.size, &cp, self.seed))
+            }
+            "cybershake" => {
+                if self.size < 1 {
+                    return Err("cybershake: sites must be >= 1".into());
+                }
+                Ok(pegasus::cybershake(self.size, &cp, self.seed))
+            }
+            "epigenomics" => {
+                if self.size < 1 {
+                    return Err("epigenomics: lanes must be >= 1".into());
+                }
+                Ok(pegasus::epigenomics(self.size, &cp, self.seed))
+            }
+            "ligo" => {
+                if self.size < 1 {
+                    return Err("ligo: width must be >= 1".into());
+                }
+                Ok(pegasus::ligo(self.size, &cp, self.seed))
+            }
+            other => Err(format!(
+                "unknown workload family '{other}' (known: {})",
+                FAMILIES.join(", ")
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_generates() {
+        for &family in FAMILIES {
+            let spec = GeneratorSpec { size: 16, ..Default::default() };
+            let inst = spec.generate(family).unwrap_or_else(|e| panic!("{family}: {e}"));
+            assert!(inst.num_tasks() > 0, "{family} produced an empty instance");
+            assert_eq!(inst.num_procs(), 4, "{family} ignored num_procs");
+            assert!(inst.dag.single_entry().is_some(), "{family} not normalized");
+            assert!(inst.dag.single_exit().is_some(), "{family} not normalized");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let spec = GeneratorSpec { size: 8, seed: 42, ..Default::default() };
+        let a = spec.generate("fft").unwrap();
+        let b = spec.generate("fft").unwrap();
+        assert_eq!(a.dag.num_edges(), b.dag.num_edges());
+        for t in a.dag.tasks() {
+            assert_eq!(a.costs.row(t), b.costs.row(t));
+        }
+        let c = GeneratorSpec { seed: 43, ..spec }.generate("fft").unwrap();
+        assert!(a.dag.tasks().any(|t| a.costs.row(t) != c.costs.row(t)));
+    }
+
+    #[test]
+    fn invalid_parameters_are_errors_not_panics() {
+        let spec = GeneratorSpec::default();
+        assert!(spec.generate("no-such-family").is_err());
+        assert!(GeneratorSpec { size: 3, ..spec }.generate("fft").is_err());
+        assert!(GeneratorSpec { size: 0, ..spec }.generate("random").is_err());
+        assert!(GeneratorSpec { num_procs: 0, ..spec }.generate("fft").is_err());
+        assert!(GeneratorSpec { beta: 3.0, ..spec }.generate("fft").is_err());
+        assert!(GeneratorSpec { w_dag: 0.0, ..spec }.generate("fft").is_err());
+        assert!(GeneratorSpec { alpha: 0.0, ..spec }.generate("random").is_err());
+    }
+
+    #[test]
+    fn moldyn_ignores_size() {
+        let a = GeneratorSpec { size: 5, ..Default::default() }.generate("moldyn").unwrap();
+        let b = GeneratorSpec { size: 500, ..Default::default() }.generate("moldyn").unwrap();
+        assert_eq!(a.num_tasks(), b.num_tasks());
+    }
+}

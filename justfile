@@ -15,3 +15,21 @@ bench:
 # at the repo root. See CONTRIBUTING.md "Performance changes".
 bench-json:
     cargo run --release -p hdlts-bench --bin bench-json -- BENCH_engine.json
+
+# Run the scheduling daemon. Drain with Ctrl-C or {"cmd":"shutdown"}.
+serve addr="127.0.0.1:7151" procs="4" workers="2":
+    cargo run --release -p hdlts-cli --bin hdlts -- serve --addr {{addr}} --procs {{procs}} --workers {{workers}}
+
+# Drive an in-process daemon with the mixed FFT/Montage/Moldyn/random
+# workload at a target rate; writes BENCH_service.json at the repo root.
+bench-service rate="200" duration="10":
+    cargo run --release -p hdlts-service --bin loadgen -- --rate {{rate}} --duration {{duration}} --out BENCH_service.json
+
+# Full CI pipeline: build + tests + bench smoke + perf regression gate on
+# the incremental-engine speedup recorded in BENCH_engine.json.
+ci:
+    cargo build --release
+    cargo test -q
+    cargo run --release -p hdlts-bench --bin bench-json -- BENCH_ci.json
+    ./scripts/bench_gate.sh BENCH_ci.json
+    cargo run --release -p hdlts-service --bin loadgen -- --rate 100 --duration 3 --out BENCH_service_ci.json

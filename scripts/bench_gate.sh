@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Performance regression gate for `just ci`.
+#
+# The incremental EFT engine's fig. 3 v=10000 speedup over full recompute
+# is the repo's headline perf number; the recorded baseline lives in
+# BENCH_engine.json at the repo root (8.10 when this gate was added). A
+# fresh bench run (the file passed as $1) must stay within SLACK of that
+# baseline — SLACK absorbs machine noise, not algorithmic regressions.
+set -eu
+
+file="${1:-BENCH_engine.json}"
+baseline="${BENCH_GATE_BASELINE:-8.10}"
+slack="${BENCH_GATE_SLACK:-0.80}"
+
+[ -f "$file" ] || { echo "gate: $file not found" >&2; exit 1; }
+
+awk -v base="$baseline" -v slack="$slack" '
+/"fig3_v10000_min_speedup"/ {
+    line = $0
+    sub(/.*"fig3_v10000_min_speedup"[^0-9]*/, "", line)
+    sub(/[^0-9.].*/, "", line)
+    v = line + 0
+    found = 1
+}
+END {
+    if (!found) {
+        print "gate: fig3_v10000_min_speedup missing from input" > "/dev/stderr"
+        exit 1
+    }
+    floor = base * slack
+    printf "gate: fig3_v10000_min_speedup = %.2f (floor %.2f = baseline %.2f x slack %.2f)\n", v, floor, base, slack
+    if (v < floor) {
+        print "gate: FAIL - incremental engine speedup regressed below the recorded baseline" > "/dev/stderr"
+        exit 1
+    }
+    print "gate: OK"
+}
+' "$file"

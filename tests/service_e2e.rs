@@ -1,0 +1,258 @@
+//! End-to-end tests of the scheduling daemon over real TCP.
+//!
+//! The load-bearing claim: a job submitted over the wire produces a
+//! schedule **bit-for-bit identical** to running the offline
+//! [`JobStreamScheduler`] on the same instance — the daemon is a
+//! transport in front of the engine, never a different code path.
+
+use hdlts_repro::platform::{Platform, ProcId};
+use hdlts_repro::sim::{
+    DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel,
+};
+use hdlts_repro::workloads::{GeneratorSpec, Instance};
+use hdlts_service::json::Value;
+use hdlts_service::{Daemon, ServiceConfig, ShardSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream.set_nodelay(true).unwrap();
+        Client { reader: BufReader::new(stream.try_clone().unwrap()), writer: stream }
+    }
+
+    fn request(&mut self, line: &str) -> Value {
+        self.writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+        self.writer.flush().unwrap();
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).unwrap();
+        Value::parse(resp.trim()).unwrap_or_else(|e| panic!("bad response '{resp}': {e}"))
+    }
+
+    /// Polls `result` until the job is terminal; panics if it failed.
+    fn await_result(&mut self, job_id: u64) -> Value {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            assert!(Instant::now() < deadline, "job {job_id} never finished");
+            let resp = self.request(&format!(r#"{{"cmd":"result","job_id":{job_id}}}"#));
+            if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+                return resp;
+            }
+            let err = resp.get("error").and_then(Value::as_str).unwrap_or("?");
+            assert_eq!(err, "not_ready", "job {job_id} ended badly: {resp}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn start_daemon(cfg: ServiceConfig) -> hdlts_service::DaemonHandle {
+    Daemon::start(ServiceConfig { addr: "127.0.0.1:0".into(), ..cfg }).expect("daemon start")
+}
+
+/// Runs `instance` through the offline single-job stream — the reference
+/// the daemon must reproduce exactly.
+fn offline_reference(instance: &Instance, policy: DispatchPolicy) -> (f64, Vec<(ProcId, f64, f64)>) {
+    let platform = Platform::fully_connected(instance.num_procs()).unwrap();
+    let out = JobStreamScheduler { policy, ..Default::default() }
+        .execute(
+            &platform,
+            &[JobArrival { instance: instance.clone(), arrival: 0.0 }],
+            &PerturbModel::exact(),
+            &FailureSpec::none(),
+        )
+        .unwrap();
+    (out.jobs[0].makespan, out.jobs[0].placements.clone())
+}
+
+/// Extracts `(makespan, placements)` from a `result` response.
+fn wire_schedule(resp: &Value) -> (f64, Vec<(ProcId, f64, f64)>) {
+    let makespan = resp.get("makespan").and_then(Value::as_f64).unwrap();
+    let placements = resp
+        .get("placements")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|triple| {
+            let t = triple.as_arr().unwrap();
+            (
+                ProcId(t[0].as_u64().unwrap() as u32),
+                t[1].as_f64().unwrap(),
+                t[2].as_f64().unwrap(),
+            )
+        })
+        .collect();
+    (makespan, placements)
+}
+
+#[test]
+fn named_fft_job_matches_offline_schedule_bit_for_bit() {
+    let handle = start_daemon(ServiceConfig::default());
+    let mut client = Client::connect(handle.addr());
+
+    let submit = client.request(
+        r#"{"cmd":"submit","workload":{"family":"fft","m":16,"procs":4,"seed":7}}"#,
+    );
+    assert_eq!(submit.get("ok").and_then(Value::as_bool), Some(true), "{submit}");
+    let job_id = submit.get("job_id").and_then(Value::as_u64).unwrap();
+    let result = client.await_result(job_id);
+
+    // Reference: the identical GeneratorSpec through the offline engine.
+    let instance = GeneratorSpec { size: 16, num_procs: 4, seed: 7, ..Default::default() }
+        .generate("fft")
+        .unwrap();
+    let (ref_makespan, ref_placements) = offline_reference(&instance, DispatchPolicy::PenaltyValue);
+    let (makespan, placements) = wire_schedule(&result);
+
+    // Bit-for-bit: `==` on f64, no tolerance. The JSON codec round-trips
+    // f64 exactly (shortest-round-trip formatting), and the daemon runs
+    // the same pure function, so any difference is a real divergence.
+    assert_eq!(makespan, ref_makespan);
+    assert_eq!(placements, ref_placements);
+    // Cross-check the reported metrics against the same schedule.
+    let platform = Platform::fully_connected(4).unwrap();
+    let problem = instance.problem(&platform).unwrap();
+    assert_eq!(
+        result.get("slr").and_then(Value::as_f64).unwrap(),
+        hdlts_repro::metrics::slr(&problem, ref_makespan)
+    );
+    assert_eq!(
+        result.get("speedup").and_then(Value::as_f64).unwrap(),
+        hdlts_repro::metrics::speedup(&problem, ref_makespan)
+    );
+    handle.wait();
+}
+
+#[test]
+fn inline_dag_job_matches_offline_schedule_bit_for_bit() {
+    // A small fork-join with awkward (but exactly representable after a
+    // decimal round trip) costs.
+    let inline = r#"{"cmd":"submit","instance":{"name":"forkjoin",
+        "dag":{"tasks":["in","l","r","out"],
+               "edges":[[0,1,3.25],[0,2,11.1],[1,3,0.7],[2,3,5.5]]},
+        "costs":{"rows":[[14,16,9],[13,19,18],[5,13,10],[17.5,7,11]]}},
+        "policy":"fifo"}"#
+        .replace('\n', " ");
+
+    let handle = start_daemon(ServiceConfig {
+        shards: vec![ShardSpec { procs: 3, threads: 1 }],
+        ..Default::default()
+    });
+    let mut client = Client::connect(handle.addr());
+    let submit = client.request(&inline);
+    assert_eq!(submit.get("ok").and_then(Value::as_bool), Some(true), "{submit}");
+    let job_id = submit.get("job_id").and_then(Value::as_u64).unwrap();
+    let result = client.await_result(job_id);
+
+    // Reference: the same instance parsed by the real serde path would be
+    // identical; rebuild it directly from the same numbers.
+    let mut builder = hdlts_repro::dag::DagBuilder::with_capacity(4, 4);
+    for name in ["in", "l", "r", "out"] {
+        builder.add_task(name);
+    }
+    for &(s, d, c) in &[(0u32, 1u32, 3.25), (0, 2, 11.1), (1, 3, 0.7), (2, 3, 5.5)] {
+        builder
+            .add_edge(hdlts_repro::dag::TaskId(s), hdlts_repro::dag::TaskId(d), c)
+            .unwrap();
+    }
+    let dag = builder.build().unwrap();
+    let costs = hdlts_repro::platform::CostMatrix::from_rows(vec![
+        vec![14.0, 16.0, 9.0],
+        vec![13.0, 19.0, 18.0],
+        vec![5.0, 13.0, 10.0],
+        vec![17.5, 7.0, 11.0],
+    ])
+    .unwrap();
+    let instance = Instance { name: "forkjoin".into(), dag, costs };
+    let (ref_makespan, ref_placements) = offline_reference(&instance, DispatchPolicy::Fifo);
+    let (makespan, placements) = wire_schedule(&result);
+    assert_eq!(makespan, ref_makespan);
+    assert_eq!(placements, ref_placements);
+    handle.wait();
+}
+
+#[test]
+fn backpressure_rejects_carry_retry_after_and_drain_loses_nothing() {
+    // One slow worker (it sleeps 200 ms before each pop) and a 2-deep
+    // queue: a burst of 8 submits must see exactly 2 admitted and 6
+    // rejected, every rejection carrying a positive retry_after_ms.
+    let handle = start_daemon(ServiceConfig {
+        queue_capacity: 2,
+        shards: vec![ShardSpec { procs: 4, threads: 1 }],
+        worker_delay_ms: 200,
+        ..Default::default()
+    });
+    let mut client = Client::connect(handle.addr());
+
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for seed in 0..8 {
+        let resp = client.request(&format!(
+            r#"{{"cmd":"submit","workload":{{"family":"fft","m":8,"procs":4,"seed":{seed}}}}}"#
+        ));
+        if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+            accepted += 1;
+        } else {
+            assert_eq!(
+                resp.get("error").and_then(Value::as_str),
+                Some("queue_full"),
+                "unexpected rejection: {resp}"
+            );
+            let retry = resp
+                .get("retry_after_ms")
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("queue_full without retry_after_ms: {resp}"));
+            assert!(retry > 0, "retry_after_ms must be positive");
+            rejected += 1;
+        }
+    }
+    assert_eq!(accepted, 2, "burst should fill the 2-deep queue exactly");
+    assert_eq!(rejected, 6);
+
+    // Graceful drain: both admitted jobs still complete.
+    let stats = handle.wait();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.rejected, 6);
+    assert_eq!(stats.completed, 2, "drain must finish every admitted job");
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.inflight, 0);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn stats_and_status_reflect_the_lifecycle() {
+    let handle = start_daemon(ServiceConfig::default());
+    let mut client = Client::connect(handle.addr());
+    let submit = client
+        .request(r#"{"cmd":"submit","workload":{"family":"montage","size":40,"procs":4}}"#);
+    let job_id = submit.get("job_id").and_then(Value::as_u64).unwrap();
+    client.await_result(job_id);
+
+    let status = client.request(&format!(r#"{{"cmd":"status","job_id":{job_id}}}"#));
+    assert_eq!(status.get("state").and_then(Value::as_str), Some("done"));
+
+    let stats = client.request(r#"{"cmd":"stats"}"#);
+    assert_eq!(stats.get("accepted").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("completed").and_then(Value::as_u64), Some(1));
+    let latency = stats.get("latency_ms").unwrap();
+    assert!(latency.get("p50").and_then(Value::as_f64).unwrap() > 0.0);
+    assert!(
+        latency.get("p99").and_then(Value::as_f64).unwrap()
+            >= latency.get("p50").and_then(Value::as_f64).unwrap()
+    );
+
+    // Shutdown over the wire; subsequent submits are refused.
+    let down = client.request(r#"{"cmd":"shutdown"}"#);
+    assert_eq!(down.get("draining").and_then(Value::as_bool), Some(true));
+    let refused = client
+        .request(r#"{"cmd":"submit","workload":{"family":"moldyn","procs":4}}"#);
+    assert_eq!(refused.get("error").and_then(Value::as_str), Some("draining"));
+    handle.wait();
+}
