@@ -26,10 +26,7 @@ impl Scheduler for Cpop {
         let mean = |t: TaskId| problem.costs().mean_cost(t);
         let ru = upward_rank(problem, mean);
         let rd = downward_rank(problem, mean);
-        let priority: Vec<f64> = dag
-            .tasks()
-            .map(|t| ru[t.index()] + rd[t.index()])
-            .collect();
+        let priority: Vec<f64> = dag.tasks().map(|t| ru[t.index()] + rd[t.index()]).collect();
 
         // Walk the critical path from the entry, always stepping to the
         // successor with the critical priority (ties: lowest id).

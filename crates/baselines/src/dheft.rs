@@ -37,8 +37,7 @@ impl Scheduler for DHeft {
                 }
                 let replica_finish = problem.w(entry, k);
                 let beats = |&(_, cost): &(hdlts_dag::TaskId, f64)| {
-                    replica_finish
-                        < finish + problem.platform().comm_time(entry_proc, k, cost)
+                    replica_finish < finish + problem.platform().comm_time(entry_proc, k, cost)
                 };
                 let beneficial = match self.policy {
                     DuplicationPolicy::AnyChild => children.iter().any(beats),

@@ -119,7 +119,10 @@ mod tests {
         let mut lookahead_total = 0.0;
         for seed in 0..30 {
             let inst = random_dag::generate(
-                &RandomDagParams { ccr: 3.0, ..RandomDagParams::default() },
+                &RandomDagParams {
+                    ccr: 3.0,
+                    ..RandomDagParams::default()
+                },
                 seed,
             );
             let platform = Platform::fully_connected(inst.num_procs()).unwrap();

@@ -27,8 +27,8 @@ impl Scheduler for Heft {
 mod tests {
     use super::*;
     use hdlts_core::Scheduler;
-    use hdlts_workloads::fixtures::fig1;
     use hdlts_platform::Platform;
+    use hdlts_workloads::fixtures::fig1;
 
     #[test]
     fn fig1_makespan_is_the_published_80() {
@@ -55,7 +55,10 @@ mod tests {
         let ranks = upward_rank(&problem, |t| problem.costs().mean_cost(t));
         assert!((ranks[0] - 108.0).abs() < 0.5, "rank_u(t1) ~ 108");
         assert!((ranks[2] - 80.0).abs() < 1e-6 && (ranks[3] - 80.0).abs() < 1e-6);
-        let order: Vec<u32> = order_by_descending(&ranks, &inst.dag).iter().map(|t| t.0 + 1).collect();
+        let order: Vec<u32> = order_by_descending(&ranks, &inst.dag)
+            .iter()
+            .map(|t| t.0 + 1)
+            .collect();
         assert_eq!(order[0], 1);
         let mut pair = vec![order[1], order[2]];
         pair.sort_unstable();

@@ -34,8 +34,8 @@ mod hdlts_cpd;
 mod hdlts_lookahead;
 mod heft;
 mod minmin;
-mod pets;
 mod peft;
+mod pets;
 mod random_assign;
 mod ranks;
 mod registry;

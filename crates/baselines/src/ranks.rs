@@ -178,7 +178,10 @@ mod tests {
         let costs2 = CostMatrix::uniform(2, 2, 1.0).unwrap();
         let problem = Problem::new(&dag, &costs2, &two).unwrap();
         for cost in [0.0, 1.0, 6.0, 7.5, 1e12] {
-            assert_eq!(mean_comm_time(&problem, cost), mean_comm_reference(&problem, cost));
+            assert_eq!(
+                mean_comm_time(&problem, cost),
+                mean_comm_reference(&problem, cost)
+            );
         }
 
         // Heterogeneous pairwise links: the factor reassociates the sum,
@@ -242,7 +245,7 @@ mod tests {
         let ru = upward_rank(&problem, mean);
         let rd = downward_rank(&problem, mean);
         let cp_len = ru[0]; // entry's upward rank is the mean-cost CP length
-        // Tasks on the CP satisfy ru + rd == cp_len; others are below.
+                            // Tasks on the CP satisfy ru + rd == cp_len; others are below.
         for t in dag.tasks() {
             assert!(ru[t.index()] + rd[t.index()] <= cp_len + 1e-9);
         }

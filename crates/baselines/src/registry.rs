@@ -1,7 +1,8 @@
 //! Registry of every scheduler in the workspace.
 
-use crate::{Cpop, DHeft, HdltsCpd, HdltsLookahead, Heft, MinMin, Peft, Pets, RandomScheduler,
-    Sdbats};
+use crate::{
+    Cpop, DHeft, HdltsCpd, HdltsLookahead, Heft, MinMin, Peft, Pets, RandomScheduler, Sdbats,
+};
 use hdlts_core::{Hdlts, Scheduler};
 use std::fmt;
 use std::str::FromStr;
@@ -142,8 +143,7 @@ mod tests {
         let problem = inst.problem(&platform).unwrap();
         for &k in AlgorithmKind::ALL {
             let s = k.build().schedule(&problem).unwrap();
-            s.validate(&problem)
-                .unwrap_or_else(|e| panic!("{k}: {e}"));
+            s.validate(&problem).unwrap_or_else(|e| panic!("{k}: {e}"));
         }
     }
 

@@ -24,17 +24,13 @@ fn duplication_policies(c: &mut Criterion) {
             ("all_children", DuplicationPolicy::AllChildren),
             ("off", DuplicationPolicy::Off),
         ] {
-            let scheduler =
-                Hdlts::new(HdltsConfig { duplication: policy, ..HdltsConfig::default() });
-            group.bench_with_input(
-                BenchmarkId::new(label, v),
-                &problem,
-                |b, problem| {
-                    b.iter(|| {
-                        black_box(scheduler.schedule(black_box(problem)).expect("schedules"))
-                    })
-                },
-            );
+            let scheduler = Hdlts::new(HdltsConfig {
+                duplication: policy,
+                ..HdltsConfig::default()
+            });
+            group.bench_with_input(BenchmarkId::new(label, v), &problem, |b, problem| {
+                b.iter(|| black_box(scheduler.schedule(black_box(problem)).expect("schedules")))
+            });
         }
     }
     group.finish();

@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdlts_bench::{bench_instance, bench_platform};
-use hdlts_core::{data_ready_time, eft, penalty_value, Hdlts, PenaltyKind, Scheduler, Schedule,
-    Slot, Timeline};
+use hdlts_core::{
+    data_ready_time, eft, penalty_value, Hdlts, PenaltyKind, Schedule, Scheduler, Slot, Timeline,
+};
 use hdlts_dag::TaskId;
 use hdlts_platform::ProcId;
 use std::hint::black_box;
@@ -51,7 +52,11 @@ fn timeline_insertion(c: &mut Criterion) {
                     let s = i as f64 * 2.0;
                     tl.insert(
                         ProcId(0),
-                        Slot { task: TaskId(i as u32), start: s, end: s + 1.5 },
+                        Slot {
+                            task: TaskId(i as u32),
+                            start: s,
+                            end: s + 1.5,
+                        },
                     )
                     .expect("disjoint");
                 }
@@ -62,8 +67,15 @@ fn timeline_insertion(c: &mut Criterion) {
             let mut tl = Timeline::new();
             for i in 0..n {
                 let s = i as f64 * 2.0;
-                tl.insert(ProcId(0), Slot { task: TaskId(i as u32), start: s, end: s + 1.5 })
-                    .expect("disjoint");
+                tl.insert(
+                    ProcId(0),
+                    Slot {
+                        task: TaskId(i as u32),
+                        start: s,
+                        end: s + 1.5,
+                    },
+                )
+                .expect("disjoint");
             }
             b.iter(|| black_box(tl.earliest_start(black_box(0.25), 0.4, true)))
         });
@@ -77,7 +89,17 @@ fn mean_comm(c: &mut Criterion) {
     use hdlts_platform::{LinkModel, Platform};
     let p = 16usize;
     let bandwidths: Vec<Vec<f64>> = (0..p)
-        .map(|i| (0..p).map(|j| if i == j { 0.0 } else { 1.0 + ((i * p + j) % 7) as f64 }).collect())
+        .map(|i| {
+            (0..p)
+                .map(|j| {
+                    if i == j {
+                        0.0
+                    } else {
+                        1.0 + ((i * p + j) % 7) as f64
+                    }
+                })
+                .collect()
+        })
         .collect();
     let platform = Platform::new(
         (0..p).map(|i| format!("P{i}")).collect(),

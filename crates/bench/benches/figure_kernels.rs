@@ -11,8 +11,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdlts_baselines::AlgorithmKind;
 use hdlts_core::{Hdlts, Scheduler};
 use hdlts_platform::Platform;
-use hdlts_workloads::{fft, fixtures, moldyn, montage, random_dag, CostParams, Instance,
-    RandomDagParams};
+use hdlts_workloads::{
+    fft, fixtures, moldyn, montage, random_dag, CostParams, Instance, RandomDagParams,
+};
 use std::hint::black_box;
 
 fn schedule_all(problem: &hdlts_core::Problem<'_>) -> f64 {
@@ -22,13 +23,18 @@ fn schedule_all(problem: &hdlts_core::Problem<'_>) -> f64 {
         .sum()
 }
 
-fn bench_cell(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
-              label: &str, inst: &Instance) {
+fn bench_cell(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    label: &str,
+    inst: &Instance,
+) {
     let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
     let problem = inst.problem(&platform).expect("consistent");
-    group.bench_with_input(BenchmarkId::from_parameter(label), &problem, |b, problem| {
-        b.iter(|| black_box(schedule_all(black_box(problem))))
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter(label),
+        &problem,
+        |b, problem| b.iter(|| black_box(schedule_all(black_box(problem)))),
+    );
 }
 
 /// Table I: the Fig. 1 ten-task trace run.
@@ -62,7 +68,10 @@ fn random_figures(c: &mut Criterion) {
         &mut group,
         "fig2_ccr3",
         &random_dag::generate(
-            &RandomDagParams { ccr: 3.0, ..RandomDagParams::default() },
+            &RandomDagParams {
+                ccr: 3.0,
+                ..RandomDagParams::default()
+            },
             1,
         ),
     );
@@ -71,7 +80,13 @@ fn random_figures(c: &mut Criterion) {
         bench_cell(
             &mut group,
             &format!("fig3_v{v}"),
-            &random_dag::generate(&RandomDagParams { v, ..RandomDagParams::default() }, 1),
+            &random_dag::generate(
+                &RandomDagParams {
+                    v,
+                    ..RandomDagParams::default()
+                },
+                1,
+            ),
         );
     }
     // fig4 processor-count endpoints
@@ -80,7 +95,10 @@ fn random_figures(c: &mut Criterion) {
             &mut group,
             &format!("fig4_p{p}"),
             &random_dag::generate(
-                &RandomDagParams { num_procs: p, ..RandomDagParams::default() },
+                &RandomDagParams {
+                    num_procs: p,
+                    ..RandomDagParams::default()
+                },
                 1,
             ),
         );
@@ -104,12 +122,27 @@ fn fft_figures(c: &mut Criterion) {
     bench_cell(
         &mut group,
         "fig7_ccr5",
-        &fft::generate(16, &CostParams { ccr: 5.0, ..CostParams::default() }, 1),
+        &fft::generate(
+            16,
+            &CostParams {
+                ccr: 5.0,
+                ..CostParams::default()
+            },
+            1,
+        ),
     );
     bench_cell(
         &mut group,
         "fig8_p10",
-        &fft::generate(16, &CostParams { num_procs: 10, ccr: 3.0, ..CostParams::default() }, 1),
+        &fft::generate(
+            16,
+            &CostParams {
+                num_procs: 10,
+                ccr: 3.0,
+                ..CostParams::default()
+            },
+            1,
+        ),
     );
     group.finish();
 }
@@ -126,7 +159,11 @@ fn montage_figures(c: &mut Criterion) {
             &format!("fig10_{nodes}nodes"),
             &montage::generate_approx(
                 nodes,
-                &CostParams { num_procs: 5, ccr: 3.0, ..CostParams::default() },
+                &CostParams {
+                    num_procs: 5,
+                    ccr: 3.0,
+                    ..CostParams::default()
+                },
                 1,
             ),
         );
@@ -136,7 +173,11 @@ fn montage_figures(c: &mut Criterion) {
         "fig11_p10",
         &montage::generate_approx(
             50,
-            &CostParams { num_procs: 10, ccr: 3.0, ..CostParams::default() },
+            &CostParams {
+                num_procs: 10,
+                ccr: 3.0,
+                ..CostParams::default()
+            },
             1,
         ),
     );
@@ -152,12 +193,26 @@ fn moldyn_figures(c: &mut Criterion) {
     bench_cell(
         &mut group,
         "fig13_ccr3",
-        &moldyn::generate(&CostParams { num_procs: 5, ccr: 3.0, ..CostParams::default() }, 1),
+        &moldyn::generate(
+            &CostParams {
+                num_procs: 5,
+                ccr: 3.0,
+                ..CostParams::default()
+            },
+            1,
+        ),
     );
     bench_cell(
         &mut group,
         "fig14_p10",
-        &moldyn::generate(&CostParams { num_procs: 10, ccr: 3.0, ..CostParams::default() }, 1),
+        &moldyn::generate(
+            &CostParams {
+                num_procs: 10,
+                ccr: 3.0,
+                ..CostParams::default()
+            },
+            1,
+        ),
     );
     group.finish();
 }

@@ -22,16 +22,10 @@ fn scaling_with_tasks(c: &mut Criterion) {
         let problem = inst.problem(&platform).expect("consistent");
         group.throughput(Throughput::Elements(v as u64));
         for &kind in AlgorithmKind::PAPER_SET {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), v),
-                &problem,
-                |b, problem| {
-                    let scheduler = kind.build();
-                    b.iter(|| {
-                        black_box(scheduler.schedule(black_box(problem)).expect("schedules"))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), v), &problem, |b, problem| {
+                let scheduler = kind.build();
+                b.iter(|| black_box(scheduler.schedule(black_box(problem)).expect("schedules")))
+            });
         }
     }
     group.finish();
@@ -48,16 +42,10 @@ fn scaling_with_processors(c: &mut Criterion) {
         let problem = inst.problem(&platform).expect("consistent");
         group.throughput(Throughput::Elements(p as u64));
         for &kind in AlgorithmKind::PAPER_SET {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), p),
-                &problem,
-                |b, problem| {
-                    let scheduler = kind.build();
-                    b.iter(|| {
-                        black_box(scheduler.schedule(black_box(problem)).expect("schedules"))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), p), &problem, |b, problem| {
+                let scheduler = kind.build();
+                b.iter(|| black_box(scheduler.schedule(black_box(problem)).expect("schedules")))
+            });
         }
     }
     group.finish();
@@ -91,5 +79,10 @@ fn engine_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, scaling_with_tasks, scaling_with_processors, engine_modes);
+criterion_group!(
+    benches,
+    scaling_with_tasks,
+    scaling_with_processors,
+    engine_modes
+);
 criterion_main!(benches);

@@ -40,7 +40,12 @@ struct Cell {
 /// comes first (always at least one run), and returns the mean ns per
 /// call. `ops_per_call` spreads the mean over an inner repeat loop so
 /// sub-microsecond kernels stay measurable.
-fn time_kernel<F: FnMut()>(mut f: F, budget_ns: u128, max_iters: u32, ops_per_call: u64) -> (f64, u32) {
+fn time_kernel<F: FnMut()>(
+    mut f: F,
+    budget_ns: u128,
+    max_iters: u32,
+    ops_per_call: u64,
+) -> (f64, u32) {
     let start = Instant::now();
     let mut iters = 0u32;
     loop {
@@ -74,11 +79,10 @@ fn main() {
                 let fast = Hdlts::new(HdltsConfig::paper_exact())
                     .schedule(&problem)
                     .expect("schedules");
-                let full = Hdlts::new(
-                    HdltsConfig::paper_exact().with_engine(EngineMode::FullRecompute),
-                )
-                .schedule(&problem)
-                .expect("schedules");
+                let full =
+                    Hdlts::new(HdltsConfig::paper_exact().with_engine(EngineMode::FullRecompute))
+                        .schedule(&problem)
+                        .expect("schedules");
                 assert_eq!(fast, full, "engines diverged at v={v}, P={procs}");
             }
 
@@ -100,8 +104,17 @@ fn main() {
                     1,
                 );
                 pair[slot] = mean_ns;
-                cells.push(Cell { name, v, procs, mean_ns_per_op: mean_ns, iters });
-                eprintln!("{name:<22} v={v:<6} P={procs:<3} {:>12.0} ns/op ({iters} iters)", mean_ns);
+                cells.push(Cell {
+                    name,
+                    v,
+                    procs,
+                    mean_ns_per_op: mean_ns,
+                    iters,
+                });
+                eprintln!(
+                    "{name:<22} v={v:<6} P={procs:<3} {:>12.0} ns/op ({iters} iters)",
+                    mean_ns
+                );
             }
             let speedup = pair[1] / pair[0];
             speedups.push((v, procs, speedup));
@@ -119,7 +132,13 @@ fn main() {
         let bandwidths: Vec<Vec<f64>> = (0..p)
             .map(|i| {
                 (0..p)
-                    .map(|j| if i == j { 0.0 } else { 1.0 + ((i * p + j) % 7) as f64 })
+                    .map(|j| {
+                        if i == j {
+                            0.0
+                        } else {
+                            1.0 + ((i * p + j) % 7) as f64
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -143,7 +162,13 @@ fn main() {
             1000,
             REPS,
         );
-        cells.push(Cell { name: "mean_comm/cached_factor", v: 0, procs: p, mean_ns_per_op: mean_ns, iters });
+        cells.push(Cell {
+            name: "mean_comm/cached_factor",
+            v: 0,
+            procs: p,
+            mean_ns_per_op: mean_ns,
+            iters,
+        });
         let (mean_ns, iters) = time_kernel(
             || {
                 let mut acc = 0.0;
@@ -165,7 +190,13 @@ fn main() {
             1000,
             REPS,
         );
-        cells.push(Cell { name: "mean_comm/pair_loop", v: 0, procs: p, mean_ns_per_op: mean_ns, iters });
+        cells.push(Cell {
+            name: "mean_comm/pair_loop",
+            v: 0,
+            procs: p,
+            mean_ns_per_op: mean_ns,
+            iters,
+        });
     }
 
     // Binary-search gap scan on a long timeline.
@@ -174,8 +205,15 @@ fn main() {
         let mut tl = Timeline::new();
         for i in 0..n {
             let s = i as f64 * 2.0;
-            tl.insert(ProcId(0), Slot { task: TaskId(i as u32), start: s, end: s + 1.5 })
-                .expect("disjoint");
+            tl.insert(
+                ProcId(0),
+                Slot {
+                    task: TaskId(i as u32),
+                    start: s,
+                    end: s + 1.5,
+                },
+            )
+            .expect("disjoint");
         }
         const REPS: u64 = 10_000;
         let (mean_ns, iters) = time_kernel(
@@ -191,7 +229,13 @@ fn main() {
             1000,
             REPS,
         );
-        cells.push(Cell { name: "timeline/gap_search_10000", v: n, procs: 1, mean_ns_per_op: mean_ns, iters });
+        cells.push(Cell {
+            name: "timeline/gap_search_10000",
+            v: n,
+            procs: 1,
+            mean_ns_per_op: mean_ns,
+            iters,
+        });
     }
 
     let mut json = String::new();

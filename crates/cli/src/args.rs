@@ -56,9 +56,12 @@ impl Args {
     pub fn opt_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.opt(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name} got '{v}', expected a {}", std::any::type_name::<T>())),
+            Some(v) => v.parse().map_err(|_| {
+                format!(
+                    "--{name} got '{v}', expected a {}",
+                    std::any::type_name::<T>()
+                )
+            }),
         }
     }
 

@@ -121,7 +121,9 @@ fn load_instance(args: &Args) -> Result<Instance, String> {
 }
 
 fn generate(args: &Args) -> Result<(), String> {
-    let family = args.positional(1).ok_or("generate needs a workload family")?;
+    let family = args
+        .positional(1)
+        .ok_or("generate needs a workload family")?;
     let cp = cost_params(args)?;
     // Same per-family default sizes the CLI has always had; the daemon's
     // `submit` goes through the identical `GeneratorSpec`, so a CLI
@@ -178,7 +180,11 @@ fn import_dot(args: &Args) -> Result<(), String> {
     let out = args.opt("out").map(str::to_owned);
     args.reject_unknown()?;
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
-    let label = if name.is_empty() { "imported".to_owned() } else { name };
+    let label = if name.is_empty() {
+        "imported".to_owned()
+    } else {
+        name
+    };
     let inst = cp.realize_keep_comm(label, &dag, &mut rng);
     let json = serde_json::to_string_pretty(&inst).map_err(|e| e.to_string())?;
     match out {
@@ -203,10 +209,22 @@ fn info(args: &Args) -> Result<(), String> {
     println!("tasks:       {}", inst.num_tasks());
     println!("edges:       {}", inst.dag.num_edges());
     println!("processors:  {}", inst.num_procs());
-    println!("levels:      {} (width {})", levels.height(), levels.width());
-    println!("entry/exit:  {} / {}",
-        inst.dag.single_entry().map(|t| t.to_string()).unwrap_or("multiple".into()),
-        inst.dag.single_exit().map(|t| t.to_string()).unwrap_or("multiple".into()));
+    println!(
+        "levels:      {} (width {})",
+        levels.height(),
+        levels.width()
+    );
+    println!(
+        "entry/exit:  {} / {}",
+        inst.dag
+            .single_entry()
+            .map(|t| t.to_string())
+            .unwrap_or("multiple".into()),
+        inst.dag
+            .single_exit()
+            .map(|t| t.to_string())
+            .unwrap_or("multiple".into())
+    );
     println!("realized CCR {:.3}", inst.realized_ccr());
     Ok(())
 }
@@ -223,7 +241,10 @@ fn schedule(args: &Args) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         (s, Some(t))
     } else {
-        (algo.build().schedule(&problem).map_err(|e| e.to_string())?, None)
+        (
+            algo.build().schedule(&problem).map_err(|e| e.to_string())?,
+            None,
+        )
     };
     schedule.validate(&problem).map_err(|e| e.to_string())?;
 
@@ -293,7 +314,10 @@ fn validate(args: &Args) -> Result<(), String> {
     let problem = inst.problem(&platform).map_err(|e| e.to_string())?;
     let report = schedule.validation_report(&problem);
     if report.is_valid() {
-        println!("OK: schedule is feasible, makespan {:.2}", schedule.makespan());
+        println!(
+            "OK: schedule is feasible, makespan {:.2}",
+            schedule.makespan()
+        );
         Ok(())
     } else {
         for v in &report.violations {
@@ -384,10 +408,17 @@ fn simulate(args: &Args) -> Result<(), String> {
 
 fn stream(args: &Args) -> Result<(), String> {
     use hdlts_sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel};
-    let spec = args.opt("jobs").ok_or("--jobs F1@T1,F2@T2,... is required")?.to_owned();
+    let spec = args
+        .opt("jobs")
+        .ok_or("--jobs F1@T1,F2@T2,... is required")?
+        .to_owned();
     let procs: usize = args.opt_parse("procs", 4usize)?;
     let jitter: f64 = args.opt_parse("jitter", 0.0)?;
-    let policy = if args.switch("fifo") { DispatchPolicy::Fifo } else { DispatchPolicy::PenaltyValue };
+    let policy = if args.switch("fifo") {
+        DispatchPolicy::Fifo
+    } else {
+        DispatchPolicy::PenaltyValue
+    };
     args.reject_unknown()?;
 
     let mut jobs = Vec::new();
@@ -408,10 +439,21 @@ fn stream(args: &Args) -> Result<(), String> {
         jobs.push(JobArrival { instance, arrival });
     }
     let platform = Platform::fully_connected(procs).map_err(|e| e.to_string())?;
-    let out = JobStreamScheduler { policy, ..Default::default() }
-        .execute(&platform, &jobs, &PerturbModel::uniform(jitter, 0), &FailureSpec::none())
-        .map_err(|e| e.to_string())?;
-    println!("{policy:?} dispatch of {} job(s) on {procs} CPUs:", jobs.len());
+    let out = JobStreamScheduler {
+        policy,
+        ..Default::default()
+    }
+    .execute(
+        &platform,
+        &jobs,
+        &PerturbModel::uniform(jitter, 0),
+        &FailureSpec::none(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{policy:?} dispatch of {} job(s) on {procs} CPUs:",
+        jobs.len()
+    );
     for (j, (job, resp)) in jobs.iter().zip(&out.response_times).enumerate() {
         println!(
             "  job {j} ({}): arrived {:.1}, finished {:.1}, response {:.1}",
@@ -435,9 +477,10 @@ fn serve(args: &Args) -> Result<(), String> {
     let retain: usize = args.opt_parse("retain", 4096usize)?;
     let worker_delay_ms: u64 = args.opt_parse("worker-delay-ms", 0u64)?;
     let default_deadline_ms = match args.opt("deadline-ms") {
-        Some(s) => {
-            Some(s.parse::<u64>().map_err(|_| format!("bad --deadline-ms '{s}'"))?)
-        }
+        Some(s) => Some(
+            s.parse::<u64>()
+                .map_err(|_| format!("bad --deadline-ms '{s}'"))?,
+        ),
         None => None,
     };
     args.reject_unknown()?;
@@ -447,7 +490,10 @@ fn serve(args: &Args) -> Result<(), String> {
             .trim()
             .parse()
             .map_err(|_| format!("--procs expects a comma list of counts, got '{part}'"))?;
-        shards.push(ShardSpec { procs: p, threads: workers });
+        shards.push(ShardSpec {
+            procs: p,
+            threads: workers,
+        });
     }
     let handle = Daemon::start(ServiceConfig {
         addr,

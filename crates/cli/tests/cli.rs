@@ -44,16 +44,30 @@ fn generate_schedule_validate_round_trip() {
     let sched_s = sched.to_str().unwrap();
 
     let out = hdlts(&[
-        "generate", "fft", "--m", "8", "--ccr", "2", "--procs", "3", "--seed", "5", "--out",
-        inst_s,
+        "generate", "fft", "--m", "8", "--ccr", "2", "--procs", "3", "--seed", "5", "--out", inst_s,
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = hdlts(&[
-        "schedule", "--in", inst_s, "--algo", "HDLTS", "--out", sched_s, "--svg",
+        "schedule",
+        "--in",
+        inst_s,
+        "--algo",
+        "HDLTS",
+        "--out",
+        sched_s,
+        "--svg",
         svg.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("makespan"), "{stderr}");
     assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
@@ -74,7 +88,11 @@ fn info_and_compare_read_generated_instance() {
     }
     let inst = tmp("inst2.json");
     let inst_s = inst.to_str().unwrap();
-    assert!(hdlts(&["generate", "moldyn", "--procs", "4", "--out", inst_s]).status.success());
+    assert!(
+        hdlts(&["generate", "moldyn", "--procs", "4", "--out", inst_s])
+            .status
+            .success()
+    );
 
     let out = hdlts(&["info", "--in", inst_s]);
     assert!(out.status.success());
@@ -97,7 +115,9 @@ fn trace_prints_table_shape() {
     }
     let inst = tmp("inst3.json");
     let inst_s = inst.to_str().unwrap();
-    assert!(hdlts(&["generate", "gauss", "--m", "5", "--out", inst_s]).status.success());
+    assert!(hdlts(&["generate", "gauss", "--m", "5", "--out", inst_s])
+        .status
+        .success());
     let out = hdlts(&["schedule", "--in", inst_s, "--trace", "--gantt"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -113,7 +133,11 @@ fn dot_export_is_graphviz() {
     }
     let inst = tmp("inst4.json");
     let inst_s = inst.to_str().unwrap();
-    assert!(hdlts(&["generate", "montage", "--nodes", "20", "--out", inst_s]).status.success());
+    assert!(
+        hdlts(&["generate", "montage", "--nodes", "20", "--out", inst_s])
+            .status
+            .success()
+    );
     let out = hdlts(&["dot", "--in", inst_s]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
@@ -132,7 +156,9 @@ fn bad_inputs_fail_cleanly() {
     // unknown algorithm
     let inst = tmp("inst5.json");
     let inst_s = inst.to_str().unwrap();
-    assert!(hdlts(&["generate", "fft", "--m", "4", "--out", inst_s]).status.success());
+    assert!(hdlts(&["generate", "fft", "--m", "4", "--out", inst_s])
+        .status
+        .success());
     let out = hdlts(&["schedule", "--in", inst_s, "--algo", "NOPE"]);
     assert!(!out.status.success());
     // typo'd flag
@@ -152,11 +178,17 @@ fn simulate_reports_uncertainty_and_failure() {
     }
     let inst = tmp("sim.json");
     let inst_s = inst.to_str().unwrap();
-    assert!(hdlts(&["generate", "fft", "--m", "4", "--procs", "3", "--out", inst_s])
-        .status
-        .success());
+    assert!(
+        hdlts(&["generate", "fft", "--m", "4", "--procs", "3", "--out", inst_s])
+            .status
+            .success()
+    );
     let out = hdlts(&["simulate", "--in", inst_s, "--jitter", "0.2", "--runs", "4"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("static replay"), "{stdout}");
     assert!(stdout.contains("online HDLTS"), "{stdout}");
@@ -166,7 +198,9 @@ fn simulate_reports_uncertainty_and_failure() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("injected failure: P1"), "{stdout}");
     // invalid failure spec fails cleanly
-    assert!(!hdlts(&["simulate", "--in", inst_s, "--fail", "9@10"]).status.success());
+    assert!(!hdlts(&["simulate", "--in", inst_s, "--fail", "9@10"])
+        .status
+        .success());
     let _ = std::fs::remove_file(inst);
 }
 
@@ -178,17 +212,28 @@ fn stream_dispatches_multiple_jobs() {
     let a = tmp("sa.json");
     let b = tmp("sb.json");
     let (a_s, b_s) = (a.to_str().unwrap(), b.to_str().unwrap());
-    assert!(hdlts(&["generate", "fft", "--m", "4", "--procs", "3", "--out", a_s])
-        .status
-        .success());
-    assert!(hdlts(&["generate", "gauss", "--m", "4", "--procs", "3", "--out", b_s])
-        .status
-        .success());
+    assert!(
+        hdlts(&["generate", "fft", "--m", "4", "--procs", "3", "--out", a_s])
+            .status
+            .success()
+    );
+    assert!(
+        hdlts(&["generate", "gauss", "--m", "4", "--procs", "3", "--out", b_s])
+            .status
+            .success()
+    );
     let jobs = format!("{a_s}@0,{b_s}@100");
     let out = hdlts(&["stream", "--jobs", &jobs, "--procs", "3"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("job 0") && stdout.contains("job 1"), "{stdout}");
+    assert!(
+        stdout.contains("job 0") && stdout.contains("job 1"),
+        "{stdout}"
+    );
     assert!(stdout.contains("mean response"));
     // processor-count mismatch is caught
     let out = hdlts(&["stream", "--jobs", &jobs, "--procs", "5"]);

@@ -78,12 +78,18 @@ impl HdltsConfig {
 
     /// HDLTS with insertion-based assignment (ablation variant).
     pub fn with_insertion() -> Self {
-        HdltsConfig { insertion: true, ..Self::default() }
+        HdltsConfig {
+            insertion: true,
+            ..Self::default()
+        }
     }
 
     /// HDLTS without entry-task duplication (ablation variant).
     pub fn without_duplication() -> Self {
-        HdltsConfig { duplication: DuplicationPolicy::Off, ..Self::default() }
+        HdltsConfig {
+            duplication: DuplicationPolicy::Off,
+            ..Self::default()
+        }
     }
 
     /// The same configuration with a different [`EngineMode`] — handy for
@@ -132,8 +138,7 @@ mod tests {
         // EXPERIMENTS.md "Seed-test triage"); real builds run this fully.
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let stubbed =
-            std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
+        let stubbed = std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
         std::panic::set_hook(prev);
         if stubbed {
             eprintln!("note: serde_json is the offline stub; skipping round trip");

@@ -118,8 +118,12 @@ pub fn min_eft_placement(
         let start = est(problem, schedule, t, p, insertion)?;
         options.push((start, start + problem.w(t, p)));
     }
-    let proc = argmin_eft(options.iter().map(|&(_, finish)| finish))
-        .ok_or(CoreError::ProcCountMismatch { platform: 0, costs: 0 })?;
+    let proc = argmin_eft(options.iter().map(|&(_, finish)| finish)).ok_or(
+        CoreError::ProcCountMismatch {
+            platform: 0,
+            costs: 0,
+        },
+    )?;
     let (start, finish) = options[proc.index()];
     Ok((proc, start, finish))
 }
@@ -162,8 +166,14 @@ mod tests {
         let (dag, costs, platform) = fixture();
         let problem = Problem::new(&dag, &costs, &platform).unwrap();
         let s = Schedule::new(2, 2);
-        assert_eq!(data_ready_time(&problem, &s, TaskId(0), ProcId(0)).unwrap(), 0.0);
-        assert_eq!(data_ready_time(&problem, &s, TaskId(0), ProcId(1)).unwrap(), 0.0);
+        assert_eq!(
+            data_ready_time(&problem, &s, TaskId(0), ProcId(0)).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            data_ready_time(&problem, &s, TaskId(0), ProcId(1)).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -183,8 +193,14 @@ mod tests {
         let problem = Problem::new(&dag, &costs, &platform).unwrap();
         let mut s = Schedule::new(2, 2);
         s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
-        assert_eq!(data_ready_time(&problem, &s, TaskId(1), ProcId(0)).unwrap(), 4.0);
-        assert_eq!(data_ready_time(&problem, &s, TaskId(1), ProcId(1)).unwrap(), 14.0);
+        assert_eq!(
+            data_ready_time(&problem, &s, TaskId(1), ProcId(0)).unwrap(),
+            4.0
+        );
+        assert_eq!(
+            data_ready_time(&problem, &s, TaskId(1), ProcId(1)).unwrap(),
+            14.0
+        );
     }
 
     #[test]
@@ -195,9 +211,15 @@ mod tests {
         s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
         s.place_duplicate(TaskId(0), ProcId(1), 0.0, 8.0).unwrap();
         // On P2 the local replica (finish 8) beats the remote copy (4 + 10).
-        assert_eq!(data_ready_time(&problem, &s, TaskId(1), ProcId(1)).unwrap(), 8.0);
+        assert_eq!(
+            data_ready_time(&problem, &s, TaskId(1), ProcId(1)).unwrap(),
+            8.0
+        );
         // On P1 the local primary still wins.
-        assert_eq!(data_ready_time(&problem, &s, TaskId(1), ProcId(0)).unwrap(), 4.0);
+        assert_eq!(
+            data_ready_time(&problem, &s, TaskId(1), ProcId(0)).unwrap(),
+            4.0
+        );
     }
 
     #[test]
@@ -221,8 +243,14 @@ mod tests {
         let problem = Problem::new(&dag, &costs, &platform).unwrap();
         let mut s = Schedule::new(2, 2);
         s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
-        assert_eq!(eft(&problem, &s, TaskId(1), ProcId(0), false).unwrap(), 10.0);
-        assert_eq!(eft(&problem, &s, TaskId(1), ProcId(1), false).unwrap(), 17.0);
+        assert_eq!(
+            eft(&problem, &s, TaskId(1), ProcId(0), false).unwrap(),
+            10.0
+        );
+        assert_eq!(
+            eft(&problem, &s, TaskId(1), ProcId(1), false).unwrap(),
+            17.0
+        );
         assert_eq!(
             eft_row(&problem, &s, TaskId(1), false).unwrap(),
             vec![10.0, 17.0]

@@ -104,7 +104,10 @@ impl Hdlts {
 
         while let Some(task) = cache.select() {
             step += 1;
-            let row = cache.eft_row(task).expect("selected task has a row").to_vec();
+            let row = cache
+                .eft_row(task)
+                .expect("selected task has a row")
+                .to_vec();
 
             // Minimum-EFT processor (ties: lowest id).
             let proc = argmin_eft(row.iter().copied()).expect("platform has processors");
@@ -118,7 +121,8 @@ impl Hdlts {
 
             let mut duplicated_on = Vec::new();
             if task == entry && self.config.duplication != DuplicationPolicy::Off {
-                duplicated_on = self.duplicate_entry(problem, &mut schedule, entry, proc, finish)?;
+                duplicated_on =
+                    self.duplicate_entry(problem, &mut schedule, entry, proc, finish)?;
             }
 
             if let Some(tr) = trace.as_deref_mut() {
@@ -186,8 +190,7 @@ impl Hdlts {
             let mut scored: Vec<(TaskId, Vec<f64>, f64)> = Vec::with_capacity(itq.len());
             for &t in &itq {
                 let row = eft_row(problem, &schedule, t, self.config.insertion)?;
-                let pv =
-                    crate::penalty_value(self.config.penalty, &row, problem.costs().row(t));
+                let pv = crate::penalty_value(self.config.penalty, &row, problem.costs().row(t));
                 scored.push((t, row, pv));
             }
 
@@ -215,7 +218,8 @@ impl Hdlts {
             // from time zero and a replica occupies [0, W(entry, k)].
             let mut duplicated_on = Vec::new();
             if task == entry && self.config.duplication != DuplicationPolicy::Off {
-                duplicated_on = self.duplicate_entry(problem, &mut schedule, entry, proc, finish)?;
+                duplicated_on =
+                    self.duplicate_entry(problem, &mut schedule, entry, proc, finish)?;
             }
 
             if let Some(tr) = trace.as_deref_mut() {
@@ -420,8 +424,7 @@ mod tests {
 
     #[test]
     fn all_duplication_policies_produce_valid_schedules() {
-        let dag =
-            dag_from_edges(4, &[(0, 1, 9.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)]).unwrap();
+        let dag = dag_from_edges(4, &[(0, 1, 9.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)]).unwrap();
         let costs = CostMatrix::from_rows(vec![
             vec![2.0, 8.0],
             vec![4.0, 4.0],
@@ -436,7 +439,10 @@ mod tests {
             DuplicationPolicy::AllChildren,
             DuplicationPolicy::Off,
         ] {
-            let cfg = HdltsConfig { duplication: policy, ..HdltsConfig::default() };
+            let cfg = HdltsConfig {
+                duplication: policy,
+                ..HdltsConfig::default()
+            };
             let s = Hdlts::new(cfg).schedule(&problem).unwrap();
             assert!(s.is_complete(), "{policy:?}");
             s.validate(&problem).unwrap();
@@ -446,8 +452,7 @@ mod tests {
     #[test]
     fn engines_agree_schedule_and_trace() {
         use crate::EngineMode;
-        let dag =
-            dag_from_edges(4, &[(0, 1, 9.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)]).unwrap();
+        let dag = dag_from_edges(4, &[(0, 1, 9.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)]).unwrap();
         let costs = CostMatrix::from_rows(vec![
             vec![2.0, 8.0],
             vec![4.0, 4.0],

@@ -38,7 +38,12 @@ impl<'a> Problem<'a> {
                 costs: costs.num_procs(),
             });
         }
-        Ok(Problem { dag, costs, platform, mean_comm: platform.mean_comm_factor() })
+        Ok(Problem {
+            dag,
+            costs,
+            platform,
+            mean_comm: platform.mean_comm_factor(),
+        })
     }
 
     /// The workflow DAG.
@@ -134,7 +139,10 @@ mod tests {
         let bad_procs = CostMatrix::uniform(2, 3, 1.0).unwrap();
         assert!(matches!(
             Problem::new(&dag, &bad_procs, &platform).unwrap_err(),
-            CoreError::ProcCountMismatch { platform: 2, costs: 3 }
+            CoreError::ProcCountMismatch {
+                platform: 2,
+                costs: 3
+            }
         ));
     }
 
@@ -156,7 +164,10 @@ mod tests {
         let p = Problem::new(&dag, &costs, &platform).unwrap();
         assert!(matches!(
             p.entry_exit().unwrap_err(),
-            CoreError::NotSingleEntryExit { entries: 2, exits: 1 }
+            CoreError::NotSingleEntryExit {
+                entries: 2,
+                exits: 1
+            }
         ));
     }
 

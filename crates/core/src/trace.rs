@@ -53,8 +53,14 @@ impl ScheduleTrace {
     pub fn to_markdown(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "| Step | Ready tasks (PV) | Selected | EFT per processor |");
-        let _ = writeln!(out, "|------|------------------|----------|-------------------|");
+        let _ = writeln!(
+            out,
+            "| Step | Ready tasks (PV) | Selected | EFT per processor |"
+        );
+        let _ = writeln!(
+            out,
+            "|------|------------------|----------|-------------------|"
+        );
         for s in &self.steps {
             let ready = s
                 .ready
@@ -75,7 +81,11 @@ impl ScheduleTrace {
                 })
                 .collect::<Vec<_>>()
                 .join(" ");
-            let _ = writeln!(out, "| {} | {} | {} | {} |", s.step, ready, s.selected, efts);
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                s.step, ready, s.selected, efts
+            );
         }
         out
     }

@@ -1,8 +1,8 @@
 //! Mutable builder producing validated [`Dag`]s.
 
 use crate::{Dag, DagError, TaskId};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Incrementally builds a workflow DAG and validates it on [`build`].
 ///
@@ -42,7 +42,9 @@ impl DagBuilder {
 
     /// Adds `n` tasks named `{prefix}{i}` and returns their ids.
     pub fn add_tasks(&mut self, n: usize, prefix: &str) -> Vec<TaskId> {
-        (0..n).map(|i| self.add_task(format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.add_task(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Number of tasks added so far.

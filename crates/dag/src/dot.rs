@@ -14,12 +14,7 @@ impl Dag {
         let _ = writeln!(out, "digraph \"{}\" {{", escape(graph_name));
         let _ = writeln!(out, "  rankdir=TB;");
         for t in self.tasks() {
-            let _ = writeln!(
-                out,
-                "  {} [label=\"{}\"];",
-                t.index(),
-                escape(self.name(t))
-            );
+            let _ = writeln!(out, "  {} [label=\"{}\"];", t.index(), escape(self.name(t)));
         }
         for e in self.edges() {
             let _ = writeln!(

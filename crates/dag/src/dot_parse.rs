@@ -67,7 +67,10 @@ pub fn parse_dot(input: &str) -> Result<(String, Dag), DotParseError> {
     if !header.starts_with("digraph") {
         return Err(DotParseError::NotADigraph);
     }
-    let name = header["digraph".len()..].trim().trim_matches('"').to_owned();
+    let name = header["digraph".len()..]
+        .trim()
+        .trim_matches('"')
+        .to_owned();
     let body = &input[open + 1..close];
 
     let mut builder = DagBuilder::new();
@@ -90,10 +93,9 @@ pub fn parse_dot(input: &str) -> Result<(String, Dag), DotParseError> {
             let cost = attrs
                 .get("label")
                 .map(|l| {
-                    l.parse::<f64>()
-                        .map_err(|_| DotParseError::BadStatement(format!(
-                            "edge label '{l}' is not a number"
-                        )))
+                    l.parse::<f64>().map_err(|_| {
+                        DotParseError::BadStatement(format!("edge label '{l}' is not a number"))
+                    })
                 })
                 .transpose()?
                 .unwrap_or(0.0);
@@ -214,7 +216,9 @@ fn split_top_level_commas(s: &str) -> Vec<String> {
 fn unquote(s: &str) -> String {
     let s = s.trim();
     if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
-        s[1..s.len() - 1].replace("\\\"", "\"").replace("\\\\", "\\")
+        s[1..s.len() - 1]
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\")
     } else {
         s.to_owned()
     }
@@ -272,7 +276,10 @@ mod tests {
 
     #[test]
     fn rejects_non_digraph_and_chains() {
-        assert_eq!(parse_dot("graph g { a -- b; }").unwrap_err(), DotParseError::NotADigraph);
+        assert_eq!(
+            parse_dot("graph g { a -- b; }").unwrap_err(),
+            DotParseError::NotADigraph
+        );
         let err = parse_dot("digraph g { a; b; c; a -> b -> c; }").unwrap_err();
         assert!(matches!(err, DotParseError::BadStatement(_)));
     }

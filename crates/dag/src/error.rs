@@ -35,7 +35,10 @@ impl fmt::Display for DagError {
             DagError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
             DagError::Cycle(t) => write!(f, "graph contains a cycle through {t}"),
             DagError::InvalidCost { src, dst, cost } => {
-                write!(f, "invalid communication cost {cost} on edge {src} -> {dst}")
+                write!(
+                    f,
+                    "invalid communication cost {cost} on edge {src} -> {dst}"
+                )
             }
             DagError::Empty => write!(f, "graph has no tasks"),
         }

@@ -145,7 +145,11 @@ impl Dag {
         let mut out = Vec::with_capacity(self.num_edges);
         for t in self.tasks() {
             for &(d, c) in self.succs(t) {
-                out.push(Edge { src: t, dst: d, cost: c });
+                out.push(Edge {
+                    src: t,
+                    dst: d,
+                    cost: c,
+                });
             }
         }
         out
@@ -210,8 +214,7 @@ mod tests {
     fn topological_order_respects_edges() {
         let d = diamond();
         let topo = d.topological_order();
-        let pos =
-            |t: TaskId| topo.iter().position(|&x| x == t).unwrap();
+        let pos = |t: TaskId| topo.iter().position(|&x| x == t).unwrap();
         for e in d.edges() {
             assert!(pos(e.src) < pos(e.dst), "{} before {}", e.src, e.dst);
         }

@@ -111,7 +111,14 @@ mod tests {
     fn tasks_in_a_level_are_independent() {
         let d = dag_from_edges(
             6,
-            &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (1, 4, 1.0), (2, 4, 1.0), (3, 5, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (1, 4, 1.0),
+                (2, 4, 1.0),
+                (3, 5, 1.0),
+            ],
         )
         .unwrap();
         let lv = LevelDecomposition::compute(&d);

@@ -56,9 +56,7 @@ pub fn critical_path(
         .iter()
         .copied()
         .max_by(|a, b| {
-            dist[a.index()]
-                .total_cmp(&dist[b.index()])
-                .then(b.cmp(a)) // prefer lower id on ties
+            dist[a.index()].total_cmp(&dist[b.index()]).then(b.cmp(a)) // prefer lower id on ties
         })
         .expect("validated DAG has at least one entry");
     let length = dist[cur.index()];
@@ -121,10 +119,7 @@ mod tests {
         let d = diamond();
         let cp = critical_path(&d, weights, |_, _, c| c);
         assert_eq!(cp.length, 27.0);
-        assert_eq!(
-            cp.tasks,
-            vec![TaskId(0), TaskId(1), TaskId(3)]
-        );
+        assert_eq!(cp.tasks, vec![TaskId(0), TaskId(1), TaskId(3)]);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! construction; then check structural invariants that must hold for every
 //! valid workflow.
 
-use hdlts_dag::{critical_path, dag_from_edges, longest_path_lengths, normalize, Dag,
-    LevelDecomposition, TaskId};
+use hdlts_dag::{
+    critical_path, dag_from_edges, longest_path_lengths, normalize, Dag, LevelDecomposition, TaskId,
+};
 use proptest::prelude::*;
 
 /// Generates `(n, edges)` with forward-only edges (guaranteed acyclic).

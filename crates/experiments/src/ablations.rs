@@ -35,8 +35,11 @@ fn variant_sweep(
         .fold(
             || vec![vec![RunningStats::new(); CCRS.len()]; variants.len()],
             |mut acc, &(x, ccr, seed)| {
-                let params =
-                    RandomDagParams { ccr, single_source, ..RandomDagParams::default() };
+                let params = RandomDagParams {
+                    ccr,
+                    single_source,
+                    ..RandomDagParams::default()
+                };
                 let inst = random_dag::generate(&params, seed);
                 let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
                 let problem = inst.problem(&platform).expect("instance is consistent");
@@ -83,7 +86,10 @@ pub fn ablation_duplication(cfg: &RunConfig) -> FigureData {
             ("AnyChild (paper)", HdltsConfig::paper_exact()),
             (
                 "AllChildren",
-                HdltsConfig { duplication: DuplicationPolicy::AllChildren, ..HdltsConfig::default() },
+                HdltsConfig {
+                    duplication: DuplicationPolicy::AllChildren,
+                    ..HdltsConfig::default()
+                },
             ),
             ("Off", HdltsConfig::without_duplication()),
         ],
@@ -118,13 +124,17 @@ pub fn ablation_entry(cfg: &RunConfig) -> FigureData {
             || vec![vec![RunningStats::new(); CCRS.len()]; labels.len()],
             |mut acc, &(x, ccr, seed)| {
                 for (offset, single_source) in [(0usize, false), (2usize, true)] {
-                    let params =
-                        RandomDagParams { ccr, single_source, ..RandomDagParams::default() };
+                    let params = RandomDagParams {
+                        ccr,
+                        single_source,
+                        ..RandomDagParams::default()
+                    };
                     let inst = random_dag::generate(&params, seed);
-                    let platform =
-                        Platform::fully_connected(inst.num_procs()).expect("procs");
+                    let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
                     let problem = inst.problem(&platform).expect("instance is consistent");
-                    let h = Hdlts::paper_exact().schedule(&problem).expect("HDLTS schedules");
+                    let h = Hdlts::paper_exact()
+                        .schedule(&problem)
+                        .expect("HDLTS schedules");
                     acc[offset][x].push(MetricSet::compute(&problem, &h).slr);
                     let e = Heft.schedule(&problem).expect("HEFT schedules");
                     acc[offset + 1][x].push(MetricSet::compute(&problem, &e).slr);
@@ -172,15 +182,23 @@ pub fn ablation_insertion(cfg: &RunConfig) -> FigureData {
 
 /// Ablation: penalty-value definition (Eq. 8's sample σ vs alternatives).
 pub fn ablation_pv(cfg: &RunConfig) -> FigureData {
-    let with_pv =
-        |penalty| HdltsConfig { penalty, ..HdltsConfig::default() };
+    let with_pv = |penalty| HdltsConfig {
+        penalty,
+        ..HdltsConfig::default()
+    };
     variant_sweep(
         cfg,
         103,
         "ablation-pv: penalty-value definition vs CCR",
         &[
-            ("EFT sample sigma (paper)", with_pv(PenaltyKind::EftSampleStdDev)),
-            ("EFT population sigma", with_pv(PenaltyKind::EftPopulationStdDev)),
+            (
+                "EFT sample sigma (paper)",
+                with_pv(PenaltyKind::EftSampleStdDev),
+            ),
+            (
+                "EFT population sigma",
+                with_pv(PenaltyKind::EftPopulationStdDev),
+            ),
             ("EFT range", with_pv(PenaltyKind::EftRange)),
             ("Exec sigma (static)", with_pv(PenaltyKind::ExecStdDev)),
         ],
@@ -193,7 +211,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> RunConfig {
-        RunConfig { reps: 3, base_seed: 5, validate: false }
+        RunConfig {
+            reps: 3,
+            base_seed: 5,
+            validate: false,
+        }
     }
 
     #[test]
@@ -233,7 +255,11 @@ mod tests {
 
     #[test]
     fn insertion_never_hurts_on_average() {
-        let f = ablation_insertion(&RunConfig { reps: 6, base_seed: 2, validate: false });
+        let f = ablation_insertion(&RunConfig {
+            reps: 6,
+            base_seed: 2,
+            validate: false,
+        });
         let no_ins = &f.series[0].1;
         let ins = &f.series[1].1;
         // Insertion only adds placement options; averaged over instances it

@@ -43,7 +43,10 @@ pub fn ext_dynamic(cfg: &RunConfig) -> FigureData {
                 let probe = fft::generate(8, &CostParams::default(), seed);
                 let solo = {
                     let problem = probe.problem(&platform).expect("consistent");
-                    Hdlts::paper_exact().schedule(&problem).expect("schedules").makespan()
+                    Hdlts::paper_exact()
+                        .schedule(&problem)
+                        .expect("schedules")
+                        .makespan()
                 };
                 let stream: Vec<JobArrival> = (0..JOBS)
                     .map(|i| JobArrival {
@@ -55,12 +58,21 @@ pub fn ext_dynamic(cfg: &RunConfig) -> FigureData {
                         arrival: i as f64 * gap * solo,
                     })
                     .collect();
-                for (li, policy) in
-                    [DispatchPolicy::PenaltyValue, DispatchPolicy::Fifo].into_iter().enumerate()
+                for (li, policy) in [DispatchPolicy::PenaltyValue, DispatchPolicy::Fifo]
+                    .into_iter()
+                    .enumerate()
                 {
-                    let out = JobStreamScheduler { policy, ..Default::default() }
-                        .execute(&platform, &stream, &PerturbModel::exact(), &FailureSpec::none())
-                        .expect("stream completes");
+                    let out = JobStreamScheduler {
+                        policy,
+                        ..Default::default()
+                    }
+                    .execute(
+                        &platform,
+                        &stream,
+                        &PerturbModel::exact(),
+                        &FailureSpec::none(),
+                    )
+                    .expect("stream completes");
                     // Normalize by the solo makespan so reps are comparable.
                     acc[li][x].push(out.mean_response() / solo);
                 }
@@ -156,7 +168,10 @@ pub fn ext_lookahead(cfg: &RunConfig) -> FigureData {
         .fold(
             || vec![vec![RunningStats::new(); CCRS.len()]; labels.len()],
             |mut acc, &(x, ccr, seed)| {
-                let params = RandomDagParams { ccr, ..RandomDagParams::default() };
+                let params = RandomDagParams {
+                    ccr,
+                    ..RandomDagParams::default()
+                };
                 let inst = random_dag::generate(&params, seed);
                 let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
                 let problem = inst.problem(&platform).expect("instance is consistent");
@@ -228,8 +243,7 @@ pub fn ext_energy(cfg: &RunConfig) -> FigureData {
                     acc[0][x].push(1.0);
                     power.energy(&s)
                 };
-                let runs: [&dyn Scheduler; 3] =
-                    [&Hdlts::paper_exact(), &HdltsCpd, &Sdbats];
+                let runs: [&dyn Scheduler; 3] = [&Hdlts::paper_exact(), &HdltsCpd, &Sdbats];
                 for (li, sched) in runs.into_iter().enumerate() {
                     let s = sched.schedule(&problem).expect("schedules");
                     acc[li + 1][x].push(power.energy(&s) / baseline_energy);
@@ -291,8 +305,7 @@ pub fn ext_consistency(cfg: &RunConfig) -> FigureData {
                         ..CostParams::default()
                     };
                     let inst = hdlts_workloads::moldyn::generate(&cp, seed);
-                    let platform =
-                        Platform::fully_connected(inst.num_procs()).expect("procs");
+                    let platform = Platform::fully_connected(inst.num_procs()).expect("procs");
                     let problem = inst.problem(&platform).expect("consistent");
                     let h = Hdlts::paper_exact().schedule(&problem).expect("schedules");
                     acc[offset][x].push(MetricSet::compute(&problem, &h).slr);
@@ -332,17 +345,27 @@ pub fn ext_balance(cfg: &RunConfig) -> FigureData {
             jobs.push((x, seed));
         }
     }
-    let algos = [AlgorithmKind::Hdlts, AlgorithmKind::Heft, AlgorithmKind::Sdbats];
+    let algos = [
+        AlgorithmKind::Hdlts,
+        AlgorithmKind::Heft,
+        AlgorithmKind::Sdbats,
+    ];
     let stats: Vec<Vec<RunningStats>> = jobs
         .par_iter()
         .fold(
             || vec![vec![RunningStats::new(); families.len()]; algos.len()],
             |mut acc, &(x, seed)| {
-                let cp = CostParams { ccr: 3.0, ..CostParams::default() };
+                let cp = CostParams {
+                    ccr: 3.0,
+                    ..CostParams::default()
+                };
                 let cp5 = CostParams { num_procs: 5, ..cp };
                 let inst = match families[x] {
                     "random" => random_dag::generate(
-                        &RandomDagParams { ccr: 3.0, ..RandomDagParams::default() },
+                        &RandomDagParams {
+                            ccr: 3.0,
+                            ..RandomDagParams::default()
+                        },
                         seed,
                     ),
                     "fft" => fft::generate(16, &cp, seed),
@@ -370,7 +393,10 @@ pub fn ext_balance(cfg: &RunConfig) -> FigureData {
         ticks,
     );
     for (ai, &kind) in algos.iter().enumerate() {
-        fig.push_series(kind.name(), stats[ai].iter().map(RunningStats::mean).collect());
+        fig.push_series(
+            kind.name(),
+            stats[ai].iter().map(RunningStats::mean).collect(),
+        );
     }
     fig
 }
@@ -408,8 +434,11 @@ fn merge_grid(mut a: Vec<Vec<RunningStats>>, b: Vec<Vec<RunningStats>>) -> Vec<V
 /// Sanity accessor used by tests: SLR of `kind` on a fixed skewed-network
 /// problem.
 pub fn slr_on_skewed(kind: AlgorithmKind, skew: f64, seed: u64) -> f64 {
-    let params =
-        RandomDagParams { ccr: 3.0, single_source: true, ..RandomDagParams::default() };
+    let params = RandomDagParams {
+        ccr: 3.0,
+        single_source: true,
+        ..RandomDagParams::default()
+    };
     let inst = random_dag::generate(&params, seed);
     let platform = skewed_platform(inst.num_procs(), skew, seed);
     let problem = inst.problem(&platform).expect("consistent");
@@ -423,12 +452,20 @@ mod tests {
     use super::*;
 
     fn tiny() -> RunConfig {
-        RunConfig { reps: 2, base_seed: 9, validate: false }
+        RunConfig {
+            reps: 2,
+            base_seed: 9,
+            validate: false,
+        }
     }
 
     #[test]
     fn dynamic_extension_contention_shrinks_with_gap() {
-        let f = ext_dynamic(&RunConfig { reps: 3, base_seed: 4, validate: false });
+        let f = ext_dynamic(&RunConfig {
+            reps: 3,
+            base_seed: 4,
+            validate: false,
+        });
         for (name, ys) in &f.series {
             // Fully packed arrivals must respond slower than spaced ones.
             assert!(ys[0] > ys[4], "{name}: {ys:?}");
@@ -438,7 +475,11 @@ mod tests {
 
     #[test]
     fn network_extension_slr_grows_with_skew() {
-        let f = ext_network(&RunConfig { reps: 4, base_seed: 4, validate: false });
+        let f = ext_network(&RunConfig {
+            reps: 4,
+            base_seed: 4,
+            validate: false,
+        });
         for (name, ys) in &f.series {
             assert!(
                 ys[4] > ys[0],
@@ -472,25 +513,43 @@ mod tests {
 
     #[test]
     fn balance_extension_is_finite_and_nonnegative() {
-        let f = ext_balance(&RunConfig { reps: 3, base_seed: 4, validate: false });
+        let f = ext_balance(&RunConfig {
+            reps: 3,
+            base_seed: 4,
+            validate: false,
+        });
         assert_eq!(f.series.len(), 3);
         for (name, ys) in &f.series {
-            assert!(ys.iter().all(|y| y.is_finite() && *y >= 0.0), "{name}: {ys:?}");
+            assert!(
+                ys.iter().all(|y| y.is_finite() && *y >= 0.0),
+                "{name}: {ys:?}"
+            );
         }
     }
 
     #[test]
     fn consistency_extension_produces_finite_curves() {
-        let f = ext_consistency(&RunConfig { reps: 4, base_seed: 2, validate: false });
+        let f = ext_consistency(&RunConfig {
+            reps: 4,
+            base_seed: 2,
+            validate: false,
+        });
         assert_eq!(f.series.len(), 4);
         for (name, ys) in &f.series {
-            assert!(ys.iter().all(|y| y.is_finite() && *y >= 1.0), "{name}: {ys:?}");
+            assert!(
+                ys.iter().all(|y| y.is_finite() && *y >= 1.0),
+                "{name}: {ys:?}"
+            );
         }
     }
 
     #[test]
     fn energy_extension_orders_duplication_aggressiveness() {
-        let f = ext_energy(&RunConfig { reps: 6, base_seed: 3, validate: false });
+        let f = ext_energy(&RunConfig {
+            reps: 6,
+            base_seed: 3,
+            validate: false,
+        });
         // More aggressive duplication must not cost *less* energy than the
         // duplication-free baseline at high CCR on average.
         let no_dup = &f.series[0].1;
@@ -505,7 +564,11 @@ mod tests {
     fn lookahead_stays_within_noise_of_vanilla() {
         // The documented negative result: mapping lookahead alone does not
         // move HDLTS's random-graph SLR outside a small band.
-        let f = ext_lookahead(&RunConfig { reps: 10, base_seed: 6, validate: false });
+        let f = ext_lookahead(&RunConfig {
+            reps: 10,
+            base_seed: 6,
+            validate: false,
+        });
         let vanilla = &f.series[0].1;
         let lookahead = &f.series[1].1;
         for (v, l) in vanilla.iter().zip(lookahead) {

@@ -57,8 +57,7 @@ fn random_sweep(
     for x in 0..x_ticks.len() {
         for (ci, params) in combos_at(x).into_iter().enumerate() {
             for rep in 0..cfg.reps_for_size(params.v) {
-                let seed =
-                    derive_seed(cfg.base_seed, &[fig_tag, x as u64, ci as u64, rep as u64]);
+                let seed = derive_seed(cfg.base_seed, &[fig_tag, x as u64, ci as u64, rep as u64]);
                 jobs.push(Job { x, params, seed });
             }
         }
@@ -106,7 +105,12 @@ pub fn fig2(cfg: &RunConfig) -> FigureData {
         Metric::Slr,
     );
     assemble(
-        FigureData::new("fig2: Average SLR of random workflows vs CCR", "CCR", "Average SLR", ticks.clone()),
+        FigureData::new(
+            "fig2: Average SLR of random workflows vs CCR",
+            "CCR",
+            "Average SLR",
+            ticks.clone(),
+        ),
         &stats,
         ticks.len(),
     )
@@ -216,9 +220,12 @@ where
     for x in 0..x_count {
         for (vi, variant) in variants_at(x).into_iter().enumerate() {
             for rep in 0..cfg.reps {
-                let seed =
-                    derive_seed(cfg.base_seed, &[fig_tag, x as u64, vi as u64, rep as u64]);
-                jobs.push(Job { x, variant: variant.clone(), seed });
+                let seed = derive_seed(cfg.base_seed, &[fig_tag, x as u64, vi as u64, rep as u64]);
+                jobs.push(Job {
+                    x,
+                    variant: variant.clone(),
+                    seed,
+                });
             }
         }
     }
@@ -232,7 +239,13 @@ where
 }
 
 fn cost_params(ccr: f64, num_procs: usize) -> CostParams {
-    CostParams { w_dag: 80.0, ccr, beta: 1.2, num_procs, ..CostParams::default() }
+    CostParams {
+        w_dag: 80.0,
+        ccr,
+        beta: 1.2,
+        num_procs,
+        ..CostParams::default()
+    }
 }
 
 /// Fig. 6 — Average SLR of FFT workflows vs input points
@@ -385,7 +398,13 @@ pub fn fig13(cfg: &RunConfig) -> FigureData {
         },
         |&(ccr, beta), seed| {
             moldyn::generate(
-                &CostParams { w_dag: 80.0, ccr, beta, num_procs: 5, ..CostParams::default() },
+                &CostParams {
+                    w_dag: 80.0,
+                    ccr,
+                    beta,
+                    num_procs: 5,
+                    ..CostParams::default()
+                },
                 seed,
             )
         },
@@ -432,7 +451,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> RunConfig {
-        RunConfig { reps: 2, base_seed: 7, validate: true }
+        RunConfig {
+            reps: 2,
+            base_seed: 7,
+            validate: true,
+        }
     }
 
     #[test]
@@ -442,13 +465,20 @@ mod tests {
         assert_eq!(f.series.len(), 6);
         for (name, ys) in &f.series {
             assert_eq!(ys.len(), 5, "{name}");
-            assert!(ys.iter().all(|y| y.is_finite() && *y >= 1.0), "{name}: {ys:?}");
+            assert!(
+                ys.iter().all(|y| y.is_finite() && *y >= 1.0),
+                "{name}: {ys:?}"
+            );
         }
     }
 
     #[test]
     fn fig7_slr_grows_with_ccr() {
-        let f = fig7(&RunConfig { reps: 4, base_seed: 3, validate: false });
+        let f = fig7(&RunConfig {
+            reps: 4,
+            base_seed: 3,
+            validate: false,
+        });
         for (name, ys) in &f.series {
             // Communication-heavier graphs are strictly harder on average.
             assert!(
@@ -462,7 +492,11 @@ mod tests {
 
     #[test]
     fn fig8_efficiency_decreases_with_cpus() {
-        let f = fig8(&RunConfig { reps: 4, base_seed: 3, validate: false });
+        let f = fig8(&RunConfig {
+            reps: 4,
+            base_seed: 3,
+            validate: false,
+        });
         for (name, ys) in &f.series {
             assert!(
                 ys[0] > ys[4],

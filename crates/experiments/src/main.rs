@@ -14,10 +14,30 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const FIGURE_IDS: &[&str] = &[
-    "table1", "table2", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig10", "fig11",
-    "fig13", "fig14", "graphs", "ablation-dup", "ablation-insertion", "ablation-pv",
-    "ablation-entry", "ext-dynamic", "ext-network", "ext-lookahead", "ext-energy",
-    "ext-consistency", "ext-winrate", "ext-balance",
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig10",
+    "fig11",
+    "fig13",
+    "fig14",
+    "graphs",
+    "ablation-dup",
+    "ablation-insertion",
+    "ablation-pv",
+    "ablation-entry",
+    "ext-dynamic",
+    "ext-network",
+    "ext-lookahead",
+    "ext-energy",
+    "ext-consistency",
+    "ext-winrate",
+    "ext-balance",
     "report",
 ];
 
@@ -127,8 +147,11 @@ fn run_one(id: &str, cfg: &RunConfig, out_dir: &Path) -> std::io::Result<String>
         }
         "report" => {
             // Everything except itself, in presentation order.
-            let ids: Vec<&str> =
-                FIGURE_IDS.iter().copied().filter(|id| *id != "report" && *id != "graphs").collect();
+            let ids: Vec<&str> = FIGURE_IDS
+                .iter()
+                .copied()
+                .filter(|id| *id != "report" && *id != "graphs")
+                .collect();
             let included = output::write_report(out_dir, &ids)?;
             return Ok(format!(
                 "report.html assembled from {} artifact(s): {}",

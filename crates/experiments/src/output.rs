@@ -95,8 +95,7 @@ mod tests {
     fn serde_json_is_stubbed() -> bool {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let stubbed =
-            std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
+        let stubbed = std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
         std::panic::set_hook(prev);
         if stubbed {
             eprintln!("note: serde_json is the offline stub; skipping");

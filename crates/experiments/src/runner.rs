@@ -23,7 +23,11 @@ impl Default for RunConfig {
     /// stable curve shapes in seconds; use `--reps 1000` for paper-scale
     /// averaging.
     fn default() -> Self {
-        RunConfig { reps: 20, base_seed: 42, validate: false }
+        RunConfig {
+            reps: 20,
+            base_seed: 42,
+            validate: false,
+        }
     }
 }
 
@@ -82,7 +86,10 @@ mod tests {
 
     #[test]
     fn reps_scaling() {
-        let cfg = RunConfig { reps: 20, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 20,
+            ..RunConfig::default()
+        };
         assert_eq!(cfg.reps_for_size(100), 20);
         assert_eq!(cfg.reps_for_size(500), 20);
         assert_eq!(cfg.reps_for_size(1000), 10);

@@ -21,7 +21,10 @@ pub fn table1() -> String {
     let _ = writeln!(out, "## Table I: HDLTS schedule produced at each step\n");
     out.push_str(&trace.to_markdown());
     let _ = writeln!(out, "\nHDLTS makespan: {}\n", schedule.makespan());
-    let _ = writeln!(out, "Makespans of every scheduler on the Fig. 1 workflow:\n");
+    let _ = writeln!(
+        out,
+        "Makespans of every scheduler on the Fig. 1 workflow:\n"
+    );
     let _ = writeln!(out, "| Algorithm | Makespan |");
     let _ = writeln!(out, "|-----------|----------|");
     for &k in AlgorithmKind::ALL {
@@ -43,11 +46,24 @@ pub fn table1() -> String {
 /// printed rows is 150,000 — see EXPERIMENTS.md).
 pub fn table2() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Table II: parameters used to generate random task graphs\n");
+    let _ = writeln!(
+        out,
+        "## Table II: parameters used to generate random task graphs\n"
+    );
     let _ = writeln!(out, "| Parameter | Values |");
     let _ = writeln!(out, "|-----------|--------|");
-    let fmt_f = |v: &[f64]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
-    let fmt_u = |v: &[usize]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+    let fmt_f = |v: &[f64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let fmt_u = |v: &[usize]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let _ = writeln!(out, "| Tasks (V) | {} |", fmt_u(TableII::TASKS));
     let _ = writeln!(out, "| Alpha | {} |", fmt_f(TableII::ALPHAS));
     let _ = writeln!(out, "| Density | {} |", fmt_u(TableII::DENSITIES));

@@ -142,7 +142,11 @@ pub fn ext_winrate(cfg: &RunConfig) -> String {
         let m = win_matrix(cfg, &algos, ccr, single_source);
         let title = format!(
             "CCR = {ccr}, {} graphs",
-            if single_source { "single-entry" } else { "multi-entry" }
+            if single_source {
+                "single-entry"
+            } else {
+                "multi-entry"
+            }
         );
         out.push_str(&m.to_markdown(&title));
         out.push('\n');
@@ -156,8 +160,16 @@ mod tests {
 
     #[test]
     fn matrix_is_antisymmetric_with_ties() {
-        let cfg = RunConfig { reps: 8, base_seed: 3, validate: false };
-        let algos = [AlgorithmKind::Hdlts, AlgorithmKind::Heft, AlgorithmKind::Sdbats];
+        let cfg = RunConfig {
+            reps: 8,
+            base_seed: 3,
+            validate: false,
+        };
+        let algos = [
+            AlgorithmKind::Hdlts,
+            AlgorithmKind::Heft,
+            AlgorithmKind::Sdbats,
+        ];
         let m = win_matrix(&cfg, &algos, 3.0, false);
         assert_eq!(m.instances, 8);
         for a in 0..3 {
@@ -176,7 +188,11 @@ mod tests {
 
     #[test]
     fn markdown_has_full_grid() {
-        let cfg = RunConfig { reps: 4, base_seed: 1, validate: false };
+        let cfg = RunConfig {
+            reps: 4,
+            base_seed: 1,
+            validate: false,
+        };
         let algos = [AlgorithmKind::Hdlts, AlgorithmKind::Heft];
         let md = win_matrix(&cfg, &algos, 2.0, false).to_markdown("t");
         assert!(md.contains("| **HDLTS** |"));
@@ -186,7 +202,11 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = RunConfig { reps: 5, base_seed: 7, validate: false };
+        let cfg = RunConfig {
+            reps: 5,
+            base_seed: 7,
+            validate: false,
+        };
         let algos = [AlgorithmKind::Hdlts, AlgorithmKind::Heft];
         assert_eq!(
             win_matrix(&cfg, &algos, 4.0, true),

@@ -23,9 +23,15 @@ pub struct PowerModel {
 impl PowerModel {
     /// Every processor draws the same `active`/`idle` power.
     pub fn uniform(num_procs: usize, active: f64, idle: f64) -> Self {
-        assert!(active >= 0.0 && idle >= 0.0, "power draws must be non-negative");
+        assert!(
+            active >= 0.0 && idle >= 0.0,
+            "power draws must be non-negative"
+        );
         assert!(idle <= active, "idle draw cannot exceed active draw");
-        PowerModel { active: vec![active; num_procs], idle: vec![idle; num_procs] }
+        PowerModel {
+            active: vec![active; num_procs],
+            idle: vec![idle; num_procs],
+        }
     }
 
     /// Total energy of `schedule`: busy time at active power plus the rest
@@ -92,7 +98,9 @@ mod tests {
     #[test]
     fn replicas_cost_energy() {
         let mut with_dup = two_proc_schedule();
-        with_dup.place_duplicate(TaskId(0), ProcId(1), 4.0, 6.0).unwrap();
+        with_dup
+            .place_duplicate(TaskId(0), ProcId(1), 4.0, 6.0)
+            .unwrap();
         let pm = PowerModel::uniform(2, 10.0, 1.0);
         let plain = pm.energy(&two_proc_schedule());
         // The replica converts 2 idle units into busy units: +2*(10-1).

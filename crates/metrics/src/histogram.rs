@@ -134,7 +134,11 @@ impl LatencyHistogram {
 
     /// `(p50, p95, p99)` in one call — the service-stats triple.
     pub fn percentiles(&self) -> (u64, u64, u64) {
-        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
     }
 }
 

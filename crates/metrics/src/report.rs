@@ -102,16 +102,28 @@ impl FigureData {
     /// `height` rows, ticks spread over the width.
     pub fn to_ascii_chart(&self, height: usize) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{}  [{} vs {}]", self.title, self.y_label, self.x_label);
+        let _ = writeln!(
+            out,
+            "{}  [{} vs {}]",
+            self.title, self.y_label, self.x_label
+        );
         if self.series.is_empty() || self.x_ticks.is_empty() {
             out.push_str("(no data)\n");
             return out;
         }
         let height = height.clamp(4, 40);
-        let all: Vec<f64> = self.series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+        let all: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, ys)| ys.iter().copied())
+            .collect();
         let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+        let span = if (hi - lo).abs() < 1e-12 {
+            1.0
+        } else {
+            hi - lo
+        };
         let col_w = 8usize;
         let width = self.x_ticks.len() * col_w;
         let mut grid = vec![vec![b' '; width]; height];
@@ -227,8 +239,7 @@ mod tests {
         // EXPERIMENTS.md "Seed-test triage"); real builds run this fully.
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let stubbed =
-            std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
+        let stubbed = std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
         std::panic::set_hook(prev);
         if stubbed {
             eprintln!("note: serde_json is the offline stub; skipping round trip");

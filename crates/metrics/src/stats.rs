@@ -24,7 +24,13 @@ impl Default for RunningStats {
 impl RunningStats {
     /// An empty accumulator (`min`/`max` start at the identity infinities).
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample.
@@ -136,7 +142,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential_push() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0)
+            .collect();
         let mut all = RunningStats::new();
         for &x in &xs {
             all.push(x);

@@ -64,12 +64,20 @@ impl CostMatrix {
             }
             for (p, &c) in row.iter().enumerate() {
                 if !c.is_finite() || c < 0.0 {
-                    return Err(PlatformError::InvalidCost { task: t, proc: p, cost: c });
+                    return Err(PlatformError::InvalidCost {
+                        task: t,
+                        proc: p,
+                        cost: c,
+                    });
                 }
                 data.push(c);
             }
         }
-        Ok(CostMatrix { num_tasks, num_procs, data })
+        Ok(CostMatrix {
+            num_tasks,
+            num_procs,
+            data,
+        })
     }
 
     /// Builds a matrix where every task costs the same on every processor
@@ -272,7 +280,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(CostMatrix::from_rows(vec![]).unwrap_err(), PlatformError::NoTasks);
+        assert_eq!(
+            CostMatrix::from_rows(vec![]).unwrap_err(),
+            PlatformError::NoTasks
+        );
         assert_eq!(
             CostMatrix::from_rows(vec![vec![]]).unwrap_err(),
             PlatformError::NoProcessors
@@ -292,8 +303,7 @@ mod tests {
         // EXPERIMENTS.md "Seed-test triage"); real builds run this fully.
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let stubbed =
-            std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
+        let stubbed = std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
         std::panic::set_hook(prev);
         if stubbed {
             eprintln!("note: serde_json is the offline stub; skipping round trip");

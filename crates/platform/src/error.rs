@@ -41,14 +41,25 @@ pub enum PlatformError {
 impl fmt::Display for PlatformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlatformError::RaggedMatrix { row, found, expected } => write!(
+            PlatformError::RaggedMatrix {
+                row,
+                found,
+                expected,
+            } => write!(
                 f,
                 "cost-matrix row {row} has {found} entries, expected {expected}"
             ),
             PlatformError::InvalidCost { task, proc, cost } => {
-                write!(f, "invalid computation cost {cost} for task {task} on processor {proc}")
+                write!(
+                    f,
+                    "invalid computation cost {cost} for task {task} on processor {proc}"
+                )
             }
-            PlatformError::InvalidBandwidth { from, to, bandwidth } => {
+            PlatformError::InvalidBandwidth {
+                from,
+                to,
+                bandwidth,
+            } => {
                 write!(f, "invalid bandwidth {bandwidth} on link {from} -> {to}")
             }
             PlatformError::NoProcessors => write!(f, "platform has no processors"),
@@ -65,9 +76,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = PlatformError::RaggedMatrix { row: 2, found: 1, expected: 3 };
+        let e = PlatformError::RaggedMatrix {
+            row: 2,
+            found: 1,
+            expected: 3,
+        };
         assert!(e.to_string().contains("row 2"));
-        let e = PlatformError::InvalidBandwidth { from: 0, to: 1, bandwidth: 0.0 };
+        let e = PlatformError::InvalidBandwidth {
+            from: 0,
+            to: 1,
+            bandwidth: 0.0,
+        };
         assert!(e.to_string().contains("bandwidth 0"));
     }
 }

@@ -136,7 +136,11 @@ mod tests {
     fn uniform_rejects_nonpositive() {
         assert!(LinkModel::Uniform { bandwidth: 0.0 }.validate(2).is_err());
         assert!(LinkModel::Uniform { bandwidth: -1.0 }.validate(2).is_err());
-        assert!(LinkModel::Uniform { bandwidth: f64::NAN }.validate(2).is_err());
+        assert!(LinkModel::Uniform {
+            bandwidth: f64::NAN
+        }
+        .validate(2)
+        .is_err());
     }
 
     #[test]
@@ -151,7 +155,9 @@ mod tests {
 
     #[test]
     fn pairwise_shape_checked() {
-        let m = LinkModel::Pairwise { bandwidths: vec![vec![0.0, 1.0]] };
+        let m = LinkModel::Pairwise {
+            bandwidths: vec![vec![0.0, 1.0]],
+        };
         assert!(m.validate(2).is_err());
         let m = LinkModel::Pairwise {
             bandwidths: vec![vec![0.0, 1.0], vec![1.0]],

@@ -20,7 +20,10 @@ impl Platform {
     /// A platform of `p` processors named `P1..Pp` with unit-bandwidth links
     /// (the configuration used by every experiment in the paper).
     pub fn fully_connected(p: usize) -> Result<Self, PlatformError> {
-        Self::new((1..=p).map(|i| format!("P{i}")).collect(), LinkModel::unit())
+        Self::new(
+            (1..=p).map(|i| format!("P{i}")).collect(),
+            LinkModel::unit(),
+        )
     }
 
     /// A platform with explicit processor names and link model.
@@ -142,7 +145,9 @@ mod tests {
         );
         let hetero = Platform::new(
             vec!["a".into(), "b".into()],
-            LinkModel::Pairwise { bandwidths: vec![vec![0.0, 2.0], vec![4.0, 0.0]] },
+            LinkModel::Pairwise {
+                bandwidths: vec![vec![0.0, 2.0], vec![4.0, 0.0]],
+            },
         )
         .unwrap();
         // mean(1/2, 1/4) = 0.375
@@ -153,7 +158,9 @@ mod tests {
     fn invalid_links_rejected_at_construction() {
         let err = Platform::new(
             vec!["a".into(), "b".into()],
-            LinkModel::Pairwise { bandwidths: vec![vec![0.0, 1.0]] },
+            LinkModel::Pairwise {
+                bandwidths: vec![vec![0.0, 1.0]],
+            },
         )
         .unwrap_err();
         assert!(matches!(err, PlatformError::RaggedMatrix { .. }));

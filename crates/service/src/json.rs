@@ -107,13 +107,18 @@ impl Value {
 
     /// Required object member, as an error rather than an `Option`.
     pub fn req(&self, key: &str) -> Result<&Value, JsonError> {
-        self.get(key).ok_or_else(|| JsonError(format!("missing field '{key}'")))
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing field '{key}'")))
     }
 
     /// Parses one JSON document from `text`; trailing non-whitespace is an
     /// error, as is nesting deeper than 128 levels.
     pub fn parse(text: &str) -> Result<Value, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -126,7 +131,12 @@ impl Value {
 
 /// An object builder: `obj([("ok", Value::Bool(true)), ...])`.
 pub fn obj<const N: usize>(members: [(&str, Value); N]) -> Value {
-    Value::Obj(members.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    Value::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
 }
 
 impl From<f64> for Value {
@@ -327,17 +337,14 @@ impl Parser<'_> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return err("invalid low surrogate");
                                 }
-                                let code =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(code)
                             } else {
                                 char::from_u32(hi)
                             };
                             out.push(c.ok_or(JsonError("invalid \\u escape".into()))?);
                         }
-                        other => {
-                            return err(format!("invalid escape '\\{}'", other as char))
-                        }
+                        other => return err(format!("invalid escape '\\{}'", other as char)),
                     }
                 }
                 Some(b) if b < 0x20 => return err("unescaped control character"),
@@ -388,8 +395,7 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("digits are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Value::Num(n)),
             _ => err(format!("invalid number '{text}'")),
@@ -494,7 +500,13 @@ mod tests {
 
     #[test]
     fn f64_round_trip_is_bit_exact() {
-        for x in [std::f64::consts::PI, 1.0 / 3.0, 73.00000000000001, 1e-300, 123456.789] {
+        for x in [
+            std::f64::consts::PI,
+            1.0 / 3.0,
+            73.00000000000001,
+            1e-300,
+            123456.789,
+        ] {
             let text = Value::Num(x).to_string();
             let back = Value::parse(&text).unwrap().as_f64().unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
@@ -504,8 +516,18 @@ mod tests {
     #[test]
     fn parse_errors() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1.2.3", "[1] trailing",
-            "\"\\q\"", "nan", "{\"a\" 1}", "\"\\ud800x\"",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "[1] trailing",
+            "\"\\q\"",
+            "nan",
+            "{\"a\" 1}",
+            "\"\\ud800x\"",
         ] {
             assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
         }
@@ -521,8 +543,10 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let v = Value::parse(r#"{"n":3,"s":"x","b":true,"a":[1],"f":2.5,"n2":3,"big":9007199254740992}"#)
-            .unwrap();
+        let v = Value::parse(
+            r#"{"n":3,"s":"x","b":true,"a":[1],"f":2.5,"n2":3,"big":9007199254740992}"#,
+        )
+        .unwrap();
         assert_eq!(v.req("n").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
         assert_eq!(v.get("b").unwrap().as_bool(), Some(true));

@@ -95,8 +95,12 @@ pub fn parse_request(line: &str) -> Result<Request, JsonError> {
         .ok_or(JsonError("'cmd' must be a string".into()))?;
     match cmd {
         "submit" => Ok(Request::Submit(Box::new(parse_submit(&v)?))),
-        "status" => Ok(Request::Status { job_id: job_id_of(&v)? }),
-        "result" => Ok(Request::Result { job_id: job_id_of(&v)? }),
+        "status" => Ok(Request::Status {
+            job_id: job_id_of(&v)?,
+        }),
+        "result" => Ok(Request::Result {
+            job_id: job_id_of(&v)?,
+        }),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         "ping" => Ok(Request::Ping),
@@ -134,9 +138,7 @@ fn parse_submit(v: &Value) -> Result<SubmitRequest, JsonError> {
     let job = match (v.get("workload"), v.get("instance")) {
         (Some(w), None) => parse_workload(w)?,
         (None, Some(i)) => JobSpec::Inline(Box::new(parse_instance(i)?)),
-        (Some(_), Some(_)) => {
-            return bad("submit takes 'workload' or 'instance', not both")
-        }
+        (Some(_), Some(_)) => return bad("submit takes 'workload' or 'instance', not both"),
         (None, None) => return bad("submit requires 'workload' or 'instance'"),
     };
 
@@ -165,17 +167,17 @@ fn parse_submit(v: &Value) -> Result<SubmitRequest, JsonError> {
 
     let mut failures = FailureSpec::none();
     if let Some(list) = v.get("failures") {
-        let items = list
-            .as_arr()
-            .ok_or(JsonError("'failures' must be an array of [proc, time]".into()))?;
+        let items = list.as_arr().ok_or(JsonError(
+            "'failures' must be an array of [proc, time]".into(),
+        ))?;
         for item in items {
             let pair = item
                 .as_arr()
                 .filter(|a| a.len() == 2)
                 .ok_or(JsonError("each failure must be [proc, time]".into()))?;
-            let p = pair[0]
-                .as_u64()
-                .ok_or(JsonError("failure proc must be a non-negative integer".into()))?;
+            let p = pair[0].as_u64().ok_or(JsonError(
+                "failure proc must be a non-negative integer".into(),
+            ))?;
             let t = pair[1]
                 .as_f64()
                 .ok_or(JsonError("failure time must be a number".into()))?;
@@ -188,13 +190,18 @@ fn parse_submit(v: &Value) -> Result<SubmitRequest, JsonError> {
 
     let deadline_ms = match v.get("deadline_ms") {
         None => None,
-        Some(x) => Some(
-            x.as_u64()
-                .ok_or(JsonError("'deadline_ms' must be a non-negative integer".into()))?,
-        ),
+        Some(x) => Some(x.as_u64().ok_or(JsonError(
+            "'deadline_ms' must be a non-negative integer".into(),
+        ))?),
     };
 
-    Ok(SubmitRequest { job, policy, perturb, failures, deadline_ms })
+    Ok(SubmitRequest {
+        job,
+        policy,
+        perturb,
+        failures,
+        deadline_ms,
+    })
 }
 
 fn parse_workload(w: &Value) -> Result<JobSpec, JsonError> {
@@ -223,12 +230,19 @@ fn parse_workload(w: &Value) -> Result<JobSpec, JsonError> {
         w_dag: f64_field(w, "w_dag", d.w_dag)?,
         beta: f64_field(w, "beta", d.beta)?,
         num_procs: u64_field(w, "procs", d.num_procs as u64)? as usize,
-        consistency: if w.get("consistent").and_then(Value::as_bool).unwrap_or(false) {
+        consistency: if w
+            .get("consistent")
+            .and_then(Value::as_bool)
+            .unwrap_or(false)
+        {
             hdlts_workloads::Consistency::Consistent
         } else {
             hdlts_workloads::Consistency::Inconsistent
         },
-        single_source: w.get("single_source").and_then(Value::as_bool).unwrap_or(false),
+        single_source: w
+            .get("single_source")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
         seed: u64_field(w, "seed", 0)?,
     };
     Ok(JobSpec::Named { family, spec })
@@ -247,10 +261,9 @@ pub fn parse_instance(v: &Value) -> Result<Instance, JsonError> {
         .req("tasks")?
         .as_arr()
         .ok_or(JsonError("'dag.tasks' must be an array of names".into()))?;
-    let edges = dag_v
-        .req("edges")?
-        .as_arr()
-        .ok_or(JsonError("'dag.edges' must be an array of [src, dst, cost]".into()))?;
+    let edges = dag_v.req("edges")?.as_arr().ok_or(JsonError(
+        "'dag.edges' must be an array of [src, dst, cost]".into(),
+    ))?;
     let mut b = DagBuilder::with_capacity(tasks.len(), edges.len());
     for t in tasks {
         b.add_task(
@@ -340,9 +353,7 @@ pub fn placements_value(placements: &[(ProcId, f64, f64)]) -> Value {
     Value::Arr(
         placements
             .iter()
-            .map(|&(p, s, f)| {
-                Value::Arr(vec![(p.0 as u64).into(), s.into(), f.into()])
-            })
+            .map(|&(p, s, f)| Value::Arr(vec![(p.0 as u64).into(), s.into(), f.into()]))
             .collect(),
     )
 }
@@ -353,9 +364,18 @@ mod tests {
 
     #[test]
     fn parses_every_command() {
-        assert!(matches!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats));
-        assert!(matches!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown));
-        assert!(matches!(parse_request(r#"{"cmd":"ping"}"#).unwrap(), Request::Ping));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stats"}"#).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"ping"}"#).unwrap(),
+            Request::Ping
+        ));
         assert!(matches!(
             parse_request(r#"{"cmd":"status","job_id":7}"#).unwrap(),
             Request::Status { job_id: 7 }
@@ -371,10 +391,16 @@ mod tests {
 
     #[test]
     fn submit_named_workload_with_defaults() {
-        let r = parse_request(r#"{"cmd":"submit","workload":{"family":"fft","m":8,"procs":4,"seed":3}}"#)
-            .unwrap();
-        let Request::Submit(s) = r else { panic!("not a submit") };
-        let JobSpec::Named { family, spec } = &s.job else { panic!("not named") };
+        let r = parse_request(
+            r#"{"cmd":"submit","workload":{"family":"fft","m":8,"procs":4,"seed":3}}"#,
+        )
+        .unwrap();
+        let Request::Submit(s) = r else {
+            panic!("not a submit")
+        };
+        let JobSpec::Named { family, spec } = &s.job else {
+            panic!("not named")
+        };
         assert_eq!(family, "fft");
         assert_eq!(spec.size, 8);
         assert_eq!(spec.num_procs, 4);
@@ -393,7 +419,9 @@ mod tests {
         let line = r#"{"cmd":"submit","workload":{"family":"moldyn"},"policy":"fifo",
             "jitter":0.2,"jitter_seed":9,"failures":[[1,50.5],[0,10]],"deadline_ms":2000}"#
             .replace('\n', " ");
-        let Request::Submit(s) = parse_request(&line).unwrap() else { panic!() };
+        let Request::Submit(s) = parse_request(&line).unwrap() else {
+            panic!()
+        };
         assert_eq!(s.policy, DispatchPolicy::Fifo);
         assert_eq!(s.perturb, PerturbModel::uniform(0.2, 9));
         assert_eq!(s.failures.events(), &[(ProcId(0), 10.0), (ProcId(1), 50.5)]);
@@ -421,7 +449,9 @@ mod tests {
             "dag":{"tasks":["a","b","c"],"edges":[[0,1,2.5],[0,2,1.0],[1,2,0.0]]},
             "costs":{"rows":[[1,2],[3,4],[5,6]]}}}"#
             .replace('\n', " ");
-        let Request::Submit(s) = parse_request(&line).unwrap() else { panic!() };
+        let Request::Submit(s) = parse_request(&line).unwrap() else {
+            panic!()
+        };
         let inst = s.job.realize().unwrap();
         assert_eq!(inst.name, "tiny");
         assert_eq!(inst.num_tasks(), 3);

@@ -149,8 +149,10 @@ impl JobStreamScheduler {
         let mut act_avail = vec![0.0f64; np];
         let mut committed: Vec<Commits> =
             problems.iter().map(|p| vec![None; p.num_tasks()]).collect();
-        let mut finished: Vec<Vec<bool>> =
-            problems.iter().map(|p| vec![false; p.num_tasks()]).collect();
+        let mut finished: Vec<Vec<bool>> = problems
+            .iter()
+            .map(|p| vec![false; p.num_tasks()])
+            .collect();
         let mut pending: Vec<Vec<usize>> = problems
             .iter()
             .map(|p| p.dag().tasks().map(|t| p.dag().in_degree(t)).collect())
@@ -222,13 +224,18 @@ impl JobStreamScheduler {
                                 .filter(|p| alive[p.index()])
                                 .map(|p| {
                                     self.est_start(
-                                        &problems, &committed, &act_avail, clock, j, t, p,
+                                        &problems,
+                                        &committed,
+                                        &act_avail,
+                                        clock,
+                                        j,
+                                        t,
+                                        p,
                                         &arrival_time_of,
                                     ) + problems[j].w(t, p)
                                 })
                                 .collect();
-                            let pv =
-                                penalty_value(self.penalty, &efts, problems[j].costs().row(t));
+                            let pv = penalty_value(self.penalty, &efts, problems[j].costs().row(t));
                             if pv > best_pv {
                                 best_pv = pv;
                                 best = i;
@@ -244,16 +251,37 @@ impl JobStreamScheduler {
                     .filter(|p| alive[p.index()])
                     .min_by(|&a, &b| {
                         let fa = self.est_start(
-                            &problems, &committed, &act_avail, clock, j, t, a, &arrival_time_of,
+                            &problems,
+                            &committed,
+                            &act_avail,
+                            clock,
+                            j,
+                            t,
+                            a,
+                            &arrival_time_of,
                         ) + problems[j].w(t, a);
                         let fb = self.est_start(
-                            &problems, &committed, &act_avail, clock, j, t, b, &arrival_time_of,
+                            &problems,
+                            &committed,
+                            &act_avail,
+                            clock,
+                            j,
+                            t,
+                            b,
+                            &arrival_time_of,
                         ) + problems[j].w(t, b);
                         fa.total_cmp(&fb).then(a.cmp(&b))
                     })
                     .expect("some processor alive");
                 let start = self.est_start(
-                    &problems, &committed, &act_avail, clock, j, t, proc, &arrival_time_of,
+                    &problems,
+                    &committed,
+                    &act_avail,
+                    clock,
+                    j,
+                    t,
+                    proc,
+                    &arrival_time_of,
                 );
                 let finish = start + perturb.exec_time(t, proc, problems[j].w(t, proc)).max(0.0);
                 committed[j][t.index()] = Some((proc, start, finish));
@@ -269,9 +297,9 @@ impl JobStreamScheduler {
                 .iter()
                 .enumerate()
                 .flat_map(|(j, row)| {
-                    row.iter().enumerate().filter_map(move |(i, c)| {
-                        c.map(|(_, _, f)| (f, j, TaskId::from_index(i)))
-                    })
+                    row.iter()
+                        .enumerate()
+                        .filter_map(move |(i, c)| c.map(|(_, _, f)| (f, j, TaskId::from_index(i))))
                 })
                 .filter(|&(_, j, t)| !finished[j][t.index()])
                 .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
@@ -300,7 +328,9 @@ impl JobStreamScheduler {
                     act_avail[fp.index()] = f64::INFINITY;
                     for (j, row) in committed.iter_mut().enumerate() {
                         for i in 0..row.len() {
-                            let Some((p, start, finish)) = row[i] else { continue };
+                            let Some((p, start, finish)) = row[i] else {
+                                continue;
+                            };
                             if p == fp && !finished[j][i] && finish > ft {
                                 if start < ft {
                                     aborted += 1;
@@ -395,7 +425,12 @@ mod tests {
     fn single_job_stream_completes() {
         let (platform, jobs) = stream(1, 0.0);
         let out = JobStreamScheduler::default()
-            .execute(&platform, &jobs, &PerturbModel::exact(), &FailureSpec::none())
+            .execute(
+                &platform,
+                &jobs,
+                &PerturbModel::exact(),
+                &FailureSpec::none(),
+            )
             .unwrap();
         assert_eq!(out.jobs.len(), 1);
         assert!(out.overall_finish > 0.0);
@@ -406,7 +441,12 @@ mod tests {
     fn no_task_starts_before_its_job_arrives() {
         let (platform, jobs) = stream(3, 200.0);
         let out = JobStreamScheduler::default()
-            .execute(&platform, &jobs, &PerturbModel::uniform(0.2, 3), &FailureSpec::none())
+            .execute(
+                &platform,
+                &jobs,
+                &PerturbModel::uniform(0.2, 3),
+                &FailureSpec::none(),
+            )
             .unwrap();
         for (j, job) in jobs.iter().enumerate() {
             for &(_, start, _) in &out.jobs[j].placements {
@@ -419,7 +459,12 @@ mod tests {
     fn precedence_holds_within_each_job() {
         let (platform, jobs) = stream(3, 50.0);
         let out = JobStreamScheduler::default()
-            .execute(&platform, &jobs, &PerturbModel::uniform(0.3, 1), &FailureSpec::none())
+            .execute(
+                &platform,
+                &jobs,
+                &PerturbModel::uniform(0.3, 1),
+                &FailureSpec::none(),
+            )
             .unwrap();
         for (j, job) in jobs.iter().enumerate() {
             for e in job.instance.dag.edges() {
@@ -434,13 +479,21 @@ mod tests {
     fn widely_spaced_jobs_behave_like_isolated_runs() {
         let (platform, jobs) = stream(2, 1e7);
         let out = JobStreamScheduler::default()
-            .execute(&platform, &jobs, &PerturbModel::exact(), &FailureSpec::none())
+            .execute(
+                &platform,
+                &jobs,
+                &PerturbModel::exact(),
+                &FailureSpec::none(),
+            )
             .unwrap();
         // The second job's response time matches a solo run of it.
         let solo = JobStreamScheduler::default()
             .execute(
                 &platform,
-                &[JobArrival { instance: jobs[1].instance.clone(), arrival: 0.0 }],
+                &[JobArrival {
+                    instance: jobs[1].instance.clone(),
+                    arrival: 0.0,
+                }],
                 &PerturbModel::exact(),
                 &FailureSpec::none(),
             )
@@ -454,10 +507,20 @@ mod tests {
         let (_, packed) = stream(4, 0.0);
         let sched = JobStreamScheduler::default();
         let spaced_out = sched
-            .execute(&platform, &spaced, &PerturbModel::exact(), &FailureSpec::none())
+            .execute(
+                &platform,
+                &spaced,
+                &PerturbModel::exact(),
+                &FailureSpec::none(),
+            )
             .unwrap();
         let packed_out = sched
-            .execute(&platform, &packed, &PerturbModel::exact(), &FailureSpec::none())
+            .execute(
+                &platform,
+                &packed,
+                &PerturbModel::exact(),
+                &FailureSpec::none(),
+            )
             .unwrap();
         assert!(packed_out.mean_response() > spaced_out.mean_response());
     }
@@ -466,9 +529,17 @@ mod tests {
     fn fifo_and_pv_policies_both_complete() {
         let (platform, jobs) = stream(3, 10.0);
         for policy in [DispatchPolicy::PenaltyValue, DispatchPolicy::Fifo] {
-            let out = JobStreamScheduler { policy, ..Default::default() }
-                .execute(&platform, &jobs, &PerturbModel::exact(), &FailureSpec::none())
-                .unwrap();
+            let out = JobStreamScheduler {
+                policy,
+                ..Default::default()
+            }
+            .execute(
+                &platform,
+                &jobs,
+                &PerturbModel::exact(),
+                &FailureSpec::none(),
+            )
+            .unwrap();
             assert_eq!(out.jobs.len(), 3);
             assert!(out.response_times.iter().all(|&r| r > 0.0));
         }

@@ -23,7 +23,10 @@ impl FailureSpec {
 
     /// Adds a failure of `proc` at time `at`.
     pub fn with_failure(mut self, proc: ProcId, at: f64) -> Self {
-        assert!(at >= 0.0 && at.is_finite(), "failure time must be finite and non-negative");
+        assert!(
+            at >= 0.0 && at.is_finite(),
+            "failure time must be finite and non-negative"
+        );
         self.events.push((proc, at));
         self.events.sort_by(|a, b| a.1.total_cmp(&b.1));
         self
@@ -36,7 +39,10 @@ impl FailureSpec {
 
     /// The failure time of `proc`, if it ever fails.
     pub fn failure_time(&self, proc: ProcId) -> Option<f64> {
-        self.events.iter().find(|(p, _)| *p == proc).map(|&(_, t)| t)
+        self.events
+            .iter()
+            .find(|(p, _)| *p == proc)
+            .map(|&(_, t)| t)
     }
 
     /// Whether `proc` is still alive at time `t`.

@@ -77,19 +77,17 @@ impl OnlineHdlts {
 
         // Actual arrival of `parent`'s output at processor `p` (parent is
         // finished; its completed output survives even on a dead processor).
-        let arrival = |committed: &[Option<(ProcId, f64, f64)>],
-                       parent: TaskId,
-                       cost: f64,
-                       p: ProcId| {
-            let (q, _, f) = committed[parent.index()].expect("ready implies parents committed");
-            if q == p {
-                f
-            } else {
-                f + perturb
-                    .comm_time(parent, parent, problem.platform().comm_time(q, p, cost))
-                    .max(0.0)
-            }
-        };
+        let arrival =
+            |committed: &[Option<(ProcId, f64, f64)>], parent: TaskId, cost: f64, p: ProcId| {
+                let (q, _, f) = committed[parent.index()].expect("ready implies parents committed");
+                if q == p {
+                    f
+                } else {
+                    f + perturb
+                        .comm_time(parent, parent, problem.platform().comm_time(q, p, cost))
+                        .max(0.0)
+                }
+            };
 
         loop {
             // Dispatch every ready task, highest PV first (the ITQ loop of
@@ -164,8 +162,14 @@ impl OnlineHdlts {
                     failure_cursor += 1;
                     let _ = (cf, ct);
                     self.fail_processor(
-                        fp, ft, &mut alive, &mut committed, &mut finished, &mut ready,
-                        &mut aborted, &mut act_avail,
+                        fp,
+                        ft,
+                        &mut alive,
+                        &mut committed,
+                        &mut finished,
+                        &mut ready,
+                        &mut aborted,
+                        &mut act_avail,
                     );
                 }
                 (Some((cf, ct)), _) => {
@@ -185,8 +189,14 @@ impl OnlineHdlts {
                     clock = ft.max(clock);
                     failure_cursor += 1;
                     self.fail_processor(
-                        fp, ft, &mut alive, &mut committed, &mut finished, &mut ready,
-                        &mut aborted, &mut act_avail,
+                        fp,
+                        ft,
+                        &mut alive,
+                        &mut committed,
+                        &mut finished,
+                        &mut ready,
+                        &mut aborted,
+                        &mut act_avail,
                     );
                 }
                 (None, None) => {
@@ -202,7 +212,11 @@ impl OnlineHdlts {
             .map(|c| c.expect("all tasks committed at completion"))
             .collect();
         let makespan = placements.iter().map(|&(_, _, f)| f).fold(0.0, f64::max);
-        Ok(ExecutionOutcome { makespan, placements, aborted_attempts: aborted })
+        Ok(ExecutionOutcome {
+            makespan,
+            placements,
+            aborted_attempts: aborted,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -223,7 +237,9 @@ impl OnlineHdlts {
         alive[proc.index()] = false;
         act_avail[proc.index()] = f64::INFINITY;
         for i in 0..committed.len() {
-            let Some((p, start, finish)) = committed[i] else { continue };
+            let Some((p, start, finish)) = committed[i] else {
+                continue;
+            };
             if p == proc && !finished[i] && finish > at {
                 // Queued or mid-run on the dead processor: revoke.
                 if start < at {
@@ -267,7 +283,11 @@ mod tests {
         let (inst, platform) = problem_fixture();
         let problem = inst.problem(&platform).unwrap();
         let out = OnlineHdlts::default()
-            .execute(&problem, &PerturbModel::uniform(0.3, 5), &FailureSpec::none())
+            .execute(
+                &problem,
+                &PerturbModel::uniform(0.3, 5),
+                &FailureSpec::none(),
+            )
             .unwrap();
         for e in inst.dag.edges() {
             assert!(out.placements[e.dst.index()].1 + 1e-9 >= out.placements[e.src.index()].2);

@@ -27,13 +27,21 @@ pub struct PerturbModel {
 impl PerturbModel {
     /// No uncertainty: actual times equal estimates.
     pub fn exact() -> Self {
-        PerturbModel { exec_jitter: 0.0, comm_jitter: 0.0, seed: 0 }
+        PerturbModel {
+            exec_jitter: 0.0,
+            comm_jitter: 0.0,
+            seed: 0,
+        }
     }
 
     /// Uniform jitter of the same relative magnitude on both execution and
     /// communication.
     pub fn uniform(jitter: f64, seed: u64) -> Self {
-        PerturbModel { exec_jitter: jitter, comm_jitter: jitter, seed }
+        PerturbModel {
+            exec_jitter: jitter,
+            comm_jitter: jitter,
+            seed,
+        }
     }
 
     /// The actual execution time of `t` on `p` for estimated cost `w`.

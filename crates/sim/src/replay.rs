@@ -43,7 +43,11 @@ pub fn replay(
                 .placement(slot.task)
                 .is_some_and(|pl| pl.proc == p && pl.start == slot.start);
             proc_queues[p.index()].push(copies.len());
-            copies.push(Copy { task: slot.task, proc: p, primary });
+            copies.push(Copy {
+                task: slot.task,
+                proc: p,
+                primary,
+            });
         }
     }
 
@@ -85,7 +89,9 @@ pub fn replay(
         let mut progressed = false;
         for p in problem.platform().procs() {
             let queue = &proc_queues[p.index()];
-            let Some(&ci) = queue.get(next_in_queue[p.index()]) else { continue };
+            let Some(&ci) = queue.get(next_in_queue[p.index()]) else {
+                continue;
+            };
             let copy = &copies[ci];
             // runnable when every parent has a finished copy
             let parents_done = dag
@@ -107,7 +113,9 @@ pub fn replay(
                 .map(|&(q, cost)| arrival(&copy_finish, &copies, q, cost, p))
                 .fold(0.0f64, f64::max);
             let start = proc_free.max(data_ready);
-            let dur = perturb.exec_time(copy.task, p, problem.w(copy.task, p)).max(0.0);
+            let dur = perturb
+                .exec_time(copy.task, p, problem.w(copy.task, p))
+                .max(0.0);
             let finish = start + dur;
             copy_finish[ci] = Some(finish);
             if copy.primary {
@@ -127,7 +135,11 @@ pub fn replay(
     }
 
     let makespan = placements.iter().map(|&(_, _, f)| f).fold(0.0, f64::max);
-    Ok(ExecutionOutcome { makespan, placements, aborted_attempts: 0 })
+    Ok(ExecutionOutcome {
+        makespan,
+        placements,
+        aborted_attempts: 0,
+    })
 }
 
 #[cfg(test)]
@@ -173,7 +185,10 @@ mod tests {
                 saw_change = true;
             }
         }
-        assert!(saw_change, "20 jittered replays should not all match the plan");
+        assert!(
+            saw_change,
+            "20 jittered replays should not all match the plan"
+        );
     }
 
     #[test]

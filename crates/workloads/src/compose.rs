@@ -50,18 +50,20 @@ fn merge(name: &str, parts: &[Instance], chain: bool) -> Composed {
             rows.push(part.costs.row(t).to_vec());
         }
         for e in part.dag.edges() {
-            b.add_edge(
-                TaskId(offset + e.src.0),
-                TaskId(offset + e.dst.0),
-                e.cost,
-            )
-            .expect("component edges are disjoint after offsetting");
+            b.add_edge(TaskId(offset + e.src.0), TaskId(offset + e.dst.0), e.cost)
+                .expect("component edges are disjoint after offsetting");
         }
     }
     if chain {
         for k in 0..parts.len() - 1 {
-            let exit = parts[k].dag.single_exit().expect("components are normalized");
-            let entry = parts[k + 1].dag.single_entry().expect("components are normalized");
+            let exit = parts[k]
+                .dag
+                .single_exit()
+                .expect("components are normalized");
+            let entry = parts[k + 1]
+                .dag
+                .single_entry()
+                .expect("components are normalized");
             b.add_edge(
                 TaskId(offsets[k] + exit.0),
                 TaskId(offsets[k + 1] + entry.0),
@@ -76,7 +78,11 @@ fn merge(name: &str, parts: &[Instance], chain: bool) -> Composed {
         .expect("component rows are valid")
         .with_pseudo_tasks(norm.dag.num_tasks() - total);
     Composed {
-        instance: Instance { name: name.to_owned(), dag: norm.dag, costs },
+        instance: Instance {
+            name: name.to_owned(),
+            dag: norm.dag,
+            costs,
+        },
         offsets,
     }
 }
@@ -171,7 +177,14 @@ mod tests {
     #[should_panic(expected = "same processor count")]
     fn mismatched_processors_rejected() {
         let a = fft::generate(4, &CostParams::default(), 1);
-        let b = fft::generate(4, &CostParams { num_procs: 2, ..CostParams::default() }, 1);
+        let b = fft::generate(
+            4,
+            &CostParams {
+                num_procs: 2,
+                ..CostParams::default()
+            },
+            1,
+        );
         let _ = parallel("bad", &[a, b]);
     }
 

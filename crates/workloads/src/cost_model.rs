@@ -85,7 +85,9 @@ impl CostParams {
         assert!((0.0..=2.0).contains(&self.beta), "beta must lie in [0, 2]");
 
         // Eq. 13 preamble: the average computation cost of each task.
-        let w_bar: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..2.0 * self.w_dag)).collect();
+        let w_bar: Vec<f64> = (0..n)
+            .map(|_| rng.random_range(0.0..2.0 * self.w_dag))
+            .collect();
 
         let mut b = DagBuilder::with_capacity(n, edges.len());
         for name in names {
@@ -111,7 +113,11 @@ impl CostParams {
         let extra = norm.dag.num_tasks() - n;
         let costs = costs.with_pseudo_tasks(extra);
 
-        Instance { name: name.into(), dag: norm.dag, costs }
+        Instance {
+            name: name.into(),
+            dag: norm.dag,
+            costs,
+        }
     }
 
     /// Realizes an *existing* DAG that already carries its communication
@@ -136,7 +142,11 @@ impl CostParams {
         }
         let costs = CostMatrix::from_rows(rows).expect("sampled costs are valid");
         let extra = norm.dag.num_tasks() - n;
-        Instance { name: name.into(), dag: norm.dag, costs: costs.with_pseudo_tasks(extra) }
+        Instance {
+            name: name.into(),
+            dag: norm.dag,
+            costs: costs.with_pseudo_tasks(extra),
+        }
     }
 
     /// Per-processor speed factors for [`Consistency::Consistent`]; empty
@@ -148,7 +158,11 @@ impl CostParams {
                 .map(|_| {
                     let lo = (1.0 - self.beta / 2.0).max(1e-3);
                     let hi = 1.0 + self.beta / 2.0;
-                    if lo < hi { rng.random_range(lo..hi) } else { lo }
+                    if lo < hi {
+                        rng.random_range(lo..hi)
+                    } else {
+                        lo
+                    }
                 })
                 .collect(),
         }
@@ -161,7 +175,13 @@ impl CostParams {
                 let lo = wb * (1.0 - self.beta / 2.0);
                 let hi = wb * (1.0 + self.beta / 2.0);
                 (0..self.num_procs)
-                    .map(|_| if lo < hi { rng.random_range(lo..hi) } else { lo })
+                    .map(|_| {
+                        if lo < hi {
+                            rng.random_range(lo..hi)
+                        } else {
+                            lo
+                        }
+                    })
                     .collect()
             }
             Consistency::Consistent => speeds.iter().map(|&s| wb / s).collect(),
@@ -238,8 +258,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let inst = p.realize_unnamed("x", 3, &[(0, 1), (0, 2), (1, 2)], &mut rng);
         // both edges out of task 0 carry the same cost (w_bar0 * ccr)
-        let c01 = inst.dag.comm(hdlts_dag::TaskId(0), hdlts_dag::TaskId(1)).unwrap();
-        let c02 = inst.dag.comm(hdlts_dag::TaskId(0), hdlts_dag::TaskId(2)).unwrap();
+        let c01 = inst
+            .dag
+            .comm(hdlts_dag::TaskId(0), hdlts_dag::TaskId(1))
+            .unwrap();
+        let c02 = inst
+            .dag
+            .comm(hdlts_dag::TaskId(0), hdlts_dag::TaskId(2))
+            .unwrap();
         assert_eq!(c01, c02);
         assert!(c01 <= 2.0 * p.w_dag * p.ccr);
     }
@@ -247,26 +273,45 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let p = params();
-        let a = p.realize_unnamed("x", 10, &[(0, 5), (1, 5), (5, 9)], &mut StdRng::seed_from_u64(42));
-        let b = p.realize_unnamed("x", 10, &[(0, 5), (1, 5), (5, 9)], &mut StdRng::seed_from_u64(42));
+        let a = p.realize_unnamed(
+            "x",
+            10,
+            &[(0, 5), (1, 5), (5, 9)],
+            &mut StdRng::seed_from_u64(42),
+        );
+        let b = p.realize_unnamed(
+            "x",
+            10,
+            &[(0, 5), (1, 5), (5, 9)],
+            &mut StdRng::seed_from_u64(42),
+        );
         assert_eq!(a.costs, b.costs);
         assert_eq!(a.dag.num_edges(), b.dag.num_edges());
     }
 
     #[test]
     fn beta_zero_gives_homogeneous_costs() {
-        let p = CostParams { beta: 0.0, ..params() };
+        let p = CostParams {
+            beta: 0.0,
+            ..params()
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let inst = p.realize_unnamed("x", 5, &[(0, 4), (1, 4), (2, 4), (3, 4)], &mut rng);
         for t in 0..5u32 {
             let row = inst.costs.row(hdlts_dag::TaskId(t));
-            assert!(row.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12), "{row:?}");
+            assert!(
+                row.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12),
+                "{row:?}"
+            );
         }
     }
 
     #[test]
     fn consistent_model_orders_processors_identically() {
-        let p = CostParams { consistency: Consistency::Consistent, ..params() };
+        let p = CostParams {
+            consistency: Consistency::Consistent,
+            ..params()
+        };
         let mut rng = StdRng::seed_from_u64(8);
         let inst = p.realize_unnamed("x", 20, &[(0, 19)], &mut rng);
         // Find the fastest processor of task 0; it must be fastest for all.
@@ -291,8 +336,7 @@ mod tests {
         // "Seed-test triage"); skip only that half there.
         let probe = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let stubbed =
-            std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
+        let stubbed = std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
         std::panic::set_hook(probe);
         if stubbed {
             eprintln!("note: serde_json is the offline stub; skipping missing-field check");
@@ -310,7 +354,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let inst = params().realize_keep_comm("imported", &dag, &mut rng);
         assert!(inst.dag.is_single_entry_exit());
-        assert_eq!(inst.dag.comm(hdlts_dag::TaskId(0), hdlts_dag::TaskId(1)), Some(7.5));
+        assert_eq!(
+            inst.dag.comm(hdlts_dag::TaskId(0), hdlts_dag::TaskId(1)),
+            Some(7.5)
+        );
         assert_eq!(inst.num_procs(), 3);
         // 3 originals + pseudo exit
         assert_eq!(inst.num_tasks(), 4);
@@ -320,7 +367,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "beta must lie")]
     fn invalid_beta_panics() {
-        let p = CostParams { beta: 3.0, ..params() };
+        let p = CostParams {
+            beta: 3.0,
+            ..params()
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let _ = p.realize_unnamed("x", 2, &[(0, 1)], &mut rng);
     }

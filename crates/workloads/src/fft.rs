@@ -19,13 +19,19 @@ use rand::SeedableRng;
 
 /// Task count of the FFT structure before pseudo-task normalization.
 pub fn task_count(m: usize) -> usize {
-    assert!(m.is_power_of_two() && m >= 2, "m must be a power of two >= 2");
+    assert!(
+        m.is_power_of_two() && m >= 2,
+        "m must be a power of two >= 2"
+    );
     (2 * m - 1) + m * m.ilog2() as usize
 }
 
 /// Builds the FFT structure for `m` points: `(names, edges)`.
 fn structure(m: usize) -> (Vec<String>, Vec<(u32, u32)>) {
-    assert!(m.is_power_of_two() && m >= 2, "m must be a power of two >= 2");
+    assert!(
+        m.is_power_of_two() && m >= 2,
+        "m must be a power of two >= 2"
+    );
     let lg = m.ilog2() as usize;
     let mut names = Vec::with_capacity(task_count(m));
     let mut edges = Vec::new();
@@ -115,7 +121,10 @@ mod tests {
         let inst = generate(m, &CostParams::default(), 2);
         let lv = LevelDecomposition::compute(&inst.dag);
         // log2(m)+1 tree levels + log2(m) butterfly levels + pseudo exit
-        assert_eq!(lv.height(), (m.ilog2() as usize + 1) + m.ilog2() as usize + 1);
+        assert_eq!(
+            lv.height(),
+            (m.ilog2() as usize + 1) + m.ilog2() as usize + 1
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ pub fn fig1() -> Instance {
         vec![21.0, 7.0, 16.0],
     ])
     .expect("Fig. 1 costs are well-formed");
-    Instance { name: "fig1".into(), dag, costs }
+    Instance {
+        name: "fig1".into(),
+        dag,
+        costs,
+    }
 }
 
 #[cfg(test)]

@@ -39,8 +39,8 @@ pub mod laplace;
 pub mod moldyn;
 pub mod montage;
 mod named;
-pub mod pegasus;
 mod params;
+pub mod pegasus;
 pub mod random_dag;
 
 pub use cost_model::{Consistency, CostParams};

@@ -22,23 +22,80 @@ pub const TASKS: usize = 41;
 /// 36–38 | 39 | 40.
 pub const EDGES: &[(u32, u32)] = &[
     // entry fan-out
-    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7),
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (0, 7),
     // level 1 -> 2
-    (1, 8), (1, 9), (2, 9), (2, 10), (3, 10), (3, 11), (4, 12),
-    (5, 12), (5, 13), (6, 14), (7, 14), (7, 15),
+    (1, 8),
+    (1, 9),
+    (2, 9),
+    (2, 10),
+    (3, 10),
+    (3, 11),
+    (4, 12),
+    (5, 12),
+    (5, 13),
+    (6, 14),
+    (7, 14),
+    (7, 15),
     // level 2 -> 3 (with cross fan)
-    (8, 16), (8, 17), (9, 17), (9, 18), (10, 18), (11, 18), (11, 19),
-    (12, 20), (12, 21), (13, 20), (13, 21), (14, 22), (14, 23), (15, 22), (15, 23),
+    (8, 16),
+    (8, 17),
+    (9, 17),
+    (9, 18),
+    (10, 18),
+    (11, 18),
+    (11, 19),
+    (12, 20),
+    (12, 21),
+    (13, 20),
+    (13, 21),
+    (14, 22),
+    (14, 23),
+    (15, 22),
+    (15, 23),
     // level 3 -> 4
-    (16, 24), (17, 24), (17, 25), (17, 26), (18, 25), (18, 26), (19, 26),
-    (20, 27), (20, 28), (20, 29), (21, 28), (22, 29), (23, 29), (23, 30),
+    (16, 24),
+    (17, 24),
+    (17, 25),
+    (17, 26),
+    (18, 25),
+    (18, 26),
+    (19, 26),
+    (20, 27),
+    (20, 28),
+    (20, 29),
+    (21, 28),
+    (22, 29),
+    (23, 29),
+    (23, 30),
     // level 4 -> 5
-    (24, 31), (25, 31), (25, 32), (26, 32), (27, 33), (28, 33), (28, 34),
-    (29, 34), (29, 35), (30, 35),
+    (24, 31),
+    (25, 31),
+    (25, 32),
+    (26, 32),
+    (27, 33),
+    (28, 33),
+    (28, 34),
+    (29, 34),
+    (29, 35),
+    (30, 35),
     // level 5 -> 6
-    (31, 36), (32, 36), (32, 37), (33, 37), (33, 38), (34, 38), (35, 38),
+    (31, 36),
+    (32, 36),
+    (32, 37),
+    (33, 37),
+    (33, 38),
+    (34, 38),
+    (35, 38),
     // convergence
-    (36, 39), (37, 39), (38, 39),
+    (36, 39),
+    (37, 39),
+    (38, 39),
     (39, 40),
 ];
 

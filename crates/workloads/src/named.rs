@@ -100,10 +100,16 @@ impl GeneratorSpec {
             return Err("num_procs must be at least 1".into());
         }
         if !self.ccr.is_finite() || self.ccr < 0.0 {
-            return Err(format!("ccr must be finite and non-negative, got {}", self.ccr));
+            return Err(format!(
+                "ccr must be finite and non-negative, got {}",
+                self.ccr
+            ));
         }
         if !self.w_dag.is_finite() || self.w_dag <= 0.0 {
-            return Err(format!("w_dag must be finite and positive, got {}", self.w_dag));
+            return Err(format!(
+                "w_dag must be finite and positive, got {}",
+                self.w_dag
+            ));
         }
         if !(0.0..=2.0).contains(&self.beta) {
             return Err(format!("beta must lie in [0, 2], got {}", self.beta));
@@ -118,7 +124,10 @@ impl GeneratorSpec {
                     return Err("random: density must be at least 1".into());
                 }
                 if !(self.alpha.is_finite() && self.alpha > 0.0) {
-                    return Err(format!("random: alpha must be positive, got {}", self.alpha));
+                    return Err(format!(
+                        "random: alpha must be positive, got {}",
+                        self.alpha
+                    ));
                 }
                 let params = RandomDagParams {
                     v: self.size,
@@ -134,7 +143,10 @@ impl GeneratorSpec {
             }
             "fft" => {
                 if !self.size.is_power_of_two() || self.size < 2 {
-                    return Err(format!("fft: m must be a power of two >= 2, got {}", self.size));
+                    return Err(format!(
+                        "fft: m must be a power of two >= 2, got {}",
+                        self.size
+                    ));
                 }
                 Ok(fft::generate(self.size, &cp, self.seed))
             }
@@ -190,8 +202,13 @@ mod tests {
     #[test]
     fn every_family_generates() {
         for &family in FAMILIES {
-            let spec = GeneratorSpec { size: 16, ..Default::default() };
-            let inst = spec.generate(family).unwrap_or_else(|e| panic!("{family}: {e}"));
+            let spec = GeneratorSpec {
+                size: 16,
+                ..Default::default()
+            };
+            let inst = spec
+                .generate(family)
+                .unwrap_or_else(|e| panic!("{family}: {e}"));
             assert!(inst.num_tasks() > 0, "{family} produced an empty instance");
             assert_eq!(inst.num_procs(), 4, "{family} ignored num_procs");
             assert!(inst.dag.single_entry().is_some(), "{family} not normalized");
@@ -201,7 +218,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_in_seed() {
-        let spec = GeneratorSpec { size: 8, seed: 42, ..Default::default() };
+        let spec = GeneratorSpec {
+            size: 8,
+            seed: 42,
+            ..Default::default()
+        };
         let a = spec.generate("fft").unwrap();
         let b = spec.generate("fft").unwrap();
         assert_eq!(a.dag.num_edges(), b.dag.num_edges());
@@ -217,17 +238,38 @@ mod tests {
         let spec = GeneratorSpec::default();
         assert!(spec.generate("no-such-family").is_err());
         assert!(GeneratorSpec { size: 3, ..spec }.generate("fft").is_err());
-        assert!(GeneratorSpec { size: 0, ..spec }.generate("random").is_err());
-        assert!(GeneratorSpec { num_procs: 0, ..spec }.generate("fft").is_err());
+        assert!(GeneratorSpec { size: 0, ..spec }
+            .generate("random")
+            .is_err());
+        assert!(GeneratorSpec {
+            num_procs: 0,
+            ..spec
+        }
+        .generate("fft")
+        .is_err());
         assert!(GeneratorSpec { beta: 3.0, ..spec }.generate("fft").is_err());
-        assert!(GeneratorSpec { w_dag: 0.0, ..spec }.generate("fft").is_err());
-        assert!(GeneratorSpec { alpha: 0.0, ..spec }.generate("random").is_err());
+        assert!(GeneratorSpec { w_dag: 0.0, ..spec }
+            .generate("fft")
+            .is_err());
+        assert!(GeneratorSpec { alpha: 0.0, ..spec }
+            .generate("random")
+            .is_err());
     }
 
     #[test]
     fn moldyn_ignores_size() {
-        let a = GeneratorSpec { size: 5, ..Default::default() }.generate("moldyn").unwrap();
-        let b = GeneratorSpec { size: 500, ..Default::default() }.generate("moldyn").unwrap();
+        let a = GeneratorSpec {
+            size: 5,
+            ..Default::default()
+        }
+        .generate("moldyn")
+        .unwrap();
+        let b = GeneratorSpec {
+            size: 500,
+            ..Default::default()
+        }
+        .generate("moldyn")
+        .unwrap();
         assert_eq!(a.num_tasks(), b.num_tasks());
     }
 }

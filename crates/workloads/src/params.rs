@@ -160,10 +160,18 @@ mod tests {
 
     #[test]
     fn expected_shape_helpers() {
-        let p = RandomDagParams { v: 100, alpha: 0.5, ..Default::default() };
+        let p = RandomDagParams {
+            v: 100,
+            alpha: 0.5,
+            ..Default::default()
+        };
         assert_eq!(p.expected_height(), 20);
         assert_eq!(p.expected_width(), 5.0);
-        let p = RandomDagParams { v: 100, alpha: 2.0, ..Default::default() };
+        let p = RandomDagParams {
+            v: 100,
+            alpha: 2.0,
+            ..Default::default()
+        };
         assert_eq!(p.expected_height(), 5);
         assert_eq!(p.expected_width(), 20.0);
     }

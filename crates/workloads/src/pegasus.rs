@@ -67,7 +67,12 @@ pub fn cybershake(sites: usize, params: &CostParams, seed: u64) -> Instance {
     edges.push((zip_seis, gather));
 
     let mut rng = StdRng::seed_from_u64(seed);
-    params.realize(format!("cybershake(sites={sites})"), &names, &edges, &mut rng)
+    params.realize(
+        format!("cybershake(sites={sites})"),
+        &names,
+        &edges,
+        &mut rng,
+    )
 }
 
 /// Epigenomics with `lanes` parallel lanes: each lane runs the per-chunk
@@ -97,7 +102,12 @@ pub fn epigenomics(lanes: usize, params: &CostParams, seed: u64) -> Instance {
     edges.push((map_index, pileup));
 
     let mut rng = StdRng::seed_from_u64(seed);
-    params.realize(format!("epigenomics(lanes={lanes})"), &names, &edges, &mut rng)
+    params.realize(
+        format!("epigenomics(lanes={lanes})"),
+        &names,
+        &edges,
+        &mut rng,
+    )
 }
 
 /// LIGO inspiral analysis with `width` parallel channels: two chained
@@ -191,7 +201,10 @@ mod tests {
 
     #[test]
     fn all_pegasus_workflows_schedule_feasibly() {
-        let cp = CostParams { num_procs: 5, ..CostParams::default() };
+        let cp = CostParams {
+            num_procs: 5,
+            ..CostParams::default()
+        };
         for inst in [
             cybershake(6, &cp, 4),
             epigenomics(8, &cp, 4),
@@ -200,7 +213,8 @@ mod tests {
             let platform = Platform::fully_connected(5).unwrap();
             let problem = inst.problem(&platform).unwrap();
             let s = Hdlts::paper_exact().schedule(&problem).unwrap();
-            s.validate(&problem).unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+            s.validate(&problem)
+                .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
         }
     }
 

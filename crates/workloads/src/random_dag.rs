@@ -135,7 +135,11 @@ mod tests {
     use hdlts_dag::LevelDecomposition;
 
     fn params(v: usize, alpha: f64) -> RandomDagParams {
-        RandomDagParams { v, alpha, ..Default::default() }
+        RandomDagParams {
+            v,
+            alpha,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -164,10 +168,10 @@ mod tests {
         // test is the parameter's effect, not one stream's draw.
         let (mut sum_tall, mut sum_flat) = (0usize, 0usize);
         for seed in 0..5 {
-            sum_tall += LevelDecomposition::compute(&generate(&params(400, 0.5), seed).dag)
-                .height();
-            sum_flat += LevelDecomposition::compute(&generate(&params(400, 2.5), seed).dag)
-                .height();
+            sum_tall +=
+                LevelDecomposition::compute(&generate(&params(400, 0.5), seed).dag).height();
+            sum_flat +=
+                LevelDecomposition::compute(&generate(&params(400, 2.5), seed).dag).height();
         }
         assert!(
             sum_tall * 2 > sum_flat * 3,
@@ -181,11 +185,17 @@ mod tests {
     #[test]
     fn density_scales_edge_count() {
         let sparse = generate(
-            &RandomDagParams { density: 1, ..params(300, 1.0) },
+            &RandomDagParams {
+                density: 1,
+                ..params(300, 1.0)
+            },
             4,
         );
         let dense = generate(
-            &RandomDagParams { density: 5, ..params(300, 1.0) },
+            &RandomDagParams {
+                density: 5,
+                ..params(300, 1.0)
+            },
             4,
         );
         assert!(dense.dag.num_edges() > 2 * sparse.dag.num_edges());
@@ -208,7 +218,11 @@ mod tests {
     fn realized_ccr_tracks_parameter() {
         for &ccr in &[1.0, 5.0] {
             let inst = generate(
-                &RandomDagParams { ccr, v: 500, ..RandomDagParams::default() },
+                &RandomDagParams {
+                    ccr,
+                    v: 500,
+                    ..RandomDagParams::default()
+                },
                 6,
             );
             let realized = inst.realized_ccr();
@@ -230,12 +244,18 @@ mod tests {
 
     #[test]
     fn single_source_pins_a_real_entry() {
-        let p = RandomDagParams { single_source: true, ..params(100, 1.0) };
+        let p = RandomDagParams {
+            single_source: true,
+            ..params(100, 1.0)
+        };
         let inst = generate(&p, 11);
         // No pseudo entry needed: exactly 100 or 101 (pseudo exit) tasks,
         // and the entry is an original task with real cost.
         let entry = inst.dag.single_entry().unwrap();
-        assert!(entry.index() < 100, "entry {entry} must be an original task");
+        assert!(
+            entry.index() < 100,
+            "entry {entry} must be an original task"
+        );
         assert!(inst.num_tasks() <= 101);
         assert!(inst.costs.mean_cost(entry) >= 0.0);
     }

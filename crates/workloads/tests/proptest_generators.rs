@@ -8,8 +8,14 @@ use hdlts_workloads::{compose, fft, gauss, laplace, pegasus, Consistency, CostPa
 use proptest::prelude::*;
 
 fn arb_cost_params() -> impl Strategy<Value = CostParams> {
-    (10.0f64..150.0, 0.0f64..5.0, 0.0f64..2.0, 1usize..6, any::<bool>()).prop_map(
-        |(w_dag, ccr, beta, num_procs, consistent)| CostParams {
+    (
+        10.0f64..150.0,
+        0.0f64..5.0,
+        0.0f64..2.0,
+        1usize..6,
+        any::<bool>(),
+    )
+        .prop_map(|(w_dag, ccr, beta, num_procs, consistent)| CostParams {
             w_dag,
             ccr,
             beta,
@@ -19,8 +25,7 @@ fn arb_cost_params() -> impl Strategy<Value = CostParams> {
             } else {
                 Consistency::Inconsistent
             },
-        },
-    )
+        })
 }
 
 fn check(inst: &Instance) -> Result<(), TestCaseError> {

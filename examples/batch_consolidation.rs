@@ -57,10 +57,18 @@ fn main() {
     // Strategy 2: online stream, everything arriving at once.
     let stream: Vec<JobArrival> = parts
         .iter()
-        .map(|inst| JobArrival { instance: inst.clone(), arrival: 0.0 })
+        .map(|inst| JobArrival {
+            instance: inst.clone(),
+            arrival: 0.0,
+        })
         .collect();
     let online = JobStreamScheduler::default()
-        .execute(&platform, &stream, &PerturbModel::exact(), &FailureSpec::none())
+        .execute(
+            &platform,
+            &stream,
+            &PerturbModel::exact(),
+            &FailureSpec::none(),
+        )
         .expect("stream completes");
     println!(
         "\nonline dispatcher finishes the same batch at {:.1} \

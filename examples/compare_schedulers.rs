@@ -12,8 +12,9 @@
 use hdlts_repro::baselines::AlgorithmKind;
 use hdlts_repro::metrics::{load_imbalance_cv, MetricSet, RunningStats};
 use hdlts_repro::platform::Platform;
-use hdlts_repro::workloads::{fft, gauss, moldyn, montage, random_dag, CostParams, Instance,
-    RandomDagParams};
+use hdlts_repro::workloads::{
+    fft, gauss, moldyn, montage, random_dag, CostParams, Instance, RandomDagParams,
+};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -32,7 +33,10 @@ fn main() {
             "random(v=100)",
             Box::new(move |seed| {
                 random_dag::generate(
-                    &RandomDagParams { ccr, ..RandomDagParams::default() },
+                    &RandomDagParams {
+                        ccr,
+                        ..RandomDagParams::default()
+                    },
                     seed,
                 )
             }),
@@ -40,13 +44,27 @@ fn main() {
         (
             "fft(m=16)",
             Box::new(move |seed| {
-                fft::generate(16, &CostParams { ccr, ..CostParams::default() }, seed)
+                fft::generate(
+                    16,
+                    &CostParams {
+                        ccr,
+                        ..CostParams::default()
+                    },
+                    seed,
+                )
             }),
         ),
         (
             "gauss(m=10)",
             Box::new(move |seed| {
-                gauss::generate(10, &CostParams { ccr, ..CostParams::default() }, seed)
+                gauss::generate(
+                    10,
+                    &CostParams {
+                        ccr,
+                        ..CostParams::default()
+                    },
+                    seed,
+                )
             }),
         ),
         (
@@ -54,7 +72,11 @@ fn main() {
             Box::new(move |seed| {
                 montage::generate_approx(
                     50,
-                    &CostParams { ccr, num_procs: 5, ..CostParams::default() },
+                    &CostParams {
+                        ccr,
+                        num_procs: 5,
+                        ..CostParams::default()
+                    },
                     seed,
                 )
             }),
@@ -62,7 +84,14 @@ fn main() {
         (
             "moldyn",
             Box::new(move |seed| {
-                moldyn::generate(&CostParams { ccr, num_procs: 5, ..CostParams::default() }, seed)
+                moldyn::generate(
+                    &CostParams {
+                        ccr,
+                        num_procs: 5,
+                        ..CostParams::default()
+                    },
+                    seed,
+                )
             }),
         ),
     ];
@@ -125,6 +154,10 @@ fn main() {
             .map(|&k| (k, &table[&(*family, k)]))
             .min_by(|a, b| a.1.mean().total_cmp(&b.1.mean()))
             .expect("table is populated");
-        println!("  {family:>14}: {best} ({:.3} +/- {:.3})", stats.mean(), stats.ci95());
+        println!(
+            "  {family:>14}: {best} ({:.3} +/- {:.3})",
+            stats.mean(),
+            stats.ci95()
+        );
     }
 }

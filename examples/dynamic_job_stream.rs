@@ -31,7 +31,10 @@ fn main() {
     // Calibrate arrivals against one job's solo makespan.
     let probe = fft::generate(8, &CostParams::default(), 0);
     let problem = probe.problem(&platform).expect("consistent");
-    let solo = Hdlts::paper_exact().schedule(&problem).expect("schedules").makespan();
+    let solo = Hdlts::paper_exact()
+        .schedule(&problem)
+        .expect("schedules")
+        .makespan();
     println!(
         "{n_jobs} FFT(m=8) jobs, solo makespan {solo:.0}, arrival gap {:.0} ({}x solo)\n",
         gap_fraction * solo,
@@ -46,16 +49,22 @@ fn main() {
         .collect();
 
     for policy in [DispatchPolicy::PenaltyValue, DispatchPolicy::Fifo] {
-        let out = JobStreamScheduler { policy, ..Default::default() }
-            .execute(&platform, &stream, &PerturbModel::uniform(0.1, 7), &FailureSpec::none())
-            .expect("stream completes");
+        let out = JobStreamScheduler {
+            policy,
+            ..Default::default()
+        }
+        .execute(
+            &platform,
+            &stream,
+            &PerturbModel::uniform(0.1, 7),
+            &FailureSpec::none(),
+        )
+        .expect("stream completes");
         println!("{policy:?} dispatch:");
         for (j, (job, resp)) in stream.iter().zip(&out.response_times).enumerate() {
             println!(
                 "  job {j}: arrived {:>7.0}  finished {:>7.0}  response {:>7.0}",
-                job.arrival,
-                out.jobs[j].makespan,
-                resp
+                job.arrival, out.jobs[j].makespan, resp
             );
         }
         println!(

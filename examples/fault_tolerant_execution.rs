@@ -20,12 +20,20 @@ use hdlts_repro::sim::{replay, FailureSpec, OnlineHdlts, PerturbModel};
 use hdlts_repro::workloads::{fft, CostParams};
 
 fn main() {
-    let params = CostParams { w_dag: 50.0, ccr: 2.0, beta: 1.0, num_procs: 4, ..CostParams::default() };
+    let params = CostParams {
+        w_dag: 50.0,
+        ccr: 2.0,
+        beta: 1.0,
+        num_procs: 4,
+        ..CostParams::default()
+    };
     let inst = fft::generate(16, &params, 11);
     let platform = Platform::fully_connected(4).expect("four CPUs");
     let problem = inst.problem(&platform).expect("dimensions agree");
 
-    let plan = Hdlts::paper_exact().schedule(&problem).expect("fft schedules");
+    let plan = Hdlts::paper_exact()
+        .schedule(&problem)
+        .expect("fft schedules");
     println!(
         "FFT(m=16): {} tasks, planned makespan {:.1}\n",
         inst.num_tasks(),
@@ -34,7 +42,10 @@ fn main() {
 
     println!("{:<44} {:>10} {:>9}", "scenario", "makespan", "aborted");
     let exact = replay(&problem, &plan, &PerturbModel::exact()).expect("replay");
-    println!("{:<44} {:>10.1} {:>9}", "static plan, exact estimates", exact.makespan, 0);
+    println!(
+        "{:<44} {:>10.1} {:>9}",
+        "static plan, exact estimates", exact.makespan, 0
+    );
 
     let mut static_worse = 0u32;
     const SEEDS: u64 = 25;

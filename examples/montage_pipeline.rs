@@ -26,7 +26,13 @@ fn arg(flag: &str, default: f64) -> f64 {
 fn main() {
     let ccr = arg("--ccr", 3.0);
     let seed = arg("--seed", 7.0) as u64;
-    let params = CostParams { w_dag: 80.0, ccr, beta: 1.2, num_procs: 5, ..CostParams::default() };
+    let params = CostParams {
+        w_dag: 80.0,
+        ccr,
+        beta: 1.2,
+        num_procs: 5,
+        ..CostParams::default()
+    };
     let inst = montage::generate_approx(50, &params, seed);
     let platform = Platform::fully_connected(5).expect("five CPUs");
     let problem = inst.problem(&platform).expect("dimensions agree");
@@ -48,7 +54,10 @@ fn main() {
         .collect();
     rows.sort_by(|a, b| a.1.makespan.total_cmp(&b.1.makespan));
 
-    println!("{:<8} {:>10} {:>8} {:>9} {:>11}", "algo", "makespan", "SLR", "speedup", "efficiency");
+    println!(
+        "{:<8} {:>10} {:>8} {:>9} {:>11}",
+        "algo", "makespan", "SLR", "speedup", "efficiency"
+    );
     for (kind, m) in &rows {
         println!(
             "{:<8} {:>10.1} {:>8.3} {:>9.3} {:>11.3}",
@@ -61,12 +70,18 @@ fn main() {
     }
 
     let (winner, _) = rows[0];
-    let schedule = winner.build().schedule(&problem).expect("montage schedules");
+    let schedule = winner
+        .build()
+        .schedule(&problem)
+        .expect("montage schedules");
     println!("\nBest schedule ({winner}):\n");
     print!("{}", schedule.to_gantt(&platform, 90));
 
     let dot = inst.dag.to_dot(&inst.name);
     let path = std::env::temp_dir().join("montage_50.dot");
     std::fs::write(&path, dot).expect("writable temp dir");
-    println!("\nworkflow exported to {} (render with `dot -Tsvg`)", path.display());
+    println!(
+        "\nworkflow exported to {} (render with `dot -Tsvg`)",
+        path.display()
+    );
 }

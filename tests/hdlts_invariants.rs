@@ -21,7 +21,10 @@ fn paper_config_only_ever_duplicates_the_entry() {
         let s = Hdlts::paper_exact().schedule(&problem).unwrap();
         let entry = inst.dag.single_entry().unwrap();
         for (t, _) in s.duplicates() {
-            assert_eq!(*t, entry, "seed {seed}: Algorithm 1 replicated a non-entry task");
+            assert_eq!(
+                *t, entry,
+                "seed {seed}: Algorithm 1 replicated a non-entry task"
+            );
         }
         // At most one replica per non-primary processor.
         assert!(s.duplicates().len() < inst.num_procs());
@@ -32,7 +35,10 @@ fn paper_config_only_ever_duplicates_the_entry() {
 fn duplication_off_yields_no_replicas_anywhere() {
     for seed in 0..10 {
         let inst = random_dag::generate(
-            &RandomDagParams { single_source: true, ..RandomDagParams::default() },
+            &RandomDagParams {
+                single_source: true,
+                ..RandomDagParams::default()
+            },
             seed,
         );
         let platform = Platform::fully_connected(inst.num_procs()).unwrap();
@@ -93,8 +99,14 @@ fn duplication_mostly_helps_but_is_not_a_global_guarantee() {
     };
     // The documented counterexample: greedy duplication hurts here.
     let (with_dup, without) = makespans(0.5);
-    assert!(with_dup > without, "counterexample vanished: {with_dup} vs {without}");
-    assert!(with_dup <= without * 1.10, "harm stays bounded: {with_dup} vs {without}");
+    assert!(
+        with_dup > without,
+        "counterexample vanished: {with_dup} vs {without}"
+    );
+    assert!(
+        with_dup <= without * 1.10,
+        "harm stays bounded: {with_dup} vs {without}"
+    );
     // At the paper's own scale and above, duplication wins.
     for scale in [1.0, 2.0, 4.0] {
         let (with_dup, without) = makespans(scale);
@@ -128,6 +140,9 @@ fn all_children_duplicates_subset_of_any_child() {
         // The all-children condition is stricter, so it cannot replicate on
         // more processors than any-child did *at the entry step* (both
         // configs schedule the entry identically before diverging).
-        assert!(all.duplicates().len() <= any.duplicates().len(), "seed {seed}");
+        assert!(
+            all.duplicates().len() <= any.duplicates().len(),
+            "seed {seed}"
+        );
     }
 }

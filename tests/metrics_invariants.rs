@@ -3,15 +3,21 @@
 //! and load balance.
 
 use hdlts_repro::baselines::AlgorithmKind;
-use hdlts_repro::metrics::{cp_min_bound, load_imbalance_cv, load_imbalance_ratio, MetricSet,
-    PowerModel};
+use hdlts_repro::metrics::{
+    cp_min_bound, load_imbalance_cv, load_imbalance_ratio, MetricSet, PowerModel,
+};
 use hdlts_repro::platform::Platform;
-use hdlts_repro::workloads::{laplace, pegasus, random_dag, CostParams, Instance,
-    RandomDagParams};
+use hdlts_repro::workloads::{laplace, pegasus, random_dag, CostParams, Instance, RandomDagParams};
 
 fn instances() -> Vec<Instance> {
     vec![
-        random_dag::generate(&RandomDagParams { ccr: 2.0, ..RandomDagParams::default() }, 1),
+        random_dag::generate(
+            &RandomDagParams {
+                ccr: 2.0,
+                ..RandomDagParams::default()
+            },
+            1,
+        ),
         laplace::generate(5, &CostParams::default(), 1),
         pegasus::cybershake(4, &CostParams::default(), 1),
     ]
@@ -36,8 +42,11 @@ fn metric_relations_hold_for_every_algorithm() {
             );
             // Bounds.
             assert!(m.slr >= 1.0 - 1e-9, "{kind}: SLR {}", m.slr);
-            assert!(m.makespan <= best_seq + 1e-6,
-                "{kind}: parallel worse than best sequential? {} vs {best_seq}", m.makespan);
+            assert!(
+                m.makespan <= best_seq + 1e-6,
+                "{kind}: parallel worse than best sequential? {} vs {best_seq}",
+                m.makespan
+            );
         }
     }
 }
@@ -95,7 +104,12 @@ fn more_processors_never_worsen_the_best_makespan() {
     let mut prev_best = f64::INFINITY;
     for &procs in &[2usize, 4, 8] {
         let inst = random_dag::generate(
-            &RandomDagParams { v: 80, num_procs: procs, ccr: 1.0, ..RandomDagParams::default() },
+            &RandomDagParams {
+                v: 80,
+                num_procs: procs,
+                ccr: 1.0,
+                ..RandomDagParams::default()
+            },
             7,
         );
         let platform = Platform::fully_connected(procs).unwrap();

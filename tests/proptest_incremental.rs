@@ -26,7 +26,11 @@ fn assert_engines_agree(
     duplication: DuplicationPolicy,
     context: &str,
 ) -> Result<(), TestCaseError> {
-    let cfg = HdltsConfig { insertion, duplication, ..HdltsConfig::default() };
+    let cfg = HdltsConfig {
+        insertion,
+        duplication,
+        ..HdltsConfig::default()
+    };
     let (fast_s, fast_t) = Hdlts::new(cfg.with_engine(EngineMode::Incremental))
         .schedule_with_trace(problem)
         .unwrap();
@@ -67,18 +71,25 @@ fn handrolled_instance(n: usize, procs: usize, seed: u64) -> (Dag, CostMatrix) {
         let dst = rng.random_range(1..n);
         let src = rng.random_range(0..dst);
         // Parallel edges are rejected by the builder; skip those draws.
-        if builder.add_edge(tasks[src], tasks[dst], rng.random_range(1.0..50.0)).is_ok() {
+        if builder
+            .add_edge(tasks[src], tasks[dst], rng.random_range(1.0..50.0))
+            .is_ok()
+        {
             has_succ[src] = true;
         }
     }
     for i in 0..n - 1 {
         if !has_succ[i] {
-            builder.add_edge(tasks[i], tasks[n - 1], rng.random_range(1.0..50.0)).unwrap();
+            builder
+                .add_edge(tasks[i], tasks[n - 1], rng.random_range(1.0..50.0))
+                .unwrap();
         }
     }
     let dag = builder.build().unwrap();
     let costs = CostMatrix::from_rows(
-        (0..n).map(|_| (0..procs).map(|_| rng.random_range(1.0..40.0)).collect()).collect(),
+        (0..n)
+            .map(|_| (0..procs).map(|_| rng.random_range(1.0..40.0)).collect())
+            .collect(),
     )
     .unwrap();
     (dag, costs)

@@ -17,7 +17,10 @@ struct StreamCase {
 }
 
 fn instance_for(kind: u8, procs: usize, seed: u64) -> Instance {
-    let cp = CostParams { num_procs: procs, ..CostParams::default() };
+    let cp = CostParams {
+        num_procs: procs,
+        ..CostParams::default()
+    };
     match kind % 3 {
         0 => fft::generate(4, &cp, seed),
         1 => gauss::generate(4, &cp, seed),
@@ -47,7 +50,11 @@ fn arb_case() -> impl Strategy<Value = StreamCase> {
                 procs,
                 jitter,
                 seed,
-                policy: if fifo { DispatchPolicy::Fifo } else { DispatchPolicy::PenaltyValue },
+                policy: if fifo {
+                    DispatchPolicy::Fifo
+                } else {
+                    DispatchPolicy::PenaltyValue
+                },
             }
         })
 }

@@ -4,8 +4,9 @@
 use hdlts_repro::baselines::AlgorithmKind;
 use hdlts_repro::metrics::MetricSet;
 use hdlts_repro::platform::Platform;
-use hdlts_repro::workloads::{fft, gauss, moldyn, montage, random_dag, CostParams, Instance,
-    RandomDagParams};
+use hdlts_repro::workloads::{
+    fft, gauss, moldyn, montage, random_dag, CostParams, Instance, RandomDagParams,
+};
 
 fn check_instance(inst: &Instance, context: &str) {
     let platform = Platform::fully_connected(inst.num_procs()).unwrap();
@@ -20,7 +21,11 @@ fn check_instance(inst: &Instance, context: &str) {
             .validate(&problem)
             .unwrap_or_else(|e| panic!("{kind} infeasible on {context}: {e}"));
         let m = MetricSet::compute(&problem, &schedule);
-        assert!(m.slr >= 1.0 - 1e-9, "{kind} beat the CP bound on {context}: {}", m.slr);
+        assert!(
+            m.slr >= 1.0 - 1e-9,
+            "{kind} beat the CP bound on {context}: {}",
+            m.slr
+        );
     }
 }
 
@@ -72,7 +77,10 @@ fn montage_paper_sizes() {
         for seed in 0..3 {
             let inst = montage::generate_approx(
                 total,
-                &CostParams { num_procs: 5, ..CostParams::default() },
+                &CostParams {
+                    num_procs: 5,
+                    ..CostParams::default()
+                },
                 seed,
             );
             check_instance(&inst, &format!("montage {total} seed={seed}"));
@@ -85,7 +93,13 @@ fn moldyn_across_ccr_and_beta() {
     for &ccr in &[1.0, 3.0, 5.0] {
         for &beta in &[0.4, 1.2, 2.0] {
             let inst = moldyn::generate(
-                &CostParams { ccr, beta, num_procs: 5, w_dag: 80.0, ..CostParams::default() },
+                &CostParams {
+                    ccr,
+                    beta,
+                    num_procs: 5,
+                    w_dag: 80.0,
+                    ..CostParams::default()
+                },
                 9,
             );
             check_instance(&inst, &format!("moldyn ccr={ccr} beta={beta}"));
@@ -137,7 +151,11 @@ fn heuristics_beat_random_on_average() {
         let inst = random_dag::generate(&RandomDagParams::default(), seed);
         let platform = Platform::fully_connected(inst.num_procs()).unwrap();
         let problem = inst.problem(&platform).unwrap();
-        random_total += AlgorithmKind::Random.build().schedule(&problem).unwrap().makespan();
+        random_total += AlgorithmKind::Random
+            .build()
+            .schedule(&problem)
+            .unwrap()
+            .makespan();
         let best = AlgorithmKind::PAPER_SET
             .iter()
             .map(|&k| k.build().schedule(&problem).unwrap().makespan())

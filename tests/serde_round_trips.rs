@@ -4,8 +4,9 @@
 use hdlts_repro::baselines::AlgorithmKind;
 use hdlts_repro::core::{HdltsConfig, Schedule};
 use hdlts_repro::platform::Platform;
-use hdlts_repro::workloads::{fft, gauss, laplace, moldyn, montage, random_dag, CostParams,
-    Instance, RandomDagParams};
+use hdlts_repro::workloads::{
+    fft, gauss, laplace, moldyn, montage, random_dag, CostParams, Instance, RandomDagParams,
+};
 
 /// The offline dev environment builds against compile-only stubs of the
 /// serde crates that panic at runtime (`.shadow/`, see EXPERIMENTS.md
@@ -18,8 +19,7 @@ fn serde_json_is_stubbed() -> bool {
     *STUBBED.get_or_init(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let stubbed =
-            std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
+        let stubbed = std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
         std::panic::set_hook(prev);
         if stubbed {
             eprintln!("note: serde_json is the offline stub; skipping round-trip bodies");
@@ -122,7 +122,11 @@ fn dot_exports_render_for_every_family() {
 fn ten_thousand_task_stress_schedule() {
     // One full-scale (paper-maximum) instance through the paper set.
     let inst = random_dag::generate(
-        &RandomDagParams { v: 10_000, num_procs: 10, ..RandomDagParams::default() },
+        &RandomDagParams {
+            v: 10_000,
+            num_procs: 10,
+            ..RandomDagParams::default()
+        },
         4,
     );
     let platform = Platform::fully_connected(10).unwrap();
@@ -131,6 +135,7 @@ fn ten_thousand_task_stress_schedule() {
         let s = kind.build().schedule(&problem).unwrap();
         assert!(s.is_complete(), "{kind}");
         // Full validation is O(V + E + copies); run it here too.
-        s.validate(&problem).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        s.validate(&problem)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
     }
 }

@@ -6,9 +6,7 @@
 //! transport in front of the engine, never a different code path.
 
 use hdlts_repro::platform::{Platform, ProcId};
-use hdlts_repro::sim::{
-    DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel,
-};
+use hdlts_repro::sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel};
 use hdlts_repro::workloads::{GeneratorSpec, Instance};
 use hdlts_service::json::Value;
 use hdlts_service::{Daemon, ServiceConfig, ShardSpec};
@@ -25,11 +23,16 @@ impl Client {
     fn connect(addr: std::net::SocketAddr) -> Client {
         let stream = TcpStream::connect(addr).expect("connect to daemon");
         stream.set_nodelay(true).unwrap();
-        Client { reader: BufReader::new(stream.try_clone().unwrap()), writer: stream }
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
     }
 
     fn request(&mut self, line: &str) -> Value {
-        self.writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .unwrap();
         self.writer.flush().unwrap();
         let mut resp = String::new();
         self.reader.read_line(&mut resp).unwrap();
@@ -53,21 +56,34 @@ impl Client {
 }
 
 fn start_daemon(cfg: ServiceConfig) -> hdlts_service::DaemonHandle {
-    Daemon::start(ServiceConfig { addr: "127.0.0.1:0".into(), ..cfg }).expect("daemon start")
+    Daemon::start(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        ..cfg
+    })
+    .expect("daemon start")
 }
 
 /// Runs `instance` through the offline single-job stream — the reference
 /// the daemon must reproduce exactly.
-fn offline_reference(instance: &Instance, policy: DispatchPolicy) -> (f64, Vec<(ProcId, f64, f64)>) {
+fn offline_reference(
+    instance: &Instance,
+    policy: DispatchPolicy,
+) -> (f64, Vec<(ProcId, f64, f64)>) {
     let platform = Platform::fully_connected(instance.num_procs()).unwrap();
-    let out = JobStreamScheduler { policy, ..Default::default() }
-        .execute(
-            &platform,
-            &[JobArrival { instance: instance.clone(), arrival: 0.0 }],
-            &PerturbModel::exact(),
-            &FailureSpec::none(),
-        )
-        .unwrap();
+    let out = JobStreamScheduler {
+        policy,
+        ..Default::default()
+    }
+    .execute(
+        &platform,
+        &[JobArrival {
+            instance: instance.clone(),
+            arrival: 0.0,
+        }],
+        &PerturbModel::exact(),
+        &FailureSpec::none(),
+    )
+    .unwrap();
     (out.jobs[0].makespan, out.jobs[0].placements.clone())
 }
 
@@ -96,17 +112,25 @@ fn named_fft_job_matches_offline_schedule_bit_for_bit() {
     let handle = start_daemon(ServiceConfig::default());
     let mut client = Client::connect(handle.addr());
 
-    let submit = client.request(
-        r#"{"cmd":"submit","workload":{"family":"fft","m":16,"procs":4,"seed":7}}"#,
+    let submit =
+        client.request(r#"{"cmd":"submit","workload":{"family":"fft","m":16,"procs":4,"seed":7}}"#);
+    assert_eq!(
+        submit.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{submit}"
     );
-    assert_eq!(submit.get("ok").and_then(Value::as_bool), Some(true), "{submit}");
     let job_id = submit.get("job_id").and_then(Value::as_u64).unwrap();
     let result = client.await_result(job_id);
 
     // Reference: the identical GeneratorSpec through the offline engine.
-    let instance = GeneratorSpec { size: 16, num_procs: 4, seed: 7, ..Default::default() }
-        .generate("fft")
-        .unwrap();
+    let instance = GeneratorSpec {
+        size: 16,
+        num_procs: 4,
+        seed: 7,
+        ..Default::default()
+    }
+    .generate("fft")
+    .unwrap();
     let (ref_makespan, ref_placements) = offline_reference(&instance, DispatchPolicy::PenaltyValue);
     let (makespan, placements) = wire_schedule(&result);
 
@@ -141,12 +165,19 @@ fn inline_dag_job_matches_offline_schedule_bit_for_bit() {
         .replace('\n', " ");
 
     let handle = start_daemon(ServiceConfig {
-        shards: vec![ShardSpec { procs: 3, threads: 1 }],
+        shards: vec![ShardSpec {
+            procs: 3,
+            threads: 1,
+        }],
         ..Default::default()
     });
     let mut client = Client::connect(handle.addr());
     let submit = client.request(&inline);
-    assert_eq!(submit.get("ok").and_then(Value::as_bool), Some(true), "{submit}");
+    assert_eq!(
+        submit.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{submit}"
+    );
     let job_id = submit.get("job_id").and_then(Value::as_u64).unwrap();
     let result = client.await_result(job_id);
 
@@ -169,7 +200,11 @@ fn inline_dag_job_matches_offline_schedule_bit_for_bit() {
         vec![17.5, 7.0, 11.0],
     ])
     .unwrap();
-    let instance = Instance { name: "forkjoin".into(), dag, costs };
+    let instance = Instance {
+        name: "forkjoin".into(),
+        dag,
+        costs,
+    };
     let (ref_makespan, ref_placements) = offline_reference(&instance, DispatchPolicy::Fifo);
     let (makespan, placements) = wire_schedule(&result);
     assert_eq!(makespan, ref_makespan);
@@ -184,7 +219,10 @@ fn backpressure_rejects_carry_retry_after_and_drain_loses_nothing() {
     // rejected, every rejection carrying a positive retry_after_ms.
     let handle = start_daemon(ServiceConfig {
         queue_capacity: 2,
-        shards: vec![ShardSpec { procs: 4, threads: 1 }],
+        shards: vec![ShardSpec {
+            procs: 4,
+            threads: 1,
+        }],
         worker_delay_ms: 200,
         ..Default::default()
     });
@@ -230,8 +268,8 @@ fn backpressure_rejects_carry_retry_after_and_drain_loses_nothing() {
 fn stats_and_status_reflect_the_lifecycle() {
     let handle = start_daemon(ServiceConfig::default());
     let mut client = Client::connect(handle.addr());
-    let submit = client
-        .request(r#"{"cmd":"submit","workload":{"family":"montage","size":40,"procs":4}}"#);
+    let submit =
+        client.request(r#"{"cmd":"submit","workload":{"family":"montage","size":40,"procs":4}}"#);
     let job_id = submit.get("job_id").and_then(Value::as_u64).unwrap();
     client.await_result(job_id);
 
@@ -251,8 +289,10 @@ fn stats_and_status_reflect_the_lifecycle() {
     // Shutdown over the wire; subsequent submits are refused.
     let down = client.request(r#"{"cmd":"shutdown"}"#);
     assert_eq!(down.get("draining").and_then(Value::as_bool), Some(true));
-    let refused = client
-        .request(r#"{"cmd":"submit","workload":{"family":"moldyn","procs":4}}"#);
-    assert_eq!(refused.get("error").and_then(Value::as_str), Some("draining"));
+    let refused = client.request(r#"{"cmd":"submit","workload":{"family":"moldyn","procs":4}}"#);
+    assert_eq!(
+        refused.get("error").and_then(Value::as_str),
+        Some("draining")
+    );
     handle.wait();
 }

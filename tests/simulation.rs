@@ -11,7 +11,13 @@ fn exact_replay_matches_plan_for_every_algorithm_and_family() {
     let instances = vec![
         random_dag::generate(&RandomDagParams::default(), 3),
         fft::generate(8, &CostParams::default(), 3),
-        moldyn::generate(&CostParams { num_procs: 4, ..CostParams::default() }, 3),
+        moldyn::generate(
+            &CostParams {
+                num_procs: 4,
+                ..CostParams::default()
+            },
+            3,
+        ),
     ];
     for inst in &instances {
         let platform = Platform::fully_connected(inst.num_procs()).unwrap();
@@ -51,11 +57,20 @@ fn jittered_replay_scales_with_jitter_bound() {
 fn online_hdlts_completes_every_family_under_stress() {
     let instances = vec![
         random_dag::generate(
-            &RandomDagParams { single_source: true, ..RandomDagParams::default() },
+            &RandomDagParams {
+                single_source: true,
+                ..RandomDagParams::default()
+            },
             7,
         ),
         fft::generate(8, &CostParams::default(), 7),
-        moldyn::generate(&CostParams { num_procs: 4, ..CostParams::default() }, 7),
+        moldyn::generate(
+            &CostParams {
+                num_procs: 4,
+                ..CostParams::default()
+            },
+            7,
+        ),
     ];
     for inst in &instances {
         let platform = Platform::fully_connected(inst.num_procs()).unwrap();

@@ -76,12 +76,7 @@ fn table1_penalty_values_reproduced() {
 
     for (i, expected) in EXPECTED_PVS.iter().enumerate() {
         let step = &trace.steps[i];
-        assert_eq!(
-            step.ready.len(),
-            expected.len(),
-            "step {} ITQ size",
-            i + 1
-        );
+        assert_eq!(step.ready.len(), expected.len(), "step {} ITQ size", i + 1);
         for &(task, pv) in *expected {
             let got = step
                 .ready
@@ -140,8 +135,12 @@ fn paper_variants_still_schedule_fig1_validly() {
             PenaltyKind::ExecStdDev,
         ] {
             for insertion in [false, true] {
-                let cfg =
-                    HdltsConfig { duplication: dup, penalty: pv, insertion, ..HdltsConfig::default() };
+                let cfg = HdltsConfig {
+                    duplication: dup,
+                    penalty: pv,
+                    insertion,
+                    ..HdltsConfig::default()
+                };
                 let s = Hdlts::new(cfg).schedule(&problem).unwrap();
                 s.validate(&problem)
                     .unwrap_or_else(|e| panic!("{dup:?}/{pv:?}/{insertion}: {e}"));

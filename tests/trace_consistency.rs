@@ -38,18 +38,29 @@ fn check_trace(problem: &Problem<'_>) {
         }
         // The chosen processor minimizes the recorded row.
         let min = step.eft_row.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!((step.eft_row[p.index()] - min).abs() < 1e-9, "step {}", step.step);
+        assert!(
+            (step.eft_row[p.index()] - min).abs() < 1e-9,
+            "step {}",
+            step.step
+        );
         // The selected task heads the recorded (sorted) ITQ.
         assert_eq!(step.ready[0].0, t, "step {}", step.step);
     }
-    assert_eq!(replayed, schedule, "trace replay diverged from the schedule");
+    assert_eq!(
+        replayed, schedule,
+        "trace replay diverged from the schedule"
+    );
 }
 
 #[test]
 fn trace_replays_on_random_graphs() {
     for seed in 0..5 {
         let inst = random_dag::generate(
-            &RandomDagParams { v: 60, ccr: 3.0, ..RandomDagParams::default() },
+            &RandomDagParams {
+                v: 60,
+                ccr: 3.0,
+                ..RandomDagParams::default()
+            },
             seed,
         );
         let platform = Platform::fully_connected(inst.num_procs()).unwrap();
@@ -79,7 +90,11 @@ fn trace_replays_on_single_source_graphs_with_duplication() {
 #[test]
 fn trace_replays_on_moldyn() {
     let inst = moldyn::generate(
-        &CostParams { num_procs: 5, ccr: 2.0, ..CostParams::default() },
+        &CostParams {
+            num_procs: 5,
+            ccr: 2.0,
+            ..CostParams::default()
+        },
         3,
     );
     let platform = Platform::fully_connected(5).unwrap();
