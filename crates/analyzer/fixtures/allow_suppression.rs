@@ -1,0 +1,14 @@
+//! Fixture: one allow suppresses exactly one finding.
+
+pub fn first(start: f64) -> bool {
+    // LINT-ALLOW(float-eq): fixture proves suppression is per-finding
+    start == 0.0
+}
+
+pub fn second(start: f64) -> bool {
+    start == 0.0
+}
+
+pub fn third(start: f64) -> bool {
+    start == 0.0 // LINT-ALLOW(float-eq): trailing allows also count
+}

@@ -1,0 +1,14 @@
+//! Fixture: the float-eq rule must flag literal and vocabulary operands
+//! and spare integer comparisons.
+
+pub fn bad_literal(a: f64) -> bool {
+    a == 0.0
+}
+
+pub fn bad_field(start: f64, finish: f64) -> bool {
+    start != finish
+}
+
+pub fn fine_int(idx: usize) -> bool {
+    idx == 0
+}

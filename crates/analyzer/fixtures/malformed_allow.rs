@@ -1,0 +1,10 @@
+//! Fixture: malformed allows are findings, never silent no-ops.
+
+// LINT-ALLOW(no-such-rule): bogus id
+pub fn a() {}
+
+// LINT-ALLOW(float-eq)
+pub fn b() {}
+
+// LINT-ALLOW(float-eq missing paren
+pub fn c() {}

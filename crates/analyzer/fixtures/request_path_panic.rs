@@ -1,0 +1,26 @@
+//! Fixture: the request-path-panic rule must flag every panicking form
+//! and spare the non-panicking combinators and test code.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn bad_panic() {
+    panic!("nope");
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        Some(1u32).unwrap();
+    }
+}

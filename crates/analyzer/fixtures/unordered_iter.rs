@@ -1,0 +1,6 @@
+//! Fixture: the unordered-iter rule flags every HashMap/HashSet mention.
+use std::collections::HashMap;
+
+pub fn bad_map() -> HashMap<u32, u32> {
+    HashMap::new()
+}

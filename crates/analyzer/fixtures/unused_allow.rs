@@ -1,0 +1,4 @@
+//! Fixture: an allow with nothing to suppress is itself a finding.
+
+// LINT-ALLOW(float-eq): nothing here compares floats
+pub fn noop() {}

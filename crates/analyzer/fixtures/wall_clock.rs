@@ -1,0 +1,7 @@
+//! Fixture: the wall-clock rule fires on `::now()` calls, not on the
+//! import of the type.
+use std::time::Instant;
+
+pub fn bad_now() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,411 @@
+//! The analysis driver: file discovery, test-code masking, `LINT-ALLOW`
+//! bookkeeping, and report assembly.
+//!
+//! Suppression contract: a finding is suppressed by a line comment
+//! `// LINT-ALLOW(rule-id): reason` on the same line as the finding or in
+//! the comment block directly above it (the allow covers the next code
+//! line, so a multi-line justification is fine). Allows are themselves
+//! audited — an allow
+//! that suppresses nothing is reported as `unused-lint-allow`, and one
+//! naming an unknown rule or missing its reason is `malformed-lint-allow`.
+//! Test code (`#[cfg(test)]` modules and `#[test]` functions) is exempt
+//! from every rule: tests may unwrap and compare exactly.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{rule_by_id, RULES};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (or a meta rule like `unused-lint-allow`).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `LINT-ALLOW` escape hatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: String,
+    /// Line of the comment.
+    pub line: u32,
+    /// The stated justification.
+    pub reason: String,
+}
+
+/// Everything the engine learned about one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Violations that survived suppression (these fail the build).
+    pub findings: Vec<Finding>,
+    /// Violations silenced by a `LINT-ALLOW` (reported, not fatal).
+    pub suppressed: Vec<Finding>,
+    /// Every well-formed allow in the file.
+    pub allows: Vec<Allow>,
+}
+
+/// Workspace-wide results.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Per-file results, in walk order (sorted by path).
+    pub files: Vec<FileReport>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Fatal findings across all files.
+    pub fn findings(&self) -> impl Iterator<Item = &Finding> {
+        self.files.iter().flat_map(|f| f.findings.iter())
+    }
+
+    /// Suppressed findings across all files.
+    pub fn suppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.files.iter().flat_map(|f| f.suppressed.iter())
+    }
+
+    /// All allows across all files.
+    pub fn allows(&self) -> impl Iterator<Item = &Allow> {
+        self.files.iter().flat_map(|f| f.allows.iter())
+    }
+
+    /// Whether the workspace is clean (no fatal findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings().next().is_none()
+    }
+}
+
+/// Lints one file's source as if it lived at `path` (workspace-relative,
+/// forward slashes). The entry point both the binary and the fixture
+/// tests use.
+pub fn analyze_source(path: &str, src: &str) -> FileReport {
+    let toks = lex(src);
+    let masked = test_masked_ranges(&toks);
+    let code: Vec<Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .cloned()
+        .collect();
+    let (allows, mut malformed) = parse_allows(&toks, path);
+
+    // An allow covers its own line (trailing comment) and the first code
+    // line after it — intervening comment lines (the rest of a multi-line
+    // justification) don't break the association.
+    let covers: Vec<u32> = allows
+        .iter()
+        .map(|a| {
+            code.iter()
+                .map(|t| t.line)
+                .filter(|&l| l > a.line)
+                .min()
+                .unwrap_or(a.line)
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; allows.len()];
+    for rule in RULES {
+        if !(rule.applies)(path) {
+            continue;
+        }
+        for (line, col, message) in (rule.check)(&code) {
+            if masked.iter().any(|&(lo, hi)| (lo..=hi).contains(&line)) {
+                continue;
+            }
+            let finding = Finding {
+                rule: rule.id.into(),
+                path: path.into(),
+                line,
+                col,
+                message,
+            };
+            let allow = allows
+                .iter()
+                .enumerate()
+                .position(|(i, a)| a.rule == rule.id && (a.line == line || covers[i] == line));
+            match allow {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed.push(finding);
+                }
+                None => findings.push(finding),
+            }
+        }
+    }
+    for (i, a) in allows.iter().enumerate() {
+        if !used[i] {
+            findings.push(Finding {
+                rule: "unused-lint-allow".into(),
+                path: path.into(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "LINT-ALLOW({}) suppresses nothing; delete it or move it onto the finding",
+                    a.rule
+                ),
+            });
+        }
+    }
+    findings.append(&mut malformed);
+    findings.sort_by_key(|f| (f.line, f.col));
+    FileReport {
+        path: path.into(),
+        findings,
+        suppressed,
+        allows,
+    }
+}
+
+/// Extracts `LINT-ALLOW(rule): reason` escapes from line comments. Returns
+/// well-formed allows plus findings for malformed ones.
+fn parse_allows(toks: &[Tok], path: &str) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    let mut bad = |line: u32, message: String| {
+        malformed.push(Finding {
+            rule: "malformed-lint-allow".into(),
+            path: path.into(),
+            line,
+            col: 1,
+            message,
+        });
+    };
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        // Doc comments (`///`, `//!`) are prose — they may *describe* the
+        // escape-hatch syntax without being directives. Only plain `//`
+        // comments carry allows, and only the parenthesized spelling is a
+        // directive; a bare mention of the word is prose too.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = t.text.find("LINT-ALLOW(") else {
+            continue;
+        };
+        let rest = &t.text[at + "LINT-ALLOW".len()..];
+        let Some(inner) = rest.strip_prefix('(').and_then(|r| r.split_once(')')) else {
+            bad(
+                t.line,
+                "LINT-ALLOW( is unterminated; write LINT-ALLOW(rule-id): reason".into(),
+            );
+            continue;
+        };
+        let (rule, after) = (inner.0.trim(), inner.1);
+        if rule_by_id(rule).is_none() {
+            bad(t.line, format!("LINT-ALLOW names unknown rule '{rule}'"));
+            continue;
+        }
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad(
+                t.line,
+                format!("LINT-ALLOW({rule}) needs a reason: LINT-ALLOW({rule}): why"),
+            );
+            continue;
+        }
+        allows.push(Allow {
+            rule: rule.into(),
+            line: t.line,
+            reason: reason.into(),
+        });
+    }
+    (allows, malformed)
+}
+
+/// Line ranges covered by `#[cfg(test)]` items and `#[test]` functions.
+///
+/// Token-level scan: on `#[cfg(test)]` or `#[test]`, find the next `{` and
+/// mask through its matching `}`. Brace matching is exact because strings,
+/// chars, and comments are already folded into single tokens.
+fn test_masked_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].text == "#" && code.get(i + 1).is_some_and(|t| t.text == "[")) {
+            i += 1;
+            continue;
+        }
+        let is_test_attr = match code.get(i + 2).map(|t| t.text.as_str()) {
+            Some("test") => code.get(i + 3).is_some_and(|t| t.text == "]"),
+            Some("cfg") => {
+                code.get(i + 3).is_some_and(|t| t.text == "(")
+                    && code.get(i + 4).is_some_and(|t| t.text == "test")
+                    && code.get(i + 5).is_some_and(|t| t.text == ")")
+            }
+            _ => false,
+        };
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        let start_line = code[i].line;
+        // Find the item's opening brace, then its match. A `;` first means
+        // a braceless item (`mod tests;`) — nothing to mask.
+        let mut j = i + 2;
+        while j < code.len() && code[j].text != "{" && code[j].text != ";" {
+            j += 1;
+        }
+        if j >= code.len() || code[j].text == ";" {
+            i = j;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut end_line = code[j].line;
+        while j < code.len() {
+            match code[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = code[j].line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = j + 1;
+    }
+    ranges
+}
+
+/// Lints every `*.rs` file under a `src/` directory of the workspace at
+/// `root` (crate sources only: `tests/`, `benches/`, `examples/`,
+/// fixtures, and build output are out of scope).
+pub fn analyze_root(root: &Path) -> std::io::Result<Report> {
+    let mut paths = Vec::new();
+    collect_sources(root, Path::new(""), &mut paths)?;
+    paths.sort();
+    let mut report = Report::default();
+    for rel in paths {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        report.files_scanned += 1;
+        let file = analyze_source(&rel_str, &src);
+        if !file.findings.is_empty() || !file.suppressed.is_empty() || !file.allows.is_empty() {
+            report.files.push(file);
+        }
+    }
+    Ok(report)
+}
+
+fn collect_sources(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    const SKIP_DIRS: &[&str] = &[
+        "target", ".git", ".shadow", "fixtures", "tests", "benches", "examples", "results",
+    ];
+    for entry in std::fs::read_dir(root.join(rel))? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let sub = rel.join(&*name);
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if SKIP_DIRS.contains(&&*name) || name.starts_with('.') {
+                continue;
+            }
+            collect_sources(root, &sub, out)?;
+        } else if ty.is_file()
+            && name.ends_with(".rs")
+            && sub.components().any(|c| c.as_os_str() == "src")
+        {
+            out.push(sub);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAEMON: &str = "crates/service/src/daemon.rs";
+
+    #[test]
+    fn findings_survive_outside_tests_and_die_inside() {
+        let src = "fn f() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn g() { y.unwrap(); }\n}\n";
+        let r = analyze_source(DAEMON, src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].line, 1);
+    }
+
+    #[test]
+    fn test_fn_attribute_masks_too() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn f() { y.expect(\"m\"); }\n";
+        let r = analyze_source(DAEMON, src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 3);
+    }
+
+    #[test]
+    fn allow_suppresses_same_line_and_next_line() {
+        let trailing = "fn f() { x.unwrap(); } // LINT-ALLOW(request-path-panic): test hook\n";
+        let r = analyze_source(DAEMON, trailing);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+
+        let above = "// LINT-ALLOW(request-path-panic): init only\nfn f() { x.unwrap(); }\n";
+        let r = analyze_source(DAEMON, above);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.allows[0].reason, "init only");
+    }
+
+    #[test]
+    fn unused_and_malformed_allows_are_findings() {
+        let src = "// LINT-ALLOW(request-path-panic): nothing here\n\
+                   // LINT-ALLOW(no-such-rule): whatever\n\
+                   // LINT-ALLOW(float-eq)\n\
+                   fn f() {}\n";
+        let r = analyze_source(DAEMON, src);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"unused-lint-allow"), "{rules:?}");
+        assert_eq!(
+            rules
+                .iter()
+                .filter(|r| **r == "malformed-lint-allow")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn rules_scope_by_path() {
+        let src = "fn f() { x.unwrap(); }";
+        assert!(analyze_source(DAEMON, src).findings.len() == 1);
+        assert!(analyze_source("crates/metrics/src/lib.rs", src)
+            .findings
+            .is_empty());
+    }
+}

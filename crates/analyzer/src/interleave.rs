@@ -1,0 +1,556 @@
+//! A loom-lite interleaving checker for the service crate's bounded MPMC
+//! queue.
+//!
+//! The real queue (`hdlts_service::queue::Bounded`) serializes every
+//! operation under one mutex, so its concurrency behaviour is fully
+//! described by the *order* in which whole operations commit. This module
+//! models each operation — `try_push`, `pop`, `close` — as one atomic
+//! transition on an explicit state machine and exhaustively explores every
+//! ordering a scheduler could produce for a given scenario, checking after
+//! each complete run that:
+//!
+//! * **no job is lost** — every accepted push is eventually popped,
+//! * **no double-pop** — no item is delivered twice,
+//! * **drain sees everything** — once closed, consumers still receive the
+//!   full backlog before observing `Closed`,
+//! * **no stuck states** — the system never reaches a point where some
+//!   thread can neither run nor finish (the condvar analogue: a blocked
+//!   `pop` must always be woken by a later push or close).
+//!
+//! Blocking is modeled by *enabledness*: a `pop` on an empty open queue is
+//! simply not schedulable until a push or close changes the state — the
+//! same happens-before structure the condvar provides, minus spurious
+//! wakeups (which only add interleavings equivalent to a timeout-retry,
+//! already covered by re-running `pop`).
+//!
+//! [`Mutation`] compiles known bug classes into the model; the test suite
+//! proves the checker rejects every mutant while the faithful model passes
+//! exhaustively.
+
+use std::collections::{HashSet, VecDeque};
+
+/// Result of one modeled `try_push`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Item accepted into the queue.
+    Pushed,
+    /// Queue at capacity (the caller would retry).
+    Full,
+    /// Queue closed (the caller gives up; the item is *refused*, not lost).
+    Refused,
+}
+
+/// Result of one modeled `pop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopOutcome {
+    /// An item was delivered.
+    Item(u32),
+    /// Queue empty but open — the caller blocks.
+    WouldBlock,
+    /// Queue closed and (supposedly) drained.
+    Closed,
+}
+
+/// The queue semantics under test. Implementations must be cheap to clone:
+/// the explorer forks state at every scheduling choice.
+pub trait QueueModel: Clone {
+    /// Non-blocking admission.
+    fn try_push(&mut self, v: u32) -> PushOutcome;
+    /// One pop attempt (the blocking loop is driven by the explorer).
+    fn pop(&mut self) -> PopOutcome;
+    /// Begin drain.
+    fn close(&mut self);
+    /// Items currently queued (for terminal-state accounting).
+    fn backlog(&self) -> usize;
+    /// Whether `close` has been called.
+    fn is_closed(&self) -> bool;
+}
+
+/// The faithful model of `hdlts_service::queue::Bounded`: FIFO, bounded,
+/// close-refuses-pushes, pops drain the backlog before reporting closed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FaithfulQueue {
+    items: VecDeque<u32>,
+    closed: bool,
+    capacity: usize,
+}
+
+impl FaithfulQueue {
+    /// An open queue admitting `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        FaithfulQueue {
+            items: VecDeque::new(),
+            closed: false,
+            capacity,
+        }
+    }
+}
+
+impl QueueModel for FaithfulQueue {
+    fn try_push(&mut self, v: u32) -> PushOutcome {
+        if self.closed {
+            return PushOutcome::Refused;
+        }
+        if self.items.len() >= self.capacity {
+            return PushOutcome::Full;
+        }
+        self.items.push_back(v);
+        PushOutcome::Pushed
+    }
+
+    fn pop(&mut self) -> PopOutcome {
+        match self.items.pop_front() {
+            Some(v) => PopOutcome::Item(v),
+            None if self.closed => PopOutcome::Closed,
+            None => PopOutcome::WouldBlock,
+        }
+    }
+
+    fn close(&mut self) {
+        self.closed = true;
+    }
+
+    fn backlog(&self) -> usize {
+        self.items.len()
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed
+    }
+}
+
+/// A seeded bug class, for mutation-testing the checker itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// `close` discards the backlog (drain would drop admitted work).
+    DropBacklogOnClose,
+    /// `pop` reports `Closed` as soon as the queue closes, even with items
+    /// still queued (the drain-before-closed recheck is missing).
+    ClosedBeforeDrain,
+    /// `pop` forgets to dequeue every other delivery (item stays at the
+    /// front and is handed out again — a double-pop).
+    RedeliverFront,
+    /// `try_push` at capacity reports success but drops the item.
+    LeakWhenFull,
+}
+
+/// [`FaithfulQueue`] with one [`Mutation`] compiled in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MutatedQueue {
+    inner: FaithfulQueue,
+    mutation: Mutation,
+    /// Flip-flop for [`Mutation::RedeliverFront`].
+    skip_dequeue: bool,
+}
+
+impl MutatedQueue {
+    /// A mutated queue admitting `capacity` items.
+    pub fn new(capacity: usize, mutation: Mutation) -> Self {
+        MutatedQueue {
+            inner: FaithfulQueue::new(capacity),
+            mutation,
+            skip_dequeue: false,
+        }
+    }
+}
+
+impl QueueModel for MutatedQueue {
+    fn try_push(&mut self, v: u32) -> PushOutcome {
+        if self.mutation == Mutation::LeakWhenFull
+            && !self.inner.closed
+            && self.inner.items.len() >= self.inner.capacity
+        {
+            return PushOutcome::Pushed; // lies: the item is gone
+        }
+        self.inner.try_push(v)
+    }
+
+    fn pop(&mut self) -> PopOutcome {
+        match self.mutation {
+            Mutation::ClosedBeforeDrain if self.inner.closed => PopOutcome::Closed,
+            Mutation::RedeliverFront => {
+                if let Some(&front) = self.inner.items.front() {
+                    self.skip_dequeue = !self.skip_dequeue;
+                    if !self.skip_dequeue {
+                        self.inner.items.pop_front();
+                    }
+                    PopOutcome::Item(front)
+                } else if self.inner.closed {
+                    PopOutcome::Closed
+                } else {
+                    PopOutcome::WouldBlock
+                }
+            }
+            _ => self.inner.pop(),
+        }
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+        if self.mutation == Mutation::DropBacklogOnClose {
+            self.inner.items.clear();
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.inner.backlog()
+    }
+
+    fn is_closed(&self) -> bool {
+        self.inner.is_closed()
+    }
+}
+
+/// One thread's program in a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Push each value in order, retrying on `Full` (the loadgen /
+    /// producer-test behaviour). A `Refused` push records the value as
+    /// refused and moves on.
+    Produce(Vec<u32>),
+    /// Pop in a loop until `Closed` (the worker-loop behaviour).
+    ConsumeUntilClosed,
+    /// Call `close` once.
+    Close,
+}
+
+/// A complete system to explore: a queue model plus thread programs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Thread programs; index = thread id in traces.
+    pub threads: Vec<Op>,
+}
+
+impl Scenario {
+    /// The canonical stress scenario: `producers` threads pushing
+    /// `per_producer` distinct values each, `consumers` drain loops, and
+    /// one closer thread racing everyone.
+    pub fn mpmc(producers: usize, per_producer: usize, consumers: usize) -> Self {
+        let mut threads = Vec::new();
+        for p in 0..producers {
+            let base = (p * per_producer) as u32;
+            threads.push(Op::Produce(
+                (0..per_producer as u32).map(|i| base + i).collect(),
+            ));
+        }
+        for _ in 0..consumers {
+            threads.push(Op::ConsumeUntilClosed);
+        }
+        threads.push(Op::Close);
+        Scenario { threads }
+    }
+}
+
+/// What the explorer found wrong, with the schedule that triggers it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An accepted item was never delivered (and is not in the backlog of
+    /// a still-open queue).
+    LostJob {
+        /// The value that disappeared.
+        value: u32,
+        /// The thread schedule (thread ids, in execution order).
+        schedule: Vec<usize>,
+    },
+    /// An item was delivered more than once.
+    DoublePop {
+        /// The value delivered twice.
+        value: u32,
+        /// The offending schedule.
+        schedule: Vec<usize>,
+    },
+    /// A closed queue still held items after every consumer observed
+    /// `Closed`.
+    UndrainedBacklog {
+        /// Items left behind.
+        remaining: usize,
+        /// The offending schedule.
+        schedule: Vec<usize>,
+    },
+    /// No thread can run but the system has not finished (a lost-wakeup /
+    /// deadlock analogue).
+    Stuck {
+        /// The offending schedule.
+        schedule: Vec<usize>,
+    },
+    /// Exploration exceeded the step bound (the model diverges).
+    DepthExceeded {
+        /// The bound that was hit.
+        max_steps: usize,
+    },
+}
+
+/// Exploration statistics for a passing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Complete interleavings that ran to the end.
+    pub interleavings: usize,
+    /// Distinct states visited (after memoization).
+    pub states: usize,
+}
+
+/// Per-thread progress: which op, and how far into it.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ThreadState {
+    /// Index into the thread's `Produce` vector, or meaningless for other
+    /// ops.
+    progress: usize,
+    /// Thread finished its program.
+    done: bool,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct SysState<M: QueueModel + std::hash::Hash + Eq> {
+    queue: M,
+    threads: Vec<ThreadState>,
+    delivered: Vec<u32>,
+    accepted: Vec<u32>,
+    refused: Vec<u32>,
+}
+
+/// The exhaustive explorer.
+pub struct Checker {
+    /// Hard cap on schedule length, guarding against divergent models.
+    pub max_steps: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker { max_steps: 10_000 }
+    }
+}
+
+impl Checker {
+    /// Explores every interleaving of `scenario` over `queue`. Returns
+    /// stats if every interleaving upholds every invariant, otherwise the
+    /// first violation found (deterministic: DFS in thread-id order).
+    pub fn check<M>(&self, queue: M, scenario: &Scenario) -> Result<Stats, Violation>
+    where
+        M: QueueModel + std::hash::Hash + Eq,
+    {
+        let root = SysState {
+            queue,
+            threads: vec![
+                ThreadState {
+                    progress: 0,
+                    done: false
+                };
+                scenario.threads.len()
+            ],
+            delivered: Vec::new(),
+            accepted: Vec::new(),
+            refused: Vec::new(),
+        };
+        let mut stats = Stats {
+            interleavings: 0,
+            states: 0,
+        };
+        let mut seen = HashSet::new();
+        let mut schedule = Vec::new();
+        explore_rec(
+            &root,
+            scenario,
+            self.max_steps,
+            &mut seen,
+            &mut schedule,
+            &mut stats,
+        )?;
+        Ok(stats)
+    }
+}
+
+/// Convenience wrapper: checks `scenario` against `queue` with default
+/// bounds.
+pub fn explore<M>(queue: M, scenario: &Scenario) -> Result<Stats, Violation>
+where
+    M: QueueModel + std::hash::Hash + Eq,
+{
+    Checker::default().check(queue, scenario)
+}
+
+/// Whether thread `t` can take a step in `state` (the condvar-enabledness
+/// model: a pop on an empty open queue is not schedulable; it is woken by
+/// a later push or close, exactly like the real queue's condvar).
+fn enabled<M: QueueModel + std::hash::Hash + Eq>(
+    state: &SysState<M>,
+    scenario: &Scenario,
+    t: usize,
+) -> bool {
+    if state.threads[t].done {
+        return false;
+    }
+    match &scenario.threads[t] {
+        // Producers always attempt; a `Full` attempt is a no-op spin and
+        // is pruned inside `step` instead, so buggy models that mishandle
+        // the at-capacity push still get exercised.
+        Op::Produce(_) => true,
+        Op::ConsumeUntilClosed => state.queue.backlog() > 0 || state.queue.is_closed(),
+        Op::Close => true,
+    }
+}
+
+fn step<M: QueueModel + std::hash::Hash + Eq>(
+    state: &SysState<M>,
+    scenario: &Scenario,
+    t: usize,
+) -> Option<SysState<M>> {
+    let mut next = state.clone();
+    let ts = &mut next.threads[t];
+    match &scenario.threads[t] {
+        Op::Produce(values) => {
+            let v = values[ts.progress];
+            match next.queue.try_push(v) {
+                PushOutcome::Pushed => {
+                    next.accepted.push(v);
+                    ts.progress += 1;
+                    if ts.progress == values.len() {
+                        ts.done = true;
+                    }
+                }
+                PushOutcome::Refused => {
+                    next.refused.push(v);
+                    ts.progress += 1;
+                    if ts.progress == values.len() {
+                        ts.done = true;
+                    }
+                }
+                // Spinning on Full is a no-op transition: skip it (see
+                // `enabled`); returning None tells the explorer this
+                // branch adds nothing new.
+                PushOutcome::Full => return None,
+            }
+        }
+        Op::ConsumeUntilClosed => match next.queue.pop() {
+            PopOutcome::Item(v) => next.delivered.push(v),
+            PopOutcome::Closed => ts.done = true,
+            PopOutcome::WouldBlock => return None,
+        },
+        Op::Close => {
+            next.queue.close();
+            ts.done = true;
+        }
+    }
+    Some(next)
+}
+
+fn explore_rec<M: QueueModel + std::hash::Hash + Eq>(
+    state: &SysState<M>,
+    scenario: &Scenario,
+    steps_left: usize,
+    seen: &mut HashSet<SysState<M>>,
+    schedule: &mut Vec<usize>,
+    stats: &mut Stats,
+) -> Result<(), Violation> {
+    if steps_left == 0 {
+        return Err(Violation::DepthExceeded {
+            max_steps: schedule.len(),
+        });
+    }
+    // Memoize on the full system state: two prefixes reaching the same
+    // state explore identical futures. (Full states, not hashes — a hash
+    // collision could silently hide a violating branch.) The schedule in
+    // a violation is whichever prefix reached it first; DFS in thread-id
+    // order keeps that deterministic.
+    if !seen.insert(state.clone()) {
+        return Ok(());
+    }
+    stats.states += 1;
+
+    if state.threads.iter().all(|t| t.done) {
+        stats.interleavings += 1;
+        return check_terminal(state, schedule);
+    }
+    let mut progressed = false;
+    for t in (0..scenario.threads.len()).filter(|&t| enabled(state, scenario, t)) {
+        let Some(next) = step(state, scenario, t) else {
+            continue;
+        };
+        progressed = true;
+        schedule.push(t);
+        explore_rec(&next, scenario, steps_left - 1, seen, schedule, stats)?;
+        schedule.pop();
+    }
+    if !progressed {
+        // Every live thread is blocked (or spinning without progress):
+        // the lost-wakeup / deadlock analogue.
+        return Err(Violation::Stuck {
+            schedule: schedule.clone(),
+        });
+    }
+    Ok(())
+}
+
+/// Invariant checks once every thread has finished.
+fn check_terminal<M: QueueModel + std::hash::Hash + Eq>(
+    state: &SysState<M>,
+    schedule: &[usize],
+) -> Result<(), Violation> {
+    let mut delivered = state.delivered.clone();
+    delivered.sort_unstable();
+    if let Some(w) = delivered.windows(2).find(|w| w[0] == w[1]) {
+        return Err(Violation::DoublePop {
+            value: w[0],
+            schedule: schedule.to_vec(),
+        });
+    }
+    let mut accepted = state.accepted.clone();
+    accepted.sort_unstable();
+    if let Some(&lost) = accepted
+        .iter()
+        .find(|v| delivered.binary_search(v).is_err())
+    {
+        return Err(Violation::LostJob {
+            value: lost,
+            schedule: schedule.to_vec(),
+        });
+    }
+    // delivered ⊆ accepted comes free: values are distinct per scenario,
+    // and a delivery of a never-accepted value would show up as a
+    // DoublePop (RedeliverFront) or a LostJob elsewhere.
+    if state.queue.is_closed() && state.queue.backlog() > 0 {
+        return Err(Violation::UndrainedBacklog {
+            remaining: state.queue.backlog(),
+            schedule: schedule.to_vec(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faithful_queue_fifo_and_close_semantics() {
+        let mut q = FaithfulQueue::new(2);
+        assert_eq!(q.try_push(1), PushOutcome::Pushed);
+        assert_eq!(q.try_push(2), PushOutcome::Pushed);
+        assert_eq!(q.try_push(3), PushOutcome::Full);
+        q.close();
+        assert_eq!(q.try_push(4), PushOutcome::Refused);
+        assert_eq!(q.pop(), PopOutcome::Item(1));
+        assert_eq!(q.pop(), PopOutcome::Item(2));
+        assert_eq!(q.pop(), PopOutcome::Closed);
+    }
+
+    #[test]
+    fn single_producer_consumer_passes() {
+        let scenario = Scenario {
+            threads: vec![Op::Produce(vec![1, 2]), Op::ConsumeUntilClosed, Op::Close],
+        };
+        let stats = explore(FaithfulQueue::new(1), &scenario).expect("must pass");
+        assert!(stats.interleavings > 1, "{stats:?}");
+    }
+
+    #[test]
+    fn mpmc_scenario_is_nontrivial() {
+        let stats = explore(FaithfulQueue::new(2), &Scenario::mpmc(2, 2, 2)).expect("must pass");
+        // Memoized DFS: `states` counts distinct system states, and
+        // `interleavings` distinct terminal outcomes, not raw schedules.
+        assert!(stats.states > 200, "want real coverage, got {stats:?}");
+        assert!(
+            stats.interleavings > 20,
+            "want real coverage, got {stats:?}"
+        );
+    }
+}

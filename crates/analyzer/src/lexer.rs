@@ -1,0 +1,448 @@
+//! A minimal Rust lexer: just enough token structure for line-oriented
+//! lint rules, in the same hand-rolled spirit as the service crate's JSON
+//! codec.
+//!
+//! The lexer understands everything that can *hide* code from a naive
+//! text scan — nested block comments, regular/raw/byte string literals,
+//! char literals vs. lifetimes — so rules never fire on commented-out or
+//! quoted text. It does not parse: rules pattern-match over the token
+//! stream.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// `'a` in generics/references.
+    Lifetime,
+    /// Integer literal (any base).
+    Int,
+    /// Floating-point literal (`1.0`, `1.`, `1e-3`, `2f64`, ...).
+    Float,
+    /// String literal (regular, raw, or byte).
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// `// ...` (text retained for `LINT-ALLOW` parsing).
+    LineComment,
+    /// `/* ... */`, nesting handled.
+    BlockComment,
+    /// Operator or delimiter; compound operators (`==`, `::`, ...) are
+    /// single tokens.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn take_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Compound operators lexed as single `Punct` tokens, longest first.
+const COMPOUND: &[&str] = &[
+    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `src` into tokens. Unknown bytes become single-char `Punct`
+/// tokens — the lexer never fails, so the engine can lint any file it can
+/// read.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut s = Scanner {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = s.peek(0) {
+        let (line, col) = (s.line, s.col);
+        if c.is_whitespace() {
+            s.bump();
+            continue;
+        }
+        let tok = match c {
+            '/' if s.peek(1) == Some('/') => lex_line_comment(&mut s),
+            '/' if s.peek(1) == Some('*') => lex_block_comment(&mut s),
+            '"' => lex_string(&mut s),
+            '\'' => lex_char_or_lifetime(&mut s),
+            'r' | 'b' if raw_or_byte_literal_ahead(&s) => lex_prefixed_literal(&mut s),
+            _ if c.is_ascii_digit() => lex_number(&mut s),
+            _ if is_ident_start(c) => {
+                let mut text = String::new();
+                s.take_while(&mut text, is_ident_cont);
+                (TokKind::Ident, text)
+            }
+            _ => lex_punct(&mut s),
+        };
+        toks.push(Tok {
+            kind: tok.0,
+            text: tok.1,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+fn lex_line_comment(s: &mut Scanner) -> (TokKind, String) {
+    let mut text = String::new();
+    s.take_while(&mut text, |c| c != '\n');
+    (TokKind::LineComment, text)
+}
+
+fn lex_block_comment(s: &mut Scanner) -> (TokKind, String) {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = s.peek(0) {
+        if c == '/' && s.peek(1) == Some('*') {
+            depth += 1;
+            text.push('/');
+            text.push('*');
+            s.bump();
+            s.bump();
+        } else if c == '*' && s.peek(1) == Some('/') {
+            depth -= 1;
+            text.push('*');
+            text.push('/');
+            s.bump();
+            s.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            s.bump();
+        }
+    }
+    (TokKind::BlockComment, text)
+}
+
+fn lex_string(s: &mut Scanner) -> (TokKind, String) {
+    let mut text = String::new();
+    text.push(s.bump().expect("opening quote")); // the opening `"`
+    while let Some(c) = s.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            s.bump();
+            if let Some(e) = s.bump() {
+                text.push(e);
+            }
+        } else if c == '"' {
+            text.push(c);
+            s.bump();
+            break;
+        } else {
+            text.push(c);
+            s.bump();
+        }
+    }
+    (TokKind::Str, text)
+}
+
+/// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+fn lex_char_or_lifetime(s: &mut Scanner) -> (TokKind, String) {
+    let mut text = String::new();
+    text.push(s.bump().expect("opening quote")); // the `'`
+    let next = s.peek(0);
+    let lifetime = match next {
+        Some(c) if is_ident_start(c) => s.peek(1) != Some('\''),
+        _ => false,
+    };
+    if lifetime {
+        s.take_while(&mut text, is_ident_cont);
+        return (TokKind::Lifetime, text);
+    }
+    // Char literal: one (possibly escaped) char, then the closing quote.
+    if let Some(c) = s.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(e) = s.bump() {
+                text.push(e);
+            }
+        }
+    }
+    if s.peek(0) == Some('\'') {
+        text.push('\'');
+        s.bump();
+    }
+    (TokKind::Char, text)
+}
+
+/// Does the scanner sit on `r"`, `r#"`, `r#ident`, `b"`, `b'`, `br"`, or
+/// `br#"`?
+fn raw_or_byte_literal_ahead(s: &Scanner) -> bool {
+    let mut i = 1;
+    if s.peek(0) == Some('b') && s.peek(1) == Some('r') {
+        i = 2;
+    }
+    match s.peek(i) {
+        Some('"') => true,
+        Some('\'') => s.peek(0) == Some('b'),
+        Some('#') => {
+            let mut j = i;
+            while s.peek(j) == Some('#') {
+                j += 1;
+            }
+            // `r#"..."#` raw string or `r#ident` raw identifier; both need
+            // special handling here.
+            matches!(s.peek(j), Some('"')) || (i == 1 && s.peek(0) == Some('r') && j == i + 1)
+        }
+        _ => false,
+    }
+}
+
+fn lex_prefixed_literal(s: &mut Scanner) -> (TokKind, String) {
+    let mut text = String::new();
+    if s.peek(0) == Some('b') {
+        text.push('b');
+        s.bump();
+        if s.peek(0) == Some('\'') {
+            let (_, rest) = lex_char_or_lifetime(s);
+            text.push_str(&rest);
+            return (TokKind::Char, text);
+        }
+        if s.peek(0) == Some('"') {
+            let (_, rest) = lex_string(s);
+            text.push_str(&rest);
+            return (TokKind::Str, text);
+        }
+    }
+    if s.peek(0) == Some('r') {
+        text.push('r');
+        s.bump();
+    }
+    let mut hashes = 0usize;
+    while s.peek(0) == Some('#') {
+        text.push('#');
+        hashes += 1;
+        s.bump();
+    }
+    if s.peek(0) != Some('"') {
+        // `r#ident` raw identifier.
+        s.take_while(&mut text, is_ident_cont);
+        return (TokKind::Ident, text);
+    }
+    text.push('"');
+    s.bump();
+    // Raw string body: ends at `"` followed by `hashes` hash marks.
+    'body: while let Some(c) = s.peek(0) {
+        if c == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if s.peek(1 + k) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                text.push('"');
+                s.bump();
+                for _ in 0..hashes {
+                    text.push('#');
+                    s.bump();
+                }
+                break 'body;
+            }
+        }
+        text.push(c);
+        s.bump();
+    }
+    (TokKind::Str, text)
+}
+
+fn lex_number(s: &mut Scanner) -> (TokKind, String) {
+    let mut text = String::new();
+    if s.peek(0) == Some('0') && matches!(s.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+        text.push(s.bump().expect("digit"));
+        text.push(s.bump().expect("radix"));
+        s.take_while(&mut text, |c| c.is_ascii_hexdigit() || c == '_');
+        s.take_while(&mut text, is_ident_cont); // type suffix
+        return (TokKind::Int, text);
+    }
+    s.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+    let mut float = false;
+    if s.peek(0) == Some('.') {
+        // `1..4` is int + range; `1.max()` is a method call on an int;
+        // `1.0` and a trailing `1.` are floats.
+        let after = s.peek(1);
+        let is_range = after == Some('.');
+        let is_method = after.is_some_and(is_ident_start);
+        if !is_range && !is_method {
+            float = true;
+            text.push('.');
+            s.bump();
+            s.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    if matches!(s.peek(0), Some('e' | 'E')) {
+        let (a, b) = (s.peek(1), s.peek(2));
+        let exp = matches!(a, Some(c) if c.is_ascii_digit())
+            || (matches!(a, Some('+' | '-')) && matches!(b, Some(c) if c.is_ascii_digit()));
+        if exp {
+            float = true;
+            text.push(s.bump().expect("e"));
+            if matches!(s.peek(0), Some('+' | '-')) {
+                text.push(s.bump().expect("sign"));
+            }
+            s.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix: `1f64` is a float, `1u32` an int.
+    let mut suffix = String::new();
+    s.take_while(&mut suffix, is_ident_cont);
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    text.push_str(&suffix);
+    (if float { TokKind::Float } else { TokKind::Int }, text)
+}
+
+fn lex_punct(s: &mut Scanner) -> (TokKind, String) {
+    for op in COMPOUND {
+        let mut matches = true;
+        for (k, oc) in op.chars().enumerate() {
+            if s.peek(k) != Some(oc) {
+                matches = false;
+                break;
+            }
+        }
+        if matches {
+            for _ in 0..op.len() {
+                s.bump();
+            }
+            return (TokKind::Punct, (*op).to_string());
+        }
+    }
+    let c = s.bump().expect("punct char");
+    (TokKind::Punct, c.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_compound_ops() {
+        let toks = kinds("let x = a.eft == 1.0e3 && y != 0x_ff;");
+        assert!(toks.contains(&(TokKind::Punct, "==".into())));
+        assert!(toks.contains(&(TokKind::Punct, "!=".into())));
+        assert!(toks.contains(&(TokKind::Float, "1.0e3".into())));
+        assert!(toks.contains(&(TokKind::Int, "0x_ff".into())));
+    }
+
+    #[test]
+    fn int_vs_float_disambiguation() {
+        assert!(kinds("0..10").contains(&(TokKind::Int, "0".into())));
+        assert!(kinds("1.max(2)").contains(&(TokKind::Int, "1".into())));
+        assert!(kinds("1.").contains(&(TokKind::Float, "1.".into())));
+        assert!(kinds("2f64").contains(&(TokKind::Float, "2f64".into())));
+        assert!(kinds("2u64").contains(&(TokKind::Int, "2u64".into())));
+        assert!(kinds("1e-7").contains(&(TokKind::Float, "1e-7".into())));
+    }
+
+    #[test]
+    fn strings_hide_operators() {
+        let toks = kinds(r##"let s = "a == b"; let r = r#"x != y"#;"##);
+        assert!(!toks.contains(&(TokKind::Punct, "==".into())));
+        assert!(!toks.contains(&(TokKind::Punct, "!=".into())));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = kinds("// a.unwrap()\n/* b.expect(\"x\") */ call()");
+        assert_eq!(toks[0], (TokKind::LineComment, "// a.unwrap()".into()));
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert!(toks.contains(&(TokKind::Ident, "call".into())));
+        assert!(!toks.contains(&(TokKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_strings() {
+        let toks = kinds(r#"let r#type = b"bytes"; let c = b'q';"#);
+        assert!(toks.contains(&(TokKind::Ident, "r#type".into())));
+        assert!(toks.contains(&(TokKind::Str, "b\"bytes\"".into())));
+        assert!(toks.contains(&(TokKind::Char, "b'q'".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb == c");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[2].text, "==");
+        assert_eq!((toks[2].line, toks[2].col), (2, 6));
+    }
+}

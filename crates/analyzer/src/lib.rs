@@ -1,0 +1,35 @@
+//! `hdlts-analyzer` — the workspace's own static-analysis and
+//! concurrency-verification toolkit.
+//!
+//! Three layers (DESIGN.md §8):
+//!
+//! 1. **Lint engine** ([`lexer`], [`rules`], [`engine`]): a hand-rolled
+//!    Rust lexer plus token-pattern rules enforcing repo-specific
+//!    invariants clippy cannot express — no panics in the daemon request
+//!    path, EPS-disciplined float comparisons in scheduling kernels, no
+//!    wall-clock reads outside the service tier, no unordered-map
+//!    iteration near placement decisions. `// LINT-ALLOW(rule): reason`
+//!    escapes are audited, never free.
+//! 2. **Interleaving checker** ([`interleave`]): a loom-lite exhaustive
+//!    explorer over the bounded MPMC queue's push/pop/close state machine,
+//!    asserting no job is lost, no item is popped twice, and a closing
+//!    queue drains everything — with seeded-mutation models proving the
+//!    checker actually catches bugs.
+//! 3. **CI wiring** (`.github/workflows/ci.yml`, `just lint`): this crate
+//!    runs alongside `cargo fmt --check`, clippy `-D warnings`, and Miri.
+//!
+//! Zero dependencies, like the service crate's JSON codec: the analyzer
+//! must never be the thing that breaks the build for supply-chain reasons.
+
+pub mod engine;
+pub mod interleave;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze_root, analyze_source, Allow, FileReport, Finding, Report};
+pub use interleave::{
+    explore, Checker, FaithfulQueue, MutatedQueue, Mutation, Op, PopOutcome, PushOutcome,
+    QueueModel, Scenario, Violation,
+};
+pub use lexer::{lex, Tok, TokKind};
+pub use rules::{rule_by_id, RuleDef, RULES};

@@ -1,0 +1,75 @@
+//! `hdlts-analyzer` — lint the workspace's own sources.
+//!
+//! ```text
+//! hdlts-analyzer [--root DIR] [--quiet]
+//! ```
+//!
+//! Exit code 0 when clean, 1 when any finding survives suppression, 2 on
+//! usage or I/O errors. Wired up as `just lint` and a CI job.
+
+use hdlts_analyzer::{analyze_root, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: hdlts-analyzer [--root DIR] [--quiet]\n\nrules:");
+                for r in RULES {
+                    println!("  {:<20} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hdlts-analyzer: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in report.findings() {
+        println!("{f}");
+    }
+    let findings = report.findings().count();
+    let suppressed = report.suppressed().count();
+    let allows = report.allows().count();
+    if !quiet {
+        for file in &report.files {
+            for a in &file.allows {
+                println!(
+                    "allow: {}:{} [{}] — {}",
+                    file.path, a.line, a.rule, a.reason
+                );
+            }
+        }
+        println!(
+            "hdlts-analyzer: {} files scanned, {} finding(s), {} suppressed by {} LINT-ALLOW(s)",
+            report.files_scanned, findings, suppressed, allows
+        );
+    }
+    if findings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

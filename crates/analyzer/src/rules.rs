@@ -1,0 +1,301 @@
+//! Repo-specific lint rules over the token stream.
+//!
+//! Each rule encodes an invariant of this workspace that clippy cannot
+//! express (see `DESIGN.md` §8). Rules are deliberately lexical: they
+//! pattern-match tokens, not types, so every check is cheap, deterministic,
+//! and runs with zero dependencies. Where a lexical rule needs semantic
+//! knowledge (is this operand an `f64`?) it leans on a curated vocabulary
+//! of the workspace's own float-valued names — a heuristic that is part of
+//! the rule's contract and documented in `CONTRIBUTING.md`.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A rule's raw hit before suppression: `(line, col, message)`.
+pub type RawFinding = (u32, u32, String);
+
+/// One lint rule: a stable id, a path scope, and a token-stream check.
+pub struct RuleDef {
+    /// Stable id, the name used in `LINT-ALLOW(id)`.
+    pub id: &'static str,
+    /// One-line description shown in reports.
+    pub summary: &'static str,
+    /// Whether the rule covers the file at this workspace-relative path.
+    pub applies: fn(&str) -> bool,
+    /// Scans the (comment-free) code tokens for violations.
+    pub check: fn(&[Tok]) -> Vec<RawFinding>,
+}
+
+/// Every rule the engine runs, in reporting order.
+pub const RULES: &[RuleDef] = &[
+    RuleDef {
+        id: "request-path-panic",
+        summary: "no unwrap()/expect()/panic! in the daemon request path",
+        applies: |p| {
+            matches!(
+                p,
+                "crates/service/src/daemon.rs"
+                    | "crates/service/src/queue.rs"
+                    | "crates/service/src/protocol.rs"
+                    | "crates/service/src/jobs.rs"
+            )
+        },
+        check: check_request_path_panic,
+    },
+    RuleDef {
+        id: "float-eq",
+        summary: "no raw f64 ==/!= in scheduling kernels; use core::validate EPS helpers",
+        applies: in_kernel_tier,
+        check: check_float_eq,
+    },
+    RuleDef {
+        id: "wall-clock",
+        summary: "no SystemTime::now/Instant::now in scheduling code (service tier only)",
+        applies: in_kernel_tier,
+        check: check_wall_clock,
+    },
+    RuleDef {
+        id: "unordered-iter",
+        summary: "no HashMap/HashSet in placement code; iteration order is nondeterministic",
+        applies: in_kernel_tier,
+        check: check_unordered_iter,
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static RuleDef> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// The scheduling-kernel tier: placement decisions are computed here, so
+/// determinism and EPS discipline are mandatory.
+fn in_kernel_tier(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/baselines/src/")
+}
+
+/// Identifiers that are `f64`-valued throughout this workspace. The
+/// `float-eq` rule treats a comparison as floating-point when either
+/// operand is a float literal or a field/variable drawn from this
+/// vocabulary. Extend it when a new float-valued name joins the kernels.
+const FLOAT_NAMES: &[&str] = &[
+    "start", "finish", "end", "eft", "est", "aft", "pv", "best_pv", "rank", "cost", "comm",
+    "makespan", "score", "arrival", "span", "avail", "tail", "slack", "ccr", "jitter", "mean",
+    "duration", "ready", "expected", "found",
+];
+
+fn check_request_path_panic(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        let next = toks.get(i + 1);
+        let after_dot = prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == ".");
+        let called = next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+        let bang = next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "!");
+        match t.text.as_str() {
+            "unwrap" | "expect" if after_dot && called => out.push((
+                t.line,
+                t.col,
+                format!(
+                    ".{}() can panic a daemon thread; return a ServiceError instead",
+                    t.text
+                ),
+            )),
+            "panic" | "unreachable" | "todo" | "unimplemented" if bang => out.push((
+                t.line,
+                t.col,
+                format!(
+                    "{}! aborts the thread; request-path errors must be typed",
+                    t.text
+                ),
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The terminal identifier of the operand ending at token `i` (inclusive):
+/// for `slot.start` that is `start`. Returns `None` when the operand shape
+/// is not a plain ident/field chain (e.g. a call result) — the rule stays
+/// conservative there.
+fn operand_before(toks: &[Tok], i: usize) -> Option<&Tok> {
+    let t = toks.get(i.checked_sub(1)?)?;
+    matches!(t.kind, TokKind::Ident | TokKind::Float).then_some(t)
+}
+
+/// The terminal identifier of the operand starting at token `i`: follows
+/// `ident (. ident)*` chains to their last segment.
+fn operand_after(toks: &[Tok], i: usize) -> Option<&Tok> {
+    let first = toks.get(i)?;
+    if first.kind == TokKind::Float {
+        return Some(first);
+    }
+    if first.kind != TokKind::Ident {
+        return None;
+    }
+    let mut last = first;
+    let mut j = i + 1;
+    while toks
+        .get(j)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == ".")
+        && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+    {
+        last = &toks[j + 1];
+        j += 2;
+    }
+    // A trailing `(` or `[` means the chain ends in a call or an index
+    // expression — the resulting type is unknown, stay conservative.
+    if toks
+        .get(j)
+        .is_some_and(|t| t.kind == TokKind::Punct && (t.text == "(" || t.text == "["))
+    {
+        return None;
+    }
+    Some(last)
+}
+
+fn is_floaty(t: &Tok) -> bool {
+    t.kind == TokKind::Float || (t.kind == TokKind::Ident && FLOAT_NAMES.contains(&t.text.as_str()))
+}
+
+fn check_float_eq(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let lhs = operand_before(toks, i);
+        let rhs = operand_after(toks, i + 1);
+        if lhs.is_some_and(is_floaty) || rhs.is_some_and(is_floaty) {
+            out.push((
+                t.line,
+                t.col,
+                format!(
+                    "raw f64 `{}` on a float operand; use hdlts_core::validate::approx_eq \
+                     (EPS slack) or justify with LINT-ALLOW",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn check_wall_clock(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "Instant" && t.text != "SystemTime") {
+            continue;
+        }
+        let colons = toks
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokKind::Punct && n.text == "::");
+        let now = toks
+            .get(i + 2)
+            .is_some_and(|n| n.kind == TokKind::Ident && n.text == "now");
+        if colons && now {
+            out.push((
+                t.line,
+                t.col,
+                format!(
+                    "{}::now() in scheduling code: simulated time only; wall-clock reads \
+                     belong to crates/service",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn check_unordered_iter(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push((
+                t.line,
+                t.col,
+                format!(
+                    "{} iteration order is nondeterministic and must not feed placement \
+                     decisions; use BTreeMap/BTreeSet, a Vec keyed by index, or LINT-ALLOW \
+                     with a determinism argument",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code_toks(src: &str) -> Vec<Tok> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect()
+    }
+
+    #[test]
+    fn request_path_rule_matches_only_real_calls() {
+        let toks = code_toks("x.unwrap(); y.unwrap_or_else(f); panic!(\"no\"); a.expect(\"m\");");
+        let hits = check_request_path_panic(&toks);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+    }
+
+    #[test]
+    fn float_eq_needs_a_floaty_operand() {
+        assert_eq!(check_float_eq(&code_toks("if a == 0.0 {}")).len(), 1);
+        assert_eq!(
+            check_float_eq(&code_toks("if pl.start == slot.start {}")).len(),
+            1
+        );
+        assert_eq!(check_float_eq(&code_toks("if pv != best_pv {}")).len(), 1);
+        assert_eq!(check_float_eq(&code_toks("if idx == 0 {}")).len(), 0);
+        assert_eq!(check_float_eq(&code_toks("if s.task == task {}")).len(), 0);
+        // Call and index results are type-unknown: conservative no-fire.
+        assert_eq!(
+            check_float_eq(&code_toks("if a.to_bits() != b.to_bits() {}")).len(),
+            0
+        );
+        assert_eq!(
+            check_float_eq(&code_toks("if x != row.eft[p.index()].to_bits() {}")).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn wall_clock_rule_needs_the_full_path() {
+        assert_eq!(
+            check_wall_clock(&code_toks("let t = Instant::now();")).len(),
+            1
+        );
+        assert_eq!(
+            check_wall_clock(&code_toks("let t = SystemTime::now();")).len(),
+            1
+        );
+        assert_eq!(
+            check_wall_clock(&code_toks("use std::time::Instant;")).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn unordered_iter_flags_every_mention() {
+        let hits = check_unordered_iter(&code_toks("use std::collections::{HashMap, HashSet};"));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn kernel_scope_covers_core_and_baselines_only() {
+        assert!(in_kernel_tier("crates/core/src/hdlts.rs"));
+        assert!(in_kernel_tier("crates/baselines/src/heft.rs"));
+        assert!(!in_kernel_tier("crates/service/src/daemon.rs"));
+        assert!(!in_kernel_tier("crates/sim/src/lib.rs"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Negative-fixture suite: each lint rule must fire on its fixture at the
+//! exact (line, col) span, `LINT-ALLOW` must suppress exactly one finding,
+//! and unused/malformed allows must themselves be findings.
+//!
+//! Fixtures live in `crates/analyzer/fixtures/` — a directory the
+//! workspace walk deliberately skips, so the analyzer never trips over
+//! its own test material.
+
+use hdlts_analyzer::analyze_source;
+
+/// `(rule, line, col)` triples of a report's surviving findings.
+fn spans(path: &str, src: &str) -> Vec<(String, u32, u32)> {
+    analyze_source(path, src)
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line, f.col))
+        .collect()
+}
+
+#[test]
+fn request_path_panic_fires_on_each_form_with_exact_spans() {
+    let src = include_str!("../fixtures/request_path_panic.rs");
+    // Scoped rule: only fires when the fixture "lives at" a request-path
+    // file.
+    assert_eq!(
+        spans("crates/service/src/daemon.rs", src),
+        vec![
+            ("request-path-panic".into(), 5, 7),  // x.unwrap()
+            ("request-path-panic".into(), 9, 7),  // x.expect("boom")
+            ("request-path-panic".into(), 13, 5), // panic!("nope")
+        ],
+        "unwrap_or and #[cfg(test)] code must not fire"
+    );
+    // Out of scope the same source is clean.
+    assert_eq!(spans("crates/service/src/loadgen.rs", src), vec![]);
+}
+
+#[test]
+fn float_eq_fires_on_literal_and_vocabulary_operands() {
+    let src = include_str!("../fixtures/float_eq.rs");
+    assert_eq!(
+        spans("crates/core/src/fixture.rs", src),
+        vec![
+            ("float-eq".into(), 5, 7),  // a == 0.0
+            ("float-eq".into(), 9, 11), // start != finish
+        ],
+        "integer comparison must not fire"
+    );
+}
+
+#[test]
+fn wall_clock_fires_on_now_not_on_import() {
+    let src = include_str!("../fixtures/wall_clock.rs");
+    assert_eq!(
+        spans("crates/core/src/fixture.rs", src),
+        vec![("wall-clock".into(), 6, 5)], // Instant::now()
+    );
+}
+
+#[test]
+fn unordered_iter_fires_on_every_mention() {
+    let src = include_str!("../fixtures/unordered_iter.rs");
+    assert_eq!(
+        spans("crates/baselines/src/fixture.rs", src),
+        vec![
+            ("unordered-iter".into(), 2, 23), // use …::HashMap;
+            ("unordered-iter".into(), 4, 21), // return type
+            ("unordered-iter".into(), 5, 5),  // HashMap::new()
+        ],
+    );
+}
+
+#[test]
+fn lint_allow_suppresses_exactly_one_finding() {
+    let src = include_str!("../fixtures/allow_suppression.rs");
+    let report = analyze_source("crates/core/src/fixture.rs", src);
+    // Three identical violations; the allow above line 5 and the trailing
+    // allow on line 13 each suppress theirs, the one at line 9 survives.
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .map(|f| (f.rule.as_str(), f.line, f.col))
+            .collect::<Vec<_>>(),
+        vec![("float-eq", 9, 11)],
+    );
+    assert_eq!(
+        report.suppressed.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![5, 13],
+    );
+    assert_eq!(report.allows.len(), 2);
+}
+
+#[test]
+fn unused_allow_is_reported() {
+    let src = include_str!("../fixtures/unused_allow.rs");
+    assert_eq!(
+        spans("crates/core/src/fixture.rs", src),
+        vec![("unused-lint-allow".into(), 3, 1)],
+    );
+}
+
+#[test]
+fn malformed_allows_are_reported() {
+    let src = include_str!("../fixtures/malformed_allow.rs");
+    assert_eq!(
+        spans("crates/core/src/fixture.rs", src),
+        vec![
+            ("malformed-lint-allow".into(), 3, 1), // unknown rule id
+            ("malformed-lint-allow".into(), 6, 1), // missing reason
+            ("malformed-lint-allow".into(), 9, 1), // unterminated paren
+        ],
+    );
+}

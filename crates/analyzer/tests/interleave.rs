@@ -1,0 +1,251 @@
+//! Integration suite for the loom-lite interleaving checker (layer 2 of
+//! `hdlts-analyzer`):
+//!
+//! 1. the faithful model of the service queue passes exhaustive
+//!    exploration of the canonical MPMC + racing-close scenario,
+//! 2. every seeded [`Mutation`] is caught — the checker is itself tested
+//!    by mutation,
+//! 3. the faithful model *conforms* to the real
+//!    [`hdlts_service::Bounded`]: every short operation sequence produces
+//!    identical outcomes on both, so conclusions about the model transfer
+//!    to the production queue.
+
+use hdlts_analyzer::{
+    explore, Checker, FaithfulQueue, MutatedQueue, Mutation, Op, PopOutcome, PushOutcome,
+    QueueModel, Scenario, Violation,
+};
+use hdlts_service::{Bounded, Pop, PushError};
+use std::time::Duration;
+
+/// The scenario used across the mutation tests: 2 producers × 2 items,
+/// 2 consumers, one closer racing them, capacity 2. Small enough to
+/// explore exhaustively, rich enough that every mutation has a schedule
+/// that exposes it.
+fn canonical() -> Scenario {
+    Scenario::mpmc(2, 2, 2)
+}
+
+#[test]
+fn faithful_queue_passes_exhaustively() {
+    let stats = explore(FaithfulQueue::new(2), &canonical()).expect("faithful model must pass");
+    assert!(stats.states > 200, "exploration too shallow: {stats:?}");
+    assert!(
+        stats.interleavings > 20,
+        "exploration too shallow: {stats:?}"
+    );
+}
+
+#[test]
+fn faithful_queue_passes_at_capacity_one() {
+    // Capacity 1 maximizes Full pressure — the regime LeakWhenFull lives
+    // in — so the correct model must also be proven there.
+    explore(FaithfulQueue::new(1), &canonical()).expect("faithful model must pass at cap 1");
+}
+
+#[test]
+fn checker_is_deterministic() {
+    let v1 = explore(
+        MutatedQueue::new(2, Mutation::DropBacklogOnClose),
+        &canonical(),
+    );
+    let v2 = explore(
+        MutatedQueue::new(2, Mutation::DropBacklogOnClose),
+        &canonical(),
+    );
+    assert_eq!(
+        v1, v2,
+        "same scenario must yield the same verdict and schedule"
+    );
+}
+
+#[test]
+fn mutation_drop_backlog_on_close_is_caught() {
+    let err = explore(
+        MutatedQueue::new(2, Mutation::DropBacklogOnClose),
+        &canonical(),
+    )
+    .expect_err("dropping the backlog loses accepted jobs");
+    assert!(
+        matches!(err, Violation::LostJob { .. }),
+        "want LostJob, got {err:?}"
+    );
+}
+
+#[test]
+fn mutation_closed_before_drain_is_caught() {
+    let err = explore(
+        MutatedQueue::new(2, Mutation::ClosedBeforeDrain),
+        &canonical(),
+    )
+    .expect_err("reporting Closed with a backlog strands admitted jobs");
+    assert!(
+        matches!(
+            err,
+            Violation::LostJob { .. } | Violation::UndrainedBacklog { .. }
+        ),
+        "want LostJob or UndrainedBacklog, got {err:?}"
+    );
+}
+
+#[test]
+fn mutation_redeliver_front_is_caught() {
+    let err = explore(MutatedQueue::new(2, Mutation::RedeliverFront), &canonical())
+        .expect_err("redelivering the front is a double-pop");
+    assert!(
+        matches!(err, Violation::DoublePop { .. }),
+        "want DoublePop, got {err:?}"
+    );
+}
+
+#[test]
+fn mutation_leak_when_full_is_caught() {
+    // Capacity 1 guarantees some schedule pushes into a full queue.
+    let err = explore(MutatedQueue::new(1, Mutation::LeakWhenFull), &canonical())
+        .expect_err("acking a dropped item loses it");
+    assert!(
+        matches!(err, Violation::LostJob { .. }),
+        "want LostJob, got {err:?}"
+    );
+}
+
+#[test]
+fn violation_schedule_replays_against_the_model() {
+    // The schedule in a violation is not just a label: replaying it
+    // step-by-step on a fresh mutant must reproduce the bad terminal
+    // state. (Counterexamples you can't replay are useless.)
+    let scenario = canonical();
+    let Err(Violation::LostJob { value, schedule }) = explore(
+        MutatedQueue::new(2, Mutation::DropBacklogOnClose),
+        &scenario,
+    ) else {
+        panic!("expected a LostJob counterexample");
+    };
+    let mut q = MutatedQueue::new(2, Mutation::DropBacklogOnClose);
+    let mut progress = vec![0usize; scenario.threads.len()];
+    let mut delivered = Vec::new();
+    let mut accepted = Vec::new();
+    for &t in &schedule {
+        match &scenario.threads[t] {
+            Op::Produce(values) => match q.try_push(values[progress[t]]) {
+                PushOutcome::Pushed => {
+                    accepted.push(values[progress[t]]);
+                    progress[t] += 1;
+                }
+                PushOutcome::Refused => progress[t] += 1,
+                PushOutcome::Full => {}
+            },
+            Op::ConsumeUntilClosed => {
+                if let PopOutcome::Item(v) = q.pop() {
+                    delivered.push(v);
+                }
+            }
+            Op::Close => q.close(),
+        }
+    }
+    assert!(
+        accepted.contains(&value),
+        "replay must accept the lost value"
+    );
+    assert!(
+        !delivered.contains(&value),
+        "replay must never deliver the lost value"
+    );
+}
+
+#[test]
+fn checker_depth_bound_reports_divergence() {
+    // A model that never finishes its producers (always Full) makes every
+    // schedule spin; the explorer must report Stuck rather than hang.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct AlwaysFull;
+    impl QueueModel for AlwaysFull {
+        fn try_push(&mut self, _v: u32) -> PushOutcome {
+            PushOutcome::Full
+        }
+        fn pop(&mut self) -> PopOutcome {
+            PopOutcome::WouldBlock
+        }
+        fn close(&mut self) {}
+        fn backlog(&self) -> usize {
+            0
+        }
+        fn is_closed(&self) -> bool {
+            false
+        }
+    }
+    let scenario = Scenario {
+        threads: vec![Op::Produce(vec![1]), Op::Close],
+    };
+    let err = Checker::default()
+        .check(AlwaysFull, &scenario)
+        .expect_err("a diverging model must be rejected");
+    assert!(
+        matches!(
+            err,
+            Violation::Stuck { .. } | Violation::DepthExceeded { .. }
+        ),
+        "want Stuck/DepthExceeded, got {err:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Conformance: FaithfulQueue vs the real hdlts_service::Bounded
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Act {
+    Push,
+    Pop,
+    Close,
+}
+
+/// Applies one action to both queues and asserts identical outcomes. The
+/// real queue's `pop` uses a zero timeout so an empty open queue reports
+/// `Empty` — the model's `WouldBlock`.
+fn step_both(real: &Bounded<u32>, model: &mut FaithfulQueue, act: Act, next: &mut u32) {
+    match act {
+        Act::Push => {
+            let v = *next;
+            *next += 1;
+            let real_out = match real.try_push(v) {
+                Ok(()) => PushOutcome::Pushed,
+                Err(PushError::Full(_)) => PushOutcome::Full,
+                Err(PushError::Closed(_)) => PushOutcome::Refused,
+            };
+            assert_eq!(real_out, model.try_push(v), "push({v}) diverged");
+        }
+        Act::Pop => {
+            let real_out = match real.pop(Duration::from_millis(0)) {
+                Pop::Item(v) => PopOutcome::Item(v),
+                Pop::Empty => PopOutcome::WouldBlock,
+                Pop::Closed => PopOutcome::Closed,
+            };
+            assert_eq!(real_out, model.pop(), "pop diverged");
+        }
+        Act::Close => {
+            real.close();
+            model.close();
+            assert!(real.is_closed() && model.is_closed());
+        }
+    }
+    assert_eq!(real.len(), model.backlog(), "backlog diverged");
+}
+
+#[test]
+fn faithful_model_conforms_to_real_bounded_queue() {
+    // Every action sequence of length 6 over {Push, Pop, Close} at
+    // capacity 2: 3^6 = 729 deterministic replays covering full/closed/
+    // drained transitions in every order.
+    const ACTS: [Act; 3] = [Act::Push, Act::Pop, Act::Close];
+    const LEN: u32 = 6;
+    for code in 0..3u32.pow(LEN) {
+        let real = Bounded::new(2);
+        let mut model = FaithfulQueue::new(2);
+        let mut next = 0u32;
+        let mut c = code;
+        for _ in 0..LEN {
+            step_both(&real, &mut model, ACTS[(c % 3) as usize], &mut next);
+            c /= 3;
+        }
+    }
+}

@@ -16,8 +16,9 @@
 //! precedence for *every* copy, so the schedules remain independently
 //! verified.
 
-use hdlts_core::{data_ready_time, penalty_value, CoreError, PenaltyKind, Problem, Schedule,
-    Scheduler};
+use hdlts_core::{
+    data_ready_time, penalty_value, CoreError, PenaltyKind, Problem, Schedule, Scheduler,
+};
 use hdlts_dag::TaskId;
 use hdlts_platform::ProcId;
 
@@ -139,8 +140,11 @@ impl Scheduler for HdltsCpd {
                     .map(|p| Self::eft_with_duplication(problem, &schedule, t, p))
                     .collect::<Result<_, _>>()?;
                 let efts: Vec<f64> = row.iter().map(|&(e, _)| e).collect();
-                let pv =
-                    penalty_value(PenaltyKind::EftSampleStdDev, &efts, problem.costs().row(t));
+                let pv = penalty_value(PenaltyKind::EftSampleStdDev, &efts, problem.costs().row(t));
+                // LINT-ALLOW(float-eq): the tie-break must be bit-exact to
+                // stay placement-identical with the incremental engine; an
+                // EPS band here would merge distinct penalty values and
+                // change which task wins.
                 if pv > best_pv || (pv == best_pv && itq[i] < itq[best_idx]) {
                     best_pv = pv;
                     best_idx = i;
@@ -209,12 +213,8 @@ mod tests {
         // then 2 prefers P2 only if 1 is replicated... Construct: t2 much
         // faster on P2; without duplication it must wait for the transfer.
         let dag = dag_from_edges(3, &[(0, 1, 1.0), (1, 2, 100.0)]).unwrap();
-        let costs = CostMatrix::from_rows(vec![
-            vec![1.0, 50.0],
-            vec![2.0, 2.0],
-            vec![50.0, 3.0],
-        ])
-        .unwrap();
+        let costs =
+            CostMatrix::from_rows(vec![vec![1.0, 50.0], vec![2.0, 2.0], vec![50.0, 3.0]]).unwrap();
         let platform = Platform::fully_connected(2).unwrap();
         let problem = hdlts_core::Problem::new(&dag, &costs, &platform).unwrap();
         let plain = Hdlts::paper_exact().schedule(&problem).unwrap();
@@ -233,7 +233,10 @@ mod tests {
         let mut dup_total = 0.0;
         for seed in 0..20 {
             let inst = random_dag::generate(
-                &RandomDagParams { ccr: 4.0, ..RandomDagParams::default() },
+                &RandomDagParams {
+                    ccr: 4.0,
+                    ..RandomDagParams::default()
+                },
                 seed,
             );
             let platform = Platform::fully_connected(inst.num_procs()).unwrap();

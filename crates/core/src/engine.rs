@@ -201,10 +201,11 @@ impl EftCache {
             let mut changed = false;
             for &p in touched {
                 let w = problem.w(t, p);
-                let eft = schedule
-                    .timeline(p)
-                    .earliest_start(row.ready[p.index()], w, self.insertion)
-                    + w;
+                let eft =
+                    schedule
+                        .timeline(p)
+                        .earliest_start(row.ready[p.index()], w, self.insertion)
+                        + w;
                 if eft.to_bits() != row.eft[p.index()].to_bits() {
                     row.eft[p.index()] = eft;
                     changed = true;
@@ -248,8 +249,7 @@ mod tests {
 
     /// diamond 0 -> {1, 2} -> 3 with heterogeneous costs on 2 procs.
     fn fixture() -> (hdlts_dag::Dag, CostMatrix, Platform) {
-        let dag =
-            dag_from_edges(4, &[(0, 1, 6.0), (0, 2, 4.0), (1, 3, 2.0), (2, 3, 8.0)]).unwrap();
+        let dag = dag_from_edges(4, &[(0, 1, 6.0), (0, 2, 4.0), (1, 3, 2.0), (2, 3, 8.0)]).unwrap();
         let costs = CostMatrix::from_rows(vec![
             vec![2.0, 4.0],
             vec![3.0, 1.0],
@@ -312,7 +312,9 @@ mod tests {
         cache.admit(&problem, &schedule, TaskId(2)).unwrap();
         // A late replica of the entry on P2 changes the children's ready
         // times there; on_placed for the entry must refresh them in full.
-        schedule.place_duplicate(TaskId(0), ProcId(1), 0.0, 4.0).unwrap();
+        schedule
+            .place_duplicate(TaskId(0), ProcId(1), 0.0, 4.0)
+            .unwrap();
         cache
             .on_placed(&problem, &schedule, TaskId(0), &[ProcId(1)])
             .unwrap();
@@ -340,7 +342,8 @@ mod tests {
         // compute both PVs and check the argmax matches.
         let pv1 = cache.pv(TaskId(1)).unwrap();
         let pv2 = cache.pv(TaskId(2)).unwrap();
-        let expect = if pv1 > pv2 || (pv1 == pv2) { TaskId(1) } else { TaskId(2) };
+        // On a tie the lower TaskId wins, which is t1 here either way.
+        let expect = if pv1 >= pv2 { TaskId(1) } else { TaskId(2) };
         assert_eq!(best, expect);
     }
 

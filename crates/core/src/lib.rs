@@ -43,18 +43,16 @@ mod scheduler;
 mod svg;
 mod timeline;
 mod trace;
-mod validate;
+pub mod validate;
 
 pub use config::{DuplicationPolicy, HdltsConfig, PenaltyKind};
 pub use engine::{EftCache, EngineMode};
 pub use error::CoreError;
-pub use est::{
-    argmin_eft, data_ready_time, eft, eft_row, est, min_eft_placement, penalty_value,
-};
+pub use est::{argmin_eft, data_ready_time, eft, eft_row, est, min_eft_placement, penalty_value};
 pub use hdlts::Hdlts;
 pub use problem::Problem;
 pub use schedule::{Placement, Schedule};
 pub use scheduler::Scheduler;
 pub use timeline::{Slot, Timeline};
 pub use trace::{ScheduleTrace, TraceStep};
-pub use validate::{ValidationReport, Violation};
+pub use validate::{approx_eq, ValidationReport, Violation, EPS};

@@ -64,8 +64,19 @@ impl Schedule {
         if self.placements[t.index()].is_some() {
             return Err(CoreError::AlreadyPlaced(t));
         }
-        self.timelines[proc.index()].insert(proc, Slot { task: t, start, end: finish })?;
-        self.placements[t.index()] = Some(Placement { proc, start, finish });
+        self.timelines[proc.index()].insert(
+            proc,
+            Slot {
+                task: t,
+                start,
+                end: finish,
+            },
+        )?;
+        self.placements[t.index()] = Some(Placement {
+            proc,
+            start,
+            finish,
+        });
         Ok(())
     }
 
@@ -78,9 +89,44 @@ impl Schedule {
         start: f64,
         finish: f64,
     ) -> Result<(), CoreError> {
-        self.timelines[proc.index()].insert(proc, Slot { task: t, start, end: finish })?;
-        self.duplicates.push((t, Placement { proc, start, finish }));
+        self.timelines[proc.index()].insert(
+            proc,
+            Slot {
+                task: t,
+                start,
+                end: finish,
+            },
+        )?;
+        self.duplicates.push((
+            t,
+            Placement {
+                proc,
+                start,
+                finish,
+            },
+        ));
         Ok(())
+    }
+
+    /// Places the primary copy of `t` **without** feasibility checks —
+    /// overlapping or out-of-order slots are recorded as-is.
+    ///
+    /// Exists only so validator tests can corrupt a schedule in ways the
+    /// guarded [`Schedule::place`] path refuses to (e.g. processor
+    /// overlaps) and prove the independent validator still catches them;
+    /// never call it from scheduling code.
+    #[doc(hidden)]
+    pub fn place_unchecked(&mut self, t: TaskId, proc: ProcId, start: f64, finish: f64) {
+        self.timelines[proc.index()].insert_unchecked(Slot {
+            task: t,
+            start,
+            end: finish,
+        });
+        self.placements[t.index()] = Some(Placement {
+            proc,
+            start,
+            finish,
+        });
     }
 
     /// The primary placement of `t`, if placed.
@@ -97,19 +143,25 @@ impl Schedule {
 
     /// `AFT(t)` (Definition 4) of the primary copy.
     pub fn aft(&self, t: TaskId) -> Result<f64, CoreError> {
-        self.placement(t).map(|p| p.finish).ok_or(CoreError::NotPlaced(t))
+        self.placement(t)
+            .map(|p| p.finish)
+            .ok_or(CoreError::NotPlaced(t))
     }
 
     /// The processor executing the primary copy of `t`.
     pub fn proc_of(&self, t: TaskId) -> Result<ProcId, CoreError> {
-        self.placement(t).map(|p| p.proc).ok_or(CoreError::NotPlaced(t))
+        self.placement(t)
+            .map(|p| p.proc)
+            .ok_or(CoreError::NotPlaced(t))
     }
 
     /// All copies of `t`: the primary placement first, then duplicates.
     pub fn copies(&self, t: TaskId) -> impl Iterator<Item = &Placement> + '_ {
-        self.placements[t.index()]
-            .iter()
-            .chain(self.duplicates.iter().filter_map(move |(d, p)| (*d == t).then_some(p)))
+        self.placements[t.index()].iter().chain(
+            self.duplicates
+                .iter()
+                .filter_map(move |(d, p)| (*d == t).then_some(p)),
+        )
     }
 
     /// All duplicate copies recorded so far.
@@ -158,7 +210,10 @@ impl Schedule {
         if span <= 0.0 {
             return vec![0.0; self.timelines.len()];
         }
-        self.timelines.iter().map(|tl| tl.busy_time() / span).collect()
+        self.timelines
+            .iter()
+            .map(|tl| tl.busy_time() / span)
+            .collect()
     }
 }
 

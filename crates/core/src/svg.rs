@@ -1,5 +1,6 @@
 //! SVG Gantt-chart rendering, for reports and the CLI.
 
+use crate::validate::approx_eq;
 use crate::Schedule;
 use hdlts_platform::Platform;
 use std::fmt::Write as _;
@@ -16,10 +17,7 @@ impl Schedule {
     /// Primary copies are solid; entry replicas are drawn hatched-light
     /// (same hue, reduced opacity). Returns a complete `<svg>` document.
     pub fn to_svg(&self, platform: &Platform, width: u32) -> String {
-        let span = self
-            .timelineys_max_finish()
-            .max(self.makespan())
-            .max(1e-12);
+        let span = self.timelineys_max_finish().max(self.makespan()).max(1e-12);
         let width = width.max(200) as f64;
         let row_h = 28.0;
         let label_w = 60.0;
@@ -33,10 +31,7 @@ impl Schedule {
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" font-family="sans-serif" font-size="11">"#,
             width, height
         );
-        let _ = writeln!(
-            out,
-            r#"<rect width="100%" height="100%" fill="white"/>"#
-        );
+        let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
         for (i, p) in platform.procs().enumerate() {
             let y = top + i as f64 * row_h;
             let _ = writeln!(
@@ -58,7 +53,7 @@ impl Schedule {
                 let color = PALETTE[slot.task.index() % PALETTE.len()];
                 let is_primary = self
                     .placement(slot.task)
-                    .is_some_and(|pl| pl.proc == p && pl.start == slot.start);
+                    .is_some_and(|pl| pl.proc == p && approx_eq(pl.start, slot.start));
                 let opacity = if is_primary { 0.9 } else { 0.45 };
                 let _ = writeln!(
                     out,

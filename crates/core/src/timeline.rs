@@ -102,6 +102,19 @@ impl Timeline {
         Ok(())
     }
 
+    /// Inserts a busy slot in order **without** the overlap check.
+    ///
+    /// Exists only so validator tests can manufacture infeasible
+    /// timelines that [`Timeline::insert`] rightly refuses to build;
+    /// never call it from scheduling code.
+    #[doc(hidden)]
+    pub fn insert_unchecked(&mut self, slot: Slot) {
+        let idx = self
+            .slots
+            .partition_point(|s| (s.start, s.end) < (slot.start, slot.end));
+        self.slots.insert(idx, slot);
+    }
+
     /// Removes the slot occupied by `task`, if any, returning it.
     pub fn remove_task(&mut self, task: TaskId) -> Option<Slot> {
         let idx = self.slots.iter().position(|s| s.task == task)?;
@@ -119,7 +132,11 @@ mod tests {
     use super::*;
 
     fn slot(task: u32, start: f64, end: f64) -> Slot {
-        Slot { task: TaskId(task), start, end }
+        Slot {
+            task: TaskId(task),
+            start,
+            end,
+        }
     }
 
     #[test]

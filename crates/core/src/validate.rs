@@ -10,8 +10,22 @@ use hdlts_dag::TaskId;
 use hdlts_platform::ProcId;
 use std::fmt;
 
-/// Numerical slack for floating-point comparisons.
-const EPS: f64 = 1e-7;
+/// Numerical slack for floating-point comparisons throughout the
+/// scheduling kernels. The `float-eq` lint (`crates/analyzer`) bans raw
+/// `==`/`!=` on `f64` operands in `crates/core` and `crates/baselines`;
+/// use [`approx_eq`] (or explicit `EPS` arithmetic) instead.
+pub const EPS: f64 = 1e-7;
+
+/// Floating-point equality up to [`EPS`]: `|a - b| <= EPS`.
+///
+/// This is an absolute tolerance, which is what schedule times need —
+/// starts/finishes are bounded by the makespan, accumulated through a
+/// handful of additions, and compared against each other (never against
+/// values of wildly different magnitudes).
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
 
 /// A single feasibility violation found in a schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,14 +71,24 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::Unplaced(t) => write!(f, "task {t} is unplaced"),
-            Violation::WrongDuration { task, proc, found, expected } => write!(
+            Violation::WrongDuration {
+                task,
+                proc,
+                found,
+                expected,
+            } => write!(
                 f,
                 "task {task} on {proc} runs for {found} but W says {expected}"
             ),
             Violation::Overlap { proc, a, b } => {
                 write!(f, "tasks {a} and {b} overlap on {proc}")
             }
-            Violation::PrecedenceViolated { parent, child, start, arrival } => write!(
+            Violation::PrecedenceViolated {
+                parent,
+                child,
+                start,
+                arrival,
+            } => write!(
                 f,
                 "task {child} starts at {start} but data from {parent} arrives at {arrival}"
             ),
@@ -140,7 +164,11 @@ impl Schedule {
             let slots = self.timeline(p).slots();
             for w in slots.windows(2) {
                 if w[0].end > w[1].start + EPS {
-                    violations.push(Violation::Overlap { proc: p, a: w[0].task, b: w[1].task });
+                    violations.push(Violation::Overlap {
+                        proc: p,
+                        a: w[0].task,
+                        b: w[1].task,
+                    });
                 }
             }
         }
@@ -222,7 +250,11 @@ mod tests {
         let r = s.validation_report(&problem);
         assert!(matches!(
             r.violations.as_slice(),
-            [Violation::PrecedenceViolated { parent: TaskId(0), child: TaskId(1), .. }]
+            [Violation::PrecedenceViolated {
+                parent: TaskId(0),
+                child: TaskId(1),
+                ..
+            }]
         ));
     }
 
@@ -247,10 +279,13 @@ mod tests {
         s.place(TaskId(0), ProcId(0), 0.0, 5.0).unwrap(); // W is 4
         s.place(TaskId(1), ProcId(0), 5.0, 11.0).unwrap();
         let r = s.validation_report(&problem);
-        assert!(r
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::WrongDuration { task: TaskId(0), .. })));
+        assert!(r.violations.iter().any(|v| matches!(
+            v,
+            Violation::WrongDuration {
+                task: TaskId(0),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! One integration test per [`Violation`] variant: the independent
+//! validator must catch every class of infeasible schedule, including the
+//! ones the guarded `Schedule::place` API refuses to construct (those are
+//! manufactured through the test-only `place_unchecked` corruption hook).
+
+use hdlts_core::{Problem, Schedule, Violation, EPS};
+use hdlts_dag::{dag_from_edges, Dag, TaskId};
+use hdlts_platform::{CostMatrix, Platform, ProcId};
+
+/// A two-task chain `0 → 1` (10 data units) on two fully-connected
+/// processors; `W = [[4, 8], [6, 3]]`.
+fn fixture() -> (Dag, CostMatrix, Platform) {
+    let dag = dag_from_edges(2, &[(0, 1, 10.0)]).unwrap();
+    let costs = CostMatrix::from_rows(vec![vec![4.0, 8.0], vec![6.0, 3.0]]).unwrap();
+    let platform = Platform::fully_connected(2).unwrap();
+    (dag, costs, platform)
+}
+
+#[test]
+fn unplaced_variant() {
+    let (dag, costs, platform) = fixture();
+    let problem = Problem::new(&dag, &costs, &platform).unwrap();
+    let s = Schedule::new(2, 2);
+    let report = s.validation_report(&problem);
+    assert_eq!(
+        report.violations,
+        vec![
+            Violation::Unplaced(TaskId(0)),
+            Violation::Unplaced(TaskId(1))
+        ],
+    );
+}
+
+#[test]
+fn wrong_duration_variant() {
+    let (dag, costs, platform) = fixture();
+    let problem = Problem::new(&dag, &costs, &platform).unwrap();
+    let mut s = Schedule::new(2, 2);
+    s.place(TaskId(0), ProcId(0), 0.0, 5.0).unwrap(); // W(0, P0) = 4
+    s.place(TaskId(1), ProcId(0), 5.0, 11.0).unwrap(); // W(1, P0) = 6, correct
+    let report = s.validation_report(&problem);
+    assert_eq!(
+        report.violations,
+        vec![Violation::WrongDuration {
+            task: TaskId(0),
+            proc: ProcId(0),
+            found: 5.0,
+            expected: 4.0,
+        }],
+    );
+}
+
+#[test]
+fn overlap_variant() {
+    let (dag, costs, platform) = fixture();
+    let problem = Problem::new(&dag, &costs, &platform).unwrap();
+    let mut s = Schedule::new(2, 2);
+    // The guarded API refuses overlapping slots, so this state is only
+    // reachable through corruption — which is exactly what an independent
+    // validator must not trust the engine to prevent.
+    s.place_unchecked(TaskId(0), ProcId(0), 0.0, 4.0);
+    s.place_unchecked(TaskId(1), ProcId(0), 2.0, 8.0); // overlaps [0, 4)
+    let report = s.validation_report(&problem);
+    assert!(
+        report.violations.contains(&Violation::Overlap {
+            proc: ProcId(0),
+            a: TaskId(0),
+            b: TaskId(1),
+        }),
+        "overlap not caught: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn precedence_violated_variant() {
+    let (dag, costs, platform) = fixture();
+    let problem = Problem::new(&dag, &costs, &platform).unwrap();
+    let mut s = Schedule::new(2, 2);
+    s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+    // Child on the other processor at t = 4 ignores the 10-unit transfer
+    // (data arrives at 4 + 10 = 14).
+    s.place(TaskId(1), ProcId(1), 4.0, 7.0).unwrap();
+    let report = s.validation_report(&problem);
+    assert_eq!(
+        report.violations,
+        vec![Violation::PrecedenceViolated {
+            parent: TaskId(0),
+            child: TaskId(1),
+            start: 4.0,
+            arrival: 14.0,
+        }],
+    );
+}
+
+#[test]
+fn negative_start_variant() {
+    let (dag, costs, platform) = fixture();
+    let problem = Problem::new(&dag, &costs, &platform).unwrap();
+    let mut s = Schedule::new(2, 2);
+    s.place(TaskId(0), ProcId(0), -4.0, 0.0).unwrap();
+    s.place(TaskId(1), ProcId(0), 0.0, 6.0).unwrap();
+    let report = s.validation_report(&problem);
+    assert!(report
+        .violations
+        .contains(&Violation::NegativeStart(TaskId(0))));
+}
+
+#[test]
+fn discrepancies_within_eps_are_tolerated() {
+    // The validator's whole comparison discipline is EPS-based (the same
+    // EPS the float-eq lint points kernels at): a duration off by less
+    // than EPS is numerical noise, not a violation.
+    let (dag, costs, platform) = fixture();
+    let problem = Problem::new(&dag, &costs, &platform).unwrap();
+    let mut s = Schedule::new(2, 2);
+    s.place(TaskId(0), ProcId(0), 0.0, 4.0 + EPS / 2.0).unwrap();
+    s.place(TaskId(1), ProcId(0), 4.0 + EPS / 2.0, 10.0 + EPS / 2.0)
+        .unwrap();
+    let report = s.validation_report(&problem);
+    assert!(report.is_valid(), "{:?}", report.violations);
+}
+
+#[test]
+fn corrupted_schedule_fails_validate_with_first_violation() {
+    let (dag, costs, platform) = fixture();
+    let problem = Problem::new(&dag, &costs, &platform).unwrap();
+    let mut s = Schedule::new(2, 2);
+    s.place_unchecked(TaskId(0), ProcId(0), 0.0, 4.0);
+    s.place_unchecked(TaskId(1), ProcId(0), 2.0, 8.0);
+    assert!(s.validate(&problem).is_err());
+}

@@ -24,8 +24,10 @@ use crate::runner::RunConfig;
 use crate::sweep::{derive_seed, mean_curve, parallel_stats};
 use hdlts_baselines::AlgorithmKind;
 use hdlts_metrics::report::FigureData;
-use hdlts_workloads::{fft, gauss, laplace, moldyn, montage, pegasus, random_dag, CostParams,
-    Instance, RandomDagParams};
+use hdlts_workloads::{
+    fft, gauss, laplace, moldyn, montage, pegasus, random_dag, CostParams, Instance,
+    RandomDagParams,
+};
 use serde::Deserialize;
 
 /// Which workload family a sweep generates.
@@ -86,12 +88,18 @@ pub enum WorkloadSpec {
     },
 }
 
+// The three defaults below are referenced only through the
+// `#[serde(default = "…")]` attributes above; the offline serde stubs
+// expand no derive code, so rustc there sees them as unused.
+#[allow(dead_code)]
 fn default_v() -> usize {
     100
 }
+#[allow(dead_code)]
 fn default_alpha() -> f64 {
     1.0
 }
+#[allow(dead_code)]
 fn default_density() -> usize {
     3
 }
@@ -100,21 +108,24 @@ impl WorkloadSpec {
     /// Generates one instance under the given cost model.
     pub fn generate(&self, cp: &CostParams, seed: u64) -> Instance {
         match *self {
-            WorkloadSpec::Random { v, alpha, density, single_source } => {
-                random_dag::generate(
-                    &RandomDagParams {
-                        v,
-                        alpha,
-                        density,
-                        ccr: cp.ccr,
-                        w_dag: cp.w_dag,
-                        beta: cp.beta,
-                        num_procs: cp.num_procs,
-                        single_source,
-                    },
-                    seed,
-                )
-            }
+            WorkloadSpec::Random {
+                v,
+                alpha,
+                density,
+                single_source,
+            } => random_dag::generate(
+                &RandomDagParams {
+                    v,
+                    alpha,
+                    density,
+                    ccr: cp.ccr,
+                    w_dag: cp.w_dag,
+                    beta: cp.beta,
+                    num_procs: cp.num_procs,
+                    single_source,
+                },
+                seed,
+            ),
             WorkloadSpec::Fft { m } => fft::generate(m, cp, seed),
             WorkloadSpec::Montage { nodes } => montage::generate_approx(nodes, cp, seed),
             WorkloadSpec::Moldyn => moldyn::generate(cp, seed),
@@ -201,7 +212,10 @@ impl SweepSpec {
         }
         let algorithms = self.resolve_algorithms()?;
         let reps = self.reps.unwrap_or(cfg.reps);
-        let tag = self.id.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let tag = self
+            .id
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
 
         struct Job {
             x: usize,
@@ -243,7 +257,10 @@ impl SweepSpec {
 
         let ticks: Vec<String> = self.x_values.iter().map(|v| format!("{v}")).collect();
         let mut fig = FigureData::new(
-            format!("{}: custom sweep ({:?} vs {:?})", self.id, self.metric, self.x_param),
+            format!(
+                "{}: custom sweep ({:?} vs {:?})",
+                self.id, self.metric, self.x_param
+            ),
             format!("{:?}", self.x_param),
             format!("{:?}", self.metric),
             ticks,
@@ -264,8 +281,7 @@ mod tests {
     fn serde_json_is_stubbed() -> bool {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let stubbed =
-            std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
+        let stubbed = std::panic::catch_unwind(|| serde_json::to_string(&0u8).is_ok()).is_err();
         std::panic::set_hook(prev);
         if stubbed {
             eprintln!("note: serde_json is the offline stub; skipping");
@@ -302,11 +318,20 @@ mod tests {
             return;
         }
         let spec = &SweepSpec::parse_config(SAMPLE).unwrap()[0];
-        let fig = spec.run(&RunConfig { reps: 2, base_seed: 1, validate: true }).unwrap();
+        let fig = spec
+            .run(&RunConfig {
+                reps: 2,
+                base_seed: 1,
+                validate: true,
+            })
+            .unwrap();
         assert_eq!(fig.x_ticks, vec!["1", "3"]);
         assert_eq!(fig.series.len(), 2);
         assert_eq!(fig.series[0].0, "HDLTS");
-        assert!(fig.series.iter().all(|(_, ys)| ys.iter().all(|y| y.is_finite())));
+        assert!(fig
+            .series
+            .iter()
+            .all(|(_, ys)| ys.iter().all(|y| y.is_finite())));
     }
 
     #[test]

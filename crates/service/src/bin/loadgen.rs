@@ -56,7 +56,8 @@ fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} requires a value"))
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
         };
         match flag.as_str() {
             "--rate" => opts.rate = num(&value("--rate")?)?,
@@ -76,7 +77,10 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    if !(opts.rate > 0.0) || !(opts.duration > 0.0) || opts.clients == 0 {
+    // NaN must fail validation too, so compare against the accepted
+    // range rather than negating the rejection.
+    let positive = |x: f64| x.is_finite() && x > 0.0;
+    if !positive(opts.rate) || !positive(opts.duration) || opts.clients == 0 {
         return Err("rate, duration, and clients must be positive".into());
     }
     Ok(opts)
@@ -198,7 +202,10 @@ fn main() {
             let handle = Daemon::start(ServiceConfig {
                 addr: "127.0.0.1:0".into(),
                 queue_capacity: opts.queue_cap,
-                shards: vec![ShardSpec { procs: opts.procs, threads: opts.workers }],
+                shards: vec![ShardSpec {
+                    procs: opts.procs,
+                    threads: opts.workers,
+                }],
                 ..Default::default()
             })
             .unwrap_or_else(|e| {
@@ -220,15 +227,25 @@ fn main() {
             .map(|c| {
                 let addr = addr.clone();
                 scope.spawn(move || {
-                    run_client(&addr, c, per_client_rate, opts.duration, opts.procs, opts.seed)
-                        .unwrap_or_else(|e| {
-                            eprintln!("loadgen: client {c} failed: {e}");
-                            ClientTally::default()
-                        })
+                    run_client(
+                        &addr,
+                        c,
+                        per_client_rate,
+                        opts.duration,
+                        opts.procs,
+                        opts.seed,
+                    )
+                    .unwrap_or_else(|e| {
+                        eprintln!("loadgen: client {c} failed: {e}");
+                        ClientTally::default()
+                    })
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect()
     });
 
     let submitted: u64 = tallies.iter().map(|t| t.submitted).sum();
@@ -261,8 +278,10 @@ fn main() {
     };
     let wall = wall_start.elapsed().as_secs_f64();
 
-    let completed =
-        stats_value.get("completed").and_then(Value::as_u64).unwrap_or(0);
+    let completed = stats_value
+        .get("completed")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
     let report = obj([
         ("bench", "service".into()),
         (
@@ -295,13 +314,21 @@ fn main() {
                 ("protocol_errors", errors.into()),
                 (
                     "acceptance_ratio",
-                    (if submitted == 0 { 1.0 } else { accepted as f64 / submitted as f64 })
-                        .into(),
+                    (if submitted == 0 {
+                        1.0
+                    } else {
+                        accepted as f64 / submitted as f64
+                    })
+                    .into(),
                 ),
                 (
                     "mean_retry_after_ms",
-                    (if retry_seen == 0 { 0.0 } else { retry_sum as f64 / retry_seen as f64 })
-                        .into(),
+                    (if retry_seen == 0 {
+                        0.0
+                    } else {
+                        retry_sum as f64 / retry_seen as f64
+                    })
+                    .into(),
                 ),
             ]),
         ),

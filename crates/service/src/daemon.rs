@@ -18,9 +18,10 @@
 //! admitted; nothing accepted is ever dropped. The accept loop exits once
 //! every worker has drained, and [`DaemonHandle::wait`] joins them all.
 
+use crate::error::{lock, lock_recover, ServiceError};
 use crate::jobs::{JobResult, JobState, JobTable};
-use crate::protocol::{self, parse_request, placements_value, Request, SubmitRequest};
 use crate::json::{obj, Value};
+use crate::protocol::{self, parse_request, placements_value, Request, SubmitRequest};
 use crate::queue::{Bounded, Pop, PushError};
 use hdlts_metrics::LatencyHistogram;
 use hdlts_platform::Platform;
@@ -70,7 +71,10 @@ impl Default for ServiceConfig {
         ServiceConfig {
             addr: "127.0.0.1:7151".into(),
             queue_capacity: 256,
-            shards: vec![ShardSpec { procs: 4, threads: 2 }],
+            shards: vec![ShardSpec {
+                procs: 4,
+                threads: 2,
+            }],
             default_deadline_ms: None,
             worker_delay_ms: 0,
             retain_results: 4096,
@@ -194,7 +198,10 @@ impl Daemon {
     pub fn start(cfg: ServiceConfig) -> std::io::Result<DaemonHandle> {
         use std::io::{Error, ErrorKind};
         if cfg.shards.is_empty() {
-            return Err(Error::new(ErrorKind::InvalidInput, "at least one shard required"));
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                "at least one shard required",
+            ));
         }
         let mut shards = Vec::with_capacity(cfg.shards.len());
         for s in &cfg.shards {
@@ -252,7 +259,12 @@ impl Daemon {
                 .name("hdlts-accept".into())
                 .spawn(move || accept_loop(listener, &shared))?
         };
-        Ok(DaemonHandle { addr, shared, accept: Some(accept), workers })
+        Ok(DaemonHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
     }
 }
 
@@ -309,7 +321,9 @@ fn begin_drain(shared: &Shared) {
 }
 
 fn snapshot(shared: &Shared) -> ServiceStats {
-    let hist = shared.hist.lock().expect("histogram poisoned");
+    // Recovery lock: the histogram is append-only counters, consistent
+    // after every record(); stats must stay readable even post-panic.
+    let hist = lock_recover(&shared.hist);
     let (p50, p95, p99) = hist.percentiles();
     let to_ms = |ns: u64| ns as f64 / 1e6;
     ServiceStats {
@@ -323,7 +337,13 @@ fn snapshot(shared: &Shared) -> ServiceStats {
         shards: shared
             .shards
             .iter()
-            .map(|s| (s.spec.procs, s.spec.threads, s.completed.load(Ordering::SeqCst)))
+            .map(|s| {
+                (
+                    s.spec.procs,
+                    s.spec.threads,
+                    s.completed.load(Ordering::SeqCst),
+                )
+            })
             .collect(),
         latency_p50_ms: to_ms(p50),
         latency_p95_ms: to_ms(p95),
@@ -365,8 +385,14 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
     // Exactly the offline dispatch path: a single-job stream arriving at
     // t = 0 on the shard's platform. Anything the offline
     // `JobStreamScheduler` computes, the daemon reproduces bit-for-bit.
-    let scheduler = JobStreamScheduler { policy: job.policy, ..Default::default() };
-    let arrivals = [JobArrival { instance: job.instance, arrival: 0.0 }];
+    let scheduler = JobStreamScheduler {
+        policy: job.policy,
+        ..Default::default()
+    };
+    let arrivals = [JobArrival {
+        instance: job.instance,
+        arrival: 0.0,
+    }];
     let outcome = scheduler.execute(&shard.platform, &arrivals, &job.perturb, &job.failures);
     let state = match outcome {
         Err(e) => {
@@ -385,7 +411,7 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
                 _ => (f64::NAN, f64::NAN),
             };
             let latency_ns = (service_ms * 1e6) as u64;
-            shared.hist.lock().expect("histogram poisoned").record(latency_ns);
+            lock_recover(&shared.hist).record(latency_ns);
             shared.completed.fetch_add(1, Ordering::SeqCst);
             shard.completed.fetch_add(1, Ordering::SeqCst);
             JobState::Done(JobResult {
@@ -403,7 +429,10 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
 }
 
 fn set_state(shared: &Shared, id: u64, state: JobState) {
-    shared.jobs.lock().expect("job table poisoned").set(id, state);
+    // Recovery lock: workers must finish recording admitted jobs even if
+    // another thread panicked; JobTable::set is a single consistent
+    // mutation, so post-poison state is valid.
+    lock_recover(&shared.jobs).set(id, state);
 }
 
 // ---------------------------------------------------------------------------
@@ -437,7 +466,9 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
 
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else { return };
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut line = String::new();
@@ -461,32 +492,37 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// Answers one request line. Infallible by construction: any internal
+/// failure (e.g. a poisoned lock) becomes a structured `internal` error
+/// response, so a connection thread can never take down the daemon or
+/// die without answering the client.
 fn handle_line(shared: &Shared, line: &str) -> Value {
+    try_handle_line(shared, line)
+        .unwrap_or_else(|e| protocol::resp_error("internal", e.to_string()))
+}
+
+fn try_handle_line(shared: &Shared, line: &str) -> Result<Value, ServiceError> {
     let request = match parse_request(line) {
         Ok(r) => r,
-        Err(e) => return protocol::resp_error("bad_request", e.0),
+        Err(e) => return Ok(protocol::resp_error("bad_request", e.0)),
     };
-    match request {
+    Ok(match request {
         Request::Ping => obj([("ok", true.into()), ("pong", true.into())]),
-        Request::Stats => {
-            snapshot(shared).to_value(shared.draining.load(Ordering::SeqCst))
-        }
+        Request::Stats => snapshot(shared).to_value(shared.draining.load(Ordering::SeqCst)),
         Request::Shutdown => {
             begin_drain(shared);
             obj([("ok", true.into()), ("draining", true.into())])
         }
-        Request::Status { job_id } => {
-            match shared.jobs.lock().expect("job table poisoned").get(job_id) {
-                None => protocol::resp_error("unknown_job", format!("no record of job {job_id}")),
-                Some(state) => obj([
-                    ("ok", true.into()),
-                    ("job_id", job_id.into()),
-                    ("state", state.name().into()),
-                ]),
-            }
-        }
+        Request::Status { job_id } => match lock(&shared.jobs, "job table")?.get(job_id) {
+            None => protocol::resp_error("unknown_job", format!("no record of job {job_id}")),
+            Some(state) => obj([
+                ("ok", true.into()),
+                ("job_id", job_id.into()),
+                ("state", state.name().into()),
+            ]),
+        },
         Request::Result { job_id } => {
-            let jobs = shared.jobs.lock().expect("job table poisoned");
+            let jobs = lock(&shared.jobs, "job table")?;
             match jobs.get(job_id) {
                 None => protocol::resp_error("unknown_job", format!("no record of job {job_id}")),
                 Some(JobState::Failed(e)) => protocol::resp_error("job_failed", e.clone()),
@@ -511,27 +547,36 @@ fn handle_line(shared: &Shared, line: &str) -> Value {
                 ]),
             }
         }
-        Request::Submit(submit) => handle_submit(shared, *submit),
-    }
+        Request::Submit(submit) => handle_submit(shared, *submit)?,
+    })
 }
 
-fn handle_submit(shared: &Shared, submit: SubmitRequest) -> Value {
+fn handle_submit(shared: &Shared, submit: SubmitRequest) -> Result<Value, ServiceError> {
     if shared.draining.load(Ordering::SeqCst) {
-        return protocol::resp_error("draining", "daemon is shutting down; not accepting jobs");
+        return Ok(protocol::resp_error(
+            "draining",
+            "daemon is shutting down; not accepting jobs",
+        ));
     }
     // Resolve the workload up front so bad parameters fail synchronously.
     let instance = match submit.job.realize() {
         Ok(i) => i,
-        Err(e) => return protocol::resp_error("bad_workload", e),
+        Err(e) => return Ok(protocol::resp_error("bad_workload", e)),
     };
     let procs = instance.num_procs();
     let Some(shard) = shared.shards.iter().find(|s| s.spec.procs == procs) else {
-        let served: Vec<String> =
-            shared.shards.iter().map(|s| s.spec.procs.to_string()).collect();
-        return protocol::resp_error(
+        let served: Vec<String> = shared
+            .shards
+            .iter()
+            .map(|s| s.spec.procs.to_string())
+            .collect();
+        return Ok(protocol::resp_error(
             "no_shard",
-            format!("no shard serves {procs}-processor jobs (shards: {})", served.join(", ")),
-        );
+            format!(
+                "no shard serves {procs}-processor jobs (shards: {})",
+                served.join(", ")
+            ),
+        ));
     };
     let deadline_ms = submit.deadline_ms.or(shared.cfg.default_deadline_ms);
     let now = Instant::now();
@@ -547,15 +592,18 @@ fn handle_submit(shared: &Shared, submit: SubmitRequest) -> Value {
     };
     // Register before pushing so a fast worker can't observe an unknown id;
     // roll back if admission refuses the job.
-    shared.jobs.lock().expect("job table poisoned").insert_queued(id);
+    lock(&shared.jobs, "job table")?.insert_queued(id);
     shared.inflight.fetch_add(1, Ordering::SeqCst);
-    match shard.queue.try_push(job) {
+    Ok(match shard.queue.try_push(job) {
         Ok(()) => {
             shared.accepted.fetch_add(1, Ordering::SeqCst);
             protocol::resp_submitted(id, shard.queue.len())
         }
         Err(refused) => {
-            shared.jobs.lock().expect("job table poisoned").remove(id);
+            // Roll back with a recovery lock: the registration must be
+            // withdrawn even through poisoning, or a refused id would
+            // linger as a phantom Queued record.
+            lock_recover(&shared.jobs).remove(id);
             shared.inflight.fetch_sub(1, Ordering::SeqCst);
             match refused {
                 PushError::Full(_) => {
@@ -567,7 +615,7 @@ fn handle_submit(shared: &Shared, submit: SubmitRequest) -> Value {
                 }
             }
         }
-    }
+    })
 }
 
 /// Retry hint for a rejected submit: the time for this shard's workers to
@@ -575,10 +623,17 @@ fn handle_submit(shared: &Shared, submit: SubmitRequest) -> Value {
 /// service latency. Clamped to [10 ms, 10 s]; 50 ms before any job has
 /// completed.
 fn retry_after_ms(shared: &Shared, shard: &Shard) -> u64 {
-    let hist = shared.hist.lock().expect("histogram poisoned");
-    let base = if hist.count() == 0 { 50.0 } else { hist.mean() / 1e6 };
-    let backlog_rounds =
-        (shard.queue.len() as f64 / shard.spec.threads as f64).ceil().max(1.0);
+    // Recovery lock: a retry hint must never fail a rejection response;
+    // the histogram stays consistent through poisoning (see snapshot).
+    let hist = lock_recover(&shared.hist);
+    let base = if hist.count() == 0 {
+        50.0
+    } else {
+        hist.mean() / 1e6
+    };
+    let backlog_rounds = (shard.queue.len() as f64 / shard.spec.threads as f64)
+        .ceil()
+        .max(1.0);
     ((base * backlog_rounds) as u64).clamp(10, 10_000)
 }
 
@@ -605,7 +660,10 @@ mod tests {
         ServiceConfig {
             addr: "127.0.0.1:0".into(),
             queue_capacity: 16,
-            shards: vec![ShardSpec { procs: 4, threads: 2 }],
+            shards: vec![ShardSpec {
+                procs: 4,
+                threads: 2,
+            }],
             ..Default::default()
         }
     }
@@ -641,12 +699,19 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(30);
         let result = loop {
             assert!(Instant::now() < deadline, "job never finished");
-            let res =
-                roundtrip(&mut r, &mut w, &format!(r#"{{"cmd":"result","job_id":{id}}}"#));
+            let res = roundtrip(
+                &mut r,
+                &mut w,
+                &format!(r#"{{"cmd":"result","job_id":{id}}}"#),
+            );
             if res.get("ok").unwrap().as_bool() == Some(true) {
                 break res;
             }
-            assert_eq!(res.get("error").unwrap().as_str(), Some("not_ready"), "{res}");
+            assert_eq!(
+                res.get("error").unwrap().as_str(),
+                Some("not_ready"),
+                "{res}"
+            );
             std::thread::sleep(Duration::from_millis(5));
         };
         assert!(result.get("makespan").unwrap().as_f64().unwrap() > 0.0);
@@ -704,13 +769,19 @@ mod tests {
         })
         .is_err());
         assert!(Daemon::start(ServiceConfig {
-            shards: vec![ShardSpec { procs: 4, threads: 0 }],
+            shards: vec![ShardSpec {
+                procs: 4,
+                threads: 0
+            }],
             addr: "127.0.0.1:0".into(),
             ..Default::default()
         })
         .is_err());
         assert!(Daemon::start(ServiceConfig {
-            shards: vec![ShardSpec { procs: 0, threads: 1 }],
+            shards: vec![ShardSpec {
+                procs: 0,
+                threads: 1
+            }],
             addr: "127.0.0.1:0".into(),
             ..Default::default()
         })

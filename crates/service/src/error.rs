@@ -1,0 +1,88 @@
+//! Typed errors for the daemon request path.
+//!
+//! The request path (`daemon::handle_line` and everything under it) must
+//! never panic: a panic in a connection thread kills that client silently,
+//! and a panic while holding a shared lock poisons it for every other
+//! thread. The `request-path-panic` lint (`crates/analyzer`) bans
+//! `unwrap`/`expect`/`panic!` in these files; this module provides the
+//! two sanctioned replacements:
+//!
+//! * [`lock`] — typed acquisition for the request path: poisoning becomes
+//!   a [`ServiceError`] the protocol layer reports as an `internal` error
+//!   response, and the connection (and accept loop) live on.
+//! * [`lock_recover`] — recovery acquisition for worker-side bookkeeping
+//!   (histogram, job table writes): every critical section over those
+//!   structures is a single consistent mutation, so a poisoned lock holds
+//!   valid data and the worker keeps draining rather than dying.
+
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// A failure in the daemon's request path that must reach the client as a
+/// structured error response instead of killing a thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A shared lock was poisoned by a panicking thread; the named
+    /// resource may be stale but the daemon keeps serving.
+    LockPoisoned(&'static str),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::LockPoisoned(what) => {
+                write!(
+                    f,
+                    "internal error: {what} lock poisoned by a panicked thread"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Acquires `m` for the request path, turning poisoning into a typed
+/// error naming the resource.
+pub fn lock<'a, T>(m: &'a Mutex<T>, what: &'static str) -> Result<MutexGuard<'a, T>, ServiceError> {
+    m.lock().map_err(|_| ServiceError::LockPoisoned(what))
+}
+
+/// Acquires `m` recovering from poisoning: used where there is no client
+/// to answer (worker loops, stats snapshots) and the protected structure
+/// is consistent after every critical section by construction.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn poison(m: &Arc<Mutex<u32>>) {
+        let m2 = Arc::clone(m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+    }
+
+    #[test]
+    fn lock_reports_poisoning_as_typed_error() {
+        let m = Arc::new(Mutex::new(7u32));
+        assert_eq!(*lock(&m, "test").unwrap(), 7);
+        poison(&m);
+        let err = lock(&m, "job table").unwrap_err();
+        assert_eq!(err, ServiceError::LockPoisoned("job table"));
+        assert!(err.to_string().contains("job table"));
+    }
+
+    #[test]
+    fn lock_recover_reads_through_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        poison(&m);
+        assert_eq!(*lock_recover(&m), 7);
+    }
+}

@@ -32,7 +32,10 @@ impl JobState {
 
     /// Whether the job has left the queue/worker pipeline.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Done(_) | JobState::Expired | JobState::Failed(_))
+        matches!(
+            self,
+            JobState::Done(_) | JobState::Expired | JobState::Failed(_)
+        )
     }
 }
 
@@ -71,7 +74,11 @@ impl JobTable {
     /// A table retaining at most `retain` terminal records (at least 1).
     pub fn new(retain: usize) -> Self {
         assert!(retain >= 1, "retention must be at least 1");
-        JobTable { states: HashMap::new(), terminal_order: VecDeque::new(), retain }
+        JobTable {
+            states: HashMap::new(),
+            terminal_order: VecDeque::new(),
+            retain,
+        }
     }
 
     /// Registers a newly admitted job.
@@ -87,7 +94,9 @@ impl JobTable {
         if terminal {
             self.terminal_order.push_back(id);
             while self.terminal_order.len() > self.retain {
-                let evict = self.terminal_order.pop_front().expect("non-empty");
+                let Some(evict) = self.terminal_order.pop_front() else {
+                    break;
+                };
                 self.states.remove(&evict);
             }
         }

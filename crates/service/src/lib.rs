@@ -34,12 +34,14 @@
 //! protocol reference.
 
 pub mod daemon;
+pub mod error;
 pub mod jobs;
 pub mod json;
 pub mod protocol;
 pub mod queue;
 
 pub use daemon::{Daemon, DaemonHandle, ServiceConfig, ServiceStats, ShardSpec};
+pub use error::ServiceError;
 pub use jobs::{JobResult, JobState, JobTable};
 pub use json::{JsonError, Value};
 pub use protocol::{parse_request, JobSpec, Request, SubmitRequest};

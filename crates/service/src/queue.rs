@@ -9,8 +9,9 @@
 //! until the queue is empty, then report [`Pop::Closed`] so workers can
 //! exit.
 
+use crate::error::lock_recover;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Why a push was refused. The rejected item is handed back so the caller
@@ -48,11 +49,23 @@ pub struct Bounded<T> {
 }
 
 impl<T> Bounded<T> {
+    /// Locks the queue state, recovering from poisoning. Sound because
+    /// every critical section below performs one self-contained mutation
+    /// (push, pop, or flag set) — a panic elsewhere cannot leave `Inner`
+    /// half-updated, so post-poison data is still valid and the queue
+    /// keeps draining instead of cascading panics through the daemon.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        lock_recover(&self.inner)
+    }
+
     /// A queue admitting at most `capacity` items (at least 1).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "queue capacity must be at least 1");
         Bounded {
-            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
             not_empty: Condvar::new(),
             capacity,
         }
@@ -65,7 +78,7 @@ impl<T> Bounded<T> {
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -75,13 +88,13 @@ impl<T> Bounded<T> {
 
     /// Whether [`Bounded::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("queue poisoned").closed
+        self.lock().closed
     }
 
     /// Non-blocking admission: enqueues `item` unless the queue is full or
     /// closed.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock();
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -98,7 +111,7 @@ impl<T> Bounded<T> {
     /// queued when the queue closes are drained before [`Pop::Closed`] is
     /// reported — closing never drops work.
     pub fn pop(&self, timeout: Duration) -> Pop<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Pop::Item(item);
@@ -109,7 +122,7 @@ impl<T> Bounded<T> {
             let (guard, result) = self
                 .not_empty
                 .wait_timeout(inner, timeout)
-                .expect("queue poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             inner = guard;
             if result.timed_out() {
                 return match inner.items.pop_front() {
@@ -124,7 +137,7 @@ impl<T> Bounded<T> {
     /// Starts the drain: refuses new pushes, wakes all waiting consumers.
     /// Idempotent.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        self.lock().closed = true;
         self.not_empty.notify_all();
     }
 }
@@ -183,11 +196,19 @@ mod tests {
         q.close();
         let start = Instant::now();
         assert_eq!(handle.join().unwrap(), Pop::Closed);
-        assert!(start.elapsed() < Duration::from_secs(5), "consumer was not woken");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "consumer was not woken"
+        );
     }
 
     #[test]
     fn concurrent_producers_and_consumers_lose_nothing() {
+        // Miri executes this interpreter-slow; a smaller volume still
+        // exercises every queue transition under its race detection.
+        #[cfg(miri)]
+        const PER_PRODUCER: usize = 20;
+        #[cfg(not(miri))]
         const PER_PRODUCER: usize = 500;
         let q = Arc::new(Bounded::new(8));
         let mut producers = Vec::new();

@@ -5,6 +5,12 @@ check:
     cargo build --release
     cargo test -q
 
+# Repo-specific lints (crates/analyzer): request-path panic freedom, EPS
+# float discipline, wall-clock and unordered-iteration bans. See
+# CONTRIBUTING.md "Static analysis" and DESIGN.md §8.
+lint:
+    cargo run --release -p hdlts-analyzer --bin hdlts-analyzer -- --root .
+
 # Criterion benches (human-readable, statistical).
 bench:
     cargo bench -p hdlts-bench
@@ -25,11 +31,17 @@ serve addr="127.0.0.1:7151" procs="4" workers="2":
 bench-service rate="200" duration="10":
     cargo run --release -p hdlts-service --bin loadgen -- --rate {{rate}} --duration {{duration}} --out BENCH_service.json
 
-# Full CI pipeline: build + tests + bench smoke + perf regression gate on
-# the incremental-engine speedup recorded in BENCH_engine.json.
+# Full CI pipeline: format + clippy + repo lints + tests + Miri (when the
+# nightly component is installed; CI has a dedicated job) + bench smoke +
+# perf regression gate on the incremental-engine speedup recorded in
+# BENCH_engine.json. Cheap determinism/soundness checks fail first.
 ci:
+    cargo fmt --all --check
     cargo build --release
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo run --release -p hdlts-analyzer --bin hdlts-analyzer -- --root .
     cargo test -q
+    if cargo miri --version >/dev/null 2>&1; then MIRIFLAGS=-Zmiri-disable-isolation cargo miri test -p hdlts-service --lib queue json; else echo "miri unavailable locally; skipped (covered by the CI miri job)"; fi
     cargo run --release -p hdlts-bench --bin bench-json -- BENCH_ci.json
     ./scripts/bench_gate.sh BENCH_ci.json
     cargo run --release -p hdlts-service --bin loadgen -- --rate 100 --duration 3 --out BENCH_service_ci.json
