@@ -1,0 +1,64 @@
+//! Fixture: the kernel-alloc rule must flag per-iteration allocations in
+//! loop bodies and spare hoisted buffers, headers, and `impl ... for`.
+
+pub fn bad_vec_new(n: usize) -> Vec<Vec<f64>> {
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row = Vec::new();
+        rows.push(row);
+    }
+    rows
+}
+
+pub fn bad_vec_macro(n: usize) -> usize {
+    let mut total = 0;
+    while total < n {
+        let tmp = vec![0.0; 4];
+        total += tmp.len();
+    }
+    total
+}
+
+pub fn bad_to_vec(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        out.push(r.as_slice().to_vec());
+    }
+    out
+}
+
+pub struct Hoisted;
+
+impl Clone for Hoisted {
+    fn clone(&self) -> Hoisted {
+        let _fine: Vec<f64> = Vec::new();
+        Hoisted
+    }
+}
+
+pub fn fine_header_alloc() -> usize {
+    let mut n = 0;
+    for x in vec![1, 2, 3] {
+        n += x;
+    }
+    n
+}
+
+pub fn allowed_alloc(n: usize) -> Vec<Vec<f64>> {
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        // LINT-ALLOW(kernel-alloc): fixture demonstrates suppression
+        rows.push(Vec::new());
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate_in_loops() {
+        for _ in 0..3 {
+            let _ = Vec::new();
+        }
+    }
+}

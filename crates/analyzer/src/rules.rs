@@ -59,6 +59,13 @@ pub const RULES: &[RuleDef] = &[
         applies: in_kernel_tier,
         check: check_unordered_iter,
     },
+    RuleDef {
+        id: "kernel-alloc",
+        summary: "no Vec::new()/vec![]/.to_vec() in loop bodies of hot scheduling kernels; \
+                  hoist a scratch buffer",
+        applies: in_hot_kernel,
+        check: check_kernel_alloc,
+    },
 ];
 
 /// Looks up a rule by id.
@@ -70,6 +77,19 @@ pub fn rule_by_id(id: &str) -> Option<&'static RuleDef> {
 /// determinism and EPS discipline are mandatory.
 fn in_kernel_tier(path: &str) -> bool {
     path.starts_with("crates/core/src/") || path.starts_with("crates/baselines/src/")
+}
+
+/// The per-step hot kernels: every scheduling step walks these inner
+/// loops, so allocation there is O(steps) churn. The bench gate measures
+/// exactly these files; the list grows when a new kernel joins the
+/// per-step path.
+fn in_hot_kernel(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/core/src/engine.rs"
+            | "crates/core/src/est.rs"
+            | "crates/baselines/src/hdlts_cpd.rs"
+    )
 }
 
 /// Identifiers that are `f64`-valued throughout this workspace. The
@@ -210,6 +230,119 @@ fn check_wall_clock(toks: &[Tok]) -> Vec<RawFinding> {
     out
 }
 
+/// Flags heap allocations (`Vec::new()`, `vec![...]`, `.to_vec()`) inside
+/// `for`/`while`/`loop` bodies. Loop bodies are tracked lexically with a
+/// brace-depth stack; `for` only opens a loop when an `in` follows before
+/// the brace, so `impl Trait for Type { ... }` and `for<'a>` bounds do not
+/// count. Allocations in loop *headers* (the iterable expression) are out
+/// of scope — they run once.
+fn check_kernel_alloc(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    // Brace depths at which a loop body opened; non-empty = inside a loop.
+    let mut loop_depths: Vec<usize> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending_loop = false;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    if pending_loop {
+                        loop_depths.push(depth);
+                        pending_loop = false;
+                    }
+                }
+                "}" => {
+                    if loop_depths.last() == Some(&depth) {
+                        loop_depths.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                // A `;` before the body means the "loop" keyword belonged
+                // to something else entirely; drop the pending state.
+                ";" => pending_loop = false,
+                _ => {}
+            }
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "while" | "loop" => {
+                pending_loop = true;
+                continue;
+            }
+            "for" => {
+                // Real for-loops have an `in` between the pattern and the
+                // body; `impl ... for Type` and HRTB `for<'a>` do not.
+                let mut j = i + 1;
+                let is_loop = loop {
+                    match toks.get(j) {
+                        Some(n) if n.kind == TokKind::Ident && n.text == "in" => break true,
+                        Some(n) if n.kind == TokKind::Punct && (n.text == "{" || n.text == ";") => {
+                            break false
+                        }
+                        Some(_) => j += 1,
+                        None => break false,
+                    }
+                };
+                if is_loop {
+                    pending_loop = true;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if loop_depths.is_empty() {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        let next = toks.get(i + 1);
+        let called = next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+        match t.text.as_str() {
+            "vec" if next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "!") => {
+                out.push((
+                    t.line,
+                    t.col,
+                    "vec![] allocates every iteration of a kernel loop; hoist a reusable \
+                     buffer (clear() + extend) outside the loop"
+                        .into(),
+                ));
+            }
+            "new"
+                if called
+                    && prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == "::")
+                    && i >= 2
+                    && toks[i - 2].kind == TokKind::Ident
+                    && toks[i - 2].text == "Vec" =>
+            {
+                let v = &toks[i - 2];
+                out.push((
+                    v.line,
+                    v.col,
+                    "Vec::new() allocates every iteration of a kernel loop; hoist a \
+                     reusable scratch buffer outside the loop"
+                        .into(),
+                ));
+            }
+            "to_vec"
+                if called && prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == ".") =>
+            {
+                out.push((
+                    t.line,
+                    t.col,
+                    ".to_vec() copies into a fresh allocation every iteration of a kernel \
+                     loop; borrow the slice or clone_from into a reused buffer"
+                        .into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 fn check_unordered_iter(toks: &[Tok]) -> Vec<RawFinding> {
     let mut out = Vec::new();
     for t in toks {
@@ -289,6 +422,44 @@ mod tests {
     fn unordered_iter_flags_every_mention() {
         let hits = check_unordered_iter(&code_toks("use std::collections::{HashMap, HashSet};"));
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn kernel_alloc_tracks_loop_bodies() {
+        let hits = |src: &str| check_kernel_alloc(&code_toks(src)).len();
+        // Outside any loop: clean.
+        assert_eq!(hits("fn f() { let v = Vec::new(); }"), 0);
+        // Each allocation form fires inside each loop form.
+        assert_eq!(hits("fn f() { for i in 0..3 { let v = Vec::new(); } }"), 1);
+        assert_eq!(hits("fn f() { while go() { let v = vec![1]; } }"), 1);
+        assert_eq!(hits("fn f() { loop { let v = s.to_vec(); } }"), 1);
+        // Loop headers run once and are exempt.
+        assert_eq!(hits("fn f() { for i in vec![1, 2] { g(i); } }"), 0);
+        // `impl Trait for Type` is not a loop.
+        assert_eq!(
+            hits("impl T for S { fn f(&self) { let v = Vec::new(); } }"),
+            0
+        );
+        // Nested non-loop blocks stay inside the enclosing loop...
+        assert_eq!(
+            hits("fn f() { for i in 0..3 { if b { let v = Vec::new(); } } }"),
+            1
+        );
+        // ...and the loop state clears once its body closes.
+        assert_eq!(
+            hits("fn f() { for i in 0..3 { g(); } let v = Vec::new(); }"),
+            0
+        );
+    }
+
+    #[test]
+    fn hot_kernel_scope_is_exact() {
+        assert!(in_hot_kernel("crates/core/src/est.rs"));
+        assert!(in_hot_kernel("crates/core/src/engine.rs"));
+        assert!(in_hot_kernel("crates/baselines/src/hdlts_cpd.rs"));
+        assert!(!in_hot_kernel("crates/core/src/hdlts.rs"));
+        assert!(!in_hot_kernel("crates/baselines/src/heft.rs"));
+        assert!(!in_hot_kernel("crates/service/src/daemon.rs"));
     }
 
     #[test]

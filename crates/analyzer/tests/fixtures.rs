@@ -71,6 +71,36 @@ fn unordered_iter_fires_on_every_mention() {
 }
 
 #[test]
+fn kernel_alloc_fires_in_loop_bodies_with_exact_spans() {
+    let src = include_str!("../fixtures/kernel_alloc.rs");
+    let report = analyze_source("crates/core/src/est.rs", src);
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .map(|f| (f.rule.as_str(), f.line, f.col))
+            .collect::<Vec<_>>(),
+        vec![
+            ("kernel-alloc", 7, 19),  // Vec::new() in a for body
+            ("kernel-alloc", 16, 19), // vec![] in a while body
+            ("kernel-alloc", 25, 31), // .to_vec() in a for body
+        ],
+        "hoisted buffers, loop headers, impl-for blocks, and tests must not fire"
+    );
+    // The allow inside `allowed_alloc` suppresses exactly its finding.
+    assert_eq!(
+        report.suppressed.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![51],
+    );
+    // The rule is scoped to the hot kernels only: elsewhere nothing fires
+    // (and the now-pointless allow is itself reported as unused).
+    assert_eq!(
+        spans("crates/core/src/hdlts.rs", src),
+        vec![("unused-lint-allow".into(), 50, 1)],
+    );
+}
+
+#[test]
 fn lint_allow_suppresses_exactly_one_finding() {
     let src = include_str!("../fixtures/allow_suppression.rs");
     let report = analyze_source("crates/core/src/fixture.rs", src);

@@ -15,163 +15,152 @@
 //! start honours their arrivals at `p`, and the engine's validator checks
 //! precedence for *every* copy, so the schedules remain independently
 //! verified.
+//!
+//! The duplication-aware cell kernel itself lives in the core engine
+//! ([`hdlts_core::eft_with_duplication`]), shared bit-for-bit by the two
+//! evaluation strategies this scheduler offers: the dirty-tracked
+//! incremental fast path ([`hdlts_core::ReplicaEftCache`], the default)
+//! and the literal full recompute kept as the differential-testing oracle
+//! ([`EngineMode::FullRecompute`]; see `tests/proptest_incremental.rs` at
+//! the workspace root).
 
 use hdlts_core::{
-    data_ready_time, penalty_value, CoreError, PenaltyKind, Problem, Schedule, Scheduler,
+    argmin_eft, data_ready_time, eft_with_duplication, penalty_value, CoreError, DupScratch,
+    EngineMode, PenaltyKind, Problem, ReplicaEftCache, Schedule, Scheduler,
 };
 use hdlts_dag::TaskId;
-use hdlts_platform::ProcId;
 
 /// HDLTS with critical-parent duplication at mapping time (see module docs).
+///
+/// Both [`EngineMode`]s produce byte-identical schedules, replica sets
+/// included; [`EngineMode::Incremental`] (the default) re-evaluates only
+/// the cells a commit actually dirtied.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct HdltsCpd;
-
-/// One tentative parent replica: `(parent, start, finish)` on the candidate
-/// processor.
-type PlannedCopy = (TaskId, f64, f64);
-
-impl HdltsCpd {
-    /// Evaluates task `t` on processor `p`: returns the achievable
-    /// `(EFT, replicas to commit)` where replicas are critical parents whose
-    /// local copies strictly improve the EFT.
-    fn eft_with_duplication(
-        problem: &Problem<'_>,
-        schedule: &Schedule,
-        t: TaskId,
-        p: ProcId,
-    ) -> Result<(f64, Vec<PlannedCopy>), CoreError> {
-        let dag = problem.dag();
-        let platform = problem.platform();
-
-        // Arrival of `parent`'s data at `p`, given committed copies plus any
-        // planned replicas (which live on `p`, so no transfer).
-        let arrival = |planned: &[PlannedCopy], parent: TaskId, cost: f64| -> f64 {
-            let committed = schedule
-                .copies(parent)
-                .map(|c| c.finish + platform.comm_time(c.proc, p, cost))
-                .fold(f64::INFINITY, f64::min);
-            let local = planned
-                .iter()
-                .filter(|&&(task, _, _)| task == parent)
-                .map(|&(_, _, finish)| finish)
-                .fold(f64::INFINITY, f64::min);
-            committed.min(local)
-        };
-
-        let mut planned: Vec<PlannedCopy> = Vec::new();
-        // Planned replicas occupy the head of p's idle time; track a cursor
-        // so successive replicas don't collide (they are committed with
-        // insertion afterwards, but planning keeps them sequential).
-        for _round in 0..dag.in_degree(t) {
-            // Current ready time and critical parent.
-            let mut ready = 0.0f64;
-            let mut critical: Option<(TaskId, f64)> = None;
-            for &(q, cost) in dag.preds(t) {
-                let a = arrival(&planned, q, cost);
-                if a > ready {
-                    ready = a;
-                    critical = Some((q, cost));
-                }
-            }
-            let Some((cp, cp_cost)) = critical else { break };
-            let msg_arrival = arrival(&planned, cp, cp_cost);
-            if schedule.copies(cp).any(|c| c.proc == p)
-                || planned.iter().any(|&(task, _, _)| task == cp)
-            {
-                break; // already local; the bottleneck is irreducible here
-            }
-            // The replica's own inputs must reach `p`.
-            let cp_ready = dag
-                .preds(cp)
-                .iter()
-                .map(|&(g, gcost)| arrival(&planned, g, gcost))
-                .fold(0.0f64, f64::max);
-            // Find a gap for the replica among committed slots; planned
-            // replicas are placed one after another, so start after the
-            // latest planned finish too.
-            let planned_tail = planned.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
-            let dur = problem.w(cp, p);
-            let start = schedule
-                .timeline(p)
-                .earliest_start(cp_ready.max(planned_tail), dur, true);
-            let finish = start + dur;
-            if finish >= msg_arrival {
-                break; // replica would not beat the message
-            }
-            planned.push((cp, start, finish));
-        }
-
-        // Final EST/EFT with the planned replicas in place.
-        let ready = dag
-            .preds(t)
-            .iter()
-            .map(|&(q, cost)| arrival(&planned, q, cost))
-            .fold(0.0f64, f64::max);
-        let planned_tail = planned.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
-        let start = schedule
-            .timeline(p)
-            .earliest_start(ready, problem.w(t, p), false)
-            .max(planned_tail);
-        Ok((start + problem.w(t, p), planned))
-    }
+pub struct HdltsCpd {
+    engine: EngineMode,
 }
 
-impl Scheduler for HdltsCpd {
-    fn name(&self) -> &'static str {
-        "HDLTS-D"
+impl HdltsCpd {
+    /// HDLTS-D with an explicit EFT evaluation strategy.
+    pub fn new(engine: EngineMode) -> Self {
+        HdltsCpd { engine }
     }
 
-    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+    /// The full-recompute oracle (differential-testing reference).
+    pub fn full_recompute() -> Self {
+        HdltsCpd::new(EngineMode::FullRecompute)
+    }
+
+    /// The active engine mode.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// Commits the replica plan of the winning `(task, proc)` cell and the
+    /// task itself — identical in both modes: tentative copies first (they
+    /// occupy idle gaps, so the subsequent availability query sees them),
+    /// then the primary copy at its duplication-aware start.
+    fn commit(
+        problem: &Problem<'_>,
+        schedule: &mut Schedule,
+        task: TaskId,
+        proc: hdlts_platform::ProcId,
+    ) -> Result<(), CoreError> {
+        let ready = data_ready_time(problem, schedule, task, proc)?;
+        let w = problem.w(task, proc);
+        let start = schedule.timeline(proc).earliest_start(ready, w, false);
+        schedule.place(task, proc, start, start + w)
+    }
+
+    /// The dirty-tracked fast path: duplication-aware rows live in a
+    /// [`ReplicaEftCache`]; each step re-evaluates one cell per surviving
+    /// row plus the rows a committed replica actually staled.
+    fn run_incremental(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        let (entry, _exit) = problem.entry_exit()?;
+        let dag = problem.dag();
+        let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
+        let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
+        let mut cache = ReplicaEftCache::new(problem, PenaltyKind::EftSampleStdDev);
+        cache.admit(problem, &schedule, entry)?;
+        // Reusable commit buffer: the ids of the replicas adopted per step.
+        let mut replicated: Vec<TaskId> = Vec::new();
+
+        while let Some(task) = cache.select() {
+            let row = cache.eft_row(task).expect("selected task has a row");
+            let proc = argmin_eft(row.iter().copied()).expect("platform has processors");
+
+            // Re-price the winning cell to recover its replica plan, then
+            // commit the copies and the task.
+            replicated.clear();
+            let planned = cache.replan(problem, &schedule, task, proc)?;
+            for c in planned {
+                replicated.push(c.task);
+                schedule.place_duplicate(c.task, proc, c.start, c.finish)?;
+            }
+            Self::commit(problem, &mut schedule, task, proc)?;
+            cache.on_mapped(problem, &schedule, task, proc, &replicated)?;
+
+            for &(child, _) in dag.succs(task) {
+                pending[child.index()] -= 1;
+                if pending[child.index()] == 0 {
+                    cache.admit(problem, &schedule, child)?;
+                }
+            }
+        }
+        Ok(schedule)
+    }
+
+    /// The literal per-step loop: every ready task's duplication-aware row
+    /// is recomputed from scratch each step — the differential oracle.
+    fn run_full_recompute(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
         let (entry, _exit) = problem.entry_exit()?;
         let dag = problem.dag();
         let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
         let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
         let mut itq: Vec<TaskId> = vec![entry];
+        let mut scratch = DupScratch::new(problem.num_tasks());
+        // Row buffers hoisted out of the step loop (kernel-alloc).
+        let mut row: Vec<f64> = Vec::with_capacity(problem.num_procs());
+        let mut best_row: Vec<f64> = Vec::with_capacity(problem.num_procs());
 
         while !itq.is_empty() {
-            // HDLTS selection over duplication-aware EFT rows.
-            let mut best_idx = 0usize;
-            let mut best_pv = f64::NEG_INFINITY;
-            let mut evaluated: Vec<Vec<(f64, Vec<PlannedCopy>)>> = Vec::with_capacity(itq.len());
-            for (i, &t) in itq.iter().enumerate() {
-                let row: Vec<(f64, Vec<PlannedCopy>)> = problem
-                    .platform()
-                    .procs()
-                    .map(|p| Self::eft_with_duplication(problem, &schedule, t, p))
-                    .collect::<Result<_, _>>()?;
-                let efts: Vec<f64> = row.iter().map(|&(e, _)| e).collect();
-                let pv = penalty_value(PenaltyKind::EftSampleStdDev, &efts, problem.costs().row(t));
-                // LINT-ALLOW(float-eq): the tie-break must be bit-exact to
-                // stay placement-identical with the incremental engine; an
-                // EPS band here would merge distinct penalty values and
-                // change which task wins.
-                if pv > best_pv || (pv == best_pv && itq[i] < itq[best_idx]) {
-                    best_pv = pv;
-                    best_idx = i;
+            // HDLTS selection over duplication-aware EFT rows: highest PV,
+            // ties to the lowest task id (same comparator, same `total_cmp`
+            // ordering, as `ReplicaEftCache::select`).
+            let mut best: Option<(TaskId, f64)> = None;
+            for &t in &itq {
+                row.clear();
+                for p in problem.platform().procs() {
+                    row.push(eft_with_duplication(
+                        problem,
+                        &schedule,
+                        t,
+                        p,
+                        &mut scratch,
+                    )?);
                 }
-                evaluated.push(row);
+                let pv = penalty_value(PenaltyKind::EftSampleStdDev, &row, problem.costs().row(t));
+                let better = match best {
+                    Some((bt, bpv)) => pv.total_cmp(&bpv).then(bt.cmp(&t)).is_gt(),
+                    None => true,
+                };
+                if better {
+                    best = Some((t, pv));
+                    best_row.clone_from(&row);
+                }
             }
-            let task = itq.swap_remove(best_idx);
-            let row = evaluated.swap_remove(best_idx);
+            let (task, _pv) = best.expect("ITQ is non-empty");
+            itq.retain(|&t| t != task);
 
-            // Minimum duplication-aware EFT.
-            let (proc_idx, (_, replicas)) = row
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0))
-                .map(|(i, r)| (i, r.clone()))
-                .expect("platform has processors");
-            let proc = ProcId::from_index(proc_idx);
+            // Minimum duplication-aware EFT (ties: lowest processor id).
+            let proc = argmin_eft(best_row.iter().copied()).expect("platform has processors");
 
-            // Commit the replicas, then the task itself.
-            for &(cp, start, finish) in &replicas {
-                schedule.place_duplicate(cp, proc, start, finish)?;
+            // Re-price the winning cell for its replica plan, then commit.
+            eft_with_duplication(problem, &schedule, task, proc, &mut scratch)?;
+            for c in scratch.planned() {
+                schedule.place_duplicate(c.task, proc, c.start, c.finish)?;
             }
-            let ready = data_ready_time(problem, &schedule, task, proc)?;
-            let start = schedule
-                .timeline(proc)
-                .earliest_start(ready, problem.w(task, proc), false);
-            schedule.place(task, proc, start, start + problem.w(task, proc))?;
+            Self::commit(problem, &mut schedule, task, proc)?;
 
             for &(child, _) in dag.succs(task) {
                 pending[child.index()] -= 1;
@@ -181,6 +170,19 @@ impl Scheduler for HdltsCpd {
             }
         }
         Ok(schedule)
+    }
+}
+
+impl Scheduler for HdltsCpd {
+    fn name(&self) -> &'static str {
+        "HDLTS-D"
+    }
+
+    fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+        match self.engine {
+            EngineMode::Incremental => self.run_incremental(problem),
+            EngineMode::FullRecompute => self.run_full_recompute(problem),
+        }
     }
 }
 
@@ -196,7 +198,7 @@ mod tests {
         let inst = fig1();
         let platform = Platform::fully_connected(3).unwrap();
         let problem = inst.problem(&platform).unwrap();
-        let s = HdltsCpd.schedule(&problem).unwrap();
+        let s = HdltsCpd::default().schedule(&problem).unwrap();
         s.validate(&problem).unwrap();
         assert!(s.makespan() >= 41.0, "CP lower bound");
         // On the paper's own example duplication should help or tie.
@@ -218,7 +220,7 @@ mod tests {
         let platform = Platform::fully_connected(2).unwrap();
         let problem = hdlts_core::Problem::new(&dag, &costs, &platform).unwrap();
         let plain = Hdlts::paper_exact().schedule(&problem).unwrap();
-        let dup = HdltsCpd.schedule(&problem).unwrap();
+        let dup = HdltsCpd::default().schedule(&problem).unwrap();
         dup.validate(&problem).unwrap();
         // plain: t2 runs on P1 (50) after t1 (3) -> 53, or on P2 at
         // 3 + 100 + 3 = 106 -> chooses 53. With duplication t1 copies to P2
@@ -242,7 +244,7 @@ mod tests {
             let platform = Platform::fully_connected(inst.num_procs()).unwrap();
             let problem = inst.problem(&platform).unwrap();
             let plain = Hdlts::paper_exact().schedule(&problem).unwrap();
-            let dup = HdltsCpd.schedule(&problem).unwrap();
+            let dup = HdltsCpd::default().schedule(&problem).unwrap();
             dup.validate(&problem)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             plain_total += plain.makespan();
@@ -253,5 +255,24 @@ mod tests {
             dup_total < plain_total,
             "duplication total {dup_total} vs plain {plain_total}"
         );
+    }
+
+    #[test]
+    fn engines_agree_including_replica_sets() {
+        for seed in 0..10 {
+            let inst = random_dag::generate(
+                &RandomDagParams {
+                    ccr: 5.0,
+                    ..RandomDagParams::default()
+                },
+                seed,
+            );
+            let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+            let problem = inst.problem(&platform).unwrap();
+            let fast = HdltsCpd::default().schedule(&problem).unwrap();
+            let full = HdltsCpd::full_recompute().schedule(&problem).unwrap();
+            assert_eq!(fast, full, "seed {seed}");
+            assert_eq!(fast.duplicates(), full.duplicates(), "seed {seed}");
+        }
     }
 }

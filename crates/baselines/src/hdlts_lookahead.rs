@@ -17,7 +17,10 @@
 //! HEFT's upward rank provides).
 
 use crate::Peft;
-use hdlts_core::{est, CoreError, EftCache, PenaltyKind, Problem, Schedule, Scheduler};
+use hdlts_core::{
+    duplicate_entry, est, CoreError, DuplicationPolicy, EftCache, PenaltyKind, Problem, Schedule,
+    Scheduler,
+};
 use hdlts_platform::ProcId;
 
 /// HDLTS with OCT-lookahead processor selection (see module docs).
@@ -44,6 +47,8 @@ impl Scheduler for HdltsLookahead {
         // former per-step recompute).
         let mut cache = EftCache::new(problem, false, PenaltyKind::EftSampleStdDev);
         cache.admit(problem, &schedule, entry)?;
+        // Reusable per-step buffer: the processors each placement touched.
+        let mut touched: Vec<ProcId> = Vec::new();
 
         while let Some(task) = cache.select() {
             let row = cache.eft_row(task).expect("selected task has a row");
@@ -62,23 +67,19 @@ impl Scheduler for HdltsLookahead {
             let finish = start + problem.w(task, proc);
             schedule.place(task, proc, start, finish)?;
 
-            // Entry duplication as in the paper-exact HDLTS (any child).
-            let mut touched = vec![proc];
+            // Entry duplication as in the paper-exact HDLTS (any child),
+            // via the shared Algorithm 1 helper.
+            touched.clear();
+            touched.push(proc);
             if task == entry {
-                let children = dag.succs(entry);
-                for k in problem.platform().procs() {
-                    if k == proc || children.is_empty() {
-                        continue;
-                    }
-                    let replica_finish = problem.w(entry, k);
-                    let beats = children.iter().any(|&(_, cost)| {
-                        replica_finish < finish + problem.platform().comm_time(proc, k, cost)
-                    });
-                    if beats {
-                        schedule.place_duplicate(entry, k, 0.0, replica_finish)?;
-                        touched.push(k);
-                    }
-                }
+                touched.extend(duplicate_entry(
+                    problem,
+                    &mut schedule,
+                    entry,
+                    proc,
+                    finish,
+                    DuplicationPolicy::AnyChild,
+                )?);
             }
             cache.on_placed(problem, &schedule, task, &touched)?;
 

@@ -73,7 +73,7 @@ impl AlgorithmKind {
             AlgorithmKind::MinMin => Box::new(MinMin),
             AlgorithmKind::DHeft => Box::new(DHeft::default()),
             AlgorithmKind::HdltsL => Box::new(HdltsLookahead),
-            AlgorithmKind::HdltsD => Box::new(HdltsCpd),
+            AlgorithmKind::HdltsD => Box::new(HdltsCpd::default()),
             AlgorithmKind::Random => Box::new(RandomScheduler::default()),
         }
     }

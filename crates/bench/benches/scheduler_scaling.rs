@@ -6,7 +6,7 @@
 //! differences visible and keep them from regressing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hdlts_baselines::AlgorithmKind;
+use hdlts_baselines::{AlgorithmKind, HdltsCpd};
 use hdlts_bench::{bench_instance, bench_platform};
 use hdlts_core::{EngineMode, Hdlts, HdltsConfig, Scheduler};
 use std::hint::black_box;
@@ -79,10 +79,38 @@ fn engine_modes(c: &mut Criterion) {
     group.finish();
 }
 
+/// HDLTS-D (critical-parent duplication) on the replica-aware cache vs its
+/// full-recompute oracle — the duplication-scheduler mirror of
+/// `engine_modes`. Schedules (and replica sets) are byte-identical across
+/// modes; `bench-json` times the same cells for machine-readable CI output
+/// and gates the worst v = 1000 speedup.
+fn cpd_engine_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cpd");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &v in &[100usize, 1000] {
+        let inst = bench_instance(v, 8);
+        let platform = bench_platform(8);
+        let problem = inst.problem(&platform).expect("consistent");
+        group.throughput(Throughput::Elements(v as u64));
+        for (label, scheduler) in [
+            ("hdlts_cpd_incremental", HdltsCpd::default()),
+            ("hdlts_cpd_full_recompute", HdltsCpd::full_recompute()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, v), &problem, |b, problem| {
+                b.iter(|| black_box(scheduler.schedule(black_box(problem)).expect("schedules")))
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     scaling_with_tasks,
     scaling_with_processors,
-    engine_modes
+    engine_modes,
+    cpd_engine_modes
 );
 criterion_main!(benches);

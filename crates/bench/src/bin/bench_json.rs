@@ -9,6 +9,10 @@
 //! * `hdlts/incremental` and `hdlts/full_recompute` at v = 100 / 1000 /
 //!   10000 tasks on P = 4 / 8 / 16 processors (the fig. 3 scaling grid),
 //!   plus the per-cell speedup of the incremental engine;
+//! * `hdlts_cpd/incremental` and `hdlts_cpd/full_recompute` — HDLTS-D
+//!   (critical-parent duplication) on the replica-aware cache vs its
+//!   full-recompute oracle, at v = 100 / 1000, with the worst v = 1000
+//!   cell reported as `cpd_v1000_min_speedup`;
 //! * `mean_comm/cached_factor` vs `mean_comm/pair_loop` (the `O(1)`
 //!   pair-average factor against the `O(p^2)` loop it replaced);
 //! * `timeline/gap_search` (binary-search insertion scan, 10k slots).
@@ -19,6 +23,7 @@
 //! Usage: `bench-json [output-path]` (default `BENCH_engine.json` in the
 //! current directory — the repo root when invoked via `just bench-json`).
 
+use hdlts_baselines::HdltsCpd;
 use hdlts_bench::{bench_instance, bench_platform};
 use hdlts_core::{EngineMode, Hdlts, HdltsConfig, Scheduler, Slot, Timeline};
 use hdlts_dag::TaskId;
@@ -122,6 +127,66 @@ fn main() {
                 // Report the *worst* 10000-task cell so the headline claim
                 // is conservative.
                 fig3_speedup_10000 = speedup;
+            }
+        }
+    }
+
+    // HDLTS-D on the replica-aware cache vs its full-recompute oracle.
+    // The oracle's duplication-aware rows cost a full `eft_with_duplication`
+    // sweep per ready task per step, so the grid stops at v = 1000.
+    let mut cpd_speedups: Vec<(usize, usize, f64)> = Vec::new();
+    let mut cpd_speedup_1000 = f64::NAN;
+    for &procs in &[4usize, 8, 16] {
+        for &v in &[100usize, 1000] {
+            let inst = bench_instance(v, procs);
+            let platform = bench_platform(procs);
+            let problem = inst.problem(&platform).expect("consistent instance");
+
+            // Differential check first: schedules *and replica sets* must
+            // be byte-identical before the timings mean anything.
+            let fast = HdltsCpd::default().schedule(&problem).expect("schedules");
+            let full = HdltsCpd::full_recompute()
+                .schedule(&problem)
+                .expect("schedules");
+            assert_eq!(
+                fast.duplicates(),
+                full.duplicates(),
+                "HDLTS-D replica sets diverged at v={v}, P={procs}"
+            );
+            assert_eq!(fast, full, "HDLTS-D engines diverged at v={v}, P={procs}");
+
+            let mut pair = [f64::NAN; 2];
+            for (slot, name, scheduler) in [
+                (0usize, "hdlts_cpd/incremental", HdltsCpd::default()),
+                (1, "hdlts_cpd/full_recompute", HdltsCpd::full_recompute()),
+            ] {
+                let max_iters = if slot == 1 && v >= 1000 { 5 } else { 100 };
+                let (mean_ns, iters) = time_kernel(
+                    || {
+                        black_box(scheduler.schedule(black_box(&problem)).expect("schedules"));
+                    },
+                    400_000_000,
+                    max_iters,
+                    1,
+                );
+                pair[slot] = mean_ns;
+                cells.push(Cell {
+                    name,
+                    v,
+                    procs,
+                    mean_ns_per_op: mean_ns,
+                    iters,
+                });
+                eprintln!(
+                    "{name:<24} v={v:<6} P={procs:<3} {:>12.0} ns/op ({iters} iters)",
+                    mean_ns
+                );
+            }
+            let speedup = pair[1] / pair[0];
+            cpd_speedups.push((v, procs, speedup));
+            if v == 1000 && (cpd_speedup_1000.is_nan() || speedup < cpd_speedup_1000) {
+                // Same convention as fig3: gate on the *worst* cell.
+                cpd_speedup_1000 = speedup;
             }
         }
     }
@@ -256,12 +321,22 @@ fn main() {
             "    {{\"v\": {v}, \"procs\": {procs}, \"full_over_incremental\": {s:.2}}}{sep}"
         );
     }
+    json.push_str("  ],\n  \"hdlts_cpd_incremental_speedup\": [\n");
+    for (i, &(v, procs, s)) in cpd_speedups.iter().enumerate() {
+        let sep = if i + 1 < cpd_speedups.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"v\": {v}, \"procs\": {procs}, \"full_over_incremental\": {s:.2}}}{sep}"
+        );
+    }
     let _ = writeln!(
         json,
-        "  ],\n  \"fig3_v10000_min_speedup\": {fig3_speedup_10000:.2}\n}}"
+        "  ],\n  \"fig3_v10000_min_speedup\": {fig3_speedup_10000:.2},\n  \
+         \"cpd_v1000_min_speedup\": {cpd_speedup_1000:.2}\n}}"
     );
 
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     eprintln!("worst v=10000 incremental speedup: {fig3_speedup_10000:.2}x");
+    eprintln!("worst v=1000 HDLTS-D incremental speedup: {cpd_speedup_1000:.2}x");
     eprintln!("wrote {out_path}");
 }

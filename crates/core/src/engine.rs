@@ -29,8 +29,13 @@
 //! [`EngineMode::FullRecompute`] for differential testing (see
 //! `tests/proptest_incremental.rs` at the workspace root and DESIGN.md
 //! §"Engine internals").
+//!
+//! [`ReplicaEftCache`] generalizes the same dirty-tracking discipline to
+//! **duplication-aware** rows (HDLTS-D), whose cells price tentative
+//! critical-parent copies via [`crate::est::eft_with_duplication`]; its
+//! extended invalidation invariant is documented on the type.
 
-use crate::est::{data_ready_time, penalty_value};
+use crate::est::{data_ready_time, eft_with_duplication, penalty_value, DupScratch, PlannedCopy};
 use crate::{CoreError, PenaltyKind, Problem, Schedule};
 use hdlts_dag::TaskId;
 use hdlts_platform::ProcId;
@@ -240,6 +245,346 @@ impl EftCache {
     }
 }
 
+/// One cached duplication-aware row: `EFT(t, p)` per processor where each
+/// cell may price tentative critical-parent copies, plus the penalty value
+/// of the row.
+///
+/// Replica planning interleaves arrival terms with the candidate
+/// processor's timeline, so a cell backed by a *non-empty* tentative plan
+/// is recomputed whole or not at all. A **plan-free** cell, however, is
+/// `earliest_start(ready, w, false) + w` for a ready term that is a pure
+/// function of committed arrivals — `ready` caches that term per
+/// processor (`NAN` = the cell's plan was non-empty, no shortcut).
+#[derive(Debug, Clone)]
+struct DupRow {
+    eft: Vec<f64>,
+    ready: Vec<f64>,
+    pv: f64,
+}
+
+/// Dirty-tracked cache of **duplication-aware** EFT rows — the replica-aware
+/// generalization of [`EftCache`] that puts HDLTS-D on the incremental fast
+/// path.
+///
+/// A cell `(t, p)` is priced by [`eft_with_duplication`]: it may plan
+/// tentative copies of `t`'s critical parents on `p`, and those copies'
+/// own starts read the arrivals of `t`'s *grandparents* at `p`. The
+/// invalidation invariant therefore extends the plain cache's rule:
+///
+/// * a **committed** replica of task `x` invalidates at most the rows of
+///   `x`'s successors *and grand-successors* (their cells price `x`'s
+///   copies directly or through a tentative parent copy), plus the
+///   touched-processor column of every surviving row (the replica occupies
+///   that timeline); a replica dominated at every remote processor by an
+///   existing copy cannot move any remote arrival min, so the fan-out is
+///   skipped entirely (see [`Self::replica_affects_remote_arrivals`]);
+/// * a **rejected** tentative plan invalidates nothing — planning never
+///   mutates the schedule, so the cache is untouched by evaluation;
+/// * a primary placement invalidates only the touched-processor column:
+///   by the ITQ invariant every ancestor of a ready task was placed before
+///   the task was admitted, so a newly placed task is never an ancestor of
+///   a surviving row.
+///
+/// Cells are recomputed by the exact arithmetic the full-recompute oracle
+/// runs ([`eft_with_duplication`]), so rows stay bit-identical and the
+/// schedules (including replica sets) match byte for byte — asserted by
+/// the HDLTS-D differential suite in `tests/proptest_incremental.rs`.
+#[derive(Debug, Clone)]
+pub struct ReplicaEftCache {
+    penalty: PenaltyKind,
+    rows: Vec<Option<DupRow>>,
+    /// Ready tasks with live rows, in admission order.
+    active: Vec<TaskId>,
+    /// Reusable tentative-copy buffers shared by every cell evaluation.
+    scratch: DupScratch,
+    /// Per-task dirty marks, live only inside `on_mapped`:
+    /// [`Mark::Affected`] = a replicated task is among the row's parents
+    /// or grandparents, so its `proc` cell needs a full evaluation (the
+    /// plan-free shortcut would miss the new local copy);
+    /// [`Mark::Stale`] = the replica also moves remote arrivals, so the
+    /// whole row is recomputed.
+    marks: Vec<Mark>,
+    /// The tasks marked in `marks`, for O(marked) clearing.
+    marked: Vec<TaskId>,
+}
+
+/// Dirty level of one row inside [`ReplicaEftCache::on_mapped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Mark {
+    /// No replicated task among the row's parents or grandparents.
+    Clean,
+    /// Replicated ancestry, but every replica is dominated remotely: only
+    /// the touched column needs a full (plan-aware) evaluation.
+    Affected,
+    /// Replicated ancestry with remote effect: full-row recompute.
+    Stale,
+}
+
+impl ReplicaEftCache {
+    /// An empty cache for `problem` with the given penalty definition.
+    pub fn new(problem: &Problem<'_>, penalty: PenaltyKind) -> Self {
+        let n = problem.num_tasks();
+        ReplicaEftCache {
+            penalty,
+            rows: (0..n).map(|_| None).collect(),
+            active: Vec::new(),
+            scratch: DupScratch::new(n),
+            marks: vec![Mark::Clean; n],
+            marked: Vec::new(),
+        }
+    }
+
+    /// Evaluates cell `(t, p)` and returns `(eft, ready)` where `ready` is
+    /// the cacheable plan-free data-ready term (`NAN` when the cell's plan
+    /// is non-empty).
+    fn cell(
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        t: TaskId,
+        p: ProcId,
+        scratch: &mut DupScratch,
+    ) -> Result<(f64, f64), CoreError> {
+        let eft = eft_with_duplication(problem, schedule, t, p, scratch)?;
+        let ready = if scratch.planned().is_empty() {
+            scratch.final_ready()
+        } else {
+            f64::NAN
+        };
+        Ok((eft, ready))
+    }
+
+    /// Number of ready tasks currently cached.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether no ready task is cached (the scheduling loop is done).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Admits a newly-ready task: computes and caches its full
+    /// duplication-aware row. All parents must already be placed.
+    pub fn admit(
+        &mut self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        t: TaskId,
+    ) -> Result<(), CoreError> {
+        let mut eft = Vec::with_capacity(problem.num_procs());
+        let mut ready = Vec::with_capacity(problem.num_procs());
+        for p in problem.platform().procs() {
+            let (e, r) = Self::cell(problem, schedule, t, p, &mut self.scratch)?;
+            eft.push(e);
+            ready.push(r);
+        }
+        let pv = penalty_value(self.penalty, &eft, problem.costs().row(t));
+        self.rows[t.index()] = Some(DupRow { eft, ready, pv });
+        self.active.push(t);
+        Ok(())
+    }
+
+    /// The cached duplication-aware EFT row of ready task `t`.
+    #[inline]
+    pub fn eft_row(&self, t: TaskId) -> Option<&[f64]> {
+        self.rows[t.index()].as_ref().map(|r| r.eft.as_slice())
+    }
+
+    /// The cached penalty value of ready task `t`.
+    #[inline]
+    pub fn pv(&self, t: TaskId) -> Option<f64> {
+        self.rows[t.index()].as_ref().map(|r| r.pv)
+    }
+
+    /// The highest-PV ready task (ties: lowest id) — the same selection
+    /// rule, with the same `total_cmp` ordering, as [`EftCache::select`]
+    /// and the HDLTS-D full-recompute loop.
+    pub fn select(&self) -> Option<TaskId> {
+        let mut best: Option<(TaskId, f64)> = None;
+        for &t in &self.active {
+            let pv = self.rows[t.index()].as_ref().expect("active row").pv;
+            best = match best {
+                Some((bt, bpv)) if pv.total_cmp(&bpv).then(bt.cmp(&t)).is_gt() => Some((t, pv)),
+                None => Some((t, pv)),
+                keep => keep,
+            };
+        }
+        best.map(|(t, _)| t)
+    }
+
+    /// Re-prices cell `(t, p)` and returns the tentative copies backing it,
+    /// in planning (and required commit) order.
+    ///
+    /// This is how a scheduler adopts the winning cell's plan without the
+    /// cache storing per-cell copy vectors: one extra cell evaluation per
+    /// step, written into the shared scratch. Re-pricing is read-only on
+    /// the schedule, so calling it for cells that are then *not* committed
+    /// invalidates nothing.
+    pub fn replan(
+        &mut self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        t: TaskId,
+        p: ProcId,
+    ) -> Result<&[PlannedCopy], CoreError> {
+        let eft = eft_with_duplication(problem, schedule, t, p, &mut self.scratch)?;
+        debug_assert!(
+            self.rows[t.index()]
+                .as_ref()
+                .is_none_or(|r| r.eft[p.index()].to_bits() == eft.to_bits()),
+            "replanned cell disagrees with the cached row"
+        );
+        Ok(self.scratch.planned())
+    }
+
+    /// Records that `placed` was mapped onto `proc`, together with the
+    /// committed replicas of the tasks in `replicated` (all on `proc`,
+    /// HDLTS-D commits the plan onto the winning processor), and
+    /// re-validates exactly what the commit dirtied:
+    ///
+    /// * `placed`'s own row is retired;
+    /// * rows of ready tasks that have a replicated task among their
+    ///   parents **or grandparents** are recomputed in full (new copies
+    ///   change arrival terms on every processor) — unless every such
+    ///   replica is provably dominated at every remote processor by an
+    ///   existing copy ([`Self::replica_affects_remote_arrivals`]), in
+    ///   which case the remote cells are bit-identical and only the
+    ///   `proc` cell needs a full plan-aware evaluation (the replica *is*
+    ///   local there);
+    /// * every other surviving row gets only its `proc` cell re-evaluated,
+    ///   and when the cached cell carried an **empty** tentative plan the
+    ///   re-evaluation is O(1): arrivals are unchanged and a copy rejected
+    ///   against a sparser timeline stays rejected (gap search is monotone
+    ///   in the committed slots), so the cell equals its cached ready term
+    ///   pushed through `proc`'s updated frontier.
+    pub fn on_mapped(
+        &mut self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        placed: TaskId,
+        proc: ProcId,
+        replicated: &[TaskId],
+    ) -> Result<(), CoreError> {
+        self.rows[placed.index()] = None;
+        self.active.retain(|&t| t != placed);
+
+        let dag = problem.dag();
+        self.marked.clear();
+        for &x in replicated {
+            let level = if Self::replica_affects_remote_arrivals(problem, schedule, x, proc) {
+                Mark::Stale
+            } else {
+                Mark::Affected
+            };
+            for &(child, _) in dag.succs(x) {
+                if self.marks[child.index()] == Mark::Clean {
+                    self.marked.push(child);
+                }
+                self.marks[child.index()] = self.marks[child.index()].max(level);
+                for &(grand, _) in dag.succs(child) {
+                    if self.marks[grand.index()] == Mark::Clean {
+                        self.marked.push(grand);
+                    }
+                    self.marks[grand.index()] = self.marks[grand.index()].max(level);
+                }
+            }
+        }
+
+        for i in 0..self.active.len() {
+            let t = self.active[i];
+            let row = self.rows[t.index()].as_mut().expect("active row");
+            if self.marks[t.index()] == Mark::Stale {
+                row.eft.clear();
+                row.ready.clear();
+                for p in problem.platform().procs() {
+                    let (e, r) = Self::cell(problem, schedule, t, p, &mut self.scratch)?;
+                    row.eft.push(e);
+                    row.ready.push(r);
+                }
+                row.pv = penalty_value(self.penalty, &row.eft, problem.costs().row(t));
+            } else {
+                let cached_ready = row.ready[proc.index()];
+                let (eft, ready) = if self.marks[t.index()] == Mark::Clean && !cached_ready.is_nan()
+                {
+                    // Plan-free shortcut: no copy of any parent or
+                    // grandparent appeared, so arrivals are unchanged, and
+                    // a tentative plan rejected against a sparser timeline
+                    // stays rejected against a fuller one — the cell is
+                    // its cached ready term against `proc`'s new frontier.
+                    let w = problem.w(t, proc);
+                    let start = schedule
+                        .timeline(proc)
+                        .earliest_start(cached_ready, w, false);
+                    (start + w, cached_ready)
+                } else {
+                    Self::cell(problem, schedule, t, proc, &mut self.scratch)?
+                };
+                row.ready[proc.index()] = ready;
+                if eft.to_bits() != row.eft[proc.index()].to_bits() {
+                    row.eft[proc.index()] = eft;
+                    row.pv = penalty_value(self.penalty, &row.eft, problem.costs().row(t));
+                }
+            }
+        }
+
+        for &t in &self.marked {
+            self.marks[t.index()] = Mark::Clean;
+        }
+        Ok(())
+    }
+
+    /// Whether the just-committed replica of `x` on `proc` can improve the
+    /// arrival of `x`'s data at any processor *other than* `proc`.
+    ///
+    /// `comm_time` is linear in the edge cost (`cost / B(from, to)`, zero
+    /// intra-processor), so the replica's candidate arrival term
+    /// `finish_new + cost / B(proc, q)` is beaten-or-matched for **every**
+    /// cost by an existing copy `c`'s term iff `finish_new >= finish(c)`
+    /// and `c`'s link into `q` is at least as fast (a copy already on `q`
+    /// has zero transfer time and wins on finish alone). A replica
+    /// dominated this way at every remote processor never changes an
+    /// arrival min there, so successor/grand-successor rows are
+    /// bit-identical without recomputation and `on_mapped` skips marking
+    /// them stale. The `proc` column — where the replica is local and does
+    /// win — is re-evaluated for every surviving row regardless. On
+    /// uniform-bandwidth platforms the link factors are equal, so a
+    /// replica that finishes no earlier than every existing copy (the
+    /// common case: it beat the *message*, not the primary's finish) skips
+    /// the whole fan-out.
+    fn replica_affects_remote_arrivals(
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        x: TaskId,
+        proc: ProcId,
+    ) -> bool {
+        let platform = problem.platform();
+        let mut new_finish = f64::INFINITY;
+        for c in schedule.copies(x) {
+            if c.proc == proc {
+                new_finish = c.finish;
+            }
+        }
+        debug_assert!(new_finish.is_finite(), "replica of x must live on proc");
+        for q in platform.procs() {
+            if q == proc {
+                continue;
+            }
+            let new_factor = platform.comm_time(proc, q, 1.0);
+            let dominated = schedule.copies(x).any(|c| {
+                c.proc != proc
+                    && new_finish >= c.finish
+                    && new_factor >= platform.comm_time(c.proc, q, 1.0)
+            });
+            if !dominated {
+                return true;
+            }
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,5 +705,223 @@ mod tests {
             .unwrap();
         assert!(cache.eft_row(TaskId(0)).is_none());
         assert!(cache.is_empty());
+    }
+
+    use hdlts_platform::LinkModel;
+
+    /// 3 processors where the `P1 -> P2` link is 100x faster than every
+    /// other link, so a replica committed on P1 changes arrival terms at
+    /// P2 — an *off-column* effect only the stale-row rule can catch.
+    fn skewed_platform() -> Platform {
+        let mut bandwidths = vec![vec![1.0; 3]; 3];
+        bandwidths[1][2] = 100.0;
+        Platform::new(
+            vec!["p0".into(), "p1".into(), "p2".into()],
+            LinkModel::Pairwise { bandwidths },
+        )
+        .unwrap()
+    }
+
+    fn assert_rows_match_fresh(
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        cache: &ReplicaEftCache,
+        tasks: &[TaskId],
+    ) {
+        let mut scratch = DupScratch::new(problem.num_tasks());
+        for &t in tasks {
+            let row = cache.eft_row(t).expect("row is live");
+            for p in problem.platform().procs() {
+                let fresh = eft_with_duplication(problem, schedule, t, p, &mut scratch).unwrap();
+                assert_eq!(
+                    row[p.index()].to_bits(),
+                    fresh.to_bits(),
+                    "cell ({t}, {p:?}) drifted from full recompute"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replica_admitted_rows_match_cell_recompute() {
+        // chain 0 -> 1 -> 2 with a bottleneck 1 -> 2 message: the (2, P1)
+        // cell must price a tentative copy of task 1.
+        let dag = dag_from_edges(3, &[(0, 1, 1.0), (1, 2, 100.0)]).unwrap();
+        let costs =
+            CostMatrix::from_rows(vec![vec![1.0, 50.0], vec![2.0, 2.0], vec![50.0, 3.0]]).unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut schedule = Schedule::new(3, 2);
+        schedule.place(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        schedule.place(TaskId(1), ProcId(0), 1.0, 3.0).unwrap();
+        let mut cache = ReplicaEftCache::new(&problem, PenaltyKind::EftSampleStdDev);
+        cache.admit(&problem, &schedule, TaskId(2)).unwrap();
+        assert_rows_match_fresh(&problem, &schedule, &cache, &[TaskId(2)]);
+        // Prove the fixture exercises replication at all.
+        let mut scratch = DupScratch::new(3);
+        eft_with_duplication(&problem, &schedule, TaskId(2), ProcId(1), &mut scratch).unwrap();
+        assert!(
+            !scratch.planned().is_empty(),
+            "fixture must plan a copy of the critical parent"
+        );
+    }
+
+    #[test]
+    fn committed_replica_dirties_successor_rows_off_column() {
+        // fork 0 -> {1, 2}. Mapping task 1 onto P1 commits a replica of
+        // task 0 there; the fast P1 -> P2 link means task 2's arrival at
+        // *P2* changes even though only P1's timeline was touched.
+        let dag = dag_from_edges(3, &[(0, 1, 10.0), (0, 2, 10.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![1.0, 1.0, 8.0],
+            vec![2.0, 2.0, 2.0],
+            vec![50.0, 50.0, 3.0],
+        ])
+        .unwrap();
+        let platform = skewed_platform();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut schedule = Schedule::new(3, 3);
+        schedule.place(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        let mut cache = ReplicaEftCache::new(&problem, PenaltyKind::EftSampleStdDev);
+        cache.admit(&problem, &schedule, TaskId(1)).unwrap();
+        cache.admit(&problem, &schedule, TaskId(2)).unwrap();
+        let before = cache.eft_row(TaskId(2)).unwrap().to_vec();
+
+        schedule
+            .place_duplicate(TaskId(0), ProcId(1), 0.0, 1.0)
+            .unwrap();
+        schedule.place(TaskId(1), ProcId(1), 1.0, 3.0).unwrap();
+        cache
+            .on_mapped(&problem, &schedule, TaskId(1), ProcId(1), &[TaskId(0)])
+            .unwrap();
+
+        assert_rows_match_fresh(&problem, &schedule, &cache, &[TaskId(2)]);
+        let after = cache.eft_row(TaskId(2)).unwrap();
+        assert_ne!(
+            before[2].to_bits(),
+            after[2].to_bits(),
+            "the replica must change the off-column (2, P2) cell"
+        );
+    }
+
+    #[test]
+    fn committed_replica_dirties_grand_successor_rows() {
+        // chain 0 -> 1 -> 2 plus side child 0 -> 3. Mapping task 3 onto P1
+        // commits a replica of task 0 there. Task 2's parents do not
+        // include task 0, but its (2, P2) cell prices a tentative copy of
+        // task 1 whose own input is task 0's data — a *grandparent*
+        // dependency that the successors-only rule would miss.
+        let dag = dag_from_edges(4, &[(0, 1, 10.0), (1, 2, 100.0), (0, 3, 1.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![1.0, 1.0, 8.0],
+            vec![2.0, 2.0, 2.0],
+            vec![50.0, 50.0, 3.0],
+            vec![5.0, 1.0, 5.0],
+        ])
+        .unwrap();
+        let platform = skewed_platform();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut schedule = Schedule::new(4, 3);
+        schedule.place(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        schedule.place(TaskId(1), ProcId(0), 1.0, 3.0).unwrap();
+        let mut cache = ReplicaEftCache::new(&problem, PenaltyKind::EftSampleStdDev);
+        cache.admit(&problem, &schedule, TaskId(2)).unwrap();
+        cache.admit(&problem, &schedule, TaskId(3)).unwrap();
+        let before = cache.eft_row(TaskId(2)).unwrap().to_vec();
+
+        schedule
+            .place_duplicate(TaskId(0), ProcId(1), 0.0, 1.0)
+            .unwrap();
+        schedule.place(TaskId(3), ProcId(1), 1.0, 2.0).unwrap();
+        cache
+            .on_mapped(&problem, &schedule, TaskId(3), ProcId(1), &[TaskId(0)])
+            .unwrap();
+
+        assert_rows_match_fresh(&problem, &schedule, &cache, &[TaskId(2)]);
+        let after = cache.eft_row(TaskId(2)).unwrap();
+        assert_ne!(
+            before[2].to_bits(),
+            after[2].to_bits(),
+            "the grandparent replica must change the off-column (2, P2) cell"
+        );
+    }
+
+    #[test]
+    fn dominated_replica_skips_remote_invalidation_soundly() {
+        // Same fork as the successor test, but on a *uniform* platform and
+        // with a replica that finishes after the primary: every remote
+        // arrival min keeps its old winner, so `on_mapped` may skip the
+        // successor fan-out. The skip must be sound — remote cells stay
+        // bitwise equal to both their pre-commit values and a fresh full
+        // recompute.
+        let dag = dag_from_edges(3, &[(0, 1, 10.0), (0, 2, 10.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![1.0, 1.0, 8.0],
+            vec![2.0, 2.0, 2.0],
+            vec![50.0, 50.0, 3.0],
+        ])
+        .unwrap();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut schedule = Schedule::new(3, 3);
+        schedule.place(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        let mut cache = ReplicaEftCache::new(&problem, PenaltyKind::EftSampleStdDev);
+        cache.admit(&problem, &schedule, TaskId(1)).unwrap();
+        cache.admit(&problem, &schedule, TaskId(2)).unwrap();
+        let before = cache.eft_row(TaskId(2)).unwrap().to_vec();
+
+        schedule
+            .place_duplicate(TaskId(0), ProcId(1), 1.0, 2.0)
+            .unwrap();
+        schedule.place(TaskId(1), ProcId(1), 2.0, 4.0).unwrap();
+        assert!(!ReplicaEftCache::replica_affects_remote_arrivals(
+            &problem,
+            &schedule,
+            TaskId(0),
+            ProcId(1)
+        ));
+        cache
+            .on_mapped(&problem, &schedule, TaskId(1), ProcId(1), &[TaskId(0)])
+            .unwrap();
+
+        assert_rows_match_fresh(&problem, &schedule, &cache, &[TaskId(2)]);
+        let after = cache.eft_row(TaskId(2)).unwrap();
+        for p in [0usize, 2] {
+            assert_eq!(
+                before[p].to_bits(),
+                after[p].to_bits(),
+                "remote cell (2, P{p}) must be untouched by a dominated replica"
+            );
+        }
+    }
+
+    #[test]
+    fn rejected_plans_invalidate_nothing() {
+        let dag = dag_from_edges(3, &[(0, 1, 1.0), (1, 2, 100.0)]).unwrap();
+        let costs =
+            CostMatrix::from_rows(vec![vec![1.0, 50.0], vec![2.0, 2.0], vec![50.0, 3.0]]).unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut schedule = Schedule::new(3, 2);
+        schedule.place(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        schedule.place(TaskId(1), ProcId(0), 1.0, 3.0).unwrap();
+        let mut cache = ReplicaEftCache::new(&problem, PenaltyKind::EftSampleStdDev);
+        cache.admit(&problem, &schedule, TaskId(2)).unwrap();
+        let before = cache.eft_row(TaskId(2)).unwrap().to_vec();
+        let before_pv = cache.pv(TaskId(2)).unwrap();
+
+        // Evaluate (and then discard) plans for every cell: planning is
+        // read-only, so the cache and the schedule stay bitwise unchanged.
+        for p in problem.platform().procs() {
+            let planned = cache.replan(&problem, &schedule, TaskId(2), p).unwrap();
+            let _ = planned.len();
+        }
+        assert!(schedule.duplicates().is_empty());
+        let after = cache.eft_row(TaskId(2)).unwrap();
+        assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(after) {
+            assert_eq!(b.to_bits(), a.to_bits());
+        }
+        assert_eq!(before_pv.to_bits(), cache.pv(TaskId(2)).unwrap().to_bits());
     }
 }

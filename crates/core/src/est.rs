@@ -128,6 +128,176 @@ pub fn min_eft_placement(
     Ok((proc, start, finish))
 }
 
+/// One tentative parent replica priced by [`eft_with_duplication`]: a copy
+/// of `task` squeezed into an idle gap of the candidate processor, running
+/// over `[start, finish)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedCopy {
+    /// The replicated parent.
+    pub task: TaskId,
+    /// Replica start time on the candidate processor.
+    pub start: f64,
+    /// Replica finish time on the candidate processor.
+    pub finish: f64,
+}
+
+/// Reusable scratch state for [`eft_with_duplication`].
+///
+/// Duplication-aware EFT evaluation runs once per `(task, processor)` cell
+/// per scheduling step; building a fresh `Vec` of tentative copies (and
+/// linearly re-scanning it per parent) inside that kernel dominated the
+/// HDLTS-D profile. The scratch owns the buffers instead: `planned` is the
+/// current cell's tentative copies, and `local_finish` is a per-task O(1)
+/// min-finish lookup (`INFINITY` = no tentative copy), reset lazily via
+/// `planned` so a cell evaluation costs O(plan size), not O(num tasks).
+#[derive(Debug, Clone)]
+pub struct DupScratch {
+    planned: Vec<PlannedCopy>,
+    local_finish: Vec<f64>,
+    /// Final data-ready time of the most recent evaluation (with its
+    /// tentative copies, if any, in place) — lets callers cache the ready
+    /// term of plan-free cells.
+    final_ready: f64,
+}
+
+impl DupScratch {
+    /// Scratch for instances of up to `num_tasks` tasks.
+    pub fn new(num_tasks: usize) -> Self {
+        DupScratch {
+            planned: Vec::new(),
+            local_finish: vec![f64::INFINITY; num_tasks],
+            final_ready: 0.0,
+        }
+    }
+
+    /// The tentative copies planned by the most recent
+    /// [`eft_with_duplication`] call, in planning order.
+    #[inline]
+    pub fn planned(&self) -> &[PlannedCopy] {
+        &self.planned
+    }
+
+    /// The final data-ready time of the most recent
+    /// [`eft_with_duplication`] call. When the call planned no copies this
+    /// is a pure function of committed arrivals, so callers may cache it.
+    #[inline]
+    pub(crate) fn final_ready(&self) -> f64 {
+        self.final_ready
+    }
+
+    /// Clears the previous cell's plan (O(previous plan size)).
+    fn reset(&mut self) {
+        for c in &self.planned {
+            self.local_finish[c.task.index()] = f64::INFINITY;
+        }
+        self.planned.clear();
+    }
+
+    /// Records a tentative copy, keeping the min-finish index current.
+    fn push(&mut self, copy: PlannedCopy) {
+        let slot = &mut self.local_finish[copy.task.index()];
+        *slot = slot.min(copy.finish);
+        self.planned.push(copy);
+    }
+}
+
+/// Duplication-aware `EFT(t, p)`: the earliest finish of `t` on `p` when
+/// critical parents may be tentatively replicated into idle gaps of `p`
+/// (HDLTS-D's mapping kernel; see `hdlts_cpd` in `hdlts-baselines`).
+///
+/// Iterates up to `in_degree(t)` rounds: each round finds the *critical
+/// parent* (the one whose data arrives last at `p`), and plans a local copy
+/// of it if the copy would strictly beat the message; the copy's own start
+/// honours the arrivals of *its* parents at `p`. The returned EFT prices
+/// the plan left in `scratch` ([`DupScratch::planned`]); nothing is
+/// committed to the schedule — a caller that adopts the plan places the
+/// copies itself, and a rejected plan has no side effects to undo.
+///
+/// All of `t`'s parents must already be placed.
+pub fn eft_with_duplication(
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    t: TaskId,
+    p: ProcId,
+    scratch: &mut DupScratch,
+) -> Result<f64, CoreError> {
+    let dag = problem.dag();
+    let platform = problem.platform();
+    scratch.reset();
+
+    // Arrival of `parent`'s data at `p`: best committed copy vs. the
+    // tentative local copy (which lives on `p`, so no transfer).
+    let arrival = |scratch: &DupScratch, parent: TaskId, cost: f64| -> Result<f64, CoreError> {
+        let mut committed = f64::INFINITY;
+        let mut any = false;
+        for c in schedule.copies(parent) {
+            any = true;
+            committed = committed.min(c.finish + platform.comm_time(c.proc, p, cost));
+        }
+        if !any {
+            return Err(CoreError::NotPlaced(parent));
+        }
+        Ok(committed.min(scratch.local_finish[parent.index()]))
+    };
+
+    // Tentative copies occupy the head of p's idle time; `tail` keeps
+    // successive copies sequential (they are committed with insertion
+    // afterwards, but planning keeps them ordered).
+    let mut tail = 0.0f64;
+    for _round in 0..dag.in_degree(t) {
+        // Current ready time and critical parent.
+        let mut ready = 0.0f64;
+        let mut critical: Option<(TaskId, f64)> = None;
+        for &(q, cost) in dag.preds(t) {
+            let a = arrival(scratch, q, cost)?;
+            if a > ready {
+                ready = a;
+                critical = Some((q, cost));
+            }
+        }
+        let Some((cp, cp_cost)) = critical else { break };
+        let msg_arrival = arrival(scratch, cp, cp_cost)?;
+        if schedule.copies(cp).any(|c| c.proc == p) || scratch.local_finish[cp.index()].is_finite()
+        {
+            break; // already local; the bottleneck is irreducible here
+        }
+        // The replica's own inputs must reach `p`.
+        let mut cp_ready = 0.0f64;
+        for &(g, gcost) in dag.preds(cp) {
+            cp_ready = cp_ready.max(arrival(scratch, g, gcost)?);
+        }
+        // Find a gap for the replica among committed slots, after the
+        // latest tentative copy.
+        let dur = problem.w(cp, p);
+        let start = schedule
+            .timeline(p)
+            .earliest_start(cp_ready.max(tail), dur, true);
+        let finish = start + dur;
+        if finish >= msg_arrival {
+            break; // replica would not beat the message
+        }
+        scratch.push(PlannedCopy {
+            task: cp,
+            start,
+            finish,
+        });
+        tail = tail.max(finish);
+    }
+
+    // Final EST/EFT with the tentative copies in place.
+    let mut ready = 0.0f64;
+    for &(q, cost) in dag.preds(t) {
+        ready = ready.max(arrival(scratch, q, cost)?);
+    }
+    scratch.final_ready = ready;
+    let w = problem.w(t, p);
+    let start = schedule
+        .timeline(p)
+        .earliest_start(ready, w, false)
+        .max(tail);
+    Ok(start + w)
+}
+
 /// The penalty value `PV` of a task (Definition 8) from its EFT row (and,
 /// for the [`PenaltyKind::ExecStdDev`] ablation, its raw cost row).
 pub fn penalty_value(kind: PenaltyKind, eft_row: &[f64], cost_row: &[f64]) -> f64 {

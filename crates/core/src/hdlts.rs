@@ -262,10 +262,7 @@ impl Hdlts {
         Ok(schedule)
     }
 
-    /// Duplicates the entry task onto every processor where a local replica
-    /// would deliver the entry's output to some (or, under
-    /// [`DuplicationPolicy::AllChildren`], every) child earlier than the
-    /// message from the primary copy would arrive.
+    /// Algorithm 1 with this configuration's policy; see [`duplicate_entry`].
     fn duplicate_entry(
         &self,
         problem: &Problem<'_>,
@@ -274,32 +271,59 @@ impl Hdlts {
         entry_proc: ProcId,
         entry_aft: f64,
     ) -> Result<Vec<ProcId>, CoreError> {
-        let children = problem.dag().succs(entry);
-        if children.is_empty() {
-            return Ok(Vec::new());
-        }
-        let platform = problem.platform();
-        let mut placed = Vec::new();
-        for k in platform.procs() {
-            if k == entry_proc {
-                continue;
-            }
-            let replica_finish = problem.w(entry, k);
-            let beats = |&(_, cost): &(TaskId, f64)| {
-                replica_finish < entry_aft + platform.comm_time(entry_proc, k, cost)
-            };
-            let beneficial = match self.config.duplication {
-                DuplicationPolicy::AnyChild => children.iter().any(beats),
-                DuplicationPolicy::AllChildren => children.iter().all(beats),
-                DuplicationPolicy::Off => false,
-            };
-            if beneficial {
-                schedule.place_duplicate(entry, k, 0.0, replica_finish)?;
-                placed.push(k);
-            }
-        }
-        Ok(placed)
+        duplicate_entry(
+            problem,
+            schedule,
+            entry,
+            entry_proc,
+            entry_aft,
+            self.config.duplication,
+        )
     }
+}
+
+/// Algorithm 1: duplicates the entry task onto every processor where a
+/// local replica would deliver the entry's output to some (or, under
+/// [`DuplicationPolicy::AllChildren`], every) child earlier than the
+/// message from the primary copy would arrive. Returns the processors that
+/// received a replica.
+///
+/// Shared by [`Hdlts`] and the HDLTS-derived baselines (`hdlts-baselines`:
+/// HDLTS-L keeps Algorithm 1 verbatim) so the duplication rule cannot
+/// drift between variants.
+pub fn duplicate_entry(
+    problem: &Problem<'_>,
+    schedule: &mut Schedule,
+    entry: TaskId,
+    entry_proc: ProcId,
+    entry_aft: f64,
+    policy: DuplicationPolicy,
+) -> Result<Vec<ProcId>, CoreError> {
+    let children = problem.dag().succs(entry);
+    if children.is_empty() {
+        return Ok(Vec::new());
+    }
+    let platform = problem.platform();
+    let mut placed = Vec::new();
+    for k in platform.procs() {
+        if k == entry_proc {
+            continue;
+        }
+        let replica_finish = problem.w(entry, k);
+        let beats = |&(_, cost): &(TaskId, f64)| {
+            replica_finish < entry_aft + platform.comm_time(entry_proc, k, cost)
+        };
+        let beneficial = match policy {
+            DuplicationPolicy::AnyChild => children.iter().any(beats),
+            DuplicationPolicy::AllChildren => children.iter().all(beats),
+            DuplicationPolicy::Off => false,
+        };
+        if beneficial {
+            schedule.place_duplicate(entry, k, 0.0, replica_finish)?;
+            placed.push(k);
+        }
+    }
+    Ok(placed)
 }
 
 impl Scheduler for Hdlts {

@@ -46,10 +46,13 @@ mod trace;
 pub mod validate;
 
 pub use config::{DuplicationPolicy, HdltsConfig, PenaltyKind};
-pub use engine::{EftCache, EngineMode};
+pub use engine::{EftCache, EngineMode, ReplicaEftCache};
 pub use error::CoreError;
-pub use est::{argmin_eft, data_ready_time, eft, eft_row, est, min_eft_placement, penalty_value};
-pub use hdlts::Hdlts;
+pub use est::{
+    argmin_eft, data_ready_time, eft, eft_row, eft_with_duplication, est, min_eft_placement,
+    penalty_value, DupScratch, PlannedCopy,
+};
+pub use hdlts::{duplicate_entry, Hdlts};
 pub use problem::Problem;
 pub use schedule::{Placement, Schedule};
 pub use scheduler::Scheduler;

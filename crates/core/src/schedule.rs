@@ -28,6 +28,12 @@ pub struct Placement {
 pub struct Schedule {
     placements: Vec<Option<Placement>>,
     duplicates: Vec<(TaskId, Placement)>,
+    /// Per-task indices into `duplicates`, so [`Schedule::copies`] walks
+    /// only the copies of the queried task instead of the global replica
+    /// list — `data_ready_time` calls it once per parent per EFT cell,
+    /// which makes the global scan the hot path of duplication-heavy
+    /// schedulers (HDLTS-D).
+    dup_index: Vec<Vec<u32>>,
     timelines: Vec<Timeline>,
 }
 
@@ -37,6 +43,7 @@ impl Schedule {
         Schedule {
             placements: vec![None; num_tasks],
             duplicates: Vec::new(),
+            dup_index: vec![Vec::new(); num_tasks],
             timelines: vec![Timeline::new(); num_procs],
         }
     }
@@ -97,6 +104,7 @@ impl Schedule {
                 end: finish,
             },
         )?;
+        self.dup_index[t.index()].push(self.duplicates.len() as u32);
         self.duplicates.push((
             t,
             Placement {
@@ -155,13 +163,21 @@ impl Schedule {
             .ok_or(CoreError::NotPlaced(t))
     }
 
-    /// All copies of `t`: the primary placement first, then duplicates.
+    /// All copies of `t`: the primary placement first, then duplicates in
+    /// commit order. O(copies of `t`), not O(all duplicates) — see
+    /// `dup_index`.
     pub fn copies(&self, t: TaskId) -> impl Iterator<Item = &Placement> + '_ {
         self.placements[t.index()].iter().chain(
-            self.duplicates
+            self.dup_index[t.index()]
                 .iter()
-                .filter_map(move |(d, p)| (*d == t).then_some(p)),
+                .map(|&i| &self.duplicates[i as usize].1),
         )
+    }
+
+    /// Number of committed duplicate copies of `t` (excludes the primary).
+    #[inline]
+    pub fn dup_count(&self, t: TaskId) -> usize {
+        self.dup_index[t.index()].len()
     }
 
     /// All duplicate copies recorded so far.

@@ -179,7 +179,7 @@ pub fn ext_lookahead(cfg: &RunConfig) -> FigureData {
                 acc[0][x].push(MetricSet::compute(&problem, &h).slr);
                 let l = HdltsLookahead.schedule(&problem).expect("schedules");
                 acc[1][x].push(MetricSet::compute(&problem, &l).slr);
-                let d = HdltsCpd.schedule(&problem).expect("schedules");
+                let d = HdltsCpd::default().schedule(&problem).expect("schedules");
                 acc[2][x].push(MetricSet::compute(&problem, &d).slr);
                 let e = Heft.schedule(&problem).expect("schedules");
                 acc[3][x].push(MetricSet::compute(&problem, &e).slr);
@@ -243,7 +243,8 @@ pub fn ext_energy(cfg: &RunConfig) -> FigureData {
                     acc[0][x].push(1.0);
                     power.energy(&s)
                 };
-                let runs: [&dyn Scheduler; 3] = [&Hdlts::paper_exact(), &HdltsCpd, &Sdbats];
+                let cpd = HdltsCpd::default();
+                let runs: [&dyn Scheduler; 3] = [&Hdlts::paper_exact(), &cpd, &Sdbats];
                 for (li, sched) in runs.into_iter().enumerate() {
                     let s = sched.schedule(&problem).expect("schedules");
                     acc[li + 1][x].push(power.energy(&s) / baseline_energy);

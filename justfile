@@ -16,7 +16,8 @@ bench:
     cargo bench -p hdlts-bench
 
 # Machine-readable engine baseline: times the scheduling kernels
-# (incremental vs full-recompute HDLTS across the fig. 3 grid, mean-comm
+# (incremental vs full-recompute across the fig. 3 grid for plain HDLTS
+# and the v<=1000 cells for HDLTS-D's replica-aware cache, mean-comm
 # factor vs pair loop, timeline gap search) and writes BENCH_engine.json
 # at the repo root. See CONTRIBUTING.md "Performance changes".
 bench-json:
@@ -33,8 +34,9 @@ bench-service rate="200" duration="10":
 
 # Full CI pipeline: format + clippy + repo lints + tests + Miri (when the
 # nightly component is installed; CI has a dedicated job) + bench smoke +
-# perf regression gate on the incremental-engine speedup recorded in
-# BENCH_engine.json. Cheap determinism/soundness checks fail first.
+# perf regression gate on the incremental-engine speedups (plain HDLTS and
+# HDLTS-D) recorded in BENCH_engine.json. Cheap determinism/soundness
+# checks fail first.
 ci:
     cargo fmt --all --check
     cargo build --release

@@ -4,7 +4,10 @@
 //! Table I trace of the full-recompute oracle, for every combination of
 //! insertion mode and entry-task duplication.
 
-use hdlts_repro::core::{DuplicationPolicy, EngineMode, Hdlts, HdltsConfig, PenaltyKind, Problem};
+use hdlts_repro::baselines::HdltsCpd;
+use hdlts_repro::core::{
+    DuplicationPolicy, EngineMode, Hdlts, HdltsConfig, PenaltyKind, Problem, Scheduler,
+};
 use hdlts_repro::dag::{Dag, DagBuilder};
 use hdlts_repro::platform::{CostMatrix, Platform};
 use hdlts_repro::workloads::{random_dag, RandomDagParams};
@@ -181,5 +184,44 @@ proptest! {
             .unwrap();
         prop_assert_eq!(fast_s, full_s, "schedules diverged for {:?}", pv);
         prop_assert_eq!(fast_t, full_t, "traces diverged for {:?}", pv);
+    }
+
+    /// HDLTS-D (critical-parent duplication): the replica-aware cache must
+    /// reproduce the full-recompute oracle byte for byte — makespan,
+    /// placements, **and the committed replica set** — across the layered
+    /// generator's parameter space (CCR up to 5 forces heavy duplication).
+    #[test]
+    fn hdlts_cpd_engines_agree_on_workload_instances(
+        params in arb_params(),
+        seed in 0u64..1_000_000,
+    ) {
+        let inst = random_dag::generate(&params, seed);
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let fast = HdltsCpd::default().schedule(&problem).unwrap();
+        let full = HdltsCpd::full_recompute().schedule(&problem).unwrap();
+        prop_assert_eq!(
+            fast.makespan().to_bits(),
+            full.makespan().to_bits(),
+            "makespans diverged ({}): {} vs {}", inst.name, fast.makespan(), full.makespan()
+        );
+        prop_assert_eq!(fast.duplicates(), full.duplicates(), "replica sets diverged ({})", inst.name);
+        prop_assert_eq!(&fast, &full, "schedules diverged ({})", inst.name);
+    }
+
+    /// HDLTS-D differential on the hand-rolled builder shapes.
+    #[test]
+    fn hdlts_cpd_engines_agree_on_handrolled_instances(
+        n in 2usize..50,
+        procs in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let (dag, costs) = handrolled_instance(n, procs, seed);
+        let platform = Platform::fully_connected(procs).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let fast = HdltsCpd::default().schedule(&problem).unwrap();
+        let full = HdltsCpd::full_recompute().schedule(&problem).unwrap();
+        prop_assert_eq!(fast.duplicates(), full.duplicates(), "replica sets diverged (handrolled)");
+        prop_assert_eq!(&fast, &full, "schedules diverged (handrolled)");
     }
 }
