@@ -37,6 +37,9 @@ pub const RULES: &[RuleDef] = &[
                     | "crates/service/src/queue.rs"
                     | "crates/service/src/protocol.rs"
                     | "crates/service/src/jobs.rs"
+                    | "crates/service/src/journal.rs"
+                    | "crates/service/src/client.rs"
+                    | "crates/service/src/faults.rs"
             )
         },
         check: check_request_path_panic,

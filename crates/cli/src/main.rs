@@ -11,6 +11,8 @@
 //! hdlts simulate --in inst.json [--jitter 0.2] [--fail P@T]
 //! hdlts stream   --jobs a.json@0,b.json@50 [--procs N] [--fifo]
 //! hdlts serve    [--addr H:P] [--procs 4,8] [--workers N] [--queue-cap N]
+//!                [--journal FILE]
+//! hdlts submit   --addr H:P (--in inst.json | --workload JSON) [--retries N]
 //! hdlts dot      --in inst.json [--out out.dot]
 //! ```
 
@@ -47,8 +49,16 @@ commands:
             dispatch a stream of instance files arriving at given times
   serve     [--addr HOST:PORT] [--procs P1,P2,...] [--workers N]
             [--queue-cap N] [--deadline-ms N] [--retain N]
+            [--journal FILE] [--journal-sync]
             run the scheduling daemon (newline-delimited JSON over TCP;
-            drain with Ctrl-C or {\"cmd\":\"shutdown\"})
+            drain with Ctrl-C or {\"cmd\":\"shutdown\"}); with --journal,
+            admissions are write-ahead journaled and unfinished jobs are
+            recovered on restart (HDLTS_FAULTS arms chaos crash points)
+  submit    --addr HOST:PORT (--in FILE | --workload JSON)
+            [--policy pv|fifo] [--deadline-ms N] [--jitter X]
+            [--retries N] [--timeout-ms N] [--seed N]
+            submit one job through the retrying backpressure-aware
+            client and wait for its result
   dot       --in FILE [--out FILE]             Graphviz export
 
 algorithms: HDLTS HEFT CPOP PETS PEFT SDBATS MinMin DHEFT HDLTS-L HDLTS-D Random";
@@ -94,6 +104,7 @@ fn run(args: &Args) -> Result<(), String> {
         Some("simulate") => simulate(args),
         Some("stream") => stream(args),
         Some("serve") => serve(args),
+        Some("submit") => submit(args),
         Some("dot") => dot(args),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
@@ -469,7 +480,7 @@ fn stream(args: &Args) -> Result<(), String> {
 }
 
 fn serve(args: &Args) -> Result<(), String> {
-    use hdlts_service::{Daemon, ServiceConfig, ShardSpec};
+    use hdlts_service::{Daemon, FaultPlan, ServiceConfig, ShardSpec};
     let addr = args.opt("addr").unwrap_or("127.0.0.1:7151").to_owned();
     let procs_list = args.opt("procs").unwrap_or("4").to_owned();
     let workers: usize = args.opt_parse("workers", 2usize)?;
@@ -483,6 +494,9 @@ fn serve(args: &Args) -> Result<(), String> {
         ),
         None => None,
     };
+    let journal_path = args.opt("journal").map(std::path::PathBuf::from);
+    let journal_sync = args.switch("journal-sync");
+    let faults = FaultPlan::from_env()?.unwrap_or_default();
     args.reject_unknown()?;
     let mut shards = Vec::new();
     for part in procs_list.split(',') {
@@ -502,8 +516,17 @@ fn serve(args: &Args) -> Result<(), String> {
         default_deadline_ms,
         worker_delay_ms,
         retain_results: retain,
+        journal_path,
+        journal_sync,
+        faults,
     })
     .map_err(|e| e.to_string())?;
+    if handle.stats().recovered > 0 {
+        eprintln!(
+            "recovered {} unfinished job(s) from the journal",
+            handle.stats().recovered
+        );
+    }
     install_sigint_flag();
     eprintln!(
         "hdlts-service listening on {} ({} worker(s) per shard for {} CPUs; queue capacity {})",
@@ -530,6 +553,68 @@ fn serve(args: &Args) -> Result<(), String> {
         stats.latency_p99_ms
     );
     Ok(())
+}
+
+fn submit(args: &Args) -> Result<(), String> {
+    use hdlts_service::{Client, Outcome, RetryPolicy, Value};
+    let addr = args.opt("addr").unwrap_or("127.0.0.1:7151").to_owned();
+    // The job: an instance file (the `generate`/`import` output) or a raw
+    // workload object, exactly as the wire protocol takes them.
+    let job: (String, Value) = match (args.opt("in"), args.opt("workload")) {
+        (Some(path), None) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let v = Value::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            ("instance".into(), v)
+        }
+        (None, Some(raw)) => {
+            let v = Value::parse(raw).map_err(|e| format!("parsing --workload: {e}"))?;
+            ("workload".into(), v)
+        }
+        _ => return Err("submit takes exactly one of --in FILE or --workload JSON".into()),
+    };
+    let mut fields: Vec<(String, Value)> = vec![("cmd".into(), "submit".into()), job];
+    if let Some(p) = args.opt("policy") {
+        fields.push(("policy".into(), p.into()));
+    }
+    if let Some(ms) = args.opt("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad --deadline-ms '{ms}'"))?;
+        fields.push(("deadline_ms".into(), ms.into()));
+    }
+    let jitter: f64 = args.opt_parse("jitter", 0.0)?;
+    if jitter > 0.0 {
+        fields.push(("jitter".into(), jitter.into()));
+        fields.push(("jitter_seed".into(), args.opt_parse("seed", 0u64)?.into()));
+    }
+    let policy = RetryPolicy {
+        budget: args.opt_parse("retries", 8u32)?,
+        request_timeout_ms: Some(args.opt_parse("timeout-ms", 60_000u64)?),
+        ..Default::default()
+    };
+    args.reject_unknown()?;
+
+    let line = Value::Obj(fields).to_string();
+    let mut client = Client::new(addr, policy);
+    match client.run(&line) {
+        Outcome::Done(resp) => {
+            let num = |key: &str| resp.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+            eprintln!(
+                "job {} done: makespan {:.2}, SLR {:.3}, speedup {:.3}, service {:.1} ms ({} retr{})",
+                resp.get("job_id").and_then(Value::as_u64).unwrap_or(0),
+                num("makespan"),
+                num("slr"),
+                num("speedup"),
+                num("service_ms"),
+                client.retries(),
+                if client.retries() == 1 { "y" } else { "ies" },
+            );
+            println!("{resp}");
+            Ok(())
+        }
+        Outcome::Expired => Err("job expired: its deadline passed while it was queued".into()),
+        Outcome::GaveUp(why) => Err(format!("gave up: {why}")),
+    }
 }
 
 static SIGINT_FLAG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);

@@ -4,6 +4,12 @@
 //! (FFT, Montage, Moldyn, random DAGs), then reports throughput,
 //! acceptance, and service-latency percentiles as `BENCH_service.json`.
 //!
+//! Submissions go through the crate's retrying [`Client`]: a `queue_full`
+//! rejection is not dropped on the floor but retried within a bounded
+//! budget, honoring the daemon's load-adaptive `retry_after_ms` hint —
+//! the same path real users get — and the report carries `retries` and
+//! `gave_up` counters alongside acceptance.
+//!
 //! By default it spawns an in-process daemon on an ephemeral port and
 //! drives it over real TCP; `--addr HOST:PORT` targets an already-running
 //! daemon instead (stats are then read over the wire and the daemon is
@@ -12,11 +18,11 @@
 //! ```text
 //! loadgen [--rate JOBS_PER_SEC] [--duration SECS] [--clients N]
 //!         [--procs P] [--workers N] [--queue-cap N] [--seed S]
-//!         [--out FILE] [--addr HOST:PORT [--shutdown]]
+//!         [--retries N] [--out FILE] [--addr HOST:PORT [--shutdown]]
 //! ```
 
 use hdlts_service::json::{obj, Value};
-use hdlts_service::{Daemon, DaemonHandle, ServiceConfig, ShardSpec};
+use hdlts_service::{Client, Daemon, DaemonHandle, RetryPolicy, ServiceConfig, ShardSpec};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -29,6 +35,7 @@ struct Options {
     workers: usize,
     queue_cap: usize,
     seed: u64,
+    retries: u32,
     out: String,
     addr: Option<String>,
     shutdown: bool,
@@ -44,6 +51,7 @@ impl Default for Options {
             workers: 4,
             queue_cap: 256,
             seed: 1,
+            retries: 3,
             out: "BENCH_service.json".into(),
             addr: None,
             shutdown: false,
@@ -67,11 +75,12 @@ fn parse_args() -> Result<Options, String> {
             "--workers" => opts.workers = int(&value("--workers")?)?,
             "--queue-cap" => opts.queue_cap = int(&value("--queue-cap")?)?,
             "--seed" => opts.seed = int(&value("--seed")?)? as u64,
+            "--retries" => opts.retries = int(&value("--retries")?)? as u32,
             "--out" => opts.out = value("--out")?,
             "--addr" => opts.addr = Some(value("--addr")?),
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => {
-                println!("usage: loadgen [--rate R] [--duration S] [--clients N] [--procs P] [--workers N] [--queue-cap N] [--seed S] [--out FILE] [--addr HOST:PORT [--shutdown]]");
+                println!("usage: loadgen [--rate R] [--duration S] [--clients N] [--procs P] [--workers N] [--queue-cap N] [--seed S] [--retries N] [--out FILE] [--addr HOST:PORT [--shutdown]]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag '{other}'")),
@@ -110,10 +119,10 @@ fn submit_line(mix_index: u64, procs: usize, seed: u64) -> String {
 struct ClientTally {
     submitted: u64,
     accepted: u64,
-    rejected: u64,
-    errors: u64,
-    retry_after_sum_ms: u64,
-    retry_after_seen: u64,
+    /// Submissions whose retry budget or deadline ran out un-acked.
+    gave_up: u64,
+    /// Total backpressure/transport retries spent across submissions.
+    retries: u64,
 }
 
 fn run_client(
@@ -123,21 +132,30 @@ fn run_client(
     duration: f64,
     procs: usize,
     seed_base: u64,
-) -> std::io::Result<ClientTally> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
+    retries: u32,
+) -> ClientTally {
+    // Seeded per client: two loadgen runs with the same flags replay the
+    // same jittered backoff schedule.
+    let policy = RetryPolicy {
+        budget: retries,
+        base_ms: 5,
+        cap_ms: 500,
+        jitter: true,
+        seed: seed_base ^ (client_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        request_timeout_ms: Some(2_000),
+        poll_interval_ms: 5,
+    };
+    let mut client = Client::new(addr, policy);
     let mut tally = ClientTally::default();
     let interarrival = Duration::from_secs_f64(1.0 / per_client_rate);
     let start = Instant::now();
     let end = start + Duration::from_secs_f64(duration);
     let mut next_send = start;
-    let mut line = String::new();
     while Instant::now() < end {
         // Open-loop pacing: each submission has a scheduled instant; we
         // never slow the offered rate down just because the daemon pushed
-        // back — that is the point of the exercise.
+        // back — that is the point of the exercise. (Retries within one
+        // submission are the client's business and draw from its budget.)
         let now = Instant::now();
         if now < next_send {
             std::thread::sleep(next_send - now);
@@ -149,29 +167,14 @@ fn run_client(
             procs,
             seed_base + n * 1_000 + client_idx as u64,
         );
-        writer.write_all(req.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break;
-        }
         tally.submitted += 1;
-        match Value::parse(line.trim()) {
-            Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(true) => {
-                tally.accepted += 1;
-            }
-            Ok(v) if v.get("error").and_then(Value::as_str) == Some("queue_full") => {
-                tally.rejected += 1;
-                if let Some(ms) = v.get("retry_after_ms").and_then(Value::as_u64) {
-                    tally.retry_after_sum_ms += ms;
-                    tally.retry_after_seen += 1;
-                }
-            }
-            _ => tally.errors += 1,
+        match client.submit(&req) {
+            Ok(_receipt) => tally.accepted += 1,
+            Err(_why) => tally.gave_up += 1,
         }
     }
-    Ok(tally)
+    tally.retries = client.retries();
+    tally
 }
 
 fn wire_request(addr: &str, req: &str) -> std::io::Result<Value> {
@@ -216,8 +219,12 @@ fn main() {
         }
     };
     eprintln!(
-        "loadgen: driving {addr} at {} jobs/s for {}s over {} connection(s)",
-        opts.rate, opts.duration, opts.clients
+        "loadgen: driving {addr} at {} jobs/s for {}s over {} connection(s), {} retr{} per submit",
+        opts.rate,
+        opts.duration,
+        opts.clients,
+        opts.retries,
+        if opts.retries == 1 { "y" } else { "ies" }
     );
 
     let wall_start = Instant::now();
@@ -234,11 +241,8 @@ fn main() {
                         opts.duration,
                         opts.procs,
                         opts.seed,
+                        opts.retries,
                     )
-                    .unwrap_or_else(|e| {
-                        eprintln!("loadgen: client {c} failed: {e}");
-                        ClientTally::default()
-                    })
                 })
             })
             .collect();
@@ -250,10 +254,8 @@ fn main() {
 
     let submitted: u64 = tallies.iter().map(|t| t.submitted).sum();
     let accepted: u64 = tallies.iter().map(|t| t.accepted).sum();
-    let rejected: u64 = tallies.iter().map(|t| t.rejected).sum();
-    let errors: u64 = tallies.iter().map(|t| t.errors).sum();
-    let retry_seen: u64 = tallies.iter().map(|t| t.retry_after_seen).sum();
-    let retry_sum: u64 = tallies.iter().map(|t| t.retry_after_sum_ms).sum();
+    let gave_up: u64 = tallies.iter().map(|t| t.gave_up).sum();
+    let retries: u64 = tallies.iter().map(|t| t.retries).sum();
 
     // Drain and collect final stats.
     let stats_value = match handle {
@@ -294,6 +296,7 @@ fn main() {
                 ("workers", opts.workers.into()),
                 ("queue_capacity", opts.queue_cap.into()),
                 ("seed", opts.seed.into()),
+                ("retry_budget", (opts.retries as u64).into()),
                 (
                     "workload_mix",
                     Value::Arr(
@@ -310,23 +313,14 @@ fn main() {
             obj([
                 ("submitted", submitted.into()),
                 ("accepted", accepted.into()),
-                ("rejected", rejected.into()),
-                ("protocol_errors", errors.into()),
+                ("gave_up", gave_up.into()),
+                ("retries", retries.into()),
                 (
                     "acceptance_ratio",
                     (if submitted == 0 {
                         1.0
                     } else {
                         accepted as f64 / submitted as f64
-                    })
-                    .into(),
-                ),
-                (
-                    "mean_retry_after_ms",
-                    (if retry_seen == 0 {
-                        0.0
-                    } else {
-                        retry_sum as f64 / retry_seen as f64
                     })
                     .into(),
                 ),
@@ -343,8 +337,8 @@ fn main() {
     });
     println!("{report}");
     eprintln!("loadgen: wrote {}", opts.out);
-    if errors > 0 {
-        eprintln!("loadgen: {errors} protocol errors");
+    if submitted > 0 && accepted == 0 {
+        eprintln!("loadgen: nothing was accepted — daemon unreachable or refusing everything");
         std::process::exit(1);
     }
 }

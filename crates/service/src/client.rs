@@ -1,0 +1,415 @@
+//! A retrying, backpressure-aware client for the daemon's wire protocol.
+//!
+//! Raw sockets force every caller to reinvent the same loop: submit,
+//! read `queue_full` + `retry_after_ms`, sleep, resubmit, then poll
+//! `result` until the job goes terminal. [`Client`] owns that loop with
+//! the full courtesy set — it honors the daemon's load-adaptive
+//! `retry_after_ms` hint (never retrying *sooner* than asked), layers
+//! seeded jittered exponential backoff on top, spends a bounded retry
+//! budget, and enforces an end-to-end per-request deadline — and
+//! surfaces a typed [`Outcome`]. Both `loadgen` and `hdlts submit` ride
+//! on it, so the benchmark exercises exactly the path users get.
+//!
+//! Retryable refusals: `queue_full` (backpressure), `journal` (append
+//! failed, submission explicitly un-acked), and transport errors (the
+//! daemon may be restarting after a crash — the client reconnects).
+//! `draining` and structural errors (`bad_workload`, `no_shard`, …) fail
+//! fast: no amount of retrying fixes them.
+//!
+//! This file sits in the analyzer's `request-path-panic` scope: all
+//! failures flow into [`Outcome::GaveUp`], never a panic.
+
+use crate::faults::splitmix64;
+use crate::json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Backoff and budget knobs for [`Client`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed per request after the first attempt.
+    pub budget: u32,
+    /// First backoff step, ms; doubles per retry.
+    pub base_ms: u64,
+    /// Backoff ceiling, ms.
+    pub cap_ms: u64,
+    /// Randomize each delay into [delay/2, delay] (seeded — replayable).
+    pub jitter: bool,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+    /// End-to-end deadline per request (submit retries + result polling),
+    /// ms. `None` waits indefinitely.
+    pub request_timeout_ms: Option<u64>,
+    /// Result polling cadence, ms.
+    pub poll_interval_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 8 retries, 10 ms → 2 s jittered exponential backoff, 30 s
+    /// request deadline, 5 ms result polling.
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 8,
+            base_ms: 10,
+            cap_ms: 2_000,
+            jitter: true,
+            seed: 0x5EED_CAFE,
+            request_timeout_ms: Some(30_000),
+            poll_interval_ms: 5,
+        }
+    }
+}
+
+/// A successful admission: the daemon's ack plus what it cost to get.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// Daemon-assigned job id.
+    pub job_id: u64,
+    /// Retries this submit consumed before being acked.
+    pub retries: u32,
+}
+
+/// The terminal outcome of one submitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Scheduled to completion; the daemon's full `result` response body
+    /// (`makespan`, `slr`, `speedup`, `placements`, …).
+    Done(Value),
+    /// The job's deadline passed while it waited in the queue.
+    Expired,
+    /// The retry budget or request deadline ran out, the daemon refused
+    /// the job structurally, or scheduling itself failed.
+    GaveUp(String),
+}
+
+impl Outcome {
+    /// Short label for reports (`done`/`expired`/`gave_up`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Done(_) => "done",
+            Outcome::Expired => "expired",
+            Outcome::GaveUp(_) => "gave_up",
+        }
+    }
+}
+
+/// Time left before `deadline`; `None` means no deadline.
+fn remaining(deadline: Option<Instant>) -> Option<Duration> {
+    deadline.map(|d| d.saturating_duration_since(Instant::now()))
+}
+
+/// How one protocol exchange ended, before retry classification.
+enum Exchange {
+    Ok(Value),
+    /// Refused but worth retrying, with the daemon's minimum-delay hint.
+    Retryable {
+        why: String,
+        hint_ms: Option<u64>,
+    },
+    /// Refused for good.
+    Fatal(String),
+}
+
+/// A connected client with retry state. Not thread-safe by design — one
+/// client per connection, like the raw socket it wraps.
+pub struct Client {
+    addr: String,
+    conn: Option<(BufReader<TcpStream>, TcpStream)>,
+    policy: RetryPolicy,
+    rng: u64,
+    retries: u64,
+    gave_up: u64,
+}
+
+impl Client {
+    /// A client for the daemon at `addr`. Connection is lazy: the first
+    /// request dials, and transport errors re-dial on retry, so a client
+    /// created while the daemon restarts still works.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Client {
+        let rng = policy.seed | 1;
+        Client {
+            addr: addr.into(),
+            conn: None,
+            policy,
+            rng,
+            retries: 0,
+            gave_up: 0,
+        }
+    }
+
+    /// Total retries spent across all requests (reported by `loadgen`).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Requests that ended in [`Outcome::GaveUp`].
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
+    }
+
+    /// Submits `line` (a complete `{"cmd":"submit",...}` request),
+    /// retrying through backpressure within the policy's budget and
+    /// deadline.
+    pub fn submit(&mut self, line: &str) -> Result<SubmitReceipt, String> {
+        let deadline = self.request_deadline();
+        self.submit_by(line, deadline)
+    }
+
+    /// Submits `line` and follows the job to its terminal state: the
+    /// whole courtesy loop in one call.
+    pub fn run(&mut self, line: &str) -> Outcome {
+        let deadline = self.request_deadline();
+        let receipt = match self.submit_by(line, deadline) {
+            Ok(r) => r,
+            Err(why) => {
+                self.gave_up += 1;
+                return Outcome::GaveUp(why);
+            }
+        };
+        let outcome = self.await_result_by(receipt.job_id, deadline);
+        if matches!(outcome, Outcome::GaveUp(_)) {
+            self.gave_up += 1;
+        }
+        outcome
+    }
+
+    /// Polls `result` for `job_id` until terminal, within the policy's
+    /// request deadline.
+    pub fn await_result(&mut self, job_id: u64) -> Outcome {
+        let deadline = self.request_deadline();
+        let outcome = self.await_result_by(job_id, deadline);
+        if matches!(outcome, Outcome::GaveUp(_)) {
+            self.gave_up += 1;
+        }
+        outcome
+    }
+
+    fn request_deadline(&self) -> Option<Instant> {
+        self.policy
+            .request_timeout_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms))
+    }
+
+    fn submit_by(
+        &mut self,
+        line: &str,
+        deadline: Option<Instant>,
+    ) -> Result<SubmitReceipt, String> {
+        let mut used = 0u32;
+        loop {
+            match self.exchange(line) {
+                Exchange::Ok(resp) => {
+                    let job_id = resp.get("job_id").and_then(Value::as_u64).unwrap_or(0);
+                    return Ok(SubmitReceipt {
+                        job_id,
+                        retries: used,
+                    });
+                }
+                Exchange::Fatal(why) => return Err(why),
+                Exchange::Retryable { why, hint_ms } => {
+                    if used >= self.policy.budget {
+                        return Err(format!(
+                            "retry budget ({}) exhausted: {why}",
+                            self.policy.budget
+                        ));
+                    }
+                    let delay = self.backoff(used, hint_ms);
+                    match remaining(deadline) {
+                        Some(left) if left <= delay => {
+                            return Err(format!("request deadline reached: {why}"));
+                        }
+                        _ => {}
+                    }
+                    std::thread::sleep(delay);
+                    used += 1;
+                    self.retries += 1;
+                }
+            }
+        }
+    }
+
+    fn await_result_by(&mut self, job_id: u64, deadline: Option<Instant>) -> Outcome {
+        let request = format!(r#"{{"cmd":"result","job_id":{job_id}}}"#);
+        let mut transport_retries = 0u32;
+        loop {
+            if matches!(remaining(deadline), Some(left) if left.is_zero()) {
+                return Outcome::GaveUp(format!("request deadline reached polling job {job_id}"));
+            }
+            match self.exchange(&request) {
+                Exchange::Ok(resp) => return Outcome::Done(resp),
+                Exchange::Fatal(why) if why.starts_with("expired") => return Outcome::Expired,
+                Exchange::Fatal(why) => return Outcome::GaveUp(why),
+                Exchange::Retryable { why, hint_ms: _ } if why.starts_with("not_ready") => {
+                    std::thread::sleep(Duration::from_millis(self.policy.poll_interval_ms.max(1)));
+                }
+                Exchange::Retryable { why, hint_ms } => {
+                    // Transport-level trouble (daemon restarting): spend
+                    // the retry budget on reconnects.
+                    if transport_retries >= self.policy.budget {
+                        return Outcome::GaveUp(format!(
+                            "retry budget ({}) exhausted polling job {job_id}: {why}",
+                            self.policy.budget
+                        ));
+                    }
+                    std::thread::sleep(self.backoff(transport_retries, hint_ms));
+                    transport_retries += 1;
+                    self.retries += 1;
+                }
+            }
+        }
+    }
+
+    /// One write-line/read-line round trip, classified for the retry
+    /// loop. Transport errors drop the connection so the next attempt
+    /// re-dials.
+    fn exchange(&mut self, request: &str) -> Exchange {
+        let resp = match self.round_trip(request) {
+            Ok(resp) => resp,
+            Err(why) => {
+                self.conn = None;
+                return Exchange::Retryable { why, hint_ms: None };
+            }
+        };
+        if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+            return Exchange::Ok(resp);
+        }
+        let code = resp
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let message = resp
+            .get("detail")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        match code.as_str() {
+            "queue_full" => Exchange::Retryable {
+                why: format!("queue_full: {message}"),
+                hint_ms: resp.get("retry_after_ms").and_then(Value::as_u64),
+            },
+            "journal" => Exchange::Retryable {
+                why: format!("journal: {message}"),
+                hint_ms: None,
+            },
+            "not_ready" => Exchange::Retryable {
+                why: "not_ready".into(),
+                hint_ms: None,
+            },
+            _ => Exchange::Fatal(format!("{code}: {message}")),
+        }
+    }
+
+    fn round_trip(&mut self, request: &str) -> Result<Value, String> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| format!("connect {}: {e}", self.addr))?;
+            let _ = stream.set_nodelay(true);
+            let read_half = stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?;
+            self.conn = Some((BufReader::new(read_half), stream));
+        }
+        let Some((reader, writer)) = self.conn.as_mut() else {
+            return Err("no connection".into());
+        };
+        writer
+            .write_all(format!("{request}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => Err("daemon closed the connection".into()),
+            Ok(_) => Value::parse(line.trim()).map_err(|e| format!("bad response: {e}")),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+
+    /// The delay before retry number `k` (0-based): jittered exponential
+    /// backoff, never shorter than the daemon's `retry_after_ms` hint.
+    fn backoff(&mut self, k: u32, hint_ms: Option<u64>) -> Duration {
+        let expo = self
+            .policy
+            .base_ms
+            .saturating_mul(1u64 << k.min(20))
+            .min(self.policy.cap_ms);
+        let mut delay = expo.max(hint_ms.unwrap_or(0));
+        if self.policy.jitter && delay > 1 {
+            let half = delay / 2;
+            delay = half + splitmix64(&mut self.rng) % (delay - half + 1);
+        }
+        Duration::from_millis(delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy_no_jitter() -> RetryPolicy {
+        RetryPolicy {
+            jitter: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_hint_dominated() {
+        let mut c = Client::new("127.0.0.1:1", policy_no_jitter());
+        assert_eq!(c.backoff(0, None), Duration::from_millis(10));
+        assert_eq!(c.backoff(1, None), Duration::from_millis(20));
+        assert_eq!(c.backoff(3, None), Duration::from_millis(80));
+        // Capped at cap_ms.
+        assert_eq!(c.backoff(12, None), Duration::from_millis(2_000));
+        // The server hint is a floor: never retry sooner than asked.
+        assert_eq!(c.backoff(0, Some(500)), Duration::from_millis(500));
+        // ...but exponential growth can exceed a small hint.
+        assert_eq!(c.backoff(6, Some(100)), Duration::from_millis(640));
+    }
+
+    #[test]
+    fn jitter_stays_in_the_upper_half_and_is_seeded() {
+        let mut a = Client::new("127.0.0.1:1", RetryPolicy::default());
+        let mut b = Client::new("127.0.0.1:1", RetryPolicy::default());
+        // With base 10 ms, the exponential term stays under a 200 ms hint
+        // for k ≤ 4, so the hint is the pre-jitter delay throughout.
+        for k in 0..4 {
+            let da = a.backoff(k, Some(200));
+            let db = b.backoff(k, Some(200));
+            let ms = da.as_millis() as u64;
+            assert!(
+                (100..=200).contains(&ms),
+                "jittered delay {ms} out of range"
+            );
+            // Same seed, same stream: replayable.
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn unreachable_daemon_exhausts_the_budget_quickly() {
+        // Port 1 refuses immediately; every attempt is a transport error.
+        let mut c = Client::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                budget: 2,
+                base_ms: 1,
+                cap_ms: 2,
+                jitter: false,
+                request_timeout_ms: Some(5_000),
+                ..Default::default()
+            },
+        );
+        let err = c.submit(r#"{"cmd":"submit"}"#).unwrap_err();
+        assert!(err.contains("retry budget (2) exhausted"), "{err}");
+        assert_eq!(c.retries(), 2);
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(Outcome::Expired.label(), "expired");
+        assert_eq!(Outcome::GaveUp(String::new()).label(), "gave_up");
+        assert_eq!(Outcome::Done(Value::Null).label(), "done");
+    }
+}

@@ -19,7 +19,9 @@
 //! every worker has drained, and [`DaemonHandle::wait`] joins them all.
 
 use crate::error::{lock, lock_recover, ServiceError};
+use crate::faults::{CrashPoint, FaultPlan, Faults};
 use crate::jobs::{JobResult, JobState, JobTable};
+use crate::journal::{Journal, Record, Recovery};
 use crate::json::{obj, Value};
 use crate::protocol::{self, parse_request, placements_value, Request, SubmitRequest};
 use crate::queue::{Bounded, Pop, PushError};
@@ -29,6 +31,7 @@ use hdlts_sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, Per
 use hdlts_workloads::Instance;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -62,6 +65,16 @@ pub struct ServiceConfig {
     pub worker_delay_ms: u64,
     /// Terminal job records retained for `status`/`result` queries.
     pub retain_results: usize,
+    /// Write-ahead job journal path. `Some` makes every admission durable
+    /// before its ack and replays unfinished jobs on startup; `None`
+    /// keeps the pre-journal in-memory behavior.
+    pub journal_path: Option<PathBuf>,
+    /// `fsync` the journal after every append — survives OS death, not
+    /// just process death. Off by default (flush-to-OS only).
+    pub journal_sync: bool,
+    /// Fault-injection plan for chaos tests; [`FaultPlan::none`] in
+    /// production (`hdlts serve` arms it from `HDLTS_FAULTS`).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +91,9 @@ impl Default for ServiceConfig {
             default_deadline_ms: None,
             worker_delay_ms: 0,
             retain_results: 4096,
+            journal_path: None,
+            journal_sync: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -114,6 +130,14 @@ struct Shared {
     next_id: AtomicU64,
     jobs: Mutex<JobTable>,
     hist: Mutex<LatencyHistogram>,
+    /// Write-ahead journal, when durability is configured.
+    journal: Option<Mutex<Journal>>,
+    /// Armed fault plan (inert in production) + the crashed flag.
+    faults: Faults,
+    /// Jobs re-enqueued from the journal at startup.
+    recovered: AtomicU64,
+    /// Journal appends that failed (injected or real I/O errors).
+    journal_errors: AtomicU64,
 }
 
 /// A point-in-time view of the daemon's counters and latency profile.
@@ -131,6 +155,11 @@ pub struct ServiceStats {
     pub expired: u64,
     /// Jobs admitted but not yet terminal.
     pub inflight: u64,
+    /// Jobs re-enqueued from the write-ahead journal at startup.
+    pub recovered: u64,
+    /// Journal appends that failed (the affected submits were refused
+    /// with a retryable `journal` error rather than acked un-durable).
+    pub journal_errors: u64,
     /// Current total queue depth across shards.
     pub queue_depth: usize,
     /// `(procs, threads, completed)` per shard.
@@ -159,6 +188,8 @@ impl ServiceStats {
             ("failed", self.failed.into()),
             ("expired", self.expired.into()),
             ("inflight", self.inflight.into()),
+            ("recovered", self.recovered.into()),
+            ("journal_errors", self.journal_errors.into()),
             (
                 "latency_ms",
                 obj([
@@ -220,12 +251,25 @@ impl Daemon {
                 completed: AtomicU64::new(0),
             });
         }
+        // Replay the journal before anything is listening: unfinished jobs
+        // from a previous life are re-enqueued exactly once, and the id
+        // counter resumes past every id the journal has ever seen.
+        let (journal, recovery) = match &cfg.journal_path {
+            Some(path) => {
+                let (j, rec) = Journal::open(path, cfg.journal_sync)
+                    .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?;
+                (Some(Mutex::new(j)), Some(rec))
+            }
+            None => (None, None),
+        };
+
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
         let total_workers: u64 = cfg.shards.iter().map(|s| s.threads as u64).sum();
         let retain = cfg.retain_results;
+        let faults = Faults::new(cfg.faults.clone());
         let shared = Arc::new(Shared {
             cfg,
             shards,
@@ -240,7 +284,14 @@ impl Daemon {
             next_id: AtomicU64::new(1),
             jobs: Mutex::new(JobTable::new(retain)),
             hist: Mutex::new(LatencyHistogram::new()),
+            journal,
+            faults,
+            recovered: AtomicU64::new(0),
+            journal_errors: AtomicU64::new(0),
         });
+        if let Some(rec) = recovery {
+            replay_recovery(&shared, &rec);
+        }
 
         let mut workers = Vec::new();
         for shard_idx in 0..shared.shards.len() {
@@ -293,14 +344,24 @@ impl DaemonHandle {
         self.shared.draining.load(Ordering::SeqCst)
     }
 
+    /// Whether an injected crash point has fired: the daemon is acting
+    /// dead (no responses, no journal writes) and [`DaemonHandle::wait`]
+    /// will leave the journal intact for the next incarnation to replay.
+    pub fn crashed(&self) -> bool {
+        self.shared.faults.crashed()
+    }
+
     /// A stats snapshot (also available over the wire via `stats`).
     pub fn stats(&self) -> ServiceStats {
         snapshot(&self.shared)
     }
 
     /// Drains (if not already draining) and joins every thread; returns
-    /// the final stats. After this returns, every admitted job is
-    /// terminal: `accepted == completed + failed + expired`.
+    /// the final stats. After a clean drain every admitted job is
+    /// terminal (`accepted == completed + failed + expired`) and the
+    /// journal is truncated — nothing to replay. After an injected crash
+    /// the journal is left as the dead process would have left it, so a
+    /// restart on the same path recovers the unfinished jobs.
     pub fn wait(mut self) -> ServiceStats {
         begin_drain(&self.shared);
         for w in self.workers.drain(..) {
@@ -309,8 +370,77 @@ impl DaemonHandle {
         if let Some(a) = self.accept.take() {
             let _ = a.join();
         }
+        if !self.shared.faults.crashed() {
+            if let Some(journal) = &self.shared.journal {
+                // Best-effort: a failed truncate only costs the next
+                // startup a compaction, never correctness.
+                let _ = lock_recover(journal).truncate();
+            }
+        }
         snapshot(&self.shared)
     }
+}
+
+/// Re-admits the journal's unfinished jobs. Runs before workers or the
+/// accept loop exist, so `force_push` (capacity-exempt — these jobs were
+/// already acked in a previous life) is safe and no client can observe a
+/// half-replayed daemon. Deadlines restart from the recovery instant: the
+/// original admission clock died with the old process.
+fn replay_recovery(shared: &Shared, rec: &Recovery) {
+    let mut max_id = rec.terminal.iter().copied().max().unwrap_or(0);
+    for (id, line) in &rec.unfinished {
+        max_id = max_id.max(*id);
+        // A journaled line was already validated once; it can still fail
+        // here if the daemon restarted with a different shard layout. Such
+        // jobs go terminal (Failed) with a Completed record so they are
+        // not replayed forever.
+        let submit = match parse_request(line) {
+            Ok(Request::Submit(s)) => *s,
+            _ => {
+                record_recovery_failure(shared, *id, "journaled line no longer parses");
+                continue;
+            }
+        };
+        let instance = match submit.job.realize() {
+            Ok(i) => i,
+            Err(e) => {
+                record_recovery_failure(shared, *id, &e);
+                continue;
+            }
+        };
+        let procs = instance.num_procs();
+        let Some(shard) = shared.shards.iter().find(|s| s.spec.procs == procs) else {
+            record_recovery_failure(shared, *id, "no shard serves this job after restart");
+            continue;
+        };
+        let now = Instant::now();
+        let deadline_ms = submit.deadline_ms.or(shared.cfg.default_deadline_ms);
+        let job = QueuedJob {
+            id: *id,
+            instance,
+            policy: submit.policy,
+            perturb: submit.perturb,
+            failures: submit.failures,
+            deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+            submitted: now,
+        };
+        lock_recover(&shared.jobs).insert_queued(*id);
+        if shard.queue.force_push(job).is_ok() {
+            shared.accepted.fetch_add(1, Ordering::SeqCst);
+            shared.inflight.fetch_add(1, Ordering::SeqCst);
+            shared.recovered.fetch_add(1, Ordering::SeqCst);
+        } else {
+            lock_recover(&shared.jobs).remove(*id);
+        }
+    }
+    shared.next_id.store(max_id + 1, Ordering::SeqCst);
+}
+
+fn record_recovery_failure(shared: &Shared, id: u64, why: &str) {
+    lock_recover(&shared.jobs).set(id, JobState::Failed(format!("recovery: {why}")));
+    shared.accepted.fetch_add(1, Ordering::SeqCst);
+    shared.failed.fetch_add(1, Ordering::SeqCst);
+    journal_terminal(shared, &Record::Completed { id });
 }
 
 fn begin_drain(shared: &Shared) {
@@ -333,6 +463,8 @@ fn snapshot(shared: &Shared) -> ServiceStats {
         failed: shared.failed.load(Ordering::SeqCst),
         expired: shared.expired.load(Ordering::SeqCst),
         inflight: shared.inflight.load(Ordering::SeqCst),
+        recovered: shared.recovered.load(Ordering::SeqCst),
+        journal_errors: shared.journal_errors.load(Ordering::SeqCst),
         queue_depth: shared.shards.iter().map(|s| s.queue.len()).sum(),
         shards: shared
             .shards
@@ -359,6 +491,9 @@ fn snapshot(shared: &Shared) -> ServiceStats {
 fn worker_loop(shared: &Shared, shard_idx: usize) {
     let shard = &shared.shards[shard_idx];
     loop {
+        if shared.faults.crashed() {
+            break; // the process is "dead": abandon the queue mid-backlog
+        }
         if shared.cfg.worker_delay_ms > 0 {
             std::thread::sleep(Duration::from_millis(shared.cfg.worker_delay_ms));
         }
@@ -371,9 +506,33 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
     shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
 }
 
+/// Writes a terminal record before any in-memory terminal bookkeeping.
+/// A failed append is counted and tolerated: the job would be re-run
+/// after a crash, and scheduling is deterministic, so re-execution
+/// reproduces the same result — at-least-once execution with
+/// exactly-once observable effect.
+fn journal_terminal(shared: &Shared, record: &Record) {
+    let Some(journal) = &shared.journal else {
+        return;
+    };
+    if shared.faults.append_fails() {
+        shared.journal_errors.fetch_add(1, Ordering::SeqCst);
+        return;
+    }
+    if lock_recover(journal).append(record).is_err() {
+        shared.journal_errors.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
 fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
+    // Crash point: the job was popped and now lives only in this worker's
+    // memory — the journal's Submitted record is its sole survivor.
+    if shared.faults.hit(CrashPoint::MidShard) {
+        return;
+    }
     if let Some(deadline) = job.deadline {
         if Instant::now() > deadline {
+            journal_terminal(shared, &Record::Expired { id: job.id });
             set_state(shared, job.id, JobState::Expired);
             shared.expired.fetch_add(1, Ordering::SeqCst);
             shared.inflight.fetch_sub(1, Ordering::SeqCst);
@@ -394,6 +553,14 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
         arrival: 0.0,
     }];
     let outcome = scheduler.execute(&shard.platform, &arrivals, &job.perturb, &job.failures);
+    // Crash point: the schedule exists but was never recorded — recovery
+    // re-runs the job and must reproduce it bit-for-bit.
+    if shared.faults.hit(CrashPoint::PreCompleteRecord) {
+        return;
+    }
+    // Terminal record first (Completed covers Failed too: deterministic
+    // scheduling would fail the same way again, so neither is replayed).
+    journal_terminal(shared, &Record::Completed { id: job.id });
     let state = match outcome {
         Err(e) => {
             shared.failed.fetch_add(1, Ordering::SeqCst);
@@ -441,6 +608,9 @@ fn set_state(shared: &Shared, id: u64, state: JobState) {
 
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     loop {
+        if shared.faults.crashed() {
+            break; // stop listening, like a dead process's closed socket
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 let shared = Arc::clone(shared);
@@ -481,7 +651,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         if line.trim().is_empty() {
             continue;
         }
+        if shared.faults.crashed() {
+            return; // dead daemon: the client sees EOF, never a response
+        }
         let response = handle_line(shared, &line);
+        // Re-check after handling: a crash point that fired *inside* this
+        // request (post-journal/pre-ack) must swallow the response, so the
+        // client never learns whether the submit landed.
+        if shared.faults.crashed() {
+            return;
+        }
         if writer
             .write_all(format!("{response}\n").as_bytes())
             .and_then(|()| writer.flush())
@@ -547,11 +726,15 @@ fn try_handle_line(shared: &Shared, line: &str) -> Result<Value, ServiceError> {
                 ]),
             }
         }
-        Request::Submit(submit) => handle_submit(shared, *submit)?,
+        Request::Submit(submit) => handle_submit(shared, *submit, line)?,
     })
 }
 
-fn handle_submit(shared: &Shared, submit: SubmitRequest) -> Result<Value, ServiceError> {
+fn handle_submit(
+    shared: &Shared,
+    submit: SubmitRequest,
+    line: &str,
+) -> Result<Value, ServiceError> {
     if shared.draining.load(Ordering::SeqCst) {
         return Ok(protocol::resp_error(
             "draining",
@@ -594,47 +777,83 @@ fn handle_submit(shared: &Shared, submit: SubmitRequest) -> Result<Value, Servic
     // roll back if admission refuses the job.
     lock(&shared.jobs, "job table")?.insert_queued(id);
     shared.inflight.fetch_add(1, Ordering::SeqCst);
-    Ok(match shard.queue.try_push(job) {
-        Ok(()) => {
-            shared.accepted.fetch_add(1, Ordering::SeqCst);
-            protocol::resp_submitted(id, shard.queue.len())
-        }
-        Err(refused) => {
-            // Roll back with a recovery lock: the registration must be
-            // withdrawn even through poisoning, or a refused id would
-            // linger as a phantom Queued record.
-            lock_recover(&shared.jobs).remove(id);
-            shared.inflight.fetch_sub(1, Ordering::SeqCst);
-            match refused {
-                PushError::Full(_) => {
-                    shared.rejected.fetch_add(1, Ordering::SeqCst);
-                    protocol::resp_queue_full(retry_after_ms(shared, shard))
-                }
-                PushError::Closed(_) => {
-                    protocol::resp_error("draining", "daemon is shutting down; not accepting jobs")
-                }
+    if let Err(refused) = shard.queue.try_push(job) {
+        // Roll back with a recovery lock: the registration must be
+        // withdrawn even through poisoning, or a refused id would
+        // linger as a phantom Queued record.
+        lock_recover(&shared.jobs).remove(id);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        return Ok(match refused {
+            PushError::Full(_) => {
+                shared.rejected.fetch_add(1, Ordering::SeqCst);
+                protocol::resp_queue_full(retry_after_ms(shared, shard))
             }
+            PushError::Closed(_) => {
+                protocol::resp_error("draining", "daemon is shutting down; not accepting jobs")
+            }
+        });
+    }
+    shared.accepted.fetch_add(1, Ordering::SeqCst);
+    // Write-ahead: the Submitted record must be durable before the ack.
+    // On append failure the job may still run (it is already queued), but
+    // the client is told to retry instead of being acked un-durable — an
+    // un-acked job carries no survival promise.
+    if let Some(journal) = &shared.journal {
+        let record = Record::Submitted {
+            id,
+            line: line.trim().to_string(),
+        };
+        let failed =
+            shared.faults.append_fails() || lock(journal, "journal")?.append(&record).is_err();
+        if failed {
+            shared.journal_errors.fetch_add(1, Ordering::SeqCst);
+            return Ok(protocol::resp_error(
+                "journal",
+                "journal append failed; submission not acknowledged — retry",
+            ));
         }
-    })
+    }
+    // Crash point: the Submitted record is durable but the ack never
+    // leaves the socket (the connection layer swallows it). Recovery must
+    // still run this job — the client may already be polling for it.
+    let _ = shared.faults.hit(CrashPoint::PostJournalPreAck);
+    Ok(protocol::resp_submitted(id, shard.queue.len()))
 }
 
-/// Retry hint for a rejected submit: the time for this shard's workers to
-/// chew through the current backlog, estimated from the observed mean
-/// service latency. Clamped to [10 ms, 10 s]; 50 ms before any job has
+/// Retry hint for a rejected submit, from the observed mean service
+/// latency and the shard's current load. 50 ms base before any job has
 /// completed.
 fn retry_after_ms(shared: &Shared, shard: &Shard) -> u64 {
     // Recovery lock: a retry hint must never fail a rejection response;
     // the histogram stays consistent through poisoning (see snapshot).
     let hist = lock_recover(&shared.hist);
-    let base = if hist.count() == 0 {
+    let mean_ms = if hist.count() == 0 {
         50.0
     } else {
         hist.mean() / 1e6
     };
-    let backlog_rounds = (shard.queue.len() as f64 / shard.spec.threads as f64)
-        .ceil()
-        .max(1.0);
-    ((base * backlog_rounds) as u64).clamp(10, 10_000)
+    retry_hint_ms(
+        mean_ms,
+        shard.queue.len(),
+        shard.queue.capacity(),
+        shard.spec.threads,
+    )
+}
+
+/// Load-adaptive backpressure mapping: the estimated time for `threads`
+/// workers to chew through `depth` queued jobs at `mean_ms` each, scaled
+/// by a quadratic fullness pressure (1× empty → 4× at capacity) so
+/// clients back off harder as the shard approaches saturation instead of
+/// stampeding the last free slots. Clamped to [10 ms, 10 s].
+fn retry_hint_ms(mean_ms: f64, depth: usize, capacity: usize, threads: usize) -> u64 {
+    let backlog_rounds = (depth as f64 / threads.max(1) as f64).ceil().max(1.0);
+    let fullness = if capacity == 0 {
+        1.0
+    } else {
+        (depth as f64 / capacity as f64).min(1.0)
+    };
+    let pressure = 1.0 + 3.0 * fullness * fullness;
+    ((mean_ms * backlog_rounds * pressure) as u64).clamp(10, 10_000)
 }
 
 #[cfg(test)]
@@ -758,6 +977,29 @@ mod tests {
         );
         assert_eq!(resp.get("error").unwrap().as_str(), Some("draining"));
         handle.wait();
+    }
+
+    #[test]
+    fn retry_hint_is_load_adaptive() {
+        // Empty shard: the bare mean-latency estimate.
+        assert_eq!(retry_hint_ms(50.0, 0, 256, 2), 50);
+        // Clamped to [10 ms, 10 s] at the extremes.
+        assert_eq!(retry_hint_ms(0.001, 0, 256, 2), 10);
+        assert_eq!(retry_hint_ms(1e9, 256, 256, 2), 10_000);
+        // Monotonically non-decreasing in queue depth.
+        let mut last = 0;
+        for depth in [0, 32, 64, 96, 128, 192, 256] {
+            let hint = retry_hint_ms(20.0, depth, 256, 4);
+            assert!(hint >= last, "hint fell from {last} to {hint} at {depth}");
+            last = hint;
+        }
+        // Quadratic fullness pressure: a full queue costs 4× the bare
+        // backlog estimate (20 ms × 64 rounds × 4 = 5120 ms).
+        assert_eq!(retry_hint_ms(20.0, 256, 256, 4), 5120);
+        // A deep but nearly-empty queue pays almost no pressure.
+        assert_eq!(retry_hint_ms(100.0, 1, 1024, 4), 100);
+        // Degenerate shapes never divide by zero.
+        assert_eq!(retry_hint_ms(50.0, 5, 0, 0), 10_000.min(50 * 5 * 4));
     }
 
     #[test]

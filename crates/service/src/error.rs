@@ -25,6 +25,17 @@ pub enum ServiceError {
     /// A shared lock was poisoned by a panicking thread; the named
     /// resource may be stale but the daemon keeps serving.
     LockPoisoned(&'static str),
+    /// The write-ahead journal failed (I/O error, foreign file, corrupt
+    /// beyond the trusted prefix): durability cannot be promised, so the
+    /// affected submit is refused rather than acked un-journaled.
+    Journal(String),
+}
+
+impl ServiceError {
+    /// Wraps a journal-layer failure.
+    pub fn journal(err: impl fmt::Display) -> ServiceError {
+        ServiceError::Journal(err.to_string())
+    }
 }
 
 impl fmt::Display for ServiceError {
@@ -36,6 +47,7 @@ impl fmt::Display for ServiceError {
                     "internal error: {what} lock poisoned by a panicked thread"
                 )
             }
+            ServiceError::Journal(why) => write!(f, "journal error: {why}"),
         }
     }
 }

@@ -1,0 +1,284 @@
+//! Deterministic fault injection for chaos-testing the daemon.
+//!
+//! A [`FaultPlan`] arms at most one named [`CrashPoint`] (fire on the
+//! N-th traversal) and a set of journal-append indices that must return
+//! an injected I/O error. When a crash point fires the daemon enters the
+//! *crashed* state, which models process death in-process: connection
+//! threads stop answering (clients see EOF), workers stop popping,
+//! nothing further reaches the journal, and [`crate::DaemonHandle::wait`]
+//! skips the clean-drain truncation. Chaos tests then restart a fresh
+//! daemon on the same journal file and assert recovery.
+//!
+//! Plans come from code (tests), from a seed (the `just chaos` sweep —
+//! the same one-seed-one-reality discipline as `hdlts_sim`'s perturb and
+//! failure models), or from the `HDLTS_FAULTS` environment switch:
+//!
+//! ```text
+//! HDLTS_FAULTS="crash=mid-shard:2;io=3,7"
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Environment variable read by `hdlts serve` to arm a fault plan.
+pub const FAULTS_ENV: &str = "HDLTS_FAULTS";
+
+/// The named crash points in the daemon's durability path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// In `submit`, after the `Submitted` journal record is durable but
+    /// before the ack reaches the client: the job must survive recovery
+    /// even though no ack was ever seen.
+    PostJournalPreAck,
+    /// In a shard worker, after a job is popped (it now exists only in
+    /// that worker's memory) but before it is scheduled.
+    MidShard,
+    /// In a shard worker, after scheduling finished but before the
+    /// `Completed`/`Expired` record is written: recovery re-runs the job
+    /// and must reproduce the identical schedule.
+    PreCompleteRecord,
+}
+
+impl CrashPoint {
+    /// Every named crash point, in pipeline order.
+    pub const ALL: [CrashPoint; 3] = [
+        CrashPoint::PostJournalPreAck,
+        CrashPoint::MidShard,
+        CrashPoint::PreCompleteRecord,
+    ];
+
+    /// The stable spelling used by `HDLTS_FAULTS` and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::PostJournalPreAck => "post-journal-pre-ack",
+            CrashPoint::MidShard => "mid-shard",
+            CrashPoint::PreCompleteRecord => "pre-complete-record",
+        }
+    }
+
+    /// Parses a crash-point name.
+    pub fn parse(s: &str) -> Result<CrashPoint, String> {
+        CrashPoint::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| format!("unknown crash point '{s}' (post-journal-pre-ack|mid-shard|pre-complete-record)"))
+    }
+}
+
+/// A static description of the faults to inject into one daemon run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The crash point to arm, if any.
+    pub crash_at: Option<CrashPoint>,
+    /// Fire on the N-th traversal of the armed point (1-based; 0 acts
+    /// as 1).
+    pub crash_after: u64,
+    /// 1-based journal-append indices that return an injected I/O error
+    /// instead of writing.
+    pub io_fail_appends: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// No faults — the production plan.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Arms `point` to fire on its `after`-th traversal.
+    pub fn crash(point: CrashPoint, after: u64) -> FaultPlan {
+        FaultPlan {
+            crash_at: Some(point),
+            crash_after: after,
+            io_fail_appends: Vec::new(),
+        }
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_none(&self) -> bool {
+        self.crash_at.is_none() && self.io_fail_appends.is_empty()
+    }
+
+    /// Derives a plan from a seed: a crash point, a small traversal
+    /// count, and occasionally an injected journal I/O error. One seed,
+    /// one reality — the chaos sweep replays bit-identically.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let mut state = seed;
+        let point = CrashPoint::ALL[(splitmix64(&mut state) % 3) as usize];
+        let after = 1 + splitmix64(&mut state) % 4;
+        let io_fail_appends = if splitmix64(&mut state) % 4 == 0 {
+            vec![1 + splitmix64(&mut state) % 4]
+        } else {
+            Vec::new()
+        };
+        FaultPlan {
+            crash_at: Some(point),
+            crash_after: after,
+            io_fail_appends,
+        }
+    }
+
+    /// Parses the `HDLTS_FAULTS` syntax:
+    /// `crash=<point>[:<n>]` and `io=<i>,<j>,...` joined by `;`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause '{part}' is not key=value"))?;
+            match key.trim() {
+                "crash" => {
+                    let (name, after) = match value.split_once(':') {
+                        Some((n, a)) => (
+                            n,
+                            a.parse::<u64>()
+                                .map_err(|_| format!("bad crash count '{a}'"))?,
+                        ),
+                        None => (value, 1),
+                    };
+                    plan.crash_at = Some(CrashPoint::parse(name.trim())?);
+                    plan.crash_after = after;
+                }
+                "io" => {
+                    for idx in value.split(',') {
+                        plan.io_fail_appends.push(
+                            idx.trim()
+                                .parse::<u64>()
+                                .map_err(|_| format!("bad append index '{idx}'"))?,
+                        );
+                    }
+                }
+                other => return Err(format!("unknown fault key '{other}' (crash|io)")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads [`FAULTS_ENV`]; `Ok(None)` when unset or empty.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var(FAULTS_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => FaultPlan::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// `splitmix64`: the seed-expansion step, stable across platforms (also
+/// drives the client's backoff jitter).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The runtime state of an armed [`FaultPlan`]: hit counters plus the
+/// daemon-wide crashed flag.
+#[derive(Debug)]
+pub struct Faults {
+    plan: FaultPlan,
+    crash_hits: AtomicU64,
+    appends: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl Faults {
+    /// Arms `plan`.
+    pub fn new(plan: FaultPlan) -> Faults {
+        Faults {
+            plan,
+            crash_hits: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether a crash point has fired; once set, the daemon acts dead.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Traverses a crash point: returns `true` exactly when this
+    /// traversal is the one the plan kills (and marks the daemon
+    /// crashed). A traversal after the crash also reports `true` so the
+    /// caller abandons its work, matching a dead process.
+    pub fn hit(&self, point: CrashPoint) -> bool {
+        if self.crashed() {
+            return true;
+        }
+        if self.plan.crash_at != Some(point) {
+            return false;
+        }
+        let n = self.crash_hits.fetch_add(1, Ordering::SeqCst) + 1;
+        if n >= self.plan.crash_after.max(1) {
+            self.crashed.store(true, Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// Counts a journal append and reports whether the plan injects an
+    /// I/O error for it.
+    pub fn append_fails(&self) -> bool {
+        let n = self.appends.fetch_add(1, Ordering::SeqCst) + 1;
+        self.plan.io_fail_appends.contains(&n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_env_syntax() {
+        let plan = FaultPlan::parse("crash=mid-shard:2;io=3,7").unwrap();
+        assert_eq!(plan.crash_at, Some(CrashPoint::MidShard));
+        assert_eq!(plan.crash_after, 2);
+        assert_eq!(plan.io_fail_appends, vec![3, 7]);
+        let plan = FaultPlan::parse("crash=post-journal-pre-ack").unwrap();
+        assert_eq!(plan.crash_at, Some(CrashPoint::PostJournalPreAck));
+        assert_eq!(plan.crash_after, 1);
+        assert!(FaultPlan::parse("crash=nope").is_err());
+        assert!(FaultPlan::parse("boom=1").is_err());
+        assert!(FaultPlan::parse("io=x").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_cover_every_point() {
+        use std::collections::BTreeSet;
+        let mut points = BTreeSet::new();
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded(seed);
+            assert_eq!(a, FaultPlan::seeded(seed));
+            assert!(a.crash_after >= 1 && a.crash_after <= 4);
+            points.insert(a.crash_at.map(CrashPoint::name));
+        }
+        assert_eq!(points.len(), 3, "sweep must reach every crash point");
+    }
+
+    #[test]
+    fn hit_fires_once_on_the_nth_traversal_and_sticks() {
+        let f = Faults::new(FaultPlan::crash(CrashPoint::MidShard, 3));
+        assert!(!f.hit(CrashPoint::MidShard));
+        assert!(!f.hit(CrashPoint::MidShard));
+        assert!(!f.hit(CrashPoint::PostJournalPreAck), "other points inert");
+        assert!(!f.crashed());
+        assert!(f.hit(CrashPoint::MidShard));
+        assert!(f.crashed());
+        // Post-crash, every point reports dead.
+        assert!(f.hit(CrashPoint::PostJournalPreAck));
+        assert!(f.hit(CrashPoint::MidShard));
+    }
+
+    #[test]
+    fn append_faults_follow_the_schedule() {
+        let f = Faults::new(FaultPlan {
+            io_fail_appends: vec![2],
+            ..FaultPlan::none()
+        });
+        assert!(!f.append_fails());
+        assert!(f.append_fails());
+        assert!(!f.append_fails());
+        assert!(!f.crashed(), "io errors are not crashes");
+    }
+}

@@ -1,0 +1,489 @@
+//! Append-only write-ahead job journal for crash recovery.
+//!
+//! The daemon's durability contract: a `Submitted` record is on disk
+//! **before** the admission ack leaves the socket, and a terminal record
+//! (`Completed`/`Expired`) is written before any in-memory bookkeeping of
+//! the terminal state. On restart, [`Journal::open`] replays the file:
+//! every `Submitted` id without a matching terminal record is handed back
+//! exactly once for re-admission, the file is compacted down to those
+//! live records (torn tails are healed in the same rewrite), and the
+//! daemon resumes. An acked job therefore survives any process death; a
+//! job that completed before the crash is never re-enqueued.
+//!
+//! Zero dependencies, like the rest of the crate: the format is a fixed
+//! 8-byte magic followed by length-prefixed, CRC32-checksummed binary
+//! records (see `docs/FORMAT.md` "Job journal"). Decoding is strictly
+//! prefix-safe — the first torn or corrupt frame ends the readable
+//! prefix, everything before it is trusted, and recovery never panics on
+//! arbitrary bytes.
+//!
+//! This file is inside the analyzer's `request-path-panic` scope: every
+//! I/O failure maps to [`ServiceError::Journal`], never an `unwrap`.
+
+use crate::error::ServiceError;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a journal and its format version.
+pub const MAGIC: [u8; 8] = *b"HDLTSJ01";
+
+/// Upper bound on a single record's payload; a length field beyond this
+/// is treated as corruption rather than allocated.
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A job was admitted: the id the daemon assigned and the verbatim
+    /// submit request line it will be re-run from after a crash.
+    Submitted {
+        /// Daemon-assigned job id.
+        id: u64,
+        /// The original `{"cmd":"submit",...}` request line.
+        line: String,
+    },
+    /// The job reached a terminal scheduled state (done or failed —
+    /// scheduling is deterministic, so a failed job would fail again).
+    Completed {
+        /// Daemon-assigned job id.
+        id: u64,
+    },
+    /// The job's deadline passed while it waited; it was never scheduled.
+    Expired {
+        /// Daemon-assigned job id.
+        id: u64,
+    },
+}
+
+impl Record {
+    /// The job id the record refers to.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Record::Submitted { id, .. } | Record::Completed { id } | Record::Expired { id } => id,
+        }
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            Record::Submitted { .. } => 1,
+            Record::Completed { .. } => 2,
+            Record::Expired { .. } => 3,
+        }
+    }
+
+    /// Appends the framed record (`len | crc32 | payload`) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::with_capacity(16);
+        payload.push(self.kind());
+        payload.extend_from_slice(&self.id().to_le_bytes());
+        if let Record::Submitted { line, .. } = self {
+            payload.extend_from_slice(line.as_bytes());
+        }
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Decodes the record region (everything after the magic). Stops at the
+/// first torn or corrupt frame: returns the trusted prefix of records
+/// plus a description of why decoding stopped, if it did not reach a
+/// clean end.
+pub fn decode_records(bytes: &[u8]) -> (Vec<Record>, Option<String>) {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    loop {
+        if off == bytes.len() {
+            return (records, None);
+        }
+        let Some(header) = bytes.get(off..off + 8) else {
+            return (records, Some("truncated frame header".into()));
+        };
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len < 9 || len > MAX_RECORD_LEN {
+            return (records, Some(format!("implausible record length {len}")));
+        }
+        let Some(payload) = bytes.get(off + 8..off + 8 + len as usize) else {
+            return (records, Some("truncated record payload".into()));
+        };
+        if crc32(payload) != crc {
+            return (records, Some("checksum mismatch".into()));
+        }
+        let id = u64::from_le_bytes([
+            payload[1], payload[2], payload[3], payload[4], payload[5], payload[6], payload[7],
+            payload[8],
+        ]);
+        let record = match payload[0] {
+            1 => match String::from_utf8(payload[9..].to_vec()) {
+                Ok(line) => Record::Submitted { id, line },
+                Err(_) => {
+                    return (records, Some("submit line is not UTF-8".into()));
+                }
+            },
+            2 => Record::Completed { id },
+            3 => Record::Expired { id },
+            k => return (records, Some(format!("unknown record kind {k}"))),
+        };
+        records.push(record);
+        off += 8 + len as usize;
+    }
+}
+
+/// What a journal replay found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Submitted-but-not-terminal jobs in admission order, each exactly
+    /// once (duplicate `Submitted` records keep the first line).
+    pub unfinished: Vec<(u64, String)>,
+    /// Ids with a terminal (`Completed`/`Expired`) record.
+    pub terminal: Vec<u64>,
+    /// Total records decoded from the trusted prefix.
+    pub records: usize,
+    /// Why decoding stopped early, if the tail was torn or corrupt.
+    pub torn: Option<String>,
+}
+
+/// Plans recovery from a decoded record stream: which jobs must be
+/// re-enqueued (exactly once each) and which are already terminal.
+/// Order-independent — a `Completed` that raced ahead of its `Submitted`
+/// on the original daemon still cancels it.
+pub fn plan_recovery(records: &[Record], torn: Option<String>) -> Recovery {
+    use std::collections::BTreeSet;
+    let mut submitted: Vec<(u64, String)> = Vec::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut terminal: BTreeSet<u64> = BTreeSet::new();
+    for r in records {
+        match r {
+            Record::Submitted { id, line } => {
+                if seen.insert(*id) {
+                    submitted.push((*id, line.clone()));
+                }
+            }
+            Record::Completed { id } | Record::Expired { id } => {
+                terminal.insert(*id);
+            }
+        }
+    }
+    Recovery {
+        unfinished: submitted
+            .into_iter()
+            .filter(|(id, _)| !terminal.contains(id))
+            .collect(),
+        terminal: terminal.into_iter().collect(),
+        records: records.len(),
+        torn,
+    }
+}
+
+/// Reads and replays a journal file without opening it for writing —
+/// the inspection path used by tests and tooling.
+pub fn read_journal(path: &Path) -> Result<Recovery, ServiceError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(ServiceError::journal(format!("reading journal: {e}"))),
+    };
+    if bytes.len() < MAGIC.len() {
+        // A torn header means no record was ever durably framed.
+        return Ok(plan_recovery(&[], None));
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(ServiceError::journal(
+            "file exists but does not carry the journal magic",
+        ));
+    }
+    let (records, torn) = decode_records(&bytes[MAGIC.len()..]);
+    Ok(plan_recovery(&records, torn))
+}
+
+/// An open journal: an append handle plus the policy knobs.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    /// `sync_data` after every append (crash-safe against OS death, not
+    /// just process death) — slower; off by default.
+    sync: bool,
+    appends: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, replays it, compacts it
+    /// down to the unfinished records (healing any torn tail), and
+    /// returns the append handle plus the recovery plan.
+    pub fn open(path: &Path, sync: bool) -> Result<(Journal, Recovery), ServiceError> {
+        let recovery = read_journal(path)?;
+        // Compact: rewrite only what recovery will re-admit, atomically
+        // (tmp + rename), so restarts do not accrete history and a
+        // corrupt tail cannot be re-read on the next crash.
+        let mut bytes = Vec::with_capacity(64);
+        bytes.extend_from_slice(&MAGIC);
+        for (id, line) in &recovery.unfinished {
+            Record::Submitted {
+                id: *id,
+                line: line.clone(),
+            }
+            .encode_into(&mut bytes);
+        }
+        let tmp = path.with_extension("journal.tmp");
+        let write_compact = || -> std::io::Result<File> {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp, path)?;
+            OpenOptions::new().append(true).open(path)
+        };
+        let file = write_compact()
+            .map_err(|e| ServiceError::journal(format!("compacting journal: {e}")))?;
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+                sync,
+                appends: 0,
+            },
+            recovery,
+        ))
+    }
+
+    /// Appends one record durably: the bytes reach the OS before this
+    /// returns (and the device too, when `sync` is on).
+    pub fn append(&mut self, record: &Record) -> Result<(), ServiceError> {
+        let mut bytes = Vec::with_capacity(32);
+        record.encode_into(&mut bytes);
+        let mut write = || -> std::io::Result<()> {
+            self.file.write_all(&bytes)?;
+            self.file.flush()?;
+            if self.sync {
+                self.file.sync_data()?;
+            }
+            Ok(())
+        };
+        write().map_err(|e| ServiceError::journal(format!("appending record: {e}")))?;
+        self.appends += 1;
+        Ok(())
+    }
+
+    /// Truncates the journal back to an empty record region — the clean
+    /// drain epilogue, when every admitted job is terminal.
+    pub fn truncate(&mut self) -> Result<(), ServiceError> {
+        self.file
+            .set_len(MAGIC.len() as u64)
+            .map_err(|e| ServiceError::journal(format!("truncating journal: {e}")))
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this handle (diagnostics).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hdlts-journal-{}-{name}", std::process::id()))
+    }
+
+    fn submitted(id: u64) -> Record {
+        Record::Submitted {
+            id,
+            line: format!(r#"{{"cmd":"submit","workload":{{"family":"fft","seed":{id}}}}}"#),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = vec![
+            submitted(1),
+            Record::Completed { id: 1 },
+            submitted(2),
+            Record::Expired { id: 2 },
+            submitted(3),
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            r.encode_into(&mut bytes);
+        }
+        let (back, torn) = decode_records(&bytes);
+        assert_eq!(back, records);
+        assert_eq!(torn, None);
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_clean_prefix() {
+        let records = vec![submitted(1), Record::Completed { id: 1 }, submitted(2)];
+        let mut bytes = Vec::new();
+        for r in &records {
+            r.encode_into(&mut bytes);
+        }
+        let mut boundaries = 0;
+        for cut in 0..=bytes.len() {
+            let (prefix, torn) = decode_records(&bytes[..cut]);
+            // Every decoded record is a true prefix of the originals.
+            assert_eq!(prefix.as_slice(), &records[..prefix.len()]);
+            if torn.is_none() {
+                boundaries += 1;
+            }
+            // Recovery planning over a torn prefix must never panic and
+            // never re-enqueue a completed job.
+            let plan = plan_recovery(&prefix, torn);
+            assert!(!plan.unfinished.iter().any(|(id, _)| *id == 1) || !plan.terminal.contains(&1));
+        }
+        // Only the record boundaries (including empty) decode cleanly.
+        assert_eq!(boundaries, records.len() + 1);
+    }
+
+    #[test]
+    fn corrupt_checksum_ends_the_trusted_prefix() {
+        let mut bytes = Vec::new();
+        submitted(1).encode_into(&mut bytes);
+        let first_len = bytes.len();
+        submitted(2).encode_into(&mut bytes);
+        // Flip one payload bit of the second record.
+        let target = first_len + 8;
+        bytes[target] ^= 0x40;
+        let (records, torn) = decode_records(&bytes);
+        assert_eq!(records, vec![submitted(1)]);
+        assert_eq!(torn.as_deref(), Some("checksum mismatch"));
+    }
+
+    #[test]
+    fn recovery_plan_dedupes_and_cancels() {
+        let records = vec![
+            submitted(1),
+            submitted(1), // duplicate Submitted: first line wins, one entry
+            Record::Completed { id: 2 },
+            submitted(2), // terminal raced ahead: still cancelled
+            submitted(3),
+            Record::Completed { id: 3 },
+            Record::Completed { id: 3 }, // duplicate terminal
+            submitted(4),
+        ];
+        let plan = plan_recovery(&records, None);
+        let ids: Vec<u64> = plan.unfinished.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 4]);
+        assert_eq!(plan.terminal, vec![2, 3]);
+    }
+
+    #[test]
+    fn open_compacts_and_append_accumulates() {
+        let path = tmp("compact");
+        let _ = fs::remove_file(&path);
+        {
+            let (mut j, rec) = Journal::open(&path, false).unwrap();
+            assert!(rec.unfinished.is_empty());
+            j.append(&submitted(1)).unwrap();
+            j.append(&submitted(2)).unwrap();
+            j.append(&Record::Completed { id: 1 }).unwrap();
+            assert_eq!(j.appends(), 3);
+        }
+        // Reopen: only job 2 survives, and the file now holds just it.
+        {
+            let (_, rec) = Journal::open(&path, false).unwrap();
+            assert_eq!(rec.unfinished.len(), 1);
+            assert_eq!(rec.unfinished[0].0, 2);
+            let reread = read_journal(&path).unwrap();
+            assert_eq!(reread.unfinished.len(), 1);
+            assert_eq!(reread.records, 1, "compaction rewrote only the live record");
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_clears_the_record_region() {
+        let path = tmp("truncate");
+        let _ = fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path, false).unwrap();
+        j.append(&submitted(7)).unwrap();
+        j.truncate().unwrap();
+        let rec = read_journal(&path).unwrap();
+        assert_eq!(rec.records, 0);
+        assert!(rec.unfinished.is_empty());
+        // Appends after a truncate land cleanly.
+        j.append(&submitted(8)).unwrap();
+        let rec = read_journal(&path).unwrap();
+        assert_eq!(rec.unfinished.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_healed_by_compaction() {
+        let path = tmp("torn");
+        let _ = fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path, false).unwrap();
+            j.append(&submitted(1)).unwrap();
+            j.append(&submitted(2)).unwrap();
+        }
+        // Tear the tail mid-record.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (_, rec) = Journal::open(&path, false).unwrap();
+        assert_eq!(rec.unfinished.len(), 1, "torn record is not recovered");
+        assert!(rec.torn.is_some());
+        // The rewrite healed the tail: a fresh read is clean.
+        let healed = read_journal(&path).unwrap();
+        assert_eq!(healed.torn, None);
+        assert_eq!(healed.unfinished.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_file_is_refused_not_clobbered() {
+        let path = tmp("foreign");
+        fs::write(&path, b"definitely not a journal").unwrap();
+        assert!(Journal::open(&path, false).is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"definitely not a journal");
+        let _ = fs::remove_file(&path);
+    }
+}

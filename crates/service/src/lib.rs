@@ -33,16 +33,22 @@
 //! which a still-queued job expires. See `DESIGN.md` for the full
 //! protocol reference.
 
+pub mod client;
 pub mod daemon;
 pub mod error;
+pub mod faults;
 pub mod jobs;
+pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod queue;
 
+pub use client::{Client, Outcome, RetryPolicy, SubmitReceipt};
 pub use daemon::{Daemon, DaemonHandle, ServiceConfig, ServiceStats, ShardSpec};
 pub use error::ServiceError;
+pub use faults::{CrashPoint, FaultPlan, Faults};
 pub use jobs::{JobResult, JobState, JobTable};
+pub use journal::{read_journal, Journal, Record, Recovery};
 pub use json::{JsonError, Value};
 pub use protocol::{parse_request, JobSpec, Request, SubmitRequest};
 pub use queue::{Bounded, Pop, PushError};

@@ -107,6 +107,22 @@ impl<T> Bounded<T> {
         Ok(())
     }
 
+    /// Recovery admission: enqueues `item` even past capacity (still
+    /// refused once closed). Used only while replaying the journal before
+    /// workers start — recovered jobs were already acked in a previous
+    /// life, so admission control must not drop them; normal traffic
+    /// goes through [`Bounded::try_push`].
+    pub fn force_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Blocking consume: waits up to `timeout` for an item. Items still
     /// queued when the queue closes are drained before [`Pop::Closed`] is
     /// reported — closing never drops work.
@@ -172,6 +188,22 @@ mod tests {
         assert_eq!(q.pop(TICK), Pop::Item(1));
         q.try_push(3).unwrap();
         assert_eq!(q.try_push(4), Err(PushError::Full(4)));
+    }
+
+    #[test]
+    fn force_push_bypasses_capacity_but_not_close() {
+        let q = Bounded::new(1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+        q.force_push(2).unwrap();
+        q.force_push(3).unwrap();
+        assert_eq!(q.len(), 3);
+        q.close();
+        assert_eq!(q.force_push(4), Err(PushError::Closed(4)));
+        assert_eq!(q.pop(TICK), Pop::Item(1));
+        assert_eq!(q.pop(TICK), Pop::Item(2));
+        assert_eq!(q.pop(TICK), Pop::Item(3));
+        assert_eq!(q.pop(TICK), Pop::Closed);
     }
 
     #[test]

@@ -32,6 +32,13 @@ serve addr="127.0.0.1:7151" procs="4" workers="2":
 bench-service rate="200" duration="10":
     cargo run --release -p hdlts-service --bin loadgen -- --rate {{rate}} --duration {{duration}} --out BENCH_service.json
 
+# Crash/restart chaos sweep (DESIGN.md §9): every named crash point plus
+# seeded fault plans (crash point × timing × journal I/O errors) replayed
+# deterministically — one seed, one reality. Widen or pin the sweep via
+# the seeds argument (comma list, becomes HDLTS_CHAOS_SEEDS).
+chaos seeds="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16":
+    HDLTS_CHAOS_SEEDS="{{seeds}}" cargo test -q --test service_recovery
+
 # Full CI pipeline: format + clippy + repo lints + tests + Miri (when the
 # nightly component is installed; CI has a dedicated job) + bench smoke +
 # perf regression gate on the incremental-engine speedups (plain HDLTS and
@@ -43,6 +50,7 @@ ci:
     cargo clippy --workspace --all-targets -- -D warnings
     cargo run --release -p hdlts-analyzer --bin hdlts-analyzer -- --root .
     cargo test -q
+    HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_recovery seeded_chaos_sweep
     if cargo miri --version >/dev/null 2>&1; then MIRIFLAGS=-Zmiri-disable-isolation cargo miri test -p hdlts-service --lib queue json; else echo "miri unavailable locally; skipped (covered by the CI miri job)"; fi
     cargo run --release -p hdlts-bench --bin bench-json -- BENCH_ci.json
     ./scripts/bench_gate.sh BENCH_ci.json

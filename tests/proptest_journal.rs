@@ -1,0 +1,242 @@
+//! Property and corpus tests for the journal codec.
+//!
+//! Two layers. The `proptest` properties fuzz arbitrary record streams
+//! and arbitrary byte mutations (round-trip, every-cut prefix safety,
+//! recovery-plan invariants). The deterministic corpus tests below them
+//! pin the torn-write cases a crash actually produces — truncated tails,
+//! bit-flipped checksums, duplicated terminals — and always run, even
+//! under a type-check-only proptest build.
+//!
+//! The invariant under test everywhere: decoding never panics on
+//! arbitrary bytes, the decoded prefix is a true prefix of what was
+//! written, and a recovery plan never re-enqueues a job twice or
+//! resurrects one with a terminal record.
+
+use hdlts_service::journal::{crc32, decode_records, plan_recovery, Record};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn encode(records: &[Record]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for r in records {
+        r.encode_into(&mut bytes);
+    }
+    bytes
+}
+
+/// No double-enqueue, no resurrection, no panic — the recovery-plan
+/// invariants any record stream (well-formed or replayed twice) must hold.
+fn assert_plan_invariants(records: &[Record]) {
+    let plan = plan_recovery(records, None);
+    let ids: Vec<u64> = plan.unfinished.iter().map(|(id, _)| *id).collect();
+    let unique: BTreeSet<u64> = ids.iter().copied().collect();
+    assert_eq!(ids.len(), unique.len(), "a job was enqueued twice");
+    for id in &ids {
+        assert!(
+            !plan.terminal.contains(id),
+            "job {id} is both unfinished and terminal"
+        );
+    }
+}
+
+/// A strategy over arbitrary record streams: submits with duplicate ids,
+/// terminals with and without a matching submit, in any order. Lines vary
+/// with a generated length so payload sizes differ (including empty).
+fn arb_records() -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec(
+        (0u64..16, 0u8..3, 0usize..40).prop_map(|(id, kind, len)| match kind {
+            0 => Record::Submitted {
+                id,
+                line: "x".repeat(len),
+            },
+            1 => Record::Completed { id },
+            _ => Record::Expired { id },
+        }),
+        0..24,
+    )
+}
+
+proptest! {
+    /// encode → decode is the identity on any record stream.
+    #[test]
+    fn round_trip_is_identity(records in arb_records()) {
+        let bytes = encode(&records);
+        let (back, torn) = decode_records(&bytes);
+        prop_assert_eq!(back, records);
+        prop_assert_eq!(torn, None);
+    }
+
+    /// Cutting the byte stream anywhere yields a clean prefix of the
+    /// original records — a torn tail never corrupts what came before
+    /// it, and planning recovery over the prefix never panics.
+    #[test]
+    fn any_cut_decodes_to_a_true_prefix(records in arb_records(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode(&records);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        let (prefix, _torn) = decode_records(&bytes[..cut]);
+        prop_assert!(prefix.len() <= records.len());
+        prop_assert_eq!(prefix.as_slice(), &records[..prefix.len()]);
+        assert_plan_invariants(&prefix);
+    }
+
+    /// Flipping any single bit is either caught (the trusted prefix ends
+    /// at or before the flipped frame) or provably harmless — decoding
+    /// never panics and never invents records past the first divergence.
+    #[test]
+    fn any_bit_flip_never_panics_or_forges_a_suffix(
+        records in arb_records(),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode(&records);
+        prop_assume!(!bytes.is_empty());
+        let target = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        bytes[target] ^= 1 << bit;
+        let (decoded, _torn) = decode_records(&bytes);
+        assert_plan_invariants(&decoded);
+        // Everything before the first divergence from the original
+        // stream is bit-trusted; after it nothing is believed blindly —
+        // any decoded record still had to pass its own checksum.
+        for r in &decoded {
+            let mut frame = Vec::new();
+            r.encode_into(&mut frame);
+            prop_assert_eq!(crc32(&frame[8..]), u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]));
+        }
+    }
+
+    /// Decoding arbitrary garbage (no structure at all) never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256usize)) {
+        let (decoded, _torn) = decode_records(&bytes);
+        assert_plan_invariants(&decoded);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic torn-write corpus: the exact shapes a crash produces.
+// These run under any build, including the offline type-check-only
+// proptest stand-in.
+// ---------------------------------------------------------------------------
+
+fn submitted(id: u64) -> Record {
+    Record::Submitted {
+        id,
+        line: format!(r#"{{"cmd":"submit","workload":{{"family":"fft","seed":{id}}}}}"#),
+    }
+}
+
+/// A mid-backlog journal: 1 completed, 2 expired, 3 and 4 still owed.
+fn corpus() -> Vec<Record> {
+    vec![
+        submitted(1),
+        submitted(2),
+        Record::Completed { id: 1 },
+        submitted(3),
+        Record::Expired { id: 2 },
+        submitted(4),
+    ]
+}
+
+#[test]
+fn corpus_every_truncation_point_is_a_clean_prefix() {
+    let records = corpus();
+    let bytes = encode(&records);
+    for cut in 0..=bytes.len() {
+        let (prefix, torn) = decode_records(&bytes[..cut]);
+        assert_eq!(prefix.as_slice(), &records[..prefix.len()], "cut={cut}");
+        assert_eq!(torn.is_none(), {
+            // Clean exactly at frame boundaries.
+            let mut off = 0;
+            let mut boundary = cut == 0;
+            for r in &records {
+                let mut f = Vec::new();
+                r.encode_into(&mut f);
+                off += f.len();
+                boundary |= off == cut;
+            }
+            boundary
+        });
+        assert_plan_invariants(&prefix);
+    }
+}
+
+#[test]
+fn corpus_bit_flips_in_every_frame_end_the_trusted_prefix_there() {
+    let records = corpus();
+    let clean = encode(&records);
+    // Frame offsets, so each flip targets a known record's payload.
+    let mut offsets = vec![0usize];
+    for r in &records {
+        let mut f = Vec::new();
+        r.encode_into(&mut f);
+        offsets.push(offsets.last().unwrap() + f.len());
+    }
+    for (i, window) in offsets.windows(2).enumerate() {
+        let mut bytes = clean.clone();
+        bytes[window[0] + 8] ^= 0x10; // first payload byte: the kind tag
+        let (prefix, torn) = decode_records(&bytes);
+        assert_eq!(prefix.as_slice(), &records[..i], "flip in frame {i}");
+        assert!(torn.is_some(), "flip in frame {i} must be reported");
+        assert_plan_invariants(&prefix);
+    }
+}
+
+#[test]
+fn corpus_implausible_length_is_corruption_not_allocation() {
+    let mut bytes = encode(&corpus()[..1]);
+    // A "record" claiming a multi-gigabyte payload: must be rejected
+    // without attempting the allocation.
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    let (prefix, torn) = decode_records(&bytes);
+    assert_eq!(prefix.len(), 1);
+    assert!(torn.unwrap().contains("implausible"));
+}
+
+#[test]
+fn corpus_duplicate_and_raced_terminals_never_double_enqueue() {
+    // Replayed appends and a terminal racing ahead of its Submitted —
+    // the shapes two daemon lives can leave behind.
+    let records = vec![
+        submitted(1),
+        submitted(1), // duplicate Submitted (replayed append)
+        Record::Completed { id: 2 },
+        submitted(2), // terminal raced ahead: must stay cancelled
+        Record::Completed { id: 3 },
+        Record::Completed { id: 3 }, // duplicate terminal
+        submitted(4),
+    ];
+    assert_plan_invariants(&records);
+    let plan = plan_recovery(&records, None);
+    let ids: Vec<u64> = plan.unfinished.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, vec![1, 4]);
+    assert_eq!(plan.terminal, vec![2, 3]);
+    // Dedup keeps the first Submitted line: recovery re-runs what was
+    // acked first, not a later (possibly divergent) duplicate.
+    assert_eq!(plan.unfinished[0].1, submitted_line(1));
+}
+
+fn submitted_line(id: u64) -> String {
+    match submitted(id) {
+        Record::Submitted { line, .. } => line,
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn corpus_non_utf8_submit_line_ends_the_prefix() {
+    let mut bytes = Vec::new();
+    submitted(1).encode_into(&mut bytes);
+    // Hand-frame a Submitted record whose line bytes are invalid UTF-8,
+    // with a *correct* checksum: torn detection must come from the
+    // decoder's own validation, not the CRC.
+    let mut payload = vec![1u8];
+    payload.extend_from_slice(&9u64.to_le_bytes());
+    payload.extend_from_slice(&[0xFF, 0xFE, 0x80]);
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    let (prefix, torn) = decode_records(&bytes);
+    assert_eq!(prefix.len(), 1);
+    assert!(torn.unwrap().contains("UTF-8"));
+}

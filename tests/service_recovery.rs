@@ -1,0 +1,455 @@
+//! Crash/restart end-to-end tests of the write-ahead job journal.
+//!
+//! The load-bearing claim: once a submit is **acked**, the job survives
+//! process death at any of the named crash points — a restart on the same
+//! journal re-enqueues it exactly once and reproduces a schedule
+//! bit-for-bit identical to an uninterrupted run. Jobs that went terminal
+//! before the crash are never re-enqueued.
+//!
+//! The crash is injected in-process ([`FaultPlan`]): the daemon stops
+//! answering (clients see EOF), abandons its queues, writes nothing more
+//! to the journal, and `wait()` skips the clean-drain truncation —
+//! exactly what the next incarnation of a killed process would find on
+//! disk.
+
+use hdlts_repro::platform::{Platform, ProcId};
+use hdlts_repro::sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel};
+use hdlts_repro::workloads::GeneratorSpec;
+use hdlts_service::json::Value;
+use hdlts_service::{
+    read_journal, CrashPoint, Daemon, DaemonHandle, FaultPlan, ServiceConfig, ShardSpec,
+};
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A wire client that tolerates a crashed daemon: every failure mode
+/// (refused connection, EOF mid-request, garbage) is `None`, never a
+/// panic — the tests distinguish "acked" from "no response" explicitly.
+fn try_request(addr: std::net::SocketAddr, line: &str) -> Option<Value> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = stream;
+    writer.write_all(format!("{line}\n").as_bytes()).ok()?;
+    writer.flush().ok()?;
+    let mut resp = String::new();
+    match reader.read_line(&mut resp) {
+        Ok(n) if n > 0 => Value::parse(resp.trim()).ok(),
+        _ => None,
+    }
+}
+
+/// Polls `result` on a live (non-crashed) daemon until terminal.
+fn await_result(addr: std::net::SocketAddr, job_id: u64) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < deadline, "job {job_id} never finished");
+        let resp = try_request(addr, &format!(r#"{{"cmd":"result","job_id":{job_id}}}"#))
+            .unwrap_or_else(|| panic!("daemon died while awaiting job {job_id}"));
+        if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+            return resp;
+        }
+        let err = resp.get("error").and_then(Value::as_str).unwrap_or("?");
+        assert_eq!(err, "not_ready", "job {job_id} ended badly: {resp}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn start_daemon(cfg: ServiceConfig) -> DaemonHandle {
+    Daemon::start(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        ..cfg
+    })
+    .expect("daemon start")
+}
+
+fn journal_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hdlts-recovery-{}-{name}.journal",
+        std::process::id()
+    ))
+}
+
+fn submit_line(seed: u64) -> String {
+    format!(r#"{{"cmd":"submit","workload":{{"family":"fft","m":8,"procs":4,"seed":{seed}}}}}"#)
+}
+
+/// The workload seed a journaled submit line re-runs with — the mapping
+/// back from a recovered record to its offline reference.
+fn seed_of(line: &str) -> u64 {
+    Value::parse(line)
+        .unwrap_or_else(|e| panic!("journaled line no longer parses: {e} in {line}"))
+        .get("workload")
+        .and_then(|w| w.get("seed"))
+        .and_then(Value::as_u64)
+        .expect("journaled submit line carries its workload seed")
+}
+
+/// Offline reference schedule for `submit_line(seed)` — what any run of
+/// that job, interrupted or not, must produce bit-for-bit.
+fn expected_fft(seed: u64) -> (f64, Vec<(ProcId, f64, f64)>) {
+    let instance = GeneratorSpec {
+        size: 8,
+        num_procs: 4,
+        seed,
+        ..Default::default()
+    }
+    .generate("fft")
+    .unwrap();
+    let platform = Platform::fully_connected(4).unwrap();
+    let out = JobStreamScheduler {
+        policy: DispatchPolicy::PenaltyValue,
+        ..Default::default()
+    }
+    .execute(
+        &platform,
+        &[JobArrival {
+            instance,
+            arrival: 0.0,
+        }],
+        &PerturbModel::exact(),
+        &FailureSpec::none(),
+    )
+    .unwrap();
+    (out.jobs[0].makespan, out.jobs[0].placements.clone())
+}
+
+fn wire_schedule(resp: &Value) -> (f64, Vec<(ProcId, f64, f64)>) {
+    let makespan = resp.get("makespan").and_then(Value::as_f64).unwrap();
+    let placements = resp
+        .get("placements")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|triple| {
+            let t = triple.as_arr().unwrap();
+            (
+                ProcId(t[0].as_u64().unwrap() as u32),
+                t[1].as_f64().unwrap(),
+                t[2].as_f64().unwrap(),
+            )
+        })
+        .collect();
+    (makespan, placements)
+}
+
+/// Submits `n` jobs through one-shot connections, tolerating the daemon
+/// dying mid-batch. Returns the acked `(job_id, workload_seed)` pairs.
+fn submit_batch(addr: std::net::SocketAddr, n: u64) -> Vec<(u64, u64)> {
+    let mut acked = Vec::new();
+    for seed in 0..n {
+        let Some(resp) = try_request(addr, &submit_line(seed)) else {
+            continue; // crash swallowed the response: un-acked, no promise
+        };
+        if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+            let id = resp.get("job_id").and_then(Value::as_u64).unwrap();
+            acked.push((id, seed));
+        }
+    }
+    acked
+}
+
+fn wait_for_crash(handle: &DaemonHandle) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !handle.crashed() {
+        assert!(Instant::now() < deadline, "armed crash point never fired");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Crashes a journaled daemon mid-batch at `point`, restarts on the same
+/// journal, and checks the full recovery contract.
+fn crash_and_recover(point: CrashPoint, crash_after: u64) {
+    let path = journal_path(point.name());
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServiceConfig {
+        queue_capacity: 64,
+        shards: vec![ShardSpec {
+            procs: 4,
+            threads: 1,
+        }],
+        journal_path: Some(path.clone()),
+        ..Default::default()
+    };
+
+    // Life 1: a slow single worker so the crash lands mid-backlog.
+    let doomed = start_daemon(ServiceConfig {
+        worker_delay_ms: 50,
+        faults: FaultPlan::crash(point, crash_after),
+        ..cfg.clone()
+    });
+    let acked = submit_batch(doomed.addr(), 6);
+    wait_for_crash(&doomed);
+    doomed.wait(); // crashed: must leave the journal intact
+    assert!(
+        !acked.is_empty(),
+        "{}: the batch should land some acks before the crash",
+        point.name()
+    );
+
+    // The dead process's journal: every acked job is either still owed
+    // (unfinished) or already terminal — none may have vanished.
+    let rec = read_journal(&path).unwrap();
+    let unfinished_ids: BTreeSet<u64> = rec.unfinished.iter().map(|(id, _)| *id).collect();
+    let terminal_ids: BTreeSet<u64> = rec.terminal.iter().copied().collect();
+    for (id, _) in &acked {
+        assert!(
+            unfinished_ids.contains(id) || terminal_ids.contains(id),
+            "{}: acked job {id} vanished from the journal",
+            point.name()
+        );
+    }
+    assert!(
+        !rec.unfinished.is_empty(),
+        "{}: a mid-backlog crash must leave unfinished jobs",
+        point.name()
+    );
+
+    // Life 2: same journal, no faults. Recovery re-enqueues exactly the
+    // unfinished set, exactly once.
+    let healed = start_daemon(ServiceConfig {
+        faults: FaultPlan::none(),
+        ..cfg
+    });
+    let stats = healed.stats();
+    assert_eq!(
+        stats.recovered,
+        rec.unfinished.len() as u64,
+        "{}: recovery count",
+        point.name()
+    );
+    assert_eq!(
+        stats.accepted,
+        stats.recovered,
+        "{}: a fresh daemon has admitted nothing beyond recovery",
+        point.name()
+    );
+
+    // Every recovered job completes with the bit-identical schedule an
+    // uninterrupted run would have produced.
+    for (id, line) in &rec.unfinished {
+        let resp = await_result(healed.addr(), *id);
+        let (makespan, placements) = wire_schedule(&resp);
+        let (ref_makespan, ref_placements) = expected_fft(seed_of(line));
+        assert_eq!(makespan, ref_makespan, "{}: job {id}", point.name());
+        assert_eq!(placements, ref_placements, "{}: job {id}", point.name());
+    }
+
+    // Terminal-before-crash jobs are never resurrected: the new daemon
+    // has no record of them (results lived in the dead process's memory).
+    for id in &rec.terminal {
+        let resp = try_request(
+            healed.addr(),
+            &format!(r#"{{"cmd":"status","job_id":{id}}}"#),
+        )
+        .expect("healed daemon answers");
+        assert_eq!(
+            resp.get("error").and_then(Value::as_str),
+            Some("unknown_job"),
+            "{}: terminal job {id} must not be re-enqueued: {resp}",
+            point.name()
+        );
+    }
+
+    // Clean drain: exactly the recovered jobs executed, and the journal
+    // is truncated — a third incarnation would recover nothing.
+    let final_stats = healed.wait();
+    assert_eq!(
+        final_stats.completed + final_stats.failed + final_stats.expired,
+        final_stats.recovered,
+        "{}: life 2 must execute exactly the recovered jobs",
+        point.name()
+    );
+    assert_eq!(final_stats.inflight, 0);
+    let after = read_journal(&path).unwrap();
+    assert!(
+        after.unfinished.is_empty(),
+        "{}: drain truncates",
+        point.name()
+    );
+    assert_eq!(after.records, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn crash_post_journal_pre_ack_loses_no_acked_job() {
+    // Fires inside the 3rd successful submit: that client never sees its
+    // ack, yet the job is journaled and must still run after restart.
+    crash_and_recover(CrashPoint::PostJournalPreAck, 3);
+}
+
+#[test]
+fn crash_mid_shard_loses_no_acked_job() {
+    // Fires when the worker pops its 2nd job — the job then exists only
+    // in the dead worker's memory, and only the journal brings it back.
+    crash_and_recover(CrashPoint::MidShard, 2);
+}
+
+#[test]
+fn crash_pre_complete_record_reproduces_the_schedule() {
+    // Fires after scheduling but before the Completed record: recovery
+    // re-runs the job and must reproduce the identical schedule.
+    crash_and_recover(CrashPoint::PreCompleteRecord, 2);
+}
+
+#[test]
+fn clean_shutdown_leaves_nothing_to_recover() {
+    let path = journal_path("clean");
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServiceConfig {
+        journal_path: Some(path.clone()),
+        ..Default::default()
+    };
+    let handle = start_daemon(cfg.clone());
+    let acked = submit_batch(handle.addr(), 4);
+    assert_eq!(acked.len(), 4);
+    for (id, _) in &acked {
+        await_result(handle.addr(), *id);
+    }
+    let stats = handle.wait();
+    assert_eq!(stats.completed, 4);
+
+    let rec = read_journal(&path).unwrap();
+    assert!(rec.unfinished.is_empty());
+    assert_eq!(rec.records, 0, "clean drain truncates the journal");
+
+    // A restart on the truncated journal recovers nothing.
+    let restarted = start_daemon(cfg);
+    assert_eq!(restarted.stats().recovered, 0);
+    restarted.wait();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn injected_journal_io_error_refuses_the_ack_but_still_runs_the_job() {
+    // The 1st journal append fails: the submit gets a retryable `journal`
+    // error instead of an ack (an un-acked job carries no survival
+    // promise), but the already-queued job still executes. The client's
+    // retry then lands as a new, acked job.
+    let path = journal_path("io-fault");
+    let _ = std::fs::remove_file(&path);
+    let handle = start_daemon(ServiceConfig {
+        journal_path: Some(path.clone()),
+        faults: FaultPlan {
+            io_fail_appends: vec![1],
+            ..FaultPlan::none()
+        },
+        // The fault plan indexes appends globally: hold the worker back
+        // so the already-queued job's Completed record cannot race ahead
+        // of the submit's own append and absorb the injected failure.
+        worker_delay_ms: 200,
+        ..Default::default()
+    });
+
+    let first = try_request(handle.addr(), &submit_line(1)).unwrap();
+    assert_eq!(first.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        first.get("error").and_then(Value::as_str),
+        Some("journal"),
+        "unexpected response: {first}"
+    );
+
+    let retry = try_request(handle.addr(), &submit_line(1)).unwrap();
+    assert_eq!(
+        retry.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "the retry must be acked: {retry}"
+    );
+    let id = retry.get("job_id").and_then(Value::as_u64).unwrap();
+    let resp = await_result(handle.addr(), id);
+    let (makespan, _) = wire_schedule(&resp);
+    assert_eq!(makespan, expected_fft(1).0);
+
+    let stats = handle.wait();
+    assert_eq!(stats.journal_errors, 1);
+    assert_eq!(
+        stats.accepted, 2,
+        "the un-acked job still ran — admission happened before the append"
+    );
+    assert_eq!(stats.completed, 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The seeds the chaos sweep replays; `HDLTS_CHAOS_SEEDS` (comma list)
+/// widens or narrows it — `just chaos` drives a larger fixed sweep.
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("HDLTS_CHAOS_SEEDS") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad HDLTS_CHAOS_SEEDS entry '{t}'"))
+            })
+            .collect(),
+        _ => vec![11, 22, 33, 44],
+    }
+}
+
+#[test]
+fn seeded_chaos_sweep_recovers_every_acked_job() {
+    for seed in chaos_seeds() {
+        let plan = FaultPlan::seeded(seed);
+        let path = journal_path(&format!("chaos-{seed}"));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ServiceConfig {
+            queue_capacity: 64,
+            shards: vec![ShardSpec {
+                procs: 4,
+                threads: 1,
+            }],
+            journal_path: Some(path.clone()),
+            ..Default::default()
+        };
+
+        let doomed = start_daemon(ServiceConfig {
+            worker_delay_ms: 10,
+            faults: plan.clone(),
+            ..cfg.clone()
+        });
+        // 8 jobs with at most one injected append error: every armed
+        // crash point (crash_after <= 4) is guaranteed to fire.
+        let acked = submit_batch(doomed.addr(), 8);
+        wait_for_crash(&doomed);
+        doomed.wait();
+
+        let rec = read_journal(&path).unwrap();
+        let known: BTreeSet<u64> = rec
+            .unfinished
+            .iter()
+            .map(|(id, _)| *id)
+            .chain(rec.terminal.iter().copied())
+            .collect();
+        for (id, _) in &acked {
+            assert!(
+                known.contains(id),
+                "seed {seed} ({plan:?}): acked job {id} vanished"
+            );
+        }
+
+        let healed = start_daemon(cfg);
+        assert_eq!(
+            healed.stats().recovered,
+            rec.unfinished.len() as u64,
+            "seed {seed} ({plan:?})"
+        );
+        for (id, line) in &rec.unfinished {
+            let resp = await_result(healed.addr(), *id);
+            let (makespan, placements) = wire_schedule(&resp);
+            let (ref_makespan, ref_placements) = expected_fft(seed_of(line));
+            assert_eq!(makespan, ref_makespan, "seed {seed} job {id}");
+            assert_eq!(placements, ref_placements, "seed {seed} job {id}");
+        }
+        let stats = healed.wait();
+        assert_eq!(
+            stats.completed + stats.failed + stats.expired,
+            stats.recovered,
+            "seed {seed} ({plan:?}): life 2 executes exactly the recovered set"
+        );
+        assert_eq!(read_journal(&path).unwrap().records, 0, "seed {seed}");
+        let _ = std::fs::remove_file(&path);
+    }
+}
