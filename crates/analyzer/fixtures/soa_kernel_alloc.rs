@@ -1,0 +1,33 @@
+//! Fixture: the kernel-alloc rule is in scope for the struct-of-arrays
+//! kernel (`crates/core/src/soa.rs`) — a per-row allocation inside the
+//! flat-matrix update loop is exactly the churn the SoA layout removed,
+//! so it must be flagged; writes into the preallocated flat buffer and
+//! the hoisted staging vector must not.
+
+pub struct FlatMatrix {
+    pub cells: Vec<f64>,
+    pub procs: usize,
+}
+
+pub fn bad_update_columns(m: &mut FlatMatrix, rows: &[usize], ready: f64) {
+    for &row in rows {
+        let staged = Vec::new();
+        let base = row * m.procs;
+        for p in 0..m.procs {
+            m.cells[base + p] = ready + p as f64;
+        }
+        drop(staged);
+    }
+}
+
+pub fn fine_flat_writes(m: &mut FlatMatrix, rows: &[usize], ready: f64) {
+    let mut staged: Vec<f64> = Vec::with_capacity(m.procs);
+    for &row in rows {
+        staged.clear();
+        let base = row * m.procs;
+        for p in 0..m.procs {
+            staged.push(ready + p as f64);
+            m.cells[base + p] = staged[p];
+        }
+    }
+}

@@ -91,6 +91,7 @@ fn in_hot_kernel(path: &str) -> bool {
         path,
         "crates/core/src/engine.rs"
             | "crates/core/src/est.rs"
+            | "crates/core/src/soa.rs"
             | "crates/baselines/src/hdlts_cpd.rs"
     )
 }
@@ -459,6 +460,7 @@ mod tests {
     fn hot_kernel_scope_is_exact() {
         assert!(in_hot_kernel("crates/core/src/est.rs"));
         assert!(in_hot_kernel("crates/core/src/engine.rs"));
+        assert!(in_hot_kernel("crates/core/src/soa.rs"));
         assert!(in_hot_kernel("crates/baselines/src/hdlts_cpd.rs"));
         assert!(!in_hot_kernel("crates/core/src/hdlts.rs"));
         assert!(!in_hot_kernel("crates/baselines/src/heft.rs"));

@@ -110,6 +110,20 @@ fn kernel_alloc_fires_in_loop_bodies_with_exact_spans() {
 }
 
 #[test]
+fn kernel_alloc_covers_the_soa_kernel() {
+    let src = include_str!("../fixtures/soa_kernel_alloc.rs");
+    // The flat-matrix update loop is hot-kernel territory: a per-row
+    // allocation fires, the hoisted staging buffer and in-place flat
+    // writes stay clean.
+    assert_eq!(
+        spans("crates/core/src/soa.rs", src),
+        vec![("kernel-alloc".into(), 14, 22)], // Vec::new() per dirty row
+    );
+    // Outside the hot-kernel list the same source is out of scope.
+    assert_eq!(spans("crates/core/src/hdlts.rs", src), vec![]);
+}
+
+#[test]
 fn lint_allow_suppresses_exactly_one_finding() {
     let src = include_str!("../fixtures/allow_suppression.rs");
     let report = analyze_source("crates/core/src/fixture.rs", src);

@@ -1,7 +1,8 @@
 //! Critical-Path-on-Processor (Topcuoglu et al. \[8\]).
 
-use crate::ranks::{downward_rank, min_eft_placement, upward_rank};
+use crate::ranks::{downward_rank, upward_rank};
 use hdlts_core::{est, CoreError, Problem, Schedule, Scheduler};
+use hdlts_core::{min_eft_placement_into, PlacementScratch};
 use hdlts_dag::TaskId;
 use hdlts_platform::ProcId;
 
@@ -68,6 +69,7 @@ impl Scheduler for Cpop {
 
         // Priority-queue dispatch over ready tasks.
         let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
+        let mut scratch = PlacementScratch::default();
         let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
         let mut ready = vec![entry];
         while let Some(pos) = ready
@@ -85,7 +87,8 @@ impl Scheduler for Cpop {
                 let start = est(problem, &schedule, t, cp_proc, true)?;
                 schedule.place(t, cp_proc, start, start + problem.w(t, cp_proc))?;
             } else {
-                let (p, start, finish) = min_eft_placement(problem, &schedule, t, true)?;
+                let (p, start, finish) =
+                    min_eft_placement_into(problem, &schedule, t, true, &mut scratch)?;
                 schedule.place(t, p, start, finish)?;
             }
             for &(child, _) in dag.succs(t) {

@@ -1,6 +1,7 @@
 //! Duplication-based HEFT (Section II-B, Zhang et al. \[23\]) — extension.
 
-use crate::ranks::{min_eft_placement, order_by_descending, upward_rank};
+use crate::ranks::{order_by_descending, upward_rank};
+use hdlts_core::{min_eft_placement_into, PlacementScratch};
 use hdlts_core::{CoreError, DuplicationPolicy, Problem, Schedule, Scheduler};
 
 /// DHEFT-style scheduler: HEFT's mean-cost upward rank and insertion-based
@@ -26,7 +27,9 @@ impl Scheduler for DHeft {
         let order = order_by_descending(&ranks, problem.dag());
 
         let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
-        let (entry_proc, start, finish) = min_eft_placement(problem, &schedule, entry, true)?;
+        let mut scratch = PlacementScratch::default();
+        let (entry_proc, start, finish) =
+            min_eft_placement_into(problem, &schedule, entry, true, &mut scratch)?;
         schedule.place(entry, entry_proc, start, finish)?;
 
         if self.policy != DuplicationPolicy::Off {
@@ -51,7 +54,7 @@ impl Scheduler for DHeft {
         }
 
         for &t in order.iter().filter(|&&t| t != entry) {
-            let (p, s, f) = min_eft_placement(problem, &schedule, t, true)?;
+            let (p, s, f) = min_eft_placement_into(problem, &schedule, t, true, &mut scratch)?;
             schedule.place(t, p, s, f)?;
         }
         Ok(schedule)

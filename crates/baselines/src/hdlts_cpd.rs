@@ -25,25 +25,37 @@
 //! the workspace root).
 
 use hdlts_core::{
-    argmin_eft, data_ready_time, eft_with_duplication, penalty_value, CoreError, DupScratch,
-    EngineMode, PenaltyKind, Problem, ReplicaEftCache, Schedule, Scheduler,
+    argmin_eft_slice, data_ready_time, eft_with_duplication, penalty_value, CoreError, DupScratch,
+    EngineMode, ParallelTuning, PenaltyKind, Problem, ReplicaEftCache, Schedule, Scheduler,
 };
 use hdlts_dag::TaskId;
 
 /// HDLTS with critical-parent duplication at mapping time (see module docs).
 ///
-/// Both [`EngineMode`]s produce byte-identical schedules, replica sets
+/// All [`EngineMode`]s produce byte-identical schedules, replica sets
 /// included; [`EngineMode::Incremental`] (the default) re-evaluates only
-/// the cells a commit actually dirtied.
+/// the cells a commit actually dirtied, and
+/// [`EngineMode::IncrementalParallel`] additionally recomputes staled rows
+/// on worker threads (deterministic reduction — see DESIGN.md §10).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HdltsCpd {
     engine: EngineMode,
+    tuning: ParallelTuning,
 }
 
 impl HdltsCpd {
     /// HDLTS-D with an explicit EFT evaluation strategy.
     pub fn new(engine: EngineMode) -> Self {
-        HdltsCpd { engine }
+        HdltsCpd {
+            engine,
+            tuning: ParallelTuning::default(),
+        }
+    }
+
+    /// HDLTS-D with explicit parallel fan-out thresholds (only relevant
+    /// under [`EngineMode::IncrementalParallel`]).
+    pub fn with_tuning(engine: EngineMode, tuning: ParallelTuning) -> Self {
+        HdltsCpd { engine, tuning }
     }
 
     /// The full-recompute oracle (differential-testing reference).
@@ -74,20 +86,33 @@ impl HdltsCpd {
 
     /// The dirty-tracked fast path: duplication-aware rows live in a
     /// [`ReplicaEftCache`]; each step re-evaluates one cell per surviving
-    /// row plus the rows a committed replica actually staled.
-    fn run_incremental(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
+    /// row plus the rows a committed replica actually staled. With
+    /// `parallel` the staled-row and newly-ready batches fan out across
+    /// worker threads (results land in pre-assigned slots, so the
+    /// schedule is byte-identical either way).
+    fn run_incremental(
+        &self,
+        problem: &Problem<'_>,
+        parallel: bool,
+    ) -> Result<Schedule, CoreError> {
         let (entry, _exit) = problem.entry_exit()?;
         let dag = problem.dag();
         let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
         let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
-        let mut cache = ReplicaEftCache::new(problem, PenaltyKind::EftSampleStdDev);
+        let mut cache = if parallel {
+            ReplicaEftCache::with_parallel(problem, PenaltyKind::EftSampleStdDev, self.tuning)
+        } else {
+            ReplicaEftCache::new(problem, PenaltyKind::EftSampleStdDev)
+        };
         cache.admit(problem, &schedule, entry)?;
-        // Reusable commit buffer: the ids of the replicas adopted per step.
+        // Reusable commit buffers: the ids of the replicas adopted per
+        // step, and the children made ready by the step's mapping.
         let mut replicated: Vec<TaskId> = Vec::new();
+        let mut newly_ready: Vec<TaskId> = Vec::new();
 
         while let Some(task) = cache.select() {
             let row = cache.eft_row(task).expect("selected task has a row");
-            let proc = argmin_eft(row.iter().copied()).expect("platform has processors");
+            let proc = argmin_eft_slice(row).expect("platform has processors");
 
             // Re-price the winning cell to recover its replica plan, then
             // commit the copies and the task.
@@ -100,12 +125,14 @@ impl HdltsCpd {
             Self::commit(problem, &mut schedule, task, proc)?;
             cache.on_mapped(problem, &schedule, task, proc, &replicated)?;
 
+            newly_ready.clear();
             for &(child, _) in dag.succs(task) {
                 pending[child.index()] -= 1;
                 if pending[child.index()] == 0 {
-                    cache.admit(problem, &schedule, child)?;
+                    newly_ready.push(child);
                 }
             }
+            cache.admit_batch(problem, &schedule, &newly_ready)?;
         }
         Ok(schedule)
     }
@@ -153,7 +180,7 @@ impl HdltsCpd {
             itq.retain(|&t| t != task);
 
             // Minimum duplication-aware EFT (ties: lowest processor id).
-            let proc = argmin_eft(best_row.iter().copied()).expect("platform has processors");
+            let proc = argmin_eft_slice(&best_row).expect("platform has processors");
 
             // Re-price the winning cell for its replica plan, then commit.
             eft_with_duplication(problem, &schedule, task, proc, &mut scratch)?;
@@ -180,7 +207,8 @@ impl Scheduler for HdltsCpd {
 
     fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
         match self.engine {
-            EngineMode::Incremental => self.run_incremental(problem),
+            EngineMode::Incremental => self.run_incremental(problem, false),
+            EngineMode::IncrementalParallel => self.run_incremental(problem, true),
             EngineMode::FullRecompute => self.run_full_recompute(problem),
         }
     }
@@ -259,6 +287,11 @@ mod tests {
 
     #[test]
     fn engines_agree_including_replica_sets() {
+        // Thresholds of 1 force the parallel fan-out even on tiny fixtures.
+        let force = ParallelTuning {
+            min_batch_rows: 1,
+            min_column_rows: 1,
+        };
         for seed in 0..10 {
             let inst = random_dag::generate(
                 &RandomDagParams {
@@ -270,9 +303,26 @@ mod tests {
             let platform = Platform::fully_connected(inst.num_procs()).unwrap();
             let problem = inst.problem(&platform).unwrap();
             let fast = HdltsCpd::default().schedule(&problem).unwrap();
+            // A >= 2-thread pool, or the fan-out guard would silently
+            // take the serial path on a one-core machine.
+            let par = rayon::ThreadPoolBuilder::new()
+                .num_threads(2)
+                .build()
+                .unwrap()
+                .install(|| {
+                    HdltsCpd::with_tuning(EngineMode::IncrementalParallel, force)
+                        .schedule(&problem)
+                        .unwrap()
+                });
             let full = HdltsCpd::full_recompute().schedule(&problem).unwrap();
             assert_eq!(fast, full, "seed {seed}");
             assert_eq!(fast.duplicates(), full.duplicates(), "seed {seed}");
+            assert_eq!(par, full, "seed {seed} (parallel)");
+            assert_eq!(
+                par.duplicates(),
+                full.duplicates(),
+                "seed {seed} (parallel)"
+            );
         }
     }
 }

@@ -1,7 +1,8 @@
 //! Classic min-min dynamic scheduler (extra reference baseline).
 
-use crate::ranks::min_eft_placement;
-use hdlts_core::{CoreError, Problem, Schedule, Scheduler};
+use hdlts_core::{
+    min_eft_placement_into, CoreError, PlacementScratch, Problem, Schedule, Scheduler,
+};
 use hdlts_dag::TaskId;
 
 /// Min-min: among all currently ready tasks, repeatedly pick the task whose
@@ -24,11 +25,13 @@ impl Scheduler for MinMin {
         let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
         let mut pending: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
         let mut ready: Vec<TaskId> = vec![entry];
+        let mut scratch = PlacementScratch::default();
         while !ready.is_empty() {
             // Evaluate every ready task's best placement; take the global min.
             let mut best: Option<(usize, hdlts_platform::ProcId, f64, f64)> = None;
             for (i, &t) in ready.iter().enumerate() {
-                let (p, start, finish) = min_eft_placement(problem, &schedule, t, true)?;
+                let (p, start, finish) =
+                    min_eft_placement_into(problem, &schedule, t, true, &mut scratch)?;
                 match best {
                     Some((_, _, _, bf)) if bf <= finish => {}
                     _ => best = Some((i, p, start, finish)),

@@ -1,6 +1,6 @@
 //! Shared rank computations and assignment helpers for list schedulers.
 
-use hdlts_core::{CoreError, Problem, Schedule};
+use hdlts_core::{min_eft_placement_into, CoreError, PlacementScratch, Problem, Schedule};
 use hdlts_dag::TaskId;
 
 /// Finds the processor minimizing `EFT(t, ·)` (ties: lowest id) — now the
@@ -64,8 +64,10 @@ pub fn assign_in_order(
     insertion: bool,
 ) -> Result<Schedule, CoreError> {
     let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
+    let mut scratch = PlacementScratch::default();
     for &t in order {
-        let (p, start, finish) = min_eft_placement(problem, &schedule, t, insertion)?;
+        let (p, start, finish) =
+            min_eft_placement_into(problem, &schedule, t, insertion, &mut scratch)?;
         schedule.place(t, p, start, finish)?;
     }
     Ok(schedule)

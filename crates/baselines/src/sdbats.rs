@@ -1,6 +1,7 @@
 //! Standard-Deviation-Based Task Scheduling (Munir et al. \[11\]).
 
-use crate::ranks::{min_eft_placement, order_by_descending, upward_rank};
+use crate::ranks::{order_by_descending, upward_rank};
+use hdlts_core::{min_eft_placement_into, PlacementScratch};
 use hdlts_core::{CoreError, Problem, Schedule, Scheduler};
 
 /// SDBATS: identical skeleton to HEFT but the upward rank weights each task
@@ -25,9 +26,11 @@ impl Scheduler for Sdbats {
         debug_assert_eq!(order[0], entry, "entry dominates every upward rank");
 
         let mut schedule = Schedule::new(problem.num_tasks(), problem.num_procs());
+        let mut scratch = PlacementScratch::default();
         // Entry first: primary copy on its fastest processor, replicas
         // everywhere else (unconditional entry duplication).
-        let (entry_proc, start, finish) = min_eft_placement(problem, &schedule, entry, true)?;
+        let (entry_proc, start, finish) =
+            min_eft_placement_into(problem, &schedule, entry, true, &mut scratch)?;
         schedule.place(entry, entry_proc, start, finish)?;
         for k in problem.platform().procs() {
             if k != entry_proc {
@@ -35,7 +38,8 @@ impl Scheduler for Sdbats {
             }
         }
         for &t in order.iter().filter(|&&t| t != entry) {
-            let (p, start, finish) = min_eft_placement(problem, &schedule, t, true)?;
+            let (p, start, finish) =
+                min_eft_placement_into(problem, &schedule, t, true, &mut scratch)?;
             schedule.place(t, p, start, finish)?;
         }
         Ok(schedule)

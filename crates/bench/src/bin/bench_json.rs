@@ -9,23 +9,32 @@
 //! * `hdlts/incremental` and `hdlts/full_recompute` at v = 100 / 1000 /
 //!   10000 tasks on P = 4 / 8 / 16 processors (the fig. 3 scaling grid),
 //!   plus the per-cell speedup of the incremental engine;
+//! * `hdlts/incremental_parallel` at v = 10000 — the rayon row kernel
+//!   against the serial incremental engine on the same cells, with the
+//!   worst cell reported as `parallel_v10000_min_speedup`;
 //! * `hdlts_cpd/incremental` and `hdlts_cpd/full_recompute` — HDLTS-D
 //!   (critical-parent duplication) on the replica-aware cache vs its
 //!   full-recompute oracle, at v = 100 / 1000, with the worst v = 1000
 //!   cell reported as `cpd_v1000_min_speedup`;
+//! * `soa/flat_col_update_scan` vs `soa/boxed_col_update_scan` — the
+//!   column-update + min-PV select step over a flat struct-of-arrays
+//!   matrix against the boxed row-per-task layout it replaced (identical
+//!   arithmetic, v = 10000 rows), reported as `soa_v10000_min_speedup`;
 //! * `mean_comm/cached_factor` vs `mean_comm/pair_loop` (the `O(1)`
 //!   pair-average factor against the `O(p^2)` loop it replaced);
 //! * `timeline/gap_search` (binary-search insertion scan, 10k slots).
 //!
-//! Both engines are also run once per small cell and their schedules
-//! compared, so the baseline doubles as a cheap differential check.
+//! All three engine modes are also run once per small cell and their
+//! schedules compared, so the baseline doubles as a cheap differential
+//! check (the parallel mode with thresholds forced to 1, so the rayon
+//! path really executes).
 //!
 //! Usage: `bench-json [output-path]` (default `BENCH_engine.json` in the
 //! current directory — the repo root when invoked via `just bench-json`).
 
 use hdlts_baselines::HdltsCpd;
 use hdlts_bench::{bench_instance, bench_platform};
-use hdlts_core::{EngineMode, Hdlts, HdltsConfig, Scheduler, Slot, Timeline};
+use hdlts_core::{EngineMode, Hdlts, HdltsConfig, ParallelTuning, Scheduler, Slot, Timeline};
 use hdlts_dag::TaskId;
 use hdlts_platform::{LinkModel, Platform, ProcId};
 use std::fmt::Write as _;
@@ -71,6 +80,8 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     let mut speedups: Vec<(usize, usize, f64)> = Vec::new();
     let mut fig3_speedup_10000 = f64::NAN;
+    let mut par_speedups: Vec<(usize, usize, f64)> = Vec::new();
+    let mut par_speedup_10000 = f64::NAN;
 
     for &procs in &[4usize, 8, 16] {
         for &v in &[100usize, 1000, 10000] {
@@ -78,8 +89,10 @@ fn main() {
             let platform = bench_platform(procs);
             let problem = inst.problem(&platform).expect("consistent instance");
 
-            // Differential check on the small cells: both engines must
-            // produce the identical schedule before we bother timing.
+            // Differential check on the small cells: all three engine
+            // modes must produce the identical schedule before we bother
+            // timing. Thresholds of 1 force the parallel mode onto the
+            // rayon path even when the ready set is small.
             if v <= 1000 {
                 let fast = Hdlts::new(HdltsConfig::paper_exact())
                     .schedule(&problem)
@@ -89,6 +102,25 @@ fn main() {
                         .schedule(&problem)
                         .expect("schedules");
                 assert_eq!(fast, full, "engines diverged at v={v}, P={procs}");
+                let forced = HdltsConfig {
+                    parallel: ParallelTuning {
+                        min_batch_rows: 1,
+                        min_column_rows: 1,
+                    },
+                    ..HdltsConfig::paper_exact()
+                };
+                // A >= 2-thread pool so the fan-out guard cannot bounce
+                // the check back to the serial path on a one-core host.
+                let par = rayon::ThreadPoolBuilder::new()
+                    .num_threads(2)
+                    .build()
+                    .expect("pool")
+                    .install(|| {
+                        Hdlts::new(forced.with_engine(EngineMode::IncrementalParallel))
+                            .schedule(&problem)
+                            .expect("schedules")
+                    });
+                assert_eq!(par, full, "parallel engine diverged at v={v}, P={procs}");
             }
 
             let mut pair = [f64::NAN; 2];
@@ -127,6 +159,38 @@ fn main() {
                 // Report the *worst* 10000-task cell so the headline claim
                 // is conservative.
                 fig3_speedup_10000 = speedup;
+            }
+
+            // The rayon row kernel vs the serial incremental engine, on
+            // the cells big enough for the default thresholds to engage.
+            if v == 10000 {
+                let scheduler = Hdlts::new(
+                    HdltsConfig::paper_exact().with_engine(EngineMode::IncrementalParallel),
+                );
+                let (mean_ns, iters) = time_kernel(
+                    || {
+                        black_box(scheduler.schedule(black_box(&problem)).expect("schedules"));
+                    },
+                    400_000_000,
+                    3,
+                    1,
+                );
+                cells.push(Cell {
+                    name: "hdlts/incremental_parallel",
+                    v,
+                    procs,
+                    mean_ns_per_op: mean_ns,
+                    iters,
+                });
+                eprintln!(
+                    "{:<22} v={v:<6} P={procs:<3} {:>12.0} ns/op ({iters} iters)",
+                    "hdlts/incremental_parallel", mean_ns
+                );
+                let par_speedup = pair[0] / mean_ns;
+                par_speedups.push((v, procs, par_speedup));
+                if par_speedup_10000.is_nan() || par_speedup < par_speedup_10000 {
+                    par_speedup_10000 = par_speedup;
+                }
             }
         }
     }
@@ -190,6 +254,111 @@ fn main() {
             }
         }
     }
+
+    // The data-layout experiment behind the SoA row store: one
+    // "scheduling step" — update one EFT column for every live row,
+    // rescan each touched row for its penalty value, then select the
+    // min-PV row — over (a) flat row-major matrices and (b) the boxed
+    // row-per-task layout the engine used before. The arithmetic is
+    // identical; only the memory layout differs.
+    let soa_speedup = {
+        const V: usize = 10_000;
+        const P: usize = 8;
+        // Deterministic pseudo-costs, cheap enough not to dominate the
+        // memory traffic being measured.
+        let w = |i: usize, p: usize| 1.0 + ((i * 31 + p * 7) % 97) as f64;
+
+        struct BoxedRow {
+            ready: Vec<f64>,
+            eft: Vec<f64>,
+            pv: f64,
+        }
+        let mut boxed: Vec<Option<Box<BoxedRow>>> = (0..V)
+            .map(|i| {
+                Some(Box::new(BoxedRow {
+                    ready: (0..P).map(|p| w(i, p)).collect(),
+                    eft: (0..P).map(|p| 2.0 * w(i, p)).collect(),
+                    pv: 0.0,
+                }))
+            })
+            .collect();
+        let mut flat_ready: Vec<f64> = (0..V * P).map(|c| w(c / P, c % P)).collect();
+        let mut flat_eft: Vec<f64> = (0..V * P).map(|c| 2.0 * w(c / P, c % P)).collect();
+        let mut flat_pv: Vec<f64> = vec![0.0; V];
+
+        let mut col = 0usize;
+        let (flat_ns, flat_iters) = time_kernel(
+            || {
+                let finish = black_box(40.0);
+                let mut best = 0usize;
+                let mut best_pv = f64::INFINITY;
+                for i in 0..V {
+                    let base = i * P;
+                    let ready = &mut flat_ready[base..base + P];
+                    let eft = &mut flat_eft[base..base + P];
+                    ready[col] = ready[col].max(finish);
+                    eft[col] = ready[col] + w(i, col);
+                    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                    for &e in eft.iter() {
+                        lo = lo.min(e);
+                        hi = hi.max(e);
+                    }
+                    flat_pv[i] = hi - lo;
+                    if flat_pv[i] < best_pv {
+                        best_pv = flat_pv[i];
+                        best = i;
+                    }
+                }
+                black_box(best);
+                col = (col + 1) % P;
+            },
+            200_000_000,
+            400,
+            1,
+        );
+        col = 0;
+        let (boxed_ns, boxed_iters) = time_kernel(
+            || {
+                let finish = black_box(40.0);
+                let mut best = 0usize;
+                let mut best_pv = f64::INFINITY;
+                for (i, row) in boxed.iter_mut().enumerate() {
+                    let row = row.as_mut().expect("row is live");
+                    row.ready[col] = row.ready[col].max(finish);
+                    row.eft[col] = row.ready[col] + w(i, col);
+                    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                    for &e in row.eft.iter() {
+                        lo = lo.min(e);
+                        hi = hi.max(e);
+                    }
+                    row.pv = hi - lo;
+                    if row.pv < best_pv {
+                        best_pv = row.pv;
+                        best = i;
+                    }
+                }
+                black_box(best);
+                col = (col + 1) % P;
+            },
+            200_000_000,
+            400,
+            1,
+        );
+        for (name, mean_ns, iters) in [
+            ("soa/flat_col_update_scan", flat_ns, flat_iters),
+            ("soa/boxed_col_update_scan", boxed_ns, boxed_iters),
+        ] {
+            cells.push(Cell {
+                name,
+                v: V,
+                procs: P,
+                mean_ns_per_op: mean_ns,
+                iters,
+            });
+            eprintln!("{name:<26} v={V:<6} P={P:<3} {mean_ns:>12.0} ns/op ({iters} iters)");
+        }
+        boxed_ns / flat_ns
+    };
 
     // O(1) cached mean-comm factor vs the O(p^2) pair loop it replaced.
     {
@@ -321,6 +490,14 @@ fn main() {
             "    {{\"v\": {v}, \"procs\": {procs}, \"full_over_incremental\": {s:.2}}}{sep}"
         );
     }
+    json.push_str("  ],\n  \"hdlts_parallel_speedup\": [\n");
+    for (i, &(v, procs, s)) in par_speedups.iter().enumerate() {
+        let sep = if i + 1 < par_speedups.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"v\": {v}, \"procs\": {procs}, \"incremental_over_parallel\": {s:.2}}}{sep}"
+        );
+    }
     json.push_str("  ],\n  \"hdlts_cpd_incremental_speedup\": [\n");
     for (i, &(v, procs, s)) in cpd_speedups.iter().enumerate() {
         let sep = if i + 1 < cpd_speedups.len() { "," } else { "" };
@@ -332,11 +509,15 @@ fn main() {
     let _ = writeln!(
         json,
         "  ],\n  \"fig3_v10000_min_speedup\": {fig3_speedup_10000:.2},\n  \
-         \"cpd_v1000_min_speedup\": {cpd_speedup_1000:.2}\n}}"
+         \"cpd_v1000_min_speedup\": {cpd_speedup_1000:.2},\n  \
+         \"soa_v10000_min_speedup\": {soa_speedup:.2},\n  \
+         \"parallel_v10000_min_speedup\": {par_speedup_10000:.2}\n}}"
     );
 
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     eprintln!("worst v=10000 incremental speedup: {fig3_speedup_10000:.2}x");
     eprintln!("worst v=1000 HDLTS-D incremental speedup: {cpd_speedup_1000:.2}x");
+    eprintln!("v=10000 SoA column-scan speedup over boxed rows: {soa_speedup:.2}x");
+    eprintln!("worst v=10000 parallel-over-serial speedup: {par_speedup_10000:.2}x");
     eprintln!("wrote {out_path}");
 }

@@ -11,7 +11,7 @@
 //! hdlts simulate --in inst.json [--jitter 0.2] [--fail P@T]
 //! hdlts stream   --jobs a.json@0,b.json@50 [--procs N] [--fifo]
 //! hdlts serve    [--addr H:P] [--procs 4,8] [--workers N] [--queue-cap N]
-//!                [--journal FILE]
+//!                [--batch N] [--journal FILE]
 //! hdlts submit   --addr H:P (--in inst.json | --workload JSON) [--retries N]
 //! hdlts dot      --in inst.json [--out out.dot]
 //! ```
@@ -48,7 +48,7 @@ commands:
   stream    --jobs F1@T1,F2@T2,... [--procs N] [--jitter X] [--fifo]
             dispatch a stream of instance files arriving at given times
   serve     [--addr HOST:PORT] [--procs P1,P2,...] [--workers N]
-            [--queue-cap N] [--deadline-ms N] [--retain N]
+            [--queue-cap N] [--batch N] [--deadline-ms N] [--retain N]
             [--journal FILE] [--journal-sync]
             run the scheduling daemon (newline-delimited JSON over TCP;
             drain with Ctrl-C or {\"cmd\":\"shutdown\"}); with --journal,
@@ -487,6 +487,10 @@ fn serve(args: &Args) -> Result<(), String> {
     let queue_cap: usize = args.opt_parse("queue-cap", 256usize)?;
     let retain: usize = args.opt_parse("retain", 4096usize)?;
     let worker_delay_ms: u64 = args.opt_parse("worker-delay-ms", 0u64)?;
+    let shard_batch: usize = args.opt_parse("batch", 16usize)?;
+    if shard_batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
     let default_deadline_ms = match args.opt("deadline-ms") {
         Some(s) => Some(
             s.parse::<u64>()
@@ -515,6 +519,7 @@ fn serve(args: &Args) -> Result<(), String> {
         shards,
         default_deadline_ms,
         worker_delay_ms,
+        shard_batch,
         retain_results: retain,
         journal_path,
         journal_sync,

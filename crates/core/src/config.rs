@@ -1,6 +1,6 @@
 //! Configuration of the HDLTS heuristic and its ablation variants.
 
-use crate::engine::EngineMode;
+use crate::engine::{EngineMode, ParallelTuning};
 use serde::{Deserialize, Serialize};
 
 /// When Algorithm 1 duplicates the entry task onto an additional processor.
@@ -56,6 +56,11 @@ pub struct HdltsConfig {
     /// and traces; the latter exists as the differential-testing oracle.
     #[serde(default)]
     pub engine: EngineMode,
+    /// Fan-out thresholds for [`EngineMode::IncrementalParallel`]; ignored
+    /// by the other modes. Thresholds trade wall-clock only — results are
+    /// bit-identical for any setting and any thread count.
+    #[serde(default)]
+    pub parallel: ParallelTuning,
 }
 
 impl Default for HdltsConfig {
@@ -66,6 +71,7 @@ impl Default for HdltsConfig {
             penalty: PenaltyKind::EftSampleStdDev,
             insertion: false,
             engine: EngineMode::Incremental,
+            parallel: ParallelTuning::default(),
         }
     }
 }

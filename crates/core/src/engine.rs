@@ -22,6 +22,12 @@
 //! * newly-ready tasks get a freshly computed row, which by construction
 //!   sees every copy already committed.
 //!
+//! Rows live in a struct-of-arrays store ([`crate::soa`]): one flat
+//! `ready` matrix, one flat `eft` matrix, and a dense `pv` vector indexed
+//! by `(active slot, processor)`, with freed slots recycled so retire and
+//! admit never shift surviving rows. Column updates and the min-PV select
+//! scan are contiguous `f64` slice loops (DESIGN.md §10).
+//!
 //! The arithmetic per cell is performed in exactly the same operation
 //! order as the full recompute ([`crate::est::eft_row`]), so cached rows
 //! are **bit-identical** to recomputed ones and the resulting schedules
@@ -30,15 +36,26 @@
 //! `tests/proptest_incremental.rs` at the workspace root and DESIGN.md
 //! §"Engine internals").
 //!
+//! [`EngineMode::IncrementalParallel`] additionally fans independent row
+//! work — batches of newly-ready admits, stale-row recomputes, and wide
+//! column updates — across a rayon pool. The reduction is deterministic:
+//! workers write into pre-assigned disjoint staging regions, the staged
+//! results are committed by a sequential loop in canonical order, and
+//! selection stays a sequential scan, so schedules and traces are
+//! invariant under thread count (the determinism argument is spelled out
+//! in DESIGN.md §10).
+//!
 //! [`ReplicaEftCache`] generalizes the same dirty-tracking discipline to
 //! **duplication-aware** rows (HDLTS-D), whose cells price tentative
 //! critical-parent copies via [`crate::est::eft_with_duplication`]; its
 //! extended invalidation invariant is documented on the type.
 
-use crate::est::{data_ready_time, eft_with_duplication, penalty_value, DupScratch, PlannedCopy};
+use crate::est::{eft_row_into, eft_with_duplication, penalty_value, DupScratch, PlannedCopy};
+use crate::soa::SoaRowStore;
 use crate::{CoreError, PenaltyKind, Problem, Schedule};
 use hdlts_dag::TaskId;
 use hdlts_platform::ProcId;
+use rayon::prelude::*;
 
 /// Which EFT evaluation strategy a dynamic scheduler uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
@@ -47,22 +64,59 @@ pub enum EngineMode {
     /// Produces byte-identical schedules and traces to the full recompute.
     #[default]
     Incremental,
+    /// [`EngineMode::Incremental`] with batched row work fanned across a
+    /// rayon pool ([`ParallelTuning`] gates the fan-out). Deterministic:
+    /// byte-identical schedules and traces to both other modes for any
+    /// thread count.
+    IncrementalParallel,
     /// Recompute every ready task's full EFT row each step — the literal
     /// reading of the paper, kept as the differential-testing oracle.
     FullRecompute,
 }
 
-/// One cached ready-task row.
-#[derive(Debug, Clone)]
-struct CachedRow {
-    /// `Ready(t, p)` per processor — stable while the task's parents keep
-    /// the copies they had at admission time.
+/// Fan-out thresholds for [`EngineMode::IncrementalParallel`].
+///
+/// Parallelism only pays when a batch amortizes the pool's dispatch cost,
+/// so small batches take the serial path — as does *any* batch when the
+/// ambient rayon pool has a single thread, where staging-and-commit is
+/// pure overhead. The output is bit-identical either way — thresholds and
+/// the pool-width guard trade wall-clock only, never results — which is
+/// also why tests can safely force the parallel path with thresholds of 1
+/// (inside a `>= 2`-thread pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ParallelTuning {
+    /// Minimum number of full-row recomputations (newly-ready admits or
+    /// replica-staled rows) in one batch before fanning out.
+    pub min_batch_rows: usize,
+    /// Minimum number of surviving rows before the per-placement column
+    /// update fans out.
+    pub min_column_rows: usize,
+}
+
+impl Default for ParallelTuning {
+    fn default() -> Self {
+        ParallelTuning {
+            min_batch_rows: 16,
+            min_column_rows: 384,
+        }
+    }
+}
+
+/// Staging buffers for the parallel fan-outs: workers fill disjoint
+/// regions here; a sequential commit loop writes them into the row store
+/// in canonical order.
+#[derive(Debug, Clone, Default)]
+struct ParScratch {
+    /// Staged `ready` rows (batch admits / stale refreshes), row-major.
     ready: Vec<f64>,
-    /// `EFT(t, p)` per processor against the current partial schedule.
+    /// Staged `eft` rows, row-major.
     eft: Vec<f64>,
-    /// Penalty value (Eq. 8) of `eft`; recomputed only when a column
-    /// actually changed.
-    pv: f64,
+    /// Staged per-row penalty values.
+    pv: Vec<f64>,
+    /// Staged touched-column EFT cells, `[row * touched.len() + column]`.
+    cells: Vec<f64>,
+    /// Whether any touched cell of the row changed bit-wise.
+    changed: Vec<bool>,
 }
 
 /// Dirty-tracked cache of the EFT rows of all currently-ready tasks.
@@ -76,9 +130,12 @@ struct CachedRow {
 pub struct EftCache {
     insertion: bool,
     penalty: PenaltyKind,
-    rows: Vec<Option<CachedRow>>,
+    store: SoaRowStore,
     /// Ready tasks with live rows, in admission order.
     active: Vec<TaskId>,
+    /// `Some` puts batched row work on the rayon pool ([`EngineMode::IncrementalParallel`]).
+    parallel: Option<ParallelTuning>,
+    par: ParScratch,
 }
 
 impl EftCache {
@@ -88,8 +145,25 @@ impl EftCache {
         EftCache {
             insertion,
             penalty,
-            rows: (0..problem.num_tasks()).map(|_| None).collect(),
+            store: SoaRowStore::new(problem.num_tasks(), problem.num_procs()),
             active: Vec::new(),
+            parallel: None,
+            par: ParScratch::default(),
+        }
+    }
+
+    /// Like [`EftCache::new`], but batched row work above the `tuning`
+    /// thresholds is fanned across the ambient rayon pool. Results are
+    /// bit-identical to the serial cache for any thread count.
+    pub fn with_parallel(
+        problem: &Problem<'_>,
+        insertion: bool,
+        penalty: PenaltyKind,
+        tuning: ParallelTuning,
+    ) -> Self {
+        EftCache {
+            parallel: Some(tuning),
+            ..Self::new(problem, insertion, penalty)
         }
     }
 
@@ -121,41 +195,104 @@ impl EftCache {
         schedule: &Schedule,
         t: TaskId,
     ) -> Result<(), CoreError> {
-        let row = self.compute_row(problem, schedule, t)?;
-        self.rows[t.index()] = Some(row);
+        let slot = self.store.alloc(t);
+        if let Err(e) = self.refresh_row(problem, schedule, t, slot) {
+            self.store.release(t);
+            return Err(e);
+        }
         self.active.push(t);
+        Ok(())
+    }
+
+    /// Admits a batch of newly-ready tasks in order. Equivalent to calling
+    /// [`EftCache::admit`] per task; in parallel mode a batch at or above
+    /// [`ParallelTuning::min_batch_rows`] computes its rows concurrently
+    /// into pre-assigned staging regions and commits them sequentially in
+    /// batch order, so slot assignment and row bytes match the serial path.
+    pub fn admit_batch(
+        &mut self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        tasks: &[TaskId],
+    ) -> Result<(), CoreError> {
+        let fan_out = self
+            .parallel
+            .is_some_and(|tn| tasks.len() >= tn.min_batch_rows.max(2))
+            && rayon::current_num_threads() > 1;
+        if !fan_out {
+            for &t in tasks {
+                self.admit(problem, schedule, t)?;
+            }
+            return Ok(());
+        }
+
+        let procs = self.store.procs();
+        let insertion = self.insertion;
+        let penalty = self.penalty;
+        let par = &mut self.par;
+        par.ready.clear();
+        par.ready.resize(tasks.len() * procs, 0.0);
+        par.eft.clear();
+        par.eft.resize(tasks.len() * procs, 0.0);
+        par.pv.clear();
+        par.pv.resize(tasks.len(), 0.0);
+        par.ready
+            .par_chunks_mut(procs)
+            .zip(par.eft.par_chunks_mut(procs))
+            .zip(par.pv.par_iter_mut())
+            .zip(tasks.par_iter())
+            .try_for_each(|(((ready, eft), pv), &t)| -> Result<(), CoreError> {
+                eft_row_into(problem, schedule, t, insertion, ready, eft)?;
+                *pv = penalty_value(penalty, eft, problem.costs().row(t));
+                Ok(())
+            })?;
+
+        for (i, &t) in tasks.iter().enumerate() {
+            let slot = self.store.alloc(t);
+            self.store.write_row(
+                slot,
+                &self.par.ready[i * procs..(i + 1) * procs],
+                &self.par.eft[i * procs..(i + 1) * procs],
+                self.par.pv[i],
+            );
+            self.active.push(t);
+        }
         Ok(())
     }
 
     /// The cached EFT row of ready task `t`, in processor order.
     #[inline]
     pub fn eft_row(&self, t: TaskId) -> Option<&[f64]> {
-        self.rows[t.index()].as_ref().map(|r| r.eft.as_slice())
+        self.store.slot_of(t).map(|s| self.store.eft_row(s))
     }
 
     /// The cached penalty value of ready task `t`.
     #[inline]
     pub fn pv(&self, t: TaskId) -> Option<f64> {
-        self.rows[t.index()].as_ref().map(|r| r.pv)
+        self.store.slot_of(t).map(|s| self.store.pv(s))
     }
 
     /// `(task, penalty value)` of every cached ready task, in admission
     /// order — the raw material for a Table I trace row.
     pub fn scored(&self) -> impl Iterator<Item = (TaskId, f64)> + '_ {
-        self.active
-            .iter()
-            .map(|&t| (t, self.rows[t.index()].as_ref().expect("active row").pv))
+        self.active.iter().map(|&t| {
+            let slot = self.store.slot_of(t).expect("active row");
+            (t, self.store.pv(slot))
+        })
     }
 
     /// The highest-PV ready task (ties: lowest id) — Algorithm 2's
     /// selection rule. `None` when the cache is empty.
     ///
-    /// Uses `total_cmp` so the ordering is identical to the full-recompute
-    /// path for every float value, and is independent of admission order.
+    /// Scans the dense per-slot `pv` vector. Uses `total_cmp` with the id
+    /// tie-break, a strict total order over the live rows, so the winner is
+    /// independent of both admission order and slot order.
     pub fn select(&self) -> Option<TaskId> {
         let mut best: Option<(TaskId, f64)> = None;
-        for &t in &self.active {
-            let pv = self.rows[t.index()].as_ref().expect("active row").pv;
+        for (slot, &pv) in self.store.pvs().iter().enumerate() {
+            let Some(t) = self.store.task_at(slot) else {
+                continue;
+            };
             best = match best {
                 Some((bt, bpv)) if pv.total_cmp(&bpv).then(bt.cmp(&t)).is_gt() => Some((t, pv)),
                 None => Some((t, pv)),
@@ -168,7 +305,7 @@ impl EftCache {
     /// Records that `placed` was mapped (plus any replica placements) and
     /// re-validates exactly the cache state that the placement dirtied:
     ///
-    /// * `placed`'s own row is retired;
+    /// * `placed`'s own row is retired (its slot returns to the free list);
     /// * rows of ready tasks with `placed` among their parents are
     ///   recomputed in full (new copies change their data-ready times);
     /// * every other surviving row gets only its `touched`-processor
@@ -184,7 +321,7 @@ impl EftCache {
         placed: TaskId,
         touched: &[ProcId],
     ) -> Result<(), CoreError> {
-        self.rows[placed.index()] = None;
+        self.store.release(placed);
         self.active.retain(|&t| t != placed);
 
         // Ready tasks that have `placed` as a parent hold stale ready
@@ -195,76 +332,147 @@ impl EftCache {
         // through the out-edge list keeps the cache correct for any
         // scheduler built on it.
         for &(child, _) in problem.dag().succs(placed) {
-            if self.rows[child.index()].is_some() {
-                let row = self.compute_row(problem, schedule, child)?;
-                self.rows[child.index()] = Some(row);
+            if let Some(slot) = self.store.slot_of(child) {
+                self.refresh_row(problem, schedule, child, slot)?;
             }
         }
 
-        for &t in &self.active {
-            let row = self.rows[t.index()].as_mut().expect("active row");
-            let mut changed = false;
-            for &p in touched {
-                let w = problem.w(t, p);
-                let eft =
-                    schedule
-                        .timeline(p)
-                        .earliest_start(row.ready[p.index()], w, self.insertion)
-                        + w;
-                if eft.to_bits() != row.eft[p.index()].to_bits() {
-                    row.eft[p.index()] = eft;
-                    changed = true;
+        let fan_out = self
+            .parallel
+            .is_some_and(|tn| self.active.len() >= tn.min_column_rows.max(2))
+            && rayon::current_num_threads() > 1;
+        if fan_out {
+            self.update_columns_parallel(problem, schedule, touched);
+        } else {
+            for &t in &self.active {
+                let slot = self.store.slot_of(t).expect("active row");
+                let (ready, eft, pv) = self.store.row_cells_mut(slot);
+                let mut changed = false;
+                for &p in touched {
+                    let w = problem.w(t, p);
+                    let e =
+                        schedule
+                            .timeline(p)
+                            .earliest_start(ready[p.index()], w, self.insertion)
+                            + w;
+                    if e.to_bits() != eft[p.index()].to_bits() {
+                        eft[p.index()] = e;
+                        changed = true;
+                    }
                 }
-            }
-            if changed {
-                row.pv = penalty_value(self.penalty, &row.eft, problem.costs().row(t));
+                if changed {
+                    *pv = penalty_value(self.penalty, eft, problem.costs().row(t));
+                }
             }
         }
         Ok(())
     }
 
-    /// Computes a full row from scratch — the same arithmetic, in the same
-    /// order, as [`crate::est::eft_row`], so results are bit-identical.
-    fn compute_row(
-        &self,
+    /// The `touched`-column update fanned across the pool: each worker
+    /// evaluates the new cells (and, when a cell changed bit-wise, the new
+    /// penalty value) of its pre-assigned rows into `self.par`; a
+    /// sequential loop then commits the staged values. Rows are disjoint,
+    /// the per-cell arithmetic is the serial loop's, and the commit order
+    /// is canonical — so the store's bytes match the serial path exactly.
+    fn update_columns_parallel(
+        &mut self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        touched: &[ProcId],
+    ) {
+        let k = touched.len();
+        if k == 0 {
+            return;
+        }
+        let n = self.active.len();
+        let procs = self.store.procs();
+        let insertion = self.insertion;
+        let penalty = self.penalty;
+        {
+            let par = &mut self.par;
+            par.cells.clear();
+            par.cells.resize(n * k, 0.0);
+            par.pv.clear();
+            par.pv.resize(n, 0.0);
+            par.changed.clear();
+            par.changed.resize(n, false);
+            let store = &self.store;
+            par.cells
+                .par_chunks_mut(k)
+                .zip(par.pv.par_iter_mut())
+                .zip(par.changed.par_iter_mut())
+                .zip(self.active.par_iter())
+                .for_each_init(
+                    || Vec::with_capacity(procs),
+                    |row_buf: &mut Vec<f64>, (((cells, pv_out), changed_out), &t)| {
+                        let slot = store.slot_of(t).expect("active row");
+                        let ready = store.ready_row(slot);
+                        let eft = store.eft_row(slot);
+                        row_buf.clear();
+                        row_buf.extend_from_slice(eft);
+                        let mut changed = false;
+                        for (ci, &p) in touched.iter().enumerate() {
+                            let w = problem.w(t, p);
+                            let e =
+                                schedule
+                                    .timeline(p)
+                                    .earliest_start(ready[p.index()], w, insertion)
+                                    + w;
+                            cells[ci] = e;
+                            if e.to_bits() != eft[p.index()].to_bits() {
+                                row_buf[p.index()] = e;
+                                changed = true;
+                            }
+                        }
+                        *changed_out = changed;
+                        *pv_out = if changed {
+                            penalty_value(penalty, row_buf, problem.costs().row(t))
+                        } else {
+                            0.0
+                        };
+                    },
+                );
+        }
+        for (i, &t) in self.active.iter().enumerate() {
+            if !self.par.changed[i] {
+                continue;
+            }
+            let slot = self.store.slot_of(t).expect("active row");
+            let (_, eft, pv) = self.store.row_cells_mut(slot);
+            for (ci, &p) in touched.iter().enumerate() {
+                eft[p.index()] = self.par.cells[i * k + ci];
+            }
+            *pv = self.par.pv[i];
+        }
+    }
+
+    /// Recomputes the row at `slot` from scratch — the same arithmetic, in
+    /// the same order, as [`crate::est::eft_row`], so results are
+    /// bit-identical.
+    fn refresh_row(
+        &mut self,
         problem: &Problem<'_>,
         schedule: &Schedule,
         t: TaskId,
-    ) -> Result<CachedRow, CoreError> {
-        let num_procs = problem.num_procs();
-        let mut ready = Vec::with_capacity(num_procs);
-        let mut eft = Vec::with_capacity(num_procs);
-        for p in problem.platform().procs() {
-            let r = data_ready_time(problem, schedule, t, p)?;
-            let w = problem.w(t, p);
-            ready.push(r);
-            eft.push(schedule.timeline(p).earliest_start(r, w, self.insertion) + w);
-        }
-        let pv = penalty_value(self.penalty, &eft, problem.costs().row(t));
-        Ok(CachedRow { ready, eft, pv })
+        slot: usize,
+    ) -> Result<(), CoreError> {
+        let (ready, eft) = self.store.row_mut(slot);
+        eft_row_into(problem, schedule, t, self.insertion, ready, eft)?;
+        let pv = penalty_value(
+            self.penalty,
+            self.store.eft_row(slot),
+            problem.costs().row(t),
+        );
+        self.store.set_pv(slot, pv);
+        Ok(())
     }
-}
-
-/// One cached duplication-aware row: `EFT(t, p)` per processor where each
-/// cell may price tentative critical-parent copies, plus the penalty value
-/// of the row.
-///
-/// Replica planning interleaves arrival terms with the candidate
-/// processor's timeline, so a cell backed by a *non-empty* tentative plan
-/// is recomputed whole or not at all. A **plan-free** cell, however, is
-/// `earliest_start(ready, w, false) + w` for a ready term that is a pure
-/// function of committed arrivals — `ready` caches that term per
-/// processor (`NAN` = the cell's plan was non-empty, no shortcut).
-#[derive(Debug, Clone)]
-struct DupRow {
-    eft: Vec<f64>,
-    ready: Vec<f64>,
-    pv: f64,
 }
 
 /// Dirty-tracked cache of **duplication-aware** EFT rows — the replica-aware
 /// generalization of [`EftCache`] that puts HDLTS-D on the incremental fast
-/// path.
+/// path. Rows live in the same struct-of-arrays store; here the `ready`
+/// matrix caches each cell's plan-free data-ready term (`NAN` = the cell's
+/// tentative plan was non-empty, no shortcut).
 ///
 /// A cell `(t, p)` is priced by [`eft_with_duplication`]: it may plan
 /// tentative copies of `t`'s critical parents on `p`, and those copies'
@@ -292,10 +500,11 @@ struct DupRow {
 #[derive(Debug, Clone)]
 pub struct ReplicaEftCache {
     penalty: PenaltyKind,
-    rows: Vec<Option<DupRow>>,
+    store: SoaRowStore,
     /// Ready tasks with live rows, in admission order.
     active: Vec<TaskId>,
-    /// Reusable tentative-copy buffers shared by every cell evaluation.
+    /// Reusable tentative-copy buffers shared by every serial cell
+    /// evaluation (parallel workers get per-worker scratches).
     scratch: DupScratch,
     /// Per-task dirty marks, live only inside `on_mapped`:
     /// [`Mark::Affected`] = a replicated task is among the row's parents
@@ -306,6 +515,11 @@ pub struct ReplicaEftCache {
     marks: Vec<Mark>,
     /// The tasks marked in `marks`, for O(marked) clearing.
     marked: Vec<TaskId>,
+    /// Rows needing a full recompute this commit (filled per `on_mapped`).
+    stale: Vec<TaskId>,
+    /// `Some` puts batched row work on the rayon pool.
+    parallel: Option<ParallelTuning>,
+    par: ParScratch,
 }
 
 /// Dirty level of one row inside [`ReplicaEftCache::on_mapped`].
@@ -326,11 +540,29 @@ impl ReplicaEftCache {
         let n = problem.num_tasks();
         ReplicaEftCache {
             penalty,
-            rows: (0..n).map(|_| None).collect(),
+            store: SoaRowStore::new(n, problem.num_procs()),
             active: Vec::new(),
             scratch: DupScratch::new(n),
             marks: vec![Mark::Clean; n],
             marked: Vec::new(),
+            stale: Vec::new(),
+            parallel: None,
+            par: ParScratch::default(),
+        }
+    }
+
+    /// Like [`ReplicaEftCache::new`], but batches of full-row work at or
+    /// above the `tuning` thresholds are fanned across the ambient rayon
+    /// pool (each worker owns its own [`DupScratch`]). Bit-identical to
+    /// the serial cache for any thread count.
+    pub fn with_parallel(
+        problem: &Problem<'_>,
+        penalty: PenaltyKind,
+        tuning: ParallelTuning,
+    ) -> Self {
+        ReplicaEftCache {
+            parallel: Some(tuning),
+            ..Self::new(problem, penalty)
         }
     }
 
@@ -373,38 +605,109 @@ impl ReplicaEftCache {
         schedule: &Schedule,
         t: TaskId,
     ) -> Result<(), CoreError> {
-        let mut eft = Vec::with_capacity(problem.num_procs());
-        let mut ready = Vec::with_capacity(problem.num_procs());
-        for p in problem.platform().procs() {
-            let (e, r) = Self::cell(problem, schedule, t, p, &mut self.scratch)?;
-            eft.push(e);
-            ready.push(r);
+        let slot = self.store.alloc(t);
+        if let Err(e) = self.refresh_row(problem, schedule, t, slot) {
+            self.store.release(t);
+            return Err(e);
         }
-        let pv = penalty_value(self.penalty, &eft, problem.costs().row(t));
-        self.rows[t.index()] = Some(DupRow { eft, ready, pv });
         self.active.push(t);
         Ok(())
+    }
+
+    /// Admits a batch of newly-ready tasks in order; see
+    /// [`EftCache::admit_batch`] for the staging/commit discipline. Each
+    /// parallel worker prices cells through its own [`DupScratch`].
+    pub fn admit_batch(
+        &mut self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        tasks: &[TaskId],
+    ) -> Result<(), CoreError> {
+        let fan_out = self
+            .parallel
+            .is_some_and(|tn| tasks.len() >= tn.min_batch_rows.max(2))
+            && rayon::current_num_threads() > 1;
+        if !fan_out {
+            for &t in tasks {
+                self.admit(problem, schedule, t)?;
+            }
+            return Ok(());
+        }
+        self.stage_rows_parallel(problem, schedule, tasks)?;
+        let procs = self.store.procs();
+        for (i, &t) in tasks.iter().enumerate() {
+            let slot = self.store.alloc(t);
+            self.store.write_row(
+                slot,
+                &self.par.ready[i * procs..(i + 1) * procs],
+                &self.par.eft[i * procs..(i + 1) * procs],
+                self.par.pv[i],
+            );
+            self.active.push(t);
+        }
+        Ok(())
+    }
+
+    /// Prices the full rows of `tasks` concurrently into `self.par`
+    /// (disjoint pre-assigned regions, one [`DupScratch`] per worker).
+    /// Callers commit the staged rows sequentially.
+    fn stage_rows_parallel(
+        &mut self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        tasks: &[TaskId],
+    ) -> Result<(), CoreError> {
+        let procs = self.store.procs();
+        let n_tasks = problem.num_tasks();
+        let penalty = self.penalty;
+        let par = &mut self.par;
+        par.ready.clear();
+        par.ready.resize(tasks.len() * procs, 0.0);
+        par.eft.clear();
+        par.eft.resize(tasks.len() * procs, 0.0);
+        par.pv.clear();
+        par.pv.resize(tasks.len(), 0.0);
+        par.ready
+            .par_chunks_mut(procs)
+            .zip(par.eft.par_chunks_mut(procs))
+            .zip(par.pv.par_iter_mut())
+            .zip(tasks.par_iter())
+            .try_for_each_init(
+                || DupScratch::new(n_tasks),
+                |scr, (((ready, eft), pv), &t)| -> Result<(), CoreError> {
+                    for p in problem.platform().procs() {
+                        let (e, r) = Self::cell(problem, schedule, t, p, scr)?;
+                        eft[p.index()] = e;
+                        ready[p.index()] = r;
+                    }
+                    *pv = penalty_value(penalty, eft, problem.costs().row(t));
+                    Ok(())
+                },
+            )
     }
 
     /// The cached duplication-aware EFT row of ready task `t`.
     #[inline]
     pub fn eft_row(&self, t: TaskId) -> Option<&[f64]> {
-        self.rows[t.index()].as_ref().map(|r| r.eft.as_slice())
+        self.store.slot_of(t).map(|s| self.store.eft_row(s))
     }
 
     /// The cached penalty value of ready task `t`.
     #[inline]
     pub fn pv(&self, t: TaskId) -> Option<f64> {
-        self.rows[t.index()].as_ref().map(|r| r.pv)
+        self.store.slot_of(t).map(|s| self.store.pv(s))
     }
 
     /// The highest-PV ready task (ties: lowest id) — the same selection
     /// rule, with the same `total_cmp` ordering, as [`EftCache::select`]
-    /// and the HDLTS-D full-recompute loop.
+    /// and the HDLTS-D full-recompute loop. A dense scan over the per-slot
+    /// `pv` vector; the total order makes the winner slot-order invariant.
     pub fn select(&self) -> Option<TaskId> {
         let mut best: Option<(TaskId, f64)> = None;
-        for &t in &self.active {
-            let pv = self.rows[t.index()].as_ref().expect("active row").pv;
+        for (slot, &pv) in self.store.pvs().iter().enumerate() {
+            let Some(t) = self.store.task_at(slot) else {
+                continue;
+            };
             best = match best {
                 Some((bt, bpv)) if pv.total_cmp(&bpv).then(bt.cmp(&t)).is_gt() => Some((t, pv)),
                 None => Some((t, pv)),
@@ -431,9 +734,9 @@ impl ReplicaEftCache {
     ) -> Result<&[PlannedCopy], CoreError> {
         let eft = eft_with_duplication(problem, schedule, t, p, &mut self.scratch)?;
         debug_assert!(
-            self.rows[t.index()]
-                .as_ref()
-                .is_none_or(|r| r.eft[p.index()].to_bits() == eft.to_bits()),
+            self.store
+                .slot_of(t)
+                .is_none_or(|s| self.store.eft_row(s)[p.index()].to_bits() == eft.to_bits()),
             "replanned cell disagrees with the cached row"
         );
         Ok(self.scratch.planned())
@@ -459,6 +762,12 @@ impl ReplicaEftCache {
     ///   against a sparser timeline stays rejected (gap search is monotone
     ///   in the committed slots), so the cell equals its cached ready term
     ///   pushed through `proc`'s updated frontier.
+    ///
+    /// In parallel mode the stale full-row recomputes (and only those) fan
+    /// out when their count reaches [`ParallelTuning::min_batch_rows`]; the
+    /// single-cell pass stays serial — it is O(1) per row. Row updates are
+    /// independent, so the stale/serial processing order cannot change the
+    /// final bytes.
     pub fn on_mapped(
         &mut self,
         problem: &Problem<'_>,
@@ -467,7 +776,7 @@ impl ReplicaEftCache {
         proc: ProcId,
         replicated: &[TaskId],
     ) -> Result<(), CoreError> {
-        self.rows[placed.index()] = None;
+        self.store.release(placed);
         self.active.retain(|&t| t != placed);
 
         let dag = problem.dag();
@@ -492,46 +801,123 @@ impl ReplicaEftCache {
             }
         }
 
+        // Stale rows: full recompute, fanned out when the batch is large
+        // enough; the staged rows are committed into their existing slots.
+        self.stale.clear();
+        for &t in &self.active {
+            if self.marks[t.index()] == Mark::Stale {
+                self.stale.push(t);
+            }
+        }
+        let fan_out = self
+            .parallel
+            .is_some_and(|tn| self.stale.len() >= tn.min_batch_rows.max(2))
+            && rayon::current_num_threads() > 1;
+        if fan_out {
+            let stale = std::mem::take(&mut self.stale);
+            self.stage_rows_parallel(problem, schedule, &stale)?;
+            let procs = self.store.procs();
+            for (i, &t) in stale.iter().enumerate() {
+                let slot = self.store.slot_of(t).expect("active row");
+                self.store.write_row(
+                    slot,
+                    &self.par.ready[i * procs..(i + 1) * procs],
+                    &self.par.eft[i * procs..(i + 1) * procs],
+                    self.par.pv[i],
+                );
+            }
+            self.stale = stale;
+        } else {
+            for &t in &self.stale {
+                let slot = self.store.slot_of(t).expect("active row");
+                {
+                    let (ready, eft) = self.store.row_mut(slot);
+                    for p in problem.platform().procs() {
+                        let (e, r) = Self::cell(problem, schedule, t, p, &mut self.scratch)?;
+                        eft[p.index()] = e;
+                        ready[p.index()] = r;
+                    }
+                }
+                let pv = penalty_value(
+                    self.penalty,
+                    self.store.eft_row(slot),
+                    problem.costs().row(t),
+                );
+                self.store.set_pv(slot, pv);
+            }
+        }
+
+        // Surviving non-stale rows: one `proc` cell each, O(1) for the
+        // plan-free common case.
         for i in 0..self.active.len() {
             let t = self.active[i];
-            let row = self.rows[t.index()].as_mut().expect("active row");
             if self.marks[t.index()] == Mark::Stale {
-                row.eft.clear();
-                row.ready.clear();
-                for p in problem.platform().procs() {
-                    let (e, r) = Self::cell(problem, schedule, t, p, &mut self.scratch)?;
-                    row.eft.push(e);
-                    row.ready.push(r);
-                }
-                row.pv = penalty_value(self.penalty, &row.eft, problem.costs().row(t));
+                continue;
+            }
+            let slot = self.store.slot_of(t).expect("active row");
+            let cached_ready = self.store.ready_row(slot)[proc.index()];
+            let (eft, ready) = if self.marks[t.index()] == Mark::Clean && !cached_ready.is_nan() {
+                // Plan-free shortcut: no copy of any parent or
+                // grandparent appeared, so arrivals are unchanged, and
+                // a tentative plan rejected against a sparser timeline
+                // stays rejected against a fuller one — the cell is
+                // its cached ready term against `proc`'s new frontier.
+                let w = problem.w(t, proc);
+                let start = schedule
+                    .timeline(proc)
+                    .earliest_start(cached_ready, w, false);
+                (start + w, cached_ready)
             } else {
-                let cached_ready = row.ready[proc.index()];
-                let (eft, ready) = if self.marks[t.index()] == Mark::Clean && !cached_ready.is_nan()
-                {
-                    // Plan-free shortcut: no copy of any parent or
-                    // grandparent appeared, so arrivals are unchanged, and
-                    // a tentative plan rejected against a sparser timeline
-                    // stays rejected against a fuller one — the cell is
-                    // its cached ready term against `proc`'s new frontier.
-                    let w = problem.w(t, proc);
-                    let start = schedule
-                        .timeline(proc)
-                        .earliest_start(cached_ready, w, false);
-                    (start + w, cached_ready)
-                } else {
-                    Self::cell(problem, schedule, t, proc, &mut self.scratch)?
-                };
-                row.ready[proc.index()] = ready;
-                if eft.to_bits() != row.eft[proc.index()].to_bits() {
-                    row.eft[proc.index()] = eft;
-                    row.pv = penalty_value(self.penalty, &row.eft, problem.costs().row(t));
+                Self::cell(problem, schedule, t, proc, &mut self.scratch)?
+            };
+            let mut changed = false;
+            {
+                let (ready_row, eft_row) = self.store.row_mut(slot);
+                ready_row[proc.index()] = ready;
+                if eft.to_bits() != eft_row[proc.index()].to_bits() {
+                    eft_row[proc.index()] = eft;
+                    changed = true;
                 }
+            }
+            if changed {
+                let pv = penalty_value(
+                    self.penalty,
+                    self.store.eft_row(slot),
+                    problem.costs().row(t),
+                );
+                self.store.set_pv(slot, pv);
             }
         }
 
         for &t in &self.marked {
             self.marks[t.index()] = Mark::Clean;
         }
+        Ok(())
+    }
+
+    /// Recomputes the full duplication-aware row at `slot` through the
+    /// shared serial scratch.
+    fn refresh_row(
+        &mut self,
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        t: TaskId,
+        slot: usize,
+    ) -> Result<(), CoreError> {
+        {
+            let (ready, eft) = self.store.row_mut(slot);
+            for p in problem.platform().procs() {
+                let (e, r) = Self::cell(problem, schedule, t, p, &mut self.scratch)?;
+                eft[p.index()] = e;
+                ready[p.index()] = r;
+            }
+        }
+        let pv = penalty_value(
+            self.penalty,
+            self.store.eft_row(slot),
+            problem.costs().row(t),
+        );
+        self.store.set_pv(slot, pv);
         Ok(())
     }
 
@@ -604,6 +990,30 @@ mod tests {
         .unwrap();
         let platform = Platform::fully_connected(2).unwrap();
         (dag, costs, platform)
+    }
+
+    /// Thresholds of 1 force every batch and column update onto the
+    /// parallel path, whatever the instance size.
+    fn force_parallel() -> ParallelTuning {
+        ParallelTuning {
+            min_batch_rows: 1,
+            min_column_rows: 1,
+        }
+    }
+
+    /// Runs `f` inside a two-thread rayon pool: the fan-out guard skips
+    /// the staging path on single-thread pools, so forced-parallel tests
+    /// must widen the pool or they would silently test the serial path
+    /// (e.g. on a one-core CI machine).
+    fn in_test_pool<R>(f: impl FnOnce() -> R + Send) -> R
+    where
+        R: Send,
+    {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("test pool")
+            .install(f)
     }
 
     #[test]
@@ -705,6 +1115,76 @@ mod tests {
             .unwrap();
         assert!(cache.eft_row(TaskId(0)).is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_preserves_surviving_rows() {
+        // Retire one task and admit another: the survivor's row must be
+        // byte-stable and the freed slot recycled (the SoA invariant the
+        // whole layout rests on).
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut schedule = Schedule::new(4, 2);
+        let mut cache = EftCache::new(&problem, false, PenaltyKind::EftSampleStdDev);
+        schedule.place(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        cache.admit(&problem, &schedule, TaskId(1)).unwrap();
+        cache.admit(&problem, &schedule, TaskId(2)).unwrap();
+        schedule.place(TaskId(2), ProcId(1), 4.0, 9.0).unwrap();
+        cache
+            .on_placed(&problem, &schedule, TaskId(2), &[ProcId(1)])
+            .unwrap();
+        let survivor = eft_row(&problem, &schedule, TaskId(1), false).unwrap();
+        assert_eq!(cache.eft_row(TaskId(1)).unwrap(), survivor.as_slice());
+        // t3 becomes ready once t1 and t2 are placed; its admit must land
+        // in t2's recycled slot without disturbing t1's row.
+        schedule.place(TaskId(1), ProcId(0), 2.0, 5.0).unwrap();
+        cache
+            .on_placed(&problem, &schedule, TaskId(1), &[ProcId(0)])
+            .unwrap();
+        cache.admit(&problem, &schedule, TaskId(3)).unwrap();
+        let naive = eft_row(&problem, &schedule, TaskId(3), false).unwrap();
+        assert_eq!(cache.eft_row(TaskId(3)).unwrap(), naive.as_slice());
+    }
+
+    #[test]
+    fn parallel_cache_matches_serial_bit_for_bit() {
+        // Thresholds of 1 force every admit batch and column update onto
+        // the rayon path even on this 4-task fixture; the store contents
+        // must match the serial cache exactly at every step.
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        for insertion in [false, true] {
+            let mut schedule = Schedule::new(4, 2);
+            let mut serial = EftCache::new(&problem, insertion, PenaltyKind::EftSampleStdDev);
+            let mut par = EftCache::with_parallel(
+                &problem,
+                insertion,
+                PenaltyKind::EftSampleStdDev,
+                force_parallel(),
+            );
+            schedule.place(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+            let batch = [TaskId(1), TaskId(2)];
+            serial.admit_batch(&problem, &schedule, &batch).unwrap();
+            in_test_pool(|| par.admit_batch(&problem, &schedule, &batch)).unwrap();
+            schedule.place(TaskId(1), ProcId(0), 2.0, 5.0).unwrap();
+            serial
+                .on_placed(&problem, &schedule, TaskId(1), &[ProcId(0)])
+                .unwrap();
+            in_test_pool(|| par.on_placed(&problem, &schedule, TaskId(1), &[ProcId(0)])).unwrap();
+            for t in [TaskId(2)] {
+                let a = serial.eft_row(t).unwrap();
+                let b = par.eft_row(t).unwrap();
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{t} (insertion={insertion})");
+                }
+                assert_eq!(
+                    serial.pv(t).unwrap().to_bits(),
+                    par.pv(t).unwrap().to_bits()
+                );
+            }
+            assert_eq!(serial.select(), par.select());
+        }
     }
 
     use hdlts_platform::LinkModel;
@@ -844,6 +1324,56 @@ mod tests {
             after[2].to_bits(),
             "the grandparent replica must change the off-column (2, P2) cell"
         );
+    }
+
+    #[test]
+    fn parallel_replica_cache_matches_serial_bit_for_bit() {
+        // Same scenario as the grand-successor test, run through both the
+        // serial and the forced-parallel cache: every surviving row must
+        // agree bitwise after the stale fan-out.
+        let dag = dag_from_edges(4, &[(0, 1, 10.0), (1, 2, 100.0), (0, 3, 1.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![1.0, 1.0, 8.0],
+            vec![2.0, 2.0, 2.0],
+            vec![50.0, 50.0, 3.0],
+            vec![5.0, 1.0, 5.0],
+        ])
+        .unwrap();
+        let platform = skewed_platform();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut schedule = Schedule::new(4, 3);
+        schedule.place(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        schedule.place(TaskId(1), ProcId(0), 1.0, 3.0).unwrap();
+        let mut serial = ReplicaEftCache::new(&problem, PenaltyKind::EftSampleStdDev);
+        let mut par = ReplicaEftCache::with_parallel(
+            &problem,
+            PenaltyKind::EftSampleStdDev,
+            force_parallel(),
+        );
+        let batch = [TaskId(2), TaskId(3)];
+        serial.admit_batch(&problem, &schedule, &batch).unwrap();
+        in_test_pool(|| par.admit_batch(&problem, &schedule, &batch)).unwrap();
+
+        schedule
+            .place_duplicate(TaskId(0), ProcId(1), 0.0, 1.0)
+            .unwrap();
+        schedule.place(TaskId(3), ProcId(1), 1.0, 2.0).unwrap();
+        serial
+            .on_mapped(&problem, &schedule, TaskId(3), ProcId(1), &[TaskId(0)])
+            .unwrap();
+        in_test_pool(|| par.on_mapped(&problem, &schedule, TaskId(3), ProcId(1), &[TaskId(0)]))
+            .unwrap();
+
+        let a = serial.eft_row(TaskId(2)).unwrap();
+        let b = par.eft_row(TaskId(2)).unwrap();
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(
+            serial.pv(TaskId(2)).unwrap().to_bits(),
+            par.pv(TaskId(2)).unwrap().to_bits()
+        );
+        assert_eq!(serial.select(), par.select());
     }
 
     #[test]

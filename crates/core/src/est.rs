@@ -102,6 +102,64 @@ where
     best.map(|(i, _)| ProcId::from_index(i))
 }
 
+/// [`argmin_eft`] over a contiguous row: a branch-light scan the compiler
+/// can keep in registers, for the struct-of-arrays kernel's hot path.
+///
+/// **Tie-break:** the comparison is strict `<`, so the *first* minimum
+/// wins and ties go to the **lowest processor id** — the identical rule
+/// (and the identical float comparator) as [`argmin_eft`], so the two
+/// agree on every input, NaN included: a NaN cell never displaces the
+/// running minimum, and a NaN running minimum is never displaced (both
+/// comparisons are false), matching the iterator variant bit for bit.
+pub fn argmin_eft_slice(efts: &[f64]) -> Option<ProcId> {
+    let (first, rest) = efts.split_first()?;
+    let mut best_i = 0usize;
+    let mut best_e = *first;
+    for (i, &e) in rest.iter().enumerate() {
+        if e < best_e {
+            best_e = e;
+            best_i = i + 1;
+        }
+    }
+    Some(ProcId::from_index(best_i))
+}
+
+/// Fills caller-provided `ready` and `eft` rows for task `t`, one cell per
+/// processor in processor order — the allocation-free form of
+/// [`eft_row`] used by the struct-of-arrays engine. The arithmetic runs in
+/// exactly the same operation order as [`eft_row`], so the results are
+/// bit-identical to the full recompute.
+///
+/// Both slices must be `num_procs` long. All of `t`'s parents must already
+/// be placed.
+pub fn eft_row_into(
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    t: TaskId,
+    insertion: bool,
+    ready: &mut [f64],
+    eft: &mut [f64],
+) -> Result<(), CoreError> {
+    debug_assert_eq!(ready.len(), problem.num_procs());
+    debug_assert_eq!(eft.len(), problem.num_procs());
+    for p in problem.platform().procs() {
+        let r = data_ready_time(problem, schedule, t, p)?;
+        let w = problem.w(t, p);
+        ready[p.index()] = r;
+        eft[p.index()] = schedule.timeline(p).earliest_start(r, w, insertion) + w;
+    }
+    Ok(())
+}
+
+/// Reusable buffers for [`min_eft_placement_into`], hoisted out of the
+/// per-task loops of the EFT-greedy baselines so candidate evaluation
+/// allocates nothing after the first call.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementScratch {
+    starts: Vec<f64>,
+    finishes: Vec<f64>,
+}
+
 /// Finds the processor minimizing `EFT(t, ·)` via [`argmin_eft`] (ties:
 /// lowest id) and returns `(proc, start, finish)` without mutating the
 /// schedule.
@@ -113,19 +171,37 @@ pub fn min_eft_placement(
     t: TaskId,
     insertion: bool,
 ) -> Result<(ProcId, f64, f64), CoreError> {
-    let mut options = Vec::with_capacity(problem.num_procs());
+    let mut scratch = PlacementScratch::default();
+    min_eft_placement_into(problem, schedule, t, insertion, &mut scratch)
+}
+
+/// [`min_eft_placement`] with caller-owned buffers: candidate starts and
+/// finishes are staged in `scratch` (contiguous `f64` slices), and the
+/// winner is picked by [`argmin_eft_slice`] — same first-minimum rule,
+/// ties to the **lowest processor id**.
+pub fn min_eft_placement_into(
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    t: TaskId,
+    insertion: bool,
+    scratch: &mut PlacementScratch,
+) -> Result<(ProcId, f64, f64), CoreError> {
+    scratch.starts.clear();
+    scratch.finishes.clear();
     for p in problem.platform().procs() {
         let start = est(problem, schedule, t, p, insertion)?;
-        options.push((start, start + problem.w(t, p)));
+        scratch.starts.push(start);
+        scratch.finishes.push(start + problem.w(t, p));
     }
-    let proc = argmin_eft(options.iter().map(|&(_, finish)| finish)).ok_or(
-        CoreError::ProcCountMismatch {
-            platform: 0,
-            costs: 0,
-        },
-    )?;
-    let (start, finish) = options[proc.index()];
-    Ok((proc, start, finish))
+    let proc = argmin_eft_slice(&scratch.finishes).ok_or(CoreError::ProcCountMismatch {
+        platform: 0,
+        costs: 0,
+    })?;
+    Ok((
+        proc,
+        scratch.starts[proc.index()],
+        scratch.finishes[proc.index()],
+    ))
 }
 
 /// One tentative parent replica priced by [`eft_with_duplication`]: a copy
@@ -433,6 +509,61 @@ mod tests {
         assert_eq!(argmin_eft([5.0]), Some(ProcId(0)));
         assert_eq!(argmin_eft([3.0, 1.0, 1.0, 2.0]), Some(ProcId(1)));
         assert_eq!(argmin_eft([2.0, 2.0]), Some(ProcId(0)));
+    }
+
+    #[test]
+    fn argmin_slice_agrees_with_iterator_variant() {
+        let rows: [&[f64]; 6] = [
+            &[],
+            &[5.0],
+            &[3.0, 1.0, 1.0, 2.0],
+            &[2.0, 2.0],
+            &[f64::NAN, 1.0, 0.5],
+            &[1.0, f64::NAN, 0.5],
+        ];
+        for row in rows {
+            assert_eq!(
+                argmin_eft_slice(row),
+                argmin_eft(row.iter().copied()),
+                "{row:?}"
+            );
+        }
+        // Ties go to the lowest processor id.
+        assert_eq!(argmin_eft_slice(&[2.0, 2.0]), Some(ProcId(0)));
+    }
+
+    #[test]
+    fn eft_row_into_matches_eft_row() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        for insertion in [false, true] {
+            let naive = eft_row(&problem, &s, TaskId(1), insertion).unwrap();
+            let mut ready = vec![0.0; 2];
+            let mut row = vec![0.0; 2];
+            eft_row_into(&problem, &s, TaskId(1), insertion, &mut ready, &mut row).unwrap();
+            assert_eq!(row, naive);
+            assert_eq!(
+                ready[0],
+                data_ready_time(&problem, &s, TaskId(1), ProcId(0)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn min_eft_placement_into_matches_allocating_variant() {
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0.0, 4.0).unwrap();
+        let mut scratch = PlacementScratch::default();
+        for insertion in [false, true] {
+            let a = min_eft_placement(&problem, &s, TaskId(1), insertion).unwrap();
+            let b =
+                min_eft_placement_into(&problem, &s, TaskId(1), insertion, &mut scratch).unwrap();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The Heterogeneous Dynamic List Task Scheduling heuristic (Section IV).
 
-use crate::est::{argmin_eft, eft_row};
+use crate::est::{argmin_eft, argmin_eft_slice, eft_row};
 use crate::{
     CoreError, DuplicationPolicy, EftCache, EngineMode, HdltsConfig, Problem, Schedule,
     ScheduleTrace, Scheduler, TraceStep,
@@ -78,19 +78,23 @@ impl Hdlts {
         trace: Option<&mut ScheduleTrace>,
     ) -> Result<Schedule, CoreError> {
         match self.config.engine {
-            EngineMode::Incremental => self.run_incremental(problem, trace),
+            EngineMode::Incremental => self.run_incremental(problem, trace, false),
+            EngineMode::IncrementalParallel => self.run_incremental(problem, trace, true),
             EngineMode::FullRecompute => self.run_full_recompute(problem, trace),
         }
     }
 
     /// The dirty-tracked fast path: ready rows live in an [`EftCache`] and
     /// only the columns a placement touched are re-evaluated each step.
-    /// Produces byte-identical schedules and traces to
+    /// With `parallel`, batched row work above the configured
+    /// [`crate::ParallelTuning`] thresholds fans across the rayon pool.
+    /// Both variants produce byte-identical schedules and traces to
     /// [`run_full_recompute`](Self::run_full_recompute).
     fn run_incremental(
         &self,
         problem: &Problem<'_>,
         mut trace: Option<&mut ScheduleTrace>,
+        parallel: bool,
     ) -> Result<Schedule, CoreError> {
         let (entry, _exit) = problem.entry_exit()?;
         let dag = problem.dag();
@@ -98,19 +102,31 @@ impl Hdlts {
         let mut schedule = Schedule::new(n, problem.num_procs());
 
         let mut pending_preds: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
-        let mut cache = EftCache::new(problem, self.config.insertion, self.config.penalty);
+        let mut cache = if parallel {
+            EftCache::with_parallel(
+                problem,
+                self.config.insertion,
+                self.config.penalty,
+                self.config.parallel,
+            )
+        } else {
+            EftCache::new(problem, self.config.insertion, self.config.penalty)
+        };
         cache.admit(problem, &schedule, entry)?;
         let mut step = 0usize;
+        // Hoisted per-step buffers: the selected row, the dirtied
+        // processors, and the batch of newly-ready children.
+        let mut row = Vec::with_capacity(problem.num_procs());
+        let mut touched: Vec<ProcId> = Vec::with_capacity(problem.num_procs());
+        let mut newly_ready: Vec<TaskId> = Vec::new();
 
         while let Some(task) = cache.select() {
             step += 1;
-            let row = cache
-                .eft_row(task)
-                .expect("selected task has a row")
-                .to_vec();
+            row.clear();
+            row.extend_from_slice(cache.eft_row(task).expect("selected task has a row"));
 
             // Minimum-EFT processor (ties: lowest id).
-            let proc = argmin_eft(row.iter().copied()).expect("platform has processors");
+            let proc = argmin_eft_slice(&row).expect("platform has processors");
             // Recompute the start from EST rather than `EFT - W`: the
             // latter can land a few ulps below the processor's
             // availability and spuriously overlap the previous slot.
@@ -132,7 +148,7 @@ impl Hdlts {
                     step,
                     ready,
                     selected: task,
-                    eft_row: row,
+                    eft_row: row.clone(),
                     chosen_proc: proc,
                     duplicated_on: duplicated_on.clone(),
                 });
@@ -140,17 +156,22 @@ impl Hdlts {
 
             // Propagate the dirty state: the primary's processor plus every
             // processor that received a replica this step.
-            let mut touched = Vec::with_capacity(1 + duplicated_on.len());
+            touched.clear();
             touched.push(proc);
             touched.extend(duplicated_on);
             cache.on_placed(problem, &schedule, task, &touched)?;
 
+            // Admit the step's newly-ready children as one batch, in child
+            // order — the same admission order as per-child `admit` calls,
+            // but eligible for the parallel row fan-out.
+            newly_ready.clear();
             for &(child, _) in dag.succs(task) {
                 pending_preds[child.index()] -= 1;
                 if pending_preds[child.index()] == 0 {
-                    cache.admit(problem, &schedule, child)?;
+                    newly_ready.push(child);
                 }
             }
+            cache.admit_batch(problem, &schedule, &newly_ready)?;
         }
 
         if !schedule.is_complete() {

@@ -40,17 +40,19 @@ mod hdlts;
 mod problem;
 mod schedule;
 mod scheduler;
+mod soa;
 mod svg;
 mod timeline;
 mod trace;
 pub mod validate;
 
 pub use config::{DuplicationPolicy, HdltsConfig, PenaltyKind};
-pub use engine::{EftCache, EngineMode, ReplicaEftCache};
+pub use engine::{EftCache, EngineMode, ParallelTuning, ReplicaEftCache};
 pub use error::CoreError;
 pub use est::{
-    argmin_eft, data_ready_time, eft, eft_row, eft_with_duplication, est, min_eft_placement,
-    penalty_value, DupScratch, PlannedCopy,
+    argmin_eft, argmin_eft_slice, data_ready_time, eft, eft_row, eft_row_into,
+    eft_with_duplication, est, min_eft_placement, min_eft_placement_into, penalty_value,
+    DupScratch, PlacementScratch, PlannedCopy,
 };
 pub use hdlts::{duplicate_entry, Hdlts};
 pub use problem::Problem;

@@ -1,0 +1,234 @@
+//! Struct-of-arrays backing store for ready-task EFT rows.
+//!
+//! The incremental engine keeps one `Ready(t, ·)` and one `EFT(t, ·)` row
+//! per ready task, plus the row's penalty value. Storing those rows as
+//! per-task heap `Vec`s (the pre-SoA layout) spreads the hot state across
+//! the heap: every select scan chases a pointer per row, and every column
+//! update dereferences two `Vec`s per surviving task. [`SoaRowStore`]
+//! flattens the state into three dense arrays indexed by an *active slot*:
+//!
+//! ```text
+//!            proc 0 .. P-1           proc 0 .. P-1
+//! slot 0  [ ready . . . . ]       [ eft . . . . . ]       [ pv ]
+//! slot 1  [ ready . . . . ]       [ eft . . . . . ]       [ pv ]
+//!   ...         ...                     ...                 ...
+//! slot S  [ ready . . . . ]       [ eft . . . . . ]       [ pv ]
+//!          (row-major f64)         (row-major f64)       (dense f64)
+//! ```
+//!
+//! Slots are recycled through a free list, so retiring a task and admitting
+//! another never shifts surviving rows (the **slot-reuse invariant**: a
+//! slot's contents are stable between `alloc` and `release`, and the store
+//! grows only when no freed slot is available). Per-placement column
+//! updates and the min-PV select scan therefore run over contiguous `f64`
+//! slices — branch-light loops the compiler can autovectorize — and
+//! admission after warm-up allocates nothing.
+//!
+//! The slot order is an implementation detail: selection uses an
+//! order-independent total order (see `EftCache::select`), so scanning in
+//! slot order and scanning in admission order pick the same winner.
+
+use hdlts_dag::TaskId;
+
+/// Sentinel for "no slot" in `slot_of` / "free" in `task_of`.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Dense slot-indexed storage for per-task `(ready, eft, pv)` rows.
+///
+/// All row state lives in three flat arrays; `slot_of`/`task_of` map
+/// between task ids and slots in O(1) both ways.
+#[derive(Debug, Clone)]
+pub(crate) struct SoaRowStore {
+    /// Columns per row (one per processor).
+    procs: usize,
+    /// `Ready(t, p)` matrix, row-major `[slot * procs + p]`.
+    ready: Vec<f64>,
+    /// `EFT(t, p)` matrix, row-major `[slot * procs + p]`.
+    eft: Vec<f64>,
+    /// Penalty value per slot.
+    pv: Vec<f64>,
+    /// Task index -> slot (`NO_SLOT` = task has no live row).
+    slot_of: Vec<u32>,
+    /// Slot -> task index (`NO_SLOT` = slot is free).
+    task_of: Vec<u32>,
+    /// Recycled slots, reused LIFO by [`SoaRowStore::alloc`].
+    free: Vec<u32>,
+}
+
+impl SoaRowStore {
+    /// An empty store for `num_tasks` tasks on `procs` processors.
+    pub fn new(num_tasks: usize, procs: usize) -> Self {
+        SoaRowStore {
+            procs,
+            ready: Vec::new(),
+            eft: Vec::new(),
+            pv: Vec::new(),
+            slot_of: vec![NO_SLOT; num_tasks],
+            task_of: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Columns per row.
+    #[inline]
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The live slot of task `t`, if it has one.
+    #[inline]
+    pub fn slot_of(&self, t: TaskId) -> Option<usize> {
+        let s = self.slot_of[t.index()];
+        (s != NO_SLOT).then_some(s as usize)
+    }
+
+    /// The task occupying `slot`, or `None` if the slot is free.
+    #[inline]
+    pub fn task_at(&self, slot: usize) -> Option<TaskId> {
+        let t = self.task_of[slot];
+        (t != NO_SLOT).then_some(TaskId(t))
+    }
+
+    /// The dense per-slot penalty values (free slots hold stale values;
+    /// pair with [`SoaRowStore::task_at`] when scanning).
+    #[inline]
+    pub fn pvs(&self) -> &[f64] {
+        &self.pv
+    }
+
+    /// Assigns a slot to `t`, recycling a freed one when available. The
+    /// slot's row contents are unspecified until written.
+    pub fn alloc(&mut self, t: TaskId) -> usize {
+        debug_assert_eq!(self.slot_of[t.index()], NO_SLOT, "task already has a row");
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                let s = self.pv.len();
+                self.ready.resize(self.ready.len() + self.procs, 0.0);
+                self.eft.resize(self.eft.len() + self.procs, 0.0);
+                self.pv.push(0.0);
+                self.task_of.push(NO_SLOT);
+                s
+            }
+        };
+        self.slot_of[t.index()] = slot as u32;
+        self.task_of[slot] = t.index() as u32;
+        slot
+    }
+
+    /// Retires `t`'s row, returning its slot to the free list. No-op when
+    /// the task has no live row.
+    pub fn release(&mut self, t: TaskId) {
+        let s = self.slot_of[t.index()];
+        if s == NO_SLOT {
+            return;
+        }
+        self.slot_of[t.index()] = NO_SLOT;
+        self.task_of[s as usize] = NO_SLOT;
+        self.free.push(s);
+    }
+
+    /// The `Ready(t, ·)` row at `slot`.
+    #[inline]
+    pub fn ready_row(&self, slot: usize) -> &[f64] {
+        &self.ready[slot * self.procs..(slot + 1) * self.procs]
+    }
+
+    /// The `EFT(t, ·)` row at `slot`.
+    #[inline]
+    pub fn eft_row(&self, slot: usize) -> &[f64] {
+        &self.eft[slot * self.procs..(slot + 1) * self.procs]
+    }
+
+    /// The penalty value at `slot`.
+    #[inline]
+    pub fn pv(&self, slot: usize) -> f64 {
+        self.pv[slot]
+    }
+
+    /// Sets the penalty value at `slot`.
+    #[inline]
+    pub fn set_pv(&mut self, slot: usize, pv: f64) {
+        self.pv[slot] = pv;
+    }
+
+    /// Mutable `(ready, eft)` rows at `slot`, for full-row refills.
+    #[inline]
+    pub fn row_mut(&mut self, slot: usize) -> (&mut [f64], &mut [f64]) {
+        let a = slot * self.procs;
+        let b = a + self.procs;
+        (&mut self.ready[a..b], &mut self.eft[a..b])
+    }
+
+    /// `(ready, eft, pv)` at `slot` with the ready row read-only — the
+    /// column-update access pattern.
+    #[inline]
+    pub fn row_cells_mut(&mut self, slot: usize) -> (&[f64], &mut [f64], &mut f64) {
+        let a = slot * self.procs;
+        let b = a + self.procs;
+        (&self.ready[a..b], &mut self.eft[a..b], &mut self.pv[slot])
+    }
+
+    /// Overwrites the row at `slot` from staged buffers (the serial
+    /// write-back half of a parallel fan-out).
+    pub fn write_row(&mut self, slot: usize, ready: &[f64], eft: &[f64], pv: f64) {
+        let a = slot * self.procs;
+        let b = a + self.procs;
+        self.ready[a..b].copy_from_slice(ready);
+        self.eft[a..b].copy_from_slice(eft);
+        self.pv[slot] = pv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_recycles_slots_without_moving_rows() {
+        let mut s = SoaRowStore::new(6, 3);
+        let s0 = s.alloc(TaskId(0));
+        let s1 = s.alloc(TaskId(1));
+        assert_eq!((s0, s1), (0, 1));
+        s.write_row(s0, &[1.0; 3], &[2.0; 3], 0.5);
+        s.write_row(s1, &[3.0; 3], &[4.0; 3], 0.7);
+
+        // Releasing task 0 frees its slot; task 1's row does not move.
+        s.release(TaskId(0));
+        assert_eq!(s.slot_of(TaskId(0)), None);
+        assert_eq!(s.task_at(s0), None);
+        assert_eq!(s.slot_of(TaskId(1)), Some(s1));
+        assert_eq!(s.eft_row(s1), &[4.0; 3]);
+
+        // The next admit reuses the freed slot (no growth).
+        let s2 = s.alloc(TaskId(2));
+        assert_eq!(s2, s0);
+        assert_eq!(s.pvs().len(), 2);
+        assert_eq!(s.task_at(s2), Some(TaskId(2)));
+
+        // And a further admit grows by exactly one row.
+        let s3 = s.alloc(TaskId(3));
+        assert_eq!(s3, 2);
+        assert_eq!(s.pvs().len(), 3);
+    }
+
+    #[test]
+    fn row_views_are_slot_local() {
+        let mut s = SoaRowStore::new(4, 2);
+        let a = s.alloc(TaskId(0));
+        let b = s.alloc(TaskId(1));
+        s.write_row(a, &[1.0, 2.0], &[3.0, 4.0], 1.0);
+        s.write_row(b, &[5.0, 6.0], &[7.0, 8.0], 2.0);
+        assert_eq!(s.ready_row(a), &[1.0, 2.0]);
+        assert_eq!(s.eft_row(b), &[7.0, 8.0]);
+        let (ready, eft, pv) = s.row_cells_mut(b);
+        assert_eq!(ready, &[5.0, 6.0]);
+        eft[0] = 9.0;
+        *pv = 3.0;
+        assert_eq!(s.eft_row(b), &[9.0, 8.0]);
+        assert_eq!(s.pv(b), 3.0);
+        // Slot `a` untouched.
+        assert_eq!(s.eft_row(a), &[3.0, 4.0]);
+        assert_eq!(s.pv(a), 1.0);
+    }
+}

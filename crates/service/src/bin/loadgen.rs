@@ -17,7 +17,7 @@
 //!
 //! ```text
 //! loadgen [--rate JOBS_PER_SEC] [--duration SECS] [--clients N]
-//!         [--procs P] [--workers N] [--queue-cap N] [--seed S]
+//!         [--procs P] [--workers N] [--queue-cap N] [--batch N] [--seed S]
 //!         [--retries N] [--out FILE] [--addr HOST:PORT [--shutdown]]
 //! ```
 
@@ -34,6 +34,7 @@ struct Options {
     procs: usize,
     workers: usize,
     queue_cap: usize,
+    batch: usize,
     seed: u64,
     retries: u32,
     out: String,
@@ -50,6 +51,7 @@ impl Default for Options {
             procs: 4,
             workers: 4,
             queue_cap: 256,
+            batch: 16,
             seed: 1,
             retries: 3,
             out: "BENCH_service.json".into(),
@@ -74,13 +76,14 @@ fn parse_args() -> Result<Options, String> {
             "--procs" => opts.procs = int(&value("--procs")?)?,
             "--workers" => opts.workers = int(&value("--workers")?)?,
             "--queue-cap" => opts.queue_cap = int(&value("--queue-cap")?)?,
+            "--batch" => opts.batch = int(&value("--batch")?)?,
             "--seed" => opts.seed = int(&value("--seed")?)? as u64,
             "--retries" => opts.retries = int(&value("--retries")?)? as u32,
             "--out" => opts.out = value("--out")?,
             "--addr" => opts.addr = Some(value("--addr")?),
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => {
-                println!("usage: loadgen [--rate R] [--duration S] [--clients N] [--procs P] [--workers N] [--queue-cap N] [--seed S] [--retries N] [--out FILE] [--addr HOST:PORT [--shutdown]]");
+                println!("usage: loadgen [--rate R] [--duration S] [--clients N] [--procs P] [--workers N] [--queue-cap N] [--batch N] [--seed S] [--retries N] [--out FILE] [--addr HOST:PORT [--shutdown]]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag '{other}'")),
@@ -91,6 +94,9 @@ fn parse_args() -> Result<Options, String> {
     let positive = |x: f64| x.is_finite() && x > 0.0;
     if !positive(opts.rate) || !positive(opts.duration) || opts.clients == 0 {
         return Err("rate, duration, and clients must be positive".into());
+    }
+    if opts.batch == 0 {
+        return Err("--batch must be at least 1".into());
     }
     Ok(opts)
 }
@@ -209,6 +215,7 @@ fn main() {
                     procs: opts.procs,
                     threads: opts.workers,
                 }],
+                shard_batch: opts.batch,
                 ..Default::default()
             })
             .unwrap_or_else(|e| {
@@ -295,6 +302,11 @@ fn main() {
                 ("procs", opts.procs.into()),
                 ("workers", opts.workers.into()),
                 ("queue_capacity", opts.queue_cap.into()),
+                ("shard_batch", opts.batch.into()),
+                (
+                    "engine_mode",
+                    format!("{:?}", hdlts_core::EngineMode::default()).into(),
+                ),
                 ("seed", opts.seed.into()),
                 ("retry_budget", (opts.retries as u64).into()),
                 (

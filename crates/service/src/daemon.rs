@@ -24,7 +24,7 @@ use crate::jobs::{JobResult, JobState, JobTable};
 use crate::journal::{Journal, Record, Recovery};
 use crate::json::{obj, Value};
 use crate::protocol::{self, parse_request, placements_value, Request, SubmitRequest};
-use crate::queue::{Bounded, Pop, PushError};
+use crate::queue::{Bounded, PopBatch, PushError};
 use hdlts_metrics::LatencyHistogram;
 use hdlts_platform::Platform;
 use hdlts_sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel};
@@ -63,6 +63,11 @@ pub struct ServiceConfig {
     /// Artificial delay before each job a worker processes — a throttle
     /// hook for backpressure tests and drain drills. 0 in production.
     pub worker_delay_ms: u64,
+    /// Jobs a shard worker drains per queue wakeup (>= 1). Batching
+    /// amortizes the queue lock and the wakeup latency over a backlog;
+    /// a batch never waits to fill, so an idle service keeps single-job
+    /// latency.
+    pub shard_batch: usize,
     /// Terminal job records retained for `status`/`result` queries.
     pub retain_results: usize,
     /// Write-ahead job journal path. `Some` makes every admission durable
@@ -90,6 +95,7 @@ impl Default for ServiceConfig {
             }],
             default_deadline_ms: None,
             worker_delay_ms: 0,
+            shard_batch: 16,
             retain_results: 4096,
             journal_path: None,
             journal_sync: false,
@@ -490,17 +496,39 @@ fn snapshot(shared: &Shared) -> ServiceStats {
 
 fn worker_loop(shared: &Shared, shard_idx: usize) {
     let shard = &shared.shards[shard_idx];
-    loop {
+    let max = shared.cfg.shard_batch.max(1);
+    let mut batch: Vec<QueuedJob> = Vec::with_capacity(max);
+    'drain: loop {
         if shared.faults.crashed() {
             break; // the process is "dead": abandon the queue mid-backlog
         }
+        // The slow-worker knob pays its delay *before* the pop so a
+        // simulated backlog stays visible in the queue (backpressure
+        // rejections depend on that), not invisibly inside a drained
+        // batch. Within a batch the delay recurs between jobs.
         if shared.cfg.worker_delay_ms > 0 {
             std::thread::sleep(Duration::from_millis(shared.cfg.worker_delay_ms));
         }
-        match shard.queue.pop(Duration::from_millis(50)) {
-            Pop::Item(job) => process_job(shared, shard, job),
-            Pop::Empty => continue,
-            Pop::Closed => break,
+        match shard
+            .queue
+            .pop_batch(max, Duration::from_millis(50), &mut batch)
+        {
+            PopBatch::Drained(_) => {
+                for (i, job) in batch.drain(..).enumerate() {
+                    // Honored between jobs too: a mid-batch crash abandons
+                    // the batch tail exactly as it abandons the queue —
+                    // the journal re-runs both on recovery.
+                    if shared.faults.crashed() {
+                        break 'drain;
+                    }
+                    if i > 0 && shared.cfg.worker_delay_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(shared.cfg.worker_delay_ms));
+                    }
+                    process_job(shared, shard, job);
+                }
+            }
+            PopBatch::Empty => continue,
+            PopBatch::Closed => break,
         }
     }
     shared.workers_alive.fetch_sub(1, Ordering::SeqCst);

@@ -35,6 +35,17 @@ pub enum Pop<T> {
     Closed,
 }
 
+/// Result of a timed batch pop ([`Bounded::pop_batch`]).
+#[derive(Debug, PartialEq)]
+pub enum PopBatch {
+    /// `n >= 1` items were appended to the caller's buffer.
+    Drained(usize),
+    /// The timeout elapsed with the queue open but empty.
+    Empty,
+    /// The queue is closed and fully drained; the consumer should exit.
+    Closed,
+}
+
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -150,6 +161,45 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Blocking batch consume: waits up to `timeout` for at least one
+    /// item, then drains up to `max` items **already queued at that
+    /// moment** into `out` under one lock acquisition — a worker wakeup
+    /// amortizes the lock (and everything the caller does per wakeup)
+    /// over the whole backlog instead of one job. Never waits for a
+    /// batch to fill: one queued item is a batch of one. Close semantics
+    /// match [`Bounded::pop`]: queued items drain before
+    /// [`PopBatch::Closed`] is reported.
+    pub fn pop_batch(&self, max: usize, timeout: Duration, out: &mut Vec<T>) -> PopBatch {
+        assert!(max >= 1, "batch size must be at least 1");
+        let mut inner = self.lock();
+        loop {
+            if !inner.items.is_empty() {
+                let n = inner.items.len().min(max);
+                out.extend(inner.items.drain(..n));
+                return PopBatch::Drained(n);
+            }
+            if inner.closed {
+                return PopBatch::Closed;
+            }
+            let (guard, result) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+            if result.timed_out() {
+                return if !inner.items.is_empty() {
+                    let n = inner.items.len().min(max);
+                    out.extend(inner.items.drain(..n));
+                    PopBatch::Drained(n)
+                } else if inner.closed {
+                    PopBatch::Closed
+                } else {
+                    PopBatch::Empty
+                };
+            }
+        }
+    }
+
     /// Starts the drain: refuses new pushes, wakes all waiting consumers.
     /// Idempotent.
     pub fn close(&self) {
@@ -217,6 +267,66 @@ mod tests {
         assert_eq!(q.pop(TICK), Pop::Item(2));
         assert_eq!(q.pop(TICK), Pop::Closed);
         assert!(q.is_closed());
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max_in_fifo_order() {
+        let q = Bounded::new(8);
+        for i in 1..=5 {
+            q.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(3, TICK, &mut out), PopBatch::Drained(3));
+        assert_eq!(out, vec![1, 2, 3]);
+        // Appends, never clears the caller's buffer.
+        assert_eq!(q.pop_batch(3, TICK, &mut out), PopBatch::Drained(2));
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(q.pop_batch(3, TICK, &mut out), PopBatch::Empty);
+    }
+
+    #[test]
+    fn pop_batch_returns_single_item_without_waiting_for_a_full_batch() {
+        let q = Bounded::new(8);
+        q.try_push(7).unwrap();
+        let mut out = Vec::new();
+        let start = Instant::now();
+        assert_eq!(
+            q.pop_batch(64, Duration::from_secs(30), &mut out),
+            PopBatch::Drained(1)
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "batch waited to fill"
+        );
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn pop_batch_drains_then_reports_closed() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(8, TICK, &mut out), PopBatch::Drained(2));
+        assert_eq!(q.pop_batch(8, TICK, &mut out), PopBatch::Closed);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn pop_batch_wakes_on_late_push() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let r = q2.pop_batch(4, Duration::from_secs(30), &mut out);
+            (r, out)
+        });
+        std::thread::sleep(TICK);
+        q.try_push(42).unwrap();
+        let (r, out) = handle.join().unwrap();
+        assert_eq!(r, PopBatch::Drained(1));
+        assert_eq!(out, vec![42]);
     }
 
     #[test]

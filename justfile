@@ -53,5 +53,6 @@ ci:
     HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_recovery seeded_chaos_sweep
     if cargo miri --version >/dev/null 2>&1; then MIRIFLAGS=-Zmiri-disable-isolation cargo miri test -p hdlts-service --lib queue json; else echo "miri unavailable locally; skipped (covered by the CI miri job)"; fi
     cargo run --release -p hdlts-bench --bin bench-json -- BENCH_ci.json
+    ./scripts/test_bench_gate.sh
     ./scripts/bench_gate.sh BENCH_ci.json
     cargo run --release -p hdlts-service --bin loadgen -- --rate 100 --duration 3 --out BENCH_service_ci.json

@@ -1,0 +1,110 @@
+#!/usr/bin/env sh
+# Self-test for scripts/bench_gate.sh against fixture JSON files.
+#
+# Exercises the failure modes the gate must catch: a healthy file passes,
+# a regressed metric fails, a missing key fails *by name*, a decoy (the
+# metric name embedded in a nested kernel row or a longer key) does not
+# satisfy the gate, a non-numeric value fails, and an empty metric list
+# refuses to report OK. Run from the repo root:
+#
+#   ./scripts/test_bench_gate.sh
+set -eu
+
+gate="$(dirname "$0")/bench_gate.sh"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+failures=0
+expect() {
+    # expect <want: pass|fail> <label> <needle-on-fail|-> -- <gate args...>
+    want="$1" label="$2" needle="$3"
+    shift 4
+    out="$tmp/out.txt"
+    if "$@" >"$out" 2>&1; then got=pass; else got=fail; fi
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: $label (wanted $want, got $got)" >&2
+        sed 's/^/    | /' "$out" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    if [ "$needle" != "-" ] && ! grep -q "$needle" "$out"; then
+        echo "FAIL: $label (output missing '$needle')" >&2
+        sed 's/^/    | /' "$out" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    echo "ok: $label"
+}
+
+# A healthy report: both gated keys present, top-level, numeric.
+cat >"$tmp/good.json" <<'EOF'
+{
+  "bench": "engine",
+  "kernels": [
+    {"name": "hdlts/incremental", "v": 100, "mean_ns_per_op": 50447.3}
+  ],
+  "fig3_v10000_min_speedup": 5.70,
+  "cpd_v1000_min_speedup": 10.10
+}
+EOF
+
+# One metric regressed far below baseline * slack.
+cat >"$tmp/regressed.json" <<'EOF'
+{
+  "fig3_v10000_min_speedup": 1.01,
+  "cpd_v1000_min_speedup": 10.10
+}
+EOF
+
+# Second gated key absent entirely.
+cat >"$tmp/missing.json" <<'EOF'
+{
+  "fig3_v10000_min_speedup": 5.70
+}
+EOF
+
+# The gated key never appears as a *top-level key*: once inside a nested
+# kernel row's string value, once as a prefix of a longer key. The old
+# substring matcher accepted both.
+cat >"$tmp/decoy.json" <<'EOF'
+{
+  "kernels": [
+    {"name": "notes/cpd_v1000_min_speedup", "v": 100, "mean_ns_per_op": 9999.0}
+  ],
+  "fig3_v10000_min_speedup": 5.70,
+  "cpd_v1000_min_speedup_note": 99.0
+}
+EOF
+
+# Key present but not a number.
+cat >"$tmp/nonnumeric.json" <<'EOF'
+{
+  "fig3_v10000_min_speedup": "fast",
+  "cpd_v1000_min_speedup": 10.10
+}
+EOF
+
+M2="fig3_v10000_min_speedup:5.66 cpd_v1000_min_speedup:10.02"
+
+expect pass "healthy report passes" "gate: OK" -- \
+    env BENCH_GATE_METRICS="$M2" "$gate" "$tmp/good.json"
+expect fail "regressed metric fails" "fig3_v10000_min_speedup regressed" -- \
+    env BENCH_GATE_METRICS="$M2" "$gate" "$tmp/regressed.json"
+expect fail "missing key fails naming the key" "cpd_v1000_min_speedup missing" -- \
+    env BENCH_GATE_METRICS="$M2" "$gate" "$tmp/missing.json"
+expect fail "decoy substring does not satisfy the gate" "cpd_v1000_min_speedup missing" -- \
+    env BENCH_GATE_METRICS="$M2" "$gate" "$tmp/decoy.json"
+expect fail "non-numeric value fails" "fig3_v10000_min_speedup is not a number" -- \
+    env BENCH_GATE_METRICS="$M2" "$gate" "$tmp/nonnumeric.json"
+expect fail "empty metric list refuses to pass" "empty metric list" -- \
+    env BENCH_GATE_METRICS="" "$gate" "$tmp/good.json"
+expect fail "malformed metric entry fails" "malformed metric" -- \
+    env BENCH_GATE_METRICS="fig3_v10000_min_speedup" "$gate" "$tmp/good.json"
+expect fail "absent input file fails" "not found" -- \
+    env BENCH_GATE_METRICS="$M2" "$gate" "$tmp/does_not_exist.json"
+
+if [ "$failures" -ne 0 ]; then
+    echo "test_bench_gate: $failures failure(s)" >&2
+    exit 1
+fi
+echo "test_bench_gate: all cases passed"

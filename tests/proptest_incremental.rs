@@ -1,12 +1,15 @@
 //! Differential property tests for the incremental EFT engine: on arbitrary
-//! instances from both DAG generators, [`EngineMode::Incremental`] must
-//! produce the exact `(proc, start, finish)` schedule **and** the exact
-//! Table I trace of the full-recompute oracle, for every combination of
-//! insertion mode and entry-task duplication.
+//! instances from both DAG generators, [`EngineMode::Incremental`] and
+//! [`EngineMode::IncrementalParallel`] must produce the exact
+//! `(proc, start, finish)` schedule **and** the exact Table I trace of the
+//! full-recompute oracle, for every combination of insertion mode and
+//! entry-task duplication — and the parallel mode must be invariant to the
+//! rayon thread count.
 
 use hdlts_repro::baselines::HdltsCpd;
 use hdlts_repro::core::{
-    DuplicationPolicy, EngineMode, Hdlts, HdltsConfig, PenaltyKind, Problem, Scheduler,
+    DuplicationPolicy, EngineMode, Hdlts, HdltsConfig, ParallelTuning, PenaltyKind, Problem,
+    Scheduler,
 };
 use hdlts_repro::dag::{Dag, DagBuilder};
 use hdlts_repro::platform::{CostMatrix, Platform};
@@ -23,6 +26,29 @@ const CONFIGS: [(bool, DuplicationPolicy); 4] = [
     (true, DuplicationPolicy::Off),
 ];
 
+/// Thresholds that force [`EngineMode::IncrementalParallel`] onto the rayon
+/// path even for the tiny instances proptest favours — without this the
+/// parallel mode would silently fall back to the serial kernel and the
+/// differential would prove nothing.
+const FORCE_PARALLEL: ParallelTuning = ParallelTuning {
+    min_batch_rows: 1,
+    min_column_rows: 1,
+};
+
+/// A shared two-thread pool for the forced-parallel arms: the engine's
+/// fan-out guard takes the serial path on single-thread pools, so without
+/// this the differentials would silently stop covering the staging kernel
+/// on a one-core machine. Built once — pool construction is not free.
+fn test_pool() -> &'static rayon::ThreadPool {
+    static POOL: std::sync::OnceLock<rayon::ThreadPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("test pool")
+    })
+}
+
 fn assert_engines_agree(
     problem: &Problem<'_>,
     insertion: bool,
@@ -32,24 +58,34 @@ fn assert_engines_agree(
     let cfg = HdltsConfig {
         insertion,
         duplication,
+        parallel: FORCE_PARALLEL,
         ..HdltsConfig::default()
     };
-    let (fast_s, fast_t) = Hdlts::new(cfg.with_engine(EngineMode::Incremental))
-        .schedule_with_trace(problem)
-        .unwrap();
     let (full_s, full_t) = Hdlts::new(cfg.with_engine(EngineMode::FullRecompute))
         .schedule_with_trace(problem)
         .unwrap();
-    prop_assert_eq!(
-        fast_s,
-        full_s,
-        "schedules diverged ({context}, insertion={insertion}, dup={duplication:?})"
-    );
-    prop_assert_eq!(
-        fast_t,
-        full_t,
-        "traces diverged ({context}, insertion={insertion}, dup={duplication:?})"
-    );
+    for mode in [EngineMode::Incremental, EngineMode::IncrementalParallel] {
+        let run = || {
+            Hdlts::new(cfg.with_engine(mode))
+                .schedule_with_trace(problem)
+                .unwrap()
+        };
+        let (fast_s, fast_t) = if mode == EngineMode::IncrementalParallel {
+            test_pool().install(run)
+        } else {
+            run()
+        };
+        prop_assert_eq!(
+            &fast_s,
+            &full_s,
+            "schedules diverged ({context}, {mode:?}, insertion={insertion}, dup={duplication:?})"
+        );
+        prop_assert_eq!(
+            &fast_t,
+            &full_t,
+            "traces diverged ({context}, {mode:?}, insertion={insertion}, dup={duplication:?})"
+        );
+    }
     Ok(())
 }
 
@@ -175,15 +211,64 @@ proptest! {
         let inst = random_dag::generate(&params, seed);
         let platform = Platform::fully_connected(inst.num_procs()).unwrap();
         let problem = inst.problem(&platform).unwrap();
-        let cfg = HdltsConfig { penalty: pv, ..HdltsConfig::default() };
-        let (fast_s, fast_t) = Hdlts::new(cfg.with_engine(EngineMode::Incremental))
-            .schedule_with_trace(&problem)
-            .unwrap();
+        let cfg = HdltsConfig { penalty: pv, parallel: FORCE_PARALLEL, ..HdltsConfig::default() };
         let (full_s, full_t) = Hdlts::new(cfg.with_engine(EngineMode::FullRecompute))
             .schedule_with_trace(&problem)
             .unwrap();
-        prop_assert_eq!(fast_s, full_s, "schedules diverged for {:?}", pv);
-        prop_assert_eq!(fast_t, full_t, "traces diverged for {:?}", pv);
+        for mode in [EngineMode::Incremental, EngineMode::IncrementalParallel] {
+            let run = || {
+                Hdlts::new(cfg.with_engine(mode))
+                    .schedule_with_trace(&problem)
+                    .unwrap()
+            };
+            let (fast_s, fast_t) = if mode == EngineMode::IncrementalParallel {
+                test_pool().install(run)
+            } else {
+                run()
+            };
+            prop_assert_eq!(&fast_s, &full_s, "schedules diverged for {:?} ({:?})", pv, mode);
+            prop_assert_eq!(&fast_t, &full_t, "traces diverged for {:?} ({:?})", pv, mode);
+        }
+    }
+
+    /// The parallel kernel's reduction must be deterministic **per thread
+    /// count and across thread counts**: the same schedule and trace under
+    /// rayon pools of 1, 2, and `available_parallelism` threads, all equal
+    /// to the full-recompute oracle. Workers write into index-aligned
+    /// staging slots and the commit/selection pass is sequential, so the
+    /// pool size must be unobservable.
+    #[test]
+    fn parallel_engine_is_thread_count_invariant(
+        params in arb_params(),
+        seed in 0u64..1_000_000,
+    ) {
+        let inst = random_dag::generate(&params, seed);
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        let cfg = HdltsConfig { parallel: FORCE_PARALLEL, ..HdltsConfig::default() };
+        let (full_s, full_t) = Hdlts::new(cfg.with_engine(EngineMode::FullRecompute))
+            .schedule_with_trace(&problem)
+            .unwrap();
+        let auto = std::thread::available_parallelism().map_or(4, |n| n.get());
+        for threads in [1usize, 2, auto] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (par_s, par_t) = pool.install(|| {
+                Hdlts::new(cfg.with_engine(EngineMode::IncrementalParallel))
+                    .schedule_with_trace(&problem)
+                    .unwrap()
+            });
+            prop_assert_eq!(
+                &par_s, &full_s,
+                "schedules diverged at {} threads ({})", threads, inst.name
+            );
+            prop_assert_eq!(
+                &par_t, &full_t,
+                "traces diverged at {} threads ({})", threads, inst.name
+            );
+        }
     }
 
     /// HDLTS-D (critical-parent duplication): the replica-aware cache must
@@ -198,8 +283,8 @@ proptest! {
         let inst = random_dag::generate(&params, seed);
         let platform = Platform::fully_connected(inst.num_procs()).unwrap();
         let problem = inst.problem(&platform).unwrap();
-        let fast = HdltsCpd::default().schedule(&problem).unwrap();
         let full = HdltsCpd::full_recompute().schedule(&problem).unwrap();
+        let fast = HdltsCpd::default().schedule(&problem).unwrap();
         prop_assert_eq!(
             fast.makespan().to_bits(),
             full.makespan().to_bits(),
@@ -207,6 +292,16 @@ proptest! {
         );
         prop_assert_eq!(fast.duplicates(), full.duplicates(), "replica sets diverged ({})", inst.name);
         prop_assert_eq!(&fast, &full, "schedules diverged ({})", inst.name);
+        let par = test_pool().install(|| {
+            HdltsCpd::with_tuning(EngineMode::IncrementalParallel, FORCE_PARALLEL)
+                .schedule(&problem)
+                .unwrap()
+        });
+        prop_assert_eq!(
+            par.duplicates(), full.duplicates(),
+            "parallel replica sets diverged ({})", inst.name
+        );
+        prop_assert_eq!(&par, &full, "parallel schedules diverged ({})", inst.name);
     }
 
     /// HDLTS-D differential on the hand-rolled builder shapes.
@@ -219,9 +314,19 @@ proptest! {
         let (dag, costs) = handrolled_instance(n, procs, seed);
         let platform = Platform::fully_connected(procs).unwrap();
         let problem = Problem::new(&dag, &costs, &platform).unwrap();
-        let fast = HdltsCpd::default().schedule(&problem).unwrap();
         let full = HdltsCpd::full_recompute().schedule(&problem).unwrap();
+        let fast = HdltsCpd::default().schedule(&problem).unwrap();
         prop_assert_eq!(fast.duplicates(), full.duplicates(), "replica sets diverged (handrolled)");
         prop_assert_eq!(&fast, &full, "schedules diverged (handrolled)");
+        let par = test_pool().install(|| {
+            HdltsCpd::with_tuning(EngineMode::IncrementalParallel, FORCE_PARALLEL)
+                .schedule(&problem)
+                .unwrap()
+        });
+        prop_assert_eq!(
+            par.duplicates(), full.duplicates(),
+            "parallel replica sets diverged (handrolled)"
+        );
+        prop_assert_eq!(&par, &full, "parallel schedules diverged (handrolled)");
     }
 }
