@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline build/test harness (NOT committed — see EXPERIMENTS.md
+# "Seed-test triage"). The dev container has no network and no registry
+# cache, so this wrapper runs cargo --offline with every external crate
+# path-patched to the stub crates under .shadow/stubs/. The committed
+# manifests stay CI-clean: online builds resolve the real crates.
+#
+# Usage: .shadow/check.sh <cargo args...>
+#   e.g. .shadow/check.sh build --release
+#        .shadow/check.sh test -q
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+stubs="$repo/.shadow/stubs"
+
+exec cargo --offline \
+  --config "patch.crates-io.serde.path=\"$stubs/serde\"" \
+  --config "patch.crates-io.serde_json.path=\"$stubs/serde_json\"" \
+  --config "patch.crates-io.rand.path=\"$stubs/rand\"" \
+  --config "patch.crates-io.rayon.path=\"$stubs/rayon\"" \
+  --config "patch.crates-io.proptest.path=\"$stubs/proptest\"" \
+  --config "patch.crates-io.criterion.path=\"$stubs/criterion\"" \
+  "$@"

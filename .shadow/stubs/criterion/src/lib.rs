@@ -1,0 +1,132 @@
+//! Offline stub of `criterion` 0.5: compiles the workspace's bench
+//! targets and executes each benchmark routine exactly once (smoke run,
+//! no statistics). Real measurements come from the `bench-json` binary,
+//! which does its own timing and does not depend on criterion.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::Duration;
+
+/// Measurement backends (stub: wall time only, and it measures nothing).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    pub struct WallTime;
+}
+
+/// Benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runs one benchmark routine (stub: a single un-timed invocation).
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Invokes `routine` once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine();
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    _criterion: PhantomData<&'a mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the sample count (stub: ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration (stub: ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement duration (stub: ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` once under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("criterion stub: smoke-running {}/{id}", self.name);
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    /// Runs `f` once under `id` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        eprintln!("criterion stub: smoke-running {}/{id}", self.name);
+        f(&mut Bencher { _private: () }, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: PhantomData,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

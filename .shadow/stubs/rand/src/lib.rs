@@ -1,0 +1,129 @@
+//! Offline stub of `rand` 0.9: a functional splitmix64 generator behind the
+//! subset of the real API this workspace uses (`StdRng::seed_from_u64`,
+//! `Rng::random_range` over integer and float ranges). Deterministic per
+//! seed, but the stream differs from the real crate's — tests that pinned
+//! real-stream values were made stream-agnostic (EXPERIMENTS.md).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generator (stub: only `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Range shapes accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `rng` within the range.
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+/// Types samplable from a range. The single generic `SampleRange` impl
+/// pair below (mirroring the real crate's shape) is what lets type
+/// inference project the sample type out of the range type.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_span<G: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut G) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_span(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range");
+        T::sample_span(lo, hi, true, rng)
+    }
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<G: Rng + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut G) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<G: Rng + ?Sized>(lo: $t, hi: $t, _inclusive: bool, rng: &mut G) -> $t {
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_uniform!(f32, f64);
+
+/// Named generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Splitmix64-backed stand-in for the real `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: usize = a.random_range(0..10);
+            assert_eq!(x, b.random_range(0..10));
+            assert!(x < 10);
+            let f: f64 = a.random_range(1.0..2.0);
+            assert_eq!(f.to_bits(), b.random_range(1.0f64..2.0).to_bits());
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+}

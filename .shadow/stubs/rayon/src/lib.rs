@@ -1,0 +1,476 @@
+//! Offline stub of `rayon`: the subset of the parallel-iterator API this
+//! workspace uses, executed with *real* parallelism over `std::thread::scope`
+//! (contiguous index-range segments, one OS thread per segment, results
+//! joined in segment order). Semantics match rayon where the workspace
+//! relies on them: items are disjoint, panics propagate, `fold`/`reduce`
+//! accumulate per segment, and `ThreadPoolBuilder::build().install(..)`
+//! scopes the worker count for everything running inside the closure.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    // Cached: real rayon answers current_num_threads() from registry
+    // state, so it must stay cheap enough to call on a hot path.
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+fn current_threads() -> usize {
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+        .max(1)
+}
+
+/// The number of worker threads the current scope would use.
+pub fn current_num_threads() -> usize {
+    current_threads()
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (stub: never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (stub)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped worker-count override.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = automatic, like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. The stub cannot fail.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A worker-count scope (stub: threads are spawned per operation).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// iterator it drives.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let result = op();
+        POOL_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Splits `iter` into up to `current_threads()` contiguous segments and
+/// runs `consume` on each segment on its own scoped thread, returning the
+/// per-segment results in segment order. Panics propagate.
+fn run_segments<P, R, F>(iter: P, consume: F) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let len = iter.pi_len();
+    let threads = current_threads();
+    if threads <= 1 || len <= 1 {
+        return vec![consume(iter)];
+    }
+    let nseg = threads.min(len);
+    let mut segments = Vec::with_capacity(nseg);
+    let mut rest = iter;
+    let mut remaining = len;
+    for i in 0..nseg - 1 {
+        let take = remaining / (nseg - i);
+        let (head, tail) = rest.pi_split_at(take);
+        segments.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    segments.push(rest);
+    std::thread::scope(|scope| {
+        let consume = &consume;
+        let handles: Vec<_> = segments
+            .into_iter()
+            .map(|seg| scope.spawn(move || consume(seg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// An index-splittable source of `Send` items (stub core trait).
+pub trait ParallelIterator: Sized + Send {
+    /// Item yielded to consumers.
+    type Item: Send;
+    /// Sequential iterator over one segment's items.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Remaining item count.
+    fn pi_len(&self) -> usize;
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn pi_split_at(self, index: usize) -> (Self, Self);
+    /// Sequential consumption of this segment.
+    fn pi_seq(self) -> Self::Seq;
+
+    /// Pairs this iterator with another, item by item.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_segments(self, |seg| seg.pi_seq().for_each(&f));
+    }
+
+    /// Runs `f` on every item with one `init()` state per worker segment.
+    fn for_each_init<I, S, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) + Sync,
+    {
+        run_segments(self, |seg| {
+            let mut state = init();
+            seg.pi_seq().for_each(|item| f(&mut state, item));
+        });
+    }
+
+    /// Runs `f` on every item, stopping a segment at its first error. The
+    /// returned error is the earliest failing segment's first error.
+    fn try_for_each<E, F>(self, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(Self::Item) -> Result<(), E> + Sync,
+    {
+        run_segments(self, |seg| seg.pi_seq().try_for_each(&f))
+            .into_iter()
+            .collect()
+    }
+
+    /// [`ParallelIterator::try_for_each`] with one `init()` state per
+    /// worker segment.
+    fn try_for_each_init<I, S, E, F>(self, init: I, f: F) -> Result<(), E>
+    where
+        I: Fn() -> S + Sync,
+        E: Send,
+        F: Fn(&mut S, Self::Item) -> Result<(), E> + Sync,
+    {
+        run_segments(self, |seg| {
+            let mut state = init();
+            seg.pi_seq().try_for_each(|item| f(&mut state, item))
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Folds each segment into `identity()` with `fold_op`; combine the
+    /// per-segment accumulators with [`FoldSegments::reduce`].
+    fn fold<S, I, F>(self, identity: I, fold_op: F) -> FoldSegments<S>
+    where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(S, Self::Item) -> S + Sync,
+    {
+        FoldSegments {
+            accs: run_segments(self, |seg| seg.pi_seq().fold(identity(), &fold_op)),
+        }
+    }
+}
+
+/// Per-segment fold accumulators awaiting reduction.
+pub struct FoldSegments<S> {
+    accs: Vec<S>,
+}
+
+impl<S: Send> FoldSegments<S> {
+    /// Reduces the segment accumulators, in segment order, onto
+    /// `identity()`.
+    pub fn reduce<I, F>(self, identity: I, op: F) -> S
+    where
+        I: Fn() -> S,
+        F: Fn(S, S) -> S,
+    {
+        self.accs.into_iter().fold(identity(), |a, b| op(a, b))
+    }
+}
+
+/// Shared-slice parallel iterator ([`&[T]::par_iter`]).
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (ParIter { slice: a }, ParIter { slice: b })
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Mutable-slice parallel iterator ([`&mut [T]::par_iter_mut`]).
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (ParIterMut { slice: a }, ParIterMut { slice: b })
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Mutable-chunk parallel iterator ([`&mut [T]::par_chunks_mut`]).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (
+            ParChunksMut {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ParChunksMut {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+/// Item-wise pairing of two parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.pi_split_at(index);
+        let (b1, b2) = self.b.pi_split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.a.pi_seq().zip(self.b.pi_seq())
+    }
+}
+
+/// `.par_iter()` entry point.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowing parallel iterator.
+    type Iter: ParallelIterator;
+    /// Parallel iterator over shared references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `.par_iter_mut()` entry point.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The borrowing parallel iterator.
+    type Iter: ParallelIterator;
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = ParIterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = ParIterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// `.par_chunks_mut()` entry point.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk != 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, chunk }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunks_zip_for_each_init_covers_all_rows() {
+        let rows = 37;
+        let procs = 3;
+        let mut a = vec![0.0f64; rows * procs];
+        let mut pv = vec![0.0f64; rows];
+        let ids: Vec<usize> = (0..rows).collect();
+        a.par_chunks_mut(procs)
+            .zip(pv.par_iter_mut())
+            .zip(ids.par_iter())
+            .for_each_init(
+                || 10.0,
+                |state, ((chunk, pv), &i)| {
+                    for c in chunk.iter_mut() {
+                        *c = i as f64 + *state;
+                    }
+                    *pv = i as f64;
+                },
+            );
+        for (i, chunk) in a.chunks(procs).enumerate() {
+            assert!(chunk.iter().all(|&x| x == i as f64 + 10.0));
+            assert_eq!(pv[i], i as f64);
+        }
+    }
+
+    #[test]
+    fn try_for_each_reports_errors() {
+        let xs: Vec<u32> = (0..100).collect();
+        let ok: Result<(), u32> = xs.par_iter().try_for_each(|&x| if x < 1000 { Ok(()) } else { Err(x) });
+        assert!(ok.is_ok());
+        let err: Result<(), u32> = xs.par_iter().try_for_each(|&x| if x % 7 == 3 { Err(x) } else { Ok(()) });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn fold_reduce_sums() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let total = xs
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        single.install(|| {
+            let xs: Vec<u64> = (0..100).collect();
+            let total = xs
+                .par_iter()
+                .fold(|| 0u64, |acc, &x| acc + x)
+                .reduce(|| 0, |a, b| a + b);
+            assert_eq!(total, 100 * 99 / 2);
+        });
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline stub of `serde`: real trait shapes, panicking impls. Everything
+//! that derives or bounds on these traits compiles; any attempt to actually
+//! serialize at runtime panics with a "serde_json stub" marker (which the
+//! host workspace's guarded tests probe for).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serializable value (stub: impls panic when invoked).
+pub trait Serialize {
+    /// Serializes `self` (stub: panics).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Serialization sink (stub: carries only the associated types).
+pub trait Serializer: Sized {
+    /// Success value.
+    type Ok;
+    /// Error value.
+    type Error: ser::Error;
+}
+
+/// Deserializable value (stub: impls panic when invoked).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value (stub: panics).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserialization source (stub: carries only the associated types).
+pub trait Deserializer<'de>: Sized {
+    /// Error value.
+    type Error: de::Error;
+}
+
+/// Serialization error plumbing.
+pub mod ser {
+    /// Error constructible from a display message.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error plumbing.
+pub mod de {
+    /// Error constructible from a display message.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+macro_rules! stub_serialize {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+                unimplemented!("serde_json stub: offline serde stubs cannot serialize")
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+                unimplemented!("serde_json stub: offline serde stubs cannot deserialize")
+            }
+        }
+    )*};
+}
+
+stub_serialize!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unimplemented!("serde_json stub: offline serde stubs cannot serialize")
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unimplemented!("serde_json stub: offline serde stubs cannot serialize")
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        unimplemented!("serde_json stub: offline serde stubs cannot deserialize")
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unimplemented!("serde_json stub: offline serde stubs cannot serialize")
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        unimplemented!("serde_json stub: offline serde stubs cannot deserialize")
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unimplemented!("serde_json stub: offline serde stubs cannot serialize")
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unimplemented!("serde_json stub: offline serde stubs cannot serialize")
+    }
+}
+
+macro_rules! stub_tuple {
+    ($(($($n:ident),+)),* $(,)?) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {
+            fn serialize<SS: Serializer>(&self, _s: SS) -> Result<SS::Ok, SS::Error> {
+                unimplemented!("serde_json stub: offline serde stubs cannot serialize")
+            }
+        }
+        impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {
+            fn deserialize<DD: Deserializer<'de>>(_d: DD) -> Result<Self, DD::Error> {
+                unimplemented!("serde_json stub: offline serde stubs cannot deserialize")
+            }
+        }
+    )*};
+}
+
+stub_tuple!((T0), (T0, T1), (T0, T1, T2), (T0, T1, T2, T3), (T0, T1, T2, T3, T4));

@@ -1,0 +1,55 @@
+//! Offline stub of `serde_derive`: emits `Serialize`/`Deserialize` impls
+//! whose bodies panic at runtime. Everything compiles; nothing serializes.
+//! See EXPERIMENTS.md "Seed-test triage" in the host workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("serde stub derive: no type name found");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, _serializer: S) \
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 unimplemented!(\"serde_json stub: offline serde stubs cannot serialize\")\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D) \
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 unimplemented!(\"serde_json stub: offline serde stubs cannot deserialize\")\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_json-729b2c5318b21e08.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/debug/deps/bench_json-729b2c5318b21e08: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

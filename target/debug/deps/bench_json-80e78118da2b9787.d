@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_json-80e78118da2b9787.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/debug/deps/bench_json-80e78118da2b9787: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-421b965e334610ba.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-421b965e334610ba: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_hdlts=/root/repo/target/debug/hdlts

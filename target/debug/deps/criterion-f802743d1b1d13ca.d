@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f802743d1b1d13ca.d: .shadow/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f802743d1b1d13ca.rlib: .shadow/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f802743d1b1d13ca.rmeta: .shadow/stubs/criterion/src/lib.rs
+
+.shadow/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-d55aa8fafdd422c6.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/experiments-d55aa8fafdd422c6: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

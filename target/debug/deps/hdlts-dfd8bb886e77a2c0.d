@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hdlts-dfd8bb886e77a2c0.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/hdlts-dfd8bb886e77a2c0: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

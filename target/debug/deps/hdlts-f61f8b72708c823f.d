@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hdlts-f61f8b72708c823f.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/hdlts-f61f8b72708c823f: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

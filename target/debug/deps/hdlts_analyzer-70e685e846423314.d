@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdlts_analyzer-70e685e846423314.d: crates/analyzer/src/main.rs
+
+/root/repo/target/debug/deps/hdlts_analyzer-70e685e846423314: crates/analyzer/src/main.rs
+
+crates/analyzer/src/main.rs:

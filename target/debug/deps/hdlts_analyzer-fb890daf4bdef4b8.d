@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdlts_analyzer-fb890daf4bdef4b8.d: crates/analyzer/src/main.rs
+
+/root/repo/target/debug/deps/hdlts_analyzer-fb890daf4bdef4b8: crates/analyzer/src/main.rs
+
+crates/analyzer/src/main.rs:

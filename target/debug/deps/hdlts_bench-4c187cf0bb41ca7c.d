@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdlts_bench-4c187cf0bb41ca7c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hdlts_bench-4c187cf0bb41ca7c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdlts_bench-4c462a6459f4d416.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hdlts_bench-4c462a6459f4d416: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

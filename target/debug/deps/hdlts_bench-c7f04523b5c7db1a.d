@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hdlts_bench-c7f04523b5c7db1a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhdlts_bench-c7f04523b5c7db1a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhdlts_bench-c7f04523b5c7db1a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

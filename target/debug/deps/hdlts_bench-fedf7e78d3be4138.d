@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hdlts_bench-fedf7e78d3be4138.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhdlts_bench-fedf7e78d3be4138.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhdlts_bench-fedf7e78d3be4138.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hdlts_dag-604db8b59a494cd9.d: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs
+
+/root/repo/target/debug/deps/libhdlts_dag-604db8b59a494cd9.rlib: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs
+
+/root/repo/target/debug/deps/libhdlts_dag-604db8b59a494cd9.rmeta: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/builder.rs:
+crates/dag/src/dot.rs:
+crates/dag/src/dot_parse.rs:
+crates/dag/src/error.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/levels.rs:
+crates/dag/src/normalize.rs:
+crates/dag/src/paths.rs:
+crates/dag/src/serde_repr.rs:
+crates/dag/src/task.rs:

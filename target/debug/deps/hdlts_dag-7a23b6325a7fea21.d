@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hdlts_dag-7a23b6325a7fea21.d: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs
+
+/root/repo/target/debug/deps/hdlts_dag-7a23b6325a7fea21: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/builder.rs:
+crates/dag/src/dot.rs:
+crates/dag/src/dot_parse.rs:
+crates/dag/src/error.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/levels.rs:
+crates/dag/src/normalize.rs:
+crates/dag/src/paths.rs:
+crates/dag/src/serde_repr.rs:
+crates/dag/src/task.rs:

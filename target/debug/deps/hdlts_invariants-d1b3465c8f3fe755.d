@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdlts_invariants-d1b3465c8f3fe755.d: tests/hdlts_invariants.rs
+
+/root/repo/target/debug/deps/hdlts_invariants-d1b3465c8f3fe755: tests/hdlts_invariants.rs
+
+tests/hdlts_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdlts_invariants-faaebf4dc47891e1.d: tests/hdlts_invariants.rs
+
+/root/repo/target/debug/deps/hdlts_invariants-faaebf4dc47891e1: tests/hdlts_invariants.rs
+
+tests/hdlts_invariants.rs:

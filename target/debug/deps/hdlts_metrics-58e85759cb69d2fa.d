@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hdlts_metrics-58e85759cb69d2fa.d: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs
+
+/root/repo/target/debug/deps/libhdlts_metrics-58e85759cb69d2fa.rlib: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs
+
+/root/repo/target/debug/deps/libhdlts_metrics-58e85759cb69d2fa.rmeta: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/balance.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/measures.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/svg_chart.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hdlts_metrics-cfbf461e99ea9b9c.d: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs
+
+/root/repo/target/debug/deps/hdlts_metrics-cfbf461e99ea9b9c: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/balance.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/measures.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/svg_chart.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hdlts_platform-2f5bd4e677a1151a.d: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs
+
+/root/repo/target/debug/deps/libhdlts_platform-2f5bd4e677a1151a.rlib: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs
+
+/root/repo/target/debug/deps/libhdlts_platform-2f5bd4e677a1151a.rmeta: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/cost_matrix.rs:
+crates/platform/src/error.rs:
+crates/platform/src/links.rs:
+crates/platform/src/proc_set.rs:
+crates/platform/src/processor.rs:

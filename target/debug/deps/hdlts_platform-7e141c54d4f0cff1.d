@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hdlts_platform-7e141c54d4f0cff1.d: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs
+
+/root/repo/target/debug/deps/hdlts_platform-7e141c54d4f0cff1: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/cost_matrix.rs:
+crates/platform/src/error.rs:
+crates/platform/src/links.rs:
+crates/platform/src/proc_set.rs:
+crates/platform/src/processor.rs:

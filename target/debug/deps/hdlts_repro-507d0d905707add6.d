@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdlts_repro-507d0d905707add6.d: src/lib.rs
+
+/root/repo/target/debug/deps/hdlts_repro-507d0d905707add6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdlts_repro-93ab89efdd5617e6.d: src/lib.rs
+
+/root/repo/target/debug/deps/hdlts_repro-93ab89efdd5617e6: src/lib.rs
+
+src/lib.rs:

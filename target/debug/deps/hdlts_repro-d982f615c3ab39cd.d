@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hdlts_repro-d982f615c3ab39cd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhdlts_repro-d982f615c3ab39cd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhdlts_repro-d982f615c3ab39cd.rmeta: src/lib.rs
+
+src/lib.rs:

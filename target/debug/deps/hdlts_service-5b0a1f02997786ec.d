@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hdlts_service-5b0a1f02997786ec.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs
+
+/root/repo/target/debug/deps/libhdlts_service-5b0a1f02997786ec.rlib: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs
+
+/root/repo/target/debug/deps/libhdlts_service-5b0a1f02997786ec.rmeta: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs
+
+crates/service/src/lib.rs:
+crates/service/src/client.rs:
+crates/service/src/daemon.rs:
+crates/service/src/error.rs:
+crates/service/src/faults.rs:
+crates/service/src/jobs.rs:
+crates/service/src/journal.rs:
+crates/service/src/json.rs:
+crates/service/src/protocol.rs:
+crates/service/src/queue.rs:

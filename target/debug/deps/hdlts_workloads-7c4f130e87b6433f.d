@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hdlts_workloads-7c4f130e87b6433f.d: crates/workloads/src/lib.rs crates/workloads/src/compose.rs crates/workloads/src/cost_model.rs crates/workloads/src/fft.rs crates/workloads/src/fixtures.rs crates/workloads/src/gauss.rs crates/workloads/src/instance.rs crates/workloads/src/laplace.rs crates/workloads/src/moldyn.rs crates/workloads/src/montage.rs crates/workloads/src/named.rs crates/workloads/src/params.rs crates/workloads/src/pegasus.rs crates/workloads/src/random_dag.rs
+
+/root/repo/target/debug/deps/hdlts_workloads-7c4f130e87b6433f: crates/workloads/src/lib.rs crates/workloads/src/compose.rs crates/workloads/src/cost_model.rs crates/workloads/src/fft.rs crates/workloads/src/fixtures.rs crates/workloads/src/gauss.rs crates/workloads/src/instance.rs crates/workloads/src/laplace.rs crates/workloads/src/moldyn.rs crates/workloads/src/montage.rs crates/workloads/src/named.rs crates/workloads/src/params.rs crates/workloads/src/pegasus.rs crates/workloads/src/random_dag.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/compose.rs:
+crates/workloads/src/cost_model.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/fixtures.rs:
+crates/workloads/src/gauss.rs:
+crates/workloads/src/instance.rs:
+crates/workloads/src/laplace.rs:
+crates/workloads/src/moldyn.rs:
+crates/workloads/src/montage.rs:
+crates/workloads/src/named.rs:
+crates/workloads/src/params.rs:
+crates/workloads/src/pegasus.rs:
+crates/workloads/src/random_dag.rs:

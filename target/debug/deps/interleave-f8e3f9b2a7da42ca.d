@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interleave-f8e3f9b2a7da42ca.d: crates/analyzer/tests/interleave.rs
+
+/root/repo/target/debug/deps/interleave-f8e3f9b2a7da42ca: crates/analyzer/tests/interleave.rs
+
+crates/analyzer/tests/interleave.rs:

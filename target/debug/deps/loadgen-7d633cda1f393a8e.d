@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loadgen-7d633cda1f393a8e.d: crates/service/src/bin/loadgen.rs
+
+/root/repo/target/debug/deps/loadgen-7d633cda1f393a8e: crates/service/src/bin/loadgen.rs
+
+crates/service/src/bin/loadgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loadgen-e8ba4e63be848607.d: crates/service/src/bin/loadgen.rs
+
+/root/repo/target/debug/deps/loadgen-e8ba4e63be848607: crates/service/src/bin/loadgen.rs
+
+crates/service/src/bin/loadgen.rs:

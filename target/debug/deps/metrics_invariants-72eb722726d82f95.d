@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_invariants-72eb722726d82f95.d: tests/metrics_invariants.rs
+
+/root/repo/target/debug/deps/metrics_invariants-72eb722726d82f95: tests/metrics_invariants.rs
+
+tests/metrics_invariants.rs:

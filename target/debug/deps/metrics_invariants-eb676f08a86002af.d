@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_invariants-eb676f08a86002af.d: tests/metrics_invariants.rs
+
+/root/repo/target/debug/deps/metrics_invariants-eb676f08a86002af: tests/metrics_invariants.rs
+
+tests/metrics_invariants.rs:

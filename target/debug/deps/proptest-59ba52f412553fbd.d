@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-59ba52f412553fbd.d: .shadow/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-59ba52f412553fbd.rlib: .shadow/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-59ba52f412553fbd.rmeta: .shadow/stubs/proptest/src/lib.rs
+
+.shadow/stubs/proptest/src/lib.rs:

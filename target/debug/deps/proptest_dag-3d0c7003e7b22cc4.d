@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_dag-3d0c7003e7b22cc4.d: crates/dag/tests/proptest_dag.rs
+
+/root/repo/target/debug/deps/proptest_dag-3d0c7003e7b22cc4: crates/dag/tests/proptest_dag.rs
+
+crates/dag/tests/proptest_dag.rs:

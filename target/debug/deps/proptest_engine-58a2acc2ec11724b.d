@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-58a2acc2ec11724b.d: crates/core/tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-58a2acc2ec11724b: crates/core/tests/proptest_engine.rs
+
+crates/core/tests/proptest_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_generators-c2d3f11d5a9844d2.d: crates/workloads/tests/proptest_generators.rs
+
+/root/repo/target/debug/deps/proptest_generators-c2d3f11d5a9844d2: crates/workloads/tests/proptest_generators.rs
+
+crates/workloads/tests/proptest_generators.rs:

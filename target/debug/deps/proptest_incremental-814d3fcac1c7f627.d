@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_incremental-814d3fcac1c7f627.d: tests/proptest_incremental.rs
+
+/root/repo/target/debug/deps/proptest_incremental-814d3fcac1c7f627: tests/proptest_incremental.rs
+
+tests/proptest_incremental.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_incremental-8f6fb8dc85b079e3.d: tests/proptest_incremental.rs
+
+/root/repo/target/debug/deps/proptest_incremental-8f6fb8dc85b079e3: tests/proptest_incremental.rs
+
+tests/proptest_incremental.rs:

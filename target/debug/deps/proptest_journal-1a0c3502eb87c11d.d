@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_journal-1a0c3502eb87c11d.d: tests/proptest_journal.rs
+
+/root/repo/target/debug/deps/proptest_journal-1a0c3502eb87c11d: tests/proptest_journal.rs
+
+tests/proptest_journal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_journal-caf75346ebfa9014.d: tests/proptest_journal.rs
+
+/root/repo/target/debug/deps/proptest_journal-caf75346ebfa9014: tests/proptest_journal.rs
+
+tests/proptest_journal.rs:

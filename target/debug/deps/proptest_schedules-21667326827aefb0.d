@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_schedules-21667326827aefb0.d: tests/proptest_schedules.rs
+
+/root/repo/target/debug/deps/proptest_schedules-21667326827aefb0: tests/proptest_schedules.rs
+
+tests/proptest_schedules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_schedules-4fc8ed806d56a9d5.d: tests/proptest_schedules.rs
+
+/root/repo/target/debug/deps/proptest_schedules-4fc8ed806d56a9d5: tests/proptest_schedules.rs
+
+tests/proptest_schedules.rs:

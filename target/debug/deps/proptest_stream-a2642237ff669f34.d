@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_stream-a2642237ff669f34.d: tests/proptest_stream.rs
+
+/root/repo/target/debug/deps/proptest_stream-a2642237ff669f34: tests/proptest_stream.rs
+
+tests/proptest_stream.rs:

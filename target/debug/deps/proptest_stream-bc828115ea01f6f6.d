@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_stream-bc828115ea01f6f6.d: tests/proptest_stream.rs
+
+/root/repo/target/debug/deps/proptest_stream-bc828115ea01f6f6: tests/proptest_stream.rs
+
+tests/proptest_stream.rs:

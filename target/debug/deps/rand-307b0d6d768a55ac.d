@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-307b0d6d768a55ac.d: .shadow/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-307b0d6d768a55ac.rlib: .shadow/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-307b0d6d768a55ac.rmeta: .shadow/stubs/rand/src/lib.rs
+
+.shadow/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-7883f09a7f31b30f.d: .shadow/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-7883f09a7f31b30f.rlib: .shadow/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-7883f09a7f31b30f.rmeta: .shadow/stubs/rayon/src/lib.rs
+
+.shadow/stubs/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_validity-292ceb15152d817d.d: tests/scheduler_validity.rs
+
+/root/repo/target/debug/deps/scheduler_validity-292ceb15152d817d: tests/scheduler_validity.rs
+
+tests/scheduler_validity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_validity-78f4eedcd83d4375.d: tests/scheduler_validity.rs
+
+/root/repo/target/debug/deps/scheduler_validity-78f4eedcd83d4375: tests/scheduler_validity.rs
+
+tests/scheduler_validity.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-839c5f5c31cd3c72.d: .shadow/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-839c5f5c31cd3c72.rlib: .shadow/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-839c5f5c31cd3c72.rmeta: .shadow/stubs/serde/src/lib.rs
+
+.shadow/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-0144227c1164cfb5.d: .shadow/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-0144227c1164cfb5.so: .shadow/stubs/serde_derive/src/lib.rs
+
+.shadow/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-9ee14a7caf17721e.d: .shadow/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9ee14a7caf17721e.rlib: .shadow/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9ee14a7caf17721e.rmeta: .shadow/stubs/serde_json/src/lib.rs
+
+.shadow/stubs/serde_json/src/lib.rs:

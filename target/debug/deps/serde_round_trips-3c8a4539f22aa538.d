@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_round_trips-3c8a4539f22aa538.d: tests/serde_round_trips.rs
+
+/root/repo/target/debug/deps/serde_round_trips-3c8a4539f22aa538: tests/serde_round_trips.rs
+
+tests/serde_round_trips.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_round_trips-77df8a983e815aec.d: tests/serde_round_trips.rs
+
+/root/repo/target/debug/deps/serde_round_trips-77df8a983e815aec: tests/serde_round_trips.rs
+
+tests/serde_round_trips.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_e2e-151f185eb39b4594.d: tests/service_e2e.rs
+
+/root/repo/target/debug/deps/service_e2e-151f185eb39b4594: tests/service_e2e.rs
+
+tests/service_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_e2e-defbfe2aa2e955e9.d: tests/service_e2e.rs
+
+/root/repo/target/debug/deps/service_e2e-defbfe2aa2e955e9: tests/service_e2e.rs
+
+tests/service_e2e.rs:

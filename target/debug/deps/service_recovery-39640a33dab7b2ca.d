@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_recovery-39640a33dab7b2ca.d: tests/service_recovery.rs
+
+/root/repo/target/debug/deps/service_recovery-39640a33dab7b2ca: tests/service_recovery.rs
+
+tests/service_recovery.rs:

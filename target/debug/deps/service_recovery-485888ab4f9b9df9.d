@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_recovery-485888ab4f9b9df9.d: tests/service_recovery.rs
+
+/root/repo/target/debug/deps/service_recovery-485888ab4f9b9df9: tests/service_recovery.rs
+
+tests/service_recovery.rs:

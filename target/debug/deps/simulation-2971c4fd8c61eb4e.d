@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation-2971c4fd8c61eb4e.d: tests/simulation.rs
+
+/root/repo/target/debug/deps/simulation-2971c4fd8c61eb4e: tests/simulation.rs
+
+tests/simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation-6ed051c218096144.d: tests/simulation.rs
+
+/root/repo/target/debug/deps/simulation-6ed051c218096144: tests/simulation.rs
+
+tests/simulation.rs:

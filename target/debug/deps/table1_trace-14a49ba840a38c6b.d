@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_trace-14a49ba840a38c6b.d: tests/table1_trace.rs
+
+/root/repo/target/debug/deps/table1_trace-14a49ba840a38c6b: tests/table1_trace.rs
+
+tests/table1_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_trace-3b1cd262e8ead5c3.d: tests/table1_trace.rs
+
+/root/repo/target/debug/deps/table1_trace-3b1cd262e8ead5c3: tests/table1_trace.rs
+
+tests/table1_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_consistency-acd5b315442ff817.d: tests/trace_consistency.rs
+
+/root/repo/target/debug/deps/trace_consistency-acd5b315442ff817: tests/trace_consistency.rs
+
+tests/trace_consistency.rs:

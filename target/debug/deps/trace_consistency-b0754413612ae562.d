@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_consistency-b0754413612ae562.d: tests/trace_consistency.rs
+
+/root/repo/target/debug/deps/trace_consistency-b0754413612ae562: tests/trace_consistency.rs
+
+tests/trace_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_violations-39f16d70ad25ba23.d: crates/core/tests/validate_violations.rs
+
+/root/repo/target/debug/deps/validate_violations-39f16d70ad25ba23: crates/core/tests/validate_violations.rs
+
+crates/core/tests/validate_violations.rs:

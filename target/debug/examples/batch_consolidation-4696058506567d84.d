@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_consolidation-4696058506567d84.d: examples/batch_consolidation.rs
+
+/root/repo/target/debug/examples/batch_consolidation-4696058506567d84: examples/batch_consolidation.rs
+
+examples/batch_consolidation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_consolidation-d6f3ea3a6a1dabd6.d: examples/batch_consolidation.rs
+
+/root/repo/target/debug/examples/batch_consolidation-d6f3ea3a6a1dabd6: examples/batch_consolidation.rs
+
+examples/batch_consolidation.rs:

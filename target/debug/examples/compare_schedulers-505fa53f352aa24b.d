@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_schedulers-505fa53f352aa24b.d: examples/compare_schedulers.rs
+
+/root/repo/target/debug/examples/compare_schedulers-505fa53f352aa24b: examples/compare_schedulers.rs
+
+examples/compare_schedulers.rs:

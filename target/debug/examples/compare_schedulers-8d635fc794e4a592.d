@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_schedulers-8d635fc794e4a592.d: examples/compare_schedulers.rs
+
+/root/repo/target/debug/examples/compare_schedulers-8d635fc794e4a592: examples/compare_schedulers.rs
+
+examples/compare_schedulers.rs:

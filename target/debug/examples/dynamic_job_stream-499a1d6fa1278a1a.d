@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_job_stream-499a1d6fa1278a1a.d: examples/dynamic_job_stream.rs
+
+/root/repo/target/debug/examples/dynamic_job_stream-499a1d6fa1278a1a: examples/dynamic_job_stream.rs
+
+examples/dynamic_job_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_job_stream-4ee2ecf30241fb3f.d: examples/dynamic_job_stream.rs
+
+/root/repo/target/debug/examples/dynamic_job_stream-4ee2ecf30241fb3f: examples/dynamic_job_stream.rs
+
+examples/dynamic_job_stream.rs:

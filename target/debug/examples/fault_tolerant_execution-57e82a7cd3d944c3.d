@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerant_execution-57e82a7cd3d944c3.d: examples/fault_tolerant_execution.rs
+
+/root/repo/target/debug/examples/fault_tolerant_execution-57e82a7cd3d944c3: examples/fault_tolerant_execution.rs
+
+examples/fault_tolerant_execution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerant_execution-b1c2caa50d399e54.d: examples/fault_tolerant_execution.rs
+
+/root/repo/target/debug/examples/fault_tolerant_execution-b1c2caa50d399e54: examples/fault_tolerant_execution.rs
+
+examples/fault_tolerant_execution.rs:

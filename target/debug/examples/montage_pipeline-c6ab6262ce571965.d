@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/montage_pipeline-c6ab6262ce571965.d: examples/montage_pipeline.rs
+
+/root/repo/target/debug/examples/montage_pipeline-c6ab6262ce571965: examples/montage_pipeline.rs
+
+examples/montage_pipeline.rs:

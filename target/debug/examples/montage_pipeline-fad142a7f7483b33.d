@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/montage_pipeline-fad142a7f7483b33.d: examples/montage_pipeline.rs
+
+/root/repo/target/debug/examples/montage_pipeline-fad142a7f7483b33: examples/montage_pipeline.rs
+
+examples/montage_pipeline.rs:

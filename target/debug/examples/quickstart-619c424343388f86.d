@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-619c424343388f86.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-619c424343388f86: examples/quickstart.rs
+
+examples/quickstart.rs:

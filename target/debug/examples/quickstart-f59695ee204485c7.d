@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f59695ee204485c7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f59695ee204485c7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_json-13cdf77d1afce3af.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/release/deps/bench_json-13cdf77d1afce3af: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_json-5d29b30705f5402e.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/release/deps/bench_json-5d29b30705f5402e: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/hdlts-a799a22926b1dcdd.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/hdlts-a799a22926b1dcdd: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hdlts_analyzer-da0bd72bf362f6f7.d: crates/analyzer/src/main.rs
+
+/root/repo/target/release/deps/hdlts_analyzer-da0bd72bf362f6f7: crates/analyzer/src/main.rs
+
+crates/analyzer/src/main.rs:

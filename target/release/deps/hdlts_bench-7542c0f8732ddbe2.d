@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hdlts_bench-7542c0f8732ddbe2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhdlts_bench-7542c0f8732ddbe2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhdlts_bench-7542c0f8732ddbe2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hdlts_bench-e0bf1dfbff36d040.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhdlts_bench-e0bf1dfbff36d040.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhdlts_bench-e0bf1dfbff36d040.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/hdlts_dag-f672b0a6f98650d3.d: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs
+
+/root/repo/target/release/deps/libhdlts_dag-f672b0a6f98650d3.rlib: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs
+
+/root/repo/target/release/deps/libhdlts_dag-f672b0a6f98650d3.rmeta: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/builder.rs:
+crates/dag/src/dot.rs:
+crates/dag/src/dot_parse.rs:
+crates/dag/src/error.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/levels.rs:
+crates/dag/src/normalize.rs:
+crates/dag/src/paths.rs:
+crates/dag/src/serde_repr.rs:
+crates/dag/src/task.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hdlts_metrics-7a14e537f463512c.d: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs
+
+/root/repo/target/release/deps/libhdlts_metrics-7a14e537f463512c.rlib: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs
+
+/root/repo/target/release/deps/libhdlts_metrics-7a14e537f463512c.rmeta: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/balance.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/measures.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/svg_chart.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hdlts_platform-7700af18d7bfe860.d: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs
+
+/root/repo/target/release/deps/libhdlts_platform-7700af18d7bfe860.rlib: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs
+
+/root/repo/target/release/deps/libhdlts_platform-7700af18d7bfe860.rmeta: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/cost_matrix.rs:
+crates/platform/src/error.rs:
+crates/platform/src/links.rs:
+crates/platform/src/proc_set.rs:
+crates/platform/src/processor.rs:

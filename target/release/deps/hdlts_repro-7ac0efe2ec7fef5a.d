@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hdlts_repro-7ac0efe2ec7fef5a.d: src/lib.rs
+
+/root/repo/target/release/deps/libhdlts_repro-7ac0efe2ec7fef5a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhdlts_repro-7ac0efe2ec7fef5a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loadgen-5eadbbbf4159ad1f.d: crates/service/src/bin/loadgen.rs
+
+/root/repo/target/release/deps/loadgen-5eadbbbf4159ad1f: crates/service/src/bin/loadgen.rs
+
+crates/service/src/bin/loadgen.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-346fe6a96b16eed2.d: .shadow/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-346fe6a96b16eed2.rlib: .shadow/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-346fe6a96b16eed2.rmeta: .shadow/stubs/proptest/src/lib.rs
+
+.shadow/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-72862ee53b06802e.d: .shadow/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-72862ee53b06802e.rlib: .shadow/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-72862ee53b06802e.rmeta: .shadow/stubs/rand/src/lib.rs
+
+.shadow/stubs/rand/src/lib.rs:

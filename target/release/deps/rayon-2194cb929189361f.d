@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-2194cb929189361f.d: .shadow/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-2194cb929189361f.rlib: .shadow/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-2194cb929189361f.rmeta: .shadow/stubs/rayon/src/lib.rs
+
+.shadow/stubs/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-7a2c44c9e0da1fef.d: .shadow/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7a2c44c9e0da1fef.rlib: .shadow/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7a2c44c9e0da1fef.rmeta: .shadow/stubs/serde/src/lib.rs
+
+.shadow/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-b03f98b08fd6bc80.d: .shadow/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-b03f98b08fd6bc80.so: .shadow/stubs/serde_derive/src/lib.rs
+
+.shadow/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-66790a5c33fa77ce.d: .shadow/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-66790a5c33fa77ce.rlib: .shadow/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-66790a5c33fa77ce.rmeta: .shadow/stubs/serde_json/src/lib.rs
+
+.shadow/stubs/serde_json/src/lib.rs:

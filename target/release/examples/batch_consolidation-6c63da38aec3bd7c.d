@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/batch_consolidation-6c63da38aec3bd7c.d: examples/batch_consolidation.rs
+
+/root/repo/target/release/examples/batch_consolidation-6c63da38aec3bd7c: examples/batch_consolidation.rs
+
+examples/batch_consolidation.rs:

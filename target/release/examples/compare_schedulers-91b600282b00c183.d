@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compare_schedulers-91b600282b00c183.d: examples/compare_schedulers.rs
+
+/root/repo/target/release/examples/compare_schedulers-91b600282b00c183: examples/compare_schedulers.rs
+
+examples/compare_schedulers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dynamic_job_stream-afceb9f55d91cd03.d: examples/dynamic_job_stream.rs
+
+/root/repo/target/release/examples/dynamic_job_stream-afceb9f55d91cd03: examples/dynamic_job_stream.rs
+
+examples/dynamic_job_stream.rs:

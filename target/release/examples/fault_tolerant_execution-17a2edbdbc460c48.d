@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerant_execution-17a2edbdbc460c48.d: examples/fault_tolerant_execution.rs
+
+/root/repo/target/release/examples/fault_tolerant_execution-17a2edbdbc460c48: examples/fault_tolerant_execution.rs
+
+examples/fault_tolerant_execution.rs:

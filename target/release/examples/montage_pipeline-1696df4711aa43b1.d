@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/montage_pipeline-1696df4711aa43b1.d: examples/montage_pipeline.rs
+
+/root/repo/target/release/examples/montage_pipeline-1696df4711aa43b1: examples/montage_pipeline.rs
+
+examples/montage_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-eaed5e35eaa62679.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-eaed5e35eaa62679: examples/quickstart.rs
+
+examples/quickstart.rs:
