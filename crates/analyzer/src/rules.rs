@@ -40,6 +40,7 @@ pub const RULES: &[RuleDef] = &[
                     | "crates/service/src/journal.rs"
                     | "crates/service/src/client.rs"
                     | "crates/service/src/faults.rs"
+                    | "crates/service/src/router.rs"
             )
         },
         check: check_request_path_panic,

@@ -34,11 +34,13 @@ fn request_path_panic_fires_on_each_form_with_exact_spans() {
     // Out of scope the same source is clean.
     assert_eq!(spans("crates/service/src/loadgen.rs", src), vec![]);
     // The durability tier answers the same request path: the journal,
-    // the retrying client, and the fault-injection hooks are in scope.
+    // the retrying client, the fault-injection hooks, and the router's
+    // forwarding loop are in scope.
     for path in [
         "crates/service/src/journal.rs",
         "crates/service/src/client.rs",
         "crates/service/src/faults.rs",
+        "crates/service/src/router.rs",
     ] {
         assert_eq!(spans(path, src).len(), 3, "{path} must be in scope");
     }

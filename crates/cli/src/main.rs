@@ -12,6 +12,8 @@
 //! hdlts stream   --jobs a.json@0,b.json@50 [--procs N] [--fifo]
 //! hdlts serve    [--addr H:P] [--procs 4,8] [--workers N] [--queue-cap N]
 //!                [--batch N] [--journal FILE]
+//! hdlts route    --topology "host=H:P CPU:8; host=H:P GPU:2" [--addr H:P]
+//!                [--policy hash|least-backlog]
 //! hdlts submit   --addr H:P (--in inst.json | --workload JSON) [--retries N]
 //! hdlts dot      --in inst.json [--out out.dot]
 //! ```
@@ -49,11 +51,18 @@ commands:
             dispatch a stream of instance files arriving at given times
   serve     [--addr HOST:PORT] [--procs P1,P2,...] [--workers N]
             [--queue-cap N] [--batch N] [--deadline-ms N] [--retain N]
-            [--journal FILE] [--journal-sync]
+            [--retain-age-ms N] [--journal FILE] [--journal-sync]
             run the scheduling daemon (newline-delimited JSON over TCP;
             drain with Ctrl-C or {\"cmd\":\"shutdown\"}); with --journal,
             admissions are write-ahead journaled and unfinished jobs are
             recovered on restart (HDLTS_FAULTS arms chaos crash points)
+  route     --topology \"host=H:P CLASS:N ...; host=H:P ...\" [--addr HOST:PORT]
+            [--policy hash|least-backlog] [--probe-ttl-ms N]
+            [--retries N] [--seed N]
+            place submitted jobs across several daemons with failover:
+            consistent hashing keeps a job key on the same backend,
+            least-backlog probes queue depths; a dead backend's jobs are
+            re-placed on the survivors (drain with Ctrl-C or shutdown)
   submit    --addr HOST:PORT (--in FILE | --workload JSON)
             [--policy pv|fifo] [--deadline-ms N] [--jitter X]
             [--retries N] [--timeout-ms N] [--seed N]
@@ -104,6 +113,7 @@ fn run(args: &Args) -> Result<(), String> {
         Some("simulate") => simulate(args),
         Some("stream") => stream(args),
         Some("serve") => serve(args),
+        Some("route") => route(args),
         Some("submit") => submit(args),
         Some("dot") => dot(args),
         Some(other) => Err(format!("unknown command '{other}'")),
@@ -486,6 +496,13 @@ fn serve(args: &Args) -> Result<(), String> {
     let workers: usize = args.opt_parse("workers", 2usize)?;
     let queue_cap: usize = args.opt_parse("queue-cap", 256usize)?;
     let retain: usize = args.opt_parse("retain", 4096usize)?;
+    let retain_age_ms = match args.opt("retain-age-ms") {
+        Some(s) => Some(
+            s.parse::<u64>()
+                .map_err(|_| format!("bad --retain-age-ms '{s}'"))?,
+        ),
+        None => None,
+    };
     let worker_delay_ms: u64 = args.opt_parse("worker-delay-ms", 0u64)?;
     let shard_batch: usize = args.opt_parse("batch", 16usize)?;
     if shard_batch == 0 {
@@ -521,6 +538,7 @@ fn serve(args: &Args) -> Result<(), String> {
         worker_delay_ms,
         shard_batch,
         retain_results: retain,
+        retain_age_ms,
         journal_path,
         journal_sync,
         faults,
@@ -557,6 +575,53 @@ fn serve(args: &Args) -> Result<(), String> {
         stats.latency_p50_ms,
         stats.latency_p99_ms
     );
+    Ok(())
+}
+
+fn route(args: &Args) -> Result<(), String> {
+    use hdlts_service::{PlacementPolicy, Router, RouterConfig, Topology};
+    let addr = args.opt("addr").unwrap_or("127.0.0.1:7150").to_owned();
+    let spec = args
+        .opt("topology")
+        .ok_or("--topology \"host=H:P CLASS:N ...; ...\" is required")?;
+    let topology = Topology::parse(spec)?;
+    let policy = match args.opt("policy") {
+        Some(p) => PlacementPolicy::parse(p)?,
+        None => PlacementPolicy::ConsistentHash,
+    };
+    let mut cfg = RouterConfig::new(addr, topology);
+    cfg.policy = policy;
+    cfg.probe_ttl_ms = args.opt_parse("probe-ttl-ms", cfg.probe_ttl_ms)?;
+    cfg.retry.budget = args.opt_parse("retries", cfg.retry.budget)?;
+    cfg.seed = args.opt_parse("seed", cfg.seed)?;
+    args.reject_unknown()?;
+    let backends = cfg.topology.hosts.len();
+    let capacity = cfg.topology.total_capacity();
+    let handle = Router::start(cfg).map_err(|e| e.to_string())?;
+    install_sigint_flag();
+    eprintln!(
+        "hdlts-router listening on {} ({policy:?} over {backends} backend(s), {capacity} worker(s) declared)",
+        handle.addr()
+    );
+    eprintln!("drain with Ctrl-C or {{\"cmd\":\"shutdown\"}} (backends are left running)");
+    while !sigint_received() && !handle.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("draining: no new jobs; open connections keep polling...");
+    let stats = handle.wait();
+    eprintln!(
+        "drained: placed {}, rejected {}, failovers {}, re-placements {}",
+        stats.placed, stats.rejected, stats.failovers, stats.replacements
+    );
+    for b in &stats.backends {
+        eprintln!(
+            "  backend {}: placed {} ({}; capacity {})",
+            b.addr,
+            b.placed,
+            if b.healthy { "healthy" } else { "unreachable" },
+            b.capacity
+        );
+    }
     Ok(())
 }
 

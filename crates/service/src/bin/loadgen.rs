@@ -15,14 +15,24 @@
 //! daemon instead (stats are then read over the wire and the daemon is
 //! left running unless `--shutdown` is passed).
 //!
+//! With `--daemons N` (N >= 2) it instead spawns N daemons behind an
+//! in-process router ([`hdlts_service::Router`]) and drives the router:
+//! the report then carries per-daemon job counts and the router's
+//! placement/failover counters, and a 2-daemon run records the
+//! `router_2daemon_min_throughput` metric `scripts/bench_gate.sh` gates.
+//!
 //! ```text
 //! loadgen [--rate JOBS_PER_SEC] [--duration SECS] [--clients N]
 //!         [--procs P] [--workers N] [--queue-cap N] [--batch N] [--seed S]
-//!         [--retries N] [--out FILE] [--addr HOST:PORT [--shutdown]]
+//!         [--retries N] [--daemons N] [--route-policy hash|least-backlog]
+//!         [--out FILE] [--addr HOST:PORT [--shutdown]]
 //! ```
 
 use hdlts_service::json::{obj, Value};
-use hdlts_service::{Client, Daemon, DaemonHandle, RetryPolicy, ServiceConfig, ShardSpec};
+use hdlts_service::{
+    Client, Daemon, DaemonHandle, PlacementPolicy, RetryPolicy, Router, RouterConfig, RouterHandle,
+    ServiceConfig, ShardSpec, Topology,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -37,6 +47,8 @@ struct Options {
     batch: usize,
     seed: u64,
     retries: u32,
+    daemons: usize,
+    route_policy: PlacementPolicy,
     out: String,
     addr: Option<String>,
     shutdown: bool,
@@ -54,6 +66,8 @@ impl Default for Options {
             batch: 16,
             seed: 1,
             retries: 3,
+            daemons: 1,
+            route_policy: PlacementPolicy::ConsistentHash,
             out: "BENCH_service.json".into(),
             addr: None,
             shutdown: false,
@@ -79,11 +93,15 @@ fn parse_args() -> Result<Options, String> {
             "--batch" => opts.batch = int(&value("--batch")?)?,
             "--seed" => opts.seed = int(&value("--seed")?)? as u64,
             "--retries" => opts.retries = int(&value("--retries")?)? as u32,
+            "--daemons" => opts.daemons = int(&value("--daemons")?)?,
+            "--route-policy" => {
+                opts.route_policy = PlacementPolicy::parse(&value("--route-policy")?)?
+            }
             "--out" => opts.out = value("--out")?,
             "--addr" => opts.addr = Some(value("--addr")?),
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => {
-                println!("usage: loadgen [--rate R] [--duration S] [--clients N] [--procs P] [--workers N] [--queue-cap N] [--batch N] [--seed S] [--retries N] [--out FILE] [--addr HOST:PORT [--shutdown]]");
+                println!("usage: loadgen [--rate R] [--duration S] [--clients N] [--procs P] [--workers N] [--queue-cap N] [--batch N] [--seed S] [--retries N] [--daemons N] [--route-policy hash|least-backlog] [--out FILE] [--addr HOST:PORT [--shutdown]]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag '{other}'")),
@@ -97,6 +115,12 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.batch == 0 {
         return Err("--batch must be at least 1".into());
+    }
+    if opts.daemons == 0 {
+        return Err("--daemons must be at least 1".into());
+    }
+    if opts.daemons > 1 && opts.addr.is_some() {
+        return Err("--daemons spawns in-process daemons; it cannot target --addr".into());
     }
     Ok(opts)
 }
@@ -183,6 +207,29 @@ fn run_client(
     tally
 }
 
+/// Serializes the report with every top-level key on its own line (values
+/// stay compact). `scripts/bench_gate.sh` matches gated metrics with a
+/// line-anchored `"name": <number>` pattern, so top-level scalars must
+/// each own a line — exactly the shape `bench-json` writes.
+fn render_toplevel(report: &Value) -> String {
+    let Value::Obj(members) = report else {
+        return report.to_string();
+    };
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in members.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(key);
+        out.push_str("\": ");
+        out.push_str(&value.to_string());
+        if i + 1 < members.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push('}');
+    out
+}
+
 fn wire_request(addr: &str, req: &str) -> std::io::Result<Value> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
@@ -204,24 +251,53 @@ fn main() {
         }
     };
 
-    // Either spawn an in-process daemon or target an external one.
+    let spawn_daemon = || {
+        Daemon::start(ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: opts.queue_cap,
+            shards: vec![ShardSpec {
+                procs: opts.procs,
+                threads: opts.workers,
+            }],
+            shard_batch: opts.batch,
+            ..Default::default()
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: failed to start daemon: {e}");
+            std::process::exit(1);
+        })
+    };
+
+    // Target an external daemon, spawn one in-process daemon, or spawn a
+    // fleet of daemons behind an in-process router.
+    let mut daemons: Vec<DaemonHandle> = Vec::new();
+    let mut router: Option<RouterHandle> = None;
     let (addr, handle): (String, Option<DaemonHandle>) = match &opts.addr {
         Some(a) => (a.clone(), None),
-        None => {
-            let handle = Daemon::start(ServiceConfig {
-                addr: "127.0.0.1:0".into(),
-                queue_capacity: opts.queue_cap,
-                shards: vec![ShardSpec {
-                    procs: opts.procs,
-                    threads: opts.workers,
-                }],
-                shard_batch: opts.batch,
-                ..Default::default()
-            })
-            .unwrap_or_else(|e| {
-                eprintln!("loadgen: failed to start daemon: {e}");
+        None if opts.daemons > 1 => {
+            daemons = (0..opts.daemons).map(|_| spawn_daemon()).collect();
+            let spec = daemons
+                .iter()
+                .map(|h| format!("host={} CPU:{}", h.addr(), opts.workers.max(1)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            let topology = Topology::parse(&spec).unwrap_or_else(|e| {
+                eprintln!("loadgen: internal topology spec rejected: {e}");
                 std::process::exit(1);
             });
+            let mut cfg = RouterConfig::new("127.0.0.1:0", topology);
+            cfg.policy = opts.route_policy;
+            cfg.seed = opts.seed;
+            let r = Router::start(cfg).unwrap_or_else(|e| {
+                eprintln!("loadgen: failed to start router: {e}");
+                std::process::exit(1);
+            });
+            let addr = r.addr().to_string();
+            router = Some(r);
+            (addr, None)
+        }
+        None => {
+            let handle = spawn_daemon();
             (handle.addr().to_string(), Some(handle))
         }
     };
@@ -264,25 +340,68 @@ fn main() {
     let gave_up: u64 = tallies.iter().map(|t| t.gave_up).sum();
     let retries: u64 = tallies.iter().map(|t| t.retries).sum();
 
-    // Drain and collect final stats.
-    let stats_value = match handle {
-        Some(h) => {
+    // Drain and collect final stats. In router mode the router drains
+    // first (it owns no jobs), then each daemon finishes its in-flight
+    // work; the daemon stats are reported per backend and aggregated for
+    // the throughput number.
+    let mut router_value: Option<Value> = None;
+    let mut daemons_value: Option<Value> = None;
+    let stats_value = if let Some(r) = router.take() {
+        let policy = opts.route_policy.name();
+        let rstats = r.wait();
+        let mut completed = 0u64;
+        let mut per_daemon = Vec::new();
+        for h in daemons.drain(..) {
+            let daemon_addr = h.addr().to_string();
             let stats = h.wait();
             assert_eq!(
                 stats.accepted,
                 stats.completed + stats.failed + stats.expired,
                 "graceful drain must leave no admitted job unresolved"
             );
-            stats.to_value(true)
+            completed += stats.completed;
+            per_daemon.push(obj([
+                ("addr", daemon_addr.into()),
+                ("completed", stats.completed.into()),
+                ("stats", stats.to_value(true)),
+            ]));
         }
-        None => {
-            if opts.shutdown {
-                let _ = wire_request(&addr, r#"{"cmd":"shutdown"}"#);
+        assert_eq!(
+            rstats.placed, accepted,
+            "every loadgen-acked job must be placed exactly once"
+        );
+        router_value = Some(obj([
+            ("policy", policy.into()),
+            ("stats", rstats.to_value(true)),
+        ]));
+        daemons_value = Some(Value::Arr(per_daemon));
+        obj([
+            ("ok", true.into()),
+            ("completed", completed.into()),
+            ("accepted", rstats.placed.into()),
+            ("failovers", rstats.failovers.into()),
+            ("replacements", rstats.replacements.into()),
+        ])
+    } else {
+        match handle {
+            Some(h) => {
+                let stats = h.wait();
+                assert_eq!(
+                    stats.accepted,
+                    stats.completed + stats.failed + stats.expired,
+                    "graceful drain must leave no admitted job unresolved"
+                );
+                stats.to_value(true)
             }
-            wire_request(&addr, r#"{"cmd":"stats"}"#).unwrap_or_else(|e| {
-                eprintln!("loadgen: stats query failed: {e}");
-                obj([("ok", false.into())])
-            })
+            None => {
+                if opts.shutdown {
+                    let _ = wire_request(&addr, r#"{"cmd":"shutdown"}"#);
+                }
+                wire_request(&addr, r#"{"cmd":"stats"}"#).unwrap_or_else(|e| {
+                    eprintln!("loadgen: stats query failed: {e}");
+                    obj([("ok", false.into())])
+                })
+            }
         }
     };
     let wall = wall_start.elapsed().as_secs_f64();
@@ -309,6 +428,8 @@ fn main() {
                 ),
                 ("seed", opts.seed.into()),
                 ("retry_budget", (opts.retries as u64).into()),
+                ("daemons", opts.daemons.into()),
+                ("route_policy", opts.route_policy.name().into()),
                 (
                     "workload_mix",
                     Value::Arr(
@@ -342,8 +463,28 @@ fn main() {
         ("wall_s", wall.into()),
         ("daemon", stats_value),
     ]);
+    let Value::Obj(mut members) = report else {
+        unreachable!("report is an object")
+    };
+    if let Some(router_value) = router_value {
+        members.push(("router".into(), router_value));
+    }
+    if let Some(daemons_value) = daemons_value {
+        members.push(("daemons".into(), daemons_value));
+    }
+    // The canonical 2-daemon router row `scripts/bench_gate.sh` gates
+    // (`router_2daemon_min_throughput:baseline`): end-to-end completed
+    // jobs per second through the router. Only recorded at the gate's
+    // exact shape so other fleet sizes cannot masquerade as it.
+    if opts.daemons == 2 {
+        members.push((
+            "router_2daemon_min_throughput".into(),
+            (completed as f64 / wall).into(),
+        ));
+    }
+    let report = Value::Obj(members);
 
-    std::fs::write(&opts.out, format!("{report}\n")).unwrap_or_else(|e| {
+    std::fs::write(&opts.out, format!("{}\n", render_toplevel(&report))).unwrap_or_else(|e| {
         eprintln!("loadgen: cannot write {}: {e}", opts.out);
         std::process::exit(1);
     });

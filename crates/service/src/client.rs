@@ -260,6 +260,31 @@ impl Client {
         }
     }
 
+    /// One request/response exchange with transport-level retries only:
+    /// re-dials through the backoff schedule on connection trouble, but
+    /// returns the daemon's response verbatim whether it is `ok` or an
+    /// error body. The router rides this to forward `result`/`status`/
+    /// `stats` lines to a backend and make its own failover decisions
+    /// from the raw response.
+    pub fn request(&mut self, line: &str) -> Result<Value, String> {
+        let mut transport_retries = 0u32;
+        loop {
+            match self.round_trip(line) {
+                Ok(resp) => return Ok(resp),
+                Err(why) => {
+                    self.conn = None;
+                    if transport_retries >= self.policy.budget {
+                        return Err(why);
+                    }
+                    let delay = self.backoff(transport_retries, None);
+                    std::thread::sleep(delay);
+                    transport_retries += 1;
+                    self.retries += 1;
+                }
+            }
+        }
+    }
+
     /// One write-line/read-line round trip, classified for the retry
     /// loop. Transport errors drop the connection so the next attempt
     /// re-dials.

@@ -20,8 +20,8 @@
 
 use crate::error::{lock, lock_recover, ServiceError};
 use crate::faults::{CrashPoint, FaultPlan, Faults};
-use crate::jobs::{JobResult, JobState, JobTable};
-use crate::journal::{Journal, Record, Recovery};
+use crate::jobs::{JobResult, JobState, JobTable, RetentionPolicy};
+use crate::journal::{unix_ms_now, JobOutcome, Journal, Record, Recovery};
 use crate::json::{obj, Value};
 use crate::protocol::{self, parse_request, placements_value, Request, SubmitRequest};
 use crate::queue::{Bounded, PopBatch, PushError};
@@ -70,6 +70,11 @@ pub struct ServiceConfig {
     pub shard_batch: usize,
     /// Terminal job records retained for `status`/`result` queries.
     pub retain_results: usize,
+    /// Age bound on retained terminal records, milliseconds; `None`
+    /// keeps them until the count bound evicts. Applied both to the
+    /// in-memory store and to the journal's outcome compaction, so a
+    /// result expires identically in memory and across restarts.
+    pub retain_age_ms: Option<u64>,
     /// Write-ahead job journal path. `Some` makes every admission durable
     /// before its ack and replays unfinished jobs on startup; `None`
     /// keeps the pre-journal in-memory behavior.
@@ -97,9 +102,20 @@ impl Default for ServiceConfig {
             worker_delay_ms: 0,
             shard_batch: 16,
             retain_results: 4096,
+            retain_age_ms: None,
             journal_path: None,
             journal_sync: false,
             faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The retention policy derived from the config's count + age knobs.
+    pub fn retention(&self) -> RetentionPolicy {
+        RetentionPolicy {
+            max_results: self.retain_results,
+            max_age_ms: self.retain_age_ms,
         }
     }
 }
@@ -142,6 +158,8 @@ struct Shared {
     faults: Faults,
     /// Jobs re-enqueued from the journal at startup.
     recovered: AtomicU64,
+    /// Terminal outcomes replayed into the result store at startup.
+    restored: AtomicU64,
     /// Journal appends that failed (injected or real I/O errors).
     journal_errors: AtomicU64,
 }
@@ -163,6 +181,9 @@ pub struct ServiceStats {
     pub inflight: u64,
     /// Jobs re-enqueued from the write-ahead journal at startup.
     pub recovered: u64,
+    /// Terminal outcomes replayed from the journal into the result store
+    /// at startup — pre-crash `result`s served by this incarnation.
+    pub restored_results: u64,
     /// Journal appends that failed (the affected submits were refused
     /// with a retryable `journal` error rather than acked un-durable).
     pub journal_errors: u64,
@@ -195,6 +216,7 @@ impl ServiceStats {
             ("expired", self.expired.into()),
             ("inflight", self.inflight.into()),
             ("recovered", self.recovered.into()),
+            ("restored_results", self.restored_results.into()),
             ("journal_errors", self.journal_errors.into()),
             (
                 "latency_ms",
@@ -262,7 +284,7 @@ impl Daemon {
         // counter resumes past every id the journal has ever seen.
         let (journal, recovery) = match &cfg.journal_path {
             Some(path) => {
-                let (j, rec) = Journal::open(path, cfg.journal_sync)
+                let (j, rec) = Journal::open_with(path, cfg.journal_sync, &cfg.retention())
                     .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?;
                 (Some(Mutex::new(j)), Some(rec))
             }
@@ -274,7 +296,7 @@ impl Daemon {
         listener.set_nonblocking(true)?;
 
         let total_workers: u64 = cfg.shards.iter().map(|s| s.threads as u64).sum();
-        let retain = cfg.retain_results;
+        let retention = cfg.retention();
         let faults = Faults::new(cfg.faults.clone());
         let shared = Arc::new(Shared {
             cfg,
@@ -288,11 +310,12 @@ impl Daemon {
             inflight: AtomicU64::new(0),
             workers_alive: AtomicU64::new(total_workers),
             next_id: AtomicU64::new(1),
-            jobs: Mutex::new(JobTable::new(retain)),
+            jobs: Mutex::new(JobTable::with_policy(&retention)),
             hist: Mutex::new(LatencyHistogram::new()),
             journal,
             faults,
             recovered: AtomicU64::new(0),
+            restored: AtomicU64::new(0),
             journal_errors: AtomicU64::new(0),
         });
         if let Some(rec) = recovery {
@@ -378,21 +401,38 @@ impl DaemonHandle {
         }
         if !self.shared.faults.crashed() {
             if let Some(journal) = &self.shared.journal {
-                // Best-effort: a failed truncate only costs the next
-                // startup a compaction, never correctness.
-                let _ = lock_recover(journal).truncate();
+                // Compact rather than truncate: every admitted job is
+                // terminal now, but the retained outcome records must
+                // survive the drain so the next incarnation still serves
+                // their `result`s. Best-effort: a failed compact only
+                // costs the next startup a compaction, never correctness.
+                let _ = lock_recover(journal).compact(&self.shared.cfg.retention());
             }
         }
         snapshot(&self.shared)
     }
 }
 
-/// Re-admits the journal's unfinished jobs. Runs before workers or the
-/// accept loop exist, so `force_push` (capacity-exempt — these jobs were
-/// already acked in a previous life) is safe and no client can observe a
-/// half-replayed daemon. Deadlines restart from the recovery instant: the
-/// original admission clock died with the old process.
+/// Re-admits the journal's unfinished jobs and replays recorded outcomes
+/// into the result store. Runs before workers or the accept loop exist,
+/// so `force_push` (capacity-exempt — these jobs were already acked in a
+/// previous life) is safe and no client can observe a half-replayed
+/// daemon. Deadlines restart from the recovery instant: the original
+/// admission clock died with the old process.
 fn replay_recovery(shared: &Shared, rec: &Recovery) {
+    // Outcome replay first — the fix for the restart amnesia bug: a job
+    // the journal witnessed completing must answer `result` with its
+    // recorded outcome, not `unknown_job`. Restored terminals are not
+    // re-counted as completed/failed (they were counted by the life that
+    // ran them); they surface via `restored_results`.
+    for (id, outcome) in &rec.outcomes {
+        let state = match outcome {
+            JobOutcome::Done { result, .. } => JobState::Done(result.clone()),
+            JobOutcome::Failed { error, .. } => JobState::Failed(error.clone()),
+        };
+        lock_recover(&shared.jobs).set(*id, state);
+        shared.restored.fetch_add(1, Ordering::SeqCst);
+    }
     let mut max_id = rec.terminal.iter().copied().max().unwrap_or(0);
     for (id, line) in &rec.unfinished {
         max_id = max_id.max(*id);
@@ -443,10 +483,18 @@ fn replay_recovery(shared: &Shared, rec: &Recovery) {
 }
 
 fn record_recovery_failure(shared: &Shared, id: u64, why: &str) {
-    lock_recover(&shared.jobs).set(id, JobState::Failed(format!("recovery: {why}")));
+    let error = format!("recovery: {why}");
+    lock_recover(&shared.jobs).set(id, JobState::Failed(error.clone()));
     shared.accepted.fetch_add(1, Ordering::SeqCst);
     shared.failed.fetch_add(1, Ordering::SeqCst);
-    journal_terminal(shared, &Record::Completed { id });
+    journal_terminal(
+        shared,
+        &Record::Failed {
+            id,
+            unix_ms: unix_ms_now(),
+            error,
+        },
+    );
 }
 
 fn begin_drain(shared: &Shared) {
@@ -470,6 +518,7 @@ fn snapshot(shared: &Shared) -> ServiceStats {
         expired: shared.expired.load(Ordering::SeqCst),
         inflight: shared.inflight.load(Ordering::SeqCst),
         recovered: shared.recovered.load(Ordering::SeqCst),
+        restored_results: shared.restored.load(Ordering::SeqCst),
         journal_errors: shared.journal_errors.load(Ordering::SeqCst),
         queue_depth: shared.shards.iter().map(|s| s.queue.len()).sum(),
         shards: shared
@@ -586,14 +635,15 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
     if shared.faults.hit(CrashPoint::PreCompleteRecord) {
         return;
     }
-    // Terminal record first (Completed covers Failed too: deterministic
-    // scheduling would fail the same way again, so neither is replayed).
-    journal_terminal(shared, &Record::Completed { id: job.id });
+    // Compute the terminal state first, journal it second, book-keep
+    // third: the outcome-bearing record must be durable before any
+    // in-memory terminal bookkeeping, and the record carries the full
+    // result (schedule digest + makespan + placements) so a restarted
+    // daemon serves it verbatim. Failures are recorded too —
+    // deterministic scheduling would fail the same way again, so the
+    // message is worth more than a re-run.
     let state = match outcome {
-        Err(e) => {
-            shared.failed.fetch_add(1, Ordering::SeqCst);
-            JobState::Failed(e.to_string())
-        }
+        Err(e) => JobState::Failed(e.to_string()),
         Ok(out) => {
             let service_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
             let exec = &out.jobs[0];
@@ -605,10 +655,6 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
                 ),
                 _ => (f64::NAN, f64::NAN),
             };
-            let latency_ns = (service_ms * 1e6) as u64;
-            lock_recover(&shared.hist).record(latency_ns);
-            shared.completed.fetch_add(1, Ordering::SeqCst);
-            shard.completed.fetch_add(1, Ordering::SeqCst);
             JobState::Done(JobResult {
                 makespan: exec.makespan,
                 slr,
@@ -619,6 +665,32 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
             })
         }
     };
+    let record = match &state {
+        JobState::Failed(error) => Record::Failed {
+            id: job.id,
+            unix_ms: unix_ms_now(),
+            error: error.clone(),
+        },
+        JobState::Done(result) => Record::Done {
+            id: job.id,
+            unix_ms: unix_ms_now(),
+            result: result.clone(),
+        },
+        // Unreachable by construction above; keep the record total.
+        _ => Record::Completed { id: job.id },
+    };
+    journal_terminal(shared, &record);
+    match &state {
+        JobState::Done(result) => {
+            let latency_ns = (result.service_ms * 1e6) as u64;
+            lock_recover(&shared.hist).record(latency_ns);
+            shared.completed.fetch_add(1, Ordering::SeqCst);
+            shard.completed.fetch_add(1, Ordering::SeqCst);
+        }
+        _ => {
+            shared.failed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
     set_state(shared, job.id, state);
     shared.inflight.fetch_sub(1, Ordering::SeqCst);
 }
@@ -729,6 +801,10 @@ fn try_handle_line(shared: &Shared, line: &str) -> Result<Value, ServiceError> {
             ]),
         },
         Request::Result { job_id } => {
+            // Crash point: the daemon dies mid-poll, before this response
+            // leaves the socket (the connection layer swallows it). A
+            // router must then re-place or re-poll the job elsewhere.
+            let _ = shared.faults.hit(CrashPoint::PreResult);
             let jobs = lock(&shared.jobs, "job table")?;
             match jobs.get(job_id) {
                 None => protocol::resp_error("unknown_job", format!("no record of job {job_id}")),

@@ -33,14 +33,31 @@ pub enum CrashPoint {
     /// that worker's memory) but before it is scheduled.
     MidShard,
     /// In a shard worker, after scheduling finished but before the
-    /// `Completed`/`Expired` record is written: recovery re-runs the job
+    /// `Done`/`Expired` record is written: recovery re-runs the job
     /// and must reproduce the identical schedule.
     PreCompleteRecord,
+    /// In the connection handler, while serving a `result` poll: the
+    /// daemon dies before the response leaves the socket. The router
+    /// chaos sweep uses this to kill one backend exactly when a client
+    /// is mid-poll, forcing failover re-placement.
+    PreResult,
 }
 
 impl CrashPoint {
     /// Every named crash point, in pipeline order.
-    pub const ALL: [CrashPoint; 3] = [
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::PostJournalPreAck,
+        CrashPoint::MidShard,
+        CrashPoint::PreCompleteRecord,
+        CrashPoint::PreResult,
+    ];
+
+    /// The crash points on the submit→schedule→record pipeline — the
+    /// ones a traffic-only workload is guaranteed to traverse. The
+    /// single-daemon chaos sweep samples only these: `pre-result` needs
+    /// a client actively polling `result` to ever fire, which that sweep
+    /// does not do before waiting for the crash.
+    pub const PIPELINE: [CrashPoint; 3] = [
         CrashPoint::PostJournalPreAck,
         CrashPoint::MidShard,
         CrashPoint::PreCompleteRecord,
@@ -52,6 +69,7 @@ impl CrashPoint {
             CrashPoint::PostJournalPreAck => "post-journal-pre-ack",
             CrashPoint::MidShard => "mid-shard",
             CrashPoint::PreCompleteRecord => "pre-complete-record",
+            CrashPoint::PreResult => "pre-result",
         }
     }
 
@@ -60,7 +78,7 @@ impl CrashPoint {
         CrashPoint::ALL
             .into_iter()
             .find(|p| p.name() == s)
-            .ok_or_else(|| format!("unknown crash point '{s}' (post-journal-pre-ack|mid-shard|pre-complete-record)"))
+            .ok_or_else(|| format!("unknown crash point '{s}' (post-journal-pre-ack|mid-shard|pre-complete-record|pre-result)"))
     }
 }
 
@@ -97,12 +115,27 @@ impl FaultPlan {
         self.crash_at.is_none() && self.io_fail_appends.is_empty()
     }
 
-    /// Derives a plan from a seed: a crash point, a small traversal
-    /// count, and occasionally an injected journal I/O error. One seed,
-    /// one reality — the chaos sweep replays bit-identically.
+    /// Derives a plan from a seed: a pipeline crash point, a small
+    /// traversal count, and occasionally an injected journal I/O error.
+    /// One seed, one reality — the chaos sweep replays bit-identically.
+    /// Samples [`CrashPoint::PIPELINE`] only; use
+    /// [`FaultPlan::seeded_router`] when a router keeps clients polling
+    /// through the crash.
     pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan::seeded_from(seed, &CrashPoint::PIPELINE)
+    }
+
+    /// [`FaultPlan::seeded`] over every crash point, including
+    /// `pre-result` — safe when a router re-places jobs stranded on the
+    /// dead backend, so a crash during a result poll cannot wedge the
+    /// sweep.
+    pub fn seeded_router(seed: u64) -> FaultPlan {
+        FaultPlan::seeded_from(seed, &CrashPoint::ALL)
+    }
+
+    fn seeded_from(seed: u64, points: &[CrashPoint]) -> FaultPlan {
         let mut state = seed;
-        let point = CrashPoint::ALL[(splitmix64(&mut state) % 3) as usize];
+        let point = points[(splitmix64(&mut state) % points.len().max(1) as u64) as usize];
         let after = 1 + splitmix64(&mut state) % 4;
         let io_fail_appends = if splitmix64(&mut state) % 4 == 0 {
             vec![1 + splitmix64(&mut state) % 4]
@@ -251,9 +284,33 @@ mod tests {
             let a = FaultPlan::seeded(seed);
             assert_eq!(a, FaultPlan::seeded(seed));
             assert!(a.crash_after >= 1 && a.crash_after <= 4);
+            assert_ne!(
+                a.crash_at,
+                Some(CrashPoint::PreResult),
+                "the pipeline sweep must never arm a poll-dependent point"
+            );
             points.insert(a.crash_at.map(CrashPoint::name));
         }
-        assert_eq!(points.len(), 3, "sweep must reach every crash point");
+        assert_eq!(points.len(), 3, "sweep must reach every pipeline point");
+    }
+
+    #[test]
+    fn router_seeded_plans_cover_all_four_points() {
+        use std::collections::BTreeSet;
+        let mut points = BTreeSet::new();
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded_router(seed);
+            assert_eq!(a, FaultPlan::seeded_router(seed));
+            points.insert(a.crash_at.map(CrashPoint::name));
+        }
+        assert_eq!(points.len(), 4, "router sweep must reach pre-result too");
+    }
+
+    #[test]
+    fn pre_result_round_trips_the_env_syntax() {
+        let plan = FaultPlan::parse("crash=pre-result:3").unwrap();
+        assert_eq!(plan.crash_at, Some(CrashPoint::PreResult));
+        assert_eq!(plan.crash_after, 3);
     }
 
     #[test]

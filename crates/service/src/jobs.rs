@@ -2,6 +2,7 @@
 
 use hdlts_platform::ProcId;
 use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
 
 /// Where a job is in its lifecycle.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,27 +58,64 @@ pub struct JobResult {
     pub aborted_attempts: usize,
 }
 
-/// In-memory job table with FIFO eviction of terminal records.
+/// Bounds on how long terminal results are retained — by count (FIFO)
+/// and optionally by age. Shared between the in-memory [`JobTable`] and
+/// the journal's open-time compaction, so what survives a restart and
+/// what survives in memory follow the same rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Maximum terminal records kept (at least 1 is always enforced).
+    pub max_results: usize,
+    /// Drop terminal records older than this many milliseconds. `None`
+    /// disables the age bound.
+    pub max_age_ms: Option<u64>,
+}
+
+impl Default for RetentionPolicy {
+    /// 4096 results, no age bound — matching the daemon's default
+    /// `retain_results`.
+    fn default() -> Self {
+        RetentionPolicy {
+            max_results: 4096,
+            max_age_ms: None,
+        }
+    }
+}
+
+/// In-memory job table with FIFO + age eviction of terminal records.
 ///
 /// Live (queued/running) jobs are never evicted — they are bounded by the
-/// admission queue, not by this table. Terminal records are kept for
-/// `retain` completed jobs so `result`/`status` queries work after the
-/// fact without unbounded growth under sustained traffic.
+/// admission queue, not by this table. Terminal records are kept for at
+/// most `max_results` completed jobs (and, when an age bound is set, no
+/// longer than `max_age_ms`) so `result`/`status` queries work after the
+/// fact without unbounded growth under sustained traffic. Age eviction is
+/// lazy: stale records are swept on the next terminal insertion, the same
+/// moment the count bound is enforced.
 #[derive(Debug)]
 pub struct JobTable {
     states: HashMap<u64, JobState>,
-    terminal_order: VecDeque<u64>,
+    terminal_order: VecDeque<(u64, Instant)>,
     retain: usize,
+    max_age: Option<Duration>,
 }
 
 impl JobTable {
-    /// A table retaining at most `retain` terminal records (at least 1).
+    /// A table retaining at most `retain` terminal records (at least 1),
+    /// with no age bound.
     pub fn new(retain: usize) -> Self {
-        assert!(retain >= 1, "retention must be at least 1");
+        JobTable::with_policy(&RetentionPolicy {
+            max_results: retain,
+            max_age_ms: None,
+        })
+    }
+
+    /// A table enforcing the full retention policy.
+    pub fn with_policy(policy: &RetentionPolicy) -> Self {
         JobTable {
             states: HashMap::new(),
             terminal_order: VecDeque::new(),
-            retain,
+            retain: policy.max_results.max(1),
+            max_age: policy.max_age_ms.map(Duration::from_millis),
         }
     }
 
@@ -87,17 +125,26 @@ impl JobTable {
     }
 
     /// Transitions a job to a new state, evicting the oldest terminal
-    /// record if the retention bound is exceeded.
+    /// records if the retention bounds are exceeded.
     pub fn set(&mut self, id: u64, state: JobState) {
         let terminal = state.is_terminal();
         self.states.insert(id, state);
         if terminal {
-            self.terminal_order.push_back(id);
+            self.terminal_order.push_back((id, Instant::now()));
             while self.terminal_order.len() > self.retain {
-                let Some(evict) = self.terminal_order.pop_front() else {
+                let Some((evict, _)) = self.terminal_order.pop_front() else {
                     break;
                 };
                 self.states.remove(&evict);
+            }
+            if let Some(max_age) = self.max_age {
+                while let Some(&(front, at)) = self.terminal_order.front() {
+                    if at.elapsed() <= max_age {
+                        break;
+                    }
+                    self.terminal_order.pop_front();
+                    self.states.remove(&front);
+                }
             }
         }
     }
@@ -166,6 +213,29 @@ mod tests {
             assert!(t.get(id).is_some(), "job {id} should be retained");
         }
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn age_bound_sweeps_stale_terminals() {
+        let mut t = JobTable::with_policy(&RetentionPolicy {
+            max_results: 10,
+            max_age_ms: Some(20),
+        });
+        t.insert_queued(1);
+        t.set(1, done());
+        std::thread::sleep(Duration::from_millis(40));
+        t.insert_queued(2);
+        t.set(2, done());
+        assert!(t.get(1).is_none(), "aged-out terminal swept");
+        assert!(t.get(2).is_some(), "fresh terminal retained");
+        // Without an age bound the old record would have survived.
+        let mut unbounded = JobTable::new(10);
+        unbounded.insert_queued(1);
+        unbounded.set(1, done());
+        std::thread::sleep(Duration::from_millis(40));
+        unbounded.insert_queued(2);
+        unbounded.set(2, done());
+        assert!(unbounded.get(1).is_some());
     }
 
     #[test]

@@ -42,13 +42,21 @@ pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod queue;
+pub mod router;
 
 pub use client::{Client, Outcome, RetryPolicy, SubmitReceipt};
 pub use daemon::{Daemon, DaemonHandle, ServiceConfig, ServiceStats, ShardSpec};
 pub use error::ServiceError;
 pub use faults::{CrashPoint, FaultPlan, Faults};
-pub use jobs::{JobResult, JobState, JobTable};
-pub use journal::{read_journal, Journal, Record, Recovery};
+pub use jobs::{JobResult, JobState, JobTable, RetentionPolicy};
+pub use journal::{
+    apply_retention, outcome_digest, read_journal, unix_ms_now, JobOutcome, Journal, Record,
+    Recovery,
+};
 pub use json::{JsonError, Value};
 pub use protocol::{parse_request, JobSpec, Request, SubmitRequest};
 pub use queue::{Bounded, Pop, PushError};
+pub use router::{
+    BackendStats, HostSpec, PlacementPolicy, Router, RouterConfig, RouterHandle, RouterStats,
+    Topology, WorkerClass,
+};

@@ -1,0 +1,992 @@
+//! The router tier: multi-daemon job placement with failover.
+//!
+//! A router speaks the same newline-JSON wire protocol as a daemon but
+//! owns no shards: it places each `submit` on one of the backend daemons
+//! named by its [`Topology`] — a GPI-Space-style spec of worker classes
+//! per host (`host=127.0.0.1:7101 CPU:8 GPU:2; host=127.0.0.1:7102
+//! FPGA:1`) — and forwards `status`/`result` polls to wherever the job
+//! lives. Placement is pluggable ([`PlacementPolicy`]): consistent
+//! hashing on the job key keeps identical submissions on the same
+//! backend across router restarts, while least-backlog probes each
+//! backend's queue depth and sends work to the emptiest (scaled by
+//! declared capacity).
+//!
+//! Every backend exchange rides [`crate::Client`] — the same
+//! retry/backoff/deadline machinery `loadgen` and `hdlts submit` use —
+//! so a dead or backpressuring daemon triggers jittered failover to the
+//! next candidate instead of a client-visible error:
+//!
+//! * a `submit` that cannot land on its preferred backend walks the
+//!   candidate list (with a small seeded jitter between hops) until one
+//!   accepts;
+//! * a `result` poll whose backend has died **re-places** the stored
+//!   submit line on the next live candidate and answers `not_ready` —
+//!   scheduling is deterministic, so the re-run reproduces the identical
+//!   schedule and the client's poll loop converges on the same result
+//!   the dead backend would have served.
+//!
+//! The router assigns its own job ids and keeps the id spaces separate:
+//! clients see router ids, backends see their own. The routing table
+//! remembers the verbatim submit line per id, which is what makes
+//! re-placement possible.
+//!
+//! This file is inside the analyzer's `request-path-panic` scope: no
+//! `unwrap`/`expect`/`panic!` on any request path.
+
+use crate::client::{Client, RetryPolicy};
+use crate::error::lock_recover;
+use crate::faults::splitmix64;
+use crate::json::{obj, Value};
+use crate::protocol::{self, parse_request, Request};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Topology spec
+// ---------------------------------------------------------------------------
+
+/// One worker class on a host: a name (`CPU`, `GPU`, `FPGA`, ...) and
+/// how many workers of that class the host offers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerClass {
+    /// Class name, verbatim from the spec.
+    pub name: String,
+    /// Worker count; the parser rejects zero.
+    pub count: usize,
+}
+
+/// One backend daemon in the topology: its address and worker classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostSpec {
+    /// `host:port` of the daemon.
+    pub addr: String,
+    /// The worker classes the host declares.
+    pub classes: Vec<WorkerClass>,
+}
+
+impl HostSpec {
+    /// Total workers across classes — the host's placement weight.
+    pub fn capacity(&self) -> usize {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+}
+
+/// A parsed topology: the backend daemons a router places jobs across.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// The hosts, in spec order.
+    pub hosts: Vec<HostSpec>,
+}
+
+impl Topology {
+    /// Parses the topology grammar (see `docs/FORMAT.md` "Topology
+    /// spec"):
+    ///
+    /// ```text
+    /// spec  := host (';' host)*
+    /// host  := 'host=' addr class+
+    /// class := name ':' count        (count >= 1)
+    /// ```
+    ///
+    /// Hosts are `;`-separated; within a host, tokens are
+    /// whitespace-separated. Duplicate host addresses, hosts without
+    /// classes, zero counts, and malformed tokens are all rejected.
+    pub fn parse(spec: &str) -> Result<Topology, String> {
+        let mut hosts: Vec<HostSpec> = Vec::new();
+        for clause in spec.split(';') {
+            let mut tokens = clause.split_whitespace();
+            let Some(first) = tokens.next() else {
+                continue; // empty clause (trailing ';'): skip
+            };
+            let Some(addr) = first.strip_prefix("host=") else {
+                return Err(format!(
+                    "host clause must start with 'host=ADDR', got '{first}'"
+                ));
+            };
+            if addr.is_empty() || !addr.contains(':') {
+                return Err(format!("'{addr}' is not a host:port address"));
+            }
+            if hosts.iter().any(|h| h.addr == addr) {
+                return Err(format!("duplicate host '{addr}'"));
+            }
+            let mut classes: Vec<WorkerClass> = Vec::new();
+            for token in tokens {
+                let Some((name, count)) = token.split_once(':') else {
+                    return Err(format!(
+                        "worker class '{token}' is not NAME:COUNT (host '{addr}')"
+                    ));
+                };
+                if name.is_empty() {
+                    return Err(format!("empty class name in '{token}' (host '{addr}')"));
+                }
+                let count: usize = count
+                    .parse()
+                    .map_err(|_| format!("bad worker count in '{token}' (host '{addr}')"))?;
+                if count == 0 {
+                    return Err(format!(
+                        "class '{name}' on host '{addr}' declares zero workers"
+                    ));
+                }
+                if classes.iter().any(|c| c.name == name) {
+                    return Err(format!("duplicate class '{name}' on host '{addr}'"));
+                }
+                classes.push(WorkerClass {
+                    name: name.to_string(),
+                    count,
+                });
+            }
+            if classes.is_empty() {
+                return Err(format!("host '{addr}' declares no worker classes"));
+            }
+            hosts.push(HostSpec {
+                addr: addr.to_string(),
+                classes,
+            });
+        }
+        if hosts.is_empty() {
+            return Err("topology declares no hosts".into());
+        }
+        Ok(Topology { hosts })
+    }
+
+    /// Total workers across all hosts.
+    pub fn total_capacity(&self) -> usize {
+        self.hosts.iter().map(HostSpec::capacity).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Placement policies
+// ---------------------------------------------------------------------------
+
+/// How the router orders backends for a new job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Hash the submit line onto a capacity-weighted hash ring: the same
+    /// submission always prefers the same backend (even across router
+    /// restarts), and losing a backend only remaps the keys it owned.
+    ConsistentHash,
+    /// Probe each backend's queue depth (cached for `probe_ttl_ms`) and
+    /// prefer the emptiest relative to its declared capacity; ties break
+    /// by jobs already placed, so an idle fleet round-robins.
+    LeastBacklog,
+}
+
+impl PlacementPolicy {
+    /// The stable spelling used by the CLI and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::ConsistentHash => "hash",
+            PlacementPolicy::LeastBacklog => "least-backlog",
+        }
+    }
+
+    /// Parses a policy name (`hash`/`consistent-hash` or
+    /// `least-backlog`/`backlog`).
+    pub fn parse(s: &str) -> Result<PlacementPolicy, String> {
+        match s.trim() {
+            "hash" | "consistent-hash" => Ok(PlacementPolicy::ConsistentHash),
+            "least-backlog" | "backlog" => Ok(PlacementPolicy::LeastBacklog),
+            other => Err(format!(
+                "unknown placement policy '{other}' (hash|least-backlog)"
+            )),
+        }
+    }
+}
+
+/// FNV-1a, the stable 64-bit string hash behind the ring and job keys.
+fn hash64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Vnodes per unit of declared capacity — enough spread that a 2-host
+/// ring is not lopsided, bounded so huge hosts stay cheap.
+const VNODES_PER_WORKER: usize = 16;
+const MAX_VNODES_PER_HOST: usize = 512;
+
+/// Builds the capacity-weighted hash ring: `(point, backend index)`
+/// sorted by point.
+fn build_ring(topology: &Topology) -> Vec<(u64, usize)> {
+    let mut ring = Vec::new();
+    for (idx, host) in topology.hosts.iter().enumerate() {
+        let vnodes =
+            (host.capacity() * VNODES_PER_WORKER).clamp(VNODES_PER_WORKER, MAX_VNODES_PER_HOST);
+        let mut state = hash64(host.addr.as_bytes());
+        for _ in 0..vnodes {
+            ring.push((splitmix64(&mut state), idx));
+        }
+    }
+    ring.sort_unstable();
+    ring
+}
+
+// ---------------------------------------------------------------------------
+// Router configuration and shared state
+// ---------------------------------------------------------------------------
+
+/// Router configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// The backend daemons to place across.
+    pub topology: Topology,
+    /// Placement policy.
+    pub policy: PlacementPolicy,
+    /// Per-backend retry/backoff policy for forwarded exchanges. Kept
+    /// deliberately tight (small budget, short deadline) so a dead
+    /// backend costs milliseconds before failover, not the client's
+    /// whole request deadline.
+    pub retry: RetryPolicy,
+    /// Queue-depth probe cache lifetime for least-backlog, ms.
+    pub probe_ttl_ms: u64,
+    /// Seed for the failover jitter stream (and per-connection client
+    /// jitter seeds).
+    pub seed: u64,
+}
+
+impl RouterConfig {
+    /// A router on `addr` over `topology` with consistent-hash placement
+    /// and a tight per-backend retry policy.
+    pub fn new(addr: impl Into<String>, topology: Topology) -> RouterConfig {
+        RouterConfig {
+            addr: addr.into(),
+            topology,
+            policy: PlacementPolicy::ConsistentHash,
+            retry: RetryPolicy {
+                budget: 2,
+                base_ms: 5,
+                cap_ms: 200,
+                request_timeout_ms: Some(5_000),
+                ..RetryPolicy::default()
+            },
+            probe_ttl_ms: 100,
+            seed: 0x0407_7E12,
+        }
+    }
+}
+
+/// Cached queue-depth probe for one backend.
+#[derive(Debug, Clone, Copy)]
+struct Probe {
+    depth: usize,
+    at: Option<Instant>,
+}
+
+struct Backend {
+    addr: String,
+    capacity: usize,
+    /// Cleared when an exchange dies at the transport level, set again
+    /// on any successful exchange. Unhealthy backends sort last in the
+    /// candidate order but are still tried as a last resort — they may
+    /// have restarted.
+    healthy: AtomicBool,
+    /// Jobs placed here (initial placements + re-placements).
+    placed: AtomicU64,
+    probe: Mutex<Probe>,
+}
+
+/// Where a routed job lives.
+#[derive(Debug, Clone)]
+struct Route {
+    /// The verbatim submit line — what re-placement re-submits.
+    line: String,
+    /// Backend index currently owning the job.
+    backend: usize,
+    /// The owning backend's id for the job.
+    backend_job_id: u64,
+}
+
+struct RouterShared {
+    cfg: RouterConfig,
+    backends: Vec<Backend>,
+    ring: Vec<(u64, usize)>,
+    routes: Mutex<HashMap<u64, Route>>,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+    placed: AtomicU64,
+    rejected: AtomicU64,
+    failovers: AtomicU64,
+    replacements: AtomicU64,
+    conn_seq: AtomicU64,
+}
+
+/// Point-in-time router counters, per backend and aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Jobs placed (acked to a client).
+    pub placed: u64,
+    /// Submits no backend would take.
+    pub rejected: u64,
+    /// Candidate hops past the first choice (submit failover) plus
+    /// re-placements.
+    pub failovers: u64,
+    /// Jobs re-submitted to a new backend after their owner died.
+    pub replacements: u64,
+    /// Per-backend view, in topology order.
+    pub backends: Vec<BackendStats>,
+}
+
+/// One backend's slice of [`RouterStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendStats {
+    /// The backend daemon's address.
+    pub addr: String,
+    /// Last observed transport health.
+    pub healthy: bool,
+    /// Jobs placed on this backend.
+    pub placed: u64,
+    /// Declared capacity (total workers).
+    pub capacity: usize,
+}
+
+impl RouterStats {
+    /// The router's `stats` response body.
+    pub fn to_value(&self, draining: bool) -> Value {
+        obj([
+            ("ok", true.into()),
+            ("router", true.into()),
+            ("draining", draining.into()),
+            ("placed", self.placed.into()),
+            ("rejected", self.rejected.into()),
+            ("failovers", self.failovers.into()),
+            ("replacements", self.replacements.into()),
+            (
+                "backends",
+                Value::Arr(
+                    self.backends
+                        .iter()
+                        .map(|b| {
+                            obj([
+                                ("addr", b.addr.as_str().into()),
+                                ("healthy", b.healthy.into()),
+                                ("placed", b.placed.into()),
+                                ("capacity", b.capacity.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router lifecycle
+// ---------------------------------------------------------------------------
+
+/// Starts a router from a [`RouterConfig`].
+pub struct Router;
+
+impl Router {
+    /// Binds the router and spawns its accept loop. Backends are dialed
+    /// lazily per connection; a topology pointing at daemons that are
+    /// not up yet still starts (submits fail over or reject until one
+    /// answers).
+    pub fn start(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let ring = build_ring(&cfg.topology);
+        let backends = cfg
+            .topology
+            .hosts
+            .iter()
+            .map(|h| Backend {
+                addr: h.addr.clone(),
+                capacity: h.capacity(),
+                healthy: AtomicBool::new(true),
+                placed: AtomicU64::new(0),
+                probe: Mutex::new(Probe { depth: 0, at: None }),
+            })
+            .collect();
+        let shared = Arc::new(RouterShared {
+            cfg,
+            backends,
+            ring,
+            routes: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            placed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            replacements: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hdlts-router-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        Ok(RouterHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running router: its address, live stats, and the join point.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new work; open connections keep being served
+    /// until their clients hang up. Backends are NOT shut down — the
+    /// router does not own them.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// A stats snapshot (also available over the wire via `stats`).
+    pub fn stats(&self) -> RouterStats {
+        snapshot(&self.shared)
+    }
+
+    /// Whether a drain has begun (via [`Self::begin_drain`] or a wire
+    /// `shutdown`).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drains (if not already draining) and joins the accept loop;
+    /// returns the final stats.
+    pub fn wait(mut self) -> RouterStats {
+        self.begin_drain();
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        snapshot(&self.shared)
+    }
+}
+
+fn snapshot(shared: &RouterShared) -> RouterStats {
+    RouterStats {
+        placed: shared.placed.load(Ordering::SeqCst),
+        rejected: shared.rejected.load(Ordering::SeqCst),
+        failovers: shared.failovers.load(Ordering::SeqCst),
+        replacements: shared.replacements.load(Ordering::SeqCst),
+        backends: shared
+            .backends
+            .iter()
+            .map(|b| BackendStats {
+                addr: b.addr.clone(),
+                healthy: b.healthy.load(Ordering::SeqCst),
+                placed: b.placed.load(Ordering::SeqCst),
+                capacity: b.capacity,
+            })
+            .collect(),
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<RouterShared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("hdlts-router-conn".into())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// Per-connection routing context: one lazy [`Client`] per backend (a
+/// `Client` is deliberately single-threaded, like the socket it wraps)
+/// plus this connection's jitter stream.
+struct ConnCtx<'a> {
+    shared: &'a RouterShared,
+    clients: Vec<Option<Client>>,
+    rng: u64,
+}
+
+impl<'a> ConnCtx<'a> {
+    fn new(shared: &'a RouterShared) -> ConnCtx<'a> {
+        let conn = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+        let mut rng = shared.cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let _ = splitmix64(&mut rng);
+        ConnCtx {
+            shared,
+            clients: (0..shared.backends.len()).map(|_| None).collect(),
+            rng,
+        }
+    }
+
+    /// The lazily-dialed client for backend `idx`.
+    fn client(&mut self, idx: usize) -> Option<&mut Client> {
+        let slot = self.clients.get_mut(idx)?;
+        if slot.is_none() {
+            let backend = self.shared.backends.get(idx)?;
+            let mut policy = self.shared.cfg.retry.clone();
+            policy.seed = self.rng ^ (idx as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+            *slot = Some(Client::new(backend.addr.clone(), policy));
+        }
+        slot.as_mut()
+    }
+
+    /// Jittered inter-candidate failover delay: 1–16 ms, seeded.
+    fn failover_pause(&mut self) {
+        let ms = 1 + splitmix64(&mut self.rng) % 16;
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+
+    /// This backend's queue depth for least-backlog ordering, probing
+    /// over the wire when the cached value is stale. An unreachable
+    /// backend reports `usize::MAX` and is marked unhealthy.
+    fn probe_depth(&mut self, idx: usize) -> usize {
+        let ttl = Duration::from_millis(self.shared.cfg.probe_ttl_ms);
+        if let Some(backend) = self.shared.backends.get(idx) {
+            let cached = *lock_recover(&backend.probe);
+            if let Some(at) = cached.at {
+                if at.elapsed() <= ttl {
+                    return cached.depth;
+                }
+            }
+        }
+        let depth = match self.client(idx).map(|c| c.request(r#"{"cmd":"stats"}"#)) {
+            Some(Ok(resp)) => {
+                let depth = resp.get("queue_depth").and_then(Value::as_u64).unwrap_or(0) as usize;
+                // Count admitted-but-unfinished work too: a backend
+                // whose workers are saturated has small queues but high
+                // inflight.
+                let inflight = resp.get("inflight").and_then(Value::as_u64).unwrap_or(0) as usize;
+                self.mark(idx, true);
+                depth.max(inflight)
+            }
+            _ => {
+                self.mark(idx, false);
+                usize::MAX
+            }
+        };
+        if let Some(backend) = self.shared.backends.get(idx) {
+            *lock_recover(&backend.probe) = Probe {
+                depth,
+                at: Some(Instant::now()),
+            };
+        }
+        depth
+    }
+
+    fn mark(&self, idx: usize, healthy: bool) {
+        if let Some(b) = self.shared.backends.get(idx) {
+            b.healthy.store(healthy, Ordering::SeqCst);
+        }
+    }
+
+    /// The preference-ordered candidate list for a job key: policy
+    /// order, with currently-unhealthy backends demoted to the tail (a
+    /// restarted daemon still gets retried, last).
+    fn candidates(&mut self, key: u64) -> Vec<usize> {
+        let n = self.shared.backends.len();
+        let mut order: Vec<usize> = match self.shared.cfg.policy {
+            PlacementPolicy::ConsistentHash => {
+                let ring = &self.shared.ring;
+                let start = ring.partition_point(|&(point, _)| point < key);
+                let mut seen = vec![false; n];
+                let mut order = Vec::with_capacity(n);
+                for i in 0..ring.len() {
+                    let (_, idx) = ring[(start + i) % ring.len()];
+                    if !seen[idx] {
+                        seen[idx] = true;
+                        order.push(idx);
+                        if order.len() == n {
+                            break;
+                        }
+                    }
+                }
+                order
+            }
+            PlacementPolicy::LeastBacklog => {
+                let mut keyed: Vec<(u64, u64, usize)> = (0..n)
+                    .map(|idx| {
+                        let depth = self.probe_depth(idx);
+                        let capacity = self
+                            .shared
+                            .backends
+                            .get(idx)
+                            .map(|b| b.capacity.max(1))
+                            .unwrap_or(1);
+                        // Normalize by capacity so a 2-worker host at
+                        // depth 4 is "fuller" than an 8-worker host at
+                        // depth 6; saturate on the dead-backend MAX.
+                        let load = (depth as u64).saturating_mul(1_000) / capacity as u64;
+                        let placed = self
+                            .shared
+                            .backends
+                            .get(idx)
+                            .map(|b| b.placed.load(Ordering::SeqCst))
+                            .unwrap_or(0);
+                        (load, placed, idx)
+                    })
+                    .collect();
+                keyed.sort_unstable();
+                keyed.into_iter().map(|(_, _, idx)| idx).collect()
+            }
+        };
+        // Stable partition: healthy candidates first.
+        order.sort_by_key(|&idx| {
+            !self
+                .shared
+                .backends
+                .get(idx)
+                .map(|b| b.healthy.load(Ordering::SeqCst))
+                .unwrap_or(false)
+        });
+        order
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &RouterShared) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut ctx = ConnCtx::new(shared);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client closed
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&mut ctx, &line);
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn handle_line(ctx: &mut ConnCtx<'_>, line: &str) -> Value {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return protocol::resp_error("bad_request", e.0),
+    };
+    match request {
+        Request::Ping => obj([
+            ("ok", true.into()),
+            ("pong", true.into()),
+            ("router", true.into()),
+        ]),
+        Request::Stats => snapshot(ctx.shared).to_value(ctx.shared.draining.load(Ordering::SeqCst)),
+        Request::Shutdown => {
+            // Drain the router only: backends belong to their own
+            // operators and may serve other routers.
+            ctx.shared.draining.store(true, Ordering::SeqCst);
+            obj([("ok", true.into()), ("draining", true.into())])
+        }
+        Request::Submit(_) => handle_submit(ctx, line),
+        Request::Status { job_id } => handle_forward(ctx, job_id, "status"),
+        Request::Result { job_id } => handle_forward(ctx, job_id, "result"),
+    }
+}
+
+/// Whether a submit refusal is structural — identical on every backend,
+/// so failover cannot help. `no_shard` is deliberately NOT structural: a
+/// heterogeneous topology may serve the platform elsewhere.
+fn is_structural(why: &str) -> bool {
+    why.starts_with("bad_workload") || why.starts_with("bad_request")
+}
+
+fn handle_submit(ctx: &mut ConnCtx<'_>, line: &str) -> Value {
+    if ctx.shared.draining.load(Ordering::SeqCst) {
+        return protocol::resp_error("draining", "router is shutting down; not accepting jobs");
+    }
+    let line = line.trim();
+    let key = hash64(line.as_bytes());
+    let order = ctx.candidates(key);
+    let mut last_err = String::from("no backends configured");
+    for (attempt, idx) in order.iter().copied().enumerate() {
+        if attempt > 0 {
+            ctx.shared.failovers.fetch_add(1, Ordering::SeqCst);
+            ctx.failover_pause();
+        }
+        let submitted = match ctx.client(idx) {
+            Some(client) => client.submit(line),
+            None => Err("backend index out of range".into()),
+        };
+        match submitted {
+            Ok(receipt) => {
+                ctx.mark(idx, true);
+                let router_id = ctx.shared.next_id.fetch_add(1, Ordering::SeqCst);
+                lock_recover(&ctx.shared.routes).insert(
+                    router_id,
+                    Route {
+                        line: line.to_string(),
+                        backend: idx,
+                        backend_job_id: receipt.job_id,
+                    },
+                );
+                ctx.shared.placed.fetch_add(1, Ordering::SeqCst);
+                if let Some(b) = ctx.shared.backends.get(idx) {
+                    b.placed.fetch_add(1, Ordering::SeqCst);
+                }
+                let addr = ctx
+                    .shared
+                    .backends
+                    .get(idx)
+                    .map(|b| b.addr.clone())
+                    .unwrap_or_default();
+                return obj([
+                    ("ok", true.into()),
+                    ("job_id", router_id.into()),
+                    ("backend", addr.into()),
+                    ("backend_job_id", receipt.job_id.into()),
+                ]);
+            }
+            Err(why) => {
+                if is_structural(&why) {
+                    // Same refusal everywhere: surface it verbatim-ish.
+                    let (tag, detail) = why.split_once(": ").unwrap_or((why.as_str(), ""));
+                    return protocol::resp_error(tag, detail.to_string());
+                }
+                ctx.mark(idx, false);
+                last_err = why;
+            }
+        }
+    }
+    ctx.shared.rejected.fetch_add(1, Ordering::SeqCst);
+    protocol::resp_error(
+        "unavailable",
+        format!("no backend accepted the job: {last_err}"),
+    )
+}
+
+/// Forwards a `status`/`result` poll to the job's backend, rewriting the
+/// backend job id back to the router id. A dead backend — or one that
+/// restarted without the job — triggers re-placement.
+fn handle_forward(ctx: &mut ConnCtx<'_>, router_id: u64, cmd: &str) -> Value {
+    let Some(route) = lock_recover(&ctx.shared.routes).get(&router_id).cloned() else {
+        return protocol::resp_error("unknown_job", format!("no record of job {router_id}"));
+    };
+    let request = format!(r#"{{"cmd":"{cmd}","job_id":{}}}"#, route.backend_job_id);
+    let response = match ctx.client(route.backend) {
+        Some(client) => client.request(&request),
+        None => Err("backend index out of range".into()),
+    };
+    match response {
+        Ok(resp) => {
+            ctx.mark(route.backend, true);
+            // A backend that restarted past its retention (or without a
+            // journal) no longer knows the job: re-place it. Every other
+            // body passes through with the id space translated.
+            if resp.get("error").and_then(Value::as_str) == Some("unknown_job") {
+                return replace_job(ctx, router_id, &route);
+            }
+            rewrite_job_id(resp, router_id)
+        }
+        Err(_dead) => {
+            ctx.mark(route.backend, false);
+            replace_job(ctx, router_id, &route)
+        }
+    }
+}
+
+/// Re-submits a stranded job's stored line to the next live candidate
+/// and tells the client to keep polling. Scheduling is deterministic, so
+/// the re-run on any backend reproduces the schedule the dead owner
+/// would have served.
+fn replace_job(ctx: &mut ConnCtx<'_>, router_id: u64, route: &Route) -> Value {
+    let key = hash64(route.line.as_bytes());
+    let order = ctx.candidates(key);
+    for idx in order {
+        if idx == route.backend {
+            continue; // the owner just failed us
+        }
+        ctx.failover_pause();
+        let submitted = match ctx.client(idx) {
+            Some(client) => client.submit(&route.line),
+            None => continue,
+        };
+        if let Ok(receipt) = submitted {
+            ctx.mark(idx, true);
+            ctx.shared.failovers.fetch_add(1, Ordering::SeqCst);
+            ctx.shared.replacements.fetch_add(1, Ordering::SeqCst);
+            if let Some(b) = ctx.shared.backends.get(idx) {
+                b.placed.fetch_add(1, Ordering::SeqCst);
+            }
+            lock_recover(&ctx.shared.routes).insert(
+                router_id,
+                Route {
+                    line: route.line.clone(),
+                    backend: idx,
+                    backend_job_id: receipt.job_id,
+                },
+            );
+            return obj([
+                ("ok", false.into()),
+                ("error", "not_ready".into()),
+                ("state", "requeued".into()),
+                ("job_id", router_id.into()),
+            ]);
+        }
+    }
+    protocol::resp_error(
+        "unavailable",
+        format!("job {router_id} lost its backend and no other backend accepted it"),
+    )
+}
+
+/// Replaces the backend's `job_id` with the router's in a forwarded
+/// response body.
+fn rewrite_job_id(resp: Value, router_id: u64) -> Value {
+    match resp {
+        Value::Obj(mut entries) => {
+            for (k, v) in entries.iter_mut() {
+                if k == "job_id" {
+                    *v = router_id.into();
+                }
+            }
+            Value::Obj(entries)
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_parses_the_gpi_space_shape() {
+        let t = Topology::parse("host=127.0.0.1:7101 CPU:8 GPU:2; host=127.0.0.1:7102 FPGA:1;")
+            .unwrap();
+        assert_eq!(t.hosts.len(), 2);
+        assert_eq!(t.hosts[0].addr, "127.0.0.1:7101");
+        assert_eq!(t.hosts[0].classes.len(), 2);
+        assert_eq!(t.hosts[0].classes[0].name, "CPU");
+        assert_eq!(t.hosts[0].classes[0].count, 8);
+        assert_eq!(t.hosts[0].capacity(), 10);
+        assert_eq!(t.hosts[1].capacity(), 1);
+        assert_eq!(t.total_capacity(), 11);
+    }
+
+    #[test]
+    fn topology_rejects_garbage() {
+        for bad in [
+            "",
+            "   ",
+            ";;",
+            "127.0.0.1:7101 CPU:8",            // missing host=
+            "host= CPU:8",                     // empty addr
+            "host=127.0.0.1 CPU:8",            // no port
+            "host=127.0.0.1:7101",             // no classes
+            "host=127.0.0.1:7101 CPU",         // class missing :count
+            "host=127.0.0.1:7101 :8",          // empty class name
+            "host=127.0.0.1:7101 CPU:x",       // non-numeric count
+            "host=127.0.0.1:7101 CPU:8 CPU:2", // duplicate class
+        ] {
+            assert!(Topology::parse(bad).is_err(), "accepted: '{bad}'");
+        }
+    }
+
+    #[test]
+    fn topology_rejects_duplicate_hosts_and_zero_capacity() {
+        let err = Topology::parse("host=127.0.0.1:1 CPU:1; host=127.0.0.1:1 CPU:2").unwrap_err();
+        assert!(err.contains("duplicate host"), "{err}");
+        let err = Topology::parse("host=127.0.0.1:1 CPU:0").unwrap_err();
+        assert!(err.contains("zero workers"), "{err}");
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [
+            PlacementPolicy::ConsistentHash,
+            PlacementPolicy::LeastBacklog,
+        ] {
+            assert_eq!(PlacementPolicy::parse(p.name()), Ok(p));
+        }
+        assert_eq!(
+            PlacementPolicy::parse("consistent-hash"),
+            Ok(PlacementPolicy::ConsistentHash)
+        );
+        assert_eq!(
+            PlacementPolicy::parse("backlog"),
+            Ok(PlacementPolicy::LeastBacklog)
+        );
+        assert!(PlacementPolicy::parse("round-robin").is_err());
+    }
+
+    #[test]
+    fn ring_is_deterministic_capacity_weighted_and_complete() {
+        let t = Topology::parse("host=127.0.0.1:1 CPU:8; host=127.0.0.1:2 CPU:2").unwrap();
+        let ring = build_ring(&t);
+        assert_eq!(ring, build_ring(&t), "ring must be deterministic");
+        let count0 = ring.iter().filter(|&&(_, idx)| idx == 0).count();
+        let count1 = ring.iter().filter(|&&(_, idx)| idx == 1).count();
+        assert_eq!(count0, 8 * VNODES_PER_WORKER);
+        assert_eq!(count1, 2 * VNODES_PER_WORKER);
+        // Sorted by point.
+        assert!(ring.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn hash64_is_stable() {
+        // FNV-1a reference vectors.
+        assert_eq!(hash64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(hash64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(hash64(b"hdlts"), hash64(b"hdlts"));
+        assert_ne!(hash64(b"hdlts"), hash64(b"hdlt"));
+    }
+
+    #[test]
+    fn structural_errors_do_not_fail_over() {
+        assert!(is_structural("bad_workload: unknown family"));
+        assert!(is_structural("bad_request: not json"));
+        assert!(!is_structural("no_shard: no shard serves 6-processor jobs"));
+        assert!(!is_structural("draining: shutting down"));
+        assert!(!is_structural("retry budget (2) exhausted: queue_full: "));
+        assert!(!is_structural("connect 127.0.0.1:9: refused"));
+    }
+
+    #[test]
+    fn rewrite_translates_only_the_job_id() {
+        let resp = obj([
+            ("ok", true.into()),
+            ("job_id", 77u64.into()),
+            ("makespan", 1.5.into()),
+        ]);
+        let out = rewrite_job_id(resp, 3);
+        assert_eq!(out.get("job_id").and_then(Value::as_u64), Some(3));
+        assert_eq!(out.get("makespan").and_then(Value::as_f64), Some(1.5));
+    }
+}

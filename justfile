@@ -27,23 +27,38 @@ bench-json:
 serve addr="127.0.0.1:7151" procs="4" workers="2":
     cargo run --release -p hdlts-cli --bin hdlts -- serve --addr {{addr}} --procs {{procs}} --workers {{workers}}
 
-# Drive an in-process daemon with the mixed FFT/Montage/Moldyn/random
-# workload at a target rate; writes BENCH_service.json at the repo root.
-bench-service rate="200" duration="10":
-    cargo run --release -p hdlts-service --bin loadgen -- --rate {{rate}} --duration {{duration}} --out BENCH_service.json
+# Run the placement router in front of already-running daemons
+# (DESIGN.md §11). The topology spec names the fleet; see docs/FORMAT.md.
+route topology="host=127.0.0.1:7151 CPU:4" addr="127.0.0.1:7150" policy="hash":
+    cargo run --release -p hdlts-cli --bin hdlts -- route --addr {{addr}} --topology "{{topology}}" --policy {{policy}}
 
-# Crash/restart chaos sweep (DESIGN.md §9): every named crash point plus
-# seeded fault plans (crash point × timing × journal I/O errors) replayed
-# deterministically — one seed, one reality. Widen or pin the sweep via
-# the seeds argument (comma list, becomes HDLTS_CHAOS_SEEDS).
+# Drive the service tier with the mixed FFT/Montage/Moldyn/random
+# workload at a target rate; writes BENCH_service.json at the repo root.
+# daemons=1 drives one in-process daemon directly; daemons>1 stands up a
+# router in front of that many daemons and records per-backend placement
+# plus `router_2daemon_min_throughput` (the perf-gated scalar).
+bench-service rate="200" duration="10" daemons="2":
+    cargo run --release -p hdlts-service --bin loadgen -- --rate {{rate}} --duration {{duration}} --daemons {{daemons}} --out BENCH_service.json
+
+# Crash/restart chaos sweep (DESIGN.md §9, §11): every named crash point
+# plus seeded fault plans (crash point × timing × journal I/O errors)
+# replayed deterministically — one seed, one reality — on a single daemon
+# (service_recovery) and on a daemon behind the router (service_router,
+# killing one backend mid-traffic and requiring failover to finish every
+# acked job). Widen or pin the sweeps via the seeds argument (comma list,
+# becomes HDLTS_CHAOS_SEEDS).
 chaos seeds="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16":
     HDLTS_CHAOS_SEEDS="{{seeds}}" cargo test -q --test service_recovery
+    HDLTS_CHAOS_SEEDS="{{seeds}}" cargo test -q --test service_router router_chaos_failover_sweep
+    HDLTS_FAULTS="crash=pre-result:2" cargo test -q --test service_router router_survives_killing_one_daemon_mid_traffic
 
 # Full CI pipeline: format + clippy + repo lints + tests + Miri (when the
 # nightly component is installed; CI has a dedicated job) + bench smoke +
 # perf regression gate on the incremental-engine speedups (plain HDLTS and
-# HDLTS-D) recorded in BENCH_engine.json. Cheap determinism/soundness
-# checks fail first.
+# HDLTS-D) recorded in BENCH_engine.json, plus the routed service tier
+# (two daemons behind the router, gated on
+# router_2daemon_min_throughput). Cheap determinism/soundness checks fail
+# first.
 ci:
     cargo fmt --all --check
     cargo build --release
@@ -51,8 +66,11 @@ ci:
     cargo run --release -p hdlts-analyzer --bin hdlts-analyzer -- --root .
     cargo test -q
     HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_recovery seeded_chaos_sweep
+    HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_router router_chaos_failover_sweep
     if cargo miri --version >/dev/null 2>&1; then MIRIFLAGS=-Zmiri-disable-isolation cargo miri test -p hdlts-service --lib queue json; else echo "miri unavailable locally; skipped (covered by the CI miri job)"; fi
     cargo run --release -p hdlts-bench --bin bench-json -- BENCH_ci.json
     ./scripts/test_bench_gate.sh
     ./scripts/bench_gate.sh BENCH_ci.json
     cargo run --release -p hdlts-service --bin loadgen -- --rate 100 --duration 3 --out BENCH_service_ci.json
+    cargo run --release -p hdlts-service --bin loadgen -- --rate 200 --duration 3 --daemons 2 --out BENCH_router_ci.json
+    BENCH_GATE_METRICS="router_2daemon_min_throughput:199.75" ./scripts/bench_gate.sh BENCH_router_ci.json

@@ -42,6 +42,14 @@
 #                                multi-core host the speedup exceeds 1 and
 #                                passes the same floor.
 #
+# The service tier gates a separate file with an override:
+#   router_2daemon_min_throughput  jobs/s sustained by `loadgen --daemons 2`
+#                                  (two daemons behind the router, hash
+#                                  policy) at the CI offered rate; recorded
+#                                  in BENCH_service.json and checked via
+#                                  BENCH_GATE_METRICS="router_2daemon_min_throughput:<baseline>"
+#                                  against the loadgen run in `just ci`.
+#
 # Baselines live next to each name below; see BENCH_engine.json for the
 # recorded values. Override the metric set with BENCH_GATE_METRICS
 # (space-separated `name:baseline` pairs) and the slack factor with

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_router-da1d9351bbd1f318.d: tests/service_router.rs
+
+/root/repo/target/debug/deps/service_router-da1d9351bbd1f318: tests/service_router.rs
+
+tests/service_router.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_journal-477b45dd01da0759.d: tests/proptest_journal.rs
+
+/root/repo/target/release/deps/proptest_journal-477b45dd01da0759: tests/proptest_journal.rs
+
+tests/proptest_journal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_recovery-67b720ccd1cee34a.d: tests/service_recovery.rs
+
+/root/repo/target/release/deps/service_recovery-67b720ccd1cee34a: tests/service_recovery.rs
+
+tests/service_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_router-0a39e3c69cfe9396.d: tests/service_router.rs
+
+/root/repo/target/release/deps/service_router-0a39e3c69cfe9396: tests/service_router.rs
+
+tests/service_router.rs:

@@ -12,7 +12,9 @@
 //! written, and a recovery plan never re-enqueues a job twice or
 //! resurrects one with a terminal record.
 
-use hdlts_service::journal::{crc32, decode_records, plan_recovery, Record};
+use hdlts_repro::platform::ProcId;
+use hdlts_service::journal::{crc32, decode_records, plan_recovery, JobOutcome, Record};
+use hdlts_service::JobResult;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -39,18 +41,53 @@ fn assert_plan_invariants(records: &[Record]) {
     }
 }
 
+/// A deterministic NaN-free outcome whose shape (placement count, float
+/// payloads) varies with the generator's `id`/`len` draws — enough to
+/// exercise the variable-length outcome region and its schedule digest.
+fn sample_result(id: u64, len: usize) -> JobResult {
+    let placements = (0..len % 5)
+        .map(|i| {
+            (
+                ProcId((i as u32) % 4),
+                i as f64 * 0.5 + id as f64,
+                i as f64 * 0.5 + id as f64 + 1.25,
+            )
+        })
+        .collect();
+    JobResult {
+        makespan: id as f64 * 3.5 + len as f64 * 0.125,
+        slr: 1.0 + id as f64 * 0.25,
+        speedup: 2.0 + len as f64 * 0.0625,
+        placements,
+        service_ms: id as f64 + 0.75,
+        aborted_attempts: len % 3,
+    }
+}
+
 /// A strategy over arbitrary record streams: submits with duplicate ids,
-/// terminals with and without a matching submit, in any order. Lines vary
-/// with a generated length so payload sizes differ (including empty).
+/// terminals with and without a matching submit, outcome-bearing `Done`/
+/// `Failed` frames (variable placement counts, float payloads), in any
+/// order. Lines vary with a generated length so payload sizes differ
+/// (including empty).
 fn arb_records() -> impl Strategy<Value = Vec<Record>> {
     proptest::collection::vec(
-        (0u64..16, 0u8..3, 0usize..40).prop_map(|(id, kind, len)| match kind {
+        (0u64..16, 0u8..5, 0usize..40).prop_map(|(id, kind, len)| match kind {
             0 => Record::Submitted {
                 id,
                 line: "x".repeat(len),
             },
             1 => Record::Completed { id },
-            _ => Record::Expired { id },
+            2 => Record::Expired { id },
+            3 => Record::Done {
+                id,
+                unix_ms: id * 1_000 + len as u64,
+                result: sample_result(id, len),
+            },
+            _ => Record::Failed {
+                id,
+                unix_ms: id * 1_000 + len as u64,
+                error: format!("err-{}", "e".repeat(len % 7)),
+            },
         }),
         0..24,
     )
@@ -221,6 +258,71 @@ fn submitted_line(id: u64) -> String {
         Record::Submitted { line, .. } => line,
         _ => unreachable!(),
     }
+}
+
+#[test]
+fn corpus_outcome_frames_round_trip_and_plan_into_outcomes() {
+    // Outcome-bearing terminal frames (kind 4/5): the shapes a durable
+    // result store writes. Round trip must be bit-exact (f64 payloads go
+    // through to_bits), and recovery must surface the outcomes without
+    // re-enqueueing their jobs.
+    let records = vec![
+        submitted(1),
+        Record::Done {
+            id: 1,
+            unix_ms: 1_700_000_000_123,
+            result: sample_result(1, 9),
+        },
+        submitted(2),
+        Record::Failed {
+            id: 2,
+            unix_ms: 1_700_000_000_456,
+            error: "shard disappeared".into(),
+        },
+        submitted(3),
+    ];
+    let bytes = encode(&records);
+    let (back, torn) = decode_records(&bytes);
+    assert_eq!(back, records);
+    assert_eq!(torn, None);
+
+    let plan = plan_recovery(&records, None);
+    let ids: Vec<u64> = plan.unfinished.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, vec![3], "jobs with recorded outcomes are not re-run");
+    assert_eq!(plan.terminal, vec![1, 2]);
+    assert_eq!(plan.outcomes.len(), 2);
+    match &plan.outcomes[0] {
+        (1, JobOutcome::Done { result, .. }) => {
+            assert_eq!(result, &sample_result(1, 9), "outcome survives bit-exact");
+        }
+        other => panic!("expected job 1's Done outcome, got {other:?}"),
+    }
+    match &plan.outcomes[1] {
+        (2, JobOutcome::Failed { error, .. }) => assert_eq!(error, "shard disappeared"),
+        other => panic!("expected job 2's Failed outcome, got {other:?}"),
+    }
+
+    // A flip inside the Done frame's outcome region ends the trusted
+    // prefix there — the schedule digest refuses a damaged result even
+    // when the frame CRC is repaired to match.
+    let mut frame0 = Vec::new();
+    records[0].encode_into(&mut frame0);
+    let mut damaged = bytes.clone();
+    let payload_start = frame0.len() + 8;
+    damaged[payload_start + 20] ^= 0x40; // inside the makespan bits
+    let payload_end = {
+        let mut f = Vec::new();
+        records[1].encode_into(&mut f);
+        frame0.len() + f.len()
+    };
+    let fixed_crc = crc32(&damaged[payload_start..payload_end]);
+    damaged[frame0.len() + 4..frame0.len() + 8].copy_from_slice(&fixed_crc.to_le_bytes());
+    let (prefix, torn) = decode_records(&damaged);
+    assert_eq!(prefix.as_slice(), &records[..1]);
+    assert!(
+        torn.unwrap().contains("digest"),
+        "the schedule digest must catch what the frame CRC no longer can"
+    );
 }
 
 #[test]

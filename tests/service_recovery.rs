@@ -4,7 +4,10 @@
 //! process death at any of the named crash points — a restart on the same
 //! journal re-enqueues it exactly once and reproduces a schedule
 //! bit-for-bit identical to an uninterrupted run. Jobs that went terminal
-//! before the crash are never re-enqueued.
+//! before the crash are never re-enqueued: their outcome-bearing journal
+//! records are replayed into the result store instead, so the restarted
+//! daemon serves their `result` bit-identically rather than answering
+//! `unknown_job`.
 //!
 //! The crash is injected in-process ([`FaultPlan`]): the daemon stops
 //! answering (clients see EOF), abandons its queues, writes nothing more
@@ -17,7 +20,7 @@ use hdlts_repro::sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamSchedul
 use hdlts_repro::workloads::GeneratorSpec;
 use hdlts_service::json::Value;
 use hdlts_service::{
-    read_journal, CrashPoint, Daemon, DaemonHandle, FaultPlan, ServiceConfig, ShardSpec,
+    read_journal, CrashPoint, Daemon, DaemonHandle, FaultPlan, JobOutcome, ServiceConfig, ShardSpec,
 };
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, Write};
@@ -238,24 +241,39 @@ fn crash_and_recover(point: CrashPoint, crash_after: u64) {
         assert_eq!(placements, ref_placements, "{}: job {id}", point.name());
     }
 
-    // Terminal-before-crash jobs are never resurrected: the new daemon
-    // has no record of them (results lived in the dead process's memory).
-    for id in &rec.terminal {
+    // Terminal-before-crash jobs are never re-enqueued — but they are no
+    // longer forgotten either: their recorded outcomes are restored into
+    // the result store, and the restarted daemon serves them bit-exactly
+    // as the dead process recorded them.
+    assert_eq!(
+        stats.restored_results,
+        rec.outcomes.len() as u64,
+        "{}: every journaled outcome is restored",
+        point.name()
+    );
+    for (id, outcome) in &rec.outcomes {
         let resp = try_request(
             healed.addr(),
-            &format!(r#"{{"cmd":"status","job_id":{id}}}"#),
+            &format!(r#"{{"cmd":"result","job_id":{id}}}"#),
         )
         .expect("healed daemon answers");
+        let JobOutcome::Done { result, .. } = outcome else {
+            panic!("{}: this sweep only completes jobs", point.name());
+        };
         assert_eq!(
-            resp.get("error").and_then(Value::as_str),
-            Some("unknown_job"),
-            "{}: terminal job {id} must not be re-enqueued: {resp}",
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{}: restored job {id} must serve its result, not unknown_job: {resp}",
             point.name()
         );
+        let (makespan, placements) = wire_schedule(&resp);
+        assert_eq!(makespan, result.makespan, "{}: job {id}", point.name());
+        assert_eq!(placements, result.placements, "{}: job {id}", point.name());
     }
 
     // Clean drain: exactly the recovered jobs executed, and the journal
-    // is truncated — a third incarnation would recover nothing.
+    // compacts to just the retained outcomes — a third incarnation would
+    // re-enqueue nothing but would still serve every result.
     let final_stats = healed.wait();
     assert_eq!(
         final_stats.completed + final_stats.failed + final_stats.expired,
@@ -267,10 +285,23 @@ fn crash_and_recover(point: CrashPoint, crash_after: u64) {
     let after = read_journal(&path).unwrap();
     assert!(
         after.unfinished.is_empty(),
-        "{}: drain truncates",
+        "{}: drain leaves nothing to re-enqueue",
         point.name()
     );
-    assert_eq!(after.records, 0);
+    assert_eq!(
+        after.records,
+        after.outcomes.len(),
+        "{}: a drained journal holds outcome records only",
+        point.name()
+    );
+    let outcome_ids: BTreeSet<u64> = after.outcomes.iter().map(|(id, _)| *id).collect();
+    for (id, _) in &acked {
+        assert!(
+            outcome_ids.contains(id),
+            "{}: acked job {id} must leave a durable outcome",
+            point.name()
+        );
+    }
     let _ = std::fs::remove_file(&path);
 }
 
@@ -296,7 +327,7 @@ fn crash_pre_complete_record_reproduces_the_schedule() {
 }
 
 #[test]
-fn clean_shutdown_leaves_nothing_to_recover() {
+fn clean_shutdown_leaves_nothing_to_recover_but_keeps_results() {
     let path = journal_path("clean");
     let _ = std::fs::remove_file(&path);
     let cfg = ServiceConfig {
@@ -312,14 +343,106 @@ fn clean_shutdown_leaves_nothing_to_recover() {
     let stats = handle.wait();
     assert_eq!(stats.completed, 4);
 
+    // Clean drain compacts: no unfinished work, but the four outcomes
+    // stay durable.
     let rec = read_journal(&path).unwrap();
     assert!(rec.unfinished.is_empty());
-    assert_eq!(rec.records, 0, "clean drain truncates the journal");
+    assert_eq!(rec.outcomes.len(), 4);
+    assert_eq!(
+        rec.records, 4,
+        "a drained journal holds outcome records only"
+    );
 
-    // A restart on the truncated journal recovers nothing.
+    // A restart recovers nothing to run, yet still serves every result.
     let restarted = start_daemon(cfg);
     assert_eq!(restarted.stats().recovered, 0);
+    assert_eq!(restarted.stats().restored_results, 4);
+    for (id, seed) in &acked {
+        let resp = try_request(
+            restarted.addr(),
+            &format!(r#"{{"cmd":"result","job_id":{id}}}"#),
+        )
+        .expect("restarted daemon answers");
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{resp}"
+        );
+        let (makespan, placements) = wire_schedule(&resp);
+        let (ref_makespan, ref_placements) = expected_fft(*seed);
+        assert_eq!(makespan, ref_makespan, "job {id}");
+        assert_eq!(placements, ref_placements, "job {id}");
+    }
     restarted.wait();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The restart-amnesia regression (the bug this PR fixes): a daemon that
+/// journaled a job's completion used to answer `unknown_job` for it after
+/// a restart, because terminal records carried no outcome and were never
+/// replayed into the result store. The crash lands at the `pre-result`
+/// point — after every job completed, before the first result response —
+/// so the dead process's memory is the only place the results ever lived.
+#[test]
+fn restart_serves_results_for_journaled_complete_jobs() {
+    let path = journal_path("restored-results");
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServiceConfig {
+        journal_path: Some(path.clone()),
+        ..Default::default()
+    };
+
+    // Life 1: all jobs complete, then the first `result` poll crashes the
+    // daemon with the response swallowed.
+    let doomed = start_daemon(ServiceConfig {
+        faults: FaultPlan::crash(CrashPoint::PreResult, 1),
+        ..cfg.clone()
+    });
+    let acked = submit_batch(doomed.addr(), 3);
+    assert_eq!(acked.len(), 3);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < deadline, "jobs never completed");
+        let stats = try_request(doomed.addr(), r#"{"cmd":"stats"}"#).expect("daemon answers");
+        if stats.get("completed").and_then(Value::as_u64) == Some(3) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let first_id = acked[0].0;
+    assert!(
+        try_request(
+            doomed.addr(),
+            &format!(r#"{{"cmd":"result","job_id":{first_id}}}"#)
+        )
+        .is_none(),
+        "the armed crash point must swallow the first result response"
+    );
+    wait_for_crash(&doomed);
+    doomed.wait();
+
+    // Life 2: same journal. Nothing to re-run — but every pre-crash
+    // result must be served, bit-identical to the offline reference.
+    let healed = start_daemon(cfg);
+    assert_eq!(healed.stats().recovered, 0);
+    assert_eq!(healed.stats().restored_results, 3);
+    for (id, seed) in &acked {
+        let resp = try_request(
+            healed.addr(),
+            &format!(r#"{{"cmd":"result","job_id":{id}}}"#),
+        )
+        .expect("healed daemon answers");
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "job {id} must not be unknown after restart: {resp}"
+        );
+        let (makespan, placements) = wire_schedule(&resp);
+        let (ref_makespan, ref_placements) = expected_fft(*seed);
+        assert_eq!(makespan, ref_makespan, "job {id}");
+        assert_eq!(placements, ref_placements, "job {id}");
+    }
+    healed.wait();
     let _ = std::fs::remove_file(&path);
 }
 
@@ -449,7 +572,13 @@ fn seeded_chaos_sweep_recovers_every_acked_job() {
             stats.recovered,
             "seed {seed} ({plan:?}): life 2 executes exactly the recovered set"
         );
-        assert_eq!(read_journal(&path).unwrap().records, 0, "seed {seed}");
+        let after = read_journal(&path).unwrap();
+        assert!(after.unfinished.is_empty(), "seed {seed}");
+        assert_eq!(
+            after.records,
+            after.outcomes.len(),
+            "seed {seed}: a drained journal holds outcome records only"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

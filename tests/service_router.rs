@@ -1,0 +1,385 @@
+//! End-to-end tests of the router tier: multi-daemon placement, failover
+//! when a backend dies mid-traffic, and result durability through a
+//! backend restart.
+//!
+//! The load-bearing claims:
+//!
+//! * every job **acked by the router** reaches a terminal result that is
+//!   bit-identical to the offline reference, even when one backend is
+//!   killed mid-run — the router re-places stranded jobs on survivors and
+//!   deterministic scheduling makes the re-run indistinguishable;
+//! * a backend restarted on its journal keeps serving results for jobs it
+//!   completed in its previous life, through the same router ids.
+//!
+//! Chaos is injected with the same [`FaultPlan`] machinery the
+//! single-daemon sweep uses; `HDLTS_FAULTS` overrides the kill-one plan
+//! and `HDLTS_CHAOS_SEEDS` widens the seeded sweep (`just chaos`).
+
+use hdlts_repro::platform::{Platform, ProcId};
+use hdlts_repro::sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel};
+use hdlts_repro::workloads::GeneratorSpec;
+use hdlts_service::json::Value;
+use hdlts_service::{
+    CrashPoint, Daemon, DaemonHandle, FaultPlan, PlacementPolicy, Router, RouterConfig,
+    RouterHandle, ServiceConfig, ShardSpec, Topology,
+};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One-shot request that tolerates a dead peer: any failure is `None`.
+/// Each call is a fresh connection, so the router re-dials its backends —
+/// exactly what a recovering client population does.
+fn try_request(addr: std::net::SocketAddr, line: &str) -> Option<Value> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = stream;
+    writer.write_all(format!("{line}\n").as_bytes()).ok()?;
+    writer.flush().ok()?;
+    let mut resp = String::new();
+    match reader.read_line(&mut resp) {
+        Ok(n) if n > 0 => Value::parse(resp.trim()).ok(),
+        _ => None,
+    }
+}
+
+/// Polls `result` through the router until terminal. `not_ready` covers
+/// both "still queued" and "just re-placed after its backend died".
+fn await_result(addr: std::net::SocketAddr, job_id: u64) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(Instant::now() < deadline, "job {job_id} never finished");
+        let resp = try_request(addr, &format!(r#"{{"cmd":"result","job_id":{job_id}}}"#))
+            .unwrap_or_else(|| panic!("router died while awaiting job {job_id}"));
+        if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+            return resp;
+        }
+        let err = resp.get("error").and_then(Value::as_str).unwrap_or("?");
+        assert_eq!(err, "not_ready", "job {job_id} ended badly: {resp}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn submit_line(seed: u64) -> String {
+    format!(r#"{{"cmd":"submit","workload":{{"family":"fft","m":8,"procs":4,"seed":{seed}}}}}"#)
+}
+
+/// Offline reference schedule for `submit_line(seed)` — what any backend,
+/// first placement or re-placement, must produce bit-for-bit.
+fn expected_fft(seed: u64) -> (f64, Vec<(ProcId, f64, f64)>) {
+    let instance = GeneratorSpec {
+        size: 8,
+        num_procs: 4,
+        seed,
+        ..Default::default()
+    }
+    .generate("fft")
+    .unwrap();
+    let platform = Platform::fully_connected(4).unwrap();
+    let out = JobStreamScheduler {
+        policy: DispatchPolicy::PenaltyValue,
+        ..Default::default()
+    }
+    .execute(
+        &platform,
+        &[JobArrival {
+            instance,
+            arrival: 0.0,
+        }],
+        &PerturbModel::exact(),
+        &FailureSpec::none(),
+    )
+    .unwrap();
+    (out.jobs[0].makespan, out.jobs[0].placements.clone())
+}
+
+fn wire_schedule(resp: &Value) -> (f64, Vec<(ProcId, f64, f64)>) {
+    let makespan = resp.get("makespan").and_then(Value::as_f64).unwrap();
+    let placements = resp
+        .get("placements")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|triple| {
+            let t = triple.as_arr().unwrap();
+            (
+                ProcId(t[0].as_u64().unwrap() as u32),
+                t[1].as_f64().unwrap(),
+                t[2].as_f64().unwrap(),
+            )
+        })
+        .collect();
+    (makespan, placements)
+}
+
+fn start_daemon(cfg: ServiceConfig) -> DaemonHandle {
+    Daemon::start(cfg).expect("daemon start")
+}
+
+fn daemon_cfg(addr: &str) -> ServiceConfig {
+    ServiceConfig {
+        addr: addr.into(),
+        queue_capacity: 64,
+        shards: vec![ShardSpec {
+            procs: 4,
+            threads: 1,
+        }],
+        ..Default::default()
+    }
+}
+
+fn journal_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hdlts-router-{}-{name}.journal",
+        std::process::id()
+    ))
+}
+
+fn start_router(backends: &[&DaemonHandle], policy: PlacementPolicy) -> RouterHandle {
+    let spec = backends
+        .iter()
+        .map(|h| format!("host={} CPU:4", h.addr()))
+        .collect::<Vec<_>>()
+        .join("; ");
+    let mut cfg = RouterConfig::new("127.0.0.1:0", Topology::parse(&spec).unwrap());
+    cfg.policy = policy;
+    // Tight probe cache: tests that kill a backend want fresh depth
+    // probes, the round-robin test overrides this.
+    cfg.probe_ttl_ms = 50;
+    Router::start(cfg).expect("router start")
+}
+
+/// Submits `n` jobs (seeds `0..n`) through the router, tolerating mid-run
+/// chaos. Returns `(router_job_id, workload_seed)` for every ack.
+fn submit_batch(addr: std::net::SocketAddr, n: u64) -> Vec<(u64, u64)> {
+    let mut acked = Vec::new();
+    for seed in 0..n {
+        let Some(resp) = try_request(addr, &submit_line(seed)) else {
+            continue;
+        };
+        if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+            let id = resp.get("job_id").and_then(Value::as_u64).unwrap();
+            acked.push((id, seed));
+        }
+    }
+    acked
+}
+
+#[test]
+fn router_places_across_two_daemons_bit_identically() {
+    let a = start_daemon(daemon_cfg("127.0.0.1:0"));
+    let b = start_daemon(daemon_cfg("127.0.0.1:0"));
+    let router = start_router(&[&a, &b], PlacementPolicy::ConsistentHash);
+
+    let acked = submit_batch(router.addr(), 16);
+    assert_eq!(acked.len(), 16, "healthy fleet acks everything");
+    for (id, seed) in &acked {
+        let resp = await_result(router.addr(), *id);
+        let (makespan, placements) = wire_schedule(&resp);
+        let (ref_makespan, ref_placements) = expected_fft(*seed);
+        assert_eq!(makespan, ref_makespan, "job {id}");
+        assert_eq!(placements, ref_placements, "job {id}");
+    }
+
+    let stats = router.stats();
+    assert_eq!(stats.placed, 16);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.failovers, 0, "healthy fleet never fails over");
+    assert!(
+        stats.backends.iter().all(|b| b.placed > 0),
+        "the hash ring must spread 16 distinct keys over both backends: {stats:?}"
+    );
+
+    // Consistent hashing is consistent: the same submit line lands on the
+    // same backend every time.
+    let first = try_request(router.addr(), &submit_line(3)).unwrap();
+    let second = try_request(router.addr(), &submit_line(3)).unwrap();
+    assert_eq!(
+        first.get("backend").and_then(Value::as_str),
+        second.get("backend").and_then(Value::as_str),
+        "same key, same backend"
+    );
+
+    router.wait();
+    a.wait();
+    b.wait();
+}
+
+#[test]
+fn least_backlog_round_robins_an_idle_fleet() {
+    let a = start_daemon(daemon_cfg("127.0.0.1:0"));
+    let b = start_daemon(daemon_cfg("127.0.0.1:0"));
+    let spec = format!("host={} CPU:4; host={} CPU:4", a.addr(), b.addr());
+    let mut cfg = RouterConfig::new("127.0.0.1:0", Topology::parse(&spec).unwrap());
+    cfg.policy = PlacementPolicy::LeastBacklog;
+    // A long probe TTL freezes both depths at zero, so the placed-count
+    // tiebreak alone must alternate backends.
+    cfg.probe_ttl_ms = 60_000;
+    let router = Router::start(cfg).expect("router start");
+
+    let acked = submit_batch(router.addr(), 8);
+    assert_eq!(acked.len(), 8);
+    let stats = router.stats();
+    assert!(
+        stats.backends.iter().all(|b| b.placed == 4),
+        "equal capacity + equal (cached) backlog must round-robin: {stats:?}"
+    );
+    for (id, seed) in &acked {
+        let resp = await_result(router.addr(), *id);
+        assert_eq!(wire_schedule(&resp).0, expected_fft(*seed).0, "job {id}");
+    }
+    router.wait();
+    a.wait();
+    b.wait();
+}
+
+/// The kill-one-mid-traffic harness: backend B is armed with `plan` and
+/// dies somewhere in the run; every router-acked job must still reach a
+/// terminal result, bit-identical to the offline reference.
+fn kill_one_mid_traffic(plan: FaultPlan, label: &str) {
+    let path = journal_path(label);
+    let _ = std::fs::remove_file(&path);
+    let a = start_daemon(daemon_cfg("127.0.0.1:0"));
+    let b = start_daemon(ServiceConfig {
+        // A slow worker so the crash lands mid-backlog, and a journal so
+        // the full fault plan (journal I/O errors included) is armed.
+        worker_delay_ms: 20,
+        journal_path: Some(path.clone()),
+        faults: plan.clone(),
+        ..daemon_cfg("127.0.0.1:0")
+    });
+    // Least-backlog with cached-zero depths round-robins, guaranteeing
+    // the doomed backend actually receives jobs.
+    let spec = format!("host={} CPU:4; host={} CPU:4", a.addr(), b.addr());
+    let mut cfg = RouterConfig::new("127.0.0.1:0", Topology::parse(&spec).unwrap());
+    cfg.policy = PlacementPolicy::LeastBacklog;
+    cfg.probe_ttl_ms = 60_000;
+    let router = Router::start(cfg).expect("router start");
+
+    let acked = submit_batch(router.addr(), 12);
+    assert!(
+        acked.len() >= 6,
+        "{label} ({plan:?}): with one healthy backend most submits must ack, got {}",
+        acked.len()
+    );
+
+    // Poll every acked job to terminal. Polls to the dead backend come
+    // back `not_ready` after a re-placement; the loop converges on the
+    // surviving daemon's bit-identical re-run.
+    for (id, seed) in &acked {
+        let resp = await_result(router.addr(), *id);
+        let (makespan, placements) = wire_schedule(&resp);
+        let (ref_makespan, ref_placements) = expected_fft(*seed);
+        assert_eq!(makespan, ref_makespan, "{label}: job {id}");
+        assert_eq!(placements, ref_placements, "{label}: job {id}");
+    }
+
+    assert!(
+        b.crashed(),
+        "{label} ({plan:?}): the armed backend must have died mid-run"
+    );
+    let stats = router.stats();
+    assert!(
+        stats.failovers + stats.replacements > 0,
+        "{label} ({plan:?}): losing a backend mid-traffic must trigger failover: {stats:?}"
+    );
+
+    router.wait();
+    a.wait();
+    b.wait();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn router_survives_killing_one_daemon_mid_traffic() {
+    // `HDLTS_FAULTS` (the `just chaos` hook) overrides which crash kills
+    // the backend; the default reproduces a worker dying mid-schedule.
+    let plan = FaultPlan::from_env()
+        .expect("HDLTS_FAULTS parses")
+        .unwrap_or_else(|| FaultPlan::crash(CrashPoint::MidShard, 2));
+    kill_one_mid_traffic(plan, "kill-one");
+}
+
+#[test]
+fn router_chaos_failover_sweep() {
+    let seeds: Vec<u64> = match std::env::var("HDLTS_CHAOS_SEEDS") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad HDLTS_CHAOS_SEEDS entry '{t}'"))
+            })
+            .collect(),
+        _ => vec![5, 23],
+    };
+    for seed in seeds {
+        // `seeded_router` samples all four crash points, including the
+        // poll-only `pre-result` the single-daemon sweep cannot reach.
+        kill_one_mid_traffic(FaultPlan::seeded_router(seed), &format!("sweep-{seed}"));
+    }
+}
+
+#[test]
+fn router_serves_pre_restart_results_through_a_restarted_backend() {
+    let path = journal_path("restart");
+    let _ = std::fs::remove_file(&path);
+    let a = start_daemon(daemon_cfg("127.0.0.1:0"));
+    let b = start_daemon(ServiceConfig {
+        journal_path: Some(path.clone()),
+        ..daemon_cfg("127.0.0.1:0")
+    });
+    let b_addr = b.addr().to_string();
+    let router = start_router(&[&a, &b], PlacementPolicy::LeastBacklog);
+
+    // Life 1: run jobs to completion through the router and capture the
+    // results clients saw.
+    let acked = submit_batch(router.addr(), 8);
+    assert_eq!(acked.len(), 8);
+    let before: Vec<(u64, f64, Vec<(ProcId, f64, f64)>)> = acked
+        .iter()
+        .map(|(id, _)| {
+            let resp = await_result(router.addr(), *id);
+            let (makespan, placements) = wire_schedule(&resp);
+            (*id, makespan, placements)
+        })
+        .collect();
+
+    // Restart B on the same address and journal. Its completed jobs must
+    // come back from the compacted journal, not from anyone's memory.
+    let b_completed = b.wait().completed;
+    assert!(b_completed > 0, "the fleet must have used backend B");
+    let restarted = {
+        // The freed port can linger briefly; retry the bind.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match Daemon::start(ServiceConfig {
+                journal_path: Some(path.clone()),
+                ..daemon_cfg(&b_addr)
+            }) {
+                Ok(h) => break h,
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "rebinding {b_addr}: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    };
+    assert_eq!(restarted.stats().recovered, 0);
+    assert_eq!(restarted.stats().restored_results, b_completed);
+
+    // Life 2: the same router ids answer with the same bytes. Polls are
+    // fresh connections, so the router re-dials the restarted backend.
+    for (id, makespan, placements) in &before {
+        let resp = await_result(router.addr(), *id);
+        let (m, p) = wire_schedule(&resp);
+        assert_eq!(m, *makespan, "job {id} after backend restart");
+        assert_eq!(&p, placements, "job {id} after backend restart");
+    }
+
+    router.wait();
+    a.wait();
+    restarted.wait();
+    let _ = std::fs::remove_file(&path);
+}
