@@ -1,0 +1,35 @@
+//! Analyzed as `crates/service/src/daemon.rs`: direct and transitive I/O
+//! under a named guard fire; guard-owned operations, statement-scoped
+//! temporaries, and I/O after the guard's block are exempt. The journal
+//! half of the workspace lives in blocking_journal.rs.
+
+fn persist(s: &S, file: &mut File) {
+    let jobs = lock(&s.jobs, "jobs");
+    file.write_all(b"snapshot");
+    jobs.push(1);
+}
+
+fn persist_logged(s: &S, file: &mut File) {
+    let jobs = lock(&s.jobs, "jobs");
+    // LINT-ALLOW(blocking-under-lock): fixture — single writer by design
+    file.write_all(b"snapshot");
+    jobs.push(1);
+}
+
+fn flush_under_lock(s: &S, j: &Journal) {
+    let jobs = lock(&s.jobs, "jobs");
+    j.append(7);
+    jobs.push(2);
+}
+
+fn stage_then_write(s: &S, file: &mut File) {
+    let batch = {
+        let jobs = lock(&s.jobs, "jobs");
+        jobs.clone()
+    };
+    file.write_all(&batch);
+}
+
+fn append_direct(s: &S) {
+    lock(&s.journal, "journal").append(1);
+}

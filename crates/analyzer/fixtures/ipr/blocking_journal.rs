@@ -1,0 +1,9 @@
+//! Analyzed as `crates/service/src/journal.rs`: gives the blocking.rs
+//! workspace a callee that performs I/O, so the transitive case has a real
+//! edge to follow.
+
+impl Journal {
+    fn append(&mut self, r: u32) {
+        self.file.write_all(b"record");
+    }
+}

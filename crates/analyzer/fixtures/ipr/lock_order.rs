@@ -1,0 +1,31 @@
+//! Analyzed as `crates/service/src/daemon.rs`: `drain` and `report` take
+//! the same two locks in opposite orders — a deadlock cycle. `consistent`
+//! repeats `drain`'s order and must not add a second finding, and
+//! `disjoint` holds only one lock at a time.
+
+fn drain(s: &S) {
+    let jobs = lock(&s.jobs, "jobs");
+    let hist = lock(&s.hist, "hist");
+    hist.push(jobs.len());
+}
+
+fn report(s: &S) {
+    let hist = lock(&s.hist, "hist");
+    let jobs = lock(&s.jobs, "jobs");
+    hist.push(jobs.len());
+}
+
+fn consistent(s: &S) {
+    let jobs = lock(&s.jobs, "jobs");
+    let hist = lock(&s.hist, "hist");
+    hist.push(jobs.len());
+}
+
+fn disjoint(s: &S) {
+    {
+        let jobs = lock(&s.jobs, "jobs");
+        jobs.push(1);
+    }
+    let hist = lock(&s.hist, "hist");
+    hist.push(2);
+}

@@ -1,0 +1,16 @@
+//! Analyzed as `crates/service/src/daemon.rs`: the same opposite-order
+//! cycle as lock_order.rs, but the finding's anchor (the second
+//! acquisition in `report`, where the cycle closes) carries a LINT-ALLOW.
+
+fn drain(s: &S) {
+    let jobs = lock(&s.jobs, "jobs");
+    let hist = lock(&s.hist, "hist");
+    hist.push(jobs.len());
+}
+
+fn report(s: &S) {
+    let hist = lock(&s.hist, "hist");
+    // LINT-ALLOW(lock-order): fixture — documented escape hatch
+    let jobs = lock(&s.jobs, "jobs");
+    hist.push(jobs.len());
+}

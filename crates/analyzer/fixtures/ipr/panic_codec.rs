@@ -1,0 +1,16 @@
+//! Analyzed as `crates/service/src/codec.rs` — a file the lexical
+//! `request-path-panic` rule does *not* list, so `panic-reachable` owns
+//! every panic kind here once the call graph proves reachability.
+
+pub fn parse_num(line: &str) -> u32 {
+    line.trim().parse().unwrap()
+}
+
+pub fn allowed_parse(line: &str) -> u32 {
+    // LINT-ALLOW(panic-reachable): fixture — caller validated the input
+    line.trim().parse().unwrap()
+}
+
+pub fn orphan(line: &str) -> u32 {
+    line.trim().parse().unwrap()
+}

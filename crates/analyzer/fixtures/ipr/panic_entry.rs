@@ -1,0 +1,7 @@
+//! Analyzed as `crates/service/src/daemon.rs`: the request path enters at
+//! `handle_line` and crosses into the codec tier (panic_codec.rs).
+
+fn handle_line(line: &str, lens: &[u32]) -> u32 {
+    let width = lens[0];
+    width + parse_num(line) + allowed_parse(line)
+}

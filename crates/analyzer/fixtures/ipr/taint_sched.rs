@@ -1,0 +1,9 @@
+//! Analyzed as `crates/core/src/hdlts.rs`: `schedule_with_trace` is a
+//! determinism entry point; everything it reaches must be clock- and
+//! RNG-free. The helpers live in taint_util.rs.
+
+impl Hdlts {
+    fn schedule_with_trace(&self) -> u64 {
+        seed_estimate() + allowed_seed()
+    }
+}

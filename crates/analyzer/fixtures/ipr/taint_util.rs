@@ -1,0 +1,17 @@
+//! Analyzed as `crates/core/src/est.rs`: one reachable clock read (fires),
+//! one suppressed, one clock read in a function nothing on the determinism
+//! surface calls (quiet for this rule — the lexical wall-clock ban still
+//! owns it).
+
+fn seed_estimate() -> u64 {
+    unix_ms_now()
+}
+
+fn allowed_seed() -> u64 {
+    // LINT-ALLOW(determinism-taint): fixture — recorded, never scheduled on
+    unix_ms_now()
+}
+
+fn service_stamp() -> u64 {
+    unix_ms_now()
+}

@@ -1,0 +1,278 @@
+//! Baseline snapshots and ratchet-style diffing.
+//!
+//! A baseline is a two-level map `{rule: {path: count}}` of *unsuppressed*
+//! finding counts. CI compares the current scan against the checked-in
+//! snapshot and fails only when a (rule, path) pair gains findings — known
+//! debt is tolerated, new debt is not, and fixing findings never requires
+//! touching the baseline (improvements simply shrink the counts).
+//!
+//! The format is deliberately tiny so the hand-rolled parser below stays
+//! honest: an object of objects of unsigned integers, nothing else.
+
+use crate::engine::Report;
+use std::collections::BTreeMap;
+
+pub type Baseline = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Counts unsuppressed findings per (rule, path).
+pub fn snapshot(report: &Report) -> Baseline {
+    let mut base: Baseline = BTreeMap::new();
+    for file in &report.files {
+        for f in &file.findings {
+            *base
+                .entry(f.rule.clone())
+                .or_default()
+                .entry(f.path.clone())
+                .or_default() += 1;
+        }
+    }
+    base
+}
+
+/// Renders a baseline as pretty-printed JSON (stable order via BTreeMap).
+pub fn to_json(base: &Baseline) -> String {
+    if base.is_empty() {
+        return "{}\n".to_string();
+    }
+    let mut out = String::from("{\n");
+    let rules: Vec<String> = base
+        .iter()
+        .map(|(rule, paths)| {
+            let entries: Vec<String> = paths
+                .iter()
+                .map(|(path, n)| format!("    \"{}\": {}", escape(path), n))
+                .collect();
+            format!("  \"{}\": {{\n{}\n  }}", escape(rule), entries.join(",\n"))
+        })
+        .collect();
+    out.push_str(&rules.join(",\n"));
+    out.push_str("\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parses the baseline format. Returns `Err` with a short reason on any
+/// deviation — a corrupt baseline must fail the gate loudly, not read as
+/// "no debt anywhere".
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.ws();
+    let base = p.object_of_objects()?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing content after baseline object".to_string());
+    }
+    Ok(base)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string in baseline".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    match self.bytes.get(self.pos + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err("unsupported escape in baseline string".to_string()),
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let digits = self.bytes.get(start..self.pos).unwrap_or_default();
+        std::str::from_utf8(digits)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("expected a count at byte {start}"))
+    }
+
+    fn object_of_counts(&mut self) -> Result<BTreeMap<String, usize>, String> {
+        let mut map = BTreeMap::new();
+        self.eat(b'{')?;
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            map.insert(key, self.number()?);
+            self.ws();
+            if self.bytes.get(self.pos) == Some(&b',') {
+                self.pos += 1;
+                self.ws();
+                continue;
+            }
+            self.eat(b'}')?;
+            return Ok(map);
+        }
+    }
+
+    fn object_of_objects(&mut self) -> Result<Baseline, String> {
+        let mut base = Baseline::new();
+        self.eat(b'{')?;
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(base);
+        }
+        loop {
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            base.insert(key, self.object_of_counts()?);
+            self.ws();
+            if self.bytes.get(self.pos) == Some(&b',') {
+                self.pos += 1;
+                self.ws();
+                continue;
+            }
+            self.eat(b'}')?;
+            return Ok(base);
+        }
+    }
+}
+
+/// Compares the current snapshot against a baseline. Returns one line per
+/// regression — a (rule, path) whose count exceeds the baselined count —
+/// and nothing for improvements or already-baselined debt.
+pub fn diff(current: &Baseline, baseline: &Baseline) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for (rule, paths) in current {
+        for (path, &n) in paths {
+            let allowed = baseline
+                .get(rule)
+                .and_then(|m| m.get(path))
+                .copied()
+                .unwrap_or(0);
+            if n > allowed {
+                regressions.push(format!(
+                    "{path}: {n} {rule} finding(s), baseline allows {allowed}"
+                ));
+            }
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_workspace;
+
+    fn base_of(entries: &[(&str, &str, usize)]) -> Baseline {
+        let mut b = Baseline::new();
+        for &(rule, path, n) in entries {
+            b.entry(rule.to_string())
+                .or_default()
+                .insert(path.to_string(), n);
+        }
+        b
+    }
+
+    #[test]
+    fn snapshot_counts_only_unsuppressed() {
+        let files = vec![(
+            "crates/service/src/daemon.rs".to_string(),
+            "fn f() { x.unwrap(); y.unwrap(); }\n\
+             fn g() { z.unwrap(); } // LINT-ALLOW(request-path-panic): test hook\n"
+                .to_string(),
+        )];
+        let base = snapshot(&analyze_workspace(&files));
+        assert_eq!(
+            base.get("request-path-panic")
+                .and_then(|m| m.get("crates/service/src/daemon.rs")),
+            Some(&2)
+        );
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let base = base_of(&[
+            ("panic-reachable", "crates/service/src/a.rs", 3),
+            ("lock-order", "crates/service/src/b.rs", 1),
+        ]);
+        assert_eq!(parse(&to_json(&base)).unwrap(), base);
+        assert_eq!(parse("{}").unwrap(), Baseline::new());
+        assert_eq!(parse(&to_json(&Baseline::new())).unwrap(), Baseline::new());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("[]").is_err());
+        assert!(parse("{\"a\": 1}").is_err());
+        assert!(parse("{\"a\": {\"b\": -1}}").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn diff_flags_only_new_findings() {
+        let baseline = base_of(&[("panic-reachable", "a.rs", 2)]);
+        // Same count: clean.
+        assert!(diff(&base_of(&[("panic-reachable", "a.rs", 2)]), &baseline).is_empty());
+        // Improvement: clean.
+        assert!(diff(&base_of(&[("panic-reachable", "a.rs", 1)]), &baseline).is_empty());
+        // Count regression on a known pair: flagged.
+        let r = diff(&base_of(&[("panic-reachable", "a.rs", 3)]), &baseline);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("baseline allows 2"));
+        // Brand-new (rule, path) pair: flagged even though another pair improved.
+        let current = base_of(&[("panic-reachable", "a.rs", 1), ("lock-order", "b.rs", 1)]);
+        let r = diff(&current, &baseline);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("lock-order"));
+    }
+}

@@ -1,0 +1,454 @@
+//! Workspace call graph — stage 2 of the analysis pipeline.
+//!
+//! Takes the per-file syntactic models from [`crate::model`] and links
+//! every [`CallSite`](crate::model::CallSite) to the workspace `fn` items
+//! it can plausibly name. Resolution is purely name-based (no types), so
+//! it over-approximates; the tiering below keeps the over-approximation
+//! small enough that the interprocedural rules stay quiet on clean code:
+//!
+//! * **direct calls** (`helper(..)`) resolve to same-file matches first,
+//!   then same-crate, then a *unique* workspace-wide match — a bare name
+//!   defined in several foreign crates resolves to nothing;
+//! * **path calls** (`Type::helper(..)`) resolve to `fn`s whose `impl`
+//!   type equals the qualifier (same crate preferred); a lowercase
+//!   qualifier is treated as a module path and falls back to direct-call
+//!   tiering;
+//! * **method calls** (`x.helper(..)`) resolve to `impl` fns with that
+//!   name in the caller's crate, else anywhere in the workspace. Common
+//!   std method names simply find no candidates and drop out.
+//!
+//! The graph also owns the two entry-point sets the rules walk from: the
+//! request path (daemon/router accept and handler loops, journal replay
+//! and recovery) and the determinism surface (`schedule_with_trace`, the
+//! sim `execute` drivers, digest producers).
+
+use crate::model::{CallKind, FileModel, FnItem};
+use std::collections::HashMap;
+
+/// A node: one `fn` item, addressed by (file index, fn index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub item: usize,
+}
+
+/// A resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee node id (index into [`CallGraph::nodes`]).
+    pub callee: usize,
+    /// Index of the originating [`CallSite`](crate::model::CallSite) in
+    /// the caller's `calls` vec.
+    pub call: usize,
+}
+
+/// The linked workspace call graph.
+pub struct CallGraph<'a> {
+    /// The file models the graph was built from.
+    pub files: &'a [FileModel],
+    /// Flat node list; node id is the index.
+    pub nodes: Vec<NodeRef>,
+    /// Outgoing resolved edges per node id.
+    pub edges: Vec<Vec<Edge>>,
+    node_of: HashMap<(usize, usize), usize>,
+}
+
+/// Function names that handle daemon/router requests or replay the
+/// journal: a panic anywhere reachable from these kills a service thread
+/// mid-request.
+const REQUEST_ENTRIES: &[&str] = &[
+    "accept_loop",
+    "handle_connection",
+    "handle_line",
+    "worker_loop",
+    "replay_recovery",
+    "open_with",
+];
+
+/// Functions whose outputs must be bit-identical under replay.
+const DETERMINISM_ENTRIES: &[&str] = &["schedule_with_trace", "execute"];
+
+/// Crates whose schedule/digest surface the determinism rule guards.
+const DETERMINISM_CRATES: &[&str] = &["core", "sim", "baselines"];
+
+impl<'a> CallGraph<'a> {
+    /// Builds and links the graph over `files`.
+    pub fn build(files: &'a [FileModel]) -> Self {
+        let mut nodes = Vec::new();
+        let mut node_of = HashMap::new();
+        // name -> node ids, for candidate lookup.
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (ii, item) in f.fns.iter().enumerate() {
+                let id = nodes.len();
+                nodes.push(NodeRef { file: fi, item: ii });
+                node_of.insert((fi, ii), id);
+                by_name.entry(item.name.as_str()).or_default().push(id);
+            }
+        }
+
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        for (id, nref) in nodes.iter().enumerate() {
+            let file = &files[nref.file];
+            let item = &file.fns[nref.item];
+            for (ci, call) in item.calls.iter().enumerate() {
+                let empty = Vec::new();
+                let cands = by_name.get(call.name.as_str()).unwrap_or(&empty);
+                let resolved = resolve(files, &nodes, cands, nref.file, call.kind, call);
+                for callee in resolved {
+                    edges[id].push(Edge { callee, call: ci });
+                }
+            }
+        }
+        CallGraph {
+            files,
+            nodes,
+            edges,
+            node_of,
+        }
+    }
+
+    /// Node id for (file index, fn index), if modeled.
+    pub fn id_of(&self, file: usize, item: usize) -> Option<usize> {
+        self.node_of.get(&(file, item)).copied()
+    }
+
+    /// The file and `fn` item behind a node id.
+    pub fn fn_at(&self, id: usize) -> (&FileModel, &FnItem) {
+        let n = self.nodes[id];
+        let f = &self.files[n.file];
+        (f, &f.fns[n.item])
+    }
+
+    /// Node ids whose fn name matches `name`, optionally restricted to one
+    /// crate.
+    pub fn find(&self, crate_name: Option<&str>, name: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                let f = &self.files[n.file];
+                f.fns[n.item].name == name && crate_name.is_none_or(|c| f.crate_name == c)
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Request-path entry points: service-crate fns that accept
+    /// connections, dispatch requests, or replay/recover the journal.
+    pub fn request_entries(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                let f = &self.files[n.file];
+                f.crate_name == "service" && REQUEST_ENTRIES.contains(&f.fns[n.item].name.as_str())
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Determinism entry points: schedule- and digest-producing fns in the
+    /// engine tier whose outputs must replay bit-identically.
+    pub fn determinism_entries(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                let f = &self.files[n.file];
+                let item = &f.fns[n.item];
+                DETERMINISM_CRATES.contains(&f.crate_name.as_str())
+                    && (DETERMINISM_ENTRIES.contains(&item.name.as_str())
+                        || item.name.contains("digest"))
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// BFS from `entries`. Returns, per node id, `Some(parent id)` when
+    /// reached (an entry is its own parent), `None` when unreachable.
+    pub fn reach_from(&self, entries: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue: std::collections::VecDeque<usize> = entries.iter().copied().collect();
+        for &e in entries {
+            parent[e] = Some(e);
+        }
+        while let Some(id) = queue.pop_front() {
+            for e in &self.edges[id] {
+                if parent[e.callee].is_none() {
+                    parent[e.callee] = Some(id);
+                    queue.push_back(e.callee);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The entry→node call chain implied by a `reach_from` parent map, as
+    /// `Type::name` strings for messages.
+    pub fn chain_to(&self, parent: &[Option<usize>], id: usize) -> Vec<String> {
+        let mut chain = Vec::new();
+        let mut cur = id;
+        loop {
+            let (_, item) = self.fn_at(cur);
+            chain.push(item.qual.clone());
+            match parent[cur] {
+                Some(p) if p != cur && chain.len() <= self.nodes.len() => cur = p,
+                _ => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// Applies the tiered resolution policy for one call site. Returns the
+/// node ids the call links to (possibly none).
+fn resolve(
+    files: &[FileModel],
+    nodes: &[NodeRef],
+    cands: &[usize],
+    caller_file: usize,
+    kind: CallKind,
+    call: &crate::model::CallSite,
+) -> Vec<usize> {
+    let caller_crate = &files[caller_file].crate_name;
+    match kind {
+        CallKind::Direct => tier_direct(files, nodes, cands, caller_file, caller_crate),
+        CallKind::Path => {
+            let q = call.qualifier.as_deref().unwrap_or("");
+            let typed: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let n = nodes[id];
+                    files[n.file].fns[n.item].impl_type.as_deref() == Some(q)
+                })
+                .collect();
+            if !typed.is_empty() {
+                let same_crate: Vec<usize> = typed
+                    .iter()
+                    .copied()
+                    .filter(|&id| files[nodes[id].file].crate_name == *caller_crate)
+                    .collect();
+                return if same_crate.is_empty() {
+                    typed
+                } else {
+                    same_crate
+                };
+            }
+            // `module::helper(..)` — the qualifier is a module, not a
+            // type; fall back to direct-call tiering.
+            if q.chars().next().is_some_and(|c| c.is_lowercase()) {
+                tier_direct(files, nodes, cands, caller_file, caller_crate)
+            } else {
+                Vec::new()
+            }
+        }
+        CallKind::Method => {
+            let impls: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let n = nodes[id];
+                    files[n.file].fns[n.item].impl_type.is_some()
+                })
+                .collect();
+            let same_crate: Vec<usize> = impls
+                .iter()
+                .copied()
+                .filter(|&id| files[nodes[id].file].crate_name == *caller_crate)
+                .collect();
+            if same_crate.is_empty() {
+                impls
+            } else {
+                same_crate
+            }
+        }
+    }
+}
+
+/// same file > same crate > unique workspace-wide.
+fn tier_direct(
+    files: &[FileModel],
+    nodes: &[NodeRef],
+    cands: &[usize],
+    caller_file: usize,
+    caller_crate: &str,
+) -> Vec<usize> {
+    let same_file: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&id| nodes[id].file == caller_file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&id| files[nodes[id].file].crate_name == caller_crate)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    if cands.len() == 1 {
+        return cands.to_vec();
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokKind};
+    use crate::model::build_model;
+
+    fn model(path: &str, src: &str) -> FileModel {
+        let toks = lex(src);
+        let code: Vec<_> = toks
+            .into_iter()
+            .filter(|t| t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment)
+            .collect();
+        build_model(path, &code, &[])
+    }
+
+    fn ids(g: &CallGraph<'_>, name: &str) -> Vec<usize> {
+        g.find(None, name)
+    }
+
+    #[test]
+    fn direct_call_prefers_same_file() {
+        let files = vec![
+            model(
+                "crates/a/src/lib.rs",
+                "fn top() { helper(); }\nfn helper() {}\n",
+            ),
+            model("crates/b/src/lib.rs", "fn helper() {}\n"),
+        ];
+        let g = CallGraph::build(&files);
+        let top = ids(&g, "top")[0];
+        assert_eq!(g.edges[top].len(), 1);
+        let (f, item) = g.fn_at(g.edges[top][0].callee);
+        assert_eq!((f.crate_name.as_str(), item.name.as_str()), ("a", "helper"));
+    }
+
+    #[test]
+    fn direct_call_falls_back_to_unique_workspace_match() {
+        let files = vec![
+            model("crates/a/src/lib.rs", "fn top() { helper(); }\n"),
+            model("crates/b/src/lib.rs", "fn helper() {}\n"),
+        ];
+        let g = CallGraph::build(&files);
+        let top = ids(&g, "top")[0];
+        assert_eq!(g.edges[top].len(), 1);
+        let (f, _) = g.fn_at(g.edges[top][0].callee);
+        assert_eq!(f.crate_name, "b");
+
+        // Ambiguous across two foreign crates: no edge.
+        let files = vec![
+            model("crates/a/src/lib.rs", "fn top() { helper(); }\n"),
+            model("crates/b/src/lib.rs", "fn helper() {}\n"),
+            model("crates/c/src/lib.rs", "fn helper() {}\n"),
+        ];
+        let g = CallGraph::build(&files);
+        let top = ids(&g, "top")[0];
+        assert!(g.edges[top].is_empty());
+    }
+
+    #[test]
+    fn method_call_resolves_to_impl_fn_same_crate_first() {
+        let files = vec![
+            model(
+                "crates/a/src/lib.rs",
+                "impl Q { fn push(&self) {} }\nfn top(q: &Q) { q.push(1); }\n",
+            ),
+            model("crates/b/src/lib.rs", "impl R { fn push(&self) {} }\n"),
+        ];
+        let g = CallGraph::build(&files);
+        let top = ids(&g, "top")[0];
+        assert_eq!(g.edges[top].len(), 1);
+        let (_, item) = g.fn_at(g.edges[top][0].callee);
+        assert_eq!(item.qual, "Q::push");
+    }
+
+    #[test]
+    fn path_call_matches_impl_type_across_crates() {
+        let files = vec![
+            model("crates/a/src/lib.rs", "fn top() { let j = Journal::open(p); }\n"),
+            model(
+                "crates/b/src/lib.rs",
+                "impl Journal { fn open(p: &Path) -> Self { Self } }\nimpl Other { fn open(p: &Path) {} }\n",
+            ),
+        ];
+        let g = CallGraph::build(&files);
+        let top = ids(&g, "top")[0];
+        assert_eq!(g.edges[top].len(), 1);
+        let (_, item) = g.fn_at(g.edges[top][0].callee);
+        assert_eq!(item.qual, "Journal::open");
+    }
+
+    #[test]
+    fn module_qualified_path_falls_back_to_direct_tiering() {
+        let files = vec![model(
+            "crates/a/src/lib.rs",
+            "fn top() { util::helper(); }\nfn helper() {}\n",
+        )];
+        let g = CallGraph::build(&files);
+        let top = ids(&g, "top")[0];
+        assert_eq!(g.edges[top].len(), 1);
+    }
+
+    #[test]
+    fn recursion_terminates_and_is_reachable() {
+        let files = vec![model(
+            "crates/a/src/lib.rs",
+            "fn even(n: u64) -> bool { if n == 0 { true } else { odd(n - 1) } }\n\
+             fn odd(n: u64) -> bool { if n == 0 { false } else { even(n - 1) } }\n\
+             fn looper(n: u64) -> u64 { if n > 0 { looper(n - 1) } else { 0 } }\n",
+        )];
+        let g = CallGraph::build(&files);
+        let even = ids(&g, "even")[0];
+        let reach = g.reach_from(&[even]);
+        let odd = ids(&g, "odd")[0];
+        assert!(reach[odd].is_some());
+        let chain = g.chain_to(&reach, odd);
+        assert_eq!(chain, ["even", "odd"]);
+        // Self-recursion: node reaches itself without looping forever.
+        let looper = ids(&g, "looper")[0];
+        let reach = g.reach_from(&[looper]);
+        assert!(reach[looper].is_some());
+    }
+
+    #[test]
+    fn entry_sets_filter_by_crate_and_name() {
+        let files = vec![
+            model(
+                "crates/service/src/daemon.rs",
+                "fn accept_loop() {}\nfn handle_line() {}\nfn other() {}\n",
+            ),
+            model(
+                "crates/core/src/hdlts.rs",
+                "impl H { fn schedule_with_trace(&self) {} }\n",
+            ),
+            model(
+                "crates/sim/src/arrivals.rs",
+                "impl D { fn execute(&self) {} }\n",
+            ),
+            // Same names in the wrong crate must not become entries.
+            model(
+                "crates/tools/src/lib.rs",
+                "fn accept_loop() {}\nfn execute() {}\n",
+            ),
+        ];
+        let g = CallGraph::build(&files);
+        let req = g.request_entries();
+        assert_eq!(req.len(), 2);
+        assert!(req.iter().all(|&id| g.fn_at(id).0.crate_name == "service"));
+        let det = g.determinism_entries();
+        assert_eq!(det.len(), 2);
+        assert!(det.iter().all(|&id| g.fn_at(id).0.crate_name != "tools"));
+    }
+}

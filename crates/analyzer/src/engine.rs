@@ -11,8 +11,10 @@
 //! Test code (`#[cfg(test)]` modules and `#[test]` functions) is exempt
 //! from every rule: tests may unwrap and compare exactly.
 
+use crate::callgraph::CallGraph;
 use crate::lexer::{lex, Tok, TokKind};
-use crate::rules::{rule_by_id, RULES};
+use crate::model::{build_model, FileModel};
+use crate::rules::{known_rule, RULES};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -96,10 +98,20 @@ impl Report {
     }
 }
 
-/// Lints one file's source as if it lived at `path` (workspace-relative,
-/// forward slashes). The entry point both the binary and the fixture
-/// tests use.
-pub fn analyze_source(path: &str, src: &str) -> FileReport {
+/// Per-file state between the lexical pass and suppression bookkeeping.
+struct Prepared {
+    path: String,
+    allows: Vec<Allow>,
+    malformed: Vec<Finding>,
+    /// First code line at or after each allow — the line it covers.
+    covers: Vec<u32>,
+    /// Raw findings (lexical now, interprocedural merged in later).
+    raw: Vec<Finding>,
+}
+
+/// Lexes one file, runs the lexical rules, and builds its syntactic model
+/// for the call-graph stage.
+fn prepare(path: &str, src: &str) -> (Prepared, FileModel) {
     let toks = lex(src);
     let masked = test_masked_ranges(&toks);
     let code: Vec<Tok> = toks
@@ -107,7 +119,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileReport {
         .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
         .cloned()
         .collect();
-    let (allows, mut malformed) = parse_allows(&toks, path);
+    let (allows, malformed) = parse_allows(&toks, path);
 
     // An allow covers its own line (trailing comment) and the first code
     // line after it — intervening comment lines (the rest of a multi-line
@@ -123,9 +135,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileReport {
         })
         .collect();
 
-    let mut findings = Vec::new();
-    let mut suppressed = Vec::new();
-    let mut used = vec![false; allows.len()];
+    let mut raw = Vec::new();
     for rule in RULES {
         if !(rule.applies)(path) {
             continue;
@@ -134,31 +144,58 @@ pub fn analyze_source(path: &str, src: &str) -> FileReport {
             if masked.iter().any(|&(lo, hi)| (lo..=hi).contains(&line)) {
                 continue;
             }
-            let finding = Finding {
+            raw.push(Finding {
                 rule: rule.id.into(),
                 path: path.into(),
                 line,
                 col,
                 message,
-            };
-            let allow = allows
-                .iter()
-                .enumerate()
-                .position(|(i, a)| a.rule == rule.id && (a.line == line || covers[i] == line));
-            match allow {
-                Some(i) => {
-                    used[i] = true;
-                    suppressed.push(finding);
-                }
-                None => findings.push(finding),
+            });
+        }
+    }
+    let model = build_model(path, &code, &masked);
+    (
+        Prepared {
+            path: path.into(),
+            allows,
+            malformed,
+            covers,
+            raw,
+        },
+        model,
+    )
+}
+
+/// Applies the suppression contract to one file's accumulated findings
+/// and audits the allows themselves.
+fn finish(p: Prepared) -> FileReport {
+    let Prepared {
+        path,
+        allows,
+        mut malformed,
+        covers,
+        raw,
+    } = p;
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; allows.len()];
+    for finding in raw {
+        let allow = allows.iter().enumerate().position(|(i, a)| {
+            a.rule == finding.rule && (a.line == finding.line || covers[i] == finding.line)
+        });
+        match allow {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push(finding);
             }
+            None => findings.push(finding),
         }
     }
     for (i, a) in allows.iter().enumerate() {
         if !used[i] {
             findings.push(Finding {
                 rule: "unused-lint-allow".into(),
-                path: path.into(),
+                path: path.clone(),
                 line: a.line,
                 col: 1,
                 message: format!(
@@ -171,11 +208,60 @@ pub fn analyze_source(path: &str, src: &str) -> FileReport {
     findings.append(&mut malformed);
     findings.sort_by_key(|f| (f.line, f.col));
     FileReport {
-        path: path.into(),
+        path,
         findings,
         suppressed,
         allows,
     }
+}
+
+/// Runs the full three-stage pipeline — lexical rules per file, then the
+/// syntactic model, workspace call graph, and interprocedural rules
+/// across all files — and applies the suppression contract to everything.
+/// `files` are `(workspace-relative path, source)` pairs.
+pub fn analyze_workspace(files: &[(String, String)]) -> Report {
+    let mut preps = Vec::new();
+    let mut models = Vec::new();
+    for (path, src) in files {
+        let (prep, model) = prepare(path, src);
+        preps.push(prep);
+        models.push(model);
+    }
+
+    let graph = CallGraph::build(&models);
+    for finding in crate::ipr::run(&graph) {
+        if let Some(p) = preps.iter_mut().find(|p| p.path == finding.path) {
+            p.raw.push(finding);
+        }
+    }
+
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for prep in preps {
+        let file = finish(prep);
+        if !file.findings.is_empty() || !file.suppressed.is_empty() || !file.allows.is_empty() {
+            report.files.push(file);
+        }
+    }
+    report
+}
+
+/// Lints one file's source as if it lived at `path` (workspace-relative,
+/// forward slashes) — a one-file workspace, so the interprocedural rules
+/// run too (with only this file's functions in the call graph). The entry
+/// point the fixture tests use.
+pub fn analyze_source(path: &str, src: &str) -> FileReport {
+    let report = analyze_workspace(&[(path.to_string(), src.to_string())]);
+    report
+        .files
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| FileReport {
+            path: path.into(),
+            ..FileReport::default()
+        })
 }
 
 /// Extracts `LINT-ALLOW(rule): reason` escapes from line comments. Returns
@@ -215,7 +301,7 @@ fn parse_allows(toks: &[Tok], path: &str) -> (Vec<Allow>, Vec<Finding>) {
             continue;
         };
         let (rule, after) = (inner.0.trim(), inner.1);
-        if rule_by_id(rule).is_none() {
+        if !known_rule(rule) {
             bad(t.line, format!("LINT-ALLOW names unknown rule '{rule}'"));
             continue;
         }
@@ -306,17 +392,13 @@ pub fn analyze_root(root: &Path) -> std::io::Result<Report> {
     let mut paths = Vec::new();
     collect_sources(root, Path::new(""), &mut paths)?;
     paths.sort();
-    let mut report = Report::default();
+    let mut files = Vec::new();
     for rel in paths {
         let src = std::fs::read_to_string(root.join(&rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        report.files_scanned += 1;
-        let file = analyze_source(&rel_str, &src);
-        if !file.findings.is_empty() || !file.suppressed.is_empty() || !file.allows.is_empty() {
-            report.files.push(file);
-        }
+        files.push((rel_str, src));
     }
-    Ok(report)
+    Ok(analyze_workspace(&files))
 }
 
 fn collect_sources(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -1,0 +1,572 @@
+//! Interprocedural rules — stage 3 of the analysis pipeline.
+//!
+//! Each rule walks the [`CallGraph`] instead of a single token stream, so
+//! it can reason about what a function *reaches*, not just what it spells:
+//!
+//! * **`panic-reachable`** — panic sites (unwrap/expect/panic-macro and
+//!   index/slice expressions) in `service`-crate functions reachable from
+//!   a request-path entry point. It extends the lexical
+//!   `request-path-panic` rule in two directions: files that rule does not
+//!   list (anything the handlers call, e.g. the JSON codec) get full
+//!   coverage, and the listed files additionally get index/slice coverage
+//!   the token-level rule cannot see. Unwrap/expect/macro sites in listed
+//!   files stay with the lexical rule so no site is reported twice.
+//! * **`lock-order`** — builds the lock-acquisition order graph (an edge
+//!   `a -> b` whenever `b` is acquired — directly or via any callee —
+//!   while a guard on `a` is live) and fails on cycles: two threads taking
+//!   the same pair of locks in opposite orders is a deadlock. Lock
+//!   identity is the terminal name of the mutex path, so two locks that
+//!   share a field name collapse into one node; same-name edges are
+//!   skipped for that reason.
+//! * **`blocking-under-lock`** — file/socket I/O, `.recv()`, or a call
+//!   into an I/O-performing function while a *named* guard is live.
+//!   Operations on the guard's own binding are the lock's purpose and are
+//!   exempt; temporaries (`lock(j)?.append(..)` with no wider guard) scope
+//!   to their own statement and are not checked.
+//! * **`determinism-taint`** — wall-clock or RNG sites in any function
+//!   reachable from the determinism surface (`schedule_with_trace`, the
+//!   sim `execute` drivers, digest producers): replayed schedules must be
+//!   bit-identical, so nondeterministic sources must stay in the service
+//!   tier and enter the engine as explicit inputs.
+//!
+//! Findings anchor at the offending site (the panic, the second lock, the
+//! I/O call, the clock read), so the usual `LINT-ALLOW(rule): reason`
+//! contract applies unchanged.
+
+use crate::callgraph::CallGraph;
+use crate::engine::Finding;
+use crate::model::PanicKind;
+use crate::rules::in_request_path_file;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs every interprocedural rule over the linked graph.
+pub fn run(graph: &CallGraph<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    panic_reachable(graph, &mut out);
+    lock_order(graph, &mut out);
+    blocking_under_lock(graph, &mut out);
+    determinism_taint(graph, &mut out);
+    out
+}
+
+fn finding(rule: &str, path: &str, line: u32, col: u32, message: String) -> Finding {
+    Finding {
+        rule: rule.into(),
+        path: path.into(),
+        line,
+        col,
+        message,
+    }
+}
+
+fn panic_reachable(g: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    let reach = g.reach_from(&g.request_entries());
+    for id in 0..g.nodes.len() {
+        if reach[id].is_none() {
+            continue;
+        }
+        let (file, item) = g.fn_at(id);
+        if file.crate_name != "service" {
+            continue;
+        }
+        let lexical = in_request_path_file(&file.path);
+        for p in &item.panics {
+            // In files the lexical rule lists, unwrap/expect/macros are its
+            // findings; this rule adds only what tokens can't see.
+            if lexical && !matches!(p.kind, PanicKind::Index | PanicKind::Slice) {
+                continue;
+            }
+            let chain = g.chain_to(&reach, id).join(" -> ");
+            out.push(finding(
+                "panic-reachable",
+                &file.path,
+                p.line,
+                p.col,
+                format!(
+                    "`{}` can panic and is reachable from the request path via {}",
+                    p.what, chain
+                ),
+            ));
+        }
+    }
+}
+
+fn determinism_taint(g: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    let reach = g.reach_from(&g.determinism_entries());
+    for id in 0..g.nodes.len() {
+        if reach[id].is_none() {
+            continue;
+        }
+        let (file, item) = g.fn_at(id);
+        for t in &item.time {
+            let chain = g.chain_to(&reach, id).join(" -> ");
+            out.push(finding(
+                "determinism-taint",
+                &file.path,
+                t.line,
+                t.col,
+                format!(
+                    "`{}` taints the schedule/digest surface with nondeterminism via {}; \
+                     pass the value in as an explicit input instead",
+                    t.what, chain
+                ),
+            ));
+        }
+    }
+}
+
+/// Lock names acquired by each node directly or through any callee,
+/// computed to a fixpoint.
+fn transitive_acquires(g: &CallGraph<'_>) -> Vec<BTreeSet<String>> {
+    let n = g.nodes.len();
+    let mut acq: Vec<BTreeSet<String>> = (0..n)
+        .map(|id| g.fn_at(id).1.locks.iter().map(|l| l.lock.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            let mut add = Vec::new();
+            for e in &g.edges[id] {
+                for m in &acq[e.callee] {
+                    if !acq[id].contains(m) {
+                        add.push(m.clone());
+                    }
+                }
+            }
+            if !add.is_empty() {
+                changed = true;
+                acq[id].extend(add);
+            }
+        }
+        if !changed {
+            return acq;
+        }
+    }
+}
+
+/// Whether each node performs blocking I/O directly or through any callee.
+fn transitive_io(g: &CallGraph<'_>) -> Vec<bool> {
+    let n = g.nodes.len();
+    let mut io: Vec<bool> = (0..n).map(|id| !g.fn_at(id).1.io.is_empty()).collect();
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            if !io[id] && g.edges[id].iter().any(|e| io[e.callee]) {
+                io[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return io;
+        }
+    }
+}
+
+/// Provenance of one lock-order edge, for cycle messages.
+struct EdgeProv {
+    path: String,
+    line: u32,
+    col: u32,
+    what: String,
+}
+
+fn lock_order(g: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    let acq = transitive_acquires(g);
+
+    // Edge (held -> taken) with first-seen provenance. BTreeMap keeps the
+    // graph — and therefore cycle reporting — deterministic.
+    let mut edges: BTreeMap<(String, String), EdgeProv> = BTreeMap::new();
+    for id in 0..g.nodes.len() {
+        let (file, item) = g.fn_at(id);
+        for l in &item.locks {
+            for m in &item.locks {
+                if m.tok > l.tok && m.tok <= l.scope_end && m.lock != l.lock {
+                    edges
+                        .entry((l.lock.clone(), m.lock.clone()))
+                        .or_insert_with(|| EdgeProv {
+                            path: file.path.clone(),
+                            line: m.line,
+                            col: m.col,
+                            what: format!(
+                                "{} acquires `{}` while holding `{}`",
+                                item.qual, m.lock, l.lock
+                            ),
+                        });
+                }
+            }
+            for e in &g.edges[id] {
+                let c = &item.calls[e.call];
+                if c.tok <= l.tok || c.tok > l.scope_end {
+                    continue;
+                }
+                let callee = g.fn_at(e.callee).1;
+                for m in &acq[e.callee] {
+                    if *m != l.lock {
+                        edges
+                            .entry((l.lock.clone(), m.clone()))
+                            .or_insert_with(|| EdgeProv {
+                                path: file.path.clone(),
+                                line: c.line,
+                                col: c.col,
+                                what: format!(
+                                    "{} calls {} (which acquires `{}`) while holding `{}`",
+                                    item.qual, callee.qual, m, l.lock
+                                ),
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the lock-name graph.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new();
+    let mut path: Vec<&str> = Vec::new();
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let starts: Vec<&str> = adj.keys().copied().collect();
+    for s in starts {
+        dfs_cycles(s, &adj, &mut state, &mut path, &mut cycles);
+    }
+
+    for cycle in cycles {
+        let prov = &edges[&(cycle[0].clone(), cycle[1].clone())];
+        let mut ring = cycle.join(" -> ");
+        ring.push_str(" -> ");
+        ring.push_str(&cycle[0]);
+        let detail: Vec<String> = cycle
+            .iter()
+            .enumerate()
+            .map(|(i, from)| {
+                let to = &cycle[(i + 1) % cycle.len()];
+                let p = &edges[&(from.clone(), to.clone())];
+                format!("{} ({}:{})", p.what, p.path, p.line)
+            })
+            .collect();
+        out.push(finding(
+            "lock-order",
+            &prov.path,
+            prov.line,
+            prov.col,
+            format!(
+                "lock-order cycle {}: opposite acquisition orders can deadlock; {}",
+                ring,
+                detail.join("; ")
+            ),
+        ));
+    }
+}
+
+fn dfs_cycles<'s>(
+    node: &'s str,
+    adj: &BTreeMap<&'s str, Vec<&'s str>>,
+    state: &mut BTreeMap<&'s str, u8>,
+    path: &mut Vec<&'s str>,
+    cycles: &mut BTreeSet<Vec<String>>,
+) {
+    match state.get(node) {
+        Some(2) => return,
+        Some(1) => {
+            // Back edge: the cycle is the path suffix from `node`,
+            // canonicalized to start at its smallest name so each cycle is
+            // reported once regardless of DFS entry point.
+            if let Some(pos) = path.iter().position(|&p| p == node) {
+                let raw: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+                let min = raw
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.as_str())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let mut canon = raw[min..].to_vec();
+                canon.extend_from_slice(&raw[..min]);
+                cycles.insert(canon);
+            }
+            return;
+        }
+        _ => {}
+    }
+    state.insert(node, 1);
+    path.push(node);
+    let nexts: Vec<&str> = adj.get(node).into_iter().flatten().copied().collect();
+    for next in nexts {
+        dfs_cycles(next, adj, state, path, cycles);
+    }
+    path.pop();
+    state.insert(node, 2);
+}
+
+fn blocking_under_lock(g: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    let io = transitive_io(g);
+    for id in 0..g.nodes.len() {
+        let (file, item) = g.fn_at(id);
+        for l in &item.locks {
+            // Temporaries scope to their own statement — the operation the
+            // statement performs on the fresh guard is the lock's purpose.
+            let Some(binding) = &l.binding else { continue };
+            let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+            for s in &item.io {
+                if s.tok <= l.tok || s.tok > l.scope_end {
+                    continue;
+                }
+                if s.recv_root.as_deref() == Some(binding) {
+                    continue;
+                }
+                if seen.insert((s.line, s.col)) {
+                    out.push(finding(
+                        "blocking-under-lock",
+                        &file.path,
+                        s.line,
+                        s.col,
+                        format!(
+                            "`{}` blocks while guard `{}` on `{}` is held in {}; \
+                             narrow the guard scope",
+                            s.what, binding, l.lock, item.qual
+                        ),
+                    ));
+                }
+            }
+            for e in &g.edges[id] {
+                let c = &item.calls[e.call];
+                if c.tok <= l.tok || c.tok > l.scope_end || !io[e.callee] {
+                    continue;
+                }
+                if c.recv_root.as_deref() == Some(binding) {
+                    continue;
+                }
+                if seen.insert((c.line, c.col)) {
+                    out.push(finding(
+                        "blocking-under-lock",
+                        &file.path,
+                        c.line,
+                        c.col,
+                        format!(
+                            "call to {} performs I/O while guard `{}` on `{}` is held in {}; \
+                             narrow the guard scope",
+                            g.fn_at(e.callee).1.qual,
+                            binding,
+                            l.lock,
+                            item.qual
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokKind};
+    use crate::model::{build_model, FileModel};
+
+    fn model(path: &str, src: &str) -> FileModel {
+        let toks = lex(src);
+        let code: Vec<_> = toks
+            .into_iter()
+            .filter(|t| t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment)
+            .collect();
+        build_model(path, &code, &[])
+    }
+
+    fn rules_on(files: &[FileModel]) -> Vec<Finding> {
+        run(&CallGraph::build(files))
+    }
+
+    #[test]
+    fn panic_reachable_crosses_into_unlisted_files() {
+        let files = vec![
+            model(
+                "crates/service/src/daemon.rs",
+                "fn handle_line(s: &str) { parse(s); }\n",
+            ),
+            model(
+                "crates/service/src/json.rs",
+                "fn parse(s: &str) -> u32 { s.bytes().next().unwrap() }\n",
+            ),
+        ];
+        let hits = rules_on(&files);
+        let pr: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "panic-reachable")
+            .collect();
+        assert_eq!(pr.len(), 1, "{hits:?}");
+        assert_eq!(pr[0].path, "crates/service/src/json.rs");
+        assert!(
+            pr[0].message.contains("handle_line -> parse"),
+            "{}",
+            pr[0].message
+        );
+    }
+
+    #[test]
+    fn panic_reachable_defers_to_lexical_rule_but_adds_indexing() {
+        // In a file request-path-panic lists, unwrap stays lexical-only;
+        // indexing is this rule's addition.
+        let files = vec![model(
+            "crates/service/src/daemon.rs",
+            "fn handle_line(v: &[u8]) -> u8 { let x = opt.unwrap(); v[0] }\n",
+        )];
+        let hits = rules_on(&files);
+        let pr: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "panic-reachable")
+            .collect();
+        assert_eq!(pr.len(), 1, "{hits:?}");
+        assert!(pr[0].message.contains("[_]"), "{}", pr[0].message);
+    }
+
+    #[test]
+    fn unreachable_panics_are_quiet() {
+        let files = vec![model(
+            "crates/service/src/json.rs",
+            "fn helper() { x.unwrap(); }\n",
+        )];
+        assert!(rules_on(&files).is_empty());
+    }
+
+    #[test]
+    fn lock_order_cycle_is_reported_once() {
+        let files = vec![model(
+            "crates/service/src/daemon.rs",
+            "fn a(s: &S) { let g = lock(&s.jobs, \"jobs\"); let h = lock(&s.hist, \"hist\"); }\n\
+             fn b(s: &S) { let h = lock(&s.hist, \"hist\"); let g = lock(&s.jobs, \"jobs\"); }\n",
+        )];
+        let hits = rules_on(&files);
+        let lo: Vec<_> = hits.iter().filter(|f| f.rule == "lock-order").collect();
+        assert_eq!(lo.len(), 1, "{hits:?}");
+        assert!(
+            lo[0].message.contains("hist -> jobs -> hist"),
+            "{}",
+            lo[0].message
+        );
+    }
+
+    #[test]
+    fn lock_order_sees_through_callees() {
+        let files = vec![model(
+            "crates/service/src/daemon.rs",
+            "fn a(s: &S) { let g = lock(&s.jobs, \"jobs\"); take_hist(s); }\n\
+             fn take_hist(s: &S) { let h = lock(&s.hist, \"hist\"); }\n\
+             fn b(s: &S) { let h = lock(&s.hist, \"hist\"); let g = lock(&s.jobs, \"jobs\"); }\n",
+        )];
+        let hits = rules_on(&files);
+        assert_eq!(
+            hits.iter().filter(|f| f.rule == "lock-order").count(),
+            1,
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let files = vec![model(
+            "crates/service/src/daemon.rs",
+            "fn a(s: &S) { let g = lock(&s.jobs, \"jobs\"); let h = lock(&s.hist, \"hist\"); }\n\
+             fn b(s: &S) { let g = lock(&s.jobs, \"jobs\"); let h = lock(&s.hist, \"hist\"); }\n",
+        )];
+        assert!(rules_on(&files).iter().all(|f| f.rule != "lock-order"));
+    }
+
+    #[test]
+    fn blocking_under_lock_flags_io_and_exempts_the_guard_itself() {
+        let files = vec![model(
+            "crates/service/src/daemon.rs",
+            "fn f(s: &S, file: &mut File) {\n\
+                 let jobs = lock(&s.jobs, \"jobs\");\n\
+                 file.write_all(b\"x\");\n\
+                 jobs.push(1);\n\
+             }\n",
+        )];
+        let hits = rules_on(&files);
+        let bl: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "blocking-under-lock")
+            .collect();
+        assert_eq!(bl.len(), 1, "{hits:?}");
+        assert_eq!(bl[0].line, 3);
+    }
+
+    #[test]
+    fn blocking_under_lock_sees_io_through_calls() {
+        let files = vec![
+            model(
+                "crates/service/src/daemon.rs",
+                "fn f(s: &S, j: &Journal) { let jobs = lock(&s.jobs, \"jobs\"); j.append(1); }\n",
+            ),
+            model(
+                "crates/service/src/journal.rs",
+                "impl Journal { fn append(&mut self, r: u32) { self.file.write_all(b\"x\"); } }\n",
+            ),
+        ];
+        let hits = rules_on(&files);
+        assert_eq!(
+            hits.iter()
+                .filter(|f| f.rule == "blocking-under-lock")
+                .count(),
+            1,
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn temporaries_and_guard_owned_io_are_exempt() {
+        let files = vec![
+            model(
+                "crates/service/src/daemon.rs",
+                "fn f(s: &S) { lock(&s.journal, \"journal\").append(1); }\n\
+                 fn g(s: &S) { let j = lock(&s.journal, \"journal\"); j.flush(); }\n",
+            ),
+            model(
+                "crates/service/src/journal.rs",
+                "impl Journal { fn append(&mut self, r: u32) { self.file.write_all(b\"x\"); } }\n",
+            ),
+        ];
+        let hits = rules_on(&files);
+        assert!(
+            hits.iter().all(|f| f.rule != "blocking-under-lock"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn determinism_taint_follows_the_call_chain() {
+        let files = vec![
+            model(
+                "crates/core/src/hdlts.rs",
+                "impl H { fn schedule_with_trace(&self) { jitter(); } }\n",
+            ),
+            model(
+                "crates/core/src/est.rs",
+                "fn jitter() -> u64 { unix_ms_now() }\n",
+            ),
+        ];
+        let hits = rules_on(&files);
+        let dt: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "determinism-taint")
+            .collect();
+        assert_eq!(dt.len(), 1, "{hits:?}");
+        assert!(dt[0].message.contains("unix_ms_now"), "{}", dt[0].message);
+        assert!(
+            dt[0].message.contains("H::schedule_with_trace -> jitter"),
+            "{}",
+            dt[0].message
+        );
+    }
+
+    #[test]
+    fn clock_reads_outside_the_determinism_surface_are_fine() {
+        let files = vec![model(
+            "crates/service/src/daemon.rs",
+            "fn stamp() -> u64 { unix_ms_now() }\n",
+        )];
+        assert!(rules_on(&files)
+            .iter()
+            .all(|f| f.rule != "determinism-taint"));
+    }
+}

@@ -89,9 +89,14 @@ fn is_ident_cont(c: char) -> bool {
 }
 
 /// Compound operators lexed as single `Punct` tokens, longest first.
+///
+/// Shifts (`<<`, `>>`, `<<=`, `>>=`) are deliberately absent: they lex as
+/// successive `<` / `>` tokens (rustc makes the same split in reverse, in
+/// its parser) so `Vec<Vec<u32>>` closes with two plain `>` tokens and the
+/// item parser's angle-bracket matching never sees a fused closer.
 const COMPOUND: &[&str] = &[
-    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "<<", ">>",
-    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+    "..=", "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "^=", "&=", "|=",
 ];
 
 /// Lexes `src` into tokens. Unknown bytes become single-char `Punct`
@@ -116,7 +121,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
             '/' if s.peek(1) == Some('*') => lex_block_comment(&mut s),
             '"' => lex_string(&mut s),
             '\'' => lex_char_or_lifetime(&mut s),
-            'r' | 'b' if raw_or_byte_literal_ahead(&s) => lex_prefixed_literal(&mut s),
+            'r' | 'b' | 'c' if raw_or_byte_literal_ahead(&s) => lex_prefixed_literal(&mut s),
             _ if c.is_ascii_digit() => lex_number(&mut s),
             _ if is_ident_start(c) => {
                 let mut text = String::new();
@@ -219,11 +224,12 @@ fn lex_char_or_lifetime(s: &mut Scanner) -> (TokKind, String) {
     (TokKind::Char, text)
 }
 
-/// Does the scanner sit on `r"`, `r#"`, `r#ident`, `b"`, `b'`, `br"`, or
-/// `br#"`?
+/// Does the scanner sit on a prefixed literal: `r"`, `r#"`, `r#ident`,
+/// `b"`, `b'`, `br"`, `br#"`, or their C-string cousins `c"`, `cr"`,
+/// `cr#"`?
 fn raw_or_byte_literal_ahead(s: &Scanner) -> bool {
     let mut i = 1;
-    if s.peek(0) == Some('b') && s.peek(1) == Some('r') {
+    if matches!(s.peek(0), Some('b' | 'c')) && s.peek(1) == Some('r') {
         i = 2;
     }
     match s.peek(i) {
@@ -244,10 +250,10 @@ fn raw_or_byte_literal_ahead(s: &Scanner) -> bool {
 
 fn lex_prefixed_literal(s: &mut Scanner) -> (TokKind, String) {
     let mut text = String::new();
-    if s.peek(0) == Some('b') {
-        text.push('b');
+    if let Some(p @ ('b' | 'c')) = s.peek(0) {
+        text.push(p);
         s.bump();
-        if s.peek(0) == Some('\'') {
+        if p == 'b' && s.peek(0) == Some('\'') {
             let (_, rest) = lex_char_or_lifetime(s);
             text.push_str(&rest);
             return (TokKind::Char, text);
@@ -435,6 +441,42 @@ mod tests {
         assert!(toks.contains(&(TokKind::Ident, "r#type".into())));
         assert!(toks.contains(&(TokKind::Str, "b\"bytes\"".into())));
         assert!(toks.contains(&(TokKind::Char, "b'q'".into())));
+    }
+
+    #[test]
+    fn nested_generics_close_with_single_angles() {
+        // `>>` must not fuse: the item parser matches angle depth token by
+        // token, so `Vec<Vec<u32>>` needs two plain `>` closers.
+        let toks = kinds("let m: Option<Vec<Box<u32>>> = None;");
+        assert_eq!(toks.iter().filter(|(_, t)| t == ">").count(), 3, "{toks:?}");
+        assert!(!toks.contains(&(TokKind::Punct, ">>".into())));
+        // Shifts therefore also lex as singles; rules don't match shifts.
+        let toks = kinds("let y = x << 2; let z = x >> 1;");
+        assert_eq!(toks.iter().filter(|(_, t)| t == "<").count(), 2);
+        assert_eq!(toks.iter().filter(|(_, t)| t == ">").count(), 2);
+    }
+
+    #[test]
+    fn raw_string_hash_depths_and_embedded_quotes() {
+        let toks = kinds(r###"let a = r#"say "hi" == done"#; let b = r##"x "# y"##;"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        assert!(!toks.contains(&(TokKind::Punct, "==".into())));
+        assert!(toks.contains(&(TokKind::Str, r###"r##"x "# y"##"###.into())));
+        // Byte raw strings with hashes terminate at the right depth too.
+        let toks = kinds(r###"let c = br##"a"# b"##;"###);
+        assert!(toks.contains(&(TokKind::Str, r###"br##"a"# b"##"###.into())));
+    }
+
+    #[test]
+    fn c_string_literals_lex_as_strings() {
+        let toks = kinds(r##"let p = c"path"; let q = cr#"raw != c"#;"##);
+        assert!(toks.contains(&(TokKind::Str, "c\"path\"".into())));
+        assert!(toks.contains(&(TokKind::Str, "cr#\"raw != c\"#".into())));
+        assert!(!toks.contains(&(TokKind::Punct, "!=".into())));
+        // A plain ident starting with `c` is untouched.
+        let toks = kinds("let cache = c + 1;");
+        assert!(toks.contains(&(TokKind::Ident, "cache".into())));
+        assert!(toks.contains(&(TokKind::Ident, "c".into())));
     }
 
     #[test]

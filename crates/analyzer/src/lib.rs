@@ -21,15 +21,27 @@
 //! Zero dependencies, like the service crate's JSON codec: the analyzer
 //! must never be the thing that breaks the build for supply-chain reasons.
 
+pub mod baseline;
+pub mod callgraph;
 pub mod engine;
 pub mod interleave;
+pub mod ipr;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod sarif;
 
-pub use engine::{analyze_root, analyze_source, Allow, FileReport, Finding, Report};
+pub use baseline::{
+    diff, parse as parse_baseline, snapshot, to_json as baseline_to_json, Baseline,
+};
+pub use callgraph::CallGraph;
+pub use engine::{
+    analyze_root, analyze_source, analyze_workspace, Allow, FileReport, Finding, Report,
+};
 pub use interleave::{
     explore, Checker, FaithfulQueue, MutatedQueue, Mutation, Op, PopOutcome, PushOutcome,
     QueueModel, Scenario, Violation,
 };
 pub use lexer::{lex, Tok, TokKind};
-pub use rules::{rule_by_id, RuleDef, RULES};
+pub use rules::{known_rule, rule_by_id, RuleDef, IPR_RULES, RULES};
+pub use sarif::to_sarif;

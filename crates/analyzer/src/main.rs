@@ -2,18 +2,28 @@
 //!
 //! ```text
 //! hdlts-analyzer [--root DIR] [--quiet]
+//!                [--sarif PATH] [--baseline PATH [--write-baseline]]
 //! ```
 //!
-//! Exit code 0 when clean, 1 when any finding survives suppression, 2 on
-//! usage or I/O errors. Wired up as `just lint` and a CI job.
+//! `--sarif` writes the full report (including suppressed findings) as a
+//! SARIF 2.1.0 log. `--baseline` switches the gate to ratchet mode: exit 1
+//! only when a (rule, path) pair has more findings than the checked-in
+//! snapshot allows. `--write-baseline` refreshes that snapshot instead of
+//! gating. Exit code 0 when clean, 1 when the gate trips, 2 on usage or
+//! I/O errors. Wired up as `just lint` and a CI job.
 
-use hdlts_analyzer::{analyze_root, RULES};
+use hdlts_analyzer::{
+    analyze_root, baseline_to_json, diff, parse_baseline, snapshot, to_sarif, IPR_RULES, RULES,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut quiet = false;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,11 +34,32 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--sarif" => match args.next() {
+                Some(p) => sarif_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--sarif requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--baseline requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => write_baseline = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
-                println!("usage: hdlts-analyzer [--root DIR] [--quiet]\n\nrules:");
+                println!(
+                    "usage: hdlts-analyzer [--root DIR] [--quiet] [--sarif PATH] \
+                     [--baseline PATH [--write-baseline]]\n\nrules:"
+                );
                 for r in RULES {
                     println!("  {:<20} {}", r.id, r.summary);
+                }
+                for (id, summary) in IPR_RULES {
+                    println!("  {id:<20} {summary}");
                 }
                 return ExitCode::SUCCESS;
             }
@@ -38,6 +69,10 @@ fn main() -> ExitCode {
             }
         }
     }
+    if write_baseline && baseline_path.is_none() {
+        eprintln!("--write-baseline requires --baseline PATH");
+        return ExitCode::from(2);
+    }
 
     let report = match analyze_root(&root) {
         Ok(r) => r,
@@ -46,6 +81,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &sarif_path {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("hdlts-analyzer: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(path, to_sarif(&report)) {
+            eprintln!("hdlts-analyzer: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     for f in report.findings() {
         println!("{f}");
@@ -67,7 +115,49 @@ fn main() -> ExitCode {
             report.files_scanned, findings, suppressed, allows
         );
     }
-    if findings == 0 {
+
+    let Some(base_path) = baseline_path else {
+        return if findings == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    };
+
+    let current = snapshot(&report);
+    if write_baseline {
+        if let Err(e) = std::fs::write(&base_path, baseline_to_json(&current)) {
+            eprintln!("hdlts-analyzer: cannot write {}: {e}", base_path.display());
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            println!("baseline written to {}", base_path.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&base_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hdlts-analyzer: cannot read {}: {e}", base_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match parse_baseline(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "hdlts-analyzer: malformed baseline {}: {e}",
+                base_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let regressions = diff(&current, &baseline);
+    for r in &regressions {
+        eprintln!("new finding vs baseline — {r}");
+    }
+    if regressions.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

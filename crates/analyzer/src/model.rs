@@ -1,0 +1,1185 @@
+//! Item-level syntactic model — stage 1 of the analysis pipeline.
+//!
+//! Built on the comment-free token stream, this module recognizes `fn`
+//! items (with their `impl`/`trait` context), and records the sites the
+//! interprocedural rules care about inside each body:
+//!
+//! * **call expressions** — direct (`helper(..)`), method (`.helper(..)`),
+//!   and path-qualified (`Type::helper(..)`) calls, with enough receiver
+//!   shape to resolve them against the workspace index in
+//!   [`crate::callgraph`];
+//! * **lock acquisitions** — `.lock()` / zero-arg `.read()` / `.write()`
+//!   method sites plus calls to guard-returning workspace functions
+//!   (`service::error::{lock, lock_recover}`, `Bounded::lock`), each with
+//!   a lock *identity* (the terminal field name of the mutex path) and a
+//!   *guard scope* (let-bound: to the end of the enclosing block or a
+//!   `drop(guard)`; temporary: to the end of the statement);
+//! * **panic sites** — `.unwrap()`, `.expect("...")`, the
+//!   `panic!`/`unreachable!`/`todo!`/`unimplemented!` macros, and
+//!   index/slice expressions (`x[i]`, `&b[1..]`), all of which can abort a
+//!   daemon thread;
+//! * **wall-clock / RNG sites** — `Instant::now`, `SystemTime::now`,
+//!   `unix_ms_now()`, `thread_rng`/`from_entropy`/`RandomState`;
+//! * **I/O sites** — file (`write_all`, `flush`, `sync_data`, `fs::read`,
+//!   ...), socket (`TcpStream::connect`, `.accept()`, `.shutdown()`), and
+//!   channel (`.recv()`) operations, plus the `write!`/`writeln!` macros.
+//!
+//! The model is purely syntactic: no type information exists, so a few
+//! documented heuristics stand in for it (see `CONTRIBUTING.md`). The two
+//! that matter most: `.expect(..)` is a panic site only when its first
+//! argument is a string literal (the workspace's own `Parser::expect`
+//! takes a byte), and `.lock()` on a receiver other than bare `self` is a
+//! std `Mutex` acquisition while `self.lock()` resolves to a workspace
+//! method (`Bounded::lock`).
+
+use crate::lexer::{Tok, TokKind};
+
+/// How a call expression names its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(..)` — a bare function name.
+    Direct,
+    /// `recv.helper(..)` — a method; resolution is name-based.
+    Method,
+    /// `Type::helper(..)` / `module::helper(..)` — the qualifier narrows
+    /// resolution to matching impl types.
+    Path,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (last path segment).
+    pub name: String,
+    /// `Type` in `Type::name(..)`, when present.
+    pub qualifier: Option<String>,
+    /// Call shape.
+    pub kind: CallKind,
+    /// First identifier of a method receiver chain (`shared` in
+    /// `shared.jobs.lock()`); used to exempt guard-owned operations.
+    pub recv_root: Option<String>,
+    /// The receiver expression ends in a fresh `lock(..)`/`lock_recover(..)`
+    /// /`.lock()` call — the method operates on the guard itself.
+    pub guard_chained: bool,
+    /// Token index (into the file's comment-free stream).
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One lock acquisition with its lexical guard scope.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Lock identity: terminal field/variable name of the mutex path
+    /// (`jobs` for `lock(&shared.jobs, ..)`), or the callee's own lock for
+    /// argument-less guard-returning calls (`inner` for `self.lock()`).
+    pub lock: String,
+    /// `let`-bound guard name, when the acquisition is bound (`_` counts
+    /// as unbound: it drops immediately).
+    pub binding: Option<String>,
+    /// Token index of the acquisition.
+    pub tok: usize,
+    /// Last token index the guard is live for: end of the enclosing block
+    /// (let-bound), a `drop(guard)` call, or the end of the statement /
+    /// condition (temporaries).
+    pub scope_end: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// What kind of panic a site can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()`
+    Unwrap,
+    /// `.expect("...")` with a string-literal message.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro,
+    /// `x[i]` — out-of-bounds aborts.
+    Index,
+    /// `x[a..b]` — out-of-range aborts.
+    Slice,
+}
+
+/// One potential panic site.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// Panic class.
+    pub kind: PanicKind,
+    /// The offending spelling, for messages (`unwrap`, `panic!`, `[..]`).
+    pub what: String,
+    /// Token index.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A wall-clock or randomness source.
+#[derive(Debug, Clone)]
+pub struct TimeSite {
+    /// The spelling (`Instant::now`, `unix_ms_now`, `thread_rng`, ...).
+    pub what: String,
+    /// Token index.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A blocking I/O operation (file, socket, or channel receive).
+#[derive(Debug, Clone)]
+pub struct IoSite {
+    /// The operation (`write_all`, `fs::read`, `recv`, ...).
+    pub what: String,
+    /// First identifier of the receiver chain, when a method.
+    pub recv_root: Option<String>,
+    /// The receiver is a freshly acquired guard (`lock(j)?.append(..)`).
+    pub guard_chained: bool,
+    /// Token index.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One `fn` item and everything stage-3 rules need to know about it.
+#[derive(Debug, Clone, Default)]
+pub struct FnItem {
+    /// Bare name (`handle_line`).
+    pub name: String,
+    /// `Type::name` when defined in an `impl`/`trait` block, else `name`.
+    pub qual: String,
+    /// The `impl`/`trait` type, when any.
+    pub impl_type: Option<String>,
+    /// The function returns a lock guard (`MutexGuard` et al. appear in
+    /// its return type) — calling it is an acquisition at the call site.
+    pub guard_returning: bool,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// Call expressions, in body order.
+    pub calls: Vec<CallSite>,
+    /// Lock acquisitions, in body order.
+    pub locks: Vec<LockSite>,
+    /// Panic sites, in body order.
+    pub panics: Vec<PanicSite>,
+    /// Wall-clock / RNG sites, in body order.
+    pub time: Vec<TimeSite>,
+    /// Blocking I/O sites, in body order.
+    pub io: Vec<IoSite>,
+}
+
+/// The parsed model of one file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Crate directory name (`service` for `crates/service/src/...`), or
+    /// `root` outside the `crates/` tree.
+    pub crate_name: String,
+    /// Every non-test `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// Crate name from a workspace-relative path.
+pub fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("root")
+        .to_string()
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn", "for",
+    "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return",
+    "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "async", "await", "union",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Method names that perform blocking I/O when called.
+const IO_METHODS: &[&str] = &[
+    "write_all",
+    "flush",
+    "sync_data",
+    "sync_all",
+    "read_line",
+    "read_to_string",
+    "read_exact",
+    "read_until",
+    "recv",
+    "recv_timeout",
+    "accept",
+    "connect",
+    "shutdown",
+    "set_len",
+];
+
+/// `module::function` pairs that perform blocking I/O.
+const IO_PATHS: &[(&str, &str)] = &[
+    ("fs", "read"),
+    ("fs", "write"),
+    ("fs", "rename"),
+    ("fs", "remove_file"),
+    ("fs", "copy"),
+    ("fs", "create_dir_all"),
+    ("fs", "metadata"),
+    ("fs", "read_to_string"),
+    ("File", "open"),
+    ("File", "create"),
+    ("OpenOptions", "new"),
+    ("TcpStream", "connect"),
+    ("TcpListener", "bind"),
+];
+
+/// Bare function calls that read a nondeterministic source.
+const TIME_FNS: &[&str] = &["unix_ms_now", "thread_rng", "from_entropy", "getrandom"];
+
+fn is_kw(t: &str) -> bool {
+    KEYWORDS.contains(&t)
+}
+
+/// Matching close-token index for every `(`/`[`/`{` (and the reverse),
+/// computed in one stack pass.
+fn pair_map(code: &[Tok]) -> Vec<Option<usize>> {
+    let mut pair = vec![None; code.len()];
+    let mut stack: Vec<(usize, &str)> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => stack.push((i, t.text.as_str())),
+            ")" | "]" | "}" => {
+                let want = match t.text.as_str() {
+                    ")" => "(",
+                    "]" => "[",
+                    _ => "{",
+                };
+                // Pop through mismatches so one stray bracket cannot
+                // derail the rest of the file.
+                while let Some((open, kind)) = stack.pop() {
+                    if kind == want {
+                        pair[open] = Some(i);
+                        pair[i] = Some(open);
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    pair
+}
+
+/// A raw `fn` item found by the item scan.
+struct RawFn {
+    name: String,
+    impl_type: Option<String>,
+    guard_returning: bool,
+    fn_tok: usize,
+    body: (usize, usize),
+    line: u32,
+    col: u32,
+}
+
+/// Builds the syntactic model for one file. `code` is the comment-free
+/// token stream; `masked` the `#[cfg(test)]`/`#[test]` line ranges (test
+/// functions are exempt from every rule, so they are not modeled at all).
+pub fn build_model(path: &str, code: &[Tok], masked: &[(u32, u32)]) -> FileModel {
+    let pair = pair_map(code);
+    let raw = scan_items(code, &pair);
+    let is_masked = |line: u32| masked.iter().any(|&(lo, hi)| (lo..=hi).contains(&line));
+
+    let mut fns = Vec::new();
+    for (idx, f) in raw.iter().enumerate() {
+        if is_masked(f.line) {
+            continue;
+        }
+        // Holes: nested fn items own their tokens exclusively.
+        let holes: Vec<(usize, usize)> = raw
+            .iter()
+            .enumerate()
+            .filter(|&(j, c)| j != idx && c.fn_tok > f.body.0 && c.body.1 < f.body.1)
+            .map(|(_, c)| (c.fn_tok, c.body.1))
+            .collect();
+        let mut item = FnItem {
+            name: f.name.clone(),
+            qual: match &f.impl_type {
+                Some(t) => format!("{t}::{}", f.name),
+                None => f.name.clone(),
+            },
+            impl_type: f.impl_type.clone(),
+            guard_returning: f.guard_returning,
+            line: f.line,
+            col: f.col,
+            ..FnItem::default()
+        };
+        scan_body(code, &pair, f.body, &holes, &mut item);
+        fns.push(item);
+    }
+    FileModel {
+        path: path.to_string(),
+        crate_name: crate_of(path),
+        fns,
+    }
+}
+
+/// Finds every `fn` item with its body range and `impl`/`trait` context.
+fn scan_items(code: &[Tok], pair: &[Option<usize>]) -> Vec<RawFn> {
+    let mut out = Vec::new();
+    // (type name, token index of the context's closing brace)
+    let mut ctx: Vec<(String, usize)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        while ctx.last().is_some_and(|&(_, close)| close <= i) {
+            ctx.pop();
+        }
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                if let Some((ty, open)) = parse_impl_header(code, i) {
+                    if let Some(close) = pair[open] {
+                        ctx.push((ty, close));
+                    }
+                    i = open + 1;
+                    continue;
+                }
+            }
+            "trait" => {
+                if let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    let mut j = i + 2;
+                    let mut angle = 0i32;
+                    while j < code.len() {
+                        match code[j].text.as_str() {
+                            "<" => angle += 1,
+                            ">" => angle -= 1,
+                            "{" if angle <= 0 => break,
+                            ";" if angle <= 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if j < code.len() && code[j].text == "{" {
+                        if let Some(close) = pair[j] {
+                            ctx.push((name.text.clone(), close));
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+            "fn" => {
+                if let Some(item) = parse_fn_header(code, pair, i, ctx.last().map(|c| c.0.clone()))
+                {
+                    let next = item.body.0 + 1;
+                    out.push(item);
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses `impl ... {`: returns the implemented type name and the index of
+/// the opening brace. For `impl Trait for Type` the type is `Type`; for an
+/// inherent `impl Type` it is `Type`.
+fn parse_impl_header(code: &[Tok], at: usize) -> Option<(String, usize)> {
+    let mut j = at + 1;
+    let mut angle = 0i32;
+    let mut ty: Option<String> = None;
+    while j < code.len() {
+        let t = &code[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "<") => angle += 1,
+            (TokKind::Punct, ">") => angle -= 1,
+            // `>=` can appear when a fused closer precedes `=`; count the
+            // closer (the lexer splits shifts, but not `>=`).
+            (TokKind::Punct, ">=") if angle > 0 => angle -= 1,
+            (TokKind::Punct, "(") => {
+                // Fn-pointer type in the header; skip the group.
+                let mut depth = 0;
+                while j < code.len() {
+                    match code[j].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            (TokKind::Punct, "{") if angle <= 0 => {
+                return ty.map(|ty| (ty, j));
+            }
+            (TokKind::Punct, ";") if angle <= 0 => return None,
+            (TokKind::Ident, "for") if angle <= 0 => ty = None,
+            (TokKind::Ident, "where") if angle <= 0 => ty = ty.or(None),
+            (TokKind::Ident, name) if angle <= 0 && !is_kw(name) => {
+                ty = Some(name.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses `fn name ... { body }` starting at the `fn` keyword. Returns
+/// `None` for fn-pointer types (`fn(u32)`) and bodyless trait methods.
+fn parse_fn_header(
+    code: &[Tok],
+    pair: &[Option<usize>],
+    at: usize,
+    impl_type: Option<String>,
+) -> Option<RawFn> {
+    let name_tok = code.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.trim_start_matches("r#").to_string();
+    let mut j = at + 2;
+    let mut angle = 0i32;
+    let mut guard_returning = false;
+    while j < code.len() {
+        let t = &code[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "<") => angle += 1,
+            (TokKind::Punct, ">") => angle -= 1,
+            (TokKind::Punct, ">=") if angle > 0 => angle -= 1,
+            (TokKind::Punct, "(") | (TokKind::Punct, "[") => {
+                j = pair[j]?;
+            }
+            (TokKind::Punct, "{") if angle <= 0 => {
+                let close = pair[j]?;
+                return Some(RawFn {
+                    name,
+                    impl_type,
+                    guard_returning,
+                    fn_tok: at,
+                    body: (j, close),
+                    line: name_tok.line,
+                    col: name_tok.col,
+                });
+            }
+            (TokKind::Punct, ";") if angle <= 0 => return None,
+            (TokKind::Ident, "MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard") => {
+                guard_returning = true;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Receiver-chain info for a method call at `dot` (the `.` token).
+struct Receiver {
+    root: Option<String>,
+    terminal: Option<String>,
+    guard_chained: bool,
+}
+
+fn receiver_of(code: &[Tok], pair: &[Option<usize>], dot: usize) -> Receiver {
+    let mut root = None;
+    let terminal = dot
+        .checked_sub(1)
+        .map(|j| &code[j])
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone());
+    let mut guard_chained = false;
+    let mut j = dot as isize - 1;
+    let mut first = true;
+    while j >= 0 {
+        let t = &code[j as usize];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") => {
+                let Some(open) = pair[j as usize] else { break };
+                if first && t.text == ")" {
+                    // Does the receiver end in `lock(..)`, `lock_recover(..)`
+                    // or `.lock()`? Then the method runs on a fresh guard.
+                    if let Some(callee) = open.checked_sub(1).map(|k| &code[k]) {
+                        if callee.kind == TokKind::Ident
+                            && matches!(callee.text.as_str(), "lock" | "lock_recover")
+                        {
+                            guard_chained = true;
+                        }
+                    }
+                }
+                j = open as isize - 1;
+            }
+            (TokKind::Ident, text) if !is_kw(text) || text == "self" || text == "Self" => {
+                root = Some(t.text.clone());
+                j -= 1;
+            }
+            (TokKind::Punct, "?") => {
+                // `?` sits between the call and the method in
+                // `lock(..)?.append(..)`; it doesn't change which group is
+                // the chained-guard position.
+                j -= 1;
+                continue;
+            }
+            (TokKind::Punct, "." | "::") => j -= 1,
+            _ => break,
+        }
+        first = false;
+    }
+    Receiver {
+        root,
+        terminal,
+        guard_chained,
+    }
+}
+
+/// The terminal identifier of the first argument after the open paren at
+/// `open`, for `lock(&shared.jobs, ..)`-style identity extraction.
+fn first_arg_terminal(code: &[Tok], open: usize) -> Option<String> {
+    let mut j = open + 1;
+    while code
+        .get(j)
+        .is_some_and(|t| t.kind == TokKind::Punct && (t.text == "&" || t.text == "mut"))
+        || code.get(j).is_some_and(|t| t.text == "mut")
+    {
+        j += 1;
+    }
+    let first = code.get(j).filter(|t| t.kind == TokKind::Ident)?;
+    let mut last = first.text.clone();
+    j += 1;
+    while code
+        .get(j)
+        .is_some_and(|t| t.kind == TokKind::Punct && (t.text == "." || t.text == "::"))
+        && code.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+    {
+        last = code[j + 1].text.clone();
+        j += 2;
+    }
+    match code.get(j).map(|t| t.text.as_str()) {
+        Some(",") | Some(")") => Some(last),
+        _ => None,
+    }
+}
+
+/// Scans one fn body for sites, skipping nested-item holes.
+fn scan_body(
+    code: &[Tok],
+    pair: &[Option<usize>],
+    body: (usize, usize),
+    holes: &[(usize, usize)],
+    item: &mut FnItem,
+) {
+    let (open, close) = body;
+    // Open-brace stack for enclosing-block lookups.
+    let mut braces: Vec<usize> = vec![open];
+    let mut i = open + 1;
+    while i < close {
+        if let Some(&(_, hole_end)) = holes.iter().find(|&&(s, e)| s <= i && i <= e) {
+            i = hole_end + 1;
+            continue;
+        }
+        let t = &code[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => braces.push(i),
+                "}" => {
+                    braces.pop();
+                }
+                "[" => {
+                    scan_index_site(code, pair, i, item);
+                }
+                "." => {
+                    scan_method_site(code, pair, i, &braces, item);
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let next = code.get(i + 1);
+        let bang = next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "!");
+        let called = next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+        let prev = i.checked_sub(1).map(|j| &code[j]);
+        let after_dot = prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == ".");
+        let after_colons = prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == "::");
+
+        if bang && PANIC_MACROS.contains(&t.text.as_str()) {
+            item.panics.push(PanicSite {
+                kind: PanicKind::Macro,
+                what: format!("{}!", t.text),
+                tok: i,
+                line: t.line,
+                col: t.col,
+            });
+        } else if bang && (t.text == "write" || t.text == "writeln") {
+            // `write!(sink, ..)` — formatted I/O into the first argument.
+            let recv_root = code
+                .get(i + 2)
+                .filter(|p| p.text == "(")
+                .and_then(|_| first_arg_terminal(code, i + 2));
+            item.io.push(IoSite {
+                what: format!("{}!", t.text),
+                recv_root,
+                guard_chained: false,
+                tok: i,
+                line: t.line,
+                col: t.col,
+            });
+        } else if t.text == "RandomState" {
+            item.time.push(TimeSite {
+                what: "RandomState".into(),
+                tok: i,
+                line: t.line,
+                col: t.col,
+            });
+        } else if called && !after_dot && !is_kw(&t.text) {
+            // Direct or path call. (`.name(` is handled at the dot.)
+            let qualifier = if after_colons {
+                i.checked_sub(2)
+                    .map(|j| &code[j])
+                    .filter(|q| q.kind == TokKind::Ident)
+                    .map(|q| q.text.clone())
+            } else {
+                None
+            };
+            scan_call_site(code, pair, i, qualifier, &braces, item);
+        }
+        i += 1;
+    }
+}
+
+/// An indexing or slicing site: `[` preceded by an expression tail.
+fn scan_index_site(code: &[Tok], pair: &[Option<usize>], i: usize, item: &mut FnItem) {
+    let Some(prev) = i.checked_sub(1).map(|j| &code[j]) else {
+        return;
+    };
+    let indexable = match (prev.kind, prev.text.as_str()) {
+        (TokKind::Ident, text) => !is_kw(text) || text == "self",
+        (TokKind::Punct, ")") | (TokKind::Punct, "]") | (TokKind::Punct, "?") => true,
+        _ => false,
+    };
+    if !indexable {
+        return;
+    }
+    let Some(end) = pair[i] else { return };
+    // `..`/`..=` at bracket top level means a range (slice) expression.
+    let mut depth = 0usize;
+    let mut slice = false;
+    for t in &code[i + 1..end] {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+            ".." | "..=" if depth == 0 => slice = true,
+            _ => {}
+        }
+    }
+    let (kind, what) = if slice {
+        (PanicKind::Slice, "[..]".to_string())
+    } else {
+        (PanicKind::Index, "[_]".to_string())
+    };
+    item.panics.push(PanicSite {
+        kind,
+        what,
+        tok: i,
+        line: code[i].line,
+        col: code[i].col,
+    });
+}
+
+/// A method call site: `.name(` at the dot token `i`.
+fn scan_method_site(
+    code: &[Tok],
+    pair: &[Option<usize>],
+    i: usize,
+    braces: &[usize],
+    item: &mut FnItem,
+) {
+    let Some(name_tok) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+        return;
+    };
+    let Some(open) = code
+        .get(i + 2)
+        .filter(|t| t.kind == TokKind::Punct && t.text == "(")
+        .map(|_| i + 2)
+    else {
+        return;
+    };
+    let name = name_tok.text.as_str();
+    let recv = receiver_of(code, pair, i);
+    let argless = pair[open] == Some(open + 1);
+    let (line, col) = (name_tok.line, name_tok.col);
+
+    // Panic sites. `.expect(..)` only with a string-literal message: the
+    // workspace's own `Parser::expect(b'{')` is an ordinary fallible call.
+    if name == "unwrap" && argless {
+        item.panics.push(PanicSite {
+            kind: PanicKind::Unwrap,
+            what: "unwrap".into(),
+            tok: i + 1,
+            line,
+            col,
+        });
+        return;
+    }
+    if name == "expect" {
+        let str_arg = code.get(open + 1).is_some_and(|a| a.kind == TokKind::Str);
+        if str_arg {
+            item.panics.push(PanicSite {
+                kind: PanicKind::Expect,
+                what: "expect".into(),
+                tok: i + 1,
+                line,
+                col,
+            });
+            return;
+        }
+    }
+
+    // Lock acquisitions: `.lock()` on a non-`self` receiver is a std
+    // Mutex; `self.lock()` is a workspace method and resolves through the
+    // call graph (Bounded::lock is guard-returning). Zero-arg `.read()` /
+    // `.write()` are RwLock acquisitions (the I/O spellings always take
+    // arguments).
+    let std_mutex = name == "lock" && argless && recv.terminal.as_deref() != Some("self");
+    let rw =
+        matches!(name, "read" | "write") && argless && recv.terminal.as_deref() != Some("self");
+    if std_mutex || rw {
+        if let Some(lock) = recv.terminal.clone() {
+            let (binding, scope_end) = guard_scope(code, pair, i + 1, braces);
+            item.locks.push(LockSite {
+                lock,
+                binding,
+                tok: i + 1,
+                scope_end,
+                line,
+                col,
+            });
+            return;
+        }
+    }
+
+    if IO_METHODS.contains(&name) {
+        item.io.push(IoSite {
+            what: name.to_string(),
+            recv_root: recv.root.clone(),
+            guard_chained: recv.guard_chained,
+            tok: i + 1,
+            line,
+            col,
+        });
+    }
+
+    item.calls.push(CallSite {
+        name: name.to_string(),
+        qualifier: None,
+        kind: CallKind::Method,
+        recv_root: recv.root,
+        guard_chained: recv.guard_chained,
+        tok: i + 1,
+        line,
+        col,
+    });
+}
+
+/// A direct or path call site at ident `i` (next token is `(`).
+fn scan_call_site(
+    code: &[Tok],
+    pair: &[Option<usize>],
+    i: usize,
+    qualifier: Option<String>,
+    braces: &[usize],
+    item: &mut FnItem,
+) {
+    let t = &code[i];
+    let name = t.text.as_str();
+    let open = i + 1;
+    let (line, col) = (t.line, t.col);
+
+    if TIME_FNS.contains(&name) {
+        item.time.push(TimeSite {
+            what: name.to_string(),
+            tok: i,
+            line,
+            col,
+        });
+    }
+    if let Some(q) = qualifier.as_deref() {
+        if (q == "Instant" || q == "SystemTime") && name == "now" {
+            item.time.push(TimeSite {
+                what: format!("{q}::now"),
+                tok: i,
+                line,
+                col,
+            });
+        }
+        if IO_PATHS.contains(&(q, name)) {
+            item.io.push(IoSite {
+                what: format!("{q}::{name}"),
+                recv_root: None,
+                guard_chained: false,
+                tok: i,
+                line,
+                col,
+            });
+        }
+    }
+
+    // `lock(..)` / `lock_recover(..)`: acquisition at the call site, with
+    // the lock identity read off the first argument's path.
+    if matches!(name, "lock" | "lock_recover") && qualifier.is_none() {
+        if let Some(lock) = first_arg_terminal(code, open) {
+            let (binding, scope_end) = guard_scope(code, pair, i, braces);
+            item.locks.push(LockSite {
+                lock,
+                binding,
+                tok: i,
+                scope_end,
+                line,
+                col,
+            });
+        }
+    }
+
+    item.calls.push(CallSite {
+        name: name.to_string(),
+        kind: if qualifier.is_some() {
+            CallKind::Path
+        } else {
+            CallKind::Direct
+        },
+        qualifier,
+        recv_root: None,
+        guard_chained: false,
+        tok: i,
+        line,
+        col,
+    });
+}
+
+/// Guard binding and lexical scope for an acquisition at token `at`.
+///
+/// Let-bound guards (`let g = lock(..)?;`, `if let Ok(g) = ..`) live to
+/// the end of the enclosing block, or to a `drop(g)` inside it. Unbound
+/// (temporary) guards live to the end of the statement — a `;` or a
+/// block opening at statement level (an `if`/`while` condition is a
+/// terminating scope for its temporaries).
+fn guard_scope(
+    code: &[Tok],
+    pair: &[Option<usize>],
+    at: usize,
+    braces: &[usize],
+) -> (Option<String>, usize) {
+    let block_open = braces.last().copied().unwrap_or(0);
+    let block_close = pair[block_open].unwrap_or(code.len().saturating_sub(1));
+
+    // Statement start: scan back to the nearest `;`/`{`/`}` at this level.
+    let mut s = at;
+    while s > block_open + 1 {
+        let p = &code[s - 1];
+        if p.kind == TokKind::Punct && matches!(p.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        s -= 1;
+    }
+    // Binding: a `let` before an `=` before the acquisition; the guard
+    // name is the last ident before the `=` (handles `let mut g` and
+    // `if let Ok(g)`).
+    let mut has_let = false;
+    let mut eq: Option<usize> = None;
+    for (j, t) in code[s..at].iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "let" {
+            has_let = true;
+        }
+        if t.kind == TokKind::Punct && t.text == "=" {
+            eq = Some(s + j);
+        }
+    }
+    // The binding names the guard only when the acquisition ends the
+    // initializer (`let g = lock(&m, ..)?;` / `if let Ok(g) = m.lock() {`).
+    // A lock nested inside a larger expression
+    // (`let ok = f() || lock(&m)?.op().is_err();`) binds the expression's
+    // value, not the guard — the guard is a temporary.
+    let ends_initializer = code
+        .get(at + 1)
+        .filter(|t| t.kind == TokKind::Punct && t.text == "(")
+        .and_then(|_| pair.get(at + 1).copied().flatten())
+        .is_some_and(|close| {
+            let mut k = close + 1;
+            if code
+                .get(k)
+                .is_some_and(|t| t.kind == TokKind::Punct && t.text == "?")
+            {
+                k += 1;
+            }
+            code.get(k).is_some_and(|t| {
+                (t.kind == TokKind::Punct && (t.text == ";" || t.text == "{"))
+                    || (t.kind == TokKind::Ident && t.text == "else")
+            })
+        });
+    let binding = if has_let && ends_initializer {
+        eq.and_then(|e| {
+            code[s..e]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident && t.text != "mut")
+                .map(|t| t.text.clone())
+        })
+        .filter(|b| b != "_" && b != "let")
+    } else {
+        None
+    };
+
+    if let Some(name) = &binding {
+        // Live to the end of the enclosing block, unless dropped earlier.
+        let mut j = at + 1;
+        while j < block_close {
+            let t = &code[j];
+            if t.kind == TokKind::Ident
+                && t.text == "drop"
+                && code.get(j + 1).is_some_and(|n| n.text == "(")
+                && code.get(j + 2).is_some_and(|n| n.text.as_str() == name)
+                && code.get(j + 3).is_some_and(|n| n.text == ")")
+            {
+                return (binding, j);
+            }
+            j += 1;
+        }
+        return (binding, block_close);
+    }
+
+    // Temporary: to the end of the statement or condition.
+    let mut depth = 0i32;
+    let mut j = at + 1;
+    while j < block_close {
+        let t = &code[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth <= 0 => return (None, j),
+                "{" if depth <= 0 => return (None, j),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    (None, block_close)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        let code: Vec<Tok> = lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        build_model("crates/service/src/daemon.rs", &code, &[])
+    }
+
+    #[test]
+    fn fn_items_get_impl_qualified_names() {
+        let m = model(
+            "fn free() {}\n\
+             impl Daemon { fn start(&self) {} }\n\
+             impl fmt::Display for Value { fn fmt(&self) {} }\n\
+             trait Codec { fn encode(&self) { self.go(); } }\n",
+        );
+        let quals: Vec<&str> = m.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            ["free", "Daemon::start", "Value::fmt", "Codec::encode"]
+        );
+    }
+
+    #[test]
+    fn nested_fns_own_their_sites() {
+        let m = model("fn outer() {\n  fn inner() { x.unwrap(); }\n  helper();\n}\n");
+        let outer = m.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = m.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.panics.is_empty());
+        assert_eq!(inner.panics.len(), 1);
+        assert_eq!(outer.calls.len(), 1);
+        assert_eq!(outer.calls[0].name, "helper");
+    }
+
+    #[test]
+    fn generic_signatures_parse_through_nested_angles() {
+        let m = model("fn f<T: Into<Vec<Box<u32>>>>(x: T) -> Option<Vec<Vec<u32>>> { g(); }\n");
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].calls[0].name, "g");
+    }
+
+    #[test]
+    fn call_kinds_and_qualifiers() {
+        let m = model("fn f() { go(); x.step(); Journal::open(p); }\n");
+        let f = &m.fns[0];
+        let kinds: Vec<(CallKind, &str)> =
+            f.calls.iter().map(|c| (c.kind, c.name.as_str())).collect();
+        assert!(kinds.contains(&(CallKind::Direct, "go")));
+        assert!(kinds.contains(&(CallKind::Method, "step")));
+        assert!(kinds.contains(&(CallKind::Path, "open")));
+        let path = f.calls.iter().find(|c| c.kind == CallKind::Path).unwrap();
+        assert_eq!(path.qualifier.as_deref(), Some("Journal"));
+    }
+
+    #[test]
+    fn panic_sites_cover_all_kinds() {
+        let m = model(
+            "fn f() { a.unwrap(); b.expect(\"msg\"); panic!(\"x\"); let y = v[i]; let z = &b[1..]; }\n",
+        );
+        let kinds: Vec<PanicKind> = m.fns[0].panics.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                PanicKind::Unwrap,
+                PanicKind::Expect,
+                PanicKind::Macro,
+                PanicKind::Index,
+                PanicKind::Slice
+            ]
+        );
+    }
+
+    #[test]
+    fn expect_with_byte_arg_is_a_call_not_a_panic() {
+        let m = model("fn f() { self.expect(b'{')?; }\n");
+        assert!(m.fns[0].panics.is_empty());
+        assert_eq!(m.fns[0].calls[0].name, "expect");
+    }
+
+    #[test]
+    fn array_literals_and_attributes_are_not_index_sites() {
+        let m = model("fn f() { let a = [0u8; 4]; let b = [1, 2]; g(&a); }\n");
+        assert!(m.fns[0].panics.is_empty(), "{:?}", m.fns[0].panics);
+    }
+
+    #[test]
+    fn lock_identity_comes_from_the_argument_path() {
+        let m = model("fn f(shared: &S) { lock(&shared.jobs, \"t\")?.insert(1); }\n");
+        let l = &m.fns[0].locks[0];
+        assert_eq!(l.lock, "jobs");
+        assert_eq!(l.binding, None);
+    }
+
+    #[test]
+    fn let_bound_guard_scopes_to_block_end_or_drop() {
+        let m = model(
+            "fn f() {\n  let g = lock_recover(&s.hist);\n  use_it(&g);\n  drop(g);\n  after();\n}\n",
+        );
+        let f = &m.fns[0];
+        let l = &f.locks[0];
+        assert_eq!(l.binding.as_deref(), Some("g"));
+        // Scope ends at the drop, before the `after()` call.
+        let after = f.calls.iter().find(|c| c.name == "after").unwrap();
+        assert!(l.scope_end < after.tok);
+    }
+
+    #[test]
+    fn lock_nested_in_a_wider_initializer_is_a_temporary() {
+        // `failed` binds the bool, not the guard: the guard drops at the
+        // end of the statement.
+        let m = model(
+            "fn f(s: &S) { let failed = s.fails() || lock(&s.j, \"j\")?.append(&r).is_err(); }\n",
+        );
+        let l = &m.fns[0].locks[0];
+        assert_eq!(l.binding, None);
+    }
+
+    #[test]
+    fn temporary_guard_scopes_to_statement_end() {
+        let m = model("fn f() { lock_recover(&s.jobs).set(1); after(); }\n");
+        let f = &m.fns[0];
+        let l = &f.locks[0];
+        assert_eq!(l.binding, None);
+        let after = f.calls.iter().find(|c| c.name == "after").unwrap();
+        assert!(l.scope_end < after.tok);
+    }
+
+    #[test]
+    fn self_lock_is_a_call_and_m_lock_is_an_acquisition() {
+        let m = model("fn f(&self) { let g = self.lock(); m.lock(); }\n");
+        let f = &m.fns[0];
+        assert!(f.calls.iter().any(|c| c.name == "lock"));
+        assert_eq!(f.locks.len(), 1);
+        assert_eq!(f.locks[0].lock, "m");
+    }
+
+    #[test]
+    fn guard_chained_methods_are_flagged() {
+        let m = model("fn f(j: &Mutex<J>) { lock(j, \"journal\")?.append(&r); }\n");
+        let f = &m.fns[0];
+        let append = f.calls.iter().find(|c| c.name == "append").unwrap();
+        assert!(append.guard_chained);
+    }
+
+    #[test]
+    fn io_time_and_rng_sites() {
+        let m = model(
+            "fn f() { file.write_all(b)?; fs::read(p)?; ch.recv()?; \
+             let t = Instant::now(); let u = unix_ms_now(); let r = thread_rng(); }\n",
+        );
+        let f = &m.fns[0];
+        let io: Vec<&str> = f.io.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(io, ["write_all", "fs::read", "recv"]);
+        let time: Vec<&str> = f.time.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(time, ["Instant::now", "unix_ms_now", "thread_rng"]);
+    }
+
+    #[test]
+    fn guard_returning_signature_detected() {
+        let m = model("fn lock(&self) -> MutexGuard<'_, Inner<T>> { lock_recover(&self.inner) }\n");
+        assert!(m.fns[0].guard_returning);
+        assert_eq!(m.fns[0].locks[0].lock, "inner");
+    }
+
+    #[test]
+    fn masked_test_fns_are_not_modeled() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        let toks = lex(src);
+        let code: Vec<Tok> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .cloned()
+            .collect();
+        // Mask lines 2..=3 (the test module).
+        let m = build_model("crates/service/src/daemon.rs", &code, &[(2, 3)]);
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "live");
+    }
+
+    #[test]
+    fn crate_names_derive_from_paths() {
+        assert_eq!(crate_of("crates/service/src/daemon.rs"), "service");
+        assert_eq!(crate_of("crates/core/src/engine.rs"), "core");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+    }
+}

@@ -30,19 +30,7 @@ pub const RULES: &[RuleDef] = &[
     RuleDef {
         id: "request-path-panic",
         summary: "no unwrap()/expect()/panic! in the daemon request path",
-        applies: |p| {
-            matches!(
-                p,
-                "crates/service/src/daemon.rs"
-                    | "crates/service/src/queue.rs"
-                    | "crates/service/src/protocol.rs"
-                    | "crates/service/src/jobs.rs"
-                    | "crates/service/src/journal.rs"
-                    | "crates/service/src/client.rs"
-                    | "crates/service/src/faults.rs"
-                    | "crates/service/src/router.rs"
-            )
-        },
+        applies: in_request_path_file,
         check: check_request_path_panic,
     },
     RuleDef {
@@ -72,9 +60,54 @@ pub const RULES: &[RuleDef] = &[
     },
 ];
 
-/// Looks up a rule by id.
+/// The interprocedural rules (implemented in [`crate::ipr`] over the call
+/// graph): `(id, summary)`. They have no per-file `check` fn, but their
+/// ids are valid `LINT-ALLOW` targets and appear in SARIF rule metadata.
+pub const IPR_RULES: &[(&str, &str)] = &[
+    (
+        "panic-reachable",
+        "no panic site (unwrap/expect/panic!/indexing) reachable from a request-path entry point",
+    ),
+    (
+        "lock-order",
+        "the workspace lock-acquisition order graph must be acyclic",
+    ),
+    (
+        "blocking-under-lock",
+        "no file/socket/channel I/O while a mutex guard is held",
+    ),
+    (
+        "determinism-taint",
+        "no wall-clock/RNG values flowing into schedule- or digest-producing functions",
+    ),
+];
+
+/// Looks up a lexical rule by id.
 pub fn rule_by_id(id: &str) -> Option<&'static RuleDef> {
     RULES.iter().find(|r| r.id == id)
+}
+
+/// Whether `id` names any rule — lexical or interprocedural. This is the
+/// set `LINT-ALLOW(id)` accepts.
+pub fn known_rule(id: &str) -> bool {
+    rule_by_id(id).is_some() || IPR_RULES.iter().any(|(r, _)| *r == id)
+}
+
+/// The daemon request-path files the lexical `request-path-panic` rule
+/// lists. The interprocedural `panic-reachable` rule defers to it for
+/// unwrap/expect/macro sites here and covers everything else.
+pub fn in_request_path_file(p: &str) -> bool {
+    matches!(
+        p,
+        "crates/service/src/daemon.rs"
+            | "crates/service/src/queue.rs"
+            | "crates/service/src/protocol.rs"
+            | "crates/service/src/jobs.rs"
+            | "crates/service/src/journal.rs"
+            | "crates/service/src/client.rs"
+            | "crates/service/src/faults.rs"
+            | "crates/service/src/router.rs"
+    )
 }
 
 /// The scheduling-kernel tier: placement decisions are computed here, so

@@ -1,0 +1,131 @@
+//! SARIF 2.1.0 emission — the machine-readable face of the pipeline.
+//!
+//! Hand-rolled like everything else in this crate (zero dependencies):
+//! one run, one driver, every rule (lexical and interprocedural) in the
+//! tool metadata, and one `result` per finding. Suppressed findings are
+//! included with an `inSource` suppression object so SARIF viewers show
+//! the audit trail instead of silently dropping it; CI gates on the
+//! unsuppressed ones only.
+
+use crate::engine::Report;
+use crate::rules::{IPR_RULES, RULES};
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn result_obj(
+    rule: &str,
+    path: &str,
+    line: u32,
+    col: u32,
+    message: &str,
+    suppressed: bool,
+) -> String {
+    let suppression = if suppressed {
+        r#","suppressions":[{"kind":"inSource"}]"#
+    } else {
+        ""
+    };
+    format!(
+        concat!(
+            r#"{{"ruleId":"{}","level":"error","message":{{"text":"{}"}},"#,
+            r#""locations":[{{"physicalLocation":{{"artifactLocation":{{"uri":"{}"}},"#,
+            r#""region":{{"startLine":{},"startColumn":{}}}}}}}]{}}}"#
+        ),
+        esc(rule),
+        esc(message),
+        esc(path),
+        line,
+        col,
+        suppression
+    )
+}
+
+/// Renders the report as a SARIF 2.1.0 log (one run).
+pub fn to_sarif(report: &Report) -> String {
+    let mut rules: Vec<String> = Vec::new();
+    for r in RULES {
+        rules.push(format!(
+            r#"{{"id":"{}","shortDescription":{{"text":"{}"}}}}"#,
+            esc(r.id),
+            esc(r.summary)
+        ));
+    }
+    for (id, summary) in IPR_RULES {
+        rules.push(format!(
+            r#"{{"id":"{}","shortDescription":{{"text":"{}"}}}}"#,
+            esc(id),
+            esc(summary)
+        ));
+    }
+
+    let mut results: Vec<String> = Vec::new();
+    for file in &report.files {
+        for f in &file.findings {
+            results.push(result_obj(
+                &f.rule, &f.path, f.line, f.col, &f.message, false,
+            ));
+        }
+        for f in &file.suppressed {
+            results.push(result_obj(
+                &f.rule, &f.path, f.line, f.col, &f.message, true,
+            ));
+        }
+    }
+
+    format!(
+        concat!(
+            r#"{{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","#,
+            r#""runs":[{{"tool":{{"driver":{{"name":"hdlts-analyzer","#,
+            r#""informationUri":"https://example.invalid/hdlts","rules":[{}]}}}},"#,
+            r#""results":[{}]}}]}}"#
+        ),
+        rules.join(","),
+        results.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_workspace;
+
+    #[test]
+    fn sarif_carries_findings_and_suppressions() {
+        let files = vec![(
+            "crates/service/src/daemon.rs".to_string(),
+            "fn f() { x.unwrap(); }\n\
+             fn g() { y.unwrap(); } // LINT-ALLOW(request-path-panic): test hook\n"
+                .to_string(),
+        )];
+        let sarif = to_sarif(&analyze_workspace(&files));
+        assert!(sarif.contains(r#""version":"2.1.0""#));
+        assert!(sarif.contains(r#""ruleId":"request-path-panic""#));
+        assert!(sarif.contains(r#""suppressions":[{"kind":"inSource"}]"#));
+        assert!(sarif.contains(r#""startLine":1"#));
+        // Every rule id ships in the tool metadata.
+        for (id, _) in IPR_RULES {
+            assert!(sarif.contains(&format!(r#""id":"{id}""#)), "{id} missing");
+        }
+    }
+
+    #[test]
+    fn messages_are_json_escaped() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

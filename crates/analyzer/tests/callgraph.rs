@@ -1,0 +1,155 @@
+//! Integration suite for the call-graph linker: name resolution across
+//! files and crates (direct, path-qualified, and method calls), entry-point
+//! discovery, and reachability over cycles. The unit tests inside
+//! `callgraph.rs` cover tie-breaking minutiae; these exercise the public
+//! surface the interprocedural rules consume.
+
+use hdlts_analyzer::lexer::{lex, TokKind};
+use hdlts_analyzer::model::{build_model, FileModel};
+use hdlts_analyzer::CallGraph;
+
+fn model(path: &str, src: &str) -> FileModel {
+    let toks = lex(src);
+    let code: Vec<_> = toks
+        .into_iter()
+        .filter(|t| t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment)
+        .collect();
+    build_model(path, &code, &[])
+}
+
+/// The qualified names of `from`'s resolved callees.
+fn callees(g: &CallGraph<'_>, from: usize) -> Vec<String> {
+    let mut v: Vec<String> = g.edges[from]
+        .iter()
+        .map(|e| {
+            let (file, item) = g.fn_at(e.callee);
+            format!("{}::{}", file.crate_name, item.qual)
+        })
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+fn only(ids: Vec<usize>) -> usize {
+    assert_eq!(ids.len(), 1, "expected exactly one node, got {ids:?}");
+    ids[0]
+}
+
+#[test]
+fn direct_call_prefers_same_file_then_same_crate() {
+    let files = vec![
+        model(
+            "crates/service/src/daemon.rs",
+            "fn top() { helper(); other(); }\nfn helper() {}\n",
+        ),
+        model("crates/service/src/jobs.rs", "fn other() {}\n"),
+        model("crates/core/src/est.rs", "fn helper() {}\nfn other() {}\n"),
+    ];
+    let g = CallGraph::build(&files);
+    let top = only(g.find(Some("service"), "top"));
+    // Same-file helper wins over core's; same-crate other wins over core's.
+    assert_eq!(callees(&g, top), vec!["service::helper", "service::other"]);
+    let helper = g.edges[top][0].callee;
+    assert_eq!(g.fn_at(helper).0.path, "crates/service/src/daemon.rs");
+}
+
+#[test]
+fn cross_crate_direct_call_resolves_when_unique() {
+    let files = vec![
+        model("crates/service/src/daemon.rs", "fn top() { estimate(); }\n"),
+        model("crates/core/src/est.rs", "fn estimate() -> f64 { 0.0 }\n"),
+    ];
+    let g = CallGraph::build(&files);
+    let top = only(g.find(Some("service"), "top"));
+    assert_eq!(callees(&g, top), vec!["core::estimate"]);
+}
+
+#[test]
+fn method_call_resolves_to_the_impl_fn() {
+    let files = vec![
+        model(
+            "crates/service/src/daemon.rs",
+            "fn top(j: &Journal) { j.append(1); }\n",
+        ),
+        model(
+            "crates/service/src/journal.rs",
+            "impl Journal { fn append(&mut self, r: u32) {} }\n",
+        ),
+    ];
+    let g = CallGraph::build(&files);
+    let top = only(g.find(Some("service"), "top"));
+    assert_eq!(callees(&g, top), vec!["service::Journal::append"]);
+}
+
+#[test]
+fn path_qualified_call_resolves_through_the_impl_type() {
+    let files = vec![
+        model(
+            "crates/service/src/daemon.rs",
+            "fn top() { let j = Journal::open(\"p\"); }\n",
+        ),
+        model(
+            "crates/service/src/journal.rs",
+            "impl Journal { fn open(p: &str) -> Journal { Journal }\n}\nfn open() {}\n",
+        ),
+    ];
+    let g = CallGraph::build(&files);
+    let top = only(g.find(Some("service"), "top"));
+    // The qualifier pins the impl fn; the free `open` is not a candidate.
+    assert_eq!(callees(&g, top), vec!["service::Journal::open"]);
+}
+
+#[test]
+fn reachability_survives_recursion_and_cycles() {
+    let files = vec![model(
+        "crates/service/src/daemon.rs",
+        "fn handle_line(d: u32) { descend(d); }\n\
+         fn descend(d: u32) { bounce(d); descend(d - 1); }\n\
+         fn bounce(d: u32) { descend(d); }\n\
+         fn lonely() {}\n",
+    )];
+    let g = CallGraph::build(&files);
+    let entries = g.request_entries();
+    assert_eq!(entries.len(), 1, "handle_line is the only entry");
+    let reach = g.reach_from(&entries);
+    for name in ["handle_line", "descend", "bounce"] {
+        let id = only(g.find(None, name));
+        assert!(reach[id].is_some(), "{name} must be reachable");
+    }
+    let lonely = only(g.find(None, "lonely"));
+    assert!(reach[lonely].is_none(), "lonely must stay unreachable");
+    // The chain never loops even though the graph does.
+    let bounce = only(g.find(None, "bounce"));
+    let chain = g.chain_to(&reach, bounce);
+    assert_eq!(chain, vec!["handle_line", "descend", "bounce"]);
+}
+
+#[test]
+fn entry_sets_are_scoped_to_their_tiers() {
+    let files = vec![
+        model(
+            "crates/core/src/hdlts.rs",
+            "impl H { fn schedule_with_trace(&self) {} }\nfn handle_line() {}\n",
+        ),
+        model(
+            "crates/service/src/daemon.rs",
+            "fn handle_line() {}\nfn schedule_with_trace() {}\n",
+        ),
+        model("crates/core/src/digest.rs", "fn schedule_digest() {}\n"),
+    ];
+    let g = CallGraph::build(&files);
+    // Request entries live in the service crate only.
+    let req = g.request_entries();
+    assert_eq!(req.len(), 1);
+    assert_eq!(g.fn_at(req[0]).0.crate_name, "service");
+    // Determinism entries live in the engine tier only, and digest
+    // producers count by name.
+    let det = g.determinism_entries();
+    let crates: Vec<&str> = det
+        .iter()
+        .map(|&id| g.fn_at(id).0.crate_name.as_str())
+        .collect();
+    assert!(crates.iter().all(|c| *c == "core"), "{crates:?}");
+    assert_eq!(det.len(), 2, "schedule_with_trace + schedule_digest");
+}

@@ -544,7 +544,9 @@ fn snapshot(shared: &Shared) -> ServiceStats {
 // ---------------------------------------------------------------------------
 
 fn worker_loop(shared: &Shared, shard_idx: usize) {
-    let shard = &shared.shards[shard_idx];
+    let Some(shard) = shared.shards.get(shard_idx) else {
+        return; // the spawner only passes indices < shards.len()
+    };
     let max = shared.cfg.shard_batch.max(1);
     let mut batch: Vec<QueuedJob> = Vec::with_capacity(max);
     'drain: loop {
@@ -642,28 +644,31 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
     // daemon serves it verbatim. Failures are recorded too —
     // deterministic scheduling would fail the same way again, so the
     // message is worth more than a re-run.
+    // Irrefutable: `arrivals` is the one-element array built above.
+    let [arrival] = &arrivals;
     let state = match outcome {
         Err(e) => JobState::Failed(e.to_string()),
-        Ok(out) => {
-            let service_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
-            let exec = &out.jobs[0];
-            let instance = &arrivals[0].instance;
-            let (slr, speedup) = match instance.problem(&shard.platform) {
-                Ok(problem) if exec.makespan > 0.0 => (
-                    hdlts_metrics::slr(&problem, exec.makespan),
-                    hdlts_metrics::speedup(&problem, exec.makespan),
-                ),
-                _ => (f64::NAN, f64::NAN),
-            };
-            JobState::Done(JobResult {
-                makespan: exec.makespan,
-                slr,
-                speedup,
-                placements: exec.placements.clone(),
-                service_ms,
-                aborted_attempts: out.aborted_attempts,
-            })
-        }
+        Ok(out) => match out.jobs.first() {
+            None => JobState::Failed("scheduler produced no execution for the job".into()),
+            Some(exec) => {
+                let service_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+                let (slr, speedup) = match arrival.instance.problem(&shard.platform) {
+                    Ok(problem) if exec.makespan > 0.0 => (
+                        hdlts_metrics::slr(&problem, exec.makespan),
+                        hdlts_metrics::speedup(&problem, exec.makespan),
+                    ),
+                    _ => (f64::NAN, f64::NAN),
+                };
+                JobState::Done(JobResult {
+                    makespan: exec.makespan,
+                    slr,
+                    speedup,
+                    placements: exec.placements.clone(),
+                    service_ms,
+                    aborted_attempts: out.aborted_attempts,
+                })
+            }
+        },
     };
     let record = match &state {
         JobState::Failed(error) => Record::Failed {
@@ -1102,8 +1107,9 @@ mod tests {
         assert_eq!(retry_hint_ms(20.0, 256, 256, 4), 5120);
         // A deep but nearly-empty queue pays almost no pressure.
         assert_eq!(retry_hint_ms(100.0, 1, 1024, 4), 100);
-        // Degenerate shapes never divide by zero.
-        assert_eq!(retry_hint_ms(50.0, 5, 0, 0), 10_000.min(50 * 5 * 4));
+        // Degenerate shapes never divide by zero. A zero-capacity queue
+        // reads as fully pressured: base × rounds × 4, under the 10 s cap.
+        assert_eq!(retry_hint_ms(50.0, 5, 0, 0), 50 * 5 * 4);
     }
 
     #[test]

@@ -137,7 +137,7 @@ impl FaultPlan {
         let mut state = seed;
         let point = points[(splitmix64(&mut state) % points.len().max(1) as u64) as usize];
         let after = 1 + splitmix64(&mut state) % 4;
-        let io_fail_appends = if splitmix64(&mut state) % 4 == 0 {
+        let io_fail_appends = if splitmix64(&mut state).is_multiple_of(4) {
             vec![1 + splitmix64(&mut state) % 4]
         } else {
             Vec::new()

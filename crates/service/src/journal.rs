@@ -170,15 +170,15 @@ fn encode_outcome(result: &JobResult) -> Vec<u8> {
 }
 
 fn rd_u32(p: &[u8], off: usize) -> Option<u32> {
-    let b = p.get(off..off + 4)?;
-    Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    p.get(off..off + 4)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes)
 }
 
 fn rd_u64(p: &[u8], off: usize) -> Option<u64> {
-    let b = p.get(off..off + 8)?;
-    Some(u64::from_le_bytes([
-        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-    ]))
+    p.get(off..off + 8)
+        .and_then(|b| b.try_into().ok())
+        .map(u64::from_le_bytes)
 }
 
 fn rd_f64(p: &[u8], off: usize) -> Option<f64> {
@@ -192,12 +192,7 @@ fn decode_outcome(region: &[u8]) -> Result<JobResult, String> {
         return Err("outcome region truncated".into());
     }
     let (outcome, digest_bytes) = region.split_at(region.len() - 4);
-    let digest = u32::from_le_bytes([
-        digest_bytes[0],
-        digest_bytes[1],
-        digest_bytes[2],
-        digest_bytes[3],
-    ]);
+    let digest = rd_u32(digest_bytes, 0).ok_or("outcome digest truncated")?;
     if crc32(outcome) != digest {
         return Err("schedule digest mismatch".into());
     }
@@ -292,6 +287,8 @@ pub fn crc32(data: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // LINT-ALLOW(panic-reachable): the index is masked to 0..=255 and
+        // the table has exactly 256 entries; the bound holds by construction.
         c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -311,6 +308,8 @@ const fn crc32_table() -> [u32; 256] {
             };
             k += 1;
         }
+        // LINT-ALLOW(panic-reachable): const fns cannot use iterators; the
+        // loop bound i < 256 is exactly the table length.
         table[i] = c;
         i += 1;
     }
@@ -328,12 +327,10 @@ pub fn decode_records(bytes: &[u8]) -> (Vec<Record>, Option<String>) {
         if off == bytes.len() {
             return (records, None);
         }
-        let Some(header) = bytes.get(off..off + 8) else {
+        let (Some(len), Some(crc)) = (rd_u32(bytes, off), rd_u32(bytes, off + 4)) else {
             return (records, Some("truncated frame header".into()));
         };
-        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
-        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
-        if len < 9 || len > MAX_RECORD_LEN {
+        if !(9..=MAX_RECORD_LEN).contains(&len) {
             return (records, Some(format!("implausible record length {len}")));
         }
         let Some(payload) = bytes.get(off + 8..off + 8 + len as usize) else {
@@ -342,12 +339,13 @@ pub fn decode_records(bytes: &[u8]) -> (Vec<Record>, Option<String>) {
         if crc32(payload) != crc {
             return (records, Some("checksum mismatch".into()));
         }
-        let id = u64::from_le_bytes([
-            payload[1], payload[2], payload[3], payload[4], payload[5], payload[6], payload[7],
-            payload[8],
-        ]);
-        let record = match payload[0] {
-            1 => match String::from_utf8(payload[9..].to_vec()) {
+        let (Some(&kind), Some(id)) = (payload.first(), rd_u64(payload, 1)) else {
+            // Unreachable given the len >= 9 check, but a torn frame beats
+            // a panic on the recovery path.
+            return (records, Some("record too short for kind + id".into()));
+        };
+        let record = match kind {
+            1 => match String::from_utf8(payload.get(9..).unwrap_or_default().to_vec()) {
                 Ok(line) => Record::Submitted { id, line },
                 Err(_) => {
                     return (records, Some("submit line is not UTF-8".into()));
@@ -359,7 +357,7 @@ pub fn decode_records(bytes: &[u8]) -> (Vec<Record>, Option<String>) {
                 let Some(unix_ms) = rd_u64(payload, 9) else {
                     return (records, Some("done record missing timestamp".into()));
                 };
-                match decode_outcome(&payload[17..]) {
+                match decode_outcome(payload.get(17..).unwrap_or_default()) {
                     Ok(result) => Record::Done {
                         id,
                         unix_ms,
@@ -372,7 +370,7 @@ pub fn decode_records(bytes: &[u8]) -> (Vec<Record>, Option<String>) {
                 let Some(unix_ms) = rd_u64(payload, 9) else {
                     return (records, Some("failed record missing timestamp".into()));
                 };
-                match String::from_utf8(payload[17..].to_vec()) {
+                match String::from_utf8(payload.get(17..).unwrap_or_default().to_vec()) {
                     Ok(error) => Record::Failed { id, unix_ms, error },
                     Err(_) => return (records, Some("failure message is not UTF-8".into())),
                 }
@@ -475,16 +473,21 @@ pub fn apply_retention(rec: &mut Recovery, policy: &RetentionPolicy, now_unix_ms
     }
     let max = policy.max_results.max(1);
     if rec.outcomes.len() > max {
-        let mut order: Vec<usize> = (0..rec.outcomes.len()).collect();
-        order.sort_by_key(|&i| (rec.outcomes[i].1.unix_ms(), rec.outcomes[i].0));
-        let dropped: std::collections::BTreeSet<usize> =
-            order[..rec.outcomes.len() - max].iter().copied().collect();
-        let mut i = 0usize;
-        rec.outcomes.retain(|_| {
-            let keep = !dropped.contains(&i);
-            i += 1;
-            keep
-        });
+        // Ids are unique in `outcomes`, so `(unix_ms, id)` keys identify
+        // the oldest entries to drop without index arithmetic.
+        let mut keys: Vec<(u64, u64)> = rec
+            .outcomes
+            .iter()
+            .map(|(id, o)| (o.unix_ms(), *id))
+            .collect();
+        keys.sort_unstable();
+        let dropped: std::collections::BTreeSet<(u64, u64)> = keys
+            .iter()
+            .take(rec.outcomes.len() - max)
+            .copied()
+            .collect();
+        rec.outcomes
+            .retain(|(id, o)| !dropped.contains(&(o.unix_ms(), *id)));
     }
 }
 
@@ -500,12 +503,12 @@ pub fn read_journal(path: &Path) -> Result<Recovery, ServiceError> {
         // A torn header means no record was ever durably framed.
         return Ok(plan_recovery(&[], None));
     }
-    if bytes[..MAGIC.len()] != MAGIC {
+    if !bytes.starts_with(&MAGIC) {
         return Err(ServiceError::journal(
             "file exists but does not carry the journal magic",
         ));
     }
-    let (records, torn) = decode_records(&bytes[MAGIC.len()..]);
+    let (records, torn) = decode_records(bytes.get(MAGIC.len()..).unwrap_or_default());
     Ok(plan_recovery(&records, torn))
 }
 

@@ -214,7 +214,8 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or_default();
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
@@ -351,9 +352,11 @@ impl Parser<'_> {
                 Some(_) => {
                     // Copy one UTF-8 scalar (input is a &str, so boundaries
                     // are valid).
-                    let start = self.pos;
-                    let s = unsafe { std::str::from_utf8_unchecked(&self.bytes[start..]) };
-                    let c = s.chars().next().expect("non-empty");
+                    let rest = self.bytes.get(self.pos..).unwrap_or_default();
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let Some(c) = s.chars().next() else {
+                        return err("unterminated string");
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -362,11 +365,10 @@ impl Parser<'_> {
     }
 
     fn hex4(&mut self) -> Result<u32, JsonError> {
-        if self.pos + 4 > self.bytes.len() {
+        let Some(quad) = self.bytes.get(self.pos..self.pos + 4) else {
             return err("truncated \\u escape");
-        }
-        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| JsonError("non-ASCII \\u escape".into()))?;
+        };
+        let s = std::str::from_utf8(quad).map_err(|_| JsonError("non-ASCII \\u escape".into()))?;
         let v = u32::from_str_radix(s, 16).map_err(|_| JsonError("bad \\u escape".into()))?;
         self.pos += 4;
         Ok(v)
@@ -395,7 +397,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        let digits = self.bytes.get(start..self.pos).unwrap_or_default();
+        let text = std::str::from_utf8(digits).unwrap_or("");
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Value::Num(n)),
             _ => err(format!("invalid number '{text}'")),

@@ -171,14 +171,13 @@ fn parse_submit(v: &Value) -> Result<SubmitRequest, JsonError> {
             "'failures' must be an array of [proc, time]".into(),
         ))?;
         for item in items {
-            let pair = item
-                .as_arr()
-                .filter(|a| a.len() == 2)
-                .ok_or(JsonError("each failure must be [proc, time]".into()))?;
-            let p = pair[0].as_u64().ok_or(JsonError(
+            let [proc_v, time_v] = item.as_arr().unwrap_or_default() else {
+                return bad("each failure must be [proc, time]");
+            };
+            let p = proc_v.as_u64().ok_or(JsonError(
                 "failure proc must be a non-negative integer".into(),
             ))?;
-            let t = pair[1]
+            let t = time_v
                 .as_f64()
                 .ok_or(JsonError("failure time must be a number".into()))?;
             if !(t.is_finite() && t >= 0.0) {
@@ -272,17 +271,16 @@ pub fn parse_instance(v: &Value) -> Result<Instance, JsonError> {
         );
     }
     for e in edges {
-        let triple = e
-            .as_arr()
-            .filter(|a| a.len() == 3)
-            .ok_or(JsonError("each edge must be [src, dst, cost]".into()))?;
-        let s = triple[0]
+        let [src_v, dst_v, cost_v] = e.as_arr().unwrap_or_default() else {
+            return bad("each edge must be [src, dst, cost]");
+        };
+        let s = src_v
             .as_u64()
             .ok_or(JsonError("edge src must be a task index".into()))?;
-        let dst = triple[1]
+        let dst = dst_v
             .as_u64()
             .ok_or(JsonError("edge dst must be a task index".into()))?;
-        let c = triple[2]
+        let c = cost_v
             .as_f64()
             .ok_or(JsonError("edge cost must be a number".into()))?;
         b.add_edge(TaskId(s as u32), TaskId(dst as u32), c)

@@ -615,10 +615,12 @@ impl<'a> ConnCtx<'a> {
                 let start = ring.partition_point(|&(point, _)| point < key);
                 let mut seen = vec![false; n];
                 let mut order = Vec::with_capacity(n);
-                for i in 0..ring.len() {
-                    let (_, idx) = ring[(start + i) % ring.len()];
-                    if !seen[idx] {
-                        seen[idx] = true;
+                // One lap around the ring starting at the key's partition
+                // point (cycle + take walks the wrap-around without index
+                // arithmetic).
+                for &(_, idx) in ring.iter().cycle().skip(start).take(ring.len()) {
+                    if let Some(flag) = seen.get_mut(idx).filter(|f| !**f) {
+                        *flag = true;
                         order.push(idx);
                         if order.len() == n {
                             break;

@@ -5,11 +5,14 @@ check:
     cargo build --release
     cargo test -q
 
-# Repo-specific lints (crates/analyzer): request-path panic freedom, EPS
-# float discipline, wall-clock and unordered-iteration bans. See
-# CONTRIBUTING.md "Static analysis" and DESIGN.md §8.
+# Repo-specific lints (crates/analyzer): the full three-stage pipeline —
+# per-file token rules plus the call-graph tier (panic-reachable,
+# lock-order, blocking-under-lock, determinism-taint) — with SARIF at
+# target/analyzer.sarif and the ratchet gate against the checked-in
+# analyzer-baseline.json. See CONTRIBUTING.md "Static analysis" and
+# DESIGN.md §8.
 lint:
-    cargo run --release -p hdlts-analyzer --bin hdlts-analyzer -- --root .
+    cargo run --release -p hdlts-analyzer --bin hdlts-analyzer -- --root . --sarif target/analyzer.sarif --baseline analyzer-baseline.json
 
 # Criterion benches (human-readable, statistical).
 bench:
@@ -63,7 +66,8 @@ ci:
     cargo fmt --all --check
     cargo build --release
     cargo clippy --workspace --all-targets -- -D warnings
-    cargo run --release -p hdlts-analyzer --bin hdlts-analyzer -- --root .
+    cargo run --release -p hdlts-analyzer --bin hdlts-analyzer -- --root . --sarif target/analyzer.sarif --baseline analyzer-baseline.json
+    ./scripts/test_analyzer_gate.sh
     cargo test -q
     HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_recovery seeded_chaos_sweep
     HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_router router_chaos_failover_sweep

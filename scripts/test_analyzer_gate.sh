@@ -1,0 +1,106 @@
+#!/usr/bin/env sh
+# Self-test for the analyzer's baseline ratchet (hdlts-analyzer --baseline).
+#
+# Exercises the gate logic against fixture mini-workspaces: a clean tree
+# passes against an empty baseline, a finding fails without a baseline,
+# --write-baseline makes known debt pass, a *new* finding still fails, an
+# improvement passes without touching the baseline, and a corrupt or
+# missing baseline fails loudly instead of reading as "no debt". Run from
+# the repo root after `cargo build --release`:
+#
+#   ./scripts/test_analyzer_gate.sh
+set -eu
+
+bin="${ANALYZER_BIN:-target/release/hdlts-analyzer}"
+if [ ! -x "$bin" ]; then
+    echo "test_analyzer_gate: $bin not found; run 'cargo build --release' first" >&2
+    exit 2
+fi
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+failures=0
+expect() {
+    # expect <want: pass|fail> <label> <needle-on-fail|-> -- <analyzer args...>
+    want="$1" label="$2" needle="$3"
+    shift 4
+    out="$tmp/out.txt"
+    if "$@" >"$out" 2>&1; then got=pass; else got=fail; fi
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: $label (wanted $want, got $got)" >&2
+        sed 's/^/    | /' "$out" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    if [ "$needle" != "-" ] && ! grep -q "$needle" "$out"; then
+        echo "FAIL: $label (output missing '$needle')" >&2
+        sed 's/^/    | /' "$out" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    echo "ok: $label"
+}
+
+# A clean mini-workspace and a dirty one (an unwrap on the daemon request
+# path, which request-path-panic flags).
+mkdir -p "$tmp/clean/crates/service/src" "$tmp/dirty/crates/service/src"
+cat >"$tmp/clean/crates/service/src/daemon.rs" <<'EOF'
+fn f() -> Option<u32> { Some(1) }
+EOF
+cat >"$tmp/dirty/crates/service/src/daemon.rs" <<'EOF'
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+EOF
+echo '{}' >"$tmp/empty.json"
+echo '[not a baseline' >"$tmp/corrupt.json"
+
+expect pass "clean tree passes against empty baseline" "-" -- \
+    "$bin" --root "$tmp/clean" --quiet --baseline "$tmp/empty.json"
+expect fail "finding fails without a baseline" "request-path-panic" -- \
+    "$bin" --root "$tmp/dirty" --quiet
+expect pass "write-baseline records the debt and exits clean" "-" -- \
+    "$bin" --root "$tmp/dirty" --quiet --baseline "$tmp/debt.json" --write-baseline
+expect pass "baselined debt passes the gate" "-" -- \
+    "$bin" --root "$tmp/dirty" --quiet --baseline "$tmp/debt.json"
+grep -q 'request-path-panic' "$tmp/debt.json" || {
+    echo "FAIL: written baseline does not mention the rule" >&2
+    failures=$((failures + 1))
+}
+
+# A second unwrap in the same file: one more finding than the baseline
+# allows must trip the ratchet.
+cat >>"$tmp/dirty/crates/service/src/daemon.rs" <<'EOF'
+fn g(y: Option<u32>) -> u32 { y.unwrap() }
+EOF
+expect fail "new finding vs baseline fails" "new finding vs baseline" -- \
+    "$bin" --root "$tmp/dirty" --quiet --baseline "$tmp/debt.json"
+
+# Fixing a finding (back to a clean tree) passes against the old baseline
+# without rewriting it — the ratchet only tightens.
+expect pass "improvement passes against stale baseline" "-" -- \
+    "$bin" --root "$tmp/clean" --quiet --baseline "$tmp/debt.json"
+
+expect fail "corrupt baseline fails loudly" "malformed baseline" -- \
+    "$bin" --root "$tmp/clean" --quiet --baseline "$tmp/corrupt.json"
+expect fail "missing baseline file fails" "cannot read" -- \
+    "$bin" --root "$tmp/clean" --quiet --baseline "$tmp/absent.json"
+expect fail "write-baseline without a path is a usage error" "requires --baseline" -- \
+    "$bin" --root "$tmp/clean" --quiet --write-baseline
+
+# SARIF lands where asked and carries the finding plus the suppression
+# audit trail shape.
+expect fail "sarif is written alongside the gate" "-" -- \
+    "$bin" --root "$tmp/dirty" --quiet --sarif "$tmp/out/scan.sarif"
+grep -q '"version":"2.1.0"' "$tmp/out/scan.sarif" || {
+    echo "FAIL: SARIF missing version marker" >&2
+    failures=$((failures + 1))
+}
+grep -q '"ruleId":"request-path-panic"' "$tmp/out/scan.sarif" || {
+    echo "FAIL: SARIF missing the finding" >&2
+    failures=$((failures + 1))
+}
+
+if [ "$failures" -ne 0 ]; then
+    echo "test_analyzer_gate: $failures failure(s)" >&2
+    exit 1
+fi
+echo "test_analyzer_gate: all cases passed"

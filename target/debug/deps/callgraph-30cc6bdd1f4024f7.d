@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/callgraph-30cc6bdd1f4024f7.d: crates/analyzer/tests/callgraph.rs
+
+/root/repo/target/debug/deps/callgraph-30cc6bdd1f4024f7: crates/analyzer/tests/callgraph.rs
+
+crates/analyzer/tests/callgraph.rs:

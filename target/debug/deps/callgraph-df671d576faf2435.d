@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/callgraph-df671d576faf2435.d: crates/analyzer/tests/callgraph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcallgraph-df671d576faf2435.rmeta: crates/analyzer/tests/callgraph.rs Cargo.toml
+
+crates/analyzer/tests/callgraph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

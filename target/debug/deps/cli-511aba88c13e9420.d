@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-511aba88c13e9420.d: crates/cli/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-511aba88c13e9420.rmeta: crates/cli/tests/cli.rs Cargo.toml
+
+crates/cli/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_hdlts=placeholder:hdlts
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

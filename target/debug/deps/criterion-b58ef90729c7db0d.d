@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b58ef90729c7db0d.d: .shadow/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b58ef90729c7db0d.rmeta: .shadow/stubs/criterion/src/lib.rs
+
+.shadow/stubs/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_primitives-0bdd6399122ae19e.d: crates/bench/benches/engine_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_primitives-0bdd6399122ae19e.rmeta: crates/bench/benches/engine_primitives.rs Cargo.toml
+
+crates/bench/benches/engine_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-248fe1926c0bcff0.d: crates/experiments/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-248fe1926c0bcff0.rmeta: crates/experiments/src/main.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

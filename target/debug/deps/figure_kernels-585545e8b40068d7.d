@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_kernels-585545e8b40068d7.d: crates/bench/benches/figure_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_kernels-585545e8b40068d7.rmeta: crates/bench/benches/figure_kernels.rs Cargo.toml
+
+crates/bench/benches/figure_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fixtures-84ee783a40e11ec6.d: crates/analyzer/tests/fixtures.rs crates/analyzer/tests/../fixtures/request_path_panic.rs crates/analyzer/tests/../fixtures/float_eq.rs crates/analyzer/tests/../fixtures/wall_clock.rs crates/analyzer/tests/../fixtures/unordered_iter.rs crates/analyzer/tests/../fixtures/kernel_alloc.rs crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs crates/analyzer/tests/../fixtures/allow_suppression.rs crates/analyzer/tests/../fixtures/unused_allow.rs crates/analyzer/tests/../fixtures/malformed_allow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixtures-84ee783a40e11ec6.rmeta: crates/analyzer/tests/fixtures.rs crates/analyzer/tests/../fixtures/request_path_panic.rs crates/analyzer/tests/../fixtures/float_eq.rs crates/analyzer/tests/../fixtures/wall_clock.rs crates/analyzer/tests/../fixtures/unordered_iter.rs crates/analyzer/tests/../fixtures/kernel_alloc.rs crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs crates/analyzer/tests/../fixtures/allow_suppression.rs crates/analyzer/tests/../fixtures/unused_allow.rs crates/analyzer/tests/../fixtures/malformed_allow.rs Cargo.toml
+
+crates/analyzer/tests/fixtures.rs:
+crates/analyzer/tests/../fixtures/request_path_panic.rs:
+crates/analyzer/tests/../fixtures/float_eq.rs:
+crates/analyzer/tests/../fixtures/wall_clock.rs:
+crates/analyzer/tests/../fixtures/unordered_iter.rs:
+crates/analyzer/tests/../fixtures/kernel_alloc.rs:
+crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs:
+crates/analyzer/tests/../fixtures/allow_suppression.rs:
+crates/analyzer/tests/../fixtures/unused_allow.rs:
+crates/analyzer/tests/../fixtures/malformed_allow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

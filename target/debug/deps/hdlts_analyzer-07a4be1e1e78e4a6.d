@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hdlts_analyzer-07a4be1e1e78e4a6.d: crates/analyzer/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_analyzer-07a4be1e1e78e4a6.rmeta: crates/analyzer/src/main.rs Cargo.toml
+
+crates/analyzer/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hdlts_analyzer-7bfea226ff57a101.d: crates/analyzer/src/lib.rs crates/analyzer/src/baseline.rs crates/analyzer/src/callgraph.rs crates/analyzer/src/engine.rs crates/analyzer/src/interleave.rs crates/analyzer/src/ipr.rs crates/analyzer/src/lexer.rs crates/analyzer/src/model.rs crates/analyzer/src/rules.rs crates/analyzer/src/sarif.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_analyzer-7bfea226ff57a101.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/baseline.rs crates/analyzer/src/callgraph.rs crates/analyzer/src/engine.rs crates/analyzer/src/interleave.rs crates/analyzer/src/ipr.rs crates/analyzer/src/lexer.rs crates/analyzer/src/model.rs crates/analyzer/src/rules.rs crates/analyzer/src/sarif.rs Cargo.toml
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/baseline.rs:
+crates/analyzer/src/callgraph.rs:
+crates/analyzer/src/engine.rs:
+crates/analyzer/src/interleave.rs:
+crates/analyzer/src/ipr.rs:
+crates/analyzer/src/lexer.rs:
+crates/analyzer/src/model.rs:
+crates/analyzer/src/rules.rs:
+crates/analyzer/src/sarif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

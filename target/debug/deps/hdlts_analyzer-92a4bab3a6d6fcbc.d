@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hdlts_analyzer-92a4bab3a6d6fcbc.d: crates/analyzer/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_analyzer-92a4bab3a6d6fcbc.rmeta: crates/analyzer/src/main.rs Cargo.toml
+
+crates/analyzer/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

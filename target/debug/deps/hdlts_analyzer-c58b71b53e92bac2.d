@@ -1,11 +1,16 @@
-/root/repo/target/debug/deps/hdlts_analyzer-c58b71b53e92bac2.d: crates/analyzer/src/lib.rs crates/analyzer/src/engine.rs crates/analyzer/src/interleave.rs crates/analyzer/src/lexer.rs crates/analyzer/src/rules.rs
+/root/repo/target/debug/deps/hdlts_analyzer-c58b71b53e92bac2.d: crates/analyzer/src/lib.rs crates/analyzer/src/baseline.rs crates/analyzer/src/callgraph.rs crates/analyzer/src/engine.rs crates/analyzer/src/interleave.rs crates/analyzer/src/ipr.rs crates/analyzer/src/lexer.rs crates/analyzer/src/model.rs crates/analyzer/src/rules.rs crates/analyzer/src/sarif.rs
 
-/root/repo/target/debug/deps/libhdlts_analyzer-c58b71b53e92bac2.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/engine.rs crates/analyzer/src/interleave.rs crates/analyzer/src/lexer.rs crates/analyzer/src/rules.rs
+/root/repo/target/debug/deps/libhdlts_analyzer-c58b71b53e92bac2.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/baseline.rs crates/analyzer/src/callgraph.rs crates/analyzer/src/engine.rs crates/analyzer/src/interleave.rs crates/analyzer/src/ipr.rs crates/analyzer/src/lexer.rs crates/analyzer/src/model.rs crates/analyzer/src/rules.rs crates/analyzer/src/sarif.rs
 
-/root/repo/target/debug/deps/libhdlts_analyzer-c58b71b53e92bac2.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/engine.rs crates/analyzer/src/interleave.rs crates/analyzer/src/lexer.rs crates/analyzer/src/rules.rs
+/root/repo/target/debug/deps/libhdlts_analyzer-c58b71b53e92bac2.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/baseline.rs crates/analyzer/src/callgraph.rs crates/analyzer/src/engine.rs crates/analyzer/src/interleave.rs crates/analyzer/src/ipr.rs crates/analyzer/src/lexer.rs crates/analyzer/src/model.rs crates/analyzer/src/rules.rs crates/analyzer/src/sarif.rs
 
 crates/analyzer/src/lib.rs:
+crates/analyzer/src/baseline.rs:
+crates/analyzer/src/callgraph.rs:
 crates/analyzer/src/engine.rs:
 crates/analyzer/src/interleave.rs:
+crates/analyzer/src/ipr.rs:
 crates/analyzer/src/lexer.rs:
+crates/analyzer/src/model.rs:
 crates/analyzer/src/rules.rs:
+crates/analyzer/src/sarif.rs:

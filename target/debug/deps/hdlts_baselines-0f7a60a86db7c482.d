@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/hdlts_baselines-0f7a60a86db7c482.d: crates/baselines/src/lib.rs crates/baselines/src/cpop.rs crates/baselines/src/dheft.rs crates/baselines/src/hdlts_cpd.rs crates/baselines/src/hdlts_lookahead.rs crates/baselines/src/heft.rs crates/baselines/src/minmin.rs crates/baselines/src/peft.rs crates/baselines/src/pets.rs crates/baselines/src/random_assign.rs crates/baselines/src/ranks.rs crates/baselines/src/registry.rs crates/baselines/src/sdbats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_baselines-0f7a60a86db7c482.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cpop.rs crates/baselines/src/dheft.rs crates/baselines/src/hdlts_cpd.rs crates/baselines/src/hdlts_lookahead.rs crates/baselines/src/heft.rs crates/baselines/src/minmin.rs crates/baselines/src/peft.rs crates/baselines/src/pets.rs crates/baselines/src/random_assign.rs crates/baselines/src/ranks.rs crates/baselines/src/registry.rs crates/baselines/src/sdbats.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpop.rs:
+crates/baselines/src/dheft.rs:
+crates/baselines/src/hdlts_cpd.rs:
+crates/baselines/src/hdlts_lookahead.rs:
+crates/baselines/src/heft.rs:
+crates/baselines/src/minmin.rs:
+crates/baselines/src/peft.rs:
+crates/baselines/src/pets.rs:
+crates/baselines/src/random_assign.rs:
+crates/baselines/src/ranks.rs:
+crates/baselines/src/registry.rs:
+crates/baselines/src/sdbats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hdlts_bench-c381b13e60b17bba.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_bench-c381b13e60b17bba.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/hdlts_core-be02e66ac854a18d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/est.rs crates/core/src/gantt.rs crates/core/src/hdlts.rs crates/core/src/problem.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/soa.rs crates/core/src/svg.rs crates/core/src/timeline.rs crates/core/src/trace.rs crates/core/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_core-be02e66ac854a18d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/est.rs crates/core/src/gantt.rs crates/core/src/hdlts.rs crates/core/src/problem.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/soa.rs crates/core/src/svg.rs crates/core/src/timeline.rs crates/core/src/trace.rs crates/core/src/validate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/est.rs:
+crates/core/src/gantt.rs:
+crates/core/src/hdlts.rs:
+crates/core/src/problem.rs:
+crates/core/src/schedule.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/soa.rs:
+crates/core/src/svg.rs:
+crates/core/src/timeline.rs:
+crates/core/src/trace.rs:
+crates/core/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

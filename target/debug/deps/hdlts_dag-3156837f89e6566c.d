@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hdlts_dag-3156837f89e6566c.d: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_dag-3156837f89e6566c.rmeta: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs Cargo.toml
+
+crates/dag/src/lib.rs:
+crates/dag/src/builder.rs:
+crates/dag/src/dot.rs:
+crates/dag/src/dot_parse.rs:
+crates/dag/src/error.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/levels.rs:
+crates/dag/src/normalize.rs:
+crates/dag/src/paths.rs:
+crates/dag/src/serde_repr.rs:
+crates/dag/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

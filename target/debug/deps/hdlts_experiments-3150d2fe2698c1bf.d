@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hdlts_experiments-3150d2fe2698c1bf.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/custom.rs crates/experiments/src/extensions.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs crates/experiments/src/tables.rs crates/experiments/src/winrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_experiments-3150d2fe2698c1bf.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/custom.rs crates/experiments/src/extensions.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs crates/experiments/src/tables.rs crates/experiments/src/winrate.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/custom.rs:
+crates/experiments/src/extensions.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/output.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/sweep.rs:
+crates/experiments/src/tables.rs:
+crates/experiments/src/winrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hdlts_invariants-2f2157e6cf0bb5b1.d: tests/hdlts_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_invariants-2f2157e6cf0bb5b1.rmeta: tests/hdlts_invariants.rs Cargo.toml
+
+tests/hdlts_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

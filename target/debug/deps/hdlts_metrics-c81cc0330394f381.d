@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hdlts_metrics-c81cc0330394f381.d: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_metrics-c81cc0330394f381.rmeta: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/balance.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/measures.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/svg_chart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

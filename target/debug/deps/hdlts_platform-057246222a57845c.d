@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hdlts_platform-057246222a57845c.d: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_platform-057246222a57845c.rmeta: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+crates/platform/src/cost_matrix.rs:
+crates/platform/src/error.rs:
+crates/platform/src/links.rs:
+crates/platform/src/proc_set.rs:
+crates/platform/src/processor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

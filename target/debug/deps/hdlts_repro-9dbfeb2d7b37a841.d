@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hdlts_repro-9dbfeb2d7b37a841.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_repro-9dbfeb2d7b37a841.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

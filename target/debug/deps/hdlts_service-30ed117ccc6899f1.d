@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hdlts_service-30ed117ccc6899f1.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_service-30ed117ccc6899f1.rmeta: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/router.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/client.rs:
+crates/service/src/daemon.rs:
+crates/service/src/error.rs:
+crates/service/src/faults.rs:
+crates/service/src/jobs.rs:
+crates/service/src/journal.rs:
+crates/service/src/json.rs:
+crates/service/src/protocol.rs:
+crates/service/src/queue.rs:
+crates/service/src/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

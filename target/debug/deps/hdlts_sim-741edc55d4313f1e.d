@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hdlts_sim-741edc55d4313f1e.d: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_sim-741edc55d4313f1e.rmeta: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/arrivals.rs:
+crates/sim/src/failure.rs:
+crates/sim/src/online.rs:
+crates/sim/src/outcome.rs:
+crates/sim/src/perturb.rs:
+crates/sim/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/hdlts_workloads-ef4a1a87a1e8e64a.d: crates/workloads/src/lib.rs crates/workloads/src/compose.rs crates/workloads/src/cost_model.rs crates/workloads/src/fft.rs crates/workloads/src/fixtures.rs crates/workloads/src/gauss.rs crates/workloads/src/instance.rs crates/workloads/src/laplace.rs crates/workloads/src/moldyn.rs crates/workloads/src/montage.rs crates/workloads/src/named.rs crates/workloads/src/params.rs crates/workloads/src/pegasus.rs crates/workloads/src/random_dag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdlts_workloads-ef4a1a87a1e8e64a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/compose.rs crates/workloads/src/cost_model.rs crates/workloads/src/fft.rs crates/workloads/src/fixtures.rs crates/workloads/src/gauss.rs crates/workloads/src/instance.rs crates/workloads/src/laplace.rs crates/workloads/src/moldyn.rs crates/workloads/src/montage.rs crates/workloads/src/named.rs crates/workloads/src/params.rs crates/workloads/src/pegasus.rs crates/workloads/src/random_dag.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/compose.rs:
+crates/workloads/src/cost_model.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/fixtures.rs:
+crates/workloads/src/gauss.rs:
+crates/workloads/src/instance.rs:
+crates/workloads/src/laplace.rs:
+crates/workloads/src/moldyn.rs:
+crates/workloads/src/montage.rs:
+crates/workloads/src/named.rs:
+crates/workloads/src/params.rs:
+crates/workloads/src/pegasus.rs:
+crates/workloads/src/random_dag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

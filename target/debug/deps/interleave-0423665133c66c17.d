@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interleave-0423665133c66c17.d: crates/analyzer/tests/interleave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterleave-0423665133c66c17.rmeta: crates/analyzer/tests/interleave.rs Cargo.toml
+
+crates/analyzer/tests/interleave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

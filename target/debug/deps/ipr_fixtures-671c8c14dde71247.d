@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ipr_fixtures-671c8c14dde71247.d: crates/analyzer/tests/ipr_fixtures.rs crates/analyzer/tests/../fixtures/ipr/panic_entry.rs crates/analyzer/tests/../fixtures/ipr/panic_codec.rs crates/analyzer/tests/../fixtures/ipr/lock_order.rs crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs crates/analyzer/tests/../fixtures/ipr/blocking.rs crates/analyzer/tests/../fixtures/ipr/blocking_journal.rs crates/analyzer/tests/../fixtures/ipr/taint_sched.rs crates/analyzer/tests/../fixtures/ipr/taint_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr_fixtures-671c8c14dde71247.rmeta: crates/analyzer/tests/ipr_fixtures.rs crates/analyzer/tests/../fixtures/ipr/panic_entry.rs crates/analyzer/tests/../fixtures/ipr/panic_codec.rs crates/analyzer/tests/../fixtures/ipr/lock_order.rs crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs crates/analyzer/tests/../fixtures/ipr/blocking.rs crates/analyzer/tests/../fixtures/ipr/blocking_journal.rs crates/analyzer/tests/../fixtures/ipr/taint_sched.rs crates/analyzer/tests/../fixtures/ipr/taint_util.rs Cargo.toml
+
+crates/analyzer/tests/ipr_fixtures.rs:
+crates/analyzer/tests/../fixtures/ipr/panic_entry.rs:
+crates/analyzer/tests/../fixtures/ipr/panic_codec.rs:
+crates/analyzer/tests/../fixtures/ipr/lock_order.rs:
+crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs:
+crates/analyzer/tests/../fixtures/ipr/blocking.rs:
+crates/analyzer/tests/../fixtures/ipr/blocking_journal.rs:
+crates/analyzer/tests/../fixtures/ipr/taint_sched.rs:
+crates/analyzer/tests/../fixtures/ipr/taint_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loadgen-e916f45131d046b7.d: crates/service/src/bin/loadgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloadgen-e916f45131d046b7.rmeta: crates/service/src/bin/loadgen.rs Cargo.toml
+
+crates/service/src/bin/loadgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

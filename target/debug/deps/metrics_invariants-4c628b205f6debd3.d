@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_invariants-4c628b205f6debd3.d: tests/metrics_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_invariants-4c628b205f6debd3.rmeta: tests/metrics_invariants.rs Cargo.toml
+
+tests/metrics_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

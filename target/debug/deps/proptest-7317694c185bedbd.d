@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7317694c185bedbd.d: .shadow/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7317694c185bedbd.rmeta: .shadow/stubs/proptest/src/lib.rs
+
+.shadow/stubs/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_dag-4783e1110fcd39b8.d: crates/dag/tests/proptest_dag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_dag-4783e1110fcd39b8.rmeta: crates/dag/tests/proptest_dag.rs Cargo.toml
+
+crates/dag/tests/proptest_dag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

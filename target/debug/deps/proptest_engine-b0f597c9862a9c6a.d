@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_engine-b0f597c9862a9c6a.d: crates/core/tests/proptest_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_engine-b0f597c9862a9c6a.rmeta: crates/core/tests/proptest_engine.rs Cargo.toml
+
+crates/core/tests/proptest_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_generators-0e8b40c0410d0b40.d: crates/workloads/tests/proptest_generators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_generators-0e8b40c0410d0b40.rmeta: crates/workloads/tests/proptest_generators.rs Cargo.toml
+
+crates/workloads/tests/proptest_generators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_incremental-1b868cb4a8f15ad8.d: tests/proptest_incremental.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_incremental-1b868cb4a8f15ad8.rmeta: tests/proptest_incremental.rs Cargo.toml
+
+tests/proptest_incremental.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_journal-3efc9208c66b745e.d: tests/proptest_journal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_journal-3efc9208c66b745e.rmeta: tests/proptest_journal.rs Cargo.toml
+
+tests/proptest_journal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

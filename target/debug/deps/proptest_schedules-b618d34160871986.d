@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_schedules-b618d34160871986.d: tests/proptest_schedules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_schedules-b618d34160871986.rmeta: tests/proptest_schedules.rs Cargo.toml
+
+tests/proptest_schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

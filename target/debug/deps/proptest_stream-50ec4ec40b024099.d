@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_stream-50ec4ec40b024099.d: tests/proptest_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_stream-50ec4ec40b024099.rmeta: tests/proptest_stream.rs Cargo.toml
+
+tests/proptest_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

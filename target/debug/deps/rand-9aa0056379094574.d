@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-9aa0056379094574.d: .shadow/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9aa0056379094574.rmeta: .shadow/stubs/rand/src/lib.rs
+
+.shadow/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-38827c5248d9fb59.d: .shadow/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-38827c5248d9fb59.rmeta: .shadow/stubs/rayon/src/lib.rs
+
+.shadow/stubs/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_scaling-43feaffbf5c88322.d: crates/bench/benches/scheduler_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_scaling-43feaffbf5c88322.rmeta: crates/bench/benches/scheduler_scaling.rs Cargo.toml
+
+crates/bench/benches/scheduler_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

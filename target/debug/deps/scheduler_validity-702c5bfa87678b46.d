@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_validity-702c5bfa87678b46.d: tests/scheduler_validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_validity-702c5bfa87678b46.rmeta: tests/scheduler_validity.rs Cargo.toml
+
+tests/scheduler_validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

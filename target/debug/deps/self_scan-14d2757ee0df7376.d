@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/self_scan-14d2757ee0df7376.d: crates/analyzer/tests/self_scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libself_scan-14d2757ee0df7376.rmeta: crates/analyzer/tests/self_scan.rs Cargo.toml
+
+crates/analyzer/tests/self_scan.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyzer
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

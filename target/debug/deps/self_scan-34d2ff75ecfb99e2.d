@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/self_scan-34d2ff75ecfb99e2.d: crates/analyzer/tests/self_scan.rs
+
+/root/repo/target/debug/deps/self_scan-34d2ff75ecfb99e2: crates/analyzer/tests/self_scan.rs
+
+crates/analyzer/tests/self_scan.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyzer

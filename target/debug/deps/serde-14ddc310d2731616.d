@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-14ddc310d2731616.d: .shadow/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-14ddc310d2731616.rmeta: .shadow/stubs/serde/src/lib.rs
+
+.shadow/stubs/serde/src/lib.rs:

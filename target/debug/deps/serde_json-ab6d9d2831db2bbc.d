@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-ab6d9d2831db2bbc.d: .shadow/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-ab6d9d2831db2bbc.rmeta: .shadow/stubs/serde_json/src/lib.rs
+
+.shadow/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_round_trips-1fc382e095ce90a7.d: tests/serde_round_trips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_round_trips-1fc382e095ce90a7.rmeta: tests/serde_round_trips.rs Cargo.toml
+
+tests/serde_round_trips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_recovery-71c6192bc95e6cbb.d: tests/service_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_recovery-71c6192bc95e6cbb.rmeta: tests/service_recovery.rs Cargo.toml
+
+tests/service_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_router-733a003d9a7bb5cc.d: tests/service_router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_router-733a003d9a7bb5cc.rmeta: tests/service_router.rs Cargo.toml
+
+tests/service_router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation-4a06b5d30b600a7f.d: tests/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation-4a06b5d30b600a7f.rmeta: tests/simulation.rs Cargo.toml
+
+tests/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_trace-99666db28b603cc5.d: tests/table1_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_trace-99666db28b603cc5.rmeta: tests/table1_trace.rs Cargo.toml
+
+tests/table1_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

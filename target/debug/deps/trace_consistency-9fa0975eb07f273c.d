@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_consistency-9fa0975eb07f273c.d: tests/trace_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_consistency-9fa0975eb07f273c.rmeta: tests/trace_consistency.rs Cargo.toml
+
+tests/trace_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

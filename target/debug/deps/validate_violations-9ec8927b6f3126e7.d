@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate_violations-9ec8927b6f3126e7.d: crates/core/tests/validate_violations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate_violations-9ec8927b6f3126e7.rmeta: crates/core/tests/validate_violations.rs Cargo.toml
+
+crates/core/tests/validate_violations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_consolidation-8d38be3f02912d6e.d: examples/batch_consolidation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_consolidation-8d38be3f02912d6e.rmeta: examples/batch_consolidation.rs Cargo.toml
+
+examples/batch_consolidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_schedulers-57f3417c0d712950.d: examples/compare_schedulers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_schedulers-57f3417c0d712950.rmeta: examples/compare_schedulers.rs Cargo.toml
+
+examples/compare_schedulers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

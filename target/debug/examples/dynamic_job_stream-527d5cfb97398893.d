@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_job_stream-527d5cfb97398893.d: examples/dynamic_job_stream.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_job_stream-527d5cfb97398893.rmeta: examples/dynamic_job_stream.rs Cargo.toml
+
+examples/dynamic_job_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_tolerant_execution-2a18053719be560a.d: examples/fault_tolerant_execution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_tolerant_execution-2a18053719be560a.rmeta: examples/fault_tolerant_execution.rs Cargo.toml
+
+examples/fault_tolerant_execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/montage_pipeline-012b8d5c663a46f5.d: examples/montage_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmontage_pipeline-012b8d5c663a46f5.rmeta: examples/montage_pipeline.rs Cargo.toml
+
+examples/montage_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -94,7 +94,9 @@ fn expected_fft(seed: u64) -> (f64, Vec<(ProcId, f64, f64)>) {
     (out.jobs[0].makespan, out.jobs[0].placements.clone())
 }
 
-fn wire_schedule(resp: &Value) -> (f64, Vec<(ProcId, f64, f64)>) {
+type WirePlacements = Vec<(ProcId, f64, f64)>;
+
+fn wire_schedule(resp: &Value) -> (f64, WirePlacements) {
     let makespan = resp.get("makespan").and_then(Value::as_f64).unwrap();
     let placements = resp
         .get("placements")
@@ -337,7 +339,7 @@ fn router_serves_pre_restart_results_through_a_restarted_backend() {
     // results clients saw.
     let acked = submit_batch(router.addr(), 8);
     assert_eq!(acked.len(), 8);
-    let before: Vec<(u64, f64, Vec<(ProcId, f64, f64)>)> = acked
+    let before: Vec<(u64, f64, WirePlacements)> = acked
         .iter()
         .map(|(id, _)| {
             let resp = await_result(router.addr(), *id);
