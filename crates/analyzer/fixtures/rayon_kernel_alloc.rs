@@ -1,0 +1,44 @@
+//! Fixture: the kernel-alloc rule must flag per-chunk allocations inside
+//! rayon `for_each`-family closures — the chunked engine kernels run them
+//! once per chunk per scheduling step — and spare hoisted staging buffers
+//! and brace-less closures.
+
+pub fn bad_alloc_in_for_each(rows: &mut [f64]) {
+    rows.par_chunks_mut(64).for_each(|chunk| {
+        let scratch = Vec::new();
+        consume(chunk, scratch);
+    });
+}
+
+pub fn bad_alloc_in_try_for_each(rows: &mut [f64], pv: &mut [f64]) -> Result<(), ()> {
+    rows.par_chunks_mut(64)
+        .zip(pv.par_chunks_mut(8))
+        .try_for_each(|((row_c), pv_c)| {
+            let staged = row_c.to_vec();
+            commit(staged, pv_c)
+        })
+}
+
+pub fn fine_hoisted_staging(rows: &mut [f64], arena: &mut Vec<f64>) {
+    arena.clear();
+    arena.resize(rows.len(), 0.0);
+    rows.par_chunks_mut(64).for_each(|chunk| {
+        for x in chunk.iter_mut() {
+            *x += 1.0;
+        }
+    });
+}
+
+pub fn fine_braceless_closure(rows: &mut [f64]) {
+    rows.par_iter_mut().for_each(|x| bump(x));
+    // A block after the call is not a closure body.
+    let _post = Vec::new();
+}
+
+pub fn allowed_alloc_in_closure(rows: &mut [f64]) {
+    rows.par_chunks_mut(64).for_each(|chunk| {
+        // LINT-ALLOW(kernel-alloc): fixture demonstrates suppression
+        let scratch = Vec::new();
+        consume(chunk, scratch);
+    });
+}

@@ -53,8 +53,8 @@ pub const RULES: &[RuleDef] = &[
     },
     RuleDef {
         id: "kernel-alloc",
-        summary: "no Vec::new()/vec![]/.to_vec() in loop bodies of hot scheduling kernels; \
-                  hoist a scratch buffer",
+        summary: "no Vec::new()/vec![]/.to_vec() in loop bodies or rayon for_each closures \
+                  of hot scheduling kernels; hoist a scratch buffer",
         applies: in_hot_kernel,
         check: check_kernel_alloc,
     },
@@ -119,7 +119,10 @@ fn in_kernel_tier(path: &str) -> bool {
 /// The per-step hot kernels: every scheduling step walks these inner
 /// loops, so allocation there is O(steps) churn. The bench gate measures
 /// exactly these files; the list grows when a new kernel joins the
-/// per-step path.
+/// per-step path. The daemon's shard worker loop and the job-stream
+/// event loop are included because they run once per job forever — the
+/// warm-scratch design (`SchedulerScratch`/`StreamScratch`) only holds
+/// if nothing in those loops allocates per iteration.
 fn in_hot_kernel(path: &str) -> bool {
     matches!(
         path,
@@ -127,6 +130,8 @@ fn in_hot_kernel(path: &str) -> bool {
             | "crates/core/src/est.rs"
             | "crates/core/src/soa.rs"
             | "crates/baselines/src/hdlts_cpd.rs"
+            | "crates/service/src/daemon.rs"
+            | "crates/sim/src/arrivals.rs"
     )
 }
 
@@ -269,23 +274,46 @@ fn check_wall_clock(toks: &[Tok]) -> Vec<RawFinding> {
 }
 
 /// Flags heap allocations (`Vec::new()`, `vec![...]`, `.to_vec()`) inside
-/// `for`/`while`/`loop` bodies. Loop bodies are tracked lexically with a
-/// brace-depth stack; `for` only opens a loop when an `in` follows before
-/// the brace, so `impl Trait for Type { ... }` and `for<'a>` bounds do not
-/// count. Allocations in loop *headers* (the iterable expression) are out
-/// of scope — they run once.
+/// `for`/`while`/`loop` bodies **and inside rayon `for_each`-family
+/// closures** (`for_each`, `for_each_init`, `try_for_each`,
+/// `try_for_each_init`) — the chunked kernels run those closures once per
+/// chunk per scheduling step, so a per-iteration allocation there is the
+/// same churn as one in a plain loop. Loop bodies are tracked lexically
+/// with a brace-depth stack; `for` only opens a loop when an `in` follows
+/// before the brace, so `impl Trait for Type { ... }` and `for<'a>`
+/// bounds do not count. A rayon method arms a pending state that the
+/// first `{` inside its argument list converts into a loop body; a
+/// brace-less closure (`.for_each(|x| g(x))`) disarms when the call's
+/// parenthesis closes. Allocations in loop *headers* (the iterable
+/// expression) are out of scope — they run once.
 fn check_kernel_alloc(toks: &[Tok]) -> Vec<RawFinding> {
     let mut out = Vec::new();
     // Brace depths at which a loop body opened; non-empty = inside a loop.
     let mut loop_depths: Vec<usize> = Vec::new();
     let mut depth = 0usize;
     let mut pending_loop = false;
+    // Parenthesis depth a pending rayon `for_each` call was opened at:
+    // a `{` while the parens are still open is the closure body; the
+    // call's `)` closing disarms it.
+    let mut paren_depth = 0usize;
+    let mut pending_rayon: Option<usize> = None;
     for (i, t) in toks.iter().enumerate() {
         if t.kind == TokKind::Punct {
             match t.text.as_str() {
+                "(" => paren_depth += 1,
+                ")" => {
+                    paren_depth = paren_depth.saturating_sub(1);
+                    if pending_rayon.is_some_and(|d| paren_depth < d) {
+                        pending_rayon = None;
+                    }
+                }
                 "{" => {
                     depth += 1;
-                    if pending_loop {
+                    if pending_rayon.is_some_and(|d| paren_depth >= d) {
+                        loop_depths.push(depth);
+                        pending_rayon = None;
+                        pending_loop = false;
+                    } else if pending_loop {
                         loop_depths.push(depth);
                         pending_loop = false;
                     }
@@ -327,6 +355,19 @@ fn check_kernel_alloc(toks: &[Tok]) -> Vec<RawFinding> {
                 };
                 if is_loop {
                     pending_loop = true;
+                }
+                continue;
+            }
+            "for_each" | "for_each_init" | "try_for_each" | "try_for_each_init" => {
+                let after_dot = i
+                    .checked_sub(1)
+                    .is_some_and(|j| toks[j].kind == TokKind::Punct && toks[j].text == ".");
+                let called = toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+                if after_dot && called {
+                    // Arm on the depth the call's own `(` will establish.
+                    pending_rayon = Some(paren_depth + 1);
                 }
                 continue;
             }
@@ -491,14 +532,56 @@ mod tests {
     }
 
     #[test]
+    fn kernel_alloc_tracks_rayon_closures() {
+        let hits = |src: &str| check_kernel_alloc(&code_toks(src)).len();
+        // A braced for_each closure body is a loop body.
+        assert_eq!(
+            hits("fn f(r: &mut [f64]) { r.par_iter_mut().for_each(|x| { let v = Vec::new(); }); }"),
+            1
+        );
+        assert_eq!(
+            hits("fn f(r: &mut [f64]) { r.par_chunks_mut(4).try_for_each(|c| { let v = vec![0.0]; Ok(()) }); }"),
+            1
+        );
+        // Tuple patterns in the closure head must not disarm the pending
+        // state: their `)`s close inner parens, not the call's.
+        assert_eq!(
+            hits("fn f() { a.zip(b).for_each(|((x, y), z)| { let v = s.to_vec(); }); }"),
+            1
+        );
+        // A brace-less closure disarms when the call closes; the next
+        // block is not a loop body.
+        assert_eq!(
+            hits("fn f() { r.for_each(|x| g(x)); { let v = Vec::new(); } }"),
+            0
+        );
+        // A hoisted buffer outside the closure stays clean, and a plain
+        // (non-method) for_each-named call does not arm.
+        assert_eq!(
+            hits("fn f() { let mut buf = Vec::new(); r.for_each(|x| { buf.push(x); }); }"),
+            0
+        );
+        assert_eq!(hits("fn f() { for_each(|x| { let v = Vec::new(); }); }"), 0);
+        // Nested: an allocation in an inner for loop inside the closure
+        // fires once per site.
+        assert_eq!(
+            hits("fn f() { r.for_each(|c| { for i in 0..4 { let v = Vec::new(); } }); }"),
+            1
+        );
+    }
+
+    #[test]
     fn hot_kernel_scope_is_exact() {
         assert!(in_hot_kernel("crates/core/src/est.rs"));
         assert!(in_hot_kernel("crates/core/src/engine.rs"));
         assert!(in_hot_kernel("crates/core/src/soa.rs"));
         assert!(in_hot_kernel("crates/baselines/src/hdlts_cpd.rs"));
+        assert!(in_hot_kernel("crates/service/src/daemon.rs"));
+        assert!(in_hot_kernel("crates/sim/src/arrivals.rs"));
         assert!(!in_hot_kernel("crates/core/src/hdlts.rs"));
         assert!(!in_hot_kernel("crates/baselines/src/heft.rs"));
-        assert!(!in_hot_kernel("crates/service/src/daemon.rs"));
+        assert!(!in_hot_kernel("crates/service/src/queue.rs"));
+        assert!(!in_hot_kernel("crates/sim/src/lib.rs"));
     }
 
     #[test]

@@ -126,6 +126,39 @@ fn kernel_alloc_covers_the_soa_kernel() {
 }
 
 #[test]
+fn kernel_alloc_covers_rayon_closures() {
+    let src = include_str!("../fixtures/rayon_kernel_alloc.rs");
+    let report = analyze_source("crates/core/src/engine.rs", src);
+    // Allocations inside braced for_each/try_for_each closure bodies fire;
+    // the hoisted arena, the brace-less closure, and the post-call block
+    // stay clean.
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .map(|f| (f.rule.as_str(), f.line, f.col))
+            .collect::<Vec<_>>(),
+        vec![
+            ("kernel-alloc", 8, 23),  // Vec::new() per chunk in for_each
+            ("kernel-alloc", 17, 32), // .to_vec() per chunk in try_for_each
+        ],
+    );
+    // The allow inside `allowed_alloc_in_closure` suppresses its finding.
+    assert_eq!(
+        report.suppressed.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![41],
+    );
+    // The daemon worker loop and the job-stream event loop are hot-kernel
+    // scope now too; an out-of-scope service file is not.
+    assert_eq!(spans("crates/service/src/daemon.rs", src).len(), 2);
+    assert_eq!(spans("crates/sim/src/arrivals.rs", src).len(), 2);
+    assert_eq!(
+        spans("crates/service/src/queue.rs", src),
+        vec![("unused-lint-allow".into(), 40, 1)],
+    );
+}
+
+#[test]
 fn lint_allow_suppresses_exactly_one_finding() {
     let src = include_str!("../fixtures/allow_suppression.rs");
     let report = analyze_source("crates/core/src/fixture.rs", src);

@@ -3,15 +3,24 @@
 //!
 //! Criterion's statistics and plots are ideal for local inspection but
 //! awkward to consume from CI; this binary times the scheduling kernels
-//! with `std::time::Instant` and writes a single JSON file with the mean
-//! ns/op of every kernel:
+//! with `std::time::Instant` and writes a single JSON file:
 //!
 //! * `hdlts/incremental` and `hdlts/full_recompute` at v = 100 / 1000 /
 //!   10000 tasks on P = 4 / 8 / 16 processors (the fig. 3 scaling grid),
 //!   plus the per-cell speedup of the incremental engine;
-//! * `hdlts/incremental_parallel` at v = 10000 — the rayon row kernel
-//!   against the serial incremental engine on the same cells, with the
-//!   worst cell reported as `parallel_v10000_min_speedup`;
+//! * `hdlts/incremental_parallel` vs `hdlts/incremental` at v = 10000 and
+//!   v = 100000 — the arena engine (frontier-partitioned chunked kernels,
+//!   cached cost rows, moment-tracked selection) against the serial
+//!   incremental engine. These pairs are timed *interleaved* (the engines
+//!   alternate iteration-by-iteration and each reports its minimum), so
+//!   host noise hits both alike and the ratio of minima is stable; the
+//!   worst cells are `parallel_v10000_min_speedup` and
+//!   `parallel_v100000_min_speedup`;
+//! * `warm/cold_engine_setup` vs `warm/warm_engine_setup` at v = 1000 —
+//!   per-job engine-state provisioning cost: constructing a fresh arena
+//!   cache + schedule versus `reset_for`/`reset` on warm ones (the
+//!   reset-not-free path the service daemon uses per shard). The worst
+//!   processor count is `warm_engine_min_speedup`;
 //! * `hdlts_cpd/incremental` and `hdlts_cpd/full_recompute` — HDLTS-D
 //!   (critical-parent duplication) on the replica-aware cache vs its
 //!   full-recompute oracle, at v = 100 / 1000, with the worst v = 1000
@@ -26,28 +35,41 @@
 //!
 //! All three engine modes are also run once per small cell and their
 //! schedules compared, so the baseline doubles as a cheap differential
-//! check (the parallel mode with thresholds forced to 1, so the rayon
-//! path really executes).
+//! check (the parallel mode with thresholds forced to 1, so the chunked
+//! path really executes); the v = 100000 warmup runs double as a
+//! differential check at scale.
 //!
-//! Usage: `bench-json [output-path]` (default `BENCH_engine.json` in the
-//! current directory — the repo root when invoked via `just bench-json`).
+//! Usage: `bench-json [--quick] [output-path]`.
+//!
+//! The full grid (default output `BENCH_engine.json`, the checked-in
+//! baseline) takes several minutes — v = 100000 instance *generation*
+//! alone costs ~1 min per processor count, so each instance is generated
+//! once and reused across engines. `--quick` is the CI smoke mode: the
+//! v <= 1000 grid with small budgets, all differential checks, no
+//! headline scalars, default output `target/BENCH_engine_quick.json` so
+//! it can never clobber the recorded baseline.
 
 use hdlts_baselines::HdltsCpd;
 use hdlts_bench::{bench_instance, bench_platform};
-use hdlts_core::{EngineMode, Hdlts, HdltsConfig, ParallelTuning, Scheduler, Slot, Timeline};
+use hdlts_core::{
+    EftCache, EngineMode, Hdlts, HdltsConfig, ParallelTuning, Schedule, Scheduler, Slot, Timeline,
+};
 use hdlts_dag::TaskId;
 use hdlts_platform::{LinkModel, Platform, ProcId};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// One timed kernel: mean wall-clock nanoseconds per operation.
+/// One timed kernel. `stat` says how the number was obtained: `"mean"`
+/// (wall clock / iters) or `"interleaved_min"` (per-iteration minimum of
+/// an alternating pair).
 struct Cell {
     name: &'static str,
     v: usize,
     procs: usize,
-    mean_ns_per_op: f64,
+    ns_per_op: f64,
     iters: u32,
+    stat: &'static str,
 }
 
 /// Times `f` until `budget_ns` elapses or `max_iters` runs, whichever
@@ -73,18 +95,70 @@ fn time_kernel<F: FnMut()>(
     (mean, iters)
 }
 
+/// Runs `a` and `b` alternately — `warmup` untimed rounds, then `iters`
+/// timed rounds — and returns each kernel's minimum ns per call.
+///
+/// Interleaving means a load spike on the host slows the *pair*, not one
+/// side, and the minimum discards the spikes entirely; the ratio of the
+/// two minima is therefore meaningful on a noisy machine where a
+/// back-to-back mean comparison is not.
+fn interleaved_min<A: FnMut(), B: FnMut()>(
+    mut a: A,
+    mut b: B,
+    warmup: u32,
+    iters: u32,
+) -> (f64, f64) {
+    for _ in 0..warmup {
+        a();
+        b();
+    }
+    let (mut min_a, mut min_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        a();
+        min_a = min_a.min(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        b();
+        min_b = min_b.min(t.elapsed().as_nanos() as f64);
+    }
+    (min_a, min_b)
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        if quick {
+            "target/BENCH_engine_quick.json".to_string()
+        } else {
+            "BENCH_engine.json".to_string()
+        }
+    });
+    // Smoke mode trades statistical weight for wall clock: same kernels,
+    // same differential checks, ~1% of the budget.
+    let budget_ns: u128 = if quick { 40_000_000 } else { 400_000_000 };
+
     let mut cells: Vec<Cell> = Vec::new();
     let mut speedups: Vec<(usize, usize, f64)> = Vec::new();
     let mut fig3_speedup_10000 = f64::NAN;
     let mut par_speedups: Vec<(usize, usize, f64)> = Vec::new();
     let mut par_speedup_10000 = f64::NAN;
+    let mut par_speedup_100000 = f64::NAN;
 
+    let grid_v: &[usize] = if quick {
+        &[100, 1000]
+    } else {
+        &[100, 1000, 10000]
+    };
     for &procs in &[4usize, 8, 16] {
-        for &v in &[100usize, 1000, 10000] {
+        for &v in grid_v {
             let inst = bench_instance(v, procs);
             let platform = bench_platform(procs);
             let problem = inst.problem(&platform).expect("consistent instance");
@@ -92,7 +166,7 @@ fn main() {
             // Differential check on the small cells: all three engine
             // modes must produce the identical schedule before we bother
             // timing. Thresholds of 1 force the parallel mode onto the
-            // rayon path even when the ready set is small.
+            // chunked path even when the ready set is small.
             if v <= 1000 {
                 let fast = Hdlts::new(HdltsConfig::paper_exact())
                     .schedule(&problem)
@@ -136,7 +210,7 @@ fn main() {
                     || {
                         black_box(scheduler.schedule(black_box(&problem)).expect("schedules"));
                     },
-                    400_000_000,
+                    budget_ns,
                     max_iters,
                     1,
                 );
@@ -145,8 +219,9 @@ fn main() {
                     name,
                     v,
                     procs,
-                    mean_ns_per_op: mean_ns,
+                    ns_per_op: mean_ns,
                     iters,
+                    stat: "mean",
                 });
                 eprintln!(
                     "{name:<22} v={v:<6} P={procs:<3} {:>12.0} ns/op ({iters} iters)",
@@ -161,32 +236,37 @@ fn main() {
                 fig3_speedup_10000 = speedup;
             }
 
-            // The rayon row kernel vs the serial incremental engine, on
-            // the cells big enough for the default thresholds to engage.
+            // The arena engine vs the serial incremental engine, timed as
+            // an interleaved pair on the cells big enough for the default
+            // thresholds to engage.
             if v == 10000 {
-                let scheduler = Hdlts::new(
+                let serial = Hdlts::new(HdltsConfig::paper_exact());
+                let parallel = Hdlts::new(
                     HdltsConfig::paper_exact().with_engine(EngineMode::IncrementalParallel),
                 );
-                let (mean_ns, iters) = time_kernel(
+                let (ser_min, par_min) = interleaved_min(
                     || {
-                        black_box(scheduler.schedule(black_box(&problem)).expect("schedules"));
+                        black_box(serial.schedule(black_box(&problem)).expect("schedules"));
                     },
-                    400_000_000,
-                    3,
+                    || {
+                        black_box(parallel.schedule(black_box(&problem)).expect("schedules"));
+                    },
                     1,
+                    8,
                 );
                 cells.push(Cell {
                     name: "hdlts/incremental_parallel",
                     v,
                     procs,
-                    mean_ns_per_op: mean_ns,
-                    iters,
+                    ns_per_op: par_min,
+                    iters: 8,
+                    stat: "interleaved_min",
                 });
                 eprintln!(
-                    "{:<22} v={v:<6} P={procs:<3} {:>12.0} ns/op ({iters} iters)",
-                    "hdlts/incremental_parallel", mean_ns
+                    "{:<22} v={v:<6} P={procs:<3} {:>12.0} ns/op (min of 8, interleaved)",
+                    "hdlts/incremental_parallel", par_min
                 );
-                let par_speedup = pair[0] / mean_ns;
+                let par_speedup = ser_min / par_min;
                 par_speedups.push((v, procs, par_speedup));
                 if par_speedup_10000.is_nan() || par_speedup < par_speedup_10000 {
                     par_speedup_10000 = par_speedup;
@@ -195,13 +275,140 @@ fn main() {
         }
     }
 
+    // The v = 100000 tier: the arena engine against the serial engine at
+    // ten times the fig. 3 scale. Generating one instance costs ~1 min,
+    // so each is built once and shared by both engines; the warmup run
+    // doubles as the differential check at this scale (the two engines
+    // must produce byte-identical schedules).
+    if !quick {
+        const V: usize = 100_000;
+        for &procs in &[4usize, 8, 16] {
+            eprintln!("generating v={V} P={procs} instance (about a minute)...");
+            let inst = bench_instance(V, procs);
+            let platform = bench_platform(procs);
+            let problem = inst.problem(&platform).expect("consistent instance");
+            let serial = Hdlts::new(HdltsConfig::paper_exact());
+            let parallel =
+                Hdlts::new(HdltsConfig::paper_exact().with_engine(EngineMode::IncrementalParallel));
+
+            let s_ser = serial.schedule(&problem).expect("schedules");
+            let s_par = parallel.schedule(&problem).expect("schedules");
+            assert_eq!(s_ser, s_par, "engines diverged at v={V}, P={procs}");
+            drop((s_ser, s_par));
+
+            let (ser_min, par_min) = interleaved_min(
+                || {
+                    black_box(serial.schedule(black_box(&problem)).expect("schedules"));
+                },
+                || {
+                    black_box(parallel.schedule(black_box(&problem)).expect("schedules"));
+                },
+                0, // the differential pass above was the warmup
+                2,
+            );
+            for (name, ns) in [
+                ("hdlts/incremental", ser_min),
+                ("hdlts/incremental_parallel", par_min),
+            ] {
+                cells.push(Cell {
+                    name,
+                    v: V,
+                    procs,
+                    ns_per_op: ns,
+                    iters: 2,
+                    stat: "interleaved_min",
+                });
+                eprintln!(
+                    "{name:<22} v={V:<6} P={procs:<3} {ns:>12.0} ns/op (min of 2, interleaved)"
+                );
+            }
+            let par_speedup = ser_min / par_min;
+            par_speedups.push((V, procs, par_speedup));
+            if par_speedup_100000.is_nan() || par_speedup < par_speedup_100000 {
+                par_speedup_100000 = par_speedup;
+            }
+        }
+    }
+
+    // Warm-vs-cold engine provisioning at v = 1000: what a per-job
+    // scheduler pays before the first task is placed. Cold constructs a
+    // fresh arena cache + schedule and admits the entry task (first-touch
+    // allocation); warm does the identical work through `reset_for` /
+    // `reset` on state kept from the previous job (reset-not-free). This
+    // is the steady-state difference a warm daemon shard sees per job.
+    let mut warm_speedup = f64::NAN;
+    if !quick {
+        const V: usize = 1000;
+        const REPS: usize = 50;
+        for &procs in &[4usize, 8, 16] {
+            let inst = bench_instance(V, procs);
+            let platform = bench_platform(procs);
+            let problem = inst.problem(&platform).expect("consistent instance");
+            let cfg = HdltsConfig::paper_exact();
+            let n = problem.num_tasks();
+            let (entry, _) = problem.entry_exit().expect("single entry/exit");
+
+            let mut cache =
+                EftCache::with_parallel(&problem, cfg.insertion, cfg.penalty, cfg.parallel);
+            let mut sched = Schedule::new(n, procs);
+            let (cold_min, warm_min) = interleaved_min(
+                || {
+                    for _ in 0..REPS {
+                        let mut c = EftCache::with_parallel(
+                            &problem,
+                            cfg.insertion,
+                            cfg.penalty,
+                            cfg.parallel,
+                        );
+                        let s = Schedule::new(n, procs);
+                        c.admit(&problem, &s, entry).expect("entry admits");
+                        black_box((&c, &s));
+                    }
+                },
+                || {
+                    for _ in 0..REPS {
+                        cache.reset_for(&problem, cfg.insertion, cfg.penalty);
+                        sched.reset(n, procs);
+                        cache.admit(&problem, &sched, entry).expect("entry admits");
+                        black_box((&cache, &sched));
+                    }
+                },
+                2,
+                32,
+            );
+            let (cold_ns, warm_ns) = (cold_min / REPS as f64, warm_min / REPS as f64);
+            for (name, ns) in [
+                ("warm/cold_engine_setup", cold_ns),
+                ("warm/warm_engine_setup", warm_ns),
+            ] {
+                cells.push(Cell {
+                    name,
+                    v: V,
+                    procs,
+                    ns_per_op: ns,
+                    iters: 32,
+                    stat: "interleaved_min",
+                });
+                eprintln!(
+                    "{name:<24} v={V:<6} P={procs:<3} {ns:>12.0} ns/op (min of 32, interleaved)"
+                );
+            }
+            let ratio = cold_ns / warm_ns;
+            if warm_speedup.is_nan() || ratio < warm_speedup {
+                warm_speedup = ratio;
+            }
+        }
+    }
+
     // HDLTS-D on the replica-aware cache vs its full-recompute oracle.
     // The oracle's duplication-aware rows cost a full `eft_with_duplication`
-    // sweep per ready task per step, so the grid stops at v = 1000.
+    // sweep per ready task per step, so the grid stops at v = 1000 (100 in
+    // quick mode).
     let mut cpd_speedups: Vec<(usize, usize, f64)> = Vec::new();
     let mut cpd_speedup_1000 = f64::NAN;
+    let cpd_v: &[usize] = if quick { &[100] } else { &[100, 1000] };
     for &procs in &[4usize, 8, 16] {
-        for &v in &[100usize, 1000] {
+        for &v in cpd_v {
             let inst = bench_instance(v, procs);
             let platform = bench_platform(procs);
             let problem = inst.problem(&platform).expect("consistent instance");
@@ -229,7 +436,7 @@ fn main() {
                     || {
                         black_box(scheduler.schedule(black_box(&problem)).expect("schedules"));
                     },
-                    400_000_000,
+                    budget_ns,
                     max_iters,
                     1,
                 );
@@ -238,8 +445,9 @@ fn main() {
                     name,
                     v,
                     procs,
-                    mean_ns_per_op: mean_ns,
+                    ns_per_op: mean_ns,
                     iters,
+                    stat: "mean",
                 });
                 eprintln!(
                     "{name:<24} v={v:<6} P={procs:<3} {:>12.0} ns/op ({iters} iters)",
@@ -286,6 +494,7 @@ fn main() {
         let mut flat_eft: Vec<f64> = (0..V * P).map(|c| 2.0 * w(c / P, c % P)).collect();
         let mut flat_pv: Vec<f64> = vec![0.0; V];
 
+        let soa_budget = budget_ns / 2;
         let mut col = 0usize;
         let (flat_ns, flat_iters) = time_kernel(
             || {
@@ -312,7 +521,7 @@ fn main() {
                 black_box(best);
                 col = (col + 1) % P;
             },
-            200_000_000,
+            soa_budget,
             400,
             1,
         );
@@ -340,7 +549,7 @@ fn main() {
                 black_box(best);
                 col = (col + 1) % P;
             },
-            200_000_000,
+            soa_budget,
             400,
             1,
         );
@@ -352,8 +561,9 @@ fn main() {
                 name,
                 v: V,
                 procs: P,
-                mean_ns_per_op: mean_ns,
+                ns_per_op: mean_ns,
                 iters,
+                stat: "mean",
             });
             eprintln!("{name:<26} v={V:<6} P={P:<3} {mean_ns:>12.0} ns/op ({iters} iters)");
         }
@@ -392,7 +602,7 @@ fn main() {
                 }
                 black_box(acc);
             },
-            200_000_000,
+            budget_ns / 2,
             1000,
             REPS,
         );
@@ -400,8 +610,9 @@ fn main() {
             name: "mean_comm/cached_factor",
             v: 0,
             procs: p,
-            mean_ns_per_op: mean_ns,
+            ns_per_op: mean_ns,
             iters,
+            stat: "mean",
         });
         let (mean_ns, iters) = time_kernel(
             || {
@@ -420,7 +631,7 @@ fn main() {
                 }
                 black_box(acc);
             },
-            200_000_000,
+            budget_ns / 2,
             1000,
             REPS,
         );
@@ -428,8 +639,9 @@ fn main() {
             name: "mean_comm/pair_loop",
             v: 0,
             procs: p,
-            mean_ns_per_op: mean_ns,
+            ns_per_op: mean_ns,
             iters,
+            stat: "mean",
         });
     }
 
@@ -459,7 +671,7 @@ fn main() {
                 }
                 black_box(acc);
             },
-            200_000_000,
+            budget_ns / 2,
             1000,
             REPS,
         );
@@ -467,19 +679,21 @@ fn main() {
             name: "timeline/gap_search_10000",
             v: n,
             procs: 1,
-            mean_ns_per_op: mean_ns,
+            ns_per_op: mean_ns,
             iters,
+            stat: "mean",
         });
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"engine\",\n  \"kernels\": [\n");
+    let bench_name = if quick { "engine-quick" } else { "engine" };
+    let _ = writeln!(json, "{{\n  \"bench\": \"{bench_name}\",\n  \"kernels\": [");
     for (i, c) in cells.iter().enumerate() {
         let sep = if i + 1 < cells.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"v\": {}, \"procs\": {}, \"mean_ns_per_op\": {:.1}, \"iters\": {}}}{}",
-            c.name, c.v, c.procs, c.mean_ns_per_op, c.iters, sep
+            "    {{\"name\": \"{}\", \"v\": {}, \"procs\": {}, \"ns_per_op\": {:.1}, \"iters\": {}, \"stat\": \"{}\"}}{}",
+            c.name, c.v, c.procs, c.ns_per_op, c.iters, c.stat, sep
         );
     }
     json.push_str("  ],\n  \"hdlts_incremental_speedup\": [\n");
@@ -506,18 +720,37 @@ fn main() {
             "    {{\"v\": {v}, \"procs\": {procs}, \"full_over_incremental\": {s:.2}}}{sep}"
         );
     }
-    let _ = writeln!(
-        json,
-        "  ],\n  \"fig3_v10000_min_speedup\": {fig3_speedup_10000:.2},\n  \
-         \"cpd_v1000_min_speedup\": {cpd_speedup_1000:.2},\n  \
-         \"soa_v10000_min_speedup\": {soa_speedup:.2},\n  \
-         \"parallel_v10000_min_speedup\": {par_speedup_10000:.2}\n}}"
-    );
+    if quick {
+        // The smoke grid has no headline cells; emitting gate scalars
+        // measured on toy sizes would invite gating against them.
+        json.push_str(
+            "  ],\n  \"note\": \"quick smoke run; gate scalars are only recorded by the full grid\"\n}\n",
+        );
+    } else {
+        let _ = writeln!(
+            json,
+            "  ],\n  \"fig3_v10000_min_speedup\": {fig3_speedup_10000:.2},\n  \
+             \"cpd_v1000_min_speedup\": {cpd_speedup_1000:.2},\n  \
+             \"soa_v10000_min_speedup\": {soa_speedup:.2},\n  \
+             \"parallel_v10000_min_speedup\": {par_speedup_10000:.2},\n  \
+             \"parallel_v100000_min_speedup\": {par_speedup_100000:.2},\n  \
+             \"warm_engine_min_speedup\": {warm_speedup:.2}\n}}"
+        );
+    }
 
-    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
-    eprintln!("worst v=10000 incremental speedup: {fig3_speedup_10000:.2}x");
-    eprintln!("worst v=1000 HDLTS-D incremental speedup: {cpd_speedup_1000:.2}x");
-    eprintln!("v=10000 SoA column-scan speedup over boxed rows: {soa_speedup:.2}x");
-    eprintln!("worst v=10000 parallel-over-serial speedup: {par_speedup_10000:.2}x");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    if !quick {
+        eprintln!("worst v=10000 incremental speedup: {fig3_speedup_10000:.2}x");
+        eprintln!("worst v=1000 HDLTS-D incremental speedup: {cpd_speedup_1000:.2}x");
+        eprintln!("v=10000 SoA column-scan speedup over boxed rows: {soa_speedup:.2}x");
+        eprintln!("worst v=10000 parallel-over-serial speedup: {par_speedup_10000:.2}x");
+        eprintln!("worst v=100000 parallel-over-serial speedup: {par_speedup_100000:.2}x");
+        eprintln!("worst v=1000 warm-over-cold engine setup speedup: {warm_speedup:.2}x");
+    }
     eprintln!("wrote {out_path}");
 }

@@ -36,26 +36,215 @@
 //! `tests/proptest_incremental.rs` at the workspace root and DESIGN.md
 //! §"Engine internals").
 //!
-//! [`EngineMode::IncrementalParallel`] additionally fans independent row
-//! work — batches of newly-ready admits, stale-row recomputes, and wide
-//! column updates — across a rayon pool. The reduction is deterministic:
-//! workers write into pre-assigned disjoint staging regions, the staged
-//! results are committed by a sequential loop in canonical order, and
-//! selection stays a sequential scan, so schedules and traces are
-//! invariant under thread count (the determinism argument is spelled out
-//! in DESIGN.md §10).
+//! [`EngineMode::IncrementalParallel`] runs the same dirty-tracking rules
+//! through a **frontier-partitioned arena engine**: the live SoA slot range
+//! is split into a small number of contiguous row chunks, each dispatched
+//! as one rayon task over a persistent [`EngineArena`] (staging rows for
+//! admits, per-chunk score maxima, the hoisted per-processor frontier).
+//! Column updates write disjoint row ranges of the store directly — no
+//! per-row closure allocation, no per-row fork/join — while batch admits
+//! stage into the arena and commit sequentially in canonical batch order
+//! (slot allocation must stay ordered). Rows carry shifted moments
+//! (`Σ(eft−K)`, `Σ(eft−K)²`) so a changed cell refreshes the row's stddev
+//! *score* in O(1), and selection is two-phase: the column scan folds a
+//! per-chunk score maximum ([`update_row_score`]), then
+//! [`EftCache::resolve_selected`] canonically re-scores the rows within
+//! [`SELECT_BAND`] of the global maximum and picks the winner under the
+//! strict `(pv, task)` total order — partition- and thread-count-invariant
+//! by the error-bound argument on [`EftCache::resolve_selected`].
+//! Schedules and traces stay byte-identical across 1/2/N threads and
+//! against both other modes (the determinism argument is spelled out in
+//! DESIGN.md §10).
 //!
 //! [`ReplicaEftCache`] generalizes the same dirty-tracking discipline to
 //! **duplication-aware** rows (HDLTS-D), whose cells price tentative
 //! critical-parent copies via [`crate::est::eft_with_duplication`]; its
 //! extended invalidation invariant is documented on the type.
 
-use crate::est::{eft_row_into, eft_with_duplication, penalty_value, DupScratch, PlannedCopy};
-use crate::soa::SoaRowStore;
+use crate::est::{
+    eft_row_into, eft_with_duplication, penalty_from_score, penalty_score, penalty_score_is_exact,
+    penalty_value, DupScratch, PlannedCopy,
+};
+use crate::soa::{SoaRowStore, NO_SLOT};
 use crate::{CoreError, PenaltyKind, Problem, Schedule};
 use hdlts_dag::TaskId;
-use hdlts_platform::ProcId;
+use hdlts_platform::{sum_sq_dev, ProcId};
 use rayon::prelude::*;
+
+/// Floor on rows per chunk for the frontier-partitioned kernels: below
+/// this, per-chunk dispatch overhead dominates the row work, so smaller
+/// frontiers collapse into fewer (possibly one) chunks. Chunk boundaries
+/// never affect results — the per-chunk argmax folds under a strict total
+/// order and cell writes are row-independent — so this trades wall-clock
+/// only.
+const MIN_CHUNK_ROWS: usize = 16;
+
+/// Rows per chunk for a frontier of `rows` rows on the ambient pool:
+/// about four chunks per worker thread (for load balance across uneven
+/// rows), floored at [`MIN_CHUNK_ROWS`].
+fn chunk_rows_for(rows: usize) -> usize {
+    let chunks = rayon::current_num_threads().saturating_mul(4).max(1);
+    rows.div_ceil(chunks).max(MIN_CHUNK_ROWS)
+}
+
+/// Seeds `bases` with the starting row index of each chunk (`0, c, 2c,
+/// ...`). Zipping these against the chunked slices is how workers learn
+/// their global row offset.
+fn seed_chunk_bases(bases: &mut Vec<u32>, rows: usize, chunk_rows: usize) {
+    bases.clear();
+    bases.extend((0..rows.div_ceil(chunk_rows)).map(|c| (c * chunk_rows) as u32));
+}
+
+/// Folds `(t, pv)` into the running argmax under the selection total order
+/// (highest PV, ties to the lowest task id). The order is strict and
+/// total over live rows, so any fold order — serial slot order, per-chunk
+/// then across chunks — lands on the same winner.
+#[inline]
+fn fold_best(best: &mut Option<(TaskId, f64)>, t: TaskId, pv: f64) {
+    *best = match *best {
+        Some((bt, bpv)) if pv.total_cmp(&bpv).then(bt.cmp(&t)).is_gt() => Some((t, pv)),
+        None => Some((t, pv)),
+        keep => keep,
+    };
+}
+
+/// Relative contender band for the arena engine's two-phase selection:
+/// after the column scan, every live row whose stored score is within this
+/// relative distance of the scan's maximum is re-scored *canonically*
+/// before the winner is picked. The band must dominate (with margin) the
+/// worst-case relative error of a stored score versus the true sum of
+/// squared deviations, which for a [`MOMENT_GUARD`]-trusted score after
+/// `k` incremental cell updates is about `k · ε / MOMENT_GUARD`
+/// (`ε = 2⁻⁵²`); `1e-3` covers `k` up to ~2 × 10⁶ updates per row with a
+/// ~200× margin — far beyond any bench size (`v = 100 000` rows see at
+/// most ~2 × 10⁵ updates).
+const SELECT_BAND: f64 = 1e-3;
+
+/// Trust threshold for a moment-derived score: `sumsq − sum²/n` is kept
+/// only when it is at least this fraction of `sumsq`, i.e. when the
+/// subtraction cancels at most ~5 decimal digits, bounding the score's
+/// relative error by `k · ε / MOMENT_GUARD` (see [`SELECT_BAND`]). Below
+/// the threshold the row's score is recomputed canonically (two-pass
+/// [`sum_sq_dev`]) instead — graceful degradation to the eager cost on
+/// near-uniform rows, never an accuracy loss.
+const MOMENT_GUARD: f64 = 1e-5;
+
+/// Absolute floor below which a stored score cannot *exclude* its row
+/// from the contender set: relative error bounds say nothing about scores
+/// near zero (the moment subtraction can even round slightly negative
+/// there), so such rows are always resolved canonically. `1e-20 · sumsq`
+/// sits ~10 orders of magnitude above the `ε² · n · sumsq` slop of the
+/// canonical two-pass itself.
+const MOMENT_ABS_EPS: f64 = 1e-20;
+
+/// The arena engine's cheap per-row score for the stddev penalty kinds:
+/// `Σv² − (Σv)²/n`, evaluated from the incrementally-maintained row
+/// moments in O(1) instead of re-walking the row. Equal to the sum of
+/// squared deviations up to floating-point error; the [`MOMENT_GUARD`] /
+/// [`SELECT_BAND`] / [`MOMENT_ABS_EPS`] rules bound where that error can
+/// matter and route those cases to canonical recomputation.
+#[inline]
+fn score_from_moments(sum: f64, sumsq: f64, n: usize) -> f64 {
+    sumsq - (sum * sum) / (n as f64)
+}
+
+/// `(K, Σ(v−K), Σ(v−K)²)` of a freshly (re)computed or re-centered row —
+/// the seed for incremental shifted-moment maintenance. The offset `K` is
+/// the row mean computed with [`sum_sq_dev`]'s exact operation order, which
+/// makes the seeded `Σ(v−K)²` **bit-identical to the canonical score**
+/// (`sum_sq_dev(row)`): a reseed simultaneously re-centers the moments and
+/// produces the canonical fallback score for free.
+///
+/// Shifting matters because EFT rows ride a large common offset (the
+/// processor frontier) with comparatively tiny deviations: raw `Σv²`
+/// moments would cancel away nearly all significant digits, tripping the
+/// [`MOMENT_GUARD`] on nearly every row. Centered on the row mean, the
+/// moment magnitudes track the deviations themselves, and the guard only
+/// trips once the row has drifted hundreds of standard deviations from its
+/// seed point — at which point the reseed re-centers it.
+#[inline]
+fn seed_moments(row: &[f64]) -> (f64, f64, f64) {
+    let off = row.iter().sum::<f64>() / row.len() as f64;
+    let sum = row.iter().map(|v| v - off).sum::<f64>();
+    let sumsq = row.iter().map(|v| (v - off) * (v - off)).sum::<f64>();
+    (off, sum, sumsq)
+}
+
+/// Per-row body of the arena column scan: re-evaluates the `touched` EFT
+/// cells of one row against the current timelines and refreshes the row's
+/// stored score. For the stddev kinds each changed cell updates the row's
+/// shifted moments in O(1) (`sum += (e−K) − (old−K)`,
+/// `sumsq += (e−K)² − (old−K)²` — the update order over `touched` is
+/// fixed, so the moment bits are identical for any chunking) and the score
+/// is [`score_from_moments`]; when the [`MOMENT_GUARD`] cancellation check
+/// fails the row is **reseeded** via [`seed_moments`] — re-centering the
+/// moments on the current row mean and storing the canonical two-pass
+/// score, so guard failures are self-healing and stay rare. The
+/// exact-score kinds re-walk the row via [`penalty_score`]. EFT cell
+/// arithmetic matches the serial engine bit-for-bit (`avail` carries the
+/// hoisted non-insertion frontier, indexed like `touched`).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn update_row_score(
+    insertion: bool,
+    penalty: PenaltyKind,
+    procs: usize,
+    schedule: &Schedule,
+    touched: &[ProcId],
+    avail: &[f64],
+    ready: &[f64],
+    w_row: &[f64],
+    eft: &mut [f64],
+    pv: &mut f64,
+    m: &mut [f64],
+) {
+    let moments = !penalty_score_is_exact(penalty);
+    let mut changed = false;
+    let off = m[0];
+    let mut sum = m[1];
+    let mut sumsq = m[2];
+    for (ci, &p) in touched.iter().enumerate() {
+        let w = w_row[p.index()];
+        let e = if insertion {
+            schedule
+                .timeline(p)
+                .earliest_start(ready[p.index()], w, true)
+                + w
+        } else {
+            ready[p.index()].max(avail[ci]) + w
+        };
+        let old = eft[p.index()];
+        if e.to_bits() != old.to_bits() {
+            if moments {
+                let dn = e - off;
+                let dold = old - off;
+                sum += dn - dold;
+                sumsq += dn * dn - dold * dold;
+            }
+            eft[p.index()] = e;
+            changed = true;
+        }
+    }
+    if !changed {
+        return;
+    }
+    if moments {
+        let s = score_from_moments(sum, sumsq, procs);
+        if s >= MOMENT_GUARD * sumsq {
+            m[1] = sum;
+            m[2] = sumsq;
+            *pv = s;
+        } else {
+            let (noff, nsum, nsumsq) = seed_moments(eft);
+            m[0] = noff;
+            m[1] = nsum;
+            m[2] = nsumsq;
+            *pv = nsumsq;
+        }
+    } else {
+        *pv = penalty_score(penalty, eft, w_row);
+    }
+}
 
 /// Which EFT evaluation strategy a dynamic scheduler uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
@@ -102,9 +291,9 @@ impl Default for ParallelTuning {
     }
 }
 
-/// Staging buffers for the parallel fan-outs: workers fill disjoint
-/// regions here; a sequential commit loop writes them into the row store
-/// in canonical order.
+/// Staging buffers for [`ReplicaEftCache`]'s chunked row fan-outs:
+/// workers fill disjoint chunk regions here; a sequential commit loop
+/// writes them into the row store in canonical order.
 #[derive(Debug, Clone, Default)]
 struct ParScratch {
     /// Staged `ready` rows (batch admits / stale refreshes), row-major.
@@ -113,10 +302,37 @@ struct ParScratch {
     eft: Vec<f64>,
     /// Staged per-row penalty values.
     pv: Vec<f64>,
-    /// Staged touched-column EFT cells, `[row * touched.len() + column]`.
-    cells: Vec<f64>,
-    /// Whether any touched cell of the row changed bit-wise.
-    changed: Vec<bool>,
+    /// Per-chunk base row indices (see [`seed_chunk_bases`]).
+    base: Vec<u32>,
+}
+
+/// Persistent scratch arena for the frontier-partitioned kernels of
+/// [`EngineMode::IncrementalParallel`].
+///
+/// The arena owns every buffer the chunked kernels touch between steps —
+/// staged admit rows, per-chunk argmax slots, chunk bases, and the hoisted
+/// per-processor frontier — so steady-state scheduling performs **zero**
+/// heap allocation once the buffers have grown to the workload's high-water
+/// mark (the reset-not-free invariant: buffers are `clear()`ed, never
+/// dropped). One arena belongs to exactly one [`EftCache`] and is reused
+/// across warm-engine runs via [`EftCache::reset_for`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineArena {
+    /// Staged `ready` rows for batch admits, row-major in batch order.
+    ready: Vec<f64>,
+    /// Staged `eft` rows for batch admits, row-major in batch order.
+    eft: Vec<f64>,
+    /// Staged per-row penalty *scores* for batch admits (the arena engine
+    /// ranks rows via [`penalty_score`], deferring normalization).
+    pv: Vec<f64>,
+    /// Per-chunk base row indices (see [`seed_chunk_bases`]).
+    chunk_base: Vec<u32>,
+    /// Per-chunk maximum stored score from the fused column scan (phase
+    /// one of the two-phase selection).
+    maxima: Vec<f64>,
+    /// Hoisted `Avail(p)` per touched processor (non-insertion mode reads
+    /// the frontier once per scan instead of once per cell).
+    avail: Vec<f64>,
 }
 
 /// Dirty-tracked cache of the EFT rows of all currently-ready tasks.
@@ -133,9 +349,18 @@ pub struct EftCache {
     store: SoaRowStore,
     /// Ready tasks with live rows, in admission order.
     active: Vec<TaskId>,
-    /// `Some` puts batched row work on the rayon pool ([`EngineMode::IncrementalParallel`]).
+    /// Fan-out thresholds; `Some` iff `arena` is `Some`.
     parallel: Option<ParallelTuning>,
-    par: ParScratch,
+    /// `Some` switches the cache onto the frontier-partitioned arena
+    /// kernels ([`EngineMode::IncrementalParallel`]): cached cost rows,
+    /// fused selection, slot-order column scans, and — on pools wider than
+    /// one thread — chunked parallel dispatch.
+    arena: Option<EngineArena>,
+    /// The canonical argmax over live rows (arena mode only): maintained
+    /// eagerly by admits and rebuilt by every column scan's two-phase
+    /// selection, so [`EftCache::select`] is O(1) instead of a dense
+    /// rescan. Holds the winner's *canonical* penalty value.
+    selected: Option<(TaskId, f64)>,
 }
 
 impl EftCache {
@@ -148,12 +373,14 @@ impl EftCache {
             store: SoaRowStore::new(problem.num_tasks(), problem.num_procs()),
             active: Vec::new(),
             parallel: None,
-            par: ParScratch::default(),
+            arena: None,
+            selected: None,
         }
     }
 
-    /// Like [`EftCache::new`], but batched row work above the `tuning`
-    /// thresholds is fanned across the ambient rayon pool. Results are
+    /// Like [`EftCache::new`], but the cache runs the arena engine: cached
+    /// cost rows, fused selection, and frontier-partitioned chunked kernels
+    /// above the `tuning` thresholds on the ambient rayon pool. Results are
     /// bit-identical to the serial cache for any thread count.
     pub fn with_parallel(
         problem: &Problem<'_>,
@@ -162,9 +389,40 @@ impl EftCache {
         tuning: ParallelTuning,
     ) -> Self {
         EftCache {
+            insertion,
+            penalty,
+            store: SoaRowStore::with_cost_rows(problem.num_tasks(), problem.num_procs()),
+            active: Vec::new(),
             parallel: Some(tuning),
-            ..Self::new(problem, insertion, penalty)
+            arena: Some(EngineArena::default()),
+            selected: None,
         }
+    }
+
+    /// Resets the cache for a fresh problem, keeping every internal
+    /// buffer's capacity (reset-not-free) — the warm-engine path used by
+    /// [`crate::SchedulerScratch`]. When the processor count differs from
+    /// the previous problem the row store is rebuilt (a shape change
+    /// invalidates the flat layout); same-shape resets allocate nothing
+    /// once buffers reach their high-water mark.
+    pub fn reset_for(&mut self, problem: &Problem<'_>, insertion: bool, penalty: PenaltyKind) {
+        self.insertion = insertion;
+        self.penalty = penalty;
+        if self.store.procs() == problem.num_procs() {
+            self.store.reset(problem.num_tasks());
+        } else if self.arena.is_some() {
+            self.store = SoaRowStore::with_cost_rows(problem.num_tasks(), problem.num_procs());
+        } else {
+            self.store = SoaRowStore::new(problem.num_tasks(), problem.num_procs());
+        }
+        self.active.clear();
+        self.selected = None;
+    }
+
+    /// Processor count the cache's rows are dimensioned for.
+    #[inline]
+    pub fn procs(&self) -> usize {
+        self.store.procs()
     }
 
     /// Number of ready tasks currently cached.
@@ -200,15 +458,23 @@ impl EftCache {
             self.store.release(t);
             return Err(e);
         }
+        if self.arena.is_some() {
+            self.store.set_w_row(slot, problem.costs().row(t));
+            // The freshly-refreshed slot holds the *canonical* score, so
+            // normalizing it reproduces the canonical penalty value bits.
+            let pv = penalty_from_score(self.penalty, self.store.procs(), self.store.pv(slot));
+            fold_best(&mut self.selected, t, pv);
+        }
         self.active.push(t);
         Ok(())
     }
 
     /// Admits a batch of newly-ready tasks in order. Equivalent to calling
-    /// [`EftCache::admit`] per task; in parallel mode a batch at or above
-    /// [`ParallelTuning::min_batch_rows`] computes its rows concurrently
-    /// into pre-assigned staging regions and commits them sequentially in
-    /// batch order, so slot assignment and row bytes match the serial path.
+    /// [`EftCache::admit`] per task; in arena mode a batch at or above
+    /// [`ParallelTuning::min_batch_rows`] computes its rows concurrently —
+    /// chunk-partitioned over the arena's staging buffers — and commits
+    /// them sequentially in batch order, so slot assignment and row bytes
+    /// match the serial path.
     pub fn admit_batch(
         &mut self,
         problem: &Problem<'_>,
@@ -229,32 +495,52 @@ impl EftCache {
         let procs = self.store.procs();
         let insertion = self.insertion;
         let penalty = self.penalty;
-        let par = &mut self.par;
-        par.ready.clear();
-        par.ready.resize(tasks.len() * procs, 0.0);
-        par.eft.clear();
-        par.eft.resize(tasks.len() * procs, 0.0);
-        par.pv.clear();
-        par.pv.resize(tasks.len(), 0.0);
-        par.ready
-            .par_chunks_mut(procs)
-            .zip(par.eft.par_chunks_mut(procs))
-            .zip(par.pv.par_iter_mut())
-            .zip(tasks.par_iter())
-            .try_for_each(|(((ready, eft), pv), &t)| -> Result<(), CoreError> {
-                eft_row_into(problem, schedule, t, insertion, ready, eft)?;
-                *pv = penalty_value(penalty, eft, problem.costs().row(t));
-                Ok(())
-            })?;
+        let arena = self.arena.as_mut().expect("fan-out requires an arena");
+        arena.ready.clear();
+        arena.ready.resize(tasks.len() * procs, 0.0);
+        arena.eft.clear();
+        arena.eft.resize(tasks.len() * procs, 0.0);
+        arena.pv.clear();
+        arena.pv.resize(tasks.len(), 0.0);
+        let chunk = chunk_rows_for(tasks.len());
+        seed_chunk_bases(&mut arena.chunk_base, tasks.len(), chunk);
+        arena
+            .ready
+            .par_chunks_mut(chunk * procs)
+            .zip(arena.eft.par_chunks_mut(chunk * procs))
+            .zip(arena.pv.par_chunks_mut(chunk))
+            .zip(arena.chunk_base.par_iter())
+            .try_for_each(
+                |(((ready_c, eft_c), pv_c), &base)| -> Result<(), CoreError> {
+                    for i in 0..pv_c.len() {
+                        let t = tasks[base as usize + i];
+                        let ready = &mut ready_c[i * procs..(i + 1) * procs];
+                        let eft = &mut eft_c[i * procs..(i + 1) * procs];
+                        eft_row_into(problem, schedule, t, insertion, ready, eft)?;
+                        pv_c[i] = penalty_score(penalty, eft, problem.costs().row(t));
+                    }
+                    Ok(())
+                },
+            )?;
 
+        let arena = self.arena.as_ref().expect("fan-out requires an arena");
+        let exact = penalty_score_is_exact(self.penalty);
         for (i, &t) in tasks.iter().enumerate() {
             let slot = self.store.alloc(t);
+            let eft = &arena.eft[i * procs..(i + 1) * procs];
             self.store.write_row(
                 slot,
-                &self.par.ready[i * procs..(i + 1) * procs],
-                &self.par.eft[i * procs..(i + 1) * procs],
-                self.par.pv[i],
+                &arena.ready[i * procs..(i + 1) * procs],
+                eft,
+                arena.pv[i],
             );
+            self.store.set_w_row(slot, problem.costs().row(t));
+            if !exact {
+                let (off, sum, sumsq) = seed_moments(eft);
+                self.store.set_moments(slot, off, sum, sumsq);
+            }
+            let pv = penalty_from_score(self.penalty, procs, arena.pv[i]);
+            fold_best(&mut self.selected, t, pv);
             self.active.push(t);
         }
         Ok(())
@@ -266,10 +552,29 @@ impl EftCache {
         self.store.slot_of(t).map(|s| self.store.eft_row(s))
     }
 
+    /// The canonical penalty value of the row at `slot`. The serial cache
+    /// stores penalty values directly. The arena engine stores penalty
+    /// *scores* — for the stddev kinds possibly moment-derived, so the
+    /// canonical value is recomputed here from the row bytes via
+    /// [`sum_sq_dev`] + [`penalty_from_score`], the exact operation
+    /// sequence of [`penalty_value`]; exact-score kinds return the stored
+    /// score, which already is the penalty value.
+    #[inline]
+    fn materialize_pv(&self, slot: usize) -> f64 {
+        if self.arena.is_none() || penalty_score_is_exact(self.penalty) {
+            return self.store.pv(slot);
+        }
+        penalty_from_score(
+            self.penalty,
+            self.store.procs(),
+            sum_sq_dev(self.store.eft_row(slot)),
+        )
+    }
+
     /// The cached penalty value of ready task `t`.
     #[inline]
     pub fn pv(&self, t: TaskId) -> Option<f64> {
-        self.store.slot_of(t).map(|s| self.store.pv(s))
+        self.store.slot_of(t).map(|s| self.materialize_pv(s))
     }
 
     /// `(task, penalty value)` of every cached ready task, in admission
@@ -277,27 +582,28 @@ impl EftCache {
     pub fn scored(&self) -> impl Iterator<Item = (TaskId, f64)> + '_ {
         self.active.iter().map(|&t| {
             let slot = self.store.slot_of(t).expect("active row");
-            (t, self.store.pv(slot))
+            (t, self.materialize_pv(slot))
         })
     }
 
     /// The highest-PV ready task (ties: lowest id) — Algorithm 2's
     /// selection rule. `None` when the cache is empty.
     ///
-    /// Scans the dense per-slot `pv` vector. Uses `total_cmp` with the id
-    /// tie-break, a strict total order over the live rows, so the winner is
-    /// independent of both admission order and slot order.
+    /// In arena mode the winner is the fused argmax maintained by admits
+    /// and column scans, so this is O(1). The serial cache scans the dense
+    /// per-slot `pv` vector. Both use `total_cmp` with the id tie-break, a
+    /// strict total order over the live rows, so the winner is independent
+    /// of admission order, slot order, and fold order.
     pub fn select(&self) -> Option<TaskId> {
+        if self.arena.is_some() {
+            return self.selected.map(|(t, _)| t);
+        }
         let mut best: Option<(TaskId, f64)> = None;
         for (slot, &pv) in self.store.pvs().iter().enumerate() {
             let Some(t) = self.store.task_at(slot) else {
                 continue;
             };
-            best = match best {
-                Some((bt, bpv)) if pv.total_cmp(&bpv).then(bt.cmp(&t)).is_gt() => Some((t, pv)),
-                None => Some((t, pv)),
-                keep => keep,
-            };
+            fold_best(&mut best, t, pv);
         }
         best.map(|(t, _)| t)
     }
@@ -337,118 +643,208 @@ impl EftCache {
             }
         }
 
-        let fan_out = self
-            .parallel
-            .is_some_and(|tn| self.active.len() >= tn.min_column_rows.max(2))
-            && rayon::current_num_threads() > 1;
-        if fan_out {
-            self.update_columns_parallel(problem, schedule, touched);
-        } else {
-            for &t in &self.active {
-                let slot = self.store.slot_of(t).expect("active row");
-                let (ready, eft, pv) = self.store.row_cells_mut(slot);
-                let mut changed = false;
-                for &p in touched {
-                    let w = problem.w(t, p);
-                    let e =
-                        schedule
-                            .timeline(p)
-                            .earliest_start(ready[p.index()], w, self.insertion)
-                            + w;
-                    if e.to_bits() != eft[p.index()].to_bits() {
-                        eft[p.index()] = e;
-                        changed = true;
-                    }
+        if self.arena.is_some() {
+            self.update_columns_arena(schedule, touched);
+            return Ok(());
+        }
+        for &t in &self.active {
+            let slot = self.store.slot_of(t).expect("active row");
+            let (ready, eft, pv) = self.store.row_cells_mut(slot);
+            let mut changed = false;
+            for &p in touched {
+                let w = problem.w(t, p);
+                let e = schedule
+                    .timeline(p)
+                    .earliest_start(ready[p.index()], w, self.insertion)
+                    + w;
+                if e.to_bits() != eft[p.index()].to_bits() {
+                    eft[p.index()] = e;
+                    changed = true;
                 }
-                if changed {
-                    *pv = penalty_value(self.penalty, eft, problem.costs().row(t));
-                }
+            }
+            if changed {
+                *pv = penalty_value(self.penalty, eft, problem.costs().row(t));
             }
         }
         Ok(())
     }
 
-    /// The `touched`-column update fanned across the pool: each worker
-    /// evaluates the new cells (and, when a cell changed bit-wise, the new
-    /// penalty value) of its pre-assigned rows into `self.par`; a
-    /// sequential loop then commits the staged values. Rows are disjoint,
-    /// the per-cell arithmetic is the serial loop's, and the commit order
-    /// is canonical — so the store's bytes match the serial path exactly.
-    fn update_columns_parallel(
-        &mut self,
-        problem: &Problem<'_>,
-        schedule: &Schedule,
-        touched: &[ProcId],
-    ) {
-        let k = touched.len();
-        if k == 0 {
-            return;
-        }
-        let n = self.active.len();
+    /// The arena engine's `touched`-column pass, fused with phase one of
+    /// the two-phase selection: one scan over the live rows updates the
+    /// touched cells of every surviving row, refreshes each row's stored
+    /// *score*, and records the maximum score; [`EftCache::resolve_selected`]
+    /// (phase two) then canonically re-scores the handful of rows near that
+    /// maximum and picks the winner for the next [`EftCache::select`].
+    ///
+    /// For the stddev penalty kinds the score comes from incrementally
+    /// maintained row moments (`Σ eft`, `Σ eft²`), so a changed cell costs
+    /// O(1) instead of an O(P) row re-walk — the scan's arithmetic floor no
+    /// longer grows with the processor count. The [`MOMENT_GUARD`] check
+    /// falls back to the canonical two-pass [`sum_sq_dev`] whenever the
+    /// moment subtraction cancels too deeply to trust.
+    ///
+    /// The scan reads the task's cost row from the SoA `w` mirror, and —
+    /// in non-insertion mode — uses the frontier hoisted into the arena
+    /// (`Avail(p)` is constant across the scan, and
+    /// `earliest_start(ready, w, false) = max(ready, Avail)`), so the EFT
+    /// cell arithmetic is bit-identical to the serial engine's.
+    ///
+    /// On pools wider than one thread and frontiers at or above
+    /// [`ParallelTuning::min_column_rows`], the slot range is partitioned
+    /// into contiguous chunks dispatched as one rayon task each. Workers
+    /// write their rows' cells **directly** — rows are disjoint and each
+    /// new cell depends only on pre-scan state — and fold a per-chunk
+    /// score maximum; `f64::max` is associative and each row's stored
+    /// score depends only on its own bytes and update history, so the
+    /// global maximum (and with it phase two's contender set and winner)
+    /// is invariant to chunk boundaries and thread count, and the store's
+    /// bytes match the serial scan exactly.
+    fn update_columns_arena(&mut self, schedule: &Schedule, touched: &[ProcId]) {
         let procs = self.store.procs();
         let insertion = self.insertion;
         let penalty = self.penalty;
-        {
-            let par = &mut self.par;
-            par.cells.clear();
-            par.cells.resize(n * k, 0.0);
-            par.pv.clear();
-            par.pv.resize(n, 0.0);
-            par.changed.clear();
-            par.changed.resize(n, false);
-            let store = &self.store;
-            par.cells
-                .par_chunks_mut(k)
-                .zip(par.pv.par_iter_mut())
-                .zip(par.changed.par_iter_mut())
-                .zip(self.active.par_iter())
-                .for_each_init(
-                    || Vec::with_capacity(procs),
-                    |row_buf: &mut Vec<f64>, (((cells, pv_out), changed_out), &t)| {
-                        let slot = store.slot_of(t).expect("active row");
-                        let ready = store.ready_row(slot);
-                        let eft = store.eft_row(slot);
-                        row_buf.clear();
-                        row_buf.extend_from_slice(eft);
-                        let mut changed = false;
-                        for (ci, &p) in touched.iter().enumerate() {
-                            let w = problem.w(t, p);
-                            let e =
-                                schedule
-                                    .timeline(p)
-                                    .earliest_start(ready[p.index()], w, insertion)
-                                    + w;
-                            cells[ci] = e;
-                            if e.to_bits() != eft[p.index()].to_bits() {
-                                row_buf[p.index()] = e;
-                                changed = true;
-                            }
-                        }
-                        *changed_out = changed;
-                        *pv_out = if changed {
-                            penalty_value(penalty, row_buf, problem.costs().row(t))
-                        } else {
-                            0.0
-                        };
-                    },
-                );
+        let num_slots = self.store.num_slots();
+        let tuning = self.parallel.expect("arena mode implies tuning");
+        let arena = self.arena.as_mut().expect("arena mode");
+        arena.avail.clear();
+        if !insertion {
+            for &p in touched {
+                arena.avail.push(schedule.timeline(p).avail());
+            }
         }
-        for (i, &t) in self.active.iter().enumerate() {
-            if !self.par.changed[i] {
+        let avail: &[f64] = &arena.avail;
+
+        let fan_out = !touched.is_empty()
+            && num_slots >= tuning.min_column_rows.max(2)
+            && rayon::current_num_threads() > 1;
+        let mut vmax = f64::NEG_INFINITY;
+        if fan_out {
+            let chunk = chunk_rows_for(num_slots);
+            seed_chunk_bases(&mut arena.chunk_base, num_slots, chunk);
+            arena.maxima.clear();
+            arena
+                .maxima
+                .resize(arena.chunk_base.len(), f64::NEG_INFINITY);
+            let chunk_base: &[u32] = &arena.chunk_base;
+            let ks = self.store.kernel_slices_mut();
+            let (ready_all, task_of, w_all) = (ks.ready, ks.task_of, ks.w);
+            ks.eft
+                .par_chunks_mut(chunk * procs)
+                .zip(ks.pv.par_chunks_mut(chunk))
+                .zip(ks.moments.par_chunks_mut(chunk * 3))
+                .zip(arena.maxima.par_iter_mut())
+                .zip(chunk_base.par_iter())
+                .for_each(|((((eft_c, pv_c), mom_c), max_out), &base)| {
+                    let mut m = f64::NEG_INFINITY;
+                    for i in 0..pv_c.len() {
+                        let slot = base as usize + i;
+                        if task_of[slot] == NO_SLOT {
+                            continue;
+                        }
+                        let a = slot * procs;
+                        update_row_score(
+                            insertion,
+                            penalty,
+                            procs,
+                            schedule,
+                            touched,
+                            avail,
+                            &ready_all[a..a + procs],
+                            &w_all[a..a + procs],
+                            &mut eft_c[i * procs..(i + 1) * procs],
+                            &mut pv_c[i],
+                            &mut mom_c[i * 3..i * 3 + 3],
+                        );
+                        m = m.max(pv_c[i]);
+                    }
+                    *max_out = m;
+                });
+            for &m in &arena.maxima {
+                vmax = vmax.max(m);
+            }
+        } else {
+            // Serial scan: walk the live tasks through `slot_of` rather
+            // than the slot range — the slot high-water mark can be ~2x
+            // the live count after the frontier's peak, and skipping free
+            // slots costs a mispredicted branch per hole.
+            let ks = self.store.kernel_slices_mut();
+            for &t in &self.active {
+                let slot = ks.slot_of[t.index()] as usize;
+                let a = slot * procs;
+                update_row_score(
+                    insertion,
+                    penalty,
+                    procs,
+                    schedule,
+                    touched,
+                    avail,
+                    &ks.ready[a..a + procs],
+                    &ks.w[a..a + procs],
+                    &mut ks.eft[a..a + procs],
+                    &mut ks.pv[slot],
+                    &mut ks.moments[slot * 3..slot * 3 + 3],
+                );
+                vmax = vmax.max(ks.pv[slot]);
+            }
+        }
+        self.resolve_selected(vmax);
+    }
+
+    /// Phase two of the arena selection: canonically resolves the winner
+    /// from the contender set left by the column scan.
+    ///
+    /// A live row is a contender when its stored score is within
+    /// [`SELECT_BAND`] of the scan maximum `vmax`, or (stddev kinds) when
+    /// the score is too close to zero for the relative bound to apply
+    /// ([`MOMENT_ABS_EPS`]). Every contender's canonical penalty value is
+    /// recomputed from its row bytes — [`sum_sq_dev`] then
+    /// [`penalty_from_score`], the exact operation sequence of
+    /// [`penalty_value`] — and folded under the canonical `(pv, id)` total
+    /// order.
+    ///
+    /// Why this yields the canonical winner: every stored score equals the
+    /// row's true sum of squared deviations within a relative error the
+    /// [`MOMENT_GUARD`] rule bounds far below [`SELECT_BAND`] (scores that
+    /// fail the rule are stored canonically, and near-zero scores can never
+    /// *exclude* their row). The canonical argmax row therefore has a
+    /// stored score within the band of `vmax` and is always resolved; rows
+    /// outside the band are strictly below the winner even after the error
+    /// bounds, so skipping them never changes the fold. The contender set
+    /// is a deterministic function of per-row state and `vmax`, and the
+    /// fold order (admission order) is immaterial under a strict total
+    /// order, so the winner is thread-count- and chunk-invariant.
+    fn resolve_selected(&mut self, vmax: f64) {
+        let exact = penalty_score_is_exact(self.penalty);
+        let procs = self.store.procs();
+        let thresh = if exact {
+            vmax
+        } else {
+            vmax * (1.0 - SELECT_BAND)
+        };
+        let mut best: Option<(TaskId, f64)> = None;
+        for &t in &self.active {
+            let slot = self.store.slot_of(t).expect("active row");
+            let v = self.store.pv(slot);
+            let contender =
+                v >= thresh || (!exact && v <= MOMENT_ABS_EPS * self.store.moments(slot).2);
+            if !contender {
                 continue;
             }
-            let slot = self.store.slot_of(t).expect("active row");
-            let (_, eft, pv) = self.store.row_cells_mut(slot);
-            for (ci, &p) in touched.iter().enumerate() {
-                eft[p.index()] = self.par.cells[i * k + ci];
-            }
-            *pv = self.par.pv[i];
+            let pv = if exact {
+                v
+            } else {
+                penalty_from_score(self.penalty, procs, sum_sq_dev(self.store.eft_row(slot)))
+            };
+            fold_best(&mut best, t, pv);
         }
+        self.selected = best;
     }
 
     /// Recomputes the row at `slot` from scratch — the same arithmetic, in
     /// the same order, as [`crate::est::eft_row`], so results are
-    /// bit-identical.
+    /// bit-identical. The per-slot scalar holds the penalty value in serial
+    /// mode and the penalty *score* in arena mode (see
+    /// [`EftCache::materialize_pv`]).
     fn refresh_row(
         &mut self,
         problem: &Problem<'_>,
@@ -458,12 +854,28 @@ impl EftCache {
     ) -> Result<(), CoreError> {
         let (ready, eft) = self.store.row_mut(slot);
         eft_row_into(problem, schedule, t, self.insertion, ready, eft)?;
-        let pv = penalty_value(
-            self.penalty,
-            self.store.eft_row(slot),
-            problem.costs().row(t),
-        );
-        self.store.set_pv(slot, pv);
+        let val = if self.arena.is_some() {
+            if !penalty_score_is_exact(self.penalty) {
+                // The seed's Σ(v−K)² is the canonical score (same op
+                // order as `sum_sq_dev`), so one pass does both jobs.
+                let (off, sum, sumsq) = seed_moments(self.store.eft_row(slot));
+                self.store.set_moments(slot, off, sum, sumsq);
+                sumsq
+            } else {
+                penalty_score(
+                    self.penalty,
+                    self.store.eft_row(slot),
+                    problem.costs().row(t),
+                )
+            }
+        } else {
+            penalty_value(
+                self.penalty,
+                self.store.eft_row(slot),
+                problem.costs().row(t),
+            )
+        };
+        self.store.set_pv(slot, val);
         Ok(())
     }
 }
@@ -648,9 +1060,11 @@ impl ReplicaEftCache {
         Ok(())
     }
 
-    /// Prices the full rows of `tasks` concurrently into `self.par`
-    /// (disjoint pre-assigned regions, one [`DupScratch`] per worker).
-    /// Callers commit the staged rows sequentially.
+    /// Prices the full rows of `tasks` concurrently into `self.par`,
+    /// chunk-partitioned like the plain cache's kernels: each contiguous
+    /// run of batch rows is one rayon task writing a disjoint staging
+    /// region, with one [`DupScratch`] per worker. Callers commit the
+    /// staged rows sequentially in batch order.
     fn stage_rows_parallel(
         &mut self,
         problem: &Problem<'_>,
@@ -667,20 +1081,27 @@ impl ReplicaEftCache {
         par.eft.resize(tasks.len() * procs, 0.0);
         par.pv.clear();
         par.pv.resize(tasks.len(), 0.0);
+        let chunk = chunk_rows_for(tasks.len());
+        seed_chunk_bases(&mut par.base, tasks.len(), chunk);
         par.ready
-            .par_chunks_mut(procs)
-            .zip(par.eft.par_chunks_mut(procs))
-            .zip(par.pv.par_iter_mut())
-            .zip(tasks.par_iter())
+            .par_chunks_mut(chunk * procs)
+            .zip(par.eft.par_chunks_mut(chunk * procs))
+            .zip(par.pv.par_chunks_mut(chunk))
+            .zip(par.base.par_iter())
             .try_for_each_init(
                 || DupScratch::new(n_tasks),
-                |scr, (((ready, eft), pv), &t)| -> Result<(), CoreError> {
-                    for p in problem.platform().procs() {
-                        let (e, r) = Self::cell(problem, schedule, t, p, scr)?;
-                        eft[p.index()] = e;
-                        ready[p.index()] = r;
+                |scr, (((ready_c, eft_c), pv_c), &base)| -> Result<(), CoreError> {
+                    for i in 0..pv_c.len() {
+                        let t = tasks[base as usize + i];
+                        let ready = &mut ready_c[i * procs..(i + 1) * procs];
+                        let eft = &mut eft_c[i * procs..(i + 1) * procs];
+                        for p in problem.platform().procs() {
+                            let (e, r) = Self::cell(problem, schedule, t, p, scr)?;
+                            eft[p.index()] = e;
+                            ready[p.index()] = r;
+                        }
+                        pv_c[i] = penalty_value(penalty, eft, problem.costs().row(t));
                     }
-                    *pv = penalty_value(penalty, eft, problem.costs().row(t));
                     Ok(())
                 },
             )
@@ -1185,6 +1606,135 @@ mod tests {
             }
             assert_eq!(serial.select(), par.select());
         }
+    }
+
+    #[test]
+    fn chunked_kernels_match_serial_across_many_rows() {
+        // A wide fork: enough ready rows that the chunked column kernel
+        // splits the slot range into several chunks (MIN_CHUNK_ROWS = 16,
+        // 40 live rows -> 3 chunks in the two-thread test pool), so the
+        // per-chunk argmax reduce and the direct disjoint cell writes are
+        // both exercised across real chunk boundaries.
+        let n = 42; // entry + 40 children + exit
+        let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+        for i in 1..=40u32 {
+            edges.push((0, i, 3.0 + i as f64));
+            edges.push((i, 41, 2.0));
+        }
+        let dag = dag_from_edges(n, &edges).unwrap();
+        let costs = CostMatrix::from_rows(
+            (0..n)
+                .map(|t| {
+                    (0..3)
+                        .map(|p| 1.0 + ((t * 7 + p * 13) % 11) as f64)
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let platform = Platform::fully_connected(3).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+
+        for insertion in [false, true] {
+            let mut schedule = Schedule::new(n, 3);
+            let mut serial = EftCache::new(&problem, insertion, PenaltyKind::EftSampleStdDev);
+            let mut par = EftCache::with_parallel(
+                &problem,
+                insertion,
+                PenaltyKind::EftSampleStdDev,
+                force_parallel(),
+            );
+            schedule.place(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+            let batch: Vec<TaskId> = (1..=40).map(TaskId).collect();
+            serial.admit_batch(&problem, &schedule, &batch).unwrap();
+            in_test_pool(|| par.admit_batch(&problem, &schedule, &batch)).unwrap();
+
+            for step in 0..6 {
+                let pick = serial.select().unwrap();
+                assert_eq!(par.select(), Some(pick), "step {step}");
+                let row = serial.eft_row(pick).unwrap().to_vec();
+                let proc = crate::argmin_eft_slice(&row).unwrap();
+                let start = crate::est(&problem, &schedule, pick, proc, insertion).unwrap();
+                let w = problem.w(pick, proc);
+                schedule.place(pick, proc, start, start + w).unwrap();
+                serial
+                    .on_placed(&problem, &schedule, pick, &[proc])
+                    .unwrap();
+                in_test_pool(|| par.on_placed(&problem, &schedule, pick, &[proc])).unwrap();
+                for &t in serial.tasks() {
+                    let a = serial.eft_row(t).unwrap();
+                    let b = par.eft_row(t).unwrap();
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "step {step}, task {t}, insertion={insertion}"
+                        );
+                    }
+                    assert_eq!(
+                        serial.pv(t).unwrap().to_bits(),
+                        par.pv(t).unwrap().to_bits()
+                    );
+                }
+                assert_eq!(serial.select(), par.select(), "post step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_for_reuses_cache_without_stale_state() {
+        // Dirty a warm arena cache with one problem run, reset it, replay
+        // the same operations against a cold cache: every row byte and the
+        // fused select winner must match (the warm-engine invariant the
+        // daemon's scratch pool rests on).
+        let (dag, costs, platform) = fixture();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let mut warm = EftCache::with_parallel(
+            &problem,
+            false,
+            PenaltyKind::EftSampleStdDev,
+            force_parallel(),
+        );
+        let mut schedule = Schedule::new(4, 2);
+        warm.admit(&problem, &schedule, TaskId(0)).unwrap();
+        schedule.place(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        warm.on_placed(&problem, &schedule, TaskId(0), &[ProcId(0)])
+            .unwrap();
+        warm.admit_batch(&problem, &schedule, &[TaskId(1), TaskId(2)])
+            .unwrap();
+
+        warm.reset_for(&problem, false, PenaltyKind::EftSampleStdDev);
+        assert!(warm.is_empty());
+        assert!(warm.select().is_none());
+
+        let mut cold = EftCache::with_parallel(
+            &problem,
+            false,
+            PenaltyKind::EftSampleStdDev,
+            force_parallel(),
+        );
+        let mut schedule = Schedule::new(4, 2);
+        schedule.place(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        for cache in [&mut warm, &mut cold] {
+            cache
+                .admit_batch(&problem, &schedule, &[TaskId(1), TaskId(2)])
+                .unwrap();
+        }
+        schedule.place(TaskId(1), ProcId(0), 2.0, 5.0).unwrap();
+        for cache in [&mut warm, &mut cold] {
+            cache
+                .on_placed(&problem, &schedule, TaskId(1), &[ProcId(0)])
+                .unwrap();
+        }
+        for t in [TaskId(2)] {
+            let a = warm.eft_row(t).unwrap();
+            let b = cold.eft_row(t).unwrap();
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(warm.pv(t).unwrap().to_bits(), cold.pv(t).unwrap().to_bits());
+        }
+        assert_eq!(warm.select(), cold.select());
     }
 
     use hdlts_platform::LinkModel;

@@ -393,6 +393,58 @@ pub fn penalty_value(kind: PenaltyKind, eft_row: &[f64], cost_row: &[f64]) -> f6
     }
 }
 
+/// The *penalty score* of a task: a cheap, strictly order-preserving proxy
+/// for [`penalty_value`].
+///
+/// For the stddev penalty kinds the score is the two-pass sum of squared
+/// deviations ([`hdlts_platform::sum_sq_dev`]) with the normalization and
+/// square root deferred; for [`PenaltyKind::EftRange`] and
+/// [`PenaltyKind::ExecStdDev`] the score *is* the penalty value. Because
+/// every live row has the same width `n`, `pv = (s / c).sqrt()` is strictly
+/// monotone in `s`, so an argmax over rows can rank scores directly and
+/// only materialize penalty values via [`penalty_from_score`] when two
+/// scores are too close to separate (see
+/// [`penalty_score_is_exact`] and the engine's score-band fold).
+pub fn penalty_score(kind: PenaltyKind, eft_row: &[f64], cost_row: &[f64]) -> f64 {
+    match kind {
+        PenaltyKind::EftSampleStdDev | PenaltyKind::EftPopulationStdDev => {
+            hdlts_platform::sum_sq_dev(eft_row)
+        }
+        PenaltyKind::EftRange | PenaltyKind::ExecStdDev => penalty_value(kind, eft_row, cost_row),
+    }
+}
+
+/// Materializes the penalty value from a [`penalty_score`] of a row of
+/// width `n`, bit-identical to calling [`penalty_value`] on the row: the
+/// deferred normalization and square root use the exact operation order of
+/// [`hdlts_platform::sample_stddev`] / [`hdlts_platform::population_stddev`].
+pub fn penalty_from_score(kind: PenaltyKind, n: usize, score: f64) -> f64 {
+    match kind {
+        PenaltyKind::EftSampleStdDev => {
+            if n < 2 {
+                0.0
+            } else {
+                (score / (n - 1) as f64).sqrt()
+            }
+        }
+        PenaltyKind::EftPopulationStdDev => {
+            if n == 0 {
+                0.0
+            } else {
+                (score / n as f64).sqrt()
+            }
+        }
+        PenaltyKind::EftRange | PenaltyKind::ExecStdDev => score,
+    }
+}
+
+/// Whether [`penalty_score`] already equals [`penalty_value`] for this
+/// kind, so scores compare exactly and the score-band fallback is never
+/// needed.
+pub fn penalty_score_is_exact(kind: PenaltyKind) -> bool {
+    matches!(kind, PenaltyKind::EftRange | PenaltyKind::ExecStdDev)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,5 +640,43 @@ mod tests {
         );
         assert_eq!(penalty_value(PenaltyKind::EftRange, &efts, &costs), 8.0);
         assert!((penalty_value(PenaltyKind::ExecStdDev, &efts, &costs) - 3.2146).abs() < 1e-3);
+    }
+
+    /// `penalty_from_score(penalty_score(row))` must reproduce
+    /// `penalty_value(row)` bit-for-bit for every kind — the arena engine's
+    /// canonical-resolution step depends on this identity.
+    #[test]
+    fn penalty_score_round_trips_bitwise() {
+        let rows: [&[f64]; 4] = [
+            &[27.0, 35.0, 27.0],
+            &[1e5 + 0.125, 1e5 + 0.375, 1e5 - 0.25, 1e5],
+            &[3.0],
+            &[0.1, 0.2, 0.30000000000000004, 0.4, 0.5, 0.6, 0.7],
+        ];
+        let costs = [13.0, 19.0, 18.0, 7.0, 5.0, 2.0, 11.0];
+        for kind in [
+            PenaltyKind::EftSampleStdDev,
+            PenaltyKind::EftPopulationStdDev,
+            PenaltyKind::EftRange,
+            PenaltyKind::ExecStdDev,
+        ] {
+            for row in rows {
+                let cost_row = &costs[..row.len()];
+                let direct = penalty_value(kind, row, cost_row);
+                let via_score =
+                    penalty_from_score(kind, row.len(), penalty_score(kind, row, cost_row));
+                assert_eq!(
+                    direct.to_bits(),
+                    via_score.to_bits(),
+                    "kind {kind:?} row {row:?}"
+                );
+                if penalty_score_is_exact(kind) {
+                    assert_eq!(
+                        penalty_score(kind, row, cost_row).to_bits(),
+                        direct.to_bits()
+                    );
+                }
+            }
+        }
     }
 }

@@ -2,11 +2,73 @@
 
 use crate::est::{argmin_eft, argmin_eft_slice, eft_row};
 use crate::{
-    CoreError, DuplicationPolicy, EftCache, EngineMode, HdltsConfig, Problem, Schedule,
-    ScheduleTrace, Scheduler, TraceStep,
+    CoreError, DuplicationPolicy, EftCache, EngineMode, HdltsConfig, ParallelTuning, Problem,
+    Schedule, ScheduleTrace, Scheduler, TraceStep,
 };
 use hdlts_dag::TaskId;
 use hdlts_platform::ProcId;
+
+/// Reusable state for repeated HDLTS runs — the *warm engine* path.
+///
+/// A cold [`Scheduler::schedule`] call allocates the [`EftCache`] (row
+/// store + arena), the [`Schedule`] (placements, timelines), and the
+/// per-step loop buffers from scratch for every problem. A service shard
+/// scheduling thousands of jobs on one platform shape pays that malloc
+/// traffic per job for buffers whose sizes barely change. Keeping one
+/// `SchedulerScratch` per worker and scheduling through
+/// [`Hdlts::schedule_into`] instead makes every run after the first
+/// *reset-not-free*: buffers are cleared and reused, and steady state
+/// allocates nothing (capacity grows only when a job is strictly larger
+/// than anything the scratch has seen).
+///
+/// The scratch is keyed on shape internally: a problem with a different
+/// processor count, task count, or engine configuration safely rebuilds
+/// whatever no longer fits. Warm and cold runs produce byte-identical
+/// schedules and traces (see `tests/proptest_incremental.rs`).
+#[derive(Debug, Default)]
+pub struct SchedulerScratch {
+    /// The row cache, kept across runs. Rebuilt when the engine flavor it
+    /// was built for (`cache_cfg`) no longer matches.
+    cache: Option<EftCache>,
+    /// `(parallel, tuning)` the cache was built with.
+    cache_cfg: Option<(bool, ParallelTuning)>,
+    /// A retired schedule donated back via [`SchedulerScratch::recycle`],
+    /// reused (reset, capacity kept) by the next run.
+    schedule: Option<Schedule>,
+    /// Residual unfinished-parent counts, one per task.
+    pending_preds: Vec<usize>,
+    /// The selected task's EFT row.
+    row: Vec<f64>,
+    /// Processors dirtied by the step's placement.
+    touched: Vec<ProcId>,
+    /// The step's newly-ready children.
+    newly_ready: Vec<TaskId>,
+}
+
+impl SchedulerScratch {
+    /// An empty scratch; the first run through it is a cold run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Donates a finished schedule's buffers back to the scratch so the
+    /// next [`Hdlts::schedule_into`] reuses them instead of allocating.
+    pub fn recycle(&mut self, schedule: Schedule) {
+        self.schedule = Some(schedule);
+    }
+
+    /// Whether the scratch already holds a cache usable as-is (shape and
+    /// engine flavor match) for `problem` under `config` — i.e. whether
+    /// the next [`Hdlts::schedule_into`] run is *warm*.
+    pub fn is_warm_for(&self, problem: &Problem<'_>, config: &HdltsConfig) -> bool {
+        let parallel = config.engine == EngineMode::IncrementalParallel;
+        self.cache_cfg == Some((parallel, config.parallel))
+            && self
+                .cache
+                .as_ref()
+                .is_some_and(|c| c.procs() == problem.num_procs())
+    }
+}
 
 /// The paper's contribution: a dynamic list scheduler that
 ///
@@ -68,7 +130,32 @@ impl Hdlts {
         problem: &Problem<'_>,
     ) -> Result<(Schedule, ScheduleTrace), CoreError> {
         let mut trace = ScheduleTrace::default();
-        let schedule = self.run(problem, Some(&mut trace))?;
+        let schedule = self.run(problem, Some(&mut trace), &mut SchedulerScratch::new())?;
+        Ok((schedule, trace))
+    }
+
+    /// [`Scheduler::schedule`] through a reusable [`SchedulerScratch`] —
+    /// the warm engine path. Byte-identical to the cold path; after the
+    /// first run on a platform shape, steady state allocates nothing
+    /// (donate the finished schedule back via
+    /// [`SchedulerScratch::recycle`]).
+    pub fn schedule_into(
+        &self,
+        problem: &Problem<'_>,
+        scratch: &mut SchedulerScratch,
+    ) -> Result<Schedule, CoreError> {
+        self.run(problem, None, scratch)
+    }
+
+    /// [`Hdlts::schedule_with_trace`] through a reusable
+    /// [`SchedulerScratch`]; see [`Hdlts::schedule_into`].
+    pub fn schedule_with_trace_into(
+        &self,
+        problem: &Problem<'_>,
+        scratch: &mut SchedulerScratch,
+    ) -> Result<(Schedule, ScheduleTrace), CoreError> {
+        let mut trace = ScheduleTrace::default();
+        let schedule = self.run(problem, Some(&mut trace), scratch)?;
         Ok((schedule, trace))
     }
 
@@ -76,10 +163,11 @@ impl Hdlts {
         &self,
         problem: &Problem<'_>,
         trace: Option<&mut ScheduleTrace>,
+        scratch: &mut SchedulerScratch,
     ) -> Result<Schedule, CoreError> {
         match self.config.engine {
-            EngineMode::Incremental => self.run_incremental(problem, trace, false),
-            EngineMode::IncrementalParallel => self.run_incremental(problem, trace, true),
+            EngineMode::Incremental => self.run_incremental(problem, trace, false, scratch),
+            EngineMode::IncrementalParallel => self.run_incremental(problem, trace, true, scratch),
             EngineMode::FullRecompute => self.run_full_recompute(problem, trace),
         }
     }
@@ -95,30 +183,56 @@ impl Hdlts {
         problem: &Problem<'_>,
         mut trace: Option<&mut ScheduleTrace>,
         parallel: bool,
+        scratch: &mut SchedulerScratch,
     ) -> Result<Schedule, CoreError> {
         let (entry, _exit) = problem.entry_exit()?;
         let dag = problem.dag();
         let n = problem.num_tasks();
-        let mut schedule = Schedule::new(n, problem.num_procs());
-
-        let mut pending_preds: Vec<usize> = dag.tasks().map(|t| dag.in_degree(t)).collect();
-        let mut cache = if parallel {
-            EftCache::with_parallel(
-                problem,
-                self.config.insertion,
-                self.config.penalty,
-                self.config.parallel,
-            )
-        } else {
-            EftCache::new(problem, self.config.insertion, self.config.penalty)
+        // Warm path: reuse the recycled schedule and the existing cache
+        // when they match this problem's shape and engine flavor; rebuild
+        // otherwise. Either way the run starts from identical state, so
+        // warm and cold runs are byte-identical.
+        let mut schedule = match scratch.schedule.take() {
+            Some(mut s) => {
+                s.reset(n, problem.num_procs());
+                s
+            }
+            None => Schedule::new(n, problem.num_procs()),
         };
+
+        let cfg = (parallel, self.config.parallel);
+        match &mut scratch.cache {
+            Some(c) if scratch.cache_cfg == Some(cfg) => {
+                c.reset_for(problem, self.config.insertion, self.config.penalty);
+            }
+            slot => {
+                *slot = Some(if parallel {
+                    EftCache::with_parallel(
+                        problem,
+                        self.config.insertion,
+                        self.config.penalty,
+                        self.config.parallel,
+                    )
+                } else {
+                    EftCache::new(problem, self.config.insertion, self.config.penalty)
+                });
+                scratch.cache_cfg = Some(cfg);
+            }
+        }
+        let cache = scratch.cache.as_mut().expect("cache installed above");
+
+        scratch.pending_preds.clear();
+        scratch
+            .pending_preds
+            .extend(dag.tasks().map(|t| dag.in_degree(t)));
+        let pending_preds = &mut scratch.pending_preds;
         cache.admit(problem, &schedule, entry)?;
         let mut step = 0usize;
         // Hoisted per-step buffers: the selected row, the dirtied
         // processors, and the batch of newly-ready children.
-        let mut row = Vec::with_capacity(problem.num_procs());
-        let mut touched: Vec<ProcId> = Vec::with_capacity(problem.num_procs());
-        let mut newly_ready: Vec<TaskId> = Vec::new();
+        let row = &mut scratch.row;
+        let touched = &mut scratch.touched;
+        let newly_ready = &mut scratch.newly_ready;
 
         while let Some(task) = cache.select() {
             step += 1;
@@ -159,7 +273,7 @@ impl Hdlts {
             touched.clear();
             touched.push(proc);
             touched.extend(duplicated_on);
-            cache.on_placed(problem, &schedule, task, &touched)?;
+            cache.on_placed(problem, &schedule, task, touched)?;
 
             // Admit the step's newly-ready children as one batch, in child
             // order — the same admission order as per-child `admit` calls,
@@ -171,7 +285,7 @@ impl Hdlts {
                     newly_ready.push(child);
                 }
             }
-            cache.admit_batch(problem, &schedule, &newly_ready)?;
+            cache.admit_batch(problem, &schedule, newly_ready)?;
         }
 
         if !schedule.is_complete() {
@@ -353,7 +467,7 @@ impl Scheduler for Hdlts {
     }
 
     fn schedule(&self, problem: &Problem<'_>) -> Result<Schedule, CoreError> {
-        self.run(problem, None)
+        self.run(problem, None, &mut SchedulerScratch::new())
     }
 }
 
@@ -520,6 +634,43 @@ mod tests {
                 .unwrap();
             assert_eq!(fast_s, full_s);
             assert_eq!(fast_t, full_t);
+        }
+    }
+
+    #[test]
+    fn warm_scratch_reproduces_cold_runs() {
+        // Warm the scratch on an unrelated job, then re-schedule another
+        // problem through it: results must be byte-identical to a cold
+        // run, for both incremental engine modes.
+        let warmup_dag = dag_from_edges(3, &[(0, 1, 2.0), (1, 2, 1.0)]).unwrap();
+        let warmup_costs = CostMatrix::uniform(3, 2, 4.0).unwrap();
+        let dag = dag_from_edges(4, &[(0, 1, 9.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)]).unwrap();
+        let costs = CostMatrix::from_rows(vec![
+            vec![2.0, 8.0],
+            vec![4.0, 4.0],
+            vec![4.0, 4.0],
+            vec![1.0, 3.0],
+        ])
+        .unwrap();
+        let platform = Platform::fully_connected(2).unwrap();
+        let warmup = Problem::new(&warmup_dag, &warmup_costs, &platform).unwrap();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        for engine in [
+            crate::EngineMode::Incremental,
+            crate::EngineMode::IncrementalParallel,
+        ] {
+            let hdlts = Hdlts::new(HdltsConfig::paper_exact().with_engine(engine));
+            let (cold_s, cold_t) = hdlts.schedule_with_trace(&problem).unwrap();
+            let mut scratch = SchedulerScratch::new();
+            assert!(!scratch.is_warm_for(&problem, hdlts.config()));
+            let first = hdlts.schedule_into(&warmup, &mut scratch).unwrap();
+            scratch.recycle(first);
+            assert!(scratch.is_warm_for(&problem, hdlts.config()));
+            let (warm_s, warm_t) = hdlts
+                .schedule_with_trace_into(&problem, &mut scratch)
+                .unwrap();
+            assert_eq!(cold_s, warm_s, "{engine:?}");
+            assert_eq!(cold_t, warm_t, "{engine:?}");
         }
     }
 

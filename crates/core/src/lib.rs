@@ -47,14 +47,15 @@ mod trace;
 pub mod validate;
 
 pub use config::{DuplicationPolicy, HdltsConfig, PenaltyKind};
-pub use engine::{EftCache, EngineMode, ParallelTuning, ReplicaEftCache};
+pub use engine::{EftCache, EngineArena, EngineMode, ParallelTuning, ReplicaEftCache};
 pub use error::CoreError;
 pub use est::{
     argmin_eft, argmin_eft_slice, data_ready_time, eft, eft_row, eft_row_into,
-    eft_with_duplication, est, min_eft_placement, min_eft_placement_into, penalty_value,
-    DupScratch, PlacementScratch, PlannedCopy,
+    eft_with_duplication, est, min_eft_placement, min_eft_placement_into, penalty_from_score,
+    penalty_score, penalty_score_is_exact, penalty_value, DupScratch, PlacementScratch,
+    PlannedCopy,
 };
-pub use hdlts::{duplicate_entry, Hdlts};
+pub use hdlts::{duplicate_entry, Hdlts, SchedulerScratch};
 pub use problem::Problem;
 pub use schedule::{Placement, Schedule};
 pub use scheduler::Scheduler;

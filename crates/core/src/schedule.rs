@@ -48,6 +48,26 @@ impl Schedule {
         }
     }
 
+    /// Resets the schedule for a fresh problem of `num_tasks` tasks over
+    /// `num_procs` processors, keeping every buffer's capacity (the
+    /// warm-reuse path: reset-not-free). Equivalent to `*self =
+    /// Schedule::new(num_tasks, num_procs)` without the allocations.
+    pub fn reset(&mut self, num_tasks: usize, num_procs: usize) {
+        self.placements.clear();
+        self.placements.resize(num_tasks, None);
+        self.duplicates.clear();
+        // Truncate-then-grow keeps surviving per-task index Vecs (and their
+        // capacity); the cleared ones are reused verbatim.
+        for idx in &mut self.dup_index {
+            idx.clear();
+        }
+        self.dup_index.resize_with(num_tasks, Vec::new);
+        for tl in &mut self.timelines {
+            tl.clear();
+        }
+        self.timelines.resize_with(num_procs, Timeline::new);
+    }
+
     /// Number of tasks the schedule covers.
     #[inline]
     pub fn num_tasks(&self) -> usize {

@@ -31,12 +31,19 @@
 use hdlts_dag::TaskId;
 
 /// Sentinel for "no slot" in `slot_of` / "free" in `task_of`.
-const NO_SLOT: u32 = u32::MAX;
+pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// Dense slot-indexed storage for per-task `(ready, eft, pv)` rows.
 ///
 /// All row state lives in three flat arrays; `slot_of`/`task_of` map
-/// between task ids and slots in O(1) both ways.
+/// between task ids and slots in O(1) both ways. Stores built with
+/// [`SoaRowStore::with_cost_rows`] additionally mirror each task's
+/// computation-cost row into a fourth flat `w` matrix — so the
+/// per-placement column kernels read `(ready, eft, w)` from three
+/// cache-adjacent arrays instead of chasing the cost matrix per cell —
+/// and carry two per-slot *moment* scalars (`Σ eft`, `Σ eft²`) that the
+/// arena engine maintains incrementally to score rows in O(changed cells)
+/// instead of O(procs) (see `engine.rs` on `update_columns_arena`).
 #[derive(Debug, Clone)]
 pub(crate) struct SoaRowStore {
     /// Columns per row (one per processor).
@@ -45,8 +52,21 @@ pub(crate) struct SoaRowStore {
     ready: Vec<f64>,
     /// `EFT(t, p)` matrix, row-major `[slot * procs + p]`.
     eft: Vec<f64>,
-    /// Penalty value per slot.
+    /// Penalty value (serial cache) or penalty score (arena engine) per
+    /// slot.
     pv: Vec<f64>,
+    /// `W(t, p)` rows copied from the cost matrix at `alloc` time, row-major
+    /// (empty unless `track_w`).
+    w: Vec<f64>,
+    /// Shifted row moments, stride 3 per slot — `[K, Σ(eft−K), Σ(eft−K)²]`
+    /// — packed so one row's moment update touches one cache line (empty
+    /// unless `track_w`). `K` is the reference offset the moments are
+    /// centered on, reseeded to the row mean when the arena engine's
+    /// cancellation guard trips.
+    moments: Vec<f64>,
+    /// Whether `w` rows and the moment scalars are maintained (arena-mode
+    /// caches only).
+    track_w: bool,
     /// Task index -> slot (`NO_SLOT` = task has no live row).
     slot_of: Vec<u32>,
     /// Slot -> task index (`NO_SLOT` = slot is free).
@@ -63,10 +83,37 @@ impl SoaRowStore {
             ready: Vec::new(),
             eft: Vec::new(),
             pv: Vec::new(),
+            w: Vec::new(),
+            moments: Vec::new(),
+            track_w: false,
             slot_of: vec![NO_SLOT; num_tasks],
             task_of: Vec::new(),
             free: Vec::new(),
         }
+    }
+
+    /// Like [`SoaRowStore::new`], but every slot also carries the task's
+    /// computation-cost row (filled by [`SoaRowStore::set_w_row`]).
+    pub fn with_cost_rows(num_tasks: usize, procs: usize) -> Self {
+        SoaRowStore {
+            track_w: true,
+            ..Self::new(num_tasks, procs)
+        }
+    }
+
+    /// Resets the store for a fresh problem with `num_tasks` tasks on the
+    /// same processor count, keeping every buffer's capacity (the warm-reuse
+    /// path: reset-not-free).
+    pub fn reset(&mut self, num_tasks: usize) {
+        self.ready.clear();
+        self.eft.clear();
+        self.pv.clear();
+        self.w.clear();
+        self.moments.clear();
+        self.slot_of.clear();
+        self.slot_of.resize(num_tasks, NO_SLOT);
+        self.task_of.clear();
+        self.free.clear();
     }
 
     /// Columns per row.
@@ -96,6 +143,13 @@ impl SoaRowStore {
         &self.pv
     }
 
+    /// Number of slots ever allocated (live + free). Kernels that walk the
+    /// store in slot order iterate `0..num_slots()` and skip free slots.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.pv.len()
+    }
+
     /// Assigns a slot to `t`, recycling a freed one when available. The
     /// slot's row contents are unspecified until written.
     pub fn alloc(&mut self, t: TaskId) -> usize {
@@ -106,6 +160,10 @@ impl SoaRowStore {
                 let s = self.pv.len();
                 self.ready.resize(self.ready.len() + self.procs, 0.0);
                 self.eft.resize(self.eft.len() + self.procs, 0.0);
+                if self.track_w {
+                    self.w.resize(self.w.len() + self.procs, 0.0);
+                    self.moments.resize(self.moments.len() + 3, 0.0);
+                }
                 self.pv.push(0.0);
                 self.task_of.push(NO_SLOT);
                 s
@@ -178,6 +236,78 @@ impl SoaRowStore {
         self.eft[a..b].copy_from_slice(eft);
         self.pv[slot] = pv;
     }
+
+    /// Fills the cached cost row at `slot` (stores built with
+    /// [`SoaRowStore::with_cost_rows`] only).
+    #[inline]
+    pub fn set_w_row(&mut self, slot: usize, row: &[f64]) {
+        debug_assert!(self.track_w, "store does not track cost rows");
+        let a = slot * self.procs;
+        self.w[a..a + self.procs].copy_from_slice(row);
+    }
+
+    /// The cached `W(t, ·)` row at `slot` (bit-identical to the cost
+    /// matrix row it was copied from).
+    #[cfg(test)]
+    pub fn w_row(&self, slot: usize) -> &[f64] {
+        let a = slot * self.procs;
+        &self.w[a..a + self.procs]
+    }
+
+    /// Seeds the shifted-moment scalars at `slot` (stores built with
+    /// [`SoaRowStore::with_cost_rows`] only).
+    #[inline]
+    pub fn set_moments(&mut self, slot: usize, off: f64, sum: f64, sumsq: f64) {
+        debug_assert!(self.track_w, "store does not track moments");
+        self.moments[slot * 3..slot * 3 + 3].copy_from_slice(&[off, sum, sumsq]);
+    }
+
+    /// `(K, Σ (eft − K), Σ (eft − K)²)` at `slot`.
+    #[inline]
+    pub fn moments(&self, slot: usize) -> (f64, f64, f64) {
+        let m = &self.moments[slot * 3..slot * 3 + 3];
+        (m[0], m[1], m[2])
+    }
+
+    /// Simultaneous borrows of every flat array the frontier kernels touch,
+    /// with the per-step-mutable halves (`eft`, `pv`, the moment scalars)
+    /// mutable. The parallel column kernel chunks the mutable arrays into
+    /// disjoint contiguous row ranges; the shared halves are read by every
+    /// chunk (the serial scan instead walks the live tasks via `slot_of`).
+    #[inline]
+    pub fn kernel_slices_mut(&mut self) -> KernelSlices<'_> {
+        KernelSlices {
+            ready: &self.ready,
+            eft: &mut self.eft,
+            pv: &mut self.pv,
+            moments: &mut self.moments,
+            slot_of: &self.slot_of,
+            task_of: &self.task_of,
+            w: &self.w,
+        }
+    }
+}
+
+/// Borrow bundle returned by [`SoaRowStore::kernel_slices_mut`]: the flat
+/// arrays the per-placement column kernels read and write, split so the
+/// chunked parallel kernel can partition the mutable halves while sharing
+/// the rest.
+pub(crate) struct KernelSlices<'a> {
+    /// `Ready(t, p)` matrix, row-major (read-only during a column scan).
+    pub ready: &'a [f64],
+    /// `EFT(t, p)` matrix, row-major.
+    pub eft: &'a mut [f64],
+    /// Penalty value / penalty score per slot.
+    pub pv: &'a mut [f64],
+    /// Shifted row moments `[K, Σ(eft−K), Σ(eft−K)²]`, stride 3 per slot
+    /// (empty unless the store tracks cost rows).
+    pub moments: &'a mut [f64],
+    /// Task index -> slot map.
+    pub slot_of: &'a [u32],
+    /// Slot -> task index map.
+    pub task_of: &'a [u32],
+    /// Cached `W(t, p)` rows, row-major (empty unless tracked).
+    pub w: &'a [f64],
 }
 
 #[cfg(test)]
@@ -230,5 +360,33 @@ mod tests {
         // Slot `a` untouched.
         assert_eq!(s.eft_row(a), &[3.0, 4.0]);
         assert_eq!(s.pv(a), 1.0);
+    }
+
+    #[test]
+    fn cost_rows_tracked_and_reset_reuses_capacity() {
+        let mut s = SoaRowStore::with_cost_rows(4, 2);
+        let a = s.alloc(TaskId(0));
+        s.set_w_row(a, &[7.0, 9.0]);
+        s.write_row(a, &[1.0, 2.0], &[3.0, 4.0], 1.0);
+        assert_eq!(s.w_row(a), &[7.0, 9.0]);
+        assert_eq!(s.num_slots(), 1);
+
+        // Reset for a smaller follow-up problem: all rows gone, capacity
+        // (and the procs shape) retained, slots allocate from zero again.
+        s.reset(2);
+        assert_eq!(s.num_slots(), 0);
+        assert_eq!(s.slot_of(TaskId(0)), None);
+        let b = s.alloc(TaskId(1));
+        assert_eq!(b, 0);
+        s.set_w_row(b, &[5.0, 6.0]);
+        assert_eq!(s.w_row(b), &[5.0, 6.0]);
+        s.set_moments(b, 5.5, 0.0, 0.5);
+        assert_eq!(s.moments(b), (5.5, 0.0, 0.5));
+        let ks = s.kernel_slices_mut();
+        assert_eq!((ks.ready.len(), ks.eft.len(), ks.pv.len()), (2, 2, 1));
+        assert_eq!(ks.moments.len(), 3);
+        assert_eq!(ks.slot_of[1], 0);
+        assert_eq!(ks.task_of, &[1]);
+        assert_eq!(ks.w, &[5.0, 6.0]);
     }
 }

@@ -39,6 +39,12 @@ impl Timeline {
         &self.slots
     }
 
+    /// Empties the timeline, keeping its slot capacity (warm-reuse path).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
     /// `Avail(m_p)` (Definition 3): the end of the last busy slot, or 0.
     #[inline]
     pub fn avail(&self) -> f64 {

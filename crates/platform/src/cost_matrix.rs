@@ -183,9 +183,7 @@ pub fn sample_stddev(values: &[f64]) -> f64 {
     if n < 2 {
         return 0.0;
     }
-    let mean = values.iter().sum::<f64>() / n as f64;
-    let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
-    (ss / (n - 1) as f64).sqrt()
+    (sum_sq_dev(values) / (n - 1) as f64).sqrt()
 }
 
 /// Population standard deviation (n denominator); the ablation alternative
@@ -195,9 +193,24 @@ pub fn population_stddev(values: &[f64]) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let mean = values.iter().sum::<f64>() / n as f64;
-    let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
-    (ss / n as f64).sqrt()
+    (sum_sq_dev(values) / n as f64).sqrt()
+}
+
+/// Two-pass sum of squared deviations from the mean — the pre-normalization
+/// core shared by [`sample_stddev`] and [`population_stddev`], with the
+/// exact operation order both have always used (sequential sums), so
+/// `sample_stddev(v) == (sum_sq_dev(v) / (n - 1)).sqrt()` bit-for-bit.
+///
+/// Exposed because the engine's score-domain selection compares penalty
+/// values through this quantity: `x.sqrt()/c` is strictly monotone, so an
+/// argmax over rows of equal width can rank by `sum_sq_dev` and defer the
+/// division and square root out of its hottest loop.
+pub fn sum_sq_dev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| (v - mean) * (v - mean)).sum()
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ mod links;
 mod proc_set;
 mod processor;
 
-pub use cost_matrix::{population_stddev, sample_stddev, CostMatrix};
+pub use cost_matrix::{population_stddev, sample_stddev, sum_sq_dev, CostMatrix};
 pub use error::PlatformError;
 pub use links::{LinkModel, MeanCommFactor};
 pub use proc_set::Platform;

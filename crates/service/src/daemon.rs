@@ -27,7 +27,9 @@ use crate::protocol::{self, parse_request, placements_value, Request, SubmitRequ
 use crate::queue::{Bounded, PopBatch, PushError};
 use hdlts_metrics::LatencyHistogram;
 use hdlts_platform::Platform;
-use hdlts_sim::{DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel};
+use hdlts_sim::{
+    DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel, StreamScratch,
+};
 use hdlts_workloads::Instance;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -135,6 +137,11 @@ struct Shard {
     platform: Platform,
     queue: Bounded<QueuedJob>,
     completed: AtomicU64,
+    /// Jobs scheduled through an already-warm worker scratch (the
+    /// steady-state path: buffers reused, no allocation).
+    scratch_hits: AtomicU64,
+    /// Jobs that had to warm a cold or wrongly-shaped scratch first.
+    scratch_misses: AtomicU64,
 }
 
 struct Shared {
@@ -164,6 +171,23 @@ struct Shared {
     journal_errors: AtomicU64,
 }
 
+/// Per-shard slice of [`ServiceStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Processor count of the shard's platform.
+    pub procs: usize,
+    /// Scheduling threads dedicated to the shard.
+    pub threads: usize,
+    /// Jobs this shard scheduled to completion.
+    pub completed: u64,
+    /// Jobs scheduled through an already-warm worker scratch (steady
+    /// state: per-pick buffers reused, nothing allocated).
+    pub scratch_hits: u64,
+    /// Jobs that found their worker's scratch cold (first job after the
+    /// worker started or a shape change) and warmed it.
+    pub scratch_misses: u64,
+}
+
 /// A point-in-time view of the daemon's counters and latency profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
@@ -189,8 +213,8 @@ pub struct ServiceStats {
     pub journal_errors: u64,
     /// Current total queue depth across shards.
     pub queue_depth: usize,
-    /// `(procs, threads, completed)` per shard.
-    pub shards: Vec<(usize, usize, u64)>,
+    /// Per-shard throughput and warm-engine reuse counters.
+    pub shards: Vec<ShardStats>,
     /// Completed-job service latency (queue wait + scheduling), ms.
     pub latency_p50_ms: f64,
     /// 95th percentile service latency, ms.
@@ -233,11 +257,18 @@ impl ServiceStats {
                 Value::Arr(
                     self.shards
                         .iter()
-                        .map(|&(procs, threads, done)| {
+                        .map(|sh| {
                             obj([
-                                ("procs", procs.into()),
-                                ("threads", threads.into()),
-                                ("completed", done.into()),
+                                ("procs", sh.procs.into()),
+                                ("threads", sh.threads.into()),
+                                ("completed", sh.completed.into()),
+                                (
+                                    "scratch_reuse",
+                                    obj([
+                                        ("hits", sh.scratch_hits.into()),
+                                        ("misses", sh.scratch_misses.into()),
+                                    ]),
+                                ),
                             ])
                         })
                         .collect(),
@@ -277,6 +308,8 @@ impl Daemon {
                 platform,
                 queue: Bounded::new(cfg.queue_capacity),
                 completed: AtomicU64::new(0),
+                scratch_hits: AtomicU64::new(0),
+                scratch_misses: AtomicU64::new(0),
             });
         }
         // Replay the journal before anything is listening: unfinished jobs
@@ -524,12 +557,12 @@ fn snapshot(shared: &Shared) -> ServiceStats {
         shards: shared
             .shards
             .iter()
-            .map(|s| {
-                (
-                    s.spec.procs,
-                    s.spec.threads,
-                    s.completed.load(Ordering::SeqCst),
-                )
+            .map(|s| ShardStats {
+                procs: s.spec.procs,
+                threads: s.spec.threads,
+                completed: s.completed.load(Ordering::SeqCst),
+                scratch_hits: s.scratch_hits.load(Ordering::SeqCst),
+                scratch_misses: s.scratch_misses.load(Ordering::SeqCst),
             })
             .collect(),
         latency_p50_ms: to_ms(p50),
@@ -549,6 +582,9 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
     };
     let max = shared.cfg.shard_batch.max(1);
     let mut batch: Vec<QueuedJob> = Vec::with_capacity(max);
+    // Worker-lifetime scratch: the first job warms it for the shard's
+    // platform shape; every later job schedules through the warm buffers.
+    let mut scratch = StreamScratch::new();
     'drain: loop {
         if shared.faults.crashed() {
             break; // the process is "dead": abandon the queue mid-backlog
@@ -575,7 +611,7 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
                     if i > 0 && shared.cfg.worker_delay_ms > 0 {
                         std::thread::sleep(Duration::from_millis(shared.cfg.worker_delay_ms));
                     }
-                    process_job(shared, shard, job);
+                    process_job(shared, shard, job, &mut scratch);
                 }
             }
             PopBatch::Empty => continue,
@@ -603,7 +639,7 @@ fn journal_terminal(shared: &Shared, record: &Record) {
     }
 }
 
-fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
+fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob, scratch: &mut StreamScratch) {
     // Crash point: the job was popped and now lives only in this worker's
     // memory — the journal's Submitted record is its sole survivor.
     if shared.faults.hit(CrashPoint::MidShard) {
@@ -631,7 +667,18 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob) {
         instance: job.instance,
         arrival: 0.0,
     }];
-    let outcome = scheduler.execute(&shard.platform, &arrivals, &job.perturb, &job.failures);
+    if scratch.is_warm_for(shard.spec.procs) {
+        shard.scratch_hits.fetch_add(1, Ordering::SeqCst);
+    } else {
+        shard.scratch_misses.fetch_add(1, Ordering::SeqCst);
+    }
+    let outcome = scheduler.execute_with(
+        &shard.platform,
+        &arrivals,
+        &job.perturb,
+        &job.failures,
+        scratch,
+    );
     // Crash point: the schedule exists but was never recorded — recovery
     // re-runs the job and must reproduce it bit-for-bit.
     if shared.faults.hit(CrashPoint::PreCompleteRecord) {
@@ -1051,6 +1098,47 @@ mod tests {
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.inflight, 0);
         assert_eq!(stats.queue_depth, 0);
+        // Warm-engine accounting: every completed job is either a scratch
+        // hit or a miss, and the single job here necessarily ran cold.
+        let shard = &stats.shards[0];
+        assert_eq!(shard.scratch_hits + shard.scratch_misses, 1);
+        assert_eq!(shard.scratch_misses, 1);
+        let v = stats.to_value(true);
+        let reuse = v.get("shards").unwrap().as_arr().unwrap()[0]
+            .get("scratch_reuse")
+            .unwrap()
+            .clone();
+        assert_eq!(reuse.get("misses").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn shard_workers_reuse_scratch_across_jobs() {
+        // One worker so every job after the first hits its warm scratch.
+        let handle = Daemon::start(ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: vec![ShardSpec {
+                procs: 4,
+                threads: 1,
+            }],
+            ..Default::default()
+        })
+        .unwrap();
+        let (mut r, mut w) = connect(&handle);
+        for seed in 0..4 {
+            let resp = roundtrip(
+                &mut r,
+                &mut w,
+                &format!(
+                    r#"{{"cmd":"submit","workload":{{"family":"fft","m":8,"procs":4,"seed":{seed}}}}}"#
+                ),
+            );
+            assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        }
+        let stats = handle.wait();
+        assert_eq!(stats.completed, 4);
+        let shard = &stats.shards[0];
+        assert_eq!(shard.scratch_misses, 1, "only the first job runs cold");
+        assert_eq!(shard.scratch_hits, 3);
     }
 
     #[test]

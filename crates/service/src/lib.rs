@@ -45,7 +45,7 @@ pub mod queue;
 pub mod router;
 
 pub use client::{Client, Outcome, RetryPolicy, SubmitReceipt};
-pub use daemon::{Daemon, DaemonHandle, ServiceConfig, ServiceStats, ShardSpec};
+pub use daemon::{Daemon, DaemonHandle, ServiceConfig, ServiceStats, ShardSpec, ShardStats};
 pub use error::ServiceError;
 pub use faults::{CrashPoint, FaultPlan, Faults};
 pub use jobs::{JobResult, JobState, JobTable, RetentionPolicy};

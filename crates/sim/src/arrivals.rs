@@ -117,6 +117,37 @@ pub struct JobStreamScheduler {
     pub penalty: PenaltyKind,
 }
 
+/// Reusable buffers for repeated [`JobStreamScheduler::execute_with`]
+/// calls — the *warm* path a service shard uses.
+///
+/// The dispatcher's penalty-value pick evaluates every ready task's EFT
+/// vector, and the cold path collects each vector into a fresh `Vec` —
+/// one heap allocation per ready task per pick, the dominant steady-state
+/// allocation of a long-lived scheduling worker. A `StreamScratch` kept
+/// per worker hoists that buffer out of the loop: after the first job on
+/// a platform shape, picks allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct StreamScratch {
+    /// EFT-vector buffer for the penalty-value pick (one slot per live
+    /// processor).
+    efts: Vec<f64>,
+    /// Processor count the scratch was last used for (0 = never used).
+    procs: usize,
+}
+
+impl StreamScratch {
+    /// An empty scratch; the first job through it runs cold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the scratch's buffers are already sized for a
+    /// `procs`-processor platform (i.e. the next job runs warm).
+    pub fn is_warm_for(&self, procs: usize) -> bool {
+        procs > 0 && self.procs == procs && self.efts.capacity() >= procs
+    }
+}
+
 /// Global task key: (job index, task).
 type Key = (usize, TaskId);
 
@@ -136,7 +167,24 @@ impl JobStreamScheduler {
         perturb: &PerturbModel,
         failures: &FailureSpec,
     ) -> Result<StreamOutcome, CoreError> {
+        self.execute_with(platform, jobs, perturb, failures, &mut StreamScratch::new())
+    }
+
+    /// [`JobStreamScheduler::execute`] through a reusable
+    /// [`StreamScratch`] — identical results, but the penalty-value pick
+    /// reuses the scratch's buffers instead of allocating per evaluation
+    /// (see [`StreamScratch`]).
+    pub fn execute_with(
+        &self,
+        platform: &Platform,
+        jobs: &[JobArrival],
+        perturb: &PerturbModel,
+        failures: &FailureSpec,
+        scratch: &mut StreamScratch,
+    ) -> Result<StreamOutcome, CoreError> {
         let np = platform.num_procs();
+        scratch.procs = np;
+        let efts = &mut scratch.efts;
         let problems: Vec<Problem<'_>> = jobs
             .iter()
             .map(|j| Problem::new(&j.instance.dag, &j.instance.costs, platform))
@@ -219,23 +267,20 @@ impl JobStreamScheduler {
                         let mut best = 0usize;
                         let mut best_pv = f64::NEG_INFINITY;
                         for (i, &(j, t)) in ready.iter().enumerate() {
-                            let efts: Vec<f64> = platform
-                                .procs()
-                                .filter(|p| alive[p.index()])
-                                .map(|p| {
-                                    self.est_start(
-                                        &problems,
-                                        &committed,
-                                        &act_avail,
-                                        clock,
-                                        j,
-                                        t,
-                                        p,
-                                        &arrival_time_of,
-                                    ) + problems[j].w(t, p)
-                                })
-                                .collect();
-                            let pv = penalty_value(self.penalty, &efts, problems[j].costs().row(t));
+                            efts.clear();
+                            efts.extend(platform.procs().filter(|p| alive[p.index()]).map(|p| {
+                                self.est_start(
+                                    &problems,
+                                    &committed,
+                                    &act_avail,
+                                    clock,
+                                    j,
+                                    t,
+                                    p,
+                                    &arrival_time_of,
+                                ) + problems[j].w(t, p)
+                            }));
+                            let pv = penalty_value(self.penalty, efts, problems[j].costs().row(t));
                             if pv > best_pv {
                                 best_pv = pv;
                                 best = i;

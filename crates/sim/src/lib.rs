@@ -28,7 +28,9 @@ mod outcome;
 mod perturb;
 mod replay;
 
-pub use arrivals::{DispatchPolicy, JobArrival, JobStreamScheduler, JobSummary, StreamOutcome};
+pub use arrivals::{
+    DispatchPolicy, JobArrival, JobStreamScheduler, JobSummary, StreamOutcome, StreamScratch,
+};
 pub use failure::FailureSpec;
 pub use online::OnlineHdlts;
 pub use outcome::ExecutionOutcome;

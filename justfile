@@ -20,11 +20,20 @@ bench:
 
 # Machine-readable engine baseline: times the scheduling kernels
 # (incremental vs full-recompute across the fig. 3 grid for plain HDLTS
-# and the v<=1000 cells for HDLTS-D's replica-aware cache, mean-comm
-# factor vs pair loop, timeline gap search) and writes BENCH_engine.json
-# at the repo root. See CONTRIBUTING.md "Performance changes".
+# and the v<=1000 cells for HDLTS-D's replica-aware cache, the arena
+# engine vs serial incremental at v=10000/100000, warm-vs-cold engine
+# provisioning, mean-comm factor vs pair loop, timeline gap search) and
+# writes BENCH_engine.json at the repo root. The full grid takes several
+# minutes (v=100000 instance generation dominates); run it manually when
+# re-recording the baseline. See CONTRIBUTING.md "Performance changes".
 bench-json:
     cargo run --release -p hdlts-bench --bin bench-json -- BENCH_engine.json
+
+# CI smoke flavor of the same harness: the v<=1000 grid with tiny
+# budgets, all differential checks, no headline scalars; writes to
+# target/BENCH_engine_quick.json so it can never clobber the baseline.
+bench-json-quick:
+    cargo run --release -p hdlts-bench --bin bench-json -- --quick
 
 # Run the scheduling daemon. Drain with Ctrl-C or {"cmd":"shutdown"}.
 serve addr="127.0.0.1:7151" procs="4" workers="2":
@@ -56,12 +65,14 @@ chaos seeds="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16":
     HDLTS_FAULTS="crash=pre-result:2" cargo test -q --test service_router router_survives_killing_one_daemon_mid_traffic
 
 # Full CI pipeline: format + clippy + repo lints + tests + Miri (when the
-# nightly component is installed; CI has a dedicated job) + bench smoke +
-# perf regression gate on the incremental-engine speedups (plain HDLTS and
-# HDLTS-D) recorded in BENCH_engine.json, plus the routed service tier
-# (two daemons behind the router, gated on
-# router_2daemon_min_throughput). Cheap determinism/soundness checks fail
-# first.
+# nightly component is installed; CI has a dedicated job) + bench smoke
+# (`bench-json --quick`: the harness and its differential checks run every
+# time, the slow full grid stays manual) + perf regression gate on the
+# checked-in BENCH_engine.json scalars (incremental-engine, arena-engine,
+# and warm-provisioning speedups — the gate also rejects any speedup
+# baseline recorded below parity), plus the routed service tier (two
+# daemons behind the router, gated on router_2daemon_min_throughput).
+# Cheap determinism/soundness checks fail first.
 ci:
     cargo fmt --all --check
     cargo build --release
@@ -72,9 +83,9 @@ ci:
     HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_recovery seeded_chaos_sweep
     HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_router router_chaos_failover_sweep
     if cargo miri --version >/dev/null 2>&1; then MIRIFLAGS=-Zmiri-disable-isolation cargo miri test -p hdlts-service --lib queue json; else echo "miri unavailable locally; skipped (covered by the CI miri job)"; fi
-    cargo run --release -p hdlts-bench --bin bench-json -- BENCH_ci.json
+    cargo run --release -p hdlts-bench --bin bench-json -- --quick
     ./scripts/test_bench_gate.sh
-    ./scripts/bench_gate.sh BENCH_ci.json
+    ./scripts/bench_gate.sh BENCH_engine.json
     cargo run --release -p hdlts-service --bin loadgen -- --rate 100 --duration 3 --out BENCH_service_ci.json
     cargo run --release -p hdlts-service --bin loadgen -- --rate 200 --duration 3 --daemons 2 --out BENCH_router_ci.json
     BENCH_GATE_METRICS="router_2daemon_min_throughput:199.75" ./scripts/bench_gate.sh BENCH_router_ci.json

@@ -16,31 +16,39 @@
 # key, and an empty metric list is a hard failure too — a gate that
 # checks nothing must not report OK.
 #
+# A `*_min_speedup` metric whose recorded *baseline* sits below 1.0 is a
+# hard failure regardless of the fresh value: such a baseline certifies
+# that the optimized path loses to the path it replaced, and slack on top
+# of it would wave through arbitrarily bad regressions. (This caught a
+# real bug: the parallel-engine gate once shipped with a 0.66 baseline.)
+#
 # Current metrics:
-#   fig3_v10000_min_speedup      worst v=10000 incremental-engine speedup
-#                                of plain HDLTS over full recompute (the
-#                                full-recompute cells run 1-2 iterations,
-#                                so run-to-run spread is wide);
-#   cpd_v1000_min_speedup        worst v=1000 HDLTS-D speedup of the
-#                                replica-aware cache over its
-#                                full-recompute oracle;
-#   soa_v10000_min_speedup       v=10000 column-scan speedup of the flat
-#                                struct-of-arrays EFT matrix over the
-#                                boxed row-per-task layout it replaced
-#                                (1.67-2.25 across recording runs; the
-#                                baseline is the conservative end);
-#   parallel_v10000_min_speedup  worst v=10000 speedup of
-#                                EngineMode::IncrementalParallel over the
-#                                serial incremental engine. The recording
-#                                host is single-core, where the pool-width
-#                                guard routes the parallel mode onto the
-#                                serial path, so the honest expectation is
-#                                ~1.0 x noise (0.66-0.89 observed); the
-#                                gate exists to catch the guard breaking
-#                                (staging overhead with no threads, ~0.4x)
-#                                or dispatch-cost regressions. On a
-#                                multi-core host the speedup exceeds 1 and
-#                                passes the same floor.
+#   fig3_v10000_min_speedup       worst v=10000 incremental-engine speedup
+#                                 of plain HDLTS over full recompute (the
+#                                 full-recompute cells run 1-2 iterations,
+#                                 so run-to-run spread is wide);
+#   cpd_v1000_min_speedup         worst v=1000 HDLTS-D speedup of the
+#                                 replica-aware cache over its
+#                                 full-recompute oracle;
+#   soa_v10000_min_speedup        v=10000 column-scan speedup of the flat
+#                                 struct-of-arrays EFT matrix over the
+#                                 boxed row-per-task layout it replaced;
+#   parallel_v10000_min_speedup   worst v=10000 speedup of
+#                                 EngineMode::IncrementalParallel over the
+#                                 serial incremental engine, min of
+#                                 interleaved pairs. The arena engine
+#                                 (cached cost rows, moment-tracked
+#                                 selection, frontier-partitioned chunked
+#                                 kernels) wins even on the single-core
+#                                 recording host; rayon threads add on
+#                                 top of the recorded floor elsewhere;
+#   parallel_v100000_min_speedup  the same pairing at v=100000 (the tier
+#                                 where frontier width, and therefore the
+#                                 chunked kernels' advantage, is largest);
+#   warm_engine_min_speedup       worst v=1000 per-job engine-state
+#                                 provisioning speedup of warm reset_for/
+#                                 reset over cold construction (the
+#                                 reset-not-free path daemon shards use).
 #
 # The service tier gates a separate file with an override:
 #   router_2daemon_min_throughput  jobs/s sustained by `loadgen --daemons 2`
@@ -57,7 +65,7 @@
 set -eu
 
 file="${1:-BENCH_engine.json}"
-metrics="${BENCH_GATE_METRICS-fig3_v10000_min_speedup:5.43 cpd_v1000_min_speedup:9.43 soa_v10000_min_speedup:1.65 parallel_v10000_min_speedup:0.66}"
+metrics="${BENCH_GATE_METRICS-fig3_v10000_min_speedup:8.02 cpd_v1000_min_speedup:10.92 soa_v10000_min_speedup:2.52 parallel_v10000_min_speedup:1.39 parallel_v100000_min_speedup:1.43 warm_engine_min_speedup:1.67}"
 slack="${BENCH_GATE_SLACK:-0.80}"
 
 [ -f "$file" ] || { echo "gate: $file not found" >&2; exit 1; }
@@ -75,6 +83,18 @@ for entry in $metrics; do
     esac
     name="${entry%%:*}"
     base="${entry#*:}"
+    # A speedup gate whose own baseline is below parity is miswired: it
+    # records the "fast" path losing and then grants slack on top. Fail
+    # loudly instead of quietly certifying a regression.
+    case "$name" in
+    *_min_speedup)
+        if ! awk -v b="$base" 'BEGIN { exit !(b + 0 >= 1.0) }' </dev/null; then
+            echo "gate: FAIL - baseline $base for $name is below 1.0; a speedup gate below parity certifies a regression instead of catching one" >&2
+            status=1
+            continue
+        fi
+        ;;
+    esac
     checked=$((checked + 1))
     awk -v name="$name" -v base="$base" -v slack="$slack" '
     # Only a top-level key match counts: optional indent, the quoted

@@ -4,8 +4,9 @@
 # Exercises the failure modes the gate must catch: a healthy file passes,
 # a regressed metric fails, a missing key fails *by name*, a decoy (the
 # metric name embedded in a nested kernel row or a longer key) does not
-# satisfy the gate, a non-numeric value fails, and an empty metric list
-# refuses to report OK. Run from the repo root:
+# satisfy the gate, a non-numeric value fails, an empty metric list
+# refuses to report OK, and a `*_min_speedup` baseline below 1.0 fails
+# even when the fresh value would clear it. Run from the repo root:
 #
 #   ./scripts/test_bench_gate.sh
 set -eu
@@ -84,6 +85,14 @@ cat >"$tmp/nonnumeric.json" <<'EOF'
 }
 EOF
 
+# A non-speedup metric below 1.0 alongside a healthy speedup metric.
+cat >"$tmp/floor.json" <<'EOF'
+{
+  "cpd_v1000_min_speedup": 10.10,
+  "tiny_floor": 0.61
+}
+EOF
+
 M2="fig3_v10000_min_speedup:5.66 cpd_v1000_min_speedup:10.02"
 
 expect pass "healthy report passes" "gate: OK" -- \
@@ -98,6 +107,15 @@ expect fail "non-numeric value fails" "fig3_v10000_min_speedup is not a number" 
     env BENCH_GATE_METRICS="$M2" "$gate" "$tmp/nonnumeric.json"
 expect fail "empty metric list refuses to pass" "empty metric list" -- \
     env BENCH_GATE_METRICS="" "$gate" "$tmp/good.json"
+# The recorded baseline itself is below parity: the gate must refuse it
+# even though the fresh value (5.70) is far above baseline * slack — a
+# sub-1.0 speedup baseline means the gate was wired to certify a loss.
+expect fail "sub-parity speedup baseline fails loudly" \
+    "baseline 0.66 for fig3_v10000_min_speedup is below 1.0" -- \
+    env BENCH_GATE_METRICS="fig3_v10000_min_speedup:0.66" "$gate" "$tmp/good.json"
+# Non-speedup metrics (e.g. throughput floors) may sit below 1.0.
+expect pass "sub-1.0 baseline is fine for non-speedup metrics" "gate: OK" -- \
+    env BENCH_GATE_METRICS="cpd_v1000_min_speedup:10.02 tiny_floor:0.5" "$gate" "$tmp/floor.json"
 expect fail "malformed metric entry fails" "malformed metric" -- \
     env BENCH_GATE_METRICS="fig3_v10000_min_speedup" "$gate" "$tmp/good.json"
 expect fail "absent input file fails" "not found" -- \

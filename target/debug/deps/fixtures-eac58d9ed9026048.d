@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/fixtures-eac58d9ed9026048.d: crates/analyzer/tests/fixtures.rs crates/analyzer/tests/../fixtures/request_path_panic.rs crates/analyzer/tests/../fixtures/float_eq.rs crates/analyzer/tests/../fixtures/wall_clock.rs crates/analyzer/tests/../fixtures/unordered_iter.rs crates/analyzer/tests/../fixtures/kernel_alloc.rs crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs crates/analyzer/tests/../fixtures/allow_suppression.rs crates/analyzer/tests/../fixtures/unused_allow.rs crates/analyzer/tests/../fixtures/malformed_allow.rs
+/root/repo/target/debug/deps/fixtures-eac58d9ed9026048.d: crates/analyzer/tests/fixtures.rs crates/analyzer/tests/../fixtures/request_path_panic.rs crates/analyzer/tests/../fixtures/float_eq.rs crates/analyzer/tests/../fixtures/wall_clock.rs crates/analyzer/tests/../fixtures/unordered_iter.rs crates/analyzer/tests/../fixtures/kernel_alloc.rs crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs crates/analyzer/tests/../fixtures/rayon_kernel_alloc.rs crates/analyzer/tests/../fixtures/allow_suppression.rs crates/analyzer/tests/../fixtures/unused_allow.rs crates/analyzer/tests/../fixtures/malformed_allow.rs
 
-/root/repo/target/debug/deps/fixtures-eac58d9ed9026048: crates/analyzer/tests/fixtures.rs crates/analyzer/tests/../fixtures/request_path_panic.rs crates/analyzer/tests/../fixtures/float_eq.rs crates/analyzer/tests/../fixtures/wall_clock.rs crates/analyzer/tests/../fixtures/unordered_iter.rs crates/analyzer/tests/../fixtures/kernel_alloc.rs crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs crates/analyzer/tests/../fixtures/allow_suppression.rs crates/analyzer/tests/../fixtures/unused_allow.rs crates/analyzer/tests/../fixtures/malformed_allow.rs
+/root/repo/target/debug/deps/fixtures-eac58d9ed9026048: crates/analyzer/tests/fixtures.rs crates/analyzer/tests/../fixtures/request_path_panic.rs crates/analyzer/tests/../fixtures/float_eq.rs crates/analyzer/tests/../fixtures/wall_clock.rs crates/analyzer/tests/../fixtures/unordered_iter.rs crates/analyzer/tests/../fixtures/kernel_alloc.rs crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs crates/analyzer/tests/../fixtures/rayon_kernel_alloc.rs crates/analyzer/tests/../fixtures/allow_suppression.rs crates/analyzer/tests/../fixtures/unused_allow.rs crates/analyzer/tests/../fixtures/malformed_allow.rs
 
 crates/analyzer/tests/fixtures.rs:
 crates/analyzer/tests/../fixtures/request_path_panic.rs:
@@ -9,6 +9,7 @@ crates/analyzer/tests/../fixtures/wall_clock.rs:
 crates/analyzer/tests/../fixtures/unordered_iter.rs:
 crates/analyzer/tests/../fixtures/kernel_alloc.rs:
 crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs:
+crates/analyzer/tests/../fixtures/rayon_kernel_alloc.rs:
 crates/analyzer/tests/../fixtures/allow_suppression.rs:
 crates/analyzer/tests/../fixtures/unused_allow.rs:
 crates/analyzer/tests/../fixtures/malformed_allow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_tmp-ca5f509f34cdae3a.d: crates/bench/src/bin/profile_tmp.rs
+
+/root/repo/target/release/deps/profile_tmp-ca5f509f34cdae3a: crates/bench/src/bin/profile_tmp.rs
+
+crates/bench/src/bin/profile_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_tmp2-d3f3ea2ea7cb1e46.d: crates/bench/src/bin/profile_tmp2.rs
+
+/root/repo/target/release/deps/profile_tmp2-d3f3ea2ea7cb1e46: crates/bench/src/bin/profile_tmp2.rs
+
+crates/bench/src/bin/profile_tmp2.rs:

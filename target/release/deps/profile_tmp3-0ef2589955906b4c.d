@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_tmp3-0ef2589955906b4c.d: crates/bench/src/bin/profile_tmp3.rs
+
+/root/repo/target/release/deps/profile_tmp3-0ef2589955906b4c: crates/bench/src/bin/profile_tmp3.rs
+
+crates/bench/src/bin/profile_tmp3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_tmp4-6307156c79188755.d: crates/bench/src/bin/profile_tmp4.rs
+
+/root/repo/target/release/deps/profile_tmp4-6307156c79188755: crates/bench/src/bin/profile_tmp4.rs
+
+crates/bench/src/bin/profile_tmp4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_incremental-de9b736c91e09e5a.d: tests/proptest_incremental.rs
+
+/root/repo/target/release/deps/proptest_incremental-de9b736c91e09e5a: tests/proptest_incremental.rs
+
+tests/proptest_incremental.rs:

@@ -9,7 +9,7 @@
 use hdlts_repro::baselines::HdltsCpd;
 use hdlts_repro::core::{
     DuplicationPolicy, EngineMode, Hdlts, HdltsConfig, ParallelTuning, PenaltyKind, Problem,
-    Scheduler,
+    Scheduler, SchedulerScratch,
 };
 use hdlts_repro::dag::{Dag, DagBuilder};
 use hdlts_repro::platform::{CostMatrix, Platform};
@@ -268,6 +268,68 @@ proptest! {
                 &par_t, &full_t,
                 "traces diverged at {} threads ({})", threads, inst.name
             );
+        }
+    }
+
+    /// Warm-state determinism: a [`SchedulerScratch`] warmed on an
+    /// *unrelated* job (different DAG, task count, often a different
+    /// processor count) must reproduce the cold run byte for byte —
+    /// schedule **and** trace — for both incremental engines. This is the
+    /// invariant the daemon's per-worker scratch reuse rests on:
+    /// reset-not-free may never leak row, moment, timeline, or
+    /// selection state between jobs.
+    #[test]
+    fn warm_scratch_is_byte_identical_to_cold(
+        warm_params in arb_params(),
+        params in arb_params(),
+        warm_seed in 0u64..1_000_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let warm_inst = random_dag::generate(&warm_params, warm_seed);
+        let warm_platform = Platform::fully_connected(warm_inst.num_procs()).unwrap();
+        let warm_problem = warm_inst.problem(&warm_platform).unwrap();
+        let inst = random_dag::generate(&params, seed);
+        let platform = Platform::fully_connected(inst.num_procs()).unwrap();
+        let problem = inst.problem(&platform).unwrap();
+        for mode in [EngineMode::Incremental, EngineMode::IncrementalParallel] {
+            let cfg = HdltsConfig { parallel: FORCE_PARALLEL, ..HdltsConfig::default() }
+                .with_engine(mode);
+            let hdlts = Hdlts::new(cfg);
+            // Everything runs on the shared 2-thread pool so the parallel
+            // arm really exercises the chunked kernels; the serial arm
+            // ignores the ambient pool.
+            let (cold_s, cold_t) =
+                test_pool().install(|| hdlts.schedule_with_trace(&problem).unwrap());
+            let mut scratch = SchedulerScratch::new();
+            let retired =
+                test_pool().install(|| hdlts.schedule_into(&warm_problem, &mut scratch).unwrap());
+            scratch.recycle(retired);
+            if warm_problem.num_procs() == problem.num_procs() {
+                prop_assert!(
+                    scratch.is_warm_for(&problem, &cfg),
+                    "matching shapes must report warm ({mode:?})"
+                );
+            }
+            let (warm_s, warm_t) = test_pool()
+                .install(|| hdlts.schedule_with_trace_into(&problem, &mut scratch).unwrap());
+            prop_assert_eq!(
+                &warm_s, &cold_s,
+                "warm schedule diverged from cold ({}, warmed on {}, {:?})",
+                inst.name, warm_inst.name, mode
+            );
+            prop_assert_eq!(
+                &warm_t, &cold_t,
+                "warm trace diverged from cold ({}, warmed on {}, {:?})",
+                inst.name, warm_inst.name, mode
+            );
+            // A second consecutive warm run (now warm on the target shape
+            // itself, with the recycled schedule) must stay identical.
+            scratch.recycle(warm_s);
+            prop_assert!(scratch.is_warm_for(&problem, &cfg));
+            let (warm2_s, warm2_t) = test_pool()
+                .install(|| hdlts.schedule_with_trace_into(&problem, &mut scratch).unwrap());
+            prop_assert_eq!(&warm2_s, &cold_s, "second warm run diverged ({:?})", mode);
+            prop_assert_eq!(&warm2_t, &cold_t, "second warm trace diverged ({:?})", mode);
         }
     }
 
