@@ -1,0 +1,22 @@
+//! Analyzed as `crates/service/src/replan.rs`: `apply_report` is a
+//! request-path entry — the lexical rule owns unwrap/expect sites in this
+//! listed file, while `panic-reachable` adds indexing and everything the
+//! entry reaches.
+
+fn apply_report(plan: &[u32], report: &[u32]) -> u32 {
+    let head = plan[0];
+    head + pin_suffix(report) + allowed_pin(report)
+}
+
+fn pin_suffix(report: &[u32]) -> u32 {
+    report[1]
+}
+
+fn allowed_pin(report: &[u32]) -> u32 {
+    // LINT-ALLOW(panic-reachable): fixture — the batch was bounds-checked
+    report[2]
+}
+
+fn orphan_pin(report: &[u32]) -> u32 {
+    report[3]
+}

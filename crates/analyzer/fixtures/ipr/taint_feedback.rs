@@ -1,0 +1,27 @@
+//! Analyzed as `crates/sim/src/feedback.rs`: `execute_managed` and
+//! `execute_plan_once` are determinism entry points — replayed runs must
+//! be bit-identical, so every helper they reach must be clock- and
+//! RNG-free. `drain_stamp` reads the clock too, but nothing on the
+//! determinism surface calls it (quiet for this rule — the lexical
+//! wall-clock ban still owns the site itself).
+
+fn execute_managed() -> u64 {
+    drift_stamp() + allowed_stamp()
+}
+
+fn execute_plan_once() -> u64 {
+    drift_stamp()
+}
+
+fn drift_stamp() -> u64 {
+    unix_ms_now()
+}
+
+fn allowed_stamp() -> u64 {
+    // LINT-ALLOW(determinism-taint): fixture — recorded, never scheduled on
+    unix_ms_now()
+}
+
+fn drain_stamp() -> u64 {
+    unix_ms_now()
+}

@@ -65,10 +65,17 @@ const REQUEST_ENTRIES: &[&str] = &[
     "worker_loop",
     "replay_recovery",
     "open_with",
+    "handle_report",
+    "apply_report",
 ];
 
 /// Functions whose outputs must be bit-identical under replay.
-const DETERMINISM_ENTRIES: &[&str] = &["schedule_with_trace", "execute"];
+const DETERMINISM_ENTRIES: &[&str] = &[
+    "schedule_with_trace",
+    "execute",
+    "execute_managed",
+    "execute_plan_once",
+];
 
 /// Crates whose schedule/digest surface the determinism rule guards.
 const DETERMINISM_CRATES: &[&str] = &["core", "sim", "baselines"];

@@ -107,6 +107,7 @@ pub fn in_request_path_file(p: &str) -> bool {
             | "crates/service/src/client.rs"
             | "crates/service/src/faults.rs"
             | "crates/service/src/router.rs"
+            | "crates/service/src/replan.rs"
     )
 }
 

@@ -72,6 +72,50 @@ fn panic_reachable_positive_suppressed_negative() {
     assert!(spans(&r, "request-path-panic").is_empty());
 }
 
+/// The online-rescheduling module is a request-path entry file: indexing
+/// reachable from `apply_report` fires `panic-reachable`, the allow
+/// absorbs its site, and the orphan helper stays quiet.
+#[test]
+fn panic_reachable_covers_the_replan_module() {
+    let r = ws(&[(
+        "crates/service/src/replan.rs",
+        include_str!("../fixtures/ipr/panic_replan.rs"),
+    )]);
+    assert_eq!(
+        spans(&r, "panic-reachable"),
+        vec![
+            ("crates/service/src/replan.rs".to_string(), 7),
+            ("crates/service/src/replan.rs".to_string(), 12),
+        ],
+    );
+    assert_eq!(suppressed_lines(&r, "panic-reachable"), vec![17]);
+    // No unwrap/expect sites here, so the lexical rule has nothing to add.
+    assert!(spans(&r, "request-path-panic").is_empty());
+}
+
+/// The sim feedback loop is on the determinism surface: a clock read
+/// reachable from `execute_managed`/`execute_plan_once` fires the taint
+/// rule, and the helper nothing on that surface calls stays quiet.
+#[test]
+fn determinism_taint_covers_the_feedback_loop() {
+    let r = ws(&[(
+        "crates/sim/src/feedback.rs",
+        include_str!("../fixtures/ipr/taint_feedback.rs"),
+    )]);
+    assert_eq!(
+        spans(&r, "determinism-taint"),
+        vec![("crates/sim/src/feedback.rs".to_string(), 17)],
+    );
+    assert_eq!(suppressed_lines(&r, "determinism-taint"), vec![22]);
+    let msg = &r
+        .findings()
+        .find(|f| f.rule == "determinism-taint")
+        .expect("taint finding")
+        .message;
+    assert!(msg.contains("drift_stamp"), "{msg}");
+    assert!(msg.contains("unix_ms_now"), "{msg}");
+}
+
 #[test]
 fn lock_order_positive_and_negative() {
     let r = ws(&[(

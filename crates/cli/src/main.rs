@@ -52,10 +52,13 @@ commands:
   serve     [--addr HOST:PORT] [--procs P1,P2,...] [--workers N]
             [--queue-cap N] [--batch N] [--deadline-ms N] [--retain N]
             [--retain-age-ms N] [--journal FILE] [--journal-sync]
+            [--drift-threshold X] [--drift-alpha X]
             run the scheduling daemon (newline-delimited JSON over TCP;
             drain with Ctrl-C or {\"cmd\":\"shutdown\"}); with --journal,
             admissions are write-ahead journaled and unfinished jobs are
-            recovered on restart (HDLTS_FAULTS arms chaos crash points)
+            recovered on restart (HDLTS_FAULTS arms chaos crash points);
+            --drift-* tune the online-rescheduling loop for managed jobs
+            (submit with \"replan\":\"sim\"|\"wire\")
   route     --topology \"host=H:P CLASS:N ...; host=H:P ...\" [--addr HOST:PORT]
             [--policy hash|least-backlog] [--probe-ttl-ms N]
             [--retries N] [--seed N]
@@ -518,6 +521,18 @@ fn serve(args: &Args) -> Result<(), String> {
     let journal_path = args.opt("journal").map(std::path::PathBuf::from);
     let journal_sync = args.switch("journal-sync");
     let faults = FaultPlan::from_env()?.unwrap_or_default();
+    // Online-rescheduling knobs for managed jobs: the EWMA smoothing
+    // factor and the relative-drift threshold that triggers a live
+    // suffix replan.
+    let mut drift = hdlts_sim::DriftConfig::default();
+    drift.threshold = args.opt_parse("drift-threshold", drift.threshold)?;
+    drift.alpha = args.opt_parse("drift-alpha", drift.alpha)?;
+    if !(drift.threshold > 0.0 && drift.threshold.is_finite()) {
+        return Err("--drift-threshold must be a positive finite number".into());
+    }
+    if !(drift.alpha > 0.0 && drift.alpha <= 1.0) {
+        return Err("--drift-alpha must lie in (0, 1]".into());
+    }
     args.reject_unknown()?;
     let mut shards = Vec::new();
     for part in procs_list.split(',') {
@@ -542,6 +557,7 @@ fn serve(args: &Args) -> Result<(), String> {
         journal_path,
         journal_sync,
         faults,
+        drift,
     })
     .map_err(|e| e.to_string())?;
     if handle.stats().recovered > 0 {

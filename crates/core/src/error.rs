@@ -56,6 +56,10 @@ pub enum CoreError {
     /// The produced schedule failed validation; the payload describes the
     /// first violation.
     InvalidSchedule(String),
+    /// Every processor in the platform has failed: no live target remains
+    /// for the unfinished work, so neither online dispatch nor a suffix
+    /// replan can make progress.
+    AllProcessorsFailed,
 }
 
 impl fmt::Display for CoreError {
@@ -82,6 +86,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::NotPlaced(t) => write!(f, "task {t} has not been placed"),
             CoreError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            CoreError::AllProcessorsFailed => {
+                write!(f, "all processors failed before completion")
+            }
         }
     }
 }

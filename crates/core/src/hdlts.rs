@@ -70,6 +70,21 @@ impl SchedulerScratch {
     }
 }
 
+/// A task whose execution is already decided (finished, or running right
+/// now) when a suffix replan happens: [`Hdlts::replan_suffix`] copies it
+/// into the new plan verbatim at its *actual* times and never moves it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinnedTask {
+    /// The task.
+    pub task: TaskId,
+    /// Where it ran (or is running).
+    pub proc: ProcId,
+    /// Actual start time.
+    pub start: f64,
+    /// Actual (or projected, for a still-running task) finish time.
+    pub finish: f64,
+}
+
 /// The paper's contribution: a dynamic list scheduler that
 ///
 /// 1. keeps an *Independent Task Queue* (ITQ) of exactly the tasks whose
@@ -157,6 +172,162 @@ impl Hdlts {
         let mut trace = ScheduleTrace::default();
         let schedule = self.run(problem, Some(&mut trace), scratch)?;
         Ok((schedule, trace))
+    }
+
+    /// Replans the *unfinished suffix* of a job live, after runtime
+    /// feedback showed the plan has drifted or a processor was lost.
+    ///
+    /// The `pinned` tasks (everything that already finished, plus tasks
+    /// running right now) are copied into the new schedule at their
+    /// **actual** times and never reconsidered; only the remaining tasks
+    /// are priced, with the HDLTS rule restricted to the processors still
+    /// marked live in `alive`. A dead processor's *completed* outputs stay
+    /// readable (fail-stop storage survives, matching the paper's
+    /// malfunctioning-CPU discussion), but it receives no new work. Every
+    /// new placement starts at or after `horizon` — the wall-clock "now"
+    /// of the replan — so the plan never rewrites the past.
+    ///
+    /// Pricing uses non-insertion EST (`max(Ready, Avail)` clamped to the
+    /// horizon): gap insertion could target idle time that is already in
+    /// the past, so it is disabled here regardless of the configuration.
+    /// Entry duplication never applies to a replan: if the entry is
+    /// unfinished nothing has executed yet, and the plain placement rule
+    /// suffices under a shrinking processor set.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::AllProcessorsFailed`] when `alive` has no `true`
+    /// entry; [`CoreError::InvalidSchedule`] when the mask length doesn't
+    /// match the platform, when a pinned task's parent is not pinned (the
+    /// pinned set must be closed under dependencies — a task cannot have
+    /// run before its inputs), or when the suffix does not cover every
+    /// remaining task.
+    pub fn replan_suffix(
+        &self,
+        problem: &Problem<'_>,
+        pinned: &[PinnedTask],
+        alive: &[bool],
+        horizon: f64,
+        scratch: &mut SchedulerScratch,
+    ) -> Result<Schedule, CoreError> {
+        let n = problem.num_tasks();
+        let num_procs = problem.num_procs();
+        if alive.len() != num_procs {
+            return Err(CoreError::InvalidSchedule(format!(
+                "alive mask covers {} processors but the platform has {num_procs}",
+                alive.len()
+            )));
+        }
+        if !alive.contains(&true) {
+            return Err(CoreError::AllProcessorsFailed);
+        }
+
+        let mut schedule = match scratch.schedule.take() {
+            Some(mut s) => {
+                s.reset(n, num_procs);
+                s
+            }
+            None => Schedule::new(n, num_procs),
+        };
+
+        // Pin the decided prefix at its actual times, and check closure:
+        // every parent of a pinned task must itself be pinned.
+        let mut is_pinned = vec![false; n];
+        for p in pinned {
+            is_pinned[p.task.index()] = true;
+        }
+        let dag = problem.dag();
+        for p in pinned {
+            for &(parent, _) in dag.preds(p.task) {
+                if !is_pinned[parent.index()] {
+                    return Err(CoreError::InvalidSchedule(format!(
+                        "pinned task {} depends on unpinned task {parent}",
+                        p.task
+                    )));
+                }
+            }
+            schedule.place(p.task, p.proc, p.start, p.finish)?;
+        }
+
+        // Residual unfinished-parent counts over the suffix only: pinned
+        // parents are already satisfied.
+        scratch.pending_preds.clear();
+        scratch
+            .pending_preds
+            .extend(dag.tasks().map(|t| dag.in_degree(t)));
+        let pending_preds = &mut scratch.pending_preds;
+        for p in pinned {
+            for &(child, _) in dag.succs(p.task) {
+                pending_preds[child.index()] -= 1;
+            }
+        }
+        let mut itq: Vec<TaskId> = dag
+            .tasks()
+            .filter(|t| !is_pinned[t.index()] && pending_preds[t.index()] == 0)
+            .collect();
+
+        // Live-only views of the EFT and cost rows, hoisted across steps:
+        // a dead processor's EFT is +inf so `argmin` skips it, but the
+        // penalty value (a spread statistic) must see live entries only.
+        let mut live_eft: Vec<f64> = Vec::with_capacity(num_procs);
+        let mut live_cost: Vec<f64> = Vec::with_capacity(num_procs);
+        let row = &mut scratch.row;
+
+        while !itq.is_empty() {
+            // Score each ready suffix task against the surviving
+            // processors and the current partial schedule.
+            let mut scored: Vec<(TaskId, Vec<f64>, f64)> = Vec::with_capacity(itq.len());
+            for &t in &itq {
+                row.clear();
+                live_eft.clear();
+                live_cost.clear();
+                let costs = problem.costs().row(t);
+                for p in problem.platform().procs() {
+                    if !alive[p.index()] {
+                        row.push(f64::INFINITY);
+                        continue;
+                    }
+                    let start = crate::est(problem, &schedule, t, p, false)?.max(horizon);
+                    let eft = start + problem.w(t, p);
+                    row.push(eft);
+                    live_eft.push(eft);
+                    live_cost.push(costs[p.index()]);
+                }
+                let pv = crate::penalty_value(self.config.penalty, &live_eft, &live_cost);
+                scored.push((t, row.clone(), pv));
+            }
+
+            // Highest penalty value wins; ties go to the lowest task id —
+            // the same deterministic rule as the offline engines.
+            let best_idx = scored
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.2.total_cmp(&b.2).then(b.0.cmp(&a.0)))
+                .map(|(i, _)| i)
+                .expect("ITQ is non-empty");
+            let (task, best_row, _pv) = scored.swap_remove(best_idx);
+
+            let proc = argmin_eft_slice(&best_row).expect("platform has processors");
+            let start = crate::est(problem, &schedule, task, proc, false)?.max(horizon);
+            let finish = start + problem.w(task, proc);
+            schedule.place(task, proc, start, finish)?;
+
+            itq.retain(|&t| t != task);
+            for &(child, _) in dag.succs(task) {
+                pending_preds[child.index()] -= 1;
+                if pending_preds[child.index()] == 0 {
+                    itq.push(child);
+                }
+            }
+        }
+
+        if !schedule.is_complete() {
+            return Err(CoreError::InvalidSchedule(format!(
+                "replan covered only {} of {n} tasks (pinned set plus reachable suffix)",
+                schedule.placed_count()
+            )));
+        }
+        Ok(schedule)
     }
 
     fn run(
@@ -672,6 +843,133 @@ mod tests {
             assert_eq!(cold_s, warm_s, "{engine:?}");
             assert_eq!(cold_t, warm_t, "{engine:?}");
         }
+    }
+
+    fn diamond() -> (hdlts_dag::Dag, CostMatrix, Platform) {
+        (
+            dag_from_edges(4, &[(0, 1, 9.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)]).unwrap(),
+            CostMatrix::from_rows(vec![
+                vec![2.0, 8.0],
+                vec![4.0, 4.0],
+                vec![4.0, 4.0],
+                vec![1.0, 3.0],
+            ])
+            .unwrap(),
+            Platform::fully_connected(2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn replan_from_scratch_matches_offline_schedule() {
+        // Nothing pinned, everything alive, horizon zero: the replanner is
+        // just HDLTS without duplication or insertion.
+        let (dag, costs, platform) = diamond();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let hdlts = Hdlts::new(HdltsConfig::without_duplication());
+        let offline = hdlts.schedule(&problem).unwrap();
+        let replanned = hdlts
+            .replan_suffix(&problem, &[], &[true, true], 0.0, &mut SchedulerScratch::new())
+            .unwrap();
+        assert_eq!(offline, replanned);
+    }
+
+    #[test]
+    fn replan_pins_the_prefix_and_avoids_dead_procs() {
+        let (dag, costs, platform) = diamond();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let hdlts = Hdlts::new(HdltsConfig::without_duplication());
+        // The entry actually ran on P2 (slow side); P2 then died at t=9,
+        // one second after the entry finished.
+        let pinned = [PinnedTask {
+            task: TaskId(0),
+            proc: ProcId(1),
+            start: 0.0,
+            finish: 8.0,
+        }];
+        let s = hdlts
+            .replan_suffix(&problem, &pinned, &[true, false], 9.0, &mut SchedulerScratch::new())
+            .unwrap();
+        assert!(s.is_complete());
+        s.validate(&problem).unwrap();
+        // The pinned placement is verbatim.
+        let entry = s.copies(TaskId(0)).next().unwrap();
+        assert_eq!((entry.proc, entry.start, entry.finish), (ProcId(1), 0.0, 8.0));
+        // Every suffix task lands on the surviving processor, at or after
+        // the horizon.
+        for t in [TaskId(1), TaskId(2), TaskId(3)] {
+            let c = s.copies(t).next().unwrap();
+            assert_eq!(c.proc, ProcId(0), "{t}");
+            assert!(c.start >= 9.0, "{t} starts at {}", c.start);
+        }
+    }
+
+    #[test]
+    fn replan_clamps_starts_to_the_horizon() {
+        let (dag, costs, platform) = diamond();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let hdlts = Hdlts::new(HdltsConfig::without_duplication());
+        let pinned = [PinnedTask {
+            task: TaskId(0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 2.0,
+        }];
+        let s = hdlts
+            .replan_suffix(&problem, &pinned, &[true, true], 50.0, &mut SchedulerScratch::new())
+            .unwrap();
+        for t in [TaskId(1), TaskId(2), TaskId(3)] {
+            assert!(s.copies(t).next().unwrap().start >= 50.0, "{t}");
+        }
+    }
+
+    #[test]
+    fn replan_with_no_live_procs_is_a_typed_error() {
+        let (dag, costs, platform) = diamond();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let err = Hdlts::new(HdltsConfig::without_duplication())
+            .replan_suffix(&problem, &[], &[false, false], 0.0, &mut SchedulerScratch::new())
+            .unwrap_err();
+        assert_eq!(err, CoreError::AllProcessorsFailed);
+    }
+
+    #[test]
+    fn replan_rejects_unclosed_pinned_sets() {
+        let (dag, costs, platform) = diamond();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        // Task 1 pinned without its parent 0: impossible execution history.
+        let pinned = [PinnedTask {
+            task: TaskId(1),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 4.0,
+        }];
+        let err = Hdlts::new(HdltsConfig::without_duplication())
+            .replan_suffix(&problem, &pinned, &[true, true], 4.0, &mut SchedulerScratch::new())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSchedule(msg) if msg.contains("unpinned")));
+    }
+
+    #[test]
+    fn replan_through_warm_scratch_is_identical() {
+        let (dag, costs, platform) = diamond();
+        let problem = Problem::new(&dag, &costs, &platform).unwrap();
+        let hdlts = Hdlts::new(HdltsConfig::without_duplication());
+        let pinned = [PinnedTask {
+            task: TaskId(0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 3.0,
+        }];
+        let cold = hdlts
+            .replan_suffix(&problem, &pinned, &[true, true], 3.0, &mut SchedulerScratch::new())
+            .unwrap();
+        let mut scratch = SchedulerScratch::new();
+        let first = hdlts.schedule_into(&problem, &mut scratch).unwrap();
+        scratch.recycle(first);
+        let warm = hdlts
+            .replan_suffix(&problem, &pinned, &[true, true], 3.0, &mut scratch)
+            .unwrap();
+        assert_eq!(cold, warm);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use est::{
     penalty_score, penalty_score_is_exact, penalty_value, DupScratch, PlacementScratch,
     PlannedCopy,
 };
-pub use hdlts::{duplicate_entry, Hdlts, SchedulerScratch};
+pub use hdlts::{duplicate_entry, Hdlts, PinnedTask, SchedulerScratch};
 pub use problem::Problem;
 pub use schedule::{Placement, Schedule};
 pub use scheduler::Scheduler;

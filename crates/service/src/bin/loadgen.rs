@@ -21,17 +21,32 @@
 //! placement/failover counters, and a 2-daemon run records the
 //! `router_2daemon_min_throughput` metric `scripts/bench_gate.sh` gates.
 //!
+//! With `--churn` it appends a seeded churn sweep after the load phase:
+//! per seed, one sim-managed job (`"replan":"sim"` + 20% jitter + one
+//! processor killed mid-plan) runs through the daemon's online
+//! rescheduling loop while the identical `(instance, jitter, failure)`
+//! triple is priced in-process by `hdlts_sim::execute_plan_once` — the
+//! plan-once baseline. The report then carries a `churn` section and the
+//! gated top-level `churn_makespan_ratio` (plan-once makespan over
+//! managed makespan; > 1.0 means replanning beats plan-once end to end).
+//! Each seed also drives one **wire**-managed job: loadgen polls the
+//! plan, simulates execution, reports actual finishes in batches of
+//! `--report-interval` tasks, reports the processor loss mid-run, and
+//! adopts replanned generations from the acks — the remote-executor
+//! protocol end to end.
+//!
 //! ```text
 //! loadgen [--rate JOBS_PER_SEC] [--duration SECS] [--clients N]
 //!         [--procs P] [--workers N] [--queue-cap N] [--batch N] [--seed S]
 //!         [--retries N] [--daemons N] [--route-policy hash|least-backlog]
+//!         [--churn] [--churn-seeds N] [--report-interval TASKS]
 //!         [--out FILE] [--addr HOST:PORT [--shutdown]]
 //! ```
 
 use hdlts_service::json::{obj, Value};
 use hdlts_service::{
-    Client, Daemon, DaemonHandle, PlacementPolicy, RetryPolicy, Router, RouterConfig, RouterHandle,
-    ServiceConfig, ShardSpec, Topology,
+    Client, Daemon, DaemonHandle, Outcome, PlacementPolicy, RetryPolicy, Router, RouterConfig,
+    RouterHandle, ServiceConfig, ShardSpec, Topology,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -49,6 +64,9 @@ struct Options {
     retries: u32,
     daemons: usize,
     route_policy: PlacementPolicy,
+    churn: bool,
+    churn_seeds: usize,
+    report_interval: usize,
     out: String,
     addr: Option<String>,
     shutdown: bool,
@@ -68,6 +86,9 @@ impl Default for Options {
             retries: 3,
             daemons: 1,
             route_policy: PlacementPolicy::ConsistentHash,
+            churn: false,
+            churn_seeds: 8,
+            report_interval: 4,
             out: "BENCH_service.json".into(),
             addr: None,
             shutdown: false,
@@ -97,11 +118,24 @@ fn parse_args() -> Result<Options, String> {
             "--route-policy" => {
                 opts.route_policy = PlacementPolicy::parse(&value("--route-policy")?)?
             }
+            "--churn" => opts.churn = true,
+            "--churn-seeds" => opts.churn_seeds = int(&value("--churn-seeds")?)?,
+            "--report-interval" => opts.report_interval = int(&value("--report-interval")?)?,
             "--out" => opts.out = value("--out")?,
             "--addr" => opts.addr = Some(value("--addr")?),
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => {
-                println!("usage: loadgen [--rate R] [--duration S] [--clients N] [--procs P] [--workers N] [--queue-cap N] [--batch N] [--seed S] [--retries N] [--daemons N] [--route-policy hash|least-backlog] [--out FILE] [--addr HOST:PORT [--shutdown]]");
+                println!("usage: loadgen [--rate R] [--duration S] [--clients N] [--procs P] [--workers N] [--queue-cap N] [--batch N] [--seed S] [--retries N] [--daemons N] [--route-policy hash|least-backlog] [--churn] [--churn-seeds N] [--report-interval TASKS] [--out FILE] [--addr HOST:PORT [--shutdown]]");
+                println!();
+                println!("  --churn            after the load phase, run a seeded churn sweep: per seed,");
+                println!("                     one sim-managed job (20% jitter + one processor killed");
+                println!("                     mid-plan) vs the identical plan-once baseline; records the");
+                println!("                     gated churn_makespan_ratio, plus one wire-managed job per");
+                println!("                     seed driving the report/replan protocol end to end");
+                println!("  --churn-seeds N    seeds in the churn sweep (default 8)");
+                println!("  --report-interval  finished tasks per wire `report` batch (default 4): lower");
+                println!("                     means tighter feedback and earlier replans, higher batches");
+                println!("                     more progress per round trip");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag '{other}'")),
@@ -121,6 +155,16 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.daemons > 1 && opts.addr.is_some() {
         return Err("--daemons spawns in-process daemons; it cannot target --addr".into());
+    }
+    if opts.churn && (opts.daemons > 1 || opts.addr.is_some()) {
+        return Err(
+            "--churn prices its plan-once baseline in-process and needs the single \
+             in-process daemon (no --addr, no --daemons > 1)"
+                .into(),
+        );
+    }
+    if opts.churn && (opts.churn_seeds == 0 || opts.report_interval == 0) {
+        return Err("--churn-seeds and --report-interval must be at least 1".into());
     }
     Ok(opts)
 }
@@ -205,6 +249,272 @@ fn run_client(
     }
     tally.retries = client.retries();
     tally
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(1);
+}
+
+/// One seed of the churn sweep prices the identical `(instance, jitter,
+/// failure)` triple twice: through the daemon's online rescheduling loop
+/// (`"replan":"sim"`) and through the in-process plan-once baseline.
+struct ChurnTally {
+    plan_once_sum: f64,
+    managed_sum: f64,
+    managed_replans: u64,
+    plan_once_aborts: u64,
+    wire_jobs: u64,
+    wire_replans: u64,
+}
+
+/// Runs the seeded churn sweep against the (still-live) in-process
+/// daemon and returns the `churn` report section plus the gated
+/// `churn_makespan_ratio` (plan-once over managed; > 1.0 means the
+/// feedback loop beat plan-once end to end under identical seeds).
+fn run_churn(addr: &str, opts: &Options) -> (Value, f64) {
+    use hdlts_core::Scheduler;
+    const JITTER: f64 = 0.2;
+    const KILL_FRAC: f64 = 0.35;
+    let dead = opts.procs.saturating_sub(1) as u32;
+    let policy = RetryPolicy {
+        budget: opts.retries.max(4),
+        request_timeout_ms: Some(120_000),
+        poll_interval_ms: 2,
+        ..RetryPolicy::default()
+    };
+    let mut client = Client::new(addr, policy);
+    let mut tally = ChurnTally {
+        plan_once_sum: 0.0,
+        managed_sum: 0.0,
+        managed_replans: 0,
+        plan_once_aborts: 0,
+        wire_jobs: 0,
+        wire_replans: 0,
+    };
+    let platform = hdlts_platform::Platform::fully_connected(opts.procs)
+        .unwrap_or_else(|e| fatal(&format!("churn platform: {e}")));
+    for s in 0..opts.churn_seeds {
+        // Offset past the load phase's seed range so churn instances are
+        // fresh, yet fully determined by --seed.
+        let seed = opts.seed.wrapping_add(0xC0DE).wrapping_add(s as u64);
+        let spec = hdlts_workloads::GeneratorSpec {
+            size: 16,
+            num_procs: opts.procs,
+            seed,
+            ..Default::default()
+        };
+        // This is byte-for-byte the instance the daemon will regenerate
+        // from the wire workload below — the baseline and the managed run
+        // price the same problem.
+        let instance = spec
+            .generate("fft")
+            .unwrap_or_else(|e| fatal(&format!("churn generate (seed {seed}): {e}")));
+        let problem = instance
+            .problem(&platform)
+            .unwrap_or_else(|e| fatal(&format!("churn bind (seed {seed}): {e}")));
+        let plan = hdlts_core::Hdlts::new(hdlts_core::HdltsConfig::without_duplication())
+            .schedule(&problem)
+            .unwrap_or_else(|e| fatal(&format!("churn plan (seed {seed}): {e}")));
+        let kill_at = plan.makespan() * KILL_FRAC;
+        let perturb = hdlts_sim::PerturbModel::uniform(JITTER, seed);
+        let failures = hdlts_sim::FailureSpec::none()
+            .with_failure(hdlts_platform::ProcId(dead), kill_at);
+        let baseline = hdlts_sim::execute_plan_once(&problem, &perturb, &failures)
+            .unwrap_or_else(|e| fatal(&format!("churn plan-once baseline (seed {seed}): {e}")));
+        tally.plan_once_sum += baseline.makespan;
+        tally.plan_once_aborts += baseline.aborted_attempts as u64;
+
+        let line = format!(
+            r#"{{"cmd":"submit","workload":{{"family":"fft","m":16,"procs":{procs},"seed":{seed}}},"jitter":{JITTER},"jitter_seed":{seed},"failures":[[{dead},{kill_at}]],"replan":"sim"}}"#,
+            procs = opts.procs,
+        );
+        let receipt = client
+            .submit(&line)
+            .unwrap_or_else(|e| fatal(&format!("churn submit (seed {seed}): {e}")));
+        let resp = match client.await_result(receipt.job_id) {
+            Outcome::Done(resp) => resp,
+            other => fatal(&format!(
+                "churn job {} (seed {seed}) did not complete: {}",
+                receipt.job_id,
+                other.label()
+            )),
+        };
+        let makespan = resp
+            .get("makespan")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| fatal(&format!("churn job {} has no makespan", receipt.job_id)));
+        tally.managed_sum += makespan;
+        tally.managed_replans += resp.get("replans").and_then(Value::as_u64).unwrap_or(0);
+        // Exactly-once: a second poll must serve the identical terminal
+        // result, never a re-run or a second completion.
+        let again = client
+            .request(&format!(
+                r#"{{"cmd":"result","job_id":{}}}"#,
+                receipt.job_id
+            ))
+            .unwrap_or_else(|e| fatal(&format!("churn re-poll (seed {seed}): {e}")));
+        let again_makespan = again.get("makespan").and_then(Value::as_f64);
+        if again_makespan.map(f64::to_bits) != Some(makespan.to_bits()) {
+            fatal(&format!(
+                "churn job {} served two different results: {makespan} vs {again_makespan:?}",
+                receipt.job_id
+            ));
+        }
+
+        // One wire-managed job per seed: loadgen plays remote executor
+        // against the same instance family, driving plan-poll → report
+        // batches → loss → replan-adoption end to end.
+        match run_wire_churn(&mut client, opts.procs, seed, opts.report_interval) {
+            Ok(replans) => {
+                tally.wire_jobs += 1;
+                tally.wire_replans += replans;
+            }
+            Err(e) => fatal(&format!("wire churn (seed {seed}): {e}")),
+        }
+    }
+    let ratio = tally.plan_once_sum / tally.managed_sum;
+    let section = obj([
+        ("seeds", opts.churn_seeds.into()),
+        ("jitter", JITTER.into()),
+        ("kill_fraction", KILL_FRAC.into()),
+        ("killed_proc", (dead as u64).into()),
+        ("report_interval", opts.report_interval.into()),
+        ("plan_once_makespan_sum", tally.plan_once_sum.into()),
+        ("managed_makespan_sum", tally.managed_sum.into()),
+        ("managed_replans", tally.managed_replans.into()),
+        ("plan_once_aborted_attempts", tally.plan_once_aborts.into()),
+        ("wire_jobs", tally.wire_jobs.into()),
+        ("wire_replans", tally.wire_replans.into()),
+    ]);
+    (section, ratio)
+}
+
+/// Parses a wire plan (`[[proc, start, finish], ...]`, task-id order).
+fn parse_plan(v: &Value) -> Result<Vec<(u32, f64, f64)>, String> {
+    let Value::Arr(rows) = v else {
+        return Err("plan is not an array".into());
+    };
+    let mut plan = Vec::with_capacity(rows.len());
+    for row in rows {
+        let Value::Arr(cols) = row else {
+            return Err("plan row is not an array".into());
+        };
+        match cols.as_slice() {
+            [p, s, f] => plan.push((
+                p.as_u64().ok_or("plan proc is not an integer")? as u32,
+                s.as_f64().ok_or("plan start is not a number")?,
+                f.as_f64().ok_or("plan finish is not a number")?,
+            )),
+            _ => return Err("plan row is not [proc, start, finish]".into()),
+        }
+    }
+    Ok(plan)
+}
+
+/// Drives one wire-managed job to completion: submit with
+/// `"replan":"wire"`, poll the generation-0 plan, simulate execution
+/// with a deterministic per-task slowdown, report actual finishes in
+/// batches of `interval`, report the loss of the last processor once a
+/// third of the tasks are done, and adopt every replanned generation the
+/// acks carry. Returns the terminal `replans` count.
+fn run_wire_churn(
+    client: &mut Client,
+    procs: usize,
+    seed: u64,
+    interval: usize,
+) -> Result<u64, String> {
+    let line = format!(
+        r#"{{"cmd":"submit","workload":{{"family":"fft","m":16,"procs":{procs},"seed":{seed}}},"replan":"wire"}}"#
+    );
+    let receipt = client.submit(&line).map_err(|e| format!("submit: {e}"))?;
+    let job_id = receipt.job_id;
+    let poll = format!(r#"{{"cmd":"result","job_id":{job_id}}}"#);
+    // Wait for the generation-0 plan to be installed.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut plan = loop {
+        let resp = client.request(&poll).map_err(|e| format!("plan poll: {e}"))?;
+        if let Some(p) = resp.get("plan") {
+            break parse_plan(p)?;
+        }
+        if resp.get("state").and_then(Value::as_str) == Some("done") {
+            return Err("wire job completed before any report".into());
+        }
+        if Instant::now() > deadline {
+            return Err(format!("wire job {job_id} never produced a plan"));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    let n = plan.len();
+    let planned_span = plan.iter().fold(0.0f64, |m, &(_, _, f)| m.max(f));
+    let kill_at = planned_span * 0.35;
+    let dead = procs.saturating_sub(1) as u32;
+    // Deterministic per-seed slowdown in [1.05, 1.25): the remote
+    // environment runs uniformly slower than estimated. Uniform scaling
+    // keeps reported actuals mutually consistent (precedence and
+    // per-processor ordering survive multiplication by a constant), so
+    // drift is the daemon's call, not an artifact of garbled reports.
+    let slowdown = {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD6E8_FEB8_6659_FD93;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        1.05 + 0.2 * ((x >> 11) as f64 / (1u64 << 53) as f64)
+    };
+    let mut finished = vec![false; n];
+    let mut done_count = 0usize;
+    let mut lost_sent = false;
+    let mut generation = 0u64;
+    loop {
+        // Next batch of unfinished tasks in current-plan start order — a
+        // topological order, so each report is precedence-consistent.
+        let mut order: Vec<usize> = (0..n).filter(|&t| !finished[t]).collect();
+        if order.is_empty() {
+            break;
+        }
+        order.sort_by(|&a, &b| plan[a].1.total_cmp(&plan[b].1).then(a.cmp(&b)));
+        order.truncate(interval.max(1));
+        let mut batch: Vec<(u32, u32, f64, f64)> = Vec::with_capacity(order.len());
+        for t in order {
+            let (p, s, f) = plan[t];
+            batch.push((t as u32, p, s * slowdown, f * slowdown));
+            finished[t] = true;
+            done_count += 1;
+        }
+        // Report the fail-stop loss exactly once, a third of the way in;
+        // the daemon must evict the dead processor and replan the suffix.
+        let lost: Vec<(u32, f64)> = if !lost_sent && done_count * 3 >= n && done_count < n {
+            lost_sent = true;
+            vec![(dead, kill_at)]
+        } else {
+            Vec::new()
+        };
+        let ack = client
+            .report(job_id, &batch, &lost)
+            .map_err(|e| format!("report: {e}"))?;
+        // The ack's generation is authoritative; a plan can also arrive
+        // at an unchanged generation (degradation strand-patch), and the
+        // executor must adopt it either way to keep a live target.
+        generation = generation.max(ack.get("generation").and_then(Value::as_u64).unwrap_or(0));
+        if let Some(p) = ack.get("plan") {
+            plan = parse_plan(p)?;
+        }
+        if ack.get("done").and_then(Value::as_bool) == Some(true) {
+            break;
+        }
+    }
+    // The terminal result must exist and agree with the final ack.
+    let resp = client.request(&poll).map_err(|e| format!("final poll: {e}"))?;
+    if resp.get("state").and_then(Value::as_str) != Some("done") {
+        return Err(format!("wire job {job_id} not terminal after final ack"));
+    }
+    let terminal = resp.get("replans").and_then(Value::as_u64).unwrap_or(0);
+    if terminal != generation {
+        return Err(format!(
+            "wire job {job_id} recorded {terminal} replans but the acks reached generation {generation}"
+        ));
+    }
+    Ok(terminal)
 }
 
 /// Serializes the report with every top-level key on its own line (values
@@ -340,6 +650,19 @@ fn main() {
     let gave_up: u64 = tallies.iter().map(|t| t.gave_up).sum();
     let retries: u64 = tallies.iter().map(|t| t.retries).sum();
 
+    // The churn sweep runs against the still-live daemon, before the
+    // drain: sim-managed jobs vs the in-process plan-once baseline, plus
+    // one wire-managed report/replan conversation per seed.
+    let churn = if opts.churn {
+        eprintln!(
+            "loadgen: churn sweep — {} seed(s), report interval {}",
+            opts.churn_seeds, opts.report_interval
+        );
+        Some(run_churn(&addr, &opts))
+    } else {
+        None
+    };
+
     // Drain and collect final stats. In router mode the router drains
     // first (it owns no jobs), then each daemon finishes its in-flight
     // work; the daemon stats are reported per backend and aggregated for
@@ -471,6 +794,14 @@ fn main() {
     }
     if let Some(daemons_value) = daemons_value {
         members.push(("daemons".into(), daemons_value));
+    }
+    // The churn metric `scripts/bench_gate.sh` gates
+    // (`churn_makespan_ratio:baseline`): plan-once makespan over managed
+    // makespan across the sweep. Only recorded under --churn so runs
+    // without the sweep cannot masquerade as it.
+    if let Some((churn_section, ratio)) = churn {
+        members.push(("churn".into(), churn_section));
+        members.push(("churn_makespan_ratio".into(), ratio.into()));
     }
     // The canonical 2-daemon router row `scripts/bench_gate.sh` gates
     // (`router_2daemon_min_throughput:baseline`): end-to-end completed

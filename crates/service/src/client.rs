@@ -260,6 +260,50 @@ impl Client {
         }
     }
 
+    /// Sends one runtime-feedback `report` batch for a wire-managed job
+    /// and returns the daemon's ack (`generation`, optional new `plan`,
+    /// `done`). `finished` carries `(task, proc, start, finish)` actuals;
+    /// `lost` carries `(proc, at)` fail-stop losses. Reports are
+    /// idempotent on the daemon, so a client that lost an ack can resend
+    /// its full history and read back the answer it missed.
+    pub fn report(
+        &mut self,
+        job_id: u64,
+        finished: &[(u32, u32, f64, f64)],
+        lost: &[(u32, f64)],
+    ) -> Result<Value, String> {
+        let mut line = format!(r#"{{"cmd":"report","job_id":{job_id}"#);
+        if !finished.is_empty() {
+            line.push_str(r#","finished":["#);
+            for (i, (task, proc, start, finish)) in finished.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("[{task},{proc},{start},{finish}]"));
+            }
+            line.push(']');
+        }
+        if !lost.is_empty() {
+            line.push_str(r#","lost":["#);
+            for (i, (proc, at)) in lost.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("[{proc},{at}]"));
+            }
+            line.push(']');
+        }
+        line.push('}');
+        let resp = self.request(&line)?;
+        if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+            Ok(resp)
+        } else {
+            let code = resp.get("error").and_then(Value::as_str).unwrap_or("unknown");
+            let detail = resp.get("detail").and_then(Value::as_str).unwrap_or("");
+            Err(format!("{code}: {detail}"))
+        }
+    }
+
     /// One request/response exchange with transport-level retries only:
     /// re-dials through the backoff schedule on connection trouble, but
     /// returns the daemon's response verbatim whether it is `ok` or an

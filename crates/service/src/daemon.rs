@@ -23,14 +23,21 @@ use crate::faults::{CrashPoint, FaultPlan, Faults};
 use crate::jobs::{JobResult, JobState, JobTable, RetentionPolicy};
 use crate::journal::{unix_ms_now, JobOutcome, Journal, Record, Recovery};
 use crate::json::{obj, Value};
-use crate::protocol::{self, parse_request, placements_value, Request, SubmitRequest};
+use crate::protocol::{
+    self, parse_request, placements_value, ReplanMode, ReportRequest, Request, SubmitRequest,
+};
 use crate::queue::{Bounded, PopBatch, PushError};
+use crate::replan::{apply_report, ApplyError, ManagedJob};
+use hdlts_core::{Hdlts, HdltsConfig, Scheduler};
+use hdlts_dag::TaskId;
 use hdlts_metrics::LatencyHistogram;
 use hdlts_platform::Platform;
 use hdlts_sim::{
-    DispatchPolicy, FailureSpec, JobArrival, JobStreamScheduler, PerturbModel, StreamScratch,
+    execute_managed, DispatchPolicy, DriftConfig, FailureSpec, JobArrival, JobStreamScheduler,
+    PerturbModel, StreamScratch,
 };
 use hdlts_workloads::Instance;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -87,6 +94,10 @@ pub struct ServiceConfig {
     /// Fault-injection plan for chaos tests; [`FaultPlan::none`] in
     /// production (`hdlts serve` arms it from `HDLTS_FAULTS`).
     pub faults: FaultPlan,
+    /// Drift detection for managed jobs (`"replan":"sim"|"wire"`): the
+    /// EWMA smoothing factor and the relative-drift threshold that
+    /// triggers a live suffix replan.
+    pub drift: DriftConfig,
 }
 
 impl Default for ServiceConfig {
@@ -108,6 +119,7 @@ impl Default for ServiceConfig {
             journal_path: None,
             journal_sync: false,
             faults: FaultPlan::none(),
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -128,6 +140,7 @@ struct QueuedJob {
     policy: DispatchPolicy,
     perturb: PerturbModel,
     failures: FailureSpec,
+    replan: ReplanMode,
     deadline: Option<Instant>,
     submitted: Instant,
 }
@@ -169,6 +182,16 @@ struct Shared {
     restored: AtomicU64,
     /// Journal appends that failed (injected or real I/O errors).
     journal_errors: AtomicU64,
+    /// Wire-managed jobs awaiting reports, by id.
+    managed: Mutex<HashMap<u64, ManagedJob>>,
+    /// Suffix replans committed (journaled) by this incarnation.
+    replans: AtomicU64,
+    /// Total plan generations recovered from the journal for unfinished
+    /// jobs — how many replans previous incarnations had committed.
+    recovered_replans: AtomicU64,
+    /// Recovered latest generation per unfinished job id: a re-planned
+    /// wire job resumes numbering here instead of reusing generation 0.
+    recovered_gens: Mutex<HashMap<u64, u32>>,
 }
 
 /// Per-shard slice of [`ServiceStats`].
@@ -211,6 +234,11 @@ pub struct ServiceStats {
     /// Journal appends that failed (the affected submits were refused
     /// with a retryable `journal` error rather than acked un-durable).
     pub journal_errors: u64,
+    /// Suffix replans committed (journaled `Replanned` frames) by this
+    /// incarnation, across sim- and wire-managed jobs.
+    pub replans: u64,
+    /// Plan generations recovered from the journal for unfinished jobs.
+    pub recovered_replans: u64,
     /// Current total queue depth across shards.
     pub queue_depth: usize,
     /// Per-shard throughput and warm-engine reuse counters.
@@ -242,6 +270,8 @@ impl ServiceStats {
             ("recovered", self.recovered.into()),
             ("restored_results", self.restored_results.into()),
             ("journal_errors", self.journal_errors.into()),
+            ("replans", self.replans.into()),
+            ("recovered_replans", self.recovered_replans.into()),
             (
                 "latency_ms",
                 obj([
@@ -350,6 +380,10 @@ impl Daemon {
             recovered: AtomicU64::new(0),
             restored: AtomicU64::new(0),
             journal_errors: AtomicU64::new(0),
+            managed: Mutex::new(HashMap::new()),
+            replans: AtomicU64::new(0),
+            recovered_replans: AtomicU64::new(0),
+            recovered_gens: Mutex::new(HashMap::new()),
         });
         if let Some(rec) = recovery {
             replay_recovery(&shared, &rec);
@@ -433,6 +467,27 @@ impl DaemonHandle {
             let _ = a.join();
         }
         if !self.shared.faults.crashed() {
+            // Wire-managed jobs that never finished are failed in memory,
+            // but deliberately NOT journaled terminal: the journal keeps
+            // their Submitted (+ Replanned) records through compaction,
+            // so the next incarnation recovers and re-plans them.
+            let stranded: Vec<u64> = lock_recover(&self.shared.managed)
+                .drain()
+                .map(|(id, _)| id)
+                .collect();
+            for id in stranded {
+                set_state(
+                    &self.shared,
+                    id,
+                    JobState::Failed(
+                        "daemon drained before the managed job finished; \
+                         it will be recovered on restart"
+                            .into(),
+                    ),
+                );
+                self.shared.failed.fetch_add(1, Ordering::SeqCst);
+                self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            }
             if let Some(journal) = &self.shared.journal {
                 // Compact rather than truncate: every admitted job is
                 // terminal now, but the retained outcome records must
@@ -465,6 +520,18 @@ fn replay_recovery(shared: &Shared, rec: &Recovery) {
         };
         lock_recover(&shared.jobs).set(*id, state);
         shared.restored.fetch_add(1, Ordering::SeqCst);
+    }
+    // Replan history: an unfinished managed job resumes its generation
+    // numbering past what the journal witnessed, so post-recovery replans
+    // never reuse a committed generation number.
+    if !rec.replanned.is_empty() {
+        let mut gens = lock_recover(&shared.recovered_gens);
+        for &(id, generation, _) in &rec.replanned {
+            gens.insert(id, generation);
+            shared
+                .recovered_replans
+                .fetch_add(generation as u64, Ordering::SeqCst);
+        }
     }
     let mut max_id = rec.terminal.iter().copied().max().unwrap_or(0);
     for (id, line) in &rec.unfinished {
@@ -500,6 +567,7 @@ fn replay_recovery(shared: &Shared, rec: &Recovery) {
             policy: submit.policy,
             perturb: submit.perturb,
             failures: submit.failures,
+            replan: submit.replan,
             deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
             submitted: now,
         };
@@ -553,6 +621,8 @@ fn snapshot(shared: &Shared) -> ServiceStats {
         recovered: shared.recovered.load(Ordering::SeqCst),
         restored_results: shared.restored.load(Ordering::SeqCst),
         journal_errors: shared.journal_errors.load(Ordering::SeqCst),
+        replans: shared.replans.load(Ordering::SeqCst),
+        recovered_replans: shared.recovered_replans.load(Ordering::SeqCst),
         queue_depth: shared.shards.iter().map(|s| s.queue.len()).sum(),
         shards: shared
             .shards
@@ -655,6 +725,11 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob, scratch: &mut Str
         }
     }
     set_state(shared, job.id, JobState::Running);
+    match job.replan {
+        ReplanMode::Off => {}
+        ReplanMode::Sim => return process_sim_managed(shared, shard, job),
+        ReplanMode::Wire => return install_wire_managed(shared, shard, job),
+    }
 
     // Exactly the offline dispatch path: a single-job stream arriving at
     // t = 0 on the shard's platform. Anything the offline
@@ -713,6 +788,7 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob, scratch: &mut Str
                     placements: exec.placements.clone(),
                     service_ms,
                     aborted_attempts: out.aborted_attempts,
+                    replans: 0,
                 })
             }
         },
@@ -744,6 +820,153 @@ fn process_job(shared: &Shared, shard: &Shard, job: QueuedJob, scratch: &mut Str
         }
     }
     set_state(shared, job.id, state);
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Runs a sim-managed job: the in-process feedback source perturbs the
+/// plan's task finishes, and the daemon's drift/loss detector replans the
+/// unfinished suffix live. Every accepted replan is journaled as a
+/// `Replanned` frame *before* the new generation is installed, so a crash
+/// at the commit boundary recovers to the latest durable generation.
+fn process_sim_managed(shared: &Shared, shard: &Shard, job: QueuedJob) {
+    let problem = match job.instance.problem(&shard.platform) {
+        Ok(p) => p,
+        Err(e) => return finish_failed(shared, job.id, e.to_string()),
+    };
+    let outcome = execute_managed(
+        &problem,
+        shared.cfg.drift,
+        &job.perturb,
+        &job.failures,
+        |generation, reason| {
+            // Crash point: the suffix replan exists only in this worker's
+            // memory — the `Replanned` frame below never lands. Recovery
+            // re-runs the job deterministically and recommits it.
+            if shared.faults.hit(CrashPoint::ReplanCommit) {
+                return false;
+            }
+            journal_terminal(
+                shared,
+                &Record::Replanned {
+                    id: job.id,
+                    generation,
+                    reason: reason.code(),
+                },
+            );
+            shared.replans.fetch_add(1, Ordering::SeqCst);
+            true
+        },
+    );
+    if shared.faults.crashed() {
+        return; // act dead: no terminal record, no bookkeeping
+    }
+    match outcome {
+        Err(e) => finish_failed(shared, job.id, e.to_string()),
+        Ok(out) => {
+            let service_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+            let (slr, speedup) = if out.makespan > 0.0 {
+                (
+                    hdlts_metrics::slr(&problem, out.makespan),
+                    hdlts_metrics::speedup(&problem, out.makespan),
+                )
+            } else {
+                (f64::NAN, f64::NAN)
+            };
+            finish_done(
+                shared,
+                shard,
+                job.id,
+                JobResult {
+                    makespan: out.makespan,
+                    slr,
+                    speedup,
+                    placements: out.placements,
+                    service_ms,
+                    aborted_attempts: out.aborted_attempts,
+                    replans: out.replans as usize,
+                },
+            );
+        }
+    }
+}
+
+/// Plans generation 0 for a wire-managed job and parks it in the managed
+/// map: the job stays `Running` (and inflight) until the remote
+/// executor's `report` batches complete it through [`handle_report`].
+fn install_wire_managed(shared: &Shared, shard: &Shard, job: QueuedJob) {
+    let plan = {
+        let problem = match job.instance.problem(&shard.platform) {
+            Ok(p) => p,
+            Err(e) => return finish_failed(shared, job.id, e.to_string()),
+        };
+        let scheduler = Hdlts::new(HdltsConfig::without_duplication());
+        let schedule = match Scheduler::schedule(&scheduler, &problem) {
+            Ok(s) => s,
+            Err(e) => return finish_failed(shared, job.id, e.to_string()),
+        };
+        let mut plan = Vec::with_capacity(problem.num_tasks());
+        for t in 0..problem.num_tasks() {
+            match schedule.placement(TaskId(t as u32)) {
+                Some(p) => plan.push((p.proc, p.start, p.finish)),
+                None => {
+                    return finish_failed(
+                        shared,
+                        job.id,
+                        format!("planner left task {t} unplaced"),
+                    )
+                }
+            }
+        }
+        plan
+    };
+    // A recovered job resumes generation numbering past the journal's
+    // latest witnessed generation, never reusing a committed number.
+    let gen0 = lock_recover(&shared.recovered_gens)
+        .remove(&job.id)
+        .unwrap_or(0);
+    let managed = ManagedJob::new(
+        job.instance,
+        plan,
+        shard.spec.procs,
+        shared.cfg.drift,
+        gen0,
+        job.submitted,
+    );
+    lock_recover(&shared.managed).insert(job.id, managed);
+}
+
+/// Terminal bookkeeping for a failure: journal first, then counters and
+/// the in-memory state.
+fn finish_failed(shared: &Shared, id: u64, error: String) {
+    journal_terminal(
+        shared,
+        &Record::Failed {
+            id,
+            unix_ms: unix_ms_now(),
+            error: error.clone(),
+        },
+    );
+    shared.failed.fetch_add(1, Ordering::SeqCst);
+    set_state(shared, id, JobState::Failed(error));
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Terminal bookkeeping for a completion: journal the outcome-bearing
+/// record first, then latency/counters, then the in-memory state.
+fn finish_done(shared: &Shared, shard: &Shard, id: u64, result: JobResult) {
+    journal_terminal(
+        shared,
+        &Record::Done {
+            id,
+            unix_ms: unix_ms_now(),
+            result: result.clone(),
+        },
+    );
+    let latency_ns = (result.service_ms * 1e6) as u64;
+    lock_recover(&shared.hist).record(latency_ns);
+    shared.completed.fetch_add(1, Ordering::SeqCst);
+    shard.completed.fetch_add(1, Ordering::SeqCst);
+    set_state(shared, id, JobState::Done(result));
     shared.inflight.fetch_sub(1, Ordering::SeqCst);
 }
 
@@ -857,18 +1080,38 @@ fn try_handle_line(shared: &Shared, line: &str) -> Result<Value, ServiceError> {
             // leaves the socket (the connection layer swallows it). A
             // router must then re-place or re-poll the job elsewhere.
             let _ = shared.faults.hit(CrashPoint::PreResult);
-            let jobs = lock(&shared.jobs, "job table")?;
-            match jobs.get(job_id) {
+            // Clone the state and release the job table *before* touching
+            // the managed map: `handle_report` locks managed → jobs, so
+            // holding jobs across a managed lookup would invert the order.
+            let state = lock(&shared.jobs, "job table")?.get(job_id).cloned();
+            match state {
                 None => protocol::resp_error("unknown_job", format!("no record of job {job_id}")),
-                Some(JobState::Failed(e)) => protocol::resp_error("job_failed", e.clone()),
+                Some(JobState::Failed(e)) => protocol::resp_error("job_failed", e),
                 Some(JobState::Expired) => {
                     protocol::resp_error("expired", "deadline passed while queued")
                 }
-                Some(state @ (JobState::Queued | JobState::Running)) => obj([
-                    ("ok", false.into()),
-                    ("error", "not_ready".into()),
-                    ("state", state.name().into()),
-                ]),
+                Some(state @ (JobState::Queued | JobState::Running)) => {
+                    // A wire-managed job answers its poll with the current
+                    // plan generation so the remote executor can start (or
+                    // resume after a replan it missed).
+                    let managed = lock(&shared.managed, "managed jobs")?
+                        .get(&job_id)
+                        .map(|m| (m.generation, m.plan.clone()));
+                    match managed {
+                        Some((generation, plan)) => obj([
+                            ("ok", true.into()),
+                            ("job_id", job_id.into()),
+                            ("state", "running".into()),
+                            ("generation", (generation as u64).into()),
+                            ("plan", placements_value(&plan)),
+                        ]),
+                        None => obj([
+                            ("ok", false.into()),
+                            ("error", "not_ready".into()),
+                            ("state", state.name().into()),
+                        ]),
+                    }
+                }
                 Some(JobState::Done(r)) => obj([
                     ("ok", true.into()),
                     ("job_id", job_id.into()),
@@ -878,10 +1121,12 @@ fn try_handle_line(shared: &Shared, line: &str) -> Result<Value, ServiceError> {
                     ("speedup", r.speedup.into()),
                     ("service_ms", r.service_ms.into()),
                     ("aborted_attempts", r.aborted_attempts.into()),
+                    ("replans", r.replans.into()),
                     ("placements", placements_value(&r.placements)),
                 ]),
             }
         }
+        Request::Report(report) => handle_report(shared, &report)?,
         Request::Submit(submit) => handle_submit(shared, *submit, line)?,
     })
 }
@@ -926,6 +1171,7 @@ fn handle_submit(
         policy: submit.policy,
         perturb: submit.perturb,
         failures: submit.failures,
+        replan: submit.replan,
         deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
         submitted: now,
     };
@@ -974,6 +1220,122 @@ fn handle_submit(
     // still run this job — the client may already be polling for it.
     let _ = shared.faults.hit(CrashPoint::PostJournalPreAck);
     Ok(protocol::resp_submitted(id, shard.queue.len()))
+}
+
+/// Applies one runtime-feedback batch to a wire-managed job.
+///
+/// Lock order: `managed` → journal (inside the replan-commit callback) →
+/// *drop* `managed` → `jobs`/`hist`. The `Result` handler releases `jobs`
+/// before reading `managed`, so the two paths never cycle.
+///
+/// Reports are idempotent and may be cumulative: a client that lost an
+/// ack resends its full history and the already-applied events fold away,
+/// so the answer it gets back is the one it missed.
+fn handle_report(shared: &Shared, report: &ReportRequest) -> Result<Value, ServiceError> {
+    let job_id = report.job_id;
+    let mut managed = lock(&shared.managed, "managed jobs")?;
+    let Some(job) = managed.get_mut(&job_id) else {
+        drop(managed);
+        return Ok(match lock(&shared.jobs, "job table")?.get(job_id) {
+            // A resend of the final batch after its ack was lost: the job
+            // already went terminal — re-ack idempotently.
+            Some(JobState::Done(r)) => protocol::resp_report_ack(r.replans as u32, None, true),
+            Some(JobState::Failed(e)) => protocol::resp_error("job_failed", e.clone()),
+            Some(_) => protocol::resp_error(
+                "not_managed",
+                format!("job {job_id} is not under wire-managed execution"),
+            ),
+            None => protocol::resp_error("unknown_job", format!("no record of job {job_id}")),
+        });
+    };
+    let procs = job.num_procs();
+    let Some(shard) = shared.shards.iter().find(|s| s.spec.procs == procs) else {
+        return Ok(protocol::resp_error(
+            "internal",
+            "no shard serves this managed job",
+        ));
+    };
+    // `Problem` borrows the instance, so the report is priced against a
+    // local clone while the managed entry stays mutable.
+    let instance = job.instance.clone();
+    let problem = match instance.problem(&shard.platform) {
+        Ok(p) => p,
+        Err(e) => return Ok(protocol::resp_error("internal", e.to_string())),
+    };
+    let outcome = apply_report(job, &problem, report, |generation, reason| {
+        // Crash point: the replan was computed but its Replanned frame
+        // never reached the journal — the commit is vetoed, the daemon
+        // acts dead, and recovery resumes from the last durable
+        // generation (the client resends its history).
+        if shared.faults.hit(CrashPoint::ReplanCommit) {
+            return false;
+        }
+        journal_terminal(
+            shared,
+            &Record::Replanned {
+                id: job_id,
+                generation,
+                reason: reason.code(),
+            },
+        );
+        shared.replans.fetch_add(1, Ordering::SeqCst);
+        true
+    });
+    Ok(match outcome {
+        Err(ApplyError::BadReport(why)) => protocol::resp_error("bad_report", why),
+        Err(ApplyError::AllProcessorsFailed) => {
+            managed.remove(&job_id);
+            drop(managed);
+            let error = "all processors failed before completion".to_string();
+            finish_failed(shared, job_id, error.clone());
+            protocol::resp_error("job_failed", error)
+        }
+        Ok(out) if out.done => {
+            let Some(job) = managed.remove(&job_id) else {
+                return Ok(protocol::resp_error("internal", "managed entry vanished"));
+            };
+            drop(managed);
+            let makespan = job.actual_makespan();
+            let (slr, speedup) = if makespan > 0.0 {
+                (
+                    hdlts_metrics::slr(&problem, makespan),
+                    hdlts_metrics::speedup(&problem, makespan),
+                )
+            } else {
+                (f64::NAN, f64::NAN)
+            };
+            let generation = job.generation;
+            let result = JobResult {
+                makespan,
+                slr,
+                speedup,
+                placements: job.plan.clone(),
+                service_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+                aborted_attempts: 0,
+                replans: generation as usize,
+            };
+            finish_done(shared, shard, job_id, result);
+            // Crash point: the Done record is durable but this final ack
+            // never leaves the socket — the client's resend finds the
+            // terminal state above and is re-acked.
+            let _ = shared.faults.hit(CrashPoint::ReportAck);
+            protocol::resp_report_ack(generation, None, true)
+        }
+        Ok(out) => {
+            let generation = job.generation;
+            let plan = if out.plan_changed {
+                Some(job.plan.clone())
+            } else {
+                None
+            };
+            drop(managed);
+            // Crash point: the batch (and any Replanned frame) is applied
+            // but the ack is swallowed — the client resends the batch and
+            // the fold is a no-op.
+            let _ = shared.faults.hit(CrashPoint::ReportAck);
+            protocol::resp_report_ack(generation, plan.as_deref(), false)
+        }
+    })
 }
 
 /// Retry hint for a rejected submit, from the observed mean service

@@ -41,16 +41,33 @@ pub enum CrashPoint {
     /// chaos sweep uses this to kill one backend exactly when a client
     /// is mid-poll, forcing failover re-placement.
     PreResult,
+    /// In the connection handler, after a `report` batch is applied (and
+    /// any resulting `Replanned` frame journaled) but before the ack
+    /// reaches the client: the reporter must be able to resend the batch
+    /// against the recovered daemon without corrupting the plan state.
+    ReportAck,
+    /// In the replan path, after the suffix replan succeeded but before
+    /// its `Replanned` frame is journaled and the new generation
+    /// installed: recovery must come back on the latest *journaled*
+    /// generation, never the uncommitted one.
+    ReplanCommit,
 }
 
 impl CrashPoint {
-    /// Every named crash point, in pipeline order.
+    /// Every named crash point, in pipeline order. Deliberately excludes
+    /// [`CrashPoint::MANAGED`]: the seeded router sweep samples `ALL`,
+    /// and a managed-only point would never fire without report traffic.
     pub const ALL: [CrashPoint; 4] = [
         CrashPoint::PostJournalPreAck,
         CrashPoint::MidShard,
         CrashPoint::PreCompleteRecord,
         CrashPoint::PreResult,
     ];
+
+    /// The crash points on the managed (online-rescheduling) path. Only
+    /// workloads that send `report` traffic can traverse these, so they
+    /// are armed explicitly (env/tests), never by the seeded sweeps.
+    pub const MANAGED: [CrashPoint; 2] = [CrashPoint::ReportAck, CrashPoint::ReplanCommit];
 
     /// The crash points on the submit→schedule→record pipeline — the
     /// ones a traffic-only workload is guaranteed to traverse. The
@@ -70,6 +87,8 @@ impl CrashPoint {
             CrashPoint::MidShard => "mid-shard",
             CrashPoint::PreCompleteRecord => "pre-complete-record",
             CrashPoint::PreResult => "pre-result",
+            CrashPoint::ReportAck => "report-ack",
+            CrashPoint::ReplanCommit => "replan-commit",
         }
     }
 
@@ -77,8 +96,9 @@ impl CrashPoint {
     pub fn parse(s: &str) -> Result<CrashPoint, String> {
         CrashPoint::ALL
             .into_iter()
+            .chain(CrashPoint::MANAGED)
             .find(|p| p.name() == s)
-            .ok_or_else(|| format!("unknown crash point '{s}' (post-journal-pre-ack|mid-shard|pre-complete-record|pre-result)"))
+            .ok_or_else(|| format!("unknown crash point '{s}' (post-journal-pre-ack|mid-shard|pre-complete-record|pre-result|report-ack|replan-commit)"))
     }
 }
 
@@ -311,6 +331,23 @@ mod tests {
         let plan = FaultPlan::parse("crash=pre-result:3").unwrap();
         assert_eq!(plan.crash_at, Some(CrashPoint::PreResult));
         assert_eq!(plan.crash_after, 3);
+    }
+
+    #[test]
+    fn managed_points_parse_but_stay_out_of_the_seeded_sweeps() {
+        let plan = FaultPlan::parse("crash=replan-commit:2").unwrap();
+        assert_eq!(plan.crash_at, Some(CrashPoint::ReplanCommit));
+        assert_eq!(plan.crash_after, 2);
+        let plan = FaultPlan::parse("crash=report-ack").unwrap();
+        assert_eq!(plan.crash_at, Some(CrashPoint::ReportAck));
+        for point in CrashPoint::MANAGED {
+            assert!(
+                !CrashPoint::ALL.contains(&point),
+                "{} must not be sampled by seeded sweeps without report traffic",
+                point.name()
+            );
+            assert_eq!(CrashPoint::parse(point.name()), Ok(point));
+        }
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub struct JobResult {
     pub service_ms: f64,
     /// Task attempts aborted by injected processor failures.
     pub aborted_attempts: usize,
+    /// Accepted suffix replans performed while the job executed (0 for
+    /// static scheduling).
+    pub replans: usize,
 }
 
 /// Bounds on how long terminal results are retained — by count (FIFO)
@@ -184,6 +187,7 @@ mod tests {
             placements: vec![],
             service_ms: 0.5,
             aborted_attempts: 0,
+            replans: 0,
         })
     }
 

@@ -89,6 +89,23 @@ pub enum Record {
         /// The scheduling error, verbatim.
         error: String,
     },
+    /// A managed job's plan was superseded by a live suffix replan. The
+    /// frame is written **before** the new generation is installed, so a
+    /// crash at the commit point recovers to the latest journaled
+    /// generation and never serves a stale plan as if it were current.
+    Replanned {
+        /// Daemon-assigned job id.
+        id: u64,
+        /// Plan generation this frame commits (generation 0 is the
+        /// original plan; the first replan commits generation 1).
+        generation: u32,
+        /// Why the replan fired — a [`ReplanReason`] code
+        /// (`hdlts_sim::ReplanReason::code`): 1 = drift, 2 = processor
+        /// lost.
+        ///
+        /// [`ReplanReason`]: hdlts_sim::ReplanReason
+        reason: u8,
+    },
 }
 
 impl Record {
@@ -99,7 +116,8 @@ impl Record {
             | Record::Completed { id }
             | Record::Expired { id }
             | Record::Done { id, .. }
-            | Record::Failed { id, .. } => id,
+            | Record::Failed { id, .. }
+            | Record::Replanned { id, .. } => id,
         }
     }
 
@@ -110,6 +128,7 @@ impl Record {
             Record::Expired { .. } => 3,
             Record::Done { .. } => 4,
             Record::Failed { .. } => 5,
+            Record::Replanned { .. } => 6,
         }
     }
 
@@ -137,6 +156,12 @@ impl Record {
                 payload.extend_from_slice(&unix_ms.to_le_bytes());
                 payload.extend_from_slice(error.as_bytes());
             }
+            Record::Replanned {
+                generation, reason, ..
+            } => {
+                payload.extend_from_slice(&generation.to_le_bytes());
+                payload.push(*reason);
+            }
         }
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -150,16 +175,17 @@ pub fn outcome_digest(result: &JobResult) -> u32 {
     crc32(&encode_outcome(result))
 }
 
-/// Serializes the outcome region of a `Done` payload: five fixed scalars
+/// Serializes the outcome region of a `Done` payload: six fixed scalars
 /// then the placement triples, all little-endian (f64 as raw bits, so
 /// round trips are bit-exact).
 fn encode_outcome(result: &JobResult) -> Vec<u8> {
-    let mut out = Vec::with_capacity(44 + 20 * result.placements.len());
+    let mut out = Vec::with_capacity(52 + 20 * result.placements.len());
     out.extend_from_slice(&result.makespan.to_bits().to_le_bytes());
     out.extend_from_slice(&result.slr.to_bits().to_le_bytes());
     out.extend_from_slice(&result.speedup.to_bits().to_le_bytes());
     out.extend_from_slice(&result.service_ms.to_bits().to_le_bytes());
     out.extend_from_slice(&(result.aborted_attempts as u64).to_le_bytes());
+    out.extend_from_slice(&(result.replans as u64).to_le_bytes());
     out.extend_from_slice(&(result.placements.len() as u32).to_le_bytes());
     for &(p, s, f) in &result.placements {
         out.extend_from_slice(&p.0.to_le_bytes());
@@ -201,16 +227,30 @@ fn decode_outcome(region: &[u8]) -> Result<JobResult, String> {
     let speedup = rd_f64(outcome, 16).ok_or("outcome scalars truncated")?;
     let service_ms = rd_f64(outcome, 24).ok_or("outcome scalars truncated")?;
     let aborted = rd_u64(outcome, 32).ok_or("outcome scalars truncated")?;
-    let count = rd_u32(outcome, 40).ok_or("outcome scalars truncated")? as usize;
-    if outcome.len() != 44 + 20 * count {
-        return Err(format!(
-            "outcome region is {} bytes but declares {count} placements",
-            outcome.len()
-        ));
-    }
+    // Two scalar layouts exist: the current one carries a `replans` u64
+    // between `aborted_attempts` and the placement count (header 52
+    // bytes); journals written before the online-rescheduling loop omit
+    // it (header 44 bytes). The declared placement count pins the total
+    // region length, so the length disambiguates: 52 + 20a == 44 + 20b
+    // has no solution in integers.
+    let (replans, count, base0) = match rd_u32(outcome, 48) {
+        Some(count) if outcome.len() == 52 + 20 * count as usize => {
+            let replans = rd_u64(outcome, 40).ok_or("outcome scalars truncated")?;
+            (replans, count as usize, 52)
+        }
+        _ => match rd_u32(outcome, 40) {
+            Some(count) if outcome.len() == 44 + 20 * count as usize => (0, count as usize, 44),
+            _ => {
+                return Err(format!(
+                    "outcome region is {} bytes but matches no scalar layout",
+                    outcome.len()
+                ));
+            }
+        },
+    };
     let mut placements = Vec::with_capacity(count);
     for i in 0..count {
-        let base = 44 + 20 * i;
+        let base = base0 + 20 * i;
         let proc = rd_u32(outcome, base).ok_or("placement truncated")?;
         let start = rd_f64(outcome, base + 4).ok_or("placement truncated")?;
         let finish = rd_f64(outcome, base + 12).ok_or("placement truncated")?;
@@ -223,6 +263,7 @@ fn decode_outcome(region: &[u8]) -> Result<JobResult, String> {
         placements,
         service_ms,
         aborted_attempts: aborted as usize,
+        replans: replans as usize,
     })
 }
 
@@ -375,6 +416,17 @@ pub fn decode_records(bytes: &[u8]) -> (Vec<Record>, Option<String>) {
                     Err(_) => return (records, Some("failure message is not UTF-8".into())),
                 }
             }
+            6 => {
+                let (Some(generation), Some(&reason)) = (rd_u32(payload, 9), payload.get(13))
+                else {
+                    return (records, Some("replanned record truncated".into()));
+                };
+                Record::Replanned {
+                    id,
+                    generation,
+                    reason,
+                }
+            }
             k => return (records, Some(format!("unknown record kind {k}"))),
         };
         records.push(record);
@@ -396,6 +448,12 @@ pub struct Recovery {
     /// [`Journal::open`] filters this to the retention policy before
     /// returning; [`read_journal`] reports everything decoded.
     pub outcomes: Vec<(u64, JobOutcome)>,
+    /// Latest committed plan generation per **unfinished** job, in id
+    /// order: `(id, generation, reason)`. A restarted daemon re-runs
+    /// these jobs knowing how many replans the previous incarnation had
+    /// already committed; terminal jobs drop their replan history (the
+    /// outcome's `replans` field carries the count).
+    pub replanned: Vec<(u64, u32, u8)>,
     /// Total records decoded from the trusted prefix.
     pub records: usize,
     /// Why decoding stopped early, if the tail was torn or corrupt.
@@ -413,6 +471,7 @@ pub fn plan_recovery(records: &[Record], torn: Option<String>) -> Recovery {
     let mut seen: BTreeSet<u64> = BTreeSet::new();
     let mut terminal: BTreeSet<u64> = BTreeSet::new();
     let mut outcomes: BTreeMap<u64, JobOutcome> = BTreeMap::new();
+    let mut replanned: BTreeMap<u64, (u32, u8)> = BTreeMap::new();
     for r in records {
         match r {
             Record::Submitted { id, line } => {
@@ -447,12 +506,30 @@ pub fn plan_recovery(records: &[Record], torn: Option<String>) -> Recovery {
                     },
                 );
             }
+            Record::Replanned {
+                id,
+                generation,
+                reason,
+            } => {
+                // Generations only move forward, but an append retried
+                // after an I/O fault may duplicate a frame — keep the
+                // highest generation rather than the last decoded.
+                let entry = replanned.entry(*id).or_insert((*generation, *reason));
+                if *generation >= entry.0 {
+                    *entry = (*generation, *reason);
+                }
+            }
         }
     }
     Recovery {
         unfinished: submitted
             .into_iter()
             .filter(|(id, _)| !terminal.contains(id))
+            .collect(),
+        replanned: replanned
+            .into_iter()
+            .filter(|(id, _)| !terminal.contains(id))
+            .map(|(id, (generation, reason))| (id, generation, reason))
             .collect(),
         terminal: terminal.into_iter().collect(),
         outcomes: outcomes.into_iter().collect(),
@@ -536,6 +613,16 @@ fn rewrite_compact(path: &Path, recovery: &Recovery) -> Result<File, ServiceErro
         Record::Submitted {
             id: *id,
             line: line.clone(),
+        }
+        .encode_into(&mut bytes);
+    }
+    // Replan history survives compaction only for jobs that will be
+    // re-admitted: the latest generation per unfinished id.
+    for &(id, generation, reason) in &recovery.replanned {
+        Record::Replanned {
+            id,
+            generation,
+            reason,
         }
         .encode_into(&mut bytes);
     }
@@ -660,6 +747,7 @@ mod tests {
             placements: vec![(ProcId(0), 0.0, 2.5), (ProcId(1), 2.5, 10.5 + seed as f64)],
             service_ms: 7.25,
             aborted_attempts: 1,
+            replans: seed as usize % 4,
         }
     }
 
@@ -842,6 +930,124 @@ mod tests {
             outcome_digest(&sample_result(1)),
             outcome_digest(&sample_result(2))
         );
+    }
+
+    #[test]
+    fn replanned_records_round_trip_and_track_the_latest_generation() {
+        let records = vec![
+            submitted(1),
+            Record::Replanned {
+                id: 1,
+                generation: 1,
+                reason: 2,
+            },
+            Record::Replanned {
+                id: 1,
+                generation: 2,
+                reason: 1,
+            },
+            Record::Replanned {
+                id: 1,
+                generation: 2, // duplicated append after an I/O fault
+                reason: 1,
+            },
+            submitted(2),
+            Record::Replanned {
+                id: 2,
+                generation: 1,
+                reason: 1,
+            },
+            Record::Completed { id: 2 },
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            r.encode_into(&mut bytes);
+        }
+        let (back, torn) = decode_records(&bytes);
+        assert_eq!(torn, None);
+        assert_eq!(back, records);
+        let plan = plan_recovery(&back, None);
+        // Unfinished job 1 recovers to its latest generation; terminal
+        // job 2 drops its replan history.
+        assert_eq!(plan.replanned, vec![(1, 2, 1)]);
+        assert_eq!(
+            plan.unfinished.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_replans_of_unfinished_jobs() {
+        let path = tmp("replan-compact");
+        let _ = fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path, false).unwrap();
+            j.append(&submitted(1)).unwrap();
+            j.append(&Record::Replanned {
+                id: 1,
+                generation: 1,
+                reason: 2,
+            })
+            .unwrap();
+            j.append(&submitted(2)).unwrap();
+            j.append(&Record::Replanned {
+                id: 2,
+                generation: 3,
+                reason: 1,
+            })
+            .unwrap();
+            j.append(&done_rec(2, 100)).unwrap();
+        }
+        // Reopen: job 1 is still unfinished, so its replan frame is
+        // rewritten; job 2 went terminal and its history is dropped.
+        let (_, rec) = Journal::open(&path, false).unwrap();
+        assert_eq!(rec.replanned, vec![(1, 1, 2)]);
+        let reread = read_journal(&path).unwrap();
+        assert_eq!(reread.replanned, vec![(1, 1, 2)]);
+        assert_eq!(
+            reread.records, 3,
+            "outcome + submitted + replanned survive the rewrite"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_outcome_layout_without_replans_still_decodes() {
+        // Hand-build a Done payload in the pre-replan scalar layout
+        // (44-byte header, no `replans` field) and check it decodes with
+        // replans == 0.
+        let r = sample_result(0);
+        let mut outcome = Vec::new();
+        outcome.extend_from_slice(&r.makespan.to_bits().to_le_bytes());
+        outcome.extend_from_slice(&r.slr.to_bits().to_le_bytes());
+        outcome.extend_from_slice(&r.speedup.to_bits().to_le_bytes());
+        outcome.extend_from_slice(&r.service_ms.to_bits().to_le_bytes());
+        outcome.extend_from_slice(&(r.aborted_attempts as u64).to_le_bytes());
+        outcome.extend_from_slice(&(r.placements.len() as u32).to_le_bytes());
+        for &(p, s, f) in &r.placements {
+            outcome.extend_from_slice(&p.0.to_le_bytes());
+            outcome.extend_from_slice(&s.to_bits().to_le_bytes());
+            outcome.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        let mut payload = vec![4u8];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&500u64.to_le_bytes());
+        payload.extend_from_slice(&outcome);
+        payload.extend_from_slice(&crc32(&outcome).to_le_bytes());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let (records, torn) = decode_records(&bytes);
+        assert_eq!(torn, None);
+        match &records[..] {
+            [Record::Done { id: 1, result, .. }] => {
+                assert_eq!(result.makespan, r.makespan);
+                assert_eq!(result.placements, r.placements);
+                assert_eq!(result.replans, 0, "legacy layout implies zero replans");
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod queue;
+pub mod replan;
 pub mod router;
 
 pub use client::{Client, Outcome, RetryPolicy, SubmitReceipt};
@@ -54,8 +55,9 @@ pub use journal::{
     Recovery,
 };
 pub use json::{JsonError, Value};
-pub use protocol::{parse_request, JobSpec, Request, SubmitRequest};
+pub use protocol::{parse_request, JobSpec, ReplanMode, ReportRequest, Request, SubmitRequest};
 pub use queue::{Bounded, Pop, PushError};
+pub use replan::{apply_report, ApplyError, ManagedJob, ReportOutcome};
 pub use router::{
     BackendStats, HostSpec, PlacementPolicy, Router, RouterConfig, RouterHandle, RouterStats,
     Topology, WorkerClass,

@@ -39,6 +39,35 @@ pub enum Request {
     Shutdown,
     /// Liveness check.
     Ping,
+    /// Runtime feedback for a wire-managed job: actual task finish times
+    /// and processor-loss events (see DESIGN.md §12).
+    Report(ReportRequest),
+}
+
+/// How a submitted job participates in the online-rescheduling loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplanMode {
+    /// Plan once, no feedback (the pre-existing behavior).
+    #[default]
+    Off,
+    /// The daemon executes the job against its simulated reality
+    /// (`jitter` + `failures`) through the managed loop: drift and losses
+    /// trigger live suffix replans in-process.
+    Sim,
+    /// The client executes the plan and streams `report` lines back; the
+    /// daemon replans on drift breach or reported processor loss.
+    Wire,
+}
+
+/// One `report` line: a batch of runtime observations for one job.
+#[derive(Debug, Clone, Default)]
+pub struct ReportRequest {
+    /// Id returned by the submit response.
+    pub job_id: u64,
+    /// Actual task completions, `(task, proc, start, finish)`.
+    pub finished: Vec<(TaskId, ProcId, f64, f64)>,
+    /// Fail-stop processor losses, `(proc, time)`.
+    pub lost: Vec<(ProcId, f64)>,
 }
 
 /// What to schedule and under which simulated reality.
@@ -55,6 +84,8 @@ pub struct SubmitRequest {
     /// Per-job deadline: if the job is still queued this many ms after
     /// admission, it expires unscheduled. `None` uses the daemon default.
     pub deadline_ms: Option<u64>,
+    /// Online-rescheduling participation (`"replan": "sim"|"wire"|"off"`).
+    pub replan: ReplanMode,
 }
 
 /// A workflow job: a named generator invocation or an inline instance.
@@ -104,8 +135,9 @@ pub fn parse_request(line: &str) -> Result<Request, JsonError> {
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         "ping" => Ok(Request::Ping),
+        "report" => Ok(Request::Report(parse_report(&v)?)),
         other => bad(format!(
-            "unknown cmd '{other}' (submit|status|result|stats|shutdown|ping)"
+            "unknown cmd '{other}' (submit|status|result|report|stats|shutdown|ping)"
         )),
     }
 }
@@ -194,12 +226,87 @@ fn parse_submit(v: &Value) -> Result<SubmitRequest, JsonError> {
         ))?),
     };
 
+    let replan = match v.get("replan") {
+        None => ReplanMode::Off,
+        Some(x) => match (x.as_str(), x.as_bool()) {
+            (Some("off"), _) => ReplanMode::Off,
+            (Some("sim"), _) => ReplanMode::Sim,
+            (Some("wire"), _) => ReplanMode::Wire,
+            (None, Some(true)) => ReplanMode::Sim,
+            (None, Some(false)) => ReplanMode::Off,
+            _ => return bad("'replan' must be \"off\", \"sim\", \"wire\", or a boolean"),
+        },
+    };
+
     Ok(SubmitRequest {
         job,
         policy,
         perturb,
         failures,
         deadline_ms,
+        replan,
+    })
+}
+
+fn parse_report(v: &Value) -> Result<ReportRequest, JsonError> {
+    let job_id = job_id_of(v)?;
+    let mut finished = Vec::new();
+    if let Some(list) = v.get("finished") {
+        let items = list.as_arr().ok_or(JsonError(
+            "'finished' must be an array of [task, proc, start, finish]".into(),
+        ))?;
+        for item in items {
+            let [task_v, proc_v, start_v, finish_v] = item.as_arr().unwrap_or_default() else {
+                return bad("each finished entry must be [task, proc, start, finish]");
+            };
+            let t = task_v
+                .as_u64()
+                .ok_or(JsonError("finished task must be a task index".into()))?;
+            let p = proc_v.as_u64().ok_or(JsonError(
+                "finished proc must be a non-negative integer".into(),
+            ))?;
+            let start = start_v
+                .as_f64()
+                .ok_or(JsonError("finished start must be a number".into()))?;
+            let finish = finish_v
+                .as_f64()
+                .ok_or(JsonError("finished finish must be a number".into()))?;
+            if !(start.is_finite() && finish.is_finite() && start >= 0.0 && finish >= start) {
+                return bad(format!(
+                    "finished times must be finite with 0 <= start <= finish, got [{start}, {finish}]"
+                ));
+            }
+            finished.push((TaskId(t as u32), ProcId(p as u32), start, finish));
+        }
+    }
+    let mut lost = Vec::new();
+    if let Some(list) = v.get("lost") {
+        let items = list
+            .as_arr()
+            .ok_or(JsonError("'lost' must be an array of [proc, time]".into()))?;
+        for item in items {
+            let [proc_v, time_v] = item.as_arr().unwrap_or_default() else {
+                return bad("each lost entry must be [proc, time]");
+            };
+            let p = proc_v
+                .as_u64()
+                .ok_or(JsonError("lost proc must be a non-negative integer".into()))?;
+            let t = time_v
+                .as_f64()
+                .ok_or(JsonError("lost time must be a number".into()))?;
+            if !(t.is_finite() && t >= 0.0) {
+                return bad(format!("lost time must be finite and >= 0, got {t}"));
+            }
+            lost.push((ProcId(p as u32), t));
+        }
+    }
+    if finished.is_empty() && lost.is_empty() {
+        return bad("report carries no 'finished' and no 'lost' events");
+    }
+    Ok(ReportRequest {
+        job_id,
+        finished,
+        lost,
     })
 }
 
@@ -346,6 +453,55 @@ pub fn resp_error(tag: &str, detail: impl Into<String>) -> Value {
     ])
 }
 
+/// `report` acknowledged. `generation` is the job's current plan
+/// generation; when the batch triggered a replan the new plan rides along
+/// as `plan` (placements in task-id order) so the executing client can
+/// adopt it, and when the job completed `done` is `true`.
+pub fn resp_report_ack(
+    generation: u32,
+    plan: Option<&[(ProcId, f64, f64)]>,
+    done: bool,
+) -> Value {
+    let mut fields = vec![
+        ("ok".to_string(), true.into()),
+        ("generation".to_string(), (generation as u64).into()),
+        ("done".to_string(), done.into()),
+    ];
+    if let Some(p) = plan {
+        fields.push(("plan".to_string(), placements_value(p)));
+    }
+    Value::Obj(fields)
+}
+
+/// The wire line for a `report` batch — used by the router to forward a
+/// client's batch to the owning backend with the job id translated.
+pub fn report_line(job_id: u64, report: &ReportRequest) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!(r#"{{"cmd":"report","job_id":{job_id}"#);
+    if !report.finished.is_empty() {
+        line.push_str(r#","finished":["#);
+        for (i, &(task, proc, start, finish)) in report.finished.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "[{},{},{start},{finish}]", task.0, proc.0);
+        }
+        line.push(']');
+    }
+    if !report.lost.is_empty() {
+        line.push_str(r#","lost":["#);
+        for (i, &(proc, at)) in report.lost.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "[{},{at}]", proc.0);
+        }
+        line.push(']');
+    }
+    line.push('}');
+    line
+}
+
 /// A job's placements as `[[proc, start, finish], ...]`.
 pub fn placements_value(placements: &[(ProcId, f64, f64)]) -> Value {
     Value::Arr(
@@ -382,9 +538,73 @@ mod tests {
             parse_request(r#"{"cmd":"result","job_id":0}"#).unwrap(),
             Request::Result { job_id: 0 }
         ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"report","job_id":3,"finished":[[0,1,0.0,2.5]]}"#).unwrap(),
+            Request::Report(_)
+        ));
         assert!(parse_request(r#"{"cmd":"nope"}"#).is_err());
         assert!(parse_request(r#"{"cmd":"status"}"#).is_err());
         assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn report_parses_events_and_validates() {
+        let line = r#"{"cmd":"report","job_id":9,
+            "finished":[[2,0,1.5,4.0],[3,1,2.0,2.0]],"lost":[[1,4.5]]}"#
+            .replace('\n', " ");
+        let Request::Report(r) = parse_request(&line).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.job_id, 9);
+        assert_eq!(r.finished.len(), 2);
+        assert_eq!(r.finished[0], (TaskId(2), ProcId(0), 1.5, 4.0));
+        assert_eq!(r.lost, vec![(ProcId(1), 4.5)]);
+        for bad_line in [
+            // finish before start
+            r#"{"cmd":"report","job_id":1,"finished":[[0,0,5.0,1.0]]}"#,
+            // negative loss time
+            r#"{"cmd":"report","job_id":1,"lost":[[0,-1.0]]}"#,
+            // empty report
+            r#"{"cmd":"report","job_id":1}"#,
+            // malformed tuple
+            r#"{"cmd":"report","job_id":1,"finished":[[0,0,1.0]]}"#,
+            // no job id
+            r#"{"cmd":"report","finished":[[0,0,0.0,1.0]]}"#,
+        ] {
+            assert!(parse_request(bad_line).is_err(), "accepted: {bad_line}");
+        }
+    }
+
+    #[test]
+    fn submit_replan_modes_parse() {
+        for (frag, want) in [
+            (r#""replan":"sim""#, ReplanMode::Sim),
+            (r#""replan":"wire""#, ReplanMode::Wire),
+            (r#""replan":"off""#, ReplanMode::Off),
+            (r#""replan":true"#, ReplanMode::Sim),
+            (r#""replan":false"#, ReplanMode::Off),
+        ] {
+            let line = format!(r#"{{"cmd":"submit","workload":{{"family":"fft"}},{frag}}}"#);
+            let Request::Submit(s) = parse_request(&line).unwrap() else {
+                panic!()
+            };
+            assert_eq!(s.replan, want, "{frag}");
+        }
+        let bad_line = r#"{"cmd":"submit","workload":{"family":"fft"},"replan":"maybe"}"#;
+        assert!(parse_request(bad_line).is_err());
+    }
+
+    #[test]
+    fn report_ack_emits_stable_json() {
+        assert_eq!(
+            resp_report_ack(0, None, false).to_string(),
+            r#"{"ok":true,"generation":0,"done":false}"#
+        );
+        let with_plan = resp_report_ack(2, Some(&[(ProcId(1), 0.0, 2.5)]), true);
+        assert_eq!(
+            with_plan.to_string(),
+            r#"{"ok":true,"generation":2,"done":true,"plan":[[1,0,2.5]]}"#
+        );
     }
 
     #[test]

@@ -1,0 +1,575 @@
+//! Managed-job state for the online-rescheduling loop (DESIGN.md §12).
+//!
+//! A job submitted with `"replan":"wire"` is planned once and then
+//! *managed*: the client executes the plan and streams `report` lines
+//! back (actual task finish times, fail-stop processor losses), and the
+//! daemon keeps a [`ManagedJob`] per such job — the committed plan
+//! generation, the reported actuals, the surviving processors, and an
+//! EWMA drift tracker. [`apply_report`] folds one report batch into that
+//! state and, on drift breach or processor loss, replans the *unfinished
+//! suffix* live: finished tasks are pinned at their reported times, only
+//! the remaining frontier is re-priced against surviving processors.
+//!
+//! Reports are idempotent and may be cumulative: a task's first reported
+//! finish wins, duplicates are ignored, and a reporter that never saw its
+//! ack (crash between apply and ack) can safely resend the whole history
+//! against a recovered daemon.
+//!
+//! Degradation ladder when a replan fails: keep the current plan on a
+//! drift-triggered failure; strand-patch unfinished tasks off dead
+//! processors on a loss-triggered failure; only "every processor is
+//! dead" ([`hdlts_core::CoreError::AllProcessorsFailed`]) fails the job.
+//!
+//! This file is inside the analyzer's `request-path-panic` scope:
+//! reports are untrusted wire input, so every event is bounds-checked
+//! before any state mutates and nothing here indexes unchecked.
+
+use crate::protocol::ReportRequest;
+use hdlts_core::{CoreError, Hdlts, HdltsConfig, PinnedTask, Problem, Schedule, SchedulerScratch};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+use hdlts_sim::{DriftConfig, DriftTracker, ReplanReason};
+use hdlts_workloads::Instance;
+use std::time::Instant;
+
+/// Why [`apply_report`] refused or failed a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApplyError {
+    /// The batch references tasks or processors outside the job; nothing
+    /// was applied. The reporter gets a `bad_report` error and the job
+    /// state is untouched.
+    BadReport(String),
+    /// Every processor has been reported lost: no live target remains
+    /// for the unfinished suffix. The job goes terminal (`Failed`).
+    AllProcessorsFailed,
+}
+
+/// Daemon-side state of one wire-managed job.
+#[derive(Debug)]
+pub struct ManagedJob {
+    /// The realized workflow (kept to rebuild the `Problem` against the
+    /// shard platform on every report).
+    pub instance: Instance,
+    /// Current plan, `(proc, start, finish)` per task: planned times for
+    /// unfinished tasks, reported actuals for finished ones.
+    pub plan: Vec<(ProcId, f64, f64)>,
+    /// Committed plan generation (0 = the submit-time plan; each
+    /// accepted replan increments it after its `Replanned` frame is
+    /// journaled).
+    pub generation: u32,
+    /// Replan attempts that failed non-fatally and degraded to the
+    /// current plan (or a strand patch).
+    pub degraded: u32,
+    /// Admission instant, for the result's `service_ms`.
+    pub submitted: Instant,
+    /// Reported actual `(proc, start, finish)` per task.
+    actual: Vec<Option<(ProcId, f64, f64)>>,
+    /// Count of reported finishes (== `actual` entries that are `Some`).
+    finished: usize,
+    /// Liveness per processor; a reported loss clears the flag forever.
+    alive: Vec<bool>,
+    /// EWMA of relative finish-time drift for the current generation.
+    tracker: DriftTracker,
+    /// Makespan of the current generation's plan — the drift scale.
+    planned_span: f64,
+    /// Latest reported event time: no replanned task may start earlier.
+    horizon: f64,
+}
+
+/// What one applied report batch produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportOutcome {
+    /// The replan this batch committed (`(generation, reason)`), if any.
+    pub replanned: Option<(u32, ReplanReason)>,
+    /// Whether the plan the ack should carry differs from what the
+    /// reporter is executing (committed replan or strand patch).
+    pub plan_changed: bool,
+    /// Every task now has a reported finish; the job is complete.
+    pub done: bool,
+}
+
+impl ManagedJob {
+    /// Wraps a freshly planned job. `plan` is the generation-`generation`
+    /// schedule (generation 0 on first planning; a recovered daemon
+    /// resumes numbering from the journal's latest `Replanned` frame so
+    /// post-recovery replans keep advancing, never reuse a committed
+    /// number).
+    pub fn new(
+        instance: Instance,
+        plan: Vec<(ProcId, f64, f64)>,
+        procs: usize,
+        drift: DriftConfig,
+        generation: u32,
+        submitted: Instant,
+    ) -> ManagedJob {
+        let n = plan.len();
+        let planned_span = plan.iter().fold(0.0f64, |m, &(_, _, f)| m.max(f));
+        ManagedJob {
+            instance,
+            plan,
+            generation,
+            degraded: 0,
+            submitted,
+            actual: vec![None; n],
+            finished: 0,
+            alive: vec![true; procs],
+            tracker: DriftTracker::new(drift),
+            planned_span,
+            horizon: 0.0,
+        }
+    }
+
+    /// Tasks in the job.
+    pub fn num_tasks(&self) -> usize {
+        self.actual.len()
+    }
+
+    /// Processors on the platform the job was planned against — how the
+    /// daemon finds the serving shard on each report.
+    pub fn num_procs(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether every task has a reported finish.
+    pub fn is_done(&self) -> bool {
+        self.finished == self.actual.len()
+    }
+
+    /// The largest reported finish time — the job's actual makespan once
+    /// [`ManagedJob::is_done`].
+    pub fn actual_makespan(&self) -> f64 {
+        self.actual
+            .iter()
+            .flatten()
+            .fold(0.0f64, |m, &(_, _, f)| m.max(f))
+    }
+}
+
+/// Folds one report batch into `job`, replanning the unfinished suffix
+/// when the batch breaches the drift threshold or reports a processor
+/// loss. `on_replan(generation, reason)` runs after a replan is computed
+/// but **before** it is installed — the daemon journals the `Replanned`
+/// frame there (and hosts the replan-commit crash point); returning
+/// `false` leaves the current plan in place.
+///
+/// The whole batch is validated before any state mutates, so a refused
+/// batch ([`ApplyError::BadReport`]) is a clean no-op the reporter can
+/// correct and resend.
+pub fn apply_report<F: FnMut(u32, ReplanReason) -> bool>(
+    job: &mut ManagedJob,
+    problem: &Problem<'_>,
+    report: &ReportRequest,
+    mut on_replan: F,
+) -> Result<ReportOutcome, ApplyError> {
+    let n = job.actual.len();
+    let procs = job.alive.len();
+    for &(task, proc, _, _) in &report.finished {
+        if task.index() >= n {
+            return Err(ApplyError::BadReport(format!(
+                "finished event names task {} but the job has {n} tasks",
+                task.0
+            )));
+        }
+        if proc.index() >= procs {
+            return Err(ApplyError::BadReport(format!(
+                "finished event names processor {} but the shard has {procs}",
+                proc.0
+            )));
+        }
+    }
+    for &(proc, _) in &report.lost {
+        if proc.index() >= procs {
+            return Err(ApplyError::BadReport(format!(
+                "loss event names processor {} but the shard has {procs}",
+                proc.0
+            )));
+        }
+    }
+
+    let mut drift_breach = false;
+    let mut loss = false;
+    for &(task, proc, start, finish) in &report.finished {
+        let Some(slot) = job.actual.get_mut(task.index()) else {
+            continue; // bounds-checked above; keep the path panic-free
+        };
+        if slot.is_some() {
+            continue; // duplicate from a resent batch: first report wins
+        }
+        *slot = Some((proc, start, finish));
+        job.finished += 1;
+        job.horizon = job.horizon.max(finish);
+        let planned_finish = job
+            .plan
+            .get(task.index())
+            .map(|&(_, _, f)| f)
+            .unwrap_or(finish);
+        if job.tracker.observe(planned_finish, finish, job.planned_span) {
+            drift_breach = true;
+        }
+        // Actuals override the plan: the next replan pins these times,
+        // and the final result's placements are reality, not estimates.
+        if let Some(p) = job.plan.get_mut(task.index()) {
+            *p = (proc, start, finish);
+        }
+    }
+    for &(proc, at) in &report.lost {
+        if let Some(a) = job.alive.get_mut(proc.index()) {
+            if *a {
+                *a = false;
+                loss = true;
+                job.horizon = job.horizon.max(at);
+            }
+        }
+    }
+
+    if job.is_done() {
+        return Ok(ReportOutcome {
+            replanned: None,
+            plan_changed: false,
+            done: true,
+        });
+    }
+    if !job.alive.iter().any(|&a| a) {
+        return Err(ApplyError::AllProcessorsFailed);
+    }
+    let reason = if loss {
+        Some(ReplanReason::ProcessorLost)
+    } else if drift_breach {
+        Some(ReplanReason::Drift)
+    } else {
+        None
+    };
+    let Some(reason) = reason else {
+        return Ok(ReportOutcome {
+            replanned: None,
+            plan_changed: false,
+            done: false,
+        });
+    };
+
+    let pinned: Vec<PinnedTask> = job
+        .actual
+        .iter()
+        .enumerate()
+        .filter_map(|(t, slot)| {
+            slot.map(|(proc, start, finish)| PinnedTask {
+                task: TaskId(t as u32),
+                proc,
+                start,
+                finish,
+            })
+        })
+        .collect();
+    let hdlts = Hdlts::new(HdltsConfig::without_duplication());
+    let mut scratch = SchedulerScratch::new();
+    match hdlts.replan_suffix(problem, &pinned, &job.alive, job.horizon, &mut scratch) {
+        Ok(schedule) => {
+            let next = job.generation.saturating_add(1);
+            if !on_replan(next, reason) {
+                // Vetoed at the commit point (the daemon "died" there):
+                // the uncommitted generation is discarded.
+                return Ok(ReportOutcome {
+                    replanned: None,
+                    plan_changed: false,
+                    done: false,
+                });
+            }
+            job.generation = next;
+            install_suffix(job, &schedule);
+            job.planned_span = schedule.makespan();
+            job.tracker.reset();
+            Ok(ReportOutcome {
+                replanned: Some((next, reason)),
+                plan_changed: true,
+                done: false,
+            })
+        }
+        Err(CoreError::AllProcessorsFailed) => Err(ApplyError::AllProcessorsFailed),
+        Err(_) => {
+            // Graceful degradation: the job keeps running. A
+            // drift-triggered failure keeps the current plan verbatim; a
+            // loss-triggered one must still move stranded tasks off the
+            // dead processors so the reporter has a live target.
+            job.degraded = job.degraded.saturating_add(1);
+            let patched = loss && strand_patch(job, problem);
+            Ok(ReportOutcome {
+                replanned: None,
+                plan_changed: patched,
+                done: false,
+            })
+        }
+    }
+}
+
+/// Installs a replanned schedule's placements for every unfinished task
+/// (finished tasks keep their reported actuals).
+fn install_suffix(job: &mut ManagedJob, schedule: &Schedule) {
+    for (t, slot) in job.actual.iter().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        if let (Some(p), Some(entry)) = (
+            schedule.placement(TaskId(t as u32)),
+            job.plan.get_mut(t),
+        ) {
+            *entry = (p.proc, p.start, p.finish);
+        }
+    }
+}
+
+/// Last-ditch loss fallback when a suffix replan fails non-fatally:
+/// reassign every unfinished task planned on a dead processor to its
+/// cheapest live processor at the horizon. Ignores communication and
+/// overlap — the reporter serializes by planned start anyway — but every
+/// task ends up with a live target.
+fn strand_patch(job: &mut ManagedJob, problem: &Problem<'_>) -> bool {
+    let mut moved = false;
+    for t in 0..job.actual.len() {
+        if job.actual.get(t).map(Option::is_some).unwrap_or(true) {
+            continue;
+        }
+        let Some(&(proc, _, _)) = job.plan.get(t) else {
+            continue;
+        };
+        if job.alive.get(proc.index()).copied().unwrap_or(false) {
+            continue;
+        }
+        let task = TaskId(t as u32);
+        let best = job
+            .alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(p, _)| (ProcId(p as u32), problem.w(task, ProcId(p as u32))))
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        if let (Some((p, w)), Some(entry)) = (best, job.plan.get_mut(t)) {
+            *entry = (p, job.horizon, job.horizon + w);
+            moved = true;
+        }
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_platform::Platform;
+    use hdlts_workloads::GeneratorSpec;
+
+    fn fft_instance(procs: usize) -> Instance {
+        GeneratorSpec {
+            size: 8,
+            num_procs: procs,
+            seed: 7,
+            ..Default::default()
+        }
+        .generate("fft")
+        .expect("fft instance")
+    }
+
+    fn managed(procs: usize) -> (ManagedJob, Platform) {
+        let instance = fft_instance(procs);
+        let platform = Platform::fully_connected(procs).unwrap();
+        let plan = {
+            let problem = instance.problem(&platform).unwrap();
+            let schedule = hdlts_core::Scheduler::schedule(
+                &Hdlts::new(HdltsConfig::without_duplication()),
+                &problem,
+            )
+            .unwrap();
+            (0..problem.num_tasks())
+                .map(|t| {
+                    let p = schedule.placement(TaskId(t as u32)).unwrap();
+                    (p.proc, p.start, p.finish)
+                })
+                .collect::<Vec<_>>()
+        };
+        let job = ManagedJob::new(
+            instance,
+            plan,
+            procs,
+            DriftConfig::default(),
+            0,
+            Instant::now(),
+        );
+        (job, platform)
+    }
+
+    /// Reports every task exactly at its planned time, in planned-finish
+    /// order: no drift, no replans, done at the end.
+    #[test]
+    fn exact_reports_complete_without_replanning() {
+        let (mut job, platform) = managed(4);
+        let instance = job.instance.clone();
+        let problem = instance.problem(&platform).unwrap();
+        let mut order: Vec<usize> = (0..job.num_tasks()).collect();
+        let plan = job.plan.clone();
+        order.sort_by(|&a, &b| plan[a].2.total_cmp(&plan[b].2).then(a.cmp(&b)));
+        let mut last = ReportOutcome {
+            replanned: None,
+            plan_changed: false,
+            done: false,
+        };
+        for t in order {
+            let (proc, start, finish) = plan[t];
+            let report = ReportRequest {
+                job_id: 1,
+                finished: vec![(TaskId(t as u32), proc, start, finish)],
+                lost: vec![],
+            };
+            last = apply_report(&mut job, &problem, &report, |_, _| {
+                panic!("exact reports must not replan")
+            })
+            .unwrap();
+        }
+        assert!(last.done);
+        assert_eq!(job.generation, 0);
+        assert_eq!(
+            job.actual_makespan(),
+            plan.iter().fold(0.0f64, |m, p| m.max(p.2))
+        );
+    }
+
+    /// A reported processor loss forces a replan: the new plan avoids the
+    /// dead processor and the generation advances after `on_replan`.
+    #[test]
+    fn processor_loss_replans_onto_survivors() {
+        let (mut job, platform) = managed(4);
+        let instance = job.instance.clone();
+        let problem = instance.problem(&platform).unwrap();
+        // Finish the entry task at its planned time, then lose its proc.
+        let entry = job
+            .plan
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(t, _)| t)
+            .unwrap();
+        let (proc, start, finish) = job.plan[entry];
+        let mut commits = Vec::new();
+        let out = apply_report(
+            &mut job,
+            &problem,
+            &ReportRequest {
+                job_id: 1,
+                finished: vec![(TaskId(entry as u32), proc, start, finish)],
+                lost: vec![(proc, finish)],
+            },
+            |generation, reason| {
+                commits.push((generation, reason));
+                true
+            },
+        )
+        .unwrap();
+        assert_eq!(out.replanned, Some((1, ReplanReason::ProcessorLost)));
+        assert!(out.plan_changed);
+        assert_eq!(commits, vec![(1, ReplanReason::ProcessorLost)]);
+        assert_eq!(job.generation, 1);
+        for (t, &(p, s, _)) in job.plan.iter().enumerate() {
+            if t == entry {
+                continue; // pinned at its actual placement
+            }
+            assert_ne!(p, proc, "task {t} replanned onto the dead proc");
+            assert!(s >= finish, "task {t} starts before the horizon");
+        }
+    }
+
+    /// A vetoed commit (the replan-commit crash point) leaves the plan
+    /// and generation untouched.
+    #[test]
+    fn vetoed_commit_keeps_the_current_generation() {
+        let (mut job, platform) = managed(4);
+        let instance = job.instance.clone();
+        let problem = instance.problem(&platform).unwrap();
+        let before = job.plan.clone();
+        let (proc, _, finish) = job.plan[0];
+        let out = apply_report(
+            &mut job,
+            &problem,
+            &ReportRequest {
+                job_id: 1,
+                finished: vec![],
+                lost: vec![(proc, finish)],
+            },
+            |_, _| false,
+        )
+        .unwrap();
+        assert_eq!(out.replanned, None);
+        assert!(!out.plan_changed);
+        assert_eq!(job.generation, 0);
+        assert_eq!(job.plan, before);
+    }
+
+    /// Losing every processor is the one fatal outcome.
+    #[test]
+    fn losing_every_processor_fails_the_job() {
+        let (mut job, platform) = managed(4);
+        let instance = job.instance.clone();
+        let problem = instance.problem(&platform).unwrap();
+        let report = ReportRequest {
+            job_id: 1,
+            finished: vec![],
+            lost: (0..4).map(|p| (ProcId(p), 1.0)).collect(),
+        };
+        let err = apply_report(&mut job, &problem, &report, |_, _| true).unwrap_err();
+        assert_eq!(err, ApplyError::AllProcessorsFailed);
+    }
+
+    /// A batch with out-of-range ids is refused atomically: no event in
+    /// it mutates the job.
+    #[test]
+    fn bad_batches_are_refused_without_side_effects() {
+        let (mut job, platform) = managed(4);
+        let instance = job.instance.clone();
+        let problem = instance.problem(&platform).unwrap();
+        let (proc, start, finish) = job.plan[0];
+        let report = ReportRequest {
+            job_id: 1,
+            finished: vec![
+                (TaskId(0), proc, start, finish),
+                (TaskId(10_000), proc, start, finish),
+            ],
+            lost: vec![],
+        };
+        let err = apply_report(&mut job, &problem, &report, |_, _| true).unwrap_err();
+        assert!(matches!(err, ApplyError::BadReport(_)));
+        assert_eq!(job.finished, 0, "valid events in a refused batch roll back");
+        let report = ReportRequest {
+            job_id: 1,
+            finished: vec![],
+            lost: vec![(ProcId(99), 1.0)],
+        };
+        assert!(matches!(
+            apply_report(&mut job, &problem, &report, |_, _| true),
+            Err(ApplyError::BadReport(_))
+        ));
+    }
+
+    /// Resending an already-applied batch is a no-op: first report wins,
+    /// drift is not double-counted, and no replan fires.
+    #[test]
+    fn duplicate_reports_are_idempotent() {
+        let (mut job, platform) = managed(4);
+        let instance = job.instance.clone();
+        let problem = instance.problem(&platform).unwrap();
+        let (proc, start, finish) = job.plan[0];
+        // Report a heavily late finish twice: the first may push the EWMA
+        // up, the second must not move it at all.
+        let report = ReportRequest {
+            job_id: 1,
+            finished: vec![(TaskId(0), proc, start, finish * 1.5)],
+            lost: vec![],
+        };
+        let gen_before = {
+            let _ = apply_report(&mut job, &problem, &report, |_, _| true).unwrap();
+            job.generation
+        };
+        let finished_before = job.finished;
+        let plan_before = job.plan.clone();
+        let out = apply_report(&mut job, &problem, &report, |_, _| true).unwrap();
+        assert_eq!(job.finished, finished_before);
+        assert_eq!(job.generation, gen_before);
+        assert_eq!(job.plan, plan_before);
+        assert_eq!(out.replanned, None);
+    }
+}

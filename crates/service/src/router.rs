@@ -37,7 +37,7 @@ use crate::client::{Client, RetryPolicy};
 use crate::error::lock_recover;
 use crate::faults::splitmix64;
 use crate::json::{obj, Value};
-use crate::protocol::{self, parse_request, Request};
+use crate::protocol::{self, parse_request, ReportRequest, Request};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -719,6 +719,38 @@ fn handle_line(ctx: &mut ConnCtx<'_>, line: &str) -> Value {
         Request::Submit(_) => handle_submit(ctx, line),
         Request::Status { job_id } => handle_forward(ctx, job_id, "status"),
         Request::Result { job_id } => handle_forward(ctx, job_id, "result"),
+        Request::Report(report) => handle_report_forward(ctx, &report),
+    }
+}
+
+/// Forwards a runtime-feedback `report` batch to the managed job's
+/// backend with the id space translated. Unlike `result`, an unreachable
+/// backend does NOT trigger re-placement here: the dead backend's managed
+/// state (actuals, plan generation) died with it, and the client's
+/// resend-full-history path — against the recovered backend — owns that
+/// recovery, not the router.
+fn handle_report_forward(ctx: &mut ConnCtx<'_>, report: &ReportRequest) -> Value {
+    let router_id = report.job_id;
+    let Some(route) = lock_recover(&ctx.shared.routes).get(&router_id).cloned() else {
+        return protocol::resp_error("unknown_job", format!("no record of job {router_id}"));
+    };
+    let request = protocol::report_line(route.backend_job_id, report);
+    let response = match ctx.client(route.backend) {
+        Some(client) => client.request(&request),
+        None => Err("backend index out of range".into()),
+    };
+    match response {
+        Ok(resp) => {
+            ctx.mark(route.backend, true);
+            rewrite_job_id(resp, router_id)
+        }
+        Err(why) => {
+            ctx.mark(route.backend, false);
+            protocol::resp_error(
+                "unavailable",
+                format!("job {router_id}'s backend is unreachable: {why}"),
+            )
+        }
     }
 }
 

@@ -246,9 +246,7 @@ impl JobStreamScheduler {
             // Dispatch the merged ready set.
             while !ready.is_empty() {
                 if !alive.iter().any(|&a| a) {
-                    return Err(CoreError::InvalidSchedule(
-                        "all processors failed before the stream completed".into(),
-                    ));
+                    return Err(CoreError::AllProcessorsFailed);
                 }
                 let pick = match self.policy {
                     DispatchPolicy::Fifo => ready

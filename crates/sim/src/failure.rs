@@ -22,12 +22,21 @@ impl FailureSpec {
     }
 
     /// Adds a failure of `proc` at time `at`.
+    ///
+    /// Fail-stop means a processor can die at most once: re-declaring a
+    /// failure for the same processor keeps the **earliest** time rather
+    /// than storing a duplicate event (executors process each failure
+    /// exactly once, so a later duplicate would be a silent no-op anyway).
+    /// `at == 0.0` is legal and means the processor was never available.
     pub fn with_failure(mut self, proc: ProcId, at: f64) -> Self {
         assert!(
             at >= 0.0 && at.is_finite(),
             "failure time must be finite and non-negative"
         );
-        self.events.push((proc, at));
+        match self.events.iter_mut().find(|(p, _)| *p == proc) {
+            Some(existing) => existing.1 = existing.1.min(at),
+            None => self.events.push((proc, at)),
+        }
         self.events.sort_by(|a, b| a.1.total_cmp(&b.1));
         self
     }
@@ -72,5 +81,25 @@ mod tests {
     #[should_panic(expected = "failure time")]
     fn rejects_negative_time() {
         let _ = FailureSpec::none().with_failure(ProcId(0), -1.0);
+    }
+
+    #[test]
+    fn failure_at_time_zero_means_never_available() {
+        let f = FailureSpec::none().with_failure(ProcId(0), 0.0);
+        assert!(!f.alive_at(ProcId(0), 0.0));
+        assert!(!f.alive_at(ProcId(0), 1e-12));
+        assert_eq!(f.failure_time(ProcId(0)), Some(0.0));
+    }
+
+    #[test]
+    fn duplicate_failure_of_same_proc_keeps_earliest() {
+        let f = FailureSpec::none()
+            .with_failure(ProcId(1), 30.0)
+            .with_failure(ProcId(1), 10.0)
+            .with_failure(ProcId(1), 20.0);
+        // Fail-stop: one event per processor, at the earliest declared time.
+        assert_eq!(f.events(), &[(ProcId(1), 10.0)]);
+        assert!(f.alive_at(ProcId(1), 9.9));
+        assert!(!f.alive_at(ProcId(1), 10.0));
     }
 }

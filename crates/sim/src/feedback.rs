@@ -1,0 +1,1006 @@
+//! Runtime feedback: executing a plan against reality, watching it drift,
+//! and replanning the unfinished suffix live.
+//!
+//! This is the substrate behind the service's online-rescheduling loop
+//! (DESIGN.md §12). A [`PlanExecutor`] steps a static plan against the
+//! "reality" of a [`PerturbModel`] and a [`FailureSpec`], emitting one
+//! [`FeedbackEvent`] per task completion or processor loss — exactly the
+//! observations the daemon's `report` wire verb carries. A
+//! [`DriftTracker`] folds finish-time errors into an EWMA and flags when
+//! the plan has drifted past a configurable threshold. The two drivers
+//! tie it together:
+//!
+//! * [`execute_managed`] — the replanning loop: on drift breach or
+//!   fail-stop loss, re-price the unfinished suffix with
+//!   [`Hdlts::replan_suffix`] (completed work pinned, dead processors
+//!   masked) and keep executing under the new plan generation;
+//! * [`execute_plan_once`] — the baseline: fly the original plan no
+//!   matter what, moving stranded work to the cheapest survivor without
+//!   re-optimizing.
+//!
+//! Everything here is deterministic in `(problem, jitter seed, failure
+//! spec)`: identical inputs produce bit-identical outcomes, which is what
+//! lets the daemon journal a replan as just `{generation, reason}` and
+//! re-derive the plan on recovery.
+
+use crate::{FailureSpec, PerturbModel};
+use hdlts_core::{
+    CoreError, Hdlts, HdltsConfig, PinnedTask, Problem, Schedule, Scheduler, SchedulerScratch,
+};
+use hdlts_dag::TaskId;
+use hdlts_platform::ProcId;
+
+/// One observation from an executing job — what the `report` wire verb
+/// carries, and what the in-process simulated source emits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeedbackEvent {
+    /// A task finished, with its actual (not estimated) times.
+    TaskFinished {
+        /// The task.
+        task: TaskId,
+        /// Where it ran.
+        proc: ProcId,
+        /// Actual start time.
+        start: f64,
+        /// Actual finish time.
+        finish: f64,
+    },
+    /// A processor failed (fail-stop) and executes nothing from `time` on.
+    ProcessorLost {
+        /// The dead processor.
+        proc: ProcId,
+        /// Failure time.
+        time: f64,
+        /// The task that was running there mid-flight, if any (its attempt
+        /// is aborted and the work must be redone elsewhere).
+        aborted: Option<TaskId>,
+    },
+}
+
+/// Why a replan was triggered; journaled with the plan generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanReason {
+    /// EWMA-smoothed finish-time drift crossed the configured threshold.
+    Drift,
+    /// A processor was lost fail-stop; its queued work must move.
+    ProcessorLost,
+}
+
+impl ReplanReason {
+    /// Stable wire/journal code.
+    pub fn code(self) -> u8 {
+        match self {
+            ReplanReason::Drift => 1,
+            ReplanReason::ProcessorLost => 2,
+        }
+    }
+
+    /// Inverse of [`ReplanReason::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(ReplanReason::Drift),
+            2 => Some(ReplanReason::ProcessorLost),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (stats, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplanReason::Drift => "drift",
+            ReplanReason::ProcessorLost => "processor-lost",
+        }
+    }
+}
+
+/// Drift-detector tuning: EWMA smoothing factor and breach threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// EWMA smoothing factor in `(0, 1]`; higher reacts faster.
+    pub alpha: f64,
+    /// Breach when the smoothed relative finish error exceeds this.
+    pub threshold: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            alpha: 0.3,
+            threshold: 0.15,
+        }
+    }
+}
+
+/// EWMA of per-task relative finish-time error against the current plan
+/// generation. One tracker per job; [`DriftTracker::reset`] after every
+/// accepted replan so each generation is judged on its own drift.
+#[derive(Debug, Clone)]
+pub struct DriftTracker {
+    cfg: DriftConfig,
+    ewma: f64,
+}
+
+impl DriftTracker {
+    /// A fresh tracker (zero accumulated drift).
+    pub fn new(cfg: DriftConfig) -> Self {
+        DriftTracker { cfg, ewma: 0.0 }
+    }
+
+    /// Folds one finish observation into the EWMA and reports whether the
+    /// smoothed drift now breaches the threshold. `scale` normalizes the
+    /// absolute error — pass the current plan generation's makespan so
+    /// "0.15" means "15% of the plan".
+    pub fn observe(&mut self, planned_finish: f64, actual_finish: f64, scale: f64) -> bool {
+        let rel = (actual_finish - planned_finish).abs() / scale.max(1e-12);
+        let alpha = self.cfg.alpha.clamp(0.0, 1.0);
+        self.ewma = alpha * rel + (1.0 - alpha) * self.ewma;
+        self.ewma > self.cfg.threshold
+    }
+
+    /// The current smoothed drift.
+    pub fn drift(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Clears accumulated drift (call after installing a new generation).
+    pub fn reset(&mut self) {
+        self.ewma = 0.0;
+    }
+}
+
+/// Outcome of a managed (or plan-once) execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagedOutcome {
+    /// Latest actual finish time.
+    pub makespan: f64,
+    /// Actual `(proc, start, finish)` per task, task-id order.
+    pub placements: Vec<(ProcId, f64, f64)>,
+    /// Task attempts killed mid-run by processor failures.
+    pub aborted_attempts: usize,
+    /// Accepted replan generations (0 = the original plan ran unchanged).
+    pub replans: u32,
+    /// Replan attempts that failed and fell back to the current plan.
+    pub degraded: u32,
+}
+
+/// Deterministic stepper executing a plan against jittered reality.
+///
+/// The plan fixes *assignment* and *per-processor order*; actual times are
+/// realized from the [`PerturbModel`] as execution unfolds (replay
+/// semantics, but event-by-event). Each [`PlanExecutor::next_event`] call
+/// advances to the next task completion or processor failure, which is
+/// exactly the granularity at which a real execution engine would report
+/// back to the daemon. Between events the caller may install a new plan
+/// generation ([`PlanExecutor::set_plan`]): finished tasks keep their
+/// actual times, tasks running right now keep running, and everything not
+/// yet started follows the new plan.
+///
+/// Entry-task replicas are not supported (managed plans are produced
+/// without duplication); [`PlanExecutor::new`] rejects schedules with
+/// duplicates.
+#[derive(Debug)]
+pub struct PlanExecutor<'a> {
+    problem: &'a Problem<'a>,
+    perturb: &'a PerturbModel,
+    /// Remaining planned work per processor, planned-start order.
+    queues: Vec<Vec<TaskId>>,
+    /// Per-processor cursor into `queues`.
+    next: Vec<usize>,
+    /// Planned start per task under the current generation — the sort key
+    /// that keeps queues precedence-consistent when stranded work moves.
+    planned_start: Vec<f64>,
+    /// Realized `(proc, start, finish)` per task (committed analytically;
+    /// finish is projected until the completion event fires).
+    committed: Vec<Option<(ProcId, f64, f64)>>,
+    finished: Vec<bool>,
+    /// Realized busy-until per processor (`inf` once dead).
+    avail: Vec<f64>,
+    alive: Vec<bool>,
+    failures: Vec<(ProcId, f64)>,
+    failure_cursor: usize,
+    clock: f64,
+    aborted: usize,
+    done: usize,
+    n: usize,
+}
+
+impl<'a> PlanExecutor<'a> {
+    /// An executor for `schedule` (complete, no duplicates) against the
+    /// reality of `perturb` and `failures`.
+    pub fn new(
+        problem: &'a Problem<'a>,
+        schedule: &Schedule,
+        perturb: &'a PerturbModel,
+        failures: &FailureSpec,
+    ) -> Result<Self, CoreError> {
+        if !schedule.is_complete() {
+            return Err(CoreError::InvalidSchedule(
+                "plan execution requires a complete schedule".into(),
+            ));
+        }
+        if !schedule.duplicates().is_empty() {
+            return Err(CoreError::InvalidSchedule(
+                "plan execution does not support entry replicas; plan without duplication".into(),
+            ));
+        }
+        let placements: Vec<(ProcId, f64, f64)> = problem
+            .dag()
+            .tasks()
+            .map(|t| {
+                let pl = schedule.placement(t).expect("complete schedule");
+                (pl.proc, pl.start, pl.finish)
+            })
+            .collect();
+        Self::from_placements(problem, &placements, perturb, failures)
+    }
+
+    /// An executor from raw planned `(proc, start, finish)` triples, one
+    /// per task in task-id order — the form a plan crosses the wire in.
+    pub fn from_placements(
+        problem: &'a Problem<'a>,
+        placements: &[(ProcId, f64, f64)],
+        perturb: &'a PerturbModel,
+        failures: &FailureSpec,
+    ) -> Result<Self, CoreError> {
+        let n = problem.num_tasks();
+        let np = problem.num_procs();
+        if placements.len() != n {
+            return Err(CoreError::InvalidSchedule(format!(
+                "plan covers {} of {n} tasks",
+                placements.len()
+            )));
+        }
+        let mut exec = PlanExecutor {
+            problem,
+            perturb,
+            queues: vec![Vec::new(); np],
+            next: vec![0; np],
+            planned_start: vec![0.0; n],
+            committed: vec![None; n],
+            finished: vec![false; n],
+            avail: vec![0.0; np],
+            alive: vec![true; np],
+            failures: failures.events().to_vec(),
+            failure_cursor: 0,
+            clock: 0.0,
+            aborted: 0,
+            done: 0,
+            n,
+        };
+        exec.install_queues(placements)?;
+        Ok(exec)
+    }
+
+    /// Rebuilds the per-processor queues from planned placements, skipping
+    /// tasks already finished or currently running.
+    fn install_queues(&mut self, placements: &[(ProcId, f64, f64)]) -> Result<(), CoreError> {
+        if placements.len() != self.n {
+            return Err(CoreError::InvalidSchedule(format!(
+                "plan covers {} of {} tasks",
+                placements.len(),
+                self.n
+            )));
+        }
+        // Planned-start order per processor, ties by task id.
+        for (i, &(_, start, _)) in placements.iter().enumerate() {
+            self.planned_start[i] = start;
+        }
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by(|&a, &b| placements[a].1.total_cmp(&placements[b].1).then(a.cmp(&b)));
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for &i in &order {
+            if self.finished[i] || self.committed[i].is_some() {
+                continue;
+            }
+            let (p, _, _) = placements[i];
+            if p.index() >= self.queues.len() {
+                return Err(CoreError::InvalidSchedule(format!(
+                    "plan places task t{i} on unknown processor {p}"
+                )));
+            }
+            self.queues[p.index()].push(TaskId::from_index(i));
+        }
+        for pi in 0..self.queues.len() {
+            self.next[pi] = 0;
+            self.avail[pi] = if self.alive[pi] {
+                self.clock
+            } else {
+                f64::INFINITY
+            };
+        }
+        // A still-running task occupies its actual processor until its
+        // projected finish.
+        for c in self.committed.iter().enumerate() {
+            if let (i, Some((p, _, f))) = c {
+                if !self.finished[i] {
+                    let pi = p.index();
+                    self.avail[pi] = self.avail[pi].max(*f);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs a new plan generation mid-run: finished tasks keep their
+    /// actual times, running tasks keep running where they are, and
+    /// everything not yet started follows the new plan's assignment and
+    /// order. Commitments that had not actually started yet (projected
+    /// starts after the current clock) are revoked first — the new plan
+    /// owns them now.
+    pub fn set_plan(&mut self, plan: &Schedule) -> Result<(), CoreError> {
+        if !plan.is_complete() {
+            return Err(CoreError::InvalidSchedule(
+                "set_plan requires a complete schedule".into(),
+            ));
+        }
+        if !plan.duplicates().is_empty() {
+            return Err(CoreError::InvalidSchedule(
+                "set_plan does not support entry replicas".into(),
+            ));
+        }
+        let placements: Vec<(ProcId, f64, f64)> = self
+            .problem
+            .dag()
+            .tasks()
+            .map(|t| {
+                let pl = plan.placement(t).expect("complete schedule");
+                (pl.proc, pl.start, pl.finish)
+            })
+            .collect();
+        self.set_plan_placements(&placements)
+    }
+
+    /// [`PlanExecutor::set_plan`] from raw placement triples (wire form).
+    pub fn set_plan_placements(
+        &mut self,
+        placements: &[(ProcId, f64, f64)],
+    ) -> Result<(), CoreError> {
+        for i in 0..self.n {
+            if let Some((_, start, _)) = self.committed[i] {
+                if !self.finished[i] && start > self.clock {
+                    self.committed[i] = None;
+                }
+            }
+        }
+        self.install_queues(placements)
+    }
+
+    /// Commits every queued task whose parents have all finished: realizes
+    /// its actual start (data arrival vs. processor availability vs. now)
+    /// and its jittered duration. Runs to fixpoint in one pass because
+    /// runnability only changes at completion events.
+    fn commit_runnable(&mut self) {
+        let dag = self.problem.dag();
+        for pi in 0..self.queues.len() {
+            if !self.alive[pi] {
+                continue;
+            }
+            while let Some(&t) = self.queues[pi].get(self.next[pi]) {
+                let runnable = dag
+                    .preds(t)
+                    .iter()
+                    .all(|&(q, _)| self.finished[q.index()]);
+                if !runnable {
+                    break;
+                }
+                let p = ProcId::from_index(pi);
+                let data = dag
+                    .preds(t)
+                    .iter()
+                    .map(|&(q, c)| self.arrival(q, t, c, p))
+                    .fold(0.0f64, f64::max);
+                let start = data.max(self.avail[pi]).max(self.clock);
+                let dur = self
+                    .perturb
+                    .exec_time(t, p, self.problem.w(t, p))
+                    .max(0.0);
+                self.committed[t.index()] = Some((p, start, start + dur));
+                self.avail[pi] = start + dur;
+                self.next[pi] += 1;
+            }
+        }
+    }
+
+    /// Actual arrival of finished `parent`'s output at processor `p` for
+    /// consumer `child`. A completed task's data survives its processor's
+    /// later death (fail-stop storage survives).
+    fn arrival(&self, parent: TaskId, child: TaskId, cost: f64, p: ProcId) -> f64 {
+        let (q, _, f) = self.committed[parent.index()].expect("finished implies committed");
+        if q == p {
+            f
+        } else {
+            let est = self.problem.platform().comm_time(q, p, cost);
+            f + self.perturb.comm_time(parent, child, est).max(0.0)
+        }
+    }
+
+    /// Advances to the next completion or failure. Returns `None` once
+    /// every task has finished.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSchedule`] when unfinished work is stranded
+    /// with no event left to make progress (queued on a dead processor
+    /// and never moved — the caller was expected to replan or
+    /// [`PlanExecutor::reassign_stranded`]).
+    pub fn next_event(&mut self) -> Result<Option<FeedbackEvent>, CoreError> {
+        if self.done == self.n {
+            return Ok(None);
+        }
+        self.commit_runnable();
+        let next_completion = self
+            .committed
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.is_some() && !self.finished[*i])
+            .filter_map(|(i, c)| c.map(|(_, _, f)| (f, TaskId::from_index(i))))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let next_failure = self.failures.get(self.failure_cursor).copied();
+        match (next_completion, next_failure) {
+            (Some((cf, _)), Some((fp, ft))) if ft < cf => Ok(Some(self.fail(fp, ft))),
+            (Some((cf, ct)), _) => {
+                self.clock = cf;
+                self.finished[ct.index()] = true;
+                self.done += 1;
+                let (p, s, f) = self.committed[ct.index()].expect("completion is committed");
+                Ok(Some(FeedbackEvent::TaskFinished {
+                    task: ct,
+                    proc: p,
+                    start: s,
+                    finish: f,
+                }))
+            }
+            (None, Some((fp, ft))) => Ok(Some(self.fail(fp, ft))),
+            (None, None) => Err(CoreError::InvalidSchedule(format!(
+                "managed run stalled with {}/{} tasks finished (work stranded on a dead processor?)",
+                self.done, self.n
+            ))),
+        }
+    }
+
+    /// Processes a fail-stop failure: the processor goes dead, the task
+    /// running there is aborted, and queued commitments are revoked back
+    /// into the (now stranded) queue for a replan or patch to move.
+    fn fail(&mut self, proc: ProcId, at: f64) -> FeedbackEvent {
+        self.failure_cursor += 1;
+        self.clock = self.clock.max(at);
+        let pi = proc.index();
+        if !self.alive[pi] {
+            return FeedbackEvent::ProcessorLost {
+                proc,
+                time: at,
+                aborted: None,
+            };
+        }
+        self.alive[pi] = false;
+        self.avail[pi] = f64::INFINITY;
+        let mut aborted_task = None;
+        for i in 0..self.n {
+            let Some((p, start, finish)) = self.committed[i] else {
+                continue;
+            };
+            if p == proc && !self.finished[i] && finish > at {
+                if start < at {
+                    self.aborted += 1;
+                    aborted_task = Some(TaskId::from_index(i));
+                }
+                self.committed[i] = None;
+            }
+        }
+        // Rebuild the dead processor's queue so revoked tasks sit at its
+        // head in planned order — stranded until moved.
+        let processed = self.next[pi];
+        let mut rebuilt: Vec<TaskId> = self.queues[pi][..processed]
+            .iter()
+            .copied()
+            .filter(|t| !self.finished[t.index()] && self.committed[t.index()].is_none())
+            .collect();
+        rebuilt.extend_from_slice(&self.queues[pi][processed..]);
+        self.queues[pi] = rebuilt;
+        self.next[pi] = 0;
+        FeedbackEvent::ProcessorLost {
+            proc,
+            time: at,
+            aborted: aborted_task,
+        }
+    }
+
+    /// Moves every task stranded on a dead processor to the live
+    /// processor with the cheapest estimated cost — the deliberately
+    /// naive "plan-once" fail-over that keeps the baseline correct
+    /// without re-optimizing. Moved tasks slot into their new queue by
+    /// planned start (not at the tail): queue order must stay consistent
+    /// with precedence, and planned starts are the order the original
+    /// plan proved acyclic. Returns how many tasks moved.
+    pub fn reassign_stranded(&mut self) -> usize {
+        let mut moved = 0;
+        for pi in 0..self.queues.len() {
+            if self.alive[pi] || self.next[pi] >= self.queues[pi].len() {
+                continue;
+            }
+            let stranded: Vec<TaskId> = self.queues[pi][self.next[pi]..].to_vec();
+            self.queues[pi].truncate(self.next[pi]);
+            for t in stranded {
+                let mut best: Option<(usize, f64)> = None;
+                for (qi, &live) in self.alive.iter().enumerate() {
+                    if !live {
+                        continue;
+                    }
+                    let w = self.problem.w(t, ProcId::from_index(qi));
+                    if best.is_none_or(|(_, bw)| w < bw) {
+                        best = Some((qi, w));
+                    }
+                }
+                let Some((qi, _)) = best else {
+                    // No live processor: leave the rest stranded; the next
+                    // event call surfaces the stall.
+                    return moved;
+                };
+                let key = (self.planned_start[t.index()], t);
+                let queue = &mut self.queues[qi];
+                let mut at = queue.len();
+                for i in self.next[qi]..queue.len() {
+                    let q = queue[i];
+                    if (self.planned_start[q.index()], q) > key {
+                        at = i;
+                        break;
+                    }
+                }
+                queue.insert(at, t);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Everything already decided — finished tasks at their actual times
+    /// plus tasks running right now at their projected finishes — in the
+    /// exact form [`Hdlts::replan_suffix`] pins.
+    pub fn pinned(&self) -> Vec<PinnedTask> {
+        let mut v = Vec::new();
+        for i in 0..self.n {
+            let Some((p, s, f)) = self.committed[i] else {
+                continue;
+            };
+            if self.finished[i] || s <= self.clock {
+                v.push(PinnedTask {
+                    task: TaskId::from_index(i),
+                    proc: p,
+                    start: s,
+                    finish: f,
+                });
+            }
+        }
+        v
+    }
+
+    /// Live mask, one entry per processor.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Current simulation time (last event's time).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Whether every task has finished.
+    pub fn is_done(&self) -> bool {
+        self.done == self.n
+    }
+
+    /// Aborted attempts so far.
+    pub fn aborted_attempts(&self) -> usize {
+        self.aborted
+    }
+
+    /// Actual per-task placements after completion.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSchedule`] if called before every task
+    /// finished.
+    pub fn final_placements(&self) -> Result<Vec<(ProcId, f64, f64)>, CoreError> {
+        if self.done != self.n {
+            return Err(CoreError::InvalidSchedule(format!(
+                "execution incomplete: {}/{} tasks finished",
+                self.done, self.n
+            )));
+        }
+        Ok(self
+            .committed
+            .iter()
+            .map(|c| c.expect("all tasks committed at completion"))
+            .collect())
+    }
+}
+
+/// Executes `problem` under the online-rescheduling loop: plan once
+/// (HDLTS without duplication), execute against `perturb` + `failures`,
+/// and on EWMA drift breach or processor loss replan the unfinished
+/// suffix with [`Hdlts::replan_suffix`].
+///
+/// `on_replan(generation, reason)` fires *before* each new generation is
+/// installed — the daemon journals its `Replanned` frame there (and may
+/// crash-inject). Returning `false` vetoes the replan and aborts the run
+/// with an error, which models a commit that could not be made durable.
+///
+/// Degradation policy: a failed *drift* replan keeps flying the current
+/// plan; a failed *loss* replan falls back to the plan-once strand patch
+/// ([`PlanExecutor::reassign_stranded`]). Only
+/// [`CoreError::AllProcessorsFailed`] is fatal.
+pub fn execute_managed<F>(
+    problem: &Problem<'_>,
+    drift: DriftConfig,
+    perturb: &PerturbModel,
+    failures: &FailureSpec,
+    mut on_replan: F,
+) -> Result<ManagedOutcome, CoreError>
+where
+    F: FnMut(u32, ReplanReason) -> bool,
+{
+    let hdlts = Hdlts::new(HdltsConfig::without_duplication());
+    let mut scratch = SchedulerScratch::new();
+    let plan = hdlts.schedule_into(problem, &mut scratch)?;
+    let mut planned_finish: Vec<f64> = problem
+        .dag()
+        .tasks()
+        .map(|t| plan.placement(t).expect("complete plan").finish)
+        .collect();
+    let mut planned_span = plan.makespan();
+    let mut exec = PlanExecutor::new(problem, &plan, perturb, failures)?;
+    scratch.recycle(plan);
+    let mut tracker = DriftTracker::new(drift);
+    let mut generation = 0u32;
+    let mut degraded = 0u32;
+
+    while let Some(event) = exec.next_event()? {
+        let reason = match event {
+            FeedbackEvent::TaskFinished { task, finish, .. } => {
+                let breached =
+                    tracker.observe(planned_finish[task.index()], finish, planned_span);
+                if breached && !exec.is_done() {
+                    Some(ReplanReason::Drift)
+                } else {
+                    None
+                }
+            }
+            FeedbackEvent::ProcessorLost { .. } => {
+                if exec.is_done() {
+                    None
+                } else {
+                    Some(ReplanReason::ProcessorLost)
+                }
+            }
+        };
+        let Some(reason) = reason else { continue };
+        let pinned = exec.pinned();
+        match hdlts.replan_suffix(problem, &pinned, exec.alive(), exec.clock(), &mut scratch) {
+            Ok(new_plan) => {
+                generation += 1;
+                if !on_replan(generation, reason) {
+                    return Err(CoreError::InvalidSchedule(format!(
+                        "replan generation {generation} vetoed by the feedback callback"
+                    )));
+                }
+                for t in problem.dag().tasks() {
+                    planned_finish[t.index()] =
+                        new_plan.placement(t).expect("complete plan").finish;
+                }
+                planned_span = new_plan.makespan();
+                exec.set_plan(&new_plan)?;
+                scratch.recycle(new_plan);
+                tracker.reset();
+            }
+            Err(CoreError::AllProcessorsFailed) => return Err(CoreError::AllProcessorsFailed),
+            Err(_) => {
+                // Graceful degradation: keep the current plan; if the loss
+                // stranded work, patch it onto survivors unoptimized.
+                degraded += 1;
+                if reason == ReplanReason::ProcessorLost {
+                    exec.reassign_stranded();
+                }
+            }
+        }
+    }
+
+    let placements = exec.final_placements()?;
+    let makespan = placements.iter().map(|&(_, _, f)| f).fold(0.0, f64::max);
+    Ok(ManagedOutcome {
+        makespan,
+        placements,
+        aborted_attempts: exec.aborted_attempts(),
+        replans: generation,
+        degraded,
+    })
+}
+
+/// The baseline [`execute_managed`] is measured against: plan once, never
+/// watch drift, and on processor loss move stranded work to the cheapest
+/// survivor without re-optimizing.
+pub fn execute_plan_once(
+    problem: &Problem<'_>,
+    perturb: &PerturbModel,
+    failures: &FailureSpec,
+) -> Result<ManagedOutcome, CoreError> {
+    let hdlts = Hdlts::new(HdltsConfig::without_duplication());
+    let plan = hdlts.schedule(problem)?;
+    let mut exec = PlanExecutor::new(problem, &plan, perturb, failures)?;
+    while let Some(event) = exec.next_event()? {
+        if matches!(event, FeedbackEvent::ProcessorLost { .. }) && !exec.is_done() {
+            if !exec.alive().contains(&true) {
+                return Err(CoreError::AllProcessorsFailed);
+            }
+            exec.reassign_stranded();
+        }
+    }
+    let placements = exec.final_placements()?;
+    let makespan = placements.iter().map(|&(_, _, f)| f).fold(0.0, f64::max);
+    Ok(ManagedOutcome {
+        makespan,
+        placements,
+        aborted_attempts: exec.aborted_attempts(),
+        replans: 0,
+        degraded: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlts_platform::Platform;
+    use hdlts_workloads::{fft, fixtures::fig1, CostParams};
+
+    fn fig1_problem() -> (hdlts_workloads::Instance, Platform) {
+        (fig1(), Platform::fully_connected(3).unwrap())
+    }
+
+    #[test]
+    fn exact_execution_reproduces_the_plan_with_zero_replans() {
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        let plan = Hdlts::new(HdltsConfig::without_duplication())
+            .schedule(&problem)
+            .unwrap();
+        let out = execute_managed(
+            &problem,
+            DriftConfig::default(),
+            &PerturbModel::exact(),
+            &FailureSpec::none(),
+            |_, _| true,
+        )
+        .unwrap();
+        assert_eq!(out.replans, 0);
+        assert_eq!(out.degraded, 0);
+        assert_eq!(out.aborted_attempts, 0);
+        assert_eq!(out.makespan, plan.makespan());
+        for t in inst.dag.tasks() {
+            let pl = plan.placement(t).unwrap();
+            assert_eq!(out.placements[t.index()], (pl.proc, pl.start, pl.finish));
+        }
+    }
+
+    #[test]
+    fn executor_emits_one_finish_per_task() {
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        let plan = Hdlts::new(HdltsConfig::without_duplication())
+            .schedule(&problem)
+            .unwrap();
+        let perturb = PerturbModel::uniform(0.2, 11);
+        let mut exec = PlanExecutor::new(&problem, &plan, &perturb, &FailureSpec::none()).unwrap();
+        let mut finishes = 0usize;
+        let mut last = 0.0f64;
+        while let Some(ev) = exec.next_event().unwrap() {
+            if let FeedbackEvent::TaskFinished { finish, .. } = ev {
+                assert!(finish + 1e-12 >= last, "events out of order");
+                last = finish;
+                finishes += 1;
+            }
+        }
+        assert_eq!(finishes, problem.num_tasks());
+        assert!(exec.is_done());
+    }
+
+    #[test]
+    fn drift_breach_triggers_replans_and_still_completes() {
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        // Zero threshold + heavy jitter: any drift breaches immediately.
+        let out = execute_managed(
+            &problem,
+            DriftConfig {
+                alpha: 0.5,
+                threshold: 0.0,
+            },
+            &PerturbModel::uniform(0.4, 9),
+            &FailureSpec::none(),
+            |_, reason| {
+                assert_eq!(reason, ReplanReason::Drift);
+                true
+            },
+        )
+        .unwrap();
+        assert!(out.replans >= 1, "expected drift replans, got none");
+        // Precedence must hold on actual times.
+        for e in inst.dag.edges() {
+            assert!(
+                out.placements[e.dst.index()].1 + 1e-9 >= out.placements[e.src.index()].2,
+                "{} -> {}",
+                e.src,
+                e.dst
+            );
+        }
+    }
+
+    #[test]
+    fn processor_loss_replans_and_avoids_the_dead_proc() {
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        let failures = FailureSpec::none().with_failure(ProcId(2), 10.0);
+        let mut saw_loss = false;
+        let out = execute_managed(
+            &problem,
+            DriftConfig::default(),
+            &PerturbModel::exact(),
+            &failures,
+            |_, reason| {
+                saw_loss |= reason == ReplanReason::ProcessorLost;
+                true
+            },
+        )
+        .unwrap();
+        assert!(saw_loss);
+        assert!(out.replans >= 1);
+        for (i, &(p, start, _)) in out.placements.iter().enumerate() {
+            if start >= 10.0 {
+                assert_ne!(p, ProcId(2), "task {i} started on the dead processor");
+            }
+        }
+        let _ = inst;
+    }
+
+    #[test]
+    fn plan_once_survives_loss_via_strand_patch() {
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        let failures = FailureSpec::none().with_failure(ProcId(2), 10.0);
+        let out = execute_plan_once(&problem, &PerturbModel::exact(), &failures).unwrap();
+        for (i, &(p, start, _)) in out.placements.iter().enumerate() {
+            if start >= 10.0 {
+                assert_ne!(p, ProcId(2), "task {i} started on the dead processor");
+            }
+        }
+        for e in inst.dag.edges() {
+            assert!(out.placements[e.dst.index()].1 + 1e-9 >= out.placements[e.src.index()].2);
+        }
+        assert_eq!(out.replans, 0);
+    }
+
+    #[test]
+    fn replanning_beats_plan_once_under_churn_on_aggregate() {
+        // The bench gate asserts this end-to-end; lock the core property
+        // here on a seeded sweep: total managed makespan under churn is
+        // no worse than plan-once, and strictly better somewhere.
+        let params = CostParams::default();
+        let platform = Platform::fully_connected(4).unwrap();
+        let mut managed_total = 0.0;
+        let mut once_total = 0.0;
+        for seed in 0..8u64 {
+            let inst = fft::generate(16, &params, seed);
+            let problem = inst.problem(&platform).unwrap();
+            let static_span = Hdlts::new(HdltsConfig::without_duplication())
+                .schedule(&problem)
+                .unwrap()
+                .makespan();
+            let failures =
+                FailureSpec::none().with_failure(ProcId(3), 0.45 * static_span);
+            let perturb = PerturbModel::uniform(0.2, seed);
+            let managed = execute_managed(
+                &problem,
+                DriftConfig::default(),
+                &perturb,
+                &failures,
+                |_, _| true,
+            )
+            .unwrap();
+            let once = execute_plan_once(&problem, &perturb, &failures).unwrap();
+            managed_total += managed.makespan;
+            once_total += once.makespan;
+        }
+        assert!(
+            managed_total < once_total,
+            "replanning ({managed_total}) should beat plan-once ({once_total})"
+        );
+    }
+
+    #[test]
+    fn all_processors_dead_is_typed_for_both_drivers() {
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        let failures = FailureSpec::none()
+            .with_failure(ProcId(0), 1.0)
+            .with_failure(ProcId(1), 1.0)
+            .with_failure(ProcId(2), 1.0);
+        let err = execute_managed(
+            &problem,
+            DriftConfig::default(),
+            &PerturbModel::exact(),
+            &failures,
+            |_, _| true,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::AllProcessorsFailed);
+        let err = execute_plan_once(&problem, &PerturbModel::exact(), &failures).unwrap_err();
+        assert_eq!(err, CoreError::AllProcessorsFailed);
+        let _ = inst;
+    }
+
+    #[test]
+    fn failure_at_time_zero_moves_everything_off_the_proc() {
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        let failures = FailureSpec::none().with_failure(ProcId(0), 0.0);
+        let out = execute_managed(
+            &problem,
+            DriftConfig::default(),
+            &PerturbModel::exact(),
+            &failures,
+            |_, _| true,
+        )
+        .unwrap();
+        for (i, &(p, _, _)) in out.placements.iter().enumerate() {
+            assert_ne!(p, ProcId(0), "task {i} ran on a processor dead since t=0");
+        }
+        let _ = inst;
+    }
+
+    #[test]
+    fn vetoed_replan_aborts_the_run() {
+        let (inst, platform) = fig1_problem();
+        let problem = inst.problem(&platform).unwrap();
+        let failures = FailureSpec::none().with_failure(ProcId(2), 10.0);
+        let err = execute_managed(
+            &problem,
+            DriftConfig::default(),
+            &PerturbModel::exact(),
+            &failures,
+            |_, _| false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSchedule(msg) if msg.contains("vetoed")));
+        let _ = inst;
+    }
+
+    #[test]
+    fn managed_execution_is_deterministic() {
+        let params = CostParams::default();
+        let platform = Platform::fully_connected(4).unwrap();
+        let inst = fft::generate(16, &params, 3);
+        let problem = inst.problem(&platform).unwrap();
+        let failures = FailureSpec::none().with_failure(ProcId(1), 25.0);
+        let perturb = PerturbModel::uniform(0.25, 3);
+        let run = || {
+            execute_managed(
+                &problem,
+                DriftConfig::default(),
+                &perturb,
+                &failures,
+                |_, _| true,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn replan_reason_codes_round_trip() {
+        for r in [ReplanReason::Drift, ReplanReason::ProcessorLost] {
+            assert_eq!(ReplanReason::from_code(r.code()), Some(r));
+        }
+        assert_eq!(ReplanReason::from_code(0), None);
+        assert_eq!(ReplanReason::from_code(3), None);
+    }
+}

@@ -17,12 +17,19 @@
 //! * [`JobStreamScheduler`] — the paper's *dynamic application workflow*
 //!   future-work scenario: a stream of workflow jobs arriving over time,
 //!   dispatched by the HDLTS rule (or FIFO as a baseline) on a shared
-//!   platform.
+//!   platform;
+//! * [`PlanExecutor`] / [`execute_managed`] — the online-rescheduling
+//!   loop: execute a plan event-by-event against jittered reality, track
+//!   EWMA finish-time drift ([`DriftTracker`]), and replan the unfinished
+//!   suffix on drift breach or processor loss
+//!   ([`execute_plan_once`] is the plan-once baseline it is measured
+//!   against).
 
 #![warn(missing_docs)]
 
 mod arrivals;
 mod failure;
+mod feedback;
 mod online;
 mod outcome;
 mod perturb;
@@ -32,6 +39,10 @@ pub use arrivals::{
     DispatchPolicy, JobArrival, JobStreamScheduler, JobSummary, StreamOutcome, StreamScratch,
 };
 pub use failure::FailureSpec;
+pub use feedback::{
+    execute_managed, execute_plan_once, DriftConfig, DriftTracker, FeedbackEvent, ManagedOutcome,
+    PlanExecutor, ReplanReason,
+};
 pub use online::OnlineHdlts;
 pub use outcome::ExecutionOutcome;
 pub use perturb::PerturbModel;

@@ -52,16 +52,28 @@ route topology="host=127.0.0.1:7151 CPU:4" addr="127.0.0.1:7150" policy="hash":
 bench-service rate="200" duration="10" daemons="2":
     cargo run --release -p hdlts-service --bin loadgen -- --rate {{rate}} --duration {{duration}} --daemons {{daemons}} --out BENCH_service.json
 
+# Same harness, single daemon, plus the seeded churn sweep (DESIGN.md
+# §12): jittered execution with a mid-flight processor kill, managed
+# (live-replanned) vs static plan-once makespans, both over the wire and
+# in-process; records `churn_makespan_ratio` (the gated scalar — both
+# sides are deterministic simulations, so the ratio is
+# machine-independent) alongside the usual throughput/latency fields.
+bench-churn rate="200" duration="10":
+    cargo run --release -p hdlts-service --bin loadgen -- --rate {{rate}} --duration {{duration}} --churn --out BENCH_service.json
+
 # Crash/restart chaos sweep (DESIGN.md §9, §11): every named crash point
 # plus seeded fault plans (crash point × timing × journal I/O errors)
 # replayed deterministically — one seed, one reality — on a single daemon
-# (service_recovery) and on a daemon behind the router (service_router,
+# (service_recovery), on a daemon behind the router (service_router,
 # killing one backend mid-traffic and requiring failover to finish every
-# acked job). Widen or pin the sweeps via the seeds argument (comma list,
-# becomes HDLTS_CHAOS_SEEDS).
+# acked job), and through the online-rescheduling loop (service_replan,
+# DESIGN.md §12: drift/loss-driven churn plus crashes at replan-commit
+# and report-ack). Widen or pin the sweeps via the seeds argument (comma
+# list, becomes HDLTS_CHAOS_SEEDS).
 chaos seeds="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16":
     HDLTS_CHAOS_SEEDS="{{seeds}}" cargo test -q --test service_recovery
     HDLTS_CHAOS_SEEDS="{{seeds}}" cargo test -q --test service_router router_chaos_failover_sweep
+    HDLTS_CHAOS_SEEDS="{{seeds}}" cargo test -q --test service_replan
     HDLTS_FAULTS="crash=pre-result:2" cargo test -q --test service_router router_survives_killing_one_daemon_mid_traffic
 
 # Full CI pipeline: format + clippy + repo lints + tests + Miri (when the
@@ -70,9 +82,12 @@ chaos seeds="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16":
 # time, the slow full grid stays manual) + perf regression gate on the
 # checked-in BENCH_engine.json scalars (incremental-engine, arena-engine,
 # and warm-provisioning speedups — the gate also rejects any speedup
-# baseline recorded below parity), plus the routed service tier (two
-# daemons behind the router, gated on router_2daemon_min_throughput).
-# Cheap determinism/soundness checks fail first.
+# baseline recorded below parity), plus the service tier: a single-daemon
+# loadgen run with the churn sweep (gated on churn_makespan_ratio — live
+# replanning must keep beating the perturbed static plan, parity-floored
+# since the ratio is deterministic) and two daemons behind the router
+# (gated on router_2daemon_min_throughput). Cheap determinism/soundness
+# checks fail first.
 ci:
     cargo fmt --all --check
     cargo build --release
@@ -82,10 +97,12 @@ ci:
     cargo test -q
     HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_recovery seeded_chaos_sweep
     HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_router router_chaos_failover_sweep
+    HDLTS_CHAOS_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16" cargo test -q --test service_replan churn_sweep_every_acked_job_reaches_a_valid_result
     if cargo miri --version >/dev/null 2>&1; then MIRIFLAGS=-Zmiri-disable-isolation cargo miri test -p hdlts-service --lib queue json; else echo "miri unavailable locally; skipped (covered by the CI miri job)"; fi
     cargo run --release -p hdlts-bench --bin bench-json -- --quick
     ./scripts/test_bench_gate.sh
     ./scripts/bench_gate.sh BENCH_engine.json
-    cargo run --release -p hdlts-service --bin loadgen -- --rate 100 --duration 3 --out BENCH_service_ci.json
+    cargo run --release -p hdlts-service --bin loadgen -- --rate 100 --duration 3 --churn --out BENCH_service_ci.json
+    BENCH_GATE_METRICS="churn_makespan_ratio:1.0986" ./scripts/bench_gate.sh BENCH_service_ci.json
     cargo run --release -p hdlts-service --bin loadgen -- --rate 200 --duration 3 --daemons 2 --out BENCH_router_ci.json
     BENCH_GATE_METRICS="router_2daemon_min_throughput:199.75" ./scripts/bench_gate.sh BENCH_router_ci.json

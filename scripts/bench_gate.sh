@@ -56,7 +56,23 @@
 #                                  policy) at the CI offered rate; recorded
 #                                  in BENCH_service.json and checked via
 #                                  BENCH_GATE_METRICS="router_2daemon_min_throughput:<baseline>"
-#                                  against the loadgen run in `just ci`.
+#                                  against the loadgen run in `just ci`;
+#   churn_makespan_ratio           static plan-once makespan sum over
+#                                  managed (live-replanned) makespan sum
+#                                  across the seeded churn sweep
+#                                  (`loadgen --churn`, DESIGN.md §12).
+#                                  Both sides are deterministic
+#                                  simulations, so unlike the wall-clock
+#                                  speedups this ratio is
+#                                  machine-independent: slack never
+#                                  lowers its floor below 1.0 — a fresh
+#                                  value at or under parity means live
+#                                  replanning stopped beating the
+#                                  perturbed static plan, which is a
+#                                  regression regardless of noise.
+#
+# A `*_ratio` metric gets the same below-parity baseline check as
+# `*_min_speedup`, plus the parity floor above on the fresh value.
 #
 # Baselines live next to each name below; see BENCH_engine.json for the
 # recorded values. Override the metric set with BENCH_GATE_METRICS
@@ -83,20 +99,27 @@ for entry in $metrics; do
     esac
     name="${entry%%:*}"
     base="${entry#*:}"
-    # A speedup gate whose own baseline is below parity is miswired: it
-    # records the "fast" path losing and then grants slack on top. Fail
-    # loudly instead of quietly certifying a regression.
+    # A speedup or ratio gate whose own baseline is below parity is
+    # miswired: it records the "fast" path losing and then grants slack
+    # on top. Fail loudly instead of quietly certifying a regression.
+    # Ratio metrics are deterministic (simulated time, not wall clock),
+    # so parity additionally floors the *fresh* value: slack absorbs
+    # machine noise, and a ratio has none.
+    parity=0
     case "$name" in
-    *_min_speedup)
+    *_min_speedup | *_ratio)
         if ! awk -v b="$base" 'BEGIN { exit !(b + 0 >= 1.0) }' </dev/null; then
-            echo "gate: FAIL - baseline $base for $name is below 1.0; a speedup gate below parity certifies a regression instead of catching one" >&2
+            echo "gate: FAIL - baseline $base for $name is below 1.0; a gate below parity certifies a regression instead of catching one" >&2
             status=1
             continue
         fi
+        case "$name" in
+        *_ratio) parity=1 ;;
+        esac
         ;;
     esac
     checked=$((checked + 1))
-    awk -v name="$name" -v base="$base" -v slack="$slack" '
+    awk -v name="$name" -v base="$base" -v slack="$slack" -v parity="$parity" '
     # Only a top-level key match counts: optional indent, the quoted
     # metric name, a colon — never the name embedded in a longer string
     # or in a nested kernel row.
@@ -119,6 +142,7 @@ for entry in $metrics; do
             exit 1
         }
         floor = base * slack
+        if (parity && floor < 1.0) floor = 1.0
         printf "gate: %s = %.2f (floor %.2f = baseline %.2f x slack %.2f)\n", name, v, floor, base, slack
         if (v < floor) {
             print "gate: FAIL - " name " regressed below the recorded baseline" > "/dev/stderr"

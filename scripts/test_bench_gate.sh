@@ -5,8 +5,10 @@
 # a regressed metric fails, a missing key fails *by name*, a decoy (the
 # metric name embedded in a nested kernel row or a longer key) does not
 # satisfy the gate, a non-numeric value fails, an empty metric list
-# refuses to report OK, and a `*_min_speedup` baseline below 1.0 fails
-# even when the fresh value would clear it. Run from the repo root:
+# refuses to report OK, a `*_min_speedup` baseline below 1.0 fails even
+# when the fresh value would clear it, and a `*_ratio` metric is
+# parity-floored — slack never admits a fresh value below 1.0. Run from
+# the repo root:
 #
 #   ./scripts/test_bench_gate.sh
 set -eu
@@ -116,6 +118,20 @@ expect fail "sub-parity speedup baseline fails loudly" \
 # Non-speedup metrics (e.g. throughput floors) may sit below 1.0.
 expect pass "sub-1.0 baseline is fine for non-speedup metrics" "gate: OK" -- \
     env BENCH_GATE_METRICS="cpd_v1000_min_speedup:10.02 tiny_floor:0.5" "$gate" "$tmp/floor.json"
+# Ratio metrics are deterministic: slack would put the floor at
+# 1.20 * 0.80 = 0.96, but parity clamps it to 1.0, so a fresh value of
+# 0.98 — the managed path losing to the static plan — must fail.
+cat >"$tmp/ratio.json" <<'EOF'
+{
+  "churn_makespan_ratio": 0.98
+}
+EOF
+expect fail "ratio below parity fails despite slack" \
+    "churn_makespan_ratio regressed" -- \
+    env BENCH_GATE_METRICS="churn_makespan_ratio:1.20" "$gate" "$tmp/ratio.json"
+expect fail "sub-parity ratio baseline fails loudly" \
+    "baseline 0.90 for churn_makespan_ratio is below 1.0" -- \
+    env BENCH_GATE_METRICS="churn_makespan_ratio:0.90" "$gate" "$tmp/ratio.json"
 expect fail "malformed metric entry fails" "malformed metric" -- \
     env BENCH_GATE_METRICS="fig3_v10000_min_speedup" "$gate" "$tmp/good.json"
 expect fail "absent input file fails" "not found" -- \

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/hdlts_service-5b0a1f02997786ec.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/router.rs
+/root/repo/target/debug/deps/hdlts_service-5b0a1f02997786ec.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/replan.rs crates/service/src/router.rs
 
-/root/repo/target/debug/deps/libhdlts_service-5b0a1f02997786ec.rlib: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/router.rs
+/root/repo/target/debug/deps/libhdlts_service-5b0a1f02997786ec.rlib: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/replan.rs crates/service/src/router.rs
 
-/root/repo/target/debug/deps/libhdlts_service-5b0a1f02997786ec.rmeta: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/router.rs
+/root/repo/target/debug/deps/libhdlts_service-5b0a1f02997786ec.rmeta: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/replan.rs crates/service/src/router.rs
 
 crates/service/src/lib.rs:
 crates/service/src/client.rs:
@@ -14,4 +14,5 @@ crates/service/src/journal.rs:
 crates/service/src/json.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:
+crates/service/src/replan.rs:
 crates/service/src/router.rs:

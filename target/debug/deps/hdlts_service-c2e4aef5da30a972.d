@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/hdlts_service-c2e4aef5da30a972.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/router.rs
+/root/repo/target/debug/deps/hdlts_service-c2e4aef5da30a972.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/replan.rs crates/service/src/router.rs
 
-/root/repo/target/debug/deps/hdlts_service-c2e4aef5da30a972: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/router.rs
+/root/repo/target/debug/deps/hdlts_service-c2e4aef5da30a972: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/replan.rs crates/service/src/router.rs
 
 crates/service/src/lib.rs:
 crates/service/src/client.rs:
@@ -12,4 +12,5 @@ crates/service/src/journal.rs:
 crates/service/src/json.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:
+crates/service/src/replan.rs:
 crates/service/src/router.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/hdlts_sim-2f5df7a625345348.d: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
+/root/repo/target/debug/deps/hdlts_sim-2f5df7a625345348.d: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/feedback.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
 
-/root/repo/target/debug/deps/hdlts_sim-2f5df7a625345348: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
+/root/repo/target/debug/deps/hdlts_sim-2f5df7a625345348: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/feedback.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/arrivals.rs:
 crates/sim/src/failure.rs:
+crates/sim/src/feedback.rs:
 crates/sim/src/online.rs:
 crates/sim/src/outcome.rs:
 crates/sim/src/perturb.rs:

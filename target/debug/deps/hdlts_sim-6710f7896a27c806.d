@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/hdlts_sim-6710f7896a27c806.d: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
+/root/repo/target/debug/deps/hdlts_sim-6710f7896a27c806.d: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/feedback.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
 
-/root/repo/target/debug/deps/libhdlts_sim-6710f7896a27c806.rlib: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
+/root/repo/target/debug/deps/libhdlts_sim-6710f7896a27c806.rlib: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/feedback.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
 
-/root/repo/target/debug/deps/libhdlts_sim-6710f7896a27c806.rmeta: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
+/root/repo/target/debug/deps/libhdlts_sim-6710f7896a27c806.rmeta: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/feedback.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/arrivals.rs:
 crates/sim/src/failure.rs:
+crates/sim/src/feedback.rs:
 crates/sim/src/online.rs:
 crates/sim/src/outcome.rs:
 crates/sim/src/perturb.rs:

@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/ipr_fixtures-4ca0d1661917af70.d: crates/analyzer/tests/ipr_fixtures.rs crates/analyzer/tests/../fixtures/ipr/panic_entry.rs crates/analyzer/tests/../fixtures/ipr/panic_codec.rs crates/analyzer/tests/../fixtures/ipr/lock_order.rs crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs crates/analyzer/tests/../fixtures/ipr/blocking.rs crates/analyzer/tests/../fixtures/ipr/blocking_journal.rs crates/analyzer/tests/../fixtures/ipr/taint_sched.rs crates/analyzer/tests/../fixtures/ipr/taint_util.rs
+/root/repo/target/debug/deps/ipr_fixtures-4ca0d1661917af70.d: crates/analyzer/tests/ipr_fixtures.rs crates/analyzer/tests/../fixtures/ipr/panic_entry.rs crates/analyzer/tests/../fixtures/ipr/panic_codec.rs crates/analyzer/tests/../fixtures/ipr/panic_replan.rs crates/analyzer/tests/../fixtures/ipr/taint_feedback.rs crates/analyzer/tests/../fixtures/ipr/lock_order.rs crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs crates/analyzer/tests/../fixtures/ipr/blocking.rs crates/analyzer/tests/../fixtures/ipr/blocking_journal.rs crates/analyzer/tests/../fixtures/ipr/taint_sched.rs crates/analyzer/tests/../fixtures/ipr/taint_util.rs
 
-/root/repo/target/debug/deps/ipr_fixtures-4ca0d1661917af70: crates/analyzer/tests/ipr_fixtures.rs crates/analyzer/tests/../fixtures/ipr/panic_entry.rs crates/analyzer/tests/../fixtures/ipr/panic_codec.rs crates/analyzer/tests/../fixtures/ipr/lock_order.rs crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs crates/analyzer/tests/../fixtures/ipr/blocking.rs crates/analyzer/tests/../fixtures/ipr/blocking_journal.rs crates/analyzer/tests/../fixtures/ipr/taint_sched.rs crates/analyzer/tests/../fixtures/ipr/taint_util.rs
+/root/repo/target/debug/deps/ipr_fixtures-4ca0d1661917af70: crates/analyzer/tests/ipr_fixtures.rs crates/analyzer/tests/../fixtures/ipr/panic_entry.rs crates/analyzer/tests/../fixtures/ipr/panic_codec.rs crates/analyzer/tests/../fixtures/ipr/panic_replan.rs crates/analyzer/tests/../fixtures/ipr/taint_feedback.rs crates/analyzer/tests/../fixtures/ipr/lock_order.rs crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs crates/analyzer/tests/../fixtures/ipr/blocking.rs crates/analyzer/tests/../fixtures/ipr/blocking_journal.rs crates/analyzer/tests/../fixtures/ipr/taint_sched.rs crates/analyzer/tests/../fixtures/ipr/taint_util.rs
 
 crates/analyzer/tests/ipr_fixtures.rs:
 crates/analyzer/tests/../fixtures/ipr/panic_entry.rs:
 crates/analyzer/tests/../fixtures/ipr/panic_codec.rs:
+crates/analyzer/tests/../fixtures/ipr/panic_replan.rs:
+crates/analyzer/tests/../fixtures/ipr/taint_feedback.rs:
 crates/analyzer/tests/../fixtures/ipr/lock_order.rs:
 crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs:
 crates/analyzer/tests/../fixtures/ipr/blocking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_replan-b09e005c40467e9a.d: tests/service_replan.rs
+
+/root/repo/target/debug/deps/service_replan-b09e005c40467e9a: tests/service_replan.rs
+
+tests/service_replan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diffcheck-0cd452879c4b0611.d: crates/sim/examples/diffcheck.rs
+
+/root/repo/target/debug/examples/diffcheck-0cd452879c4b0611: crates/sim/examples/diffcheck.rs
+
+crates/sim/examples/diffcheck.rs:

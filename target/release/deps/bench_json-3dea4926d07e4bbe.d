@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_json-3dea4926d07e4bbe.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/release/deps/bench_json-3dea4926d07e4bbe: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/callgraph-15945bda88c45b37.d: crates/analyzer/tests/callgraph.rs
+
+/root/repo/target/release/deps/callgraph-15945bda88c45b37: crates/analyzer/tests/callgraph.rs
+
+crates/analyzer/tests/callgraph.rs:

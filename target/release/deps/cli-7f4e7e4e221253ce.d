@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-7f4e7e4e221253ce.d: crates/cli/tests/cli.rs
+
+/root/repo/target/release/deps/cli-7f4e7e4e221253ce: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_hdlts=/root/repo/target/release/hdlts

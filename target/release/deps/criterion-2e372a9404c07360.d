@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-2e372a9404c07360.d: .shadow/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2e372a9404c07360.rlib: .shadow/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2e372a9404c07360.rmeta: .shadow/stubs/criterion/src/lib.rs
+
+.shadow/stubs/criterion/src/lib.rs:

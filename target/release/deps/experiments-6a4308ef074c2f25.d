@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-6a4308ef074c2f25.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/experiments-6a4308ef074c2f25: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

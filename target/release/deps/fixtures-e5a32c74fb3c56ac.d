@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fixtures-e5a32c74fb3c56ac.d: crates/analyzer/tests/fixtures.rs crates/analyzer/tests/../fixtures/request_path_panic.rs crates/analyzer/tests/../fixtures/float_eq.rs crates/analyzer/tests/../fixtures/wall_clock.rs crates/analyzer/tests/../fixtures/unordered_iter.rs crates/analyzer/tests/../fixtures/kernel_alloc.rs crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs crates/analyzer/tests/../fixtures/rayon_kernel_alloc.rs crates/analyzer/tests/../fixtures/allow_suppression.rs crates/analyzer/tests/../fixtures/unused_allow.rs crates/analyzer/tests/../fixtures/malformed_allow.rs
+
+/root/repo/target/release/deps/fixtures-e5a32c74fb3c56ac: crates/analyzer/tests/fixtures.rs crates/analyzer/tests/../fixtures/request_path_panic.rs crates/analyzer/tests/../fixtures/float_eq.rs crates/analyzer/tests/../fixtures/wall_clock.rs crates/analyzer/tests/../fixtures/unordered_iter.rs crates/analyzer/tests/../fixtures/kernel_alloc.rs crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs crates/analyzer/tests/../fixtures/rayon_kernel_alloc.rs crates/analyzer/tests/../fixtures/allow_suppression.rs crates/analyzer/tests/../fixtures/unused_allow.rs crates/analyzer/tests/../fixtures/malformed_allow.rs
+
+crates/analyzer/tests/fixtures.rs:
+crates/analyzer/tests/../fixtures/request_path_panic.rs:
+crates/analyzer/tests/../fixtures/float_eq.rs:
+crates/analyzer/tests/../fixtures/wall_clock.rs:
+crates/analyzer/tests/../fixtures/unordered_iter.rs:
+crates/analyzer/tests/../fixtures/kernel_alloc.rs:
+crates/analyzer/tests/../fixtures/soa_kernel_alloc.rs:
+crates/analyzer/tests/../fixtures/rayon_kernel_alloc.rs:
+crates/analyzer/tests/../fixtures/allow_suppression.rs:
+crates/analyzer/tests/../fixtures/unused_allow.rs:
+crates/analyzer/tests/../fixtures/malformed_allow.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/hdlts-8fb3ee9dc3356845.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/hdlts-8fb3ee9dc3356845: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hdlts_analyzer-69cdd45263aee31d.d: crates/analyzer/src/lib.rs crates/analyzer/src/baseline.rs crates/analyzer/src/callgraph.rs crates/analyzer/src/engine.rs crates/analyzer/src/interleave.rs crates/analyzer/src/ipr.rs crates/analyzer/src/lexer.rs crates/analyzer/src/model.rs crates/analyzer/src/rules.rs crates/analyzer/src/sarif.rs
+
+/root/repo/target/release/deps/hdlts_analyzer-69cdd45263aee31d: crates/analyzer/src/lib.rs crates/analyzer/src/baseline.rs crates/analyzer/src/callgraph.rs crates/analyzer/src/engine.rs crates/analyzer/src/interleave.rs crates/analyzer/src/ipr.rs crates/analyzer/src/lexer.rs crates/analyzer/src/model.rs crates/analyzer/src/rules.rs crates/analyzer/src/sarif.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/baseline.rs:
+crates/analyzer/src/callgraph.rs:
+crates/analyzer/src/engine.rs:
+crates/analyzer/src/interleave.rs:
+crates/analyzer/src/ipr.rs:
+crates/analyzer/src/lexer.rs:
+crates/analyzer/src/model.rs:
+crates/analyzer/src/rules.rs:
+crates/analyzer/src/sarif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hdlts_analyzer-f2b42b16f38f7cc5.d: crates/analyzer/src/main.rs
+
+/root/repo/target/release/deps/hdlts_analyzer-f2b42b16f38f7cc5: crates/analyzer/src/main.rs
+
+crates/analyzer/src/main.rs:

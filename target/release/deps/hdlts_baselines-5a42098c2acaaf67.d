@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/hdlts_baselines-5a42098c2acaaf67.d: crates/baselines/src/lib.rs crates/baselines/src/cpop.rs crates/baselines/src/dheft.rs crates/baselines/src/hdlts_cpd.rs crates/baselines/src/hdlts_lookahead.rs crates/baselines/src/heft.rs crates/baselines/src/minmin.rs crates/baselines/src/peft.rs crates/baselines/src/pets.rs crates/baselines/src/random_assign.rs crates/baselines/src/ranks.rs crates/baselines/src/registry.rs crates/baselines/src/sdbats.rs
+
+/root/repo/target/release/deps/hdlts_baselines-5a42098c2acaaf67: crates/baselines/src/lib.rs crates/baselines/src/cpop.rs crates/baselines/src/dheft.rs crates/baselines/src/hdlts_cpd.rs crates/baselines/src/hdlts_lookahead.rs crates/baselines/src/heft.rs crates/baselines/src/minmin.rs crates/baselines/src/peft.rs crates/baselines/src/pets.rs crates/baselines/src/random_assign.rs crates/baselines/src/ranks.rs crates/baselines/src/registry.rs crates/baselines/src/sdbats.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpop.rs:
+crates/baselines/src/dheft.rs:
+crates/baselines/src/hdlts_cpd.rs:
+crates/baselines/src/hdlts_lookahead.rs:
+crates/baselines/src/heft.rs:
+crates/baselines/src/minmin.rs:
+crates/baselines/src/peft.rs:
+crates/baselines/src/pets.rs:
+crates/baselines/src/random_assign.rs:
+crates/baselines/src/ranks.rs:
+crates/baselines/src/registry.rs:
+crates/baselines/src/sdbats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hdlts_bench-3f0136d04a433423.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/hdlts_bench-3f0136d04a433423: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/hdlts_core-e1cf418178311fc9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/est.rs crates/core/src/gantt.rs crates/core/src/hdlts.rs crates/core/src/problem.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/soa.rs crates/core/src/svg.rs crates/core/src/timeline.rs crates/core/src/trace.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/hdlts_core-e1cf418178311fc9: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/est.rs crates/core/src/gantt.rs crates/core/src/hdlts.rs crates/core/src/problem.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/soa.rs crates/core/src/svg.rs crates/core/src/timeline.rs crates/core/src/trace.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/est.rs:
+crates/core/src/gantt.rs:
+crates/core/src/hdlts.rs:
+crates/core/src/problem.rs:
+crates/core/src/schedule.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/soa.rs:
+crates/core/src/svg.rs:
+crates/core/src/timeline.rs:
+crates/core/src/trace.rs:
+crates/core/src/validate.rs:

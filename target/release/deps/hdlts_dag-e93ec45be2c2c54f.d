@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hdlts_dag-e93ec45be2c2c54f.d: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs
+
+/root/repo/target/release/deps/hdlts_dag-e93ec45be2c2c54f: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/dot.rs crates/dag/src/dot_parse.rs crates/dag/src/error.rs crates/dag/src/graph.rs crates/dag/src/levels.rs crates/dag/src/normalize.rs crates/dag/src/paths.rs crates/dag/src/serde_repr.rs crates/dag/src/task.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/builder.rs:
+crates/dag/src/dot.rs:
+crates/dag/src/dot_parse.rs:
+crates/dag/src/error.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/levels.rs:
+crates/dag/src/normalize.rs:
+crates/dag/src/paths.rs:
+crates/dag/src/serde_repr.rs:
+crates/dag/src/task.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hdlts_experiments-109cbb6adf2cc7a3.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/custom.rs crates/experiments/src/extensions.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs crates/experiments/src/tables.rs crates/experiments/src/winrate.rs
+
+/root/repo/target/release/deps/libhdlts_experiments-109cbb6adf2cc7a3.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/custom.rs crates/experiments/src/extensions.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs crates/experiments/src/tables.rs crates/experiments/src/winrate.rs
+
+/root/repo/target/release/deps/libhdlts_experiments-109cbb6adf2cc7a3.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/custom.rs crates/experiments/src/extensions.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs crates/experiments/src/tables.rs crates/experiments/src/winrate.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/custom.rs:
+crates/experiments/src/extensions.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/output.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/sweep.rs:
+crates/experiments/src/tables.rs:
+crates/experiments/src/winrate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hdlts_experiments-684540340cf88b5a.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/custom.rs crates/experiments/src/extensions.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs crates/experiments/src/tables.rs crates/experiments/src/winrate.rs
+
+/root/repo/target/release/deps/hdlts_experiments-684540340cf88b5a: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/custom.rs crates/experiments/src/extensions.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs crates/experiments/src/tables.rs crates/experiments/src/winrate.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/custom.rs:
+crates/experiments/src/extensions.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/output.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/sweep.rs:
+crates/experiments/src/tables.rs:
+crates/experiments/src/winrate.rs:

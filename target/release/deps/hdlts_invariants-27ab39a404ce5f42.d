@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hdlts_invariants-27ab39a404ce5f42.d: tests/hdlts_invariants.rs
+
+/root/repo/target/release/deps/hdlts_invariants-27ab39a404ce5f42: tests/hdlts_invariants.rs
+
+tests/hdlts_invariants.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hdlts_metrics-55afbe5b30d494f6.d: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs
+
+/root/repo/target/release/deps/hdlts_metrics-55afbe5b30d494f6: crates/metrics/src/lib.rs crates/metrics/src/balance.rs crates/metrics/src/energy.rs crates/metrics/src/histogram.rs crates/metrics/src/measures.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/svg_chart.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/balance.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/measures.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/svg_chart.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hdlts_platform-1b401d30f10cd373.d: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs
+
+/root/repo/target/release/deps/hdlts_platform-1b401d30f10cd373: crates/platform/src/lib.rs crates/platform/src/cost_matrix.rs crates/platform/src/error.rs crates/platform/src/links.rs crates/platform/src/proc_set.rs crates/platform/src/processor.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/cost_matrix.rs:
+crates/platform/src/error.rs:
+crates/platform/src/links.rs:
+crates/platform/src/proc_set.rs:
+crates/platform/src/processor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hdlts_repro-3b70a822cf5a4654.d: src/lib.rs
+
+/root/repo/target/release/deps/hdlts_repro-3b70a822cf5a4654: src/lib.rs
+
+src/lib.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/hdlts_service-8728c005e7516c13.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/router.rs
+/root/repo/target/release/deps/hdlts_service-8728c005e7516c13.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/replan.rs crates/service/src/router.rs
 
-/root/repo/target/release/deps/libhdlts_service-8728c005e7516c13.rlib: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/router.rs
+/root/repo/target/release/deps/libhdlts_service-8728c005e7516c13.rlib: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/replan.rs crates/service/src/router.rs
 
-/root/repo/target/release/deps/libhdlts_service-8728c005e7516c13.rmeta: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/router.rs
+/root/repo/target/release/deps/libhdlts_service-8728c005e7516c13.rmeta: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/replan.rs crates/service/src/router.rs
 
 crates/service/src/lib.rs:
 crates/service/src/client.rs:
@@ -14,4 +14,5 @@ crates/service/src/journal.rs:
 crates/service/src/json.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:
+crates/service/src/replan.rs:
 crates/service/src/router.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hdlts_service-8ee154bb6f155cb7.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/replan.rs crates/service/src/router.rs
+
+/root/repo/target/release/deps/hdlts_service-8ee154bb6f155cb7: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/daemon.rs crates/service/src/error.rs crates/service/src/faults.rs crates/service/src/jobs.rs crates/service/src/journal.rs crates/service/src/json.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/replan.rs crates/service/src/router.rs
+
+crates/service/src/lib.rs:
+crates/service/src/client.rs:
+crates/service/src/daemon.rs:
+crates/service/src/error.rs:
+crates/service/src/faults.rs:
+crates/service/src/jobs.rs:
+crates/service/src/journal.rs:
+crates/service/src/json.rs:
+crates/service/src/protocol.rs:
+crates/service/src/queue.rs:
+crates/service/src/replan.rs:
+crates/service/src/router.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/hdlts_sim-18c7e133f9d87004.d: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
+/root/repo/target/release/deps/hdlts_sim-18c7e133f9d87004.d: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/feedback.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
 
-/root/repo/target/release/deps/libhdlts_sim-18c7e133f9d87004.rlib: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
+/root/repo/target/release/deps/libhdlts_sim-18c7e133f9d87004.rlib: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/feedback.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
 
-/root/repo/target/release/deps/libhdlts_sim-18c7e133f9d87004.rmeta: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
+/root/repo/target/release/deps/libhdlts_sim-18c7e133f9d87004.rmeta: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/feedback.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/arrivals.rs:
 crates/sim/src/failure.rs:
+crates/sim/src/feedback.rs:
 crates/sim/src/online.rs:
 crates/sim/src/outcome.rs:
 crates/sim/src/perturb.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hdlts_sim-8e3f8e638e2bb175.d: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/feedback.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
+
+/root/repo/target/release/deps/hdlts_sim-8e3f8e638e2bb175: crates/sim/src/lib.rs crates/sim/src/arrivals.rs crates/sim/src/failure.rs crates/sim/src/feedback.rs crates/sim/src/online.rs crates/sim/src/outcome.rs crates/sim/src/perturb.rs crates/sim/src/replay.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/arrivals.rs:
+crates/sim/src/failure.rs:
+crates/sim/src/feedback.rs:
+crates/sim/src/online.rs:
+crates/sim/src/outcome.rs:
+crates/sim/src/perturb.rs:
+crates/sim/src/replay.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hdlts_workloads-97767ea601807c6b.d: crates/workloads/src/lib.rs crates/workloads/src/compose.rs crates/workloads/src/cost_model.rs crates/workloads/src/fft.rs crates/workloads/src/fixtures.rs crates/workloads/src/gauss.rs crates/workloads/src/instance.rs crates/workloads/src/laplace.rs crates/workloads/src/moldyn.rs crates/workloads/src/montage.rs crates/workloads/src/named.rs crates/workloads/src/params.rs crates/workloads/src/pegasus.rs crates/workloads/src/random_dag.rs
+
+/root/repo/target/release/deps/hdlts_workloads-97767ea601807c6b: crates/workloads/src/lib.rs crates/workloads/src/compose.rs crates/workloads/src/cost_model.rs crates/workloads/src/fft.rs crates/workloads/src/fixtures.rs crates/workloads/src/gauss.rs crates/workloads/src/instance.rs crates/workloads/src/laplace.rs crates/workloads/src/moldyn.rs crates/workloads/src/montage.rs crates/workloads/src/named.rs crates/workloads/src/params.rs crates/workloads/src/pegasus.rs crates/workloads/src/random_dag.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/compose.rs:
+crates/workloads/src/cost_model.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/fixtures.rs:
+crates/workloads/src/gauss.rs:
+crates/workloads/src/instance.rs:
+crates/workloads/src/laplace.rs:
+crates/workloads/src/moldyn.rs:
+crates/workloads/src/montage.rs:
+crates/workloads/src/named.rs:
+crates/workloads/src/params.rs:
+crates/workloads/src/pegasus.rs:
+crates/workloads/src/random_dag.rs:

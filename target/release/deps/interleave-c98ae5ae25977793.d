@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/interleave-c98ae5ae25977793.d: crates/analyzer/tests/interleave.rs
+
+/root/repo/target/release/deps/interleave-c98ae5ae25977793: crates/analyzer/tests/interleave.rs
+
+crates/analyzer/tests/interleave.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ipr_fixtures-9c07fdcae42650d7.d: crates/analyzer/tests/ipr_fixtures.rs crates/analyzer/tests/../fixtures/ipr/panic_entry.rs crates/analyzer/tests/../fixtures/ipr/panic_codec.rs crates/analyzer/tests/../fixtures/ipr/panic_replan.rs crates/analyzer/tests/../fixtures/ipr/taint_feedback.rs crates/analyzer/tests/../fixtures/ipr/lock_order.rs crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs crates/analyzer/tests/../fixtures/ipr/blocking.rs crates/analyzer/tests/../fixtures/ipr/blocking_journal.rs crates/analyzer/tests/../fixtures/ipr/taint_sched.rs crates/analyzer/tests/../fixtures/ipr/taint_util.rs
+
+/root/repo/target/release/deps/ipr_fixtures-9c07fdcae42650d7: crates/analyzer/tests/ipr_fixtures.rs crates/analyzer/tests/../fixtures/ipr/panic_entry.rs crates/analyzer/tests/../fixtures/ipr/panic_codec.rs crates/analyzer/tests/../fixtures/ipr/panic_replan.rs crates/analyzer/tests/../fixtures/ipr/taint_feedback.rs crates/analyzer/tests/../fixtures/ipr/lock_order.rs crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs crates/analyzer/tests/../fixtures/ipr/blocking.rs crates/analyzer/tests/../fixtures/ipr/blocking_journal.rs crates/analyzer/tests/../fixtures/ipr/taint_sched.rs crates/analyzer/tests/../fixtures/ipr/taint_util.rs
+
+crates/analyzer/tests/ipr_fixtures.rs:
+crates/analyzer/tests/../fixtures/ipr/panic_entry.rs:
+crates/analyzer/tests/../fixtures/ipr/panic_codec.rs:
+crates/analyzer/tests/../fixtures/ipr/panic_replan.rs:
+crates/analyzer/tests/../fixtures/ipr/taint_feedback.rs:
+crates/analyzer/tests/../fixtures/ipr/lock_order.rs:
+crates/analyzer/tests/../fixtures/ipr/lock_order_allowed.rs:
+crates/analyzer/tests/../fixtures/ipr/blocking.rs:
+crates/analyzer/tests/../fixtures/ipr/blocking_journal.rs:
+crates/analyzer/tests/../fixtures/ipr/taint_sched.rs:
+crates/analyzer/tests/../fixtures/ipr/taint_util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loadgen-e5d586b8f5cf545e.d: crates/service/src/bin/loadgen.rs
+
+/root/repo/target/release/deps/loadgen-e5d586b8f5cf545e: crates/service/src/bin/loadgen.rs
+
+crates/service/src/bin/loadgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metrics_invariants-c355b01eebd9519a.d: tests/metrics_invariants.rs
+
+/root/repo/target/release/deps/metrics_invariants-c355b01eebd9519a: tests/metrics_invariants.rs
+
+tests/metrics_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_dag-bc07ab161e4cd8ef.d: crates/dag/tests/proptest_dag.rs
+
+/root/repo/target/release/deps/proptest_dag-bc07ab161e4cd8ef: crates/dag/tests/proptest_dag.rs
+
+crates/dag/tests/proptest_dag.rs:

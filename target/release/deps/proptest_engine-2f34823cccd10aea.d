@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_engine-2f34823cccd10aea.d: crates/core/tests/proptest_engine.rs
+
+/root/repo/target/release/deps/proptest_engine-2f34823cccd10aea: crates/core/tests/proptest_engine.rs
+
+crates/core/tests/proptest_engine.rs:

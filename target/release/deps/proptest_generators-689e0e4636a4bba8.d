@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_generators-689e0e4636a4bba8.d: crates/workloads/tests/proptest_generators.rs
+
+/root/repo/target/release/deps/proptest_generators-689e0e4636a4bba8: crates/workloads/tests/proptest_generators.rs
+
+crates/workloads/tests/proptest_generators.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_schedules-7c5a557a914bd8a6.d: tests/proptest_schedules.rs
+
+/root/repo/target/release/deps/proptest_schedules-7c5a557a914bd8a6: tests/proptest_schedules.rs
+
+tests/proptest_schedules.rs:

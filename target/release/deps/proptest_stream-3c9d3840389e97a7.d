@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_stream-3c9d3840389e97a7.d: tests/proptest_stream.rs
+
+/root/repo/target/release/deps/proptest_stream-3c9d3840389e97a7: tests/proptest_stream.rs
+
+tests/proptest_stream.rs:

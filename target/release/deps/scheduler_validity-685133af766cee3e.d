@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduler_validity-685133af766cee3e.d: tests/scheduler_validity.rs
+
+/root/repo/target/release/deps/scheduler_validity-685133af766cee3e: tests/scheduler_validity.rs
+
+tests/scheduler_validity.rs:

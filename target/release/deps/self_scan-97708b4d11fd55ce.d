@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/self_scan-97708b4d11fd55ce.d: crates/analyzer/tests/self_scan.rs
+
+/root/repo/target/release/deps/self_scan-97708b4d11fd55ce: crates/analyzer/tests/self_scan.rs
+
+crates/analyzer/tests/self_scan.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyzer

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_round_trips-30c7d63c3a1ddf04.d: tests/serde_round_trips.rs
+
+/root/repo/target/release/deps/serde_round_trips-30c7d63c3a1ddf04: tests/serde_round_trips.rs
+
+tests/serde_round_trips.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_e2e-ffd9bb23af0c9523.d: tests/service_e2e.rs
+
+/root/repo/target/release/deps/service_e2e-ffd9bb23af0c9523: tests/service_e2e.rs
+
+tests/service_e2e.rs:

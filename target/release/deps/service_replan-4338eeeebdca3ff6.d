@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_replan-4338eeeebdca3ff6.d: tests/service_replan.rs
+
+/root/repo/target/release/deps/service_replan-4338eeeebdca3ff6: tests/service_replan.rs
+
+tests/service_replan.rs:

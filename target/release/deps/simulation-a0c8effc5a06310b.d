@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulation-a0c8effc5a06310b.d: tests/simulation.rs
+
+/root/repo/target/release/deps/simulation-a0c8effc5a06310b: tests/simulation.rs
+
+tests/simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_trace-f61876b4377e50d8.d: tests/table1_trace.rs
+
+/root/repo/target/release/deps/table1_trace-f61876b4377e50d8: tests/table1_trace.rs
+
+tests/table1_trace.rs:

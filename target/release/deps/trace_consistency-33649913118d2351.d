@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_consistency-33649913118d2351.d: tests/trace_consistency.rs
+
+/root/repo/target/release/deps/trace_consistency-33649913118d2351: tests/trace_consistency.rs
+
+tests/trace_consistency.rs:

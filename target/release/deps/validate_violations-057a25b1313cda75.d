@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_violations-057a25b1313cda75.d: crates/core/tests/validate_violations.rs
+
+/root/repo/target/release/deps/validate_violations-057a25b1313cda75: crates/core/tests/validate_violations.rs
+
+crates/core/tests/validate_violations.rs:

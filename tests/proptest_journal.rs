@@ -61,6 +61,7 @@ fn sample_result(id: u64, len: usize) -> JobResult {
         placements,
         service_ms: id as f64 + 0.75,
         aborted_attempts: len % 3,
+        replans: id as usize % 4,
     }
 }
 

@@ -1,0 +1,594 @@
+//! End-to-end tests of the online rescheduling loop.
+//!
+//! The load-bearing claims:
+//!
+//! * A `"replan":"sim"` job runs the daemon-side feedback loop
+//!   ([`execute_managed`]) and its result — makespan, placements, replan
+//!   count — is bit-identical to the offline reference under the same
+//!   `(instance, jitter, failure)` triple, and is served exactly once.
+//! * A crash at the `replan-commit` point (the suffix replan exists only
+//!   in the dead worker's memory) loses nothing: restart on the same
+//!   journal re-runs the job deterministically, recommits its replans,
+//!   and serves the bit-identical result.
+//! * A `"replan":"wire"` job drives the `report` verb end to end: plan
+//!   poll, batched actuals, a fail-stop loss, replanned generations
+//!   adopted from the acks. A crash at the `report-ack` point is healed
+//!   by the client's cumulative resend against the restarted daemon,
+//!   which resumes generation numbering past the journal's latest
+//!   `Replanned` frame.
+
+use hdlts_repro::core::{Hdlts, HdltsConfig, Scheduler};
+use hdlts_repro::platform::{Platform, ProcId};
+use hdlts_repro::sim::{execute_managed, DriftConfig, FailureSpec, ManagedOutcome, PerturbModel};
+use hdlts_repro::workloads::GeneratorSpec;
+use hdlts_service::json::Value;
+use hdlts_service::{
+    read_journal, Client, CrashPoint, Daemon, DaemonHandle, FaultPlan, RetryPolicy, ServiceConfig,
+    ShardSpec,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const PROCS: usize = 4;
+const JITTER: f64 = 0.2;
+/// The processor the churn kills — the last one, so generation-0 plans
+/// that use every processor always lose live work.
+const DEAD: u32 = (PROCS - 1) as u32;
+
+fn try_request(addr: std::net::SocketAddr, line: &str) -> Option<Value> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = stream;
+    writer.write_all(format!("{line}\n").as_bytes()).ok()?;
+    writer.flush().ok()?;
+    let mut resp = String::new();
+    match reader.read_line(&mut resp) {
+        Ok(n) if n > 0 => Value::parse(resp.trim()).ok(),
+        _ => None,
+    }
+}
+
+fn await_result(addr: std::net::SocketAddr, job_id: u64) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < deadline, "job {job_id} never finished");
+        let resp = try_request(addr, &format!(r#"{{"cmd":"result","job_id":{job_id}}}"#))
+            .unwrap_or_else(|| panic!("daemon died while awaiting job {job_id}"));
+        if resp.get("ok").and_then(Value::as_bool) == Some(true)
+            && resp.get("state").and_then(Value::as_str) == Some("done")
+        {
+            return resp;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn start_daemon(cfg: ServiceConfig) -> DaemonHandle {
+    Daemon::start(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        ..cfg
+    })
+    .expect("daemon start")
+}
+
+fn journal_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hdlts-replan-{}-{name}.journal", std::process::id()))
+}
+
+fn base_cfg() -> ServiceConfig {
+    ServiceConfig {
+        queue_capacity: 64,
+        shards: vec![ShardSpec {
+            procs: PROCS,
+            threads: 1,
+        }],
+        ..Default::default()
+    }
+}
+
+/// The offline reference for one churn job: the generation-0 planned
+/// makespan (which anchors the kill time) and the managed outcome under
+/// the daemon's default drift config.
+fn offline_managed(seed: u64) -> (f64, ManagedOutcome) {
+    let instance = GeneratorSpec {
+        size: 8,
+        num_procs: PROCS,
+        seed,
+        ..Default::default()
+    }
+    .generate("fft")
+    .unwrap();
+    let platform = Platform::fully_connected(PROCS).unwrap();
+    let problem = instance.problem(&platform).unwrap();
+    let planned = Hdlts::new(HdltsConfig::without_duplication())
+        .schedule(&problem)
+        .unwrap()
+        .makespan();
+    let kill_at = planned * 0.35;
+    let out = execute_managed(
+        &problem,
+        DriftConfig::default(),
+        &PerturbModel::uniform(JITTER, seed),
+        &FailureSpec::none().with_failure(ProcId(DEAD), kill_at),
+        |_, _| true,
+    )
+    .unwrap();
+    (kill_at, out)
+}
+
+/// The wire submit for the same triple `offline_managed(seed)` prices.
+fn managed_submit_line(seed: u64, kill_at: f64) -> String {
+    format!(
+        r#"{{"cmd":"submit","workload":{{"family":"fft","m":8,"procs":{PROCS},"seed":{seed}}},"jitter":{JITTER},"jitter_seed":{seed},"failures":[[{DEAD},{kill_at}]],"replan":"sim"}}"#
+    )
+}
+
+fn wire_schedule(resp: &Value) -> (f64, Vec<(u32, f64, f64)>) {
+    let makespan = resp.get("makespan").and_then(Value::as_f64).unwrap();
+    let placements = resp
+        .get("placements")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|triple| {
+            let t = triple.as_arr().unwrap();
+            (
+                t[0].as_u64().unwrap() as u32,
+                t[1].as_f64().unwrap(),
+                t[2].as_f64().unwrap(),
+            )
+        })
+        .collect();
+    (makespan, placements)
+}
+
+/// Asserts the daemon-served result is bit-identical to the offline
+/// managed reference — completion, placements, and replan count.
+fn assert_matches_offline(resp: &Value, offline: &ManagedOutcome, label: &str) {
+    let (makespan, placements) = wire_schedule(resp);
+    assert_eq!(makespan, offline.makespan, "{label}: makespan");
+    let expected: Vec<(u32, f64, f64)> = offline
+        .placements
+        .iter()
+        .map(|&(p, s, f)| (p.0, s, f))
+        .collect();
+    assert_eq!(placements, expected, "{label}: placements");
+    assert_eq!(
+        resp.get("replans").and_then(Value::as_u64),
+        Some(offline.replans as u64),
+        "{label}: replan count"
+    );
+}
+
+fn wait_for_crash(handle: &DaemonHandle) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !handle.crashed() {
+        assert!(Instant::now() < deadline, "armed crash point never fired");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The seeds the churn sweep replays; `HDLTS_CHAOS_SEEDS` (comma list)
+/// widens or narrows it — `just chaos` drives a larger fixed sweep.
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("HDLTS_CHAOS_SEEDS") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad HDLTS_CHAOS_SEEDS entry '{t}'"))
+            })
+            .collect(),
+        _ => vec![11, 22, 33, 44],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sim-managed: daemon-side feedback loop vs the offline reference.
+// ---------------------------------------------------------------------------
+
+/// Every sim-managed churn job completes bit-identically to the offline
+/// `execute_managed` reference, and a re-poll serves the identical
+/// result — never a re-run, never a second completion.
+#[test]
+fn sim_managed_jobs_match_the_offline_reference_and_serve_once() {
+    let handle = start_daemon(base_cfg());
+    let mut expected_replans = 0u64;
+    for seed in [5u64, 6, 7] {
+        let (kill_at, offline) = offline_managed(seed);
+        let ack = try_request(handle.addr(), &managed_submit_line(seed, kill_at)).unwrap();
+        assert_eq!(ack.get("ok").and_then(Value::as_bool), Some(true), "{ack}");
+        let id = ack.get("job_id").and_then(Value::as_u64).unwrap();
+        let resp = await_result(handle.addr(), id);
+        assert_matches_offline(&resp, &offline, &format!("seed {seed}"));
+        assert!(
+            offline.makespan.is_finite() && offline.makespan > 0.0,
+            "seed {seed}: reference makespan must be a real schedule"
+        );
+        expected_replans += offline.replans as u64;
+
+        let again = await_result(handle.addr(), id);
+        assert_eq!(
+            resp.to_string(),
+            again.to_string(),
+            "seed {seed}: a second poll must serve the identical terminal result"
+        );
+    }
+    let stats = handle.wait();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(
+        stats.replans, expected_replans,
+        "the daemon's replan counter tracks committed generations"
+    );
+}
+
+/// The seeded churn sweep: under jitter plus a mid-plan processor kill,
+/// every acked job reaches a valid, offline-identical result. This is the
+/// `just chaos` churn scenario.
+#[test]
+fn churn_sweep_every_acked_job_reaches_a_valid_result() {
+    for chaos_seed in chaos_seeds() {
+        let handle = start_daemon(base_cfg());
+        let mut jobs = Vec::new();
+        for i in 0..4u64 {
+            let seed = chaos_seed * 1_000 + i;
+            let (kill_at, offline) = offline_managed(seed);
+            let ack = try_request(handle.addr(), &managed_submit_line(seed, kill_at)).unwrap();
+            assert_eq!(
+                ack.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "chaos seed {chaos_seed}: {ack}"
+            );
+            let id = ack.get("job_id").and_then(Value::as_u64).unwrap();
+            jobs.push((id, seed, offline));
+        }
+        for (id, seed, offline) in &jobs {
+            let resp = await_result(handle.addr(), *id);
+            assert_matches_offline(&resp, offline, &format!("chaos seed {chaos_seed} job {seed}"));
+        }
+        let stats = handle.wait();
+        assert_eq!(stats.completed, jobs.len() as u64, "chaos seed {chaos_seed}");
+        assert_eq!(stats.failed, 0, "chaos seed {chaos_seed}");
+    }
+}
+
+/// The replan-commit crash: the suffix replan is computed but its
+/// `Replanned` frame never lands, and the daemon dies on the spot. The
+/// journal still owes the job; restart re-runs it deterministically,
+/// recommits every generation, and serves the bit-identical result.
+#[test]
+fn crash_at_replan_commit_recovers_to_the_bit_identical_result() {
+    let path = journal_path("replan-commit");
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServiceConfig {
+        journal_path: Some(path.clone()),
+        ..base_cfg()
+    };
+
+    // Life 1: the first replan commit is vetoed and kills the daemon. The
+    // slow worker keeps the crash from outrunning the submit ack.
+    let doomed = start_daemon(ServiceConfig {
+        faults: FaultPlan::crash(CrashPoint::ReplanCommit, 1),
+        worker_delay_ms: 50,
+        ..cfg.clone()
+    });
+    let (kill_at, offline) = offline_managed(5);
+    assert!(
+        offline.replans > 0,
+        "the reference triple must actually replan for this test to bite"
+    );
+    let ack = try_request(doomed.addr(), &managed_submit_line(5, kill_at)).unwrap();
+    assert_eq!(ack.get("ok").and_then(Value::as_bool), Some(true), "{ack}");
+    let id = ack.get("job_id").and_then(Value::as_u64).unwrap();
+    wait_for_crash(&doomed);
+    doomed.wait(); // crashed: the journal survives untruncated
+
+    // The vetoed commit journaled nothing: the job is owed in full, with
+    // no Replanned frame and no terminal record.
+    let rec = read_journal(&path).unwrap();
+    assert!(
+        rec.unfinished.iter().any(|(i, _)| *i == id),
+        "the acked job must still be owed after the crash"
+    );
+    assert!(
+        rec.replanned.iter().all(|(i, _, _)| *i != id),
+        "a vetoed replan-commit must not leave a Replanned frame"
+    );
+    assert!(rec.terminal.iter().all(|i| *i != id));
+
+    // Life 2: recovery re-runs the managed job from its journaled submit
+    // line — same instance, same jitter seed, same failure — so the
+    // feedback loop replays deterministically.
+    let healed = start_daemon(cfg);
+    assert_eq!(healed.stats().recovered, 1);
+    let resp = await_result(healed.addr(), id);
+    assert_matches_offline(&resp, &offline, "recovered job");
+    let stats = healed.wait();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(
+        stats.replans, offline.replans as u64,
+        "every generation is recommitted on the re-run"
+    );
+
+    // The drained journal now carries the replayed Replanned frames up to
+    // the reference generation, plus the terminal outcome.
+    let after = read_journal(&path).unwrap();
+    assert!(after.unfinished.is_empty());
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-managed: the `report` verb end to end.
+// ---------------------------------------------------------------------------
+
+/// The remote executor's ground truth: uniformly slower than planned, so
+/// reported actuals stay mutually consistent while breaching the default
+/// drift threshold.
+const SLOWDOWN: f64 = 1.22;
+
+fn parse_plan(v: &Value) -> Vec<(u32, f64, f64)> {
+    v.as_arr()
+        .expect("plan is an array")
+        .iter()
+        .map(|row| {
+            let t = row.as_arr().expect("plan row");
+            (
+                t[0].as_u64().unwrap() as u32,
+                t[1].as_f64().unwrap(),
+                t[2].as_f64().unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Polls `result` until the generation-0 plan is installed.
+fn await_plan(client: &mut Client, job_id: u64) -> Vec<(u32, f64, f64)> {
+    let poll = format!(r#"{{"cmd":"result","job_id":{job_id}}}"#);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "job {job_id} never got a plan");
+        let resp = client.request(&poll).expect("plan poll");
+        if let Some(p) = resp.get("plan") {
+            return parse_plan(p);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// One remote executor: finishes tasks in plan-start order at
+/// `SLOWDOWN`-scaled times, reporting in batches and adopting every plan
+/// the acks carry. `history`/`losses` accumulate across calls so a resend
+/// after a crash replays the full cumulative record. Returns
+/// `Ok(Some(generation))` when the final ack says done, `Ok(None)` if
+/// `max_batches` ran out first, `Err` on a dead daemon.
+#[allow(clippy::too_many_arguments)]
+fn drive_wire(
+    client: &mut Client,
+    job_id: u64,
+    plan: &mut Vec<(u32, f64, f64)>,
+    finished: &mut Vec<bool>,
+    history: &mut Vec<(u32, u32, f64, f64)>,
+    losses: &mut Vec<(u32, f64)>,
+    kill_at: f64,
+    batch_size: usize,
+    max_batches: usize,
+) -> Result<Option<u64>, String> {
+    let n = finished.len();
+    let mut generation = 0u64;
+    for _ in 0..max_batches {
+        let mut order: Vec<usize> = (0..n).filter(|&t| !finished[t]).collect();
+        let done_count = n - order.len();
+        if order.is_empty() {
+            break;
+        }
+        order.sort_by(|&a, &b| plan[a].1.total_cmp(&plan[b].1).then(a.cmp(&b)));
+        order.truncate(batch_size);
+        for &t in &order {
+            let (p, s, f) = plan[t];
+            history.push((t as u32, p, s * SLOWDOWN, f * SLOWDOWN));
+            finished[t] = true;
+        }
+        // Report the fail-stop loss exactly once, a third of the way in.
+        if losses.is_empty() && (done_count + order.len()) * 3 >= n {
+            losses.push((DEAD, kill_at));
+        }
+        // Cumulative resend semantics: every report carries the full
+        // history, and the daemon's first-report-wins dedup absorbs it.
+        let ack = client.report(job_id, history, losses)?;
+        generation = generation.max(ack.get("generation").and_then(Value::as_u64).unwrap_or(0));
+        if let Some(p) = ack.get("plan") {
+            *plan = parse_plan(p);
+        }
+        if ack.get("done").and_then(Value::as_bool) == Some(true) {
+            return Ok(Some(generation));
+        }
+    }
+    Ok(None)
+}
+
+fn wire_submit_line(seed: u64) -> String {
+    format!(
+        r#"{{"cmd":"submit","workload":{{"family":"fft","m":8,"procs":{PROCS},"seed":{seed}}},"replan":"wire"}}"#
+    )
+}
+
+fn test_client(addr: std::net::SocketAddr) -> Client {
+    Client::new(
+        &addr.to_string(),
+        RetryPolicy {
+            budget: 3,
+            base_ms: 2,
+            cap_ms: 20,
+            request_timeout_ms: Some(30_000),
+            ..RetryPolicy::default()
+        },
+    )
+}
+
+/// The full wire conversation against a healthy daemon: plan poll, report
+/// batches, one loss, replan adoption, terminal ack — and the served
+/// result is exactly the reported reality.
+#[test]
+fn wire_managed_job_replans_on_loss_and_serves_the_reported_actuals() {
+    let handle = start_daemon(base_cfg());
+    let mut client = test_client(handle.addr());
+    let ack = client.request(&wire_submit_line(9)).expect("submit");
+    assert_eq!(ack.get("ok").and_then(Value::as_bool), Some(true), "{ack}");
+    let id = ack.get("job_id").and_then(Value::as_u64).unwrap();
+
+    let mut plan = await_plan(&mut client, id);
+    let planned_span = plan.iter().fold(0.0f64, |m, &(_, _, f)| m.max(f));
+    let n = plan.len();
+    let mut finished = vec![false; n];
+    let (mut history, mut losses) = (Vec::new(), Vec::new());
+    let generation = drive_wire(
+        &mut client,
+        id,
+        &mut plan,
+        &mut finished,
+        &mut history,
+        &mut losses,
+        planned_span * 0.35,
+        3,
+        1_000,
+    )
+    .expect("healthy daemon")
+    .expect("the executor must finish every task");
+    assert!(
+        generation >= 1,
+        "the reported loss must commit at least one replanned generation"
+    );
+
+    let resp = await_result(handle.addr(), id);
+    assert_eq!(resp.get("replans").and_then(Value::as_u64), Some(generation));
+    let (makespan, placements) = wire_schedule(&resp);
+    let reported_span = history.iter().fold(0.0f64, |m, &(_, _, _, f)| m.max(f));
+    assert_eq!(
+        makespan, reported_span,
+        "the terminal makespan is the latest reported actual finish"
+    );
+    for &(t, p, s, f) in &history {
+        assert_eq!(
+            placements[t as usize],
+            (p, s, f),
+            "task {t}: the served placement is the reported actual"
+        );
+    }
+    assert_eq!(handle.wait().completed, 1);
+}
+
+/// The report-ack crash: the batch is applied and its replanned
+/// generation journaled, but the ack never leaves the socket and the
+/// daemon dies. The executor's cumulative resend against the restarted
+/// daemon replays the full history; the daemon resumes generation
+/// numbering past the journal's latest `Replanned` frame and completes
+/// the job exactly once.
+#[test]
+fn report_ack_crash_is_healed_by_cumulative_resend_after_restart() {
+    let path = journal_path("report-ack");
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServiceConfig {
+        journal_path: Some(path.clone()),
+        ..base_cfg()
+    };
+
+    // Life 1: the first report ack is swallowed.
+    let doomed = start_daemon(ServiceConfig {
+        faults: FaultPlan::crash(CrashPoint::ReportAck, 1),
+        ..cfg.clone()
+    });
+    let mut client = test_client(doomed.addr());
+    let ack = client.request(&wire_submit_line(13)).expect("submit");
+    let id = ack.get("job_id").and_then(Value::as_u64).unwrap();
+    let mut plan = await_plan(&mut client, id);
+    let planned_span = plan.iter().fold(0.0f64, |m, &(_, _, f)| m.max(f));
+    let kill_at = planned_span * 0.35;
+    let n = plan.len();
+    let mut finished = vec![false; n];
+    let (mut history, mut losses) = (Vec::new(), Vec::new());
+    // A big first batch that includes the loss: the daemon applies it,
+    // commits and journals generation 1, then dies pre-ack.
+    let err = drive_wire(
+        &mut client,
+        id,
+        &mut plan,
+        &mut finished,
+        &mut history,
+        &mut losses,
+        kill_at,
+        n.div_ceil(2),
+        1_000,
+    )
+    .expect_err("the armed report-ack crash must swallow the ack");
+    assert!(!err.is_empty());
+    wait_for_crash(&doomed);
+    doomed.wait();
+
+    // The dead daemon journaled the committed generation; the job is
+    // still owed.
+    let rec = read_journal(&path).unwrap();
+    assert!(rec.unfinished.iter().any(|(i, _)| *i == id));
+    let journaled_gen = rec
+        .replanned
+        .iter()
+        .filter(|(i, _, _)| *i == id)
+        .map(|(_, g, _)| *g)
+        .max()
+        .expect("the loss-bearing batch must journal its Replanned frame");
+    assert!(journaled_gen >= 1);
+
+    // Life 2: the executor resends its full cumulative history. The
+    // restarted daemon recovered the job, replans past the journaled
+    // generation, and the job completes exactly once.
+    let healed = start_daemon(cfg);
+    assert_eq!(healed.stats().recovered, 1);
+    let mut client = test_client(healed.addr());
+    let mut plan = await_plan(&mut client, id);
+    // The resend applies the identical actuals; only the unfinished
+    // suffix still needs driving.
+    let generation = drive_wire(
+        &mut client,
+        id,
+        &mut plan,
+        &mut finished,
+        &mut history,
+        &mut losses,
+        kill_at,
+        3,
+        1_000,
+    )
+    .expect("healed daemon")
+    .expect("the resumed executor must finish every task");
+    assert!(
+        generation > u64::from(journaled_gen),
+        "recovery resumes generation numbering past the journal's latest \
+         frame ({journaled_gen}), never reusing a committed number"
+    );
+
+    let resp = await_result(healed.addr(), id);
+    assert_eq!(resp.get("replans").and_then(Value::as_u64), Some(generation));
+    let (_, placements) = wire_schedule(&resp);
+    for &(t, p, s, f) in &history {
+        assert_eq!(
+            placements[t as usize],
+            (p, s, f),
+            "task {t}: the post-recovery placement is the reported actual"
+        );
+    }
+    // A terminal re-report (a resend whose final ack was lost) is re-acked
+    // idempotently, not re-applied.
+    let re_ack = client.report(id, &history, &losses).expect("re-ack");
+    assert_eq!(re_ack.get("done").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        re_ack.get("generation").and_then(Value::as_u64),
+        Some(generation)
+    );
+    let stats = healed.wait();
+    assert_eq!(stats.completed, 1, "exactly one completion across two lives");
+    let _ = std::fs::remove_file(&path);
+}
